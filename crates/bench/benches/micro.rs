@@ -1,0 +1,153 @@
+//! Criterion micro-benchmarks of the substrate hot paths: the
+//! cryptographic primitives behind gTLS (experiment E5's cost model is
+//! calibrated against 1990s hardware; these numbers document what the
+//! *host* machine actually does), wire-format round trips, GLS routing
+//! and simulation-kernel primitives.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use globe_crypto::cert::{CertAuthority, Credentials, Role};
+use globe_crypto::chacha20::chacha20_xor;
+use globe_crypto::gtls::{Mode, TlsConfig, TlsSession};
+use globe_crypto::hmac::hmac_sha256;
+use globe_crypto::sha256::sha256;
+use globe_crypto::sig::{keygen_from_seed, sign, verify};
+use globe_gls::{ContactAddress, ObjectId};
+use globe_net::{Endpoint, HostId};
+use globe_sim::{Histogram, Rng};
+use globe_workloads::ZipfSampler;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashing");
+    for size in [1usize << 10, 64 << 10] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("sha256/{size}"), |b| b.iter(|| sha256(&data)));
+        g.bench_function(format!("hmac_sha256/{size}"), |b| {
+            b.iter(|| hmac_sha256(b"key", &data))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cipher(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cipher");
+    let size = 64usize << 10;
+    g.throughput(Throughput::Bytes(size as u64));
+    g.bench_function("chacha20/65536", |b| {
+        b.iter_batched(
+            || vec![0u8; size],
+            |mut data| chacha20_xor(&[7u8; 32], &[1u8; 12], 0, &mut data),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let (sk, pk) = keygen_from_seed(1);
+    let msg = b"create replica of /apps/graphics/gimp";
+    let sig = sign(&sk, msg);
+    c.bench_function("schnorr/sign", |b| b.iter(|| sign(&sk, msg)));
+    c.bench_function("schnorr/verify", |b| b.iter(|| verify(&pk, msg, &sig)));
+}
+
+fn bench_gtls_handshake(c: &mut Criterion) {
+    let ca = CertAuthority::new("bench-root", 1);
+    let server = Credentials::issue(&ca, "gos", Role::Host, 2);
+    let client = Credentials::issue(&ca, "mod", Role::Moderator, 3);
+    let roots = vec![ca.root_cert().clone()];
+    c.bench_function("gtls/mutual_handshake", |b| {
+        b.iter(|| {
+            let mut rng = Rng::new(9);
+            let (mut cs, hello) = TlsSession::client(
+                TlsConfig::mutual(Mode::AuthEncrypt, client.clone(), roots.clone()),
+                &mut rng,
+            )
+            .expect("client");
+            let mut ss = TlsSession::server(TlsConfig::mutual(
+                Mode::AuthEncrypt,
+                server.clone(),
+                roots.clone(),
+            ));
+            let out = ss.on_message(&hello, &mut rng).expect("sh");
+            let out = cs.on_message(&out.replies[0], &mut rng).expect("cf");
+            ss.on_message(&out.replies[0], &mut rng).expect("fin")
+        })
+    });
+}
+
+fn bench_gtls_records(c: &mut Criterion) {
+    let ca = CertAuthority::new("bench-root", 1);
+    let server = Credentials::issue(&ca, "gos", Role::Host, 2);
+    let roots = vec![ca.root_cert().clone()];
+    let mut g = c.benchmark_group("gtls_record");
+    for mode in [Mode::Null, Mode::AuthOnly, Mode::AuthEncrypt] {
+        let mut rng = Rng::new(9);
+        let (mut cs, hello) =
+            TlsSession::client(TlsConfig::client(mode, roots.clone()), &mut rng).expect("client");
+        let mut ss = if mode == Mode::Null {
+            TlsSession::server(TlsConfig::null())
+        } else {
+            TlsSession::server(TlsConfig::server_auth(mode, server.clone(), roots.clone()))
+        };
+        let out = ss.on_message(&hello, &mut rng).expect("sh");
+        let out = cs.on_message(&out.replies[0], &mut rng).expect("established");
+        for reply in out.replies {
+            ss.on_message(&reply, &mut rng).expect("cf");
+        }
+        let payload = vec![0u8; 16 << 10];
+        g.throughput(Throughput::Bytes(payload.len() as u64));
+        g.bench_function(format!("seal/{}", mode.name()), |b| {
+            b.iter(|| cs.seal(&payload).expect("seal"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    use globe_gls::proto::GlsMsg;
+    let msg = GlsMsg::LookupResp {
+        req: 7,
+        status: globe_gls::proto::Status::Ok,
+        addrs: vec![
+            ContactAddress::new(Endpoint::new(HostId(1), 700), 2, 1),
+            ContactAddress::new(Endpoint::new(HostId(9), 700), 2, 0),
+        ],
+        hops: 4,
+    };
+    let encoded = msg.encode();
+    c.bench_function("wire/gls_encode", |b| b.iter(|| msg.encode()));
+    c.bench_function("wire/gls_decode", |b| {
+        b.iter(|| GlsMsg::decode(&encoded).expect("decode"))
+    });
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    c.bench_function("kernel/zipf_sample", |b| {
+        let z = ZipfSampler::new(10_000, 0.9);
+        let mut rng = Rng::new(4);
+        b.iter(|| z.sample(&mut rng))
+    });
+    c.bench_function("kernel/histogram_record", |b| {
+        let mut h = Histogram::new();
+        let mut rng = Rng::new(5);
+        b.iter(|| h.record(rng.gen_range(1..1_000_000)))
+    });
+    c.bench_function("kernel/oid_subnode_index", |b| {
+        let oid = ObjectId(0x0123_4567_89AB_CDEF_0123_4567_89AB_CDEF);
+        b.iter(|| oid.subnode_index(8))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_cipher,
+    bench_signatures,
+    bench_gtls_handshake,
+    bench_gtls_records,
+    bench_wire,
+    bench_kernel
+);
+criterion_main!(benches);

@@ -1,0 +1,932 @@
+//! The experiment runner: regenerates every figure/claim of the paper
+//! (see DESIGN.md §4 and EXPERIMENTS.md).
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments                 # run everything
+//! experiments e3 e5           # run selected experiments
+//! ```
+
+use std::sync::Arc;
+
+use gdn_core::{Browser, GdnHttpd, GdnOptions, ModOp, Scenario};
+use globe_bench::{
+    driver_hosts, gdn_world, gls_world, ms, print_table, publish_catalog, stale_fraction,
+    wan_bytes, GlsDriver, GlsOp, InvokeGen,
+};
+use globe_crypto::gtls::Mode;
+use globe_gls::{ContactAddress, DirectoryNode, GlsConfig, ObjectId};
+use globe_gns::{GnsConfig, Resolver};
+use globe_net::{ports, Endpoint, HostId, Topology};
+use globe_rts::{protocol_id, PropagationMode};
+use globe_sim::{SimDuration, SimTime};
+use globe_workloads::{
+    window_stats, AdaptiveController, CatalogSpec, HttpLoadGen, ManagedObject, ScenarioPolicy,
+    UpdateGen,
+};
+
+const SEED: u64 = 20_000_626;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a.starts_with(name));
+    println!("# GDN experiment runner (seed {SEED})");
+    if want("e1") {
+        e1_gls_locality();
+    }
+    if want("e2") {
+        e2_gls_partition();
+    }
+    if want("e3") {
+        e3_per_object_replication();
+    }
+    if want("e4") {
+        e4_protocol_tradeoff();
+    }
+    if want("e5") {
+        e5_tls_overhead();
+    }
+    if want("e6") {
+        e6_gns_caching();
+    }
+    if want("e7") {
+        e7_flash_crowd();
+    }
+    if want("e8") {
+        e8_availability();
+    }
+    if want("e9") {
+        e9_binding_cost();
+    }
+    if want("e10") {
+        e10_scale();
+    }
+    println!("\ndone.");
+}
+
+fn grp_addr(host: HostId) -> ContactAddress {
+    ContactAddress::new(Endpoint::new(host, ports::GRP), 1, 1)
+}
+
+/// E1 — paper §3.5: "the cost of a look up increases proportional to
+/// the distance between client and nearest representative".
+fn e1_gls_locality() {
+    let (mut world, deploy) = gls_world(Topology::grid(2, 2, 2, 3), GlsConfig::default(), SEED);
+    let oid = ObjectId(0xE1);
+    world.add_service(
+        HostId(2),
+        ports::DRIVER,
+        GlsDriver::new(Arc::clone(&deploy), HostId(2), vec![GlsOp::Insert(oid, grp_addr(HostId(0)))]),
+    );
+    world.start();
+    world.run_for(SimDuration::from_secs(5));
+
+    // Clients at increasing tree distance from the replica at host 0.
+    let clients = [
+        ("same site", HostId(1)),
+        ("same country", HostId(3)),
+        ("same region", HostId(6)),
+        ("other region", HostId(12)),
+    ];
+    for (_, h) in clients {
+        world.add_service(
+            h,
+            ports::DRIVER,
+            GlsDriver::new(Arc::clone(&deploy), h, vec![GlsOp::Lookup(oid)]),
+        );
+    }
+    world.run_to_quiescence();
+    let rows: Vec<Vec<String>> = clients
+        .iter()
+        .map(|&(label, h)| {
+            let d = world.service::<GlsDriver>(h, ports::DRIVER).expect("driver");
+            let (hops, lat) = d.lookups[0];
+            vec![
+                label.to_owned(),
+                world.topology().distance(h, HostId(0)).to_string(),
+                hops.to_string(),
+                ms(lat),
+            ]
+        })
+        .collect();
+    print_table(
+        "E1 — GLS lookup cost vs distance to nearest replica",
+        &["client location", "tree distance", "directory hops", "latency (ms)"],
+        &rows,
+    );
+}
+
+/// E2 — paper §3.5: root-node partitioning into subnodes spreads load.
+fn e2_gls_partition() {
+    let mut rows = Vec::new();
+    for k in [1u32, 2, 4, 8] {
+        let cfg = GlsConfig::default().with_root_subnodes(k);
+        let (mut world, deploy) = gls_world(Topology::grid(2, 2, 2, 3), cfg, SEED + k as u64);
+        // 128 objects registered in region 0; 512 lookups from region 1
+        // (all must climb to the root).
+        let inserts: Vec<GlsOp> = (0..128u128)
+            .map(|i| GlsOp::Insert(ObjectId(0x2000 + i * 7919), grp_addr(HostId(0))))
+            .collect();
+        world.add_service(
+            HostId(1),
+            ports::DRIVER,
+            GlsDriver::new(Arc::clone(&deploy), HostId(1), inserts),
+        );
+        world.start();
+        world.run_for(SimDuration::from_secs(120));
+        let lookups: Vec<GlsOp> = (0..512u128)
+            .map(|i| GlsOp::Lookup(ObjectId(0x2000 + (i % 128) * 7919)))
+            .collect();
+        world.add_service(
+            HostId(13),
+            ports::DRIVER,
+            GlsDriver::new(Arc::clone(&deploy), HostId(13), lookups),
+        );
+        world.run_to_quiescence();
+        let loads: Vec<u64> = deploy
+            .subnodes(deploy.root())
+            .iter()
+            .map(|ep| {
+                world
+                    .service::<DirectoryNode>(ep.host, ep.port)
+                    .expect("root subnode")
+                    .stats
+                    .total()
+            })
+            .collect();
+        let max = *loads.iter().max().expect("nonempty");
+        let total: u64 = loads.iter().sum();
+        let mean = total as f64 / loads.len() as f64;
+        rows.push(vec![
+            k.to_string(),
+            total.to_string(),
+            max.to_string(),
+            format!("{mean:.0}"),
+            format!("{:.2}", max as f64 / mean),
+        ]);
+    }
+    print_table(
+        "E2 — root directory-node partitioning (hash over object ids)",
+        &["subnodes", "total root requests", "max per subnode", "mean per subnode", "max/mean"],
+        &rows,
+    );
+}
+
+/// E3 — paper §3.1 + [Pierre et al. 1999]: per-object scenarios beat
+/// every uniform scenario on wide-area traffic AND response time.
+fn e3_per_object_replication() {
+    let mut results: Vec<(ScenarioPolicy, Vec<String>)> = Vec::new();
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = ScenarioPolicy::ALL
+            .iter()
+            .map(|&policy| {
+                s.spawn(move |_| {
+                    let row = run_policy(policy);
+                    (policy, row)
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("policy run"));
+        }
+    })
+    .expect("crossbeam scope");
+    results.sort_by_key(|(p, _)| ScenarioPolicy::ALL.iter().position(|x| x == p));
+    let rows: Vec<Vec<String>> = results.into_iter().map(|(_, row)| row).collect();
+    print_table(
+        "E3 — uniform vs per-object replication scenarios (40 packages, Zipf load, mixed update rates)",
+        &["policy", "WAN MB", "mean (ms)", "median (ms)", "p99 (ms)", "stale reads", "requests"],
+        &rows,
+    );
+}
+
+fn run_policy(policy: ScenarioPolicy) -> Vec<String> {
+    let topo = Topology::grid(2, 2, 2, 3);
+    let (mut world, gdn) = gdn_world(topo, GdnOptions::default(), SEED ^ policy as u64);
+    let spec = CatalogSpec {
+        num_packages: 40,
+        hot_update_rate: 60.0, // one update per minute on volatile packages
+        ..CatalogSpec::default()
+    };
+    let catalog = globe_workloads::generate(&spec, world.topology(), &mut globe_sim::Rng::new(SEED));
+    let oids = publish_catalog(&mut world, &gdn, &catalog, policy, HostId(1));
+    let publish_done = world.now();
+    let wan_setup = wan_bytes(&world);
+
+    // Load: one generator per site at its local access point.
+    let until = publish_done + SimDuration::from_secs(300);
+    let names: Vec<String> = catalog.iter().map(|e| e.name.clone()).collect();
+    let gens: Vec<(HostId, u16)> = driver_hosts(world.topology())
+        .into_iter()
+        .map(|h| {
+            let httpd = gdn.httpd_for(world.topology(), h);
+            world.add_service(
+                h,
+                ports::DRIVER + 1,
+                HttpLoadGen::new(httpd, names.clone(), 0.9, 1.0, until, true),
+            );
+            (h, ports::DRIVER + 1)
+        })
+        .collect();
+    // Updates: one maintainer, total rate = sum of catalog rates.
+    let weights: Vec<(ObjectId, f64)> = oids
+        .iter()
+        .map(|&(i, oid)| (oid, catalog[i].updates_per_hour))
+        .collect();
+    let total_per_hour: f64 = catalog.iter().map(|e| e.updates_per_hour).sum();
+    let upd_runtime = {
+        let cfg_host = HostId(2);
+        let tool = gdn.moderator_tool(world.topology(), cfg_host, "maint", vec![]);
+        // The tool carries a runtime with moderator credentials; reuse
+        // its construction path via a dedicated runtime instead.
+        drop(tool);
+        gdn.anonymous_runtime(cfg_host, 0x500)
+    };
+    // Writes must be authorized: use a moderator runtime.
+    let upd_runtime = {
+        drop(upd_runtime);
+        moderator_runtime(&gdn, HostId(2))
+    };
+    world.add_service(
+        HostId(2),
+        ports::DRIVER + 2,
+        UpdateGen::new(upd_runtime, weights, total_per_hour / 3600.0, until, 512),
+    );
+    world.run_until(until + SimDuration::from_secs(30));
+
+    let mut samples = Vec::new();
+    for (h, p) in gens {
+        samples.extend(
+            world
+                .service::<HttpLoadGen>(h, p)
+                .expect("load gen")
+                .samples
+                .clone(),
+        );
+    }
+    let w = window_stats(&samples, publish_done, until);
+    vec![
+        policy.name().to_owned(),
+        format!("{:.1}", (wan_bytes(&world) - wan_setup) as f64 / 1e6),
+        format!("{:.1}", w.mean_ms),
+        format!("{:.1}", w.median_ms),
+        format!("{:.1}", w.p99_ms),
+        format!("{:.3}", stale_fraction(&world)),
+        w.count.to_string(),
+    ]
+}
+
+fn moderator_runtime(gdn: &gdn_core::GdnDeployment, host: HostId) -> globe_rts::GlobeRuntime {
+    use globe_rts::{GlobeRuntime, RuntimeConfig};
+    let cfg = RuntimeConfig {
+        grp_port: ports::DRIVER,
+        tls_server: gdn.security.anonymous_client(),
+        tls_client: gdn.security.moderator_client("bench-writer"),
+        accept_incoming: false,
+        cache_ttl: gdn.cache_ttl,
+        writer_roles: RuntimeConfig::default_writer_roles(),
+            open_writes: false,
+        persist: false,
+    };
+    GlobeRuntime::new(cfg, Arc::clone(&gdn.repo), Arc::clone(&gdn.gls), host, 0x0400)
+}
+
+/// E4 — paper §3.3/§7: protocol trade-offs across read/write mixes.
+fn e4_protocol_tradeoff() {
+    let mut rows = Vec::new();
+    for (label, protocol, mode, replicate) in [
+        ("client/server", protocol_id::CLIENT_SERVER, PropagationMode::PushState, false),
+        ("master/slave push", protocol_id::MASTER_SLAVE, PropagationMode::PushState, true),
+        ("master/slave invalidate", protocol_id::MASTER_SLAVE, PropagationMode::Invalidate, true),
+        ("active", protocol_id::ACTIVE, PropagationMode::ApplyOps, true),
+    ] {
+        for write_pct in [0u32, 5, 20, 50] {
+            let topo = Topology::grid(2, 1, 1, 3);
+            let (mut world, gdn) =
+                gdn_world(topo, GdnOptions::default(), SEED ^ (protocol as u64) << (8 + write_pct));
+            let gos0 = gdn.gos_endpoints[0];
+            let gos1 = gdn.gos_endpoints[1];
+            let scenario = if replicate {
+                Scenario {
+                    protocol,
+                    mode,
+                    replicas: vec![gos0, gos1],
+                }
+            } else {
+                Scenario::single(gos0)
+            };
+            let tool = gdn.moderator_tool(
+                world.topology(),
+                HostId(1),
+                "bench",
+                vec![ModOp::Publish {
+                    name: "/apps/target".into(),
+                    description: "e4".into(),
+                    files: vec![("pkg.tar".into(), vec![0u8; 16 * 1024])],
+                    scenario,
+                }],
+            );
+            world.add_service(HostId(1), ports::DRIVER, tool);
+            world.start();
+            world.run_for(SimDuration::from_secs(30));
+            let oid = match world
+                .service::<gdn_core::ModeratorTool>(HostId(1), ports::DRIVER)
+                .expect("tool")
+                .results
+                .first()
+            {
+                Some(gdn_core::ModEvent::PublishDone { result: Ok(oid), .. }) => *oid,
+                other => panic!("publish failed: {other:?}"),
+            };
+            // One generator per region, invoking directly.
+            let until = world.now() + SimDuration::from_secs(120);
+            let gen_hosts = [HostId(2), HostId(5)];
+            for h in gen_hosts {
+                let rt = moderator_runtime(&gdn, h);
+                world.add_service(
+                    h,
+                    ports::DRIVER + 1,
+                    InvokeGen::new(rt, oid, write_pct as f64 / 100.0, 2.0, until),
+                );
+            }
+            let before_wan = wan_bytes(&world);
+            world.run_until(until + SimDuration::from_secs(30));
+            let mut reads_ms = Vec::new();
+            let mut writes_ms = Vec::new();
+            let mut n = 0;
+            for h in gen_hosts {
+                let g = world
+                    .service::<InvokeGen>(h, ports::DRIVER + 1)
+                    .expect("invoke gen");
+                reads_ms.push(g.mean_latency_ms(false));
+                writes_ms.push(g.mean_latency_ms(true));
+                n += g.done.len();
+            }
+            rows.push(vec![
+                label.to_owned(),
+                format!("{write_pct}%"),
+                format!("{:.1}", reads_ms.iter().sum::<f64>() / 2.0),
+                format!("{:.1}", writes_ms.iter().sum::<f64>() / 2.0),
+                format!("{:.2}", (wan_bytes(&world) - before_wan) as f64 / 1e6),
+                format!("{:.3}", stale_fraction(&world)),
+                n.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "E4 — replication-protocol trade-offs vs write fraction (2 regions, 16 KB object)",
+        &["protocol", "writes", "read mean (ms)", "write mean (ms)", "WAN MB", "stale reads", "ops"],
+        &rows,
+    );
+}
+
+/// E5 — paper §6.3: TLS everywhere; "paying for something we do not
+/// need: confidentiality".
+fn e5_tls_overhead() {
+    let mut rows = Vec::new();
+    for mode in [Mode::Null, Mode::AuthOnly, Mode::AuthEncrypt] {
+        let topo = Topology::grid(2, 1, 1, 3);
+        let options = GdnOptions {
+            tls_mode: mode,
+            ..GdnOptions::default()
+        };
+        let (mut world, gdn) = gdn_world(topo, options, SEED ^ mode as u64);
+        let gos = gdn.gos_endpoints[0];
+        let tool = gdn.moderator_tool(
+            world.topology(),
+            HostId(1),
+            "bench",
+            vec![ModOp::Publish {
+                name: "/apps/big".into(),
+                description: "e5".into(),
+                files: vec![("pkg.tar".into(), vec![0x42; 1 << 20])],
+                scenario: Scenario::single(gos),
+            }],
+        );
+        world.add_service(HostId(1), ports::DRIVER, tool);
+        world.start();
+        let publish_secs = loop {
+            world.run_for(SimDuration::from_secs(1));
+            let t = world
+                .service::<gdn_core::ModeratorTool>(HostId(1), ports::DRIVER)
+                .expect("tool");
+            match t.results.first() {
+                Some(gdn_core::ModEvent::PublishDone { result: Ok(_), .. }) => break world.now(),
+                Some(other) => panic!("publish failed under {mode:?}: {other:?}"),
+                None => assert!(world.now() < SimTime::from_secs(300), "publish stalled"),
+            }
+        };
+
+        // Let the Naming Authority's update batch reach the zone
+        // before resolving (negative answers would be cached).
+        world.run_for(SimDuration::from_secs(10));
+        // 10 sequential 1 MB downloads from the far region.
+        let user = HostId(5);
+        let httpd = gdn.httpd_for(world.topology(), user);
+        let fetches: Vec<String> = (0..10).map(|_| "/pkg/apps/big?file=pkg.tar".into()).collect();
+        world.add_service(user, ports::DRIVER, Browser::new(httpd, fetches));
+        world.run_for(SimDuration::from_secs(600));
+        let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+        assert!(b.done(), "downloads incomplete under {mode:?}");
+        assert!(
+            b.results.iter().all(|r| r.status == 200),
+            "non-200 under {mode:?}: {:?}",
+            b.results.iter().map(|r| r.status).collect::<Vec<_>>()
+        );
+        let mut lats: Vec<u64> = b.results.iter().map(|r| r.latency.as_micros()).collect();
+        lats.sort_unstable();
+        let median_ms = lats[lats.len() / 2] as f64 / 1000.0;
+        let first_ms = b.results[0].latency.as_micros() as f64 / 1000.0;
+        let tput = 1.0 / (median_ms / 1000.0); // MB/s at 1 MB per fetch
+        rows.push(vec![
+            mode.name().to_owned(),
+            format!("{:.0}", first_ms),
+            format!("{:.0}", median_ms),
+            format!("{tput:.2}"),
+            format!("{:.1}", publish_secs.as_micros() as f64 / 1e6),
+        ]);
+    }
+    print_table(
+        "E5 — channel security modes, 1 MB downloads across one region (10 fetches)",
+        &["mode", "first fetch (ms)", "median fetch (ms)", "throughput (MB/s)", "publish (s)"],
+        &rows,
+    );
+}
+
+/// E6 — paper §5: DNS-based GNS scales through caching and batching.
+fn e6_gns_caching() {
+    use gdn_core::ModEvent;
+    let mut rows = Vec::new();
+    for ttl in [1u32, 60, 3600] {
+        let topo = Topology::grid(2, 2, 2, 3);
+        let options = GdnOptions {
+            gns: GnsConfig {
+                record_ttl: ttl,
+                batch_interval: SimDuration::from_secs(5),
+                ..GnsConfig::default()
+            },
+            ..GdnOptions::default()
+        };
+        let (mut world, gdn) = gdn_world(topo, options, SEED ^ ttl as u64);
+        // Publish 10 names.
+        let ops: Vec<ModOp> = (0..10)
+            .map(|i| ModOp::Publish {
+                name: format!("/apps/e6pkg{i}"),
+                description: "e6".into(),
+                files: vec![("f".into(), vec![0u8; 64])],
+                scenario: Scenario::single(gdn.gos_endpoints[0]),
+            })
+            .collect();
+        let tool = gdn.moderator_tool(world.topology(), HostId(1), "bench", ops);
+        world.add_service(HostId(1), ports::DRIVER, tool);
+        world.start();
+        loop {
+            world.run_for(SimDuration::from_secs(5));
+            let t = world
+                .service::<gdn_core::ModeratorTool>(HostId(1), ports::DRIVER)
+                .expect("tool");
+            if t.results.len() == 10 {
+                assert!(t
+                    .results
+                    .iter()
+                    .all(|r| matches!(r, ModEvent::PublishDone { result: Ok(_), .. })));
+                break;
+            }
+            assert!(world.now() < SimTime::from_secs(900), "publishes stalled");
+        }
+        let auth_before: u64 = world.metrics().counter("dns.auth.queries");
+
+        // Paced resolution rounds directly at one far site's resolver:
+        // every 30 s, resolve all 10 names; 10 rounds.
+        let user = HostId(13);
+        world.add_service(
+            user,
+            ports::DRIVER,
+            PacedResolver::new(
+                &gdn,
+                world.topology(),
+                user,
+                (0..10).map(|i| format!("/apps/e6pkg{i}")).collect(),
+                SimDuration::from_secs(30),
+                10,
+            ),
+        );
+        world.run_for(SimDuration::from_secs(400));
+        let d = world.service::<PacedResolver>(user, ports::DRIVER).expect("driver");
+        assert_eq!(d.latencies.len(), 100, "resolutions incomplete");
+        let cold = d.latencies[0];
+        let mut warm: Vec<u64> = d.latencies[10..].iter().map(|l| l.as_micros()).collect();
+        warm.sort_unstable();
+        let resolver_ep = gdn.gns.resolver_for(world.topology(), user);
+        let resolver = world
+            .service::<Resolver>(resolver_ep.host, resolver_ep.port)
+            .expect("resolver");
+        rows.push(vec![
+            ttl.to_string(),
+            ms(cold),
+            format!("{:.1}", warm[warm.len() / 2] as f64 / 1000.0),
+            (world.metrics().counter("dns.auth.queries") - auth_before).to_string(),
+            resolver.stats.cache_hits.to_string(),
+            world.metrics().counter("gns.na.batches").to_string(),
+        ]);
+    }
+    print_table(
+        "E6 — GNS/DNS caching: 10 rounds of 10 name resolutions, 30 s apart, one site",
+        &["record TTL (s)", "cold resolve (ms)", "median warm (ms)", "authoritative queries", "resolver cache hits", "update batches"],
+        &rows,
+    );
+}
+
+/// Timer-paced GNS resolution driver for E6.
+struct PacedResolver {
+    gns: globe_gns::GnsClient,
+    names: Vec<String>,
+    interval: SimDuration,
+    rounds_left: usize,
+    issued: u64,
+    /// Latency per completed resolution, in completion order.
+    latencies: Vec<SimDuration>,
+}
+
+impl PacedResolver {
+    fn new(
+        gdn: &gdn_core::GdnDeployment,
+        topo: &Topology,
+        host: HostId,
+        names: Vec<String>,
+        interval: SimDuration,
+        rounds: usize,
+    ) -> PacedResolver {
+        PacedResolver {
+            gns: globe_gns::GnsClient::new(&gdn.gns, topo, host, 0x0600),
+            names,
+            interval,
+            rounds_left: rounds,
+            issued: 0,
+            latencies: Vec::new(),
+        }
+    }
+
+    fn round(&mut self, ctx: &mut globe_net::ServiceCtx<'_>) {
+        if self.rounds_left == 0 {
+            return;
+        }
+        self.rounds_left -= 1;
+        for name in self.names.clone() {
+            self.issued += 1;
+            let token = self.issued;
+            self.gns.resolve(ctx, &name, token);
+        }
+        if self.rounds_left > 0 {
+            ctx.set_timer(self.interval, globe_net::ns_token(0x0777, 1));
+        }
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        for ev in self.gns.take_events() {
+            let globe_gns::GnsEvent::Resolved { result, latency, .. } = ev;
+            assert!(result.is_ok(), "resolution failed: {result:?}");
+            self.latencies.push(latency);
+        }
+    }
+}
+
+impl globe_net::Service for PacedResolver {
+    fn on_start(&mut self, ctx: &mut globe_net::ServiceCtx<'_>) {
+        self.round(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut globe_net::ServiceCtx<'_>, token: u64) {
+        if globe_net::owns_token(0x0777, token) {
+            self.round(ctx);
+            return;
+        }
+        if self.gns.handle_timer(ctx, token) {
+            self.drain();
+        }
+    }
+    fn on_datagram(
+        &mut self,
+        ctx: &mut globe_net::ServiceCtx<'_>,
+        from: Endpoint,
+        payload: Vec<u8>,
+    ) {
+        if self.gns.handle_datagram(ctx, from, &payload) {
+            self.drain();
+        }
+    }
+    globe_net::impl_service_any!();
+}
+
+/// E7 — paper §3.1: the replication scenario should adapt to
+/// popularity changes (flash crowd).
+fn e7_flash_crowd() {
+    let mut rows = Vec::new();
+    for adaptive in [false, true] {
+        let topo = Topology::grid(2, 1, 1, 3);
+        let (mut world, gdn) = gdn_world(topo, GdnOptions::default(), SEED ^ adaptive as u64);
+        let spec = CatalogSpec {
+            num_packages: 4,
+            hot_update_fraction: 0.0,
+            large_fraction: 0.0,
+            small_size: 32 * 1024,
+            ..CatalogSpec::default()
+        };
+        let mut catalog =
+            globe_workloads::generate(&spec, world.topology(), &mut globe_sim::Rng::new(SEED));
+        for e in &mut catalog {
+            e.home_region = 0; // everything published in region 0
+        }
+        let oids = publish_catalog(&mut world, &gdn, &catalog, ScenarioPolicy::Central, HostId(1));
+        let t0 = world.now();
+
+        // Background load from region 1, then a flash crowd on pkg0.
+        let names: Vec<String> = catalog.iter().map(|e| e.name.clone()).collect();
+        let user = HostId(5);
+        let httpd = gdn.httpd_for(world.topology(), user);
+        let crowd_start = t0 + SimDuration::from_secs(60);
+        let end = t0 + SimDuration::from_secs(240);
+        world.add_service(
+            user,
+            ports::DRIVER,
+            HttpLoadGen::new(httpd, names.clone(), 0.0, 0.5, crowd_start, true),
+        );
+        if adaptive {
+            let objects: Vec<ManagedObject> = oids
+                .iter()
+                .map(|&(i, oid)| ManagedObject {
+                    index: i,
+                    oid,
+                    master: gdn.gos_endpoints[0],
+                })
+                .collect();
+            let region_gos = vec![gdn.gos_endpoints[0], gdn.gos_endpoints[1]];
+            let rt = moderator_runtime(&gdn, HostId(2));
+            world.add_service(
+                HostId(2),
+                ports::DRIVER + 3,
+                AdaptiveController::new(rt, objects, region_gos, SimDuration::from_secs(10), 20),
+            );
+        }
+        world.run_until(crowd_start);
+        // The crowd: 4 requests/s on the hot object from region 1.
+        world.add_service(
+            user,
+            ports::DRIVER + 1,
+            HttpLoadGen::new(httpd, vec![names[0].clone()], 0.0, 4.0, end, true),
+        );
+        world.run_until(end + SimDuration::from_secs(30));
+
+        let mut samples = world
+            .service::<HttpLoadGen>(user, ports::DRIVER + 1)
+            .expect("crowd gen")
+            .samples
+            .clone();
+        samples.extend(
+            world
+                .service::<HttpLoadGen>(user, ports::DRIVER)
+                .expect("background gen")
+                .samples
+                .clone(),
+        );
+        let early = window_stats(&samples, crowd_start, crowd_start + SimDuration::from_secs(60));
+        let late = window_stats(&samples, end - SimDuration::from_secs(60), end);
+        rows.push(vec![
+            if adaptive { "adaptive" } else { "static central" }.to_owned(),
+            format!("{:.1}", early.median_ms),
+            format!("{:.1}", late.median_ms),
+            world.metrics().counter("adapt.replicas_added").to_string(),
+            format!("{:.1}", wan_bytes(&world) as f64 / 1e6),
+        ]);
+    }
+    print_table(
+        "E7 — flash crowd on one package (region 1 crowd, master in region 0)",
+        &["run", "crowd median early (ms)", "crowd median late (ms)", "replicas added", "WAN MB"],
+        &rows,
+    );
+}
+
+/// E8 — paper §6.1: replication as the availability technique.
+fn e8_availability() {
+    let mut rows = Vec::new();
+    for replicas in [1usize, 2, 3] {
+        // 3 regions × 2 sites. Object servers run on each site's SECOND
+        // host so that crashing a replica host never takes down the
+        // site's GLS directory node, DNS resolver or HTTPD (which live
+        // on first hosts) — the experiment isolates *replica* failures.
+        let topo = Topology::grid(3, 1, 2, 3);
+        let gos_hosts: Vec<HostId> = topo
+            .sites()
+            .filter_map(|st| topo.hosts_in_site(st).get(1).copied())
+            .collect();
+        let options = GdnOptions {
+            gos_hosts,
+            // Short GLS leases: a crashed replica's registration ages
+            // out within its 30 s downtime, so re-binds find survivors.
+            gls: globe_gls::GlsConfig::default()
+                .with_persistence()
+                .with_address_ttl(SimDuration::from_secs(15)),
+            ..GdnOptions::default()
+        };
+        let (mut world, gdn) = gdn_world(topo, options, SEED ^ replicas as u64);
+        let site0_gos: Vec<Endpoint> = gdn
+            .gos_endpoints
+            .iter()
+            .copied()
+            .filter(|ep| world.topology().site_of(ep.host).0 % 2 == 0)
+            .collect();
+        let chosen: Vec<Endpoint> = site0_gos.into_iter().take(replicas).collect();
+        let scenario = if replicas == 1 {
+            Scenario::single(chosen[0])
+        } else {
+            Scenario::master_slave(chosen.clone(), PropagationMode::PushState)
+        };
+        let tool = gdn.moderator_tool(
+            world.topology(),
+            HostId(1),
+            "bench",
+            vec![ModOp::Publish {
+                name: "/apps/critical".into(),
+                description: "e8".into(),
+                files: vec![("pkg.tar".into(), vec![1u8; 32 * 1024])],
+                scenario,
+            }],
+        );
+        world.add_service(HostId(1), ports::DRIVER, tool);
+        world.start();
+        world.run_for(SimDuration::from_secs(30));
+
+        // Rolling crashes: each replica host down 30 s out of every
+        // 90 s, staggered so at least one replica is always up when
+        // there are >= 2.
+        let t0 = world.now();
+        let end = t0 + SimDuration::from_secs(600);
+        for (i, ep) in chosen.iter().enumerate() {
+            let mut t = t0 + SimDuration::from_secs(30 * i as u64);
+            while t < end {
+                world.schedule_crash(ep.host, t + SimDuration::from_secs(1));
+                world.schedule_recover(ep.host, t + SimDuration::from_secs(31));
+                t += SimDuration::from_secs(90);
+            }
+        }
+        // The user sits in region 2, site 1 (never crashed).
+        let user = *world
+            .topology()
+            .hosts_in_site(globe_net::SiteId(5))
+            .last()
+            .expect("site has hosts");
+        let httpd = gdn.httpd_for(world.topology(), user);
+        assert!(
+            !chosen.iter().any(|c| c.host == httpd.host),
+            "user access point must not be a replica host"
+        );
+        world.add_service(
+            user,
+            ports::DRIVER,
+            HttpLoadGen::new(httpd, vec!["/apps/critical".into()], 0.0, 0.5, end, true),
+        );
+        world.run_until(end + SimDuration::from_secs(60));
+        let g = world
+            .service::<HttpLoadGen>(user, ports::DRIVER)
+            .expect("load gen");
+        let total = g.samples.len();
+        let ok = g.samples.iter().filter(|s| s.status == 200).count();
+        let w = window_stats(&g.samples, t0, end);
+        rows.push(vec![
+            replicas.to_string(),
+            total.to_string(),
+            format!("{:.1}%", 100.0 * ok as f64 / total.max(1) as f64),
+            format!("{:.1}", w.median_ms),
+            format!("{:.1}", w.p99_ms),
+        ]);
+    }
+    print_table(
+        "E8 — availability under rolling replica crashes (each replica down 1/3 of the time)",
+        &["replicas", "requests", "success rate", "median (ms)", "p99 (ms)"],
+        &rows,
+    );
+}
+
+/// E9 — paper §3.4: binding cost (lookup + implementation loading) vs
+/// repeat access.
+fn e9_binding_cost() {
+    let topo = Topology::grid(2, 2, 2, 3);
+    let (mut world, gdn) = gdn_world(topo, GdnOptions::default(), SEED);
+    let gos = gdn.gos_endpoints[0];
+    let tool = gdn.moderator_tool(
+        world.topology(),
+        HostId(1),
+        "bench",
+        vec![ModOp::Publish {
+            name: "/apps/e9".into(),
+            description: "e9".into(),
+            files: vec![("pkg.tar".into(), vec![0u8; 64 * 1024])],
+            scenario: Scenario::single(gos),
+        }],
+    );
+    world.add_service(HostId(1), ports::DRIVER, tool);
+    world.start();
+    world.run_for(SimDuration::from_secs(30));
+
+    let user = HostId(13);
+    let httpd_ep = gdn.httpd_for(world.topology(), user);
+    let fetches: Vec<String> = (0..5).map(|_| "/pkg/apps/e9?file=pkg.tar".into()).collect();
+    world.add_service(user, ports::DRIVER, Browser::new(httpd_ep, fetches));
+    world.run_for(SimDuration::from_secs(300));
+    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    assert!(b.done());
+    let httpd = world
+        .service::<GdnHttpd>(httpd_ep.host, httpd_ep.port)
+        .expect("httpd");
+    let rows = vec![
+        vec![
+            "first access (resolve + bind + load + fetch)".to_owned(),
+            ms(b.results[0].latency),
+        ],
+        vec![
+            "second access (bound representative)".to_owned(),
+            ms(b.results[1].latency),
+        ],
+        vec![
+            "steady state (median of 3..5)".to_owned(),
+            ms(b.results[2..].iter().map(|r| r.latency).min().expect("fetches")),
+        ],
+        vec![
+            "HTTPD name-cache hits".to_owned(),
+            httpd.stats.name_cache_hits.to_string(),
+        ],
+        vec![
+            "implementation loads charged".to_owned(),
+            world.metrics().counter("rts.impl_loads").to_string(),
+        ],
+    ];
+    print_table(
+        "E9 — binding cost: first vs repeat package access through one HTTPD",
+        &["quantity", "value"],
+        &rows,
+    );
+}
+
+/// E10 — scale: GLS behaviour as the object population grows.
+fn e10_scale() {
+    let mut rows = Vec::new();
+    for n in [200usize, 1000, 3000] {
+        let (mut world, deploy) =
+            gls_world(Topology::grid(2, 2, 2, 3), GlsConfig::default().with_root_subnodes(4), SEED ^ n as u64);
+        // Register n objects spread over all sites.
+        let hosts: Vec<HostId> = driver_hosts(world.topology());
+        let mut scripts: Vec<Vec<GlsOp>> = vec![Vec::new(); hosts.len()];
+        for i in 0..n {
+            let owner = i % hosts.len();
+            scripts[owner].push(GlsOp::Insert(
+                ObjectId(0xA000 + i as u128 * 104_729),
+                grp_addr(hosts[owner]),
+            ));
+        }
+        for (i, script) in scripts.into_iter().enumerate() {
+            world.add_service(hosts[i], ports::DRIVER, GlsDriver::new(Arc::clone(&deploy), hosts[i], script));
+        }
+        world.start();
+        world.run_for(SimDuration::from_secs(1200));
+        // 300 lookups from one site for random objects.
+        let lookups: Vec<GlsOp> = (0..300)
+            .map(|i| GlsOp::Lookup(ObjectId(0xA000 + ((i * 37) % n) as u128 * 104_729)))
+            .collect();
+        world.add_service(
+            HostId(13),
+            ports::DRIVER + 1,
+            GlsDriver::new(Arc::clone(&deploy), HostId(13), lookups),
+        );
+        world.run_to_quiescence();
+        let d = world
+            .service::<GlsDriver>(HostId(13), ports::DRIVER + 1)
+            .expect("driver");
+        assert_eq!(d.lookups.len(), 300);
+        let mean_us: u64 =
+            d.lookups.iter().map(|(_, l)| l.as_micros()).sum::<u64>() / d.lookups.len() as u64;
+        let mean_hops: f64 =
+            d.lookups.iter().map(|(h, _)| *h as f64).sum::<f64>() / d.lookups.len() as f64;
+        let root_entries: usize = deploy
+            .subnodes(deploy.root())
+            .iter()
+            .map(|ep| {
+                world
+                    .service::<DirectoryNode>(ep.host, ep.port)
+                    .expect("root subnode")
+                    .num_entries()
+            })
+            .sum();
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}", mean_us as f64 / 1000.0),
+            format!("{mean_hops:.2}"),
+            root_entries.to_string(),
+        ]);
+    }
+    print_table(
+        "E10 — GLS scale: lookup cost and root state vs object population",
+        &["objects", "mean lookup (ms)", "mean hops", "root entries (all subnodes)"],
+        &rows,
+    );
+}

@@ -1,0 +1,374 @@
+//! Shared harness for the experiment runner and criterion benches.
+//!
+//! Builds worlds, publishes catalogs, drives GLS operations and load
+//! generators, and extracts the measurements that `EXPERIMENTS.md`
+//! reports. Every function here is deterministic given its seed.
+
+use std::sync::Arc;
+
+use gdn_core::{GdnDeployment, GdnOptions, ModEvent, ModeratorTool, PackageControl};
+use globe_gls::{
+    ContactAddress, GlsClient, GlsConfig, GlsDeployment, GlsEvent, Level, ObjectId,
+};
+use globe_net::{
+    impl_service_any, ns_token, owns_token, ports, ConnEvent, ConnId, Endpoint, HostId,
+    NetParams, Service, ServiceCtx, Topology, World,
+};
+use globe_rts::{GlobeRuntime, RtConn, RtEvent};
+use globe_sim::{SimDuration, SimTime};
+use globe_workloads::{CatalogEntry, ScenarioPolicy};
+
+/// Prints a markdown table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats a millisecond value with one decimal.
+pub fn ms(d: SimDuration) -> String {
+    format!("{:.1}", d.as_micros() as f64 / 1000.0)
+}
+
+/// Wide-area bytes: everything that crossed site boundaries upward
+/// (country + region + world tiers) — the scarce resource of paper §3.1.
+pub fn wan_bytes(world: &World) -> u64 {
+    world.metrics().counter("net.bytes.country")
+        + world.metrics().counter("net.bytes.region")
+        + world.metrics().counter("net.bytes.world")
+}
+
+/// Stale-read fraction observed by the freshness oracle.
+pub fn stale_fraction(world: &World) -> f64 {
+    let stale = world.metrics().counter("rts.reads.stale") as f64;
+    let fresh = world.metrics().counter("rts.reads.fresh") as f64;
+    if stale + fresh == 0.0 {
+        0.0
+    } else {
+        stale / (stale + fresh)
+    }
+}
+
+// ------------------------------------------------------------ GLS driver
+
+/// A scripted GLS driver service (inserts then lookups), recording
+/// hops and latency per completed operation.
+pub struct GlsDriver {
+    gls: GlsClient,
+    script: Vec<GlsOp>,
+    cursor: usize,
+    /// `(hops, latency)` per completed lookup, in script order.
+    pub lookups: Vec<(u32, SimDuration)>,
+    /// Completed operations of any kind.
+    pub completed: usize,
+}
+
+/// One scripted GLS operation.
+#[derive(Clone)]
+pub enum GlsOp {
+    /// Register an address for an object.
+    Insert(ObjectId, ContactAddress),
+    /// Look an object up.
+    Lookup(ObjectId),
+}
+
+impl GlsDriver {
+    /// Creates a driver bound to `host`.
+    pub fn new(deploy: Arc<GlsDeployment>, host: HostId, script: Vec<GlsOp>) -> GlsDriver {
+        GlsDriver {
+            gls: GlsClient::new(deploy, host, 1),
+            script,
+            cursor: 0,
+            lookups: Vec::new(),
+            completed: 0,
+        }
+    }
+
+    fn kick(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if self.cursor >= self.script.len() {
+            return;
+        }
+        let token = self.cursor as u64;
+        match self.script[self.cursor].clone() {
+            GlsOp::Insert(oid, addr) => self.gls.insert(ctx, oid, addr, Level::Site, token),
+            GlsOp::Lookup(oid) => self.gls.lookup(ctx, oid, token),
+        }
+        self.cursor += 1;
+    }
+
+    fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let events = self.gls.take_events();
+        let progressed = !events.is_empty();
+        for ev in events {
+            self.completed += 1;
+            if let GlsEvent::LookupDone { hops, latency, .. } = ev {
+                self.lookups.push((hops, latency));
+            }
+        }
+        if progressed {
+            self.kick(ctx);
+        }
+    }
+}
+
+impl Service for GlsDriver {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.kick(ctx);
+    }
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.gls.handle_datagram(ctx, from, &payload) {
+            self.drain(ctx);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if self.gls.handle_timer(ctx, token) {
+            self.drain(ctx);
+        }
+    }
+    impl_service_any!();
+}
+
+/// Builds a plain world with an installed GLS (no GDN on top).
+pub fn gls_world(topo: Topology, cfg: GlsConfig, seed: u64) -> (World, Arc<GlsDeployment>) {
+    let mut world = World::new(topo, NetParams::default(), seed);
+    let deploy = GlsDeployment::plan(world.topology(), &cfg);
+    deploy.install(&mut world);
+    (world, deploy)
+}
+
+// ------------------------------------------------------------ GDN harness
+
+/// Builds a world with a full GDN installed.
+pub fn gdn_world(topo: Topology, options: GdnOptions, seed: u64) -> (World, GdnDeployment) {
+    let mut world = World::new(topo, NetParams::default(), seed);
+    let gdn = GdnDeployment::install(&mut world, options);
+    (world, gdn)
+}
+
+/// Publishes a catalog under `policy`; returns `(index, oid)` pairs.
+///
+/// Runs the world until every publish completes (panics after the
+/// deadline if any fails — an experiment with missing objects would
+/// silently measure the wrong thing).
+pub fn publish_catalog(
+    world: &mut World,
+    gdn: &GdnDeployment,
+    catalog: &[CatalogEntry],
+    policy: ScenarioPolicy,
+    driver_host: HostId,
+) -> Vec<(usize, ObjectId)> {
+    let gos_by_region =
+        globe_workloads::gos_by_region(world.topology(), &gdn.gos_endpoints);
+    let ops = globe_workloads::publish_ops(catalog, policy, &gos_by_region);
+    let n = ops.len();
+    let tool = gdn.moderator_tool(world.topology(), driver_host, "bench", ops);
+    world.add_service(driver_host, ports::DRIVER, tool);
+    if world.now() == SimTime::ZERO {
+        world.start();
+    }
+    let deadline = world.now() + SimDuration::from_secs(60 * n as u64 + 120);
+    loop {
+        world.run_for(SimDuration::from_secs(10));
+        let tool = world
+            .service::<ModeratorTool>(driver_host, ports::DRIVER)
+            .expect("publish tool");
+        if tool.results.len() >= n {
+            break;
+        }
+        assert!(world.now() < deadline, "catalog publish stalled");
+    }
+    let tool = world
+        .service::<ModeratorTool>(driver_host, ports::DRIVER)
+        .expect("publish tool");
+    tool.results
+        .iter()
+        .enumerate()
+        .map(|(i, ev)| match ev {
+            ModEvent::PublishDone {
+                result: Ok(oid), ..
+            } => (i, *oid),
+            other => panic!("publish {i} failed: {other:?}"),
+        })
+        .collect()
+}
+
+// --------------------------------------------------------- invoke driver
+
+/// Read/write mix generator invoking one object directly through the
+/// Globe runtime (experiment E4: protocol trade-offs without HTTP in
+/// the way).
+pub struct InvokeGen {
+    runtime: GlobeRuntime,
+    oid: ObjectId,
+    write_fraction: f64,
+    rate: f64,
+    until: SimTime,
+    bound: bool,
+    started: std::collections::BTreeMap<u64, (SimTime, bool)>,
+    next_arrival: u64,
+    seq: u64,
+    /// `(latency, was_write)` per completed invocation.
+    pub done: Vec<(SimDuration, bool)>,
+    /// Failed invocations.
+    pub failures: u64,
+}
+
+const INVOKE_NS: u16 = 0x7733;
+
+impl InvokeGen {
+    /// Creates a generator invoking `oid` at `rate`/s with the given
+    /// write fraction.
+    pub fn new(
+        runtime: GlobeRuntime,
+        oid: ObjectId,
+        write_fraction: f64,
+        rate: f64,
+        until: SimTime,
+    ) -> InvokeGen {
+        InvokeGen {
+            runtime,
+            oid,
+            write_fraction,
+            rate,
+            until,
+            bound: false,
+            started: std::collections::BTreeMap::new(),
+            next_arrival: 0,
+            seq: 0,
+            done: Vec::new(),
+            failures: 0,
+        }
+    }
+
+    fn schedule_next(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let gap = ctx.rng().gen_exp(1.0 / self.rate);
+        let delay = SimDuration::from_secs_f64(gap);
+        if ctx.now() + delay >= self.until {
+            return;
+        }
+        self.next_arrival += 1;
+        ctx.set_timer(delay, ns_token(INVOKE_NS, self.next_arrival));
+    }
+
+    fn fire(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if !self.bound {
+            self.schedule_next(ctx);
+            return; // still binding; skip this arrival
+        }
+        let write = ctx.rng().gen_bool(self.write_fraction);
+        self.seq += 1;
+        let inv = if write {
+            PackageControl::add_file("delta", &[0xEE; 512])
+        } else {
+            PackageControl::list_contents()
+        };
+        self.started.insert(self.seq, (ctx.now(), write));
+        let (oid, seq) = (self.oid, self.seq);
+        self.runtime.invoke(ctx, oid, inv, seq);
+        self.schedule_next(ctx);
+        self.drain(ctx);
+    }
+
+    fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
+        loop {
+            let events = self.runtime.take_events();
+            if events.is_empty() {
+                break;
+            }
+            for ev in events {
+                match ev {
+                    RtEvent::BindDone { result, .. } => {
+                        self.bound = result.is_ok();
+                        let _ = ctx;
+                    }
+                    RtEvent::InvokeDone { token, result } => {
+                        if let Some((at, write)) = self.started.remove(&token) {
+                            match result {
+                                Ok(_) => self
+                                    .done
+                                    .push((ctx.now().saturating_sub(at), write)),
+                                Err(_) => self.failures += 1,
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Mean latency of completed reads (`false`) or writes (`true`),
+    /// in milliseconds.
+    pub fn mean_latency_ms(&self, writes: bool) -> f64 {
+        let lats: Vec<u64> = self
+            .done
+            .iter()
+            .filter(|(_, w)| *w == writes)
+            .map(|(d, _)| d.as_micros())
+            .collect();
+        if lats.is_empty() {
+            return 0.0;
+        }
+        lats.iter().sum::<u64>() as f64 / lats.len() as f64 / 1000.0
+    }
+}
+
+impl Service for InvokeGen {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let oid = self.oid;
+        self.runtime.bind(ctx, oid, 0);
+        self.schedule_next(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if owns_token(INVOKE_NS, token) {
+            self.fire(ctx);
+            return;
+        }
+        if self.runtime.handle_timer(ctx, token) {
+            self.drain(ctx);
+        }
+    }
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.runtime.handle_datagram(ctx, from, &payload) {
+            self.drain(ctx);
+        }
+    }
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match self.runtime.handle_conn_event(ctx, conn, ev) {
+            RtConn::Consumed | RtConn::AppData { .. } => self.drain(ctx),
+            RtConn::NotMine(_) => {}
+        }
+    }
+    impl_service_any!();
+}
+
+/// Last host of each site — free of deployed daemons in the default
+/// layout, suitable for drivers and generators.
+pub fn driver_hosts(topo: &Topology) -> Vec<HostId> {
+    topo.sites()
+        .filter_map(|s| topo.hosts_in_site(s).last().copied())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_hosts_are_per_site() {
+        let topo = Topology::grid(2, 2, 2, 3);
+        let d = driver_hosts(&topo);
+        assert_eq!(d.len(), 8);
+        assert_eq!(d[0], HostId(2));
+    }
+
+    #[test]
+    fn wan_bytes_sums_upper_tiers() {
+        let topo = Topology::grid(1, 1, 1, 2);
+        let world = World::new(topo, NetParams::default(), 1);
+        assert_eq!(wan_bytes(&world), 0);
+    }
+}

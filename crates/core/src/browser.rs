@@ -1,0 +1,149 @@
+//! A scripted web browser: the user side of the GDN (paper §4,
+//! Figure 3).
+//!
+//! Browsers talk ordinary HTTP to their nearest GDN-enabled HTTPD
+//! ("users communicate with only one GDN-HTTPD, in particular, with the
+//! one nearest to them"). The [`Browser`] service fetches a script of
+//! URLs sequentially and records outcome and latency per fetch;
+//! workload generators in `globe-workloads` drive open-loop variants.
+
+use std::collections::BTreeMap;
+
+use globe_net::{impl_service_any, ConnEvent, ConnId, Endpoint, Service, ServiceCtx};
+use globe_sim::{SimDuration, SimTime};
+
+use crate::http::{HttpRequest, HttpResponse};
+
+/// Outcome of one fetch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FetchResult {
+    /// The requested path.
+    pub path: String,
+    /// HTTP status (0 when the connection failed).
+    pub status: u16,
+    /// Body size in bytes.
+    pub body_len: usize,
+    /// End-to-end latency (connect → full response).
+    pub latency: SimDuration,
+    /// Response body (kept only when `keep_bodies` is set).
+    pub body: Vec<u8>,
+}
+
+struct InFlight {
+    path: String,
+    started: SimTime,
+}
+
+/// A scripted browser issuing sequential GET requests.
+pub struct Browser {
+    httpd: Endpoint,
+    script: Vec<String>,
+    cursor: usize,
+    inflight: BTreeMap<u64, InFlight>,
+    keep_bodies: bool,
+    /// Completed fetches, in order.
+    pub results: Vec<FetchResult>,
+}
+
+impl Browser {
+    /// Creates a browser fetching `script` paths from `httpd`, one at a
+    /// time.
+    pub fn new(httpd: Endpoint, script: Vec<String>) -> Browser {
+        Browser {
+            httpd,
+            script,
+            cursor: 0,
+            inflight: BTreeMap::new(),
+            keep_bodies: false,
+            results: Vec::new(),
+        }
+    }
+
+    /// Keep response bodies in the results (tests that check contents).
+    pub fn keeping_bodies(mut self) -> Browser {
+        self.keep_bodies = true;
+        self
+    }
+
+    /// Whether every scripted fetch has completed.
+    pub fn done(&self) -> bool {
+        self.cursor >= self.script.len() && self.inflight.is_empty()
+    }
+
+    fn kick(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if self.cursor >= self.script.len() {
+            return;
+        }
+        let path = self.script[self.cursor].clone();
+        self.cursor += 1;
+        let conn = ctx.connect(self.httpd);
+        ctx.send(conn, HttpRequest::get(&path));
+        self.inflight.insert(
+            conn.0,
+            InFlight {
+                path,
+                started: ctx.now(),
+            },
+        );
+    }
+}
+
+impl Service for Browser {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.kick(ctx);
+    }
+
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match ev {
+            ConnEvent::Msg(data) => {
+                let Some(inflight) = self.inflight.remove(&conn.0) else {
+                    return;
+                };
+                let latency = ctx.now().saturating_sub(inflight.started);
+                ctx.metrics().record("browser.fetch_us", latency.as_micros());
+                let (status, body) = match HttpResponse::parse(&data) {
+                    Some(resp) => (resp.status, resp.body),
+                    None => (0, Vec::new()),
+                };
+                self.results.push(FetchResult {
+                    path: inflight.path,
+                    status,
+                    body_len: body.len(),
+                    latency,
+                    body: if self.keep_bodies { body } else { Vec::new() },
+                });
+                ctx.close(conn);
+                self.kick(ctx);
+            }
+            ConnEvent::Closed(reason) => {
+                if let Some(inflight) = self.inflight.remove(&conn.0) {
+                    // Connection died before a response arrived.
+                    ctx.metrics().inc("browser.failures", 1);
+                    self.results.push(FetchResult {
+                        path: inflight.path,
+                        status: 0,
+                        body_len: 0,
+                        latency: ctx.now().saturating_sub(inflight.started),
+                        body: format!("connection failed: {reason}").into_bytes(),
+                    });
+                    self.kick(ctx);
+                }
+            }
+            ConnEvent::Opened | ConnEvent::Incoming { .. } => {}
+        }
+    }
+
+    impl_service_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn browser_starts_idle_with_empty_script() {
+        let b = Browser::new(Endpoint::new(globe_net::HostId(0), 80), vec![]);
+        assert!(b.done());
+        assert!(b.results.is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! One-call assembly of a complete GDN deployment (paper Figure 3).
+//!
+//! [`GdnDeployment::install`] stands up, over a [`Topology`]:
+//!
+//! - the Globe Location Service (directory nodes per domain),
+//! - the DNS-based Globe Name Service (root/TLD/zone servers, site
+//!   resolvers, Naming Authority),
+//! - the certification authority and per-host credentials,
+//! - Globe Object Servers, and
+//! - GDN-enabled HTTPDs colocated with them ("in our first versions
+//!   they will be colocated with the Globe Object Servers", §4).
+//!
+//! Everything an example, test or experiment needs to publish and fetch
+//! packages is reachable from the returned handle.
+
+use std::sync::Arc;
+
+use globe_crypto::gtls::Mode;
+use globe_gls::{GlsConfig, GlsDeployment};
+use globe_gns::{GnsConfig, GnsDeployment};
+use globe_net::{ports, Endpoint, HostId, Topology, World};
+use globe_rts::{GlobeObjectServer, GlobeRuntime, ImplRepository, RuntimeConfig};
+use globe_sim::SimDuration;
+
+use crate::httpd::GdnHttpd;
+use crate::modtool::{ModOp, ModeratorTool};
+use crate::package::PackageDso;
+use crate::security::GdnSecurity;
+
+/// Deployment-wide options.
+pub struct GdnOptions {
+    /// Channel protection for all GDN traffic (experiment E5 sweeps
+    /// this; the paper's v2 uses full TLS).
+    pub tls_mode: Mode,
+    /// Location-service configuration.
+    pub gls: GlsConfig,
+    /// Name-service configuration.
+    pub gns: GnsConfig,
+    /// TTL of client-side cache proxies (CACHE_TTL scenarios).
+    pub cache_ttl: SimDuration,
+    /// Seed for all key material.
+    pub seed: u64,
+    /// Hosts to run object servers (+ colocated HTTPDs) on; empty means
+    /// "first host of every site".
+    pub gos_hosts: Vec<HostId>,
+}
+
+impl Default for GdnOptions {
+    fn default() -> Self {
+        GdnOptions {
+            tls_mode: Mode::AuthEncrypt,
+            gls: GlsConfig::default()
+                .with_persistence()
+                .with_address_ttl(SimDuration::from_secs(120)),
+            gns: GnsConfig::default(),
+            cache_ttl: SimDuration::from_secs(60),
+            seed: 0x6d0e,
+            gos_hosts: Vec::new(),
+        }
+    }
+}
+
+/// Handle to an installed GDN.
+pub struct GdnDeployment {
+    /// Key material and channel configurations.
+    pub security: GdnSecurity,
+    /// The shared implementation repository (package class registered).
+    pub repo: Arc<ImplRepository>,
+    /// The location-service plan.
+    pub gls: Arc<GlsDeployment>,
+    /// The name-service plan.
+    pub gns: GnsDeployment,
+    /// Control endpoints of all object servers.
+    pub gos_endpoints: Vec<Endpoint>,
+    /// HTTP endpoints of all GDN-HTTPDs.
+    pub httpd_endpoints: Vec<Endpoint>,
+    /// Cache TTL configured for client-side proxies.
+    pub cache_ttl: SimDuration,
+}
+
+impl GdnDeployment {
+    /// Installs a complete GDN into `world`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no hosts.
+    pub fn install(world: &mut World, mut options: GdnOptions) -> GdnDeployment {
+        let topo = world.topology().clone();
+        assert!(topo.num_hosts() > 0, "topology has no hosts");
+        // One protection mode everywhere: the Naming Authority must
+        // speak the same mode as the moderator tools dialing it.
+        options.gns.tls_mode = options.tls_mode;
+        // Mode::Null models the paper's unsecured June-2000 first
+        // version ("we will not actually implement any security
+        // measures until the second version"): no authentication means
+        // no role gates anywhere.
+        let open = options.tls_mode == Mode::Null;
+        let security = GdnSecurity::new(options.tls_mode, options.seed);
+
+        let mut repo = ImplRepository::new();
+        PackageDso::register(&mut repo);
+        let repo = Arc::new(repo);
+
+        let gls = GlsDeployment::plan(&topo, &options.gls);
+        gls.install(world);
+
+        let gns = GnsDeployment::plan(&topo, &options.gns);
+        gns.install(world, &security.ca, &options.gns, options.seed);
+
+        let gos_hosts: Vec<HostId> = if options.gos_hosts.is_empty() {
+            topo.sites()
+                .filter_map(|s| topo.hosts_in_site(s).first().copied())
+                .collect()
+        } else {
+            options.gos_hosts.clone()
+        };
+
+        let mut gos_endpoints = Vec::new();
+        let mut httpd_endpoints = Vec::new();
+        for &host in &gos_hosts {
+            let cfg = RuntimeConfig {
+                grp_port: ports::GOS_CTL,
+                tls_server: security.host_server(host),
+                tls_client: security.host_client(host),
+                accept_incoming: true,
+                cache_ttl: options.cache_ttl,
+                writer_roles: RuntimeConfig::default_writer_roles(),
+                open_writes: open,
+                persist: true,
+            };
+            let gos =
+                GlobeObjectServer::new(cfg, Arc::clone(&repo), Arc::clone(&gls), host, 0x0100);
+            world.add_service(host, ports::GOS_CTL, gos);
+            gos_endpoints.push(Endpoint::new(host, ports::GOS_CTL));
+
+            // HTTPD colocated with the object server (paper §4).
+            let http_cfg = RuntimeConfig {
+                grp_port: ports::HTTP,
+                tls_server: security.host_server(host),
+                tls_client: security.host_client(host),
+                accept_incoming: false,
+                cache_ttl: options.cache_ttl,
+                writer_roles: RuntimeConfig::default_writer_roles(),
+                open_writes: open,
+                persist: false,
+            };
+            let runtime =
+                GlobeRuntime::new(http_cfg, Arc::clone(&repo), Arc::clone(&gls), host, 0x0200);
+            let httpd = GdnHttpd::new(runtime, &gns, &topo, host, 0x0300);
+            world.add_service(host, ports::HTTP, httpd);
+            httpd_endpoints.push(Endpoint::new(host, ports::HTTP));
+        }
+
+        GdnDeployment {
+            security,
+            repo,
+            gls,
+            gns,
+            gos_endpoints,
+            httpd_endpoints,
+            cache_ttl: options.cache_ttl,
+        }
+    }
+
+    /// The HTTPD nearest to `host` (the paper's "manually selected"
+    /// access point, chosen here by topology distance).
+    pub fn httpd_for(&self, topo: &Topology, host: HostId) -> Endpoint {
+        *self
+            .httpd_endpoints
+            .iter()
+            .min_by_key(|ep| (topo.distance(host, ep.host), ep.host.0))
+            .expect("deployment has at least one HTTPD")
+    }
+
+    /// The object-server endpoint nearest to `host`.
+    pub fn gos_for(&self, topo: &Topology, host: HostId) -> Endpoint {
+        *self
+            .gos_endpoints
+            .iter()
+            .min_by_key(|ep| (topo.distance(host, ep.host), ep.host.0))
+            .expect("deployment has at least one object server")
+    }
+
+    /// Builds a moderator tool service for `moderator` on `host` with
+    /// the given operation script; install it with
+    /// [`World::add_service`] on any free port.
+    pub fn moderator_tool(
+        &self,
+        topo: &Topology,
+        host: HostId,
+        moderator: &str,
+        ops: Vec<ModOp>,
+    ) -> ModeratorTool {
+        let cfg = RuntimeConfig {
+            grp_port: ports::DRIVER,
+            tls_server: self.security.anonymous_client(),
+            tls_client: self.security.moderator_client(moderator),
+            accept_incoming: false,
+            cache_ttl: self.cache_ttl,
+            writer_roles: RuntimeConfig::default_writer_roles(),
+            open_writes: false,
+            persist: false,
+        };
+        let runtime =
+            GlobeRuntime::new(cfg, Arc::clone(&self.repo), Arc::clone(&self.gls), host, 0x0400);
+        let _ = topo;
+        ModeratorTool::new(
+            runtime,
+            self.gns.naming_authority,
+            self.security.moderator_client(moderator),
+            ops,
+        )
+    }
+
+    /// Builds an anonymous client runtime on `host` (GDN proxies, test
+    /// drivers), with timer namespace `ns`.
+    pub fn anonymous_runtime(&self, host: HostId, ns: u16) -> GlobeRuntime {
+        let cfg = RuntimeConfig {
+            grp_port: ports::DRIVER,
+            tls_server: self.security.anonymous_client(),
+            tls_client: self.security.anonymous_client(),
+            accept_incoming: false,
+            cache_ttl: self.cache_ttl,
+            writer_roles: RuntimeConfig::default_writer_roles(),
+            open_writes: false,
+            persist: false,
+        };
+        GlobeRuntime::new(cfg, Arc::clone(&self.repo), Arc::clone(&self.gls), host, ns)
+    }
+
+    /// Builds a GDN-enabled proxy server (a user-machine HTTPD with
+    /// anonymous credentials, paper §4) for `host`.
+    pub fn proxy(&self, topo: &Topology, host: HostId) -> GdnHttpd {
+        let runtime = self.anonymous_runtime(host, 0x0200);
+        GdnHttpd::new(runtime, &self.gns, topo, host, 0x0300)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use globe_net::NetParams;
+
+    #[test]
+    fn install_places_components_everywhere() {
+        let topo = Topology::grid(2, 2, 2, 2);
+        let mut world = World::new(topo, NetParams::default(), 1);
+        let gdn = GdnDeployment::install(&mut world, GdnOptions::default());
+        assert_eq!(gdn.gos_endpoints.len(), 8); // one per site
+        assert_eq!(gdn.httpd_endpoints.len(), 8);
+        // Nearest-HTTPD selection stays in the caller's site.
+        let topo = world.topology();
+        for h in topo.hosts() {
+            let ep = gdn.httpd_for(topo, h);
+            assert_eq!(topo.site_of(ep.host), topo.site_of(h));
+        }
+    }
+
+    #[test]
+    fn explicit_gos_hosts_respected() {
+        let topo = Topology::grid(1, 1, 2, 2);
+        let mut world = World::new(topo, NetParams::default(), 1);
+        let gdn = GdnDeployment::install(
+            &mut world,
+            GdnOptions {
+                gos_hosts: vec![HostId(1)],
+                ..GdnOptions::default()
+            },
+        );
+        assert_eq!(gdn.gos_endpoints, vec![Endpoint::new(HostId(1), ports::GOS_CTL)]);
+    }
+}

@@ -1,0 +1,157 @@
+//! A minimal HTTP/1.0 subset: enough for standard browsers to fetch
+//! package listings and files from GDN-enabled HTTPDs (paper §4).
+//!
+//! Streams in this system preserve message boundaries, so one request
+//! or response is one transport message; no chunking or keep-alive
+//! negotiation is modelled (documented simplification).
+
+/// A parsed HTTP request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HttpRequest {
+    /// Request method (only `GET` is used by the GDN).
+    pub method: String,
+    /// Request path, e.g. `/pkg/apps/graphics/gimp?file=README`.
+    pub path: String,
+}
+
+impl HttpRequest {
+    /// Builds a GET request message.
+    pub fn get(path: &str) -> Vec<u8> {
+        format!("GET {path} HTTP/1.0\r\n\r\n").into_bytes()
+    }
+
+    /// Parses a request message.
+    pub fn parse(data: &[u8]) -> Option<HttpRequest> {
+        let text = std::str::from_utf8(data).ok()?;
+        let first = text.lines().next()?;
+        let mut parts = first.split_whitespace();
+        let method = parts.next()?.to_owned();
+        let path = parts.next()?.to_owned();
+        let version = parts.next()?;
+        if !version.starts_with("HTTP/") {
+            return None;
+        }
+        Some(HttpRequest { method, path })
+    }
+
+    /// Splits the path into `(route, query)` at the first `?`.
+    pub fn split_query(&self) -> (&str, Option<&str>) {
+        match self.path.split_once('?') {
+            Some((route, q)) => (route, Some(q)),
+            None => (self.path.as_str(), None),
+        }
+    }
+}
+
+/// A parsed HTTP response.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HttpResponse {
+    /// Status code (200, 404, 500, 502...).
+    pub status: u16,
+    /// Content-Type header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Builds a response message.
+    pub fn build(status: u16, content_type: &str, body: &[u8]) -> Vec<u8> {
+        let reason = match status {
+            200 => "OK",
+            400 => "Bad Request",
+            403 => "Forbidden",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        };
+        let mut out = format!(
+            "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(body);
+        out
+    }
+
+    /// Parses a response message.
+    pub fn parse(data: &[u8]) -> Option<HttpResponse> {
+        // Headers are ASCII; the body may be binary. Find the separator
+        // on bytes.
+        let sep = data.windows(4).position(|w| w == b"\r\n\r\n")?;
+        let head = std::str::from_utf8(&data[..sep]).ok()?;
+        let body = data[sep + 4..].to_vec();
+        let mut lines = head.lines();
+        let status_line = lines.next()?;
+        let mut parts = status_line.split_whitespace();
+        let version = parts.next()?;
+        if !version.starts_with("HTTP/") {
+            return None;
+        }
+        let status: u16 = parts.next()?.parse().ok()?;
+        let mut content_type = String::from("application/octet-stream");
+        for line in lines {
+            if let Some((k, v)) = line.split_once(':') {
+                if k.eq_ignore_ascii_case("content-type") {
+                    content_type = v.trim().to_owned();
+                }
+            }
+        }
+        Some(HttpResponse {
+            status,
+            content_type,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let msg = HttpRequest::get("/pkg/apps/graphics/gimp?file=README");
+        let req = HttpRequest::parse(&msg).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/pkg/apps/graphics/gimp?file=README");
+        let (route, query) = req.split_query();
+        assert_eq!(route, "/pkg/apps/graphics/gimp");
+        assert_eq!(query, Some("file=README"));
+    }
+
+    #[test]
+    fn request_without_query() {
+        let req = HttpRequest::parse(&HttpRequest::get("/pkg/os/linux")).unwrap();
+        assert_eq!(req.split_query(), ("/pkg/os/linux", None));
+    }
+
+    #[test]
+    fn response_round_trip_binary_body() {
+        let body = vec![0u8, 159, 146, 150]; // not valid UTF-8
+        let msg = HttpResponse::build(200, "application/octet-stream", &body);
+        let resp = HttpResponse::parse(&msg).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, body);
+        assert_eq!(resp.content_type, "application/octet-stream");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(HttpRequest::parse(b"\xFF\xFE").is_none());
+        assert!(HttpRequest::parse(b"GET").is_none());
+        assert!(HttpRequest::parse(b"GET /x NOTHTTP").is_none());
+        assert!(HttpResponse::parse(b"junk").is_none());
+        assert!(HttpResponse::parse(b"HTTP/1.0 abc OK\r\n\r\n").is_none());
+    }
+
+    #[test]
+    fn status_reasons() {
+        for (code, word) in [(404u16, "Not Found"), (502, "Bad Gateway"), (999, "Unknown")] {
+            let msg = HttpResponse::build(code, "text/plain", b"");
+            assert!(String::from_utf8_lossy(&msg).contains(word));
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! The GDN-enabled HTTPD: the users' access point to the GDN (paper §4).
+//!
+//! "We use URLs that have embedded in them the name of a package DSO.
+//! The GDN-HTTPD extracts this object name and binds to the DSO. The
+//! HTTPD then invokes the appropriate method(s) ... For example, it
+//! could call listContents() to obtain the list of files contained in
+//! the package, which is subsequently reformatted into HTML and sent
+//! back to the requesting browser. If the URL designates a particular
+//! file in the package, the HTTPD calls the getFileContents() method and
+//! sends back the returned content."
+//!
+//! URL scheme: `GET /pkg/<globe-name>` lists a package;
+//! `GET /pkg/<globe-name>?file=<name>` downloads one file.
+//!
+//! The same service type doubles as the paper's *GDN-enabled proxy
+//! server* when instantiated on a user's machine with anonymous
+//! credentials — the architecture is identical, only the certificates
+//! differ.
+
+use std::collections::BTreeMap;
+
+use globe_gls::ObjectId;
+use globe_gns::{GnsClient, GnsDeployment, GnsError, GnsEvent};
+use globe_net::{
+    impl_service_any, ConnEvent, ConnId, Endpoint, Service, ServiceCtx,
+};
+use globe_rts::{BindError, GlobeRuntime, InvokeError, RtConn, RtEvent};
+use globe_sim::{SimDuration, SimTime};
+
+use crate::http::{HttpRequest, HttpResponse};
+use crate::package::PackageControl;
+
+/// Load counters for one HTTPD.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HttpdStats {
+    /// HTTP requests received.
+    pub requests: u64,
+    /// 200 responses.
+    pub ok: u64,
+    /// Non-200 responses.
+    pub errors: u64,
+    /// Requests that skipped name resolution (local name cache).
+    pub name_cache_hits: u64,
+}
+
+#[derive(Debug)]
+struct PendingReq {
+    conn: ConnId,
+    name: String,
+    file: Option<String>,
+    oid: Option<ObjectId>,
+    started: SimTime,
+    /// Rebind attempts used for this request (replica failover).
+    attempts: u32,
+}
+
+/// The GDN-enabled HTTPD service.
+pub struct GdnHttpd {
+    /// The embedded Globe runtime (public for experiments: its local
+    /// representatives are the paper's "LR installed in the GDN-HTTPD").
+    pub runtime: GlobeRuntime,
+    gns: GnsClient,
+    /// Stable name→OID bindings (paper §5: mappings are stable, so
+    /// caching them aggressively is sound).
+    name_cache: BTreeMap<String, ObjectId>,
+    requests: BTreeMap<u64, PendingReq>,
+    next_token: u64,
+    /// When each object was last bound; bindings older than
+    /// `bind_refresh` are re-resolved against the GLS so newly created
+    /// replicas become visible (paper §3.1: scenarios adapt to
+    /// popularity changes — clients must notice).
+    bind_times: BTreeMap<u128, SimTime>,
+    bind_refresh: SimDuration,
+    /// Load counters.
+    pub stats: HttpdStats,
+}
+
+impl GdnHttpd {
+    /// Creates an HTTPD with an embedded runtime and a GNS client
+    /// resolving via the host's site resolver.
+    pub fn new(
+        runtime: GlobeRuntime,
+        gns_deploy: &GnsDeployment,
+        topo: &globe_net::Topology,
+        host: globe_net::HostId,
+        gns_ns: u16,
+    ) -> GdnHttpd {
+        GdnHttpd {
+            runtime,
+            gns: GnsClient::new(gns_deploy, topo, host, gns_ns),
+            name_cache: BTreeMap::new(),
+            requests: BTreeMap::new(),
+            next_token: 1,
+            bind_times: BTreeMap::new(),
+            bind_refresh: SimDuration::from_secs(30),
+            stats: HttpdStats::default(),
+        }
+    }
+
+    /// Overrides how long a binding is trusted before the GLS is asked
+    /// again (default 30 s).
+    pub fn with_bind_refresh(mut self, d: SimDuration) -> GdnHttpd {
+        self.bind_refresh = d;
+        self
+    }
+
+    fn bind_fresh(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId, token: u64) {
+        let stale = self
+            .bind_times
+            .get(&oid.0)
+            .map(|&t| ctx.now().saturating_sub(t) > self.bind_refresh)
+            .unwrap_or(false);
+        if stale && self.runtime.is_bound(oid) {
+            self.runtime.unbind(ctx, oid);
+            self.bind_times.remove(&oid.0);
+        }
+        if !self.runtime.is_bound(oid) {
+            self.bind_times.insert(oid.0, ctx.now());
+        }
+        self.runtime.bind(ctx, oid, token);
+    }
+
+    fn respond(&mut self, ctx: &mut ServiceCtx<'_>, token: u64, status: u16, ctype: &str, body: &[u8]) {
+        let Some(req) = self.requests.remove(&token) else {
+            return;
+        };
+        if status == 200 {
+            self.stats.ok += 1;
+        } else {
+            self.stats.errors += 1;
+        }
+        let latency = ctx.now().saturating_sub(req.started);
+        ctx.metrics().record("httpd.response_us", latency.as_micros());
+        ctx.metrics().inc(&format!("httpd.status.{status}"), 1);
+        ctx.send(req.conn, HttpResponse::build(status, ctype, body));
+        ctx.close(req.conn);
+    }
+
+    fn handle_http(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, data: &[u8]) {
+        self.stats.requests += 1;
+        ctx.metrics().inc("httpd.requests", 1);
+        let Some(req) = HttpRequest::parse(data) else {
+            ctx.send(
+                conn,
+                HttpResponse::build(400, "text/plain", b"malformed request"),
+            );
+            ctx.close(conn);
+            self.stats.errors += 1;
+            return;
+        };
+        let (route, query) = req.split_query();
+        if req.method != "GET" {
+            ctx.send(
+                conn,
+                HttpResponse::build(400, "text/plain", b"only GET is supported"),
+            );
+            ctx.close(conn);
+            self.stats.errors += 1;
+            return;
+        }
+        let Some(name) = route.strip_prefix("/pkg") else {
+            if route == "/index.html" || route == "/" {
+                let body = b"<html><body><h1>Globe Distribution Network</h1>\
+                    <p>Fetch /pkg/&lt;package-name&gt; for a listing.</p></body></html>";
+                ctx.send(conn, HttpResponse::build(200, "text/html", body));
+                ctx.close(conn);
+                self.stats.ok += 1;
+                return;
+            }
+            ctx.send(
+                conn,
+                HttpResponse::build(404, "text/plain", b"unknown route"),
+            );
+            ctx.close(conn);
+            self.stats.errors += 1;
+            return;
+        };
+        let file = query
+            .and_then(|q| q.strip_prefix("file="))
+            .map(|f| f.to_owned());
+        let token = self.next_token;
+        self.next_token += 1;
+        self.requests.insert(
+            token,
+            PendingReq {
+                conn,
+                name: name.to_owned(),
+                file,
+                oid: None,
+                started: ctx.now(),
+                attempts: 0,
+            },
+        );
+        // Resolve the embedded object name (paper §4), consulting the
+        // local name cache first.
+        match self.name_cache.get(name).copied() {
+            Some(oid) => {
+                self.stats.name_cache_hits += 1;
+                if let Some(r) = self.requests.get_mut(&token) {
+                    r.oid = Some(oid);
+                }
+                self.bind_fresh(ctx, oid, token);
+                self.drain(ctx);
+            }
+            None => {
+                self.gns.resolve(ctx, name, token);
+                self.drain_gns(ctx);
+            }
+        }
+    }
+
+    fn drain_gns(&mut self, ctx: &mut ServiceCtx<'_>) {
+        for ev in self.gns.take_events() {
+            let GnsEvent::Resolved { token, result, .. } = ev;
+            match result {
+                Ok(oid) => {
+                    if let Some(req) = self.requests.get_mut(&token) {
+                        req.oid = Some(oid);
+                        let name = req.name.clone();
+                        self.name_cache.insert(name, oid);
+                        self.bind_fresh(ctx, oid, token);
+                    }
+                }
+                Err(GnsError::Dns(_)) => {
+                    self.respond(ctx, token, 404, "text/plain", b"no such package");
+                }
+                Err(e) => {
+                    self.respond(ctx, token, 400, "text/plain", e.to_string().as_bytes());
+                }
+            }
+        }
+        self.drain(ctx);
+    }
+
+    fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
+        // Loop: handling one event may synchronously produce the next
+        // (bind hit → invoke → local cache hit → completion).
+        loop {
+            let events = self.runtime.take_events();
+            if events.is_empty() {
+                break;
+            }
+            for ev in events {
+                self.handle_rt_event(ctx, ev);
+            }
+        }
+    }
+
+    fn handle_rt_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: RtEvent) {
+        {
+            match ev {
+                RtEvent::BindDone { token, result } => match result {
+                    Ok(info) => {
+                        let Some(req) = self.requests.get(&token) else {
+                            return;
+                        };
+                        let inv = match &req.file {
+                            Some(f) => PackageControl::get_file(f),
+                            None => PackageControl::list_contents(),
+                        };
+                        self.runtime.invoke(ctx, info.oid, inv, token);
+                    }
+                    Err(BindError::NotFound) => {
+                        // Stale name cache: the object vanished.
+                        if let Some(req) = self.requests.get(&token) {
+                            let name = req.name.clone();
+                            self.name_cache.remove(&name);
+                        }
+                        self.respond(ctx, token, 404, "text/plain", b"package not available");
+                    }
+                    Err(e) => {
+                        self.respond(ctx, token, 502, "text/plain", e.to_string().as_bytes());
+                    }
+                },
+                RtEvent::InvokeDone { token, result } => match result {
+                    Ok(data) => {
+                        let Some(req) = self.requests.get(&token) else {
+                            return;
+                        };
+                        match &req.file {
+                            Some(_) => match PackageControl::decode_file(&data) {
+                                Ok(contents) => {
+                                    self.respond(
+                                        ctx,
+                                        token,
+                                        200,
+                                        "application/octet-stream",
+                                        &contents,
+                                    );
+                                }
+                                Err(_) => {
+                                    self.respond(
+                                        ctx,
+                                        token,
+                                        500,
+                                        "text/plain",
+                                        b"corrupt file payload",
+                                    );
+                                }
+                            },
+                            None => match PackageControl::decode_listing(&data) {
+                                Ok(listing) => {
+                                    let name = req.name.clone();
+                                    let html = render_listing(&name, &listing);
+                                    self.respond(ctx, token, 200, "text/html", html.as_bytes());
+                                }
+                                Err(_) => {
+                                    self.respond(ctx, token, 500, "text/plain", b"corrupt listing");
+                                }
+                            },
+                        }
+                    }
+                    Err(InvokeError::Sem(msg)) if msg.contains("no file") => {
+                        self.respond(ctx, token, 404, "text/plain", msg.as_bytes());
+                    }
+                    Err(InvokeError::AccessDenied) => {
+                        self.respond(ctx, token, 403, "text/plain", b"forbidden");
+                    }
+                    Err(InvokeError::Timeout) | Err(InvokeError::PeerUnreachable) => {
+                        // The replica behind the current binding is
+                        // unreachable. Re-bind: the GLS still lists every
+                        // replica, and its random pointer descent finds a
+                        // different (live) one — the paper's replication-
+                        // for-availability put into practice at the
+                        // client side.
+                        ctx.metrics().inc("httpd.err.replica_unreachable", 1);
+                        let retry = match self.requests.get_mut(&token) {
+                            Some(req) if req.attempts < 3 => {
+                                req.attempts += 1;
+                                req.oid
+                            }
+                            _ => None,
+                        };
+                        match retry {
+                            Some(oid) => {
+                                ctx.metrics().inc("httpd.rebinds", 1);
+                                self.runtime.unbind(ctx, oid);
+                                self.bind_times.remove(&oid.0);
+                                self.bind_fresh(ctx, oid, token);
+                            }
+                            None => {
+                                self.respond(ctx, token, 504, "text/plain", b"replica unreachable");
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        self.respond(ctx, token, 502, "text/plain", e.to_string().as_bytes());
+                    }
+                },
+                RtEvent::Registered { .. } | RtEvent::Deregistered { .. } => {}
+            }
+        }
+    }
+}
+
+/// Renders a package listing as the paper describes: the contents list
+/// "reformatted into HTML".
+fn render_listing(name: &str, listing: &[crate::package::FileInfo]) -> String {
+    use std::fmt::Write as _;
+    let mut html = String::new();
+    let _ = write!(
+        html,
+        "<html><head><title>{name}</title></head><body><h1>{name}</h1><ul>"
+    );
+    for f in listing {
+        let _ = write!(
+            html,
+            "<li><a href=\"/pkg{name}?file={fname}\">{fname}</a> ({size} bytes)</li>",
+            fname = f.name,
+            size = f.size
+        );
+    }
+    let _ = write!(html, "</ul></body></html>");
+    html
+}
+
+impl Service for GdnHttpd {
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.runtime.handle_datagram(ctx, from, &payload) {
+            self.drain(ctx);
+            return;
+        }
+        if self.gns.handle_datagram(ctx, from, &payload) {
+            self.drain_gns(ctx);
+        }
+    }
+
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match self.runtime.handle_conn_event(ctx, conn, ev) {
+            RtConn::Consumed | RtConn::AppData { .. } => self.drain(ctx),
+            RtConn::NotMine(ev) => match ev {
+                ConnEvent::Msg(data) => self.handle_http(ctx, conn, &data),
+                ConnEvent::Closed(_) => {
+                    // Drop pending work for a browser that went away.
+                    let stale: Vec<u64> = self
+                        .requests
+                        .iter()
+                        .filter(|(_, r)| r.conn == conn)
+                        .map(|(&t, _)| t)
+                        .collect();
+                    for t in stale {
+                        self.requests.remove(&t);
+                    }
+                }
+                ConnEvent::Incoming { .. } | ConnEvent::Opened => {}
+            },
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if self.runtime.handle_timer(ctx, token) {
+            self.drain(ctx);
+            return;
+        }
+        if self.gns.handle_timer(ctx, token) {
+            self.drain_gns(ctx);
+        }
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        self.runtime.on_crash();
+        self.requests.clear();
+        self.name_cache.clear();
+        self.bind_times.clear();
+    }
+
+    impl_service_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::FileInfo;
+
+    #[test]
+    fn listing_html_contains_links() {
+        let listing = vec![
+            FileInfo {
+                name: "README".into(),
+                size: 5,
+                digest: [0; 32],
+            },
+            FileInfo {
+                name: "gimp-1.0.tar".into(),
+                size: 1_000_000,
+                digest: [1; 32],
+            },
+        ];
+        let html = render_listing("/apps/graphics/gimp", &listing);
+        assert!(html.contains("<title>/apps/graphics/gimp</title>"));
+        assert!(html.contains("href=\"/pkg/apps/graphics/gimp?file=README\""));
+        assert!(html.contains("1000000 bytes"));
+    }
+}

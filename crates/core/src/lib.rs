@@ -1,0 +1,40 @@
+//! The Globe Distribution Network (GDN) application.
+//!
+//! This crate is the paper's contribution assembled: "an application for
+//! the efficient, worldwide distribution of free software and other
+//! free data" built on the Globe middleware's per-object replication.
+//!
+//! - [`package`] — the package DSO (semantics + control subobjects):
+//!   files with SHA-256 digests, `addFile` / `listContents` /
+//!   `getFileContents` / metadata.
+//! - [`httpd`] — the GDN-enabled HTTPD: URL → object name → bind →
+//!   invoke → HTML/bytes (paper §4). Doubles as the user-machine GDN
+//!   proxy.
+//! - [`browser`] — scripted user agents fetching over plain HTTP.
+//! - [`modtool`] — the moderator tool: replication-scenario definition,
+//!   first-replica creation, additional replicas, content upload and
+//!   name registration (paper §6.1 flow).
+//! - [`security`] — the certification authority and the Figure 4
+//!   channel configuration matrix.
+//! - [`http`] — the minimal HTTP/1.0 subset browsers speak.
+//! - [`deploy`] — one-call world assembly of GLS + GNS + object servers
+//!   + HTTPDs.
+//!
+//! See the repository's `examples/` for runnable end-to-end scenarios
+//! and `EXPERIMENTS.md` for the reproduction of the paper's claims.
+
+pub mod browser;
+pub mod deploy;
+pub mod http;
+pub mod httpd;
+pub mod modtool;
+pub mod package;
+pub mod security;
+
+pub use browser::{Browser, FetchResult};
+pub use deploy::{GdnDeployment, GdnOptions};
+pub use http::{HttpRequest, HttpResponse};
+pub use httpd::{GdnHttpd, HttpdStats};
+pub use modtool::{ModEvent, ModOp, ModeratorTool, Scenario};
+pub use package::{FileInfo, PackageControl, PackageDso, PACKAGE_IMPL};
+pub use security::GdnSecurity;

@@ -1,0 +1,566 @@
+//! The moderator tool (paper §4, §6.1).
+//!
+//! "The creation of a new package DSO starts with the definition, by the
+//! moderator, of the package's replication scenario. ... The moderator
+//! tool starts by sending a 'create first replica' command to one
+//! (randomly chosen) GOS in the scenario. ... The other GOSs are then
+//! sent 'bind to DSO ⟨OID⟩, create replica' commands. ... The final step
+//! in creating a package DSO is registering a name for it in the Globe
+//! Name Service."
+//!
+//! [`ModeratorTool`] executes exactly that pipeline as an event-driven
+//! state machine, plus package-content updates (bind + write methods)
+//! and removal (name removal + replica deletion).
+
+use std::collections::BTreeMap;
+
+use globe_crypto::gtls::TlsConfig;
+use globe_gls::ObjectId;
+use globe_gns::{NaClient, NaEvent};
+use globe_net::{impl_service_any, ConnEvent, ConnId, Endpoint, Service, ServiceCtx};
+use globe_rts::{
+    protocol_id, GlobeRuntime, GosCmd, GosResp, Invocation, PropagationMode, RoleSpec, RtConn,
+    RtEvent,
+};
+
+use crate::package::{PackageControl, PACKAGE_IMPL};
+
+/// A replication scenario: how and where a package is replicated
+/// (paper §3.1: "a specification of how (using what replication
+/// protocol) and where (which machines should host replicas)").
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The replication protocol (see [`protocol_id`]).
+    pub protocol: u16,
+    /// How masters propagate writes (master/slave and active protocols).
+    pub mode: PropagationMode,
+    /// Control endpoints of the object servers hosting replicas; the
+    /// first becomes the master (or single server).
+    pub replicas: Vec<Endpoint>,
+}
+
+impl Scenario {
+    /// Single-server scenario on one object server.
+    pub fn single(gos: Endpoint) -> Scenario {
+        Scenario {
+            protocol: protocol_id::CLIENT_SERVER,
+            mode: PropagationMode::PushState,
+            replicas: vec![gos],
+        }
+    }
+
+    /// Master/slave scenario: first endpoint is the master.
+    pub fn master_slave(replicas: Vec<Endpoint>, mode: PropagationMode) -> Scenario {
+        assert!(!replicas.is_empty(), "scenario needs at least one replica");
+        Scenario {
+            protocol: protocol_id::MASTER_SLAVE,
+            mode,
+            replicas,
+        }
+    }
+
+    /// Cache-TTL scenario: one server, clients install caching proxies.
+    pub fn cached(gos: Endpoint) -> Scenario {
+        Scenario {
+            protocol: protocol_id::CACHE_TTL,
+            mode: PropagationMode::PushState,
+            replicas: vec![gos],
+        }
+    }
+
+    /// Replicated cache scenario: master/slave replicas (first endpoint
+    /// is the master) *and* client-side cache proxies — caches fill from
+    /// their nearest replica instead of crossing the world.
+    pub fn cached_replicated(replicas: Vec<Endpoint>, mode: PropagationMode) -> Scenario {
+        assert!(!replicas.is_empty(), "scenario needs at least one replica");
+        Scenario {
+            protocol: protocol_id::CACHE_TTL,
+            mode,
+            replicas,
+        }
+    }
+
+    fn first_role(&self) -> RoleSpec {
+        if self.replicas.len() == 1
+            && matches!(
+                self.protocol,
+                protocol_id::CLIENT_SERVER | protocol_id::CACHE_TTL
+            )
+        {
+            RoleSpec::Standalone
+        } else {
+            RoleSpec::Master { mode: self.mode }
+        }
+    }
+}
+
+/// One high-level moderator operation.
+#[derive(Clone, Debug)]
+pub enum ModOp {
+    /// Create a package DSO, fill it, and register its name.
+    Publish {
+        /// The package's Globe object name, e.g. `/apps/graphics/gimp`.
+        name: String,
+        /// Human-readable description (stored via `setMeta`).
+        description: String,
+        /// Initial files.
+        files: Vec<(String, Vec<u8>)>,
+        /// Where and how to replicate.
+        scenario: Scenario,
+    },
+    /// Add (or replace) one file in an existing package.
+    AddFile {
+        /// The package's object id (from a prior publish).
+        oid: ObjectId,
+        /// File name.
+        file: String,
+        /// File contents.
+        data: Vec<u8>,
+    },
+    /// Remove a package: unregister the name and delete all replicas.
+    Remove {
+        /// The package's Globe object name.
+        name: String,
+        /// The package's object id.
+        oid: ObjectId,
+        /// The object servers hosting its replicas.
+        replicas: Vec<Endpoint>,
+    },
+}
+
+/// Completion events from the moderator tool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModEvent {
+    /// A publish finished; carries the new object id on success.
+    PublishDone {
+        /// The package name.
+        name: String,
+        /// New object id, or failure reason.
+        result: Result<ObjectId, String>,
+    },
+    /// A non-publish operation finished.
+    OpDone {
+        /// Success or failure reason.
+        result: Result<(), String>,
+    },
+}
+
+#[derive(Debug)]
+enum Stage {
+    /// Waiting for the first replica's `Ok {oid}`.
+    CreateFirst,
+    /// Waiting for `remaining` additional replicas.
+    CreateRest { remaining: usize },
+    /// Waiting for `remaining` content invocations (meta + files).
+    Fill { remaining: usize },
+    /// Waiting for the Naming Authority.
+    RegisterName,
+    /// AddFile: waiting for the bind.
+    UpdateBind,
+    /// AddFile: waiting for the write.
+    UpdateWrite,
+    /// Remove: waiting for the name removal, then replica deletions.
+    RemoveName,
+    /// Remove: waiting for `remaining` replica deletions.
+    RemoveReplicas { remaining: usize },
+}
+
+struct Active {
+    op: ModOp,
+    stage: Stage,
+    oid: Option<ObjectId>,
+}
+
+/// The moderator tool service.
+pub struct ModeratorTool {
+    /// The embedded Globe runtime (used for binds and content writes).
+    pub runtime: GlobeRuntime,
+    na: NaClient,
+    queue: Vec<ModOp>,
+    active: Option<Active>,
+    /// Control connections to object servers, pooled by endpoint.
+    gos_conns: BTreeMap<Endpoint, ConnId>,
+    next_req: u64,
+    events: Vec<ModEvent>,
+    /// Completed operations, readable by drivers and tests.
+    pub results: Vec<ModEvent>,
+}
+
+impl ModeratorTool {
+    /// Creates a moderator tool talking to the Naming Authority at
+    /// `na_endpoint` with moderator TLS credentials `na_tls`.
+    pub fn new(
+        runtime: GlobeRuntime,
+        na_endpoint: Endpoint,
+        na_tls: TlsConfig,
+        ops: Vec<ModOp>,
+    ) -> ModeratorTool {
+        ModeratorTool {
+            runtime,
+            na: NaClient::new(na_endpoint, na_tls),
+            queue: ops,
+            active: None,
+            gos_conns: BTreeMap::new(),
+            next_req: 1,
+            events: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Queues another operation (drivers may feed the tool over time).
+    pub fn enqueue(&mut self, op: ModOp) {
+        self.queue.push(op);
+    }
+
+    /// Drains completion events.
+    pub fn take_events(&mut self) -> Vec<ModEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn finish(&mut self, ev: ModEvent) {
+        self.events.push(ev.clone());
+        self.results.push(ev);
+        self.active = None;
+    }
+
+    fn gos_send(&mut self, ctx: &mut ServiceCtx<'_>, gos: Endpoint, cmd: GosCmd) {
+        let conn = match self.gos_conns.get(&gos) {
+            Some(&c) => c,
+            None => {
+                let c = self.runtime.open_app_conn(ctx, gos);
+                self.gos_conns.insert(gos, c);
+                c
+            }
+        };
+        self.runtime.send_app(ctx, conn, &cmd.encode());
+    }
+
+    fn kick(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if self.active.is_some() || self.queue.is_empty() {
+            return;
+        }
+        let op = self.queue.remove(0);
+        match &op {
+            ModOp::Publish { scenario, .. } => {
+                // Step 1: "create first replica" (paper §6.1).
+                let first = scenario.replicas[0];
+                let role = scenario.first_role();
+                let req = self.next_req;
+                self.next_req += 1;
+                let cmd = GosCmd::CreateObject {
+                    req,
+                    impl_id: PACKAGE_IMPL.0,
+                    protocol: scenario.protocol,
+                    role,
+                };
+                self.active = Some(Active {
+                    op,
+                    stage: Stage::CreateFirst,
+                    oid: None,
+                });
+                self.gos_send(ctx, first, cmd);
+            }
+            ModOp::AddFile { oid, .. } => {
+                let oid = *oid;
+                self.active = Some(Active {
+                    op,
+                    stage: Stage::UpdateBind,
+                    oid: Some(oid),
+                });
+                self.runtime.bind(ctx, oid, 1);
+            }
+            ModOp::Remove { name, oid, .. } => {
+                let name = name.clone();
+                let oid = *oid;
+                self.active = Some(Active {
+                    op,
+                    stage: Stage::RemoveName,
+                    oid: Some(oid),
+                });
+                self.na.remove(ctx, &name, 1);
+            }
+        }
+        self.drain(ctx);
+    }
+
+    fn fail(&mut self, msg: String) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let ev = match active.op {
+            ModOp::Publish { name, .. } => ModEvent::PublishDone {
+                name,
+                result: Err(msg),
+            },
+            _ => ModEvent::OpDone { result: Err(msg) },
+        };
+        self.events.push(ev.clone());
+        self.results.push(ev);
+    }
+
+    fn handle_gos_resp(&mut self, ctx: &mut ServiceCtx<'_>, resp: GosResp) {
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
+        let (_req, oid_result) = match resp {
+            GosResp::Ok { req, oid } => (req, Ok(ObjectId(oid))),
+            GosResp::Err { req, msg } => (req, Err(msg)),
+        };
+        match (&mut active.stage, oid_result) {
+            (Stage::CreateFirst, Ok(oid)) => {
+                active.oid = Some(oid);
+                let ModOp::Publish { scenario, .. } = &active.op else {
+                    return;
+                };
+                let rest = &scenario.replicas[1..];
+                if rest.is_empty() {
+                    active.stage = Stage::Fill { remaining: 0 };
+                    self.start_fill(ctx);
+                } else {
+                    // Step 2: "bind to DSO ⟨OID⟩, create replica" at the
+                    // remaining servers.
+                    active.stage = Stage::CreateRest {
+                        remaining: rest.len(),
+                    };
+                    let master = scenario.replicas[0];
+                    let protocol = scenario.protocol;
+                    let cmds: Vec<(Endpoint, GosCmd)> = rest
+                        .iter()
+                        .map(|&gos| {
+                            let req = self.next_req;
+                            self.next_req += 1;
+                            (
+                                gos,
+                                GosCmd::CreateReplica {
+                                    req,
+                                    oid: oid.0,
+                                    impl_id: PACKAGE_IMPL.0,
+                                    protocol,
+                                    role: RoleSpec::Slave { master },
+                                },
+                            )
+                        })
+                        .collect();
+                    for (gos, cmd) in cmds {
+                        self.gos_send(ctx, gos, cmd);
+                    }
+                }
+            }
+            (Stage::CreateRest { remaining }, Ok(_)) => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    active.stage = Stage::Fill { remaining: 0 };
+                    self.start_fill(ctx);
+                }
+            }
+            (Stage::RemoveReplicas { remaining }, Ok(_)) => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.finish(ModEvent::OpDone { result: Ok(()) });
+                }
+            }
+            (_, Err(msg)) => self.fail(format!("object server refused: {msg}")),
+            _ => {}
+        }
+    }
+
+    fn start_fill(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
+        let oid = active.oid.expect("fill follows creation");
+        // Bind first; the content writes go out once the local
+        // representative is installed (BindDone).
+        active.stage = Stage::Fill { remaining: 1 };
+        self.runtime.bind(ctx, oid, 0);
+    }
+
+    fn fill_invocations(op: &ModOp) -> Vec<Invocation> {
+        let ModOp::Publish {
+            description, files, ..
+        } = op
+        else {
+            return Vec::new();
+        };
+        let mut invs: Vec<Invocation> = vec![PackageControl::set_meta(description)];
+        for (fname, data) in files {
+            invs.push(PackageControl::add_file(fname, data));
+        }
+        invs
+    }
+
+    fn handle_rt_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: RtEvent) {
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
+        match (&mut active.stage, ev) {
+            (Stage::Fill { remaining }, RtEvent::BindDone { result, .. }) => match result {
+                Ok(info) => {
+                    // The representative is installed: upload contents.
+                    let invs = Self::fill_invocations(&active.op);
+                    *remaining = invs.len();
+                    let oid = info.oid;
+                    for (i, inv) in invs.into_iter().enumerate() {
+                        self.runtime.invoke(ctx, oid, inv, i as u64 + 1);
+                    }
+                }
+                Err(e) => self.fail(format!("bind failed: {e}")),
+            },
+            (Stage::Fill { remaining }, RtEvent::InvokeDone { result, .. }) => match result {
+                Ok(_) => {
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        self.fill_done(ctx);
+                    }
+                }
+                Err(e) => self.fail(format!("content write failed: {e}")),
+            },
+            (Stage::UpdateBind, RtEvent::BindDone { result, .. }) => match result {
+                Ok(info) => {
+                    let ModOp::AddFile { file, data, .. } = &active.op else {
+                        return;
+                    };
+                    let inv = PackageControl::add_file(file, data);
+                    active.stage = Stage::UpdateWrite;
+                    let oid = info.oid;
+                    self.runtime.invoke(ctx, oid, inv, 2);
+                }
+                Err(e) => self.fail(format!("bind failed: {e}")),
+            },
+            (Stage::UpdateWrite, RtEvent::InvokeDone { result, .. }) => match result {
+                Ok(_) => self.finish(ModEvent::OpDone { result: Ok(()) }),
+                Err(e) => self.fail(format!("write failed: {e}")),
+            },
+            _ => {}
+        }
+    }
+
+    fn fill_done(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
+        let oid = active.oid.expect("oid set");
+        let ModOp::Publish { name, .. } = &active.op else {
+            return;
+        };
+        // Final step: register the name (paper §6.1).
+        let name = name.clone();
+        active.stage = Stage::RegisterName;
+        self.na.add(ctx, &name, oid, 1);
+    }
+
+    fn handle_na_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: NaEvent) {
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
+        match (&mut active.stage, ev) {
+            (Stage::RegisterName, NaEvent::Done { result, .. }) => match result {
+                Ok(()) => {
+                    let oid = active.oid.expect("oid set");
+                    let ModOp::Publish { name, .. } = &active.op else {
+                        return;
+                    };
+                    let name = name.clone();
+                    self.finish(ModEvent::PublishDone {
+                        name,
+                        result: Ok(oid),
+                    });
+                }
+                Err(e) => self.fail(format!("name registration failed: {e}")),
+            },
+            (Stage::RemoveName, NaEvent::Done { result, .. }) => match result {
+                Ok(()) => {
+                    let ModOp::Remove { oid, replicas, .. } = &active.op else {
+                        return;
+                    };
+                    let oid = oid.0;
+                    let replicas = replicas.clone();
+                    if replicas.is_empty() {
+                        self.finish(ModEvent::OpDone { result: Ok(()) });
+                        return;
+                    }
+                    active.stage = Stage::RemoveReplicas {
+                        remaining: replicas.len(),
+                    };
+                    let cmds: Vec<(Endpoint, GosCmd)> = replicas
+                        .iter()
+                        .map(|&gos| {
+                            let req = self.next_req;
+                            self.next_req += 1;
+                            (gos, GosCmd::DeleteReplica { req, oid })
+                        })
+                        .collect();
+                    for (gos, cmd) in cmds {
+                        self.gos_send(ctx, gos, cmd);
+                    }
+                }
+                Err(e) => self.fail(format!("name removal failed: {e}")),
+            },
+            (_, NaEvent::ConnectionFailed(r)) => self.fail(format!("naming authority: {r}")),
+            _ => {}
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.drain(ctx);
+        self.kick(ctx);
+    }
+
+    fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
+        loop {
+            let rt_events = self.runtime.take_events();
+            let na_events = self.na.take_events();
+            if rt_events.is_empty() && na_events.is_empty() {
+                break;
+            }
+            for ev in rt_events {
+                self.handle_rt_event(ctx, ev);
+            }
+            for ev in na_events {
+                self.handle_na_event(ctx, ev);
+            }
+        }
+        if self.active.is_none() {
+            self.kick(ctx);
+        }
+    }
+}
+
+impl Service for ModeratorTool {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.kick(ctx);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.runtime.handle_datagram(ctx, from, &payload) {
+            self.pump(ctx);
+        }
+    }
+
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match self.runtime.handle_conn_event(ctx, conn, ev) {
+            RtConn::Consumed => self.pump(ctx),
+            RtConn::AppData { frames, .. } => {
+                for f in frames {
+                    if let Ok(resp) = GosResp::decode(&f) {
+                        self.handle_gos_resp(ctx, resp);
+                    }
+                }
+                self.pump(ctx);
+            }
+            RtConn::NotMine(ev) => {
+                if self.na.handle_conn_event(ctx, conn, &ev) {
+                    self.pump(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if self.runtime.handle_timer(ctx, token) {
+            self.pump(ctx);
+        }
+    }
+
+    impl_service_any!();
+}

@@ -1,0 +1,368 @@
+//! The package DSO: the distributed shared object holding one software
+//! package.
+//!
+//! "All data stored in the GDN is stored in distributed shared objects.
+//! For example, every software package is contained in a package DSO."
+//! (paper §3.1). The semantics subobject here implements exactly the
+//! methods the paper names — adding files, listing contents, retrieving
+//! file contents (§3.3, §4) — plus removal and metadata, all free of any
+//! replication awareness.
+//!
+//! [`PackageControl`] is the *control subobject* (paper §3.3): the typed
+//! wrapper that marshals arguments into opaque [`Invocation`] frames and
+//! unmarshals results, bridging the user-visible interface to the
+//! replication subobject's standard interface.
+
+use globe_crypto::sha256::sha256;
+use globe_net::{WireError, WireReader, WireWriter};
+use globe_rts::{ClassSpec, ImplId, Invocation, MethodId, MethodKind, SemError, SemanticsObject};
+use std::collections::BTreeMap;
+
+/// The package class's identifier in the implementation repository.
+pub const PACKAGE_IMPL: ImplId = ImplId(10);
+
+/// Method: add (or replace) a file. Write.
+pub const M_ADD_FILE: MethodId = MethodId(1);
+/// Method: remove a file. Write.
+pub const M_REMOVE_FILE: MethodId = MethodId(2);
+/// Method: list the package contents. Read.
+pub const M_LIST_CONTENTS: MethodId = MethodId(3);
+/// Method: get one file's contents. Read.
+pub const M_GET_FILE: MethodId = MethodId(4);
+/// Method: get the package description. Read.
+pub const M_GET_META: MethodId = MethodId(5);
+/// Method: set the package description. Write.
+pub const M_SET_META: MethodId = MethodId(6);
+
+/// One file in a package listing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FileInfo {
+    /// File name within the package.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// SHA-256 digest of the contents (integrity per paper §6.1).
+    pub digest: [u8; 32],
+}
+
+#[derive(Clone, Debug, Default)]
+struct FileEntry {
+    data: Vec<u8>,
+    digest: [u8; 32],
+}
+
+/// The package semantics subobject.
+#[derive(Default)]
+pub struct PackageDso {
+    description: String,
+    files: BTreeMap<String, FileEntry>,
+}
+
+impl PackageDso {
+    /// Creates an empty package.
+    pub fn new() -> PackageDso {
+        PackageDso::default()
+    }
+
+    /// Registers the package class in an implementation repository.
+    pub fn register(repo: &mut globe_rts::ImplRepository) {
+        repo.register(
+            PACKAGE_IMPL,
+            ClassSpec {
+                name: "gdn-package",
+                factory: || Box::new(PackageDso::new()),
+                kind_of: |m| match m {
+                    M_LIST_CONTENTS | M_GET_FILE | M_GET_META => Some(MethodKind::Read),
+                    M_ADD_FILE | M_REMOVE_FILE | M_SET_META => Some(MethodKind::Write),
+                    _ => None,
+                },
+            },
+        );
+    }
+
+    /// Number of files (direct inspection for tests).
+    pub fn num_files(&self) -> usize {
+        self.files.len()
+    }
+}
+
+impl SemanticsObject for PackageDso {
+    fn dispatch(&mut self, inv: &Invocation) -> Result<Vec<u8>, SemError> {
+        let mut r = WireReader::new(&inv.args);
+        match inv.method {
+            M_ADD_FILE => {
+                let name = r.str().map_err(|_| SemError::BadArguments)?.to_owned();
+                let data = r.bytes().map_err(|_| SemError::BadArguments)?.to_vec();
+                r.expect_end().map_err(|_| SemError::BadArguments)?;
+                let digest = sha256(&data);
+                self.files.insert(name, FileEntry { data, digest });
+                Ok(Vec::new())
+            }
+            M_REMOVE_FILE => {
+                let name = r.str().map_err(|_| SemError::BadArguments)?;
+                let existed = self.files.remove(name).is_some();
+                if existed {
+                    Ok(Vec::new())
+                } else {
+                    Err(SemError::Application(format!("no file {name:?}")))
+                }
+            }
+            M_LIST_CONTENTS => {
+                r.expect_end().map_err(|_| SemError::BadArguments)?;
+                let mut w = WireWriter::new();
+                w.put_u32(self.files.len() as u32);
+                for (name, entry) in &self.files {
+                    w.put_str(name);
+                    w.put_u64(entry.data.len() as u64);
+                    w.put_raw(&entry.digest);
+                }
+                Ok(w.finish())
+            }
+            M_GET_FILE => {
+                let name = r.str().map_err(|_| SemError::BadArguments)?;
+                match self.files.get(name) {
+                    Some(entry) => {
+                        let mut w = WireWriter::new();
+                        w.put_bytes(&entry.data);
+                        w.put_raw(&entry.digest);
+                        Ok(w.finish())
+                    }
+                    None => Err(SemError::Application(format!("no file {name:?}"))),
+                }
+            }
+            M_GET_META => {
+                let mut w = WireWriter::new();
+                w.put_str(&self.description);
+                Ok(w.finish())
+            }
+            M_SET_META => {
+                let desc = r.str().map_err(|_| SemError::BadArguments)?.to_owned();
+                self.description = desc;
+                Ok(Vec::new())
+            }
+            m => Err(SemError::NoSuchMethod(m)),
+        }
+    }
+
+    fn get_state(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_str(&self.description);
+        w.put_u32(self.files.len() as u32);
+        for (name, entry) in &self.files {
+            w.put_str(name);
+            w.put_bytes(&entry.data);
+        }
+        w.finish()
+    }
+
+    fn set_state(&mut self, state: &[u8]) -> Result<(), SemError> {
+        let mut r = WireReader::new(state);
+        let parse = || -> Result<(String, BTreeMap<String, FileEntry>), WireError> {
+            let mut r = WireReader::new(state);
+            let description = r.str()?.to_owned();
+            let n = r.u32()?;
+            if n > 1_000_000 {
+                return Err(WireError::TooLarge);
+            }
+            let mut files = BTreeMap::new();
+            for _ in 0..n {
+                let name = r.str()?.to_owned();
+                let data = r.bytes()?.to_vec();
+                let digest = sha256(&data);
+                files.insert(name, FileEntry { data, digest });
+            }
+            r.expect_end()?;
+            Ok((description, files))
+        };
+        let _ = &mut r;
+        let (description, files) = parse().map_err(|_| SemError::BadState)?;
+        self.description = description;
+        self.files = files;
+        Ok(())
+    }
+}
+
+/// The control subobject: typed marshalling for the package interface.
+pub struct PackageControl;
+
+impl PackageControl {
+    /// Marshals `addFile(name, data)`.
+    pub fn add_file(name: &str, data: &[u8]) -> Invocation {
+        let mut w = WireWriter::new();
+        w.put_str(name);
+        w.put_bytes(data);
+        Invocation::new(M_ADD_FILE, w.finish())
+    }
+
+    /// Marshals `removeFile(name)`.
+    pub fn remove_file(name: &str) -> Invocation {
+        let mut w = WireWriter::new();
+        w.put_str(name);
+        Invocation::new(M_REMOVE_FILE, w.finish())
+    }
+
+    /// Marshals `listContents()`.
+    pub fn list_contents() -> Invocation {
+        Invocation::new(M_LIST_CONTENTS, Vec::new())
+    }
+
+    /// Marshals `getFileContents(name)`.
+    pub fn get_file(name: &str) -> Invocation {
+        let mut w = WireWriter::new();
+        w.put_str(name);
+        Invocation::new(M_GET_FILE, w.finish())
+    }
+
+    /// Marshals `getMeta()`.
+    pub fn get_meta() -> Invocation {
+        Invocation::new(M_GET_META, Vec::new())
+    }
+
+    /// Marshals `setMeta(description)`.
+    pub fn set_meta(description: &str) -> Invocation {
+        let mut w = WireWriter::new();
+        w.put_str(description);
+        Invocation::new(M_SET_META, w.finish())
+    }
+
+    /// Unmarshals a `listContents` result.
+    pub fn decode_listing(data: &[u8]) -> Result<Vec<FileInfo>, WireError> {
+        let mut r = WireReader::new(data);
+        let n = r.u32()?;
+        if n > 1_000_000 {
+            return Err(WireError::TooLarge);
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let name = r.str()?.to_owned();
+            let size = r.u64()?;
+            let mut digest = [0u8; 32];
+            digest.copy_from_slice(r.raw(32)?);
+            out.push(FileInfo { name, size, digest });
+        }
+        r.expect_end()?;
+        Ok(out)
+    }
+
+    /// Unmarshals a `getFileContents` result, verifying the embedded
+    /// digest (end-to-end integrity, paper §6.1).
+    pub fn decode_file(data: &[u8]) -> Result<Vec<u8>, WireError> {
+        let mut r = WireReader::new(data);
+        let contents = r.bytes()?.to_vec();
+        let mut digest = [0u8; 32];
+        digest.copy_from_slice(r.raw(32)?);
+        r.expect_end()?;
+        if sha256(&contents) != digest {
+            // Treat a digest mismatch as a framing error: the payload
+            // was corrupted somewhere beneath us.
+            return Err(WireError::Truncated);
+        }
+        Ok(contents)
+    }
+
+    /// Unmarshals a `getMeta` result.
+    pub fn decode_meta(data: &[u8]) -> Result<String, WireError> {
+        let mut r = WireReader::new(data);
+        let desc = r.str()?.to_owned();
+        r.expect_end()?;
+        Ok(desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(pkg: &mut PackageDso, inv: Invocation) -> Result<Vec<u8>, SemError> {
+        pkg.dispatch(&inv)
+    }
+
+    #[test]
+    fn add_list_get_remove() {
+        let mut pkg = PackageDso::new();
+        exec(&mut pkg, PackageControl::add_file("README", b"hello")).unwrap();
+        exec(&mut pkg, PackageControl::add_file("src.tar", &[7u8; 1000])).unwrap();
+
+        let listing =
+            PackageControl::decode_listing(&exec(&mut pkg, PackageControl::list_contents()).unwrap())
+                .unwrap();
+        assert_eq!(listing.len(), 2);
+        assert_eq!(listing[0].name, "README");
+        assert_eq!(listing[0].size, 5);
+        assert_eq!(listing[1].size, 1000);
+
+        let contents =
+            PackageControl::decode_file(&exec(&mut pkg, PackageControl::get_file("README")).unwrap())
+                .unwrap();
+        assert_eq!(contents, b"hello");
+
+        exec(&mut pkg, PackageControl::remove_file("README")).unwrap();
+        assert_eq!(pkg.num_files(), 1);
+        assert!(exec(&mut pkg, PackageControl::get_file("README")).is_err());
+        assert!(exec(&mut pkg, PackageControl::remove_file("README")).is_err());
+    }
+
+    #[test]
+    fn metadata_round_trip() {
+        let mut pkg = PackageDso::new();
+        exec(&mut pkg, PackageControl::set_meta("GNU Image Manipulation Program")).unwrap();
+        let meta =
+            PackageControl::decode_meta(&exec(&mut pkg, PackageControl::get_meta()).unwrap())
+                .unwrap();
+        assert_eq!(meta, "GNU Image Manipulation Program");
+    }
+
+    #[test]
+    fn state_transfer_preserves_everything() {
+        let mut a = PackageDso::new();
+        exec(&mut a, PackageControl::set_meta("teTeX")).unwrap();
+        exec(&mut a, PackageControl::add_file("tex.bin", &[1, 2, 3])).unwrap();
+        let state = a.get_state();
+
+        let mut b = PackageDso::new();
+        b.set_state(&state).unwrap();
+        let listing =
+            PackageControl::decode_listing(&exec(&mut b, PackageControl::list_contents()).unwrap())
+                .unwrap();
+        assert_eq!(listing.len(), 1);
+        let meta =
+            PackageControl::decode_meta(&exec(&mut b, PackageControl::get_meta()).unwrap()).unwrap();
+        assert_eq!(meta, "teTeX");
+        // Digest recomputed identically.
+        assert_eq!(listing[0].digest, sha256(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn malformed_arguments_rejected() {
+        let mut pkg = PackageDso::new();
+        assert_eq!(
+            pkg.dispatch(&Invocation::new(M_ADD_FILE, vec![0xFF])),
+            Err(SemError::BadArguments)
+        );
+        assert!(matches!(
+            pkg.dispatch(&Invocation::new(MethodId(99), vec![])),
+            Err(SemError::NoSuchMethod(_))
+        ));
+        assert!(pkg.set_state(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn digest_verified_on_decode() {
+        let mut pkg = PackageDso::new();
+        exec(&mut pkg, PackageControl::add_file("f", b"data")).unwrap();
+        let mut resp = exec(&mut pkg, PackageControl::get_file("f")).unwrap();
+        // Corrupt one payload byte: decode must fail.
+        resp[4] ^= 0xFF;
+        assert!(PackageControl::decode_file(&resp).is_err());
+    }
+
+    #[test]
+    fn class_registration() {
+        let mut repo = globe_rts::ImplRepository::new();
+        PackageDso::register(&mut repo);
+        assert!(repo.contains(PACKAGE_IMPL));
+        assert_eq!(repo.kind_of(PACKAGE_IMPL, M_GET_FILE), Some(MethodKind::Read));
+        assert_eq!(repo.kind_of(PACKAGE_IMPL, M_ADD_FILE), Some(MethodKind::Write));
+        assert_eq!(repo.kind_of(PACKAGE_IMPL, MethodId(99)), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! GDN security material: the certification authority and the
+//! per-party channel configurations of paper Figure 4.
+//!
+//! | channel | paper label | configuration |
+//! |---|---|---|
+//! | GDN host ↔ GDN host (GRP, GOS control) | (3) | server auth + requested client cert; writes gated on role |
+//! | browser → GDN-HTTPD | (1) | plain HTTP or server-auth gTLS |
+//! | GDN host ↔ GDN proxy on a user machine | (2) | server auth, anonymous client |
+//! | moderator tool → Naming Authority | (3) | mutual (required client cert) |
+
+use globe_crypto::cert::{CertAuthority, Certificate, Credentials, Role};
+use globe_crypto::gtls::{Mode, TlsConfig};
+use globe_net::HostId;
+
+/// All key material for one GDN deployment.
+pub struct GdnSecurity {
+    /// The GDN certification authority (the administrators of §2).
+    pub ca: CertAuthority,
+    mode: Mode,
+    seed: u64,
+}
+
+impl GdnSecurity {
+    /// Creates the authority and derives all credentials from `seed`.
+    pub fn new(mode: Mode, seed: u64) -> GdnSecurity {
+        GdnSecurity {
+            ca: CertAuthority::new("gdn-root", seed),
+            mode,
+            seed,
+        }
+    }
+
+    /// The channel protection mode for this deployment.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The trust anchors every party configures.
+    pub fn roots(&self) -> Vec<Certificate> {
+        vec![self.ca.root_cert().clone()]
+    }
+
+    /// Credentials for a GDN host (object servers, HTTPDs).
+    pub fn host_credentials(&self, host: HostId) -> Credentials {
+        Credentials::issue(
+            &self.ca,
+            &format!("gdn-host-{}", host.0),
+            Role::Host,
+            self.seed ^ (0x1000_0000 + host.0 as u64),
+        )
+    }
+
+    /// Credentials for a moderator (paper §2: may create, update and
+    /// remove packages).
+    pub fn moderator_credentials(&self, name: &str) -> Credentials {
+        Credentials::issue(
+            &self.ca,
+            &format!("moderator:{name}"),
+            Role::Moderator,
+            self.seed ^ hash_name(name),
+        )
+    }
+
+    /// Credentials for a maintainer (the paper's planned fourth group).
+    pub fn maintainer_credentials(&self, name: &str) -> Credentials {
+        Credentials::issue(
+            &self.ca,
+            &format!("maintainer:{name}"),
+            Role::Maintainer,
+            self.seed ^ hash_name(name) ^ 0xABCD,
+        )
+    }
+
+    /// Server-side configuration for a GDN host's replica port: the
+    /// host authenticates itself; clients are *asked* for certificates
+    /// so privileged parties can prove their role while anonymous users
+    /// still read (Figure 4 labels 2 and 3).
+    pub fn host_server(&self, host: HostId) -> TlsConfig {
+        TlsConfig::server_auth(self.mode, self.host_credentials(host), self.roots())
+    }
+
+    /// Client-side configuration for a GDN host dialing another host.
+    pub fn host_client(&self, host: HostId) -> TlsConfig {
+        TlsConfig::client_with_identity(self.mode, self.host_credentials(host), self.roots())
+    }
+
+    /// Client-side configuration for a moderator tool.
+    pub fn moderator_client(&self, name: &str) -> TlsConfig {
+        TlsConfig::client_with_identity(self.mode, self.moderator_credentials(name), self.roots())
+    }
+
+    /// Client-side configuration for anonymous user software (browsers,
+    /// GDN proxies on user machines).
+    pub fn anonymous_client(&self) -> TlsConfig {
+        TlsConfig::client(self.mode, self.roots())
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credentials_verify_against_roots() {
+        let sec = GdnSecurity::new(Mode::AuthOnly, 42);
+        let roots = sec.roots();
+        sec.host_credentials(HostId(3))
+            .cert
+            .verify_against(&roots)
+            .unwrap();
+        sec.moderator_credentials("alice")
+            .cert
+            .verify_against(&roots)
+            .unwrap();
+        assert_eq!(sec.moderator_credentials("alice").cert.role, Role::Moderator);
+        assert_eq!(sec.maintainer_credentials("bob").cert.role, Role::Maintainer);
+    }
+
+    #[test]
+    fn distinct_parties_distinct_keys() {
+        let sec = GdnSecurity::new(Mode::AuthOnly, 42);
+        assert_ne!(
+            sec.host_credentials(HostId(1)).cert.public_key,
+            sec.host_credentials(HostId(2)).cert.public_key
+        );
+        assert_ne!(
+            sec.moderator_credentials("alice").cert.public_key,
+            sec.moderator_credentials("bob").cert.public_key
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = GdnSecurity::new(Mode::AuthOnly, 42);
+        let b = GdnSecurity::new(Mode::AuthOnly, 42);
+        assert_eq!(
+            a.host_credentials(HostId(1)).cert.public_key,
+            b.host_credentials(HostId(1)).cert.public_key
+        );
+    }
+}

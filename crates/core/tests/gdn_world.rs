@@ -1,0 +1,334 @@
+//! Full-system tests: the complete GDN of paper Figure 3 — moderator
+//! publishes packages through the moderator tool, names flow through the
+//! Naming Authority into DNS, replicas spread over object servers, and
+//! browsers anywhere in the world download through their nearest
+//! GDN-enabled HTTPD.
+
+use gdn_core::{Browser, GdnDeployment, GdnHttpd, GdnOptions, ModEvent, ModOp, Scenario};
+use globe_gls::ObjectId;
+use globe_net::{ports, Endpoint, HostId, NetParams, Topology, World};
+use globe_rts::PropagationMode;
+use globe_sim::{SimDuration, SimTime};
+
+const SEED: u64 = 4242;
+
+fn world() -> (World, GdnDeployment) {
+    let topo = Topology::grid(2, 2, 2, 3);
+    let mut world = World::new(topo, NetParams::default(), SEED);
+    let gdn = GdnDeployment::install(&mut world, GdnOptions::default());
+    (world, gdn)
+}
+
+fn publish(
+    world: &mut World,
+    gdn: &GdnDeployment,
+    driver_host: HostId,
+    name: &str,
+    files: Vec<(String, Vec<u8>)>,
+    scenario: Scenario,
+) -> ObjectId {
+    let tool = gdn.moderator_tool(
+        world.topology(),
+        driver_host,
+        "alice",
+        vec![ModOp::Publish {
+            name: name.into(),
+            description: format!("package {name}"),
+            files,
+            scenario,
+        }],
+    );
+    world.add_service(driver_host, ports::DRIVER, tool);
+    if world.now() == SimTime::ZERO {
+        world.start();
+    }
+    world.run_for(SimDuration::from_secs(30));
+    let tool = world
+        .service::<gdn_core::ModeratorTool>(driver_host, ports::DRIVER)
+        .expect("moderator tool");
+    match tool.results.first() {
+        Some(ModEvent::PublishDone {
+            result: Ok(oid), ..
+        }) => *oid,
+        other => panic!("publish failed: {other:?}"),
+    }
+}
+
+#[test]
+fn publish_and_browse_worldwide() {
+    let (mut world, gdn) = world();
+    let gos = gdn.gos_for(world.topology(), HostId(0));
+    publish(
+        &mut world,
+        &gdn,
+        HostId(1),
+        "/apps/graphics/gimp",
+        vec![
+            ("README".into(), b"GNU Image Manipulation Program".to_vec()),
+            ("gimp.tar".into(), vec![0xAB; 200_000]),
+        ],
+        Scenario::single(gos),
+    );
+
+    // A browser in the other region: listing, then the file, through its
+    // nearest HTTPD.
+    let user = HostId(13);
+    let httpd = gdn.httpd_for(world.topology(), user);
+    assert_eq!(
+        world.topology().site_of(httpd.host),
+        world.topology().site_of(user),
+        "browser must use its site-local access point"
+    );
+    let browser = Browser::new(
+        httpd,
+        vec![
+            "/pkg/apps/graphics/gimp".into(),
+            "/pkg/apps/graphics/gimp?file=README".into(),
+            "/pkg/apps/graphics/gimp?file=gimp.tar".into(),
+        ],
+    )
+    .keeping_bodies();
+    world.add_service(user, ports::DRIVER, browser);
+    world.run_for(SimDuration::from_secs(60));
+
+    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    assert!(b.done(), "fetches incomplete: {:?}", b.results);
+    assert_eq!(b.results.len(), 3);
+
+    // Listing is HTML with links (paper §4: "reformatted into HTML").
+    assert_eq!(b.results[0].status, 200);
+    let html = String::from_utf8_lossy(&b.results[0].body);
+    assert!(html.contains("README") && html.contains("gimp.tar"), "{html}");
+    assert!(html.contains("?file=README"));
+
+    // File fetches return exact contents.
+    assert_eq!(b.results[1].status, 200);
+    assert_eq!(b.results[1].body, b"GNU Image Manipulation Program");
+    assert_eq!(b.results[2].status, 200);
+    assert_eq!(b.results[2].body_len, 200_000);
+}
+
+#[test]
+fn unknown_package_is_404() {
+    let (mut world, gdn) = world();
+    world.start();
+    let user = HostId(5);
+    let httpd = gdn.httpd_for(world.topology(), user);
+    let browser = Browser::new(
+        httpd,
+        vec![
+            "/pkg/apps/doesnotexist".into(),
+            "/nonsense".into(),
+            "/index.html".into(),
+        ],
+    );
+    world.add_service(user, ports::DRIVER, browser);
+    world.run_until(SimTime::from_secs(90));
+    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    assert_eq!(b.results.len(), 3, "{:?}", b.results);
+    assert_eq!(b.results[0].status, 404);
+    assert_eq!(b.results[1].status, 404);
+    assert_eq!(b.results[2].status, 200);
+}
+
+#[test]
+fn replicated_package_serves_locally_in_each_region() {
+    let (mut world, gdn) = world();
+    // Master in region 0, slave in region 1 (paper's whole point: a
+    // replica near the clients).
+    let gos_r0 = gdn.gos_for(world.topology(), HostId(0));
+    let gos_r1 = gdn.gos_for(world.topology(), HostId(12));
+    publish(
+        &mut world,
+        &gdn,
+        HostId(1),
+        "/os/linux/slackware",
+        vec![("kernel".into(), vec![7u8; 100_000])],
+        Scenario::master_slave(vec![gos_r0, gos_r1], PropagationMode::PushState),
+    );
+
+    // Fetch from region 1; measure wide-area bytes before and after.
+    let before_world = world.metrics().counter("net.bytes.world");
+    let user = HostId(13);
+    let httpd = gdn.httpd_for(world.topology(), user);
+    let browser = Browser::new(httpd, vec!["/pkg/os/linux/slackware?file=kernel".into()]);
+    world.add_service(user, ports::DRIVER, browser);
+    world.run_for(SimDuration::from_secs(60));
+
+    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    assert_eq!(b.results[0].status, 200);
+    assert_eq!(b.results[0].body_len, 100_000);
+    // The 100 KB body must NOT have crossed the intercontinental tier:
+    // the HTTPD's proxy reads from the region-local slave. Allow slack
+    // for name/location chatter.
+    let after_world = world.metrics().counter("net.bytes.world");
+    assert!(
+        after_world - before_world < 20_000,
+        "download crossed the intercontinental link: {} bytes",
+        after_world - before_world
+    );
+}
+
+#[test]
+fn update_propagates_to_replicas() {
+    let (mut world, gdn) = world();
+    let gos_r0 = gdn.gos_for(world.topology(), HostId(0));
+    let gos_r1 = gdn.gos_for(world.topology(), HostId(12));
+    let oid = publish(
+        &mut world,
+        &gdn,
+        HostId(1),
+        "/apps/tex/tetex",
+        vec![("tetex.tar".into(), vec![1u8; 1000])],
+        Scenario::master_slave(vec![gos_r0, gos_r1], PropagationMode::PushState),
+    );
+
+    // Moderator pushes a new file into the existing package.
+    let tool = gdn.moderator_tool(
+        world.topology(),
+        HostId(2),
+        "alice",
+        vec![ModOp::AddFile {
+            oid,
+            file: "CHANGES".into(),
+            data: b"fixed everything".to_vec(),
+        }],
+    );
+    world.add_service(HostId(2), ports::DRIVER, tool);
+    world.run_for(SimDuration::from_secs(30));
+    let t = world
+        .service::<gdn_core::ModeratorTool>(HostId(2), ports::DRIVER)
+        .expect("tool");
+    assert_eq!(
+        t.results.first(),
+        Some(&ModEvent::OpDone { result: Ok(()) })
+    );
+
+    // The new file is visible via the region-1 access point.
+    let user = HostId(14);
+    let httpd = gdn.httpd_for(world.topology(), user);
+    let browser =
+        Browser::new(httpd, vec!["/pkg/apps/tex/tetex?file=CHANGES".into()]).keeping_bodies();
+    world.add_service(user, ports::DRIVER, browser);
+    world.run_for(SimDuration::from_secs(60));
+    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    assert_eq!(b.results[0].status, 200);
+    assert_eq!(b.results[0].body, b"fixed everything");
+}
+
+#[test]
+fn remove_package_takes_it_offline() {
+    let (mut world, gdn) = world();
+    let gos = gdn.gos_for(world.topology(), HostId(0));
+    let oid = publish(
+        &mut world,
+        &gdn,
+        HostId(1),
+        "/apps/shareware/doom",
+        vec![("doom.wad".into(), vec![2u8; 500])],
+        Scenario::single(gos),
+    );
+    let tool = gdn.moderator_tool(
+        world.topology(),
+        HostId(2),
+        "alice",
+        vec![ModOp::Remove {
+            name: "/apps/shareware/doom".into(),
+            oid,
+            replicas: vec![gos],
+        }],
+    );
+    world.add_service(HostId(2), ports::DRIVER, tool);
+    world.run_for(SimDuration::from_secs(30));
+    let t = world
+        .service::<gdn_core::ModeratorTool>(HostId(2), ports::DRIVER)
+        .expect("tool");
+    assert_eq!(
+        t.results.first(),
+        Some(&ModEvent::OpDone { result: Ok(()) }),
+        "{:?}",
+        t.results
+    );
+
+    // A fresh HTTPD (no cached name) cannot find it any more.
+    let user = HostId(7);
+    let httpd = gdn.httpd_for(world.topology(), user);
+    let browser = Browser::new(httpd, vec!["/pkg/apps/shareware/doom".into()]);
+    world.add_service(user, ports::DRIVER, browser);
+    world.run_until(SimTime::from_secs(200));
+    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    assert_eq!(b.results[0].status, 404, "{:?}", b.results[0]);
+}
+
+#[test]
+fn httpd_name_cache_and_lr_reuse_speed_up_repeat_access() {
+    let (mut world, gdn) = world();
+    let gos = gdn.gos_for(world.topology(), HostId(0));
+    publish(
+        &mut world,
+        &gdn,
+        HostId(1),
+        "/apps/editors/emacs",
+        vec![("emacs.tar".into(), vec![3u8; 10_000])],
+        Scenario::single(gos),
+    );
+    let user = HostId(13);
+    let httpd_ep = gdn.httpd_for(world.topology(), user);
+    let browser = Browser::new(
+        httpd_ep,
+        vec![
+            "/pkg/apps/editors/emacs?file=emacs.tar".into(),
+            "/pkg/apps/editors/emacs?file=emacs.tar".into(),
+        ],
+    );
+    world.add_service(user, ports::DRIVER, browser);
+    world.run_for(SimDuration::from_secs(120));
+    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    assert_eq!(b.results.len(), 2);
+    assert!(b.results.iter().all(|r| r.status == 200));
+    // Second access skips GNS resolution, binding and class loading
+    // (paper §3.4 / experiment E9): strictly faster.
+    assert!(
+        b.results[1].latency.as_nanos() * 2 < b.results[0].latency.as_nanos(),
+        "repeat access not faster: {:?}",
+        b.results.iter().map(|r| r.latency).collect::<Vec<_>>()
+    );
+    let httpd = world
+        .service::<GdnHttpd>(httpd_ep.host, httpd_ep.port)
+        .expect("httpd");
+    assert_eq!(httpd.stats.name_cache_hits, 1);
+}
+
+#[test]
+fn gdn_proxy_on_user_machine_caches_package() {
+    let (mut world, gdn) = world();
+    let gos = gdn.gos_for(world.topology(), HostId(0));
+    publish(
+        &mut world,
+        &gdn,
+        HostId(1),
+        "/apps/net/fetchmail",
+        vec![("fetchmail".into(), vec![9u8; 5_000])],
+        Scenario::cached(gos), // CACHE_TTL scenario
+    );
+    // The user runs a GDN-enabled proxy on their own machine
+    // (paper §4) and the browser talks to it over loopback.
+    let user = HostId(16);
+    let proxy = gdn.proxy(world.topology(), user);
+    world.add_service(user, 8080, proxy);
+    let browser = Browser::new(
+        Endpoint::new(user, 8080),
+        vec![
+            "/pkg/apps/net/fetchmail?file=fetchmail".into(),
+            "/pkg/apps/net/fetchmail?file=fetchmail".into(),
+            "/pkg/apps/net/fetchmail".into(),
+        ],
+    );
+    world.add_service(user, ports::DRIVER, browser);
+    world.run_for(SimDuration::from_secs(120));
+    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    assert_eq!(b.results.len(), 3, "{:?}", b.results);
+    assert!(b.results.iter().all(|r| r.status == 200));
+    // The proxy's cache-TTL representative served repeats locally.
+    assert!(world.metrics().counter("rts.cache.hits") >= 2);
+}

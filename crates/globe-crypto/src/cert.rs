@@ -1,0 +1,379 @@
+//! Certificates and a one-level certification authority.
+//!
+//! The paper's security design (§6.3) rests on knowing *which host* is on
+//! the other end of a channel: GDN hosts authenticate mutually, user-facing
+//! channels authenticate the server only. This module provides the
+//! identity layer: a certificate binds a subject name (e.g.
+//! `"gos.vu.nl"` or `"moderator:alice"`) and a role to a public key,
+//! signed by the GDN certification authority.
+//!
+//! The chain model is deliberately one level (root CA → leaf), matching
+//! the paper's centrally administered deployment where the Globe team
+//! hands out moderator credentials.
+
+use std::error::Error;
+use std::fmt;
+
+use globe_net::{WireError, WireReader, WireWriter};
+
+use crate::sig::{sign, verify, PublicKey, SecretKey, Signature};
+
+/// The role a certificate grants its subject within the GDN.
+///
+/// Paper §2: users retrieve; moderators create/update/remove packages;
+/// administrators control the application; maintainers (a planned fourth
+/// group) manage the contents of specific packages.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum Role {
+    /// A GDN host: object servers, HTTPDs, location/name service nodes.
+    Host,
+    /// May create, update and remove packages (paper §2).
+    Moderator,
+    /// Complete control; hands out moderator privileges.
+    Administrator,
+    /// May manage the contents of packages assigned to them.
+    Maintainer,
+}
+
+impl Role {
+    fn tag(self) -> u8 {
+        match self {
+            Role::Host => 0,
+            Role::Moderator => 1,
+            Role::Administrator => 2,
+            Role::Maintainer => 3,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Role, CertError> {
+        Ok(match t {
+            0 => Role::Host,
+            1 => Role::Moderator,
+            2 => Role::Administrator,
+            3 => Role::Maintainer,
+            other => return Err(CertError::Wire(WireError::BadTag(other))),
+        })
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Host => write!(f, "host"),
+            Role::Moderator => write!(f, "moderator"),
+            Role::Administrator => write!(f, "administrator"),
+            Role::Maintainer => write!(f, "maintainer"),
+        }
+    }
+}
+
+/// Errors from certificate validation and decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertError {
+    /// The signature over the certificate body does not verify.
+    BadSignature,
+    /// The issuer is not one of the trusted roots.
+    UntrustedIssuer(String),
+    /// Decoding failed.
+    Wire(WireError),
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::BadSignature => write!(f, "certificate signature invalid"),
+            CertError::UntrustedIssuer(s) => write!(f, "untrusted issuer {s:?}"),
+            CertError::Wire(e) => write!(f, "certificate encoding: {e}"),
+        }
+    }
+}
+
+impl Error for CertError {}
+
+impl From<WireError> for CertError {
+    fn from(e: WireError) -> Self {
+        CertError::Wire(e)
+    }
+}
+
+/// A certificate: `(subject, role, public key)` signed by an issuer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Certificate {
+    /// The identity being certified, e.g. `"gos-1.vu.nl"`.
+    pub subject: String,
+    /// The privileges the GDN grants this identity.
+    pub role: Role,
+    /// The subject's public key.
+    pub public_key: PublicKey,
+    /// Name of the issuing authority.
+    pub issuer: String,
+    /// Issuer's signature over the to-be-signed bytes.
+    pub signature: Signature,
+}
+
+impl Certificate {
+    /// The bytes covered by the issuer's signature.
+    fn tbs_bytes(subject: &str, role: Role, public_key: PublicKey, issuer: &str) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_str("globe-cert-v1");
+        w.put_str(subject);
+        w.put_u8(role.tag());
+        w.put_u64(public_key.0);
+        w.put_str(issuer);
+        w.finish()
+    }
+
+    /// Serializes the certificate.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_str(&self.subject);
+        w.put_u8(self.role.tag());
+        w.put_u64(self.public_key.0);
+        w.put_str(&self.issuer);
+        w.put_u64(self.signature.e);
+        w.put_u64(self.signature.s);
+        w.finish()
+    }
+
+    /// Deserializes a certificate.
+    pub fn decode(buf: &[u8]) -> Result<Certificate, CertError> {
+        let mut r = WireReader::new(buf);
+        let subject = r.str()?.to_owned();
+        let role = Role::from_tag(r.u8()?)?;
+        let public_key = PublicKey(r.u64()?);
+        let issuer = r.str()?.to_owned();
+        let signature = Signature {
+            e: r.u64()?,
+            s: r.u64()?,
+        };
+        r.expect_end()?;
+        Ok(Certificate {
+            subject,
+            role,
+            public_key,
+            issuer,
+            signature,
+        })
+    }
+
+    /// Validates this certificate against a set of trusted root
+    /// certificates (one-level chain: the issuer must be a root, or the
+    /// certificate must be a root itself).
+    pub fn verify_against(&self, roots: &[Certificate]) -> Result<(), CertError> {
+        let tbs = Self::tbs_bytes(&self.subject, self.role, self.public_key, &self.issuer);
+        // Self-signed root presented directly: must byte-match a trusted root.
+        if self.issuer == self.subject {
+            if roots.iter().any(|r| r == self) && verify(&self.public_key, &tbs, &self.signature)
+            {
+                return Ok(());
+            }
+            return Err(CertError::UntrustedIssuer(self.issuer.clone()));
+        }
+        let Some(root) = roots.iter().find(|r| r.subject == self.issuer) else {
+            return Err(CertError::UntrustedIssuer(self.issuer.clone()));
+        };
+        if verify(&root.public_key, &tbs, &self.signature) {
+            Ok(())
+        } else {
+            Err(CertError::BadSignature)
+        }
+    }
+}
+
+/// A certification authority that can issue GDN certificates.
+///
+/// # Examples
+///
+/// ```
+/// use globe_crypto::cert::{CertAuthority, Role};
+/// use globe_crypto::sig::keygen_from_seed;
+///
+/// let ca = CertAuthority::new("gdn-root", 7);
+/// let (_sk, pk) = keygen_from_seed(99);
+/// let cert = ca.issue("gos-1.vu.nl", Role::Host, pk);
+/// cert.verify_against(&[ca.root_cert().clone()]).unwrap();
+/// ```
+pub struct CertAuthority {
+    name: String,
+    secret: SecretKey,
+    root: Certificate,
+}
+
+impl CertAuthority {
+    /// Creates an authority with a deterministic key derived from `seed`.
+    pub fn new(name: &str, seed: u64) -> CertAuthority {
+        let (secret, public) = crate::sig::keygen_from_seed(seed ^ 0x0043_415f_524f_4f54);
+        let tbs = Certificate::tbs_bytes(name, Role::Administrator, public, name);
+        let signature = sign(&secret, &tbs);
+        CertAuthority {
+            name: name.to_owned(),
+            secret,
+            root: Certificate {
+                subject: name.to_owned(),
+                role: Role::Administrator,
+                public_key: public,
+                issuer: name.to_owned(),
+                signature,
+            },
+        }
+    }
+
+    /// The authority's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The self-signed root certificate to distribute as a trust anchor.
+    pub fn root_cert(&self) -> &Certificate {
+        &self.root
+    }
+
+    /// Issues a certificate binding `(subject, role)` to `public_key`.
+    pub fn issue(&self, subject: &str, role: Role, public_key: PublicKey) -> Certificate {
+        let tbs = Certificate::tbs_bytes(subject, role, public_key, &self.name);
+        Certificate {
+            subject: subject.to_owned(),
+            role,
+            public_key,
+            issuer: self.name.clone(),
+            signature: sign(&self.secret, &tbs),
+        }
+    }
+}
+
+/// A convenience bundle: an identity's certificate plus its secret key.
+#[derive(Clone)]
+pub struct Credentials {
+    /// The public certificate.
+    pub cert: Certificate,
+    /// The matching secret key.
+    pub secret: SecretKey,
+}
+
+impl Credentials {
+    /// Issues fresh credentials from `ca` with a key derived from `seed`.
+    pub fn issue(ca: &CertAuthority, subject: &str, role: Role, seed: u64) -> Credentials {
+        let (secret, public) = crate::sig::keygen_from_seed(seed);
+        Credentials {
+            cert: ca.issue(subject, role, public),
+            secret,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::keygen_from_seed;
+
+    #[test]
+    fn issue_and_verify() {
+        let ca = CertAuthority::new("gdn-root", 1);
+        let (_, pk) = keygen_from_seed(5);
+        let cert = ca.issue("host-a", Role::Host, pk);
+        assert!(cert.verify_against(&[ca.root_cert().clone()]).is_ok());
+    }
+
+    #[test]
+    fn reject_unknown_issuer() {
+        let ca = CertAuthority::new("gdn-root", 1);
+        let rogue = CertAuthority::new("rogue-root", 2);
+        let (_, pk) = keygen_from_seed(5);
+        let cert = rogue.issue("host-a", Role::Host, pk);
+        assert_eq!(
+            cert.verify_against(&[ca.root_cert().clone()]),
+            Err(CertError::UntrustedIssuer("rogue-root".into()))
+        );
+    }
+
+    #[test]
+    fn reject_forged_issuer_name() {
+        // A rogue CA that *claims* the trusted root's name still fails:
+        // the signature does not verify under the real root key.
+        let ca = CertAuthority::new("gdn-root", 1);
+        let rogue = CertAuthority::new("gdn-root", 999);
+        let (_, pk) = keygen_from_seed(5);
+        let cert = rogue.issue("host-a", Role::Host, pk);
+        assert_eq!(
+            cert.verify_against(&[ca.root_cert().clone()]),
+            Err(CertError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn reject_tampered_fields() {
+        let ca = CertAuthority::new("gdn-root", 1);
+        let (_, pk) = keygen_from_seed(5);
+        let mut cert = ca.issue("host-a", Role::Host, pk);
+        cert.subject = "host-b".into(); // privilege escalation attempt
+        assert_eq!(
+            cert.verify_against(&[ca.root_cert().clone()]),
+            Err(CertError::BadSignature)
+        );
+        let mut cert2 = ca.issue("host-a", Role::Host, pk);
+        cert2.role = Role::Administrator;
+        assert_eq!(
+            cert2.verify_against(&[ca.root_cert().clone()]),
+            Err(CertError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn root_verifies_itself_when_trusted() {
+        let ca = CertAuthority::new("gdn-root", 1);
+        let root = ca.root_cert().clone();
+        assert!(root.verify_against(&[root.clone()]).is_ok());
+        // ... but not when the trust store is empty or different.
+        assert!(root.verify_against(&[]).is_err());
+        let other = CertAuthority::new("other", 2);
+        assert!(root.verify_against(&[other.root_cert().clone()]).is_err());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let ca = CertAuthority::new("gdn-root", 1);
+        let (_, pk) = keygen_from_seed(5);
+        for role in [
+            Role::Host,
+            Role::Moderator,
+            Role::Administrator,
+            Role::Maintainer,
+        ] {
+            let cert = ca.issue("subject-x", role, pk);
+            let decoded = Certificate::decode(&cert.encode()).unwrap();
+            assert_eq!(decoded, cert);
+            decoded.verify_against(&[ca.root_cert().clone()]).unwrap();
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Certificate::decode(&[]).is_err());
+        assert!(Certificate::decode(&[0xFF; 7]).is_err());
+        let ca = CertAuthority::new("gdn-root", 1);
+        let (_, pk) = keygen_from_seed(5);
+        let mut buf = ca.issue("s", Role::Host, pk).encode();
+        buf.push(0); // trailing byte
+        assert!(matches!(
+            Certificate::decode(&buf),
+            Err(CertError::Wire(WireError::TrailingBytes))
+        ));
+    }
+
+    #[test]
+    fn credentials_bundle_is_consistent() {
+        let ca = CertAuthority::new("gdn-root", 1);
+        let creds = Credentials::issue(&ca, "moderator:alice", Role::Moderator, 77);
+        creds.cert.verify_against(&[ca.root_cert().clone()]).unwrap();
+        // The secret key actually matches the certified public key.
+        let sig = crate::sig::sign(&creds.secret, b"probe");
+        assert!(crate::sig::verify(&creds.cert.public_key, b"probe", &sig));
+        assert_eq!(creds.cert.role, Role::Moderator);
+    }
+
+    #[test]
+    fn role_display_names() {
+        assert_eq!(Role::Moderator.to_string(), "moderator");
+        assert_eq!(Role::Host.to_string(), "host");
+    }
+}

@@ -1,0 +1,176 @@
+//! ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//!
+//! Plays the role the paper assigns to the SSL/TLS bulk cipher (§6.3):
+//! the confidentiality layer the GDN "pays for but does not need". The
+//! gTLS `AuthEncrypt` mode uses it in encrypt-then-MAC composition;
+//! experiment E5 measures what turning it off saves.
+
+/// Key size in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce size in bytes.
+pub const NONCE_LEN: usize = 12;
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[i * 4],
+            key[i * 4 + 1],
+            key[i * 4 + 2],
+            key[i * 4 + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[i * 4],
+            nonce[i * 4 + 1],
+            nonce[i * 4 + 2],
+            nonce[i * 4 + 3],
+        ]);
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let v = working[i].wrapping_add(state[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (XOR stream; the operation is its
+/// own inverse). `initial_counter` is normally 0 for record encryption.
+///
+/// # Examples
+///
+/// ```
+/// use globe_crypto::chacha20::chacha20_xor;
+///
+/// let key = [7u8; 32];
+/// let nonce = [1u8; 12];
+/// let mut data = b"attack at dawn".to_vec();
+/// chacha20_xor(&key, &nonce, 0, &mut data);
+/// assert_ne!(&data, b"attack at dawn");
+/// chacha20_xor(&key, &nonce, 0, &mut data);
+/// assert_eq!(&data, b"attack at dawn");
+/// ```
+pub fn chacha20_xor(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &mut [u8],
+) {
+    let mut counter = initial_counter;
+    for chunk in data.chunks_mut(64) {
+        let ks = block(key, counter, nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    /// RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let mut key = [0u8; 32];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = i as u8;
+        }
+        let nonce = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let ks = block(&key, 1, &nonce);
+        assert_eq!(
+            hex(&ks[..16]),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+        );
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt_vector() {
+        let mut key = [0u8; 32];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = i as u8;
+        }
+        let nonce = [
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        chacha20_xor(&key, &nonce, 1, &mut data);
+        assert_eq!(
+            hex(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+    }
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let key = [9u8; 32];
+        let nonce = [3u8; 12];
+        for n in [0usize, 1, 63, 64, 65, 200, 1000] {
+            let original: Vec<u8> = (0..n).map(|i| (i * 7 % 256) as u8).collect();
+            let mut data = original.clone();
+            chacha20_xor(&key, &nonce, 0, &mut data);
+            if n > 8 {
+                assert_ne!(data, original, "len {n} must change");
+            }
+            chacha20_xor(&key, &nonce, 0, &mut data);
+            assert_eq!(data, original, "len {n} must round-trip");
+        }
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [1u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        chacha20_xor(&key, &[0u8; 12], 0, &mut a);
+        chacha20_xor(&key, &[1u8; 12], 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let nonce = [0u8; 12];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        chacha20_xor(&[1u8; 32], &nonce, 0, &mut a);
+        chacha20_xor(&[2u8; 32], &nonce, 0, &mut b);
+        assert_ne!(a, b);
+    }
+}

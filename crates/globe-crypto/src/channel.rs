@@ -1,0 +1,218 @@
+//! [`SecureChannels`]: a per-connection table of gTLS sessions.
+//!
+//! Every GDN daemon that speaks gTLS over stream connections (object
+//! servers, HTTPDs, the Naming Authority, moderator tools) keeps one
+//! `SecureChannels` and routes stream events through it. The table maps
+//! opaque connection ids (the transport's `ConnId` values) to
+//! [`TlsSession`] state machines and aggregates their virtual CPU cost.
+
+use std::collections::BTreeMap;
+
+use globe_sim::{Rng, SimDuration};
+
+use crate::cert::Certificate;
+use crate::gtls::{SessionStats, TlsConfig, TlsError, TlsOutput, TlsSession};
+
+/// A table of gTLS sessions keyed by connection id.
+///
+/// # Examples
+///
+/// ```
+/// use globe_crypto::cert::{CertAuthority, Credentials, Role};
+/// use globe_crypto::channel::SecureChannels;
+/// use globe_crypto::gtls::{Mode, TlsConfig, TlsEvent};
+/// use globe_sim::Rng;
+///
+/// let ca = CertAuthority::new("gdn-root", 1);
+/// let creds = Credentials::issue(&ca, "gos-1", Role::Host, 2);
+/// let roots = vec![ca.root_cert().clone()];
+///
+/// let mut rng = Rng::new(3);
+/// let mut client_side = SecureChannels::new();
+/// let mut server_side = SecureChannels::new();
+///
+/// // Connection id 7 exists on both sides (assigned by the transport).
+/// let (hello, _cost) = client_side
+///     .open_client(7, TlsConfig::client(Mode::AuthOnly, roots.clone()), &mut rng)
+///     .unwrap();
+/// server_side.accept(7, TlsConfig::server_auth(Mode::AuthOnly, creds, roots));
+/// let (out, _cost) = server_side.on_message(7, &hello, &mut rng).unwrap();
+/// let (out, _cost) = client_side.on_message(7, &out.replies[0], &mut rng).unwrap();
+/// assert!(matches!(out.events[0], TlsEvent::Established { .. }));
+/// ```
+#[derive(Default)]
+pub struct SecureChannels {
+    sessions: BTreeMap<u64, TlsSession>,
+}
+
+impl SecureChannels {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SecureChannels::default()
+    }
+
+    /// Starts a client handshake on connection `id`; returns the
+    /// ClientHello to transmit and the virtual CPU cost to charge.
+    pub fn open_client(
+        &mut self,
+        id: u64,
+        config: TlsConfig,
+        rng: &mut Rng,
+    ) -> Result<(Vec<u8>, SimDuration), TlsError> {
+        let (mut session, hello) = TlsSession::client(config, rng)?;
+        let cost = session.take_cost();
+        self.sessions.insert(id, session);
+        Ok((hello, cost))
+    }
+
+    /// Registers a server-side session for an incoming connection.
+    pub fn accept(&mut self, id: u64, config: TlsConfig) {
+        self.sessions.insert(id, TlsSession::server(config));
+    }
+
+    /// Feeds an inbound transport message to the session on `id`.
+    ///
+    /// Returns the session's events/replies and the CPU cost to charge
+    /// before transmitting those replies.
+    pub fn on_message(
+        &mut self,
+        id: u64,
+        msg: &[u8],
+        rng: &mut Rng,
+    ) -> Result<(TlsOutput, SimDuration), TlsError> {
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(TlsError::BadState("unknown connection"))?;
+        let out = session.on_message(msg, rng)?;
+        let cost = session.take_cost();
+        Ok((out, cost))
+    }
+
+    /// Protects an application message for the session on `id`.
+    pub fn seal(&mut self, id: u64, plaintext: &[u8]) -> Result<(Vec<u8>, SimDuration), TlsError> {
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(TlsError::BadState("unknown connection"))?;
+        let rec = session.seal(plaintext)?;
+        let cost = session.take_cost();
+        Ok((rec, cost))
+    }
+
+    /// Whether the session on `id` has completed its handshake.
+    pub fn established(&self, id: u64) -> bool {
+        self.sessions.get(&id).map(|s| s.established()).unwrap_or(false)
+    }
+
+    /// The authenticated peer certificate on `id`, if any.
+    pub fn peer(&self, id: u64) -> Option<&Certificate> {
+        self.sessions.get(&id).and_then(|s| s.peer_identity())
+    }
+
+    /// Drops the session for a closed connection.
+    pub fn remove(&mut self, id: u64) {
+        self.sessions.remove(&id);
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Aggregated statistics over all live sessions.
+    pub fn stats_total(&self) -> SessionStats {
+        let mut total = SessionStats::default();
+        for s in self.sessions.values() {
+            let st = s.stats();
+            total.bytes_maced += st.bytes_maced;
+            total.bytes_encrypted += st.bytes_encrypted;
+            total.records_sealed += st.records_sealed;
+            total.records_opened += st.records_opened;
+            total.handshake_msgs += st.handshake_msgs;
+            total.cpu_ns += st.cpu_ns;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{CertAuthority, Credentials, Role};
+    use crate::gtls::{Mode, TlsEvent};
+
+    fn rig() -> (SecureChannels, SecureChannels, TlsConfig, TlsConfig) {
+        let ca = CertAuthority::new("gdn-root", 1);
+        let creds = Credentials::issue(&ca, "gos-1", Role::Host, 2);
+        let roots = vec![ca.root_cert().clone()];
+        (
+            SecureChannels::new(),
+            SecureChannels::new(),
+            TlsConfig::client(Mode::AuthOnly, roots.clone()),
+            TlsConfig::server_auth(Mode::AuthOnly, creds, roots),
+        )
+    }
+
+    #[test]
+    fn full_exchange_through_tables() {
+        let (mut c, mut s, ccfg, scfg) = rig();
+        let mut rng = Rng::new(5);
+        let (hello, _) = c.open_client(1, ccfg, &mut rng).unwrap();
+        s.accept(1, scfg);
+        let (out, _) = s.on_message(1, &hello, &mut rng).unwrap();
+        let (out, _) = c.on_message(1, &out.replies[0], &mut rng).unwrap();
+        assert!(matches!(out.events[0], TlsEvent::Established { .. }));
+        // Server requested (but did not require) a client certificate;
+        // deliver the anonymous ClientFinish.
+        let (sout, _) = s.on_message(1, &out.replies[0], &mut rng).unwrap();
+        assert!(matches!(sout.events[0], TlsEvent::Established { peer: None }));
+        assert!(c.established(1));
+        assert!(s.established(1));
+        assert_eq!(c.peer(1).unwrap().subject, "gos-1");
+        assert!(s.peer(1).is_none());
+
+        let (rec, _) = c.seal(1, b"ping").unwrap();
+        let (out, _) = s.on_message(1, &rec, &mut rng).unwrap();
+        assert_eq!(out.events, vec![TlsEvent::Data(b"ping".to_vec())]);
+
+        assert_eq!(c.len(), 1);
+        c.remove(1);
+        assert!(c.is_empty());
+        assert!(!c.established(1));
+    }
+
+    #[test]
+    fn unknown_connection_errors() {
+        let (mut c, _, _, _) = rig();
+        let mut rng = Rng::new(5);
+        assert!(c.on_message(99, b"x", &mut rng).is_err());
+        assert!(c.seal(99, b"x").is_err());
+        assert!(c.peer(99).is_none());
+    }
+
+    #[test]
+    fn independent_sessions_per_connection() {
+        let (mut c, mut s, ccfg, scfg) = rig();
+        let mut rng = Rng::new(5);
+        for id in [10u64, 20] {
+            let (hello, _) = c.open_client(id, ccfg.clone(), &mut rng).unwrap();
+            s.accept(id, scfg.clone());
+            let (out, _) = s.on_message(id, &hello, &mut rng).unwrap();
+            let _ = c.on_message(id, &out.replies[0], &mut rng).unwrap();
+        }
+        // Sequence numbers are per-session: both start at 0 and a record
+        // from one session cannot be replayed into the other.
+        let (rec10, _) = c.seal(10, b"a").unwrap();
+        let err = s.on_message(20, &rec10, &mut rng);
+        // Either a MAC failure (different keys) — never silent acceptance.
+        assert!(err.is_err());
+        let stats = s.stats_total();
+        assert_eq!(stats.records_opened, 0);
+    }
+}

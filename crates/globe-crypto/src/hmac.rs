@@ -1,0 +1,171 @@
+//! HMAC-SHA256 (RFC 2104) and a small HKDF-style key-derivation helper
+//! (RFC 5869), built on [`crate::sha256`].
+//!
+//! Used for gTLS record integrity, handshake "finished" values, DNS TSIG
+//! signatures and key derivation from the handshake secret.
+
+use crate::sha256::{sha256, Sha256, DIGEST_LEN};
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// # Examples
+///
+/// ```
+/// use globe_crypto::hmac::hmac_sha256;
+///
+/// let tag = hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+/// let hex: String = tag.iter().map(|b| format!("{b:02x}")).collect();
+/// assert_eq!(
+///     hex,
+///     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+/// );
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    const BLOCK: usize = 64;
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        k[..DIGEST_LEN].copy_from_slice(&sha256(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finish();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finish()
+}
+
+/// Constant-time tag comparison.
+///
+/// Prevents the (simulated) timing side channel a naive `==` would have;
+/// also simply the correct idiom for MAC verification.
+pub fn verify_tag(expected: &[u8], actual: &[u8]) -> bool {
+    if expected.len() != actual.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(actual) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+/// HKDF-SHA256: extract from `secret` and `salt`, then expand `info` into
+/// `out_len` bytes (RFC 5869).
+///
+/// # Panics
+///
+/// Panics if `out_len > 255 * 32` (the RFC limit; far above anything the
+/// handshake derives).
+pub fn hkdf(secret: &[u8], salt: &[u8], info: &[u8], out_len: usize) -> Vec<u8> {
+    assert!(out_len <= 255 * DIGEST_LEN, "hkdf output too long");
+    let prk = hmac_sha256(salt, secret);
+    let mut out = Vec::with_capacity(out_len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < out_len {
+        let mut data = t.clone();
+        data.extend_from_slice(info);
+        data.push(counter);
+        let block = hmac_sha256(&prk, &data);
+        t = block.to_vec();
+        out.extend_from_slice(&block);
+        counter += 1;
+    }
+    out.truncate(out_len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // RFC 4231 test cases.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_tag_accepts_equal_rejects_unequal() {
+        let t = hmac_sha256(b"k", b"m");
+        assert!(verify_tag(&t, &t));
+        let mut bad = t;
+        bad[0] ^= 1;
+        assert!(!verify_tag(&t, &bad));
+        assert!(!verify_tag(&t, &t[..31]));
+    }
+
+    #[test]
+    fn hkdf_deterministic_and_length_exact() {
+        let a = hkdf(b"secret", b"salt", b"info", 96);
+        let b = hkdf(b"secret", b"salt", b"info", 96);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 96);
+        // Prefix property: shorter output is a prefix of longer output.
+        let c = hkdf(b"secret", b"salt", b"info", 32);
+        assert_eq!(&a[..32], &c[..]);
+    }
+
+    #[test]
+    fn hkdf_separates_contexts() {
+        assert_ne!(
+            hkdf(b"secret", b"salt", b"c2s", 32),
+            hkdf(b"secret", b"salt", b"s2c", 32)
+        );
+        assert_ne!(
+            hkdf(b"secret", b"salt1", b"x", 32),
+            hkdf(b"secret", b"salt2", b"x", 32)
+        );
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0b; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let okm = hkdf(&ikm, &salt, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+}

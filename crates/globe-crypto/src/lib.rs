@@ -1,0 +1,42 @@
+//! Cryptography substrate for the Globe Distribution Network
+//! reproduction.
+//!
+//! The paper (§6.3) secures the GDN with TLS/SSL from JSSE: two-way
+//! authenticated channels between GDN hosts, server-authenticated
+//! channels toward users' machines, and BIND's TSIG for DNS updates.
+//! This crate rebuilds that stack from scratch:
+//!
+//! - [`sha256`], [`hmac`], [`chacha20`] — real, test-vector-verified
+//!   primitives (hashing, MACs, key derivation, bulk cipher).
+//! - [`group`], [`sig`] — Schnorr signatures and Diffie–Hellman over a
+//!   **simulation-grade 61-bit group**: the schemes are structurally
+//!   real, the key size is deliberately small so that everything runs
+//!   without a bignum library. Nothing here is secure against a real
+//!   adversary; see the [`group`] module docs.
+//! - [`cert`] — certificates, roles (user / moderator / administrator /
+//!   maintainer, paper §2) and the GDN certification authority.
+//! - [`gtls`] — the TLS-like channel: 1.5-round-trip handshake with
+//!   one-way or two-way authentication, and a record layer in three
+//!   modes (`Null`, `AuthOnly`, `AuthEncrypt`) so experiment E5 can
+//!   quantify the paper's observation that SSL makes it "pay for
+//!   confidentiality it does not need".
+//! - [`channel`] — a per-connection session table for daemons.
+//!
+//! Every operation charges *virtual CPU time* through
+//! [`gtls::CostModel`], calibrated to late-1990s hardware, so security
+//! overhead shows up on the simulated timeline exactly where the paper
+//! worried it would.
+
+pub mod cert;
+pub mod channel;
+pub mod chacha20;
+pub mod group;
+pub mod gtls;
+pub mod hmac;
+pub mod sha256;
+pub mod sig;
+
+pub use cert::{CertAuthority, CertError, Certificate, Credentials, Role};
+pub use channel::SecureChannels;
+pub use gtls::{CostModel, Mode, TlsConfig, TlsError, TlsEvent, TlsOutput, TlsSession};
+pub use sig::{PublicKey, SecretKey, Signature};

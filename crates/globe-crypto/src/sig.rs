@@ -1,0 +1,228 @@
+//! Schnorr signatures and Diffie–Hellman key agreement over the
+//! [`crate::group`] Schnorr group.
+//!
+//! **Simulation-grade security** — see the [`crate::group`] caveat: the
+//! 61-bit group makes this breakable in practice. The *structure* is the
+//! real Schnorr scheme with deterministic (RFC 6979-style) nonces, so all
+//! protocol logic above it (certificates, gTLS authentication, TSIG key
+//! distribution) is shaped exactly as it would be with real parameters.
+
+use globe_sim::Rng;
+
+use crate::group::{digest_to_scalar, mul_mod, pow_mod, G, P, Q};
+use crate::sha256::Sha256;
+
+/// A Schnorr secret key: a scalar `x` in `[1, Q)`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SecretKey(pub(crate) u64);
+
+/// A Schnorr public key: `y = G^x mod P`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct PublicKey(pub u64);
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature {
+    /// Challenge scalar.
+    pub e: u64,
+    /// Response scalar.
+    pub s: u64,
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material, even in simulation.
+        write!(f, "SecretKey(..)")
+    }
+}
+
+/// Generates a key pair from the given random stream.
+pub fn keygen(rng: &mut Rng) -> (SecretKey, PublicKey) {
+    let x = rng.gen_range(1..Q);
+    let y = pow_mod(G, x, P);
+    (SecretKey(x), PublicKey(y))
+}
+
+/// Generates a key pair deterministically from a seed (for fixed test
+/// identities and reproducible deployments).
+pub fn keygen_from_seed(seed: u64) -> (SecretKey, PublicKey) {
+    let mut rng = Rng::new(seed ^ 0x5349_474e_4b45_5953);
+    keygen(&mut rng)
+}
+
+fn challenge(r: u64, message: &[u8]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(b"globe-schnorr-v1");
+    h.update(&r.to_be_bytes());
+    h.update(message);
+    digest_to_scalar(&h.finish())
+}
+
+/// Signs `message` with `sk`.
+///
+/// The nonce is derived deterministically from the key and message
+/// (RFC 6979 style), so signing never consumes randomness and identical
+/// inputs produce identical signatures — important for replayable
+/// simulations.
+pub fn sign(sk: &SecretKey, message: &[u8]) -> Signature {
+    // k = H(x || message) reduced to a nonzero scalar.
+    let mut h = Sha256::new();
+    h.update(b"globe-schnorr-nonce");
+    h.update(&sk.0.to_be_bytes());
+    h.update(message);
+    let k = digest_to_scalar(&h.finish());
+    let r = pow_mod(G, k, P);
+    let e = challenge(r, message);
+    // s = k - x*e mod Q.
+    let xe = mul_mod(sk.0, e, Q);
+    let s = (k + Q - xe) % Q;
+    Signature { e, s }
+}
+
+/// Verifies a signature over `message` by `pk`.
+pub fn verify(pk: &PublicKey, message: &[u8], sig: &Signature) -> bool {
+    if sig.e == 0 || sig.e >= Q || sig.s >= Q {
+        return false;
+    }
+    if pk.0 == 0 || pk.0 >= P || pow_mod(pk.0, Q, P) != 1 {
+        // Public key must be a member of the order-Q subgroup.
+        return false;
+    }
+    // r' = G^s * y^e mod P; valid iff H(r' || m) == e.
+    let r = mul_mod(pow_mod(G, sig.s, P), pow_mod(pk.0, sig.e, P), P);
+    challenge(r, message) == sig.e
+}
+
+/// An ephemeral Diffie–Hellman secret for gTLS key agreement.
+#[derive(Clone, Copy)]
+pub struct DhSecret(u64);
+
+/// A Diffie–Hellman public share `G^a mod P`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DhPublic(pub u64);
+
+/// Generates an ephemeral DH key pair.
+pub fn dh_keygen(rng: &mut Rng) -> (DhSecret, DhPublic) {
+    let a = rng.gen_range(1..Q);
+    (DhSecret(a), DhPublic(pow_mod(G, a, P)))
+}
+
+/// Computes the shared secret from our secret and the peer's share.
+///
+/// Returns `None` if the peer's share is not a valid group element
+/// (small-subgroup / invalid-element rejection).
+pub fn dh_shared(secret: &DhSecret, peer: &DhPublic) -> Option<u64> {
+    if peer.0 <= 1 || peer.0 >= P || pow_mod(peer.0, Q, P) != 1 {
+        return None;
+    }
+    Some(pow_mod(peer.0, secret.0, P))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let (sk, pk) = keygen_from_seed(1);
+        let sig = sign(&sk, b"hello world");
+        assert!(verify(&pk, b"hello world", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let (sk, pk) = keygen_from_seed(2);
+        let sig = sign(&sk, b"message A");
+        assert!(!verify(&pk, b"message B", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let (sk, _) = keygen_from_seed(3);
+        let (_, other_pk) = keygen_from_seed(4);
+        let sig = sign(&sk, b"msg");
+        assert!(!verify(&other_pk, b"msg", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_signature() {
+        let (sk, pk) = keygen_from_seed(5);
+        let sig = sign(&sk, b"msg");
+        let bad_e = Signature {
+            e: sig.e ^ 1,
+            s: sig.s,
+        };
+        let bad_s = Signature {
+            e: sig.e,
+            s: (sig.s + 1) % Q,
+        };
+        assert!(!verify(&pk, b"msg", &bad_e));
+        assert!(!verify(&pk, b"msg", &bad_s));
+    }
+
+    #[test]
+    fn verify_rejects_out_of_range_values() {
+        let (sk, pk) = keygen_from_seed(6);
+        let sig = sign(&sk, b"msg");
+        assert!(!verify(&pk, b"msg", &Signature { e: 0, s: sig.s }));
+        assert!(!verify(&pk, b"msg", &Signature { e: Q, s: sig.s }));
+        assert!(!verify(&pk, b"msg", &Signature { e: sig.e, s: Q }));
+        // Invalid public key (not in subgroup / out of range).
+        assert!(!verify(&PublicKey(0), b"msg", &sig));
+        assert!(!verify(&PublicKey(P), b"msg", &sig));
+    }
+
+    #[test]
+    fn signing_is_deterministic() {
+        let (sk, _) = keygen_from_seed(7);
+        assert_eq!(sign(&sk, b"x"), sign(&sk, b"x"));
+        assert_ne!(sign(&sk, b"x"), sign(&sk, b"y"));
+    }
+
+    #[test]
+    fn keygen_from_seed_is_stable() {
+        let (a_sk, a_pk) = keygen_from_seed(42);
+        let (b_sk, b_pk) = keygen_from_seed(42);
+        assert_eq!(a_pk, b_pk);
+        assert_eq!(sign(&a_sk, b"m"), sign(&b_sk, b"m"));
+        let (_, c_pk) = keygen_from_seed(43);
+        assert_ne!(a_pk, c_pk);
+    }
+
+    #[test]
+    fn dh_agreement() {
+        let mut r1 = Rng::new(10);
+        let mut r2 = Rng::new(20);
+        let (a_sec, a_pub) = dh_keygen(&mut r1);
+        let (b_sec, b_pub) = dh_keygen(&mut r2);
+        let s_ab = dh_shared(&a_sec, &b_pub).unwrap();
+        let s_ba = dh_shared(&b_sec, &a_pub).unwrap();
+        assert_eq!(s_ab, s_ba);
+    }
+
+    #[test]
+    fn dh_rejects_invalid_share() {
+        let mut r = Rng::new(11);
+        let (sec, _) = dh_keygen(&mut r);
+        assert!(dh_shared(&sec, &DhPublic(0)).is_none());
+        assert!(dh_shared(&sec, &DhPublic(1)).is_none());
+        assert!(dh_shared(&sec, &DhPublic(P)).is_none());
+        // 2 generates the full group (order 2Q), not the prime-order
+        // subgroup, so it must be rejected too.
+        assert!(dh_shared(&sec, &DhPublic(2)).is_none());
+    }
+
+    #[test]
+    fn secret_key_debug_redacts() {
+        let (sk, _) = keygen_from_seed(1);
+        assert_eq!(format!("{sk:?}"), "SecretKey(..)");
+    }
+
+    #[test]
+    fn distinct_rng_keys_differ() {
+        let mut rng = Rng::new(123);
+        let (_, pk1) = keygen(&mut rng);
+        let (_, pk2) = keygen(&mut rng);
+        assert_ne!(pk1, pk2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the cryptographic invariants gTLS rests on.
+
+use proptest::prelude::*;
+
+use globe_crypto::cert::{CertAuthority, Certificate, Credentials, Role};
+use globe_crypto::chacha20::chacha20_xor;
+use globe_crypto::gtls::{Mode, TlsConfig, TlsEvent, TlsSession};
+use globe_crypto::hmac::{hkdf, hmac_sha256, verify_tag};
+use globe_crypto::sha256::{sha256, Sha256};
+use globe_crypto::sig::{keygen_from_seed, sign, verify};
+use globe_sim::Rng;
+
+proptest! {
+    /// Incremental hashing over any chunking equals one-shot hashing.
+    #[test]
+    fn sha256_chunking_invariance(
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        let mut positions: Vec<usize> = cuts.iter().map(|i| i.index(data.len() + 1)).collect();
+        positions.sort_unstable();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for &p in &positions {
+            h.update(&data[prev..p]);
+            prev = p;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finish(), sha256(&data));
+    }
+
+    /// Distinct single-bit flips change the digest (second-preimage
+    /// smoke test — not a security proof, a correctness check).
+    #[test]
+    fn sha256_bit_flip_changes_digest(
+        mut data in prop::collection::vec(any::<u8>(), 1..512),
+        byte in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let original = sha256(&data);
+        let idx = byte.index(data.len());
+        data[idx] ^= 1 << bit;
+        prop_assert_ne!(sha256(&data), original);
+    }
+
+    /// HMAC verification accepts the genuine tag and rejects any
+    /// modified tag.
+    #[test]
+    fn hmac_verification(
+        key in prop::collection::vec(any::<u8>(), 0..80),
+        msg in prop::collection::vec(any::<u8>(), 0..512),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let tag = hmac_sha256(&key, &msg);
+        prop_assert!(verify_tag(&tag, &tag));
+        let mut bad = tag;
+        let idx = flip.index(32);
+        bad[idx] ^= 0x01;
+        prop_assert!(!verify_tag(&tag, &bad));
+    }
+
+    /// HKDF: shorter outputs are prefixes of longer ones; distinct info
+    /// strings separate.
+    #[test]
+    fn hkdf_prefix_and_separation(
+        secret in prop::collection::vec(any::<u8>(), 1..64),
+        salt in prop::collection::vec(any::<u8>(), 0..32),
+        short in 1usize..64,
+        long in 64usize..256,
+    ) {
+        let a = hkdf(&secret, &salt, b"ctx-a", long);
+        let b = hkdf(&secret, &salt, b"ctx-a", short);
+        prop_assert_eq!(&a[..short], &b[..]);
+        let c = hkdf(&secret, &salt, b"ctx-b", short);
+        prop_assert_ne!(b, c);
+    }
+
+    /// ChaCha20 is an involution under the same key/nonce and never a
+    /// no-op on inputs longer than a few bytes.
+    #[test]
+    fn chacha20_round_trip(
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::collection::vec(any::<u8>(), 12),
+        data in prop::collection::vec(any::<u8>(), 0..1024),
+        counter: u32,
+    ) {
+        let nonce: [u8; 12] = nonce.try_into().expect("12 bytes");
+        let mut work = data.clone();
+        chacha20_xor(&key, &nonce, counter, &mut work);
+        if data.len() >= 16 {
+            prop_assert_ne!(&work, &data);
+        }
+        chacha20_xor(&key, &nonce, counter, &mut work);
+        prop_assert_eq!(work, data);
+    }
+
+    /// Schnorr signatures verify for the signer and fail for everyone
+    /// and everything else.
+    #[test]
+    fn schnorr_soundness(seed_a: u64, seed_b: u64, msg in prop::collection::vec(any::<u8>(), 0..256)) {
+        let (sk_a, pk_a) = keygen_from_seed(seed_a);
+        let (_, pk_b) = keygen_from_seed(seed_b.wrapping_add(1).wrapping_mul(31));
+        let sig = sign(&sk_a, &msg);
+        prop_assert!(verify(&pk_a, &msg, &sig));
+        if pk_a != pk_b {
+            prop_assert!(!verify(&pk_b, &msg, &sig));
+        }
+        let mut other = msg.clone();
+        other.push(0);
+        prop_assert!(!verify(&pk_a, &other, &sig));
+    }
+
+    /// Certificates survive encode/decode and only verify under the
+    /// issuing authority's trust anchor.
+    #[test]
+    fn certificate_round_trip_and_trust(seed: u64, subject in "[a-z][a-z0-9.-]{0,24}") {
+        let ca = CertAuthority::new("root-a", seed);
+        let other = CertAuthority::new("root-b", seed.wrapping_add(7));
+        let creds = Credentials::issue(&ca, &subject, Role::Host, seed ^ 0x77);
+        let decoded = Certificate::decode(&creds.cert.encode()).unwrap();
+        prop_assert_eq!(&decoded, &creds.cert);
+        prop_assert!(decoded.verify_against(&[ca.root_cert().clone()]).is_ok());
+        prop_assert!(decoded.verify_against(&[other.root_cert().clone()]).is_err());
+    }
+
+    /// Arbitrary payloads survive a full gTLS handshake and record
+    /// exchange in both secure modes, in both directions.
+    #[test]
+    fn gtls_transports_arbitrary_payloads(
+        seed: u64,
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..512), 1..6),
+        encrypt: bool,
+    ) {
+        let mode = if encrypt { Mode::AuthEncrypt } else { Mode::AuthOnly };
+        let ca = CertAuthority::new("gdn-root", 1);
+        let server = Credentials::issue(&ca, "gos", Role::Host, 2);
+        let roots = vec![ca.root_cert().clone()];
+        let mut rng = Rng::new(seed);
+        let (mut c, hello) =
+            TlsSession::client(TlsConfig::client(mode, roots.clone()), &mut rng).unwrap();
+        let mut s = TlsSession::server(TlsConfig::server_auth(mode, server, roots));
+        let out = s.on_message(&hello, &mut rng).unwrap();
+        let out = c.on_message(&out.replies[0], &mut rng).unwrap();
+        for reply in out.replies {
+            s.on_message(&reply, &mut rng).unwrap();
+        }
+        prop_assert!(c.established() && s.established());
+        for p in &payloads {
+            let rec = c.seal(p).unwrap();
+            let out = s.on_message(&rec, &mut rng).unwrap();
+            prop_assert_eq!(&out.events, &vec![TlsEvent::Data(p.clone())]);
+            let rec = s.seal(p).unwrap();
+            let out = c.on_message(&rec, &mut rng).unwrap();
+            prop_assert_eq!(&out.events, &vec![TlsEvent::Data(p.clone())]);
+        }
+    }
+
+    /// The gTLS state machine never panics on arbitrary inbound bytes.
+    #[test]
+    fn gtls_server_is_total(garbage in prop::collection::vec(any::<u8>(), 0..128), seed: u64) {
+        let ca = CertAuthority::new("gdn-root", 1);
+        let server = Credentials::issue(&ca, "gos", Role::Host, 2);
+        let roots = vec![ca.root_cert().clone()];
+        let mut s = TlsSession::server(TlsConfig::server_auth(Mode::AuthOnly, server, roots));
+        let mut rng = Rng::new(seed);
+        let _ = s.on_message(&garbage, &mut rng); // must return, not panic
+    }
+}

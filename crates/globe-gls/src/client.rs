@@ -1,0 +1,368 @@
+//! The embeddable GLS client used by the Globe runtime, object servers
+//! and moderator tools.
+//!
+//! A [`GlsClient`] lives *inside* another service (the paper's run-time
+//! system calls the GLS during `bind`, §3.4). The owning service routes
+//! datagrams and timers to it and drains completion events after each
+//! handler:
+//!
+//! ```text
+//! fn on_datagram(..) {
+//!     if self.gls.handle_datagram(ctx, from, &payload) { self.drive(ctx); return; }
+//!     ...
+//! }
+//! ```
+//!
+//! Because the GLS runs over unreliable datagrams, the client retries
+//! each operation a configurable number of times before reporting
+//! [`GlsError::Timeout`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+pub use globe_net::{ns_token, owns_token};
+use globe_net::{token_id, Endpoint, HostId, ServiceCtx, TimerId};
+use globe_sim::{SimDuration, SimTime};
+
+use crate::proto::{AckOp, GlsMsg, Status};
+use crate::tree::GlsDeployment;
+use crate::types::{ContactAddress, GlsError, Level, ObjectId};
+
+/// Completion events surfaced by [`GlsClient::take_events`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GlsEvent {
+    /// A lookup finished.
+    LookupDone {
+        /// Caller-chosen correlation token.
+        token: u64,
+        /// Contact addresses, or why none were returned.
+        result: Result<Vec<ContactAddress>, GlsError>,
+        /// Directory nodes the request visited.
+        hops: u32,
+        /// End-to-end latency of the operation.
+        latency: SimDuration,
+    },
+    /// An insert finished.
+    InsertDone {
+        /// Caller-chosen correlation token.
+        token: u64,
+        /// Success or timeout.
+        result: Result<(), GlsError>,
+    },
+    /// A delete finished.
+    DeleteDone {
+        /// Caller-chosen correlation token.
+        token: u64,
+        /// Success or timeout.
+        result: Result<(), GlsError>,
+    },
+}
+
+#[derive(Debug)]
+enum Op {
+    Lookup,
+    Insert,
+    Delete,
+}
+
+#[derive(Debug)]
+struct Pending {
+    op: Op,
+    user_token: u64,
+    payload: Vec<u8>,
+    leaf: Endpoint,
+    attempts: u32,
+    started: SimTime,
+    timer: TimerId,
+}
+
+/// Client-side access to the Globe Location Service.
+pub struct GlsClient {
+    deploy: Arc<GlsDeployment>,
+    my_host: HostId,
+    ns: u16,
+    timeout: SimDuration,
+    max_attempts: u32,
+    next_req: u64,
+    pending: BTreeMap<u64, Pending>,
+    events: Vec<GlsEvent>,
+}
+
+impl GlsClient {
+    /// Creates a client for a service running on `my_host`, using timer
+    /// namespace `ns` (see [`ns_token`]).
+    pub fn new(deploy: Arc<GlsDeployment>, my_host: HostId, ns: u16) -> GlsClient {
+        GlsClient {
+            deploy,
+            my_host,
+            ns,
+            timeout: SimDuration::from_millis(2_500),
+            max_attempts: 4,
+            next_req: 1,
+            pending: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-attempt timeout (default 2.5 s).
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Overrides the attempt budget (default 4).
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        assert!(n >= 1);
+        self.max_attempts = n;
+        self
+    }
+
+    /// The deployment this client resolves against.
+    pub fn deployment(&self) -> &Arc<GlsDeployment> {
+        &self.deploy
+    }
+
+    /// Number of in-flight operations.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn start(&mut self, ctx: &mut ServiceCtx<'_>, op: Op, user_token: u64, oid: ObjectId, msg_builder: impl Fn(u64, Endpoint) -> GlsMsg) {
+        let req = self.next_req;
+        self.next_req += 1;
+        let leaf_domain = self.deploy.leaf_domain(ctx.topo(), self.my_host);
+        let leaf = self.deploy.route(leaf_domain, oid);
+        let origin = ctx.me();
+        let payload = msg_builder(req, origin).encode();
+        ctx.send_datagram(leaf, payload.clone());
+        let timer = ctx.set_timer(self.timeout, ns_token(self.ns, req));
+        self.pending.insert(
+            req,
+            Pending {
+                op,
+                user_token,
+                payload,
+                leaf,
+                attempts: 1,
+                started: ctx.now(),
+                timer,
+            },
+        );
+    }
+
+    /// Starts a lookup for `oid`; completion arrives as
+    /// [`GlsEvent::LookupDone`] with `token`.
+    pub fn lookup(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId, token: u64) {
+        self.start(ctx, Op::Lookup, token, oid, |req, origin| GlsMsg::LookupUp {
+            req,
+            oid,
+            origin,
+            hops: 0,
+        });
+    }
+
+    /// Registers `addr` for `oid` at `store_level` (normally
+    /// [`Level::Site`]).
+    pub fn insert(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        oid: ObjectId,
+        addr: ContactAddress,
+        store_level: Level,
+        token: u64,
+    ) {
+        self.start(ctx, Op::Insert, token, oid, |req, origin| GlsMsg::Insert {
+            req,
+            oid,
+            addr,
+            origin,
+            store_level,
+            hops: 0,
+        });
+    }
+
+    /// Allocates a fresh object id and registers `addr` for it; the
+    /// insert completion carries `token`.
+    ///
+    /// The paper has the GLS allocate identifiers during registration
+    /// (§6.1); here the allocation happens in the GLS client library so
+    /// the id can be routed to the right subnode, which is equivalent
+    /// because identifiers are location-independent random bit strings.
+    pub fn register_new(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        addr: ContactAddress,
+        store_level: Level,
+        token: u64,
+    ) -> ObjectId {
+        let oid = ObjectId::generate(ctx.rng());
+        self.insert(ctx, oid, addr, store_level, token);
+        oid
+    }
+
+    /// Deregisters `addr` for `oid`.
+    pub fn delete(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        oid: ObjectId,
+        addr: ContactAddress,
+        store_level: Level,
+        token: u64,
+    ) {
+        self.start(ctx, Op::Delete, token, oid, |req, origin| GlsMsg::Delete {
+            req,
+            oid,
+            addr,
+            origin,
+            store_level,
+            hops: 0,
+        });
+    }
+
+    /// Routes an inbound datagram. Returns `true` if it was a GLS reply
+    /// belonging to this client (consumed), `false` otherwise.
+    pub fn handle_datagram(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        _from: Endpoint,
+        payload: &[u8],
+    ) -> bool {
+        let Ok(msg) = GlsMsg::decode(payload) else {
+            return false;
+        };
+        match msg {
+            GlsMsg::LookupResp {
+                req,
+                status,
+                addrs,
+                hops,
+            } => {
+                let Some(p) = self.pending.remove(&req) else {
+                    return true; // late duplicate of a completed request
+                };
+                ctx.cancel_timer(p.timer);
+                let latency = ctx.now().saturating_sub(p.started);
+                ctx.metrics().record("gls.lookup.hops", hops as u64);
+                ctx.metrics()
+                    .record("gls.lookup.latency_us", latency.as_micros());
+                if status == Status::Inconsistent && p.attempts < self.max_attempts {
+                    // A stale forwarding pointer (e.g. an expired lease
+                    // being lazily cleaned): retry — the path shrinks on
+                    // each attempt until a live replica is reachable.
+                    let mut p = p;
+                    p.attempts += 1;
+                    ctx.metrics().inc("gls.client.inconsistent_retries", 1);
+                    ctx.send_datagram(p.leaf, p.payload.clone());
+                    p.timer = ctx.set_timer(self.timeout, ns_token(self.ns, req));
+                    self.pending.insert(req, p);
+                    return true;
+                }
+                let result = match status {
+                    Status::Ok => Ok(addrs),
+                    Status::NotFound => Err(GlsError::NotFound),
+                    Status::Inconsistent => Err(GlsError::Inconsistent),
+                };
+                self.events.push(GlsEvent::LookupDone {
+                    token: p.user_token,
+                    result,
+                    hops,
+                    latency,
+                });
+                true
+            }
+            GlsMsg::Ack { req, op, hops } => {
+                let Some(p) = self.pending.remove(&req) else {
+                    return true;
+                };
+                ctx.cancel_timer(p.timer);
+                ctx.metrics().record(
+                    match op {
+                        AckOp::Insert => "gls.insert.hops",
+                        AckOp::Delete => "gls.delete.hops",
+                    },
+                    hops as u64,
+                );
+                let ev = match op {
+                    AckOp::Insert => GlsEvent::InsertDone {
+                        token: p.user_token,
+                        result: Ok(()),
+                    },
+                    AckOp::Delete => GlsEvent::DeleteDone {
+                        token: p.user_token,
+                        result: Ok(()),
+                    },
+                };
+                self.events.push(ev);
+                true
+            }
+            _ => false, // a request datagram; not ours to handle
+        }
+    }
+
+    /// Routes a timer. Returns `true` if the token belonged to this
+    /// client (consumed).
+    pub fn handle_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) -> bool {
+        if !owns_token(self.ns, token) {
+            return false;
+        }
+        let req = token_id(token);
+        let Some(p) = self.pending.get_mut(&req) else {
+            return true; // already completed
+        };
+        if p.attempts >= self.max_attempts {
+            let p = self.pending.remove(&req).expect("checked above");
+            ctx.metrics().inc("gls.client.timeouts", 1);
+            let ev = match p.op {
+                Op::Lookup => GlsEvent::LookupDone {
+                    token: p.user_token,
+                    result: Err(GlsError::Timeout),
+                    hops: 0,
+                    latency: ctx.now().saturating_sub(p.started),
+                },
+                Op::Insert => GlsEvent::InsertDone {
+                    token: p.user_token,
+                    result: Err(GlsError::Timeout),
+                },
+                Op::Delete => GlsEvent::DeleteDone {
+                    token: p.user_token,
+                    result: Err(GlsError::Timeout),
+                },
+            };
+            self.events.push(ev);
+        } else {
+            p.attempts += 1;
+            ctx.metrics().inc("gls.client.retries", 1);
+            let payload = p.payload.clone();
+            let leaf = p.leaf;
+            ctx.send_datagram(leaf, payload);
+            p.timer = ctx.set_timer(self.timeout, ns_token(self.ns, req));
+        }
+        true
+    }
+
+    /// Drains completion events accumulated since the last call.
+    pub fn take_events(&mut self) -> Vec<GlsEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_namespace_round_trip() {
+        let t = ns_token(7, 123);
+        assert!(owns_token(7, t));
+        assert!(!owns_token(8, t));
+        assert_eq!(t & 0xFFFF_FFFF_FFFF, 123);
+    }
+
+    #[test]
+    fn token_namespace_masks_large_ids() {
+        // Ids are masked to 48 bits; namespaces survive regardless.
+        let t = ns_token(1, u64::MAX);
+        assert!(owns_token(1, t));
+        assert_eq!(t & 0xFFFF_FFFF_FFFF, 0xFFFF_FFFF_FFFF);
+    }
+}

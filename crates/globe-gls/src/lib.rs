@@ -1,0 +1,41 @@
+//! The Globe Location Service (GLS).
+//!
+//! The GLS maps location-independent object identifiers to *contact
+//! addresses* — where a distributed shared object's replicas live and
+//! which replication protocol they speak (paper §3.4–3.5). Its design
+//! goals, all reproduced here:
+//!
+//! - **Locality**: the Internet is organized into a hierarchy of domains
+//!   ([`tree`]); an object with a replica near the client is found using
+//!   only "local" communication, so lookup cost grows with the distance
+//!   to the nearest replica (experiment E1).
+//! - **No root bottleneck**: higher-level directory nodes are partitioned
+//!   into subnodes by hashing the object id ([`ObjectId::subnode_index`]),
+//!   each placeable on its own machine (experiment E2).
+//! - **Forwarding-pointer trees** ([`node`]): each registration installs
+//!   a path of pointers from the root toward the storing leaf; lookups
+//!   climb until they hit the path and then descend.
+//! - **UDP with retries** ([`client`], [`proto`]): the GLS is
+//!   datagram-based for efficiency (paper §6.3) and clients retransmit on
+//!   loss.
+//! - **Crash recovery** ([`node`]): directory tables optionally persist
+//!   to stable storage, the mechanism the paper's implementation was
+//!   adding (§7).
+//!
+//! # Examples
+//!
+//! Planning and installing a GLS over a world, then resolving from an
+//! embedded client, is exercised end-to-end in this crate's integration
+//! tests (`tests/gls_world.rs`) and by the higher layers (`globe-rts`,
+//! `gdn-core`).
+
+pub mod client;
+pub mod node;
+pub mod proto;
+pub mod tree;
+pub mod types;
+
+pub use client::{ns_token, owns_token, GlsClient, GlsEvent};
+pub use node::{DirectoryNode, NodeStats};
+pub use tree::{DomainId, GlsConfig, GlsDeployment};
+pub use types::{ContactAddress, GlsError, Level, ObjectId, ADDR_FLAG_WRITES};

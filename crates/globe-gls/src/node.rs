@@ -1,0 +1,626 @@
+//! The directory node: one GLS service instance per `(domain, subnode)`.
+//!
+//! Each node stores, per object id, a set of contact addresses and/or a
+//! set of forwarding pointers to child domains (paper §3.5). Lookups
+//! climb until they hit an entry and then descend the pointer tree;
+//! inserts store the address at the configured level and grow the
+//! pointer path toward the root; deletes shrink it.
+//!
+//! Nodes optionally persist their tables to stable storage, giving the
+//! crash-recovery behaviour the paper's Java implementation was in the
+//! process of adding (§7).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use globe_net::{impl_service_any, Endpoint, Service, ServiceCtx, WireError, WireReader, WireWriter};
+use globe_sim::SimTime;
+
+use crate::proto::{AckOp, GlsMsg, Status};
+use crate::tree::{DomainId, GlsDeployment};
+use crate::types::{ContactAddress, Level, ObjectId};
+
+/// One object's record at a directory node.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Entry {
+    /// Contact addresses stored at this node with their lease expiry
+    /// ([`SimTime::MAX`] when leases are disabled). Normally only at the
+    /// store-level node; intermediate nodes hold addresses only for
+    /// mobile objects.
+    pub addrs: Vec<(ContactAddress, SimTime)>,
+    /// Child domains known to hold an entry for this object.
+    pub pointers: BTreeSet<DomainId>,
+}
+
+impl Entry {
+    fn is_empty(&self) -> bool {
+        self.addrs.is_empty() && self.pointers.is_empty()
+    }
+
+    /// Addresses whose lease has not expired at `now`.
+    pub fn live_addrs(&self, now: SimTime) -> Vec<ContactAddress> {
+        self.addrs
+            .iter()
+            .filter(|(_, exp)| *exp > now)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// Drops expired addresses; returns whether any were removed.
+    fn purge(&mut self, now: SimTime) -> bool {
+        let before = self.addrs.len();
+        self.addrs.retain(|(_, exp)| *exp > now);
+        self.addrs.len() != before
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u32(self.addrs.len() as u32);
+        for (a, exp) in &self.addrs {
+            a.encode(&mut w);
+            w.put_u64(exp.as_nanos());
+        }
+        w.put_u32(self.pointers.len() as u32);
+        for p in &self.pointers {
+            w.put_u32(p.0);
+        }
+        w.finish()
+    }
+
+    fn decode(buf: &[u8]) -> Result<Entry, WireError> {
+        let mut r = WireReader::new(buf);
+        let na = r.u32()?;
+        if na > 4096 {
+            return Err(WireError::TooLarge);
+        }
+        let mut addrs = Vec::with_capacity(na as usize);
+        for _ in 0..na {
+            let a = ContactAddress::decode(&mut r)?;
+            let exp = SimTime::from_nanos(r.u64()?);
+            addrs.push((a, exp));
+        }
+        let np = r.u32()?;
+        if np > 65_536 {
+            return Err(WireError::TooLarge);
+        }
+        let mut pointers = BTreeSet::new();
+        for _ in 0..np {
+            pointers.insert(DomainId(r.u32()?));
+        }
+        r.expect_end()?;
+        Ok(Entry { addrs, pointers })
+    }
+}
+
+/// Load counters for one directory node (experiment E2 reads these).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeStats {
+    /// Lookup requests processed (up or down).
+    pub lookups: u64,
+    /// Insert requests processed.
+    pub inserts: u64,
+    /// Delete requests processed.
+    pub deletes: u64,
+    /// Requests forwarded to another node.
+    pub forwards: u64,
+    /// Pointer maintenance messages processed.
+    pub pointer_ops: u64,
+}
+
+impl NodeStats {
+    /// Total requests that consumed capacity at this node.
+    pub fn total(&self) -> u64 {
+        self.lookups + self.inserts + self.deletes + self.pointer_ops
+    }
+}
+
+/// A GLS directory node service (one subnode of one domain).
+pub struct DirectoryNode {
+    deploy: Arc<GlsDeployment>,
+    domain: DomainId,
+    subnode: u32,
+    entries: BTreeMap<u128, Entry>,
+    /// Load counters, readable by experiments.
+    pub stats: NodeStats,
+}
+
+impl DirectoryNode {
+    /// Creates the node for `(domain, subnode)` of `deploy`.
+    pub fn new(deploy: Arc<GlsDeployment>, domain: DomainId, subnode: u32) -> DirectoryNode {
+        DirectoryNode {
+            deploy,
+            domain,
+            subnode,
+            entries: BTreeMap::new(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Number of objects this node currently has entries for.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Read access to an entry (testing / experiments).
+    pub fn entry(&self, oid: ObjectId) -> Option<&Entry> {
+        self.entries.get(&oid.0)
+    }
+
+    fn level(&self) -> Level {
+        self.deploy.level(self.domain)
+    }
+
+    fn stable_key(&self, oid: ObjectId) -> String {
+        format!("gls/{}/{}/{:032x}", self.domain.0, self.subnode, oid.0)
+    }
+
+    fn persist_entry(&self, ctx: &mut ServiceCtx<'_>, oid: ObjectId) {
+        if !self.deploy.persist() {
+            return;
+        }
+        let key = self.stable_key(oid);
+        match self.entries.get(&oid.0) {
+            Some(e) => ctx.stable_put(&key, e.encode()),
+            None => ctx.stable_delete(&key),
+        }
+    }
+
+    fn send(&self, ctx: &mut ServiceCtx<'_>, dst: Endpoint, msg: &GlsMsg) {
+        ctx.send_datagram(dst, msg.encode());
+    }
+
+    fn reply_lookup(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        origin: Endpoint,
+        req: u64,
+        status: Status,
+        addrs: Vec<ContactAddress>,
+        hops: u32,
+    ) {
+        self.send(
+            ctx,
+            origin,
+            &GlsMsg::LookupResp {
+                req,
+                status,
+                addrs,
+                hops,
+            },
+        );
+    }
+
+    fn handle_lookup(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        req: u64,
+        oid: ObjectId,
+        origin: Endpoint,
+        hops: u32,
+        descending: bool,
+    ) {
+        self.stats.lookups += 1;
+        ctx.metrics().inc("gls.node.lookups", 1);
+        let hops = hops + 1;
+        // Lazy lease sweep: expired registrations vanish here, and if
+        // the entry empties out the pointer path shrinks (the node never
+        // learns of crashes any other way).
+        let now = ctx.now();
+        let mut purged_empty = false;
+        if let Some(e) = self.entries.get_mut(&oid.0) {
+            if e.purge(now) {
+                if e.is_empty() {
+                    self.entries.remove(&oid.0);
+                    purged_empty = true;
+                }
+                self.persist_entry(ctx, oid);
+                ctx.metrics().inc("gls.node.leases_expired", 1);
+            }
+        }
+        if purged_empty {
+            if let Some(parent) = self.deploy.parent(self.domain) {
+                let dst = self.deploy.route(parent, oid);
+                self.send(
+                    ctx,
+                    dst,
+                    &GlsMsg::PointerDel {
+                        oid,
+                        child: self.domain,
+                    },
+                );
+            }
+        }
+        match self.entries.get(&oid.0) {
+            Some(e) if !e.live_addrs(now).is_empty() => {
+                // Found: reply directly to the origin.
+                let addrs = e.live_addrs(now);
+                ctx.trace_debug("gls.node", format!("{oid:?} found at {}", self.deploy.name(self.domain)));
+                self.reply_lookup(ctx, origin, req, Status::Ok, addrs, hops);
+            }
+            Some(e) if !e.pointers.is_empty() => {
+                // Descend: pick one forwarding pointer at random
+                // (paper §3.5: "one is chosen at random").
+                let children: Vec<DomainId> = e.pointers.iter().copied().collect();
+                let child = *ctx
+                    .rng()
+                    .choose(&children)
+                    .expect("pointer set is nonempty");
+                let dst = self.deploy.route(child, oid);
+                self.stats.forwards += 1;
+                self.send(
+                    ctx,
+                    dst,
+                    &GlsMsg::LookupDown {
+                        req,
+                        oid,
+                        origin,
+                        hops,
+                    },
+                );
+            }
+            _ if descending => {
+                // A pointer led here but nothing is stored: transient
+                // inconsistency (e.g. racing delete).
+                self.reply_lookup(ctx, origin, req, Status::Inconsistent, Vec::new(), hops);
+            }
+            _ => {
+                // No entry: climb, or give up at the root.
+                match self.deploy.parent(self.domain) {
+                    Some(parent) => {
+                        let dst = self.deploy.route(parent, oid);
+                        self.stats.forwards += 1;
+                        self.send(
+                            ctx,
+                            dst,
+                            &GlsMsg::LookupUp {
+                                req,
+                                oid,
+                                origin,
+                                hops,
+                            },
+                        );
+                    }
+                    None => {
+                        self.reply_lookup(ctx, origin, req, Status::NotFound, Vec::new(), hops);
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the message fields
+    fn handle_insert(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        req: u64,
+        oid: ObjectId,
+        addr: ContactAddress,
+        origin: Endpoint,
+        store_level: Level,
+        hops: u32,
+    ) {
+        self.stats.inserts += 1;
+        ctx.metrics().inc("gls.node.inserts", 1);
+        let hops = hops + 1;
+        if self.level() < store_level {
+            // Not the storing node yet: climb.
+            let parent = self
+                .deploy
+                .parent(self.domain)
+                .expect("below-root levels have parents");
+            let dst = self.deploy.route(parent, oid);
+            self.stats.forwards += 1;
+            self.send(
+                ctx,
+                dst,
+                &GlsMsg::Insert {
+                    req,
+                    oid,
+                    addr,
+                    origin,
+                    store_level,
+                    hops,
+                },
+            );
+            return;
+        }
+        // Store here, stamping (or refreshing) the lease.
+        let expires = match self.deploy.address_ttl() {
+            Some(ttl) => ctx.now() + ttl,
+            None => SimTime::MAX,
+        };
+        let entry = self.entries.entry(oid.0).or_default();
+        let was_empty = entry.is_empty();
+        match entry.addrs.iter_mut().find(|(a, _)| *a == addr) {
+            Some(slot) => slot.1 = expires,
+            None => entry.addrs.push((addr, expires)),
+        }
+        self.persist_entry(ctx, oid);
+        ctx.trace_info(
+            "gls.node",
+            format!("{oid:?} registered at {}", self.deploy.name(self.domain)),
+        );
+        self.send(
+            ctx,
+            origin,
+            &GlsMsg::Ack {
+                req,
+                op: AckOp::Insert,
+                hops,
+            },
+        );
+        // Grow the pointer path toward the root if this entry is new.
+        if was_empty {
+            if let Some(parent) = self.deploy.parent(self.domain) {
+                let dst = self.deploy.route(parent, oid);
+                self.send(
+                    ctx,
+                    dst,
+                    &GlsMsg::PointerAdd {
+                        oid,
+                        child: self.domain,
+                    },
+                );
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the message fields
+    fn handle_delete(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        req: u64,
+        oid: ObjectId,
+        addr: ContactAddress,
+        origin: Endpoint,
+        store_level: Level,
+        hops: u32,
+    ) {
+        self.stats.deletes += 1;
+        ctx.metrics().inc("gls.node.deletes", 1);
+        let hops = hops + 1;
+        if self.level() < store_level {
+            let parent = self
+                .deploy
+                .parent(self.domain)
+                .expect("below-root levels have parents");
+            let dst = self.deploy.route(parent, oid);
+            self.stats.forwards += 1;
+            self.send(
+                ctx,
+                dst,
+                &GlsMsg::Delete {
+                    req,
+                    oid,
+                    addr,
+                    origin,
+                    store_level,
+                    hops,
+                },
+            );
+            return;
+        }
+        let mut now_empty = false;
+        if let Some(entry) = self.entries.get_mut(&oid.0) {
+            entry.addrs.retain(|(a, _)| a != &addr);
+            if entry.is_empty() {
+                self.entries.remove(&oid.0);
+                now_empty = true;
+            }
+        }
+        self.persist_entry(ctx, oid);
+        // Deletion is idempotent: removing an absent address still acks.
+        self.send(
+            ctx,
+            origin,
+            &GlsMsg::Ack {
+                req,
+                op: AckOp::Delete,
+                hops,
+            },
+        );
+        if now_empty {
+            if let Some(parent) = self.deploy.parent(self.domain) {
+                let dst = self.deploy.route(parent, oid);
+                self.send(
+                    ctx,
+                    dst,
+                    &GlsMsg::PointerDel {
+                        oid,
+                        child: self.domain,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_pointer_add(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId, child: DomainId) {
+        self.stats.pointer_ops += 1;
+        let entry = self.entries.entry(oid.0).or_default();
+        let was_empty = entry.is_empty();
+        entry.pointers.insert(child);
+        self.persist_entry(ctx, oid);
+        if was_empty {
+            if let Some(parent) = self.deploy.parent(self.domain) {
+                let dst = self.deploy.route(parent, oid);
+                self.send(
+                    ctx,
+                    dst,
+                    &GlsMsg::PointerAdd {
+                        oid,
+                        child: self.domain,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_pointer_del(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId, child: DomainId) {
+        self.stats.pointer_ops += 1;
+        let mut now_empty = false;
+        if let Some(entry) = self.entries.get_mut(&oid.0) {
+            entry.pointers.remove(&child);
+            if entry.is_empty() {
+                self.entries.remove(&oid.0);
+                now_empty = true;
+            }
+        }
+        self.persist_entry(ctx, oid);
+        if now_empty {
+            if let Some(parent) = self.deploy.parent(self.domain) {
+                let dst = self.deploy.route(parent, oid);
+                self.send(
+                    ctx,
+                    dst,
+                    &GlsMsg::PointerDel {
+                        oid,
+                        child: self.domain,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl Service for DirectoryNode {
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, _from: Endpoint, payload: Vec<u8>) {
+        let msg = match GlsMsg::decode(&payload) {
+            Ok(m) => m,
+            Err(_) => {
+                // Bogus protocol messages must never crash the node
+                // (paper §6.3); count and drop.
+                ctx.metrics().inc("gls.node.malformed", 1);
+                return;
+            }
+        };
+        match msg {
+            GlsMsg::LookupUp {
+                req,
+                oid,
+                origin,
+                hops,
+            } => self.handle_lookup(ctx, req, oid, origin, hops, false),
+            GlsMsg::LookupDown {
+                req,
+                oid,
+                origin,
+                hops,
+            } => self.handle_lookup(ctx, req, oid, origin, hops, true),
+            GlsMsg::Insert {
+                req,
+                oid,
+                addr,
+                origin,
+                store_level,
+                hops,
+            } => self.handle_insert(ctx, req, oid, addr, origin, store_level, hops),
+            GlsMsg::Delete {
+                req,
+                oid,
+                addr,
+                origin,
+                store_level,
+                hops,
+            } => self.handle_delete(ctx, req, oid, addr, origin, store_level, hops),
+            GlsMsg::PointerAdd { oid, child } => self.handle_pointer_add(ctx, oid, child),
+            GlsMsg::PointerDel { oid, child } => self.handle_pointer_del(ctx, oid, child),
+            GlsMsg::LookupResp { .. } | GlsMsg::Ack { .. } => {
+                // Replies are addressed to clients, not nodes.
+                ctx.metrics().inc("gls.node.unexpected", 1);
+            }
+        }
+    }
+
+    fn on_crash(&mut self, _now: globe_sim::SimTime) {
+        // Volatile tables are lost; stable storage survives.
+        self.entries.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if !self.deploy.persist() {
+            return;
+        }
+        let prefix = format!("gls/{}/{}/", self.domain.0, self.subnode);
+        self.entries.clear();
+        for key in ctx.stable_keys(&prefix) {
+            let hex = &key[prefix.len()..];
+            let Ok(oid) = u128::from_str_radix(hex, 16) else {
+                continue;
+            };
+            if let Some(buf) = ctx.stable_get(&key) {
+                if let Ok(entry) = Entry::decode(buf) {
+                    self.entries.insert(oid, entry);
+                }
+            }
+        }
+        ctx.trace_info(
+            "gls.node",
+            format!(
+                "recovered {} entries at {}",
+                self.entries.len(),
+                self.deploy.name(self.domain)
+            ),
+        );
+    }
+
+    impl_service_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use globe_net::HostId;
+
+    #[test]
+    fn entry_round_trip() {
+        let mut e = Entry::default();
+        e.addrs.push((
+            ContactAddress::new(Endpoint::new(HostId(3), 2112), 2, 1),
+            SimTime::from_secs(120),
+        ));
+        e.pointers.insert(DomainId(4));
+        e.pointers.insert(DomainId(9));
+        let back = Entry::decode(&e.encode()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn entry_empty_and_lease_checks() {
+        let mut e = Entry::default();
+        assert!(e.is_empty());
+        e.pointers.insert(DomainId(1));
+        assert!(!e.is_empty());
+        e.pointers.clear();
+        e.addrs.push((
+            ContactAddress::new(Endpoint::new(HostId(0), 1), 1, 0),
+            SimTime::from_secs(10),
+        ));
+        assert!(!e.is_empty());
+        // Lease filtering and purging.
+        assert_eq!(e.live_addrs(SimTime::from_secs(5)).len(), 1);
+        assert_eq!(e.live_addrs(SimTime::from_secs(10)).len(), 0);
+        assert!(e.purge(SimTime::from_secs(10)));
+        assert!(e.is_empty());
+        assert!(!e.purge(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn entry_decode_rejects_garbage() {
+        assert!(Entry::decode(&[1, 2, 3]).is_err());
+        let mut w = WireWriter::new();
+        w.put_u32(1_000_000);
+        assert!(Entry::decode(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn stats_total() {
+        let s = NodeStats {
+            lookups: 1,
+            inserts: 2,
+            deletes: 3,
+            forwards: 10,
+            pointer_ops: 4,
+        };
+        assert_eq!(s.total(), 10);
+    }
+}

@@ -1,0 +1,450 @@
+//! Wire protocol of the Globe Location Service.
+//!
+//! The GLS runs over unreliable datagrams (paper §6.3: "for efficiency
+//! reasons this is based on UDP"); clients retry on timeout. Requests
+//! travel node-to-node along the domain tree; whichever node resolves an
+//! operation replies *directly* to the originating endpoint, carrying a
+//! hop counter so experiments can observe how far a request travelled.
+
+use globe_net::{Endpoint, HostId, WireError, WireReader, WireWriter};
+
+use crate::tree::DomainId;
+use crate::types::{ContactAddress, Level, ObjectId};
+
+/// Outcome code carried in replies.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// Operation succeeded / object found.
+    Ok,
+    /// Lookup reached the root without finding a registration.
+    NotFound,
+    /// A forwarding pointer led to a node with no entry (transient
+    /// inconsistency, e.g. racing a delete).
+    Inconsistent,
+}
+
+impl Status {
+    fn tag(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::NotFound => 1,
+            Status::Inconsistent => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Status, WireError> {
+        Ok(match t {
+            0 => Status::Ok,
+            1 => Status::NotFound,
+            2 => Status::Inconsistent,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+/// Which mutating operation an [`GlsMsg::Ack`] acknowledges.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AckOp {
+    /// Contact-address insertion.
+    Insert,
+    /// Contact-address deletion.
+    Delete,
+}
+
+impl AckOp {
+    fn tag(self) -> u8 {
+        match self {
+            AckOp::Insert => 1,
+            AckOp::Delete => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<AckOp, WireError> {
+        Ok(match t {
+            1 => AckOp::Insert,
+            2 => AckOp::Delete,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+/// All GLS datagram payloads.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GlsMsg {
+    /// Lookup climbing toward the root until an entry is found.
+    LookupUp {
+        /// Request id, echoed in the reply.
+        req: u64,
+        /// The object being located.
+        oid: ObjectId,
+        /// Where the final reply must go.
+        origin: Endpoint,
+        /// Directory nodes visited so far.
+        hops: u32,
+    },
+    /// Lookup descending along forwarding pointers.
+    LookupDown {
+        /// Request id, echoed in the reply.
+        req: u64,
+        /// The object being located.
+        oid: ObjectId,
+        /// Where the final reply must go.
+        origin: Endpoint,
+        /// Directory nodes visited so far.
+        hops: u32,
+    },
+    /// Register a contact address at the `store_level` ancestor domain.
+    Insert {
+        /// Request id, echoed in the acknowledgement.
+        req: u64,
+        /// The object being registered.
+        oid: ObjectId,
+        /// The address to store.
+        addr: ContactAddress,
+        /// Where the acknowledgement must go.
+        origin: Endpoint,
+        /// Domain level at which the address is stored (leaf by
+        /// default; higher for the paper's mobile-object optimization).
+        store_level: Level,
+        /// Directory nodes visited so far.
+        hops: u32,
+    },
+    /// Remove a previously registered contact address.
+    Delete {
+        /// Request id, echoed in the acknowledgement.
+        req: u64,
+        /// The object whose address is removed.
+        oid: ObjectId,
+        /// The address to remove.
+        addr: ContactAddress,
+        /// Where the acknowledgement must go.
+        origin: Endpoint,
+        /// Level the address was stored at.
+        store_level: Level,
+        /// Directory nodes visited so far.
+        hops: u32,
+    },
+    /// Internal: child tells parent "I have an entry for `oid`".
+    PointerAdd {
+        /// The object the pointer is for.
+        oid: ObjectId,
+        /// The child domain that holds the entry.
+        child: DomainId,
+    },
+    /// Internal: child tells parent "my entry for `oid` is gone".
+    PointerDel {
+        /// The object the pointer was for.
+        oid: ObjectId,
+        /// The child domain whose entry disappeared.
+        child: DomainId,
+    },
+    /// Reply to a lookup.
+    LookupResp {
+        /// The request this answers.
+        req: u64,
+        /// Outcome.
+        status: Status,
+        /// Contact addresses (empty unless `status == Ok`).
+        addrs: Vec<ContactAddress>,
+        /// Total directory nodes visited.
+        hops: u32,
+    },
+    /// Acknowledgement of an insert or delete.
+    Ack {
+        /// The request this answers.
+        req: u64,
+        /// Which operation completed.
+        op: AckOp,
+        /// Total directory nodes visited.
+        hops: u32,
+    },
+}
+
+const T_LOOKUP_UP: u8 = 1;
+const T_LOOKUP_DOWN: u8 = 2;
+const T_INSERT: u8 = 3;
+const T_DELETE: u8 = 4;
+const T_PTR_ADD: u8 = 5;
+const T_PTR_DEL: u8 = 6;
+const T_LOOKUP_RESP: u8 = 7;
+const T_ACK: u8 = 8;
+
+fn put_endpoint(w: &mut WireWriter, ep: Endpoint) {
+    w.put_u32(ep.host.0);
+    w.put_u16(ep.port);
+}
+
+fn get_endpoint(r: &mut WireReader<'_>) -> Result<Endpoint, WireError> {
+    Ok(Endpoint::new(HostId(r.u32()?), r.u16()?))
+}
+
+impl GlsMsg {
+    /// Serializes the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            GlsMsg::LookupUp {
+                req,
+                oid,
+                origin,
+                hops,
+            } => {
+                w.put_u8(T_LOOKUP_UP);
+                w.put_u64(*req);
+                w.put_u128(oid.0);
+                put_endpoint(&mut w, *origin);
+                w.put_u32(*hops);
+            }
+            GlsMsg::LookupDown {
+                req,
+                oid,
+                origin,
+                hops,
+            } => {
+                w.put_u8(T_LOOKUP_DOWN);
+                w.put_u64(*req);
+                w.put_u128(oid.0);
+                put_endpoint(&mut w, *origin);
+                w.put_u32(*hops);
+            }
+            GlsMsg::Insert {
+                req,
+                oid,
+                addr,
+                origin,
+                store_level,
+                hops,
+            } => {
+                w.put_u8(T_INSERT);
+                w.put_u64(*req);
+                w.put_u128(oid.0);
+                addr.encode(&mut w);
+                put_endpoint(&mut w, *origin);
+                w.put_u8(store_level.tag());
+                w.put_u32(*hops);
+            }
+            GlsMsg::Delete {
+                req,
+                oid,
+                addr,
+                origin,
+                store_level,
+                hops,
+            } => {
+                w.put_u8(T_DELETE);
+                w.put_u64(*req);
+                w.put_u128(oid.0);
+                addr.encode(&mut w);
+                put_endpoint(&mut w, *origin);
+                w.put_u8(store_level.tag());
+                w.put_u32(*hops);
+            }
+            GlsMsg::PointerAdd { oid, child } => {
+                w.put_u8(T_PTR_ADD);
+                w.put_u128(oid.0);
+                w.put_u32(child.0);
+            }
+            GlsMsg::PointerDel { oid, child } => {
+                w.put_u8(T_PTR_DEL);
+                w.put_u128(oid.0);
+                w.put_u32(child.0);
+            }
+            GlsMsg::LookupResp {
+                req,
+                status,
+                addrs,
+                hops,
+            } => {
+                w.put_u8(T_LOOKUP_RESP);
+                w.put_u64(*req);
+                w.put_u8(status.tag());
+                w.put_u32(addrs.len() as u32);
+                for a in addrs {
+                    a.encode(&mut w);
+                }
+                w.put_u32(*hops);
+            }
+            GlsMsg::Ack { req, op, hops } => {
+                w.put_u8(T_ACK);
+                w.put_u64(*req);
+                w.put_u8(op.tag());
+                w.put_u32(*hops);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a message; total (never panics on malformed input).
+    pub fn decode(buf: &[u8]) -> Result<GlsMsg, WireError> {
+        let mut r = WireReader::new(buf);
+        let tag = r.u8()?;
+        let msg = match tag {
+            T_LOOKUP_UP => GlsMsg::LookupUp {
+                req: r.u64()?,
+                oid: ObjectId(r.u128()?),
+                origin: get_endpoint(&mut r)?,
+                hops: r.u32()?,
+            },
+            T_LOOKUP_DOWN => GlsMsg::LookupDown {
+                req: r.u64()?,
+                oid: ObjectId(r.u128()?),
+                origin: get_endpoint(&mut r)?,
+                hops: r.u32()?,
+            },
+            T_INSERT => GlsMsg::Insert {
+                req: r.u64()?,
+                oid: ObjectId(r.u128()?),
+                addr: ContactAddress::decode(&mut r)?,
+                origin: get_endpoint(&mut r)?,
+                store_level: Level::from_tag(r.u8()?)?,
+                hops: r.u32()?,
+            },
+            T_DELETE => GlsMsg::Delete {
+                req: r.u64()?,
+                oid: ObjectId(r.u128()?),
+                addr: ContactAddress::decode(&mut r)?,
+                origin: get_endpoint(&mut r)?,
+                store_level: Level::from_tag(r.u8()?)?,
+                hops: r.u32()?,
+            },
+            T_PTR_ADD => GlsMsg::PointerAdd {
+                oid: ObjectId(r.u128()?),
+                child: DomainId(r.u32()?),
+            },
+            T_PTR_DEL => GlsMsg::PointerDel {
+                oid: ObjectId(r.u128()?),
+                child: DomainId(r.u32()?),
+            },
+            T_LOOKUP_RESP => {
+                let req = r.u64()?;
+                let status = Status::from_tag(r.u8()?)?;
+                let n = r.u32()?;
+                if n > 4096 {
+                    return Err(WireError::TooLarge);
+                }
+                let mut addrs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    addrs.push(ContactAddress::decode(&mut r)?);
+                }
+                GlsMsg::LookupResp {
+                    req,
+                    status,
+                    addrs,
+                    hops: r.u32()?,
+                }
+            }
+            T_ACK => GlsMsg::Ack {
+                req: r.u64()?,
+                op: AckOp::from_tag(r.u8()?)?,
+                hops: r.u32()?,
+            },
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(h: u32, p: u16) -> ContactAddress {
+        ContactAddress::new(Endpoint::new(HostId(h), p), 2, 1)
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        let origin = Endpoint::new(HostId(7), 9000);
+        let msgs = vec![
+            GlsMsg::LookupUp {
+                req: 1,
+                oid: ObjectId(99),
+                origin,
+                hops: 3,
+            },
+            GlsMsg::LookupDown {
+                req: 2,
+                oid: ObjectId(100),
+                origin,
+                hops: 0,
+            },
+            GlsMsg::Insert {
+                req: 3,
+                oid: ObjectId(101),
+                addr: addr(1, 2112),
+                origin,
+                store_level: Level::Site,
+                hops: 1,
+            },
+            GlsMsg::Delete {
+                req: 4,
+                oid: ObjectId(102),
+                addr: addr(2, 2112),
+                origin,
+                store_level: Level::Country,
+                hops: 2,
+            },
+            GlsMsg::PointerAdd {
+                oid: ObjectId(103),
+                child: DomainId(5),
+            },
+            GlsMsg::PointerDel {
+                oid: ObjectId(104),
+                child: DomainId(6),
+            },
+            GlsMsg::LookupResp {
+                req: 5,
+                status: Status::Ok,
+                addrs: vec![addr(1, 2112), addr(2, 2113)],
+                hops: 4,
+            },
+            GlsMsg::LookupResp {
+                req: 6,
+                status: Status::NotFound,
+                addrs: vec![],
+                hops: 7,
+            },
+            GlsMsg::Ack {
+                req: 7,
+                op: AckOp::Insert,
+                hops: 1,
+            },
+            GlsMsg::Ack {
+                req: 8,
+                op: AckOp::Delete,
+                hops: 2,
+            },
+        ];
+        for m in msgs {
+            let buf = m.encode();
+            assert_eq!(GlsMsg::decode(&buf).unwrap(), m, "round trip {m:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(GlsMsg::decode(&[]).is_err());
+        assert!(GlsMsg::decode(&[0xEE]).is_err());
+        assert!(GlsMsg::decode(&[T_LOOKUP_UP, 1, 2]).is_err());
+        // Trailing bytes rejected.
+        let mut buf = GlsMsg::PointerAdd {
+            oid: ObjectId(1),
+            child: DomainId(2),
+        }
+        .encode();
+        buf.push(0);
+        assert_eq!(GlsMsg::decode(&buf), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn oversized_addr_list_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u8(T_LOOKUP_RESP);
+        w.put_u64(1);
+        w.put_u8(0);
+        w.put_u32(1_000_000); // absurd count
+        let buf = w.finish();
+        assert_eq!(GlsMsg::decode(&buf), Err(WireError::TooLarge));
+    }
+}

@@ -1,0 +1,446 @@
+//! The GLS domain hierarchy and its deployment onto hosts.
+//!
+//! The paper (§3.5, Figure 2) organizes the Internet into a hierarchy of
+//! domains — leaf domains around moderately-sized networks, recursively
+//! combined up to a root spanning everything — with a directory node per
+//! domain. Higher-level nodes are partitioned into *subnodes*, each
+//! responsible for a slice of the object-identifier space, so the root
+//! does not become a bottleneck.
+//!
+//! [`GlsDeployment::plan`] derives the domain tree from the network
+//! [`Topology`] (site → country → region → root) and assigns each
+//! directory subnode to a host inside its own domain — spread across the
+//! domain's children so that partitioning actually buys independent
+//! capacity.
+
+use std::sync::Arc;
+
+use globe_net::{Endpoint, HostId, SiteId, Topology, World};
+use globe_sim::SimDuration;
+
+use crate::node::DirectoryNode;
+use crate::types::{Level, ObjectId};
+
+/// Identifies a GLS domain (an index into the deployment's domain table).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DomainId(pub u32);
+
+/// Base port for directory-node services. Each `(domain, subnode)` pair
+/// gets `GLS_PORT_BASE + domain * PORTS_PER_DOMAIN + subnode`, keeping
+/// every directory node addressable even when several land on one host.
+pub const GLS_PORT_BASE: u16 = 10_000;
+/// Maximum subnodes per domain (port-space stride).
+pub const PORTS_PER_DOMAIN: u16 = 16;
+
+/// Per-level GLS configuration.
+#[derive(Clone, Debug)]
+pub struct GlsConfig {
+    /// Number of subnodes per domain, indexed by [`Level::index`].
+    /// The paper partitions only the higher-level nodes; the default
+    /// keeps one subnode everywhere (partitioning experiments override
+    /// the root entry).
+    pub subnodes: [u32; 4],
+    /// Whether directory nodes persist their tables to stable storage
+    /// (enables crash recovery, costs per-mutation writes).
+    pub persist: bool,
+    /// Soft-state lease on contact addresses: registrations expire
+    /// unless re-registered, so addresses of crashed servers age out
+    /// (`None` = permanent registrations). The paper leaves fault
+    /// tolerance open (§6.1); leases are the Globe project's own later
+    /// answer.
+    pub address_ttl: Option<SimDuration>,
+}
+
+impl Default for GlsConfig {
+    fn default() -> Self {
+        GlsConfig {
+            subnodes: [1, 1, 1, 1],
+            persist: false,
+            address_ttl: None,
+        }
+    }
+}
+
+impl GlsConfig {
+    /// Overrides the root-domain subnode count.
+    pub fn with_root_subnodes(mut self, k: u32) -> Self {
+        assert!(k >= 1 && k <= PORTS_PER_DOMAIN as u32, "1..=16 subnodes");
+        self.subnodes[Level::Root.index()] = k;
+        self
+    }
+
+    /// Enables stable-storage persistence of directory tables.
+    pub fn with_persistence(mut self) -> Self {
+        self.persist = true;
+        self
+    }
+
+    /// Enables soft-state address leases with the given TTL.
+    pub fn with_address_ttl(mut self, ttl: SimDuration) -> Self {
+        self.address_ttl = Some(ttl);
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+struct DomainInfo {
+    level: Level,
+    parent: Option<DomainId>,
+    name: String,
+    /// One endpoint per subnode.
+    subnodes: Vec<Endpoint>,
+}
+
+/// The planned GLS: domain tree plus subnode placement.
+///
+/// Shared immutably (via [`Arc`]) between every directory node and every
+/// GLS client, standing in for the static configuration a real
+/// deployment would distribute.
+#[derive(Debug)]
+pub struct GlsDeployment {
+    domains: Vec<DomainInfo>,
+    /// Leaf (site-level) domain of each topology site.
+    site_domain: Vec<DomainId>,
+    root: DomainId,
+    persist: bool,
+    address_ttl: Option<SimDuration>,
+}
+
+impl GlsDeployment {
+    /// Plans a deployment over `topo`: one domain per site, country and
+    /// region plus a root, with `cfg.subnodes[level]` directory subnodes
+    /// each, placed on hosts within their own domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no hosts.
+    pub fn plan(topo: &Topology, cfg: &GlsConfig) -> Arc<GlsDeployment> {
+        assert!(topo.num_hosts() > 0, "topology has no hosts");
+        let mut domains = Vec::new();
+
+        // Representative host of a site: its first host. Sites without
+        // hosts fall back to the first host of the country (rare, only
+        // in hand-built topologies).
+        let site_rep = |site: SiteId| -> HostId {
+            topo.hosts_in_site(site)
+                .first()
+                .copied()
+                .unwrap_or(HostId(0))
+        };
+
+        // Root domain is index 0; regions, countries, sites follow.
+        let root_id = DomainId(0);
+        domains.push(DomainInfo {
+            level: Level::Root,
+            parent: None,
+            name: "root".to_owned(),
+            subnodes: Vec::new(),
+        });
+
+        let mut region_dom = Vec::with_capacity(topo.num_regions());
+        for r in topo.regions() {
+            let id = DomainId(domains.len() as u32);
+            domains.push(DomainInfo {
+                level: Level::Region,
+                parent: Some(root_id),
+                name: topo.region_name(r).to_owned(),
+                subnodes: Vec::new(),
+            });
+            region_dom.push(id);
+        }
+        let mut country_dom = Vec::with_capacity(topo.num_countries());
+        for c in topo.countries() {
+            let id = DomainId(domains.len() as u32);
+            domains.push(DomainInfo {
+                level: Level::Country,
+                parent: Some(region_dom[topo.region_of(c).0 as usize]),
+                name: topo.country_name(c).to_owned(),
+                subnodes: Vec::new(),
+            });
+            country_dom.push(id);
+        }
+        let mut site_domain = Vec::with_capacity(topo.num_sites());
+        for s in topo.sites() {
+            let id = DomainId(domains.len() as u32);
+            domains.push(DomainInfo {
+                level: Level::Site,
+                parent: Some(country_dom[topo.country_of(s).0 as usize]),
+                name: topo.site_name(s).to_owned(),
+                subnodes: Vec::new(),
+            });
+            site_domain.push(id);
+        }
+
+        // Candidate hosts per domain, in a stable order that spreads
+        // subnodes across the domain's children.
+        for (idx, dom) in domains.iter_mut().enumerate() {
+            let did = DomainId(idx as u32);
+            let k = cfg.subnodes[dom.level.index()].max(1);
+            let mut candidates: Vec<HostId> = match dom.level {
+                Level::Site => {
+                    let site = site_domain
+                        .iter()
+                        .position(|&d| d == did)
+                        .map(|i| SiteId(i as u32))
+                        .expect("site domain maps to a site");
+                    topo.hosts_in_site(site).to_vec()
+                }
+                Level::Country => {
+                    let country = country_dom
+                        .iter()
+                        .position(|&d| d == did)
+                        .expect("country domain maps to a country");
+                    topo.sites()
+                        .filter(|&s| topo.country_of(s).0 == country as u32)
+                        .map(site_rep)
+                        .collect()
+                }
+                Level::Region => {
+                    let region = region_dom
+                        .iter()
+                        .position(|&d| d == did)
+                        .expect("region domain maps to a region");
+                    topo.countries()
+                        .filter(|&c| topo.region_of(c).0 == region as u32)
+                        .flat_map(|c| {
+                            topo.sites()
+                                .filter(move |&s| topo.country_of(s) == c)
+                                .take(1)
+                        })
+                        .map(site_rep)
+                        .collect()
+                }
+                Level::Root => topo
+                    .regions()
+                    .flat_map(|r| {
+                        topo.countries()
+                            .filter(move |&c| topo.region_of(c) == r)
+                            .take(1)
+                    })
+                    .flat_map(|c| topo.sites().filter(move |&s| topo.country_of(s) == c).take(1))
+                    .map(site_rep)
+                    .collect(),
+            };
+            if candidates.is_empty() {
+                candidates.push(HostId(0));
+            }
+            let base = GLS_PORT_BASE + (idx as u16) * PORTS_PER_DOMAIN;
+            dom.subnodes = (0..k)
+                .map(|i| {
+                    Endpoint::new(
+                        candidates[i as usize % candidates.len()],
+                        base + i as u16,
+                    )
+                })
+                .collect();
+        }
+
+        Arc::new(GlsDeployment {
+            domains,
+            site_domain,
+            root: root_id,
+            persist: cfg.persist,
+            address_ttl: cfg.address_ttl,
+        })
+    }
+
+    /// Installs one [`DirectoryNode`] service per subnode into `world`.
+    pub fn install(self: &Arc<Self>, world: &mut World) {
+        for (idx, dom) in self.domains.iter().enumerate() {
+            for (sub, ep) in dom.subnodes.iter().enumerate() {
+                world.add_service(
+                    ep.host,
+                    ep.port,
+                    DirectoryNode::new(Arc::clone(self), DomainId(idx as u32), sub as u32),
+                );
+            }
+        }
+    }
+
+    /// The root domain.
+    pub fn root(&self) -> DomainId {
+        self.root
+    }
+
+    /// The site-level (leaf) domain containing `host`.
+    pub fn leaf_domain(&self, topo: &Topology, host: HostId) -> DomainId {
+        self.site_domain[topo.site_of(host).0 as usize]
+    }
+
+    /// The parent domain, or `None` for the root.
+    pub fn parent(&self, d: DomainId) -> Option<DomainId> {
+        self.domains[d.0 as usize].parent
+    }
+
+    /// The domain's level.
+    pub fn level(&self, d: DomainId) -> Level {
+        self.domains[d.0 as usize].level
+    }
+
+    /// The domain's display name.
+    pub fn name(&self, d: DomainId) -> &str {
+        &self.domains[d.0 as usize].name
+    }
+
+    /// The directory subnode responsible for `oid` within domain `d`
+    /// (the paper's hashing technique, §3.5).
+    pub fn route(&self, d: DomainId, oid: ObjectId) -> Endpoint {
+        let subs = &self.domains[d.0 as usize].subnodes;
+        subs[oid.subnode_index(subs.len() as u32) as usize]
+    }
+
+    /// All subnode endpoints of a domain.
+    pub fn subnodes(&self, d: DomainId) -> &[Endpoint] {
+        &self.domains[d.0 as usize].subnodes
+    }
+
+    /// Number of domains (including the root).
+    pub fn num_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Iterates all domain ids.
+    pub fn domain_ids(&self) -> impl Iterator<Item = DomainId> {
+        (0..self.domains.len() as u32).map(DomainId)
+    }
+
+    /// The ancestor of `d` at `level` (or `d` itself if already there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is below `d`'s level (no such ancestor).
+    pub fn ancestor_at(&self, d: DomainId, level: Level) -> DomainId {
+        let mut cur = d;
+        loop {
+            let l = self.level(cur);
+            if l == level {
+                return cur;
+            }
+            assert!(
+                l < level,
+                "domain {cur:?} at {l:?} has no ancestor at lower level {level:?}"
+            );
+            cur = self.parent(cur).expect("non-root domains have parents");
+        }
+    }
+
+    /// Whether directory nodes persist their tables.
+    pub fn persist(&self) -> bool {
+        self.persist
+    }
+
+    /// The soft-state address lease, if enabled.
+    pub fn address_ttl(&self) -> Option<SimDuration> {
+        self.address_ttl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use globe_sim::Rng;
+
+    fn topo() -> Topology {
+        Topology::grid(2, 2, 2, 2)
+    }
+
+    #[test]
+    fn domain_counts() {
+        let t = topo();
+        let d = GlsDeployment::plan(&t, &GlsConfig::default());
+        // 1 root + 2 regions + 4 countries + 8 sites.
+        assert_eq!(d.num_domains(), 15);
+        assert_eq!(d.level(d.root()), Level::Root);
+        assert!(d.parent(d.root()).is_none());
+    }
+
+    #[test]
+    fn leaf_chain_reaches_root() {
+        let t = topo();
+        let d = GlsDeployment::plan(&t, &GlsConfig::default());
+        for h in t.hosts() {
+            let mut dom = d.leaf_domain(&t, h);
+            assert_eq!(d.level(dom), Level::Site);
+            let mut levels = vec![d.level(dom)];
+            while let Some(p) = d.parent(dom) {
+                dom = p;
+                levels.push(d.level(dom));
+            }
+            assert_eq!(
+                levels,
+                vec![Level::Site, Level::Country, Level::Region, Level::Root]
+            );
+            assert_eq!(dom, d.root());
+        }
+    }
+
+    #[test]
+    fn subnodes_live_inside_their_domain() {
+        let t = topo();
+        let cfg = GlsConfig::default().with_root_subnodes(4);
+        let d = GlsDeployment::plan(&t, &cfg);
+        for dom in d.domain_ids() {
+            for ep in d.subnodes(dom) {
+                // A directory node's host must be inside the domain it
+                // serves: check via the leaf-domain ancestor chain.
+                let leaf = d.leaf_domain(&t, ep.host);
+                let anc = d.ancestor_at(leaf, d.level(dom));
+                assert_eq!(anc, dom, "node for {:?} placed outside", d.name(dom));
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let t = topo();
+        let cfg = GlsConfig::default().with_root_subnodes(3);
+        let d = GlsDeployment::plan(&t, &cfg);
+        let mut rng = Rng::new(1);
+        for _ in 0..100 {
+            let oid = ObjectId::generate(&mut rng);
+            let a = d.route(d.root(), oid);
+            let b = d.route(d.root(), oid);
+            assert_eq!(a, b);
+            assert!(d.subnodes(d.root()).contains(&a));
+        }
+    }
+
+    #[test]
+    fn root_subnodes_spread_over_hosts() {
+        let t = topo();
+        let cfg = GlsConfig::default().with_root_subnodes(2);
+        let d = GlsDeployment::plan(&t, &cfg);
+        let subs = d.subnodes(d.root());
+        assert_eq!(subs.len(), 2);
+        // With 2 regions available the two root subnodes must not share
+        // a host.
+        assert_ne!(subs[0].host, subs[1].host);
+    }
+
+    #[test]
+    fn ancestor_at_identity_and_climb() {
+        let t = topo();
+        let d = GlsDeployment::plan(&t, &GlsConfig::default());
+        let leaf = d.leaf_domain(&t, HostId(0));
+        assert_eq!(d.ancestor_at(leaf, Level::Site), leaf);
+        assert_eq!(d.ancestor_at(leaf, Level::Root), d.root());
+        assert_eq!(d.level(d.ancestor_at(leaf, Level::Country)), Level::Country);
+    }
+
+    #[test]
+    fn unique_ports_per_subnode() {
+        let t = topo();
+        let cfg = GlsConfig {
+            subnodes: [2, 2, 2, 4],
+            persist: false,
+            address_ttl: None,
+        };
+        let d = GlsDeployment::plan(&t, &cfg);
+        let mut seen = std::collections::HashSet::new();
+        for dom in d.domain_ids() {
+            for ep in d.subnodes(dom) {
+                assert!(seen.insert(*ep), "duplicate endpoint {ep}");
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Core Globe Location Service types: object identifiers, contact
+//! addresses and error codes.
+
+use std::error::Error;
+use std::fmt;
+
+use globe_net::{Endpoint, HostId, WireError, WireReader, WireWriter};
+use globe_sim::Rng;
+
+/// A worldwide-unique, location-independent object identifier
+/// (paper §3.4: "long strings of bits", never reused, never changing).
+///
+/// 128 bits are drawn from the registering party's random stream; the
+/// collision probability at any realistic object count is negligible.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u128);
+
+impl ObjectId {
+    /// Draws a fresh identifier from `rng`.
+    pub fn generate(rng: &mut Rng) -> ObjectId {
+        let hi = rng.next_u64() as u128;
+        let lo = rng.next_u64() as u128;
+        ObjectId((hi << 64) | lo)
+    }
+
+    /// The "special hashing technique" of the paper (§3.5): maps this
+    /// identifier to one of `k` directory subnodes. FNV-1a over the id
+    /// bytes, reduced modulo `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn subnode_index(&self, k: u32) -> u32 {
+        assert!(k > 0, "subnode count must be positive");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.0.to_be_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        (h % k as u64) as u32
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oid:{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Flag bit: the replica behind this address accepts state-modifying
+/// invocations (e.g. it is the master in a master/slave protocol).
+pub const ADDR_FLAG_WRITES: u8 = 0b0000_0001;
+
+/// A contact address: where a local representative of a DSO listens and
+/// how to talk to it (paper §3.4: network address, port and protocol
+/// information).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub struct ContactAddress {
+    /// Where the replica listens for replication-protocol traffic.
+    pub endpoint: Endpoint,
+    /// Which replication protocol the replica speaks (registry lives in
+    /// `globe-rts`; the GLS treats it as opaque).
+    pub protocol: u16,
+    /// Implementation handle: which class to load from the
+    /// implementation repository when installing a local representative
+    /// (paper §3.4 — part of "how to talk to it").
+    pub impl_hint: u16,
+    /// Property bits, e.g. [`ADDR_FLAG_WRITES`].
+    pub flags: u8,
+}
+
+impl ContactAddress {
+    /// Creates an address.
+    pub fn new(endpoint: Endpoint, protocol: u16, flags: u8) -> ContactAddress {
+        ContactAddress {
+            endpoint,
+            protocol,
+            impl_hint: 0,
+            flags,
+        }
+    }
+
+    /// Sets the implementation handle.
+    pub fn with_impl(mut self, impl_hint: u16) -> ContactAddress {
+        self.impl_hint = impl_hint;
+        self
+    }
+
+    /// Whether the replica accepts state-modifying invocations.
+    pub fn accepts_writes(&self) -> bool {
+        self.flags & ADDR_FLAG_WRITES != 0
+    }
+
+    /// Serializes into `w`.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.endpoint.host.0);
+        w.put_u16(self.endpoint.port);
+        w.put_u16(self.protocol);
+        w.put_u16(self.impl_hint);
+        w.put_u8(self.flags);
+    }
+
+    /// Deserializes from `r`.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<ContactAddress, WireError> {
+        Ok(ContactAddress {
+            endpoint: Endpoint::new(HostId(r.u32()?), r.u16()?),
+            protocol: r.u16()?,
+            impl_hint: r.u16()?,
+            flags: r.u8()?,
+        })
+    }
+}
+
+impl fmt::Display for ContactAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/proto{}{}",
+            self.endpoint,
+            self.protocol,
+            if self.accepts_writes() { "+w" } else { "" }
+        )
+    }
+}
+
+/// The level of a GLS domain in the hierarchy (paper Figure 2). The GLS
+/// hierarchy mirrors the network topology tiers.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Level {
+    /// Leaf domain: one site (campus / MAN).
+    Site,
+    /// One country.
+    Country,
+    /// One region (continent).
+    Region,
+    /// The single root domain spanning the whole network.
+    Root,
+}
+
+impl Level {
+    /// All levels, bottom-up.
+    pub const ALL: [Level; 4] = [Level::Site, Level::Country, Level::Region, Level::Root];
+
+    /// Index usable for per-level configuration arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Level::Site => 0,
+            Level::Country => 1,
+            Level::Region => 2,
+            Level::Root => 3,
+        }
+    }
+
+    /// Wire tag.
+    pub fn tag(self) -> u8 {
+        self.index() as u8
+    }
+
+    /// Decodes a wire tag.
+    pub fn from_tag(t: u8) -> Result<Level, WireError> {
+        Ok(match t {
+            0 => Level::Site,
+            1 => Level::Country,
+            2 => Level::Region,
+            3 => Level::Root,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+/// Errors surfaced to GLS clients.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GlsError {
+    /// The object has no registered contact address anywhere.
+    NotFound,
+    /// No response after all retries (datagram loss or dead nodes).
+    Timeout,
+    /// The forwarding-pointer tree was inconsistent mid-operation.
+    Inconsistent,
+}
+
+impl fmt::Display for GlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlsError::NotFound => write!(f, "object not registered"),
+            GlsError::Timeout => write!(f, "location service did not respond"),
+            GlsError::Inconsistent => write!(f, "forwarding pointers inconsistent"),
+        }
+    }
+}
+
+impl Error for GlsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_ids_unique_per_stream() {
+        let mut rng = Rng::new(1);
+        let a = ObjectId::generate(&mut rng);
+        let b = ObjectId::generate(&mut rng);
+        assert_ne!(a, b);
+        let mut rng2 = Rng::new(1);
+        assert_eq!(ObjectId::generate(&mut rng2), a);
+    }
+
+    #[test]
+    fn subnode_index_in_range_and_spread() {
+        let mut rng = Rng::new(2);
+        let k = 7u32;
+        let mut counts = vec![0u32; k as usize];
+        for _ in 0..7000 {
+            let oid = ObjectId::generate(&mut rng);
+            let idx = oid.subnode_index(k);
+            assert!(idx < k);
+            counts[idx as usize] += 1;
+        }
+        // Roughly uniform: each subnode within 3x of fair share.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 333 && c < 3000, "subnode {i} got {c}");
+        }
+    }
+
+    #[test]
+    fn subnode_index_stable() {
+        let oid = ObjectId(42);
+        assert_eq!(oid.subnode_index(5), oid.subnode_index(5));
+        assert_eq!(oid.subnode_index(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn subnode_zero_panics() {
+        ObjectId(1).subnode_index(0);
+    }
+
+    #[test]
+    fn contact_address_round_trip() {
+        let addr = ContactAddress::new(Endpoint::new(HostId(9), 2112), 3, ADDR_FLAG_WRITES).with_impl(7);
+        let mut w = WireWriter::new();
+        addr.encode(&mut w);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        let back = ContactAddress::decode(&mut r).unwrap();
+        assert_eq!(back, addr);
+        assert_eq!(back.impl_hint, 7);
+        assert!(back.accepts_writes());
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn contact_address_flags() {
+        let addr = ContactAddress::new(Endpoint::new(HostId(1), 1), 1, 0);
+        assert!(!addr.accepts_writes());
+        assert!(addr.to_string().contains("proto1"));
+    }
+
+    #[test]
+    fn level_tags_round_trip() {
+        for l in Level::ALL {
+            assert_eq!(Level::from_tag(l.tag()).unwrap(), l);
+        }
+        assert!(Level::from_tag(9).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        let oid = ObjectId(0xabc);
+        assert!(oid.to_string().ends_with("abc"));
+        assert!(format!("{oid:?}").starts_with("oid:"));
+        assert!(GlsError::NotFound.to_string().contains("not registered"));
+    }
+}

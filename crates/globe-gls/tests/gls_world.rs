@@ -1,0 +1,458 @@
+//! End-to-end tests of the Globe Location Service running in a simulated
+//! world: registration, locality-aware lookup, pointer maintenance,
+//! datagram-loss retries, persistence across crashes and subnode
+//! partitioning.
+
+use std::sync::Arc;
+
+use globe_gls::{
+    ContactAddress, DirectoryNode, GlsClient, GlsConfig, GlsDeployment, GlsError, GlsEvent, Level,
+    ObjectId,
+};
+use globe_net::{
+    impl_service_any, ports, ConnEvent, ConnId, Endpoint, HostId, NetParams, Service, ServiceCtx,
+    Topology, World,
+};
+use globe_sim::{SimDuration, SimTime};
+
+/// A scripted driver embedding a `GlsClient`: executes a queue of
+/// operations sequentially and records every completion event.
+struct Driver {
+    gls: GlsClient,
+    script: Vec<DriverOp>,
+    results: Vec<GlsEvent>,
+    cursor: usize,
+}
+
+#[derive(Clone)]
+enum DriverOp {
+    Insert(ObjectId, ContactAddress, Level),
+    Lookup(ObjectId),
+    Delete(ObjectId, ContactAddress, Level),
+}
+
+impl Driver {
+    fn new(deploy: Arc<GlsDeployment>, host: HostId, script: Vec<DriverOp>) -> Driver {
+        Driver {
+            gls: GlsClient::new(deploy, host, 1),
+            script,
+            results: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    fn kick(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if self.cursor >= self.script.len() {
+            return;
+        }
+        let token = self.cursor as u64;
+        match self.script[self.cursor].clone() {
+            DriverOp::Insert(oid, addr, lvl) => self.gls.insert(ctx, oid, addr, lvl, token),
+            DriverOp::Lookup(oid) => self.gls.lookup(ctx, oid, token),
+            DriverOp::Delete(oid, addr, lvl) => self.gls.delete(ctx, oid, addr, lvl, token),
+        }
+        self.cursor += 1;
+    }
+
+    fn drive(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let events = self.gls.take_events();
+        let progressed = !events.is_empty();
+        self.results.extend(events);
+        if progressed {
+            self.kick(ctx);
+        }
+    }
+}
+
+impl Service for Driver {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.kick(ctx);
+    }
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.gls.handle_datagram(ctx, from, &payload) {
+            self.drive(ctx);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if self.gls.handle_timer(ctx, token) {
+            self.drive(ctx);
+        }
+    }
+    fn on_conn_event(&mut self, _ctx: &mut ServiceCtx<'_>, _c: ConnId, _e: ConnEvent) {}
+    impl_service_any!();
+}
+
+fn addr_on(host: HostId) -> ContactAddress {
+    ContactAddress::new(Endpoint::new(host, ports::GRP), 1, 1)
+}
+
+fn build(world_seed: u64, cfg: GlsConfig) -> (World, Arc<GlsDeployment>) {
+    // 2 regions × 2 countries × 2 sites × 3 hosts = 24 hosts.
+    let topo = Topology::grid(2, 2, 2, 3);
+    let mut world = World::new(topo, NetParams::default(), world_seed);
+    let deploy = GlsDeployment::plan(world.topology(), &cfg);
+    deploy.install(&mut world);
+    (world, deploy)
+}
+
+fn run_driver(world: &mut World, host: HostId, script: Vec<DriverOp>, deploy: &Arc<GlsDeployment>) {
+    world.add_service(host, ports::DRIVER, Driver::new(Arc::clone(deploy), host, script));
+}
+
+fn results(world: &World, host: HostId) -> &[GlsEvent] {
+    &world
+        .service::<Driver>(host, ports::DRIVER)
+        .expect("driver installed")
+        .results
+}
+
+#[test]
+fn register_then_lookup_from_same_site() {
+    let (mut world, deploy) = build(1, GlsConfig::default());
+    let replica_host = HostId(2); // same site as host 0..2
+    let client_host = HostId(0);
+    let oid = ObjectId(0xABCD);
+    run_driver(
+        &mut world,
+        client_host,
+        vec![
+            DriverOp::Insert(oid, addr_on(replica_host), Level::Site),
+            DriverOp::Lookup(oid),
+        ],
+        &deploy,
+    );
+    world.start();
+    world.run_to_quiescence();
+    let rs = results(&world, client_host);
+    assert_eq!(rs.len(), 2);
+    match &rs[1] {
+        GlsEvent::LookupDone { result, hops, .. } => {
+            assert_eq!(result.as_ref().unwrap(), &vec![addr_on(replica_host)]);
+            // Same-site lookup resolves at the leaf node: 1 hop.
+            assert_eq!(*hops, 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn lookup_cost_grows_with_distance() {
+    // Replica in site 0 (host 0); clients at increasing distance.
+    // Distances: same site (host 1), same country (host 3+),
+    // same region other country, other region.
+    let (mut world, deploy) = build(2, GlsConfig::default());
+    let oid = ObjectId(0x1234_5678);
+    let replica = addr_on(HostId(0));
+
+    // Host indices in Topology::grid(2,2,2,3): host = ((r*2+c)*2+s)*3+h.
+    let same_site = HostId(1);
+    let same_country = HostId(3); // r0 c0 s1
+    let same_region = HostId(6); // r0 c1 s0
+    let other_region = HostId(12); // r1 c0 s0
+
+    run_driver(
+        &mut world,
+        HostId(2),
+        vec![DriverOp::Insert(oid, replica, Level::Site)],
+        &deploy,
+    );
+    world.start();
+    world.run_for(SimDuration::from_secs(2));
+
+    for host in [same_site, same_country, same_region, other_region] {
+        run_driver(&mut world, host, vec![DriverOp::Lookup(oid)], &deploy);
+    }
+    world.run_to_quiescence();
+
+    let mut hops_by_distance = Vec::new();
+    let mut latency_by_distance = Vec::new();
+    for host in [same_site, same_country, same_region, other_region] {
+        match &results(&world, host)[0] {
+            GlsEvent::LookupDone {
+                result,
+                hops,
+                latency,
+                ..
+            } => {
+                assert!(result.is_ok(), "lookup from {host:?} failed: {result:?}");
+                hops_by_distance.push(*hops);
+                latency_by_distance.push(*latency);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // The paper's claim (§3.5): cost proportional to distance to the
+    // nearest replica. Hops and latency must be strictly increasing.
+    for w in hops_by_distance.windows(2) {
+        assert!(w[0] < w[1], "hops not increasing: {hops_by_distance:?}");
+    }
+    for w in latency_by_distance.windows(2) {
+        assert!(
+            w[0] < w[1],
+            "latency not increasing: {latency_by_distance:?}"
+        );
+    }
+}
+
+#[test]
+fn lookup_unknown_object_is_not_found() {
+    let (mut world, deploy) = build(3, GlsConfig::default());
+    run_driver(
+        &mut world,
+        HostId(0),
+        vec![DriverOp::Lookup(ObjectId(0xDEAD))],
+        &deploy,
+    );
+    world.start();
+    world.run_to_quiescence();
+    match &results(&world, HostId(0))[0] {
+        GlsEvent::LookupDone { result, hops, .. } => {
+            assert_eq!(result.as_ref().unwrap_err(), &GlsError::NotFound);
+            // Climbed all four levels: site, country, region, root.
+            assert_eq!(*hops, 4);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn delete_removes_registration_and_pointers() {
+    let (mut world, deploy) = build(4, GlsConfig::default());
+    let oid = ObjectId(0xFEED);
+    let a = addr_on(HostId(0));
+    run_driver(
+        &mut world,
+        HostId(0),
+        vec![
+            DriverOp::Insert(oid, a, Level::Site),
+            DriverOp::Delete(oid, a, Level::Site),
+            DriverOp::Lookup(oid),
+        ],
+        &deploy,
+    );
+    world.start();
+    world.run_to_quiescence();
+    let rs = results(&world, HostId(0));
+    assert_eq!(rs.len(), 3);
+    assert!(matches!(
+        &rs[2],
+        GlsEvent::LookupDone {
+            result: Err(GlsError::NotFound),
+            ..
+        }
+    ));
+    // All directory nodes are empty again (pointer path shrank).
+    for dom in deploy.domain_ids() {
+        for ep in deploy.subnodes(dom) {
+            let node = world
+                .service::<DirectoryNode>(ep.host, ep.port)
+                .expect("node installed");
+            assert_eq!(node.num_entries(), 0, "entries left at {}", deploy.name(dom));
+        }
+    }
+}
+
+#[test]
+fn multiple_replicas_returns_the_near_one() {
+    // Replicas in both regions; a client in region 1 must resolve to the
+    // region-1 replica without ever seeing region 0's.
+    let (mut world, deploy) = build(5, GlsConfig::default());
+    let oid = ObjectId(0xC0FFEE);
+    let replica_r0 = addr_on(HostId(0));
+    let replica_r1 = addr_on(HostId(12));
+    run_driver(
+        &mut world,
+        HostId(0),
+        vec![DriverOp::Insert(oid, replica_r0, Level::Site)],
+        &deploy,
+    );
+    run_driver(
+        &mut world,
+        HostId(12),
+        vec![DriverOp::Insert(oid, replica_r1, Level::Site)],
+        &deploy,
+    );
+    world.start();
+    world.run_for(SimDuration::from_secs(2));
+    run_driver(&mut world, HostId(13), vec![DriverOp::Lookup(oid)], &deploy);
+    world.run_to_quiescence();
+    match &results(&world, HostId(13))[0] {
+        GlsEvent::LookupDone { result, hops, .. } => {
+            assert_eq!(result.as_ref().unwrap(), &vec![replica_r1]);
+            // Resolved inside the site: the replica is in the client's
+            // own leaf domain.
+            assert_eq!(*hops, 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn survives_datagram_loss_via_retries() {
+    let topo = Topology::grid(2, 2, 2, 3);
+    let mut world = World::new(topo, NetParams::default().with_datagram_loss(0.25), 42);
+    let deploy = GlsDeployment::plan(world.topology(), &GlsConfig::default());
+    deploy.install(&mut world);
+    let oid = ObjectId(0xA5A5);
+    run_driver(
+        &mut world,
+        HostId(0),
+        vec![
+            DriverOp::Insert(oid, addr_on(HostId(0)), Level::Site),
+            DriverOp::Lookup(oid),
+        ],
+        &deploy,
+    );
+    world.start();
+    world.run_until(SimTime::from_secs(60));
+    let rs = results(&world, HostId(0));
+    // With 25% loss and 4 attempts per op the sequence completes with
+    // overwhelming probability at this seed; what matters is that no
+    // event is silently dropped.
+    assert_eq!(rs.len(), 2, "events: {rs:?}");
+}
+
+#[test]
+fn persistence_recovers_after_crash() {
+    let (mut world, deploy) = build(7, GlsConfig::default().with_persistence());
+    let oid = ObjectId(0xBEEF);
+    run_driver(
+        &mut world,
+        HostId(1),
+        vec![DriverOp::Insert(oid, addr_on(HostId(0)), Level::Site)],
+        &deploy,
+    );
+    world.start();
+    world.run_for(SimDuration::from_secs(2));
+
+    // Crash every directory-node host, then recover.
+    let node_hosts: std::collections::BTreeSet<HostId> = deploy
+        .domain_ids()
+        .flat_map(|d| deploy.subnodes(d).iter().map(|e| e.host).collect::<Vec<_>>())
+        .collect();
+    for &h in &node_hosts {
+        world.crash_host(h);
+    }
+    world.run_for(SimDuration::from_secs(1));
+    for &h in &node_hosts {
+        world.recover_host(h);
+    }
+    world.run_for(SimDuration::from_secs(1));
+
+    // A fresh client still finds the object.
+    run_driver(&mut world, HostId(3), vec![DriverOp::Lookup(oid)], &deploy);
+    world.run_to_quiescence();
+    match &results(&world, HostId(3))[0] {
+        GlsEvent::LookupDone { result, .. } => {
+            assert_eq!(result.as_ref().unwrap(), &vec![addr_on(HostId(0))]);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn without_persistence_crash_loses_registrations() {
+    let (mut world, deploy) = build(8, GlsConfig::default());
+    let oid = ObjectId(0xB0B0);
+    run_driver(
+        &mut world,
+        HostId(1),
+        vec![DriverOp::Insert(oid, addr_on(HostId(0)), Level::Site)],
+        &deploy,
+    );
+    world.start();
+    world.run_for(SimDuration::from_secs(2));
+    let node_hosts: std::collections::BTreeSet<HostId> = deploy
+        .domain_ids()
+        .flat_map(|d| deploy.subnodes(d).iter().map(|e| e.host).collect::<Vec<_>>())
+        .collect();
+    for &h in &node_hosts {
+        world.crash_host(h);
+        world.recover_host(h);
+    }
+    run_driver(&mut world, HostId(3), vec![DriverOp::Lookup(oid)], &deploy);
+    world.run_to_quiescence();
+    assert!(matches!(
+        &results(&world, HostId(3))[0],
+        GlsEvent::LookupDone {
+            result: Err(GlsError::NotFound),
+            ..
+        }
+    ));
+}
+
+#[test]
+fn root_partitioning_spreads_load() {
+    // Many objects registered in region 0, looked up from region 1 so
+    // every lookup crosses the root. With 4 root subnodes the load must
+    // spread across all of them.
+    let topo = Topology::grid(2, 2, 2, 3);
+    let mut world = World::new(topo, NetParams::default(), 9);
+    let cfg = GlsConfig::default().with_root_subnodes(4);
+    let deploy = GlsDeployment::plan(world.topology(), &cfg);
+    deploy.install(&mut world);
+
+    let mut script_insert = Vec::new();
+    let mut script_lookup = Vec::new();
+    for i in 0..64u128 {
+        let oid = ObjectId(0x1000 + i * 7919);
+        script_insert.push(DriverOp::Insert(oid, addr_on(HostId(0)), Level::Site));
+        script_lookup.push(DriverOp::Lookup(oid));
+    }
+    run_driver(&mut world, HostId(0), script_insert, &deploy);
+    world.start();
+    world.run_for(SimDuration::from_secs(30));
+    run_driver(&mut world, HostId(12), script_lookup, &deploy);
+    world.run_to_quiescence();
+
+    // Lookups all succeeded.
+    let rs = results(&world, HostId(12));
+    assert_eq!(rs.len(), 64);
+    for r in rs {
+        assert!(matches!(r, GlsEvent::LookupDone { result: Ok(_), .. }), "{r:?}");
+    }
+    // Each root subnode carried some of the load.
+    let root = deploy.root();
+    let loads: Vec<u64> = deploy
+        .subnodes(root)
+        .iter()
+        .map(|ep| {
+            world
+                .service::<DirectoryNode>(ep.host, ep.port)
+                .expect("root subnode")
+                .stats
+                .total()
+        })
+        .collect();
+    assert_eq!(loads.len(), 4);
+    for (i, &l) in loads.iter().enumerate() {
+        assert!(l > 0, "root subnode {i} idle: {loads:?}");
+    }
+}
+
+#[test]
+fn mobile_store_level_keeps_lookups_at_country() {
+    // Store at country level (the paper's mobile-object optimization):
+    // lookups from another site in the same country resolve at the
+    // country node, even though no leaf has the address.
+    let (mut world, deploy) = build(10, GlsConfig::default());
+    let oid = ObjectId(0x5EED);
+    run_driver(
+        &mut world,
+        HostId(0),
+        vec![DriverOp::Insert(oid, addr_on(HostId(0)), Level::Country)],
+        &deploy,
+    );
+    world.start();
+    world.run_for(SimDuration::from_secs(2));
+    run_driver(&mut world, HostId(3), vec![DriverOp::Lookup(oid)], &deploy);
+    world.run_to_quiescence();
+    match &results(&world, HostId(3))[0] {
+        GlsEvent::LookupDone { result, hops, .. } => {
+            assert!(result.is_ok());
+            // Site (miss) + country (hit) = 2 hops; no descent needed.
+            assert_eq!(*hops, 2);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of GLS invariants: message codec totality and
+//! round trips, subnode routing stability, and deployment structure.
+
+use proptest::prelude::*;
+
+use globe_gls::proto::{AckOp, GlsMsg, Status};
+use globe_gls::{ContactAddress, GlsConfig, GlsDeployment, Level, ObjectId};
+use globe_net::{Endpoint, HostId, Topology};
+
+fn arb_addr() -> impl Strategy<Value = ContactAddress> {
+    (any::<u32>(), any::<u16>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
+        |(h, p, proto, imp, flags)| {
+            ContactAddress::new(Endpoint::new(HostId(h), p), proto, flags & 1).with_impl(imp)
+        },
+    )
+}
+
+fn arb_msg() -> impl Strategy<Value = GlsMsg> {
+    let ep = (any::<u32>(), any::<u16>()).prop_map(|(h, p)| Endpoint::new(HostId(h), p));
+    prop_oneof![
+        (any::<u64>(), any::<u128>(), ep.clone(), any::<u32>()).prop_map(|(req, oid, origin, hops)| {
+            GlsMsg::LookupUp { req, oid: ObjectId(oid), origin, hops }
+        }),
+        (any::<u64>(), any::<u128>(), ep.clone(), any::<u32>()).prop_map(|(req, oid, origin, hops)| {
+            GlsMsg::LookupDown { req, oid: ObjectId(oid), origin, hops }
+        }),
+        (any::<u64>(), any::<u128>(), arb_addr(), ep.clone(), 0u8..4, any::<u32>()).prop_map(
+            |(req, oid, addr, origin, lvl, hops)| GlsMsg::Insert {
+                req,
+                oid: ObjectId(oid),
+                addr,
+                origin,
+                store_level: Level::from_tag(lvl).expect("0..4 is valid"),
+                hops,
+            }
+        ),
+        (any::<u64>(), prop::collection::vec(arb_addr(), 0..8), any::<u32>(), any::<bool>())
+            .prop_map(|(req, addrs, hops, found)| GlsMsg::LookupResp {
+                req,
+                status: if found { Status::Ok } else { Status::NotFound },
+                addrs,
+                hops,
+            }),
+        (any::<u64>(), any::<u32>(), any::<bool>()).prop_map(|(req, hops, ins)| GlsMsg::Ack {
+            req,
+            op: if ins { AckOp::Insert } else { AckOp::Delete },
+            hops,
+        }),
+    ]
+}
+
+proptest! {
+    /// Every GLS message round-trips through the wire codec.
+    #[test]
+    fn gls_messages_round_trip(msg in arb_msg()) {
+        let encoded = msg.encode();
+        prop_assert_eq!(GlsMsg::decode(&encoded).unwrap(), msg);
+    }
+
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn gls_decode_is_total(garbage in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = GlsMsg::decode(&garbage);
+    }
+
+    /// Subnode routing: deterministic, in range, and independent of
+    /// unrelated ids.
+    #[test]
+    fn subnode_index_properties(oid: u128, k in 1u32..64) {
+        let o = ObjectId(oid);
+        let i = o.subnode_index(k);
+        prop_assert!(i < k);
+        prop_assert_eq!(i, o.subnode_index(k));
+        prop_assert_eq!(o.subnode_index(1), 0);
+    }
+
+    /// Deployment structure holds for arbitrary grid shapes: every host
+    /// has a site-level leaf whose ancestor chain reaches the root in
+    /// exactly four levels, and routing picks endpoints of the domain.
+    #[test]
+    fn deployment_structure(
+        regions in 1u32..3, countries in 1u32..3, sites in 1u32..3, hosts in 1u32..3,
+        oid: u128, root_subnodes in 1u32..8,
+    ) {
+        let topo = Topology::grid(regions, countries, sites, hosts);
+        let cfg = GlsConfig::default().with_root_subnodes(root_subnodes);
+        let deploy = GlsDeployment::plan(&topo, &cfg);
+        prop_assert_eq!(
+            deploy.num_domains(),
+            1 + topo.num_regions() + topo.num_countries() + topo.num_sites()
+        );
+        for h in topo.hosts() {
+            let mut d = deploy.leaf_domain(&topo, h);
+            let mut depth = 1;
+            while let Some(p) = deploy.parent(d) {
+                d = p;
+                depth += 1;
+            }
+            prop_assert_eq!(depth, 4);
+            prop_assert_eq!(d, deploy.root());
+        }
+        let ep = deploy.route(deploy.root(), ObjectId(oid));
+        prop_assert!(deploy.subnodes(deploy.root()).contains(&ep));
+    }
+}

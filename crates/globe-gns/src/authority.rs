@@ -1,0 +1,642 @@
+//! The GNS Naming Authority and its client.
+//!
+//! The paper (§6.1): "the GNS Naming Authority ... is the daemon that
+//! sends DNS UPDATE messages to the name servers responsible for the GDN
+//! Zone, in response to add and remove requests from clients", and "a
+//! GDN Naming Authority should accept only updates from moderator tools
+//! operated by official GDN moderators."
+//!
+//! Enforcement here is exactly that: requests arrive over two-way
+//! authenticated gTLS channels, the peer certificate's role must be
+//! moderator or administrator, and accepted operations are *batched*
+//! (paper §5: "the number of updates to our zone can be kept low by
+//! batching them") into TSIG-signed DNS UPDATEs sent to the GDN Zone's
+//! primary server.
+
+use std::collections::BTreeMap;
+
+use globe_crypto::cert::Role;
+use globe_crypto::channel::SecureChannels;
+use globe_crypto::gtls::{TlsConfig, TlsEvent};
+use globe_gls::ObjectId;
+use globe_net::{
+    impl_service_any, ns_token, owns_token, token_id, CloseReason, ConnEvent, ConnId, Endpoint,
+    Service, ServiceCtx, WireError, WireReader, WireWriter,
+};
+use globe_sim::{SimDuration, SimTime};
+
+use crate::name::{DnsName, GlobeName};
+use crate::proto::{tsig_mac, DnsMsg, Rcode, UpdateOp};
+use crate::records::{RData, RecordType, ResourceRecord};
+
+/// Timer namespace for batch flushes.
+const NA_FLUSH_NS: u16 = 0x4E41;
+/// Timer namespace for update retries.
+const NA_RETRY_NS: u16 = 0x4E42;
+/// Flush timer id.
+const FLUSH_TOKEN_ID: u64 = 1;
+
+/// Encodes an object id as the TXT payload of a GNS record (paper §5:
+/// "a TXT DNS Resource Record that contains the encoded object
+/// identifier").
+pub fn oid_to_txt(oid: ObjectId) -> String {
+    format!("oid={:032x}", oid.0)
+}
+
+/// Parses a GNS TXT payload back into an object id.
+pub fn txt_to_oid(txt: &str) -> Option<ObjectId> {
+    let hex = txt.strip_prefix("oid=")?;
+    if hex.len() != 32 {
+        return None;
+    }
+    u128::from_str_radix(hex, 16).ok().map(ObjectId)
+}
+
+/// Requests a moderator tool sends to the Naming Authority.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NaRequest {
+    /// Bind `name` to `oid` in the GDN Zone (replacing any previous
+    /// binding).
+    Add {
+        /// Request id, echoed in the response.
+        req: u64,
+        /// The Globe object name, e.g. `/apps/graphics/gimp`.
+        name: String,
+        /// The object identifier to bind.
+        oid: ObjectId,
+    },
+    /// Remove `name` from the GDN Zone.
+    Remove {
+        /// Request id, echoed in the response.
+        req: u64,
+        /// The Globe object name to unbind.
+        name: String,
+    },
+}
+
+/// The Naming Authority's answer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NaResponse {
+    /// Echoes the request id.
+    pub req: u64,
+    /// `None` on success, or a human-readable refusal reason.
+    pub error: Option<String>,
+}
+
+const T_ADD: u8 = 1;
+const T_REMOVE: u8 = 2;
+const T_RESP: u8 = 3;
+
+impl NaRequest {
+    /// Serializes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            NaRequest::Add { req, name, oid } => {
+                w.put_u8(T_ADD);
+                w.put_u64(*req);
+                w.put_str(name);
+                w.put_u128(oid.0);
+            }
+            NaRequest::Remove { req, name } => {
+                w.put_u8(T_REMOVE);
+                w.put_u64(*req);
+                w.put_str(name);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a request.
+    pub fn decode(buf: &[u8]) -> Result<NaRequest, WireError> {
+        let mut r = WireReader::new(buf);
+        let msg = match r.u8()? {
+            T_ADD => NaRequest::Add {
+                req: r.u64()?,
+                name: r.str()?.to_owned(),
+                oid: ObjectId(r.u128()?),
+            },
+            T_REMOVE => NaRequest::Remove {
+                req: r.u64()?,
+                name: r.str()?.to_owned(),
+            },
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+}
+
+impl NaResponse {
+    /// Serializes the response.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u8(T_RESP);
+        w.put_u64(self.req);
+        match &self.error {
+            None => w.put_bool(false),
+            Some(e) => {
+                w.put_bool(true);
+                w.put_str(e);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a response.
+    pub fn decode(buf: &[u8]) -> Result<NaResponse, WireError> {
+        let mut r = WireReader::new(buf);
+        if r.u8()? != T_RESP {
+            return Err(WireError::BadTag(T_RESP));
+        }
+        let req = r.u64()?;
+        let error = if r.bool()? {
+            Some(r.str()?.to_owned())
+        } else {
+            None
+        };
+        r.expect_end()?;
+        Ok(NaResponse { req, error })
+    }
+}
+
+/// Counters for the Naming Authority.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AuthorityStats {
+    /// Requests accepted and queued.
+    pub accepted: u64,
+    /// Requests denied (role or name validation).
+    pub denied: u64,
+    /// UPDATE batches sent to the primary.
+    pub batches: u64,
+    /// Individual operations flushed.
+    pub ops_flushed: u64,
+}
+
+/// The GNS Naming Authority daemon.
+pub struct NamingAuthority {
+    tls: TlsConfig,
+    chans: SecureChannels,
+    zone: DnsName,
+    primary: Endpoint,
+    tsig_key_name: String,
+    tsig_secret: Vec<u8>,
+    record_ttl: u32,
+    batch_interval: SimDuration,
+    /// Accept requests from unauthenticated peers (the paper's
+    /// unsecured first version).
+    open: bool,
+    queue: Vec<UpdateOp>,
+    next_qid: u64,
+    /// In-flight UPDATEs awaiting acknowledgement: qid → (ops, attempts).
+    inflight: BTreeMap<u64, (Vec<UpdateOp>, u32)>,
+    /// Load counters.
+    pub stats: AuthorityStats,
+}
+
+impl NamingAuthority {
+    /// Creates the authority for `zone`, flushing to `primary`.
+    ///
+    /// `tls` must be a two-way (mutual) configuration; role enforcement
+    /// happens per request against the authenticated peer certificate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        tls: TlsConfig,
+        zone: DnsName,
+        primary: Endpoint,
+        tsig_key_name: &str,
+        tsig_secret: Vec<u8>,
+        record_ttl: u32,
+        batch_interval: SimDuration,
+    ) -> NamingAuthority {
+        NamingAuthority {
+            tls,
+            chans: SecureChannels::new(),
+            zone,
+            primary,
+            tsig_key_name: tsig_key_name.to_owned(),
+            tsig_secret,
+            record_ttl,
+            batch_interval,
+            open: false,
+            queue: Vec::new(),
+            next_qid: 1,
+            inflight: BTreeMap::new(),
+            stats: AuthorityStats::default(),
+        }
+    }
+
+    /// Disables the moderator-role check (paper's June-2000 version).
+    pub fn with_open_access(mut self) -> NamingAuthority {
+        self.open = true;
+        self
+    }
+
+    fn send_secured(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, plaintext: &[u8]) {
+        if let Ok((rec, cost)) = self.chans.seal(conn.0, plaintext) {
+            ctx.send_delayed(conn, rec, cost);
+        }
+    }
+
+    fn process_request(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, data: &[u8]) {
+        let Ok(reqmsg) = NaRequest::decode(data) else {
+            ctx.metrics().inc("gns.na.malformed", 1);
+            return;
+        };
+        // Authorization: peer must be an official moderator (or an
+        // administrator — they hand out moderator privileges and hold a
+        // superset of them).
+        let role = self.chans.peer(conn.0).map(|c| c.role);
+        let authorized =
+            self.open || matches!(role, Some(Role::Moderator) | Some(Role::Administrator));
+        let (req, outcome) = match (&reqmsg, authorized) {
+            (NaRequest::Add { req, .. }, false) | (NaRequest::Remove { req, .. }, false) => {
+                self.stats.denied += 1;
+                ctx.metrics().inc("gns.na.denied", 1);
+                (*req, Some("moderator role required".to_owned()))
+            }
+            (NaRequest::Add { req, name, oid }, true) => match GlobeName::parse(name) {
+                Ok(gname) => match gname.to_dns(&self.zone) {
+                    Ok(dns) => {
+                        // Replace any existing binding.
+                        self.queue
+                            .push(UpdateOp::DeleteRrset(dns.clone(), RecordType::Txt));
+                        self.queue.push(UpdateOp::Add(ResourceRecord::new(
+                            dns,
+                            self.record_ttl,
+                            RData::Txt(oid_to_txt(*oid)),
+                        )));
+                        self.stats.accepted += 1;
+                        (*req, None)
+                    }
+                    Err(e) => (*req, Some(e.to_string())),
+                },
+                Err(e) => (*req, Some(e.to_string())),
+            },
+            (NaRequest::Remove { req, name }, true) => match GlobeName::parse(name) {
+                Ok(gname) => match gname.to_dns(&self.zone) {
+                    Ok(dns) => {
+                        self.queue.push(UpdateOp::DeleteRrset(dns, RecordType::Txt));
+                        self.stats.accepted += 1;
+                        (*req, None)
+                    }
+                    Err(e) => (*req, Some(e.to_string())),
+                },
+                Err(e) => (*req, Some(e.to_string())),
+            },
+        };
+        let resp = NaResponse {
+            req,
+            error: outcome,
+        };
+        let bytes = resp.encode();
+        self.send_secured(ctx, conn, &bytes);
+        // Immediate flush when batching is disabled.
+        if self.batch_interval == SimDuration::ZERO {
+            self.flush(ctx);
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let ops = std::mem::take(&mut self.queue);
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        let mac = tsig_mac(&self.tsig_secret, &self.zone, &ops, &self.tsig_key_name);
+        let msg = DnsMsg::Update {
+            qid,
+            zone: self.zone.clone(),
+            ops: ops.clone(),
+            key_name: self.tsig_key_name.clone(),
+            mac,
+        };
+        ctx.send_datagram(self.primary, msg.encode());
+        ctx.set_timer(SimDuration::from_secs(3), ns_token(NA_RETRY_NS, qid));
+        self.stats.batches += 1;
+        self.stats.ops_flushed += ops.len() as u64;
+        ctx.metrics().inc("gns.na.batches", 1);
+        ctx.metrics().inc("gns.na.ops", ops.len() as u64);
+        self.inflight.insert(qid, (ops, 1));
+    }
+}
+
+impl Service for NamingAuthority {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if self.batch_interval > SimDuration::ZERO {
+            ctx.set_timer(self.batch_interval, ns_token(NA_FLUSH_NS, FLUSH_TOKEN_ID));
+        }
+    }
+
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match ev {
+            ConnEvent::Incoming { .. } => {
+                self.chans.accept(conn.0, self.tls.clone());
+            }
+            ConnEvent::Msg(data) => {
+                let out = match self.chans.on_message(conn.0, &data, ctx.rng()) {
+                    Ok((out, cost)) => {
+                        for reply in &out.replies {
+                            ctx.send_delayed(conn, reply.clone(), cost);
+                        }
+                        out
+                    }
+                    Err(e) => {
+                        ctx.metrics().inc("gns.na.tls_errors", 1);
+                        ctx.trace_info("gns.na", format!("tls error on {conn}: {e}"));
+                        ctx.close(conn);
+                        self.chans.remove(conn.0);
+                        return;
+                    }
+                };
+                for ev in out.events {
+                    if let TlsEvent::Data(plaintext) = ev {
+                        self.process_request(ctx, conn, &plaintext);
+                    }
+                }
+            }
+            ConnEvent::Closed(_) => {
+                self.chans.remove(conn.0);
+            }
+            ConnEvent::Opened => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if owns_token(NA_FLUSH_NS, token) {
+            self.flush(ctx);
+            ctx.set_timer(self.batch_interval, ns_token(NA_FLUSH_NS, FLUSH_TOKEN_ID));
+            return;
+        }
+        if owns_token(NA_RETRY_NS, token) {
+            let qid = token_id(token);
+            let Some((ops, attempts)) = self.inflight.remove(&qid) else {
+                return;
+            };
+            if attempts >= 3 {
+                ctx.metrics().inc("gns.na.update_failures", 1);
+                return;
+            }
+            let mac = tsig_mac(&self.tsig_secret, &self.zone, &ops, &self.tsig_key_name);
+            let msg = DnsMsg::Update {
+                qid,
+                zone: self.zone.clone(),
+                ops: ops.clone(),
+                key_name: self.tsig_key_name.clone(),
+                mac,
+            };
+            ctx.send_datagram(self.primary, msg.encode());
+            ctx.set_timer(SimDuration::from_secs(3), ns_token(NA_RETRY_NS, qid));
+            self.inflight.insert(qid, (ops, attempts + 1));
+        }
+    }
+
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, _from: Endpoint, payload: Vec<u8>) {
+        if let Ok(DnsMsg::UpdateResp { qid, rcode }) = DnsMsg::decode(&payload) {
+            if self.inflight.remove(&qid).is_some() && rcode != Rcode::Ok {
+                ctx.metrics().inc("gns.na.update_rejected", 1);
+            }
+        }
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        self.chans = SecureChannels::new();
+        self.queue.clear();
+        self.inflight.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if self.batch_interval > SimDuration::ZERO {
+            ctx.set_timer(self.batch_interval, ns_token(NA_FLUSH_NS, FLUSH_TOKEN_ID));
+        }
+    }
+
+    impl_service_any!();
+}
+
+/// Completion events from [`NaClient::take_events`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NaEvent {
+    /// A request completed.
+    Done {
+        /// Caller-chosen correlation token.
+        token: u64,
+        /// `Ok` or the refusal reason.
+        result: Result<(), String>,
+    },
+    /// The connection to the authority failed.
+    ConnectionFailed(CloseReason),
+}
+
+/// Moderator-tool side of the Naming Authority protocol.
+///
+/// Maintains one secured connection to the authority and correlates
+/// requests with responses. Embedded in the moderator tool service.
+pub struct NaClient {
+    authority: Endpoint,
+    tls: TlsConfig,
+    conn: Option<ConnId>,
+    established: bool,
+    chans: SecureChannels,
+    next_req: u64,
+    /// Requests not yet transmitted (pre-handshake).
+    backlog: Vec<NaRequest>,
+    /// Sent requests awaiting responses: req → user token.
+    pending: BTreeMap<u64, u64>,
+    events: Vec<NaEvent>,
+}
+
+impl NaClient {
+    /// Creates a client for the authority at `authority`; `tls` must
+    /// carry the moderator's credentials (two-way auth).
+    pub fn new(authority: Endpoint, tls: TlsConfig) -> NaClient {
+        NaClient {
+            authority,
+            tls,
+            conn: None,
+            established: false,
+            chans: SecureChannels::new(),
+            next_req: 1,
+            backlog: Vec::new(),
+            pending: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    fn ensure_connected(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if self.conn.is_some() {
+            return;
+        }
+        let conn = ctx.connect(self.authority);
+        let (hello, cost) = self
+            .chans
+            .open_client(conn.0, self.tls.clone(), ctx.rng())
+            .expect("client config is valid");
+        ctx.send_delayed(conn, hello, cost);
+        self.conn = Some(conn);
+    }
+
+    fn transmit(&mut self, ctx: &mut ServiceCtx<'_>, req: &NaRequest) {
+        let conn = self.conn.expect("transmit after connect");
+        let bytes = req.encode();
+        if let Ok((rec, cost)) = self.chans.seal(conn.0, &bytes) {
+            ctx.send_delayed(conn, rec, cost);
+        }
+    }
+
+    /// Requests `name → oid`; completes with `token`.
+    pub fn add(&mut self, ctx: &mut ServiceCtx<'_>, name: &str, oid: ObjectId, token: u64) {
+        self.ensure_connected(ctx);
+        let req = NaRequest::Add {
+            req: self.next_req,
+            name: name.to_owned(),
+            oid,
+        };
+        self.pending.insert(self.next_req, token);
+        self.next_req += 1;
+        if self.established {
+            self.transmit(ctx, &req);
+        } else {
+            self.backlog.push(req);
+        }
+    }
+
+    /// Requests removal of `name`; completes with `token`.
+    pub fn remove(&mut self, ctx: &mut ServiceCtx<'_>, name: &str, token: u64) {
+        self.ensure_connected(ctx);
+        let req = NaRequest::Remove {
+            req: self.next_req,
+            name: name.to_owned(),
+        };
+        self.pending.insert(self.next_req, token);
+        self.next_req += 1;
+        if self.established {
+            self.transmit(ctx, &req);
+        } else {
+            self.backlog.push(req);
+        }
+    }
+
+    /// Routes a connection event; `true` if it belonged to this client.
+    pub fn handle_conn_event(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        conn: ConnId,
+        ev: &ConnEvent,
+    ) -> bool {
+        if self.conn != Some(conn) {
+            return false;
+        }
+        match ev {
+            ConnEvent::Opened => {}
+            ConnEvent::Msg(data) => {
+                match self.chans.on_message(conn.0, data, ctx.rng()) {
+                    Ok((out, cost)) => {
+                        for reply in &out.replies {
+                            ctx.send_delayed(conn, reply.clone(), cost);
+                        }
+                        for ev in out.events {
+                            match ev {
+                                TlsEvent::Established { .. } => {
+                                    self.established = true;
+                                    let backlog = std::mem::take(&mut self.backlog);
+                                    for req in &backlog {
+                                        self.transmit(ctx, req);
+                                    }
+                                }
+                                TlsEvent::Data(plaintext) => {
+                                    if let Ok(resp) = NaResponse::decode(&plaintext) {
+                                        if let Some(token) = self.pending.remove(&resp.req) {
+                                            self.events.push(NaEvent::Done {
+                                                token,
+                                                result: match resp.error {
+                                                    None => Ok(()),
+                                                    Some(e) => Err(e),
+                                                },
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        ctx.close(conn);
+                    }
+                }
+            }
+            ConnEvent::Closed(reason) => {
+                self.chans.remove(conn.0);
+                self.conn = None;
+                self.established = false;
+                if !self.pending.is_empty() {
+                    self.events.push(NaEvent::ConnectionFailed(*reason));
+                    // Fail all outstanding requests.
+                    for (_, token) in std::mem::take(&mut self.pending) {
+                        self.events.push(NaEvent::Done {
+                            token,
+                            result: Err(format!("connection lost: {reason}")),
+                        });
+                    }
+                    self.backlog.clear();
+                }
+            }
+            ConnEvent::Incoming { .. } => return false,
+        }
+        true
+    }
+
+    /// Drains completion events.
+    pub fn take_events(&mut self) -> Vec<NaEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oid_txt_round_trip() {
+        let oid = ObjectId(0xDEAD_BEEF_0000_0001);
+        let txt = oid_to_txt(oid);
+        assert!(txt.starts_with("oid="));
+        assert_eq!(txt_to_oid(&txt).unwrap(), oid);
+        assert!(txt_to_oid("junk").is_none());
+        assert!(txt_to_oid("oid=zz").is_none());
+        assert!(txt_to_oid("oid=ff").is_none()); // wrong length
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let reqs = vec![
+            NaRequest::Add {
+                req: 1,
+                name: "/apps/gimp".into(),
+                oid: ObjectId(7),
+            },
+            NaRequest::Remove {
+                req: 2,
+                name: "/apps/gimp".into(),
+            },
+        ];
+        for r in reqs {
+            assert_eq!(NaRequest::decode(&r.encode()).unwrap(), r);
+        }
+        for resp in [
+            NaResponse {
+                req: 1,
+                error: None,
+            },
+            NaResponse {
+                req: 2,
+                error: Some("denied".into()),
+            },
+        ] {
+            assert_eq!(NaResponse::decode(&resp.encode()).unwrap(), resp);
+        }
+        assert!(NaRequest::decode(&[9]).is_err());
+        assert!(NaResponse::decode(&[1, 2, 3]).is_err());
+    }
+}

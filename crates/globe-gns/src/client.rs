@@ -1,0 +1,231 @@
+//! The embeddable DNS stub client.
+//!
+//! A [`DnsStub`] lives inside another service (HTTPDs, the Globe
+//! runtime, moderator tools) and sends recursive queries to the host's
+//! site-local caching resolver, retrying on datagram loss. The owning
+//! service routes datagrams and timers to it and drains completion
+//! events — the same embedding pattern as `globe_gls::GlsClient`.
+
+use std::collections::BTreeMap;
+
+use globe_net::{ns_token, owns_token, token_id, Endpoint, ServiceCtx, TimerId};
+use globe_sim::{SimDuration, SimTime};
+
+use crate::name::DnsName;
+use crate::proto::{DnsMsg, Rcode};
+use crate::records::{RecordType, ResourceRecord};
+
+/// Errors surfaced by the stub.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DnsError {
+    /// The name does not exist (or has no data of the queried type).
+    NxDomain,
+    /// The resolver gave up (upstream failures).
+    ServFail,
+    /// No response after all retries.
+    Timeout,
+    /// The resolver refused the query.
+    Refused,
+}
+
+impl std::fmt::Display for DnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnsError::NxDomain => write!(f, "name does not exist"),
+            DnsError::ServFail => write!(f, "resolution failed"),
+            DnsError::Timeout => write!(f, "resolver did not respond"),
+            DnsError::Refused => write!(f, "query refused"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}
+
+/// Completion events from [`DnsStub::take_events`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DnsEvent {
+    /// A query finished.
+    Answer {
+        /// Caller-chosen correlation token.
+        token: u64,
+        /// The records, or why there are none.
+        result: Result<Vec<ResourceRecord>, DnsError>,
+        /// End-to-end latency of the query.
+        latency: SimDuration,
+    },
+}
+
+#[derive(Debug)]
+struct Pending {
+    user_token: u64,
+    payload: Vec<u8>,
+    attempts: u32,
+    started: SimTime,
+    timer: TimerId,
+}
+
+/// Client-side stub resolver talking to one caching resolver.
+pub struct DnsStub {
+    resolver: Endpoint,
+    ns: u16,
+    timeout: SimDuration,
+    max_attempts: u32,
+    next_qid: u64,
+    pending: BTreeMap<u64, Pending>,
+    events: Vec<DnsEvent>,
+}
+
+impl DnsStub {
+    /// Creates a stub pointed at `resolver`, using timer namespace `ns`.
+    pub fn new(resolver: Endpoint, ns: u16) -> DnsStub {
+        DnsStub {
+            resolver,
+            ns,
+            timeout: SimDuration::from_millis(4_000),
+            max_attempts: 3,
+            next_qid: 1,
+            pending: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-attempt timeout (default 4 s — a recursive
+    /// query may fan out several upstream round trips).
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The resolver this stub queries.
+    pub fn resolver(&self) -> Endpoint {
+        self.resolver
+    }
+
+    /// Number of in-flight queries.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Starts a recursive query; completion arrives as
+    /// [`DnsEvent::Answer`] with `token`.
+    pub fn query(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        name: DnsName,
+        rtype: RecordType,
+        token: u64,
+    ) {
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        let payload = DnsMsg::Query {
+            qid,
+            name,
+            rtype,
+            recursion_desired: true,
+        }
+        .encode();
+        ctx.send_datagram(self.resolver, payload.clone());
+        let timer = ctx.set_timer(self.timeout, ns_token(self.ns, qid));
+        self.pending.insert(
+            qid,
+            Pending {
+                user_token: token,
+                payload,
+                attempts: 1,
+                started: ctx.now(),
+                timer,
+            },
+        );
+    }
+
+    /// Routes an inbound datagram; `true` if it was a DNS response for
+    /// this stub.
+    pub fn handle_datagram(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        _from: Endpoint,
+        payload: &[u8],
+    ) -> bool {
+        let Ok(DnsMsg::Response {
+            qid,
+            rcode,
+            answers,
+            ..
+        }) = DnsMsg::decode(payload)
+        else {
+            return false;
+        };
+        let Some(p) = self.pending.remove(&qid) else {
+            return true; // late duplicate
+        };
+        ctx.cancel_timer(p.timer);
+        let latency = ctx.now().saturating_sub(p.started);
+        ctx.metrics()
+            .record("dns.stub.latency_us", latency.as_micros());
+        let result = match rcode {
+            Rcode::Ok if !answers.is_empty() => Ok(answers),
+            Rcode::Ok | Rcode::NxDomain => Err(DnsError::NxDomain),
+            Rcode::Refused => Err(DnsError::Refused),
+            Rcode::ServFail | Rcode::NotAuth => Err(DnsError::ServFail),
+        };
+        self.events.push(DnsEvent::Answer {
+            token: p.user_token,
+            result,
+            latency,
+        });
+        true
+    }
+
+    /// Routes a timer; `true` if the token belonged to this stub.
+    pub fn handle_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) -> bool {
+        if !owns_token(self.ns, token) {
+            return false;
+        }
+        let qid = token_id(token);
+        let Some(p) = self.pending.get_mut(&qid) else {
+            return true;
+        };
+        if p.attempts >= self.max_attempts {
+            let p = self.pending.remove(&qid).expect("checked above");
+            ctx.metrics().inc("dns.stub.timeouts", 1);
+            self.events.push(DnsEvent::Answer {
+                token: p.user_token,
+                result: Err(DnsError::Timeout),
+                latency: ctx.now().saturating_sub(p.started),
+            });
+        } else {
+            p.attempts += 1;
+            let payload = p.payload.clone();
+            let resolver = self.resolver;
+            ctx.send_datagram(resolver, payload);
+            p.timer = ctx.set_timer(self.timeout, ns_token(self.ns, qid));
+            ctx.metrics().inc("dns.stub.retries", 1);
+        }
+        true
+    }
+
+    /// Drains completion events.
+    pub fn take_events(&mut self) -> Vec<DnsEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use globe_net::HostId;
+
+    #[test]
+    fn error_display() {
+        assert!(DnsError::NxDomain.to_string().contains("not exist"));
+        assert!(DnsError::Timeout.to_string().contains("respond"));
+    }
+
+    #[test]
+    fn stub_accessors() {
+        let ep = Endpoint::new(HostId(1), 5353);
+        let stub = DnsStub::new(ep, 3);
+        assert_eq!(stub.resolver(), ep);
+        assert_eq!(stub.in_flight(), 0);
+    }
+}

@@ -1,0 +1,436 @@
+//! The Globe Name Service layer: deployment planning and the
+//! name-resolution client.
+//!
+//! Ties the DNS substrate together into the paper's §5 architecture:
+//!
+//! - a DNS hierarchy (`.` → `glb.` → `gdn.glb.`) with the *GDN Zone* as
+//!   a single leaf domain holding every package name;
+//! - one caching resolver per site;
+//! - one primary + N secondary authoritative servers for the GDN Zone
+//!   ("we can distribute the load by creating multiple authoritative
+//!   name servers");
+//! - the Naming Authority accepting moderator updates.
+//!
+//! [`GnsClient`] performs the user-visible operation: Globe object name
+//! → DNS name (zone prefixing, §5) → TXT record → object identifier.
+
+use std::fmt;
+
+use globe_crypto::cert::{CertAuthority, Credentials, Role};
+use globe_crypto::gtls::{Mode, TlsConfig};
+use globe_gls::ObjectId;
+use globe_net::{ports, Endpoint, HostId, ServiceCtx, Topology, World};
+use globe_sim::SimDuration;
+
+use crate::authority::{txt_to_oid, NamingAuthority};
+use crate::client::{DnsError, DnsEvent, DnsStub};
+use crate::name::{DnsName, GlobeName, NameError};
+use crate::records::{RData, RecordType, ResourceRecord, Zone};
+use crate::resolver::Resolver;
+use crate::server::AuthServer;
+
+/// Port caching resolvers listen on (authoritative servers own 53).
+pub const RESOLVER_PORT: u16 = 5353;
+
+/// GNS deployment configuration.
+#[derive(Clone, Debug)]
+pub struct GnsConfig {
+    /// Secondary authoritative servers for the GDN Zone (total servers
+    /// is `1 + gdn_secondaries`).
+    pub gdn_secondaries: u32,
+    /// TTL of name→OID TXT records, seconds. The paper's scalability
+    /// argument (§5) rests on these mappings being stable, hence long
+    /// TTLs; experiment E6 sweeps this.
+    pub record_ttl: u32,
+    /// Negative-caching TTL of the GDN Zone.
+    pub negative_ttl: u32,
+    /// How long the Naming Authority batches updates before flushing
+    /// (zero flushes immediately).
+    pub batch_interval: SimDuration,
+    /// Channel protection for moderator↔authority traffic. The paper
+    /// uses TLS (confidentiality included); experiments compare modes.
+    pub tls_mode: Mode,
+}
+
+impl Default for GnsConfig {
+    fn default() -> Self {
+        GnsConfig {
+            gdn_secondaries: 2,
+            record_ttl: 3_600,
+            negative_ttl: 60,
+            batch_interval: SimDuration::from_secs(5),
+            tls_mode: Mode::AuthEncrypt,
+        }
+    }
+}
+
+/// Where every GNS component lives.
+#[derive(Clone, Debug)]
+pub struct GnsDeployment {
+    /// The GDN Zone origin (`gdn.glb.`).
+    pub zone: DnsName,
+    /// Root DNS servers (hints for every resolver).
+    pub root_servers: Vec<Endpoint>,
+    /// The `glb.` TLD server.
+    pub tld_server: Endpoint,
+    /// Primary authoritative server for the GDN Zone (receives UPDATEs).
+    pub gdn_primary: Endpoint,
+    /// Secondary authoritative servers for the GDN Zone.
+    pub gdn_secondaries: Vec<Endpoint>,
+    /// Caching resolver of each site, indexed by site id.
+    pub resolvers: Vec<Endpoint>,
+    /// The Naming Authority endpoint.
+    pub naming_authority: Endpoint,
+    /// TSIG key name shared by the authority and the GDN Zone servers.
+    pub tsig_key_name: String,
+}
+
+impl GnsDeployment {
+    /// Plans component placement over `topo`.
+    ///
+    /// The root and TLD servers and the Naming Authority sit at the
+    /// first host; GDN Zone servers spread across countries so that the
+    /// "multiple authoritative name servers" actually buy geographic
+    /// load distribution; every site's first host runs the site
+    /// resolver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no hosts.
+    pub fn plan(topo: &Topology, cfg: &GnsConfig) -> GnsDeployment {
+        assert!(topo.num_hosts() > 0, "topology has no hosts");
+        let zone = DnsName::parse("gdn.glb").expect("constant zone name");
+        let first_host_of_site =
+            |s| topo.hosts_in_site(s).first().copied().unwrap_or(HostId(0));
+        // Spread GDN servers over countries: candidate pool visits every
+        // country's hosts in round-robin order, skipping hosts already
+        // serving DNS (the root/TLD server at host 0) while possible.
+        let mut pool: Vec<HostId> = Vec::new();
+        let country_hosts: Vec<Vec<HostId>> = topo
+            .countries()
+            .map(|c| {
+                topo.sites()
+                    .filter(|&s| topo.country_of(s) == c)
+                    .flat_map(|s| topo.hosts_in_site(s).iter().copied())
+                    .collect()
+            })
+            .collect();
+        let deepest = country_hosts.iter().map(Vec::len).max().unwrap_or(0);
+        for depth in 0..deepest {
+            for hosts in &country_hosts {
+                if let Some(&h) = hosts.get(depth) {
+                    pool.push(h);
+                }
+            }
+        }
+        let n_servers = 1 + cfg.gdn_secondaries as usize;
+        let mut used = std::collections::BTreeSet::new();
+        used.insert(HostId(0)); // root/TLD server
+        let mut gdn_hosts: Vec<HostId> = pool
+            .iter()
+            .copied()
+            .filter(|h| used.insert(*h))
+            .take(n_servers)
+            .collect();
+        // Degenerate topologies: fall back to reuse (install merges the
+        // zones of co-located servers into one daemon).
+        let mut i = 0;
+        while gdn_hosts.len() < n_servers {
+            gdn_hosts.push(pool.get(i).copied().unwrap_or(HostId(0)));
+            i += 1;
+        }
+        let resolvers: Vec<Endpoint> = topo
+            .sites()
+            .map(|s| Endpoint::new(first_host_of_site(s), RESOLVER_PORT))
+            .collect();
+        GnsDeployment {
+            zone,
+            root_servers: vec![Endpoint::new(HostId(0), ports::DNS)],
+            tld_server: Endpoint::new(HostId(0), ports::DNS),
+            gdn_primary: Endpoint::new(gdn_hosts[0], ports::DNS),
+            gdn_secondaries: gdn_hosts[1..]
+                .iter()
+                .map(|&h| Endpoint::new(h, ports::DNS))
+                .collect(),
+            resolvers,
+            naming_authority: Endpoint::new(HostId(0), ports::GNS_NA),
+            tsig_key_name: "gdn-na-key".to_owned(),
+        }
+    }
+
+    /// All authoritative servers for the GDN Zone (primary first).
+    pub fn gdn_servers(&self) -> Vec<Endpoint> {
+        let mut v = vec![self.gdn_primary];
+        v.extend(self.gdn_secondaries.iter().copied());
+        v
+    }
+
+    /// The caching resolver serving `host`.
+    pub fn resolver_for(&self, topo: &Topology, host: HostId) -> Endpoint {
+        self.resolvers[topo.site_of(host).0 as usize]
+    }
+
+    /// Installs every GNS service into `world`.
+    ///
+    /// `ca` issues the Naming Authority's host certificate; the TSIG
+    /// secret is derived from `secret_seed` and shared between the
+    /// authority and the GDN Zone servers.
+    pub fn install(&self, world: &mut World, ca: &CertAuthority, cfg: &GnsConfig, secret_seed: u64) {
+        let tsig_secret = format!("tsig-{secret_seed:016x}").into_bytes();
+        let glb = DnsName::parse("glb").expect("constant name");
+
+        // Root zone: delegate glb. to the TLD server.
+        let mut root_zone = Zone::new(DnsName::root(), cfg.negative_ttl);
+        let ns_glb = DnsName::parse("ns.glb").expect("constant name");
+        root_zone.add(ResourceRecord::new(
+            glb.clone(),
+            cfg.record_ttl,
+            RData::Ns(ns_glb.clone()),
+        ));
+        root_zone.add(ResourceRecord::new(
+            ns_glb.clone(),
+            cfg.record_ttl,
+            RData::A(self.tld_server.host),
+        ));
+
+        // glb. zone: delegate gdn.glb. to primary + secondaries.
+        let mut glb_zone = Zone::new(glb.clone(), cfg.negative_ttl);
+        for (i, server) in self.gdn_servers().iter().enumerate() {
+            let ns_name = DnsName::parse(&format!("ns{i}.gdn.glb")).expect("constant pattern");
+            glb_zone.add(ResourceRecord::new(
+                self.zone.clone(),
+                cfg.record_ttl,
+                RData::Ns(ns_name.clone()),
+            ));
+            glb_zone.add(ResourceRecord::new(
+                ns_name,
+                cfg.record_ttl,
+                RData::A(server.host),
+            ));
+        }
+
+        // Group zones by host: like real DNS, one daemon per (host,
+        // port 53) may serve several zones. Root + TLD share host 0; in
+        // degenerate topologies GDN Zone servers may co-locate with it.
+        let mut per_host: std::collections::BTreeMap<u32, AuthServer> =
+            std::collections::BTreeMap::new();
+        per_host.insert(
+            self.tld_server.host.0,
+            AuthServer::new().with_zone(root_zone).with_zone(glb_zone),
+        );
+        let mut seen_gdn = std::collections::BTreeSet::new();
+        for (i, server) in self.gdn_servers().iter().enumerate() {
+            if !seen_gdn.insert(server.host.0) {
+                continue; // zone already hosted by this daemon
+            }
+            let zone = Zone::new(self.zone.clone(), cfg.negative_ttl);
+            let mut auth = per_host
+                .remove(&server.host.0)
+                .unwrap_or_default()
+                .with_zone(zone)
+                .with_tsig_key(&self.tsig_key_name, tsig_secret.clone());
+            if i == 0 {
+                // Replicate only to secondaries on *other* hosts.
+                let secs: Vec<Endpoint> = self
+                    .gdn_secondaries
+                    .iter()
+                    .copied()
+                    .filter(|s| s.host != server.host)
+                    .collect();
+                auth = auth.with_secondaries(&self.zone, secs);
+            }
+            per_host.insert(server.host.0, auth);
+        }
+        for (host, auth) in per_host {
+            world.add_service(HostId(host), ports::DNS, auth);
+        }
+
+        // Site resolvers.
+        for ep in &self.resolvers {
+            world.add_service(ep.host, ep.port, Resolver::new(self.root_servers.clone()));
+        }
+
+        // Naming Authority.
+        let creds = Credentials::issue(ca, "gns-na", Role::Host, secret_seed ^ 0x4E41);
+        let tls = TlsConfig::mutual(cfg.tls_mode, creds, vec![ca.root_cert().clone()]);
+        let mut na = NamingAuthority::new(
+            tls,
+            self.zone.clone(),
+            self.gdn_primary,
+            &self.tsig_key_name,
+            tsig_secret,
+            cfg.record_ttl,
+            cfg.batch_interval,
+        );
+        if cfg.tls_mode == Mode::Null {
+            // The paper's unsecured first version: no role checks.
+            na = na.with_open_access();
+        }
+        world.add_service(self.naming_authority.host, self.naming_authority.port, na);
+    }
+
+    /// The TSIG secret derived from `secret_seed` (for tests that need
+    /// to forge or verify updates out of band).
+    pub fn tsig_secret(secret_seed: u64) -> Vec<u8> {
+        format!("tsig-{secret_seed:016x}").into_bytes()
+    }
+}
+
+/// Errors from Globe-name resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GnsError {
+    /// The name is syntactically invalid.
+    Name(NameError),
+    /// DNS resolution failed.
+    Dns(DnsError),
+    /// The TXT record did not contain a well-formed object id.
+    BadRecord,
+}
+
+impl fmt::Display for GnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GnsError::Name(e) => write!(f, "invalid name: {e}"),
+            GnsError::Dns(e) => write!(f, "resolution failed: {e}"),
+            GnsError::BadRecord => write!(f, "malformed GNS record"),
+        }
+    }
+}
+
+impl std::error::Error for GnsError {}
+
+/// Completion events from [`GnsClient::take_events`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GnsEvent {
+    /// A name resolution finished.
+    Resolved {
+        /// Caller-chosen correlation token.
+        token: u64,
+        /// The object id bound to the name, or why resolution failed.
+        result: Result<ObjectId, GnsError>,
+        /// End-to-end latency.
+        latency: SimDuration,
+    },
+}
+
+/// Client-side Globe name resolution (name → object id).
+///
+/// Embeds a [`DnsStub`] pointed at the host's site resolver and applies
+/// the GDN Zone prefixing of paper §5, so callers deal only in
+/// user-visible names like `/apps/graphics/gimp`.
+pub struct GnsClient {
+    stub: DnsStub,
+    zone: DnsName,
+    /// Synchronously detected failures waiting to be surfaced.
+    errors: Vec<(u64, GnsError)>,
+}
+
+impl GnsClient {
+    /// Creates a client for a service on `host`, resolving under
+    /// `deploy`'s GDN Zone via the site resolver.
+    pub fn new(deploy: &GnsDeployment, topo: &Topology, host: HostId, ns: u16) -> GnsClient {
+        GnsClient {
+            stub: DnsStub::new(deploy.resolver_for(topo, host), ns),
+            zone: deploy.zone.clone(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Starts resolving a Globe object name; completion arrives as
+    /// [`GnsEvent::Resolved`] with `token`.
+    ///
+    /// Syntactically invalid names complete immediately (the error is
+    /// queued and surfaced by the next [`GnsClient::take_events`] call).
+    pub fn resolve(&mut self, ctx: &mut ServiceCtx<'_>, name: &str, token: u64) {
+        let dns = GlobeName::parse(name)
+            .and_then(|g| g.to_dns(&self.zone));
+        match dns {
+            Ok(dns_name) => self.stub.query(ctx, dns_name, RecordType::Txt, token),
+            Err(e) => self.errors.push((token, GnsError::Name(e))),
+        }
+    }
+
+    /// Routes an inbound datagram; `true` if consumed.
+    pub fn handle_datagram(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        from: Endpoint,
+        payload: &[u8],
+    ) -> bool {
+        self.stub.handle_datagram(ctx, from, payload)
+    }
+
+    /// Routes a timer; `true` if consumed.
+    pub fn handle_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) -> bool {
+        self.stub.handle_timer(ctx, token)
+    }
+
+    /// Drains completion events.
+    pub fn take_events(&mut self) -> Vec<GnsEvent> {
+        let mut out: Vec<GnsEvent> = self
+            .errors
+            .drain(..)
+            .map(|(token, e)| GnsEvent::Resolved {
+                token,
+                result: Err(e),
+                latency: SimDuration::ZERO,
+            })
+            .collect();
+        for ev in self.stub.take_events() {
+            let DnsEvent::Answer {
+                token,
+                result,
+                latency,
+            } = ev;
+            let result = match result {
+                Ok(rrs) => {
+                    let oid = rrs.iter().find_map(|rr| match &rr.data {
+                        RData::Txt(t) => txt_to_oid(t),
+                        _ => None,
+                    });
+                    oid.ok_or(GnsError::BadRecord)
+                }
+                Err(e) => Err(GnsError::Dns(e)),
+            };
+            out.push(GnsEvent::Resolved {
+                token,
+                result,
+                latency,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_sane() {
+        let c = GnsConfig::default();
+        assert!(c.record_ttl >= 60);
+        assert!(c.gdn_secondaries >= 1);
+    }
+
+    #[test]
+    fn plan_places_components() {
+        let topo = Topology::grid(2, 2, 2, 2);
+        let d = GnsDeployment::plan(&topo, &GnsConfig::default());
+        assert_eq!(d.resolvers.len(), topo.num_sites());
+        assert_eq!(d.gdn_servers().len(), 3);
+        // Secondaries spread beyond the primary's country.
+        assert_ne!(d.gdn_primary.host, d.gdn_secondaries[0].host);
+        // Every host's resolver is in its own site.
+        for h in topo.hosts() {
+            let r = d.resolver_for(&topo, h);
+            assert_eq!(topo.site_of(r.host), topo.site_of(h));
+        }
+    }
+
+    #[test]
+    fn gns_error_display() {
+        assert!(GnsError::BadRecord.to_string().contains("malformed"));
+        assert!(GnsError::Dns(DnsError::Timeout).to_string().contains("respond"));
+    }
+}

@@ -1,0 +1,41 @@
+//! The Globe Name Service (GNS) and its DNS substrate.
+//!
+//! The paper's GNS prototype (§5) is "based on the Domain Name System":
+//! symbolic Globe object names map one-to-one onto DNS names whose TXT
+//! records carry the encoded object identifier; resolution uses ordinary
+//! DNS machinery; updates flow through a *Naming Authority* that issues
+//! DNS UPDATE messages protected by BIND's TSIG. This crate rebuilds the
+//! whole stack:
+//!
+//! - [`name`] — DNS names, Globe names and the reversing/zone-prefixing
+//!   mapping between them (the *GDN Zone* trick that hides DNS suffixes
+//!   from users).
+//! - [`records`] — resource records (A/NS/TXT/SOA) and authoritative
+//!   zones with delegations, TTLs and serials.
+//! - [`proto`] — queries, responses, dynamic updates and TSIG MACs.
+//! - [`server`] — authoritative servers with primary→secondary update
+//!   replication.
+//! - [`resolver`] — per-site caching resolvers doing iterative
+//!   resolution from root hints (the scalability engine of §5;
+//!   experiment E6).
+//! - [`client`] — the embeddable stub resolver.
+//! - [`authority`] — the Naming Authority: moderator-authenticated,
+//!   batching, TSIG-signing (§6.1 requirement 3).
+//! - [`gns`] — deployment planning and the name→object-id client.
+
+pub mod authority;
+pub mod client;
+pub mod gns;
+pub mod name;
+pub mod proto;
+pub mod records;
+pub mod resolver;
+pub mod server;
+
+pub use authority::{oid_to_txt, txt_to_oid, NaClient, NaEvent, NaRequest, NaResponse, NamingAuthority};
+pub use client::{DnsError, DnsEvent, DnsStub};
+pub use gns::{GnsClient, GnsConfig, GnsDeployment, GnsError, GnsEvent, RESOLVER_PORT};
+pub use name::{DnsName, GlobeName, NameError};
+pub use records::{RData, RecordType, ResourceRecord, Zone, ZoneAnswer};
+pub use resolver::Resolver;
+pub use server::AuthServer;

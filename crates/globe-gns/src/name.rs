@@ -1,0 +1,360 @@
+//! Name types: DNS names and Globe object names, and the mapping between
+//! them.
+//!
+//! The paper's Globe Name Service prototype (§5) maps human-readable,
+//! path-style Globe object names (`/nl/vu/cs/globe/somePackage`) onto DNS
+//! names (`somePackage.globe.cs.vu.nl`) by reversing the components, then
+//! stores the object identifier in a TXT record. For the GDN, names live
+//! in a single DNS leaf domain (the *GDN Zone*) so users never see the
+//! DNS suffix: `/apps/graphics/Gimp` ↔ `gimp.graphics.apps.<gdn-zone>`.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from name parsing and validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NameError {
+    /// A label was empty, too long, or contained a forbidden character.
+    BadLabel(String),
+    /// The whole name exceeds the DNS length limit.
+    TooLong,
+    /// A Globe name must start with `/` and have at least one component.
+    BadGlobeName(String),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::BadLabel(l) => write!(f, "invalid DNS label {l:?}"),
+            NameError::TooLong => write!(f, "name exceeds 255 octets"),
+            NameError::BadGlobeName(n) => write!(f, "invalid globe name {n:?}"),
+        }
+    }
+}
+
+impl Error for NameError {}
+
+/// Validates one DNS label (paper §5 notes DNS restricts name syntax —
+/// enforced here: 1–63 chars of `a-z`, `0-9`, `-`, `_`, lowercased).
+fn validate_label(label: &str) -> Result<String, NameError> {
+    if label.is_empty() || label.len() > 63 {
+        return Err(NameError::BadLabel(label.to_owned()));
+    }
+    let lower = label.to_ascii_lowercase();
+    if !lower
+        .bytes()
+        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
+    {
+        return Err(NameError::BadLabel(label.to_owned()));
+    }
+    Ok(lower)
+}
+
+/// An absolute DNS name: an ordered list of labels, least significant
+/// first (`www.vu.nl` is `["www", "vu", "nl"]`). The root is the empty
+/// list.
+///
+/// # Examples
+///
+/// ```
+/// use globe_gns::name::DnsName;
+///
+/// let n = DnsName::parse("Gimp.graphics.apps.gdn.glb").unwrap();
+/// assert_eq!(n.to_string(), "gimp.graphics.apps.gdn.glb.");
+/// let zone = DnsName::parse("gdn.glb").unwrap();
+/// assert!(n.is_subdomain_of(&zone));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DnsName {
+    labels: Vec<String>,
+}
+
+impl DnsName {
+    /// The DNS root (empty name).
+    pub fn root() -> DnsName {
+        DnsName { labels: Vec::new() }
+    }
+
+    /// Parses a dotted name; a trailing dot is accepted and ignored.
+    pub fn parse(s: &str) -> Result<DnsName, NameError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(DnsName::root());
+        }
+        let labels = s
+            .split('.')
+            .map(validate_label)
+            .collect::<Result<Vec<_>, _>>()?;
+        let name = DnsName { labels };
+        if name.wire_len() > 255 {
+            return Err(NameError::TooLong);
+        }
+        Ok(name)
+    }
+
+    /// Builds a name from labels, least significant first.
+    pub fn from_labels<I: IntoIterator<Item = S>, S: AsRef<str>>(
+        labels: I,
+    ) -> Result<DnsName, NameError> {
+        let labels = labels
+            .into_iter()
+            .map(|l| validate_label(l.as_ref()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let name = DnsName { labels };
+        if name.wire_len() > 255 {
+            return Err(NameError::TooLong);
+        }
+        Ok(name)
+    }
+
+    /// The labels, least significant first.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels (0 for the root).
+    pub fn depth(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Approximate wire length, for the 255-octet limit.
+    fn wire_len(&self) -> usize {
+        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+    }
+
+    /// The parent name (drops the least significant label); `None` at
+    /// the root.
+    pub fn parent(&self) -> Option<DnsName> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(DnsName {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Whether `self` is equal to or below `zone`.
+    pub fn is_subdomain_of(&self, zone: &DnsName) -> bool {
+        if zone.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - zone.labels.len();
+        self.labels[offset..] == zone.labels[..]
+    }
+
+    /// Prepends `label`, producing a child name.
+    pub fn child(&self, label: &str) -> Result<DnsName, NameError> {
+        let mut labels = vec![validate_label(label)?];
+        labels.extend(self.labels.iter().cloned());
+        let name = DnsName { labels };
+        if name.wire_len() > 255 {
+            return Err(NameError::TooLong);
+        }
+        Ok(name)
+    }
+
+    /// The label immediately below `zone` on the path to `self`.
+    ///
+    /// Used by authoritative servers to locate the delegation covering a
+    /// query. Returns `None` if `self` is not strictly below `zone`.
+    pub fn step_below(&self, zone: &DnsName) -> Option<DnsName> {
+        if !self.is_subdomain_of(zone) || self.labels.len() == zone.labels.len() {
+            return None;
+        }
+        let keep = zone.labels.len() + 1;
+        Some(DnsName {
+            labels: self.labels[self.labels.len() - keep..].to_vec(),
+        })
+    }
+}
+
+impl fmt::Display for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for l in &self.labels {
+            write!(f, "{l}.")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dns:{self}")
+    }
+}
+
+/// A human-readable Globe object name: `/apps/graphics/Gimp`.
+///
+/// Globe names form the hierarchical name space of paper §5; they map
+/// one-to-one onto DNS names by reversing the components and appending
+/// the zone suffix.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobeName {
+    components: Vec<String>,
+}
+
+impl GlobeName {
+    /// Parses `/a/b/c` (components are validated as DNS labels since
+    /// they must survive the DNS mapping).
+    pub fn parse(s: &str) -> Result<GlobeName, NameError> {
+        let Some(rest) = s.strip_prefix('/') else {
+            return Err(NameError::BadGlobeName(s.to_owned()));
+        };
+        if rest.is_empty() {
+            return Err(NameError::BadGlobeName(s.to_owned()));
+        }
+        let components = rest
+            .split('/')
+            .map(validate_label)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|_| NameError::BadGlobeName(s.to_owned()))?;
+        Ok(GlobeName { components })
+    }
+
+    /// The path components, most significant first
+    /// (`/apps/graphics/Gimp` → `["apps", "graphics", "gimp"]`).
+    pub fn components(&self) -> &[String] {
+        &self.components
+    }
+
+    /// Maps this Globe name into DNS space under `zone` (paper §5:
+    /// reverse the components, prefix the GDN Zone before handing the
+    /// name to DNS).
+    pub fn to_dns(&self, zone: &DnsName) -> Result<DnsName, NameError> {
+        DnsName::from_labels(
+            self.components
+                .iter()
+                .rev()
+                .map(|c| c.as_str())
+                .chain(zone.labels().iter().map(|l| l.as_str())),
+        )
+    }
+
+    /// Reconstructs the Globe name from a DNS name under `zone`.
+    pub fn from_dns(name: &DnsName, zone: &DnsName) -> Option<GlobeName> {
+        if !name.is_subdomain_of(zone) || name.depth() == zone.depth() {
+            return None;
+        }
+        let n = name.depth() - zone.depth();
+        let components: Vec<String> = name.labels()[..n].iter().rev().cloned().collect();
+        Some(GlobeName { components })
+    }
+}
+
+impl fmt::Display for GlobeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.components {
+            write!(f, "/{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for GlobeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "globe:{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n = DnsName::parse("WWW.VU.nl").unwrap();
+        assert_eq!(n.to_string(), "www.vu.nl.");
+        assert_eq!(n.labels(), &["www", "vu", "nl"]);
+        assert_eq!(DnsName::parse("www.vu.nl.").unwrap(), n);
+        assert_eq!(DnsName::root().to_string(), ".");
+        assert_eq!(DnsName::parse("").unwrap(), DnsName::root());
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert!(DnsName::parse("bad label.nl").is_err());
+        assert!(DnsName::parse("ok..nl").is_err());
+        assert!(DnsName::parse(&"x".repeat(64)).is_err());
+        assert!(DnsName::parse("ütf8.nl").is_err());
+    }
+
+    #[test]
+    fn rejects_overlong_names() {
+        let long = (0..50).map(|_| "abcde").collect::<Vec<_>>().join(".");
+        assert_eq!(DnsName::parse(&long).unwrap_err(), NameError::TooLong);
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let n = DnsName::parse("a.b.c").unwrap();
+        assert_eq!(n.parent().unwrap().to_string(), "b.c.");
+        assert_eq!(
+            DnsName::parse("b.c").unwrap().child("a").unwrap(),
+            n
+        );
+        assert!(DnsName::root().parent().is_none());
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let zone = DnsName::parse("gdn.glb").unwrap();
+        let name = DnsName::parse("gimp.apps.gdn.glb").unwrap();
+        assert!(name.is_subdomain_of(&zone));
+        assert!(zone.is_subdomain_of(&zone));
+        assert!(!zone.is_subdomain_of(&name));
+        assert!(name.is_subdomain_of(&DnsName::root()));
+        assert!(!DnsName::parse("gimp.apps.gdn.org")
+            .unwrap()
+            .is_subdomain_of(&zone));
+    }
+
+    #[test]
+    fn step_below_finds_delegation_point() {
+        let root = DnsName::root();
+        let glb = DnsName::parse("glb").unwrap();
+        let deep = DnsName::parse("gimp.apps.gdn.glb").unwrap();
+        assert_eq!(deep.step_below(&root).unwrap(), glb);
+        assert_eq!(
+            deep.step_below(&glb).unwrap(),
+            DnsName::parse("gdn.glb").unwrap()
+        );
+        assert!(glb.step_below(&glb).is_none());
+        assert!(glb.step_below(&deep).is_none());
+    }
+
+    #[test]
+    fn globe_name_parse_display() {
+        let g = GlobeName::parse("/apps/graphics/Gimp").unwrap();
+        assert_eq!(g.to_string(), "/apps/graphics/gimp");
+        assert_eq!(g.components(), &["apps", "graphics", "gimp"]);
+        assert!(GlobeName::parse("apps/graphics").is_err());
+        assert!(GlobeName::parse("/").is_err());
+        assert!(GlobeName::parse("").is_err());
+        assert!(GlobeName::parse("/bad label").is_err());
+    }
+
+    #[test]
+    fn globe_dns_round_trip() {
+        let zone = DnsName::parse("gdn.glb").unwrap();
+        let g = GlobeName::parse("/apps/graphics/gimp").unwrap();
+        let dns = g.to_dns(&zone).unwrap();
+        // Paper §5: reversed components under the zone.
+        assert_eq!(dns.to_string(), "gimp.graphics.apps.gdn.glb.");
+        assert_eq!(GlobeName::from_dns(&dns, &zone).unwrap(), g);
+        // A name outside the zone does not map back.
+        assert!(GlobeName::from_dns(&dns, &DnsName::parse("other.glb").unwrap()).is_none());
+        assert!(GlobeName::from_dns(&zone, &zone).is_none());
+    }
+
+    #[test]
+    fn paper_example_mapping() {
+        // Paper §5: /nl/vu/cs/globe/somePackage → somePackage.globe.cs.vu.nl
+        let g = GlobeName::parse("/nl/vu/cs/globe/somePackage").unwrap();
+        let dns = g.to_dns(&DnsName::root()).unwrap();
+        assert_eq!(dns.to_string(), "somepackage.globe.cs.vu.nl.");
+    }
+}

@@ -1,0 +1,403 @@
+//! DNS wire protocol: queries, responses, dynamic updates (RFC 2136)
+//! and TSIG authentication (the BIND8 feature the paper relies on,
+//! §6.3).
+//!
+//! Runs over datagrams like real DNS; clients and resolvers retry on
+//! loss. Every decode path is total — the GDN must survive bogus
+//! protocol messages (paper §6.3).
+
+use globe_crypto::hmac::{hmac_sha256, verify_tag};
+use globe_net::{WireError, WireReader, WireWriter};
+
+use crate::name::DnsName;
+use crate::records::{RecordType, ResourceRecord};
+
+/// Response codes (subset of RFC 1035 / 2136).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Rcode {
+    /// Success.
+    Ok,
+    /// The queried name does not exist.
+    NxDomain,
+    /// The server refuses (not authoritative / policy).
+    Refused,
+    /// Internal failure.
+    ServFail,
+    /// Dynamic update rejected: TSIG verification failed.
+    NotAuth,
+}
+
+impl Rcode {
+    fn tag(self) -> u8 {
+        match self {
+            Rcode::Ok => 0,
+            Rcode::NxDomain => 3,
+            Rcode::Refused => 5,
+            Rcode::ServFail => 2,
+            Rcode::NotAuth => 9,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Rcode, WireError> {
+        Ok(match t {
+            0 => Rcode::Ok,
+            3 => Rcode::NxDomain,
+            5 => Rcode::Refused,
+            2 => Rcode::ServFail,
+            9 => Rcode::NotAuth,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+/// One operation inside a dynamic update (RFC 2136 subset).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UpdateOp {
+    /// Add a record.
+    Add(ResourceRecord),
+    /// Delete every record of `rtype` at the name.
+    DeleteRrset(DnsName, RecordType),
+}
+
+impl UpdateOp {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            UpdateOp::Add(rr) => {
+                w.put_u8(1);
+                rr.encode(w);
+            }
+            UpdateOp::DeleteRrset(name, rtype) => {
+                w.put_u8(2);
+                w.put_str(&name.to_string());
+                w.put_u8(rtype.tag());
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<UpdateOp, WireError> {
+        Ok(match r.u8()? {
+            1 => UpdateOp::Add(ResourceRecord::decode(r)?),
+            2 => UpdateOp::DeleteRrset(
+                DnsName::parse(r.str()?).map_err(|_| WireError::BadTag(0))?,
+                RecordType::from_tag(r.u8()?)?,
+            ),
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+/// All DNS datagram payloads.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DnsMsg {
+    /// A question.
+    Query {
+        /// Correlation id, echoed in the response.
+        qid: u64,
+        /// Queried name.
+        name: DnsName,
+        /// Queried type.
+        rtype: RecordType,
+        /// `true` when sent to a recursive resolver; authoritative
+        /// servers ignore it and answer iteratively.
+        recursion_desired: bool,
+    },
+    /// An answer, referral or error.
+    Response {
+        /// Echoes the query's id.
+        qid: u64,
+        /// Outcome.
+        rcode: Rcode,
+        /// Answer records (empty on referral / error / no-data).
+        answers: Vec<ResourceRecord>,
+        /// Referral NS records (authority section).
+        authority: Vec<ResourceRecord>,
+        /// Glue A records for the authority servers.
+        additional: Vec<ResourceRecord>,
+        /// Whether the responder is authoritative for the name.
+        authoritative: bool,
+        /// TTL to use when caching a negative answer.
+        negative_ttl: u32,
+    },
+    /// A TSIG-signed dynamic update (moderator-driven name changes and
+    /// primary→secondary replication).
+    Update {
+        /// Correlation id.
+        qid: u64,
+        /// Zone being updated.
+        zone: DnsName,
+        /// Operations, applied in order.
+        ops: Vec<UpdateOp>,
+        /// Name of the TSIG key used.
+        key_name: String,
+        /// HMAC-SHA256 over the update body under the named key.
+        mac: [u8; 32],
+    },
+    /// Acknowledgement of an update.
+    UpdateResp {
+        /// Echoes the update's id.
+        qid: u64,
+        /// Outcome.
+        rcode: Rcode,
+    },
+}
+
+const T_QUERY: u8 = 1;
+const T_RESPONSE: u8 = 2;
+const T_UPDATE: u8 = 3;
+const T_UPDATE_RESP: u8 = 4;
+
+fn put_rrs(w: &mut WireWriter, rrs: &[ResourceRecord]) {
+    w.put_u32(rrs.len() as u32);
+    for rr in rrs {
+        rr.encode(w);
+    }
+}
+
+fn get_rrs(r: &mut WireReader<'_>) -> Result<Vec<ResourceRecord>, WireError> {
+    let n = r.u32()?;
+    if n > 4096 {
+        return Err(WireError::TooLarge);
+    }
+    let mut rrs = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        rrs.push(ResourceRecord::decode(r)?);
+    }
+    Ok(rrs)
+}
+
+/// Computes the TSIG MAC over an update's body.
+pub fn tsig_mac(secret: &[u8], zone: &DnsName, ops: &[UpdateOp], key_name: &str) -> [u8; 32] {
+    let mut w = WireWriter::new();
+    w.put_str("gdn-tsig-v1");
+    w.put_str(&zone.to_string());
+    w.put_u32(ops.len() as u32);
+    for op in ops {
+        op.encode(&mut w);
+    }
+    w.put_str(key_name);
+    hmac_sha256(secret, &w.finish())
+}
+
+/// Verifies an update's TSIG MAC.
+pub fn tsig_verify(
+    secret: &[u8],
+    zone: &DnsName,
+    ops: &[UpdateOp],
+    key_name: &str,
+    mac: &[u8; 32],
+) -> bool {
+    verify_tag(&tsig_mac(secret, zone, ops, key_name), mac)
+}
+
+impl DnsMsg {
+    /// Serializes the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            DnsMsg::Query {
+                qid,
+                name,
+                rtype,
+                recursion_desired,
+            } => {
+                w.put_u8(T_QUERY);
+                w.put_u64(*qid);
+                w.put_str(&name.to_string());
+                w.put_u8(rtype.tag());
+                w.put_bool(*recursion_desired);
+            }
+            DnsMsg::Response {
+                qid,
+                rcode,
+                answers,
+                authority,
+                additional,
+                authoritative,
+                negative_ttl,
+            } => {
+                w.put_u8(T_RESPONSE);
+                w.put_u64(*qid);
+                w.put_u8(rcode.tag());
+                put_rrs(&mut w, answers);
+                put_rrs(&mut w, authority);
+                put_rrs(&mut w, additional);
+                w.put_bool(*authoritative);
+                w.put_u32(*negative_ttl);
+            }
+            DnsMsg::Update {
+                qid,
+                zone,
+                ops,
+                key_name,
+                mac,
+            } => {
+                w.put_u8(T_UPDATE);
+                w.put_u64(*qid);
+                w.put_str(&zone.to_string());
+                w.put_u32(ops.len() as u32);
+                for op in ops {
+                    op.encode(&mut w);
+                }
+                w.put_str(key_name);
+                w.put_raw(mac);
+            }
+            DnsMsg::UpdateResp { qid, rcode } => {
+                w.put_u8(T_UPDATE_RESP);
+                w.put_u64(*qid);
+                w.put_u8(rcode.tag());
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a message.
+    pub fn decode(buf: &[u8]) -> Result<DnsMsg, WireError> {
+        let mut r = WireReader::new(buf);
+        let msg = match r.u8()? {
+            T_QUERY => DnsMsg::Query {
+                qid: r.u64()?,
+                name: DnsName::parse(r.str()?).map_err(|_| WireError::BadTag(0))?,
+                rtype: RecordType::from_tag(r.u8()?)?,
+                recursion_desired: r.bool()?,
+            },
+            T_RESPONSE => DnsMsg::Response {
+                qid: r.u64()?,
+                rcode: Rcode::from_tag(r.u8()?)?,
+                answers: get_rrs(&mut r)?,
+                authority: get_rrs(&mut r)?,
+                additional: get_rrs(&mut r)?,
+                authoritative: r.bool()?,
+                negative_ttl: r.u32()?,
+            },
+            T_UPDATE => {
+                let qid = r.u64()?;
+                let zone = DnsName::parse(r.str()?).map_err(|_| WireError::BadTag(0))?;
+                let n = r.u32()?;
+                if n > 65_536 {
+                    return Err(WireError::TooLarge);
+                }
+                let mut ops = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    ops.push(UpdateOp::decode(&mut r)?);
+                }
+                let key_name = r.str()?.to_owned();
+                let mut mac = [0u8; 32];
+                mac.copy_from_slice(r.raw(32)?);
+                DnsMsg::Update {
+                    qid,
+                    zone,
+                    ops,
+                    key_name,
+                    mac,
+                }
+            }
+            T_UPDATE_RESP => DnsMsg::UpdateResp {
+                qid: r.u64()?,
+                rcode: Rcode::from_tag(r.u8()?)?,
+            },
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::RData;
+    use globe_net::HostId;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn query_response_round_trip() {
+        let q = DnsMsg::Query {
+            qid: 7,
+            name: name("gimp.apps.gdn.glb"),
+            rtype: RecordType::Txt,
+            recursion_desired: true,
+        };
+        assert_eq!(DnsMsg::decode(&q.encode()).unwrap(), q);
+
+        let resp = DnsMsg::Response {
+            qid: 7,
+            rcode: Rcode::Ok,
+            answers: vec![ResourceRecord::new(
+                name("gimp.apps.gdn.glb"),
+                300,
+                RData::Txt("oid=ff".into()),
+            )],
+            authority: vec![ResourceRecord::new(
+                name("gdn.glb"),
+                300,
+                RData::Ns(name("ns1.gdn.glb")),
+            )],
+            additional: vec![ResourceRecord::new(
+                name("ns1.gdn.glb"),
+                300,
+                RData::A(HostId(3)),
+            )],
+            authoritative: true,
+            negative_ttl: 60,
+        };
+        assert_eq!(DnsMsg::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn update_round_trip_and_tsig() {
+        let zone = name("gdn.glb");
+        let ops = vec![
+            UpdateOp::Add(ResourceRecord::new(
+                name("x.gdn.glb"),
+                300,
+                RData::Txt("oid=1".into()),
+            )),
+            UpdateOp::DeleteRrset(name("y.gdn.glb"), RecordType::Txt),
+        ];
+        let mac = tsig_mac(b"secret", &zone, &ops, "na-key");
+        let msg = DnsMsg::Update {
+            qid: 9,
+            zone: zone.clone(),
+            ops: ops.clone(),
+            key_name: "na-key".into(),
+            mac,
+        };
+        assert_eq!(DnsMsg::decode(&msg.encode()).unwrap(), msg);
+        assert!(tsig_verify(b"secret", &zone, &ops, "na-key", &mac));
+        assert!(!tsig_verify(b"wrong", &zone, &ops, "na-key", &mac));
+        // Tampered ops fail verification.
+        let mut tampered = ops.clone();
+        tampered.pop();
+        assert!(!tsig_verify(b"secret", &zone, &tampered, "na-key", &mac));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(DnsMsg::decode(&[]).is_err());
+        assert!(DnsMsg::decode(&[0x7F]).is_err());
+        let mut buf = DnsMsg::UpdateResp {
+            qid: 1,
+            rcode: Rcode::Ok,
+        }
+        .encode();
+        buf.push(1);
+        assert_eq!(DnsMsg::decode(&buf), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn rcode_tags_round_trip() {
+        for rc in [
+            Rcode::Ok,
+            Rcode::NxDomain,
+            Rcode::Refused,
+            Rcode::ServFail,
+            Rcode::NotAuth,
+        ] {
+            assert_eq!(Rcode::from_tag(rc.tag()).unwrap(), rc);
+        }
+        assert!(Rcode::from_tag(77).is_err());
+    }
+}

@@ -1,0 +1,504 @@
+//! Resource records and zones.
+//!
+//! A small but honest subset of DNS (RFC 1034/1035): A, NS, TXT and SOA
+//! records, zones with delegations, TTLs and serial numbers. "Addresses"
+//! in A records are simulation host ids rather than IPv4 addresses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use globe_net::{HostId, WireError, WireReader, WireWriter};
+
+use crate::name::DnsName;
+
+/// Record types supported by the substrate.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RecordType {
+    /// Host address (a simulation [`HostId`]).
+    A,
+    /// Delegation to an authoritative server for a child zone.
+    Ns,
+    /// Free-form text; the GNS stores encoded object identifiers here
+    /// (paper §5).
+    Txt,
+    /// Start of authority: zone metadata (serial, default TTL).
+    Soa,
+}
+
+impl RecordType {
+    /// Wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Txt => 16,
+            RecordType::Soa => 6,
+        }
+    }
+
+    /// Decodes a wire tag.
+    pub fn from_tag(t: u8) -> Result<RecordType, WireError> {
+        Ok(match t {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            16 => RecordType::Txt,
+            6 => RecordType::Soa,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordType::A => write!(f, "A"),
+            RecordType::Ns => write!(f, "NS"),
+            RecordType::Txt => write!(f, "TXT"),
+            RecordType::Soa => write!(f, "SOA"),
+        }
+    }
+}
+
+/// Record payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RData {
+    /// Host address.
+    A(HostId),
+    /// Name of an authoritative server for the owner's zone.
+    Ns(DnsName),
+    /// Text payload.
+    Txt(String),
+    /// Zone authority: serial number and negative-caching TTL.
+    Soa {
+        /// Monotonic zone version, bumped on every update.
+        serial: u32,
+        /// TTL for negative answers derived from this zone.
+        negative_ttl: u32,
+    },
+}
+
+impl RData {
+    /// The record type this payload belongs to.
+    pub fn rtype(&self) -> RecordType {
+        match self {
+            RData::A(_) => RecordType::A,
+            RData::Ns(_) => RecordType::Ns,
+            RData::Txt(_) => RecordType::Txt,
+            RData::Soa { .. } => RecordType::Soa,
+        }
+    }
+}
+
+/// One resource record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResourceRecord {
+    /// Owner name.
+    pub name: DnsName,
+    /// Time to live, seconds (drives resolver caching, experiment E6).
+    pub ttl: u32,
+    /// Payload (the type is implied by the payload variant).
+    pub data: RData,
+}
+
+impl ResourceRecord {
+    /// Creates a record.
+    pub fn new(name: DnsName, ttl: u32, data: RData) -> ResourceRecord {
+        ResourceRecord { name, ttl, data }
+    }
+
+    /// Serializes into `w`.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.put_str(&self.name.to_string());
+        w.put_u32(self.ttl);
+        w.put_u8(self.data.rtype().tag());
+        match &self.data {
+            RData::A(h) => w.put_u32(h.0),
+            RData::Ns(n) => w.put_str(&n.to_string()),
+            RData::Txt(t) => w.put_str(t),
+            RData::Soa {
+                serial,
+                negative_ttl,
+            } => {
+                w.put_u32(*serial);
+                w.put_u32(*negative_ttl);
+            }
+        }
+    }
+
+    /// Deserializes from `r`.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<ResourceRecord, WireError> {
+        let name = DnsName::parse(r.str()?).map_err(|_| WireError::BadTag(0))?;
+        let ttl = r.u32()?;
+        let rtype = RecordType::from_tag(r.u8()?)?;
+        let data = match rtype {
+            RecordType::A => RData::A(HostId(r.u32()?)),
+            RecordType::Ns => {
+                RData::Ns(DnsName::parse(r.str()?).map_err(|_| WireError::BadTag(0))?)
+            }
+            RecordType::Txt => RData::Txt(r.str()?.to_owned()),
+            RecordType::Soa => RData::Soa {
+                serial: r.u32()?,
+                negative_ttl: r.u32()?,
+            },
+        };
+        Ok(ResourceRecord { name, ttl, data })
+    }
+}
+
+impl fmt::Display for ResourceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} ", self.name, self.ttl, self.data.rtype())?;
+        match &self.data {
+            RData::A(h) => write!(f, "h{}", h.0),
+            RData::Ns(n) => write!(f, "{n}"),
+            RData::Txt(t) => write!(f, "{t:?}"),
+            RData::Soa {
+                serial,
+                negative_ttl,
+            } => write!(f, "serial={serial} nttl={negative_ttl}"),
+        }
+    }
+}
+
+/// The result of looking a name up inside one zone.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ZoneAnswer {
+    /// Records of the requested type exist.
+    Records(Vec<ResourceRecord>),
+    /// The name is below a delegation: here are the NS records of the
+    /// child zone plus glue A records for the named servers.
+    Referral {
+        /// NS records at the delegation point.
+        ns: Vec<ResourceRecord>,
+        /// A records for the servers named by `ns`.
+        glue: Vec<ResourceRecord>,
+    },
+    /// The name exists but has no records of the requested type.
+    NoData,
+    /// The name does not exist in this zone.
+    NxDomain,
+    /// The zone is not authoritative for this name at all.
+    NotAuthoritative,
+}
+
+/// An authoritative zone: records under one origin, with delegations.
+///
+/// # Examples
+///
+/// ```
+/// use globe_gns::name::DnsName;
+/// use globe_gns::records::{RData, ResourceRecord, Zone, ZoneAnswer, RecordType};
+///
+/// let origin = DnsName::parse("gdn.glb").unwrap();
+/// let mut zone = Zone::new(origin.clone(), 300);
+/// let name = DnsName::parse("gimp.apps.gdn.glb").unwrap();
+/// zone.add(ResourceRecord::new(name.clone(), 300, RData::Txt("oid=00ff".into())));
+/// match zone.lookup(&name, RecordType::Txt) {
+///     ZoneAnswer::Records(rrs) => assert_eq!(rrs.len(), 1),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zone {
+    origin: DnsName,
+    serial: u32,
+    negative_ttl: u32,
+    /// `(owner, rtype)` → records. Ordered for determinism.
+    records: BTreeMap<(String, RecordType), Vec<ResourceRecord>>,
+    /// Child zones delegated away from this zone.
+    delegations: BTreeMap<String, DnsName>,
+}
+
+impl Zone {
+    /// Creates an empty zone with the given negative-caching TTL.
+    pub fn new(origin: DnsName, negative_ttl: u32) -> Zone {
+        Zone {
+            origin,
+            serial: 1,
+            negative_ttl,
+            records: BTreeMap::new(),
+            delegations: BTreeMap::new(),
+        }
+    }
+
+    /// The zone origin.
+    pub fn origin(&self) -> &DnsName {
+        &self.origin
+    }
+
+    /// Current serial (bumped by every mutation).
+    pub fn serial(&self) -> u32 {
+        self.serial
+    }
+
+    /// Number of records in the zone (excluding the synthetic SOA).
+    pub fn num_records(&self) -> usize {
+        self.records.values().map(Vec::len).sum()
+    }
+
+    /// The zone's SOA record.
+    pub fn soa(&self) -> ResourceRecord {
+        ResourceRecord::new(
+            self.origin.clone(),
+            self.negative_ttl,
+            RData::Soa {
+                serial: self.serial,
+                negative_ttl: self.negative_ttl,
+            },
+        )
+    }
+
+    fn key(name: &DnsName, rtype: RecordType) -> (String, RecordType) {
+        (name.to_string(), rtype)
+    }
+
+    /// Adds a record (idempotent: identical records are not duplicated).
+    ///
+    /// NS records for names *below* the origin register a delegation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record's owner is outside the zone.
+    pub fn add(&mut self, rr: ResourceRecord) {
+        assert!(
+            rr.name.is_subdomain_of(&self.origin),
+            "record {} outside zone {}",
+            rr.name,
+            self.origin
+        );
+        if let RData::Ns(_) = rr.data {
+            if rr.name != self.origin {
+                self.delegations
+                    .insert(rr.name.to_string(), rr.name.clone());
+            }
+        }
+        let entry = self
+            .records
+            .entry(Self::key(&rr.name, rr.data.rtype()))
+            .or_default();
+        if !entry.contains(&rr) {
+            entry.push(rr);
+            self.serial = self.serial.wrapping_add(1);
+        }
+    }
+
+    /// Removes all records of `rtype` at `name`. Returns how many were
+    /// removed.
+    pub fn remove(&mut self, name: &DnsName, rtype: RecordType) -> usize {
+        let removed = self
+            .records
+            .remove(&Self::key(name, rtype))
+            .map(|v| v.len())
+            .unwrap_or(0);
+        if removed > 0 {
+            if rtype == RecordType::Ns {
+                self.delegations.remove(&name.to_string());
+            }
+            self.serial = self.serial.wrapping_add(1);
+        }
+        removed
+    }
+
+    /// Answers a query against this zone's data.
+    pub fn lookup(&self, name: &DnsName, rtype: RecordType) -> ZoneAnswer {
+        if !name.is_subdomain_of(&self.origin) {
+            return ZoneAnswer::NotAuthoritative;
+        }
+        // Delegation check: walk the cut points between the origin and
+        // the queried name. A query *at* the delegation point for NS is
+        // answered authoritatively below via the records map.
+        let mut cut = name.clone();
+        let mut cuts = Vec::new();
+        while cut != self.origin {
+            cuts.push(cut.clone());
+            match cut.parent() {
+                Some(p) => cut = p,
+                None => break,
+            }
+        }
+        for point in cuts.iter().rev() {
+            if let Some(deleg) = self.delegations.get(&point.to_string()) {
+                if !(name == deleg && rtype == RecordType::Ns) {
+                    let ns = self
+                        .records
+                        .get(&Self::key(deleg, RecordType::Ns))
+                        .cloned()
+                        .unwrap_or_default();
+                    let mut glue = Vec::new();
+                    for rr in &ns {
+                        if let RData::Ns(server) = &rr.data {
+                            if let Some(a) = self.records.get(&Self::key(server, RecordType::A)) {
+                                glue.extend(a.iter().cloned());
+                            }
+                        }
+                    }
+                    return ZoneAnswer::Referral { ns, glue };
+                }
+            }
+        }
+        if rtype == RecordType::Soa && name == &self.origin {
+            return ZoneAnswer::Records(vec![self.soa()]);
+        }
+        if let Some(rrs) = self.records.get(&Self::key(name, rtype)) {
+            return ZoneAnswer::Records(rrs.clone());
+        }
+        // Does the name exist under any type?
+        let exists = RecordType::iter_all()
+            .any(|t| self.records.contains_key(&Self::key(name, t)));
+        if exists {
+            ZoneAnswer::NoData
+        } else {
+            ZoneAnswer::NxDomain
+        }
+    }
+
+    /// Negative-caching TTL for this zone.
+    pub fn negative_ttl(&self) -> u32 {
+        self.negative_ttl
+    }
+}
+
+impl RecordType {
+    /// Iterates all supported record types.
+    pub fn iter_all() -> impl Iterator<Item = RecordType> {
+        [
+            RecordType::A,
+            RecordType::Ns,
+            RecordType::Txt,
+            RecordType::Soa,
+        ]
+        .into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let rrs = vec![
+            ResourceRecord::new(name("a.glb"), 60, RData::A(HostId(7))),
+            ResourceRecord::new(name("glb"), 120, RData::Ns(name("ns1.glb"))),
+            ResourceRecord::new(name("x.gdn.glb"), 30, RData::Txt("oid=ff".into())),
+            ResourceRecord::new(
+                name("gdn.glb"),
+                300,
+                RData::Soa {
+                    serial: 9,
+                    negative_ttl: 60,
+                },
+            ),
+        ];
+        for rr in rrs {
+            let mut w = WireWriter::new();
+            rr.encode(&mut w);
+            let buf = w.finish();
+            let mut r = WireReader::new(&buf);
+            assert_eq!(ResourceRecord::decode(&mut r).unwrap(), rr);
+            r.expect_end().unwrap();
+        }
+    }
+
+    #[test]
+    fn zone_answers_records_nodata_nxdomain() {
+        let mut z = Zone::new(name("gdn.glb"), 60);
+        z.add(ResourceRecord::new(
+            name("gimp.apps.gdn.glb"),
+            300,
+            RData::Txt("oid=1".into()),
+        ));
+        match z.lookup(&name("gimp.apps.gdn.glb"), RecordType::Txt) {
+            ZoneAnswer::Records(r) => assert_eq!(r.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            z.lookup(&name("gimp.apps.gdn.glb"), RecordType::A),
+            ZoneAnswer::NoData
+        );
+        assert_eq!(
+            z.lookup(&name("nope.gdn.glb"), RecordType::Txt),
+            ZoneAnswer::NxDomain
+        );
+        assert_eq!(
+            z.lookup(&name("other.glb"), RecordType::Txt),
+            ZoneAnswer::NotAuthoritative
+        );
+    }
+
+    #[test]
+    fn zone_delegation_returns_referral_with_glue() {
+        let mut z = Zone::new(name("glb"), 60);
+        z.add(ResourceRecord::new(
+            name("gdn.glb"),
+            300,
+            RData::Ns(name("ns1.gdn.glb")),
+        ));
+        z.add(ResourceRecord::new(
+            name("ns1.gdn.glb"),
+            300,
+            RData::A(HostId(4)),
+        ));
+        match z.lookup(&name("gimp.apps.gdn.glb"), RecordType::Txt) {
+            ZoneAnswer::Referral { ns, glue } => {
+                assert_eq!(ns.len(), 1);
+                assert_eq!(glue.len(), 1);
+                assert_eq!(glue[0].data, RData::A(HostId(4)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Asking for the NS records *of* the delegated zone at the cut
+        // is answered, not referred (the parent is authoritative for the
+        // cut itself).
+        match z.lookup(&name("gdn.glb"), RecordType::Ns) {
+            ZoneAnswer::Records(r) => assert_eq!(r.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zone_serial_bumps_on_mutation() {
+        let mut z = Zone::new(name("gdn.glb"), 60);
+        let s0 = z.serial();
+        let rr = ResourceRecord::new(name("x.gdn.glb"), 30, RData::Txt("t".into()));
+        z.add(rr.clone());
+        let s1 = z.serial();
+        assert!(s1 > s0);
+        // Idempotent add does not bump.
+        z.add(rr);
+        assert_eq!(z.serial(), s1);
+        assert_eq!(z.remove(&name("x.gdn.glb"), RecordType::Txt), 1);
+        assert!(z.serial() > s1);
+        assert_eq!(z.remove(&name("x.gdn.glb"), RecordType::Txt), 0);
+    }
+
+    #[test]
+    fn soa_lookup_and_counts() {
+        let z = Zone::new(name("gdn.glb"), 77);
+        match z.lookup(&name("gdn.glb"), RecordType::Soa) {
+            ZoneAnswer::Records(r) => match &r[0].data {
+                RData::Soa { negative_ttl, .. } => assert_eq!(*negative_ttl, 77),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(z.num_records(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside zone")]
+    fn add_outside_zone_panics() {
+        let mut z = Zone::new(name("gdn.glb"), 60);
+        z.add(ResourceRecord::new(name("evil.com"), 1, RData::Txt("x".into())));
+    }
+
+    #[test]
+    fn record_display() {
+        let rr = ResourceRecord::new(name("a.glb"), 60, RData::A(HostId(7)));
+        assert_eq!(rr.to_string(), "a.glb. 60 A h7");
+    }
+}

@@ -1,0 +1,412 @@
+//! The caching resolver service and the embeddable stub client.
+//!
+//! Every site runs a resolver (the campus resolver of the era). Stub
+//! clients on the site's hosts send it recursive queries; the resolver
+//! walks the delegation chain iteratively from the root hints, caching
+//! every record it sees with its TTL, plus negative answers with the
+//! zone's negative TTL. The paper's scalability argument for a DNS-based
+//! GNS (§5) is exactly this caching: name→OID mappings are stable, so
+//! cache hit rates are high and authoritative load stays low
+//! (experiment E6).
+
+use std::collections::BTreeMap;
+
+use globe_net::{
+    impl_service_any, ns_token, owns_token, ports, token_id, Endpoint, Service, ServiceCtx,
+    TimerId,
+};
+use globe_sim::{SimDuration, SimTime};
+
+use crate::name::DnsName;
+use crate::proto::{DnsMsg, Rcode};
+use crate::records::{RData, RecordType, ResourceRecord};
+
+/// Timer namespace used by the resolver for upstream query timeouts.
+const RESOLVER_NS: u16 = 0x0D25;
+
+/// Counters for one resolver (experiment E6 reads these).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResolverStats {
+    /// Client queries received.
+    pub client_queries: u64,
+    /// Client queries answered entirely from cache.
+    pub cache_hits: u64,
+    /// Queries sent to authoritative servers.
+    pub upstream_queries: u64,
+    /// Client queries that ended in SERVFAIL.
+    pub failures: u64,
+}
+
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    rrs: Vec<ResourceRecord>,
+    expires: SimTime,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    client: Endpoint,
+    client_qid: u64,
+    name: DnsName,
+    rtype: RecordType,
+    /// Candidate servers for the current delegation level.
+    servers: Vec<Endpoint>,
+    /// Index of the server the current attempt used.
+    attempt: usize,
+    /// Total upstream sends, bounded to stop loops.
+    budget: u32,
+    timer: TimerId,
+}
+
+/// A caching, iterative DNS resolver.
+pub struct Resolver {
+    root_hints: Vec<Endpoint>,
+    cache: BTreeMap<(String, u8), CacheEntry>,
+    negative: BTreeMap<(String, u8), SimTime>,
+    inflight: BTreeMap<u64, InFlight>,
+    next_qid: u64,
+    /// Upstream retry timeout.
+    timeout: SimDuration,
+    /// Load counters.
+    pub stats: ResolverStats,
+}
+
+impl Resolver {
+    /// Creates a resolver bootstrapped with the root server endpoints.
+    pub fn new(root_hints: Vec<Endpoint>) -> Resolver {
+        assert!(!root_hints.is_empty(), "resolver needs root hints");
+        Resolver {
+            root_hints,
+            cache: BTreeMap::new(),
+            negative: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            next_qid: 1,
+            timeout: SimDuration::from_millis(2_000),
+            stats: ResolverStats::default(),
+        }
+    }
+
+    fn cache_key(name: &DnsName, rtype: RecordType) -> (String, u8) {
+        (name.to_string(), rtype.tag())
+    }
+
+    fn cache_get(&self, now: SimTime, name: &DnsName, rtype: RecordType) -> Option<&CacheEntry> {
+        self.cache
+            .get(&Self::cache_key(name, rtype))
+            .filter(|e| e.expires > now)
+    }
+
+    fn cache_put(&mut self, now: SimTime, rrs: &[ResourceRecord]) {
+        for rr in rrs {
+            let key = Self::cache_key(&rr.name, rr.data.rtype());
+            let expires = now + SimDuration::from_secs(rr.ttl as u64);
+            match self.cache.get_mut(&key) {
+                Some(e) if e.expires >= expires => {
+                    if !e.rrs.contains(rr) {
+                        e.rrs.push(rr.clone());
+                    }
+                }
+                _ => {
+                    // Group same-key records from this response set.
+                    let group: Vec<ResourceRecord> = rrs
+                        .iter()
+                        .filter(|r| Self::cache_key(&r.name, r.data.rtype()) == key)
+                        .cloned()
+                        .collect();
+                    self.cache.insert(key, CacheEntry { rrs: group, expires });
+                }
+            }
+        }
+    }
+
+    /// Finds the best cached name-server set for `name`: the deepest
+    /// suffix with unexpired NS records whose addresses are also cached.
+    fn best_servers(&self, now: SimTime, name: &DnsName) -> Vec<Endpoint> {
+        let mut candidate = Some(name.clone());
+        while let Some(n) = candidate {
+            if let Some(entry) = self.cache_get(now, &n, RecordType::Ns) {
+                let mut eps = Vec::new();
+                for rr in &entry.rrs {
+                    if let RData::Ns(server) = &rr.data {
+                        if let Some(a) = self.cache_get(now, server, RecordType::A) {
+                            for arr in &a.rrs {
+                                if let RData::A(h) = arr.data {
+                                    eps.push(Endpoint::new(h, ports::DNS));
+                                }
+                            }
+                        }
+                    }
+                }
+                if !eps.is_empty() {
+                    return eps;
+                }
+            }
+            candidate = n.parent();
+        }
+        self.root_hints.clone()
+    }
+
+    fn respond(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        client: Endpoint,
+        client_qid: u64,
+        rcode: Rcode,
+        answers: Vec<ResourceRecord>,
+    ) {
+        let resp = DnsMsg::Response {
+            qid: client_qid,
+            rcode,
+            answers,
+            authority: vec![],
+            additional: vec![],
+            authoritative: false,
+            negative_ttl: 0,
+        };
+        ctx.send_datagram(client, resp.encode());
+    }
+
+    fn start_resolution(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        client: Endpoint,
+        client_qid: u64,
+        name: DnsName,
+        rtype: RecordType,
+    ) {
+        let servers = self.best_servers(ctx.now(), &name);
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        let timer = ctx.set_timer(self.timeout, ns_token(RESOLVER_NS, qid));
+        let inflight = InFlight {
+            client,
+            client_qid,
+            name,
+            rtype,
+            servers,
+            attempt: 0,
+            budget: 16,
+            timer,
+        };
+        self.send_upstream(ctx, qid, &inflight);
+        self.inflight.insert(qid, inflight);
+    }
+
+    fn send_upstream(&mut self, ctx: &mut ServiceCtx<'_>, qid: u64, inf: &InFlight) {
+        let server = inf.servers[inf.attempt % inf.servers.len()];
+        let q = DnsMsg::Query {
+            qid,
+            name: inf.name.clone(),
+            rtype: inf.rtype,
+            recursion_desired: false,
+        };
+        self.stats.upstream_queries += 1;
+        ctx.metrics().inc("dns.resolver.upstream", 1);
+        ctx.send_datagram(server, q.encode());
+    }
+
+    fn handle_client_query(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        from: Endpoint,
+        qid: u64,
+        name: DnsName,
+        rtype: RecordType,
+    ) {
+        self.stats.client_queries += 1;
+        ctx.metrics().inc("dns.resolver.queries", 1);
+        // Positive cache.
+        if let Some(entry) = self.cache_get(ctx.now(), &name, rtype) {
+            let answers = entry.rrs.clone();
+            self.stats.cache_hits += 1;
+            ctx.metrics().inc("dns.resolver.hits", 1);
+            self.respond(ctx, from, qid, Rcode::Ok, answers);
+            return;
+        }
+        // Negative cache.
+        if let Some(&expires) = self.negative.get(&Self::cache_key(&name, rtype)) {
+            if expires > ctx.now() {
+                self.stats.cache_hits += 1;
+                ctx.metrics().inc("dns.resolver.neg_hits", 1);
+                self.respond(ctx, from, qid, Rcode::NxDomain, vec![]);
+                return;
+            }
+        }
+        self.start_resolution(ctx, from, qid, name, rtype);
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the message fields
+    fn handle_upstream_response(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        qid: u64,
+        rcode: Rcode,
+        answers: Vec<ResourceRecord>,
+        authority: Vec<ResourceRecord>,
+        additional: Vec<ResourceRecord>,
+        authoritative: bool,
+        negative_ttl: u32,
+    ) {
+        let Some(mut inf) = self.inflight.remove(&qid) else {
+            return; // late duplicate
+        };
+        ctx.cancel_timer(inf.timer);
+        match rcode {
+            Rcode::Ok if !answers.is_empty() => {
+                self.cache_put(ctx.now(), &answers);
+                self.respond(ctx, inf.client, inf.client_qid, Rcode::Ok, answers);
+            }
+            Rcode::Ok if !authority.is_empty() => {
+                // Referral: cache the delegation and descend.
+                self.cache_put(ctx.now(), &authority);
+                self.cache_put(ctx.now(), &additional);
+                let mut next = Vec::new();
+                for rr in &additional {
+                    if let RData::A(h) = rr.data {
+                        next.push(Endpoint::new(h, ports::DNS));
+                    }
+                }
+                if next.is_empty() || inf.budget == 0 {
+                    self.stats.failures += 1;
+                    self.respond(ctx, inf.client, inf.client_qid, Rcode::ServFail, vec![]);
+                    return;
+                }
+                inf.servers = next;
+                inf.attempt = 0;
+                inf.budget -= 1;
+                inf.timer = ctx.set_timer(self.timeout, ns_token(RESOLVER_NS, qid));
+                self.send_upstream(ctx, qid, &inf);
+                self.inflight.insert(qid, inf);
+            }
+            Rcode::Ok if authoritative => {
+                // Authoritative empty answer: NODATA.
+                self.negative.insert(
+                    Self::cache_key(&inf.name, inf.rtype),
+                    ctx.now() + SimDuration::from_secs(negative_ttl as u64),
+                );
+                self.respond(ctx, inf.client, inf.client_qid, Rcode::NxDomain, vec![]);
+            }
+            Rcode::NxDomain => {
+                self.negative.insert(
+                    Self::cache_key(&inf.name, inf.rtype),
+                    ctx.now() + SimDuration::from_secs(negative_ttl as u64),
+                );
+                self.respond(ctx, inf.client, inf.client_qid, Rcode::NxDomain, vec![]);
+            }
+            _ => {
+                // Refused / ServFail / non-authoritative empty: try the
+                // next server at this level if any remain.
+                if inf.budget > 0 && inf.attempt + 1 < inf.servers.len() {
+                    inf.attempt += 1;
+                    inf.budget -= 1;
+                    inf.timer = ctx.set_timer(self.timeout, ns_token(RESOLVER_NS, qid));
+                    self.send_upstream(ctx, qid, &inf);
+                    self.inflight.insert(qid, inf);
+                } else {
+                    self.stats.failures += 1;
+                    self.respond(ctx, inf.client, inf.client_qid, Rcode::ServFail, vec![]);
+                }
+            }
+        }
+    }
+}
+
+impl Service for Resolver {
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        let msg = match DnsMsg::decode(&payload) {
+            Ok(m) => m,
+            Err(_) => {
+                ctx.metrics().inc("dns.resolver.malformed", 1);
+                return;
+            }
+        };
+        match msg {
+            DnsMsg::Query {
+                qid, name, rtype, ..
+            } => self.handle_client_query(ctx, from, qid, name, rtype),
+            DnsMsg::Response {
+                qid,
+                rcode,
+                answers,
+                authority,
+                additional,
+                authoritative,
+                negative_ttl,
+            } => self.handle_upstream_response(
+                ctx,
+                qid,
+                rcode,
+                answers,
+                authority,
+                additional,
+                authoritative,
+                negative_ttl,
+            ),
+            _ => {
+                ctx.metrics().inc("dns.resolver.unexpected", 1);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if !owns_token(RESOLVER_NS, token) {
+            return;
+        }
+        let qid = token_id(token);
+        let Some(mut inf) = self.inflight.remove(&qid) else {
+            return;
+        };
+        if inf.budget == 0 {
+            self.stats.failures += 1;
+            self.respond(ctx, inf.client, inf.client_qid, Rcode::ServFail, vec![]);
+            return;
+        }
+        inf.attempt += 1;
+        inf.budget -= 1;
+        inf.timer = ctx.set_timer(self.timeout, ns_token(RESOLVER_NS, qid));
+        self.send_upstream(ctx, qid, &inf);
+        self.inflight.insert(qid, inf);
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        // Cache and in-flight state are volatile.
+        self.cache.clear();
+        self.negative.clear();
+        self.inflight.clear();
+    }
+
+    impl_service_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use globe_net::HostId;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    #[test]
+    #[should_panic(expected = "root hints")]
+    fn resolver_requires_hints() {
+        let _ = Resolver::new(vec![]);
+    }
+
+    #[test]
+    fn best_servers_falls_back_to_root() {
+        let hints = vec![Endpoint::new(HostId(0), ports::DNS)];
+        let r = Resolver::new(hints.clone());
+        assert_eq!(r.best_servers(SimTime::ZERO, &name("a.b.c")), hints);
+    }
+
+    #[test]
+    fn cache_respects_expiry() {
+        let hints = vec![Endpoint::new(HostId(0), ports::DNS)];
+        let mut r = Resolver::new(hints);
+        let rr = ResourceRecord::new(name("x.glb"), 10, RData::A(HostId(5)));
+        r.cache_put(SimTime::ZERO, std::slice::from_ref(&rr));
+        assert!(r.cache_get(SimTime::from_secs(5), &name("x.glb"), RecordType::A).is_some());
+        assert!(r.cache_get(SimTime::from_secs(11), &name("x.glb"), RecordType::A).is_none());
+    }
+}

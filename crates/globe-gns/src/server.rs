@@ -1,0 +1,326 @@
+//! The authoritative DNS server service.
+//!
+//! Hosts one or more zones, answers queries iteratively (with referrals
+//! at delegation points), and — for zones it is *primary* for — accepts
+//! TSIG-signed dynamic updates and replicates them to the zone's
+//! secondary servers (the paper's "multiple authoritative name servers"
+//! for load distribution, §5).
+
+use std::collections::BTreeMap;
+
+use globe_net::{impl_service_any, Endpoint, Service, ServiceCtx};
+
+use crate::name::DnsName;
+use crate::proto::{tsig_verify, DnsMsg, Rcode, UpdateOp};
+use crate::records::{RecordType, Zone, ZoneAnswer};
+
+/// Counters for one authoritative server (experiment E6 reads these).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Queries answered (any outcome).
+    pub queries: u64,
+    /// Queries answered from authoritative data.
+    pub answers: u64,
+    /// Referrals issued.
+    pub referrals: u64,
+    /// Negative answers (NXDOMAIN / no data).
+    pub negatives: u64,
+    /// Dynamic updates applied.
+    pub updates: u64,
+    /// Updates rejected (TSIG failure or unknown zone).
+    pub rejected_updates: u64,
+}
+
+/// An authoritative DNS server.
+pub struct AuthServer {
+    zones: BTreeMap<String, Zone>,
+    /// TSIG keys accepted for dynamic updates: name → secret.
+    tsig_keys: BTreeMap<String, Vec<u8>>,
+    /// For zones this server is primary of: the secondaries to push
+    /// applied updates to.
+    secondaries: BTreeMap<String, Vec<Endpoint>>,
+    /// Load counters.
+    pub stats: ServerStats,
+}
+
+impl AuthServer {
+    /// Creates an empty server.
+    pub fn new() -> AuthServer {
+        AuthServer {
+            zones: BTreeMap::new(),
+            tsig_keys: BTreeMap::new(),
+            secondaries: BTreeMap::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Adds a zone this server is authoritative for.
+    pub fn with_zone(mut self, zone: Zone) -> Self {
+        self.zones.insert(zone.origin().to_string(), zone);
+        self
+    }
+
+    /// Registers a TSIG key for dynamic updates.
+    pub fn with_tsig_key(mut self, name: &str, secret: Vec<u8>) -> Self {
+        self.tsig_keys.insert(name.to_owned(), secret);
+        self
+    }
+
+    /// Declares this server primary for `zone`, replicating updates to
+    /// `secondaries`.
+    pub fn with_secondaries(mut self, zone: &DnsName, secondaries: Vec<Endpoint>) -> Self {
+        self.secondaries.insert(zone.to_string(), secondaries);
+        self
+    }
+
+    /// Read access to a hosted zone (tests / experiments).
+    pub fn zone(&self, origin: &DnsName) -> Option<&Zone> {
+        self.zones.get(&origin.to_string())
+    }
+
+    /// Finds the most specific hosted zone containing `name`.
+    fn zone_for_mut(&mut self, name: &DnsName) -> Option<&mut Zone> {
+        let mut best: Option<&str> = None;
+        let mut best_depth = 0usize;
+        for (origin_str, zone) in &self.zones {
+            if name.is_subdomain_of(zone.origin()) {
+                let d = zone.origin().depth();
+                if best.is_none() || d >= best_depth {
+                    best = Some(origin_str.as_str());
+                    best_depth = d;
+                }
+            }
+        }
+        let key = best?.to_owned();
+        self.zones.get_mut(&key)
+    }
+
+    fn handle_query(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        from: Endpoint,
+        qid: u64,
+        name: DnsName,
+        rtype: RecordType,
+    ) {
+        self.stats.queries += 1;
+        ctx.metrics().inc("dns.auth.queries", 1);
+        let Some(zone) = self.zone_for_mut(&name) else {
+            let resp = DnsMsg::Response {
+                qid,
+                rcode: Rcode::Refused,
+                answers: vec![],
+                authority: vec![],
+                additional: vec![],
+                authoritative: false,
+                negative_ttl: 0,
+            };
+            ctx.send_datagram(from, resp.encode());
+            return;
+        };
+        let negative_ttl = zone.negative_ttl();
+        let resp = match zone.lookup(&name, rtype) {
+            ZoneAnswer::Records(answers) => {
+                self.stats.answers += 1;
+                DnsMsg::Response {
+                    qid,
+                    rcode: Rcode::Ok,
+                    answers,
+                    authority: vec![],
+                    additional: vec![],
+                    authoritative: true,
+                    negative_ttl,
+                }
+            }
+            ZoneAnswer::Referral { ns, glue } => {
+                self.stats.referrals += 1;
+                DnsMsg::Response {
+                    qid,
+                    rcode: Rcode::Ok,
+                    answers: vec![],
+                    authority: ns,
+                    additional: glue,
+                    authoritative: false,
+                    negative_ttl,
+                }
+            }
+            ZoneAnswer::NoData => {
+                self.stats.negatives += 1;
+                DnsMsg::Response {
+                    qid,
+                    rcode: Rcode::Ok,
+                    answers: vec![],
+                    authority: vec![],
+                    additional: vec![],
+                    authoritative: true,
+                    negative_ttl,
+                }
+            }
+            ZoneAnswer::NxDomain => {
+                self.stats.negatives += 1;
+                DnsMsg::Response {
+                    qid,
+                    rcode: Rcode::NxDomain,
+                    answers: vec![],
+                    authority: vec![],
+                    additional: vec![],
+                    authoritative: true,
+                    negative_ttl,
+                }
+            }
+            ZoneAnswer::NotAuthoritative => DnsMsg::Response {
+                qid,
+                rcode: Rcode::Refused,
+                answers: vec![],
+                authority: vec![],
+                additional: vec![],
+                authoritative: false,
+                negative_ttl: 0,
+            },
+        };
+        ctx.send_datagram(from, resp.encode());
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the message fields
+    fn handle_update(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        from: Endpoint,
+        qid: u64,
+        zone_name: DnsName,
+        ops: Vec<UpdateOp>,
+        key_name: String,
+        mac: [u8; 32],
+    ) {
+        ctx.metrics().inc("dns.auth.update_reqs", 1);
+        let verified = self
+            .tsig_keys
+            .get(&key_name)
+            .map(|secret| tsig_verify(secret, &zone_name, &ops, &key_name, &mac))
+            .unwrap_or(false);
+        if !verified {
+            self.stats.rejected_updates += 1;
+            ctx.metrics().inc("dns.auth.update_rejected", 1);
+            let resp = DnsMsg::UpdateResp {
+                qid,
+                rcode: Rcode::NotAuth,
+            };
+            ctx.send_datagram(from, resp.encode());
+            return;
+        }
+        let Some(zone) = self.zones.get_mut(&zone_name.to_string()) else {
+            self.stats.rejected_updates += 1;
+            let resp = DnsMsg::UpdateResp {
+                qid,
+                rcode: Rcode::Refused,
+            };
+            ctx.send_datagram(from, resp.encode());
+            return;
+        };
+        for op in &ops {
+            match op {
+                UpdateOp::Add(rr) => zone.add(rr.clone()),
+                UpdateOp::DeleteRrset(name, rtype) => {
+                    zone.remove(name, *rtype);
+                }
+            }
+        }
+        self.stats.updates += 1;
+        ctx.trace_info(
+            "dns.auth",
+            format!("applied {} update ops to {zone_name}", ops.len()),
+        );
+        let resp = DnsMsg::UpdateResp {
+            qid,
+            rcode: Rcode::Ok,
+        };
+        ctx.send_datagram(from, resp.encode());
+        // Primary: replicate the (already verified) update to
+        // secondaries, re-signed with the same key.
+        if let Some(secs) = self.secondaries.get(&zone_name.to_string()) {
+            let msg = DnsMsg::Update {
+                qid,
+                zone: zone_name.clone(),
+                ops: ops.clone(),
+                key_name,
+                mac,
+            };
+            for sec in secs.clone() {
+                ctx.send_datagram(sec, msg.encode());
+            }
+        }
+    }
+}
+
+impl Default for AuthServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Service for AuthServer {
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        let msg = match DnsMsg::decode(&payload) {
+            Ok(m) => m,
+            Err(_) => {
+                ctx.metrics().inc("dns.auth.malformed", 1);
+                return;
+            }
+        };
+        match msg {
+            DnsMsg::Query {
+                qid, name, rtype, ..
+            } => self.handle_query(ctx, from, qid, name, rtype),
+            DnsMsg::Update {
+                qid,
+                zone,
+                ops,
+                key_name,
+                mac,
+            } => self.handle_update(ctx, from, qid, zone, ops, key_name, mac),
+            DnsMsg::Response { .. } | DnsMsg::UpdateResp { .. } => {
+                ctx.metrics().inc("dns.auth.unexpected", 1);
+            }
+        }
+    }
+
+    impl_service_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{RData, ResourceRecord};
+    use globe_net::HostId;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn zone_for_picks_most_specific() {
+        let mut s = AuthServer::new()
+            .with_zone(Zone::new(DnsName::root(), 60))
+            .with_zone(Zone::new(name("glb"), 60));
+        let z = s.zone_for_mut(&name("x.glb")).unwrap();
+        assert_eq!(z.origin(), &name("glb"));
+        let z = s.zone_for_mut(&name("x.com")).unwrap();
+        assert_eq!(z.origin(), &DnsName::root());
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let mut zone = Zone::new(name("gdn.glb"), 60);
+        zone.add(ResourceRecord::new(
+            name("a.gdn.glb"),
+            30,
+            RData::A(HostId(1)),
+        ));
+        let s = AuthServer::new()
+            .with_zone(zone)
+            .with_tsig_key("k", b"s".to_vec());
+        assert!(s.zone(&name("gdn.glb")).is_some());
+        assert!(s.zone(&name("other")).is_none());
+        assert_eq!(s.zone(&name("gdn.glb")).unwrap().num_records(), 1);
+    }
+}

@@ -1,0 +1,393 @@
+//! End-to-end Globe Name Service tests: a moderator registers package
+//! names through the Naming Authority (two-way gTLS, role-checked,
+//! TSIG-signed DNS UPDATE, primary→secondary replication), after which
+//! clients anywhere resolve `/apps/...` names to object identifiers via
+//! their site's caching resolver.
+
+use globe_crypto::cert::{CertAuthority, Credentials, Role};
+use globe_crypto::gtls::{Mode, TlsConfig};
+use globe_gls::ObjectId;
+use globe_gns::{
+    AuthServer, GnsClient, GnsConfig, GnsDeployment, GnsError, GnsEvent, NaClient, NaEvent,
+    Resolver,
+};
+use globe_net::{
+    impl_service_any, ports, ConnEvent, ConnId, Endpoint, HostId, NetParams, Service, ServiceCtx,
+    Topology, World,
+};
+use globe_sim::{SimDuration, SimTime};
+
+const SEED: u64 = 2024;
+
+/// Moderator tool driver: sends a script of add/remove requests.
+struct ModeratorTool {
+    na: NaClient,
+    script: Vec<(String, Option<ObjectId>)>,
+    cursor: usize,
+    pub results: Vec<NaEvent>,
+}
+
+impl ModeratorTool {
+    fn new(na: NaClient, script: Vec<(String, Option<ObjectId>)>) -> Self {
+        ModeratorTool {
+            na,
+            script,
+            cursor: 0,
+            results: Vec::new(),
+        }
+    }
+
+    fn kick(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if self.cursor >= self.script.len() {
+            return;
+        }
+        let (name, oid) = self.script[self.cursor].clone();
+        let token = self.cursor as u64;
+        match oid {
+            Some(oid) => self.na.add(ctx, &name, oid, token),
+            None => self.na.remove(ctx, &name, token),
+        }
+        self.cursor += 1;
+    }
+}
+
+impl Service for ModeratorTool {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.kick(ctx);
+    }
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        if self.na.handle_conn_event(ctx, conn, &ev) {
+            let events = self.na.take_events();
+            let progressed = !events.is_empty();
+            self.results.extend(events);
+            if progressed {
+                self.kick(ctx);
+            }
+        }
+    }
+    impl_service_any!();
+}
+
+/// Name-resolution driver embedding a `GnsClient`.
+struct ResolveDriver {
+    gns: GnsClient,
+    names: Vec<String>,
+    cursor: usize,
+    pub results: Vec<GnsEvent>,
+}
+
+impl ResolveDriver {
+    fn kick(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if self.cursor >= self.names.len() {
+            return;
+        }
+        let name = self.names[self.cursor].clone();
+        self.gns.resolve(ctx, &name, self.cursor as u64);
+        self.cursor += 1;
+        // Synchronously failed resolutions (bad names) complete without
+        // any network traffic; drain and continue.
+        let evs = self.gns.take_events();
+        if !evs.is_empty() {
+            self.results.extend(evs);
+            self.kick(ctx);
+        }
+    }
+}
+
+impl Service for ResolveDriver {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.kick(ctx);
+    }
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.gns.handle_datagram(ctx, from, &payload) {
+            let evs = self.gns.take_events();
+            let progressed = !evs.is_empty();
+            self.results.extend(evs);
+            if progressed {
+                self.kick(ctx);
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if self.gns.handle_timer(ctx, token) {
+            let evs = self.gns.take_events();
+            let progressed = !evs.is_empty();
+            self.results.extend(evs);
+            if progressed {
+                self.kick(ctx);
+            }
+        }
+    }
+    impl_service_any!();
+}
+
+struct Rig {
+    world: World,
+    deploy: GnsDeployment,
+    ca: CertAuthority,
+}
+
+fn rig(cfg: GnsConfig) -> Rig {
+    let topo = Topology::grid(2, 2, 2, 3);
+    let mut world = World::new(topo, NetParams::default(), SEED);
+    let ca = CertAuthority::new("gdn-root", SEED);
+    let deploy = GnsDeployment::plan(world.topology(), &cfg);
+    deploy.install(&mut world, &ca, &cfg, SEED);
+    (Rig { world, deploy, ca })
+}
+
+fn moderator_tls(ca: &CertAuthority, role: Role, seed: u64) -> TlsConfig {
+    let creds = Credentials::issue(ca, "modtool:alice", role, seed);
+    TlsConfig::mutual(Mode::AuthEncrypt, creds, vec![ca.root_cert().clone()])
+}
+
+fn add_moderator(
+    rig: &mut Rig,
+    host: HostId,
+    role: Role,
+    script: Vec<(String, Option<ObjectId>)>,
+) {
+    let tls = moderator_tls(&rig.ca, role, 777);
+    let na = NaClient::new(rig.deploy.naming_authority, tls);
+    rig.world
+        .add_service(host, ports::DRIVER, ModeratorTool::new(na, script));
+}
+
+fn add_resolver_driver(rig: &mut Rig, host: HostId, port: u16, names: Vec<String>) {
+    let gns = GnsClient::new(&rig.deploy, rig.world.topology(), host, 2);
+    rig.world.add_service(
+        host,
+        port,
+        ResolveDriver {
+            gns,
+            names,
+            cursor: 0,
+            results: Vec::new(),
+        },
+    );
+}
+
+#[test]
+fn register_and_resolve_worldwide() {
+    let mut r = rig(GnsConfig {
+        batch_interval: SimDuration::from_secs(1),
+        ..GnsConfig::default()
+    });
+    let oid = ObjectId(0x6111);
+    add_moderator(
+        &mut r,
+        HostId(1),
+        Role::Moderator,
+        vec![("/apps/graphics/gimp".into(), Some(oid))],
+    );
+    r.world.start();
+    r.world.run_for(SimDuration::from_secs(10));
+
+    // Moderator got an ack.
+    let m = r.world.service::<ModeratorTool>(HostId(1), ports::DRIVER).unwrap();
+    assert_eq!(
+        m.results,
+        vec![NaEvent::Done {
+            token: 0,
+            result: Ok(())
+        }]
+    );
+
+    // A client in the *other region* resolves the name.
+    add_resolver_driver(&mut r, HostId(13), ports::DRIVER, vec!["/apps/graphics/gimp".into()]);
+    r.world.run_for(SimDuration::from_secs(20));
+    let d = r.world.service::<ResolveDriver>(HostId(13), ports::DRIVER).unwrap();
+    assert_eq!(d.results.len(), 1);
+    match &d.results[0] {
+        GnsEvent::Resolved { result, .. } => assert_eq!(result.as_ref().unwrap(), &oid),
+    }
+}
+
+#[test]
+fn unknown_and_invalid_names_fail_cleanly() {
+    let mut r = rig(GnsConfig::default());
+    add_resolver_driver(
+        &mut r,
+        HostId(5),
+        ports::DRIVER,
+        vec!["/apps/없는".into(), "/apps/nothere".into(), "noslash".into()],
+    );
+    r.world.start();
+    r.world.run_until(SimTime::from_secs(60));
+    let d = r.world.service::<ResolveDriver>(HostId(5), ports::DRIVER).unwrap();
+    assert_eq!(d.results.len(), 3, "{:?}", d.results);
+    assert!(matches!(
+        &d.results[0],
+        GnsEvent::Resolved { result: Err(GnsError::Name(_)), .. }
+    ));
+    assert!(matches!(
+        &d.results[1],
+        GnsEvent::Resolved { result: Err(GnsError::Dns(_)), .. }
+    ));
+    assert!(matches!(
+        &d.results[2],
+        GnsEvent::Resolved { result: Err(GnsError::Name(_)), .. }
+    ));
+}
+
+#[test]
+fn non_moderator_is_denied() {
+    let mut r = rig(GnsConfig::default());
+    // A mere host certificate must not be able to update the zone
+    // (paper §6.1, requirement 3).
+    add_moderator(
+        &mut r,
+        HostId(2),
+        Role::Host,
+        vec![("/apps/evil".into(), Some(ObjectId(0xBAD)))],
+    );
+    r.world.start();
+    r.world.run_for(SimDuration::from_secs(10));
+    let m = r.world.service::<ModeratorTool>(HostId(2), ports::DRIVER).unwrap();
+    assert_eq!(m.results.len(), 1);
+    match &m.results[0] {
+        NaEvent::Done { result, .. } => {
+            assert!(result.as_ref().unwrap_err().contains("moderator"));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // And nothing reached the zone.
+    let primary = r.deploy.gdn_primary;
+    let s = r.world.service::<AuthServer>(primary.host, primary.port).unwrap();
+    assert_eq!(s.zone(&r.deploy.zone).unwrap().num_records(), 0);
+}
+
+#[test]
+fn updates_replicate_to_secondaries() {
+    let mut r = rig(GnsConfig {
+        batch_interval: SimDuration::ZERO, // flush immediately
+        ..GnsConfig::default()
+    });
+    let oid = ObjectId(0x7222);
+    add_moderator(
+        &mut r,
+        HostId(1),
+        Role::Moderator,
+        vec![
+            ("/apps/tex/tetex".into(), Some(oid)),
+            ("/os/linux/debian".into(), Some(ObjectId(0x7333))),
+        ],
+    );
+    r.world.start();
+    r.world.run_for(SimDuration::from_secs(15));
+    for server in r.deploy.gdn_servers() {
+        let s = r
+            .world
+            .service::<AuthServer>(server.host, server.port)
+            .expect("gdn server");
+        let zone = s.zone(&r.deploy.zone).unwrap();
+        assert_eq!(
+            zone.num_records(),
+            2,
+            "server {server} has {} records",
+            zone.num_records()
+        );
+    }
+}
+
+#[test]
+fn removal_takes_names_out_of_service() {
+    let mut r = rig(GnsConfig {
+        batch_interval: SimDuration::ZERO,
+        record_ttl: 1, // keep resolver caches from masking the removal
+        ..GnsConfig::default()
+    });
+    let oid = ObjectId(0x8444);
+    add_moderator(
+        &mut r,
+        HostId(1),
+        Role::Moderator,
+        vec![
+            ("/apps/gimp".into(), Some(oid)),
+            ("/apps/gimp".into(), None),
+        ],
+    );
+    r.world.start();
+    r.world.run_for(SimDuration::from_secs(20));
+    add_resolver_driver(&mut r, HostId(7), ports::DRIVER, vec!["/apps/gimp".into()]);
+    r.world.run_until(SimTime::from_secs(90));
+    let d = r.world.service::<ResolveDriver>(HostId(7), ports::DRIVER).unwrap();
+    assert!(matches!(
+        &d.results[0],
+        GnsEvent::Resolved { result: Err(GnsError::Dns(_)), .. }
+    ));
+}
+
+#[test]
+fn resolver_caching_cuts_latency_and_authoritative_load() {
+    let mut r = rig(GnsConfig {
+        batch_interval: SimDuration::from_secs(1),
+        record_ttl: 86_400,
+        ..GnsConfig::default()
+    });
+    let oid = ObjectId(0x9555);
+    add_moderator(
+        &mut r,
+        HostId(1),
+        Role::Moderator,
+        vec![("/apps/emacs".into(), Some(oid))],
+    );
+    r.world.start();
+    r.world.run_for(SimDuration::from_secs(10));
+
+    // Two sequential resolutions from the same site: the second must be
+    // served from the resolver cache.
+    add_resolver_driver(
+        &mut r,
+        HostId(13),
+        ports::DRIVER,
+        vec!["/apps/emacs".into(), "/apps/emacs".into()],
+    );
+    r.world.run_for(SimDuration::from_secs(30));
+    let d = r.world.service::<ResolveDriver>(HostId(13), ports::DRIVER).unwrap();
+    assert_eq!(d.results.len(), 2);
+    let (l0, l1) = match (&d.results[0], &d.results[1]) {
+        (
+            GnsEvent::Resolved { latency: a, result: ra, .. },
+            GnsEvent::Resolved { latency: b, result: rb, .. },
+        ) => {
+            assert!(ra.is_ok() && rb.is_ok());
+            (*a, *b)
+        }
+    };
+    assert!(
+        l1.as_nanos() * 5 < l0.as_nanos(),
+        "cached resolution not faster: cold {l0}, warm {l1}"
+    );
+    // Resolver hit its cache at least once.
+    let resolver_ep = r.deploy.resolver_for(r.world.topology(), HostId(13));
+    let resolver = r
+        .world
+        .service::<Resolver>(resolver_ep.host, resolver_ep.port)
+        .unwrap();
+    assert!(resolver.stats.cache_hits >= 1);
+}
+
+#[test]
+fn batching_reduces_update_messages() {
+    // Two deployments: immediate flush vs 10 s batching, same 20 adds.
+    let run = |batch: SimDuration| -> u64 {
+        let mut r = rig(GnsConfig {
+            batch_interval: batch,
+            ..GnsConfig::default()
+        });
+        let script: Vec<(String, Option<ObjectId>)> = (0..20)
+            .map(|i| (format!("/apps/pkg{i}"), Some(ObjectId(0x1000 + i as u128))))
+            .collect();
+        add_moderator(&mut r, HostId(1), Role::Moderator, script);
+        r.world.start();
+        r.world.run_for(SimDuration::from_secs(60));
+        r.world.metrics().counter("gns.na.batches")
+    };
+    let immediate = run(SimDuration::ZERO);
+    let batched = run(SimDuration::from_secs(10));
+    assert!(
+        batched * 3 <= immediate,
+        "batching did not help: immediate={immediate} batched={batched}"
+    );
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the name machinery: the Globe↔DNS mapping is
+//! a bijection on valid names, codecs are total, zones behave like sets.
+
+use proptest::prelude::*;
+
+use globe_gls::ObjectId;
+use globe_gns::proto::{tsig_mac, tsig_verify, DnsMsg, UpdateOp};
+use globe_gns::{oid_to_txt, txt_to_oid, DnsName, GlobeName, RData, RecordType, ResourceRecord, Zone};
+
+const LABEL: &str = "[a-z][a-z0-9_-]{0,10}";
+
+proptest! {
+    /// DNS names survive parse → display → parse.
+    #[test]
+    fn dns_name_round_trip(labels in prop::collection::vec(LABEL, 1..5)) {
+        let text = labels.join(".");
+        let name = DnsName::parse(&text).unwrap();
+        let again = DnsName::parse(&name.to_string()).unwrap();
+        prop_assert_eq!(name, again);
+    }
+
+    /// The Globe↔DNS mapping under a zone is a bijection (paper §5).
+    #[test]
+    fn globe_dns_mapping_is_bijective(
+        components in prop::collection::vec(LABEL, 1..4),
+        zone_labels in prop::collection::vec(LABEL, 1..3),
+    ) {
+        let globe = GlobeName::parse(&format!("/{}", components.join("/"))).unwrap();
+        let zone = DnsName::parse(&zone_labels.join(".")).unwrap();
+        let dns = globe.to_dns(&zone).unwrap();
+        prop_assert!(dns.is_subdomain_of(&zone));
+        let back = GlobeName::from_dns(&dns, &zone).unwrap();
+        prop_assert_eq!(back, globe);
+    }
+
+    /// Object-id TXT encoding round-trips and rejects corruption.
+    #[test]
+    fn oid_txt_round_trip(oid: u128) {
+        let txt = oid_to_txt(ObjectId(oid));
+        prop_assert_eq!(txt_to_oid(&txt).unwrap(), ObjectId(oid));
+        prop_assert!(txt_to_oid(&txt[1..]).is_none());
+    }
+
+    /// DNS message decoding is total; encoding round-trips queries.
+    #[test]
+    fn dns_codec(
+        qid: u64,
+        labels in prop::collection::vec(LABEL, 1..4),
+        garbage in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let name = DnsName::parse(&labels.join(".")).unwrap();
+        let q = DnsMsg::Query {
+            qid,
+            name,
+            rtype: RecordType::Txt,
+            recursion_desired: true,
+        };
+        prop_assert_eq!(DnsMsg::decode(&q.encode()).unwrap(), q);
+        let _ = DnsMsg::decode(&garbage); // totality
+    }
+
+    /// TSIG accepts genuine updates and rejects any altered op list or
+    /// wrong key.
+    #[test]
+    fn tsig_detects_tampering(
+        secret in prop::collection::vec(any::<u8>(), 1..32),
+        labels in prop::collection::vec(LABEL, 1..3),
+        oid: u128,
+    ) {
+        let zone = DnsName::parse(&labels.join(".")).unwrap();
+        let rec = zone.child("pkg").unwrap();
+        let ops = vec![UpdateOp::Add(ResourceRecord::new(
+            rec.clone(),
+            60,
+            RData::Txt(oid_to_txt(ObjectId(oid))),
+        ))];
+        let mac = tsig_mac(&secret, &zone, &ops, "k");
+        prop_assert!(tsig_verify(&secret, &zone, &ops, "k", &mac));
+        prop_assert!(!tsig_verify(&secret, &zone, &[], "k", &mac));
+        prop_assert!(!tsig_verify(b"other", &zone, &ops, "k", &mac));
+        prop_assert!(!tsig_verify(&secret, &zone, &ops, "k2", &mac));
+    }
+
+    /// Zone add/remove behaves like a keyed set with a monotone serial.
+    #[test]
+    fn zone_set_semantics(
+        labels in prop::collection::vec(LABEL, 1..8),
+        ttl in 1u32..100_000,
+    ) {
+        let origin = DnsName::parse("gdn.glb").unwrap();
+        let mut zone = Zone::new(origin.clone(), 60);
+        let mut serials = vec![zone.serial()];
+        let mut names = Vec::new();
+        for l in &labels {
+            let name = origin.child(l).unwrap();
+            zone.add(ResourceRecord::new(name.clone(), ttl, RData::Txt(l.clone())));
+            names.push(name);
+            serials.push(zone.serial());
+        }
+        // Serials never decrease.
+        for w in serials.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        // Unique names are all present.
+        let unique: std::collections::BTreeSet<_> = labels.iter().collect();
+        prop_assert_eq!(zone.num_records(), unique.len());
+        // Removing everything empties the zone.
+        for name in &names {
+            zone.remove(name, RecordType::Txt);
+        }
+        prop_assert_eq!(zone.num_records(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Simulated wide-area network and service runtime for the Globe/GDN
+//! reproduction.
+//!
+//! The Globe Distribution Network paper ran on the real Internet of 2000;
+//! this crate is the substitute substrate (see `DESIGN.md` §2). It models
+//! exactly the properties the paper's claims depend on:
+//!
+//! - **Hierarchical locality** ([`topology`]): hosts live in *sites*
+//!   (campus/MAN networks), sites in *countries*, countries in *regions*.
+//!   Communication cost is a function of the lowest tier that spans both
+//!   endpoints, mirroring the domain hierarchy of the Globe Location
+//!   Service (paper §3.5, Figure 2).
+//! - **Scarce wide-area bandwidth** (paper §3.1): every message is
+//!   accounted against the tier it crosses, so experiments can report
+//!   exactly how many bytes crossed country and region boundaries.
+//! - **Datagrams and streams** ([`transport`], [`world`]): the GLS runs
+//!   over unreliable datagrams (paper §6.3 notes it is UDP-based), while
+//!   the replication protocol, HTTP and DNS UPDATE run over reliable,
+//!   connection-oriented streams with a 1-RTT handshake. Streams preserve
+//!   message boundaries (all protocols in this system are message-framed);
+//!   congestion control is out of scope and documented as a simplification.
+//! - **Host failures** ([`world`]): hosts crash and recover; stable
+//!   storage survives, volatile state does not — which is what makes the
+//!   Globe Object Server recovery path (paper §4) meaningful.
+//!
+//! Deterministic by construction: the event loop consumes a stable-ordered
+//! queue from [`globe_sim`], all service maps are ordered, and every
+//! service draws randomness from its own forked stream.
+//!
+//! # Examples
+//!
+//! A two-host ping over datagrams:
+//!
+//! ```
+//! use globe_net::{
+//!     impl_service_any, ports, Endpoint, NetParams, Service, ServiceCtx, TopologyBuilder, World,
+//! };
+//!
+//! struct Ping {
+//!     peer: Endpoint,
+//!     got: bool,
+//! }
+//! impl Service for Ping {
+//!     fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+//!         ctx.send_datagram(self.peer, b"ping".to_vec());
+//!     }
+//!     fn on_datagram(&mut self, _ctx: &mut ServiceCtx<'_>, _from: Endpoint, data: Vec<u8>) {
+//!         assert_eq!(data, b"ping");
+//!         self.got = true;
+//!     }
+//!     impl_service_any!();
+//! }
+//!
+//! let mut b = TopologyBuilder::new();
+//! let r = b.region("eu");
+//! let c = b.country(r, "nl");
+//! let s = b.site(c, "vu");
+//! let h1 = b.host(s, "a");
+//! let h2 = b.host(s, "b");
+//! let mut world = World::new(b.build(), NetParams::default(), 1);
+//! let peer = Endpoint::new(h2, ports::DRIVER);
+//! world.add_service(h1, ports::DRIVER, Ping { peer, got: false });
+//! world.add_service(h2, ports::DRIVER, Ping { peer: Endpoint::new(h1, 0), got: false });
+//! world.start();
+//! world.run_to_quiescence();
+//! assert!(world.service::<Ping>(h2, ports::DRIVER).unwrap().got);
+//! ```
+
+pub mod ports;
+pub mod topology;
+pub mod transport;
+pub mod wire;
+pub mod world;
+
+pub use topology::{
+    CountryId, HostId, LinkParams, NetParams, RegionId, SiteId, Tier, Topology, TopologyBuilder,
+};
+pub use transport::{CloseReason, ConnEvent, ConnId, Endpoint, TimerId};
+pub use wire::{WireError, WireReader, WireWriter};
+pub use world::{ns_token, owns_token, token_id, Service, ServiceCtx, World};

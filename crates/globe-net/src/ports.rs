@@ -1,0 +1,26 @@
+//! Well-known port numbers used across the GDN deployment.
+//!
+//! Mirrors the paper's architecture (Figure 3): every daemon listens on a
+//! fixed port so that contact addresses and configuration can name services
+//! by `(host, port)` pairs.
+
+/// DNS — authoritative name servers and the resolver protocol (datagrams).
+pub const DNS: u16 = 53;
+/// HTTP — GDN-enabled HTTPDs, plaintext (user-facing, streams).
+pub const HTTP: u16 = 80;
+/// HTTPS — GDN-enabled HTTPDs over gTLS with server authentication.
+pub const HTTPS: u16 = 443;
+/// Globe Location Service directory nodes (datagrams; the paper notes the
+/// GLS is UDP-based for efficiency, §6.3).
+pub const GLS: u16 = 411;
+/// GNS Naming Authority — accepts authenticated add/remove requests from
+/// moderator tools and issues DNS UPDATEs (streams over gTLS).
+pub const GNS_NA: u16 = 953;
+/// Globe Object Server control interface — replica creation/deletion
+/// commands from moderator tools (streams over gTLS, two-way auth).
+pub const GOS_CTL: u16 = 700;
+/// Globe Replication Protocol — inter-replica state traffic (streams over
+/// gTLS, two-way auth between GDN hosts).
+pub const GRP: u16 = 2112;
+/// Workload drivers, test harnesses and other simulation-only endpoints.
+pub const DRIVER: u16 = 9000;

@@ -1,0 +1,588 @@
+//! Hierarchical network topology and the latency/bandwidth model.
+//!
+//! The model has four levels — *region* (continent) → *country* → *site*
+//! (campus or metropolitan network) → *host* — matching the domain
+//! hierarchy the Globe Location Service organizes the Internet into
+//! (paper §3.5). Communication cost between two hosts is determined by the
+//! lowest [`Tier`] that contains both: two hosts in one site pay LAN cost,
+//! two hosts in different regions pay intercontinental cost.
+//!
+//! Default link parameters are calibrated to the era of the paper
+//! (100 Mbit/s campus LANs, single-digit-Mbit/s international links,
+//! ~90 ms transatlantic one-way latency); experiments may override them
+//! via [`NetParams`].
+
+use globe_sim::SimDuration;
+
+/// Identifies a host (leaf of the topology).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub u32);
+
+/// Identifies a site (campus / metropolitan network).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SiteId(pub u32);
+
+/// Identifies a country.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CountryId(pub u32);
+
+/// Identifies a region (continent).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RegionId(pub u32);
+
+/// The lowest level of the hierarchy spanning two communicating hosts.
+///
+/// Order matters: `Loopback < Site < Country < Region < World`, and the
+/// numeric value ([`Tier::distance`]) is the "tree distance" used as the
+/// x-axis of experiment E1 (lookup cost vs. distance).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Tier {
+    /// Same host (inter-process).
+    Loopback,
+    /// Same site: crosses only the LAN.
+    Site,
+    /// Same country, different sites: crosses the national backbone.
+    Country,
+    /// Same region, different countries: crosses regional links.
+    Region,
+    /// Different regions: crosses intercontinental links.
+    World,
+}
+
+impl Tier {
+    /// All tiers, in increasing order of distance.
+    pub const ALL: [Tier; 5] = [
+        Tier::Loopback,
+        Tier::Site,
+        Tier::Country,
+        Tier::Region,
+        Tier::World,
+    ];
+
+    /// Tree distance: 0 for loopback up to 4 for intercontinental.
+    pub fn distance(self) -> u32 {
+        match self {
+            Tier::Loopback => 0,
+            Tier::Site => 1,
+            Tier::Country => 2,
+            Tier::Region => 3,
+            Tier::World => 4,
+        }
+    }
+
+    /// Short lower-case name, used as a metrics key segment
+    /// (`net.bytes.<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Loopback => "loopback",
+            Tier::Site => "site",
+            Tier::Country => "country",
+            Tier::Region => "region",
+            Tier::World => "world",
+        }
+    }
+
+    /// Whether traffic at this tier is "wide-area" in the sense of the
+    /// paper (§3.1: bandwidth between sites is the scarce resource).
+    pub fn is_wide_area(self) -> bool {
+        matches!(self, Tier::Country | Tier::Region | Tier::World)
+    }
+}
+
+/// Link characteristics for one tier.
+#[derive(Copy, Clone, Debug)]
+pub struct LinkParams {
+    /// One-way propagation latency for messages crossing this tier.
+    pub latency: SimDuration,
+    /// Bottleneck bandwidth in bytes per second (serialization delay is
+    /// `size / bandwidth`).
+    pub bandwidth: u64,
+    /// Probability that a datagram crossing this tier is lost. Streams are
+    /// reliable and unaffected.
+    pub datagram_loss: f64,
+}
+
+/// All tunables of the network model.
+#[derive(Clone, Debug)]
+pub struct NetParams {
+    /// Per-tier link characteristics, indexed by [`Tier::distance`].
+    pub links: [LinkParams; 5],
+    /// Fixed per-message header overhead added to every payload, in bytes
+    /// (rough stand-in for IP/TCP/UDP headers).
+    pub overhead: u64,
+    /// How long a connection attempt waits for a response before failing
+    /// when the remote host is unreachable.
+    pub connect_timeout: SimDuration,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            links: [
+                // Loopback: inter-process on one machine.
+                LinkParams {
+                    latency: SimDuration::from_micros(20),
+                    bandwidth: 500_000_000,
+                    datagram_loss: 0.0,
+                },
+                // Site: 100 Mbit/s campus LAN.
+                LinkParams {
+                    latency: SimDuration::from_micros(300),
+                    bandwidth: 12_500_000,
+                    datagram_loss: 0.0,
+                },
+                // Country: national backbone, ~34 Mbit/s shared.
+                LinkParams {
+                    latency: SimDuration::from_millis(5),
+                    bandwidth: 4_000_000,
+                    datagram_loss: 0.0,
+                },
+                // Region: intra-continental links.
+                LinkParams {
+                    latency: SimDuration::from_millis(20),
+                    bandwidth: 1_250_000,
+                    datagram_loss: 0.0,
+                },
+                // World: intercontinental links (~90 ms one way).
+                LinkParams {
+                    latency: SimDuration::from_millis(90),
+                    bandwidth: 600_000,
+                    datagram_loss: 0.0,
+                },
+            ],
+            overhead: 40,
+            connect_timeout: SimDuration::from_secs(3),
+        }
+    }
+}
+
+impl NetParams {
+    /// Returns the link parameters for a tier.
+    pub fn link(&self, tier: Tier) -> &LinkParams {
+        &self.links[tier.distance() as usize]
+    }
+
+    /// Returns a mutable reference to the link parameters for a tier.
+    pub fn link_mut(&mut self, tier: Tier) -> &mut LinkParams {
+        &mut self.links[tier.distance() as usize]
+    }
+
+    /// Sets the datagram loss probability on every tier except loopback.
+    pub fn with_datagram_loss(mut self, p: f64) -> Self {
+        for tier in [Tier::Site, Tier::Country, Tier::Region, Tier::World] {
+            self.link_mut(tier).datagram_loss = p;
+        }
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Region {
+    name: String,
+}
+
+#[derive(Clone, Debug)]
+struct Country {
+    name: String,
+    region: RegionId,
+}
+
+#[derive(Clone, Debug)]
+struct Site {
+    name: String,
+    country: CountryId,
+}
+
+#[derive(Clone, Debug)]
+struct Host {
+    name: String,
+    site: SiteId,
+}
+
+/// An immutable network topology: the region/country/site/host tree.
+///
+/// Build one with [`TopologyBuilder`] or the [`Topology::grid`]
+/// convenience constructor.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    regions: Vec<Region>,
+    countries: Vec<Country>,
+    sites: Vec<Site>,
+    hosts: Vec<Host>,
+    /// Hosts grouped by site, for fast enumeration.
+    site_hosts: Vec<Vec<HostId>>,
+}
+
+/// Incremental constructor for [`Topology`].
+///
+/// # Examples
+///
+/// ```
+/// use globe_net::TopologyBuilder;
+///
+/// let mut b = TopologyBuilder::new();
+/// let eu = b.region("eu");
+/// let nl = b.country(eu, "nl");
+/// let vu = b.site(nl, "vu");
+/// let host = b.host(vu, "gos-1");
+/// let topo = b.build();
+/// assert_eq!(topo.host_name(host), "gos-1");
+/// assert_eq!(topo.num_hosts(), 1);
+/// ```
+#[derive(Default, Debug)]
+pub struct TopologyBuilder {
+    regions: Vec<Region>,
+    countries: Vec<Country>,
+    sites: Vec<Site>,
+    hosts: Vec<Host>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TopologyBuilder::default()
+    }
+
+    /// Adds a region (continent).
+    pub fn region(&mut self, name: &str) -> RegionId {
+        self.regions.push(Region { name: name.into() });
+        RegionId(self.regions.len() as u32 - 1)
+    }
+
+    /// Adds a country inside `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` does not exist.
+    pub fn country(&mut self, region: RegionId, name: &str) -> CountryId {
+        assert!(
+            (region.0 as usize) < self.regions.len(),
+            "unknown region {region:?}"
+        );
+        self.countries.push(Country {
+            name: name.into(),
+            region,
+        });
+        CountryId(self.countries.len() as u32 - 1)
+    }
+
+    /// Adds a site (campus / MAN) inside `country`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `country` does not exist.
+    pub fn site(&mut self, country: CountryId, name: &str) -> SiteId {
+        assert!(
+            (country.0 as usize) < self.countries.len(),
+            "unknown country {country:?}"
+        );
+        self.sites.push(Site {
+            name: name.into(),
+            country,
+        });
+        SiteId(self.sites.len() as u32 - 1)
+    }
+
+    /// Adds a host inside `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` does not exist.
+    pub fn host(&mut self, site: SiteId, name: &str) -> HostId {
+        assert!((site.0 as usize) < self.sites.len(), "unknown site {site:?}");
+        self.hosts.push(Host {
+            name: name.into(),
+            site,
+        });
+        HostId(self.hosts.len() as u32 - 1)
+    }
+
+    /// Finalizes the topology.
+    pub fn build(self) -> Topology {
+        let mut site_hosts = vec![Vec::new(); self.sites.len()];
+        for (i, h) in self.hosts.iter().enumerate() {
+            site_hosts[h.site.0 as usize].push(HostId(i as u32));
+        }
+        Topology {
+            regions: self.regions,
+            countries: self.countries,
+            sites: self.sites,
+            hosts: self.hosts,
+            site_hosts,
+        }
+    }
+}
+
+impl Topology {
+    /// Builds a regular world: `regions × countries × sites × hosts`.
+    ///
+    /// Names follow the pattern `r0`, `r0.c1`, `r0.c1.s2`, `r0.c1.s2.h3`.
+    /// Useful for parameter sweeps; the GDN examples build irregular,
+    /// named topologies instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn grid(regions: u32, countries: u32, sites: u32, hosts: u32) -> Topology {
+        assert!(
+            regions > 0 && countries > 0 && sites > 0 && hosts > 0,
+            "all grid dimensions must be positive"
+        );
+        let mut b = TopologyBuilder::new();
+        for r in 0..regions {
+            let rid = b.region(&format!("r{r}"));
+            for c in 0..countries {
+                let cid = b.country(rid, &format!("r{r}.c{c}"));
+                for s in 0..sites {
+                    let sid = b.site(cid, &format!("r{r}.c{c}.s{s}"));
+                    for h in 0..hosts {
+                        b.host(sid, &format!("r{r}.c{c}.s{s}.h{h}"));
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of countries.
+    pub fn num_countries(&self) -> usize {
+        self.countries.len()
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Iterates over all host ids.
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> {
+        (0..self.hosts.len() as u32).map(HostId)
+    }
+
+    /// Iterates over all site ids.
+    pub fn sites(&self) -> impl Iterator<Item = SiteId> {
+        (0..self.sites.len() as u32).map(SiteId)
+    }
+
+    /// Iterates over all country ids.
+    pub fn countries(&self) -> impl Iterator<Item = CountryId> {
+        (0..self.countries.len() as u32).map(CountryId)
+    }
+
+    /// Iterates over all region ids.
+    pub fn regions(&self) -> impl Iterator<Item = RegionId> {
+        (0..self.regions.len() as u32).map(RegionId)
+    }
+
+    /// The hosts located in `site`.
+    pub fn hosts_in_site(&self, site: SiteId) -> &[HostId] {
+        &self.site_hosts[site.0 as usize]
+    }
+
+    /// The site containing `host`.
+    pub fn site_of(&self, host: HostId) -> SiteId {
+        self.hosts[host.0 as usize].site
+    }
+
+    /// The country containing `site`.
+    pub fn country_of(&self, site: SiteId) -> CountryId {
+        self.sites[site.0 as usize].country
+    }
+
+    /// The region containing `country`.
+    pub fn region_of(&self, country: CountryId) -> RegionId {
+        self.countries[country.0 as usize].region
+    }
+
+    /// The country containing `host`.
+    pub fn country_of_host(&self, host: HostId) -> CountryId {
+        self.country_of(self.site_of(host))
+    }
+
+    /// The region containing `host`.
+    pub fn region_of_host(&self, host: HostId) -> RegionId {
+        self.region_of(self.country_of_host(host))
+    }
+
+    /// The host's display name.
+    pub fn host_name(&self, host: HostId) -> &str {
+        &self.hosts[host.0 as usize].name
+    }
+
+    /// The site's display name.
+    pub fn site_name(&self, site: SiteId) -> &str {
+        &self.sites[site.0 as usize].name
+    }
+
+    /// The country's display name.
+    pub fn country_name(&self, country: CountryId) -> &str {
+        &self.countries[country.0 as usize].name
+    }
+
+    /// The region's display name.
+    pub fn region_name(&self, region: RegionId) -> &str {
+        &self.regions[region.0 as usize].name
+    }
+
+    /// The lowest tier spanning both hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either host id is out of range.
+    pub fn tier_between(&self, a: HostId, b: HostId) -> Tier {
+        if a == b {
+            return Tier::Loopback;
+        }
+        let sa = self.site_of(a);
+        let sb = self.site_of(b);
+        if sa == sb {
+            return Tier::Site;
+        }
+        let ca = self.country_of(sa);
+        let cb = self.country_of(sb);
+        if ca == cb {
+            return Tier::Country;
+        }
+        if self.region_of(ca) == self.region_of(cb) {
+            return Tier::Region;
+        }
+        Tier::World
+    }
+
+    /// Tree distance between two hosts (0..=4); see [`Tier::distance`].
+    pub fn distance(&self, a: HostId, b: HostId) -> u32 {
+        self.tier_between(a, b).distance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_region_topo() -> (Topology, [HostId; 5]) {
+        let mut b = TopologyBuilder::new();
+        let eu = b.region("eu");
+        let na = b.region("na");
+        let nl = b.country(eu, "nl");
+        let de = b.country(eu, "de");
+        let us = b.country(na, "us");
+        let vu = b.site(nl, "vu");
+        let uva = b.site(nl, "uva");
+        let tum = b.site(de, "tum");
+        let mit = b.site(us, "mit");
+        let h_vu1 = b.host(vu, "vu1");
+        let h_vu2 = b.host(vu, "vu2");
+        let h_uva = b.host(uva, "uva1");
+        let h_tum = b.host(tum, "tum1");
+        let h_mit = b.host(mit, "mit1");
+        (b.build(), [h_vu1, h_vu2, h_uva, h_tum, h_mit])
+    }
+
+    #[test]
+    fn tiers_follow_hierarchy() {
+        let (t, [vu1, vu2, uva, tum, mit]) = two_region_topo();
+        assert_eq!(t.tier_between(vu1, vu1), Tier::Loopback);
+        assert_eq!(t.tier_between(vu1, vu2), Tier::Site);
+        assert_eq!(t.tier_between(vu1, uva), Tier::Country);
+        assert_eq!(t.tier_between(vu1, tum), Tier::Region);
+        assert_eq!(t.tier_between(vu1, mit), Tier::World);
+    }
+
+    #[test]
+    fn tier_is_symmetric() {
+        let (t, hosts) = two_region_topo();
+        for &a in &hosts {
+            for &b in &hosts {
+                assert_eq!(t.tier_between(a, b), t.tier_between(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_matches_tier() {
+        let (t, [vu1, _, _, _, mit]) = two_region_topo();
+        assert_eq!(t.distance(vu1, vu1), 0);
+        assert_eq!(t.distance(vu1, mit), 4);
+    }
+
+    #[test]
+    fn containment_lookups() {
+        let (t, [vu1, ..]) = two_region_topo();
+        let site = t.site_of(vu1);
+        assert_eq!(t.site_name(site), "vu");
+        let country = t.country_of(site);
+        assert_eq!(t.country_name(country), "nl");
+        let region = t.region_of(country);
+        assert_eq!(t.region_name(region), "eu");
+        assert_eq!(t.region_of_host(vu1), region);
+        assert_eq!(t.country_of_host(vu1), country);
+        assert_eq!(t.hosts_in_site(site).len(), 2);
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let t = Topology::grid(2, 3, 4, 5);
+        assert_eq!(t.num_regions(), 2);
+        assert_eq!(t.num_countries(), 6);
+        assert_eq!(t.num_sites(), 24);
+        assert_eq!(t.num_hosts(), 120);
+        // Every host is reachable through the containment chain.
+        for h in t.hosts() {
+            let _ = t.region_of_host(h);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn grid_rejects_zero() {
+        let _ = Topology::grid(1, 0, 1, 1);
+    }
+
+    #[test]
+    fn default_params_are_monotone_in_tier() {
+        let p = NetParams::default();
+        for w in Tier::ALL.windows(2) {
+            assert!(
+                p.link(w[0]).latency < p.link(w[1]).latency,
+                "latency must increase with tier"
+            );
+            assert!(
+                p.link(w[0]).bandwidth > p.link(w[1]).bandwidth,
+                "bandwidth must decrease with tier"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_area_flags() {
+        assert!(!Tier::Loopback.is_wide_area());
+        assert!(!Tier::Site.is_wide_area());
+        assert!(Tier::Country.is_wide_area());
+        assert!(Tier::Region.is_wide_area());
+        assert!(Tier::World.is_wide_area());
+    }
+
+    #[test]
+    fn with_datagram_loss_leaves_loopback() {
+        let p = NetParams::default().with_datagram_loss(0.1);
+        assert_eq!(p.link(Tier::Loopback).datagram_loss, 0.0);
+        assert_eq!(p.link(Tier::World).datagram_loss, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown region")]
+    fn builder_rejects_bad_region() {
+        let mut b = TopologyBuilder::new();
+        b.country(RegionId(0), "nowhere");
+    }
+}

@@ -1,0 +1,117 @@
+//! Transport-level types shared between services and the [`crate::world`]
+//! event loop: endpoints, connection identifiers and connection events.
+
+use std::fmt;
+
+use crate::topology::HostId;
+
+/// A network endpoint: a service listening on a port of a host.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Endpoint {
+    /// The host the service runs on.
+    pub host: HostId,
+    /// The service's port (see [`crate::ports`]).
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Creates an endpoint.
+    pub fn new(host: HostId, port: u16) -> Self {
+        Endpoint { host, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}:{}", self.host.0, self.port)
+    }
+}
+
+/// Identifies one stream connection, globally unique within a [`crate::World`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ConnId(pub u64);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn#{}", self.0)
+    }
+}
+
+/// Identifies a pending timer, for cancellation.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+/// Why a connection stopped working.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CloseReason {
+    /// The remote service closed the connection in an orderly fashion.
+    Normal,
+    /// No service was listening on the remote port (connection refused).
+    Refused,
+    /// The connection attempt timed out (remote host unreachable).
+    Timeout,
+    /// The remote host crashed while the connection was open.
+    Reset,
+}
+
+impl fmt::Display for CloseReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloseReason::Normal => write!(f, "closed by peer"),
+            CloseReason::Refused => write!(f, "connection refused"),
+            CloseReason::Timeout => write!(f, "connection timed out"),
+            CloseReason::Reset => write!(f, "connection reset"),
+        }
+    }
+}
+
+/// Events delivered to a service about one of its stream connections.
+///
+/// Lifecycle, client side: [`ConnEvent::Opened`] (after one round trip),
+/// then zero or more [`ConnEvent::Msg`], then [`ConnEvent::Closed`].
+/// Server side: [`ConnEvent::Incoming`] plays the role of `Opened`.
+/// A connection that never becomes established yields a single
+/// [`ConnEvent::Closed`] carrying the failure reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConnEvent {
+    /// Server side: a new connection arrived from `from`. The connection
+    /// is established; the service may send immediately.
+    Incoming {
+        /// The connecting endpoint.
+        from: Endpoint,
+    },
+    /// Client side: the connection to the remote endpoint is established.
+    Opened,
+    /// One message (streams preserve message boundaries).
+    Msg(Vec<u8>),
+    /// The connection ended; no further events will be delivered for it.
+    Closed(CloseReason),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_display() {
+        let e = Endpoint::new(HostId(3), 80);
+        assert_eq!(e.to_string(), "h3:80");
+    }
+
+    #[test]
+    fn close_reason_display() {
+        assert!(CloseReason::Refused.to_string().contains("refused"));
+        assert!(CloseReason::Timeout.to_string().contains("timed out"));
+        assert!(CloseReason::Reset.to_string().contains("reset"));
+        assert!(CloseReason::Normal.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn conn_event_equality() {
+        assert_eq!(ConnEvent::Opened, ConnEvent::Opened);
+        assert_ne!(
+            ConnEvent::Msg(vec![1]),
+            ConnEvent::Closed(CloseReason::Normal)
+        );
+    }
+}

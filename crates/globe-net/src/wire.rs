@@ -1,0 +1,352 @@
+//! Length-prefixed binary wire format used by every protocol in the
+//! system.
+//!
+//! The paper's replication and communication subobjects operate on
+//! *opaque* invocation messages (§3.3); this module is the common encoding
+//! those messages — and all service protocols (GLS, DNS, GRP, HTTP
+//! framing) — are built from. Integers are big-endian; byte strings and
+//! UTF-8 strings carry a `u32` length prefix.
+//!
+//! Decoding is total: every read returns a [`Result`] and malformed input
+//! can never panic, which matters because the GDN accepts traffic from
+//! unauthenticated user machines (paper §6.3 counters "bogus protocol
+//! messages" with careful parsing).
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while decoding a wire message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the announced data.
+    Truncated,
+    /// A string field held invalid UTF-8.
+    InvalidUtf8,
+    /// The message decoded cleanly but bytes were left over.
+    TrailingBytes,
+    /// An enum tag byte had no defined meaning.
+    BadTag(u8),
+    /// A length or count field exceeded a sanity limit.
+    TooLarge,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::InvalidUtf8 => write!(f, "invalid utf-8 in string field"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            WireError::TooLarge => write!(f, "length field exceeds sanity limit"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Sanity cap on any single length-prefixed field (64 MiB). Prevents a
+/// malformed length from causing a giant allocation.
+const MAX_FIELD: u32 = 64 << 20;
+
+/// Incremental encoder.
+///
+/// # Examples
+///
+/// ```
+/// use globe_net::{WireReader, WireWriter};
+///
+/// let mut w = WireWriter::new();
+/// w.put_u32(7);
+/// w.put_str("gimp");
+/// let buf = w.finish();
+///
+/// let mut r = WireReader::new(&buf);
+/// assert_eq!(r.u32().unwrap(), 7);
+/// assert_eq!(r.str().unwrap(), "gimp");
+/// r.expect_end().unwrap();
+/// ```
+#[derive(Default, Debug)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        WireWriter { buf: Vec::new() }
+    }
+
+    /// Creates a writer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        WireWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a boolean as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u128`.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a length-prefixed byte string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` exceeds the 64 MiB field limit (callers control their
+    /// own payload sizes; exceeding the limit is a programming error).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        assert!(v.len() <= MAX_FIELD as usize, "field exceeds 64 MiB limit");
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends raw bytes without a length prefix (for fixed-size fields
+    /// and nested pre-encoded messages).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer and returns the encoded message.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Incremental decoder over a borrowed buffer.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a boolean (any nonzero byte is `true`).
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let s = self.take(2)?;
+        Ok(u16::from_be_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let s = self.take(4)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_be_bytes(b))
+    }
+
+    /// Reads a big-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, WireError> {
+        let s = self.take(16)?;
+        let mut b = [0u8; 16];
+        b.copy_from_slice(s);
+        Ok(u128::from_be_bytes(b))
+    }
+
+    /// Reads a length-prefixed byte string (borrowed).
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.u32()?;
+        if n > MAX_FIELD {
+            return Err(WireError::TooLarge);
+        }
+        self.take(n as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string (borrowed).
+    pub fn str(&mut self) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Reads `n` raw bytes without a length prefix.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Succeeds only if the whole buffer was consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = WireWriter::new();
+        w.put_u8(0xAB);
+        w.put_bool(true);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0102_0304_0506_0708);
+        w.put_u128(0x0102_0304_0506_0708_090A_0B0C_0D0E_0F10);
+        w.put_bytes(&[1, 2, 3]);
+        w.put_str("hello");
+        w.put_raw(&[9, 9]);
+        let buf = w.finish();
+
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(
+            r.u128().unwrap(),
+            0x0102_0304_0506_0708_090A_0B0C_0D0E_0F10
+        );
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.str().unwrap(), "hello");
+        assert_eq!(r.raw(2).unwrap(), &[9, 9]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut w = WireWriter::new();
+        w.put_u32(10);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        // Announces 10 bytes but none follow.
+        assert_eq!(r.bytes().unwrap_err(), WireError::Truncated);
+
+        let mut r2 = WireReader::new(&[0x01]);
+        assert_eq!(r2.u16().unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = WireWriter::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        let _ = r.u8().unwrap();
+        assert_eq!(r.expect_end().unwrap_err(), WireError::TrailingBytes);
+        assert_eq!(r.remaining(), 1);
+    }
+
+    #[test]
+    fn invalid_utf8_detected() {
+        let mut w = WireWriter::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.str().unwrap_err(), WireError::InvalidUtf8);
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX); // absurd length prefix
+        w.put_raw(&[0; 16]);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.bytes().unwrap_err(), WireError::TooLarge);
+    }
+
+    #[test]
+    fn empty_fields() {
+        let mut w = WireWriter::new();
+        w.put_bytes(&[]);
+        w.put_str("");
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), &[] as &[u8]);
+        assert_eq!(r.str().unwrap(), "");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::BadTag(7).to_string().contains("0x07"));
+    }
+
+    #[test]
+    fn writer_len_tracking() {
+        let mut w = WireWriter::with_capacity(16);
+        assert!(w.is_empty());
+        w.put_u32(1);
+        assert_eq!(w.len(), 4);
+    }
+}

@@ -1,0 +1,392 @@
+//! The Globe Replication Protocol (GRP) wire format and replication
+//! scenarios.
+//!
+//! GRP is the traffic between parts of one distributed shared object —
+//! proxies, caches, slaves, masters (paper Figure 3 labels inter-site
+//! links "GRP"). It runs over gTLS-secured streams; each frame names the
+//! object it belongs to so one connection can multiplex many objects.
+
+use globe_net::{Endpoint, HostId, WireError, WireReader, WireWriter};
+
+use crate::object::Invocation;
+
+/// Replication protocol identifiers carried in GLS contact addresses.
+pub mod protocol_id {
+    /// Single server, remote invocations from all proxies
+    /// (paper §7: "client/(single) server").
+    pub const CLIENT_SERVER: u16 = 1;
+    /// One master accepting writes, slaves serving reads
+    /// (paper §7: "master/slave").
+    pub const MASTER_SLAVE: u16 = 2;
+    /// Writes re-executed at every replica via the master as sequencer
+    /// ("one object may actively replicate all the state at all the
+    /// local representatives", §3.3).
+    pub const ACTIVE: u16 = 3;
+    /// Client-side caching with a time-to-live ("another may use lazy
+    /// replication", §3.3) — the web-proxy-style baseline.
+    pub const CACHE_TTL: u16 = 4;
+}
+
+/// How a master propagates writes to its slaves.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PropagationMode {
+    /// Eagerly push the new state to every slave.
+    PushState,
+    /// Send invalidations; slaves refetch on their next read.
+    Invalidate,
+    /// Forward the write operation itself; slaves re-execute it
+    /// (active replication).
+    ApplyOps,
+}
+
+impl PropagationMode {
+    /// Wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            PropagationMode::PushState => 0,
+            PropagationMode::Invalidate => 1,
+            PropagationMode::ApplyOps => 2,
+        }
+    }
+
+    /// Decodes a wire tag.
+    pub fn from_tag(t: u8) -> Result<Self, WireError> {
+        Ok(match t {
+            0 => PropagationMode::PushState,
+            1 => PropagationMode::Invalidate,
+            2 => PropagationMode::ApplyOps,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+/// What role a newly created replica plays in its object's protocol.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RoleSpec {
+    /// The single server of a client/server object.
+    Standalone,
+    /// The master of a master/slave or active object.
+    Master {
+        /// How writes reach the slaves.
+        mode: PropagationMode,
+    },
+    /// A slave attached to `master`.
+    Slave {
+        /// The master's GRP endpoint.
+        master: Endpoint,
+    },
+}
+
+impl RoleSpec {
+    /// Serializes into `w`.
+    pub fn encode(&self, w: &mut WireWriter) {
+        match self {
+            RoleSpec::Standalone => w.put_u8(0),
+            RoleSpec::Master { mode } => {
+                w.put_u8(1);
+                w.put_u8(mode.tag());
+            }
+            RoleSpec::Slave { master } => {
+                w.put_u8(2);
+                w.put_u32(master.host.0);
+                w.put_u16(master.port);
+            }
+        }
+    }
+
+    /// Deserializes from `r`.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<RoleSpec, WireError> {
+        Ok(match r.u8()? {
+            0 => RoleSpec::Standalone,
+            1 => RoleSpec::Master {
+                mode: PropagationMode::from_tag(r.u8()?)?,
+            },
+            2 => RoleSpec::Slave {
+                master: Endpoint::new(HostId(r.u32()?), r.u16()?),
+            },
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+/// Per-object replication messages (the payload of a [`GrpMsg`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GrpBody {
+    /// A forwarded invocation (proxy→server, slave→master).
+    Invoke {
+        /// Correlation id, echoed in [`GrpBody::InvokeResult`].
+        req: u64,
+        /// The opaque invocation frame.
+        inv: Invocation,
+    },
+    /// Result of a forwarded invocation.
+    InvokeResult {
+        /// Echoes the request id.
+        req: u64,
+        /// `true` when `data` is a marshalled result, `false` when it is
+        /// a UTF-8 error message.
+        ok: bool,
+        /// Result or error payload.
+        data: Vec<u8>,
+    },
+    /// Request the replica's full state (cache fill, slave refetch).
+    GetState {
+        /// Correlation id, echoed in [`GrpBody::State`].
+        req: u64,
+    },
+    /// Full-state response.
+    State {
+        /// Echoes the request id.
+        req: u64,
+        /// State version (monotonic per object).
+        version: u64,
+        /// Serialized semantics-subobject state.
+        state: Vec<u8>,
+    },
+    /// Master→slave eager state push.
+    Update {
+        /// New state version.
+        version: u64,
+        /// Serialized state.
+        state: Vec<u8>,
+    },
+    /// Master→slave: re-execute this write locally (active replication).
+    Apply {
+        /// Version after applying.
+        version: u64,
+        /// The write to re-execute.
+        inv: Invocation,
+    },
+    /// Master→slave lazy invalidation.
+    Invalidate {
+        /// Version the slave's copy is stale against.
+        version: u64,
+    },
+    /// Slave→master: announce membership and where to push updates.
+    Hello {
+        /// The slave's GRP endpoint.
+        grp: Endpoint,
+    },
+}
+
+impl GrpBody {
+    fn tag(&self) -> u8 {
+        match self {
+            GrpBody::Invoke { .. } => 1,
+            GrpBody::InvokeResult { .. } => 2,
+            GrpBody::GetState { .. } => 3,
+            GrpBody::State { .. } => 4,
+            GrpBody::Update { .. } => 5,
+            GrpBody::Invalidate { .. } => 6,
+            GrpBody::Hello { .. } => 7,
+            GrpBody::Apply { .. } => 8,
+        }
+    }
+
+    /// Whether this body can modify replica state, for the access-control
+    /// gate (paper §6.1: replicas must not accept state-modifying
+    /// messages from unauthorized senders).
+    pub fn is_state_modifying(&self) -> bool {
+        matches!(
+            self,
+            GrpBody::Update { .. }
+                | GrpBody::Invalidate { .. }
+                | GrpBody::Apply { .. }
+                | GrpBody::Hello { .. }
+        )
+    }
+}
+
+/// One GRP frame: an object id plus a per-object message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GrpMsg {
+    /// The distributed shared object this frame belongs to.
+    pub oid: u128,
+    /// The message.
+    pub body: GrpBody,
+}
+
+impl GrpMsg {
+    /// Serializes the frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u128(self.oid);
+        w.put_u8(self.body.tag());
+        match &self.body {
+            GrpBody::Invoke { req, inv } => {
+                w.put_u64(*req);
+                inv.encode(&mut w);
+            }
+            GrpBody::InvokeResult { req, ok, data } => {
+                w.put_u64(*req);
+                w.put_bool(*ok);
+                w.put_bytes(data);
+            }
+            GrpBody::GetState { req } => w.put_u64(*req),
+            GrpBody::State {
+                req,
+                version,
+                state,
+            } => {
+                w.put_u64(*req);
+                w.put_u64(*version);
+                w.put_bytes(state);
+            }
+            GrpBody::Update { version, state } => {
+                w.put_u64(*version);
+                w.put_bytes(state);
+            }
+            GrpBody::Apply { version, inv } => {
+                w.put_u64(*version);
+                inv.encode(&mut w);
+            }
+            GrpBody::Invalidate { version } => w.put_u64(*version),
+            GrpBody::Hello { grp } => {
+                w.put_u32(grp.host.0);
+                w.put_u16(grp.port);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a frame.
+    pub fn decode(buf: &[u8]) -> Result<GrpMsg, WireError> {
+        let mut r = WireReader::new(buf);
+        let oid = r.u128()?;
+        let tag = r.u8()?;
+        let body = match tag {
+            1 => GrpBody::Invoke {
+                req: r.u64()?,
+                inv: Invocation::decode(&mut r)?,
+            },
+            2 => GrpBody::InvokeResult {
+                req: r.u64()?,
+                ok: r.bool()?,
+                data: r.bytes()?.to_vec(),
+            },
+            3 => GrpBody::GetState { req: r.u64()? },
+            4 => GrpBody::State {
+                req: r.u64()?,
+                version: r.u64()?,
+                state: r.bytes()?.to_vec(),
+            },
+            5 => GrpBody::Update {
+                version: r.u64()?,
+                state: r.bytes()?.to_vec(),
+            },
+            6 => GrpBody::Invalidate { version: r.u64()? },
+            7 => GrpBody::Hello {
+                grp: Endpoint::new(HostId(r.u32()?), r.u16()?),
+            },
+            8 => GrpBody::Apply {
+                version: r.u64()?,
+                inv: Invocation::decode(&mut r)?,
+            },
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.expect_end()?;
+        Ok(GrpMsg { oid, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::MethodId;
+
+    #[test]
+    fn all_bodies_round_trip() {
+        let inv = Invocation::new(MethodId(3), vec![9, 9]);
+        let ep = Endpoint::new(HostId(4), 2112);
+        let bodies = vec![
+            GrpBody::Invoke { req: 1, inv: inv.clone() },
+            GrpBody::InvokeResult {
+                req: 2,
+                ok: true,
+                data: vec![1],
+            },
+            GrpBody::InvokeResult {
+                req: 3,
+                ok: false,
+                data: b"denied".to_vec(),
+            },
+            GrpBody::GetState { req: 4 },
+            GrpBody::State {
+                req: 5,
+                version: 9,
+                state: vec![7; 100],
+            },
+            GrpBody::Update {
+                version: 10,
+                state: vec![8; 50],
+            },
+            GrpBody::Apply {
+                version: 11,
+                inv,
+            },
+            GrpBody::Invalidate { version: 12 },
+            GrpBody::Hello { grp: ep },
+        ];
+        for body in bodies {
+            let msg = GrpMsg { oid: 0xABCD, body };
+            assert_eq!(GrpMsg::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn state_modifying_classification() {
+        assert!(GrpBody::Update {
+            version: 1,
+            state: vec![]
+        }
+        .is_state_modifying());
+        assert!(GrpBody::Invalidate { version: 1 }.is_state_modifying());
+        assert!(GrpBody::Hello {
+            grp: Endpoint::new(HostId(0), 0)
+        }
+        .is_state_modifying());
+        // Invoke is gated separately by method kind, not wholesale.
+        assert!(!GrpBody::Invoke {
+            req: 1,
+            inv: Invocation::new(MethodId(0), vec![])
+        }
+        .is_state_modifying());
+        assert!(!GrpBody::GetState { req: 1 }.is_state_modifying());
+    }
+
+    #[test]
+    fn role_spec_round_trip() {
+        for spec in [
+            RoleSpec::Standalone,
+            RoleSpec::Master {
+                mode: PropagationMode::PushState,
+            },
+            RoleSpec::Master {
+                mode: PropagationMode::Invalidate,
+            },
+            RoleSpec::Slave {
+                master: Endpoint::new(HostId(7), 2112),
+            },
+        ] {
+            let mut w = WireWriter::new();
+            spec.encode(&mut w);
+            let buf = w.finish();
+            let mut r = WireReader::new(&buf);
+            assert_eq!(RoleSpec::decode(&mut r).unwrap(), spec);
+            r.expect_end().unwrap();
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(GrpMsg::decode(&[]).is_err());
+        assert!(GrpMsg::decode(&[0; 17]).is_err());
+        let mut buf = GrpMsg {
+            oid: 1,
+            body: GrpBody::GetState { req: 1 },
+        }
+        .encode();
+        buf.push(0);
+        assert_eq!(GrpMsg::decode(&buf), Err(WireError::TrailingBytes));
+    }
+}

@@ -1,0 +1,43 @@
+//! The Globe run-time system: distributed shared objects for the GDN.
+//!
+//! This crate is the paper's middleware layer (§3): the *distributed
+//! shared object* (DSO) model in which an object is physically
+//! distributed over address spaces, each holding a *local
+//! representative* composed of subobjects with standard interfaces:
+//!
+//! - **semantics** ([`object::SemanticsObject`]) — application behaviour,
+//!   written without any distribution awareness;
+//! - **replication** ([`replication::ReplicationSubobject`],
+//!   [`protocols`]) — per-object protocol keeping replicas coherent,
+//!   seeing only opaque invocations;
+//! - **communication** — pooled gTLS stream connections, owned by the
+//!   [`runtime::GlobeRuntime`];
+//! - **control** — the typed, marshalling wrapper applications define on
+//!   top of [`object::Invocation`] (see the package DSO in `gdn-core`).
+//!
+//! Around the object model sit the pieces of paper §3.4–§4:
+//! [`repository`] (implementation loading), binding via the Globe
+//! Location Service, the [`grp`] replication wire protocol, and the
+//! [`server::GlobeObjectServer`] daemon with stable-storage replica
+//! recovery.
+//!
+//! The replication protocol attached to an object — together with which
+//! object servers host its replicas — is the object's *replication
+//! scenario*, the per-object degree of freedom the whole paper is
+//! about.
+
+pub mod grp;
+pub mod object;
+pub mod protocols;
+pub mod replication;
+pub mod repository;
+pub mod runtime;
+pub mod server;
+
+pub use grp::{protocol_id, GrpBody, GrpMsg, PropagationMode, RoleSpec};
+pub use object::{ClassSpec, Invocation, MethodId, MethodKind, SemError, SemanticsObject};
+pub use protocols::{CacheProxy, ForwardingProxy, MasterReplica, ServerReplica, SlaveReplica};
+pub use replication::{InvokeError, Peer, ReplCtx, ReplicationSubobject};
+pub use repository::{ImplId, ImplRepository};
+pub use runtime::{BindError, BindInfo, GlobeRuntime, RtConn, RtEvent, RuntimeConfig};
+pub use server::{GlobeObjectServer, GosCmd, GosResp, GosStats};

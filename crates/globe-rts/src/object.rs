@@ -1,0 +1,160 @@
+//! The Globe object model: opaque invocations and the semantics
+//! subobject.
+//!
+//! The paper's reflective separation (§3.3) is enforced here at the type
+//! level: replication and communication subobjects only ever see
+//! [`Invocation`] frames — "opaque invocation messages in which method
+//! identifiers and parameters have been encoded" — while the
+//! application's behaviour lives behind the [`SemanticsObject`] trait.
+//! The *control subobject* of the paper is the typed wrapper each
+//! application defines on top of [`Invocation`] (see the package DSO in
+//! `gdn-core` for the canonical example); it owns marshalling and talks
+//! to the runtime, bridging user-defined interfaces to the standard
+//! replication interface.
+
+use std::error::Error;
+use std::fmt;
+
+use globe_net::{WireError, WireReader, WireWriter};
+
+/// Identifies a method of a distributed shared object's interface.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MethodId(pub u32);
+
+/// Whether a method only observes state or may modify it.
+///
+/// The replication subobjects route invocations by this classification
+/// (reads may execute at any replica; writes go to the master), and the
+/// GDN's access control gates on it (§6.1: only moderators may modify).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MethodKind {
+    /// Observes state only.
+    Read,
+    /// May modify state.
+    Write,
+}
+
+/// A marshalled method invocation: the opaque frame replication and
+/// communication subobjects operate on (paper §3.3).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Invocation {
+    /// Which method to invoke.
+    pub method: MethodId,
+    /// Marshalled parameters (wire format is the control subobject's
+    /// business; subobjects never look inside).
+    pub args: Vec<u8>,
+}
+
+impl Invocation {
+    /// Creates an invocation frame.
+    pub fn new(method: MethodId, args: Vec<u8>) -> Invocation {
+        Invocation { method, args }
+    }
+
+    /// Serializes into `w`.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.method.0);
+        w.put_bytes(&self.args);
+    }
+
+    /// Deserializes from `r`.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Invocation, WireError> {
+        Ok(Invocation {
+            method: MethodId(r.u32()?),
+            args: r.bytes()?.to_vec(),
+        })
+    }
+
+    /// Total marshalled size in bytes.
+    pub fn size(&self) -> usize {
+        8 + self.args.len()
+    }
+}
+
+/// Errors raised while executing semantics code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SemError {
+    /// The method id is not part of this object's interface.
+    NoSuchMethod(MethodId),
+    /// The marshalled arguments did not decode.
+    BadArguments,
+    /// An application-level failure, carried back to the caller.
+    Application(String),
+    /// A state blob did not decode during replica installation.
+    BadState,
+}
+
+impl fmt::Display for SemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemError::NoSuchMethod(m) => write!(f, "no method {}", m.0),
+            SemError::BadArguments => write!(f, "malformed arguments"),
+            SemError::Application(e) => write!(f, "application error: {e}"),
+            SemError::BadState => write!(f, "malformed state"),
+        }
+    }
+}
+
+impl Error for SemError {}
+
+/// The semantics subobject: the application's behaviour and state
+/// (paper §3.3), independent of all distribution and replication
+/// concerns.
+///
+/// Implementations must be deterministic functions of `(state, args)` —
+/// the active-replication protocol re-executes writes at every replica
+/// and relies on all replicas converging.
+pub trait SemanticsObject: 'static {
+    /// Executes one marshalled invocation, returning the marshalled
+    /// result.
+    fn dispatch(&mut self, inv: &Invocation) -> Result<Vec<u8>, SemError>;
+
+    /// Serializes the full object state (for state transfer between
+    /// replicas and for Globe Object Server persistence).
+    fn get_state(&self) -> Vec<u8>;
+
+    /// Replaces the object state from a serialized blob.
+    fn set_state(&mut self, state: &[u8]) -> Result<(), SemError>;
+}
+
+/// A class descriptor in the implementation repository: how to make a
+/// blank instance, plus interface metadata the runtime needs without an
+/// instance (proxies classify methods they never execute locally).
+pub struct ClassSpec {
+    /// Human-readable class name (diagnostics only).
+    pub name: &'static str,
+    /// Creates a blank semantics subobject.
+    pub factory: fn() -> Box<dyn SemanticsObject>,
+    /// Classifies a method as read or write; `None` if unknown.
+    pub kind_of: fn(MethodId) -> Option<MethodKind>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invocation_round_trip() {
+        let inv = Invocation::new(MethodId(7), vec![1, 2, 3]);
+        let mut w = WireWriter::new();
+        inv.encode(&mut w);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(Invocation::decode(&mut r).unwrap(), inv);
+        r.expect_end().unwrap();
+        assert_eq!(inv.size(), 11);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let mut r = WireReader::new(&[0, 0]);
+        assert!(Invocation::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn sem_error_display() {
+        assert!(SemError::NoSuchMethod(MethodId(3)).to_string().contains('3'));
+        assert!(SemError::Application("boom".into()).to_string().contains("boom"));
+        assert!(SemError::BadState.to_string().contains("state"));
+    }
+}

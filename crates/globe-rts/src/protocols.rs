@@ -1,0 +1,752 @@
+//! The replication protocols shipped with the runtime.
+//!
+//! The paper (§7) ships client/server and master/slave; §3.3 sketches
+//! active replication and lazy (cache-style) replication as the kind of
+//! variety the standard interface must accommodate. All four are here,
+//! each a [`ReplicationSubobject`] attachable to any object class:
+//!
+//! | protocol | local state | reads | writes |
+//! |---|---|---|---|
+//! | [`ForwardingProxy`] | none | forwarded | forwarded |
+//! | [`ServerReplica`] | full | local | local |
+//! | [`MasterReplica`] | full | local | local + propagate |
+//! | [`SlaveReplica`] | full | local (when valid) | forwarded to master |
+//! | [`CacheProxy`] | cached copy | local while TTL fresh | forwarded |
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use globe_net::Endpoint;
+use globe_sim::SimDuration;
+
+use crate::grp::{protocol_id, GrpBody, PropagationMode, RoleSpec};
+use crate::object::{Invocation, MethodKind};
+use crate::replication::{InvokeError, Peer, ReplCtx, ReplicationSubobject};
+
+/// Default timeout for a forwarded invocation.
+const FORWARD_TIMEOUT: SimDuration = SimDuration::from_secs(10);
+
+/// A waiter for state to arrive: a local invocation or a remote read.
+#[derive(Debug)]
+enum Waiter {
+    Local { token: u64, inv: Invocation },
+    Remote { from: Peer, req: u64, inv: Invocation },
+}
+
+/// Client-side proxy: no local state, forwards reads to the nearest
+/// replica and writes to the write-capable replica.
+///
+/// This is the whole client side of the paper's client/server protocol,
+/// and doubles as the pure-client representative for master/slave and
+/// active objects. It keeps the *entire* distance-sorted replica list
+/// from binding and fails over to the next replica when the current one
+/// becomes unreachable — replication as an availability technique
+/// (paper §6.1, experiment E8).
+pub struct ForwardingProxy {
+    proto: u16,
+    /// Read replicas, nearest first; `read_idx` selects the current one.
+    read_targets: Vec<Endpoint>,
+    read_idx: usize,
+    write_target: Endpoint,
+    pending: BTreeMap<u64, u64>,
+    next_req: u64,
+}
+
+impl ForwardingProxy {
+    /// Creates a proxy for an object speaking `proto`. `read_targets`
+    /// must be sorted nearest-first and nonempty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_targets` is empty.
+    pub fn new(proto: u16, read_targets: Vec<Endpoint>, write_target: Endpoint) -> ForwardingProxy {
+        assert!(!read_targets.is_empty(), "proxy needs a read target");
+        ForwardingProxy {
+            proto,
+            read_targets,
+            read_idx: 0,
+            write_target,
+            pending: BTreeMap::new(),
+            next_req: 1,
+        }
+    }
+
+    fn read_target(&self) -> Endpoint {
+        self.read_targets[self.read_idx % self.read_targets.len()]
+    }
+}
+
+impl ReplicationSubobject for ForwardingProxy {
+    fn proto(&self) -> u16 {
+        self.proto
+    }
+    fn accepts_writes(&self) -> bool {
+        false
+    }
+    fn is_replica(&self) -> bool {
+        false
+    }
+    fn descriptor(&self) -> RoleSpec {
+        RoleSpec::Standalone
+    }
+
+    fn start_invocation(&mut self, c: &mut ReplCtx<'_>, token: u64, inv: Invocation) {
+        let target = match c.kind_of(inv.method) {
+            MethodKind::Read => self.read_target(),
+            MethodKind::Write => self.write_target,
+        };
+        let req = self.next_req;
+        self.next_req += 1;
+        self.pending.insert(req, token);
+        c.send(Peer::Addr(target), GrpBody::Invoke { req, inv });
+        c.set_timer(FORWARD_TIMEOUT, req);
+    }
+
+    fn on_grp(&mut self, c: &mut ReplCtx<'_>, _from: Peer, body: GrpBody) {
+        if let GrpBody::InvokeResult { req, ok, data } = body {
+            if let Some(token) = self.pending.remove(&req) {
+                let result = if ok {
+                    Ok(data)
+                } else {
+                    Err(decode_error(&data))
+                };
+                c.complete(token, result);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, c: &mut ReplCtx<'_>, subtoken: u64) {
+        if let Some(token) = self.pending.remove(&subtoken) {
+            c.complete(token, Err(InvokeError::Timeout));
+        }
+    }
+
+    fn on_peer_gone(&mut self, c: &mut ReplCtx<'_>, peer: Endpoint) {
+        if peer == self.read_target() || peer == self.write_target {
+            for (_, token) in std::mem::take(&mut self.pending) {
+                c.complete(token, Err(InvokeError::PeerUnreachable));
+            }
+        }
+        // Fail over: subsequent reads go to the next-nearest replica.
+        if peer == self.read_target() && self.read_targets.len() > 1 {
+            self.read_idx = (self.read_idx + 1) % self.read_targets.len();
+        }
+    }
+}
+
+/// Encodes an invocation failure for the wire.
+pub(crate) fn encode_error(e: &InvokeError) -> Vec<u8> {
+    e.to_string().into_bytes()
+}
+
+fn decode_error(data: &[u8]) -> InvokeError {
+    let msg = String::from_utf8_lossy(data);
+    if msg.contains("denied") {
+        InvokeError::AccessDenied
+    } else {
+        InvokeError::Sem(msg.into_owned())
+    }
+}
+
+/// The single server of a client/server object: executes everything
+/// locally and answers forwarded invocations.
+///
+/// The advertised protocol is the *scenario's*, not the server's own:
+/// a standalone server behind `CACHE_TTL` tells clients to install
+/// cache proxies, behind `CLIENT_SERVER` plain forwarding proxies.
+pub struct ServerReplica {
+    proto: u16,
+}
+
+impl ServerReplica {
+    /// Creates the server-side subobject advertising `proto`.
+    pub fn new(proto: u16) -> ServerReplica {
+        ServerReplica { proto }
+    }
+}
+
+/// Executes an invocation at a full replica, bumping the version on
+/// writes; shared by every server-side protocol.
+fn exec_at_replica(c: &mut ReplCtx<'_>, inv: &Invocation) -> Result<Vec<u8>, InvokeError> {
+    let kind = c.kind_of(inv.method);
+    let result = c.exec(inv);
+    if kind == MethodKind::Write && result.is_ok() {
+        c.bump_version();
+    } else if kind == MethodKind::Read {
+        c.record_read_freshness();
+    }
+    result
+}
+
+impl ReplicationSubobject for ServerReplica {
+    fn proto(&self) -> u16 {
+        self.proto
+    }
+    fn accepts_writes(&self) -> bool {
+        true
+    }
+    fn is_replica(&self) -> bool {
+        true
+    }
+    fn descriptor(&self) -> RoleSpec {
+        RoleSpec::Standalone
+    }
+
+    fn start_invocation(&mut self, c: &mut ReplCtx<'_>, token: u64, inv: Invocation) {
+        let result = exec_at_replica(c, &inv);
+        c.complete(token, result);
+    }
+
+    fn on_grp(&mut self, c: &mut ReplCtx<'_>, from: Peer, body: GrpBody) {
+        match body {
+            GrpBody::Invoke { req, inv } => {
+                let result = exec_at_replica(c, &inv);
+                let (ok, data) = match result {
+                    Ok(d) => (true, d),
+                    Err(e) => (false, encode_error(&e)),
+                };
+                c.send(from, GrpBody::InvokeResult { req, ok, data });
+            }
+            GrpBody::GetState { req } => {
+                let state = c.state();
+                let version = c.version();
+                c.send(
+                    from,
+                    GrpBody::State {
+                        req,
+                        version,
+                        state,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The master of a master/slave or active object: executes writes,
+/// bumps the version and propagates to slaves according to the
+/// [`PropagationMode`].
+pub struct MasterReplica {
+    proto: u16,
+    mode: PropagationMode,
+    slaves: BTreeSet<Endpoint>,
+}
+
+impl MasterReplica {
+    /// Creates a master advertising `proto` and propagating in `mode`
+    /// (`proto` is the scenario's protocol: clients of a `CACHE_TTL`
+    /// object install cache proxies even though replication between the
+    /// servers is master/slave).
+    pub fn new(proto: u16, mode: PropagationMode) -> MasterReplica {
+        MasterReplica {
+            proto,
+            mode,
+            slaves: BTreeSet::new(),
+        }
+    }
+
+    /// The currently known slaves (tests / experiments).
+    pub fn slaves(&self) -> &BTreeSet<Endpoint> {
+        &self.slaves
+    }
+
+    fn propagate(&mut self, c: &mut ReplCtx<'_>, inv: &Invocation, version: u64) {
+        for &slave in &self.slaves {
+            let body = match self.mode {
+                PropagationMode::PushState => GrpBody::Update {
+                    version,
+                    state: c.state(),
+                },
+                PropagationMode::Invalidate => GrpBody::Invalidate { version },
+                PropagationMode::ApplyOps => GrpBody::Apply {
+                    version,
+                    inv: inv.clone(),
+                },
+            };
+            c.send(Peer::Addr(slave), body);
+        }
+    }
+
+    fn exec_and_propagate(
+        &mut self,
+        c: &mut ReplCtx<'_>,
+        inv: &Invocation,
+    ) -> Result<Vec<u8>, InvokeError> {
+        let kind = c.kind_of(inv.method);
+        let result = c.exec(inv);
+        if kind == MethodKind::Write && result.is_ok() {
+            let v = c.bump_version();
+            self.propagate(c, inv, v);
+        } else if kind == MethodKind::Read {
+            c.record_read_freshness();
+        }
+        result
+    }
+}
+
+impl ReplicationSubobject for MasterReplica {
+    fn proto(&self) -> u16 {
+        self.proto
+    }
+    fn accepts_writes(&self) -> bool {
+        true
+    }
+    fn is_replica(&self) -> bool {
+        true
+    }
+    fn descriptor(&self) -> RoleSpec {
+        RoleSpec::Master { mode: self.mode }
+    }
+
+    fn start_invocation(&mut self, c: &mut ReplCtx<'_>, token: u64, inv: Invocation) {
+        let result = self.exec_and_propagate(c, &inv);
+        c.complete(token, result);
+    }
+
+    fn on_grp(&mut self, c: &mut ReplCtx<'_>, from: Peer, body: GrpBody) {
+        match body {
+            GrpBody::Invoke { req, inv } => {
+                let result = self.exec_and_propagate(c, &inv);
+                let (ok, data) = match result {
+                    Ok(d) => (true, d),
+                    Err(e) => (false, encode_error(&e)),
+                };
+                c.send(from, GrpBody::InvokeResult { req, ok, data });
+            }
+            GrpBody::GetState { req } => {
+                let state = c.state();
+                let version = c.version();
+                c.send(
+                    from,
+                    GrpBody::State {
+                        req,
+                        version,
+                        state,
+                    },
+                );
+            }
+            GrpBody::Hello { grp } => {
+                // New slave: remember it and ship the current state so it
+                // starts warm.
+                self.slaves.insert(grp);
+                let state = c.state();
+                let version = c.version();
+                c.send(Peer::Addr(grp), GrpBody::Update { version, state });
+            }
+            _ => {}
+        }
+    }
+
+    fn on_peer_gone(&mut self, _c: &mut ReplCtx<'_>, peer: Endpoint) {
+        self.slaves.remove(&peer);
+    }
+}
+
+/// Where a forwarded write originated, so the result can be routed
+/// back.
+#[derive(Debug)]
+enum WriteOrigin {
+    /// A local invocation (completes with this token).
+    Local(u64),
+    /// A write chained from a remote proxy: reply on `from` echoing
+    /// `req`. Chaining is how writes reach the master when the GLS
+    /// handed the client only its nearest (slave) replica.
+    Remote { from: Peer, req: u64 },
+}
+
+/// A slave replica: serves reads locally while its copy is valid,
+/// forwards writes to the master (both its own and those chained from
+/// proxies), refetches state after invalidations.
+pub struct SlaveReplica {
+    proto: u16,
+    master: Endpoint,
+    valid: bool,
+    waiting: Vec<Waiter>,
+    fetch_in_flight: bool,
+    pending_writes: BTreeMap<u64, WriteOrigin>,
+    next_req: u64,
+}
+
+impl SlaveReplica {
+    /// Creates a slave attached to `master` for protocol `proto`
+    /// (master/slave or active).
+    pub fn new(proto: u16, master: Endpoint) -> SlaveReplica {
+        SlaveReplica {
+            proto,
+            master,
+            valid: false,
+            waiting: Vec::new(),
+            fetch_in_flight: false,
+            pending_writes: BTreeMap::new(),
+            next_req: 1,
+        }
+    }
+
+    /// Whether the local copy is currently valid (tests).
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    fn ensure_fetch(&mut self, c: &mut ReplCtx<'_>) {
+        if !self.fetch_in_flight {
+            self.fetch_in_flight = true;
+            let req = self.next_req;
+            self.next_req += 1;
+            c.send(Peer::Addr(self.master), GrpBody::GetState { req });
+        }
+    }
+
+    fn drain_waiters(&mut self, c: &mut ReplCtx<'_>) {
+        for w in std::mem::take(&mut self.waiting) {
+            match w {
+                Waiter::Local { token, inv } => {
+                    c.record_read_freshness();
+                    let result = c.exec(&inv);
+                    c.complete(token, result);
+                }
+                Waiter::Remote { from, req, inv } => {
+                    c.record_read_freshness();
+                    let (ok, data) = match c.exec(&inv) {
+                        Ok(d) => (true, d),
+                        Err(e) => (false, encode_error(&e)),
+                    };
+                    c.send(from, GrpBody::InvokeResult { req, ok, data });
+                }
+            }
+        }
+    }
+}
+
+impl ReplicationSubobject for SlaveReplica {
+    fn proto(&self) -> u16 {
+        self.proto
+    }
+    fn accepts_writes(&self) -> bool {
+        false
+    }
+    fn is_replica(&self) -> bool {
+        true
+    }
+    fn descriptor(&self) -> RoleSpec {
+        RoleSpec::Slave {
+            master: self.master,
+        }
+    }
+
+    fn on_install(&mut self, c: &mut ReplCtx<'_>) {
+        // Announce to the master; it responds with the current state.
+        let me = c.my_grp();
+        c.send(Peer::Addr(self.master), GrpBody::Hello { grp: me });
+    }
+
+    fn start_invocation(&mut self, c: &mut ReplCtx<'_>, token: u64, inv: Invocation) {
+        match c.kind_of(inv.method) {
+            MethodKind::Read => {
+                if self.valid {
+                    c.record_read_freshness();
+                    let result = c.exec(&inv);
+                    c.complete(token, result);
+                } else {
+                    self.waiting.push(Waiter::Local { token, inv });
+                    self.ensure_fetch(c);
+                }
+            }
+            MethodKind::Write => {
+                let req = self.next_req;
+                self.next_req += 1;
+                self.pending_writes.insert(req, WriteOrigin::Local(token));
+                c.send(Peer::Addr(self.master), GrpBody::Invoke { req, inv });
+                c.set_timer(FORWARD_TIMEOUT, req);
+            }
+        }
+    }
+
+    fn on_grp(&mut self, c: &mut ReplCtx<'_>, from: Peer, body: GrpBody) {
+        match body {
+            GrpBody::Invoke { req, inv } => match c.kind_of(inv.method) {
+                MethodKind::Read => {
+                    if self.valid {
+                        c.record_read_freshness();
+                        let (ok, data) = match c.exec(&inv) {
+                            Ok(d) => (true, d),
+                            Err(e) => (false, encode_error(&e)),
+                        };
+                        c.send(from, GrpBody::InvokeResult { req, ok, data });
+                    } else {
+                        self.waiting.push(Waiter::Remote { from, req, inv });
+                        self.ensure_fetch(c);
+                    }
+                }
+                MethodKind::Write => {
+                    // Chain the write to the master: the proxy only knows
+                    // its nearest replica (the GLS resolves to the
+                    // nearest contact address), so slaves relay.
+                    let fwd = self.next_req;
+                    self.next_req += 1;
+                    self.pending_writes
+                        .insert(fwd, WriteOrigin::Remote { from, req });
+                    c.send(Peer::Addr(self.master), GrpBody::Invoke { req: fwd, inv });
+                    c.set_timer(FORWARD_TIMEOUT, fwd);
+                }
+            },
+            GrpBody::Update { version, state } => {
+                if version >= c.version() && c.install_state(version, &state).is_ok() {
+                    self.valid = true;
+                    self.fetch_in_flight = false;
+                    self.drain_waiters(c);
+                }
+            }
+            GrpBody::Apply { version, inv } => {
+                // Active replication: re-execute the write locally.
+                if version == c.version() + 1 {
+                    let _ = c.exec(&inv);
+                    c.bump_version();
+                    self.valid = true;
+                } else if version > c.version() {
+                    // Missed an operation (e.g. installed mid-stream):
+                    // fall back to a state fetch.
+                    self.valid = false;
+                    self.ensure_fetch(c);
+                }
+            }
+            GrpBody::Invalidate { version } => {
+                if version > c.version() {
+                    self.valid = false;
+                }
+            }
+            GrpBody::State {
+                version, state, ..
+            } => {
+                self.fetch_in_flight = false;
+                if version >= c.version() && c.install_state(version, &state).is_ok() {
+                    self.valid = true;
+                    self.drain_waiters(c);
+                }
+            }
+            GrpBody::InvokeResult { req, ok, data } => {
+                match self.pending_writes.remove(&req) {
+                    Some(WriteOrigin::Local(token)) => {
+                        let result = if ok {
+                            Ok(data)
+                        } else {
+                            Err(decode_error(&data))
+                        };
+                        c.complete(token, result);
+                    }
+                    Some(WriteOrigin::Remote { from, req }) => {
+                        c.send(from, GrpBody::InvokeResult { req, ok, data });
+                    }
+                    None => {}
+                }
+            }
+            GrpBody::GetState { req } => {
+                // Serve whatever we have; the version lets the requester
+                // judge freshness.
+                let state = c.state();
+                let version = c.version();
+                c.send(
+                    from,
+                    GrpBody::State {
+                        req,
+                        version,
+                        state,
+                    },
+                );
+            }
+            GrpBody::Hello { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, c: &mut ReplCtx<'_>, subtoken: u64) {
+        match self.pending_writes.remove(&subtoken) {
+            Some(WriteOrigin::Local(token)) => {
+                c.complete(token, Err(InvokeError::Timeout));
+            }
+            Some(WriteOrigin::Remote { from, req }) => {
+                c.send(
+                    from,
+                    GrpBody::InvokeResult {
+                        req,
+                        ok: false,
+                        data: b"master timed out".to_vec(),
+                    },
+                );
+            }
+            None => {}
+        }
+    }
+
+    fn on_peer_gone(&mut self, c: &mut ReplCtx<'_>, peer: Endpoint) {
+        if peer == self.master {
+            self.fetch_in_flight = false;
+            for (_, origin) in std::mem::take(&mut self.pending_writes) {
+                match origin {
+                    WriteOrigin::Local(token) => {
+                        c.complete(token, Err(InvokeError::PeerUnreachable));
+                    }
+                    WriteOrigin::Remote { from, req } => {
+                        c.send(
+                            from,
+                            GrpBody::InvokeResult {
+                                req,
+                                ok: false,
+                                data: b"master unreachable".to_vec(),
+                            },
+                        );
+                    }
+                }
+            }
+            for w in std::mem::take(&mut self.waiting) {
+                if let Waiter::Local { token, .. } = w {
+                    c.complete(token, Err(InvokeError::PeerUnreachable));
+                }
+            }
+        }
+    }
+}
+
+/// A caching proxy: keeps a full copy with a time-to-live, serving
+/// reads locally while fresh — the paper's "lazy replication" and the
+/// web-cache baseline of experiment E3.
+pub struct CacheProxy {
+    server: Endpoint,
+    ttl: SimDuration,
+    expires: Option<globe_sim::SimTime>,
+    waiting: Vec<Waiter>,
+    fetch_in_flight: bool,
+    pending_writes: BTreeMap<u64, u64>,
+    next_req: u64,
+}
+
+impl CacheProxy {
+    /// Creates a cache over `server` with the given TTL.
+    pub fn new(server: Endpoint, ttl: SimDuration) -> CacheProxy {
+        CacheProxy {
+            server,
+            ttl,
+            expires: None,
+            waiting: Vec::new(),
+            fetch_in_flight: false,
+            pending_writes: BTreeMap::new(),
+            next_req: 1,
+        }
+    }
+
+    fn fresh(&self, now: globe_sim::SimTime) -> bool {
+        self.expires.map(|e| e > now).unwrap_or(false)
+    }
+
+    fn ensure_fetch(&mut self, c: &mut ReplCtx<'_>) {
+        if !self.fetch_in_flight {
+            self.fetch_in_flight = true;
+            let req = self.next_req;
+            self.next_req += 1;
+            c.send(Peer::Addr(self.server), GrpBody::GetState { req });
+        }
+    }
+}
+
+impl ReplicationSubobject for CacheProxy {
+    fn proto(&self) -> u16 {
+        protocol_id::CACHE_TTL
+    }
+    fn accepts_writes(&self) -> bool {
+        false
+    }
+    fn is_replica(&self) -> bool {
+        false
+    }
+    fn descriptor(&self) -> RoleSpec {
+        RoleSpec::Standalone
+    }
+
+    fn start_invocation(&mut self, c: &mut ReplCtx<'_>, token: u64, inv: Invocation) {
+        match c.kind_of(inv.method) {
+            MethodKind::Read => {
+                if self.fresh(c.now()) {
+                    c.record_read_freshness();
+                    c.metrics_cache_hit();
+                    let result = c.exec(&inv);
+                    c.complete(token, result);
+                } else {
+                    c.metrics_cache_miss();
+                    self.waiting.push(Waiter::Local { token, inv });
+                    self.ensure_fetch(c);
+                }
+            }
+            MethodKind::Write => {
+                let req = self.next_req;
+                self.next_req += 1;
+                self.pending_writes.insert(req, token);
+                c.send(Peer::Addr(self.server), GrpBody::Invoke { req, inv });
+                c.set_timer(FORWARD_TIMEOUT, req);
+            }
+        }
+    }
+
+    fn on_grp(&mut self, c: &mut ReplCtx<'_>, _from: Peer, body: GrpBody) {
+        match body {
+            GrpBody::State {
+                version, state, ..
+            } => {
+                self.fetch_in_flight = false;
+                if c.install_state(version, &state).is_ok() {
+                    self.expires = Some(c.now() + self.ttl);
+                    for w in std::mem::take(&mut self.waiting) {
+                        if let Waiter::Local { token, inv } = w {
+                            c.record_read_freshness();
+                            let result = c.exec(&inv);
+                            c.complete(token, result);
+                        }
+                    }
+                }
+            }
+            GrpBody::InvokeResult { req, ok, data } => {
+                if let Some(token) = self.pending_writes.remove(&req) {
+                    // Read-your-writes: drop the cached copy so the next
+                    // read refetches.
+                    self.expires = None;
+                    let result = if ok {
+                        Ok(data)
+                    } else {
+                        Err(decode_error(&data))
+                    };
+                    c.complete(token, result);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, c: &mut ReplCtx<'_>, subtoken: u64) {
+        if let Some(token) = self.pending_writes.remove(&subtoken) {
+            c.complete(token, Err(InvokeError::Timeout));
+        }
+    }
+
+    fn on_peer_gone(&mut self, c: &mut ReplCtx<'_>, peer: Endpoint) {
+        if peer == self.server {
+            self.fetch_in_flight = false;
+            for (_, token) in std::mem::take(&mut self.pending_writes) {
+                c.complete(token, Err(InvokeError::PeerUnreachable));
+            }
+            for w in std::mem::take(&mut self.waiting) {
+                if let Waiter::Local { token, .. } = w {
+                    c.complete(token, Err(InvokeError::PeerUnreachable));
+                }
+            }
+        }
+    }
+}
+
+impl ReplCtx<'_> {
+    /// Counts a cache hit (CacheProxy bookkeeping).
+    pub(crate) fn metrics_cache_hit(&mut self) {
+        self.effects.cache_hits += 1;
+    }
+
+    /// Counts a cache miss.
+    pub(crate) fn metrics_cache_miss(&mut self) {
+        self.effects.cache_misses += 1;
+    }
+}

@@ -1,0 +1,239 @@
+//! The replication subobject interface and its execution context.
+//!
+//! The paper's key structural claim (§3.3): replication subobjects have
+//! *standard interfaces* and operate only on opaque invocations, so any
+//! protocol can be attached to any object. [`ReplicationSubobject`] is
+//! that standard interface; [`ReplCtx`] is everything a protocol may do
+//! — execute locally, message peers, set timers, complete invocations —
+//! with the transport, security and marshalling owned by the runtime
+//! (the communication subobject).
+
+use std::fmt;
+
+use globe_net::Endpoint;
+use globe_sim::SimTime;
+
+use crate::grp::{GrpBody, RoleSpec};
+use crate::object::{Invocation, MethodId, MethodKind, SemanticsObject};
+
+/// Why an invocation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvokeError {
+    /// No local representative for the object (bind first).
+    NotBound,
+    /// The replica refused: caller lacks write privileges (paper §6.1).
+    AccessDenied,
+    /// No reply from the remote replica in time.
+    Timeout,
+    /// The remote replica's host is unreachable.
+    PeerUnreachable,
+    /// The semantics subobject raised an error.
+    Sem(String),
+    /// A runtime-internal invariant failed (reported, never panicked).
+    Internal(&'static str),
+}
+
+impl fmt::Display for InvokeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvokeError::NotBound => write!(f, "object not bound"),
+            InvokeError::AccessDenied => write!(f, "write access denied"),
+            InvokeError::Timeout => write!(f, "invocation timed out"),
+            InvokeError::PeerUnreachable => write!(f, "replica unreachable"),
+            InvokeError::Sem(e) => write!(f, "semantics error: {e}"),
+            InvokeError::Internal(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InvokeError {}
+
+/// Where a GRP message came from / should go to.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Peer {
+    /// Reply path: the connection the triggering message arrived on.
+    Conn(u64),
+    /// A replica's advertised GRP endpoint (opens or reuses a pooled
+    /// connection).
+    Addr(Endpoint),
+}
+
+/// Effects a replication subobject requests during one call.
+#[derive(Debug, Default)]
+pub(crate) struct ReplEffects {
+    pub sends: Vec<(Peer, GrpBody)>,
+    pub timers: Vec<(globe_sim::SimDuration, u64)>,
+    pub completions: Vec<(u64, Result<Vec<u8>, InvokeError>)>,
+    pub stale_reads: u64,
+    pub fresh_reads: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub dirty: bool,
+}
+
+/// The execution context handed to a replication subobject.
+///
+/// Borrow structure: the runtime splits one local representative into
+/// its semantics subobject, version counter and protocol state, and
+/// collects all outward effects for translation after the protocol code
+/// returns (no aliasing with the network layer).
+pub struct ReplCtx<'a> {
+    pub(crate) oid: u128,
+    pub(crate) my_grp: Endpoint,
+    pub(crate) now: SimTime,
+    pub(crate) sem: Option<&'a mut Box<dyn SemanticsObject>>,
+    pub(crate) version: &'a mut u64,
+    pub(crate) kind_of: &'a dyn Fn(MethodId) -> MethodKind,
+    pub(crate) oracle_version: u64,
+    pub(crate) effects: ReplEffects,
+}
+
+impl<'a> ReplCtx<'a> {
+    /// The object this representative belongs to.
+    pub fn oid(&self) -> u128 {
+        self.oid
+    }
+
+    /// This representative's GRP endpoint (what peers would dial).
+    pub fn my_grp(&self) -> Endpoint {
+        self.my_grp
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Classifies a method (unknown methods classify as writes, the
+    /// conservative direction for routing and access control).
+    pub fn kind_of(&self, m: MethodId) -> MethodKind {
+        (self.kind_of)(m)
+    }
+
+    /// Executes an invocation on the local semantics subobject.
+    ///
+    /// Fails with [`InvokeError::Internal`] on pure proxies, which have
+    /// no semantics instance.
+    pub fn exec(&mut self, inv: &Invocation) -> Result<Vec<u8>, InvokeError> {
+        self.effects.dirty = true;
+        match self.sem.as_deref_mut() {
+            Some(sem) => sem.dispatch(inv).map_err(|e| InvokeError::Sem(e.to_string())),
+            None => Err(InvokeError::Internal("no semantics subobject")),
+        }
+    }
+
+    /// Serializes the local state (for state transfer).
+    pub fn state(&self) -> Vec<u8> {
+        self.sem.as_deref().map(|s| s.get_state()).unwrap_or_default()
+    }
+
+    /// Installs a state blob at `version`.
+    pub fn install_state(&mut self, version: u64, state: &[u8]) -> Result<(), InvokeError> {
+        let sem = self
+            .sem
+            .as_deref_mut()
+            .ok_or(InvokeError::Internal("no semantics subobject"))?;
+        sem.set_state(state)
+            .map_err(|e| InvokeError::Sem(e.to_string()))?;
+        *self.version = version;
+        self.effects.dirty = true;
+        Ok(())
+    }
+
+    /// The representative's current state version.
+    pub fn version(&self) -> u64 {
+        *self.version
+    }
+
+    /// Increments and returns the state version (masters call this per
+    /// write).
+    pub fn bump_version(&mut self) -> u64 {
+        *self.version += 1;
+        self.effects.dirty = true;
+        *self.version
+    }
+
+    /// Sends a GRP message to a peer of this object.
+    pub fn send(&mut self, to: Peer, body: GrpBody) {
+        self.effects.sends.push((to, body));
+    }
+
+    /// Completes a local invocation started with this `token`.
+    pub fn complete(&mut self, token: u64, result: Result<Vec<u8>, InvokeError>) {
+        self.effects.completions.push((token, result));
+    }
+
+    /// Schedules [`ReplicationSubobject::on_timer`] with `subtoken`.
+    pub fn set_timer(&mut self, delay: globe_sim::SimDuration, subtoken: u64) {
+        self.effects.timers.push((delay, subtoken));
+    }
+
+    /// Records whether a locally served read saw the newest version.
+    ///
+    /// This consults a measurement-only oracle (the writes counter kept
+    /// by the metrics registry); protocols never act on it — it exists
+    /// so experiments can report stale-read fractions.
+    pub fn record_read_freshness(&mut self) {
+        if *self.version < self.oracle_version {
+            self.effects.stale_reads += 1;
+        } else {
+            self.effects.fresh_reads += 1;
+        }
+    }
+}
+
+/// The standard interface of replication subobjects (paper §3.3).
+///
+/// Implementations never touch sockets, certificates or marshalled
+/// argument contents: they see opaque [`Invocation`]s, peers as
+/// [`Peer`] handles, and act through [`ReplCtx`].
+pub trait ReplicationSubobject: 'static {
+    /// The protocol identifier registered in contact addresses.
+    fn proto(&self) -> u16;
+
+    /// Whether this representative accepts state-modifying invocations
+    /// (sets the contact-address write flag).
+    fn accepts_writes(&self) -> bool;
+
+    /// Whether this representative should be registered in the GLS as a
+    /// contactable replica (proxies and caches are not).
+    fn is_replica(&self) -> bool;
+
+    /// Serializable role description, for object-server persistence.
+    fn descriptor(&self) -> RoleSpec;
+
+    /// Called once when the representative is installed.
+    fn on_install(&mut self, _c: &mut ReplCtx<'_>) {}
+
+    /// A local client invoked a method; complete it now or later via
+    /// [`ReplCtx::complete`].
+    fn start_invocation(&mut self, c: &mut ReplCtx<'_>, token: u64, inv: Invocation);
+
+    /// A GRP message for this object arrived (already authenticated and
+    /// authorized by the runtime).
+    fn on_grp(&mut self, c: &mut ReplCtx<'_>, from: Peer, body: GrpBody);
+
+    /// A timer set through [`ReplCtx::set_timer`] fired.
+    fn on_timer(&mut self, _c: &mut ReplCtx<'_>, _subtoken: u64) {}
+
+    /// A peer replica became unreachable.
+    fn on_peer_gone(&mut self, _c: &mut ReplCtx<'_>, _peer: Endpoint) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invoke_error_display() {
+        assert!(InvokeError::AccessDenied.to_string().contains("denied"));
+        assert!(InvokeError::Timeout.to_string().contains("timed out"));
+        assert!(InvokeError::Sem("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn peer_equality() {
+        assert_eq!(Peer::Conn(1), Peer::Conn(1));
+        assert_ne!(Peer::Conn(1), Peer::Conn(2));
+    }
+}

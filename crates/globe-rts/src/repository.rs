@@ -1,0 +1,176 @@
+//! The implementation repository: class registry plus the simulated
+//! cost of remote class loading.
+//!
+//! The paper (§3.4): installing a local representative "involves loading
+//! the implementation of the local representative (i.e., the appropriate
+//! set of subobjects) from a nearby implementation repository in a way
+//! similar to remote class loading in Java". We model the repository as
+//! a registry shared by deployment configuration, and charge a one-time
+//! per-host *load delay* the first time a class is instantiated on a
+//! host — which is exactly where the cost shows up in the paper's
+//! binding path (experiment E9).
+
+use std::collections::BTreeMap;
+
+use globe_sim::SimDuration;
+
+use crate::object::{ClassSpec, MethodId, MethodKind, SemanticsObject};
+
+/// Identifies an object implementation ("class") in the repository.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ImplId(pub u16);
+
+/// The class registry.
+///
+/// # Examples
+///
+/// ```
+/// use globe_rts::object::{ClassSpec, Invocation, MethodId, MethodKind, SemError, SemanticsObject};
+/// use globe_rts::repository::{ImplId, ImplRepository};
+///
+/// struct Counter(u64);
+/// impl SemanticsObject for Counter {
+///     fn dispatch(&mut self, inv: &Invocation) -> Result<Vec<u8>, SemError> {
+///         match inv.method.0 {
+///             0 => Ok(self.0.to_be_bytes().to_vec()),
+///             1 => { self.0 += 1; Ok(vec![]) }
+///             _ => Err(SemError::NoSuchMethod(inv.method)),
+///         }
+///     }
+///     fn get_state(&self) -> Vec<u8> { self.0.to_be_bytes().to_vec() }
+///     fn set_state(&mut self, s: &[u8]) -> Result<(), SemError> {
+///         self.0 = u64::from_be_bytes(s.try_into().map_err(|_| SemError::BadState)?);
+///         Ok(())
+///     }
+/// }
+///
+/// let mut repo = ImplRepository::new();
+/// repo.register(ImplId(1), ClassSpec {
+///     name: "counter",
+///     factory: || Box::new(Counter(0)),
+///     kind_of: |m| match m.0 { 0 => Some(MethodKind::Read), 1 => Some(MethodKind::Write), _ => None },
+/// });
+/// assert!(repo.instantiate(ImplId(1)).is_some());
+/// ```
+pub struct ImplRepository {
+    classes: BTreeMap<u16, ClassSpec>,
+    load_delay: SimDuration,
+}
+
+impl ImplRepository {
+    /// Creates an empty repository with the default 150 ms class-load
+    /// delay (a late-1990s code fetch from a nearby repository).
+    pub fn new() -> ImplRepository {
+        ImplRepository {
+            classes: BTreeMap::new(),
+            load_delay: SimDuration::from_millis(150),
+        }
+    }
+
+    /// Overrides the simulated class-load delay.
+    pub fn with_load_delay(mut self, d: SimDuration) -> Self {
+        self.load_delay = d;
+        self
+    }
+
+    /// Registers a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already taken.
+    pub fn register(&mut self, id: ImplId, spec: ClassSpec) {
+        let prev = self.classes.insert(id.0, spec);
+        assert!(prev.is_none(), "implementation {id:?} registered twice");
+    }
+
+    /// Whether `id` is registered.
+    pub fn contains(&self, id: ImplId) -> bool {
+        self.classes.contains_key(&id.0)
+    }
+
+    /// The class's display name.
+    pub fn name(&self, id: ImplId) -> Option<&'static str> {
+        self.classes.get(&id.0).map(|c| c.name)
+    }
+
+    /// Instantiates a blank semantics subobject of class `id`.
+    pub fn instantiate(&self, id: ImplId) -> Option<Box<dyn SemanticsObject>> {
+        self.classes.get(&id.0).map(|c| (c.factory)())
+    }
+
+    /// Classifies a method of class `id`.
+    pub fn kind_of(&self, id: ImplId, method: MethodId) -> Option<MethodKind> {
+        self.classes.get(&id.0).and_then(|c| (c.kind_of)(method))
+    }
+
+    /// The one-time per-host class-load delay.
+    pub fn load_delay(&self) -> SimDuration {
+        self.load_delay
+    }
+}
+
+impl Default for ImplRepository {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{Invocation, SemError};
+
+    struct Nop;
+    impl SemanticsObject for Nop {
+        fn dispatch(&mut self, inv: &Invocation) -> Result<Vec<u8>, SemError> {
+            Err(SemError::NoSuchMethod(inv.method))
+        }
+        fn get_state(&self) -> Vec<u8> {
+            vec![]
+        }
+        fn set_state(&mut self, _s: &[u8]) -> Result<(), SemError> {
+            Ok(())
+        }
+    }
+
+    fn nop_spec() -> ClassSpec {
+        ClassSpec {
+            name: "nop",
+            factory: || Box::new(Nop),
+            kind_of: |m| {
+                if m.0 == 0 {
+                    Some(MethodKind::Read)
+                } else {
+                    None
+                }
+            },
+        }
+    }
+
+    #[test]
+    fn register_and_query() {
+        let mut repo = ImplRepository::new();
+        repo.register(ImplId(5), nop_spec());
+        assert!(repo.contains(ImplId(5)));
+        assert!(!repo.contains(ImplId(6)));
+        assert_eq!(repo.name(ImplId(5)), Some("nop"));
+        assert_eq!(repo.kind_of(ImplId(5), MethodId(0)), Some(MethodKind::Read));
+        assert_eq!(repo.kind_of(ImplId(5), MethodId(9)), None);
+        assert!(repo.instantiate(ImplId(5)).is_some());
+        assert!(repo.instantiate(ImplId(6)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut repo = ImplRepository::new();
+        repo.register(ImplId(5), nop_spec());
+        repo.register(ImplId(5), nop_spec());
+    }
+
+    #[test]
+    fn load_delay_configurable() {
+        let repo = ImplRepository::new().with_load_delay(SimDuration::from_millis(7));
+        assert_eq!(repo.load_delay(), SimDuration::from_millis(7));
+    }
+}

@@ -1,0 +1,1043 @@
+//! The Globe run-time system embedded in every GDN process.
+//!
+//! The runtime is what the paper's §3.4 calls "the run-time system": it
+//! owns binding (`bind(oid)` → GLS lookup → nearest contact address →
+//! implementation loading → local-representative installation), the
+//! communication subobject (pooled, gTLS-secured stream connections
+//! carrying GRP frames), dispatch of invocations into replication
+//! subobjects, the write-access gate of §6.1, and replica persistence
+//! for Globe Object Servers.
+//!
+//! It is a library embedded in a [`globe_net::Service`] (object server,
+//! GDN-HTTPD, proxy, moderator tool): the owner routes datagrams,
+//! connection events and timers through
+//! [`GlobeRuntime::handle_datagram`] /
+//! [`GlobeRuntime::handle_conn_event`] / [`GlobeRuntime::handle_timer`]
+//! and drains [`RtEvent`]s after every call.
+//!
+//! Connections carry two kinds of records, distinguished by a one-byte
+//! envelope: GRP frames (replication traffic) and *application* frames —
+//! the control protocols of owners, e.g. moderator commands to an
+//! object server — so one secured connection pool serves both.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use globe_crypto::cert::Role;
+use globe_crypto::channel::SecureChannels;
+use globe_crypto::gtls::{TlsConfig, TlsEvent};
+use globe_gls::{
+    ContactAddress, GlsClient, GlsDeployment, GlsError, GlsEvent, Level, ObjectId,
+    ADDR_FLAG_WRITES,
+};
+use globe_net::{
+    ns_token, owns_token, token_id, ConnEvent, ConnId, Endpoint, HostId, ServiceCtx,
+    WireReader, WireWriter,
+};
+use globe_sim::SimDuration;
+
+use crate::grp::{GrpBody, GrpMsg, PropagationMode, RoleSpec};
+use crate::object::{Invocation, MethodKind, SemanticsObject};
+use crate::protocols::{CacheProxy, ForwardingProxy, MasterReplica, ServerReplica, SlaveReplica};
+use crate::replication::{InvokeError, Peer, ReplCtx, ReplEffects, ReplicationSubobject};
+use crate::repository::{ImplId, ImplRepository};
+
+/// Record envelope: a GRP frame follows.
+const ENV_GRP: u8 = 0x47;
+/// Record envelope: an owner-level application frame follows.
+const ENV_APP: u8 = 0x41;
+
+/// Why a bind failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BindError {
+    /// The object is not registered anywhere.
+    NotFound,
+    /// The location service failed (timeout / inconsistency).
+    Gls(GlsError),
+    /// The contact address names an implementation this host's
+    /// repository does not have.
+    UnknownImpl(u16),
+    /// The lookup returned no usable address.
+    NoAddress,
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindError::NotFound => write!(f, "object not registered"),
+            BindError::Gls(e) => write!(f, "location service: {e}"),
+            BindError::UnknownImpl(i) => write!(f, "implementation {i} not in repository"),
+            BindError::NoAddress => write!(f, "no usable contact address"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// What a successful bind yields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BindInfo {
+    /// The bound object.
+    pub oid: ObjectId,
+    /// The replication protocol of the installed representative.
+    pub protocol: u16,
+}
+
+/// Completion events drained via [`GlobeRuntime::take_events`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RtEvent {
+    /// A [`GlobeRuntime::bind`] finished.
+    BindDone {
+        /// Caller's correlation token.
+        token: u64,
+        /// The bound object or the failure.
+        result: Result<BindInfo, BindError>,
+    },
+    /// A [`GlobeRuntime::invoke`] finished.
+    InvokeDone {
+        /// Caller's correlation token.
+        token: u64,
+        /// Marshalled result or the failure.
+        result: Result<Vec<u8>, InvokeError>,
+    },
+    /// A [`GlobeRuntime::register`] finished.
+    Registered {
+        /// Caller's correlation token.
+        token: u64,
+        /// GLS outcome.
+        result: Result<(), GlsError>,
+    },
+    /// A [`GlobeRuntime::deregister`] finished.
+    Deregistered {
+        /// Caller's correlation token.
+        token: u64,
+        /// GLS outcome.
+        result: Result<(), GlsError>,
+    },
+}
+
+/// Result of routing a connection event through the runtime.
+#[derive(Debug)]
+pub enum RtConn {
+    /// The event did not belong to a runtime connection; here it is
+    /// back.
+    NotMine(ConnEvent),
+    /// Handled internally.
+    Consumed,
+    /// The connection carried owner-level application frames (decrypted
+    /// and ready to parse). The peer's authenticated role, if any, is
+    /// attached.
+    AppData {
+        /// Decrypted application frames, in order.
+        frames: Vec<Vec<u8>>,
+        /// The authenticated peer role (None for anonymous peers).
+        peer_role: Option<Role>,
+    },
+}
+
+/// Runtime configuration.
+pub struct RuntimeConfig {
+    /// The port this runtime's local representatives are contactable on
+    /// (its GRP listener, usually the owner service's own port).
+    pub grp_port: u16,
+    /// TLS configuration for incoming connections.
+    pub tls_server: TlsConfig,
+    /// TLS configuration for outgoing connections.
+    pub tls_client: TlsConfig,
+    /// Accept incoming connections (object servers yes; pure clients
+    /// such as HTTPDs and moderator tools no).
+    pub accept_incoming: bool,
+    /// TTL used by cache-proxy representatives installed at bind time.
+    pub cache_ttl: SimDuration,
+    /// Roles allowed to perform state-modifying invocations
+    /// (paper §6.1: moderators, and GDN hosts acting in protocols).
+    pub writer_roles: Vec<Role>,
+    /// Accept state-modifying traffic from anonymous peers — the
+    /// paper's June-2000 first version, which "will not actually
+    /// implement any security measures". Only sensible with
+    /// [`Mode::Null`](globe_crypto::gtls::Mode) channels.
+    pub open_writes: bool,
+    /// Persist replicas to stable storage (object servers).
+    pub persist: bool,
+}
+
+impl RuntimeConfig {
+    /// Standard writer set: moderators, administrators and GDN hosts.
+    pub fn default_writer_roles() -> Vec<Role> {
+        vec![Role::Moderator, Role::Administrator, Role::Host]
+    }
+}
+
+struct LocalRep {
+    impl_id: ImplId,
+    sem: Option<Box<dyn SemanticsObject>>,
+    repl: Box<dyn ReplicationSubobject>,
+    version: u64,
+}
+
+struct ConnInfo {
+    peer: Option<Endpoint>,
+    established: bool,
+    backlog: Vec<Vec<u8>>,
+}
+
+struct LoadWait {
+    token: u64,
+    oid: u128,
+    choice: BindChoice,
+}
+
+#[derive(Clone, Debug)]
+struct BindChoice {
+    impl_id: u16,
+    protocol: u16,
+    /// Read replicas, nearest first.
+    reads: Vec<Endpoint>,
+    write: Endpoint,
+}
+
+const K_BIND: u64 = 1 << 40;
+const K_REG: u64 = 2 << 40;
+const K_DEREG: u64 = 3 << 40;
+const K_MASK: u64 = 0xFF << 40;
+
+/// The Globe run-time system (see module docs).
+pub struct GlobeRuntime {
+    cfg: RuntimeConfig,
+    repo: Arc<ImplRepository>,
+    gls: GlsClient,
+    secure: SecureChannels,
+    my_host: HostId,
+    ns: u16,
+    out_conns: BTreeMap<Endpoint, u64>,
+    conn_info: BTreeMap<u64, ConnInfo>,
+    lrs: BTreeMap<u128, LocalRep>,
+    binds: BTreeMap<u64, (u64, u128)>,
+    next_bind: u64,
+    regs: BTreeMap<u64, u64>,
+    next_reg: u64,
+    deregs: BTreeMap<u64, u64>,
+    next_dereg: u64,
+    load_waits: BTreeMap<u64, LoadWait>,
+    next_load: u64,
+    loaded: BTreeSet<u16>,
+    repl_timers: BTreeMap<u64, (u128, u64)>,
+    next_repl_timer: u64,
+    events: Vec<RtEvent>,
+}
+
+impl GlobeRuntime {
+    /// Creates a runtime for a service on `my_host`, using timer
+    /// namespaces `ns`, `ns+1` and `ns+2`.
+    pub fn new(
+        cfg: RuntimeConfig,
+        repo: Arc<ImplRepository>,
+        gls_deploy: Arc<GlsDeployment>,
+        my_host: HostId,
+        ns: u16,
+    ) -> GlobeRuntime {
+        GlobeRuntime {
+            gls: GlsClient::new(gls_deploy, my_host, ns),
+            cfg,
+            repo,
+            secure: SecureChannels::new(),
+            my_host,
+            ns,
+            out_conns: BTreeMap::new(),
+            conn_info: BTreeMap::new(),
+            lrs: BTreeMap::new(),
+            binds: BTreeMap::new(),
+            next_bind: 1,
+            regs: BTreeMap::new(),
+            next_reg: 1,
+            deregs: BTreeMap::new(),
+            next_dereg: 1,
+            load_waits: BTreeMap::new(),
+            next_load: 1,
+            loaded: BTreeSet::new(),
+            repl_timers: BTreeMap::new(),
+            next_repl_timer: 1,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether this runtime accepts anonymous state-modifying traffic
+    /// (the paper's unsecured first version).
+    pub fn open_writes(&self) -> bool {
+        self.cfg.open_writes
+    }
+
+    /// The GLS address-lease TTL of this deployment, if enabled.
+    pub fn gls_address_ttl(&self) -> Option<SimDuration> {
+        self.gls.deployment().address_ttl()
+    }
+
+    /// This runtime's GRP endpoint (what its replicas advertise).
+    pub fn grp_endpoint(&self) -> Endpoint {
+        Endpoint::new(self.my_host, self.cfg.grp_port)
+    }
+
+    /// Whether a local representative for `oid` is installed.
+    pub fn is_bound(&self, oid: ObjectId) -> bool {
+        self.lrs.contains_key(&oid.0)
+    }
+
+    /// The object ids of all installed local representatives.
+    pub fn bound_objects(&self) -> Vec<ObjectId> {
+        self.lrs.keys().map(|&k| ObjectId(k)).collect()
+    }
+
+    /// The state version of a local replica (tests / experiments).
+    pub fn replica_version(&self, oid: ObjectId) -> Option<u64> {
+        self.lrs.get(&oid.0).map(|lr| lr.version)
+    }
+
+    /// Starts binding to `oid` (paper §3.4); completes with
+    /// [`RtEvent::BindDone`] carrying `token`.
+    pub fn bind(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId, token: u64) {
+        if let Some(lr) = self.lrs.get(&oid.0) {
+            let info = BindInfo {
+                oid,
+                protocol: lr.repl.proto(),
+            };
+            self.events.push(RtEvent::BindDone {
+                token,
+                result: Ok(info),
+            });
+            return;
+        }
+        let idx = self.next_bind;
+        self.next_bind += 1;
+        self.binds.insert(idx, (token, oid.0));
+        self.gls.lookup(ctx, oid, K_BIND | idx);
+        ctx.metrics().inc("rts.binds", 1);
+    }
+
+    /// Removes the local representative for `oid` (no GLS traffic; pair
+    /// with [`GlobeRuntime::deregister`] for registered replicas).
+    pub fn unbind(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId) {
+        self.lrs.remove(&oid.0);
+        if self.cfg.persist {
+            ctx.stable_delete(&replica_key(oid.0));
+        }
+    }
+
+    /// Invokes a marshalled method on the bound object; completes with
+    /// [`RtEvent::InvokeDone`] carrying `token`.
+    pub fn invoke(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId, inv: Invocation, token: u64) {
+        if !self.lrs.contains_key(&oid.0) {
+            self.events.push(RtEvent::InvokeDone {
+                token,
+                result: Err(InvokeError::NotBound),
+            });
+            return;
+        }
+        ctx.metrics().inc("rts.invocations", 1);
+        self.with_lr(ctx, oid.0, |repl, c| repl.start_invocation(c, token, inv));
+    }
+
+    /// Creates a replica-grade local representative (object servers call
+    /// this on moderator commands; paper §6.1's "create first replica" /
+    /// "bind to DSO, create replica" flow).
+    pub fn create_replica(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        oid: ObjectId,
+        impl_id: ImplId,
+        protocol: u16,
+        role: RoleSpec,
+    ) -> Result<(), BindError> {
+        let sem = self
+            .repo
+            .instantiate(impl_id)
+            .ok_or(BindError::UnknownImpl(impl_id.0))?;
+        let repl: Box<dyn ReplicationSubobject> = match role {
+            RoleSpec::Standalone => Box::new(ServerReplica::new(protocol)),
+            RoleSpec::Master { mode } => Box::new(MasterReplica::new(protocol, mode)),
+            RoleSpec::Slave { master } => Box::new(SlaveReplica::new(protocol, master)),
+        };
+        self.loaded.insert(impl_id.0);
+        self.lrs.insert(
+            oid.0,
+            LocalRep {
+                impl_id,
+                sem: Some(sem),
+                repl,
+                version: 0,
+            },
+        );
+        ctx.metrics().inc("rts.replicas_created", 1);
+        self.with_lr(ctx, oid.0, |repl, c| repl.on_install(c));
+        Ok(())
+    }
+
+    /// Registers the local replica's contact address in the GLS;
+    /// completes with [`RtEvent::Registered`] carrying `token`.
+    pub fn register(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId, token: u64) {
+        let Some(addr) = self.contact_address(oid) else {
+            self.events.push(RtEvent::Registered {
+                token,
+                result: Err(GlsError::NotFound),
+            });
+            return;
+        };
+        let idx = self.next_reg;
+        self.next_reg += 1;
+        self.regs.insert(idx, token);
+        self.gls.insert(ctx, oid, addr, Level::Site, K_REG | idx);
+    }
+
+    /// Removes the local replica's contact address from the GLS;
+    /// completes with [`RtEvent::Deregistered`] carrying `token`.
+    pub fn deregister(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId, token: u64) {
+        let Some(addr) = self.contact_address(oid) else {
+            self.events.push(RtEvent::Deregistered {
+                token,
+                result: Err(GlsError::NotFound),
+            });
+            return;
+        };
+        let idx = self.next_dereg;
+        self.next_dereg += 1;
+        self.deregs.insert(idx, token);
+        self.gls.delete(ctx, oid, addr, Level::Site, K_DEREG | idx);
+    }
+
+    /// The contact address the local replica of `oid` advertises.
+    pub fn contact_address(&self, oid: ObjectId) -> Option<ContactAddress> {
+        let lr = self.lrs.get(&oid.0)?;
+        let flags = if lr.repl.accepts_writes() {
+            ADDR_FLAG_WRITES
+        } else {
+            0
+        };
+        Some(
+            ContactAddress::new(self.grp_endpoint(), lr.repl.proto(), flags)
+                .with_impl(lr.impl_id.0),
+        )
+    }
+
+    /// Opens (or reuses) a secured application connection to a peer
+    /// service that also speaks the runtime's record envelope (e.g. a
+    /// moderator tool dialing an object server's control interface).
+    pub fn open_app_conn(&mut self, ctx: &mut ServiceCtx<'_>, peer: Endpoint) -> ConnId {
+        ConnId(self.conn_to(ctx, peer))
+    }
+
+    /// Sends an application frame on a runtime connection (queued until
+    /// the secure channel is established).
+    pub fn send_app(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, frame: &[u8]) {
+        let mut enveloped = Vec::with_capacity(frame.len() + 1);
+        enveloped.push(ENV_APP);
+        enveloped.extend_from_slice(frame);
+        self.send_on_conn(ctx, conn.0, enveloped);
+    }
+
+    /// The authenticated role of a connection's peer, if any.
+    pub fn peer_role(&self, conn: ConnId) -> Option<Role> {
+        self.secure.peer(conn.0).map(|c| c.role)
+    }
+
+    /// Drains completion events.
+    pub fn take_events(&mut self) -> Vec<RtEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Routes an inbound datagram (GLS replies). Returns `true` if
+    /// consumed.
+    pub fn handle_datagram(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        from: Endpoint,
+        payload: &[u8],
+    ) -> bool {
+        if self.gls.handle_datagram(ctx, from, payload) {
+            self.drive_gls(ctx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Routes a timer. Returns `true` if consumed.
+    pub fn handle_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) -> bool {
+        if self.gls.handle_timer(ctx, token) {
+            self.drive_gls(ctx);
+            return true;
+        }
+        if owns_token(self.ns + 1, token) {
+            let idx = token_id(token);
+            if let Some(wait) = self.load_waits.remove(&idx) {
+                self.loaded.insert(wait.choice.impl_id);
+                self.finish_bind(ctx, wait.token, wait.oid, wait.choice);
+            }
+            return true;
+        }
+        if owns_token(self.ns + 2, token) {
+            let idx = token_id(token);
+            if let Some((oid, sub)) = self.repl_timers.remove(&idx) {
+                self.with_lr(ctx, oid, |repl, c| repl.on_timer(c, sub));
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Routes a stream-connection event; see [`RtConn`].
+    pub fn handle_conn_event(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        conn: ConnId,
+        ev: ConnEvent,
+    ) -> RtConn {
+        match ev {
+            ConnEvent::Incoming { .. } => {
+                if !self.cfg.accept_incoming {
+                    return RtConn::NotMine(ev);
+                }
+                self.secure.accept(conn.0, self.cfg.tls_server.clone());
+                self.conn_info.insert(
+                    conn.0,
+                    ConnInfo {
+                        peer: None,
+                        established: false,
+                        backlog: Vec::new(),
+                    },
+                );
+                RtConn::Consumed
+            }
+            ConnEvent::Opened => {
+                if self.conn_info.contains_key(&conn.0) {
+                    RtConn::Consumed
+                } else {
+                    RtConn::NotMine(ConnEvent::Opened)
+                }
+            }
+            ConnEvent::Msg(data) => {
+                if !self.conn_info.contains_key(&conn.0) {
+                    return RtConn::NotMine(ConnEvent::Msg(data));
+                }
+                let out = match self.secure.on_message(conn.0, &data, ctx.rng()) {
+                    Ok((out, cost)) => {
+                        for reply in &out.replies {
+                            ctx.send_delayed(conn, reply.clone(), cost);
+                        }
+                        out
+                    }
+                    Err(_) => {
+                        ctx.metrics().inc("rts.tls_errors", 1);
+                        ctx.close(conn);
+                        self.drop_conn(ctx, conn.0);
+                        return RtConn::Consumed;
+                    }
+                };
+                let mut app_frames = Vec::new();
+                for ev in out.events {
+                    match ev {
+                        TlsEvent::Established { .. } => {
+                            if let Some(info) = self.conn_info.get_mut(&conn.0) {
+                                info.established = true;
+                                let backlog = std::mem::take(&mut info.backlog);
+                                for frame in backlog {
+                                    self.send_on_conn(ctx, conn.0, frame);
+                                }
+                            }
+                        }
+                        TlsEvent::Data(plaintext) => match plaintext.split_first() {
+                            Some((&ENV_GRP, frame)) => self.on_grp_frame(ctx, conn, frame),
+                            Some((&ENV_APP, frame)) => app_frames.push(frame.to_vec()),
+                            _ => ctx.metrics().inc("rts.malformed_frames", 1),
+                        },
+                    }
+                }
+                if app_frames.is_empty() {
+                    RtConn::Consumed
+                } else {
+                    RtConn::AppData {
+                        frames: app_frames,
+                        peer_role: self.peer_role(conn),
+                    }
+                }
+            }
+            ConnEvent::Closed(reason) => {
+                if !self.conn_info.contains_key(&conn.0) {
+                    return RtConn::NotMine(ConnEvent::Closed(reason));
+                }
+                self.drop_conn(ctx, conn.0);
+                RtConn::Consumed
+            }
+        }
+    }
+
+    /// Resets all volatile state after a host crash. Replicas are gone;
+    /// object servers restore them in `on_restart` via
+    /// [`GlobeRuntime::restore_replicas`].
+    pub fn on_crash(&mut self) {
+        self.secure = SecureChannels::new();
+        self.out_conns.clear();
+        self.conn_info.clear();
+        self.lrs.clear();
+        self.binds.clear();
+        self.regs.clear();
+        self.deregs.clear();
+        self.load_waits.clear();
+        self.loaded.clear();
+        self.repl_timers.clear();
+        self.events.clear();
+    }
+
+    /// Reconstructs persisted replicas from stable storage (paper §4:
+    /// object servers "allow replicas to save their state during a
+    /// reboot and reconstruct themselves afterwards").
+    ///
+    /// Returns the recovered object ids.
+    pub fn restore_replicas(&mut self, ctx: &mut ServiceCtx<'_>) -> Vec<ObjectId> {
+        let mut restored = Vec::new();
+        for key in ctx.stable_keys("gos/obj/") {
+            let hex = &key["gos/obj/".len()..];
+            let Ok(oid) = u128::from_str_radix(hex, 16) else {
+                continue;
+            };
+            let Some(blob) = ctx.stable_get(&key).cloned() else {
+                continue;
+            };
+            if self.restore_one(ctx, oid, &blob).is_some() {
+                restored.push(ObjectId(oid));
+            }
+        }
+        ctx.metrics().inc("rts.replicas_restored", restored.len() as u64);
+        restored
+    }
+
+    fn restore_one(&mut self, ctx: &mut ServiceCtx<'_>, oid: u128, blob: &[u8]) -> Option<()> {
+        let mut r = WireReader::new(blob);
+        let impl_id = ImplId(r.u16().ok()?);
+        let protocol = r.u16().ok()?;
+        let role = RoleSpec::decode(&mut r).ok()?;
+        let version = r.u64().ok()?;
+        let state = r.bytes().ok()?.to_vec();
+        let mut sem = self.repo.instantiate(impl_id)?;
+        sem.set_state(&state).ok()?;
+        let repl: Box<dyn ReplicationSubobject> = match role {
+            RoleSpec::Standalone => Box::new(ServerReplica::new(protocol)),
+            RoleSpec::Master { mode } => Box::new(MasterReplica::new(protocol, mode)),
+            RoleSpec::Slave { master } => Box::new(SlaveReplica::new(protocol, master)),
+        };
+        self.loaded.insert(impl_id.0);
+        self.lrs.insert(
+            oid,
+            LocalRep {
+                impl_id,
+                sem: Some(sem),
+                repl,
+                version,
+            },
+        );
+        // Slaves re-announce so the master refreshes them; masters just
+        // resume (slaves will refetch on demand).
+        self.with_lr(ctx, oid, |repl, c| repl.on_install(c));
+        Some(())
+    }
+
+    fn drive_gls(&mut self, ctx: &mut ServiceCtx<'_>) {
+        for ev in self.gls.take_events() {
+            match ev {
+                GlsEvent::LookupDone { token, result, .. } if token & K_MASK == K_BIND => {
+                    let idx = token & !K_MASK;
+                    let Some((user, oid)) = self.binds.remove(&idx) else {
+                        continue;
+                    };
+                    match result {
+                        Ok(addrs) => self.choose_and_load(ctx, user, oid, addrs),
+                        Err(GlsError::NotFound) => self.events.push(RtEvent::BindDone {
+                            token: user,
+                            result: Err(BindError::NotFound),
+                        }),
+                        Err(e) => self.events.push(RtEvent::BindDone {
+                            token: user,
+                            result: Err(BindError::Gls(e)),
+                        }),
+                    }
+                }
+                GlsEvent::InsertDone { token, result } if token & K_MASK == K_REG => {
+                    let idx = token & !K_MASK;
+                    if let Some(user) = self.regs.remove(&idx) {
+                        self.events.push(RtEvent::Registered {
+                            token: user,
+                            result,
+                        });
+                    }
+                }
+                GlsEvent::DeleteDone { token, result } if token & K_MASK == K_DEREG => {
+                    let idx = token & !K_MASK;
+                    if let Some(user) = self.deregs.remove(&idx) {
+                        self.events.push(RtEvent::Deregistered {
+                            token: user,
+                            result,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Picks the nearest replica for reads and the nearest
+    /// write-capable replica for writes (paper §3.4: "the returned
+    /// contact addresses will identify the nearest replica"), then
+    /// loads the implementation if this host has not yet.
+    fn choose_and_load(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        token: u64,
+        oid: u128,
+        addrs: Vec<ContactAddress>,
+    ) {
+        if addrs.is_empty() {
+            self.events.push(RtEvent::BindDone {
+                token,
+                result: Err(BindError::NoAddress),
+            });
+            return;
+        }
+        let key = |a: &ContactAddress| {
+            (
+                ctx.topo().distance(self.my_host, a.endpoint.host),
+                a.endpoint.host.0,
+                a.endpoint.port,
+            )
+        };
+        let mut sorted = addrs.clone();
+        sorted.sort_by_key(|a| key(a));
+        let read = sorted[0];
+        let write = sorted
+            .iter()
+            .filter(|a| a.accepts_writes())
+            .min_by_key(|a| key(a))
+            .copied()
+            .unwrap_or(read);
+        let choice = BindChoice {
+            impl_id: read.impl_hint,
+            protocol: read.protocol,
+            reads: sorted.iter().map(|a| a.endpoint).collect(),
+            write: write.endpoint,
+        };
+        if !self.repo.contains(ImplId(choice.impl_id)) {
+            self.events.push(RtEvent::BindDone {
+                token,
+                result: Err(BindError::UnknownImpl(choice.impl_id)),
+            });
+            return;
+        }
+        if self.loaded.contains(&choice.impl_id) {
+            self.finish_bind(ctx, token, oid, choice);
+        } else {
+            // Simulated remote class loading (paper §3.4).
+            let idx = self.next_load;
+            self.next_load += 1;
+            self.load_waits.insert(idx, LoadWait { token, oid, choice });
+            let delay = self.repo.load_delay();
+            ctx.set_timer(delay, ns_token(self.ns + 1, idx));
+            ctx.metrics().inc("rts.impl_loads", 1);
+        }
+    }
+
+    fn finish_bind(&mut self, ctx: &mut ServiceCtx<'_>, token: u64, oid: u128, choice: BindChoice) {
+        use crate::grp::protocol_id;
+        let impl_id = ImplId(choice.impl_id);
+        let (sem, repl): (
+            Option<Box<dyn SemanticsObject>>,
+            Box<dyn ReplicationSubobject>,
+        ) = if choice.protocol == protocol_id::CACHE_TTL {
+            let Some(sem) = self.repo.instantiate(impl_id) else {
+                self.events.push(RtEvent::BindDone {
+                    token,
+                    result: Err(BindError::UnknownImpl(choice.impl_id)),
+                });
+                return;
+            };
+            (
+                Some(sem),
+                Box::new(CacheProxy::new(choice.reads[0], self.cfg.cache_ttl)),
+            )
+        } else {
+            (
+                None,
+                Box::new(ForwardingProxy::new(
+                    choice.protocol,
+                    choice.reads.clone(),
+                    choice.write,
+                )),
+            )
+        };
+        self.lrs.insert(
+            oid,
+            LocalRep {
+                impl_id,
+                sem,
+                repl,
+                version: 0,
+            },
+        );
+        self.with_lr(ctx, oid, |repl, c| repl.on_install(c));
+        self.events.push(RtEvent::BindDone {
+            token,
+            result: Ok(BindInfo {
+                oid: ObjectId(oid),
+                protocol: choice.protocol,
+            }),
+        });
+    }
+
+    fn on_grp_frame(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, frame: &[u8]) {
+        let Ok(msg) = GrpMsg::decode(frame) else {
+            ctx.metrics().inc("rts.malformed_frames", 1);
+            return;
+        };
+        let role = self.peer_role(conn);
+        // Access control (paper §6.1): replicas accept state-modifying
+        // traffic only from authorized senders.
+        let is_writer = self.cfg.open_writes
+            || role.map(|r| self.cfg.writer_roles.contains(&r)).unwrap_or(false);
+        match &msg.body {
+            GrpBody::Invoke { req, inv } => {
+                let Some(lr) = self.lrs.get(&msg.oid) else {
+                    let reply = GrpMsg {
+                        oid: msg.oid,
+                        body: GrpBody::InvokeResult {
+                            req: *req,
+                            ok: false,
+                            data: b"no such object here".to_vec(),
+                        },
+                    };
+                    self.send_grp_on_conn(ctx, conn.0, &reply);
+                    return;
+                };
+                let kind = self
+                    .repo
+                    .kind_of(lr.impl_id, inv.method)
+                    .unwrap_or(MethodKind::Write);
+                if kind == MethodKind::Write && !is_writer {
+                    ctx.metrics().inc("rts.writes_denied", 1);
+                    let reply = GrpMsg {
+                        oid: msg.oid,
+                        body: GrpBody::InvokeResult {
+                            req: *req,
+                            ok: false,
+                            data: b"write access denied".to_vec(),
+                        },
+                    };
+                    self.send_grp_on_conn(ctx, conn.0, &reply);
+                    return;
+                }
+            }
+            body if body.is_state_modifying() && !is_writer => {
+                ctx.metrics().inc("rts.updates_denied", 1);
+                return;
+            }
+            _ => {}
+        }
+        let oid = msg.oid;
+        let body = msg.body;
+        let peer = Peer::Conn(conn.0);
+        self.with_lr(ctx, oid, |repl, c| repl.on_grp(c, peer, body));
+    }
+
+    fn with_lr<F>(&mut self, ctx: &mut ServiceCtx<'_>, oid: u128, f: F)
+    where
+        F: FnOnce(&mut Box<dyn ReplicationSubobject>, &mut ReplCtx<'_>),
+    {
+        let Some(mut lr) = self.lrs.remove(&oid) else {
+            return;
+        };
+        let repo = Arc::clone(&self.repo);
+        let impl_id = lr.impl_id;
+        let kind_fn = move |m| repo.kind_of(impl_id, m).unwrap_or(MethodKind::Write);
+        let oracle_key = oracle_key(oid);
+        let oracle_version = ctx.metrics().counter(&oracle_key);
+        let effects = {
+            let mut rctx = ReplCtx {
+                oid,
+                my_grp: Endpoint::new(self.my_host, self.cfg.grp_port),
+                now: ctx.now(),
+                sem: lr.sem.as_mut(),
+                version: &mut lr.version,
+                kind_of: &kind_fn,
+                oracle_version,
+                effects: ReplEffects::default(),
+            };
+            f(&mut lr.repl, &mut rctx);
+            rctx.effects
+        };
+        // Oracle maintenance: every version bump at a write-accepting
+        // replica advances the measurement oracle.
+        if lr.repl.accepts_writes() {
+            let cur = ctx.metrics().counter(&oracle_key);
+            if lr.version > cur {
+                ctx.metrics().inc(&oracle_key, lr.version - cur);
+            }
+        }
+        let persist = self.cfg.persist && lr.repl.is_replica() && effects.dirty;
+        if persist {
+            let blob = encode_replica(&lr);
+            ctx.stable_put(&replica_key(oid), blob);
+        }
+        self.lrs.insert(oid, lr);
+        self.apply_repl_effects(ctx, oid, effects);
+    }
+
+    fn apply_repl_effects(&mut self, ctx: &mut ServiceCtx<'_>, oid: u128, effects: ReplEffects) {
+        if effects.stale_reads > 0 {
+            ctx.metrics().inc("rts.reads.stale", effects.stale_reads);
+        }
+        if effects.fresh_reads > 0 {
+            ctx.metrics().inc("rts.reads.fresh", effects.fresh_reads);
+        }
+        if effects.cache_hits > 0 {
+            ctx.metrics().inc("rts.cache.hits", effects.cache_hits);
+        }
+        if effects.cache_misses > 0 {
+            ctx.metrics().inc("rts.cache.misses", effects.cache_misses);
+        }
+        for (peer, body) in effects.sends {
+            let msg = GrpMsg { oid, body };
+            match peer {
+                Peer::Conn(c) => self.send_grp_on_conn(ctx, c, &msg),
+                Peer::Addr(ep) => {
+                    let c = self.conn_to(ctx, ep);
+                    self.send_grp_on_conn(ctx, c, &msg);
+                }
+            }
+        }
+        for (delay, sub) in effects.timers {
+            let idx = self.next_repl_timer;
+            self.next_repl_timer += 1;
+            self.repl_timers.insert(idx, (oid, sub));
+            ctx.set_timer(delay, ns_token(self.ns + 2, idx));
+        }
+        for (token, result) in effects.completions {
+            self.events.push(RtEvent::InvokeDone { token, result });
+        }
+    }
+
+    fn send_grp_on_conn(&mut self, ctx: &mut ServiceCtx<'_>, conn: u64, msg: &GrpMsg) {
+        let mut w = WireWriter::new();
+        w.put_u8(ENV_GRP);
+        w.put_raw(&msg.encode());
+        self.send_on_conn(ctx, conn, w.finish());
+    }
+
+    fn send_on_conn(&mut self, ctx: &mut ServiceCtx<'_>, conn: u64, frame: Vec<u8>) {
+        let Some(info) = self.conn_info.get_mut(&conn) else {
+            ctx.metrics().inc("rts.send_dropped", 1);
+            return;
+        };
+        if !info.established {
+            info.backlog.push(frame);
+            return;
+        }
+        match self.secure.seal(conn, &frame) {
+            Ok((rec, cost)) => ctx.send_delayed(ConnId(conn), rec, cost),
+            Err(_) => ctx.metrics().inc("rts.send_dropped", 1),
+        }
+    }
+
+    fn conn_to(&mut self, ctx: &mut ServiceCtx<'_>, peer: Endpoint) -> u64 {
+        if let Some(&c) = self.out_conns.get(&peer) {
+            return c;
+        }
+        let conn = ctx.connect(peer);
+        match self
+            .secure
+            .open_client(conn.0, self.cfg.tls_client.clone(), ctx.rng())
+        {
+            Ok((hello, cost)) => ctx.send_delayed(conn, hello, cost),
+            Err(_) => ctx.metrics().inc("rts.tls_errors", 1),
+        }
+        self.conn_info.insert(
+            conn.0,
+            ConnInfo {
+                peer: Some(peer),
+                established: false,
+                backlog: Vec::new(),
+            },
+        );
+        self.out_conns.insert(peer, conn.0);
+        conn.0
+    }
+
+    fn drop_conn(&mut self, ctx: &mut ServiceCtx<'_>, conn: u64) {
+        self.secure.remove(conn);
+        let Some(info) = self.conn_info.remove(&conn) else {
+            return;
+        };
+        if let Some(peer) = info.peer {
+            self.out_conns.remove(&peer);
+            // Tell every representative; protocols that track this peer
+            // fail their pending work.
+            let oids: Vec<u128> = self.lrs.keys().copied().collect();
+            for oid in oids {
+                self.with_lr(ctx, oid, |repl, c| repl.on_peer_gone(c, peer));
+            }
+        }
+    }
+}
+
+fn replica_key(oid: u128) -> String {
+    format!("gos/obj/{oid:032x}")
+}
+
+fn oracle_key(oid: u128) -> String {
+    format!("oracle.{oid:032x}")
+}
+
+fn encode_replica(lr: &LocalRep) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u16(lr.impl_id.0);
+    w.put_u16(lr.repl.proto());
+    lr.repl.descriptor().encode(&mut w);
+    w.put_u64(lr.version);
+    w.put_bytes(&lr.sem.as_ref().map(|s| s.get_state()).unwrap_or_default());
+    w.finish()
+}
+
+/// Convenience: the default propagation mode for a protocol id.
+pub fn default_mode_for(protocol: u16) -> PropagationMode {
+    use crate::grp::protocol_id;
+    match protocol {
+        protocol_id::ACTIVE => PropagationMode::ApplyOps,
+        _ => PropagationMode::PushState,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_error_display() {
+        assert!(BindError::NotFound.to_string().contains("not registered"));
+        assert!(BindError::UnknownImpl(7).to_string().contains('7'));
+        assert!(BindError::Gls(GlsError::Timeout).to_string().contains("respond"));
+        assert!(BindError::NoAddress.to_string().contains("address"));
+    }
+
+    #[test]
+    fn keys_are_stable() {
+        assert_eq!(replica_key(0xAB).len(), "gos/obj/".len() + 32);
+        assert!(oracle_key(1).starts_with("oracle."));
+    }
+
+    #[test]
+    fn default_modes() {
+        use crate::grp::protocol_id;
+        assert_eq!(
+            default_mode_for(protocol_id::ACTIVE),
+            PropagationMode::ApplyOps
+        );
+        assert_eq!(
+            default_mode_for(protocol_id::MASTER_SLAVE),
+            PropagationMode::PushState
+        );
+    }
+}

@@ -1,0 +1,536 @@
+//! The Globe Object Server (GOS).
+//!
+//! "A Globe Object Server is an application-independent daemon for
+//! hosting replicas of any kind of distributed shared object. Globe
+//! Object Servers allow replicas to save their state during a reboot and
+//! reconstruct themselves afterwards." (paper §4)
+//!
+//! The GOS listens on one port for both GRP replication traffic and the
+//! moderator-tool control protocol (create/delete replica commands,
+//! paper §6.1), multiplexed over the runtime's secured connections. A
+//! GOS "should accept only commands sent by a GDN moderator" — enforced
+//! against the authenticated peer certificate.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use globe_crypto::cert::Role;
+use globe_gls::{GlsDeployment, ObjectId};
+use globe_net::{
+    impl_service_any, ns_token, owns_token, ConnEvent, ConnId, Endpoint, Service, ServiceCtx,
+    WireError, WireReader, WireWriter,
+};
+use globe_sim::SimTime;
+
+use crate::grp::RoleSpec;
+use crate::repository::{ImplId, ImplRepository};
+use crate::runtime::{GlobeRuntime, RtConn, RtEvent, RuntimeConfig};
+
+/// Control commands a moderator tool sends to an object server.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GosCmd {
+    /// Create the *first* replica of a new object: the server allocates
+    /// the object identifier, installs the replica and registers it with
+    /// the location service (paper §6.1's "create first replica").
+    CreateObject {
+        /// Correlation id.
+        req: u64,
+        /// Class to instantiate.
+        impl_id: u16,
+        /// Replication protocol for the object's scenario.
+        protocol: u16,
+        /// Role of this first replica.
+        role: RoleSpec,
+    },
+    /// Create an additional replica of an existing object ("bind to DSO
+    /// ⟨OID⟩, create replica").
+    CreateReplica {
+        /// Correlation id.
+        req: u64,
+        /// The object to replicate.
+        oid: u128,
+        /// Class to instantiate.
+        impl_id: u16,
+        /// Replication protocol.
+        protocol: u16,
+        /// Role of this replica.
+        role: RoleSpec,
+    },
+    /// Tear down this server's replica of an object (deregister + drop).
+    DeleteReplica {
+        /// Correlation id.
+        req: u64,
+        /// The object whose replica is removed.
+        oid: u128,
+    },
+}
+
+/// Control responses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GosResp {
+    /// Command succeeded; `oid` identifies the object involved.
+    Ok {
+        /// Echoes the command's id.
+        req: u64,
+        /// The object (newly allocated for `CreateObject`).
+        oid: u128,
+    },
+    /// Command failed.
+    Err {
+        /// Echoes the command's id.
+        req: u64,
+        /// Human-readable reason.
+        msg: String,
+    },
+}
+
+const T_CREATE_OBJECT: u8 = 1;
+const T_CREATE_REPLICA: u8 = 2;
+const T_DELETE_REPLICA: u8 = 3;
+const T_OK: u8 = 4;
+const T_ERR: u8 = 5;
+
+impl GosCmd {
+    /// Serializes the command.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            GosCmd::CreateObject {
+                req,
+                impl_id,
+                protocol,
+                role,
+            } => {
+                w.put_u8(T_CREATE_OBJECT);
+                w.put_u64(*req);
+                w.put_u16(*impl_id);
+                w.put_u16(*protocol);
+                role.encode(&mut w);
+            }
+            GosCmd::CreateReplica {
+                req,
+                oid,
+                impl_id,
+                protocol,
+                role,
+            } => {
+                w.put_u8(T_CREATE_REPLICA);
+                w.put_u64(*req);
+                w.put_u128(*oid);
+                w.put_u16(*impl_id);
+                w.put_u16(*protocol);
+                role.encode(&mut w);
+            }
+            GosCmd::DeleteReplica { req, oid } => {
+                w.put_u8(T_DELETE_REPLICA);
+                w.put_u64(*req);
+                w.put_u128(*oid);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a command.
+    pub fn decode(buf: &[u8]) -> Result<GosCmd, WireError> {
+        let mut r = WireReader::new(buf);
+        let cmd = match r.u8()? {
+            T_CREATE_OBJECT => GosCmd::CreateObject {
+                req: r.u64()?,
+                impl_id: r.u16()?,
+                protocol: r.u16()?,
+                role: RoleSpec::decode(&mut r)?,
+            },
+            T_CREATE_REPLICA => GosCmd::CreateReplica {
+                req: r.u64()?,
+                oid: r.u128()?,
+                impl_id: r.u16()?,
+                protocol: r.u16()?,
+                role: RoleSpec::decode(&mut r)?,
+            },
+            T_DELETE_REPLICA => GosCmd::DeleteReplica {
+                req: r.u64()?,
+                oid: r.u128()?,
+            },
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.expect_end()?;
+        Ok(cmd)
+    }
+}
+
+impl GosResp {
+    /// Serializes the response.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            GosResp::Ok { req, oid } => {
+                w.put_u8(T_OK);
+                w.put_u64(*req);
+                w.put_u128(*oid);
+            }
+            GosResp::Err { req, msg } => {
+                w.put_u8(T_ERR);
+                w.put_u64(*req);
+                w.put_str(msg);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a response.
+    pub fn decode(buf: &[u8]) -> Result<GosResp, WireError> {
+        let mut r = WireReader::new(buf);
+        let resp = match r.u8()? {
+            T_OK => GosResp::Ok {
+                req: r.u64()?,
+                oid: r.u128()?,
+            },
+            T_ERR => GosResp::Err {
+                req: r.u64()?,
+                msg: r.str()?.to_owned(),
+            },
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+}
+
+/// Load counters for one object server.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GosStats {
+    /// Commands executed successfully.
+    pub commands_ok: u64,
+    /// Commands refused (authorization or validation).
+    pub commands_rejected: u64,
+    /// Replicas restored after the last restart.
+    pub replicas_restored: u64,
+}
+
+/// The object-server daemon.
+pub struct GlobeObjectServer {
+    /// The embedded Globe runtime (public so experiments can inspect
+    /// replica state).
+    pub runtime: GlobeRuntime,
+    /// Registration completions pending a control reply:
+    /// token → (connection, request id, oid).
+    pending: BTreeMap<u64, (ConnId, u64, u128)>,
+    next_token: u64,
+    /// Load counters.
+    pub stats: GosStats,
+}
+
+impl GlobeObjectServer {
+    /// Creates an object server. `cfg.accept_incoming` and
+    /// `cfg.persist` are forced on — that is what an object server is.
+    pub fn new(
+        mut cfg: RuntimeConfig,
+        repo: Arc<ImplRepository>,
+        gls: Arc<GlsDeployment>,
+        host: globe_net::HostId,
+        ns: u16,
+    ) -> GlobeObjectServer {
+        cfg.accept_incoming = true;
+        cfg.persist = true;
+        GlobeObjectServer {
+            runtime: GlobeRuntime::new(cfg, repo, gls, host, ns),
+            pending: BTreeMap::new(),
+            next_token: 1,
+            stats: GosStats::default(),
+        }
+    }
+
+    fn respond(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, resp: GosResp) {
+        let bytes = resp.encode();
+        self.runtime.send_app(ctx, conn, &bytes);
+    }
+
+    fn handle_cmd(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        conn: ConnId,
+        peer_role: Option<Role>,
+        frame: &[u8],
+    ) {
+        let Ok(cmd) = GosCmd::decode(frame) else {
+            ctx.metrics().inc("gos.malformed", 1);
+            return;
+        };
+        // Paper §6.1 requirement 1: "A Globe Object Server should accept
+        // only commands sent by a GDN moderator." (Waived in the
+        // unsecured June-2000 configuration.)
+        if !self.runtime.open_writes()
+            && !matches!(peer_role, Some(Role::Moderator) | Some(Role::Administrator))
+        {
+            self.stats.commands_rejected += 1;
+            ctx.metrics().inc("gos.cmd_denied", 1);
+            let req = match cmd {
+                GosCmd::CreateObject { req, .. }
+                | GosCmd::CreateReplica { req, .. }
+                | GosCmd::DeleteReplica { req, .. } => req,
+            };
+            self.respond(
+                ctx,
+                conn,
+                GosResp::Err {
+                    req,
+                    msg: "moderator role required".into(),
+                },
+            );
+            return;
+        }
+        match cmd {
+            GosCmd::CreateObject {
+                req,
+                impl_id,
+                protocol,
+                role,
+            } => {
+                // The object identifier is allocated here, as part of
+                // registration (paper §6.1).
+                let oid = ObjectId::generate(ctx.rng());
+                self.create_and_register(ctx, conn, req, oid, impl_id, protocol, role);
+            }
+            GosCmd::CreateReplica {
+                req,
+                oid,
+                impl_id,
+                protocol,
+                role,
+            } => {
+                self.create_and_register(ctx, conn, req, ObjectId(oid), impl_id, protocol, role);
+            }
+            GosCmd::DeleteReplica { req, oid } => {
+                if !self.runtime.is_bound(ObjectId(oid)) {
+                    self.respond(
+                        ctx,
+                        conn,
+                        GosResp::Err {
+                            req,
+                            msg: "no replica of that object here".into(),
+                        },
+                    );
+                    self.stats.commands_rejected += 1;
+                    return;
+                }
+                let token = self.next_token;
+                self.next_token += 1;
+                self.pending.insert(token, (conn, req, oid));
+                self.runtime.deregister(ctx, ObjectId(oid), token);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn create_and_register(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        conn: ConnId,
+        req: u64,
+        oid: ObjectId,
+        impl_id: u16,
+        protocol: u16,
+        role: RoleSpec,
+    ) {
+        match self
+            .runtime
+            .create_replica(ctx, oid, ImplId(impl_id), protocol, role)
+        {
+            Ok(()) => {
+                let token = self.next_token;
+                self.next_token += 1;
+                self.pending.insert(token, (conn, req, oid.0));
+                self.runtime.register(ctx, oid, token);
+            }
+            Err(e) => {
+                self.stats.commands_rejected += 1;
+                self.respond(
+                    ctx,
+                    conn,
+                    GosResp::Err {
+                        req,
+                        msg: e.to_string(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
+        for ev in self.runtime.take_events() {
+            match ev {
+                RtEvent::Registered { token, result } => {
+                    if let Some((conn, req, oid)) = self.pending.remove(&token) {
+                        let resp = match result {
+                            Ok(()) => {
+                                self.stats.commands_ok += 1;
+                                GosResp::Ok { req, oid }
+                            }
+                            Err(e) => {
+                                self.stats.commands_rejected += 1;
+                                GosResp::Err {
+                                    req,
+                                    msg: format!("registration failed: {e}"),
+                                }
+                            }
+                        };
+                        self.respond(ctx, conn, resp);
+                    }
+                }
+                RtEvent::Deregistered { token, result } => {
+                    if let Some((conn, req, oid)) = self.pending.remove(&token) {
+                        let resp = match result {
+                            Ok(()) => {
+                                self.runtime.unbind(ctx, ObjectId(oid));
+                                self.stats.commands_ok += 1;
+                                GosResp::Ok { req, oid }
+                            }
+                            Err(e) => {
+                                self.stats.commands_rejected += 1;
+                                GosResp::Err {
+                                    req,
+                                    msg: format!("deregistration failed: {e}"),
+                                }
+                            }
+                        };
+                        self.respond(ctx, conn, resp);
+                    }
+                }
+                // Object servers neither bind nor invoke on their own.
+                RtEvent::BindDone { .. } | RtEvent::InvokeDone { .. } => {}
+            }
+        }
+    }
+}
+
+/// Timer namespace for the lease-refresh heartbeat.
+const GOS_HEARTBEAT_NS: u16 = 0x0605;
+/// Heartbeat sink token: registration refreshes need no reply routing.
+const HEARTBEAT_SINK: u64 = u64::MAX;
+
+impl GlobeObjectServer {
+    fn arm_heartbeat(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if let Some(ttl) = self.runtime.gls_address_ttl() {
+            ctx.set_timer(ttl / 3, ns_token(GOS_HEARTBEAT_NS, 1));
+        }
+    }
+
+    fn heartbeat(&mut self, ctx: &mut ServiceCtx<'_>) {
+        // Re-register every hosted replica, refreshing its GLS lease
+        // (soft state: crashed servers stop refreshing and age out).
+        for oid in self.runtime.bound_objects() {
+            if self.runtime.contact_address(oid).is_some() {
+                self.runtime.register(ctx, oid, HEARTBEAT_SINK);
+            }
+        }
+        ctx.metrics().inc("gos.heartbeats", 1);
+        self.arm_heartbeat(ctx);
+    }
+}
+
+impl Service for GlobeObjectServer {
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.runtime.handle_datagram(ctx, from, &payload) {
+            self.drain(ctx);
+        }
+    }
+
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match self.runtime.handle_conn_event(ctx, conn, ev) {
+            RtConn::Consumed => self.drain(ctx),
+            RtConn::AppData { frames, peer_role } => {
+                for frame in frames {
+                    self.handle_cmd(ctx, conn, peer_role, &frame);
+                }
+                self.drain(ctx);
+            }
+            RtConn::NotMine(_) => {}
+        }
+    }
+
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.arm_heartbeat(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if owns_token(GOS_HEARTBEAT_NS, token) {
+            self.heartbeat(ctx);
+            return;
+        }
+        if self.runtime.handle_timer(ctx, token) {
+            self.drain(ctx);
+        }
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        self.runtime.on_crash();
+        self.pending.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let restored = self.runtime.restore_replicas(ctx);
+        self.stats.replicas_restored = restored.len() as u64;
+        // Recovered replicas re-register immediately: their leases may
+        // have expired while the host was down.
+        self.heartbeat(ctx);
+        self.drain(ctx);
+    }
+
+    impl_service_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grp::PropagationMode;
+    use globe_net::HostId;
+
+    #[test]
+    fn cmd_round_trip() {
+        let cmds = vec![
+            GosCmd::CreateObject {
+                req: 1,
+                impl_id: 2,
+                protocol: 3,
+                role: RoleSpec::Standalone,
+            },
+            GosCmd::CreateReplica {
+                req: 2,
+                oid: 0xFF,
+                impl_id: 2,
+                protocol: 2,
+                role: RoleSpec::Slave {
+                    master: Endpoint::new(HostId(1), 700),
+                },
+            },
+            GosCmd::CreateReplica {
+                req: 3,
+                oid: 0xEE,
+                impl_id: 2,
+                protocol: 2,
+                role: RoleSpec::Master {
+                    mode: PropagationMode::Invalidate,
+                },
+            },
+            GosCmd::DeleteReplica { req: 4, oid: 0xDD },
+        ];
+        for c in cmds {
+            assert_eq!(GosCmd::decode(&c.encode()).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn resp_round_trip() {
+        for r in [
+            GosResp::Ok { req: 1, oid: 42 },
+            GosResp::Err {
+                req: 2,
+                msg: "nope".into(),
+            },
+        ] {
+            assert_eq!(GosResp::decode(&r.encode()).unwrap(), r);
+        }
+        assert!(GosResp::decode(&[0xAA]).is_err());
+        assert!(GosCmd::decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the runtime's codecs and the package-free
+//! object machinery: opaque invocation frames, GRP messages and replica
+//! descriptors all round-trip; decoding is total.
+
+use proptest::prelude::*;
+
+use globe_net::{Endpoint, HostId, WireReader, WireWriter};
+use globe_rts::{GosCmd, GosResp, GrpBody, GrpMsg, Invocation, MethodId, PropagationMode, RoleSpec};
+
+fn arb_inv() -> impl Strategy<Value = Invocation> {
+    (any::<u32>(), prop::collection::vec(any::<u8>(), 0..256))
+        .prop_map(|(m, args)| Invocation::new(MethodId(m), args))
+}
+
+fn arb_role() -> impl Strategy<Value = RoleSpec> {
+    prop_oneof![
+        Just(RoleSpec::Standalone),
+        prop_oneof![
+            Just(PropagationMode::PushState),
+            Just(PropagationMode::Invalidate),
+            Just(PropagationMode::ApplyOps),
+        ]
+        .prop_map(|mode| RoleSpec::Master { mode }),
+        (any::<u32>(), any::<u16>()).prop_map(|(h, p)| RoleSpec::Slave {
+            master: Endpoint::new(HostId(h), p),
+        }),
+    ]
+}
+
+fn arb_body() -> impl Strategy<Value = GrpBody> {
+    prop_oneof![
+        (any::<u64>(), arb_inv()).prop_map(|(req, inv)| GrpBody::Invoke { req, inv }),
+        (any::<u64>(), any::<bool>(), prop::collection::vec(any::<u8>(), 0..128))
+            .prop_map(|(req, ok, data)| GrpBody::InvokeResult { req, ok, data }),
+        any::<u64>().prop_map(|req| GrpBody::GetState { req }),
+        (any::<u64>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..128))
+            .prop_map(|(req, version, state)| GrpBody::State { req, version, state }),
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..128))
+            .prop_map(|(version, state)| GrpBody::Update { version, state }),
+        (any::<u64>(), arb_inv()).prop_map(|(version, inv)| GrpBody::Apply { version, inv }),
+        any::<u64>().prop_map(|version| GrpBody::Invalidate { version }),
+        (any::<u32>(), any::<u16>()).prop_map(|(h, p)| GrpBody::Hello {
+            grp: Endpoint::new(HostId(h), p),
+        }),
+    ]
+}
+
+proptest! {
+    /// Invocation frames are opaque but lossless.
+    #[test]
+    fn invocation_round_trip(inv in arb_inv()) {
+        let mut w = WireWriter::new();
+        inv.encode(&mut w);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        prop_assert_eq!(Invocation::decode(&mut r).unwrap(), inv);
+        prop_assert!(r.expect_end().is_ok());
+    }
+
+    /// Every GRP frame round-trips; decoding garbage never panics.
+    #[test]
+    fn grp_round_trip_and_totality(
+        oid: u128,
+        body in arb_body(),
+        garbage in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let msg = GrpMsg { oid, body };
+        prop_assert_eq!(GrpMsg::decode(&msg.encode()).unwrap(), msg);
+        let _ = GrpMsg::decode(&garbage);
+    }
+
+    /// Replica role descriptors round-trip (they are what object servers
+    /// persist to stable storage).
+    #[test]
+    fn role_spec_round_trip(role in arb_role()) {
+        let mut w = WireWriter::new();
+        role.encode(&mut w);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        prop_assert_eq!(RoleSpec::decode(&mut r).unwrap(), role);
+    }
+
+    /// Object-server control commands and responses round-trip; decoding
+    /// is total.
+    #[test]
+    fn gos_control_codec(
+        req: u64, oid: u128, impl_id: u16, protocol: u16,
+        role in arb_role(),
+        msg in "[ -~]{0,64}",
+        garbage in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let cmds = [
+            GosCmd::CreateObject { req, impl_id, protocol, role: role.clone() },
+            GosCmd::CreateReplica { req, oid, impl_id, protocol, role },
+            GosCmd::DeleteReplica { req, oid },
+        ];
+        for c in cmds {
+            prop_assert_eq!(GosCmd::decode(&c.encode()).unwrap(), c);
+        }
+        let resps = [GosResp::Ok { req, oid }, GosResp::Err { req, msg }];
+        for r in resps {
+            prop_assert_eq!(GosResp::decode(&r.encode()).unwrap(), r);
+        }
+        let _ = GosCmd::decode(&garbage);
+        let _ = GosResp::decode(&garbage);
+    }
+}

@@ -1,0 +1,784 @@
+//! End-to-end tests of the Globe runtime: moderator-driven object
+//! creation on Globe Object Servers, GLS registration, worldwide
+//! binding, all four replication protocols, the write-access gate and
+//! crash recovery from stable storage.
+
+use std::sync::Arc;
+
+use globe_crypto::cert::{CertAuthority, Credentials, Role};
+use globe_crypto::gtls::{Mode, TlsConfig};
+use globe_gls::{GlsConfig, GlsDeployment, ObjectId};
+use globe_net::{
+    impl_service_any, ports, ConnEvent, ConnId, Endpoint, HostId, NetParams, Service, ServiceCtx,
+    Topology, World,
+};
+use globe_rts::{
+    protocol_id, ClassSpec, GlobeObjectServer, GlobeRuntime, GosCmd, GosResp, ImplId,
+    ImplRepository, Invocation, InvokeError, MethodId, MethodKind, PropagationMode, RoleSpec,
+    RtConn, RtEvent, RuntimeConfig, SemError, SemanticsObject,
+};
+use globe_sim::{SimDuration, SimTime};
+
+// ---------------------------------------------------------------- Counter
+
+/// A minimal DSO class: method 0 reads the value, method 1 adds the
+/// 8-byte argument.
+struct Counter(u64);
+
+const M_GET: MethodId = MethodId(0);
+const M_ADD: MethodId = MethodId(1);
+const COUNTER_IMPL: ImplId = ImplId(1);
+
+impl SemanticsObject for Counter {
+    fn dispatch(&mut self, inv: &Invocation) -> Result<Vec<u8>, SemError> {
+        match inv.method {
+            M_GET => Ok(self.0.to_be_bytes().to_vec()),
+            M_ADD => {
+                let delta = u64::from_be_bytes(
+                    inv.args.as_slice().try_into().map_err(|_| SemError::BadArguments)?,
+                );
+                self.0 += delta;
+                Ok(self.0.to_be_bytes().to_vec())
+            }
+            m => Err(SemError::NoSuchMethod(m)),
+        }
+    }
+    fn get_state(&self) -> Vec<u8> {
+        self.0.to_be_bytes().to_vec()
+    }
+    fn set_state(&mut self, state: &[u8]) -> Result<(), SemError> {
+        self.0 = u64::from_be_bytes(state.try_into().map_err(|_| SemError::BadState)?);
+        Ok(())
+    }
+}
+
+fn counter_repo() -> Arc<ImplRepository> {
+    let mut repo = ImplRepository::new();
+    repo.register(
+        COUNTER_IMPL,
+        ClassSpec {
+            name: "counter",
+            factory: || Box::new(Counter(0)),
+            kind_of: |m| match m {
+                M_GET => Some(MethodKind::Read),
+                M_ADD => Some(MethodKind::Write),
+                _ => None,
+            },
+        },
+    );
+    Arc::new(repo)
+}
+
+fn add(delta: u64) -> Invocation {
+    Invocation::new(M_ADD, delta.to_be_bytes().to_vec())
+}
+
+fn get() -> Invocation {
+    Invocation::new(M_GET, Vec::new())
+}
+
+// ------------------------------------------------------------------ rig
+
+struct Rig {
+    world: World,
+    gls: Arc<GlsDeployment>,
+    ca: CertAuthority,
+    repo: Arc<ImplRepository>,
+}
+
+const SEED: u64 = 77;
+
+fn rig() -> Rig {
+    // 2 regions × 2 countries × 2 sites × 3 hosts.
+    let topo = Topology::grid(2, 2, 2, 3);
+    let mut world = World::new(topo, NetParams::default(), SEED);
+    let gls = GlsDeployment::plan(world.topology(), &GlsConfig::default().with_persistence());
+    gls.install(&mut world);
+    Rig {
+        world,
+        gls,
+        ca: CertAuthority::new("gdn-root", SEED),
+        repo: counter_repo(),
+    }
+}
+
+impl Rig {
+    fn host_tls_server(&self, host: HostId) -> TlsConfig {
+        let creds = Credentials::issue(
+            &self.ca,
+            &format!("gos-{}", host.0),
+            Role::Host,
+            1000 + host.0 as u64,
+        );
+        TlsConfig::server_auth(Mode::AuthEncrypt, creds, vec![self.ca.root_cert().clone()])
+    }
+
+    fn host_tls_client(&self, host: HostId) -> TlsConfig {
+        let creds = Credentials::issue(
+            &self.ca,
+            &format!("gos-{}", host.0),
+            Role::Host,
+            1000 + host.0 as u64,
+        );
+        TlsConfig::client_with_identity(Mode::AuthEncrypt, creds, vec![self.ca.root_cert().clone()])
+    }
+
+    fn gos_config(&self, host: HostId) -> RuntimeConfig {
+        RuntimeConfig {
+            grp_port: ports::GOS_CTL,
+            tls_server: self.host_tls_server(host),
+            tls_client: self.host_tls_client(host),
+            accept_incoming: true,
+            cache_ttl: SimDuration::from_secs(30),
+            writer_roles: RuntimeConfig::default_writer_roles(),
+            open_writes: false,
+            persist: true,
+        }
+    }
+
+    fn add_gos(&mut self, host: HostId) {
+        let gos = GlobeObjectServer::new(
+            self.gos_config(host),
+            Arc::clone(&self.repo),
+            Arc::clone(&self.gls),
+            host,
+            100,
+        );
+        self.world.add_service(host, ports::GOS_CTL, gos);
+    }
+
+    fn client_config(&self, identity: Option<(Role, &str, u64)>) -> RuntimeConfig {
+        let roots = vec![self.ca.root_cert().clone()];
+        let tls_client = match identity {
+            Some((role, name, seed)) => TlsConfig::client_with_identity(
+                Mode::AuthEncrypt,
+                Credentials::issue(&self.ca, name, role, seed),
+                roots.clone(),
+            ),
+            None => TlsConfig::client(Mode::AuthEncrypt, roots.clone()),
+        };
+        RuntimeConfig {
+            grp_port: ports::DRIVER,
+            tls_server: TlsConfig::client(Mode::AuthEncrypt, roots),
+            tls_client,
+            accept_incoming: false,
+            cache_ttl: SimDuration::from_secs(30),
+            writer_roles: RuntimeConfig::default_writer_roles(),
+            open_writes: false,
+            persist: false,
+        }
+    }
+}
+
+// ----------------------------------------------------------- mod driver
+
+/// Moderator tool: sends a script of GOS commands, recording responses.
+struct ModDriver {
+    runtime: GlobeRuntime,
+    gos: Endpoint,
+    script: Vec<GosCmd>,
+    cursor: usize,
+    conn: Option<ConnId>,
+    pub responses: Vec<GosResp>,
+}
+
+impl ModDriver {
+    fn new(runtime: GlobeRuntime, gos: Endpoint, script: Vec<GosCmd>) -> ModDriver {
+        ModDriver {
+            runtime,
+            gos,
+            script,
+            cursor: 0,
+            conn: None,
+            responses: Vec::new(),
+        }
+    }
+
+    fn kick(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if self.cursor >= self.script.len() {
+            return;
+        }
+        let conn = match self.conn {
+            Some(c) => c,
+            None => {
+                let c = self.runtime.open_app_conn(ctx, self.gos);
+                self.conn = Some(c);
+                c
+            }
+        };
+        let cmd = self.script[self.cursor].clone();
+        self.cursor += 1;
+        self.runtime.send_app(ctx, conn, &cmd.encode());
+    }
+}
+
+impl Service for ModDriver {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.kick(ctx);
+    }
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        self.runtime.handle_datagram(ctx, from, &payload);
+    }
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        if let RtConn::AppData { frames, .. } = self.runtime.handle_conn_event(ctx, conn, ev) {
+            for f in frames {
+                if let Ok(resp) = GosResp::decode(&f) {
+                    self.responses.push(resp);
+                    self.kick(ctx);
+                }
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        self.runtime.handle_timer(ctx, token);
+    }
+    impl_service_any!();
+}
+
+// -------------------------------------------------------- client driver
+
+#[derive(Clone)]
+enum ClientOp {
+    Bind(ObjectId),
+    Invoke(ObjectId, Invocation),
+}
+
+/// A Globe client: binds and invokes per script, recording completions.
+struct ClientDriver {
+    runtime: GlobeRuntime,
+    script: Vec<ClientOp>,
+    cursor: usize,
+    pub results: Vec<RtEvent>,
+    /// Virtual time of each completion, for latency assertions.
+    pub completed_at: Vec<SimTime>,
+}
+
+impl ClientDriver {
+    fn new(runtime: GlobeRuntime, script: Vec<ClientOp>) -> ClientDriver {
+        ClientDriver {
+            runtime,
+            script,
+            cursor: 0,
+            results: Vec::new(),
+            completed_at: Vec::new(),
+        }
+    }
+
+    fn kick(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if self.cursor >= self.script.len() {
+            return;
+        }
+        let token = self.cursor as u64;
+        match self.script[self.cursor].clone() {
+            ClientOp::Bind(oid) => self.runtime.bind(ctx, oid, token),
+            ClientOp::Invoke(oid, inv) => self.runtime.invoke(ctx, oid, inv, token),
+        }
+        self.cursor += 1;
+        self.drain(ctx);
+    }
+
+    fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let events = self.runtime.take_events();
+        if events.is_empty() {
+            return;
+        }
+        for ev in events {
+            self.results.push(ev);
+            self.completed_at.push(ctx.now());
+        }
+        self.kick(ctx);
+    }
+}
+
+impl Service for ClientDriver {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.kick(ctx);
+    }
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.runtime.handle_datagram(ctx, from, &payload) {
+            self.drain(ctx);
+        }
+    }
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match self.runtime.handle_conn_event(ctx, conn, ev) {
+            RtConn::Consumed | RtConn::AppData { .. } => self.drain(ctx),
+            RtConn::NotMine(_) => {}
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if self.runtime.handle_timer(ctx, token) {
+            self.drain(ctx);
+        }
+    }
+    impl_service_any!();
+}
+
+// --------------------------------------------------------------- helpers
+
+fn moderator_runtime(rig: &Rig, host: HostId) -> GlobeRuntime {
+    let cfg = rig.client_config(Some((Role::Moderator, "modtool:alice", 555)));
+    GlobeRuntime::new(cfg, Arc::clone(&rig.repo), Arc::clone(&rig.gls), host, 100)
+}
+
+fn anon_runtime(rig: &Rig, host: HostId) -> GlobeRuntime {
+    let cfg = rig.client_config(None);
+    GlobeRuntime::new(cfg, Arc::clone(&rig.repo), Arc::clone(&rig.gls), host, 100)
+}
+
+fn create_object(rig: &mut Rig, gos_host: HostId, protocol: u16, role: RoleSpec) -> ObjectId {
+    rig.add_gos(gos_host);
+    let rt = moderator_runtime(rig, HostId(1));
+    let driver = ModDriver::new(
+        rt,
+        Endpoint::new(gos_host, ports::GOS_CTL),
+        vec![GosCmd::CreateObject {
+            req: 1,
+            impl_id: COUNTER_IMPL.0,
+            protocol,
+            role,
+        }],
+    );
+    rig.world.add_service(HostId(1), 9990, driver);
+    if !rig.world_started() {
+        rig.world.start();
+    }
+    rig.world.run_for(SimDuration::from_secs(10));
+    let d = rig
+        .world
+        .service::<ModDriver>(HostId(1), 9990)
+        .expect("mod driver");
+    match d.responses.first() {
+        Some(GosResp::Ok { oid, .. }) => ObjectId(*oid),
+        other => panic!("object creation failed: {other:?}"),
+    }
+}
+
+impl Rig {
+    fn world_started(&self) -> bool {
+        // `World::start` panics when called twice; the rig tracks it by
+        // virtual time instead (start happens at t=0 before any run).
+        self.world.now() > SimTime::ZERO
+    }
+}
+
+fn run_client(rig: &mut Rig, host: HostId, port: u16, runtime: GlobeRuntime, script: Vec<ClientOp>) {
+    rig.world
+        .add_service(host, port, ClientDriver::new(runtime, script));
+}
+
+fn invoke_results(world: &World, host: HostId, port: u16) -> Vec<RtEvent> {
+    world
+        .service::<ClientDriver>(host, port)
+        .expect("client driver")
+        .results
+        .clone()
+}
+
+fn expect_value(ev: &RtEvent) -> u64 {
+    match ev {
+        RtEvent::InvokeDone {
+            result: Ok(data), ..
+        } => u64::from_be_bytes(data.as_slice().try_into().expect("8-byte counter")),
+        other => panic!("expected successful invocation, got {other:?}"),
+    }
+}
+
+// ----------------------------------------------------------------- tests
+
+#[test]
+fn client_server_end_to_end() {
+    let mut rig = rig();
+    let gos_host = HostId(0);
+    let oid = create_object(&mut rig, gos_host, protocol_id::CLIENT_SERVER, RoleSpec::Standalone);
+
+    // A moderator-credentialed client in the other region writes.
+    let rt = moderator_runtime(&rig, HostId(13));
+    run_client(
+        &mut rig,
+        HostId(13),
+        ports::DRIVER,
+        rt,
+        vec![
+            ClientOp::Bind(oid),
+            ClientOp::Invoke(oid, add(5)),
+            ClientOp::Invoke(oid, add(2)),
+            ClientOp::Invoke(oid, get()),
+        ],
+    );
+    rig.world.run_for(SimDuration::from_secs(30));
+    let rs = invoke_results(&rig.world, HostId(13), ports::DRIVER);
+    assert_eq!(rs.len(), 4, "{rs:?}");
+    assert!(matches!(&rs[0], RtEvent::BindDone { result: Ok(info), .. }
+        if info.protocol == protocol_id::CLIENT_SERVER));
+    assert_eq!(expect_value(&rs[1]), 5);
+    assert_eq!(expect_value(&rs[2]), 7);
+    assert_eq!(expect_value(&rs[3]), 7);
+
+    // An anonymous client reads the same value.
+    let rt = anon_runtime(&rig, HostId(14));
+    run_client(
+        &mut rig,
+        HostId(14),
+        ports::DRIVER,
+        rt,
+        vec![ClientOp::Bind(oid), ClientOp::Invoke(oid, get())],
+    );
+    rig.world.run_for(SimDuration::from_secs(30));
+    let rs = invoke_results(&rig.world, HostId(14), ports::DRIVER);
+    assert_eq!(expect_value(&rs[1]), 7);
+}
+
+#[test]
+fn anonymous_writes_are_denied() {
+    let mut rig = rig();
+    let oid = create_object(&mut rig, HostId(0), protocol_id::CLIENT_SERVER, RoleSpec::Standalone);
+    let rt = anon_runtime(&rig, HostId(13));
+    run_client(
+        &mut rig,
+        HostId(13),
+        ports::DRIVER,
+        rt,
+        vec![
+            ClientOp::Bind(oid),
+            ClientOp::Invoke(oid, add(99)),
+            ClientOp::Invoke(oid, get()),
+        ],
+    );
+    rig.world.run_for(SimDuration::from_secs(30));
+    let rs = invoke_results(&rig.world, HostId(13), ports::DRIVER);
+    assert!(matches!(
+        &rs[1],
+        RtEvent::InvokeDone {
+            result: Err(InvokeError::AccessDenied),
+            ..
+        }
+    ));
+    // The write did not happen.
+    assert_eq!(expect_value(&rs[2]), 0);
+    assert!(rig.world.metrics().counter("rts.writes_denied") >= 1);
+}
+
+#[test]
+fn master_slave_push_replication() {
+    let mut rig = rig();
+    let master_host = HostId(0);
+    let slave_host = HostId(12); // other region
+    let oid = create_object(
+        &mut rig,
+        master_host,
+        protocol_id::MASTER_SLAVE,
+        RoleSpec::Master {
+            mode: PropagationMode::PushState,
+        },
+    );
+    // Second replica on the far GOS.
+    rig.add_gos(slave_host);
+    let rt = moderator_runtime(&rig, HostId(2));
+    let driver = ModDriver::new(
+        rt,
+        Endpoint::new(slave_host, ports::GOS_CTL),
+        vec![GosCmd::CreateReplica {
+            req: 1,
+            oid: oid.0,
+            impl_id: COUNTER_IMPL.0,
+            protocol: protocol_id::MASTER_SLAVE,
+            role: RoleSpec::Slave {
+                master: Endpoint::new(master_host, ports::GOS_CTL),
+            },
+        }],
+    );
+    rig.world.add_service(HostId(2), ports::DRIVER, driver);
+    rig.world.run_for(SimDuration::from_secs(10));
+
+    // Write through a moderator client; the push must reach the slave.
+    let rt = moderator_runtime(&rig, HostId(1));
+    run_client(
+        &mut rig,
+        HostId(1),
+        ports::DRIVER,
+        rt,
+        vec![ClientOp::Bind(oid), ClientOp::Invoke(oid, add(42))],
+    );
+    rig.world.run_for(SimDuration::from_secs(30));
+
+    let slave = rig
+        .world
+        .service::<GlobeObjectServer>(slave_host, ports::GOS_CTL)
+        .expect("slave gos");
+    assert_eq!(slave.runtime.replica_version(oid), Some(1));
+
+    // An anonymous reader near the slave sees the new value, served by
+    // the nearest (slave) replica.
+    let rt = anon_runtime(&rig, HostId(13));
+    run_client(
+        &mut rig,
+        HostId(13),
+        ports::DRIVER,
+        rt,
+        vec![ClientOp::Bind(oid), ClientOp::Invoke(oid, get())],
+    );
+    rig.world.run_for(SimDuration::from_secs(30));
+    let rs = invoke_results(&rig.world, HostId(13), ports::DRIVER);
+    assert_eq!(expect_value(&rs[1]), 42);
+    // The read was served locally in region 1: no world-tier GRP bytes
+    // for it beyond what replication itself moved. (Sanity: the proxy's
+    // chosen read target is in its own region.)
+}
+
+#[test]
+fn master_slave_invalidate_replication() {
+    let mut rig = rig();
+    let master_host = HostId(0);
+    let slave_host = HostId(3);
+    let oid = create_object(
+        &mut rig,
+        master_host,
+        protocol_id::MASTER_SLAVE,
+        RoleSpec::Master {
+            mode: PropagationMode::Invalidate,
+        },
+    );
+    rig.add_gos(slave_host);
+    let rt = moderator_runtime(&rig, HostId(2));
+    let driver = ModDriver::new(
+        rt,
+        Endpoint::new(slave_host, ports::GOS_CTL),
+        vec![GosCmd::CreateReplica {
+            req: 1,
+            oid: oid.0,
+            impl_id: COUNTER_IMPL.0,
+            protocol: protocol_id::MASTER_SLAVE,
+            role: RoleSpec::Slave {
+                master: Endpoint::new(master_host, ports::GOS_CTL),
+            },
+        }],
+    );
+    rig.world.add_service(HostId(2), ports::DRIVER, driver);
+    rig.world.run_for(SimDuration::from_secs(10));
+
+    // Write, then read via the slave: the slave must refetch.
+    let rt = moderator_runtime(&rig, HostId(4));
+    run_client(
+        &mut rig,
+        HostId(4),
+        ports::DRIVER,
+        rt,
+        vec![ClientOp::Bind(oid), ClientOp::Invoke(oid, add(7))],
+    );
+    rig.world.run_for(SimDuration::from_secs(30));
+
+    let rt = anon_runtime(&rig, HostId(5)); // same site as slave host 3
+    run_client(
+        &mut rig,
+        HostId(5),
+        ports::DRIVER,
+        rt,
+        vec![ClientOp::Bind(oid), ClientOp::Invoke(oid, get())],
+    );
+    rig.world.run_for(SimDuration::from_secs(30));
+    let rs = invoke_results(&rig.world, HostId(5), ports::DRIVER);
+    assert_eq!(expect_value(&rs[1]), 7);
+}
+
+#[test]
+fn active_replication_reexecutes_writes() {
+    let mut rig = rig();
+    let master_host = HostId(0);
+    let slave_host = HostId(6);
+    let oid = create_object(
+        &mut rig,
+        master_host,
+        protocol_id::ACTIVE,
+        RoleSpec::Master {
+            mode: PropagationMode::ApplyOps,
+        },
+    );
+    rig.add_gos(slave_host);
+    let rt = moderator_runtime(&rig, HostId(2));
+    let driver = ModDriver::new(
+        rt,
+        Endpoint::new(slave_host, ports::GOS_CTL),
+        vec![GosCmd::CreateReplica {
+            req: 1,
+            oid: oid.0,
+            impl_id: COUNTER_IMPL.0,
+            protocol: protocol_id::ACTIVE,
+            role: RoleSpec::Slave {
+                master: Endpoint::new(master_host, ports::GOS_CTL),
+            },
+        }],
+    );
+    rig.world.add_service(HostId(2), ports::DRIVER, driver);
+    rig.world.run_for(SimDuration::from_secs(10));
+
+    let rt = moderator_runtime(&rig, HostId(1));
+    run_client(
+        &mut rig,
+        HostId(1),
+        ports::DRIVER,
+        rt,
+        vec![
+            ClientOp::Bind(oid),
+            ClientOp::Invoke(oid, add(3)),
+            ClientOp::Invoke(oid, add(4)),
+        ],
+    );
+    rig.world.run_for(SimDuration::from_secs(30));
+    let slave = rig
+        .world
+        .service::<GlobeObjectServer>(slave_host, ports::GOS_CTL)
+        .expect("slave gos");
+    assert_eq!(slave.runtime.replica_version(oid), Some(2));
+}
+
+#[test]
+fn cache_proxy_serves_repeat_reads_locally() {
+    let mut rig = rig();
+    let oid = create_object(&mut rig, HostId(0), protocol_id::CACHE_TTL, RoleSpec::Standalone);
+    let rt = anon_runtime(&rig, HostId(13));
+    run_client(
+        &mut rig,
+        HostId(13),
+        ports::DRIVER,
+        rt,
+        vec![
+            ClientOp::Bind(oid),
+            ClientOp::Invoke(oid, get()),
+            ClientOp::Invoke(oid, get()),
+            ClientOp::Invoke(oid, get()),
+        ],
+    );
+    rig.world.run_for(SimDuration::from_secs(60));
+    let d = rig
+        .world
+        .service::<ClientDriver>(HostId(13), ports::DRIVER)
+        .expect("client");
+    assert_eq!(d.results.len(), 4);
+    // First read fills the cache (slow); repeats are local (fast).
+    let first_read = d.completed_at[1] - d.completed_at[0];
+    let second_read = d.completed_at[2] - d.completed_at[1];
+    assert!(
+        second_read.as_nanos() * 10 < first_read.as_nanos(),
+        "cached read not faster: first {first_read}, second {second_read}"
+    );
+    assert!(rig.world.metrics().counter("rts.cache.hits") >= 2);
+    assert_eq!(rig.world.metrics().counter("rts.cache.misses"), 1);
+}
+
+#[test]
+fn gos_commands_require_moderator_role() {
+    let mut rig = rig();
+    rig.add_gos(HostId(0));
+    // A mere host certificate tries to create an object.
+    let cfg = rig.client_config(Some((Role::Host, "sneaky-host", 666)));
+    let rt = GlobeRuntime::new(cfg, Arc::clone(&rig.repo), Arc::clone(&rig.gls), HostId(1), 100);
+    let driver = ModDriver::new(
+        rt,
+        Endpoint::new(HostId(0), ports::GOS_CTL),
+        vec![GosCmd::CreateObject {
+            req: 1,
+            impl_id: COUNTER_IMPL.0,
+            protocol: protocol_id::CLIENT_SERVER,
+            role: RoleSpec::Standalone,
+        }],
+    );
+    rig.world.add_service(HostId(1), ports::DRIVER, driver);
+    rig.world.start();
+    rig.world.run_for(SimDuration::from_secs(10));
+    let d = rig
+        .world
+        .service::<ModDriver>(HostId(1), ports::DRIVER)
+        .expect("driver");
+    assert!(matches!(
+        d.responses.first(),
+        Some(GosResp::Err { msg, .. }) if msg.contains("moderator")
+    ));
+}
+
+#[test]
+fn bind_to_unknown_object_fails() {
+    let mut rig = rig();
+    rig.add_gos(HostId(0));
+    let rt = anon_runtime(&rig, HostId(4));
+    run_client(
+        &mut rig,
+        HostId(4),
+        ports::DRIVER,
+        rt,
+        vec![ClientOp::Bind(ObjectId(0xDEAD_BEEF))],
+    );
+    rig.world.start();
+    rig.world.run_for(SimDuration::from_secs(30));
+    let rs = invoke_results(&rig.world, HostId(4), ports::DRIVER);
+    assert!(matches!(
+        &rs[0],
+        RtEvent::BindDone {
+            result: Err(globe_rts::BindError::NotFound),
+            ..
+        }
+    ));
+}
+
+#[test]
+fn gos_recovers_replicas_from_stable_storage() {
+    let mut rig = rig();
+    let gos_host = HostId(0);
+    let oid = create_object(&mut rig, gos_host, protocol_id::CLIENT_SERVER, RoleSpec::Standalone);
+    let rt = moderator_runtime(&rig, HostId(1));
+    run_client(
+        &mut rig,
+        HostId(1),
+        9100,
+        rt,
+        vec![ClientOp::Bind(oid), ClientOp::Invoke(oid, add(11))],
+    );
+    rig.world.run_for(SimDuration::from_secs(30));
+
+    // Crash and recover the object server.
+    rig.world.crash_host(gos_host);
+    rig.world.run_for(SimDuration::from_secs(1));
+    rig.world.recover_host(gos_host);
+    rig.world.run_for(SimDuration::from_secs(1));
+    let gos = rig
+        .world
+        .service::<GlobeObjectServer>(gos_host, ports::GOS_CTL)
+        .expect("gos");
+    assert_eq!(gos.stats.replicas_restored, 1);
+    assert_eq!(gos.runtime.replica_version(oid), Some(1));
+
+    // A fresh client still reads the pre-crash state.
+    let rt = anon_runtime(&rig, HostId(14));
+    run_client(
+        &mut rig,
+        HostId(14),
+        ports::DRIVER,
+        rt,
+        vec![ClientOp::Bind(oid), ClientOp::Invoke(oid, get())],
+    );
+    rig.world.run_for(SimDuration::from_secs(30));
+    let rs = invoke_results(&rig.world, HostId(14), ports::DRIVER);
+    assert_eq!(expect_value(&rs[1]), 11);
+}
+
+#[test]
+fn first_bind_pays_class_loading() {
+    let mut rig = rig();
+    let oid = create_object(&mut rig, HostId(0), protocol_id::CLIENT_SERVER, RoleSpec::Standalone);
+    // Two sequential binds from the same host: only the first loads the
+    // implementation (paper §3.4 / experiment E9).
+    let rt = anon_runtime(&rig, HostId(4));
+    run_client(&mut rig, HostId(4), ports::DRIVER, rt, vec![ClientOp::Bind(oid)]);
+    rig.world.run_for(SimDuration::from_secs(30));
+    assert_eq!(rig.world.metrics().counter("rts.impl_loads"), 1);
+
+    let d = rig
+        .world
+        .service::<ClientDriver>(HostId(4), ports::DRIVER)
+        .expect("client");
+    let first_bind_done = d.completed_at[0];
+    // Class load delay (150 ms default) dominates a site-local lookup.
+    assert!(
+        first_bind_done >= rig.world.now() - SimDuration::from_secs(30) + SimDuration::from_millis(150),
+        "bind at {first_bind_done} did not include the load delay"
+    );
+}

@@ -1,0 +1,167 @@
+//! The time-ordered event queue at the heart of the simulation loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event queue ordered by firing time with a stable FIFO tie-break.
+///
+/// Two events scheduled for the same instant fire in the order they were
+/// scheduled. This property is what makes whole-simulation runs
+/// reproducible: `BinaryHeap` alone is not stable, so each entry carries a
+/// monotonically increasing sequence number.
+///
+/// # Examples
+///
+/// ```
+/// use globe_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let t = SimTime::from_millis(1);
+/// q.schedule(t, "first");
+/// q.schedule(t, "second");
+/// assert_eq!(q.pop().unwrap().1, "first");
+/// assert_eq!(q.pop().unwrap().1, "second");
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// Scheduling in the past is allowed (the queue is just an ordering
+    /// structure); the simulation loop is responsible for never scheduling
+    /// before its current clock.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Returns the firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(3), 3);
+        q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(2), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_fire_in_fifo_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7), "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        q.schedule(SimTime::ZERO + SimDuration::from_secs(1), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "late");
+        q.schedule(SimTime::from_millis(1), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        q.schedule(SimTime::from_millis(5), "middle");
+        assert_eq!(q.pop().unwrap().1, "middle");
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+}

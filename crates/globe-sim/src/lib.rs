@@ -1,0 +1,52 @@
+//! Deterministic discrete-event simulation kernel for the Globe/GDN
+//! reproduction.
+//!
+//! This crate provides the building blocks every simulated subsystem rests
+//! on:
+//!
+//! - [`time`] — a virtual clock ([`SimTime`]) and spans ([`SimDuration`]),
+//!   measured in integer nanoseconds so that event ordering is exact and
+//!   platform independent.
+//! - [`event`] — a time-ordered [`EventQueue`] with a stable tie-break so
+//!   that two events scheduled for the same instant always fire in
+//!   scheduling order, which makes whole-system runs bit-for-bit
+//!   reproducible.
+//! - [`rng`] — a seedable, splittable pseudo-random generator
+//!   ([`Rng`], xoshiro256** seeded through SplitMix64). The simulator does
+//!   not use `rand` on purpose: determinism across runs and across crate
+//!   versions is a correctness requirement for the experiments in
+//!   `EXPERIMENTS.md`, so the generator is pinned here.
+//! - [`metrics`] — counters and log-bucketed histograms ([`Metrics`])
+//!   used for all measurements reported by the benchmark harness.
+//! - [`trace`] — a lightweight component-tagged event trace used by tests
+//!   to assert protocol behaviour.
+//!
+//! The kernel is intentionally single-threaded: the Globe paper's claims
+//! are about message counts, bytes on wide-area links and end-to-end
+//! latencies, all of which we account analytically per event. Parallelism
+//! only appears *above* the kernel, when the benchmark runner executes many
+//! independent simulations at once.
+//!
+//! # Examples
+//!
+//! ```
+//! use globe_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "b");
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(1), "a");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t.as_millis(), ev), (1, "a"));
+//! ```
+
+pub mod event;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use event::EventQueue;
+pub use metrics::{Histogram, Metrics};
+pub use rng::Rng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceLevel, TraceLog};

@@ -1,0 +1,450 @@
+//! Measurement primitives: counters and log-bucketed histograms.
+//!
+//! Every number reported in `EXPERIMENTS.md` flows through a [`Metrics`]
+//! registry. Counters accumulate monotonically (bytes per network tier,
+//! protocol message counts, cache hits). Histograms record latency samples
+//! with bounded memory using logarithmic major buckets subdivided linearly,
+//! in the style of HDR histograms: relative quantile error is bounded by
+//! the sub-bucket width (1/32 ≈ 3%), which is far below the effects the
+//! experiments measure.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Number of linear sub-buckets per power of two. Must be a power of two.
+const SUB_BUCKETS: u64 = 32;
+const SUB_SHIFT: u32 = 5; // log2(SUB_BUCKETS)
+
+/// A fixed-memory histogram of `u64` samples with ~3% quantile resolution.
+///
+/// # Examples
+///
+/// ```
+/// use globe_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.quantile(0.5);
+/// assert!((450..=550).contains(&p50), "p50 was {p50}");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    /// bucket index -> count; sparse because most simulations touch only a
+    /// narrow band of magnitudes.
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Maps a value to its bucket index.
+fn bucket_index(v: u64) -> u32 {
+    if v < SUB_BUCKETS {
+        // Values below SUB_BUCKETS are exact.
+        v as u32
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUB_SHIFT
+        let major = msb - SUB_SHIFT;
+        let sub = ((v >> major) - SUB_BUCKETS) as u32; // in [0, SUB_BUCKETS)
+        SUB_BUCKETS as u32 + major * SUB_BUCKETS as u32 + sub
+    }
+}
+
+/// Returns a representative (midpoint) value for a bucket index.
+fn bucket_value(idx: u32) -> u64 {
+    if idx < SUB_BUCKETS as u32 {
+        idx as u64
+    } else {
+        let rel = idx - SUB_BUCKETS as u32;
+        let major = rel / SUB_BUCKETS as u32;
+        let sub = (rel % SUB_BUCKETS as u32) as u64;
+        let base = (SUB_BUCKETS + sub) << major;
+        let width = 1u64 << major;
+        base + width / 2
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: BTreeMap::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.buckets.entry(bucket_index(v)).or_insert(0) += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Returns the number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Returns the arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Returns the smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Returns the largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Returns an approximation of the `q`-quantile (`q` in `[0, 1]`),
+    /// or 0 if the histogram is empty.
+    ///
+    /// The returned value is the representative value of the bucket
+    /// containing the quantile rank, so the relative error is bounded by
+    /// the sub-bucket width (~3%).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return bucket_value(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} min={} p50={} p90={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.min(),
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.max()
+        )
+    }
+}
+
+/// A named registry of counters and histograms.
+///
+/// Keys are free-form dotted paths (`"net.bytes.region"`,
+/// `"gls.lookup.hops"`). The registry is intentionally permissive — any
+/// component may create any key — because experiments slice metrics in ways
+/// the components cannot anticipate.
+///
+/// # Examples
+///
+/// ```
+/// use globe_sim::Metrics;
+///
+/// let mut m = Metrics::new();
+/// m.inc("requests", 1);
+/// m.record("latency_us", 1500);
+/// assert_eq!(m.counter("requests"), 1);
+/// assert_eq!(m.histogram("latency_us").unwrap().count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `by` to the counter named `key`, creating it at zero first if
+    /// needed.
+    pub fn inc(&mut self, key: &str, by: u64) {
+        match self.counters.get_mut(key) {
+            Some(c) => *c += by,
+            None => {
+                self.counters.insert(key.to_owned(), by);
+            }
+        }
+    }
+
+    /// Returns the value of a counter (0 if it was never incremented).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into the histogram named `key`.
+    pub fn record(&mut self, key: &str, v: u64) {
+        match self.histograms.get_mut(key) {
+            Some(h) => h.record(v),
+            None => {
+                let mut h = Histogram::new();
+                h.record(v);
+                self.histograms.insert(key.to_owned(), h);
+            }
+        }
+    }
+
+    /// Returns the histogram named `key`, if any sample was recorded.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Iterates over all counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates over all histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Sums all counters whose key starts with `prefix`.
+    ///
+    /// Used for tier roll-ups such as "all wide-area bytes"
+    /// (`sum_prefix("net.bytes.")` minus the local tiers).
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Merges another registry into this one (counters add, histograms
+    /// merge).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, &v) in &other.counters {
+            self.inc(k, v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Renders a human-readable report of every metric, for examples and
+    /// debugging.
+    pub fn report(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<40} {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for (k, h) in &self.histograms {
+                let _ = writeln!(out, "  {k:<40} {h}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_round_trip_small_values_exact() {
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(bucket_value(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_value_within_relative_error() {
+        for &v in &[100u64, 1_000, 10_000, 123_456, 9_999_999, u64::MAX / 2] {
+            let rep = bucket_value(bucket_index(v));
+            let err = (rep as f64 - v as f64).abs() / v as f64;
+            assert!(err < 0.05, "v={v} rep={rep} err={err}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic() {
+        let mut prev = 0;
+        for v in (0..100_000u64).step_by(37) {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index decreased at v={v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 50);
+        assert!((h.mean() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_bounded_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q) as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.05, "q={q} got={got} expect={expect}");
+        }
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_single_value() {
+        let mut h = Histogram::new();
+        h.record(777);
+        assert_eq!(h.quantile(0.0), h.quantile(1.0));
+        let v = h.quantile(0.5);
+        assert!((750..=800).contains(&v), "got {v}");
+    }
+
+    #[test]
+    fn histogram_record_n() {
+        let mut h = Histogram::new();
+        h.record_n(5, 100);
+        h.record_n(9, 0);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 500);
+        assert_eq!(h.max(), 5);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 1_000_000);
+        let empty = Histogram::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn metrics_counters_and_histograms() {
+        let mut m = Metrics::new();
+        m.inc("a.x", 2);
+        m.inc("a.x", 3);
+        m.inc("a.y", 1);
+        m.inc("b", 10);
+        m.record("lat", 5);
+        assert_eq!(m.counter("a.x"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.sum_prefix("a."), 6);
+        assert_eq!(m.sum_prefix("zzz"), 0);
+        assert!(m.histogram("lat").is_some());
+        assert!(m.histogram("nope").is_none());
+    }
+
+    #[test]
+    fn metrics_merge() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.inc("c", 1);
+        b.inc("c", 2);
+        b.inc("d", 5);
+        b.record("h", 9);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter("d"), 5);
+        assert_eq!(a.histogram("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn report_contains_keys() {
+        let mut m = Metrics::new();
+        m.inc("net.bytes", 42);
+        m.record("lat_us", 1000);
+        let r = m.report();
+        assert!(r.contains("net.bytes"));
+        assert!(r.contains("lat_us"));
+    }
+}

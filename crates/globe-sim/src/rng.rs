@@ -1,0 +1,331 @@
+//! Seedable, splittable pseudo-random number generation.
+//!
+//! The simulator pins its own generator (xoshiro256** seeded via
+//! SplitMix64) instead of depending on `rand`: experiment reproducibility
+//! requires that the exact sample stream never changes underneath us, and
+//! that independent components can draw from *independent* streams (see
+//! [`Rng::fork`]) so that adding randomness to one component does not
+//! perturb another.
+//!
+//! This is simulation-grade randomness, not cryptographic randomness; the
+//! security substrate in `globe-crypto` documents the same caveat.
+
+/// A deterministic pseudo-random number generator (xoshiro256**).
+///
+/// # Examples
+///
+/// ```
+/// use globe_sim::Rng;
+///
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+///
+/// let mut child = a.fork(7);
+/// let _ = child.gen_range(0..10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step, used for seeding and forking.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Every distinct seed yields a statistically independent stream; the
+    /// all-zero internal state is unreachable by construction.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Derives an independent child generator identified by `stream`.
+    ///
+    /// Forking lets each simulated component own a private stream so that
+    /// the order in which components draw numbers cannot affect each
+    /// other's samples. Forking is deterministic: the same parent state and
+    /// `stream` id always produce the same child.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        let mut sm = self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Returns the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns the next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniformly distributed value in `[range.start, range.end)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, so the distribution
+    /// is exactly uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let span = range.end - range.start;
+        // Lemire rejection sampling over a 64-bit multiply.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(span as u128);
+            let lo = m as u64;
+            if lo >= span {
+                return range.start + (m >> 64) as u64;
+            }
+            // `lo < span`: reject only in the biased sliver.
+            let threshold = span.wrapping_neg() % span;
+            if lo >= threshold {
+                return range.start + (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniformly distributed `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        self.gen_range(0..n as u64) as usize
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.gen_f64() < p
+        }
+    }
+
+    /// Samples an exponentially distributed value with the given mean.
+    ///
+    /// Used for inter-arrival times of Poisson request processes.
+    pub fn gen_exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // Inverse CDF; `1 - u` avoids ln(0).
+        -mean * (1.0 - self.gen_f64()).ln()
+    }
+
+    /// Returns a reference to a uniformly chosen element, or `None` if the
+    /// slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.gen_index(items.len())])
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (reservoir sampling).
+    ///
+    /// The result is in ascending index order. If `k >= n`, all indices are
+    /// returned.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        if k >= n {
+            return (0..n).collect();
+        }
+        let mut reservoir: Vec<usize> = (0..k).collect();
+        for i in k..n {
+            let j = self.gen_index(i + 1);
+            if j < k {
+                reservoir[j] = i;
+            }
+        }
+        reservoir.sort_unstable();
+        reservoir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::new(123);
+        let mut b = Rng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut a = Rng::new(99);
+        let mut b = Rng::new(99);
+        let mut ca = a.fork(5);
+        let mut cb = b.fork(5);
+        assert_eq!(ca.next_u64(), cb.next_u64());
+        // A different stream id gives a different child stream.
+        let mut c2 = Rng::new(99).fork(6);
+        assert_ne!(ca.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = Rng::new(11);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0..8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_empty_panics() {
+        Rng::new(0).gen_range(5..5);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = Rng::new(3);
+        for _ in 0..10_000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Rng::new(4);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(-0.5));
+        assert!(r.gen_bool(1.5));
+    }
+
+    #[test]
+    fn gen_bool_rate_roughly_matches() {
+        let mut r = Rng::new(5);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn gen_exp_mean_roughly_matches() {
+        let mut r = Rng::new(6);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.gen_exp(4.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(8);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, (0..100).collect::<Vec<u32>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut r = Rng::new(9);
+        let empty: [u8; 0] = [];
+        assert_eq!(r.choose(&empty), None);
+        assert_eq!(r.choose(&[42]), Some(&42));
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_sorted() {
+        let mut r = Rng::new(10);
+        let s = r.sample_indices(100, 10);
+        assert_eq!(s.len(), 10);
+        for w in s.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(r.sample_indices(5, 10), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mean_of_uniform_stream_is_centred() {
+        let mut r = Rng::new(12);
+        let n = 100_000u64;
+        let sum: f64 = (0..n).map(|_| r.gen_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+}

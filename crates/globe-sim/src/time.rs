@@ -1,0 +1,368 @@
+//! Virtual time: instants and durations measured in integer nanoseconds.
+//!
+//! All timing in the simulator is virtual. Using integers (rather than
+//! floating point) guarantees that event ordering is exact, associative and
+//! identical on every platform, which the reproducibility of the
+//! experiments depends on.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, in nanoseconds since the start of a simulation.
+///
+/// `SimTime` is totally ordered and starts at [`SimTime::ZERO`] when a
+/// simulation is created. Arithmetic with [`SimDuration`] saturates on
+/// underflow of subtraction through [`SimTime::saturating_sub`]; plain `-`
+/// panics on underflow like std integer arithmetic in debug builds.
+///
+/// # Examples
+///
+/// ```
+/// use globe_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(2);
+/// assert_eq!(t.as_micros(), 2_000);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use globe_sim::SimDuration;
+///
+/// let d = SimDuration::from_micros(1500);
+/// assert_eq!(d.as_millis(), 1); // truncating conversion
+/// assert_eq!(d * 2, SimDuration::from_millis(3));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant; used as an "infinitely far"
+    /// deadline sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds since simulation start.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant from microseconds since simulation start.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant from milliseconds since simulation start.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant from seconds since simulation start.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Returns the instant as nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as whole microseconds (truncating).
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the instant as whole milliseconds (truncating).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the instant as whole seconds (truncating).
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Returns the instant as fractional seconds, for reporting only.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`, or [`SimDuration::ZERO`] if
+    /// `earlier` is in the future.
+    #[inline]
+    pub fn saturating_sub(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// The largest representable duration; used as an "infinite" timeout.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let ns = s * 1e9;
+        if ns >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(ns.round() as u64)
+        }
+    }
+
+    /// Returns the duration as raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as whole microseconds (truncating).
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the duration as whole milliseconds (truncating).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the duration as whole seconds (truncating).
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Returns the duration as fractional seconds, for reporting only.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, other: SimDuration) -> Option<SimDuration> {
+        self.0.checked_add(other.0).map(SimDuration)
+    }
+
+    /// Saturating subtraction of two durations.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 - d.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 - other.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, other: SimDuration) {
+        self.0 -= other.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{}.{:03}us", ns / 1_000, ns % 1_000)
+        } else if ns < 1_000_000_000 {
+            write!(f, "{}.{:03}ms", ns / 1_000_000, (ns / 1_000) % 1_000)
+        } else {
+            write!(f, "{}.{:03}s", ns / 1_000_000_000, (ns / 1_000_000) % 1_000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(3).as_millis(), 3_000);
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t0 = SimTime::from_millis(10);
+        let t1 = t0 + SimDuration::from_millis(5);
+        assert_eq!(t1 - t0, SimDuration::from_millis(5));
+        assert_eq!(t1.saturating_sub(t0).as_millis(), 5);
+        assert_eq!(t0.saturating_sub(t1), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_micros(4) * 3, SimDuration::from_micros(12));
+        assert_eq!(SimDuration::from_micros(12) / 3, SimDuration::from_micros(4));
+    }
+
+    #[test]
+    fn from_secs_f64_handles_edge_cases() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1e30), SimDuration::MAX);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_millis(), 500);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_nanos(7).to_string(), "7ns");
+        assert_eq!(SimDuration::from_micros(1500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_millis(2500).to_string(), "2.500s");
+        assert_eq!(format!("{:?}", SimTime::from_millis(1)), "T+1.000ms");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert!(SimTime::MAX > SimTime::from_secs(1_000_000));
+    }
+
+    #[test]
+    fn checked_ops() {
+        assert_eq!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)), None);
+        assert!(SimTime::ZERO.checked_add(SimDuration::from_secs(1)).is_some());
+        assert_eq!(SimDuration::MAX.checked_add(SimDuration::from_nanos(1)), None);
+    }
+}

@@ -1,0 +1,171 @@
+//! Component-tagged event tracing.
+//!
+//! Protocol tests want to assert *behaviour* ("the lookup visited exactly
+//! these directory nodes"), not just end results. Components append
+//! structured entries to a [`TraceLog`]; tests filter them. The log is off
+//! by default so large benchmark runs pay nothing for it.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Severity/verbosity of a trace entry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Protocol-level milestones (connection opened, replica created).
+    Info,
+    /// Per-message detail.
+    Debug,
+}
+
+/// One recorded trace entry.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// Virtual time at which the entry was recorded.
+    pub time: SimTime,
+    /// Severity of the entry.
+    pub level: TraceLevel,
+    /// Originating component, e.g. `"gls.node"` or `"httpd"`.
+    pub component: &'static str,
+    /// Free-form message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {:?} {}] {}",
+            self.time, self.level, self.component, self.message
+        )
+    }
+}
+
+/// An in-memory trace collector.
+///
+/// # Examples
+///
+/// ```
+/// use globe_sim::{SimTime, TraceLevel, TraceLog};
+///
+/// let mut log = TraceLog::new(TraceLevel::Debug);
+/// log.log(SimTime::ZERO, TraceLevel::Info, "gls", "lookup start".into());
+/// assert_eq!(log.entries().len(), 1);
+/// assert_eq!(log.matching("gls", "lookup").count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    entries: Vec<TraceEntry>,
+    /// Entries above this level are discarded; `None` disables tracing.
+    max_level: Option<TraceLevel>,
+}
+
+impl TraceLog {
+    /// Creates a log that records entries up to and including `max_level`.
+    pub fn new(max_level: TraceLevel) -> Self {
+        TraceLog {
+            entries: Vec::new(),
+            max_level: Some(max_level),
+        }
+    }
+
+    /// Creates a disabled log; all entries are discarded.
+    pub fn disabled() -> Self {
+        TraceLog {
+            entries: Vec::new(),
+            max_level: None,
+        }
+    }
+
+    /// Returns `true` if entries at `level` would be recorded.
+    pub fn enabled(&self, level: TraceLevel) -> bool {
+        self.max_level.map(|m| level <= m).unwrap_or(false)
+    }
+
+    /// Appends an entry if the log is enabled at `level`.
+    pub fn log(&mut self, time: SimTime, level: TraceLevel, component: &'static str, message: String) {
+        if self.enabled(level) {
+            self.entries.push(TraceEntry {
+                time,
+                level,
+                component,
+                message,
+            });
+        }
+    }
+
+    /// Returns all recorded entries in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Iterates entries from `component` whose message contains `needle`.
+    pub fn matching<'a>(
+        &'a self,
+        component: &'a str,
+        needle: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries
+            .iter()
+            .filter(move |e| e.component == component && e.message.contains(needle))
+    }
+
+    /// Discards all recorded entries, keeping the level configuration.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.log(SimTime::ZERO, TraceLevel::Info, "x", "hello".into());
+        assert!(log.entries().is_empty());
+        assert!(!log.enabled(TraceLevel::Info));
+    }
+
+    #[test]
+    fn level_filtering() {
+        let mut log = TraceLog::new(TraceLevel::Info);
+        log.log(SimTime::ZERO, TraceLevel::Info, "x", "kept".into());
+        log.log(SimTime::ZERO, TraceLevel::Debug, "x", "dropped".into());
+        assert_eq!(log.entries().len(), 1);
+        assert_eq!(log.entries()[0].message, "kept");
+    }
+
+    #[test]
+    fn matching_filters_by_component_and_text() {
+        let mut log = TraceLog::new(TraceLevel::Debug);
+        log.log(SimTime::ZERO, TraceLevel::Info, "a", "lookup oid=1".into());
+        log.log(SimTime::ZERO, TraceLevel::Info, "b", "lookup oid=2".into());
+        log.log(SimTime::ZERO, TraceLevel::Info, "a", "insert oid=3".into());
+        assert_eq!(log.matching("a", "lookup").count(), 1);
+        assert_eq!(log.matching("a", "oid").count(), 2);
+        assert_eq!(log.matching("c", "oid").count(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_level() {
+        let mut log = TraceLog::new(TraceLevel::Debug);
+        log.log(SimTime::ZERO, TraceLevel::Debug, "x", "one".into());
+        log.clear();
+        assert!(log.entries().is_empty());
+        assert!(log.enabled(TraceLevel::Debug));
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEntry {
+            time: SimTime::from_millis(1),
+            level: TraceLevel::Info,
+            component: "gls",
+            message: "hi".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("gls") && s.contains("hi"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the simulation kernel's invariants.
+
+use proptest::prelude::*;
+
+use globe_sim::{EventQueue, Histogram, Rng, SimDuration, SimTime};
+
+proptest! {
+    /// The queue pops every scheduled event in nondecreasing time order,
+    /// with FIFO order among equal timestamps.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), (t, i));
+        }
+        let mut popped = Vec::new();
+        while let Some((t, (orig, idx))) = q.pop() {
+            prop_assert_eq!(t, SimTime::from_micros(orig));
+            popped.push((t, idx));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Histogram quantiles always lie within [min, max] and are
+    /// monotone in q.
+    #[test]
+    fn histogram_quantiles_are_bounded_and_monotone(
+        values in prop::collection::vec(0u64..10_000_000, 1..500)
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let lo = *values.iter().min().expect("nonempty");
+        let hi = *values.iter().max().expect("nonempty");
+        let mut prev = 0;
+        for i in 0..=10 {
+            let q = h.quantile(i as f64 / 10.0);
+            prop_assert!(q >= lo && q <= hi, "q out of range: {q} not in [{lo},{hi}]");
+            prop_assert!(q >= prev, "quantiles not monotone");
+            prev = q;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().map(|&v| v as u128).sum::<u128>());
+    }
+
+    /// Histogram merge is equivalent to recording the union.
+    #[test]
+    fn histogram_merge_equals_union(
+        a in prop::collection::vec(0u64..100_000, 0..100),
+        b in prop::collection::vec(0u64..100_000, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        for &v in &a { ha.record(v); }
+        let mut hb = Histogram::new();
+        for &v in &b { hb.record(v); }
+        let mut hu = Histogram::new();
+        for &v in a.iter().chain(&b) { hu.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.sum(), hu.sum());
+        prop_assert_eq!(ha.min(), hu.min());
+        prop_assert_eq!(ha.max(), hu.max());
+        for i in 0..=4 {
+            prop_assert_eq!(ha.quantile(i as f64 / 4.0), hu.quantile(i as f64 / 4.0));
+        }
+    }
+
+    /// gen_range stays in range and hits both halves of the interval.
+    #[test]
+    fn rng_range_bounds(seed: u64, lo in 0u64..1000, span in 1u64..1000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            let v = rng.gen_range(lo..lo + span);
+            prop_assert!(v >= lo && v < lo + span);
+        }
+    }
+
+    /// Forked streams are independent of sibling draw order.
+    #[test]
+    fn rng_fork_is_order_independent(seed: u64) {
+        let mut parent1 = Rng::new(seed);
+        let mut a1 = parent1.fork(1);
+        let mut b1 = parent1.fork(2);
+        let va1: Vec<u64> = (0..8).map(|_| a1.next_u64()).collect();
+        let vb1: Vec<u64> = (0..8).map(|_| b1.next_u64()).collect();
+
+        let mut parent2 = Rng::new(seed);
+        let mut a2 = parent2.fork(1);
+        let mut b2 = parent2.fork(2);
+        // Draw from b first this time.
+        let vb2: Vec<u64> = (0..8).map(|_| b2.next_u64()).collect();
+        let va2: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
+
+        prop_assert_eq!(va1, va2);
+        prop_assert_eq!(vb1, vb2);
+    }
+
+    /// Duration arithmetic respects the nanosecond representation.
+    #[test]
+    fn duration_arithmetic(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db).as_nanos(), a + b);
+        prop_assert_eq!(da.saturating_sub(db).as_nanos(), a.saturating_sub(b));
+        let t = SimTime::from_nanos(a) + db;
+        prop_assert_eq!(t.as_nanos(), a + b);
+    }
+}

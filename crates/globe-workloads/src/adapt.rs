@@ -1,0 +1,155 @@
+//! Run-time scenario adaptation (paper §3.1: "the information's
+//! replication scenario should adapt to changes in its popularity").
+//!
+//! The [`AdaptiveController`] plays the role the paper assigns to
+//! future automated management: it watches per-object, per-region
+//! demand counters and, when a region's demand for an object crosses a
+//! threshold, commands that region's object server to create an
+//! additional slave replica — exactly what a moderator would do by hand
+//! with the moderator tool. Experiment E7 (flash crowd) compares runs
+//! with and without it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gdn_core::PACKAGE_IMPL;
+use globe_gls::ObjectId;
+use globe_net::{
+    impl_service_any, ns_token, owns_token, ConnEvent, ConnId, Endpoint, Service, ServiceCtx,
+};
+use globe_rts::{protocol_id, GlobeRuntime, GosCmd, GosResp, RoleSpec, RtConn};
+use globe_sim::SimDuration;
+
+const CTRL_NS: u16 = 0x7722;
+const TICK: u64 = 1;
+
+/// One managed object.
+#[derive(Clone, Debug)]
+pub struct ManagedObject {
+    /// Catalog index (matches the `load.pkg<idx>.region<r>` counters).
+    pub index: usize,
+    /// The object id.
+    pub oid: ObjectId,
+    /// The master's GRP endpoint.
+    pub master: Endpoint,
+}
+
+/// The adaptation daemon.
+pub struct AdaptiveController {
+    runtime: GlobeRuntime,
+    objects: Vec<ManagedObject>,
+    /// Regional object servers: `region → GOS control endpoint`.
+    region_gos: Vec<Endpoint>,
+    /// Check interval.
+    interval: SimDuration,
+    /// Requests per interval per region that trigger a replica.
+    threshold: u64,
+    /// Counter values at the previous tick, keyed by (object, region).
+    last_seen: BTreeMap<(usize, usize), u64>,
+    /// Replicas already created, keyed by (object, region).
+    placed: BTreeSet<(usize, usize)>,
+    next_req: u64,
+    /// Number of replicas this controller has created.
+    pub replicas_added: u64,
+}
+
+impl AdaptiveController {
+    /// Creates a controller with moderator credentials in `runtime`.
+    pub fn new(
+        runtime: GlobeRuntime,
+        objects: Vec<ManagedObject>,
+        region_gos: Vec<Endpoint>,
+        interval: SimDuration,
+        threshold: u64,
+    ) -> AdaptiveController {
+        AdaptiveController {
+            runtime,
+            objects,
+            region_gos,
+            interval,
+            threshold,
+            last_seen: BTreeMap::new(),
+            placed: BTreeSet::new(),
+            next_req: 1,
+            replicas_added: 0,
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let num_regions = self.region_gos.len();
+        let mut actions: Vec<(usize, usize)> = Vec::new();
+        for obj in &self.objects {
+            for region in 0..num_regions {
+                let key = (obj.index, region);
+                let counter_key = format!("load.pkg{}.region{region}", obj.index);
+                let now_count = ctx.metrics().counter(&counter_key);
+                let prev = self.last_seen.insert(key, now_count).unwrap_or(0);
+                let delta = now_count - prev;
+                let already_home = self.region_gos[region].host == obj.master.host
+                    || ctx.topo().region_of_host(self.region_gos[region].host)
+                        == ctx.topo().region_of_host(obj.master.host);
+                if delta >= self.threshold && !already_home && !self.placed.contains(&key) {
+                    actions.push(key);
+                }
+            }
+        }
+        for (index, region) in actions {
+            let obj = self
+                .objects
+                .iter()
+                .find(|o| o.index == index)
+                .expect("managed object")
+                .clone();
+            self.placed.insert((index, region));
+            let gos = self.region_gos[region];
+            let req = self.next_req;
+            self.next_req += 1;
+            let cmd = GosCmd::CreateReplica {
+                req,
+                oid: obj.oid.0,
+                impl_id: PACKAGE_IMPL.0,
+                protocol: protocol_id::MASTER_SLAVE,
+                role: RoleSpec::Slave { master: obj.master },
+            };
+            let conn = self.runtime.open_app_conn(ctx, gos);
+            self.runtime.send_app(ctx, conn, &cmd.encode());
+            self.replicas_added += 1;
+            ctx.metrics().inc("adapt.replicas_added", 1);
+            ctx.trace_info(
+                "adapt",
+                format!("replicating pkg{index} into region {region}"),
+            );
+        }
+        ctx.set_timer(self.interval, ns_token(CTRL_NS, TICK));
+    }
+}
+
+impl Service for AdaptiveController {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        ctx.set_timer(self.interval, ns_token(CTRL_NS, TICK));
+    }
+
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if owns_token(CTRL_NS, token) {
+            self.tick(ctx);
+            return;
+        }
+        self.runtime.handle_timer(ctx, token);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        self.runtime.handle_datagram(ctx, from, &payload);
+    }
+
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        if let RtConn::AppData { frames, .. } = self.runtime.handle_conn_event(ctx, conn, ev) {
+            for f in frames {
+                if let Ok(GosResp::Err { msg, .. }) = GosResp::decode(&f) {
+                    ctx.metrics().inc("adapt.failures", 1);
+                    ctx.trace_info("adapt", format!("replica creation failed: {msg}"));
+                }
+            }
+        }
+    }
+
+    impl_service_any!();
+}

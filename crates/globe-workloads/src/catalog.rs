@@ -1,0 +1,179 @@
+//! The package catalog: a synthetic population of software packages
+//! standing in for the department web trace of [Pierre et al. 1999]
+//! (see DESIGN.md §2 — the original trace is not available).
+//!
+//! Each package gets a popularity rank (request shares are Zipf over
+//! ranks), an update rate class, a "home" region (where its maintainer
+//! publishes from), and a characteristic file size. The catalog is the
+//! shared input to the replication-policy experiments (E3/E7).
+
+use gdn_core::{ModOp, Scenario};
+use globe_net::{Endpoint, Topology};
+use globe_sim::Rng;
+
+use crate::policy::{scenario_for, ObjectProfile, ScenarioPolicy};
+
+/// One synthetic package.
+#[derive(Clone, Debug)]
+pub struct CatalogEntry {
+    /// Globe object name, e.g. `/apps/pkg17`.
+    pub name: String,
+    /// Popularity rank (0 = hottest).
+    pub rank: usize,
+    /// Mean updates per simulated hour.
+    pub updates_per_hour: f64,
+    /// Size of the package's main file, bytes.
+    pub file_size: usize,
+    /// Index of the home region.
+    pub home_region: usize,
+}
+
+/// Catalog generation parameters.
+#[derive(Clone, Debug)]
+pub struct CatalogSpec {
+    /// Number of packages.
+    pub num_packages: usize,
+    /// Fraction of packages that are frequently updated (the "news
+    /// page" class of the Pierre et al. study).
+    pub hot_update_fraction: f64,
+    /// Updates per hour for the frequently updated class.
+    pub hot_update_rate: f64,
+    /// Updates per hour for the stable class.
+    pub cold_update_rate: f64,
+    /// Small-file size (docs, sources).
+    pub small_size: usize,
+    /// Large-file size (tarballs).
+    pub large_size: usize,
+    /// Fraction of packages with a large main file.
+    pub large_fraction: f64,
+}
+
+impl Default for CatalogSpec {
+    fn default() -> Self {
+        CatalogSpec {
+            num_packages: 50,
+            hot_update_fraction: 0.2,
+            hot_update_rate: 12.0,
+            cold_update_rate: 0.2,
+            small_size: 8 * 1024,
+            large_size: 256 * 1024,
+            large_fraction: 0.3,
+        }
+    }
+}
+
+/// Generates a catalog.
+pub fn generate(spec: &CatalogSpec, topo: &Topology, rng: &mut Rng) -> Vec<CatalogEntry> {
+    let regions = topo.num_regions().max(1);
+    (0..spec.num_packages)
+        .map(|i| {
+            let hot_update = rng.gen_bool(spec.hot_update_fraction);
+            let large = rng.gen_bool(spec.large_fraction);
+            CatalogEntry {
+                name: format!("/apps/pkg{i}"),
+                rank: i,
+                updates_per_hour: if hot_update {
+                    spec.hot_update_rate
+                } else {
+                    spec.cold_update_rate
+                },
+                file_size: if large { spec.large_size } else { spec.small_size },
+                home_region: i % regions,
+            }
+        })
+        .collect()
+}
+
+/// Builds the publish operations installing the catalog under `policy`.
+///
+/// `gos_by_region[r]` lists object-server endpoints in region `r`; the
+/// first is the region's primary.
+pub fn publish_ops(
+    catalog: &[CatalogEntry],
+    policy: ScenarioPolicy,
+    gos_by_region: &[Vec<Endpoint>],
+) -> Vec<ModOp> {
+    catalog
+        .iter()
+        .map(|e| {
+            let profile = ObjectProfile {
+                rank: e.rank,
+                updates_per_hour: e.updates_per_hour,
+                home_region: e.home_region,
+            };
+            let scenario: Scenario = scenario_for(policy, &profile, gos_by_region);
+            ModOp::Publish {
+                name: e.name.clone(),
+                description: format!("synthetic package {}", e.name),
+                files: vec![("pkg.tar".into(), vec![0x5A; e.file_size])],
+                scenario,
+            }
+        })
+        .collect()
+}
+
+/// Groups a deployment's object servers by region.
+pub fn gos_by_region(topo: &Topology, gos_endpoints: &[Endpoint]) -> Vec<Vec<Endpoint>> {
+    let mut by_region = vec![Vec::new(); topo.num_regions()];
+    for &ep in gos_endpoints {
+        by_region[topo.region_of_host(ep.host).0 as usize].push(ep);
+    }
+    by_region
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_and_complete() {
+        let topo = Topology::grid(2, 1, 1, 2);
+        let spec = CatalogSpec {
+            num_packages: 20,
+            ..CatalogSpec::default()
+        };
+        let a = generate(&spec, &topo, &mut Rng::new(5));
+        let b = generate(&spec, &topo, &mut Rng::new(5));
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.file_size, y.file_size);
+            assert_eq!(x.updates_per_hour, y.updates_per_hour);
+        }
+        // Home regions alternate.
+        assert_eq!(a[0].home_region, 0);
+        assert_eq!(a[1].home_region, 1);
+    }
+
+    #[test]
+    fn publish_ops_cover_catalog() {
+        let topo = Topology::grid(2, 1, 1, 2);
+        let catalog = generate(&CatalogSpec::default(), &topo, &mut Rng::new(1));
+        let gos = vec![
+            vec![Endpoint::new(globe_net::HostId(0), 700)],
+            vec![Endpoint::new(globe_net::HostId(1), 700)],
+        ];
+        let ops = publish_ops(&catalog, ScenarioPolicy::Central, &gos);
+        assert_eq!(ops.len(), catalog.len());
+        match &ops[0] {
+            ModOp::Publish { name, files, .. } => {
+                assert_eq!(name, "/apps/pkg0");
+                assert_eq!(files.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gos_grouping_by_region() {
+        let topo = Topology::grid(2, 2, 1, 1);
+        let eps = vec![
+            Endpoint::new(globe_net::HostId(0), 700),
+            Endpoint::new(globe_net::HostId(2), 700),
+        ];
+        let grouped = gos_by_region(&topo, &eps);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].len(), 1);
+        assert_eq!(grouped[1].len(), 1);
+    }
+}

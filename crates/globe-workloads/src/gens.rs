@@ -1,0 +1,394 @@
+//! Open-loop load generators: Poisson request streams from users and
+//! Poisson update streams from maintainers.
+//!
+//! Generators are ordinary services driven by timers, so their traffic
+//! is subject to every real mechanism in the system (name resolution,
+//! binding, replication protocols, security). Samples are collected
+//! in-memory for the experiment harness to post-process.
+
+use gdn_core::PackageControl;
+use globe_gls::ObjectId;
+use globe_net::{
+    impl_service_any, ns_token, owns_token, ConnEvent, ConnId, Endpoint, Service, ServiceCtx,
+};
+use globe_rts::{GlobeRuntime, RtConn, RtEvent};
+use globe_sim::{SimDuration, SimTime};
+
+use crate::zipf::ZipfSampler;
+
+/// Timer namespace for generator arrivals (distinct from embedded
+/// runtime/GLS namespaces).
+const GEN_NS: u16 = 0x7711;
+
+/// One completed request observation.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// When the request was issued.
+    pub at: SimTime,
+    /// End-to-end latency.
+    pub latency: SimDuration,
+    /// HTTP status (0 = connection failure).
+    pub status: u16,
+    /// Which catalog object was requested.
+    pub object: usize,
+    /// Response body size.
+    pub body_len: usize,
+}
+
+/// An open-loop HTTP load generator: Poisson arrivals, Zipf object
+/// choice, one connection per request to a fixed access point.
+pub struct HttpLoadGen {
+    httpd: Endpoint,
+    names: Vec<String>,
+    zipf: ZipfSampler,
+    /// Mean requests per second.
+    rate: f64,
+    /// Stop issuing new requests at this time (in-flight ones finish).
+    until: SimTime,
+    fetch_file: bool,
+    inflight: std::collections::BTreeMap<u64, (SimTime, usize)>,
+    next_arrival: u64,
+    /// Completed observations.
+    pub samples: Vec<Sample>,
+}
+
+impl HttpLoadGen {
+    /// Creates a generator fetching from `httpd` at `rate` requests per
+    /// second until `until`, choosing among `names` with Zipf skew `s`.
+    pub fn new(
+        httpd: Endpoint,
+        names: Vec<String>,
+        s: f64,
+        rate: f64,
+        until: SimTime,
+        fetch_file: bool,
+    ) -> HttpLoadGen {
+        assert!(rate > 0.0, "rate must be positive");
+        let zipf = ZipfSampler::new(names.len(), s);
+        HttpLoadGen {
+            httpd,
+            names,
+            zipf,
+            rate,
+            until,
+            fetch_file,
+            inflight: std::collections::BTreeMap::new(),
+            next_arrival: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    fn schedule_next(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let gap = ctx.rng().gen_exp(1.0 / self.rate);
+        let delay = SimDuration::from_secs_f64(gap);
+        if ctx.now() + delay >= self.until {
+            return;
+        }
+        self.next_arrival += 1;
+        ctx.set_timer(delay, ns_token(GEN_NS, self.next_arrival));
+    }
+
+    fn fire(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let object = self.zipf.sample(ctx.rng());
+        let path = if self.fetch_file {
+            format!("/pkg{}?file=pkg.tar", self.names[object])
+        } else {
+            format!("/pkg{}", self.names[object])
+        };
+        let conn = ctx.connect(self.httpd);
+        ctx.send(conn, gdn_core::HttpRequest::get(&path));
+        self.inflight.insert(conn.0, (ctx.now(), object));
+        ctx.metrics().inc(&format!("load.pkg{object}"), 1);
+        let region = ctx.topo().region_of_host(ctx.me().host).0;
+        ctx.metrics()
+            .inc(&format!("load.pkg{object}.region{region}"), 1);
+        self.schedule_next(ctx);
+    }
+}
+
+impl Service for HttpLoadGen {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.schedule_next(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if owns_token(GEN_NS, token) {
+            self.fire(ctx);
+        }
+    }
+
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match ev {
+            ConnEvent::Msg(data) => {
+                let Some((started, object)) = self.inflight.remove(&conn.0) else {
+                    return;
+                };
+                let latency = ctx.now().saturating_sub(started);
+                let (status, body_len) = match gdn_core::HttpResponse::parse(&data) {
+                    Some(r) => (r.status, r.body.len()),
+                    None => (0, 0),
+                };
+                ctx.metrics().record("loadgen.latency_us", latency.as_micros());
+                self.samples.push(Sample {
+                    at: started,
+                    latency,
+                    status,
+                    object,
+                    body_len,
+                });
+                ctx.close(conn);
+            }
+            ConnEvent::Closed(_) => {
+                if let Some((started, object)) = self.inflight.remove(&conn.0) {
+                    ctx.metrics().inc("loadgen.failures", 1);
+                    self.samples.push(Sample {
+                        at: started,
+                        latency: ctx.now().saturating_sub(started),
+                        status: 0,
+                        object,
+                        body_len: 0,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    impl_service_any!();
+}
+
+/// An open-loop update generator: a maintainer pushing small deltas into
+/// packages through the Globe runtime (writes travel the full
+/// moderator-authenticated path).
+pub struct UpdateGen {
+    runtime: GlobeRuntime,
+    /// `(oid, relative update weight)` per object.
+    objects: Vec<(ObjectId, f64)>,
+    /// Total updates per second across all objects.
+    rate: f64,
+    until: SimTime,
+    payload: usize,
+    bound: std::collections::BTreeSet<u128>,
+    /// Writes queued behind a pending bind, per object.
+    pending_bind: std::collections::BTreeMap<u128, u32>,
+    next_arrival: u64,
+    seq: u64,
+    /// Completed update count.
+    pub completed: u64,
+    /// Failed update count.
+    pub failed: u64,
+}
+
+impl UpdateGen {
+    /// Creates an update generator over `objects` (weights proportional
+    /// to each object's update rate), issuing `rate` updates/second
+    /// until `until`, with `payload`-byte file bodies.
+    pub fn new(
+        runtime: GlobeRuntime,
+        objects: Vec<(ObjectId, f64)>,
+        rate: f64,
+        until: SimTime,
+        payload: usize,
+    ) -> UpdateGen {
+        assert!(!objects.is_empty(), "update generator needs objects");
+        assert!(rate > 0.0, "rate must be positive");
+        UpdateGen {
+            runtime,
+            objects,
+            rate,
+            until,
+            payload,
+            bound: std::collections::BTreeSet::new(),
+            pending_bind: std::collections::BTreeMap::new(),
+            next_arrival: 0,
+            seq: 0,
+            completed: 0,
+            failed: 0,
+        }
+    }
+
+    fn schedule_next(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let gap = ctx.rng().gen_exp(1.0 / self.rate);
+        let delay = SimDuration::from_secs_f64(gap);
+        if ctx.now() + delay >= self.until {
+            return;
+        }
+        self.next_arrival += 1;
+        ctx.set_timer(delay, ns_token(GEN_NS, self.next_arrival));
+    }
+
+    fn pick_object(&self, ctx: &mut ServiceCtx<'_>) -> ObjectId {
+        let total: f64 = self.objects.iter().map(|(_, w)| w).sum();
+        let mut u = ctx.rng().gen_f64() * total;
+        for (oid, w) in &self.objects {
+            u -= w;
+            if u <= 0.0 {
+                return *oid;
+            }
+        }
+        self.objects.last().expect("nonempty").0
+    }
+
+    fn write(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId) {
+        self.seq += 1;
+        let inv = PackageControl::add_file(&format!("delta-{}", self.seq % 4), &vec![0xD7; self.payload]);
+        self.runtime.invoke(ctx, oid, inv, self.seq);
+    }
+
+    fn fire(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let oid = self.pick_object(ctx);
+        if self.bound.contains(&oid.0) {
+            self.write(ctx, oid);
+        } else {
+            *self.pending_bind.entry(oid.0).or_insert(0) += 1;
+            // Token encodes the object so the completion can be routed.
+            self.runtime.bind(ctx, oid, oid.0 as u64);
+        }
+        self.schedule_next(ctx);
+        self.drain(ctx);
+    }
+
+    fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
+        loop {
+            let events = self.runtime.take_events();
+            if events.is_empty() {
+                break;
+            }
+            for ev in events {
+                match ev {
+                    RtEvent::BindDone { result, .. } => {
+                        if let Ok(info) = result {
+                            self.bound.insert(info.oid.0);
+                            let queued =
+                                self.pending_bind.remove(&info.oid.0).unwrap_or(0);
+                            for _ in 0..queued {
+                                self.write(ctx, info.oid);
+                            }
+                        } else {
+                            self.failed += 1;
+                        }
+                    }
+                    RtEvent::InvokeDone { result, .. } => {
+                        if result.is_ok() {
+                            self.completed += 1;
+                            ctx.metrics().inc("updategen.ok", 1);
+                        } else {
+                            self.failed += 1;
+                            ctx.metrics().inc("updategen.failed", 1);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+impl Service for UpdateGen {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.schedule_next(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if owns_token(GEN_NS, token) {
+            self.fire(ctx);
+            return;
+        }
+        if self.runtime.handle_timer(ctx, token) {
+            self.drain(ctx);
+        }
+    }
+
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.runtime.handle_datagram(ctx, from, &payload) {
+            self.drain(ctx);
+        }
+    }
+
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match self.runtime.handle_conn_event(ctx, conn, ev) {
+            RtConn::Consumed | RtConn::AppData { .. } => self.drain(ctx),
+            RtConn::NotMine(_) => {}
+        }
+    }
+
+    impl_service_any!();
+}
+
+/// Latency statistics over a sample window.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WindowStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Successful (HTTP 200) samples.
+    pub ok: u64,
+    /// Mean latency of successful samples, milliseconds.
+    pub mean_ms: f64,
+    /// Median latency, milliseconds.
+    pub median_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Summarizes samples within `[from, to)`.
+pub fn window_stats(samples: &[Sample], from: SimTime, to: SimTime) -> WindowStats {
+    let mut lats: Vec<u64> = samples
+        .iter()
+        .filter(|s| s.at >= from && s.at < to && s.status == 200)
+        .map(|s| s.latency.as_micros())
+        .collect();
+    let count = samples.iter().filter(|s| s.at >= from && s.at < to).count() as u64;
+    let ok = lats.len() as u64;
+    if lats.is_empty() {
+        return WindowStats {
+            count,
+            ..WindowStats::default()
+        };
+    }
+    lats.sort_unstable();
+    let mean = lats.iter().sum::<u64>() as f64 / lats.len() as f64;
+    let pick = |q: f64| lats[((lats.len() - 1) as f64 * q) as usize] as f64 / 1000.0;
+    WindowStats {
+        count,
+        ok,
+        mean_ms: mean / 1000.0,
+        median_ms: pick(0.5),
+        p99_ms: pick(0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_stats_basic() {
+        let mk = |at_ms: u64, lat_ms: u64, status: u16| Sample {
+            at: SimTime::from_millis(at_ms),
+            latency: SimDuration::from_millis(lat_ms),
+            status,
+            object: 0,
+            body_len: 0,
+        };
+        let samples = vec![
+            mk(100, 10, 200),
+            mk(200, 20, 200),
+            mk(300, 30, 200),
+            mk(400, 1000, 0),    // failure: excluded from latency stats
+            mk(5000, 999, 200), // outside window
+        ];
+        let w = window_stats(&samples, SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(w.count, 4);
+        assert_eq!(w.ok, 3);
+        assert!((w.mean_ms - 20.0).abs() < 0.01, "{w:?}");
+        assert!((w.median_ms - 20.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_window() {
+        let w = window_stats(&[], SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(w.count, 0);
+        assert_eq!(w.ok, 0);
+        assert_eq!(w.mean_ms, 0.0);
+    }
+}

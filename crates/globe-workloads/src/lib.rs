@@ -1,0 +1,30 @@
+//! Workload synthesis and policy machinery for the GDN experiments.
+//!
+//! The paper's quantitative backing is a trace study
+//! ([Pierre et al. 1999]) showing that per-document replication
+//! scenarios beat any uniform scenario. That trace is not available, so
+//! this crate generates the accepted synthetic equivalent and the
+//! machinery to replay it against a live simulated GDN:
+//!
+//! - [`zipf`] — skewed popularity sampling;
+//! - [`catalog`] — a synthetic package population (popularity ranks,
+//!   update-rate classes, home regions, file sizes);
+//! - [`policy`] — uniform baseline scenario assignments and the
+//!   per-object adaptive assignment (experiment E3);
+//! - [`gens`] — open-loop HTTP request generators and authenticated
+//!   update generators, with windowed latency statistics;
+//! - [`adapt`] — the run-time adaptation controller that grows an
+//!   object's replica set when a region's demand spikes
+//!   (experiment E7).
+
+pub mod adapt;
+pub mod catalog;
+pub mod gens;
+pub mod policy;
+pub mod zipf;
+
+pub use adapt::{AdaptiveController, ManagedObject};
+pub use catalog::{gos_by_region, generate, publish_ops, CatalogEntry, CatalogSpec};
+pub use gens::{window_stats, HttpLoadGen, Sample, UpdateGen, WindowStats};
+pub use policy::{scenario_for, ObjectProfile, ScenarioPolicy};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,200 @@
+//! Replication-scenario assignment policies.
+//!
+//! The heart of the paper's argument (§3.1): no single replication
+//! scenario fits every object; each object should get one matched to its
+//! own popularity and update pattern, as the cited case study
+//! [Pierre et al. 1999] found for web documents. These policies assign
+//! scenarios uniformly (the baselines) or per object (the paper's
+//! position), and experiment E3 compares them.
+
+use gdn_core::Scenario;
+use globe_net::Endpoint;
+use globe_rts::PropagationMode;
+
+/// Per-object inputs to the assignment decision.
+///
+/// The adaptive policy uses these the way Pierre et al.'s trace-driven
+/// selection uses per-document access statistics — here the synthetic
+/// catalog's ground truth plays the role of the analyzed trace.
+#[derive(Clone, Debug)]
+pub struct ObjectProfile {
+    /// Popularity rank (0 = hottest).
+    pub rank: usize,
+    /// Mean updates per simulated hour.
+    pub updates_per_hour: f64,
+    /// The region the object is published from.
+    pub home_region: usize,
+}
+
+/// A scenario-assignment policy.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ScenarioPolicy {
+    /// Every object on one server at its home site (no replication —
+    /// the anonymous-FTP baseline).
+    Central,
+    /// Every object cached at clients with a TTL (the web-proxy
+    /// baseline).
+    UniformCache,
+    /// Every object replicated into every region, master/slave with
+    /// eager push (the mirror-everything baseline).
+    ReplicateAll,
+    /// Per-object choice (the paper's position): hot + stable objects
+    /// replicate everywhere; hot + volatile use invalidation replicas;
+    /// cold objects stay central or cached.
+    Adaptive,
+}
+
+impl ScenarioPolicy {
+    /// All policies, in the order experiment tables report them.
+    pub const ALL: [ScenarioPolicy; 4] = [
+        ScenarioPolicy::Central,
+        ScenarioPolicy::UniformCache,
+        ScenarioPolicy::ReplicateAll,
+        ScenarioPolicy::Adaptive,
+    ];
+
+    /// Short name for report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioPolicy::Central => "central",
+            ScenarioPolicy::UniformCache => "cache-ttl",
+            ScenarioPolicy::ReplicateAll => "replicate-all",
+            ScenarioPolicy::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Rank threshold below which an object counts as "hot" for the
+/// adaptive policy (Zipf mass concentrates in the first few ranks).
+const HOT_RANK: usize = 10;
+/// Update-rate threshold (per hour) above which replicas use
+/// invalidation instead of eager push.
+const VOLATILE_UPDATES: f64 = 2.0;
+
+/// Assigns a scenario to one object under `policy`.
+///
+/// `gos_by_region[r]` lists the object servers of region `r` (first =
+/// regional primary). The home region's primary hosts the master.
+///
+/// # Panics
+///
+/// Panics if the home region has no object server.
+pub fn scenario_for(
+    policy: ScenarioPolicy,
+    profile: &ObjectProfile,
+    gos_by_region: &[Vec<Endpoint>],
+) -> Scenario {
+    let home = gos_by_region[profile.home_region]
+        .first()
+        .copied()
+        .expect("home region must have an object server");
+    let everywhere = || {
+        let mut replicas = vec![home];
+        for (r, list) in gos_by_region.iter().enumerate() {
+            if r != profile.home_region {
+                if let Some(&ep) = list.first() {
+                    replicas.push(ep);
+                }
+            }
+        }
+        replicas
+    };
+    match policy {
+        ScenarioPolicy::Central => Scenario::single(home),
+        ScenarioPolicy::UniformCache => Scenario::cached(home),
+        ScenarioPolicy::ReplicateAll => {
+            Scenario::master_slave(everywhere(), PropagationMode::PushState)
+        }
+        ScenarioPolicy::Adaptive => {
+            let hot = profile.rank < HOT_RANK;
+            let volatile = profile.updates_per_hour > VOLATILE_UPDATES;
+            match (hot, volatile) {
+                // Hot and stable: regional replicas feeding client
+                // caches — repeats are local, fills stay in-region.
+                (true, false) => {
+                    Scenario::cached_replicated(everywhere(), PropagationMode::PushState)
+                }
+                // Hot but changing: replicas everywhere, invalidation
+                // keeps reads fresh without client-cache staleness.
+                (true, true) => Scenario::master_slave(everywhere(), PropagationMode::Invalidate),
+                // Cold and stable: client caches suffice.
+                (false, false) => Scenario::cached(home),
+                // Cold and changing: not worth replicating at all.
+                (false, true) => Scenario::single(home),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use globe_net::HostId;
+    use globe_rts::protocol_id;
+
+    fn gos() -> Vec<Vec<Endpoint>> {
+        vec![
+            vec![Endpoint::new(HostId(0), 700)],
+            vec![Endpoint::new(HostId(10), 700)],
+        ]
+    }
+
+    fn profile(rank: usize, upd: f64) -> ObjectProfile {
+        ObjectProfile {
+            rank,
+            updates_per_hour: upd,
+            home_region: 0,
+        }
+    }
+
+    #[test]
+    fn uniform_policies_ignore_profile() {
+        let g = gos();
+        for p in [profile(0, 100.0), profile(999, 0.0)] {
+            assert_eq!(
+                scenario_for(ScenarioPolicy::Central, &p, &g).replicas.len(),
+                1
+            );
+            assert_eq!(
+                scenario_for(ScenarioPolicy::UniformCache, &p, &g).protocol,
+                protocol_id::CACHE_TTL
+            );
+            assert_eq!(
+                scenario_for(ScenarioPolicy::ReplicateAll, &p, &g)
+                    .replicas
+                    .len(),
+                2
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_differentiates() {
+        let g = gos();
+        let hot_stable = scenario_for(ScenarioPolicy::Adaptive, &profile(0, 0.1), &g);
+        assert_eq!(hot_stable.replicas.len(), 2);
+        assert_eq!(hot_stable.mode, PropagationMode::PushState);
+
+        let hot_volatile = scenario_for(ScenarioPolicy::Adaptive, &profile(0, 50.0), &g);
+        assert_eq!(hot_volatile.mode, PropagationMode::Invalidate);
+
+        let cold_stable = scenario_for(ScenarioPolicy::Adaptive, &profile(40, 0.1), &g);
+        assert_eq!(cold_stable.protocol, protocol_id::CACHE_TTL);
+
+        let cold_volatile = scenario_for(ScenarioPolicy::Adaptive, &profile(40, 50.0), &g);
+        assert_eq!(cold_volatile.protocol, protocol_id::CLIENT_SERVER);
+        assert_eq!(cold_volatile.replicas.len(), 1);
+    }
+
+    #[test]
+    fn master_is_home_region_primary() {
+        let g = gos();
+        let p = ObjectProfile {
+            rank: 0,
+            updates_per_hour: 0.0,
+            home_region: 1,
+        };
+        let s = scenario_for(ScenarioPolicy::ReplicateAll, &p, &g);
+        assert_eq!(s.replicas[0].host, HostId(10));
+    }
+}

@@ -1,0 +1,142 @@
+//! Zipf-distributed sampling.
+//!
+//! Web-object popularity is classically Zipf-like; the paper's case
+//! study [Pierre et al. 1999] rests on exactly the resulting skew: a few
+//! hot documents deserve wide replication, the long tail does not. The
+//! sampler precomputes the CDF and draws by binary search.
+
+use globe_sim::Rng;
+
+/// A sampler over ranks `0..n` with probability `∝ 1/(rank+1)^s`.
+///
+/// # Examples
+///
+/// ```
+/// use globe_sim::Rng;
+/// use globe_workloads::zipf::ZipfSampler;
+///
+/// let z = ZipfSampler::new(100, 1.0);
+/// let mut rng = Rng::new(7);
+/// let mut hits0 = 0;
+/// for _ in 0..1000 {
+///     if z.sample(&mut rng) == 0 {
+///         hits0 += 1;
+///     }
+/// }
+/// assert!(hits0 > 100, "rank 0 must dominate, got {hits0}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.gen_f64();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability mass of `rank`.
+    pub fn mass(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masses_sum_to_one() {
+        let z = ZipfSampler::new(50, 0.9);
+        let total: f64 = (0..50).map(|r| z.mass(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_increases_with_exponent() {
+        let flat = ZipfSampler::new(100, 0.0);
+        let skewed = ZipfSampler::new(100, 1.2);
+        assert!((flat.mass(0) - 0.01).abs() < 1e-9);
+        assert!(skewed.mass(0) > 0.1);
+        assert!(skewed.mass(99) < skewed.mass(0));
+    }
+
+    #[test]
+    fn empirical_frequency_matches_mass() {
+        let z = ZipfSampler::new(10, 1.0);
+        let mut rng = Rng::new(3);
+        let n = 200_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in 0..10 {
+            let emp = counts[r] as f64 / n as f64;
+            let expect = z.mass(r);
+            assert!(
+                (emp - expect).abs() < 0.01,
+                "rank {r}: empirical {emp:.4} vs {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = ZipfSampler::new(3, 2.0);
+        let mut rng = Rng::new(4);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(z.len(), 3);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! A worldwide mirror network: the paper's motivating scenario.
+//!
+//! Linux-distribution-sized packages are published once, replicated into
+//! every region (master/slave), and then hammered by users everywhere.
+//! Compare the wide-area traffic and response times against a
+//! central-server run of the same workload — the paper's argument for
+//! replication (§3.1) in one program.
+//!
+//! Run with: `cargo run --release --example mirror_network`
+
+use globe::gdn::{GdnDeployment, GdnOptions, ModEvent, ModOp, ModeratorTool, Scenario};
+use globe::net::{ports, HostId, NetParams, Topology, World};
+use globe::rts::PropagationMode;
+use globe::sim::{SimDuration, SimTime};
+use globe::workloads::{window_stats, HttpLoadGen};
+
+fn run(replicated: bool) -> (f64, f64, u64) {
+    let topo = Topology::grid(3, 2, 2, 3);
+    let mut world = World::new(topo, NetParams::default(), 7);
+    let gdn = GdnDeployment::install(&mut world, GdnOptions::default());
+
+    // One GOS per region hosts the replicas; packages live in region 0.
+    let region_primaries: Vec<_> = (0..3)
+        .map(|r| {
+            let host = world
+                .topology()
+                .hosts()
+                .find(|&h| world.topology().region_of_host(h).0 == r)
+                .expect("region has hosts");
+            gdn.gos_for(world.topology(), host)
+        })
+        .collect();
+    let scenario = if replicated {
+        Scenario::master_slave(region_primaries.clone(), PropagationMode::PushState)
+    } else {
+        Scenario::single(region_primaries[0])
+    };
+    let packages: Vec<ModOp> = (0..5)
+        .map(|i| ModOp::Publish {
+            name: format!("/os/linux/dist{i}"),
+            description: format!("distribution {i}"),
+            files: vec![("pkg.tar".into(), vec![i as u8; 512 * 1024])],
+            scenario: scenario.clone(),
+        })
+        .collect();
+    let tool = gdn.moderator_tool(world.topology(), HostId(1), "alice", packages);
+    world.add_service(HostId(1), ports::DRIVER, tool);
+    world.start();
+    loop {
+        world.run_for(SimDuration::from_secs(10));
+        let t = world
+            .service::<ModeratorTool>(HostId(1), ports::DRIVER)
+            .expect("tool");
+        if t.results.len() == 5 {
+            assert!(t
+                .results
+                .iter()
+                .all(|r| matches!(r, ModEvent::PublishDone { result: Ok(_), .. })));
+            break;
+        }
+        assert!(world.now() < SimTime::from_secs(600), "publish stalled");
+    }
+
+    let t0 = world.now();
+    let wan0 = wan(&world);
+    let names: Vec<String> = (0..5).map(|i| format!("/os/linux/dist{i}")).collect();
+    let until = t0 + SimDuration::from_secs(180);
+    // One user population per site.
+    let gen_hosts: Vec<HostId> = world
+        .topology()
+        .sites()
+        .filter_map(|s| world.topology().hosts_in_site(s).last().copied())
+        .collect();
+    for h in &gen_hosts {
+        let httpd = gdn.httpd_for(world.topology(), *h);
+        world.add_service(
+            *h,
+            ports::DRIVER + 1,
+            HttpLoadGen::new(httpd, names.clone(), 0.8, 0.2, until, true),
+        );
+    }
+    world.run_until(until + SimDuration::from_secs(60));
+
+    let mut samples = Vec::new();
+    for h in &gen_hosts {
+        samples.extend(
+            world
+                .service::<HttpLoadGen>(*h, ports::DRIVER + 1)
+                .expect("gen")
+                .samples
+                .clone(),
+        );
+    }
+    let w = window_stats(&samples, t0, until);
+    (w.median_ms, w.mean_ms, wan(&world) - wan0)
+}
+
+fn wan(world: &World) -> u64 {
+    let m = world.metrics();
+    m.counter("net.bytes.country") + m.counter("net.bytes.region") + m.counter("net.bytes.world")
+}
+
+fn main() {
+    println!("mirror network: 5 packages x 512 KiB, 12 user sites, 3 regions\n");
+    let (med_c, mean_c, wan_c) = run(false);
+    let (med_r, mean_r, wan_r) = run(true);
+    println!("| deployment | median ms | mean ms | WAN MB |");
+    println!("|---|---|---|---|");
+    println!(
+        "| central server | {med_c:.1} | {mean_c:.1} | {:.1} |",
+        wan_c as f64 / 1e6
+    );
+    println!(
+        "| replica per region | {med_r:.1} | {mean_r:.1} | {:.1} |",
+        wan_r as f64 / 1e6
+    );
+    assert!(
+        med_r < med_c,
+        "replication must cut the median response time"
+    );
+    println!("\nreplication wins: median response {:.1}x lower", med_c / med_r.max(0.001));
+}

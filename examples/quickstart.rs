@@ -1,0 +1,91 @@
+//! Quickstart: stand up a world-spanning GDN, publish one package, and
+//! download it from the other side of the world through a standard
+//! browser — the end-to-end path of paper Figure 3.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use globe::gdn::{Browser, GdnDeployment, GdnOptions, ModEvent, ModOp, ModeratorTool, Scenario};
+use globe::net::{ports, HostId, NetParams, Topology, World};
+use globe::sim::SimDuration;
+
+fn main() {
+    // Two regions, two countries each, two sites per country, three
+    // hosts per site: a small world.
+    let topo = Topology::grid(2, 2, 2, 3);
+    let mut world = World::new(topo, NetParams::default(), 42);
+    let gdn = GdnDeployment::install(&mut world, GdnOptions::default());
+    println!(
+        "installed: {} object servers, {} HTTPDs, GLS over {} domains",
+        gdn.gos_endpoints.len(),
+        gdn.httpd_endpoints.len(),
+        gdn.gls.num_domains()
+    );
+
+    // Moderator alice publishes the Gimp from region 0.
+    let gos = gdn.gos_for(world.topology(), HostId(0));
+    let tool = gdn.moderator_tool(
+        world.topology(),
+        HostId(1),
+        "alice",
+        vec![ModOp::Publish {
+            name: "/apps/graphics/gimp".into(),
+            description: "GNU Image Manipulation Program".into(),
+            files: vec![
+                ("README".into(), b"The GIMP. Free as in freedom.".to_vec()),
+                ("gimp-1.0.tar".into(), vec![0xAB; 300_000]),
+            ],
+            scenario: Scenario::single(gos),
+        }],
+    );
+    world.add_service(HostId(1), ports::DRIVER, tool);
+    world.start();
+    world.run_for(SimDuration::from_secs(30));
+    let tool = world
+        .service::<ModeratorTool>(HostId(1), ports::DRIVER)
+        .expect("moderator tool");
+    match tool.results.first() {
+        Some(ModEvent::PublishDone { result: Ok(oid), .. }) => {
+            println!("published /apps/graphics/gimp as {oid:?}");
+        }
+        other => panic!("publish failed: {other:?}"),
+    }
+
+    // A user in the other region browses and downloads.
+    let user = HostId(13);
+    let access_point = gdn.httpd_for(world.topology(), user);
+    println!(
+        "user on host {} uses access point {} (its site-local GDN-HTTPD)",
+        user.0, access_point
+    );
+    let browser = Browser::new(
+        access_point,
+        vec![
+            "/pkg/apps/graphics/gimp".into(),
+            "/pkg/apps/graphics/gimp?file=README".into(),
+            "/pkg/apps/graphics/gimp?file=gimp-1.0.tar".into(),
+        ],
+    )
+    .keeping_bodies();
+    world.add_service(user, ports::DRIVER, browser);
+    world.run_for(SimDuration::from_secs(120));
+
+    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    for r in &b.results {
+        println!(
+            "GET {:<45} -> {} ({} bytes, {})",
+            r.path, r.status, r.body_len, r.latency
+        );
+    }
+    assert!(b.results.iter().all(|r| r.status == 200));
+    println!(
+        "\nlisting excerpt: {}",
+        String::from_utf8_lossy(&b.results[0].body)
+            .lines()
+            .next()
+            .unwrap_or("")
+    );
+    println!("\nwide-area bytes moved: {}", {
+        let m = world.metrics();
+        m.counter("net.bytes.country") + m.counter("net.bytes.region") + m.counter("net.bytes.world")
+    });
+}

@@ -1,0 +1,85 @@
+//! # Globe Distribution Network — a full reproduction in Rust
+//!
+//! This facade crate re-exports the whole system built for the
+//! reproduction of *The Globe Distribution Network* (Bakker et al.,
+//! USENIX 2000): an application for worldwide distribution of free
+//! software, built on middleware whose distinguishing feature is
+//! **per-object replication** — every distributed shared object carries
+//! its own replication scenario.
+//!
+//! ## Layer map
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`sim`] | deterministic discrete-event kernel (virtual time, RNG, metrics) |
+//! | [`net`] | simulated wide-area network: topology tiers, datagrams, streams, crashes |
+//! | [`crypto`] | SHA-256/HMAC/ChaCha20, Schnorr certificates, the gTLS channel |
+//! | [`gls`] | Globe Location Service: object id → contact addresses, locality-aware |
+//! | [`gns`] | Globe Name Service on a DNS substrate: name → object id |
+//! | [`rts`] | the Globe runtime: DSOs, subobjects, replication protocols, binding, object servers |
+//! | [`gdn`] | the GDN application: package DSOs, HTTPDs, moderator tool, browsers |
+//! | [`workloads`] | Zipf traces, load generators, scenario policies, adaptation |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` — publish a package and download it from
+//! the other side of the (simulated) world:
+//!
+//! ```
+//! use globe::gdn::{Browser, GdnDeployment, GdnOptions, ModOp, Scenario};
+//! use globe::net::{ports, HostId, NetParams, Topology, World};
+//! use globe::sim::SimDuration;
+//!
+//! let topo = Topology::grid(2, 1, 1, 2);
+//! let mut world = World::new(topo, NetParams::default(), 7);
+//! let gdn = GdnDeployment::install(&mut world, GdnOptions::default());
+//!
+//! let gos = gdn.gos_endpoints[0];
+//! let tool = gdn.moderator_tool(
+//!     world.topology(),
+//!     HostId(1),
+//!     "alice",
+//!     vec![ModOp::Publish {
+//!         name: "/apps/hello".into(),
+//!         description: "hello".into(),
+//!         files: vec![("hello.txt".into(), b"hi world".to_vec())],
+//!         scenario: Scenario::single(gos),
+//!     }],
+//! );
+//! world.add_service(HostId(1), ports::DRIVER, tool);
+//! world.start();
+//! world.run_for(SimDuration::from_secs(30));
+//!
+//! let user = HostId(3);
+//! let httpd = gdn.httpd_for(world.topology(), user);
+//! let browser = Browser::new(httpd, vec!["/pkg/apps/hello?file=hello.txt".into()])
+//!     .keeping_bodies();
+//! world.add_service(user, ports::DRIVER, browser);
+//! world.run_for(SimDuration::from_secs(60));
+//! let b = world.service::<Browser>(user, ports::DRIVER).unwrap();
+//! assert_eq!(b.results[0].body, b"hi world");
+//! ```
+
+/// Deterministic simulation kernel.
+pub use globe_sim as sim;
+
+/// Simulated wide-area network and service runtime.
+pub use globe_net as net;
+
+/// Cryptography substrate and the gTLS secure channel.
+pub use globe_crypto as crypto;
+
+/// The Globe Location Service.
+pub use globe_gls as gls;
+
+/// The Globe Name Service and its DNS substrate.
+pub use globe_gns as gns;
+
+/// The Globe runtime: distributed shared objects and object servers.
+pub use globe_rts as rts;
+
+/// The GDN application.
+pub use gdn_core as gdn;
+
+/// Workload synthesis and replication policies.
+pub use globe_workloads as workloads;

@@ -1,0 +1,184 @@
+//! Repository-level integration test: the complete system through the
+//! facade crate, exactly as a downstream user would drive it.
+
+use globe::gdn::{Browser, GdnDeployment, GdnOptions, ModEvent, ModOp, ModeratorTool, Scenario};
+use globe::gls::GlsConfig;
+use globe::net::{ports, HostId, NetParams, Topology, World};
+use globe::rts::PropagationMode;
+use globe::sim::SimDuration;
+
+#[test]
+fn full_stack_publish_replicate_browse() {
+    let topo = Topology::grid(2, 2, 2, 3);
+    let mut world = World::new(topo, NetParams::default(), 11);
+    let gdn = GdnDeployment::install(&mut world, GdnOptions::default());
+
+    let gos_r0 = gdn.gos_for(world.topology(), HostId(0));
+    let gos_r1 = gdn.gos_for(world.topology(), HostId(12));
+    let tool = gdn.moderator_tool(
+        world.topology(),
+        HostId(1),
+        "alice",
+        vec![
+            ModOp::Publish {
+                name: "/apps/graphics/gimp".into(),
+                description: "image editor".into(),
+                files: vec![("pkg.tar".into(), vec![1u8; 50_000])],
+                scenario: Scenario::master_slave(
+                    vec![gos_r0, gos_r1],
+                    PropagationMode::PushState,
+                ),
+            },
+            ModOp::Publish {
+                name: "/os/linux/kernel".into(),
+                description: "the kernel".into(),
+                files: vec![("pkg.tar".into(), vec![2u8; 80_000])],
+                scenario: Scenario::cached(gos_r0),
+            },
+        ],
+    );
+    world.add_service(HostId(1), ports::DRIVER, tool);
+    world.start();
+    world.run_for(SimDuration::from_secs(60));
+    let t = world
+        .service::<ModeratorTool>(HostId(1), ports::DRIVER)
+        .expect("tool");
+    assert_eq!(t.results.len(), 2, "{:?}", t.results);
+    assert!(t
+        .results
+        .iter()
+        .all(|r| matches!(r, ModEvent::PublishDone { result: Ok(_), .. })));
+
+    // Browse both packages from both regions.
+    for (user, port) in [(HostId(4), 9100u16), (HostId(13), 9100)] {
+        let httpd = gdn.httpd_for(world.topology(), user);
+        let browser = Browser::new(
+            httpd,
+            vec![
+                "/pkg/apps/graphics/gimp".into(),
+                "/pkg/apps/graphics/gimp?file=pkg.tar".into(),
+                "/pkg/os/linux/kernel?file=pkg.tar".into(),
+            ],
+        );
+        world.add_service(user, port, browser);
+    }
+    world.run_for(SimDuration::from_secs(120));
+    for user in [HostId(4), HostId(13)] {
+        let b = world.service::<Browser>(user, 9100).expect("browser");
+        assert!(b.done(), "user {user:?}: {:?}", b.results);
+        assert!(
+            b.results.iter().all(|r| r.status == 200),
+            "user {user:?}: {:?}",
+            b.results
+                .iter()
+                .map(|r| (r.path.clone(), r.status))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(b.results[1].body_len, 50_000);
+        assert_eq!(b.results[2].body_len, 80_000);
+    }
+}
+
+#[test]
+fn replica_crash_heals_via_rebind() {
+    // A replicated package stays available when the nearest replica's
+    // host dies: once the dead replica's GLS lease expires, the HTTPD's
+    // re-bind resolves to a surviving replica.
+    let topo = Topology::grid(2, 1, 2, 3);
+    let gos_hosts: Vec<HostId> = topo
+        .sites()
+        .filter_map(|s| topo.hosts_in_site(s).get(1).copied())
+        .collect();
+    let mut world = World::new(topo, NetParams::default(), 13);
+    let gdn = GdnDeployment::install(
+        &mut world,
+        GdnOptions {
+            gos_hosts,
+            gls: GlsConfig::default()
+                .with_persistence()
+                .with_address_ttl(SimDuration::from_secs(20)),
+            ..GdnOptions::default()
+        },
+    );
+    let replicas = vec![gdn.gos_endpoints[0], gdn.gos_endpoints[2]];
+    let tool = gdn.moderator_tool(
+        world.topology(),
+        HostId(2),
+        "alice",
+        vec![ModOp::Publish {
+            name: "/apps/vital".into(),
+            description: "must stay up".into(),
+            files: vec![("pkg.tar".into(), vec![5u8; 10_000])],
+            scenario: Scenario::master_slave(replicas.clone(), PropagationMode::PushState),
+        }],
+    );
+    world.add_service(HostId(2), ports::DRIVER, tool);
+    world.start();
+    world.run_for(SimDuration::from_secs(30));
+
+    // Fetch once (binds the HTTPD to its choice of replica).
+    let user = HostId(11);
+    let httpd = gdn.httpd_for(world.topology(), user);
+    world.add_service(
+        user,
+        9100,
+        Browser::new(httpd, vec!["/pkg/apps/vital?file=pkg.tar".into()]),
+    );
+    world.run_for(SimDuration::from_secs(30));
+    assert_eq!(
+        world.service::<Browser>(user, 9100).expect("browser").results[0].status,
+        200
+    );
+
+    // Kill the slave in the user's own region; wait out its GLS lease
+    // (the crashed server stops refreshing), then fetch again.
+    world.crash_host(replicas[1].host);
+    world.run_for(SimDuration::from_secs(25));
+    world.add_service(
+        user,
+        9101,
+        Browser::new(httpd, vec!["/pkg/apps/vital?file=pkg.tar".into()]),
+    );
+    world.run_for(SimDuration::from_secs(60));
+    let b = world.service::<Browser>(user, 9101).expect("browser");
+    assert_eq!(
+        b.results[0].status, 200,
+        "fetch must heal via rebind: {:?}",
+        b.results
+    );
+}
+
+#[test]
+fn deterministic_replay() {
+    // Identical seeds give bit-identical metrics — the reproducibility
+    // guarantee every experiment in EXPERIMENTS.md rests on.
+    let run = |seed: u64| {
+        let topo = Topology::grid(2, 1, 1, 2);
+        let mut world = World::new(topo, NetParams::default(), seed);
+        let gdn = GdnDeployment::install(&mut world, GdnOptions::default());
+        let tool = gdn.moderator_tool(
+            world.topology(),
+            HostId(1),
+            "alice",
+            vec![ModOp::Publish {
+                name: "/apps/x".into(),
+                description: "x".into(),
+                files: vec![("pkg.tar".into(), vec![3u8; 5_000])],
+                scenario: Scenario::single(gdn.gos_endpoints[0]),
+            }],
+        );
+        world.add_service(HostId(1), ports::DRIVER, tool);
+        world.start();
+        world.run_for(SimDuration::from_secs(60));
+        let httpd = gdn.httpd_for(world.topology(), HostId(3));
+        world.add_service(
+            HostId(3),
+            9100,
+            Browser::new(httpd, vec!["/pkg/apps/x?file=pkg.tar".into()]),
+        );
+        world.run_for(SimDuration::from_secs(60));
+        format!("{:?}", world.metrics().counters().collect::<Vec<_>>())
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}
