@@ -92,7 +92,9 @@ fn bench_gtls_records(c: &mut Criterion) {
             TlsSession::server(TlsConfig::server_auth(mode, server.clone(), roots.clone()))
         };
         let out = ss.on_message(&hello, &mut rng).expect("sh");
-        let out = cs.on_message(&out.replies[0], &mut rng).expect("established");
+        let out = cs
+            .on_message(&out.replies[0], &mut rng)
+            .expect("established");
         for reply in out.replies {
             ss.on_message(&reply, &mut rng).expect("cf");
         }

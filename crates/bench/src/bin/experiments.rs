@@ -77,7 +77,11 @@ fn e1_gls_locality() {
     world.add_service(
         HostId(2),
         ports::DRIVER,
-        GlsDriver::new(Arc::clone(&deploy), HostId(2), vec![GlsOp::Insert(oid, grp_addr(HostId(0)))]),
+        GlsDriver::new(
+            Arc::clone(&deploy),
+            HostId(2),
+            vec![GlsOp::Insert(oid, grp_addr(HostId(0)))],
+        ),
     );
     world.start();
     world.run_for(SimDuration::from_secs(5));
@@ -100,7 +104,9 @@ fn e1_gls_locality() {
     let rows: Vec<Vec<String>> = clients
         .iter()
         .map(|&(label, h)| {
-            let d = world.service::<GlsDriver>(h, ports::DRIVER).expect("driver");
+            let d = world
+                .service::<GlsDriver>(h, ports::DRIVER)
+                .expect("driver");
             let (hops, lat) = d.lookups[0];
             vec![
                 label.to_owned(),
@@ -112,7 +118,12 @@ fn e1_gls_locality() {
         .collect();
     print_table(
         "E1 — GLS lookup cost vs distance to nearest replica",
-        &["client location", "tree distance", "directory hops", "latency (ms)"],
+        &[
+            "client location",
+            "tree distance",
+            "directory hops",
+            "latency (ms)",
+        ],
         &rows,
     );
 }
@@ -168,7 +179,13 @@ fn e2_gls_partition() {
     }
     print_table(
         "E2 — root directory-node partitioning (hash over object ids)",
-        &["subnodes", "total root requests", "max per subnode", "mean per subnode", "max/mean"],
+        &[
+            "subnodes",
+            "total root requests",
+            "max per subnode",
+            "mean per subnode",
+            "max/mean",
+        ],
         &rows,
     );
 }
@@ -177,11 +194,11 @@ fn e2_gls_partition() {
 /// every uniform scenario on wide-area traffic AND response time.
 fn e3_per_object_replication() {
     let mut results: Vec<(ScenarioPolicy, Vec<String>)> = Vec::new();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = ScenarioPolicy::ALL
             .iter()
             .map(|&policy| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let row = run_policy(policy);
                     (policy, row)
                 })
@@ -190,8 +207,7 @@ fn e3_per_object_replication() {
         for h in handles {
             results.push(h.join().expect("policy run"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     results.sort_by_key(|(p, _)| ScenarioPolicy::ALL.iter().position(|x| x == p));
     let rows: Vec<Vec<String>> = results.into_iter().map(|(_, row)| row).collect();
     print_table(
@@ -209,7 +225,8 @@ fn run_policy(policy: ScenarioPolicy) -> Vec<String> {
         hot_update_rate: 60.0, // one update per minute on volatile packages
         ..CatalogSpec::default()
     };
-    let catalog = globe_workloads::generate(&spec, world.topology(), &mut globe_sim::Rng::new(SEED));
+    let catalog =
+        globe_workloads::generate(&spec, world.topology(), &mut globe_sim::Rng::new(SEED));
     let oids = publish_catalog(&mut world, &gdn, &catalog, policy, HostId(1));
     let publish_done = world.now();
     let wan_setup = wan_bytes(&world);
@@ -286,25 +303,54 @@ fn moderator_runtime(gdn: &gdn_core::GdnDeployment, host: HostId) -> globe_rts::
         accept_incoming: false,
         cache_ttl: gdn.cache_ttl,
         writer_roles: RuntimeConfig::default_writer_roles(),
-            open_writes: false,
+        open_writes: false,
         persist: false,
     };
-    GlobeRuntime::new(cfg, Arc::clone(&gdn.repo), Arc::clone(&gdn.gls), host, 0x0400)
+    GlobeRuntime::new(
+        cfg,
+        Arc::clone(&gdn.repo),
+        Arc::clone(&gdn.gls),
+        host,
+        0x0400,
+    )
 }
 
 /// E4 — paper §3.3/§7: protocol trade-offs across read/write mixes.
 fn e4_protocol_tradeoff() {
     let mut rows = Vec::new();
     for (label, protocol, mode, replicate) in [
-        ("client/server", protocol_id::CLIENT_SERVER, PropagationMode::PushState, false),
-        ("master/slave push", protocol_id::MASTER_SLAVE, PropagationMode::PushState, true),
-        ("master/slave invalidate", protocol_id::MASTER_SLAVE, PropagationMode::Invalidate, true),
-        ("active", protocol_id::ACTIVE, PropagationMode::ApplyOps, true),
+        (
+            "client/server",
+            protocol_id::CLIENT_SERVER,
+            PropagationMode::PushState,
+            false,
+        ),
+        (
+            "master/slave push",
+            protocol_id::MASTER_SLAVE,
+            PropagationMode::PushState,
+            true,
+        ),
+        (
+            "master/slave invalidate",
+            protocol_id::MASTER_SLAVE,
+            PropagationMode::Invalidate,
+            true,
+        ),
+        (
+            "active",
+            protocol_id::ACTIVE,
+            PropagationMode::ApplyOps,
+            true,
+        ),
     ] {
         for write_pct in [0u32, 5, 20, 50] {
             let topo = Topology::grid(2, 1, 1, 3);
-            let (mut world, gdn) =
-                gdn_world(topo, GdnOptions::default(), SEED ^ (protocol as u64) << (8 + write_pct));
+            let (mut world, gdn) = gdn_world(
+                topo,
+                GdnOptions::default(),
+                SEED ^ (protocol as u64) << (8 + write_pct),
+            );
             let gos0 = gdn.gos_endpoints[0];
             let gos1 = gdn.gos_endpoints[1];
             let scenario = if replicate {
@@ -336,7 +382,9 @@ fn e4_protocol_tradeoff() {
                 .results
                 .first()
             {
-                Some(gdn_core::ModEvent::PublishDone { result: Ok(oid), .. }) => *oid,
+                Some(gdn_core::ModEvent::PublishDone {
+                    result: Ok(oid), ..
+                }) => *oid,
                 other => panic!("publish failed: {other:?}"),
             };
             // One generator per region, invoking directly.
@@ -376,7 +424,15 @@ fn e4_protocol_tradeoff() {
     }
     print_table(
         "E4 — replication-protocol trade-offs vs write fraction (2 regions, 16 KB object)",
-        &["protocol", "writes", "read mean (ms)", "write mean (ms)", "WAN MB", "stale reads", "ops"],
+        &[
+            "protocol",
+            "writes",
+            "read mean (ms)",
+            "write mean (ms)",
+            "WAN MB",
+            "stale reads",
+            "ops",
+        ],
         &rows,
     );
 }
@@ -424,10 +480,14 @@ fn e5_tls_overhead() {
         // 10 sequential 1 MB downloads from the far region.
         let user = HostId(5);
         let httpd = gdn.httpd_for(world.topology(), user);
-        let fetches: Vec<String> = (0..10).map(|_| "/pkg/apps/big?file=pkg.tar".into()).collect();
+        let fetches: Vec<String> = (0..10)
+            .map(|_| "/pkg/apps/big?file=pkg.tar".into())
+            .collect();
         world.add_service(user, ports::DRIVER, Browser::new(httpd, fetches));
         world.run_for(SimDuration::from_secs(600));
-        let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+        let b = world
+            .service::<Browser>(user, ports::DRIVER)
+            .expect("browser");
         assert!(b.done(), "downloads incomplete under {mode:?}");
         assert!(
             b.results.iter().all(|r| r.status == 200),
@@ -449,7 +509,13 @@ fn e5_tls_overhead() {
     }
     print_table(
         "E5 — channel security modes, 1 MB downloads across one region (10 fetches)",
-        &["mode", "first fetch (ms)", "median fetch (ms)", "throughput (MB/s)", "publish (s)"],
+        &[
+            "mode",
+            "first fetch (ms)",
+            "median fetch (ms)",
+            "throughput (MB/s)",
+            "publish (s)",
+        ],
         &rows,
     );
 }
@@ -513,7 +579,9 @@ fn e6_gns_caching() {
             ),
         );
         world.run_for(SimDuration::from_secs(400));
-        let d = world.service::<PacedResolver>(user, ports::DRIVER).expect("driver");
+        let d = world
+            .service::<PacedResolver>(user, ports::DRIVER)
+            .expect("driver");
         assert_eq!(d.latencies.len(), 100, "resolutions incomplete");
         let cold = d.latencies[0];
         let mut warm: Vec<u64> = d.latencies[10..].iter().map(|l| l.as_micros()).collect();
@@ -533,7 +601,14 @@ fn e6_gns_caching() {
     }
     print_table(
         "E6 — GNS/DNS caching: 10 rounds of 10 name resolutions, 30 s apart, one site",
-        &["record TTL (s)", "cold resolve (ms)", "median warm (ms)", "authoritative queries", "resolver cache hits", "update batches"],
+        &[
+            "record TTL (s)",
+            "cold resolve (ms)",
+            "median warm (ms)",
+            "authoritative queries",
+            "resolver cache hits",
+            "update batches",
+        ],
         &rows,
     );
 }
@@ -586,7 +661,9 @@ impl PacedResolver {
 
     fn drain(&mut self) {
         for ev in self.gns.take_events() {
-            let globe_gns::GnsEvent::Resolved { result, latency, .. } = ev;
+            let globe_gns::GnsEvent::Resolved {
+                result, latency, ..
+            } = ev;
             assert!(result.is_ok(), "resolution failed: {result:?}");
             self.latencies.push(latency);
         }
@@ -638,7 +715,13 @@ fn e7_flash_crowd() {
         for e in &mut catalog {
             e.home_region = 0; // everything published in region 0
         }
-        let oids = publish_catalog(&mut world, &gdn, &catalog, ScenarioPolicy::Central, HostId(1));
+        let oids = publish_catalog(
+            &mut world,
+            &gdn,
+            &catalog,
+            ScenarioPolicy::Central,
+            HostId(1),
+        );
         let t0 = world.now();
 
         // Background load from region 1, then a flash crowd on pkg0.
@@ -690,10 +773,19 @@ fn e7_flash_crowd() {
                 .samples
                 .clone(),
         );
-        let early = window_stats(&samples, crowd_start, crowd_start + SimDuration::from_secs(60));
+        let early = window_stats(
+            &samples,
+            crowd_start,
+            crowd_start + SimDuration::from_secs(60),
+        );
         let late = window_stats(&samples, end - SimDuration::from_secs(60), end);
         rows.push(vec![
-            if adaptive { "adaptive" } else { "static central" }.to_owned(),
+            if adaptive {
+                "adaptive"
+            } else {
+                "static central"
+            }
+            .to_owned(),
             format!("{:.1}", early.median_ms),
             format!("{:.1}", late.median_ms),
             world.metrics().counter("adapt.replicas_added").to_string(),
@@ -702,7 +794,13 @@ fn e7_flash_crowd() {
     }
     print_table(
         "E7 — flash crowd on one package (region 1 crowd, master in region 0)",
-        &["run", "crowd median early (ms)", "crowd median late (ms)", "replicas added", "WAN MB"],
+        &[
+            "run",
+            "crowd median early (ms)",
+            "crowd median late (ms)",
+            "replicas added",
+            "WAN MB",
+        ],
         &rows,
     );
 }
@@ -803,7 +901,13 @@ fn e8_availability() {
     }
     print_table(
         "E8 — availability under rolling replica crashes (each replica down 1/3 of the time)",
-        &["replicas", "requests", "success rate", "median (ms)", "p99 (ms)"],
+        &[
+            "replicas",
+            "requests",
+            "success rate",
+            "median (ms)",
+            "p99 (ms)",
+        ],
         &rows,
     );
 }
@@ -834,7 +938,9 @@ fn e9_binding_cost() {
     let fetches: Vec<String> = (0..5).map(|_| "/pkg/apps/e9?file=pkg.tar".into()).collect();
     world.add_service(user, ports::DRIVER, Browser::new(httpd_ep, fetches));
     world.run_for(SimDuration::from_secs(300));
-    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    let b = world
+        .service::<Browser>(user, ports::DRIVER)
+        .expect("browser");
     assert!(b.done());
     let httpd = world
         .service::<GdnHttpd>(httpd_ep.host, httpd_ep.port)
@@ -850,7 +956,11 @@ fn e9_binding_cost() {
         ],
         vec![
             "steady state (median of 3..5)".to_owned(),
-            ms(b.results[2..].iter().map(|r| r.latency).min().expect("fetches")),
+            ms(b.results[2..]
+                .iter()
+                .map(|r| r.latency)
+                .min()
+                .expect("fetches")),
         ],
         vec![
             "HTTPD name-cache hits".to_owned(),
@@ -872,8 +982,11 @@ fn e9_binding_cost() {
 fn e10_scale() {
     let mut rows = Vec::new();
     for n in [200usize, 1000, 3000] {
-        let (mut world, deploy) =
-            gls_world(Topology::grid(2, 2, 2, 3), GlsConfig::default().with_root_subnodes(4), SEED ^ n as u64);
+        let (mut world, deploy) = gls_world(
+            Topology::grid(2, 2, 2, 3),
+            GlsConfig::default().with_root_subnodes(4),
+            SEED ^ n as u64,
+        );
         // Register n objects spread over all sites.
         let hosts: Vec<HostId> = driver_hosts(world.topology());
         let mut scripts: Vec<Vec<GlsOp>> = vec![Vec::new(); hosts.len()];
@@ -885,7 +998,11 @@ fn e10_scale() {
             ));
         }
         for (i, script) in scripts.into_iter().enumerate() {
-            world.add_service(hosts[i], ports::DRIVER, GlsDriver::new(Arc::clone(&deploy), hosts[i], script));
+            world.add_service(
+                hosts[i],
+                ports::DRIVER,
+                GlsDriver::new(Arc::clone(&deploy), hosts[i], script),
+            );
         }
         world.start();
         world.run_for(SimDuration::from_secs(1200));
@@ -926,7 +1043,12 @@ fn e10_scale() {
     }
     print_table(
         "E10 — GLS scale: lookup cost and root state vs object population",
-        &["objects", "mean lookup (ms)", "mean hops", "root entries (all subnodes)"],
+        &[
+            "objects",
+            "mean lookup (ms)",
+            "mean hops",
+            "root entries (all subnodes)",
+        ],
         &rows,
     );
 }

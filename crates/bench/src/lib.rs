@@ -6,13 +6,12 @@
 
 use std::sync::Arc;
 
-use gdn_core::{GdnDeployment, GdnOptions, ModEvent, ModeratorTool, PackageControl};
-use globe_gls::{
-    ContactAddress, GlsClient, GlsConfig, GlsDeployment, GlsEvent, Level, ObjectId,
-};
+use gdn_core::package::{AddFile, PackageInterface};
+use gdn_core::{GdnDeployment, GdnOptions, ModEvent, ModeratorTool};
+use globe_gls::{ContactAddress, GlsClient, GlsConfig, GlsDeployment, GlsEvent, Level, ObjectId};
 use globe_net::{
-    impl_service_any, ns_token, owns_token, ports, ConnEvent, ConnId, Endpoint, HostId,
-    NetParams, Service, ServiceCtx, Topology, World,
+    impl_service_any, ns_token, owns_token, ports, ConnEvent, ConnId, Endpoint, HostId, NetParams,
+    Service, ServiceCtx, Topology, World,
 };
 use globe_rts::{GlobeRuntime, RtConn, RtEvent};
 use globe_sim::{SimDuration, SimTime};
@@ -22,7 +21,10 @@ use globe_workloads::{CatalogEntry, ScenarioPolicy};
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -160,8 +162,7 @@ pub fn publish_catalog(
     policy: ScenarioPolicy,
     driver_host: HostId,
 ) -> Vec<(usize, ObjectId)> {
-    let gos_by_region =
-        globe_workloads::gos_by_region(world.topology(), &gdn.gos_endpoints);
+    let gos_by_region = globe_workloads::gos_by_region(world.topology(), &gdn.gos_endpoints);
     let ops = globe_workloads::publish_ops(catalog, policy, &gos_by_region);
     let n = ops.len();
     let tool = gdn.moderator_tool(world.topology(), driver_host, "bench", ops);
@@ -261,9 +262,12 @@ impl InvokeGen {
         let write = ctx.rng().gen_bool(self.write_fraction);
         self.seq += 1;
         let inv = if write {
-            PackageControl::add_file("delta", &[0xEE; 512])
+            PackageInterface::ADD_FILE.invocation(&AddFile {
+                name: "delta".into(),
+                data: vec![0xEE; 512],
+            })
         } else {
-            PackageControl::list_contents()
+            PackageInterface::LIST_CONTENTS.invocation(&())
         };
         self.started.insert(self.seq, (ctx.now(), write));
         let (oid, seq) = (self.oid, self.seq);
@@ -287,9 +291,7 @@ impl InvokeGen {
                     RtEvent::InvokeDone { token, result } => {
                         if let Some((at, write)) = self.started.remove(&token) {
                             match result {
-                                Ok(_) => self
-                                    .done
-                                    .push((ctx.now().saturating_sub(at), write)),
+                                Ok(_) => self.done.push((ctx.now().saturating_sub(at), write)),
                                 Err(_) => self.failures += 1,
                             }
                         }

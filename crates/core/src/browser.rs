@@ -100,7 +100,8 @@ impl Service for Browser {
                     return;
                 };
                 let latency = ctx.now().saturating_sub(inflight.started);
-                ctx.metrics().record("browser.fetch_us", latency.as_micros());
+                ctx.metrics()
+                    .record("browser.fetch_us", latency.as_micros());
                 let (status, body) = match HttpResponse::parse(&data) {
                     Some(resp) => (resp.status, resp.body),
                     None => (0, Vec::new()),

@@ -1,0 +1,312 @@
+//! The catalog DSO: a package index that is itself a distributed shared
+//! object.
+//!
+//! The paper's premise is that *any* application object can be a DSO
+//! with its own replication scenario (§3.1); superdistribution-style
+//! cataloging of the GDN's contents is the natural second class. A
+//! catalog maps package Globe names to descriptions so users can browse
+//! and search what a site distributes without knowing names up front —
+//! the GDN-HTTPD renders it at `/catalog/<catalog-name>` with links into
+//! `/pkg/...`.
+//!
+//! The access pattern is read-heavy (every browse is a read; only
+//! moderators register packages), so catalogs are usually published
+//! under a cache-proxy scenario ([`crate::modtool::Scenario::cached`]):
+//! each access point serves searches from its local TTL copy.
+//!
+//! The whole class is this one file: typed argument/result structs, the
+//! semantics subobject, and one [`globe_rts::dso_interface!`]
+//! declaration — the interface layer derives the rest.
+
+use std::collections::BTreeMap;
+
+use globe_rts::interface::{DsoInterface, DsoState};
+use globe_rts::{dso_interface, wire_struct, ImplId, Invocation, SemError};
+
+use crate::modtool::{ModOp, Scenario};
+
+/// The catalog class's identifier in the implementation repository.
+pub const CATALOG_IMPL: ImplId = <CatalogInterface as DsoInterface>::IMPL;
+
+wire_struct! {
+    /// One cataloged package: `register` arguments and listing element.
+    pub struct CatalogEntry {
+        /// The package's Globe object name, e.g. `/apps/graphics/gimp`.
+        pub name: String,
+        /// Human-readable description shown in listings.
+        pub description: String,
+    }
+}
+
+wire_struct! {
+    /// `unregister` arguments.
+    pub struct Unregister {
+        /// The package name to drop from the index.
+        pub name: String,
+    }
+}
+
+wire_struct! {
+    /// `search` arguments.
+    pub struct Query {
+        /// Case-insensitive substring matched against names and
+        /// descriptions.
+        pub term: String,
+    }
+}
+
+/// The catalog semantics subobject: a keyed index of package entries.
+#[derive(Default)]
+pub struct CatalogDso {
+    entries: BTreeMap<String, String>,
+}
+
+impl CatalogDso {
+    /// Creates an empty catalog.
+    pub fn new() -> CatalogDso {
+        CatalogDso::default()
+    }
+
+    /// Number of cataloged packages (direct inspection for tests).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    // Typed method handlers, dispatched by the interface declaration
+    // below.
+
+    fn register(&mut self, args: CatalogEntry) -> Result<(), SemError> {
+        self.entries.insert(args.name, args.description);
+        Ok(())
+    }
+
+    fn unregister(&mut self, args: Unregister) -> Result<(), SemError> {
+        if self.entries.remove(&args.name).is_none() {
+            return Err(SemError::Application(format!(
+                "no catalog entry {:?}",
+                args.name
+            )));
+        }
+        Ok(())
+    }
+
+    fn list(&mut self, _args: ()) -> Result<Vec<CatalogEntry>, SemError> {
+        Ok(self
+            .entries
+            .iter()
+            .map(|(name, description)| CatalogEntry {
+                name: name.clone(),
+                description: description.clone(),
+            })
+            .collect())
+    }
+
+    fn search(&mut self, args: Query) -> Result<Vec<CatalogEntry>, SemError> {
+        let term = args.term.to_ascii_lowercase();
+        Ok(self
+            .entries
+            .iter()
+            .filter(|(name, description)| {
+                name.to_ascii_lowercase().contains(&term)
+                    || description.to_ascii_lowercase().contains(&term)
+            })
+            .map(|(name, description)| CatalogEntry {
+                name: name.clone(),
+                description: description.clone(),
+            })
+            .collect())
+    }
+}
+
+impl DsoState for CatalogDso {
+    fn save(&self) -> Vec<u8> {
+        use globe_net::WireWriter;
+        let mut w = WireWriter::new();
+        w.put_u32(self.entries.len() as u32);
+        for (name, description) in &self.entries {
+            w.put_str(name);
+            w.put_str(description);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &[u8]) -> Result<(), SemError> {
+        use globe_net::{WireError, WireReader};
+        let parse = || -> Result<BTreeMap<String, String>, WireError> {
+            let mut r = WireReader::new(state);
+            let n = r.u32()?;
+            if n > 1_000_000 {
+                return Err(WireError::TooLarge);
+            }
+            let mut entries = BTreeMap::new();
+            for _ in 0..n {
+                let name = r.str()?.to_owned();
+                let description = r.str()?.to_owned();
+                entries.insert(name, description);
+            }
+            r.expect_end()?;
+            Ok(entries)
+        };
+        self.entries = parse().map_err(|_| SemError::BadState)?;
+        Ok(())
+    }
+}
+
+dso_interface! {
+    /// The catalog DSO interface: register/list/search, read-heavy.
+    pub interface CatalogInterface {
+        class: "gdn-catalog",
+        impl_id: 11,
+        semantics: CatalogDso,
+        methods: {
+            /// Adds (or replaces) a catalog entry. Write.
+            1 => write REGISTER/register(CatalogEntry) -> (),
+            /// Drops a catalog entry. Write.
+            2 => write UNREGISTER/unregister(Unregister) -> (),
+            /// Lists every cataloged package. Read.
+            3 => read LIST/list(()) -> Vec<CatalogEntry>,
+            /// Searches names and descriptions. Read.
+            4 => read SEARCH/search(Query) -> Vec<CatalogEntry>,
+        }
+    }
+}
+
+/// Builds the moderator operation publishing a catalog under `name`
+/// with the given initial entries and replication scenario — the
+/// one-liner that turns "add a DSO class" into deployment reality.
+pub fn catalog_publish_op(name: &str, entries: Vec<CatalogEntry>, scenario: Scenario) -> ModOp {
+    let fill: Vec<Invocation> = entries
+        .iter()
+        .map(|e| CatalogInterface::REGISTER.invocation(e))
+        .collect();
+    ModOp::PublishObject {
+        name: name.to_owned(),
+        impl_id: CATALOG_IMPL,
+        scenario,
+        fill,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use globe_rts::{MethodId, MethodKind, SemanticsObject};
+
+    fn entry(name: &str, description: &str) -> CatalogEntry {
+        CatalogEntry {
+            name: name.into(),
+            description: description.into(),
+        }
+    }
+
+    fn fill() -> CatalogDso {
+        let mut c = CatalogDso::new();
+        for e in [
+            entry("/apps/graphics/gimp", "GNU Image Manipulation Program"),
+            entry("/apps/editors/emacs", "the extensible editor"),
+            entry("/os/linux/slackware", "a Linux distribution"),
+        ] {
+            c.dispatch(&CatalogInterface::REGISTER.invocation(&e))
+                .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn register_list_search_unregister() {
+        let mut c = fill();
+        assert_eq!(c.len(), 3);
+
+        let raw = c.dispatch(&CatalogInterface::LIST.invocation(&())).unwrap();
+        let all = CatalogInterface::LIST.decode_result(&raw).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].name, "/apps/editors/emacs");
+
+        let raw = c
+            .dispatch(&CatalogInterface::SEARCH.invocation(&Query { term: "GNU".into() }))
+            .unwrap();
+        let hits = CatalogInterface::SEARCH.decode_result(&raw).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "/apps/graphics/gimp");
+
+        // Search is case-insensitive over names too.
+        let raw = c
+            .dispatch(&CatalogInterface::SEARCH.invocation(&Query {
+                term: "LINUX".into(),
+            }))
+            .unwrap();
+        assert_eq!(
+            CatalogInterface::SEARCH.decode_result(&raw).unwrap().len(),
+            1
+        );
+
+        c.dispatch(&CatalogInterface::UNREGISTER.invocation(&Unregister {
+            name: "/apps/editors/emacs".into(),
+        }))
+        .unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c
+            .dispatch(&CatalogInterface::UNREGISTER.invocation(&Unregister {
+                name: "/apps/editors/emacs".into(),
+            }))
+            .is_err());
+    }
+
+    #[test]
+    fn state_transfer_preserves_index() {
+        let a = fill();
+        let mut b = CatalogDso::new();
+        b.set_state(&a.get_state()).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get_state(), a.get_state());
+        assert!(b.set_state(&[9, 9]).is_err());
+    }
+
+    #[test]
+    fn dispatch_is_total() {
+        let mut c = CatalogDso::new();
+        assert_eq!(
+            c.dispatch(&Invocation::new(CatalogInterface::REGISTER.id(), vec![2])),
+            Err(SemError::BadArguments)
+        );
+        assert!(matches!(
+            c.dispatch(&Invocation::new(MethodId(200), vec![])),
+            Err(SemError::NoSuchMethod(_))
+        ));
+    }
+
+    #[test]
+    fn class_registration_and_kinds() {
+        let mut repo = globe_rts::ImplRepository::new();
+        CatalogInterface::register(&mut repo);
+        assert!(repo.contains(CATALOG_IMPL));
+        assert_eq!(
+            repo.kind_of(CATALOG_IMPL, CatalogInterface::SEARCH.id()),
+            Some(MethodKind::Read)
+        );
+        assert_eq!(
+            repo.kind_of(CATALOG_IMPL, CatalogInterface::REGISTER.id()),
+            Some(MethodKind::Write)
+        );
+    }
+
+    #[test]
+    fn publish_op_builds_typed_fill() {
+        let op = catalog_publish_op(
+            "/catalog/main",
+            vec![entry("/apps/x", "x")],
+            Scenario::single(globe_net::Endpoint::new(globe_net::HostId(0), 700)),
+        );
+        let ModOp::PublishObject { impl_id, fill, .. } = op else {
+            panic!("wrong op variant");
+        };
+        assert_eq!(impl_id, CATALOG_IMPL);
+        assert_eq!(fill.len(), 1);
+        assert_eq!(fill[0].method, CatalogInterface::REGISTER.id());
+    }
+}

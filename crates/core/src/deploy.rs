@@ -19,12 +19,13 @@ use globe_crypto::gtls::Mode;
 use globe_gls::{GlsConfig, GlsDeployment};
 use globe_gns::{GnsConfig, GnsDeployment};
 use globe_net::{ports, Endpoint, HostId, Topology, World};
-use globe_rts::{GlobeObjectServer, GlobeRuntime, ImplRepository, RuntimeConfig};
+use globe_rts::{DsoInterface, GlobeObjectServer, GlobeRuntime, ImplRepository, RuntimeConfig};
 use globe_sim::SimDuration;
 
+use crate::catalog::CatalogInterface;
 use crate::httpd::GdnHttpd;
 use crate::modtool::{ModOp, ModeratorTool};
-use crate::package::PackageDso;
+use crate::package::PackageInterface;
 use crate::security::GdnSecurity;
 
 /// Deployment-wide options.
@@ -97,8 +98,12 @@ impl GdnDeployment {
         let open = options.tls_mode == Mode::Null;
         let security = GdnSecurity::new(options.tls_mode, options.seed);
 
+        // Every DSO class ships as one dso_interface! declaration;
+        // registering it here is all the deployment wiring a class
+        // needs.
         let mut repo = ImplRepository::new();
-        PackageDso::register(&mut repo);
+        PackageInterface::register(&mut repo);
+        CatalogInterface::register(&mut repo);
         let repo = Arc::new(repo);
 
         let gls = GlsDeployment::plan(&topo, &options.gls);
@@ -201,8 +206,13 @@ impl GdnDeployment {
             open_writes: false,
             persist: false,
         };
-        let runtime =
-            GlobeRuntime::new(cfg, Arc::clone(&self.repo), Arc::clone(&self.gls), host, 0x0400);
+        let runtime = GlobeRuntime::new(
+            cfg,
+            Arc::clone(&self.repo),
+            Arc::clone(&self.gls),
+            host,
+            0x0400,
+        );
         let _ = topo;
         ModeratorTool::new(
             runtime,
@@ -267,6 +277,9 @@ mod tests {
                 ..GdnOptions::default()
             },
         );
-        assert_eq!(gdn.gos_endpoints, vec![Endpoint::new(HostId(1), ports::GOS_CTL)]);
+        assert_eq!(
+            gdn.gos_endpoints,
+            vec![Endpoint::new(HostId(1), ports::GOS_CTL)]
+        );
     }
 }

@@ -149,7 +149,11 @@ mod tests {
 
     #[test]
     fn status_reasons() {
-        for (code, word) in [(404u16, "Not Found"), (502, "Bad Gateway"), (999, "Unknown")] {
+        for (code, word) in [
+            (404u16, "Not Found"),
+            (502, "Bad Gateway"),
+            (999, "Unknown"),
+        ] {
             let msg = HttpResponse::build(code, "text/plain", b"");
             assert!(String::from_utf8_lossy(&msg).contains(word));
         }

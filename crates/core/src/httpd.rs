@@ -10,7 +10,15 @@
 //! sends back the returned content."
 //!
 //! URL scheme: `GET /pkg/<globe-name>` lists a package;
-//! `GET /pkg/<globe-name>?file=<name>` downloads one file.
+//! `GET /pkg/<globe-name>?file=<name>` downloads one file;
+//! `GET /catalog/<globe-name>` renders a catalog DSO's package index;
+//! `GET /catalog/<globe-name>?q=<term>` searches it.
+//!
+//! All object access goes through the typed interface layer: the HTTPD
+//! binds, turns the [`BindInfo`](globe_rts::BindInfo) into a
+//! class-checked [`BoundObject`](globe_rts::BoundObject), and invokes
+//! through typed [`MethodDef`](globe_rts::MethodDef)s — it never
+//! assembles raw invocation frames.
 //!
 //! The same service type doubles as the paper's *GDN-enabled proxy
 //! server* when instantiated on a user's machine with anonymous
@@ -21,14 +29,13 @@ use std::collections::BTreeMap;
 
 use globe_gls::ObjectId;
 use globe_gns::{GnsClient, GnsDeployment, GnsError, GnsEvent};
-use globe_net::{
-    impl_service_any, ConnEvent, ConnId, Endpoint, Service, ServiceCtx,
-};
-use globe_rts::{BindError, GlobeRuntime, InvokeError, RtConn, RtEvent};
+use globe_net::{impl_service_any, ConnEvent, ConnId, Endpoint, Service, ServiceCtx};
+use globe_rts::{BindError, BindRequest, GlobeRuntime, InvokeError, RtConn, RtEvent};
 use globe_sim::{SimDuration, SimTime};
 
+use crate::catalog::{CatalogEntry, CatalogInterface, Query};
 use crate::http::{HttpRequest, HttpResponse};
-use crate::package::PackageControl;
+use crate::package::{GetFile, PackageInterface};
 
 /// Load counters for one HTTPD.
 #[derive(Clone, Copy, Debug, Default)]
@@ -43,11 +50,20 @@ pub struct HttpdStats {
     pub name_cache_hits: u64,
 }
 
+/// What a request wants from the object it names.
+#[derive(Clone, Debug)]
+enum ReqKind {
+    /// A package listing, or one file of it.
+    Package { file: Option<String> },
+    /// A catalog index, or a search over it.
+    Catalog { query: Option<String> },
+}
+
 #[derive(Debug)]
 struct PendingReq {
     conn: ConnId,
     name: String,
-    file: Option<String>,
+    kind: ReqKind,
     oid: Option<ObjectId>,
     started: SimTime,
     /// Rebind attempts used for this request (replica failover).
@@ -117,10 +133,17 @@ impl GdnHttpd {
         if !self.runtime.is_bound(oid) {
             self.bind_times.insert(oid.0, ctx.now());
         }
-        self.runtime.bind(ctx, oid, token);
+        self.runtime.submit_bind(ctx, BindRequest::new(oid, token));
     }
 
-    fn respond(&mut self, ctx: &mut ServiceCtx<'_>, token: u64, status: u16, ctype: &str, body: &[u8]) {
+    fn respond(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        token: u64,
+        status: u16,
+        ctype: &str,
+        body: &[u8],
+    ) {
         let Some(req) = self.requests.remove(&token) else {
             return;
         };
@@ -130,7 +153,8 @@ impl GdnHttpd {
             self.stats.errors += 1;
         }
         let latency = ctx.now().saturating_sub(req.started);
-        ctx.metrics().record("httpd.response_us", latency.as_micros());
+        ctx.metrics()
+            .record("httpd.response_us", latency.as_micros());
         ctx.metrics().inc(&format!("httpd.status.{status}"), 1);
         ctx.send(req.conn, HttpResponse::build(status, ctype, body));
         ctx.close(req.conn);
@@ -158,10 +182,21 @@ impl GdnHttpd {
             self.stats.errors += 1;
             return;
         }
-        let Some(name) = route.strip_prefix("/pkg") else {
+        let (name, kind) = if let Some(name) = route.strip_prefix("/pkg") {
+            let file = query
+                .and_then(|q| q.strip_prefix("file="))
+                .map(|f| f.to_owned());
+            (name, ReqKind::Package { file })
+        } else if let Some(name) = route.strip_prefix("/catalog") {
+            let q = query
+                .and_then(|q| q.strip_prefix("q="))
+                .map(|q| q.to_owned());
+            (name, ReqKind::Catalog { query: q })
+        } else {
             if route == "/index.html" || route == "/" {
                 let body = b"<html><body><h1>Globe Distribution Network</h1>\
-                    <p>Fetch /pkg/&lt;package-name&gt; for a listing.</p></body></html>";
+                    <p>Fetch /pkg/&lt;package-name&gt; for a listing, or \
+                    /catalog/&lt;catalog-name&gt; for a package index.</p></body></html>";
                 ctx.send(conn, HttpResponse::build(200, "text/html", body));
                 ctx.close(conn);
                 self.stats.ok += 1;
@@ -175,9 +210,6 @@ impl GdnHttpd {
             self.stats.errors += 1;
             return;
         };
-        let file = query
-            .and_then(|q| q.strip_prefix("file="))
-            .map(|f| f.to_owned());
         let token = self.next_token;
         self.next_token += 1;
         self.requests.insert(
@@ -185,7 +217,7 @@ impl GdnHttpd {
             PendingReq {
                 conn,
                 name: name.to_owned(),
-                file,
+                kind,
                 oid: None,
                 started: ctx.now(),
                 attempts: 0,
@@ -254,11 +286,65 @@ impl GdnHttpd {
                         let Some(req) = self.requests.get(&token) else {
                             return;
                         };
-                        let inv = match &req.file {
-                            Some(f) => PackageControl::get_file(f),
-                            None => PackageControl::list_contents(),
-                        };
-                        self.runtime.invoke(ctx, info.oid, inv, token);
+                        // Typed dispatch: the bind info is checked
+                        // against the interface the route implies, and
+                        // the typed proxy marshals the invocation.
+                        match req.kind.clone() {
+                            ReqKind::Package { file } => match info.typed::<PackageInterface>() {
+                                Ok(bound) => match file {
+                                    Some(name) => bound.invoke(
+                                        &mut self.runtime,
+                                        ctx,
+                                        &PackageInterface::GET_FILE,
+                                        &GetFile { name },
+                                        token,
+                                    ),
+                                    None => bound.invoke(
+                                        &mut self.runtime,
+                                        ctx,
+                                        &PackageInterface::LIST_CONTENTS,
+                                        &(),
+                                        token,
+                                    ),
+                                },
+                                Err(e) => {
+                                    self.respond(
+                                        ctx,
+                                        token,
+                                        500,
+                                        "text/plain",
+                                        e.to_string().as_bytes(),
+                                    );
+                                }
+                            },
+                            ReqKind::Catalog { query } => match info.typed::<CatalogInterface>() {
+                                Ok(bound) => match query {
+                                    Some(term) => bound.invoke(
+                                        &mut self.runtime,
+                                        ctx,
+                                        &CatalogInterface::SEARCH,
+                                        &Query { term },
+                                        token,
+                                    ),
+                                    None => bound.invoke(
+                                        &mut self.runtime,
+                                        ctx,
+                                        &CatalogInterface::LIST,
+                                        &(),
+                                        token,
+                                    ),
+                                },
+                                Err(e) => {
+                                    self.respond(
+                                        ctx,
+                                        token,
+                                        500,
+                                        "text/plain",
+                                        e.to_string().as_bytes(),
+                                    );
+                                }
+                            },
+                        }
                     }
                     Err(BindError::NotFound) => {
                         // Stale name cache: the object vanished.
@@ -277,37 +363,73 @@ impl GdnHttpd {
                         let Some(req) = self.requests.get(&token) else {
                             return;
                         };
-                        match &req.file {
-                            Some(_) => match PackageControl::decode_file(&data) {
-                                Ok(contents) => {
-                                    self.respond(
-                                        ctx,
-                                        token,
-                                        200,
-                                        "application/octet-stream",
-                                        &contents,
-                                    );
+                        let name = req.name.clone();
+                        match req.kind.clone() {
+                            ReqKind::Package { file: Some(_) } => {
+                                // Typed result, digest-verified end to
+                                // end (paper §6.1).
+                                match PackageInterface::GET_FILE
+                                    .decode_result(&data)
+                                    .ok()
+                                    .and_then(|blob| blob.verified().ok())
+                                {
+                                    Some(contents) => {
+                                        self.respond(
+                                            ctx,
+                                            token,
+                                            200,
+                                            "application/octet-stream",
+                                            &contents,
+                                        );
+                                    }
+                                    None => {
+                                        self.respond(
+                                            ctx,
+                                            token,
+                                            500,
+                                            "text/plain",
+                                            b"corrupt file payload",
+                                        );
+                                    }
                                 }
-                                Err(_) => {
-                                    self.respond(
-                                        ctx,
-                                        token,
-                                        500,
-                                        "text/plain",
-                                        b"corrupt file payload",
-                                    );
+                            }
+                            ReqKind::Package { file: None } => {
+                                match PackageInterface::LIST_CONTENTS.decode_result(&data) {
+                                    Ok(listing) => {
+                                        let html = render_listing(&name, &listing);
+                                        self.respond(ctx, token, 200, "text/html", html.as_bytes());
+                                    }
+                                    Err(_) => {
+                                        self.respond(
+                                            ctx,
+                                            token,
+                                            500,
+                                            "text/plain",
+                                            b"corrupt listing",
+                                        );
+                                    }
                                 }
-                            },
-                            None => match PackageControl::decode_listing(&data) {
-                                Ok(listing) => {
-                                    let name = req.name.clone();
-                                    let html = render_listing(&name, &listing);
-                                    self.respond(ctx, token, 200, "text/html", html.as_bytes());
+                            }
+                            ReqKind::Catalog { query } => {
+                                // LIST and SEARCH share their result
+                                // type; either decodes here.
+                                match CatalogInterface::LIST.decode_result(&data) {
+                                    Ok(entries) => {
+                                        let html =
+                                            render_catalog(&name, query.as_deref(), &entries);
+                                        self.respond(ctx, token, 200, "text/html", html.as_bytes());
+                                    }
+                                    Err(_) => {
+                                        self.respond(
+                                            ctx,
+                                            token,
+                                            500,
+                                            "text/plain",
+                                            b"corrupt catalog",
+                                        );
+                                    }
                                 }
-                                Err(_) => {
-                                    self.respond(ctx, token, 500, "text/plain", b"corrupt listing");
-                                }
-                            },
+                            }
                         }
                     }
                     Err(InvokeError::Sem(msg)) if msg.contains("no file") => {
@@ -353,10 +475,27 @@ impl GdnHttpd {
     }
 }
 
+/// Escapes `&`, `<` and `>` for interpolation into HTML: names, search
+/// terms and descriptions all originate outside the HTTPD (anonymous
+/// query strings, moderator uploads) and must not inject markup.
+fn escape_html(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders a package listing as the paper describes: the contents list
 /// "reformatted into HTML".
 fn render_listing(name: &str, listing: &[crate::package::FileInfo]) -> String {
     use std::fmt::Write as _;
+    let name = escape_html(name);
     let mut html = String::new();
     let _ = write!(
         html,
@@ -366,8 +505,39 @@ fn render_listing(name: &str, listing: &[crate::package::FileInfo]) -> String {
         let _ = write!(
             html,
             "<li><a href=\"/pkg{name}?file={fname}\">{fname}</a> ({size} bytes)</li>",
-            fname = f.name,
+            fname = escape_html(&f.name),
             size = f.size
+        );
+    }
+    let _ = write!(html, "</ul></body></html>");
+    html
+}
+
+/// Renders a catalog index (or search result) as HTML, with each entry
+/// linking to its package listing at `/pkg<name>`.
+fn render_catalog(name: &str, query: Option<&str>, entries: &[CatalogEntry]) -> String {
+    use std::fmt::Write as _;
+    let name = escape_html(name);
+    let mut html = String::new();
+    let _ = write!(
+        html,
+        "<html><head><title>{name}</title></head><body><h1>{name}</h1>"
+    );
+    if let Some(q) = query {
+        let _ = write!(
+            html,
+            "<p>{} result(s) for <b>{}</b></p>",
+            entries.len(),
+            escape_html(q)
+        );
+    }
+    let _ = write!(html, "<ul>");
+    for e in entries {
+        let _ = write!(
+            html,
+            "<li><a href=\"/pkg{pkg}\">{pkg}</a> &mdash; {desc}</li>",
+            pkg = escape_html(&e.name),
+            desc = escape_html(&e.description)
         );
     }
     let _ = write!(html, "</ul></body></html>");
@@ -450,5 +620,41 @@ mod tests {
         assert!(html.contains("<title>/apps/graphics/gimp</title>"));
         assert!(html.contains("href=\"/pkg/apps/graphics/gimp?file=README\""));
         assert!(html.contains("1000000 bytes"));
+    }
+
+    #[test]
+    fn catalog_html_links_into_packages() {
+        let entries = vec![CatalogEntry {
+            name: "/apps/graphics/gimp".into(),
+            description: "GNU Image Manipulation Program".into(),
+        }];
+        let html = render_catalog("/catalog/main", None, &entries);
+        assert!(html.contains("href=\"/pkg/apps/graphics/gimp\""));
+        assert!(html.contains("GNU Image Manipulation Program"));
+        assert!(!html.contains("result(s)"));
+
+        let html = render_catalog("/catalog/main", Some("gimp"), &entries);
+        assert!(html.contains("1 result(s) for <b>gimp</b>"));
+    }
+
+    #[test]
+    fn rendered_html_escapes_untrusted_input() {
+        let entries = vec![CatalogEntry {
+            name: "/apps/<evil>".into(),
+            description: "a </ul><script>alert(1)</script> trick".into(),
+        }];
+        let html = render_catalog("/catalog/main", Some("<script>x</script>"), &entries);
+        assert!(!html.contains("<script>"), "{html}");
+        assert!(html.contains("&lt;script&gt;x&lt;/script&gt;"));
+        assert!(html.contains("/apps/&lt;evil&gt;"));
+
+        let listing = vec![FileInfo {
+            name: "<img src=x>".into(),
+            size: 1,
+            digest: [0; 32],
+        }];
+        let html = render_listing("/apps/<evil>", &listing);
+        assert!(!html.contains("<img"), "{html}");
+        assert!(html.contains("&lt;img src=x&gt;"));
     }
 }

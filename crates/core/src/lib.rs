@@ -4,9 +4,12 @@
 //! the efficient, worldwide distribution of free software and other
 //! free data" built on the Globe middleware's per-object replication.
 //!
-//! - [`package`] — the package DSO (semantics + control subobjects):
-//!   files with SHA-256 digests, `addFile` / `listContents` /
-//!   `getFileContents` / metadata.
+//! - [`package`] — the package DSO, declared through the typed interface
+//!   layer (`dso_interface!`): files with SHA-256 digests, `addFile` /
+//!   `listContents` / `getFileContents` / metadata.
+//! - [`catalog`] — the catalog DSO: a read-heavy package index that is
+//!   itself a replicated object, proving the interface layer's "new DSO
+//!   class in one file" claim.
 //! - [`httpd`] — the GDN-enabled HTTPD: URL → object name → bind →
 //!   invoke → HTML/bytes (paper §4). Doubles as the user-machine GDN
 //!   proxy.
@@ -24,6 +27,7 @@
 //! and `EXPERIMENTS.md` for the reproduction of the paper's claims.
 
 pub mod browser;
+pub mod catalog;
 pub mod deploy;
 pub mod http;
 pub mod httpd;
@@ -32,9 +36,10 @@ pub mod package;
 pub mod security;
 
 pub use browser::{Browser, FetchResult};
+pub use catalog::{catalog_publish_op, CatalogDso, CatalogEntry, CatalogInterface, CATALOG_IMPL};
 pub use deploy::{GdnDeployment, GdnOptions};
 pub use http::{HttpRequest, HttpResponse};
 pub use httpd::{GdnHttpd, HttpdStats};
 pub use modtool::{ModEvent, ModOp, ModeratorTool, Scenario};
-pub use package::{FileInfo, PackageControl, PackageDso, PACKAGE_IMPL};
+pub use package::{FileInfo, PackageDso, PackageInterface, PACKAGE_IMPL};
 pub use security::GdnSecurity;

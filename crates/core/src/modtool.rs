@@ -11,6 +11,13 @@
 //! [`ModeratorTool`] executes exactly that pipeline as an event-driven
 //! state machine, plus package-content updates (bind + write methods)
 //! and removal (name removal + replica deletion).
+//!
+//! The pipeline is class-generic: [`ModOp::Publish`] is package sugar
+//! over [`ModOp::PublishObject`], which creates a DSO of *any*
+//! registered interface and fills it with typed invocations built
+//! through the interface's [`MethodDef`](globe_rts::MethodDef)s — the
+//! per-object scenario freedom of the paper applied to arbitrary
+//! classes (see the catalog DSO).
 
 use std::collections::BTreeMap;
 
@@ -19,11 +26,11 @@ use globe_gls::ObjectId;
 use globe_gns::{NaClient, NaEvent};
 use globe_net::{impl_service_any, ConnEvent, ConnId, Endpoint, Service, ServiceCtx};
 use globe_rts::{
-    protocol_id, GlobeRuntime, GosCmd, GosResp, Invocation, PropagationMode, RoleSpec, RtConn,
-    RtEvent,
+    protocol_id, BindRequest, GlobeRuntime, GosCmd, GosResp, ImplId, Invocation, PropagationMode,
+    RoleSpec, RtConn, RtEvent,
 };
 
-use crate::package::{PackageControl, PACKAGE_IMPL};
+use crate::package::{AddFile, Meta, PackageInterface, PACKAGE_IMPL};
 
 /// A replication scenario: how and where a package is replicated
 /// (paper §3.1: "a specification of how (using what replication
@@ -108,6 +115,21 @@ pub enum ModOp {
         /// Where and how to replicate.
         scenario: Scenario,
     },
+    /// Create a DSO of an arbitrary registered class, fill it with
+    /// typed invocations, and register its name — the class-generic
+    /// publish pipeline (e.g. catalogs, see
+    /// [`crate::catalog::catalog_publish_op`]).
+    PublishObject {
+        /// The object's Globe name.
+        name: String,
+        /// The class to instantiate at each replica.
+        impl_id: ImplId,
+        /// Where and how to replicate.
+        scenario: Scenario,
+        /// Initial content: invocations built through the interface's
+        /// typed method definitions, executed after the first bind.
+        fill: Vec<Invocation>,
+    },
     /// Add (or replace) one file in an existing package.
     AddFile {
         /// The package's object id (from a prior publish).
@@ -126,6 +148,22 @@ pub enum ModOp {
         /// The object servers hosting its replicas.
         replicas: Vec<Endpoint>,
     },
+}
+
+impl ModOp {
+    /// Name, class and scenario of a publish-like operation.
+    fn publish_parts(&self) -> Option<(&str, ImplId, &Scenario)> {
+        match self {
+            ModOp::Publish { name, scenario, .. } => Some((name, PACKAGE_IMPL, scenario)),
+            ModOp::PublishObject {
+                name,
+                impl_id,
+                scenario,
+                ..
+            } => Some((name, *impl_id, scenario)),
+            _ => None,
+        }
+    }
 }
 
 /// Completion events from the moderator tool.
@@ -241,15 +279,16 @@ impl ModeratorTool {
         }
         let op = self.queue.remove(0);
         match &op {
-            ModOp::Publish { scenario, .. } => {
+            ModOp::Publish { .. } | ModOp::PublishObject { .. } => {
                 // Step 1: "create first replica" (paper §6.1).
+                let (_, impl_id, scenario) = op.publish_parts().expect("publish-like op");
                 let first = scenario.replicas[0];
                 let role = scenario.first_role();
                 let req = self.next_req;
                 self.next_req += 1;
                 let cmd = GosCmd::CreateObject {
                     req,
-                    impl_id: PACKAGE_IMPL.0,
+                    impl_id: impl_id.0,
                     protocol: scenario.protocol,
                     role,
                 };
@@ -267,7 +306,7 @@ impl ModeratorTool {
                     stage: Stage::UpdateBind,
                     oid: Some(oid),
                 });
-                self.runtime.bind(ctx, oid, 1);
+                self.runtime.submit_bind(ctx, BindRequest::new(oid, 1));
             }
             ModOp::Remove { name, oid, .. } => {
                 let name = name.clone();
@@ -288,10 +327,12 @@ impl ModeratorTool {
             return;
         };
         let ev = match active.op {
-            ModOp::Publish { name, .. } => ModEvent::PublishDone {
-                name,
-                result: Err(msg),
-            },
+            ModOp::Publish { name, .. } | ModOp::PublishObject { name, .. } => {
+                ModEvent::PublishDone {
+                    name,
+                    result: Err(msg),
+                }
+            }
             _ => ModEvent::OpDone { result: Err(msg) },
         };
         self.events.push(ev.clone());
@@ -309,7 +350,7 @@ impl ModeratorTool {
         match (&mut active.stage, oid_result) {
             (Stage::CreateFirst, Ok(oid)) => {
                 active.oid = Some(oid);
-                let ModOp::Publish { scenario, .. } = &active.op else {
+                let Some((_, impl_id, scenario)) = active.op.publish_parts() else {
                     return;
                 };
                 let rest = &scenario.replicas[1..];
@@ -334,7 +375,7 @@ impl ModeratorTool {
                                 GosCmd::CreateReplica {
                                     req,
                                     oid: oid.0,
-                                    impl_id: PACKAGE_IMPL.0,
+                                    impl_id: impl_id.0,
                                     protocol,
                                     role: RoleSpec::Slave { master },
                                 },
@@ -372,21 +413,31 @@ impl ModeratorTool {
         // Bind first; the content writes go out once the local
         // representative is installed (BindDone).
         active.stage = Stage::Fill { remaining: 1 };
-        self.runtime.bind(ctx, oid, 0);
+        self.runtime.submit_bind(ctx, BindRequest::new(oid, 0));
     }
 
     fn fill_invocations(op: &ModOp) -> Vec<Invocation> {
-        let ModOp::Publish {
-            description, files, ..
-        } = op
-        else {
-            return Vec::new();
-        };
-        let mut invs: Vec<Invocation> = vec![PackageControl::set_meta(description)];
-        for (fname, data) in files {
-            invs.push(PackageControl::add_file(fname, data));
+        match op {
+            // Package sugar: content writes marshalled through the typed
+            // package interface.
+            ModOp::Publish {
+                description, files, ..
+            } => {
+                let mut invs = vec![PackageInterface::SET_META.invocation(&Meta {
+                    description: description.clone(),
+                })];
+                for (fname, data) in files {
+                    invs.push(PackageInterface::ADD_FILE.invocation(&AddFile {
+                        name: fname.clone(),
+                        data: data.clone(),
+                    }));
+                }
+                invs
+            }
+            // Generic objects carry their typed fill directly.
+            ModOp::PublishObject { fill, .. } => fill.clone(),
+            _ => Vec::new(),
         }
-        invs
     }
 
     fn handle_rt_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: RtEvent) {
@@ -400,6 +451,12 @@ impl ModeratorTool {
                     let invs = Self::fill_invocations(&active.op);
                     *remaining = invs.len();
                     let oid = info.oid;
+                    if invs.is_empty() {
+                        // Nothing to upload (e.g. an empty catalog):
+                        // proceed straight to name registration.
+                        self.fill_done(ctx);
+                        return;
+                    }
                     for (i, inv) in invs.into_iter().enumerate() {
                         self.runtime.invoke(ctx, oid, inv, i as u64 + 1);
                     }
@@ -420,10 +477,24 @@ impl ModeratorTool {
                     let ModOp::AddFile { file, data, .. } = &active.op else {
                         return;
                     };
-                    let inv = PackageControl::add_file(file, data);
+                    // Through the typed handle: the bind checked the
+                    // class, the proxy marshals the write.
+                    let bound = match info.typed::<PackageInterface>() {
+                        Ok(bound) => bound,
+                        Err(e) => return self.fail(format!("bind type error: {e}")),
+                    };
+                    let args = AddFile {
+                        name: file.clone(),
+                        data: data.clone(),
+                    };
                     active.stage = Stage::UpdateWrite;
-                    let oid = info.oid;
-                    self.runtime.invoke(ctx, oid, inv, 2);
+                    bound.invoke(
+                        &mut self.runtime,
+                        ctx,
+                        &PackageInterface::ADD_FILE,
+                        &args,
+                        2,
+                    );
                 }
                 Err(e) => self.fail(format!("bind failed: {e}")),
             },
@@ -440,11 +511,11 @@ impl ModeratorTool {
             return;
         };
         let oid = active.oid.expect("oid set");
-        let ModOp::Publish { name, .. } = &active.op else {
+        let Some((name, _, _)) = active.op.publish_parts() else {
             return;
         };
         // Final step: register the name (paper §6.1).
-        let name = name.clone();
+        let name = name.to_owned();
         active.stage = Stage::RegisterName;
         self.na.add(ctx, &name, oid, 1);
     }
@@ -457,10 +528,10 @@ impl ModeratorTool {
             (Stage::RegisterName, NaEvent::Done { result, .. }) => match result {
                 Ok(()) => {
                     let oid = active.oid.expect("oid set");
-                    let ModOp::Publish { name, .. } = &active.op else {
+                    let Some((name, _, _)) = active.op.publish_parts() else {
                         return;
                     };
-                    let name = name.clone();
+                    let name = name.to_owned();
                     self.finish(ModEvent::PublishDone {
                         name,
                         result: Ok(oid),

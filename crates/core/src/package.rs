@@ -8,42 +8,102 @@
 //! file contents (§3.3, §4) — plus removal and metadata, all free of any
 //! replication awareness.
 //!
-//! [`PackageControl`] is the *control subobject* (paper §3.3): the typed
-//! wrapper that marshals arguments into opaque [`Invocation`] frames and
-//! unmarshals results, bridging the user-visible interface to the
-//! replication subobject's standard interface.
+//! The interface is declared once through [`globe_rts::dso_interface!`]:
+//! [`PackageInterface`] carries the typed [`MethodDef`]s
+//! (client-side marshalling — the paper's control subobject, §3.3), the
+//! derived `kind_of` table, and the generated server-side dispatch that
+//! unmarshals into the typed handler methods below.
+//!
+//! [`MethodDef`]: globe_rts::MethodDef
 
-use globe_crypto::sha256::sha256;
-use globe_net::{WireError, WireReader, WireWriter};
-use globe_rts::{ClassSpec, ImplId, Invocation, MethodId, MethodKind, SemError, SemanticsObject};
 use std::collections::BTreeMap;
 
+use globe_crypto::sha256::sha256;
+use globe_rts::interface::{DsoInterface, DsoState};
+use globe_rts::{dso_interface, wire_struct, ImplId, SemError};
+
 /// The package class's identifier in the implementation repository.
-pub const PACKAGE_IMPL: ImplId = ImplId(10);
+pub const PACKAGE_IMPL: ImplId = <PackageInterface as DsoInterface>::IMPL;
 
-/// Method: add (or replace) a file. Write.
-pub const M_ADD_FILE: MethodId = MethodId(1);
-/// Method: remove a file. Write.
-pub const M_REMOVE_FILE: MethodId = MethodId(2);
-/// Method: list the package contents. Read.
-pub const M_LIST_CONTENTS: MethodId = MethodId(3);
-/// Method: get one file's contents. Read.
-pub const M_GET_FILE: MethodId = MethodId(4);
-/// Method: get the package description. Read.
-pub const M_GET_META: MethodId = MethodId(5);
-/// Method: set the package description. Write.
-pub const M_SET_META: MethodId = MethodId(6);
-
-/// One file in a package listing.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct FileInfo {
-    /// File name within the package.
-    pub name: String,
-    /// Size in bytes.
-    pub size: u64,
-    /// SHA-256 digest of the contents (integrity per paper §6.1).
-    pub digest: [u8; 32],
+wire_struct! {
+    /// `addFile` arguments: add (or replace) one file.
+    pub struct AddFile {
+        /// File name within the package.
+        pub name: String,
+        /// File contents.
+        pub data: Vec<u8>,
+    }
 }
+
+wire_struct! {
+    /// `removeFile` arguments.
+    pub struct RemoveFile {
+        /// File name to remove.
+        pub name: String,
+    }
+}
+
+wire_struct! {
+    /// `getFileContents` arguments.
+    pub struct GetFile {
+        /// File name to fetch.
+        pub name: String,
+    }
+}
+
+wire_struct! {
+    /// One file in a package listing.
+    pub struct FileInfo {
+        /// File name within the package.
+        pub name: String,
+        /// Size in bytes.
+        pub size: u64,
+        /// SHA-256 digest of the contents (integrity per paper §6.1).
+        pub digest: [u8; 32],
+    }
+}
+
+wire_struct! {
+    /// `getFileContents` result: contents plus their digest.
+    pub struct FileBlob {
+        /// File contents.
+        pub data: Vec<u8>,
+        /// SHA-256 digest computed at the replica.
+        pub digest: [u8; 32],
+    }
+}
+
+wire_struct! {
+    /// Package description (`getMeta` result / `setMeta` arguments).
+    pub struct Meta {
+        /// Human-readable description.
+        pub description: String,
+    }
+}
+
+impl FileBlob {
+    /// Returns the contents after verifying the embedded digest
+    /// (end-to-end integrity, paper §6.1).
+    pub fn verified(self) -> Result<Vec<u8>, IntegrityError> {
+        if sha256(&self.data) != self.digest {
+            return Err(IntegrityError);
+        }
+        Ok(self.data)
+    }
+}
+
+/// A fetched payload failed its digest check: the bytes were corrupted
+/// somewhere beneath the control subobject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntegrityError;
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "payload digest mismatch")
+    }
+}
+
+impl std::error::Error for IntegrityError {}
 
 #[derive(Clone, Debug, Default)]
 struct FileEntry {
@@ -64,87 +124,70 @@ impl PackageDso {
         PackageDso::default()
     }
 
-    /// Registers the package class in an implementation repository.
-    pub fn register(repo: &mut globe_rts::ImplRepository) {
-        repo.register(
-            PACKAGE_IMPL,
-            ClassSpec {
-                name: "gdn-package",
-                factory: || Box::new(PackageDso::new()),
-                kind_of: |m| match m {
-                    M_LIST_CONTENTS | M_GET_FILE | M_GET_META => Some(MethodKind::Read),
-                    M_ADD_FILE | M_REMOVE_FILE | M_SET_META => Some(MethodKind::Write),
-                    _ => None,
-                },
-            },
-        );
-    }
-
     /// Number of files (direct inspection for tests).
     pub fn num_files(&self) -> usize {
         self.files.len()
     }
-}
 
-impl SemanticsObject for PackageDso {
-    fn dispatch(&mut self, inv: &Invocation) -> Result<Vec<u8>, SemError> {
-        let mut r = WireReader::new(&inv.args);
-        match inv.method {
-            M_ADD_FILE => {
-                let name = r.str().map_err(|_| SemError::BadArguments)?.to_owned();
-                let data = r.bytes().map_err(|_| SemError::BadArguments)?.to_vec();
-                r.expect_end().map_err(|_| SemError::BadArguments)?;
-                let digest = sha256(&data);
-                self.files.insert(name, FileEntry { data, digest });
-                Ok(Vec::new())
-            }
-            M_REMOVE_FILE => {
-                let name = r.str().map_err(|_| SemError::BadArguments)?;
-                let existed = self.files.remove(name).is_some();
-                if existed {
-                    Ok(Vec::new())
-                } else {
-                    Err(SemError::Application(format!("no file {name:?}")))
-                }
-            }
-            M_LIST_CONTENTS => {
-                r.expect_end().map_err(|_| SemError::BadArguments)?;
-                let mut w = WireWriter::new();
-                w.put_u32(self.files.len() as u32);
-                for (name, entry) in &self.files {
-                    w.put_str(name);
-                    w.put_u64(entry.data.len() as u64);
-                    w.put_raw(&entry.digest);
-                }
-                Ok(w.finish())
-            }
-            M_GET_FILE => {
-                let name = r.str().map_err(|_| SemError::BadArguments)?;
-                match self.files.get(name) {
-                    Some(entry) => {
-                        let mut w = WireWriter::new();
-                        w.put_bytes(&entry.data);
-                        w.put_raw(&entry.digest);
-                        Ok(w.finish())
-                    }
-                    None => Err(SemError::Application(format!("no file {name:?}"))),
-                }
-            }
-            M_GET_META => {
-                let mut w = WireWriter::new();
-                w.put_str(&self.description);
-                Ok(w.finish())
-            }
-            M_SET_META => {
-                let desc = r.str().map_err(|_| SemError::BadArguments)?.to_owned();
-                self.description = desc;
-                Ok(Vec::new())
-            }
-            m => Err(SemError::NoSuchMethod(m)),
+    // Typed method handlers, dispatched by the interface declaration
+    // below.
+
+    fn add_file(&mut self, args: AddFile) -> Result<(), SemError> {
+        let digest = sha256(&args.data);
+        self.files.insert(
+            args.name,
+            FileEntry {
+                data: args.data,
+                digest,
+            },
+        );
+        Ok(())
+    }
+
+    fn remove_file(&mut self, args: RemoveFile) -> Result<(), SemError> {
+        if self.files.remove(&args.name).is_none() {
+            return Err(SemError::Application(format!("no file {:?}", args.name)));
+        }
+        Ok(())
+    }
+
+    fn list_contents(&mut self, _args: ()) -> Result<Vec<FileInfo>, SemError> {
+        Ok(self
+            .files
+            .iter()
+            .map(|(name, entry)| FileInfo {
+                name: name.clone(),
+                size: entry.data.len() as u64,
+                digest: entry.digest,
+            })
+            .collect())
+    }
+
+    fn get_file(&mut self, args: GetFile) -> Result<FileBlob, SemError> {
+        match self.files.get(&args.name) {
+            Some(entry) => Ok(FileBlob {
+                data: entry.data.clone(),
+                digest: entry.digest,
+            }),
+            None => Err(SemError::Application(format!("no file {:?}", args.name))),
         }
     }
 
-    fn get_state(&self) -> Vec<u8> {
+    fn get_meta(&mut self, _args: ()) -> Result<Meta, SemError> {
+        Ok(Meta {
+            description: self.description.clone(),
+        })
+    }
+
+    fn set_meta(&mut self, args: Meta) -> Result<(), SemError> {
+        self.description = args.description;
+        Ok(())
+    }
+}
+
+impl DsoState for PackageDso {
+    fn save(&self) -> Vec<u8> {
+        use globe_net::WireWriter;
         let mut w = WireWriter::new();
         w.put_str(&self.description);
         w.put_u32(self.files.len() as u32);
@@ -155,8 +198,8 @@ impl SemanticsObject for PackageDso {
         w.finish()
     }
 
-    fn set_state(&mut self, state: &[u8]) -> Result<(), SemError> {
-        let mut r = WireReader::new(state);
+    fn restore(&mut self, state: &[u8]) -> Result<(), SemError> {
+        use globe_net::{WireError, WireReader};
         let parse = || -> Result<(String, BTreeMap<String, FileEntry>), WireError> {
             let mut r = WireReader::new(state);
             let description = r.str()?.to_owned();
@@ -174,7 +217,6 @@ impl SemanticsObject for PackageDso {
             r.expect_end()?;
             Ok((description, files))
         };
-        let _ = &mut r;
         let (description, files) = parse().map_err(|_| SemError::BadState)?;
         self.description = description;
         self.files = files;
@@ -182,161 +224,133 @@ impl SemanticsObject for PackageDso {
     }
 }
 
-/// The control subobject: typed marshalling for the package interface.
-pub struct PackageControl;
-
-impl PackageControl {
-    /// Marshals `addFile(name, data)`.
-    pub fn add_file(name: &str, data: &[u8]) -> Invocation {
-        let mut w = WireWriter::new();
-        w.put_str(name);
-        w.put_bytes(data);
-        Invocation::new(M_ADD_FILE, w.finish())
-    }
-
-    /// Marshals `removeFile(name)`.
-    pub fn remove_file(name: &str) -> Invocation {
-        let mut w = WireWriter::new();
-        w.put_str(name);
-        Invocation::new(M_REMOVE_FILE, w.finish())
-    }
-
-    /// Marshals `listContents()`.
-    pub fn list_contents() -> Invocation {
-        Invocation::new(M_LIST_CONTENTS, Vec::new())
-    }
-
-    /// Marshals `getFileContents(name)`.
-    pub fn get_file(name: &str) -> Invocation {
-        let mut w = WireWriter::new();
-        w.put_str(name);
-        Invocation::new(M_GET_FILE, w.finish())
-    }
-
-    /// Marshals `getMeta()`.
-    pub fn get_meta() -> Invocation {
-        Invocation::new(M_GET_META, Vec::new())
-    }
-
-    /// Marshals `setMeta(description)`.
-    pub fn set_meta(description: &str) -> Invocation {
-        let mut w = WireWriter::new();
-        w.put_str(description);
-        Invocation::new(M_SET_META, w.finish())
-    }
-
-    /// Unmarshals a `listContents` result.
-    pub fn decode_listing(data: &[u8]) -> Result<Vec<FileInfo>, WireError> {
-        let mut r = WireReader::new(data);
-        let n = r.u32()?;
-        if n > 1_000_000 {
-            return Err(WireError::TooLarge);
+dso_interface! {
+    /// The package DSO interface, declared once: method ids, read/write
+    /// classification, typed argument/result marshalling and server-side
+    /// dispatch all derive from this table.
+    pub interface PackageInterface {
+        class: "gdn-package",
+        impl_id: 10,
+        semantics: PackageDso,
+        methods: {
+            /// Adds (or replaces) a file. Write.
+            1 => write ADD_FILE/add_file(AddFile) -> (),
+            /// Removes a file. Write.
+            2 => write REMOVE_FILE/remove_file(RemoveFile) -> (),
+            /// Lists the package contents. Read.
+            3 => read LIST_CONTENTS/list_contents(()) -> Vec<FileInfo>,
+            /// Fetches one file's contents with digest. Read.
+            4 => read GET_FILE/get_file(GetFile) -> FileBlob,
+            /// Fetches the package description. Read.
+            5 => read GET_META/get_meta(()) -> Meta,
+            /// Replaces the package description. Write.
+            6 => write SET_META/set_meta(Meta) -> (),
         }
-        let mut out = Vec::with_capacity(n as usize);
-        for _ in 0..n {
-            let name = r.str()?.to_owned();
-            let size = r.u64()?;
-            let mut digest = [0u8; 32];
-            digest.copy_from_slice(r.raw(32)?);
-            out.push(FileInfo { name, size, digest });
-        }
-        r.expect_end()?;
-        Ok(out)
-    }
-
-    /// Unmarshals a `getFileContents` result, verifying the embedded
-    /// digest (end-to-end integrity, paper §6.1).
-    pub fn decode_file(data: &[u8]) -> Result<Vec<u8>, WireError> {
-        let mut r = WireReader::new(data);
-        let contents = r.bytes()?.to_vec();
-        let mut digest = [0u8; 32];
-        digest.copy_from_slice(r.raw(32)?);
-        r.expect_end()?;
-        if sha256(&contents) != digest {
-            // Treat a digest mismatch as a framing error: the payload
-            // was corrupted somewhere beneath us.
-            return Err(WireError::Truncated);
-        }
-        Ok(contents)
-    }
-
-    /// Unmarshals a `getMeta` result.
-    pub fn decode_meta(data: &[u8]) -> Result<String, WireError> {
-        let mut r = WireReader::new(data);
-        let desc = r.str()?.to_owned();
-        r.expect_end()?;
-        Ok(desc)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use globe_rts::{Invocation, MethodId, MethodKind, SemanticsObject, WireCodec};
 
-    fn exec(pkg: &mut PackageDso, inv: Invocation) -> Result<Vec<u8>, SemError> {
-        pkg.dispatch(&inv)
+    fn add(pkg: &mut PackageDso, name: &str, data: &[u8]) {
+        pkg.dispatch(&PackageInterface::ADD_FILE.invocation(&AddFile {
+            name: name.into(),
+            data: data.to_vec(),
+        }))
+        .unwrap();
+    }
+
+    fn listing(pkg: &mut PackageDso) -> Vec<FileInfo> {
+        let raw = pkg
+            .dispatch(&PackageInterface::LIST_CONTENTS.invocation(&()))
+            .unwrap();
+        PackageInterface::LIST_CONTENTS.decode_result(&raw).unwrap()
     }
 
     #[test]
     fn add_list_get_remove() {
         let mut pkg = PackageDso::new();
-        exec(&mut pkg, PackageControl::add_file("README", b"hello")).unwrap();
-        exec(&mut pkg, PackageControl::add_file("src.tar", &[7u8; 1000])).unwrap();
+        add(&mut pkg, "README", b"hello");
+        add(&mut pkg, "src.tar", &[7u8; 1000]);
 
-        let listing =
-            PackageControl::decode_listing(&exec(&mut pkg, PackageControl::list_contents()).unwrap())
-                .unwrap();
-        assert_eq!(listing.len(), 2);
-        assert_eq!(listing[0].name, "README");
-        assert_eq!(listing[0].size, 5);
-        assert_eq!(listing[1].size, 1000);
+        let files = listing(&mut pkg);
+        assert_eq!(files.len(), 2);
+        assert_eq!(files[0].name, "README");
+        assert_eq!(files[0].size, 5);
+        assert_eq!(files[1].size, 1000);
 
-        let contents =
-            PackageControl::decode_file(&exec(&mut pkg, PackageControl::get_file("README")).unwrap())
-                .unwrap();
-        assert_eq!(contents, b"hello");
+        let raw = pkg
+            .dispatch(&PackageInterface::GET_FILE.invocation(&GetFile {
+                name: "README".into(),
+            }))
+            .unwrap();
+        let blob = PackageInterface::GET_FILE.decode_result(&raw).unwrap();
+        assert_eq!(blob.verified().unwrap(), b"hello");
 
-        exec(&mut pkg, PackageControl::remove_file("README")).unwrap();
+        pkg.dispatch(&PackageInterface::REMOVE_FILE.invocation(&RemoveFile {
+            name: "README".into(),
+        }))
+        .unwrap();
         assert_eq!(pkg.num_files(), 1);
-        assert!(exec(&mut pkg, PackageControl::get_file("README")).is_err());
-        assert!(exec(&mut pkg, PackageControl::remove_file("README")).is_err());
+        assert!(pkg
+            .dispatch(&PackageInterface::GET_FILE.invocation(&GetFile {
+                name: "README".into(),
+            }))
+            .is_err());
+        assert!(pkg
+            .dispatch(&PackageInterface::REMOVE_FILE.invocation(&RemoveFile {
+                name: "README".into(),
+            }))
+            .is_err());
     }
 
     #[test]
     fn metadata_round_trip() {
         let mut pkg = PackageDso::new();
-        exec(&mut pkg, PackageControl::set_meta("GNU Image Manipulation Program")).unwrap();
-        let meta =
-            PackageControl::decode_meta(&exec(&mut pkg, PackageControl::get_meta()).unwrap())
-                .unwrap();
-        assert_eq!(meta, "GNU Image Manipulation Program");
+        pkg.dispatch(&PackageInterface::SET_META.invocation(&Meta {
+            description: "GNU Image Manipulation Program".into(),
+        }))
+        .unwrap();
+        let raw = pkg
+            .dispatch(&PackageInterface::GET_META.invocation(&()))
+            .unwrap();
+        let meta = PackageInterface::GET_META.decode_result(&raw).unwrap();
+        assert_eq!(meta.description, "GNU Image Manipulation Program");
     }
 
     #[test]
     fn state_transfer_preserves_everything() {
         let mut a = PackageDso::new();
-        exec(&mut a, PackageControl::set_meta("teTeX")).unwrap();
-        exec(&mut a, PackageControl::add_file("tex.bin", &[1, 2, 3])).unwrap();
+        a.dispatch(&PackageInterface::SET_META.invocation(&Meta {
+            description: "teTeX".into(),
+        }))
+        .unwrap();
+        add(&mut a, "tex.bin", &[1, 2, 3]);
         let state = a.get_state();
 
         let mut b = PackageDso::new();
         b.set_state(&state).unwrap();
-        let listing =
-            PackageControl::decode_listing(&exec(&mut b, PackageControl::list_contents()).unwrap())
-                .unwrap();
-        assert_eq!(listing.len(), 1);
-        let meta =
-            PackageControl::decode_meta(&exec(&mut b, PackageControl::get_meta()).unwrap()).unwrap();
-        assert_eq!(meta, "teTeX");
+        let files = listing(&mut b);
+        assert_eq!(files.len(), 1);
+        let raw = b
+            .dispatch(&PackageInterface::GET_META.invocation(&()))
+            .unwrap();
+        let meta = PackageInterface::GET_META.decode_result(&raw).unwrap();
+        assert_eq!(meta.description, "teTeX");
         // Digest recomputed identically.
-        assert_eq!(listing[0].digest, sha256(&[1, 2, 3]));
+        assert_eq!(files[0].digest, sha256(&[1, 2, 3]));
     }
 
     #[test]
     fn malformed_arguments_rejected() {
         let mut pkg = PackageDso::new();
         assert_eq!(
-            pkg.dispatch(&Invocation::new(M_ADD_FILE, vec![0xFF])),
+            pkg.dispatch(&Invocation::new(
+                PackageInterface::ADD_FILE.id(),
+                vec![0xFF]
+            )),
             Err(SemError::BadArguments)
         );
         assert!(matches!(
@@ -349,20 +363,58 @@ mod tests {
     #[test]
     fn digest_verified_on_decode() {
         let mut pkg = PackageDso::new();
-        exec(&mut pkg, PackageControl::add_file("f", b"data")).unwrap();
-        let mut resp = exec(&mut pkg, PackageControl::get_file("f")).unwrap();
-        // Corrupt one payload byte: decode must fail.
-        resp[4] ^= 0xFF;
-        assert!(PackageControl::decode_file(&resp).is_err());
+        add(&mut pkg, "f", b"data");
+        let mut raw = pkg
+            .dispatch(&PackageInterface::GET_FILE.invocation(&GetFile { name: "f".into() }))
+            .unwrap();
+        // Corrupt one payload byte: verification must fail.
+        raw[4] ^= 0xFF;
+        let blob = PackageInterface::GET_FILE.decode_result(&raw).unwrap();
+        assert_eq!(blob.verified(), Err(IntegrityError));
     }
 
     #[test]
     fn class_registration() {
         let mut repo = globe_rts::ImplRepository::new();
-        PackageDso::register(&mut repo);
+        PackageInterface::register(&mut repo);
         assert!(repo.contains(PACKAGE_IMPL));
-        assert_eq!(repo.kind_of(PACKAGE_IMPL, M_GET_FILE), Some(MethodKind::Read));
-        assert_eq!(repo.kind_of(PACKAGE_IMPL, M_ADD_FILE), Some(MethodKind::Write));
+        assert_eq!(
+            repo.kind_of(PACKAGE_IMPL, PackageInterface::GET_FILE.id()),
+            Some(MethodKind::Read)
+        );
+        assert_eq!(
+            repo.kind_of(PACKAGE_IMPL, PackageInterface::ADD_FILE.id()),
+            Some(MethodKind::Write)
+        );
         assert_eq!(repo.kind_of(PACKAGE_IMPL, MethodId(99)), None);
+    }
+
+    #[test]
+    fn wire_format_is_stable() {
+        // The typed layer must keep the original hand-written wire
+        // format: name as length-prefixed string, data as
+        // length-prefixed bytes.
+        let inv = PackageInterface::ADD_FILE.invocation(&AddFile {
+            name: "f".into(),
+            data: vec![9, 9],
+        });
+        assert_eq!(inv.method, MethodId(1));
+        let mut expect = globe_net::WireWriter::new();
+        expect.put_str("f");
+        expect.put_bytes(&[9, 9]);
+        assert_eq!(inv.args, expect.finish());
+
+        // Listings: u32 count, then (name, size, raw digest) triples.
+        let files = vec![FileInfo {
+            name: "a".into(),
+            size: 3,
+            digest: [7; 32],
+        }];
+        let mut expect = globe_net::WireWriter::new();
+        expect.put_u32(1);
+        expect.put_str("a");
+        expect.put_u64(3);
+        expect.put_raw(&[7; 32]);
+        assert_eq!(files.to_bytes(), expect.finish());
     }
 }

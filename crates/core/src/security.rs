@@ -121,8 +121,14 @@ mod tests {
             .cert
             .verify_against(&roots)
             .unwrap();
-        assert_eq!(sec.moderator_credentials("alice").cert.role, Role::Moderator);
-        assert_eq!(sec.maintainer_credentials("bob").cert.role, Role::Maintainer);
+        assert_eq!(
+            sec.moderator_credentials("alice").cert.role,
+            Role::Moderator
+        );
+        assert_eq!(
+            sec.maintainer_credentials("bob").cert.role,
+            Role::Maintainer
+        );
     }
 
     #[test]

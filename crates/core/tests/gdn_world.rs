@@ -4,6 +4,7 @@
 //! browsers anywhere in the world download through their nearest
 //! GDN-enabled HTTPD.
 
+use gdn_core::catalog::{catalog_publish_op, CatalogEntry};
 use gdn_core::{Browser, GdnDeployment, GdnHttpd, GdnOptions, ModEvent, ModOp, Scenario};
 use globe_gls::ObjectId;
 use globe_net::{ports, Endpoint, HostId, NetParams, Topology, World};
@@ -91,14 +92,19 @@ fn publish_and_browse_worldwide() {
     world.add_service(user, ports::DRIVER, browser);
     world.run_for(SimDuration::from_secs(60));
 
-    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    let b = world
+        .service::<Browser>(user, ports::DRIVER)
+        .expect("browser");
     assert!(b.done(), "fetches incomplete: {:?}", b.results);
     assert_eq!(b.results.len(), 3);
 
     // Listing is HTML with links (paper §4: "reformatted into HTML").
     assert_eq!(b.results[0].status, 200);
     let html = String::from_utf8_lossy(&b.results[0].body);
-    assert!(html.contains("README") && html.contains("gimp.tar"), "{html}");
+    assert!(
+        html.contains("README") && html.contains("gimp.tar"),
+        "{html}"
+    );
     assert!(html.contains("?file=README"));
 
     // File fetches return exact contents.
@@ -124,7 +130,9 @@ fn unknown_package_is_404() {
     );
     world.add_service(user, ports::DRIVER, browser);
     world.run_until(SimTime::from_secs(90));
-    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    let b = world
+        .service::<Browser>(user, ports::DRIVER)
+        .expect("browser");
     assert_eq!(b.results.len(), 3, "{:?}", b.results);
     assert_eq!(b.results[0].status, 404);
     assert_eq!(b.results[1].status, 404);
@@ -155,7 +163,9 @@ fn replicated_package_serves_locally_in_each_region() {
     world.add_service(user, ports::DRIVER, browser);
     world.run_for(SimDuration::from_secs(60));
 
-    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    let b = world
+        .service::<Browser>(user, ports::DRIVER)
+        .expect("browser");
     assert_eq!(b.results[0].status, 200);
     assert_eq!(b.results[0].body_len, 100_000);
     // The 100 KB body must NOT have crossed the intercontinental tier:
@@ -211,7 +221,9 @@ fn update_propagates_to_replicas() {
         Browser::new(httpd, vec!["/pkg/apps/tex/tetex?file=CHANGES".into()]).keeping_bodies();
     world.add_service(user, ports::DRIVER, browser);
     world.run_for(SimDuration::from_secs(60));
-    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    let b = world
+        .service::<Browser>(user, ports::DRIVER)
+        .expect("browser");
     assert_eq!(b.results[0].status, 200);
     assert_eq!(b.results[0].body, b"fixed everything");
 }
@@ -256,7 +268,9 @@ fn remove_package_takes_it_offline() {
     let browser = Browser::new(httpd, vec!["/pkg/apps/shareware/doom".into()]);
     world.add_service(user, ports::DRIVER, browser);
     world.run_until(SimTime::from_secs(200));
-    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    let b = world
+        .service::<Browser>(user, ports::DRIVER)
+        .expect("browser");
     assert_eq!(b.results[0].status, 404, "{:?}", b.results[0]);
 }
 
@@ -283,7 +297,9 @@ fn httpd_name_cache_and_lr_reuse_speed_up_repeat_access() {
     );
     world.add_service(user, ports::DRIVER, browser);
     world.run_for(SimDuration::from_secs(120));
-    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    let b = world
+        .service::<Browser>(user, ports::DRIVER)
+        .expect("browser");
     assert_eq!(b.results.len(), 2);
     assert!(b.results.iter().all(|r| r.status == 200));
     // Second access skips GNS resolution, binding and class loading
@@ -297,6 +313,118 @@ fn httpd_name_cache_and_lr_reuse_speed_up_repeat_access() {
         .service::<GdnHttpd>(httpd_ep.host, httpd_ep.port)
         .expect("httpd");
     assert_eq!(httpd.stats.name_cache_hits, 1);
+}
+
+/// Publishes a package plus a catalog DSO indexing it (under the given
+/// catalog scenario), then drives a browser through catalog listing,
+/// catalog search, and the package fetch the catalog links to — the
+/// whole flow runs through the HTTPD's typed proxies for two distinct
+/// DSO classes.
+fn catalog_flow(catalog_scenario: impl Fn(&GdnDeployment, &World) -> Scenario) {
+    let (mut world, gdn) = world();
+    let gos = gdn.gos_for(world.topology(), HostId(0));
+    publish(
+        &mut world,
+        &gdn,
+        HostId(1),
+        "/apps/graphics/gimp",
+        vec![("README".into(), b"GNU Image Manipulation Program".to_vec())],
+        Scenario::single(gos),
+    );
+
+    // The catalog is itself a DSO with its own scenario (read-heavy, so
+    // typically cache-proxy), published through the class-generic
+    // moderator pipeline.
+    let scenario = catalog_scenario(&gdn, &world);
+    let tool = gdn.moderator_tool(
+        world.topology(),
+        HostId(2),
+        "alice",
+        vec![catalog_publish_op(
+            "/catalog/main",
+            vec![
+                CatalogEntry {
+                    name: "/apps/graphics/gimp".into(),
+                    description: "GNU Image Manipulation Program".into(),
+                },
+                CatalogEntry {
+                    name: "/apps/editors/emacs".into(),
+                    description: "the extensible editor".into(),
+                },
+            ],
+            scenario,
+        )],
+    );
+    world.add_service(HostId(2), ports::DRIVER, tool);
+    world.run_for(SimDuration::from_secs(30));
+    let t = world
+        .service::<gdn_core::ModeratorTool>(HostId(2), ports::DRIVER)
+        .expect("tool");
+    assert!(
+        matches!(
+            t.results.first(),
+            Some(ModEvent::PublishDone { result: Ok(_), .. })
+        ),
+        "catalog publish failed: {:?}",
+        t.results
+    );
+
+    // A browser in the other region: browse the catalog, search it, and
+    // follow its link into the package — all via its nearest HTTPD.
+    let user = HostId(13);
+    let httpd = gdn.httpd_for(world.topology(), user);
+    let browser = Browser::new(
+        httpd,
+        vec![
+            "/catalog/catalog/main".into(),
+            "/catalog/catalog/main?q=image".into(),
+            "/pkg/apps/graphics/gimp?file=README".into(),
+        ],
+    )
+    .keeping_bodies();
+    world.add_service(user, ports::DRIVER, browser);
+    world.run_for(SimDuration::from_secs(60));
+
+    let b = world
+        .service::<Browser>(user, ports::DRIVER)
+        .expect("browser");
+    assert!(b.done(), "fetches incomplete: {:?}", b.results);
+
+    // Listing shows both entries with package links.
+    assert_eq!(b.results[0].status, 200, "{:?}", b.results[0]);
+    let html = String::from_utf8_lossy(&b.results[0].body);
+    assert!(html.contains("href=\"/pkg/apps/graphics/gimp\""), "{html}");
+    assert!(html.contains("/apps/editors/emacs"), "{html}");
+
+    // Search narrows to the matching package.
+    assert_eq!(b.results[1].status, 200);
+    let html = String::from_utf8_lossy(&b.results[1].body);
+    assert!(html.contains("gimp") && !html.contains("emacs"), "{html}");
+
+    // The linked package serves its file, digest-verified.
+    assert_eq!(b.results[2].status, 200);
+    assert_eq!(b.results[2].body, b"GNU Image Manipulation Program");
+}
+
+#[test]
+fn catalog_browse_search_fetch_under_cache_proxy_scenario() {
+    // Cache-proxy scenario: each access point's runtime installs a
+    // caching representative of the catalog.
+    catalog_flow(|gdn, world| Scenario::cached(gdn.gos_for(world.topology(), HostId(0))));
+}
+
+#[test]
+fn catalog_browse_search_fetch_under_master_slave_scenario() {
+    // Master/slave scenario: a catalog replica in each region.
+    catalog_flow(|gdn, world| {
+        Scenario::master_slave(
+            vec![
+                gdn.gos_for(world.topology(), HostId(0)),
+                gdn.gos_for(world.topology(), HostId(12)),
+            ],
+            PropagationMode::PushState,
+        )
+    });
 }
 
 #[test]
@@ -326,7 +454,9 @@ fn gdn_proxy_on_user_machine_caches_package() {
     );
     world.add_service(user, ports::DRIVER, browser);
     world.run_for(SimDuration::from_secs(120));
-    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    let b = world
+        .service::<Browser>(user, ports::DRIVER)
+        .expect("browser");
     assert_eq!(b.results.len(), 3, "{:?}", b.results);
     assert!(b.results.iter().all(|r| r.status == 200));
     // The proxy's cache-TTL representative served repeats locally.

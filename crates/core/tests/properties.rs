@@ -1,14 +1,37 @@
 //! Property-based tests of the GDN application layer: the package DSO's
-//! semantics behave like a keyed store, state transfer is lossless, and
-//! the HTTP codec is total.
+//! semantics behave like a keyed store, state transfer is lossless, the
+//! HTTP codec is total — and the typed interface layer round-trips every
+//! declared method's arguments and results while its derived `kind_of`
+//! table matches the declarations.
 
 use proptest::prelude::*;
 
-use gdn_core::package::{PackageControl, PackageDso};
+use gdn_core::catalog::{CatalogDso, CatalogEntry, CatalogInterface, Query, Unregister};
+use gdn_core::package::{
+    AddFile, FileBlob, FileInfo, GetFile, Meta, PackageDso, PackageInterface, RemoveFile,
+};
 use gdn_core::{HttpRequest, HttpResponse};
-use globe_rts::SemanticsObject;
+use globe_rts::interface::DsoInterface;
+use globe_rts::{MethodDef, SemanticsObject, WireCodec};
 
 const FNAME: &str = "[a-zA-Z][a-zA-Z0-9._-]{0,20}";
+
+/// One method's args and result must survive the typed wire codecs.
+fn assert_method_round_trip<A, R>(method: &MethodDef<A, R>, args: A, result: R)
+where
+    A: WireCodec + PartialEq + std::fmt::Debug,
+    R: WireCodec + PartialEq + std::fmt::Debug,
+{
+    let inv = method.invocation(&args);
+    assert_eq!(inv.method, method.id());
+    assert_eq!(method.decode_args(&inv).unwrap(), args, "{}", method.name());
+    assert_eq!(
+        method.decode_result(&result.to_bytes()).unwrap(),
+        result,
+        "{}",
+        method.name()
+    );
+}
 
 proptest! {
     /// addFile/getFile behave like map insert/lookup, digests verify,
@@ -20,57 +43,130 @@ proptest! {
         description in "[ -~]{0,64}",
     ) {
         let mut pkg = PackageDso::new();
-        pkg.dispatch(&PackageControl::set_meta(&description)).unwrap();
+        pkg.dispatch(&PackageInterface::SET_META.invocation(&Meta {
+            description: description.clone(),
+        })).unwrap();
         for (name, data) in &files {
-            pkg.dispatch(&PackageControl::add_file(name, data)).unwrap();
+            pkg.dispatch(&PackageInterface::ADD_FILE.invocation(&AddFile {
+                name: name.clone(),
+                data: data.clone(),
+            })).unwrap();
         }
         // Listing reflects exactly the inserted keys and sizes.
-        let listing = PackageControl::decode_listing(
-            &pkg.dispatch(&PackageControl::list_contents()).unwrap(),
-        )
-        .unwrap();
+        let listing = PackageInterface::LIST_CONTENTS.decode_result(
+            &pkg.dispatch(&PackageInterface::LIST_CONTENTS.invocation(&())).unwrap(),
+        ).unwrap();
         prop_assert_eq!(listing.len(), files.len());
         for info in &listing {
             prop_assert_eq!(info.size as usize, files[&info.name].len());
         }
         // Every file reads back identically (digest-verified).
         for (name, data) in &files {
-            let got = PackageControl::decode_file(
-                &pkg.dispatch(&PackageControl::get_file(name)).unwrap(),
-            )
-            .unwrap();
-            prop_assert_eq!(&got, data);
+            let blob = PackageInterface::GET_FILE.decode_result(
+                &pkg.dispatch(&PackageInterface::GET_FILE.invocation(&GetFile {
+                    name: name.clone(),
+                })).unwrap(),
+            ).unwrap();
+            prop_assert_eq!(&blob.verified().unwrap(), data);
         }
         // State transfer: a blank replica fed the state blob is
         // indistinguishable.
         let mut replica = PackageDso::new();
         replica.set_state(&pkg.get_state()).unwrap();
         prop_assert_eq!(replica.get_state(), pkg.get_state());
-        let meta = PackageControl::decode_meta(
-            &replica.dispatch(&PackageControl::get_meta()).unwrap(),
-        )
-        .unwrap();
-        prop_assert_eq!(meta, description);
+        let meta = PackageInterface::GET_META.decode_result(
+            &replica.dispatch(&PackageInterface::GET_META.invocation(&())).unwrap(),
+        ).unwrap();
+        prop_assert_eq!(meta.description, description);
         // Removal empties the store.
         for name in files.keys() {
-            replica.dispatch(&PackageControl::remove_file(name)).unwrap();
+            replica.dispatch(&PackageInterface::REMOVE_FILE.invocation(&RemoveFile {
+                name: name.clone(),
+            })).unwrap();
         }
         prop_assert_eq!(replica.num_files(), 0);
     }
 
-    /// The package dispatcher is total over arbitrary method ids and
+    /// The generated dispatchers are total over arbitrary method ids and
     /// argument bytes (paper §6.3: survive bogus protocol messages).
     #[test]
-    fn package_dispatch_is_total(
+    fn generated_dispatch_is_total(
         method: u32,
         args in prop::collection::vec(any::<u8>(), 0..128),
     ) {
+        let inv = globe_rts::Invocation::new(globe_rts::MethodId(method), args);
         let mut pkg = PackageDso::new();
-        let _ = pkg.dispatch(&globe_rts::Invocation::new(
-            globe_rts::MethodId(method),
-            args,
-        ));
+        let _ = pkg.dispatch(&inv);
         let _ = pkg.set_state(&[0xFF, 0x00, 0x01]);
+        let mut cat = CatalogDso::new();
+        let _ = cat.dispatch(&inv);
+        let _ = cat.set_state(&[0xFF, 0x00, 0x01]);
+    }
+
+    /// Every PackageInterface method's arguments and results round-trip
+    /// through the typed WireCodec layer.
+    #[test]
+    fn package_methods_round_trip(
+        name in FNAME,
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        description in "[ -~]{0,64}",
+        size: u64,
+        digest in prop::array::uniform32(any::<u8>()),
+        listing_len in 0usize..5,
+    ) {
+        assert_method_round_trip(
+            &PackageInterface::ADD_FILE,
+            AddFile { name: name.clone(), data: data.clone() },
+            (),
+        );
+        assert_method_round_trip(
+            &PackageInterface::REMOVE_FILE,
+            RemoveFile { name: name.clone() },
+            (),
+        );
+        let entry = FileInfo { name: name.clone(), size, digest };
+        assert_method_round_trip(
+            &PackageInterface::LIST_CONTENTS,
+            (),
+            vec![entry; listing_len],
+        );
+        assert_method_round_trip(
+            &PackageInterface::GET_FILE,
+            GetFile { name: name.clone() },
+            FileBlob { data, digest },
+        );
+        assert_method_round_trip(&PackageInterface::GET_META, (), Meta {
+            description: description.clone(),
+        });
+        assert_method_round_trip(&PackageInterface::SET_META, Meta { description }, ());
+    }
+
+    /// Every CatalogInterface method's arguments and results round-trip
+    /// through the typed WireCodec layer.
+    #[test]
+    fn catalog_methods_round_trip(
+        name in "/[a-z0-9/._-]{0,40}",
+        description in "[ -~]{0,64}",
+        term in "[ -~]{0,16}",
+        listing_len in 0usize..5,
+    ) {
+        let entry = CatalogEntry { name: name.clone(), description };
+        assert_method_round_trip(&CatalogInterface::REGISTER, entry.clone(), ());
+        assert_method_round_trip(
+            &CatalogInterface::UNREGISTER,
+            Unregister { name },
+            (),
+        );
+        assert_method_round_trip(
+            &CatalogInterface::LIST,
+            (),
+            vec![entry.clone(); listing_len],
+        );
+        assert_method_round_trip(
+            &CatalogInterface::SEARCH,
+            Query { term },
+            vec![entry; listing_len],
+        );
     }
 
     /// HTTP requests and responses round-trip; parsers are total.
@@ -92,4 +188,35 @@ proptest! {
         let _ = HttpRequest::parse(&garbage);
         let _ = HttpResponse::parse(&garbage);
     }
+}
+
+/// The derived `kind_of` tables agree with each method's declared
+/// `MethodKind`, both directly and through repository registration.
+#[test]
+fn kind_tables_match_declarations() {
+    fn check<I: DsoInterface>() {
+        let mut repo = globe_rts::ImplRepository::new();
+        I::register(&mut repo);
+        assert!(!I::methods().is_empty());
+        for spec in I::methods() {
+            assert_eq!(I::kind_of(spec.id), Some(spec.kind), "{}", spec.name);
+            assert_eq!(I::method_name(spec.id), Some(spec.name));
+            assert_eq!(repo.kind_of(I::IMPL, spec.id), Some(spec.kind));
+        }
+        // Ids unknown to the table classify as unknown.
+        let unknown = globe_rts::MethodId(0xDEAD);
+        assert_eq!(I::kind_of(unknown), None);
+        assert_eq!(repo.kind_of(I::IMPL, unknown), None);
+    }
+    check::<PackageInterface>();
+    check::<CatalogInterface>();
+
+    // The typed constants carry the same classification as the table.
+    use globe_rts::MethodKind;
+    assert_eq!(PackageInterface::ADD_FILE.kind(), MethodKind::Write);
+    assert_eq!(PackageInterface::LIST_CONTENTS.kind(), MethodKind::Read);
+    assert_eq!(PackageInterface::GET_FILE.kind(), MethodKind::Read);
+    assert_eq!(CatalogInterface::REGISTER.kind(), MethodKind::Write);
+    assert_eq!(CatalogInterface::LIST.kind(), MethodKind::Read);
+    assert_eq!(CatalogInterface::SEARCH.kind(), MethodKind::Read);
 }

@@ -1,0 +1,191 @@
+//! An offline, dependency-free subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so this local crate
+//! supplies the slice of criterion the micro-benchmarks use: `Criterion`
+//! with `bench_function` / `benchmark_group`, `Bencher::iter` /
+//! `iter_batched`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros. Statistics are intentionally simple — each
+//! benchmark is timed over a fixed wall-clock budget and the mean
+//! ns/iter (plus derived throughput) is printed.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(v: T) -> T {
+    std_black_box(v)
+}
+
+/// How `iter_batched` amortizes setup allocations (accepted for source
+/// compatibility; this subset always runs setup per batch of one).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Elements per iteration.
+    Elements(u64),
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Wall-clock budget per benchmark.
+const BUDGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        loop {
+            std_black_box(routine());
+            self.iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= BUDGET {
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut measured = Duration::ZERO;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            measured += start.elapsed();
+            self.iters += 1;
+            if measured >= BUDGET {
+                self.elapsed = measured;
+                return;
+            }
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let iters = b.iters.max(1);
+    let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+    let mut line = format!("{name:<40} {ns:>12.1} ns/iter ({iters} iters)");
+    if let Some(tp) = throughput {
+        match tp {
+            Throughput::Bytes(bytes) => {
+                let mbs = bytes as f64 / ns * 1e9 / (1 << 20) as f64;
+                line.push_str(&format!("  {mbs:>10.1} MiB/s"));
+            }
+            Throughput::Elements(n) => {
+                let eps = n as f64 / ns * 1e9;
+                line.push_str(&format!("  {eps:>10.0} elem/s"));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&name, &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&full, &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

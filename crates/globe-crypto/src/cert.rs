@@ -163,8 +163,7 @@ impl Certificate {
         let tbs = Self::tbs_bytes(&self.subject, self.role, self.public_key, &self.issuer);
         // Self-signed root presented directly: must byte-match a trusted root.
         if self.issuer == self.subject {
-            if roots.iter().any(|r| r == self) && verify(&self.public_key, &tbs, &self.signature)
-            {
+            if roots.iter().any(|r| r == self) && verify(&self.public_key, &tbs, &self.signature) {
                 return Ok(());
             }
             return Err(CertError::UntrustedIssuer(self.issuer.clone()));
@@ -322,7 +321,7 @@ mod tests {
     fn root_verifies_itself_when_trusted() {
         let ca = CertAuthority::new("gdn-root", 1);
         let root = ca.root_cert().clone();
-        assert!(root.verify_against(&[root.clone()]).is_ok());
+        assert!(root.verify_against(std::slice::from_ref(&root)).is_ok());
         // ... but not when the trust store is empty or different.
         assert!(root.verify_against(&[]).is_err());
         let other = CertAuthority::new("other", 2);
@@ -364,7 +363,10 @@ mod tests {
     fn credentials_bundle_is_consistent() {
         let ca = CertAuthority::new("gdn-root", 1);
         let creds = Credentials::issue(&ca, "moderator:alice", Role::Moderator, 77);
-        creds.cert.verify_against(&[ca.root_cert().clone()]).unwrap();
+        creds
+            .cert
+            .verify_against(&[ca.root_cert().clone()])
+            .unwrap();
         // The secret key actually matches the certified public key.
         let sig = crate::sig::sign(&creds.secret, b"probe");
         assert!(crate::sig::verify(&creds.cert.public_key, b"probe", &sig));

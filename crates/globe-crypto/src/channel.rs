@@ -102,7 +102,10 @@ impl SecureChannels {
 
     /// Whether the session on `id` has completed its handshake.
     pub fn established(&self, id: u64) -> bool {
-        self.sessions.get(&id).map(|s| s.established()).unwrap_or(false)
+        self.sessions
+            .get(&id)
+            .map(|s| s.established())
+            .unwrap_or(false)
     }
 
     /// The authenticated peer certificate on `id`, if any.
@@ -171,7 +174,10 @@ mod tests {
         // Server requested (but did not require) a client certificate;
         // deliver the anonymous ClientFinish.
         let (sout, _) = s.on_message(1, &out.replies[0], &mut rng).unwrap();
-        assert!(matches!(sout.events[0], TlsEvent::Established { peer: None }));
+        assert!(matches!(
+            sout.events[0],
+            TlsEvent::Established { peer: None }
+        ));
         assert!(c.established(1));
         assert!(s.established(1));
         assert_eq!(c.peer(1).unwrap().subject, "gos-1");

@@ -725,10 +725,7 @@ impl TlsSession {
                 (None, ClientAuth::Require) => return Err(TlsError::ClientCertRequired),
                 (None, _) => None,
             };
-            let ccert_bytes = creds
-                .as_ref()
-                .map(|c| c.cert.encode())
-                .unwrap_or_default();
+            let ccert_bytes = creds.as_ref().map(|c| c.cert.encode()).unwrap_or_default();
             let mut th2h = Sha256::new();
             th2h.update(b"gtls-th2");
             th2h.update(&th1);
@@ -1117,8 +1114,7 @@ mod tests {
         let mut rng = Rng::new(1);
         // Client has no credentials but server requires them.
         let (mut c, hello) =
-            TlsSession::client(TlsConfig::client(Mode::AuthOnly, roots.clone()), &mut rng)
-                .unwrap();
+            TlsSession::client(TlsConfig::client(Mode::AuthOnly, roots.clone()), &mut rng).unwrap();
         let mut s = TlsSession::server(TlsConfig::mutual(Mode::AuthOnly, server, roots));
         let out = s.on_message(&hello, &mut rng).unwrap();
         assert_eq!(
@@ -1132,8 +1128,7 @@ mod tests {
         let (_, server, _, roots) = setup();
         let mut rng = Rng::new(1);
         let (_, hello) =
-            TlsSession::client(TlsConfig::client(Mode::AuthOnly, roots.clone()), &mut rng)
-                .unwrap();
+            TlsSession::client(TlsConfig::client(Mode::AuthOnly, roots.clone()), &mut rng).unwrap();
         let mut s = TlsSession::server(TlsConfig::server_auth(Mode::AuthEncrypt, server, roots));
         assert_eq!(
             s.on_message(&hello, &mut rng).unwrap_err(),
@@ -1174,7 +1169,7 @@ mod tests {
         // Draining resets the accumulator.
         assert_eq!(c.take_cost(), SimDuration::ZERO);
         // Record costs scale with payload size.
-        let small = c.seal(&vec![0u8; 100]).unwrap();
+        let small = c.seal(&[0u8; 100]).unwrap();
         let cost_small = c.take_cost();
         let big = c.seal(&vec![0u8; 100_000]).unwrap();
         let cost_big = c.take_cost();
@@ -1189,7 +1184,7 @@ mod tests {
     fn auth_only_cheaper_than_auth_encrypt() {
         let (_, server, client, roots) = setup();
         let payload = vec![0u8; 1 << 20];
-        let mut cost = |mode: Mode| {
+        let cost = |mode: Mode| {
             let (mut c, _) = handshake(
                 TlsConfig::mutual(mode, client.clone(), roots.clone()),
                 TlsConfig::mutual(mode, server.clone(), roots.clone()),

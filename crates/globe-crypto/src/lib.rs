@@ -28,8 +28,8 @@
 //! worried it would.
 
 pub mod cert;
-pub mod channel;
 pub mod chacha20;
+pub mod channel;
 pub mod group;
 pub mod gtls;
 pub mod hmac;

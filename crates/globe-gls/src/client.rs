@@ -127,7 +127,14 @@ impl GlsClient {
         self.pending.len()
     }
 
-    fn start(&mut self, ctx: &mut ServiceCtx<'_>, op: Op, user_token: u64, oid: ObjectId, msg_builder: impl Fn(u64, Endpoint) -> GlsMsg) {
+    fn start(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        op: Op,
+        user_token: u64,
+        oid: ObjectId,
+        msg_builder: impl Fn(u64, Endpoint) -> GlsMsg,
+    ) {
         let req = self.next_req;
         self.next_req += 1;
         let leaf_domain = self.deploy.leaf_domain(ctx.topo(), self.my_host);
@@ -153,11 +160,13 @@ impl GlsClient {
     /// Starts a lookup for `oid`; completion arrives as
     /// [`GlsEvent::LookupDone`] with `token`.
     pub fn lookup(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId, token: u64) {
-        self.start(ctx, Op::Lookup, token, oid, |req, origin| GlsMsg::LookupUp {
-            req,
-            oid,
-            origin,
-            hops: 0,
+        self.start(ctx, Op::Lookup, token, oid, |req, origin| {
+            GlsMsg::LookupUp {
+                req,
+                oid,
+                origin,
+                hops: 0,
+            }
         });
     }
 

@@ -13,7 +13,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use globe_net::{impl_service_any, Endpoint, Service, ServiceCtx, WireError, WireReader, WireWriter};
+use globe_net::{
+    impl_service_any, Endpoint, Service, ServiceCtx, WireError, WireReader, WireWriter,
+};
 use globe_sim::SimTime;
 
 use crate::proto::{AckOp, GlsMsg, Status};
@@ -234,7 +236,10 @@ impl DirectoryNode {
             Some(e) if !e.live_addrs(now).is_empty() => {
                 // Found: reply directly to the origin.
                 let addrs = e.live_addrs(now);
-                ctx.trace_debug("gls.node", format!("{oid:?} found at {}", self.deploy.name(self.domain)));
+                ctx.trace_debug(
+                    "gls.node",
+                    format!("{oid:?} found at {}", self.deploy.name(self.domain)),
+                );
                 self.reply_lookup(ctx, origin, req, Status::Ok, addrs, hops);
             }
             Some(e) if !e.pointers.is_empty() => {

@@ -217,7 +217,11 @@ impl GlsDeployment {
                             .filter(move |&c| topo.region_of(c) == r)
                             .take(1)
                     })
-                    .flat_map(|c| topo.sites().filter(move |&s| topo.country_of(s) == c).take(1))
+                    .flat_map(|c| {
+                        topo.sites()
+                            .filter(move |&s| topo.country_of(s) == c)
+                            .take(1)
+                    })
                     .map(site_rep)
                     .collect(),
             };
@@ -226,12 +230,7 @@ impl GlsDeployment {
             }
             let base = GLS_PORT_BASE + (idx as u16) * PORTS_PER_DOMAIN;
             dom.subnodes = (0..k)
-                .map(|i| {
-                    Endpoint::new(
-                        candidates[i as usize % candidates.len()],
-                        base + i as u16,
-                    )
-                })
+                .map(|i| Endpoint::new(candidates[i as usize % candidates.len()], base + i as u16))
                 .collect();
         }
 

@@ -243,7 +243,8 @@ mod tests {
 
     #[test]
     fn contact_address_round_trip() {
-        let addr = ContactAddress::new(Endpoint::new(HostId(9), 2112), 3, ADDR_FLAG_WRITES).with_impl(7);
+        let addr =
+            ContactAddress::new(Endpoint::new(HostId(9), 2112), 3, ADDR_FLAG_WRITES).with_impl(7);
         let mut w = WireWriter::new();
         addr.encode(&mut w);
         let buf = w.finish();

@@ -96,7 +96,11 @@ fn build(world_seed: u64, cfg: GlsConfig) -> (World, Arc<GlsDeployment>) {
 }
 
 fn run_driver(world: &mut World, host: HostId, script: Vec<DriverOp>, deploy: &Arc<GlsDeployment>) {
-    world.add_service(host, ports::DRIVER, Driver::new(Arc::clone(deploy), host, script));
+    world.add_service(
+        host,
+        ports::DRIVER,
+        Driver::new(Arc::clone(deploy), host, script),
+    );
 }
 
 fn results(world: &World, host: HostId) -> &[GlsEvent] {
@@ -247,7 +251,12 @@ fn delete_removes_registration_and_pointers() {
             let node = world
                 .service::<DirectoryNode>(ep.host, ep.port)
                 .expect("node installed");
-            assert_eq!(node.num_entries(), 0, "entries left at {}", deploy.name(dom));
+            assert_eq!(
+                node.num_entries(),
+                0,
+                "entries left at {}",
+                deploy.name(dom)
+            );
         }
     }
 }
@@ -328,7 +337,13 @@ fn persistence_recovers_after_crash() {
     // Crash every directory-node host, then recover.
     let node_hosts: std::collections::BTreeSet<HostId> = deploy
         .domain_ids()
-        .flat_map(|d| deploy.subnodes(d).iter().map(|e| e.host).collect::<Vec<_>>())
+        .flat_map(|d| {
+            deploy
+                .subnodes(d)
+                .iter()
+                .map(|e| e.host)
+                .collect::<Vec<_>>()
+        })
         .collect();
     for &h in &node_hosts {
         world.crash_host(h);
@@ -364,7 +379,13 @@ fn without_persistence_crash_loses_registrations() {
     world.run_for(SimDuration::from_secs(2));
     let node_hosts: std::collections::BTreeSet<HostId> = deploy
         .domain_ids()
-        .flat_map(|d| deploy.subnodes(d).iter().map(|e| e.host).collect::<Vec<_>>())
+        .flat_map(|d| {
+            deploy
+                .subnodes(d)
+                .iter()
+                .map(|e| e.host)
+                .collect::<Vec<_>>()
+        })
         .collect();
     for &h in &node_hosts {
         world.crash_host(h);
@@ -409,7 +430,10 @@ fn root_partitioning_spreads_load() {
     let rs = results(&world, HostId(12));
     assert_eq!(rs.len(), 64);
     for r in rs {
-        assert!(matches!(r, GlsEvent::LookupDone { result: Ok(_), .. }), "{r:?}");
+        assert!(
+            matches!(r, GlsEvent::LookupDone { result: Ok(_), .. }),
+            "{r:?}"
+        );
     }
     // Each root subnode carried some of the load.
     let root = deploy.root();

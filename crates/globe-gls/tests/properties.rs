@@ -8,33 +8,63 @@ use globe_gls::{ContactAddress, GlsConfig, GlsDeployment, Level, ObjectId};
 use globe_net::{Endpoint, HostId, Topology};
 
 fn arb_addr() -> impl Strategy<Value = ContactAddress> {
-    (any::<u32>(), any::<u16>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
-        |(h, p, proto, imp, flags)| {
-            ContactAddress::new(Endpoint::new(HostId(h), p), proto, flags & 1).with_impl(imp)
-        },
+    (
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
     )
+        .prop_map(|(h, p, proto, imp, flags)| {
+            ContactAddress::new(Endpoint::new(HostId(h), p), proto, flags & 1).with_impl(imp)
+        })
 }
 
 fn arb_msg() -> impl Strategy<Value = GlsMsg> {
     let ep = (any::<u32>(), any::<u16>()).prop_map(|(h, p)| Endpoint::new(HostId(h), p));
     prop_oneof![
-        (any::<u64>(), any::<u128>(), ep.clone(), any::<u32>()).prop_map(|(req, oid, origin, hops)| {
-            GlsMsg::LookupUp { req, oid: ObjectId(oid), origin, hops }
-        }),
-        (any::<u64>(), any::<u128>(), ep.clone(), any::<u32>()).prop_map(|(req, oid, origin, hops)| {
-            GlsMsg::LookupDown { req, oid: ObjectId(oid), origin, hops }
-        }),
-        (any::<u64>(), any::<u128>(), arb_addr(), ep.clone(), 0u8..4, any::<u32>()).prop_map(
-            |(req, oid, addr, origin, lvl, hops)| GlsMsg::Insert {
+        (any::<u64>(), any::<u128>(), ep.clone(), any::<u32>()).prop_map(
+            |(req, oid, origin, hops)| {
+                GlsMsg::LookupUp {
+                    req,
+                    oid: ObjectId(oid),
+                    origin,
+                    hops,
+                }
+            }
+        ),
+        (any::<u64>(), any::<u128>(), ep.clone(), any::<u32>()).prop_map(
+            |(req, oid, origin, hops)| {
+                GlsMsg::LookupDown {
+                    req,
+                    oid: ObjectId(oid),
+                    origin,
+                    hops,
+                }
+            }
+        ),
+        (
+            any::<u64>(),
+            any::<u128>(),
+            arb_addr(),
+            ep.clone(),
+            0u8..4,
+            any::<u32>()
+        )
+            .prop_map(|(req, oid, addr, origin, lvl, hops)| GlsMsg::Insert {
                 req,
                 oid: ObjectId(oid),
                 addr,
                 origin,
                 store_level: Level::from_tag(lvl).expect("0..4 is valid"),
                 hops,
-            }
-        ),
-        (any::<u64>(), prop::collection::vec(arb_addr(), 0..8), any::<u32>(), any::<bool>())
+            }),
+        (
+            any::<u64>(),
+            prop::collection::vec(arb_addr(), 0..8),
+            any::<u32>(),
+            any::<bool>()
+        )
             .prop_map(|(req, addrs, hops, found)| GlsMsg::LookupResp {
                 req,
                 status: if found { Status::Ok } else { Status::NotFound },

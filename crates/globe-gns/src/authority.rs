@@ -530,42 +530,40 @@ impl NaClient {
         }
         match ev {
             ConnEvent::Opened => {}
-            ConnEvent::Msg(data) => {
-                match self.chans.on_message(conn.0, data, ctx.rng()) {
-                    Ok((out, cost)) => {
-                        for reply in &out.replies {
-                            ctx.send_delayed(conn, reply.clone(), cost);
-                        }
-                        for ev in out.events {
-                            match ev {
-                                TlsEvent::Established { .. } => {
-                                    self.established = true;
-                                    let backlog = std::mem::take(&mut self.backlog);
-                                    for req in &backlog {
-                                        self.transmit(ctx, req);
-                                    }
+            ConnEvent::Msg(data) => match self.chans.on_message(conn.0, data, ctx.rng()) {
+                Ok((out, cost)) => {
+                    for reply in &out.replies {
+                        ctx.send_delayed(conn, reply.clone(), cost);
+                    }
+                    for ev in out.events {
+                        match ev {
+                            TlsEvent::Established { .. } => {
+                                self.established = true;
+                                let backlog = std::mem::take(&mut self.backlog);
+                                for req in &backlog {
+                                    self.transmit(ctx, req);
                                 }
-                                TlsEvent::Data(plaintext) => {
-                                    if let Ok(resp) = NaResponse::decode(&plaintext) {
-                                        if let Some(token) = self.pending.remove(&resp.req) {
-                                            self.events.push(NaEvent::Done {
-                                                token,
-                                                result: match resp.error {
-                                                    None => Ok(()),
-                                                    Some(e) => Err(e),
-                                                },
-                                            });
-                                        }
+                            }
+                            TlsEvent::Data(plaintext) => {
+                                if let Ok(resp) = NaResponse::decode(&plaintext) {
+                                    if let Some(token) = self.pending.remove(&resp.req) {
+                                        self.events.push(NaEvent::Done {
+                                            token,
+                                            result: match resp.error {
+                                                None => Ok(()),
+                                                Some(e) => Err(e),
+                                            },
+                                        });
                                     }
                                 }
                             }
                         }
                     }
-                    Err(_) => {
-                        ctx.close(conn);
-                    }
                 }
-            }
+                Err(_) => {
+                    ctx.close(conn);
+                }
+            },
             ConnEvent::Closed(reason) => {
                 self.chans.remove(conn.0);
                 self.conn = None;

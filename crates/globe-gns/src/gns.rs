@@ -100,8 +100,7 @@ impl GnsDeployment {
     pub fn plan(topo: &Topology, cfg: &GnsConfig) -> GnsDeployment {
         assert!(topo.num_hosts() > 0, "topology has no hosts");
         let zone = DnsName::parse("gdn.glb").expect("constant zone name");
-        let first_host_of_site =
-            |s| topo.hosts_in_site(s).first().copied().unwrap_or(HostId(0));
+        let first_host_of_site = |s| topo.hosts_in_site(s).first().copied().unwrap_or(HostId(0));
         // Spread GDN servers over countries: candidate pool visits every
         // country's hosts in round-robin order, skipping hosts already
         // serving DNS (the root/TLD server at host 0) while possible.
@@ -175,7 +174,13 @@ impl GnsDeployment {
     /// `ca` issues the Naming Authority's host certificate; the TSIG
     /// secret is derived from `secret_seed` and shared between the
     /// authority and the GDN Zone servers.
-    pub fn install(&self, world: &mut World, ca: &CertAuthority, cfg: &GnsConfig, secret_seed: u64) {
+    pub fn install(
+        &self,
+        world: &mut World,
+        ca: &CertAuthority,
+        cfg: &GnsConfig,
+        secret_seed: u64,
+    ) {
         let tsig_secret = format!("tsig-{secret_seed:016x}").into_bytes();
         let glb = DnsName::parse("glb").expect("constant name");
 
@@ -342,8 +347,7 @@ impl GnsClient {
     /// Syntactically invalid names complete immediately (the error is
     /// queued and surfaced by the next [`GnsClient::take_events`] call).
     pub fn resolve(&mut self, ctx: &mut ServiceCtx<'_>, name: &str, token: u64) {
-        let dns = GlobeName::parse(name)
-            .and_then(|g| g.to_dns(&self.zone));
+        let dns = GlobeName::parse(name).and_then(|g| g.to_dns(&self.zone));
         match dns {
             Ok(dns_name) => self.stub.query(ctx, dns_name, RecordType::Txt, token),
             Err(e) => self.errors.push((token, GnsError::Name(e))),
@@ -431,6 +435,8 @@ mod tests {
     #[test]
     fn gns_error_display() {
         assert!(GnsError::BadRecord.to_string().contains("malformed"));
-        assert!(GnsError::Dns(DnsError::Timeout).to_string().contains("respond"));
+        assert!(GnsError::Dns(DnsError::Timeout)
+            .to_string()
+            .contains("respond"));
     }
 }

@@ -32,7 +32,9 @@ pub mod records;
 pub mod resolver;
 pub mod server;
 
-pub use authority::{oid_to_txt, txt_to_oid, NaClient, NaEvent, NaRequest, NaResponse, NamingAuthority};
+pub use authority::{
+    oid_to_txt, txt_to_oid, NaClient, NaEvent, NaRequest, NaResponse, NamingAuthority,
+};
 pub use client::{DnsError, DnsEvent, DnsStub};
 pub use gns::{GnsClient, GnsConfig, GnsDeployment, GnsError, GnsEvent, RESOLVER_PORT};
 pub use name::{DnsName, GlobeName, NameError};

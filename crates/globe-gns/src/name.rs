@@ -292,10 +292,7 @@ mod tests {
     fn parent_and_child() {
         let n = DnsName::parse("a.b.c").unwrap();
         assert_eq!(n.parent().unwrap().to_string(), "b.c.");
-        assert_eq!(
-            DnsName::parse("b.c").unwrap().child("a").unwrap(),
-            n
-        );
+        assert_eq!(DnsName::parse("b.c").unwrap().child("a").unwrap(), n);
         assert!(DnsName::root().parent().is_none());
     }
 

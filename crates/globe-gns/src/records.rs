@@ -343,8 +343,7 @@ impl Zone {
             return ZoneAnswer::Records(rrs.clone());
         }
         // Does the name exist under any type?
-        let exists = RecordType::iter_all()
-            .any(|t| self.records.contains_key(&Self::key(name, t)));
+        let exists = RecordType::iter_all().any(|t| self.records.contains_key(&Self::key(name, t)));
         if exists {
             ZoneAnswer::NoData
         } else {
@@ -493,7 +492,11 @@ mod tests {
     #[should_panic(expected = "outside zone")]
     fn add_outside_zone_panics() {
         let mut z = Zone::new(name("gdn.glb"), 60);
-        z.add(ResourceRecord::new(name("evil.com"), 1, RData::Txt("x".into())));
+        z.add(ResourceRecord::new(
+            name("evil.com"),
+            1,
+            RData::Txt("x".into()),
+        ));
     }
 
     #[test]

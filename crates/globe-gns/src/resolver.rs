@@ -12,8 +12,7 @@
 use std::collections::BTreeMap;
 
 use globe_net::{
-    impl_service_any, ns_token, owns_token, ports, token_id, Endpoint, Service, ServiceCtx,
-    TimerId,
+    impl_service_any, ns_token, owns_token, ports, token_id, Endpoint, Service, ServiceCtx, TimerId,
 };
 use globe_sim::{SimDuration, SimTime};
 
@@ -113,7 +112,13 @@ impl Resolver {
                         .filter(|r| Self::cache_key(&r.name, r.data.rtype()) == key)
                         .cloned()
                         .collect();
-                    self.cache.insert(key, CacheEntry { rrs: group, expires });
+                    self.cache.insert(
+                        key,
+                        CacheEntry {
+                            rrs: group,
+                            expires,
+                        },
+                    );
                 }
             }
         }
@@ -406,7 +411,11 @@ mod tests {
         let mut r = Resolver::new(hints);
         let rr = ResourceRecord::new(name("x.glb"), 10, RData::A(HostId(5)));
         r.cache_put(SimTime::ZERO, std::slice::from_ref(&rr));
-        assert!(r.cache_get(SimTime::from_secs(5), &name("x.glb"), RecordType::A).is_some());
-        assert!(r.cache_get(SimTime::from_secs(11), &name("x.glb"), RecordType::A).is_none());
+        assert!(r
+            .cache_get(SimTime::from_secs(5), &name("x.glb"), RecordType::A)
+            .is_some());
+        assert!(r
+            .cache_get(SimTime::from_secs(11), &name("x.glb"), RecordType::A)
+            .is_none());
     }
 }

@@ -133,7 +133,7 @@ fn rig(cfg: GnsConfig) -> Rig {
     let ca = CertAuthority::new("gdn-root", SEED);
     let deploy = GnsDeployment::plan(world.topology(), &cfg);
     deploy.install(&mut world, &ca, &cfg, SEED);
-    (Rig { world, deploy, ca })
+    Rig { world, deploy, ca }
 }
 
 fn moderator_tls(ca: &CertAuthority, role: Role, seed: u64) -> TlsConfig {
@@ -141,12 +141,7 @@ fn moderator_tls(ca: &CertAuthority, role: Role, seed: u64) -> TlsConfig {
     TlsConfig::mutual(Mode::AuthEncrypt, creds, vec![ca.root_cert().clone()])
 }
 
-fn add_moderator(
-    rig: &mut Rig,
-    host: HostId,
-    role: Role,
-    script: Vec<(String, Option<ObjectId>)>,
-) {
+fn add_moderator(rig: &mut Rig, host: HostId, role: Role, script: Vec<(String, Option<ObjectId>)>) {
     let tls = moderator_tls(&rig.ca, role, 777);
     let na = NaClient::new(rig.deploy.naming_authority, tls);
     rig.world
@@ -184,7 +179,10 @@ fn register_and_resolve_worldwide() {
     r.world.run_for(SimDuration::from_secs(10));
 
     // Moderator got an ack.
-    let m = r.world.service::<ModeratorTool>(HostId(1), ports::DRIVER).unwrap();
+    let m = r
+        .world
+        .service::<ModeratorTool>(HostId(1), ports::DRIVER)
+        .unwrap();
     assert_eq!(
         m.results,
         vec![NaEvent::Done {
@@ -194,9 +192,17 @@ fn register_and_resolve_worldwide() {
     );
 
     // A client in the *other region* resolves the name.
-    add_resolver_driver(&mut r, HostId(13), ports::DRIVER, vec!["/apps/graphics/gimp".into()]);
+    add_resolver_driver(
+        &mut r,
+        HostId(13),
+        ports::DRIVER,
+        vec!["/apps/graphics/gimp".into()],
+    );
     r.world.run_for(SimDuration::from_secs(20));
-    let d = r.world.service::<ResolveDriver>(HostId(13), ports::DRIVER).unwrap();
+    let d = r
+        .world
+        .service::<ResolveDriver>(HostId(13), ports::DRIVER)
+        .unwrap();
     assert_eq!(d.results.len(), 1);
     match &d.results[0] {
         GnsEvent::Resolved { result, .. } => assert_eq!(result.as_ref().unwrap(), &oid),
@@ -210,23 +216,39 @@ fn unknown_and_invalid_names_fail_cleanly() {
         &mut r,
         HostId(5),
         ports::DRIVER,
-        vec!["/apps/없는".into(), "/apps/nothere".into(), "noslash".into()],
+        vec![
+            "/apps/없는".into(),
+            "/apps/nothere".into(),
+            "noslash".into(),
+        ],
     );
     r.world.start();
     r.world.run_until(SimTime::from_secs(60));
-    let d = r.world.service::<ResolveDriver>(HostId(5), ports::DRIVER).unwrap();
+    let d = r
+        .world
+        .service::<ResolveDriver>(HostId(5), ports::DRIVER)
+        .unwrap();
     assert_eq!(d.results.len(), 3, "{:?}", d.results);
     assert!(matches!(
         &d.results[0],
-        GnsEvent::Resolved { result: Err(GnsError::Name(_)), .. }
+        GnsEvent::Resolved {
+            result: Err(GnsError::Name(_)),
+            ..
+        }
     ));
     assert!(matches!(
         &d.results[1],
-        GnsEvent::Resolved { result: Err(GnsError::Dns(_)), .. }
+        GnsEvent::Resolved {
+            result: Err(GnsError::Dns(_)),
+            ..
+        }
     ));
     assert!(matches!(
         &d.results[2],
-        GnsEvent::Resolved { result: Err(GnsError::Name(_)), .. }
+        GnsEvent::Resolved {
+            result: Err(GnsError::Name(_)),
+            ..
+        }
     ));
 }
 
@@ -243,7 +265,10 @@ fn non_moderator_is_denied() {
     );
     r.world.start();
     r.world.run_for(SimDuration::from_secs(10));
-    let m = r.world.service::<ModeratorTool>(HostId(2), ports::DRIVER).unwrap();
+    let m = r
+        .world
+        .service::<ModeratorTool>(HostId(2), ports::DRIVER)
+        .unwrap();
     assert_eq!(m.results.len(), 1);
     match &m.results[0] {
         NaEvent::Done { result, .. } => {
@@ -253,7 +278,10 @@ fn non_moderator_is_denied() {
     }
     // And nothing reached the zone.
     let primary = r.deploy.gdn_primary;
-    let s = r.world.service::<AuthServer>(primary.host, primary.port).unwrap();
+    let s = r
+        .world
+        .service::<AuthServer>(primary.host, primary.port)
+        .unwrap();
     assert_eq!(s.zone(&r.deploy.zone).unwrap().num_records(), 0);
 }
 
@@ -311,10 +339,16 @@ fn removal_takes_names_out_of_service() {
     r.world.run_for(SimDuration::from_secs(20));
     add_resolver_driver(&mut r, HostId(7), ports::DRIVER, vec!["/apps/gimp".into()]);
     r.world.run_until(SimTime::from_secs(90));
-    let d = r.world.service::<ResolveDriver>(HostId(7), ports::DRIVER).unwrap();
+    let d = r
+        .world
+        .service::<ResolveDriver>(HostId(7), ports::DRIVER)
+        .unwrap();
     assert!(matches!(
         &d.results[0],
-        GnsEvent::Resolved { result: Err(GnsError::Dns(_)), .. }
+        GnsEvent::Resolved {
+            result: Err(GnsError::Dns(_)),
+            ..
+        }
     ));
 }
 
@@ -344,12 +378,23 @@ fn resolver_caching_cuts_latency_and_authoritative_load() {
         vec!["/apps/emacs".into(), "/apps/emacs".into()],
     );
     r.world.run_for(SimDuration::from_secs(30));
-    let d = r.world.service::<ResolveDriver>(HostId(13), ports::DRIVER).unwrap();
+    let d = r
+        .world
+        .service::<ResolveDriver>(HostId(13), ports::DRIVER)
+        .unwrap();
     assert_eq!(d.results.len(), 2);
     let (l0, l1) = match (&d.results[0], &d.results[1]) {
         (
-            GnsEvent::Resolved { latency: a, result: ra, .. },
-            GnsEvent::Resolved { latency: b, result: rb, .. },
+            GnsEvent::Resolved {
+                latency: a,
+                result: ra,
+                ..
+            },
+            GnsEvent::Resolved {
+                latency: b,
+                result: rb,
+                ..
+            },
         ) => {
             assert!(ra.is_ok() && rb.is_ok());
             (*a, *b)

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 
 use globe_gls::ObjectId;
 use globe_gns::proto::{tsig_mac, tsig_verify, DnsMsg, UpdateOp};
-use globe_gns::{oid_to_txt, txt_to_oid, DnsName, GlobeName, RData, RecordType, ResourceRecord, Zone};
+use globe_gns::{
+    oid_to_txt, txt_to_oid, DnsName, GlobeName, RData, RecordType, ResourceRecord, Zone,
+};
 
 const LABEL: &str = "[a-z][a-z0-9_-]{0,10}";
 

@@ -289,7 +289,10 @@ impl TopologyBuilder {
     ///
     /// Panics if `site` does not exist.
     pub fn host(&mut self, site: SiteId, name: &str) -> HostId {
-        assert!((site.0 as usize) < self.sites.len(), "unknown site {site:?}");
+        assert!(
+            (site.0 as usize) < self.sites.len(),
+            "unknown site {site:?}"
+        );
         self.hosts.push(Host {
             name: name.into(),
             site,

@@ -270,10 +270,7 @@ mod tests {
         assert_eq!(r.u16().unwrap(), 0x1234);
         assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
         assert_eq!(r.u64().unwrap(), 0x0102_0304_0506_0708);
-        assert_eq!(
-            r.u128().unwrap(),
-            0x0102_0304_0506_0708_090A_0B0C_0D0E_0F10
-        );
+        assert_eq!(r.u128().unwrap(), 0x0102_0304_0506_0708_090A_0B0C_0D0E_0F10);
         assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
         assert_eq!(r.str().unwrap(), "hello");
         assert_eq!(r.raw(2).unwrap(), &[9, 9]);

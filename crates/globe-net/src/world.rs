@@ -86,11 +86,26 @@ macro_rules! impl_service_any {
 /// Commands a service issues during a handler, applied afterwards.
 #[derive(Debug)]
 enum Effect {
-    Datagram { dst: Endpoint, payload: Vec<u8> },
-    Open { conn: ConnId, dst: Endpoint },
-    Send { conn: ConnId, msg: Vec<u8> },
-    Close { conn: ConnId },
-    Timer { id: TimerId, delay: SimDuration, token: u64 },
+    Datagram {
+        dst: Endpoint,
+        payload: Vec<u8>,
+    },
+    Open {
+        conn: ConnId,
+        dst: Endpoint,
+    },
+    Send {
+        conn: ConnId,
+        msg: Vec<u8>,
+    },
+    Close {
+        conn: ConnId,
+    },
+    Timer {
+        id: TimerId,
+        delay: SimDuration,
+        token: u64,
+    },
     CancelTimer(TimerId),
     /// A send that becomes visible to the network only after `delay` —
     /// models local processing time (e.g. virtual CPU spent on
@@ -154,13 +169,15 @@ impl<'a> ServiceCtx<'a> {
 
     /// Records an info-level trace entry.
     pub fn trace_info(&mut self, component: &'static str, message: String) {
-        self.trace.log(self.now, TraceLevel::Info, component, message);
+        self.trace
+            .log(self.now, TraceLevel::Info, component, message);
     }
 
     /// Records a debug-level trace entry.
     pub fn trace_debug(&mut self, component: &'static str, message: String) {
         if self.trace.enabled(TraceLevel::Debug) {
-            self.trace.log(self.now, TraceLevel::Debug, component, message);
+            self.trace
+                .log(self.now, TraceLevel::Debug, component, message);
         }
     }
 
@@ -282,7 +299,10 @@ enum NetEvent {
     Crash(HostId),
     Recover(HostId),
     /// A deferred effect becoming visible after its processing delay.
-    Deferred { src: Endpoint, effect: Effect },
+    Deferred {
+        src: Endpoint,
+        effect: Effect,
+    },
 }
 
 #[derive(Debug)]
@@ -574,7 +594,13 @@ impl World {
     /// Routes a stream send through the sender's per-connection CPU
     /// queue: `delay` of local processing starts when the previous
     /// output on this connection finished, so output order is FIFO.
-    fn enqueue_stream_send(&mut self, src: Endpoint, conn: ConnId, msg: Vec<u8>, delay: SimDuration) {
+    fn enqueue_stream_send(
+        &mut self,
+        src: Endpoint,
+        conn: ConnId,
+        msg: Vec<u8>,
+        delay: SimDuration,
+    ) {
         let Some((dir, _)) = self.conn_direction(conn, src) else {
             self.metrics.inc("net.send_dropped", 1);
             return;
@@ -669,7 +695,8 @@ impl World {
     }
 
     fn account(&mut self, tier: Tier, bytes: u64) {
-        self.metrics.inc(&format!("net.bytes.{}", tier.name()), bytes);
+        self.metrics
+            .inc(&format!("net.bytes.{}", tier.name()), bytes);
         self.metrics.inc(&format!("net.msgs.{}", tier.name()), 1);
     }
 
@@ -686,14 +713,8 @@ impl World {
                         continue;
                     }
                     let delay = self.params.link(tier).latency + self.transmission(size, tier);
-                    self.queue.schedule(
-                        self.now + delay,
-                        NetEvent::Datagram {
-                            src,
-                            dst,
-                            payload,
-                        },
-                    );
+                    self.queue
+                        .schedule(self.now + delay, NetEvent::Datagram { src, dst, payload });
                 }
                 Effect::Open { conn, dst } => {
                     let tier = self.topo.tier_between(src.host, dst.host);
@@ -1233,7 +1254,10 @@ mod tests {
         );
         w.start();
         w.run_to_quiescence();
-        assert_eq!(w.service::<Timed>(a, ports::DRIVER).unwrap().fired, vec![1, 3]);
+        assert_eq!(
+            w.service::<Timed>(a, ports::DRIVER).unwrap().fired,
+            vec![1, 3]
+        );
     }
 
     #[test]
@@ -1336,7 +1360,11 @@ mod tests {
                 let a = b.host(s1, "a");
                 let z = b.host(s2, "z");
                 (
-                    World::new(b.build(), NetParams::default().with_datagram_loss(0.3), seed),
+                    World::new(
+                        b.build(),
+                        NetParams::default().with_datagram_loss(0.3),
+                        seed,
+                    ),
                     a,
                     z,
                 )
@@ -1419,7 +1447,11 @@ mod tests {
         );
         w.start();
         w.run_to_quiescence();
-        let got = w.service::<Recorder>(z, ports::DRIVER).unwrap().got_at.unwrap();
+        let got = w
+            .service::<Recorder>(z, ports::DRIVER)
+            .unwrap()
+            .got_at
+            .unwrap();
         // 50 ms processing + 5 ms country latency at minimum.
         assert!(got >= SimTime::from_millis(55), "got {got}");
     }

@@ -299,7 +299,10 @@ mod tests {
         let inv = Invocation::new(MethodId(3), vec![9, 9]);
         let ep = Endpoint::new(HostId(4), 2112);
         let bodies = vec![
-            GrpBody::Invoke { req: 1, inv: inv.clone() },
+            GrpBody::Invoke {
+                req: 1,
+                inv: inv.clone(),
+            },
             GrpBody::InvokeResult {
                 req: 2,
                 ok: true,
@@ -320,10 +323,7 @@ mod tests {
                 version: 10,
                 state: vec![8; 50],
             },
-            GrpBody::Apply {
-                version: 11,
-                inv,
-            },
+            GrpBody::Apply { version: 11, inv },
             GrpBody::Invalidate { version: 12 },
             GrpBody::Hello { grp: ep },
         ];

@@ -1,0 +1,696 @@
+//! The typed DSO interface layer: declare a distributed shared object's
+//! interface once, derive everything else.
+//!
+//! The paper's control subobject (§3.3) is "the typed, marshalling
+//! wrapper applications define on top of `Invocation`". Before this
+//! module, defining a DSO class meant hand-writing three parallel
+//! artifacts that had to agree byte-for-byte: `MethodId` constants, a
+//! `kind_of` classification table, and per-method marshalling functions
+//! for both the client and the server side. This module collapses all of
+//! that into one declaration:
+//!
+//! - [`WireCodec`] — typed values ↔ wire bytes, with the [`wire_struct!`]
+//!   macro deriving field-by-field codecs for argument/result structs;
+//! - [`MethodDef`] — one method of an interface, typed over its argument
+//!   and result, able to build [`Invocation`] frames and decode results;
+//! - [`DsoInterface`] — a class declared as data: name, implementation
+//!   id, semantics type and method table, from which the repository's
+//!   [`ClassSpec`] (factory + `kind_of`) is derived;
+//! - [`dso_interface!`] — the declarative registry: declares the methods
+//!   once and generates the `MethodDef` constants, the method table, the
+//!   `DsoInterface` impl *and* the server-side
+//!   [`SemanticsObject::dispatch`] that unmarshals arguments, calls a
+//!   typed handler method, and marshals the result;
+//! - [`TypedProxy`] / [`BoundObject`] — the generic control subobject: a
+//!   typed handle over a bound object that marshals invocations through
+//!   the runtime, replacing callers assembling raw `Invocation`s.
+//!
+//! See the package and catalog DSOs in `gdn-core` for the two shipped
+//! interfaces, and [`crate::runtime::BindRequest`] for the bind flow
+//! that produces typed handles.
+
+use std::marker::PhantomData;
+
+use globe_gls::ObjectId;
+use globe_net::ServiceCtx;
+pub use globe_net::{WireError, WireReader, WireWriter};
+
+use crate::object::{ClassSpec, Invocation, MethodId, MethodKind, SemError, SemanticsObject};
+use crate::repository::{ImplId, ImplRepository};
+use crate::runtime::GlobeRuntime;
+
+// ------------------------------------------------------------ WireCodec
+
+/// Typed values that marshal to and from the length-prefixed wire
+/// format.
+///
+/// Every method argument and result type of a [`DsoInterface`]
+/// implements this; the derived marshalling in [`MethodDef`] and the
+/// generated dispatch of [`dso_interface!`] are built on it. Use
+/// [`wire_struct!`] to derive an implementation for a struct of codec
+/// fields.
+pub trait WireCodec: Sized {
+    /// Serializes into `w`.
+    fn encode(&self, w: &mut WireWriter);
+
+    /// Deserializes from `r`.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Serializes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Deserializes an entire buffer (trailing bytes are an error).
+    fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let v = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(v)
+    }
+}
+
+impl WireCodec for () {
+    fn encode(&self, _w: &mut WireWriter) {}
+    fn decode(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl WireCodec for bool {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_bool(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.bool()
+    }
+}
+
+macro_rules! int_codec {
+    ($($t:ty => $put:ident / $get:ident),* $(,)?) => {$(
+        impl WireCodec for $t {
+            fn encode(&self, w: &mut WireWriter) {
+                w.$put(*self);
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                r.$get()
+            }
+        }
+    )*};
+}
+int_codec! {
+    u8 => put_u8/u8,
+    u16 => put_u16/u16,
+    u32 => put_u32/u32,
+    u64 => put_u64/u64,
+    u128 => put_u128/u128,
+}
+
+impl WireCodec for String {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(r.str()?.to_owned())
+    }
+}
+
+impl WireCodec for [u8; 32] {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_raw(self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let mut out = [0u8; 32];
+        out.copy_from_slice(r.raw(32)?);
+        Ok(out)
+    }
+}
+
+/// Sequences encode as a `u32` count followed by the elements. For
+/// `Vec<u8>` this is byte-identical to the writer's length-prefixed
+/// byte strings.
+impl<T: WireCodec> WireCodec for Vec<T> {
+    fn encode(&self, w: &mut WireWriter) {
+        assert!(self.len() <= u32::MAX as usize, "sequence too long");
+        w.put_u32(self.len() as u32);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.u32()? as usize;
+        if n > (64 << 20) {
+            return Err(WireError::TooLarge);
+        }
+        // Cap the pre-allocation: a malicious count must not allocate
+        // before the elements actually decode.
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: WireCodec> WireCodec for Option<T> {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Derives a struct whose [`WireCodec`] encodes the fields in
+/// declaration order.
+///
+/// ```
+/// globe_rts::wire_struct! {
+///     /// Arguments of `addFile`.
+///     pub struct AddFile {
+///         /// File name within the package.
+///         pub name: String,
+///         /// File contents.
+///         pub data: Vec<u8>,
+///     }
+/// }
+/// use globe_rts::WireCodec;
+/// let args = AddFile { name: "README".into(), data: b"hi".to_vec() };
+/// assert_eq!(AddFile::from_bytes(&args.to_bytes()).unwrap(), args);
+/// ```
+#[macro_export]
+macro_rules! wire_struct {
+    ($(#[$meta:meta])* pub struct $name:ident {
+        $( $(#[$fmeta:meta])* pub $field:ident : $ty:ty ),* $(,)?
+    }) => {
+        $(#[$meta])*
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        pub struct $name {
+            $( $(#[$fmeta])* pub $field: $ty, )*
+        }
+
+        impl $crate::interface::WireCodec for $name {
+            fn encode(&self, w: &mut $crate::interface::WireWriter) {
+                $( $crate::interface::WireCodec::encode(&self.$field, w); )*
+            }
+            fn decode(
+                r: &mut $crate::interface::WireReader<'_>,
+            ) -> Result<Self, $crate::interface::WireError> {
+                Ok($name {
+                    $( $field: <$ty as $crate::interface::WireCodec>::decode(r)?, )*
+                })
+            }
+        }
+    };
+}
+
+// ------------------------------------------------------------- methods
+
+/// One row of an interface's method table (untyped: what the runtime
+/// needs for classification and diagnostics).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MethodSpec {
+    /// The wire method identifier.
+    pub id: MethodId,
+    /// Read/write classification (drives replica routing and the §6.1
+    /// write-access gate).
+    pub kind: MethodKind,
+    /// The method's declared name (diagnostics only).
+    pub name: &'static str,
+}
+
+/// One method of a [`DsoInterface`], typed over its argument and result
+/// types.
+///
+/// A `MethodDef` is the whole per-method marshalling story: it builds
+/// the opaque [`Invocation`] frame from typed arguments and decodes the
+/// marshalled result bytes back into the typed result.
+pub struct MethodDef<A, R> {
+    id: MethodId,
+    kind: MethodKind,
+    name: &'static str,
+    _marker: PhantomData<fn(A) -> R>,
+}
+
+impl<A: WireCodec, R: WireCodec> MethodDef<A, R> {
+    /// Declares a method (normally done by [`dso_interface!`]).
+    pub const fn new(id: MethodId, kind: MethodKind, name: &'static str) -> MethodDef<A, R> {
+        MethodDef {
+            id,
+            kind,
+            name,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The wire method identifier.
+    pub const fn id(&self) -> MethodId {
+        self.id
+    }
+
+    /// Read/write classification.
+    pub const fn kind(&self) -> MethodKind {
+        self.kind
+    }
+
+    /// The declared method name.
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The untyped table row.
+    pub const fn spec(&self) -> MethodSpec {
+        MethodSpec {
+            id: self.id,
+            kind: self.kind,
+            name: self.name,
+        }
+    }
+
+    /// Marshals typed arguments into an opaque invocation frame.
+    pub fn invocation(&self, args: &A) -> Invocation {
+        Invocation::new(self.id, args.to_bytes())
+    }
+
+    /// Unmarshals a completed invocation's result bytes.
+    pub fn decode_result(&self, data: &[u8]) -> Result<R, WireError> {
+        R::from_bytes(data)
+    }
+
+    /// Unmarshals the arguments of an invocation frame (server side;
+    /// used by generated dispatch and by tests).
+    pub fn decode_args(&self, inv: &Invocation) -> Result<A, WireError> {
+        A::from_bytes(&inv.args)
+    }
+}
+
+// ---------------------------------------------------------- interfaces
+
+/// A DSO class declared as data: everything the runtime and repository
+/// need to host, classify and marshal for the class, derived from one
+/// method table.
+pub trait DsoInterface: Sized + 'static {
+    /// The class name registered in the implementation repository.
+    const NAME: &'static str;
+
+    /// The class's implementation-repository identifier (carried in GLS
+    /// contact addresses so binding peers load the right class).
+    const IMPL: ImplId;
+
+    /// The semantics subobject type; `Default` is the blank-instance
+    /// factory used when installing replicas.
+    type Semantics: SemanticsObject + Default;
+
+    /// The method table.
+    fn methods() -> &'static [MethodSpec];
+
+    /// Classifies a method, from the table.
+    fn kind_of(m: MethodId) -> Option<MethodKind> {
+        Self::methods().iter().find(|s| s.id == m).map(|s| s.kind)
+    }
+
+    /// The declared name of a method, from the table.
+    fn method_name(m: MethodId) -> Option<&'static str> {
+        Self::methods().iter().find(|s| s.id == m).map(|s| s.name)
+    }
+
+    /// Derives the repository class descriptor (factory + `kind_of`).
+    fn class_spec() -> ClassSpec {
+        ClassSpec {
+            name: Self::NAME,
+            factory: blank_factory::<Self>,
+            kind_of: table_kind_of::<Self>,
+        }
+    }
+
+    /// Registers the class in an implementation repository.
+    fn register(repo: &mut ImplRepository) {
+        repo.register(Self::IMPL, Self::class_spec());
+    }
+}
+
+fn blank_factory<I: DsoInterface>() -> Box<dyn SemanticsObject> {
+    Box::new(I::Semantics::default())
+}
+
+fn table_kind_of<I: DsoInterface>(m: MethodId) -> Option<MethodKind> {
+    I::kind_of(m)
+}
+
+/// State (de)serialization of a semantics type, used by the generated
+/// [`SemanticsObject`] impl for replica state transfer and object-server
+/// persistence.
+pub trait DsoState {
+    /// Serializes the full object state.
+    fn save(&self) -> Vec<u8>;
+
+    /// Replaces the object state from a serialized blob.
+    fn restore(&mut self, state: &[u8]) -> Result<(), SemError>;
+}
+
+/// Declares a DSO interface once and derives the rest.
+///
+/// One declaration produces:
+///
+/// - a unit struct implementing [`DsoInterface`] (name, impl id,
+///   semantics type, method table);
+/// - a typed [`MethodDef`] constant per method, for client-side
+///   marshalling through [`TypedProxy`] or directly;
+/// - the server-side [`SemanticsObject`] impl for the semantics type:
+///   generated dispatch unmarshals arguments, calls the semantics
+///   type's inherent handler method of the same name (signature
+///   `fn method(&mut self, args: Args) -> Result<Ret, SemError>`),
+///   marshals the result, and delegates state transfer to [`DsoState`].
+///
+/// ```
+/// use globe_rts::interface::{DsoInterface, DsoState};
+/// use globe_rts::{MethodKind, SemError};
+///
+/// globe_rts::wire_struct! {
+///     /// `add` arguments.
+///     pub struct Add {
+///         /// Amount to add.
+///         pub delta: u64,
+///     }
+/// }
+///
+/// /// A counter DSO.
+/// #[derive(Default)]
+/// pub struct Counter(u64);
+///
+/// impl Counter {
+///     fn add(&mut self, args: Add) -> Result<u64, SemError> {
+///         self.0 += args.delta;
+///         Ok(self.0)
+///     }
+///     fn get(&mut self, _args: ()) -> Result<u64, SemError> {
+///         Ok(self.0)
+///     }
+/// }
+///
+/// impl DsoState for Counter {
+///     fn save(&self) -> Vec<u8> {
+///         self.0.to_be_bytes().to_vec()
+///     }
+///     fn restore(&mut self, state: &[u8]) -> Result<(), SemError> {
+///         self.0 = u64::from_be_bytes(state.try_into().map_err(|_| SemError::BadState)?);
+///         Ok(())
+///     }
+/// }
+///
+/// globe_rts::dso_interface! {
+///     /// The counter interface.
+///     pub interface CounterInterface {
+///         class: "counter",
+///         impl_id: 1,
+///         semantics: Counter,
+///         methods: {
+///             1 => write ADD/add(Add) -> u64,
+///             2 => read GET/get(()) -> u64,
+///         }
+///     }
+/// }
+///
+/// assert_eq!(CounterInterface::kind_of(CounterInterface::ADD.id()), Some(MethodKind::Write));
+/// let inv = CounterInterface::ADD.invocation(&Add { delta: 4 });
+/// use globe_rts::SemanticsObject;
+/// let mut c = Counter::default();
+/// let result = c.dispatch(&inv).unwrap();
+/// assert_eq!(CounterInterface::ADD.decode_result(&result).unwrap(), 4);
+/// ```
+#[macro_export]
+macro_rules! dso_interface {
+    ($(#[$meta:meta])* pub interface $iface:ident {
+        class: $class:literal,
+        impl_id: $impl_id:literal,
+        semantics: $sem:ty,
+        methods: {
+            $( $(#[$mmeta:meta])* $id:literal => $rw:ident $CONST:ident / $method:ident ( $args:ty ) -> $ret:ty ),+ $(,)?
+        } $(,)?
+    }) => {
+        $(#[$meta])*
+        #[derive(Copy, Clone, Debug)]
+        pub struct $iface;
+
+        impl $iface {
+            $(
+                $(#[$mmeta])*
+                pub const $CONST: $crate::interface::MethodDef<$args, $ret> =
+                    $crate::interface::MethodDef::new(
+                        $crate::object::MethodId($id),
+                        $crate::dso_interface!(@kind $rw),
+                        stringify!($method),
+                    );
+            )+
+
+            const METHOD_TABLE: &'static [$crate::interface::MethodSpec] =
+                &[ $( Self::$CONST.spec() ),+ ];
+        }
+
+        impl $crate::interface::DsoInterface for $iface {
+            const NAME: &'static str = $class;
+            const IMPL: $crate::repository::ImplId = $crate::repository::ImplId($impl_id);
+            type Semantics = $sem;
+
+            fn methods() -> &'static [$crate::interface::MethodSpec] {
+                Self::METHOD_TABLE
+            }
+        }
+
+        impl $crate::object::SemanticsObject for $sem {
+            fn dispatch(
+                &mut self,
+                inv: &$crate::object::Invocation,
+            ) -> Result<Vec<u8>, $crate::object::SemError> {
+                match inv.method {
+                    $(
+                        $crate::object::MethodId($id) => {
+                            let args = <$args as $crate::interface::WireCodec>::from_bytes(&inv.args)
+                                .map_err(|_| $crate::object::SemError::BadArguments)?;
+                            let ret: $ret = self.$method(args)?;
+                            Ok($crate::interface::WireCodec::to_bytes(&ret))
+                        }
+                    )+
+                    m => Err($crate::object::SemError::NoSuchMethod(m)),
+                }
+            }
+
+            fn get_state(&self) -> Vec<u8> {
+                $crate::interface::DsoState::save(self)
+            }
+
+            fn set_state(&mut self, state: &[u8]) -> Result<(), $crate::object::SemError> {
+                $crate::interface::DsoState::restore(self, state)
+            }
+        }
+    };
+
+    (@kind read) => { $crate::object::MethodKind::Read };
+    (@kind write) => { $crate::object::MethodKind::Write };
+}
+
+// --------------------------------------------------------- typed proxy
+
+/// Why a typed handle could not be produced for a bound object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InterfaceError {
+    /// No local representative is installed for the object.
+    NotBound,
+    /// The installed representative belongs to a different class than
+    /// the requested interface.
+    ClassMismatch {
+        /// The interface's implementation id.
+        expected: ImplId,
+        /// The installed representative's implementation id.
+        found: ImplId,
+    },
+}
+
+impl std::fmt::Display for InterfaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterfaceError::NotBound => write!(f, "object not bound"),
+            InterfaceError::ClassMismatch { expected, found } => write!(
+                f,
+                "class mismatch: interface expects implementation {}, object has {}",
+                expected.0, found.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InterfaceError {}
+
+/// The generic control subobject: a typed, copyable handle that marshals
+/// invocations on one object through the runtime.
+///
+/// A proxy is obtained from the bind flow (see
+/// [`BindInfo::typed`](crate::runtime::BindInfo::typed) and
+/// [`GlobeRuntime::bound`]) so its interface has been checked against
+/// the installed local representative's class.
+pub struct TypedProxy<I: DsoInterface> {
+    oid: ObjectId,
+    _marker: PhantomData<fn() -> I>,
+}
+
+impl<I: DsoInterface> Clone for TypedProxy<I> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<I: DsoInterface> Copy for TypedProxy<I> {}
+
+impl<I: DsoInterface> std::fmt::Debug for TypedProxy<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TypedProxy")
+            .field("interface", &I::NAME)
+            .field("oid", &self.oid)
+            .finish()
+    }
+}
+
+impl<I: DsoInterface> TypedProxy<I> {
+    pub(crate) fn new(oid: ObjectId) -> TypedProxy<I> {
+        TypedProxy {
+            oid,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The object this proxy marshals for.
+    pub fn oid(&self) -> ObjectId {
+        self.oid
+    }
+
+    /// Marshals `args` for `method` and starts the invocation; completes
+    /// with [`RtEvent::InvokeDone`](crate::runtime::RtEvent::InvokeDone)
+    /// carrying `token`, whose payload `method.decode_result` unmarshals.
+    pub fn invoke<A: WireCodec, R: WireCodec>(
+        &self,
+        rt: &mut GlobeRuntime,
+        ctx: &mut ServiceCtx<'_>,
+        method: &MethodDef<A, R>,
+        args: &A,
+        token: u64,
+    ) {
+        rt.invoke(ctx, self.oid, method.invocation(args), token);
+    }
+}
+
+/// A successfully bound object with its typed proxy: what the redesigned
+/// bind flow (`BindRequest` → `BindDone` → `BoundObject<I>`) produces.
+///
+/// Dereferences to its [`TypedProxy`], so invocations go through the
+/// bound handle directly.
+#[derive(Copy, Clone, Debug)]
+pub struct BoundObject<I: DsoInterface> {
+    proxy: TypedProxy<I>,
+    protocol: u16,
+}
+
+impl<I: DsoInterface> BoundObject<I> {
+    pub(crate) fn new(oid: ObjectId, protocol: u16) -> BoundObject<I> {
+        BoundObject {
+            proxy: TypedProxy::new(oid),
+            protocol,
+        }
+    }
+
+    /// The bound object.
+    pub fn oid(&self) -> ObjectId {
+        self.proxy.oid()
+    }
+
+    /// The replication protocol of the installed representative.
+    pub fn protocol(&self) -> u16 {
+        self.protocol
+    }
+
+    /// The typed control subobject.
+    pub fn proxy(&self) -> TypedProxy<I> {
+        self.proxy
+    }
+}
+
+impl<I: DsoInterface> std::ops::Deref for BoundObject<I> {
+    type Target = TypedProxy<I>;
+    fn deref(&self) -> &TypedProxy<I> {
+        &self.proxy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_codecs_round_trip() {
+        fn rt<T: WireCodec + PartialEq + std::fmt::Debug>(v: T) {
+            assert_eq!(T::from_bytes(&v.to_bytes()).unwrap(), v);
+        }
+        rt(());
+        rt(true);
+        rt(7u8);
+        rt(0x1234u16);
+        rt(0xDEAD_BEEFu32);
+        rt(u64::MAX);
+        rt(u128::MAX / 3);
+        rt(String::from("gdn"));
+        rt([9u8; 32]);
+        rt(vec![1u8, 2, 3]);
+        rt(vec![String::from("a"), String::from("bb")]);
+        rt(Some(5u64));
+        rt(Option::<u64>::None);
+    }
+
+    #[test]
+    fn vec_u8_codec_matches_length_prefixed_bytes() {
+        // Vec<u8> through the generic sequence codec must stay
+        // byte-identical to WireWriter::put_bytes, because existing wire
+        // formats were defined in terms of the latter.
+        let data = vec![1u8, 2, 3, 4, 5];
+        let mut w = WireWriter::new();
+        w.put_bytes(&data);
+        assert_eq!(data.to_bytes(), w.finish());
+    }
+
+    #[test]
+    fn vec_decode_rejects_absurd_count() {
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        let buf = w.finish();
+        assert_eq!(
+            Vec::<u8>::from_bytes(&buf).unwrap_err(),
+            WireError::TooLarge
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing() {
+        let mut buf = 5u32.to_bytes();
+        buf.push(0);
+        assert_eq!(u32::from_bytes(&buf).unwrap_err(), WireError::TrailingBytes);
+    }
+
+    #[test]
+    fn interface_error_display() {
+        assert!(InterfaceError::NotBound.to_string().contains("not bound"));
+        let e = InterfaceError::ClassMismatch {
+            expected: ImplId(1),
+            found: ImplId(2),
+        };
+        assert!(e.to_string().contains('1') && e.to_string().contains('2'));
+    }
+}

@@ -12,8 +12,11 @@
 //!   seeing only opaque invocations;
 //! - **communication** — pooled gTLS stream connections, owned by the
 //!   [`runtime::GlobeRuntime`];
-//! - **control** — the typed, marshalling wrapper applications define on
-//!   top of [`object::Invocation`] (see the package DSO in `gdn-core`).
+//! - **control** — the typed marshalling layer, now provided generically
+//!   by [`interface`]: interfaces are declared once with
+//!   [`dso_interface!`] and the runtime hands out typed
+//!   [`interface::TypedProxy`] handles (see the package and catalog DSOs
+//!   in `gdn-core`).
 //!
 //! Around the object model sit the pieces of paper §3.4–§4:
 //! [`repository`] (implementation loading), binding via the Globe
@@ -27,6 +30,7 @@
 //! about.
 
 pub mod grp;
+pub mod interface;
 pub mod object;
 pub mod protocols;
 pub mod replication;
@@ -35,9 +39,13 @@ pub mod runtime;
 pub mod server;
 
 pub use grp::{protocol_id, GrpBody, GrpMsg, PropagationMode, RoleSpec};
+pub use interface::{
+    BoundObject, DsoInterface, DsoState, InterfaceError, MethodDef, MethodSpec, TypedProxy,
+    WireCodec,
+};
 pub use object::{ClassSpec, Invocation, MethodId, MethodKind, SemError, SemanticsObject};
 pub use protocols::{CacheProxy, ForwardingProxy, MasterReplica, ServerReplica, SlaveReplica};
 pub use replication::{InvokeError, Peer, ReplCtx, ReplicationSubobject};
 pub use repository::{ImplId, ImplRepository};
-pub use runtime::{BindError, BindInfo, GlobeRuntime, RtConn, RtEvent, RuntimeConfig};
+pub use runtime::{BindError, BindInfo, BindRequest, GlobeRuntime, RtConn, RtEvent, RuntimeConfig};
 pub use server::{GlobeObjectServer, GosCmd, GosResp, GosStats};

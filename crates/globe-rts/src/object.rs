@@ -65,9 +65,12 @@ impl Invocation {
         })
     }
 
-    /// Total marshalled size in bytes.
+    /// Total marshalled size in bytes, derived from the actual encoding
+    /// so byte accounting can never drift from the wire format.
     pub fn size(&self) -> usize {
-        8 + self.args.len()
+        let mut w = WireWriter::with_capacity(8 + self.args.len());
+        self.encode(&mut w);
+        w.len()
     }
 }
 
@@ -146,6 +149,16 @@ mod tests {
     }
 
     #[test]
+    fn size_matches_encoded_length() {
+        for args in [vec![], vec![0u8], vec![7u8; 1000]] {
+            let inv = Invocation::new(MethodId(9), args);
+            let mut w = WireWriter::new();
+            inv.encode(&mut w);
+            assert_eq!(inv.size(), w.finish().len());
+        }
+    }
+
+    #[test]
     fn decode_rejects_truncated() {
         let mut r = WireReader::new(&[0, 0]);
         assert!(Invocation::decode(&mut r).is_err());
@@ -153,8 +166,12 @@ mod tests {
 
     #[test]
     fn sem_error_display() {
-        assert!(SemError::NoSuchMethod(MethodId(3)).to_string().contains('3'));
-        assert!(SemError::Application("boom".into()).to_string().contains("boom"));
+        assert!(SemError::NoSuchMethod(MethodId(3))
+            .to_string()
+            .contains('3'));
+        assert!(SemError::Application("boom".into())
+            .to_string()
+            .contains("boom"));
         assert!(SemError::BadState.to_string().contains("state"));
     }
 }

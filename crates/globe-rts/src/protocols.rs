@@ -28,8 +28,15 @@ const FORWARD_TIMEOUT: SimDuration = SimDuration::from_secs(10);
 /// A waiter for state to arrive: a local invocation or a remote read.
 #[derive(Debug)]
 enum Waiter {
-    Local { token: u64, inv: Invocation },
-    Remote { from: Peer, req: u64, inv: Invocation },
+    Local {
+        token: u64,
+        inv: Invocation,
+    },
+    Remote {
+        from: Peer,
+        req: u64,
+        inv: Invocation,
+    },
 }
 
 /// Client-side proxy: no local state, forwards reads to the nearest
@@ -514,31 +521,27 @@ impl ReplicationSubobject for SlaveReplica {
                     self.valid = false;
                 }
             }
-            GrpBody::State {
-                version, state, ..
-            } => {
+            GrpBody::State { version, state, .. } => {
                 self.fetch_in_flight = false;
                 if version >= c.version() && c.install_state(version, &state).is_ok() {
                     self.valid = true;
                     self.drain_waiters(c);
                 }
             }
-            GrpBody::InvokeResult { req, ok, data } => {
-                match self.pending_writes.remove(&req) {
-                    Some(WriteOrigin::Local(token)) => {
-                        let result = if ok {
-                            Ok(data)
-                        } else {
-                            Err(decode_error(&data))
-                        };
-                        c.complete(token, result);
-                    }
-                    Some(WriteOrigin::Remote { from, req }) => {
-                        c.send(from, GrpBody::InvokeResult { req, ok, data });
-                    }
-                    None => {}
+            GrpBody::InvokeResult { req, ok, data } => match self.pending_writes.remove(&req) {
+                Some(WriteOrigin::Local(token)) => {
+                    let result = if ok {
+                        Ok(data)
+                    } else {
+                        Err(decode_error(&data))
+                    };
+                    c.complete(token, result);
                 }
-            }
+                Some(WriteOrigin::Remote { from, req }) => {
+                    c.send(from, GrpBody::InvokeResult { req, ok, data });
+                }
+                None => {}
+            },
             GrpBody::GetState { req } => {
                 // Serve whatever we have; the version lets the requester
                 // judge freshness.
@@ -686,9 +689,7 @@ impl ReplicationSubobject for CacheProxy {
 
     fn on_grp(&mut self, c: &mut ReplCtx<'_>, _from: Peer, body: GrpBody) {
         match body {
-            GrpBody::State {
-                version, state, ..
-            } => {
+            GrpBody::State { version, state, .. } => {
                 self.fetch_in_flight = false;
                 if c.install_state(version, &state).is_ok() {
                     self.expires = Some(c.now() + self.ttl);

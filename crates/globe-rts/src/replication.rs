@@ -117,14 +117,19 @@ impl<'a> ReplCtx<'a> {
     pub fn exec(&mut self, inv: &Invocation) -> Result<Vec<u8>, InvokeError> {
         self.effects.dirty = true;
         match self.sem.as_deref_mut() {
-            Some(sem) => sem.dispatch(inv).map_err(|e| InvokeError::Sem(e.to_string())),
+            Some(sem) => sem
+                .dispatch(inv)
+                .map_err(|e| InvokeError::Sem(e.to_string())),
             None => Err(InvokeError::Internal("no semantics subobject")),
         }
     }
 
     /// Serializes the local state (for state transfer).
     pub fn state(&self) -> Vec<u8> {
-        self.sem.as_deref().map(|s| s.get_state()).unwrap_or_default()
+        self.sem
+            .as_deref()
+            .map(|s| s.get_state())
+            .unwrap_or_default()
     }
 
     /// Installs a state blob at `version`.

@@ -27,16 +27,16 @@ use globe_crypto::cert::Role;
 use globe_crypto::channel::SecureChannels;
 use globe_crypto::gtls::{TlsConfig, TlsEvent};
 use globe_gls::{
-    ContactAddress, GlsClient, GlsDeployment, GlsError, GlsEvent, Level, ObjectId,
-    ADDR_FLAG_WRITES,
+    ContactAddress, GlsClient, GlsDeployment, GlsError, GlsEvent, Level, ObjectId, ADDR_FLAG_WRITES,
 };
 use globe_net::{
-    ns_token, owns_token, token_id, ConnEvent, ConnId, Endpoint, HostId, ServiceCtx,
-    WireReader, WireWriter,
+    ns_token, owns_token, token_id, ConnEvent, ConnId, Endpoint, HostId, ServiceCtx, WireReader,
+    WireWriter,
 };
 use globe_sim::SimDuration;
 
 use crate::grp::{GrpBody, GrpMsg, PropagationMode, RoleSpec};
+use crate::interface::{BoundObject, DsoInterface, InterfaceError};
 use crate::object::{Invocation, MethodKind, SemanticsObject};
 use crate::protocols::{CacheProxy, ForwardingProxy, MasterReplica, ServerReplica, SlaveReplica};
 use crate::replication::{InvokeError, Peer, ReplCtx, ReplEffects, ReplicationSubobject};
@@ -81,6 +81,40 @@ pub struct BindInfo {
     pub oid: ObjectId,
     /// The replication protocol of the installed representative.
     pub protocol: u16,
+    /// The implementation (class) of the installed representative.
+    pub impl_id: ImplId,
+}
+
+impl BindInfo {
+    /// Produces the typed handle of the redesigned bind flow, checking
+    /// that the installed representative's class matches interface `I`.
+    pub fn typed<I: DsoInterface>(&self) -> Result<BoundObject<I>, InterfaceError> {
+        if self.impl_id != I::IMPL {
+            return Err(InterfaceError::ClassMismatch {
+                expected: I::IMPL,
+                found: self.impl_id,
+            });
+        }
+        Ok(BoundObject::new(self.oid, self.protocol))
+    }
+}
+
+/// A bind submission: which object to bind and the caller's correlation
+/// token, completed by [`RtEvent::BindDone`] whose [`BindInfo`] turns
+/// into a typed [`BoundObject`] via [`BindInfo::typed`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BindRequest {
+    /// The object to bind to.
+    pub oid: ObjectId,
+    /// Caller's correlation token, echoed in the completion event.
+    pub token: u64,
+}
+
+impl BindRequest {
+    /// Creates a bind request.
+    pub fn new(oid: ObjectId, token: u64) -> BindRequest {
+        BindRequest { oid, token }
+    }
 }
 
 /// Completion events drained via [`GlobeRuntime::take_events`].
@@ -292,6 +326,29 @@ impl GlobeRuntime {
         self.lrs.get(&oid.0).map(|lr| lr.version)
     }
 
+    /// Submits a bind (paper §3.4); completes with
+    /// [`RtEvent::BindDone`], whose [`BindInfo`] yields a typed
+    /// [`BoundObject`] handle via [`BindInfo::typed`].
+    pub fn submit_bind(&mut self, ctx: &mut ServiceCtx<'_>, req: BindRequest) {
+        self.bind(ctx, req.oid, req.token);
+    }
+
+    /// The typed handle for an already-installed local representative,
+    /// checked against interface `I` (the post-bind counterpart of
+    /// [`BindInfo::typed`]).
+    pub fn bound<I: DsoInterface>(&self, oid: ObjectId) -> Result<BoundObject<I>, InterfaceError> {
+        let Some(lr) = self.lrs.get(&oid.0) else {
+            return Err(InterfaceError::NotBound);
+        };
+        if lr.impl_id != I::IMPL {
+            return Err(InterfaceError::ClassMismatch {
+                expected: I::IMPL,
+                found: lr.impl_id,
+            });
+        }
+        Ok(BoundObject::new(oid, lr.repl.proto()))
+    }
+
     /// Starts binding to `oid` (paper §3.4); completes with
     /// [`RtEvent::BindDone`] carrying `token`.
     pub fn bind(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId, token: u64) {
@@ -299,6 +356,7 @@ impl GlobeRuntime {
             let info = BindInfo {
                 oid,
                 protocol: lr.repl.proto(),
+                impl_id: lr.impl_id,
             };
             self.events.push(RtEvent::BindDone {
                 token,
@@ -605,7 +663,8 @@ impl GlobeRuntime {
                 restored.push(ObjectId(oid));
             }
         }
-        ctx.metrics().inc("rts.replicas_restored", restored.len() as u64);
+        ctx.metrics()
+            .inc("rts.replicas_restored", restored.len() as u64);
         restored
     }
 
@@ -785,6 +844,7 @@ impl GlobeRuntime {
             result: Ok(BindInfo {
                 oid: ObjectId(oid),
                 protocol: choice.protocol,
+                impl_id,
             }),
         });
     }
@@ -798,7 +858,9 @@ impl GlobeRuntime {
         // Access control (paper §6.1): replicas accept state-modifying
         // traffic only from authorized senders.
         let is_writer = self.cfg.open_writes
-            || role.map(|r| self.cfg.writer_roles.contains(&r)).unwrap_or(false);
+            || role
+                .map(|r| self.cfg.writer_roles.contains(&r))
+                .unwrap_or(false);
         match &msg.body {
             GrpBody::Invoke { req, inv } => {
                 let Some(lr) = self.lrs.get(&msg.oid) else {
@@ -1018,7 +1080,9 @@ mod tests {
     fn bind_error_display() {
         assert!(BindError::NotFound.to_string().contains("not registered"));
         assert!(BindError::UnknownImpl(7).to_string().contains('7'));
-        assert!(BindError::Gls(GlsError::Timeout).to_string().contains("respond"));
+        assert!(BindError::Gls(GlsError::Timeout)
+            .to_string()
+            .contains("respond"));
         assert!(BindError::NoAddress.to_string().contains("address"));
     }
 

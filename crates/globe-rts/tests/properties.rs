@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 
 use globe_net::{Endpoint, HostId, WireReader, WireWriter};
-use globe_rts::{GosCmd, GosResp, GrpBody, GrpMsg, Invocation, MethodId, PropagationMode, RoleSpec};
+use globe_rts::{
+    GosCmd, GosResp, GrpBody, GrpMsg, Invocation, MethodId, PropagationMode, RoleSpec,
+};
 
 fn arb_inv() -> impl Strategy<Value = Invocation> {
     (any::<u32>(), prop::collection::vec(any::<u8>(), 0..256))
@@ -30,11 +32,23 @@ fn arb_role() -> impl Strategy<Value = RoleSpec> {
 fn arb_body() -> impl Strategy<Value = GrpBody> {
     prop_oneof![
         (any::<u64>(), arb_inv()).prop_map(|(req, inv)| GrpBody::Invoke { req, inv }),
-        (any::<u64>(), any::<bool>(), prop::collection::vec(any::<u8>(), 0..128))
+        (
+            any::<u64>(),
+            any::<bool>(),
+            prop::collection::vec(any::<u8>(), 0..128)
+        )
             .prop_map(|(req, ok, data)| GrpBody::InvokeResult { req, ok, data }),
         any::<u64>().prop_map(|req| GrpBody::GetState { req }),
-        (any::<u64>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..128))
-            .prop_map(|(req, version, state)| GrpBody::State { req, version, state }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..128)
+        )
+            .prop_map(|(req, version, state)| GrpBody::State {
+                req,
+                version,
+                state
+            }),
         (any::<u64>(), prop::collection::vec(any::<u8>(), 0..128))
             .prop_map(|(version, state)| GrpBody::Update { version, state }),
         (any::<u64>(), arb_inv()).prop_map(|(version, inv)| GrpBody::Apply { version, inv }),

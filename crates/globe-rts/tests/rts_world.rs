@@ -35,7 +35,10 @@ impl SemanticsObject for Counter {
             M_GET => Ok(self.0.to_be_bytes().to_vec()),
             M_ADD => {
                 let delta = u64::from_be_bytes(
-                    inv.args.as_slice().try_into().map_err(|_| SemError::BadArguments)?,
+                    inv.args
+                        .as_slice()
+                        .try_into()
+                        .map_err(|_| SemError::BadArguments)?,
                 );
                 self.0 += delta;
                 Ok(self.0.to_be_bytes().to_vec())
@@ -361,7 +364,13 @@ impl Rig {
     }
 }
 
-fn run_client(rig: &mut Rig, host: HostId, port: u16, runtime: GlobeRuntime, script: Vec<ClientOp>) {
+fn run_client(
+    rig: &mut Rig,
+    host: HostId,
+    port: u16,
+    runtime: GlobeRuntime,
+    script: Vec<ClientOp>,
+) {
     rig.world
         .add_service(host, port, ClientDriver::new(runtime, script));
 }
@@ -389,7 +398,12 @@ fn expect_value(ev: &RtEvent) -> u64 {
 fn client_server_end_to_end() {
     let mut rig = rig();
     let gos_host = HostId(0);
-    let oid = create_object(&mut rig, gos_host, protocol_id::CLIENT_SERVER, RoleSpec::Standalone);
+    let oid = create_object(
+        &mut rig,
+        gos_host,
+        protocol_id::CLIENT_SERVER,
+        RoleSpec::Standalone,
+    );
 
     // A moderator-credentialed client in the other region writes.
     let rt = moderator_runtime(&rig, HostId(13));
@@ -431,7 +445,12 @@ fn client_server_end_to_end() {
 #[test]
 fn anonymous_writes_are_denied() {
     let mut rig = rig();
-    let oid = create_object(&mut rig, HostId(0), protocol_id::CLIENT_SERVER, RoleSpec::Standalone);
+    let oid = create_object(
+        &mut rig,
+        HostId(0),
+        protocol_id::CLIENT_SERVER,
+        RoleSpec::Standalone,
+    );
     let rt = anon_runtime(&rig, HostId(13));
     run_client(
         &mut rig,
@@ -634,7 +653,12 @@ fn active_replication_reexecutes_writes() {
 #[test]
 fn cache_proxy_serves_repeat_reads_locally() {
     let mut rig = rig();
-    let oid = create_object(&mut rig, HostId(0), protocol_id::CACHE_TTL, RoleSpec::Standalone);
+    let oid = create_object(
+        &mut rig,
+        HostId(0),
+        protocol_id::CACHE_TTL,
+        RoleSpec::Standalone,
+    );
     let rt = anon_runtime(&rig, HostId(13));
     run_client(
         &mut rig,
@@ -671,7 +695,13 @@ fn gos_commands_require_moderator_role() {
     rig.add_gos(HostId(0));
     // A mere host certificate tries to create an object.
     let cfg = rig.client_config(Some((Role::Host, "sneaky-host", 666)));
-    let rt = GlobeRuntime::new(cfg, Arc::clone(&rig.repo), Arc::clone(&rig.gls), HostId(1), 100);
+    let rt = GlobeRuntime::new(
+        cfg,
+        Arc::clone(&rig.repo),
+        Arc::clone(&rig.gls),
+        HostId(1),
+        100,
+    );
     let driver = ModDriver::new(
         rt,
         Endpoint::new(HostId(0), ports::GOS_CTL),
@@ -723,7 +753,12 @@ fn bind_to_unknown_object_fails() {
 fn gos_recovers_replicas_from_stable_storage() {
     let mut rig = rig();
     let gos_host = HostId(0);
-    let oid = create_object(&mut rig, gos_host, protocol_id::CLIENT_SERVER, RoleSpec::Standalone);
+    let oid = create_object(
+        &mut rig,
+        gos_host,
+        protocol_id::CLIENT_SERVER,
+        RoleSpec::Standalone,
+    );
     let rt = moderator_runtime(&rig, HostId(1));
     run_client(
         &mut rig,
@@ -763,11 +798,22 @@ fn gos_recovers_replicas_from_stable_storage() {
 #[test]
 fn first_bind_pays_class_loading() {
     let mut rig = rig();
-    let oid = create_object(&mut rig, HostId(0), protocol_id::CLIENT_SERVER, RoleSpec::Standalone);
+    let oid = create_object(
+        &mut rig,
+        HostId(0),
+        protocol_id::CLIENT_SERVER,
+        RoleSpec::Standalone,
+    );
     // Two sequential binds from the same host: only the first loads the
     // implementation (paper §3.4 / experiment E9).
     let rt = anon_runtime(&rig, HostId(4));
-    run_client(&mut rig, HostId(4), ports::DRIVER, rt, vec![ClientOp::Bind(oid)]);
+    run_client(
+        &mut rig,
+        HostId(4),
+        ports::DRIVER,
+        rt,
+        vec![ClientOp::Bind(oid)],
+    );
     rig.world.run_for(SimDuration::from_secs(30));
     assert_eq!(rig.world.metrics().counter("rts.impl_loads"), 1);
 
@@ -778,7 +824,8 @@ fn first_bind_pays_class_loading() {
     let first_bind_done = d.completed_at[0];
     // Class load delay (150 ms default) dominates a site-local lookup.
     assert!(
-        first_bind_done >= rig.world.now() - SimDuration::from_secs(30) + SimDuration::from_millis(150),
+        first_bind_done
+            >= rig.world.now() - SimDuration::from_secs(30) + SimDuration::from_millis(150),
         "bind at {first_bind_done} did not include the load delay"
     );
 }

@@ -333,8 +333,14 @@ mod tests {
         assert_eq!(t1 - t0, SimDuration::from_millis(5));
         assert_eq!(t1.saturating_sub(t0).as_millis(), 5);
         assert_eq!(t0.saturating_sub(t1), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_micros(4) * 3, SimDuration::from_micros(12));
-        assert_eq!(SimDuration::from_micros(12) / 3, SimDuration::from_micros(4));
+        assert_eq!(
+            SimDuration::from_micros(4) * 3,
+            SimDuration::from_micros(12)
+        );
+        assert_eq!(
+            SimDuration::from_micros(12) / 3,
+            SimDuration::from_micros(4)
+        );
     }
 
     #[test]
@@ -362,7 +368,12 @@ mod tests {
     #[test]
     fn checked_ops() {
         assert_eq!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)), None);
-        assert!(SimTime::ZERO.checked_add(SimDuration::from_secs(1)).is_some());
-        assert_eq!(SimDuration::MAX.checked_add(SimDuration::from_nanos(1)), None);
+        assert!(SimTime::ZERO
+            .checked_add(SimDuration::from_secs(1))
+            .is_some());
+        assert_eq!(
+            SimDuration::MAX.checked_add(SimDuration::from_nanos(1)),
+            None
+        );
     }
 }

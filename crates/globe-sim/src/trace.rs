@@ -83,7 +83,13 @@ impl TraceLog {
     }
 
     /// Appends an entry if the log is enabled at `level`.
-    pub fn log(&mut self, time: SimTime, level: TraceLevel, component: &'static str, message: String) {
+    pub fn log(
+        &mut self,
+        time: SimTime,
+        level: TraceLevel,
+        component: &'static str,
+        message: String,
+    ) {
         if self.enabled(level) {
             self.entries.push(TraceEntry {
                 time,

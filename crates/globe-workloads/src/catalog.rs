@@ -77,7 +77,11 @@ pub fn generate(spec: &CatalogSpec, topo: &Topology, rng: &mut Rng) -> Vec<Catal
                 } else {
                     spec.cold_update_rate
                 },
-                file_size: if large { spec.large_size } else { spec.small_size },
+                file_size: if large {
+                    spec.large_size
+                } else {
+                    spec.small_size
+                },
                 home_region: i % regions,
             }
         })

@@ -6,7 +6,7 @@
 //! binding, replication protocols, security). Samples are collected
 //! in-memory for the experiment harness to post-process.
 
-use gdn_core::PackageControl;
+use gdn_core::package::{AddFile, PackageInterface};
 use globe_gls::ObjectId;
 use globe_net::{
     impl_service_any, ns_token, owns_token, ConnEvent, ConnId, Endpoint, Service, ServiceCtx,
@@ -128,7 +128,8 @@ impl Service for HttpLoadGen {
                     Some(r) => (r.status, r.body.len()),
                     None => (0, 0),
                 };
-                ctx.metrics().record("loadgen.latency_us", latency.as_micros());
+                ctx.metrics()
+                    .record("loadgen.latency_us", latency.as_micros());
                 self.samples.push(Sample {
                     at: started,
                     latency,
@@ -231,7 +232,10 @@ impl UpdateGen {
 
     fn write(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId) {
         self.seq += 1;
-        let inv = PackageControl::add_file(&format!("delta-{}", self.seq % 4), &vec![0xD7; self.payload]);
+        let inv = PackageInterface::ADD_FILE.invocation(&AddFile {
+            name: format!("delta-{}", self.seq % 4),
+            data: vec![0xD7; self.payload],
+        });
         self.runtime.invoke(ctx, oid, inv, self.seq);
     }
 
@@ -259,8 +263,7 @@ impl UpdateGen {
                     RtEvent::BindDone { result, .. } => {
                         if let Ok(info) = result {
                             self.bound.insert(info.oid.0);
-                            let queued =
-                                self.pending_bind.remove(&info.oid.0).unwrap_or(0);
+                            let queued = self.pending_bind.remove(&info.oid.0).unwrap_or(0);
                             for _ in 0..queued {
                                 self.write(ctx, info.oid);
                             }
@@ -374,7 +377,7 @@ mod tests {
             mk(100, 10, 200),
             mk(200, 20, 200),
             mk(300, 30, 200),
-            mk(400, 1000, 0),    // failure: excluded from latency stats
+            mk(400, 1000, 0),   // failure: excluded from latency stats
             mk(5000, 999, 200), // outside window
         ];
         let w = window_stats(&samples, SimTime::ZERO, SimTime::from_secs(1));

@@ -24,7 +24,7 @@ pub mod policy;
 pub mod zipf;
 
 pub use adapt::{AdaptiveController, ManagedObject};
-pub use catalog::{gos_by_region, generate, publish_ops, CatalogEntry, CatalogSpec};
+pub use catalog::{generate, gos_by_region, publish_ops, CatalogEntry, CatalogSpec};
 pub use gens::{window_stats, HttpLoadGen, Sample, UpdateGen, WindowStats};
 pub use policy::{scenario_for, ObjectProfile, ScenarioPolicy};
 pub use zipf::ZipfSampler;

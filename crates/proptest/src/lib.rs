@@ -1,0 +1,703 @@
+//! An offline, dependency-free subset of the `proptest` API.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so this workspace-local crate provides the slice of proptest that the
+//! test suites actually use: the [`proptest!`] macro, strategies for
+//! integers/ranges/collections/regex-like string patterns, `prop_map`,
+//! `prop_oneof!`, and the `prop_assert*` assertion macros.
+//!
+//! Semantics differ from upstream in one deliberate way: failing cases
+//! are **not shrunk** — the failing seed and case index are reported
+//! instead, and generation is fully deterministic per test name, so a
+//! failure always reproduces. Case count defaults to 64 and can be
+//! raised with `PROPTEST_CASES`.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic splitmix64 generator used for all value generation.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng(seed)
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "empty range");
+            // Modulo bias is irrelevant for test-case generation.
+            self.next_u64() % n
+        }
+
+        /// Uniform usize in `[lo, hi)`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty range {lo}..{hi}");
+            lo + self.below((hi - lo) as u64) as usize
+        }
+    }
+
+    /// A failed property: carries the rendered assertion message.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure from a rendered message.
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError(msg)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    fn fnv(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `f` for the configured number of cases with per-case RNGs
+    /// derived deterministically from the test name.
+    pub fn run_cases(name: &str, mut f: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+        let cases: u64 = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        let base = fnv(name);
+        for case in 0..cases {
+            let mut rng = TestRng::new(base ^ case.wrapping_mul(0xA076_1D64_78BD_642F));
+            if let Err(e) = f(&mut rng) {
+                panic!("proptest {name}: case {case}/{cases} failed:\n{e}");
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use std::marker::PhantomData;
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A value generator (upstream proptest's `Strategy`, minus
+    /// shrinking).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// One alternative of a [`OneOf`] strategy.
+    pub type Choice<V> = Rc<dyn Fn(&mut TestRng) -> V>;
+
+    /// Uniform choice among boxed alternatives (built by `prop_oneof!`).
+    pub struct OneOf<V> {
+        choices: Vec<Choice<V>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Builds from the alternatives' generator closures.
+        pub fn new(choices: Vec<Choice<V>>) -> OneOf<V> {
+            assert!(!choices.is_empty(), "prop_oneof! needs alternatives");
+            OneOf { choices }
+        }
+    }
+
+    impl<V> Clone for OneOf<V> {
+        fn clone(&self) -> Self {
+            OneOf {
+                choices: self.choices.clone(),
+            }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.usize_in(0, self.choices.len());
+            (self.choices[i])(rng)
+        }
+    }
+
+    /// `any::<T>()` marker strategy.
+    pub struct Any<T>(pub(crate) PhantomData<fn() -> T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: crate::arbitrary::ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::gen(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// Regex-subset string strategy: a pattern is a sequence of literal
+    /// characters and `[...]` classes, each optionally followed by an
+    /// `{m,n}` or `{n}` repetition. This covers every pattern the test
+    /// suites use (e.g. `"[a-z][a-z0-9._-]{0,20}"`).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            gen_pattern(self, rng)
+        }
+    }
+
+    fn gen_pattern(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let candidates: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unterminated character class")
+                    + i;
+                let set = parse_class(&chars[i + 1..close]);
+                i = close + 1;
+                set
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            let (lo, hi) = parse_repeat(&chars, &mut i);
+            let n = if lo == hi {
+                lo
+            } else {
+                rng.usize_in(lo, hi + 1)
+            };
+            for _ in 0..n {
+                out.push(candidates[rng.usize_in(0, candidates.len())]);
+            }
+        }
+        out
+    }
+
+    fn parse_class(body: &[char]) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                for c in body[i]..=body[i + 2] {
+                    set.push(c);
+                }
+                i += 3;
+            } else {
+                set.push(body[i]);
+                i += 1;
+            }
+        }
+        assert!(!set.is_empty(), "empty character class");
+        set
+    }
+
+    fn parse_repeat(chars: &[char], i: &mut usize) -> (usize, usize) {
+        if *i >= chars.len() || chars[*i] != '{' {
+            return (1, 1);
+        }
+        let close = chars[*i..]
+            .iter()
+            .position(|&c| c == '}')
+            .expect("unterminated repetition")
+            + *i;
+        let body: String = chars[*i + 1..close].iter().collect();
+        *i = close + 1;
+        match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("repetition bound"),
+                hi.trim().parse().expect("repetition bound"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("repetition count");
+                (n, n)
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" generator.
+    pub trait ArbitraryValue: Sized {
+        /// Draws an arbitrary value.
+        fn gen(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn gen(rng: &mut TestRng) -> $t {
+                    // Two draws so u128 gets full entropy.
+                    let hi = rng.next_u64() as u128;
+                    let lo = rng.next_u64() as u128;
+                    ((hi << 64) | lo) as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, u128, usize);
+
+    impl ArbitraryValue for bool {
+        fn gen(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryValue for crate::sample::Index {
+        fn gen(rng: &mut TestRng) -> crate::sample::Index {
+            crate::sample::Index(rng.next_u64())
+        }
+    }
+
+    /// The strategy producing any value of `T`.
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An element-count specification: an exact size or a half-open
+    /// range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            rng.usize_in(self.lo, self.hi)
+        }
+    }
+
+    /// `Vec` strategy; see [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// `BTreeMap` strategy; see [`btree_map`].
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.draw(rng);
+            let mut map = BTreeMap::new();
+            // Key collisions retry a bounded number of times, so small
+            // key spaces terminate with a smaller-than-target map.
+            let mut attempts = 0;
+            while map.len() < target && attempts < target * 10 + 16 {
+                attempts += 1;
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+
+    /// Generates maps with `size`-many entries of generated keys and
+    /// values.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Fixed 32-element array strategy; see [`uniform32`].
+    #[derive(Clone)]
+    pub struct Uniform32<S>(S);
+
+    impl<S: Strategy> Strategy for Uniform32<S> {
+        type Value = [S::Value; 32];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 32] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    /// Generates `[T; 32]` arrays of `element` values.
+    pub fn uniform32<S: Strategy>(element: S) -> Uniform32<S> {
+        Uniform32(element)
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An index into a not-yet-known-length collection.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// Resolves against a collection of `len` elements.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    /// Uniform choice of one element of `options`.
+    #[derive(Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.usize_in(0, self.0.len())].clone()
+        }
+    }
+
+    /// Picks uniformly from a fixed set of options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty options");
+        Select(options)
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests: each `fn` runs its body across many
+/// generated cases. Parameters are either `pattern in strategy` or
+/// `name: Type` (shorthand for `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(stringify!($name), |__proptest_rng| {
+                    $crate::__proptest_bind!(__proptest_rng; $($params)*);
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Internal: binds one `proptest!` parameter list entry per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $p:pat in $s:expr) => {
+        let $p = $crate::strategy::Strategy::generate(&$s, $rng);
+    };
+    ($rng:ident; $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::strategy::Strategy::generate(&$s, $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; mut $i:ident : $t:ty) => {
+        let mut $i = $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$t>(), $rng);
+    };
+    ($rng:ident; mut $i:ident : $t:ty, $($rest:tt)*) => {
+        let mut $i = $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$t>(), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $i:ident : $t:ty) => {
+        let $i = $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$t>(), $rng);
+    };
+    ($rng:ident; $i:ident : $t:ty, $($rest:tt)*) => {
+        let $i = $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$t>(), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    __l == __r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($a),
+                    stringify!($b),
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    __l != __r,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($a),
+                    stringify!($b),
+                    __l
+                );
+            }
+        }
+    };
+}
+
+/// Skips the current case when an assumption does not hold. This subset
+/// simply succeeds the case (no rejection accounting).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(
+                {
+                    let __s = $s;
+                    ::std::rc::Rc::new(move |rng: &mut $crate::test_runner::TestRng| {
+                        $crate::strategy::Strategy::generate(&__s, rng)
+                    }) as ::std::rc::Rc<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+                }
+            ),+
+        ])
+    };
+}
+
+// Tuple strategies (up to 8 components).
+macro_rules! tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: crate::strategy::Strategy),+> crate::strategy::Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut crate::test_runner::TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn patterns_match_shape(s in "[a-z][a-z0-9._-]{0,20}", t in "[ -~]{0,64}") {
+            prop_assert!(!s.is_empty() && s.len() <= 21);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(t.len() <= 64);
+            prop_assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn ranges_and_collections(
+            n in 3u64..17,
+            v in prop::collection::vec(any::<u8>(), 2..5),
+            m in prop::collection::btree_map("[a-z]{1,8}", any::<u32>(), 1..4),
+            exact in prop::collection::vec(any::<u8>(), 12),
+            arr in prop::array::uniform32(any::<u8>()),
+            pick in prop::sample::select(vec![1u8, 2, 3]),
+            idx in any::<prop::sample::Index>(),
+            flag: bool,
+        ) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!((1..4).contains(&m.len()));
+            prop_assert_eq!(exact.len(), 12);
+            prop_assert_eq!(arr.len(), 32);
+            prop_assert!([1u8, 2, 3].contains(&pick));
+            prop_assert!(idx.index(7) < 7);
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            Just(0u32),
+            (1u32..5).prop_map(|x| x * 10),
+        ]) {
+            prop_assert!(v == 0 || (10..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = crate::test_runner::TestRng::new(7);
+        let mut b = crate::test_runner::TestRng::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -39,7 +39,9 @@ fn main() {
         .results
         .first()
     {
-        Some(ModEvent::PublishDone { result: Ok(oid), .. }) => *oid,
+        Some(ModEvent::PublishDone {
+            result: Ok(oid), ..
+        }) => *oid,
         other => panic!("publish failed: {other:?}"),
     };
 
@@ -85,14 +87,7 @@ fn main() {
     world.add_service(
         crowd_host,
         ports::DRIVER,
-        HttpLoadGen::new(
-            httpd,
-            vec!["/apps/hotstuff".into()],
-            0.0,
-            4.0,
-            end,
-            true,
-        ),
+        HttpLoadGen::new(httpd, vec!["/apps/hotstuff".into()], 0.0, 4.0, end, true),
     );
     world.run_until(end + SimDuration::from_secs(30));
 

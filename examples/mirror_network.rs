@@ -118,5 +118,8 @@ fn main() {
         med_r < med_c,
         "replication must cut the median response time"
     );
-    println!("\nreplication wins: median response {:.1}x lower", med_c / med_r.max(0.001));
+    println!(
+        "\nreplication wins: median response {:.1}x lower",
+        med_c / med_r.max(0.001)
+    );
 }

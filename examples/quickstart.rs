@@ -44,7 +44,9 @@ fn main() {
         .service::<ModeratorTool>(HostId(1), ports::DRIVER)
         .expect("moderator tool");
     match tool.results.first() {
-        Some(ModEvent::PublishDone { result: Ok(oid), .. }) => {
+        Some(ModEvent::PublishDone {
+            result: Ok(oid), ..
+        }) => {
             println!("published /apps/graphics/gimp as {oid:?}");
         }
         other => panic!("publish failed: {other:?}"),
@@ -69,7 +71,9 @@ fn main() {
     world.add_service(user, ports::DRIVER, browser);
     world.run_for(SimDuration::from_secs(120));
 
-    let b = world.service::<Browser>(user, ports::DRIVER).expect("browser");
+    let b = world
+        .service::<Browser>(user, ports::DRIVER)
+        .expect("browser");
     for r in &b.results {
         println!(
             "GET {:<45} -> {} ({} bytes, {})",
@@ -86,6 +90,8 @@ fn main() {
     );
     println!("\nwide-area bytes moved: {}", {
         let m = world.metrics();
-        m.counter("net.bytes.country") + m.counter("net.bytes.region") + m.counter("net.bytes.world")
+        m.counter("net.bytes.country")
+            + m.counter("net.bytes.region")
+            + m.counter("net.bytes.world")
     });
 }

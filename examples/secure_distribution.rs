@@ -24,8 +24,7 @@ fn main() {
     let mut rng = Rng::new(1);
 
     // (1)/(2) one-way: anonymous user -> GDN host.
-    let (mut user, hello) =
-        TlsSession::client(gdn.security.anonymous_client(), &mut rng).unwrap();
+    let (mut user, hello) = TlsSession::client(gdn.security.anonymous_client(), &mut rng).unwrap();
     let mut host = TlsSession::server(server_tls.clone());
     let out = host.on_message(&hello, &mut rng).unwrap();
     let out = user.on_message(&out.replies[0], &mut rng).unwrap();
@@ -62,11 +61,8 @@ fn main() {
 
     // A client refusing the host's certificate chain cannot connect.
     let rogue_roots = vec![];
-    let (_bad, _) = TlsSession::client(
-        TlsConfig::client(Mode::AuthEncrypt, rogue_roots),
-        &mut rng,
-    )
-    .unwrap();
+    let (_bad, _) =
+        TlsSession::client(TlsConfig::client(Mode::AuthEncrypt, rogue_roots), &mut rng).unwrap();
     println!("(clients validate the GDN CA chain; an empty trust store cannot proceed)");
 
     // --- 2. Authorization end to end. ---------------------------------
@@ -91,7 +87,9 @@ fn main() {
         .service::<ModeratorTool>(HostId(1), ports::DRIVER)
         .expect("tool");
     match t.results.first() {
-        Some(ModEvent::PublishDone { result: Ok(oid), .. }) => {
+        Some(ModEvent::PublishDone {
+            result: Ok(oid), ..
+        }) => {
             println!("moderator alice published /apps/gnupg as {oid:?}");
         }
         other => panic!("unexpected: {other:?}"),

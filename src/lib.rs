@@ -16,14 +16,48 @@
 //! | [`crypto`] | SHA-256/HMAC/ChaCha20, Schnorr certificates, the gTLS channel |
 //! | [`gls`] | Globe Location Service: object id → contact addresses, locality-aware |
 //! | [`gns`] | Globe Name Service on a DNS substrate: name → object id |
-//! | [`rts`] | the Globe runtime: DSOs, subobjects, replication protocols, binding, object servers |
-//! | [`gdn`] | the GDN application: package DSOs, HTTPDs, moderator tool, browsers |
+//! | [`rts`] | the Globe runtime: DSOs, subobjects, the typed interface layer, replication protocols, binding, object servers |
+//! | [`gdn`] | the GDN application: package + catalog DSOs, HTTPDs, moderator tool, browsers |
 //! | [`workloads`] | Zipf traces, load generators, scenario policies, adaptation |
+//!
+//! ## Defining a DSO class
+//!
+//! A distributed shared object class is one declaration: typed
+//! argument/result structs ([`rts::interface::WireCodec`] via
+//! `wire_struct!`), handler methods on the semantics type, and a
+//! `dso_interface!` block. Method ids, the read/write table, client-side
+//! marshalling ([`rts::MethodDef`]) and server-side dispatch all derive
+//! from it — see `globe::gdn::catalog` for a complete class in one file.
+//!
+//! ```
+//! use globe::gdn::package::{AddFile, GetFile, PackageInterface};
+//! use globe::rts::{MethodKind, SemanticsObject, WireCodec};
+//!
+//! // Client side: the typed method definitions marshal invocations...
+//! let inv = PackageInterface::ADD_FILE.invocation(&AddFile {
+//!     name: "README".into(),
+//!     data: b"hello".to_vec(),
+//! });
+//! assert_eq!(PackageInterface::ADD_FILE.kind(), MethodKind::Write);
+//!
+//! // ...and the generated dispatch executes them on the semantics
+//! // subobject (in deployments this happens at a replica, reached
+//! // through a TypedProxy over the runtime).
+//! let mut pkg = globe::gdn::PackageDso::new();
+//! pkg.dispatch(&inv).unwrap();
+//! let raw = pkg
+//!     .dispatch(&PackageInterface::GET_FILE.invocation(&GetFile { name: "README".into() }))
+//!     .unwrap();
+//! let blob = PackageInterface::GET_FILE.decode_result(&raw).unwrap();
+//! assert_eq!(blob.verified().unwrap(), b"hello");
+//! ```
 //!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs` — publish a package and download it from
-//! the other side of the (simulated) world:
+//! the other side of the (simulated) world; binding and invocation flow
+//! through [`rts::BindRequest`] → [`rts::BoundObject`] typed proxies
+//! inside the HTTPD:
 //!
 //! ```
 //! use globe::gdn::{Browser, GdnDeployment, GdnOptions, ModOp, Scenario};

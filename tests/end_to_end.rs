@@ -24,10 +24,7 @@ fn full_stack_publish_replicate_browse() {
                 name: "/apps/graphics/gimp".into(),
                 description: "image editor".into(),
                 files: vec![("pkg.tar".into(), vec![1u8; 50_000])],
-                scenario: Scenario::master_slave(
-                    vec![gos_r0, gos_r1],
-                    PropagationMode::PushState,
-                ),
+                scenario: Scenario::master_slave(vec![gos_r0, gos_r1], PropagationMode::PushState),
             },
             ModOp::Publish {
                 name: "/os/linux/kernel".into(),
@@ -126,7 +123,11 @@ fn replica_crash_heals_via_rebind() {
     );
     world.run_for(SimDuration::from_secs(30));
     assert_eq!(
-        world.service::<Browser>(user, 9100).expect("browser").results[0].status,
+        world
+            .service::<Browser>(user, 9100)
+            .expect("browser")
+            .results[0]
+            .status,
         200
     );
 
