@@ -1,0 +1,93 @@
+//! GRP fan-out bench: one master × {1, 8, 64} slaves, push-state vs
+//! push-delta, over the write-heavy download-stats workload.
+//!
+//! Besides wall-clock timings, each configuration's world-level
+//! measurements (GRP bytes encoded, stable-storage writes, deltas
+//! applied) are printed and written to `BENCH_grp_fanout.json`, so the
+//! fan-out cost trajectory is machine-readable across revisions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use globe_bench::{grp_fanout_run, FanoutReport};
+use globe_rts::PropagationMode;
+
+const WRITES: usize = 16;
+const SEED: u64 = 20_000_626;
+
+fn mode_label(mode: PropagationMode) -> &'static str {
+    match mode {
+        PropagationMode::PushState => "push_state",
+        PropagationMode::PushDelta => "push_delta",
+        PropagationMode::Invalidate => "invalidate",
+        PropagationMode::ApplyOps => "apply_ops",
+    }
+}
+
+fn report_json(r: &FanoutReport) -> String {
+    format!(
+        concat!(
+            "{{\"mode\":\"{}\",\"slaves\":{},\"writes\":{},",
+            "\"grp_encodes\":{},\"grp_bytes_encoded\":{},",
+            "\"stable_puts\":{},\"digest_skips\":{},",
+            "\"persist_deferred\":{},\"deltas_applied\":{},",
+            "\"stale_reads\":{},\"fresh_reads\":{}}}"
+        ),
+        mode_label(r.mode),
+        r.slaves,
+        r.writes_completed,
+        r.grp_encodes,
+        r.grp_bytes_encoded,
+        r.stable_puts,
+        r.digest_skips,
+        r.persist_deferred,
+        r.deltas_applied,
+        r.stale_reads,
+        r.fresh_reads,
+    )
+}
+
+fn bench_grp_fanout(c: &mut Criterion) {
+    let mut reports: Vec<FanoutReport> = Vec::new();
+    let mut g = c.benchmark_group("grp_fanout");
+    for &slaves in &[1usize, 8, 64] {
+        for mode in [PropagationMode::PushState, PropagationMode::PushDelta] {
+            let mut last: Option<FanoutReport> = None;
+            g.bench_function(format!("{}/{slaves}", mode_label(mode)), |b| {
+                b.iter(|| last = Some(grp_fanout_run(slaves, mode, WRITES, SEED)))
+            });
+            let report = last.expect("bench ran at least once");
+            assert_eq!(report.writes_completed, WRITES);
+            reports.push(report);
+        }
+    }
+    g.finish();
+
+    for r in &reports {
+        println!(
+            "grp_fanout {:>10}/{:<2}  bytes_encoded={:>8}  stable_puts={:>5}  deltas_applied={:>5}",
+            mode_label(r.mode),
+            r.slaves,
+            r.grp_bytes_encoded,
+            r.stable_puts,
+            r.deltas_applied,
+        );
+    }
+    let json = format!(
+        "[\n  {}\n]\n",
+        reports
+            .iter()
+            .map(report_json)
+            .collect::<Vec<_>>()
+            .join(",\n  ")
+    );
+    // Anchor at the workspace root regardless of cargo's bench CWD.
+    let path = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => format!("{dir}/../../BENCH_grp_fanout.json"),
+        Err(_) => "BENCH_grp_fanout.json".to_owned(),
+    };
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_grp_fanout);
+criterion_main!(benches);

@@ -1,0 +1,485 @@
+//! GRP fan-out harness: one master, N slaves, a write-heavy
+//! download-stats workload.
+//!
+//! This is the scenario the delta pipeline was built for (1 master ×
+//! {1,8,64} slaves, push-state vs push-delta): a moderator-credentialed
+//! driver creates a [`DownloadStatsDso`](gdn_core::DownloadStatsDso)
+//! object with a master replica and a slave replica per remaining site,
+//! then records downloads sequentially; an anonymous probe near the
+//! last slave verifies convergence from its local replica. The
+//! [`FanoutReport`] carries the world-level metrics the `grp_fanout`
+//! bench and the fan-out world tests compare across propagation modes.
+
+use std::sync::Arc;
+
+use gdn_core::stats::{DownloadStatsInterface, RecordDownload, StatQuery, StatsTotals, STATS_IMPL};
+use globe_crypto::cert::{CertAuthority, Credentials, Role};
+use globe_crypto::gtls::{Mode, TlsConfig};
+use globe_gls::{GlsConfig, GlsDeployment, ObjectId};
+use globe_net::{
+    impl_service_any, ports, ConnEvent, ConnId, Endpoint, HostId, NetParams, Service, ServiceCtx,
+    Topology, World,
+};
+use globe_rts::{
+    protocol_id, DsoInterface, GlobeObjectServer, GlobeRuntime, GosCmd, GosResp, ImplRepository,
+    PropagationMode, RoleSpec, RtConn, RtEvent, RuntimeConfig,
+};
+use globe_sim::SimDuration;
+
+const SEED_SALT: u64 = 0x6F75_7466_616E;
+
+/// What one fan-out run measured.
+#[derive(Clone, Debug)]
+pub struct FanoutReport {
+    /// Propagation mode the master used.
+    pub mode: PropagationMode,
+    /// Slaves attached to the master.
+    pub slaves: usize,
+    /// Writes the driver completed (must equal the requested count).
+    pub writes_completed: usize,
+    /// GRP frame encodes performed anywhere in the world.
+    pub grp_encodes: u64,
+    /// Bytes produced by those encodes (the fan-out cost that scales
+    /// with slave count under `PushState`).
+    pub grp_bytes_encoded: u64,
+    /// Replica blobs written to stable storage.
+    pub stable_puts: u64,
+    /// Persists skipped because the state digest was unchanged.
+    pub digest_skips: u64,
+    /// Persists deferred under the delta checkpoint stride.
+    pub persist_deferred: u64,
+    /// Deltas spliced into replicas.
+    pub deltas_applied: u64,
+    /// Freshness-oracle counters for locally served reads.
+    pub fresh_reads: u64,
+    /// Stale counterpart of `fresh_reads`.
+    pub stale_reads: u64,
+    /// Totals the probe read from its nearest (slave) replica.
+    pub probe_totals: Option<StatsTotals>,
+    /// Downloads of the hottest package as seen by the probe.
+    pub probe_hot_downloads: u64,
+    /// State versions of every slave replica at the end of the run.
+    pub slave_versions: Vec<u64>,
+}
+
+/// Drives the whole scenario: object + replica creation over the GOS
+/// control protocol, then sequential writes through the runtime.
+struct FanoutDriver {
+    runtime: GlobeRuntime,
+    master_gos: Endpoint,
+    slave_gos: Vec<Endpoint>,
+    mode: PropagationMode,
+    writes: usize,
+    hot_names: Vec<String>,
+    phase: Phase,
+    oid: Option<ObjectId>,
+    /// Completed writes, readable by the harness.
+    done_writes: usize,
+    failed: Vec<String>,
+}
+
+enum Phase {
+    CreateMaster,
+    CreateSlaves { remaining: usize },
+    Bind,
+    Write { next: usize },
+    Done,
+}
+
+impl FanoutDriver {
+    fn send_gos(&mut self, ctx: &mut ServiceCtx<'_>, gos: Endpoint, cmd: GosCmd) {
+        let conn = self.runtime.open_app_conn(ctx, gos);
+        self.runtime.send_app(ctx, conn, &cmd.encode());
+    }
+
+    fn next_write(&mut self, ctx: &mut ServiceCtx<'_>, index: usize) {
+        let oid = self.oid.expect("write follows creation");
+        let name = self.hot_names[index % self.hot_names.len()].clone();
+        let inv = DownloadStatsInterface::RECORD.invocation(&RecordDownload {
+            name,
+            bytes: 4096 + index as u64,
+        });
+        self.runtime.invoke(ctx, oid, inv, index as u64);
+    }
+
+    fn on_gos_resp(&mut self, ctx: &mut ServiceCtx<'_>, resp: GosResp) {
+        let (oid, err) = match resp {
+            GosResp::Ok { oid, .. } => (Some(ObjectId(oid)), None),
+            GosResp::Err { msg, .. } => (None, Some(msg)),
+        };
+        if let Some(e) = err {
+            self.failed.push(e);
+            self.phase = Phase::Done;
+            return;
+        }
+        match self.phase {
+            Phase::CreateMaster => {
+                self.oid = oid;
+                if self.slave_gos.is_empty() {
+                    self.phase = Phase::Bind;
+                    self.runtime.bind(ctx, self.oid.unwrap(), 0);
+                } else {
+                    self.phase = Phase::CreateSlaves {
+                        remaining: self.slave_gos.len(),
+                    };
+                    let master = self.master_gos;
+                    let object = self.oid.unwrap().0;
+                    for gos in self.slave_gos.clone() {
+                        self.send_gos(
+                            ctx,
+                            gos,
+                            GosCmd::CreateReplica {
+                                req: 1,
+                                oid: object,
+                                impl_id: STATS_IMPL.0,
+                                protocol: protocol_id::MASTER_SLAVE,
+                                role: RoleSpec::Slave { master },
+                            },
+                        );
+                    }
+                }
+            }
+            Phase::CreateSlaves { ref mut remaining } => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.phase = Phase::Bind;
+                    self.runtime.bind(ctx, self.oid.unwrap(), 0);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_rt_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: RtEvent) {
+        match (&mut self.phase, ev) {
+            (Phase::Bind, RtEvent::BindDone { result, .. }) => match result {
+                Ok(_) => {
+                    self.phase = Phase::Write { next: 1 };
+                    self.next_write(ctx, 0);
+                }
+                Err(e) => {
+                    self.failed.push(format!("bind: {e}"));
+                    self.phase = Phase::Done;
+                }
+            },
+            (Phase::Write { next }, RtEvent::InvokeDone { result, .. }) => {
+                match result {
+                    Ok(_) => self.done_writes += 1,
+                    Err(e) => self.failed.push(format!("write: {e}")),
+                }
+                if *next < self.writes {
+                    let index = *next;
+                    *next += 1;
+                    self.next_write(ctx, index);
+                } else {
+                    self.phase = Phase::Done;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
+        loop {
+            let events = self.runtime.take_events();
+            if events.is_empty() {
+                break;
+            }
+            for ev in events {
+                self.on_rt_event(ctx, ev);
+            }
+        }
+    }
+}
+
+impl Service for FanoutDriver {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let master = self.master_gos;
+        let mode = self.mode;
+        self.send_gos(
+            ctx,
+            master,
+            GosCmd::CreateObject {
+                req: 1,
+                impl_id: STATS_IMPL.0,
+                protocol: protocol_id::MASTER_SLAVE,
+                role: RoleSpec::Master { mode },
+            },
+        );
+    }
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.runtime.handle_datagram(ctx, from, &payload) {
+            self.drain(ctx);
+        }
+    }
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match self.runtime.handle_conn_event(ctx, conn, ev) {
+            RtConn::AppData { frames, .. } => {
+                for f in frames {
+                    if let Ok(resp) = GosResp::decode(&f) {
+                        self.on_gos_resp(ctx, resp);
+                    }
+                }
+                self.drain(ctx);
+            }
+            RtConn::Consumed => self.drain(ctx),
+            RtConn::NotMine(_) => {}
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if self.runtime.handle_timer(ctx, token) {
+            self.drain(ctx);
+        }
+    }
+    impl_service_any!();
+}
+
+/// Reads totals and the hot package's counters once, through a proxy
+/// whose nearest replica is the local slave.
+struct ReaderProbe {
+    runtime: GlobeRuntime,
+    oid: ObjectId,
+    hot_name: String,
+    totals: Option<StatsTotals>,
+    hot_downloads: u64,
+}
+
+impl ReaderProbe {
+    fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
+        loop {
+            let events = self.runtime.take_events();
+            if events.is_empty() {
+                break;
+            }
+            for ev in events {
+                match ev {
+                    RtEvent::BindDone { result: Ok(_), .. } => {
+                        let oid = self.oid;
+                        self.runtime.invoke(
+                            ctx,
+                            oid,
+                            DownloadStatsInterface::TOTALS.invocation(&()),
+                            1,
+                        );
+                        let hot = StatQuery {
+                            name: self.hot_name.clone(),
+                        };
+                        self.runtime.invoke(
+                            ctx,
+                            oid,
+                            DownloadStatsInterface::GET_STAT.invocation(&hot),
+                            2,
+                        );
+                    }
+                    RtEvent::InvokeDone {
+                        token,
+                        result: Ok(data),
+                    } => {
+                        if token == 1 {
+                            self.totals = DownloadStatsInterface::TOTALS.decode_result(&data).ok();
+                        } else if let Ok(stat) =
+                            DownloadStatsInterface::GET_STAT.decode_result(&data)
+                        {
+                            self.hot_downloads = stat.downloads;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+impl Service for ReaderProbe {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let oid = self.oid;
+        self.runtime.bind(ctx, oid, 0);
+    }
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.runtime.handle_datagram(ctx, from, &payload) {
+            self.drain(ctx);
+        }
+    }
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match self.runtime.handle_conn_event(ctx, conn, ev) {
+            RtConn::Consumed | RtConn::AppData { .. } => self.drain(ctx),
+            RtConn::NotMine(_) => {}
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if self.runtime.handle_timer(ctx, token) {
+            self.drain(ctx);
+        }
+    }
+    impl_service_any!();
+}
+
+fn client_runtime(
+    ca: &CertAuthority,
+    repo: &Arc<ImplRepository>,
+    gls: &Arc<GlsDeployment>,
+    host: HostId,
+    identity: Option<(Role, &str, u64)>,
+) -> GlobeRuntime {
+    let roots = vec![ca.root_cert().clone()];
+    let tls_client = match identity {
+        Some((role, name, seed)) => TlsConfig::client_with_identity(
+            Mode::AuthEncrypt,
+            Credentials::issue(ca, name, role, seed),
+            roots.clone(),
+        ),
+        None => TlsConfig::client(Mode::AuthEncrypt, roots.clone()),
+    };
+    let cfg = RuntimeConfig {
+        grp_port: ports::DRIVER,
+        tls_server: TlsConfig::client(Mode::AuthEncrypt, roots),
+        tls_client,
+        accept_incoming: false,
+        cache_ttl: SimDuration::from_secs(30),
+        writer_roles: RuntimeConfig::default_writer_roles(),
+        open_writes: false,
+        persist: false,
+    };
+    GlobeRuntime::new(cfg, Arc::clone(repo), Arc::clone(gls), host, 0x0500)
+}
+
+/// Runs the full scenario and returns its measurements.
+///
+/// Deterministic given `(slaves, mode, writes, seed)`. The workload
+/// cycles over eight package names so state size stays flat while the
+/// write count grows.
+pub fn grp_fanout_run(
+    slaves: usize,
+    mode: PropagationMode,
+    writes: usize,
+    seed: u64,
+) -> FanoutReport {
+    // One site for the master plus one per slave; the driver and probe
+    // live on the second host of the last site.
+    let sites = (slaves + 1) as u32;
+    let topo = Topology::grid(1, 1, sites, 2);
+    let mut world = World::new(topo, NetParams::default(), seed ^ SEED_SALT);
+    let gls = GlsDeployment::plan(world.topology(), &GlsConfig::default());
+    gls.install(&mut world);
+    let ca = CertAuthority::new("fanout-root", seed);
+    let mut repo = ImplRepository::new();
+    DownloadStatsInterface::register(&mut repo);
+    let repo = Arc::new(repo);
+
+    let topo = world.topology().clone();
+    let site_hosts: Vec<&[HostId]> = topo.sites().map(|s| topo.hosts_in_site(s)).collect();
+    let gos_hosts: Vec<HostId> = site_hosts.iter().map(|hs| hs[0]).collect();
+    for &host in &gos_hosts {
+        let creds = Credentials::issue(
+            &ca,
+            &format!("gos-{}", host.0),
+            Role::Host,
+            seed + host.0 as u64,
+        );
+        let roots = vec![ca.root_cert().clone()];
+        let cfg = RuntimeConfig {
+            grp_port: ports::GOS_CTL,
+            tls_server: TlsConfig::server_auth(Mode::AuthEncrypt, creds.clone(), roots.clone()),
+            tls_client: TlsConfig::client_with_identity(Mode::AuthEncrypt, creds, roots),
+            accept_incoming: true,
+            cache_ttl: SimDuration::from_secs(30),
+            writer_roles: RuntimeConfig::default_writer_roles(),
+            open_writes: false,
+            persist: true,
+        };
+        let gos = GlobeObjectServer::new(cfg, Arc::clone(&repo), Arc::clone(&gls), host, 0x0100);
+        world.add_service(host, ports::GOS_CTL, gos);
+    }
+
+    let hot_names: Vec<String> = (0..8).map(|i| format!("/apps/pkg-{i}")).collect();
+    let driver_host = *site_hosts.last().unwrap().last().unwrap();
+    let driver = FanoutDriver {
+        runtime: client_runtime(
+            &ca,
+            &repo,
+            &gls,
+            driver_host,
+            Some((Role::Moderator, "fanout-mod", seed + 1000)),
+        ),
+        master_gos: Endpoint::new(gos_hosts[0], ports::GOS_CTL),
+        slave_gos: gos_hosts[1..]
+            .iter()
+            .map(|&h| Endpoint::new(h, ports::GOS_CTL))
+            .collect(),
+        mode,
+        writes,
+        hot_names: hot_names.clone(),
+        phase: Phase::CreateMaster,
+        oid: None,
+        done_writes: 0,
+        failed: Vec::new(),
+    };
+    world.add_service(driver_host, ports::DRIVER, driver);
+    world.start();
+
+    // Sequential writes: generous deadline, early exit when done.
+    let deadline = SimDuration::from_secs(60 + 2 * writes as u64);
+    let mut elapsed = SimDuration::from_secs(0);
+    loop {
+        world.run_for(SimDuration::from_secs(10));
+        elapsed += SimDuration::from_secs(10);
+        let d = world
+            .service::<FanoutDriver>(driver_host, ports::DRIVER)
+            .expect("driver");
+        if matches!(d.phase, Phase::Done) || elapsed >= deadline {
+            break;
+        }
+    }
+    // Let in-flight propagation settle before probing.
+    world.run_for(SimDuration::from_secs(30));
+
+    let d = world
+        .service::<FanoutDriver>(driver_host, ports::DRIVER)
+        .expect("driver");
+    assert!(d.failed.is_empty(), "fan-out run failed: {:?}", d.failed);
+    let oid = d.oid.expect("object created");
+    let writes_completed = d.done_writes;
+
+    // Probe from the last slave's site: its proxy reads locally.
+    let probe = ReaderProbe {
+        runtime: client_runtime(&ca, &repo, &gls, driver_host, None),
+        oid,
+        hot_name: hot_names[0].clone(),
+        totals: None,
+        hot_downloads: 0,
+    };
+    world.add_service(driver_host, ports::DRIVER + 1, probe);
+    world.run_for(SimDuration::from_secs(30));
+
+    let slave_versions: Vec<u64> = gos_hosts[1..]
+        .iter()
+        .map(|&h| {
+            world
+                .service::<GlobeObjectServer>(h, ports::GOS_CTL)
+                .expect("slave gos")
+                .runtime
+                .replica_version(oid)
+                .unwrap_or(0)
+        })
+        .collect();
+    let probe = world
+        .service::<ReaderProbe>(driver_host, ports::DRIVER + 1)
+        .expect("probe");
+    let m = world.metrics();
+    FanoutReport {
+        mode,
+        slaves,
+        writes_completed,
+        grp_encodes: m.counter("rts.grp.encodes"),
+        grp_bytes_encoded: m.counter("rts.grp.bytes_encoded"),
+        stable_puts: m.counter("rts.persist.stable_puts"),
+        digest_skips: m.counter("rts.persist.digest_skips"),
+        persist_deferred: m.counter("rts.persist.deferred"),
+        deltas_applied: m.counter("rts.grp.deltas_applied"),
+        fresh_reads: m.counter("rts.reads.fresh"),
+        stale_reads: m.counter("rts.reads.stale"),
+        probe_totals: probe.totals.clone(),
+        probe_hot_downloads: probe.hot_downloads,
+        slave_versions,
+    }
+}

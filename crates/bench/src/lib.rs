@@ -4,6 +4,10 @@
 //! generators, and extracts the measurements that `EXPERIMENTS.md`
 //! reports. Every function here is deterministic given its seed.
 
+pub mod fanout;
+
+pub use fanout::{grp_fanout_run, FanoutReport};
+
 use std::sync::Arc;
 
 use gdn_core::package::{AddFile, PackageInterface};

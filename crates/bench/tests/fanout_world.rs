@@ -1,0 +1,72 @@
+//! Fan-out world tests: the delta pipeline's acceptance criteria.
+//!
+//! One master, N slaves, a write-heavy download-stats workload, run
+//! under `PushState` and `PushDelta` with identical seeds and write
+//! counts. Push-delta must encode fewer GRP bytes and issue fewer
+//! `stable_put` calls, with no correctness or staleness regression:
+//! every slave converges to the final version and the probe's
+//! slave-local reads see the complete totals.
+
+use globe_bench::grp_fanout_run;
+use globe_rts::PropagationMode;
+
+const SEED: u64 = 20_000_626;
+const WRITES: usize = 24;
+
+#[test]
+fn push_delta_beats_push_state_at_eight_slaves() {
+    let state = grp_fanout_run(8, PropagationMode::PushState, WRITES, SEED);
+    let delta = grp_fanout_run(8, PropagationMode::PushDelta, WRITES, SEED);
+
+    for r in [&state, &delta] {
+        assert_eq!(r.writes_completed, WRITES, "{:?}", r);
+        // Every slave converged to the final version — no stale
+        // replicas left behind by delta shipping.
+        assert_eq!(r.slave_versions, vec![WRITES as u64; 8], "{r:?}");
+        // The probe read its local slave and saw every write.
+        let totals = r.probe_totals.as_ref().expect("probe read totals");
+        assert_eq!(totals.downloads, WRITES as u64, "{r:?}");
+        // 24 writes cycling over 8 names: the hot package has 3.
+        assert_eq!(r.probe_hot_downloads, 3, "{r:?}");
+        // The probe's local reads were fresh (no stale-read
+        // regression).
+        assert!(r.fresh_reads >= 2, "{r:?}");
+        assert_eq!(r.stale_reads, 0, "{r:?}");
+    }
+
+    // The wins the pipeline exists for: fewer bytes encoded on the
+    // wire-facing path, fewer stable-storage writes.
+    assert!(
+        delta.grp_bytes_encoded < state.grp_bytes_encoded,
+        "delta {} >= state {}",
+        delta.grp_bytes_encoded,
+        state.grp_bytes_encoded
+    );
+    assert!(
+        delta.stable_puts < state.stable_puts,
+        "delta {} >= state {}",
+        delta.stable_puts,
+        state.stable_puts
+    );
+    // The mechanism is visible: slaves actually applied deltas, and
+    // checkpoints were deferred under the stride.
+    assert!(delta.deltas_applied >= (WRITES as u64 - 1) * 8, "{delta:?}");
+    assert!(delta.persist_deferred > 0, "{delta:?}");
+    assert_eq!(state.deltas_applied, 0, "{state:?}");
+}
+
+#[test]
+fn single_slave_still_wins_and_converges() {
+    let state = grp_fanout_run(1, PropagationMode::PushState, WRITES, SEED + 1);
+    let delta = grp_fanout_run(1, PropagationMode::PushDelta, WRITES, SEED + 1);
+    for r in [&state, &delta] {
+        assert_eq!(r.writes_completed, WRITES);
+        assert_eq!(r.slave_versions, vec![WRITES as u64]);
+        assert_eq!(
+            r.probe_totals.as_ref().expect("totals").downloads,
+            WRITES as u64
+        );
+    }
+    assert!(delta.grp_bytes_encoded < state.grp_bytes_encoded);
+    assert!(delta.stable_puts <= state.stable_puts);
+}

@@ -23,6 +23,7 @@ use std::collections::BTreeMap;
 use globe_rts::interface::{DsoInterface, DsoState};
 use globe_rts::{dso_interface, wire_struct, ImplId, Invocation, SemError};
 
+use crate::delta::MutationLog;
 use crate::modtool::{ModOp, Scenario};
 
 /// The catalog class's identifier in the implementation repository.
@@ -55,10 +56,19 @@ wire_struct! {
     }
 }
 
+/// Delta op: add (or replace) one entry.
+const DOP_REGISTER: u8 = 1;
+/// Delta op: drop one entry.
+const DOP_UNREGISTER: u8 = 2;
+
 /// The catalog semantics subobject: a keyed index of package entries.
 #[derive(Default)]
 pub struct CatalogDso {
     entries: BTreeMap<String, String>,
+    /// Mutations since the last delta drain (delta replication).
+    log: MutationLog,
+    /// Bumped on every state change: the cheap persistence digest.
+    gen: u64,
 }
 
 impl CatalogDso {
@@ -81,6 +91,12 @@ impl CatalogDso {
     // below.
 
     fn register(&mut self, args: CatalogEntry) -> Result<(), SemError> {
+        self.log.record(|w| {
+            w.put_u8(DOP_REGISTER);
+            w.put_str(&args.name);
+            w.put_str(&args.description);
+        });
+        self.gen += 1;
         self.entries.insert(args.name, args.description);
         Ok(())
     }
@@ -92,6 +108,11 @@ impl CatalogDso {
                 args.name
             )));
         }
+        self.log.record(|w| {
+            w.put_u8(DOP_UNREGISTER);
+            w.put_str(&args.name);
+        });
+        self.gen += 1;
         Ok(())
     }
 
@@ -153,6 +174,49 @@ impl DsoState for CatalogDso {
             Ok(entries)
         };
         self.entries = parse().map_err(|_| SemError::BadState)?;
+        // New baseline: undrained mutations predate it.
+        self.log.reset();
+        self.gen += 1;
+        Ok(())
+    }
+
+    fn digest(&self) -> u64 {
+        self.gen
+    }
+
+    fn take_delta(&mut self) -> Option<Vec<u8>> {
+        self.log.take()
+    }
+
+    fn apply_delta(&mut self, delta: &[u8]) -> Result<(), SemError> {
+        use globe_net::{WireError, WireReader};
+        let parse = || -> Result<Vec<(Option<String>, String)>, WireError> {
+            let mut r = WireReader::new(delta);
+            let mut ops = Vec::new();
+            while r.remaining() > 0 {
+                ops.push(match r.u8()? {
+                    DOP_REGISTER => {
+                        let name = r.str()?.to_owned();
+                        (Some(r.str()?.to_owned()), name)
+                    }
+                    DOP_UNREGISTER => (None, r.str()?.to_owned()),
+                    t => return Err(WireError::BadTag(t)),
+                });
+            }
+            Ok(ops)
+        };
+        let ops = parse().map_err(|_| SemError::BadState)?;
+        for (description, name) in ops {
+            match description {
+                Some(d) => {
+                    self.entries.insert(name, d);
+                }
+                None => {
+                    self.entries.remove(&name);
+                }
+            }
+        }
+        self.gen += 1;
         Ok(())
     }
 }

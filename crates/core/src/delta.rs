@@ -1,0 +1,96 @@
+//! Shared machinery for delta-capable DSO classes.
+//!
+//! A semantics subobject that wants to ship state *deltas* (see
+//! [`globe_rts::SemanticsObject::take_delta`]) records each locally
+//! executed mutation into a [`MutationLog`]; the replication layer
+//! drains the log once per write. The log is a plain encode buffer —
+//! ops are appended in wire form so `take` is a move, not a re-encode —
+//! and it is bounded: a representative nobody drains (an active-mode
+//! slave re-executing writes, say) overflows the cap and from then on
+//! reports "no delta", which makes every consumer fall back to full
+//! state transfer. Overflow degrades performance, never correctness.
+
+use globe_net::WireWriter;
+
+/// Byte cap on undrained mutations; past this the log overflows.
+const LOG_CAP_BYTES: usize = 256 << 10;
+
+/// A bounded encode buffer of mutations since the last drain.
+pub(crate) struct MutationLog {
+    buf: WireWriter,
+    overflowed: bool,
+}
+
+impl Default for MutationLog {
+    fn default() -> MutationLog {
+        MutationLog {
+            buf: WireWriter::new(),
+            overflowed: false,
+        }
+    }
+}
+
+impl MutationLog {
+    /// Appends one op (encoded by `f`) unless the log already
+    /// overflowed.
+    pub fn record(&mut self, f: impl FnOnce(&mut WireWriter)) {
+        if self.overflowed {
+            return;
+        }
+        f(&mut self.buf);
+        if self.buf.len() > LOG_CAP_BYTES {
+            self.overflowed = true;
+            self.buf = WireWriter::new();
+        }
+    }
+
+    /// Drains the log: the encoded ops since the last drain, or `None`
+    /// after an overflow (which this call clears — recording starts
+    /// afresh from the caller's new baseline).
+    pub fn take(&mut self) -> Option<Vec<u8>> {
+        if self.overflowed {
+            self.overflowed = false;
+            self.buf = WireWriter::new();
+            return None;
+        }
+        Some(std::mem::replace(&mut self.buf, WireWriter::new()).finish())
+    }
+
+    /// Discards everything (full-state installs reset the baseline).
+    pub fn reset(&mut self) {
+        self.buf = WireWriter::new();
+        self.overflowed = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_drains() {
+        let mut log = MutationLog::default();
+        log.record(|w| w.put_u8(1));
+        log.record(|w| w.put_u8(2));
+        assert_eq!(log.take(), Some(vec![1, 2]));
+        assert_eq!(log.take(), Some(vec![]));
+    }
+
+    #[test]
+    fn overflow_reports_none_once_then_recovers() {
+        let mut log = MutationLog::default();
+        log.record(|w| w.put_raw(&vec![0u8; LOG_CAP_BYTES + 1]));
+        log.record(|w| w.put_u8(7)); // ignored while overflowed
+        assert_eq!(log.take(), None);
+        log.record(|w| w.put_u8(9));
+        assert_eq!(log.take(), Some(vec![9]));
+    }
+
+    #[test]
+    fn reset_clears_overflow() {
+        let mut log = MutationLog::default();
+        log.record(|w| w.put_raw(&vec![0u8; LOG_CAP_BYTES + 1]));
+        log.reset();
+        assert_eq!(log.take(), Some(vec![]));
+    }
+}

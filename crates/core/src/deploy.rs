@@ -27,6 +27,7 @@ use crate::httpd::GdnHttpd;
 use crate::modtool::{ModOp, ModeratorTool};
 use crate::package::PackageInterface;
 use crate::security::GdnSecurity;
+use crate::stats::DownloadStatsInterface;
 
 /// Deployment-wide options.
 pub struct GdnOptions {
@@ -104,6 +105,7 @@ impl GdnDeployment {
         let mut repo = ImplRepository::new();
         PackageInterface::register(&mut repo);
         CatalogInterface::register(&mut repo);
+        DownloadStatsInterface::register(&mut repo);
         let repo = Arc::new(repo);
 
         let gls = GlsDeployment::plan(&topo, &options.gls);

@@ -127,8 +127,12 @@ impl GdnHttpd {
             .map(|&t| ctx.now().saturating_sub(t) > self.bind_refresh)
             .unwrap_or(false);
         if stale && self.runtime.is_bound(oid) {
-            self.runtime.unbind(ctx, oid);
-            self.bind_times.remove(&oid.0);
+            // Re-resolve against the GLS without discarding the
+            // representative: cached state survives the swap, so a TTL
+            // cache's next refresh is a delta, not a full refetch.
+            self.bind_times.insert(oid.0, ctx.now());
+            self.runtime.rebind(ctx, oid, token);
+            return;
         }
         if !self.runtime.is_bound(oid) {
             self.bind_times.insert(oid.0, ctx.now());
@@ -456,9 +460,8 @@ impl GdnHttpd {
                         match retry {
                             Some(oid) => {
                                 ctx.metrics().inc("httpd.rebinds", 1);
-                                self.runtime.unbind(ctx, oid);
-                                self.bind_times.remove(&oid.0);
-                                self.bind_fresh(ctx, oid, token);
+                                self.bind_times.insert(oid.0, ctx.now());
+                                self.runtime.rebind(ctx, oid, token);
                             }
                             None => {
                                 self.respond(ctx, token, 504, "text/plain", b"replica unreachable");

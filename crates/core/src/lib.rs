@@ -10,6 +10,9 @@
 //! - [`catalog`] — the catalog DSO: a read-heavy package index that is
 //!   itself a replicated object, proving the interface layer's "new DSO
 //!   class in one file" claim.
+//! - [`stats`] — the download-stats DSO: write-heavy per-package
+//!   download accounting, the workload the delta-propagation pipeline
+//!   is built for.
 //! - [`httpd`] — the GDN-enabled HTTPD: URL → object name → bind →
 //!   invoke → HTML/bytes (paper §4). Doubles as the user-machine GDN
 //!   proxy.
@@ -28,12 +31,14 @@
 
 pub mod browser;
 pub mod catalog;
+mod delta;
 pub mod deploy;
 pub mod http;
 pub mod httpd;
 pub mod modtool;
 pub mod package;
 pub mod security;
+pub mod stats;
 
 pub use browser::{Browser, FetchResult};
 pub use catalog::{catalog_publish_op, CatalogDso, CatalogEntry, CatalogInterface, CATALOG_IMPL};
@@ -43,3 +48,7 @@ pub use httpd::{GdnHttpd, HttpdStats};
 pub use modtool::{ModEvent, ModOp, ModeratorTool, Scenario};
 pub use package::{FileInfo, PackageDso, PackageInterface, PACKAGE_IMPL};
 pub use security::GdnSecurity;
+pub use stats::{
+    stats_publish_op, DownloadStatsDso, DownloadStatsInterface, PackageStat, RecordDownload,
+    StatsTotals, STATS_IMPL,
+};

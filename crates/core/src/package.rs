@@ -22,6 +22,8 @@ use globe_crypto::sha256::sha256;
 use globe_rts::interface::{DsoInterface, DsoState};
 use globe_rts::{dso_interface, wire_struct, ImplId, SemError};
 
+use crate::delta::MutationLog;
+
 /// The package class's identifier in the implementation repository.
 pub const PACKAGE_IMPL: ImplId = <PackageInterface as DsoInterface>::IMPL;
 
@@ -111,11 +113,22 @@ struct FileEntry {
     digest: [u8; 32],
 }
 
+/// Delta op: add (or replace) one file.
+const DOP_ADD_FILE: u8 = 1;
+/// Delta op: remove one file.
+const DOP_REMOVE_FILE: u8 = 2;
+/// Delta op: replace the description.
+const DOP_SET_META: u8 = 3;
+
 /// The package semantics subobject.
 #[derive(Default)]
 pub struct PackageDso {
     description: String,
     files: BTreeMap<String, FileEntry>,
+    /// Mutations since the last delta drain (delta replication).
+    log: MutationLog,
+    /// Bumped on every state change: the cheap persistence digest.
+    gen: u64,
 }
 
 impl PackageDso {
@@ -134,6 +147,12 @@ impl PackageDso {
 
     fn add_file(&mut self, args: AddFile) -> Result<(), SemError> {
         let digest = sha256(&args.data);
+        self.log.record(|w| {
+            w.put_u8(DOP_ADD_FILE);
+            w.put_str(&args.name);
+            w.put_bytes(&args.data);
+        });
+        self.gen += 1;
         self.files.insert(
             args.name,
             FileEntry {
@@ -148,6 +167,11 @@ impl PackageDso {
         if self.files.remove(&args.name).is_none() {
             return Err(SemError::Application(format!("no file {:?}", args.name)));
         }
+        self.log.record(|w| {
+            w.put_u8(DOP_REMOVE_FILE);
+            w.put_str(&args.name);
+        });
+        self.gen += 1;
         Ok(())
     }
 
@@ -180,6 +204,11 @@ impl PackageDso {
     }
 
     fn set_meta(&mut self, args: Meta) -> Result<(), SemError> {
+        self.log.record(|w| {
+            w.put_u8(DOP_SET_META);
+            w.put_str(&args.description);
+        });
+        self.gen += 1;
         self.description = args.description;
         Ok(())
     }
@@ -220,6 +249,56 @@ impl DsoState for PackageDso {
         let (description, files) = parse().map_err(|_| SemError::BadState)?;
         self.description = description;
         self.files = files;
+        // New baseline: undrained mutations predate it.
+        self.log.reset();
+        self.gen += 1;
+        Ok(())
+    }
+
+    fn digest(&self) -> u64 {
+        self.gen
+    }
+
+    fn take_delta(&mut self) -> Option<Vec<u8>> {
+        self.log.take()
+    }
+
+    fn apply_delta(&mut self, delta: &[u8]) -> Result<(), SemError> {
+        use globe_net::{WireError, WireReader};
+        enum Op {
+            Add(String, Vec<u8>),
+            Remove(String),
+            Meta(String),
+        }
+        // Decode fully before touching state, so malformed deltas
+        // leave the copy unchanged for the full-state fallback.
+        let parse = || -> Result<Vec<Op>, WireError> {
+            let mut r = WireReader::new(delta);
+            let mut ops = Vec::new();
+            while r.remaining() > 0 {
+                ops.push(match r.u8()? {
+                    DOP_ADD_FILE => Op::Add(r.str()?.to_owned(), r.bytes()?.to_vec()),
+                    DOP_REMOVE_FILE => Op::Remove(r.str()?.to_owned()),
+                    DOP_SET_META => Op::Meta(r.str()?.to_owned()),
+                    t => return Err(WireError::BadTag(t)),
+                });
+            }
+            Ok(ops)
+        };
+        let ops = parse().map_err(|_| SemError::BadState)?;
+        for op in ops {
+            match op {
+                Op::Add(name, data) => {
+                    let digest = sha256(&data);
+                    self.files.insert(name, FileEntry { data, digest });
+                }
+                Op::Remove(name) => {
+                    self.files.remove(&name);
+                }
+                Op::Meta(description) => self.description = description,
+            }
+        }
+        self.gen += 1;
         Ok(())
     }
 }

@@ -1,0 +1,432 @@
+//! The download-stats DSO: per-package download accounting.
+//!
+//! "On the Superdistribution of Digital Goods" motivates tracking how
+//! often each package is fetched — mirror operators and moderators want
+//! usage telemetry. Unlike packages (write-rarely) and catalogs
+//! (read-heavy), this class is *write-heavy*: every fetch anywhere in
+//! the world records an increment, so the replication scenario of
+//! choice is a master with many slaves and the cost that matters is the
+//! master's per-write fan-out. That makes it the natural workload for
+//! the delta pipeline: an increment's delta is a few dozen bytes where
+//! the full state grows with the number of tracked packages.
+//!
+//! Deltas are *coalesced*: pending increments merge per package name,
+//! so the delta for a burst of writes is bounded by the number of
+//! distinct packages touched, not the number of writes — and because
+//! increments are additive, concatenating consecutive deltas is itself
+//! a valid delta (the property [`GrpBody::Refresh`] catch-up splicing
+//! relies on).
+//!
+//! [`GrpBody::Refresh`]: globe_rts::GrpBody::Refresh
+
+use std::collections::BTreeMap;
+
+use globe_rts::interface::{DsoInterface, DsoState};
+use globe_rts::{dso_interface, wire_struct, ImplId, SemError};
+
+use crate::modtool::{ModOp, Scenario};
+
+/// The download-stats class's identifier in the implementation
+/// repository.
+pub const STATS_IMPL: ImplId = <DownloadStatsInterface as DsoInterface>::IMPL;
+
+/// Coalesced pending increments past this many distinct names overflow
+/// the delta log (consumers then fall back to full state transfer).
+const PENDING_CAP: usize = 4096;
+
+wire_struct! {
+    /// `record` arguments: one completed download.
+    pub struct RecordDownload {
+        /// The fetched package's Globe object name.
+        pub name: String,
+        /// Bytes served for the fetch.
+        pub bytes: u64,
+    }
+}
+
+wire_struct! {
+    /// `getStat` arguments.
+    pub struct StatQuery {
+        /// The package name to look up.
+        pub name: String,
+    }
+}
+
+wire_struct! {
+    /// Per-package counters (`record` / `getStat` result, `top`
+    /// element).
+    pub struct PackageStat {
+        /// The package's Globe object name.
+        pub name: String,
+        /// Completed downloads.
+        pub downloads: u64,
+        /// Total bytes served.
+        pub bytes: u64,
+    }
+}
+
+wire_struct! {
+    /// Site-wide totals (`totals` result).
+    pub struct StatsTotals {
+        /// Completed downloads across all packages.
+        pub downloads: u64,
+        /// Total bytes served across all packages.
+        pub bytes: u64,
+    }
+}
+
+wire_struct! {
+    /// `top` arguments.
+    pub struct TopQuery {
+        /// Maximum number of packages to return.
+        pub limit: u32,
+    }
+}
+
+/// The download-stats semantics subobject: additive per-name counters.
+#[derive(Default)]
+pub struct DownloadStatsDso {
+    /// name → (downloads, bytes).
+    stats: BTreeMap<String, (u64, u64)>,
+    /// Coalesced increments since the last delta drain.
+    pending: BTreeMap<String, (u64, u64)>,
+    /// The pending map outgrew [`PENDING_CAP`]: report "no delta".
+    pending_overflow: bool,
+    /// Bumped on every state change: the cheap persistence digest.
+    gen: u64,
+}
+
+impl DownloadStatsDso {
+    /// Creates an empty stats object.
+    pub fn new() -> DownloadStatsDso {
+        DownloadStatsDso::default()
+    }
+
+    /// Number of tracked packages (direct inspection for tests).
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Whether no downloads have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    fn bump(&mut self, name: &str, downloads: u64, bytes: u64) {
+        let entry = self.stats.entry(name.to_owned()).or_insert((0, 0));
+        entry.0 += downloads;
+        entry.1 += bytes;
+        self.gen += 1;
+    }
+
+    // Typed method handlers, dispatched by the interface declaration
+    // below.
+
+    fn record(&mut self, args: RecordDownload) -> Result<PackageStat, SemError> {
+        self.bump(&args.name, 1, args.bytes);
+        if !self.pending_overflow {
+            let pending = self.pending.entry(args.name.clone()).or_insert((0, 0));
+            pending.0 += 1;
+            pending.1 += args.bytes;
+            if self.pending.len() > PENDING_CAP {
+                self.pending.clear();
+                self.pending_overflow = true;
+            }
+        }
+        let (downloads, bytes) = self.stats[&args.name];
+        Ok(PackageStat {
+            name: args.name,
+            downloads,
+            bytes,
+        })
+    }
+
+    fn get_stat(&mut self, args: StatQuery) -> Result<PackageStat, SemError> {
+        let (downloads, bytes) = self.stats.get(&args.name).copied().unwrap_or((0, 0));
+        Ok(PackageStat {
+            name: args.name,
+            downloads,
+            bytes,
+        })
+    }
+
+    fn totals(&mut self, _args: ()) -> Result<StatsTotals, SemError> {
+        let (downloads, bytes) = self
+            .stats
+            .values()
+            .fold((0, 0), |(d, b), &(dd, bb)| (d + dd, b + bb));
+        Ok(StatsTotals { downloads, bytes })
+    }
+
+    fn top(&mut self, args: TopQuery) -> Result<Vec<PackageStat>, SemError> {
+        let mut all: Vec<PackageStat> = self
+            .stats
+            .iter()
+            .map(|(name, &(downloads, bytes))| PackageStat {
+                name: name.clone(),
+                downloads,
+                bytes,
+            })
+            .collect();
+        // Most-downloaded first; names break ties deterministically.
+        all.sort_by(|a, b| b.downloads.cmp(&a.downloads).then(a.name.cmp(&b.name)));
+        all.truncate(args.limit as usize);
+        Ok(all)
+    }
+}
+
+impl DsoState for DownloadStatsDso {
+    fn save(&self) -> Vec<u8> {
+        use globe_net::WireWriter;
+        let mut w = WireWriter::new();
+        w.put_u32(self.stats.len() as u32);
+        for (name, &(downloads, bytes)) in &self.stats {
+            w.put_str(name);
+            w.put_u64(downloads);
+            w.put_u64(bytes);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &[u8]) -> Result<(), SemError> {
+        use globe_net::{WireError, WireReader};
+        let parse = || -> Result<BTreeMap<String, (u64, u64)>, WireError> {
+            let mut r = WireReader::new(state);
+            let n = r.u32()?;
+            if n > 1_000_000 {
+                return Err(WireError::TooLarge);
+            }
+            let mut stats = BTreeMap::new();
+            for _ in 0..n {
+                let name = r.str()?.to_owned();
+                let downloads = r.u64()?;
+                let bytes = r.u64()?;
+                stats.insert(name, (downloads, bytes));
+            }
+            r.expect_end()?;
+            Ok(stats)
+        };
+        self.stats = parse().map_err(|_| SemError::BadState)?;
+        // New baseline: undrained increments predate it.
+        self.pending.clear();
+        self.pending_overflow = false;
+        self.gen += 1;
+        Ok(())
+    }
+
+    fn digest(&self) -> u64 {
+        self.gen
+    }
+
+    fn take_delta(&mut self) -> Option<Vec<u8>> {
+        use globe_net::WireWriter;
+        if self.pending_overflow {
+            self.pending_overflow = false;
+            return None;
+        }
+        let mut w = WireWriter::new();
+        for (name, &(downloads, bytes)) in &self.pending {
+            w.put_str(name);
+            w.put_u64(downloads);
+            w.put_u64(bytes);
+        }
+        self.pending.clear();
+        Some(w.finish())
+    }
+
+    fn apply_delta(&mut self, delta: &[u8]) -> Result<(), SemError> {
+        use globe_net::{WireError, WireReader};
+        let parse = || -> Result<Vec<(String, u64, u64)>, WireError> {
+            let mut r = WireReader::new(delta);
+            let mut incs = Vec::new();
+            while r.remaining() > 0 {
+                incs.push((r.str()?.to_owned(), r.u64()?, r.u64()?));
+            }
+            Ok(incs)
+        };
+        let incs = parse().map_err(|_| SemError::BadState)?;
+        for (name, downloads, bytes) in incs {
+            self.bump(&name, downloads, bytes);
+        }
+        Ok(())
+    }
+}
+
+dso_interface! {
+    /// The download-stats DSO interface: increment-per-fetch telemetry.
+    pub interface DownloadStatsInterface {
+        class: "gdn-download-stats",
+        impl_id: 12,
+        semantics: DownloadStatsDso,
+        methods: {
+            /// Records one completed download. Write.
+            1 => write RECORD/record(RecordDownload) -> PackageStat,
+            /// Reads one package's counters. Read.
+            2 => read GET_STAT/get_stat(StatQuery) -> PackageStat,
+            /// Reads the site-wide totals. Read.
+            3 => read TOTALS/totals(()) -> StatsTotals,
+            /// The most-downloaded packages. Read.
+            4 => read TOP/top(TopQuery) -> Vec<PackageStat>,
+        }
+    }
+}
+
+/// Builds the moderator operation publishing an (empty) stats object
+/// under `name` with the given replication scenario.
+pub fn stats_publish_op(name: &str, scenario: Scenario) -> ModOp {
+    ModOp::PublishObject {
+        name: name.to_owned(),
+        impl_id: STATS_IMPL,
+        scenario,
+        fill: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use globe_rts::{Invocation, MethodId, MethodKind, SemanticsObject};
+
+    fn record(s: &mut DownloadStatsDso, name: &str, bytes: u64) -> PackageStat {
+        let raw = s
+            .dispatch(&DownloadStatsInterface::RECORD.invocation(&RecordDownload {
+                name: name.into(),
+                bytes,
+            }))
+            .unwrap();
+        DownloadStatsInterface::RECORD.decode_result(&raw).unwrap()
+    }
+
+    #[test]
+    fn record_accumulates_and_ranks() {
+        let mut s = DownloadStatsDso::new();
+        record(&mut s, "/apps/graphics/gimp", 100);
+        record(&mut s, "/apps/graphics/gimp", 50);
+        let stat = record(&mut s, "/apps/editors/emacs", 10);
+        assert_eq!(stat.downloads, 1);
+
+        let raw = s
+            .dispatch(&DownloadStatsInterface::GET_STAT.invocation(&StatQuery {
+                name: "/apps/graphics/gimp".into(),
+            }))
+            .unwrap();
+        let stat = DownloadStatsInterface::GET_STAT
+            .decode_result(&raw)
+            .unwrap();
+        assert_eq!((stat.downloads, stat.bytes), (2, 150));
+
+        let raw = s
+            .dispatch(&DownloadStatsInterface::TOTALS.invocation(&()))
+            .unwrap();
+        let totals = DownloadStatsInterface::TOTALS.decode_result(&raw).unwrap();
+        assert_eq!((totals.downloads, totals.bytes), (3, 160));
+
+        let raw = s
+            .dispatch(&DownloadStatsInterface::TOP.invocation(&TopQuery { limit: 1 }))
+            .unwrap();
+        let top = DownloadStatsInterface::TOP.decode_result(&raw).unwrap();
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].name, "/apps/graphics/gimp");
+
+        // Unknown packages read as zero.
+        let raw = s
+            .dispatch(&DownloadStatsInterface::GET_STAT.invocation(&StatQuery {
+                name: "/nope".into(),
+            }))
+            .unwrap();
+        let stat = DownloadStatsInterface::GET_STAT
+            .decode_result(&raw)
+            .unwrap();
+        assert_eq!(stat.downloads, 0);
+    }
+
+    #[test]
+    fn deltas_coalesce_per_name_and_concatenate() {
+        let mut a = DownloadStatsDso::new();
+        let mut b = DownloadStatsDso::new();
+        b.set_state(&a.get_state()).unwrap();
+        let _ = SemanticsObject::take_delta(&mut b);
+
+        record(&mut a, "/x", 10);
+        record(&mut a, "/x", 20);
+        record(&mut a, "/y", 5);
+        let d1 = SemanticsObject::take_delta(&mut a).unwrap();
+        record(&mut a, "/x", 1);
+        let d2 = SemanticsObject::take_delta(&mut a).unwrap();
+
+        // Coalescing: three writes, two pending entries.
+        assert!(d1.len() < 3 * d2.len() + 16);
+
+        // Concatenated deltas apply as one.
+        let mut joined = d1.clone();
+        joined.extend_from_slice(&d2);
+        SemanticsObject::apply_delta(&mut b, &joined).unwrap();
+        assert_eq!(b.get_state(), a.get_state());
+    }
+
+    #[test]
+    fn pending_overflow_falls_back_to_full_state() {
+        let mut s = DownloadStatsDso::new();
+        for i in 0..(PENDING_CAP + 2) {
+            record(&mut s, &format!("/pkg/{i}"), 1);
+        }
+        assert_eq!(SemanticsObject::take_delta(&mut s), None);
+        // The log recovers after the overflow drain.
+        record(&mut s, "/pkg/0", 1);
+        assert!(SemanticsObject::take_delta(&mut s).is_some());
+    }
+
+    #[test]
+    fn state_transfer_and_totality() {
+        let mut a = DownloadStatsDso::new();
+        record(&mut a, "/x", 7);
+        let mut b = DownloadStatsDso::new();
+        b.set_state(&a.get_state()).unwrap();
+        assert_eq!(b.get_state(), a.get_state());
+        assert!(b.set_state(&[9]).is_err());
+        assert!(SemanticsObject::apply_delta(&mut b, &[0xFF]).is_err());
+        assert!(matches!(
+            b.dispatch(&Invocation::new(MethodId(99), vec![])),
+            Err(SemError::NoSuchMethod(_))
+        ));
+        assert_eq!(
+            b.dispatch(&Invocation::new(
+                DownloadStatsInterface::RECORD.id(),
+                vec![0xFF]
+            )),
+            Err(SemError::BadArguments)
+        );
+    }
+
+    #[test]
+    fn digest_tracks_changes_only() {
+        let mut s = DownloadStatsDso::new();
+        let d0 = SemanticsObject::state_digest(&s);
+        let raw = s
+            .dispatch(&DownloadStatsInterface::TOTALS.invocation(&()))
+            .unwrap();
+        let _ = raw;
+        assert_eq!(
+            SemanticsObject::state_digest(&s),
+            d0,
+            "reads must not move the digest"
+        );
+        record(&mut s, "/x", 1);
+        assert_ne!(SemanticsObject::state_digest(&s), d0);
+    }
+
+    #[test]
+    fn class_registration_and_kinds() {
+        let mut repo = globe_rts::ImplRepository::new();
+        DownloadStatsInterface::register(&mut repo);
+        assert!(repo.contains(STATS_IMPL));
+        assert_eq!(
+            repo.kind_of(STATS_IMPL, DownloadStatsInterface::RECORD.id()),
+            Some(MethodKind::Write)
+        );
+        assert_eq!(
+            repo.kind_of(STATS_IMPL, DownloadStatsInterface::TOTALS.id()),
+            Some(MethodKind::Read)
+        );
+    }
+}

@@ -4,11 +4,14 @@
 //! browsers anywhere in the world download through their nearest
 //! GDN-enabled HTTPD.
 
-use gdn_core::catalog::{catalog_publish_op, CatalogEntry};
+use gdn_core::catalog::{catalog_publish_op, CatalogEntry, CatalogInterface};
 use gdn_core::{Browser, GdnDeployment, GdnHttpd, GdnOptions, ModEvent, ModOp, Scenario};
 use globe_gls::ObjectId;
-use globe_net::{ports, Endpoint, HostId, NetParams, Topology, World};
-use globe_rts::PropagationMode;
+use globe_net::{
+    impl_service_any, ports, ConnEvent, ConnId, Endpoint, HostId, NetParams, Service, ServiceCtx,
+    Topology, World,
+};
+use globe_rts::{GlobeRuntime, Invocation, PropagationMode, RtConn, RtEvent};
 use globe_sim::{SimDuration, SimTime};
 
 const SEED: u64 = 4242;
@@ -425,6 +428,147 @@ fn catalog_browse_search_fetch_under_master_slave_scenario() {
             PropagationMode::PushState,
         )
     });
+}
+
+/// Binds one object and fires a single write invocation — the minimal
+/// moderator-side driver for post-publish object updates.
+struct WriteDriver {
+    runtime: GlobeRuntime,
+    oid: ObjectId,
+    inv: Invocation,
+    done: bool,
+    failed: Option<String>,
+}
+
+impl WriteDriver {
+    fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
+        for ev in self.runtime.take_events() {
+            match ev {
+                RtEvent::BindDone { result: Ok(_), .. } => {
+                    let (oid, inv) = (self.oid, self.inv.clone());
+                    self.runtime.invoke(ctx, oid, inv, 1);
+                }
+                RtEvent::BindDone { result: Err(e), .. } => {
+                    self.failed = Some(format!("bind: {e}"));
+                }
+                RtEvent::InvokeDone { result: Ok(_), .. } => self.done = true,
+                RtEvent::InvokeDone { result: Err(e), .. } => {
+                    self.failed = Some(format!("write: {e}"));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Service for WriteDriver {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let oid = self.oid;
+        self.runtime.bind(ctx, oid, 0);
+    }
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.runtime.handle_datagram(ctx, from, &payload) {
+            self.drain(ctx);
+        }
+    }
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match self.runtime.handle_conn_event(ctx, conn, ev) {
+            RtConn::Consumed | RtConn::AppData { .. } => self.drain(ctx),
+            RtConn::NotMine(_) => {}
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if self.runtime.handle_timer(ctx, token) {
+            self.drain(ctx);
+        }
+    }
+    impl_service_any!();
+}
+
+/// After its TTL lapses, a catalog cache proxy refreshes by version: the
+/// server answers the `Refresh` with a small delta (here: the one new
+/// entry) instead of the full state, and the re-read sees the update.
+#[test]
+fn cache_proxy_refreshes_via_delta_after_ttl() {
+    let (mut world, gdn) = world();
+    let gos = gdn.gos_for(world.topology(), HostId(0));
+    let tool = gdn.moderator_tool(
+        world.topology(),
+        HostId(1),
+        "alice",
+        vec![catalog_publish_op(
+            "/catalog/main",
+            vec![CatalogEntry {
+                name: "/apps/graphics/gimp".into(),
+                description: "GNU Image Manipulation Program".into(),
+            }],
+            Scenario::cached(gos),
+        )],
+    );
+    world.add_service(HostId(1), ports::DRIVER, tool);
+    world.start();
+    world.run_for(SimDuration::from_secs(30));
+    let t = world
+        .service::<gdn_core::ModeratorTool>(HostId(1), ports::DRIVER)
+        .expect("tool");
+    let oid = match t.results.first() {
+        Some(ModEvent::PublishDone {
+            result: Ok(oid), ..
+        }) => *oid,
+        other => panic!("catalog publish failed: {other:?}"),
+    };
+
+    // First browse fills the access point's cache proxy (full state).
+    let user = HostId(13);
+    let httpd = gdn.httpd_for(world.topology(), user);
+    let browser = Browser::new(httpd, vec!["/catalog/catalog/main".into()]).keeping_bodies();
+    world.add_service(user, ports::DRIVER, browser);
+    world.run_for(SimDuration::from_secs(30));
+    let b = world
+        .service::<Browser>(user, ports::DRIVER)
+        .expect("browser");
+    assert_eq!(b.results[0].status, 200, "{:?}", b.results);
+
+    // Let the cache TTL (60 s) lapse, then register a new package.
+    world.run_for(SimDuration::from_secs(90));
+    let writer = WriteDriver {
+        runtime: gdn
+            .moderator_tool(world.topology(), HostId(2), "alice", vec![])
+            .runtime,
+        oid,
+        inv: CatalogInterface::REGISTER.invocation(&CatalogEntry {
+            name: "/apps/editors/emacs".into(),
+            description: "the extensible editor".into(),
+        }),
+        done: false,
+        failed: None,
+    };
+    world.add_service(HostId(2), ports::DRIVER, writer);
+    world.run_for(SimDuration::from_secs(30));
+    let w = world
+        .service::<WriteDriver>(HostId(2), ports::DRIVER)
+        .expect("writer");
+    assert!(w.done, "catalog update did not complete: {:?}", w.failed);
+
+    let deltas_before = world.metrics().counter("rts.grp.deltas_applied");
+
+    // The expired cache refreshes by version and sees the new entry.
+    let browser = Browser::new(httpd, vec!["/catalog/catalog/main".into()]).keeping_bodies();
+    world.add_service(user, ports::DRIVER + 1, browser);
+    world.run_for(SimDuration::from_secs(30));
+    let b = world
+        .service::<Browser>(user, ports::DRIVER + 1)
+        .expect("browser");
+    assert_eq!(b.results[0].status, 200, "{:?}", b.results);
+    let html = String::from_utf8_lossy(&b.results[0].body);
+    assert!(
+        html.contains("emacs"),
+        "stale catalog after refresh: {html}"
+    );
+    assert!(
+        world.metrics().counter("rts.grp.deltas_applied") > deltas_before,
+        "cache refresh did not use the delta path"
+    );
 }
 
 #[test]

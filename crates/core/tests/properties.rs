@@ -10,6 +10,7 @@ use gdn_core::catalog::{CatalogDso, CatalogEntry, CatalogInterface, Query, Unreg
 use gdn_core::package::{
     AddFile, FileBlob, FileInfo, GetFile, Meta, PackageDso, PackageInterface, RemoveFile,
 };
+use gdn_core::stats::{DownloadStatsDso, DownloadStatsInterface, RecordDownload, StatQuery};
 use gdn_core::{HttpRequest, HttpResponse};
 use globe_rts::interface::DsoInterface;
 use globe_rts::{MethodDef, SemanticsObject, WireCodec};
@@ -167,6 +168,168 @@ proptest! {
             Query { term },
             vec![entry; listing_len],
         );
+    }
+
+    /// Delta replication of the package DSO: draining a delta after a
+    /// run of writes and splicing it into a replica holding the
+    /// predecessor state is indistinguishable from a full
+    /// `set_state(get_state())` transfer — the invariant `PushDelta`
+    /// propagation and `Refresh` catch-up depend on.
+    #[test]
+    fn package_delta_equals_full_state_transfer(
+        baseline in prop::collection::btree_map(FNAME, prop::collection::vec(any::<u8>(), 0..64), 0..4),
+        ops in prop::collection::vec(
+            (0u32..3, FNAME, prop::collection::vec(any::<u8>(), 0..64)),
+            1..12,
+        ),
+    ) {
+        let mut a = PackageDso::new();
+        for (name, data) in &baseline {
+            a.dispatch(&PackageInterface::ADD_FILE.invocation(&AddFile {
+                name: name.clone(),
+                data: data.clone(),
+            })).unwrap();
+        }
+        // A replica installs the baseline; the master's log restarts
+        // from the same point.
+        let mut b = PackageDso::new();
+        b.set_state(&a.get_state()).unwrap();
+        let _ = SemanticsObject::take_delta(&mut a);
+
+        for (kind, name, data) in &ops {
+            let inv = match kind {
+                0 => PackageInterface::ADD_FILE.invocation(&AddFile {
+                    name: name.clone(),
+                    data: data.clone(),
+                }),
+                1 => PackageInterface::REMOVE_FILE.invocation(&RemoveFile {
+                    name: name.clone(),
+                }),
+                _ => PackageInterface::SET_META.invocation(&Meta {
+                    description: name.clone(),
+                }),
+            };
+            let _ = a.dispatch(&inv); // removals of absent files no-op
+        }
+
+        let delta = SemanticsObject::take_delta(&mut a).expect("log never overflows here");
+        SemanticsObject::apply_delta(&mut b, &delta).unwrap();
+        prop_assert_eq!(b.get_state(), a.get_state());
+
+        // Equivalence with the full-state path.
+        let mut c = PackageDso::new();
+        c.set_state(&a.get_state()).unwrap();
+        prop_assert_eq!(b.get_state(), c.get_state());
+    }
+
+    /// Delta replication of the catalog DSO (see the package property).
+    #[test]
+    fn catalog_delta_equals_full_state_transfer(
+        ops in prop::collection::vec(
+            (0u32..2, "/[a-z]{1,8}", "[ -~]{0,16}"),
+            1..12,
+        ),
+    ) {
+        let mut a = CatalogDso::new();
+        a.dispatch(&CatalogInterface::REGISTER.invocation(&CatalogEntry {
+            name: "/seed".into(),
+            description: "seed entry".into(),
+        })).unwrap();
+        let mut b = CatalogDso::new();
+        b.set_state(&a.get_state()).unwrap();
+        let _ = SemanticsObject::take_delta(&mut a);
+
+        for (kind, name, description) in &ops {
+            let inv = match kind {
+                0 => CatalogInterface::REGISTER.invocation(&CatalogEntry {
+                    name: name.clone(),
+                    description: description.clone(),
+                }),
+                _ => CatalogInterface::UNREGISTER.invocation(&Unregister {
+                    name: name.clone(),
+                }),
+            };
+            let _ = a.dispatch(&inv);
+        }
+
+        let delta = SemanticsObject::take_delta(&mut a).expect("log never overflows here");
+        SemanticsObject::apply_delta(&mut b, &delta).unwrap();
+        prop_assert_eq!(b.get_state(), a.get_state());
+    }
+
+    /// Delta replication of the download-stats DSO, including the
+    /// concatenation property `Refresh` catch-up relies on: applying
+    /// `d1 ++ d2` equals applying `d1` then `d2`.
+    #[test]
+    fn stats_delta_equals_full_state_transfer(
+        ops in prop::collection::vec(("/[a-z]{1,6}", 0u64..10_000), 1..16),
+        split in 0usize..16,
+    ) {
+        let mut a = DownloadStatsDso::new();
+        let mut b = DownloadStatsDso::new();
+        b.set_state(&a.get_state()).unwrap();
+        let _ = SemanticsObject::take_delta(&mut a);
+
+        let split = split.min(ops.len());
+        for (name, bytes) in &ops[..split] {
+            a.dispatch(&DownloadStatsInterface::RECORD.invocation(&RecordDownload {
+                name: name.clone(),
+                bytes: *bytes,
+            })).unwrap();
+        }
+        let d1 = SemanticsObject::take_delta(&mut a).expect("under the cap");
+        for (name, bytes) in &ops[split..] {
+            a.dispatch(&DownloadStatsInterface::RECORD.invocation(&RecordDownload {
+                name: name.clone(),
+                bytes: *bytes,
+            })).unwrap();
+        }
+        let d2 = SemanticsObject::take_delta(&mut a).expect("under the cap");
+
+        let mut joined = d1.clone();
+        joined.extend_from_slice(&d2);
+        SemanticsObject::apply_delta(&mut b, &joined).unwrap();
+        prop_assert_eq!(b.get_state(), a.get_state());
+
+        // Stepwise application agrees with the spliced one.
+        let mut c = DownloadStatsDso::new();
+        SemanticsObject::apply_delta(&mut c, &d1).unwrap();
+        SemanticsObject::apply_delta(&mut c, &d2).unwrap();
+        prop_assert_eq!(c.get_state(), a.get_state());
+
+        // And per-name reads agree between master and replica.
+        for (name, _) in &ops {
+            let raw_a = a.dispatch(&DownloadStatsInterface::GET_STAT.invocation(&StatQuery {
+                name: name.clone(),
+            })).unwrap();
+            let raw_b = b.dispatch(&DownloadStatsInterface::GET_STAT.invocation(&StatQuery {
+                name: name.clone(),
+            })).unwrap();
+            prop_assert_eq!(raw_a, raw_b);
+        }
+    }
+
+    /// Malformed deltas are rejected atomically: the replica's state is
+    /// untouched, so the protocol's full-state fallback starts clean.
+    #[test]
+    fn malformed_deltas_rejected(
+        garbage in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut pkg = PackageDso::new();
+        pkg.dispatch(&PackageInterface::ADD_FILE.invocation(&AddFile {
+            name: "f".into(),
+            data: vec![1, 2, 3],
+        })).unwrap();
+        let before = pkg.get_state();
+        if SemanticsObject::apply_delta(&mut pkg, &garbage).is_err() {
+            prop_assert_eq!(pkg.get_state(), before);
+        }
+
+        let mut stats = DownloadStatsDso::new();
+        let before = stats.get_state();
+        if SemanticsObject::apply_delta(&mut stats, &garbage).is_err() {
+            prop_assert_eq!(stats.get_state(), before);
+        }
     }
 
     /// HTTP requests and responses round-trip; parsers are total.

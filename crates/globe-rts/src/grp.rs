@@ -37,6 +37,10 @@ pub enum PropagationMode {
     /// Forward the write operation itself; slaves re-execute it
     /// (active replication).
     ApplyOps,
+    /// Eagerly push the *state delta* produced by each write; slaves
+    /// splice it into their copy, falling back to a full state fetch on
+    /// version gaps or when the class keeps no mutation log.
+    PushDelta,
 }
 
 impl PropagationMode {
@@ -46,6 +50,7 @@ impl PropagationMode {
             PropagationMode::PushState => 0,
             PropagationMode::Invalidate => 1,
             PropagationMode::ApplyOps => 2,
+            PropagationMode::PushDelta => 3,
         }
     }
 
@@ -55,6 +60,7 @@ impl PropagationMode {
             0 => PropagationMode::PushState,
             1 => PropagationMode::Invalidate,
             2 => PropagationMode::ApplyOps,
+            3 => PropagationMode::PushDelta,
             other => return Err(WireError::BadTag(other)),
         })
     }
@@ -140,6 +146,10 @@ pub enum GrpBody {
         req: u64,
         /// State version (monotonic per object).
         version: u64,
+        /// Version lineage the responder's copy belongs to (see
+        /// [`GrpBody::Delta`]); `0` when the responder does not know
+        /// its lineage (e.g. a slave serving reads).
+        epoch: u64,
         /// Serialized semantics-subobject state.
         state: Vec<u8>,
     },
@@ -147,6 +157,8 @@ pub enum GrpBody {
     Update {
         /// New state version.
         version: u64,
+        /// The master's version lineage (see [`GrpBody::Delta`]).
+        epoch: u64,
         /// Serialized state.
         state: Vec<u8>,
     },
@@ -167,6 +179,38 @@ pub enum GrpBody {
         /// The slave's GRP endpoint.
         grp: Endpoint,
     },
+    /// A state delta: everything that changed between two versions.
+    /// Pushed master→slave per write (`PushDelta`), or returned to a
+    /// [`GrpBody::Refresh`] when the responder's delta history covers
+    /// the requester's version (an empty payload with
+    /// `from_version == to_version` confirms the copy is current).
+    Delta {
+        /// The version the payload applies on top of.
+        from_version: u64,
+        /// The version reached after applying.
+        to_version: u64,
+        /// The sender's version *lineage*: a fresh value per
+        /// write-accepting incarnation. Version numbers are only
+        /// comparable within one epoch — a receiver holding state from
+        /// a different epoch must refetch in full rather than splice,
+        /// or it would merge histories that merely share version
+        /// numbers (e.g. after a replica was deleted and recreated).
+        epoch: u64,
+        /// Concatenated per-write deltas from the semantics subobject.
+        payload: Vec<u8>,
+    },
+    /// Version-aware state request (cache refresh, slave catch-up): the
+    /// responder answers with a [`GrpBody::Delta`] when its history
+    /// covers `have_version`, or a full [`GrpBody::State`] otherwise.
+    Refresh {
+        /// Correlation id, echoed in the [`GrpBody::State`] fallback.
+        req: u64,
+        /// The version the requester already holds.
+        have_version: u64,
+        /// The epoch that version belongs to (`0` = unknown, always
+        /// answered with full state).
+        epoch: u64,
+    },
 }
 
 impl GrpBody {
@@ -180,6 +224,8 @@ impl GrpBody {
             GrpBody::Invalidate { .. } => 6,
             GrpBody::Hello { .. } => 7,
             GrpBody::Apply { .. } => 8,
+            GrpBody::Delta { .. } => 9,
+            GrpBody::Refresh { .. } => 10,
         }
     }
 
@@ -193,6 +239,7 @@ impl GrpBody {
                 | GrpBody::Invalidate { .. }
                 | GrpBody::Apply { .. }
                 | GrpBody::Hello { .. }
+                | GrpBody::Delta { .. }
         )
     }
 }
@@ -226,14 +273,21 @@ impl GrpMsg {
             GrpBody::State {
                 req,
                 version,
+                epoch,
                 state,
             } => {
                 w.put_u64(*req);
                 w.put_u64(*version);
+                w.put_u64(*epoch);
                 w.put_bytes(state);
             }
-            GrpBody::Update { version, state } => {
+            GrpBody::Update {
+                version,
+                epoch,
+                state,
+            } => {
                 w.put_u64(*version);
+                w.put_u64(*epoch);
                 w.put_bytes(state);
             }
             GrpBody::Apply { version, inv } => {
@@ -244,6 +298,26 @@ impl GrpMsg {
             GrpBody::Hello { grp } => {
                 w.put_u32(grp.host.0);
                 w.put_u16(grp.port);
+            }
+            GrpBody::Delta {
+                from_version,
+                to_version,
+                epoch,
+                payload,
+            } => {
+                w.put_u64(*from_version);
+                w.put_u64(*to_version);
+                w.put_u64(*epoch);
+                w.put_bytes(payload);
+            }
+            GrpBody::Refresh {
+                req,
+                have_version,
+                epoch,
+            } => {
+                w.put_u64(*req);
+                w.put_u64(*have_version);
+                w.put_u64(*epoch);
             }
         }
         w.finish()
@@ -268,10 +342,12 @@ impl GrpMsg {
             4 => GrpBody::State {
                 req: r.u64()?,
                 version: r.u64()?,
+                epoch: r.u64()?,
                 state: r.bytes()?.to_vec(),
             },
             5 => GrpBody::Update {
                 version: r.u64()?,
+                epoch: r.u64()?,
                 state: r.bytes()?.to_vec(),
             },
             6 => GrpBody::Invalidate { version: r.u64()? },
@@ -281,6 +357,17 @@ impl GrpMsg {
             8 => GrpBody::Apply {
                 version: r.u64()?,
                 inv: Invocation::decode(&mut r)?,
+            },
+            9 => GrpBody::Delta {
+                from_version: r.u64()?,
+                to_version: r.u64()?,
+                epoch: r.u64()?,
+                payload: r.bytes()?.to_vec(),
+            },
+            10 => GrpBody::Refresh {
+                req: r.u64()?,
+                have_version: r.u64()?,
+                epoch: r.u64()?,
             },
             other => return Err(WireError::BadTag(other)),
         };
@@ -317,15 +404,28 @@ mod tests {
             GrpBody::State {
                 req: 5,
                 version: 9,
+                epoch: 77,
                 state: vec![7; 100],
             },
             GrpBody::Update {
                 version: 10,
+                epoch: 77,
                 state: vec![8; 50],
             },
             GrpBody::Apply { version: 11, inv },
             GrpBody::Invalidate { version: 12 },
             GrpBody::Hello { grp: ep },
+            GrpBody::Delta {
+                from_version: 13,
+                to_version: 15,
+                epoch: 77,
+                payload: vec![4; 20],
+            },
+            GrpBody::Refresh {
+                req: 6,
+                have_version: 13,
+                epoch: 77,
+            },
         ];
         for body in bodies {
             let msg = GrpMsg { oid: 0xABCD, body };
@@ -337,10 +437,24 @@ mod tests {
     fn state_modifying_classification() {
         assert!(GrpBody::Update {
             version: 1,
+            epoch: 1,
             state: vec![]
         }
         .is_state_modifying());
         assert!(GrpBody::Invalidate { version: 1 }.is_state_modifying());
+        assert!(GrpBody::Delta {
+            from_version: 1,
+            to_version: 2,
+            epoch: 1,
+            payload: vec![]
+        }
+        .is_state_modifying());
+        assert!(!GrpBody::Refresh {
+            req: 1,
+            have_version: 1,
+            epoch: 1
+        }
+        .is_state_modifying());
         assert!(GrpBody::Hello {
             grp: Endpoint::new(HostId(0), 0)
         }
@@ -363,6 +477,9 @@ mod tests {
             },
             RoleSpec::Master {
                 mode: PropagationMode::Invalidate,
+            },
+            RoleSpec::Master {
+                mode: PropagationMode::PushDelta,
             },
             RoleSpec::Slave {
                 master: Endpoint::new(HostId(7), 2112),

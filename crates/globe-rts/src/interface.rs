@@ -358,6 +358,25 @@ pub trait DsoState {
 
     /// Replaces the object state from a serialized blob.
     fn restore(&mut self, state: &[u8]) -> Result<(), SemError>;
+
+    /// Cheap change marker for the runtime's persistence gate (see
+    /// [`SemanticsObject::state_digest`]); defaults to hashing the full
+    /// state blob.
+    fn digest(&self) -> u64 {
+        crate::object::fnv64(&self.save())
+    }
+
+    /// Drains the mutation log since the last take/restore, if the
+    /// class keeps one (see [`SemanticsObject::take_delta`]).
+    fn take_delta(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Applies a delta from `take_delta` to the predecessor state (see
+    /// [`SemanticsObject::apply_delta`]).
+    fn apply_delta(&mut self, _delta: &[u8]) -> Result<(), SemError> {
+        Err(SemError::DeltaUnsupported)
+    }
 }
 
 /// Declares a DSO interface once and derives the rest.
@@ -493,6 +512,18 @@ macro_rules! dso_interface {
 
             fn set_state(&mut self, state: &[u8]) -> Result<(), $crate::object::SemError> {
                 $crate::interface::DsoState::restore(self, state)
+            }
+
+            fn state_digest(&self) -> u64 {
+                $crate::interface::DsoState::digest(self)
+            }
+
+            fn take_delta(&mut self) -> Option<Vec<u8>> {
+                $crate::interface::DsoState::take_delta(self)
+            }
+
+            fn apply_delta(&mut self, delta: &[u8]) -> Result<(), $crate::object::SemError> {
+                $crate::interface::DsoState::apply_delta(self, delta)
             }
         }
     };

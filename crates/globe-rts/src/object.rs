@@ -85,6 +85,9 @@ pub enum SemError {
     Application(String),
     /// A state blob did not decode during replica installation.
     BadState,
+    /// The semantics class does not implement the delta API (callers
+    /// fall back to full state transfer).
+    DeltaUnsupported,
 }
 
 impl fmt::Display for SemError {
@@ -94,6 +97,7 @@ impl fmt::Display for SemError {
             SemError::BadArguments => write!(f, "malformed arguments"),
             SemError::Application(e) => write!(f, "application error: {e}"),
             SemError::BadState => write!(f, "malformed state"),
+            SemError::DeltaUnsupported => write!(f, "class does not support deltas"),
         }
     }
 }
@@ -118,6 +122,49 @@ pub trait SemanticsObject: 'static {
 
     /// Replaces the object state from a serialized blob.
     fn set_state(&mut self, state: &[u8]) -> Result<(), SemError>;
+
+    // ---- optional delta API (default: full-state fallback) ----
+    //
+    // Classes that maintain a mutation log can ship *deltas* between
+    // replicas instead of whole state, and let the runtime gate
+    // persistence on a cheap change marker. The defaults make every
+    // existing class behave exactly as before: no deltas, digest
+    // computed by hashing the full state blob.
+
+    /// A cheap value that changes whenever the object state changes —
+    /// the runtime's persistence gate. A content hash and a mutation
+    /// counter both qualify; the default hashes the full state blob
+    /// (correct but pays the encode).
+    fn state_digest(&self) -> u64 {
+        fnv64(&self.get_state())
+    }
+
+    /// Drains and returns the mutations applied since the last call (or
+    /// since the last `set_state`), encoded so that concatenating
+    /// consecutive deltas yields a valid delta. Returns `None` when the
+    /// class keeps no log or the log overflowed — callers must then fall
+    /// back to full state transfer.
+    fn take_delta(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Applies a delta produced by `take_delta` on a replica holding
+    /// the exact predecessor state.
+    fn apply_delta(&mut self, _delta: &[u8]) -> Result<(), SemError> {
+        Err(SemError::DeltaUnsupported)
+    }
+}
+
+/// FNV-1a, the default state-digest hash (speed over collision
+/// resistance: a collision only costs one skipped persistence write of
+/// identical-looking state, never correctness of replication).
+pub fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// A class descriptor in the implementation repository: how to make a

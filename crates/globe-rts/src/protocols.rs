@@ -13,7 +13,7 @@
 //! | [`SlaveReplica`] | full | local (when valid) | forwarded to master |
 //! | [`CacheProxy`] | cached copy | local while TTL fresh | forwarded |
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use globe_net::Endpoint;
 use globe_sim::SimDuration;
@@ -24,6 +24,109 @@ use crate::replication::{InvokeError, Peer, ReplCtx, ReplicationSubobject};
 
 /// Default timeout for a forwarded invocation.
 const FORWARD_TIMEOUT: SimDuration = SimDuration::from_secs(10);
+
+/// How many recent per-write deltas a write-accepting replica retains
+/// to answer [`GrpBody::Refresh`] catch-ups without a full state
+/// transfer.
+const DELTA_HISTORY_CAP: usize = 32;
+
+/// A bounded log of recent write deltas at a write-accepting replica,
+/// keyed by the version each delta produces.
+///
+/// Delta payloads are concatenable by construction (see
+/// [`SemanticsObject::take_delta`](crate::object::SemanticsObject::take_delta)),
+/// so a requester at version `v` can be caught up to `v+k` with one
+/// [`GrpBody::Delta`] splicing `k` retained payloads together. A write
+/// that produced no delta (class keeps no log, or the log overflowed)
+/// breaks the chain: the history resets and requesters behind that
+/// point fall back to full state.
+#[derive(Default)]
+struct DeltaHistory {
+    /// `(to_version, payload)`, consecutive versions, oldest first.
+    entries: VecDeque<(u64, Vec<u8>)>,
+}
+
+impl DeltaHistory {
+    /// Records the delta that produced `to_version` (`None` breaks the
+    /// chain and clears the history).
+    fn record(&mut self, to_version: u64, delta: Option<Vec<u8>>) {
+        let Some(payload) = delta else {
+            self.entries.clear();
+            return;
+        };
+        if let Some(&(last, _)) = self.entries.back() {
+            if to_version != last + 1 {
+                self.entries.clear();
+            }
+        }
+        self.entries.push_back((to_version, payload));
+        while self.entries.len() > DELTA_HISTORY_CAP {
+            self.entries.pop_front();
+        }
+    }
+
+    /// The concatenated payload advancing `have` to `current`, if every
+    /// intermediate delta is retained. `have == current` yields an
+    /// empty payload (a freshness confirmation).
+    fn since(&self, have: u64, current: u64) -> Option<Vec<u8>> {
+        if have > current {
+            return None;
+        }
+        if have == current {
+            return Some(Vec::new());
+        }
+        let first = self.entries.front()?.0;
+        if have + 1 < first || self.entries.back()?.0 < current {
+            return None;
+        }
+        let mut payload = Vec::new();
+        for (v, p) in &self.entries {
+            if *v > have && *v <= current {
+                payload.extend_from_slice(p);
+            }
+        }
+        Some(payload)
+    }
+}
+
+/// Answers a [`GrpBody::Refresh`]: a [`GrpBody::Delta`] when the
+/// requester's copy belongs to this incarnation's lineage and the
+/// history covers its version, a full [`GrpBody::State`] otherwise.
+fn answer_refresh(
+    c: &mut ReplCtx<'_>,
+    from: Peer,
+    req: u64,
+    have_version: u64,
+    req_epoch: u64,
+    history: &DeltaHistory,
+) {
+    let current = c.version();
+    let my_epoch = c.copy_epoch();
+    if req_epoch == my_epoch && my_epoch != 0 {
+        if let Some(payload) = history.since(have_version, current) {
+            c.send(
+                from,
+                GrpBody::Delta {
+                    from_version: have_version,
+                    to_version: current,
+                    epoch: my_epoch,
+                    payload,
+                },
+            );
+            return;
+        }
+    }
+    let state = c.state();
+    c.send(
+        from,
+        GrpBody::State {
+            req,
+            version: current,
+            epoch: my_epoch,
+            state,
+        },
+    );
+}
 
 /// A waiter for state to arrive: a local invocation or a remote read.
 #[derive(Debug)]
@@ -162,22 +265,33 @@ fn decode_error(data: &[u8]) -> InvokeError {
 /// cache proxies, behind `CLIENT_SERVER` plain forwarding proxies.
 pub struct ServerReplica {
     proto: u16,
+    history: DeltaHistory,
 }
 
 impl ServerReplica {
     /// Creates the server-side subobject advertising `proto`.
     pub fn new(proto: u16) -> ServerReplica {
-        ServerReplica { proto }
+        ServerReplica {
+            proto,
+            history: DeltaHistory::default(),
+        }
     }
 }
 
 /// Executes an invocation at a full replica, bumping the version on
-/// writes; shared by every server-side protocol.
-fn exec_at_replica(c: &mut ReplCtx<'_>, inv: &Invocation) -> Result<Vec<u8>, InvokeError> {
+/// writes and banking the write's delta in the replica's history;
+/// shared by every server-side protocol. Draining the delta per write
+/// also keeps the semantics subobject's mutation log from growing.
+fn exec_at_replica(
+    c: &mut ReplCtx<'_>,
+    inv: &Invocation,
+    history: &mut DeltaHistory,
+) -> Result<Vec<u8>, InvokeError> {
     let kind = c.kind_of(inv.method);
     let result = c.exec(inv);
     if kind == MethodKind::Write && result.is_ok() {
-        c.bump_version();
+        let v = c.bump_version();
+        history.record(v, c.take_delta());
     } else if kind == MethodKind::Read {
         c.record_read_freshness();
     }
@@ -198,15 +312,19 @@ impl ReplicationSubobject for ServerReplica {
         RoleSpec::Standalone
     }
 
+    fn on_install(&mut self, c: &mut ReplCtx<'_>) {
+        c.ensure_epoch();
+    }
+
     fn start_invocation(&mut self, c: &mut ReplCtx<'_>, token: u64, inv: Invocation) {
-        let result = exec_at_replica(c, &inv);
+        let result = exec_at_replica(c, &inv, &mut self.history);
         c.complete(token, result);
     }
 
     fn on_grp(&mut self, c: &mut ReplCtx<'_>, from: Peer, body: GrpBody) {
         match body {
             GrpBody::Invoke { req, inv } => {
-                let result = exec_at_replica(c, &inv);
+                let result = exec_at_replica(c, &inv, &mut self.history);
                 let (ok, data) = match result {
                     Ok(d) => (true, d),
                     Err(e) => (false, encode_error(&e)),
@@ -216,14 +334,23 @@ impl ReplicationSubobject for ServerReplica {
             GrpBody::GetState { req } => {
                 let state = c.state();
                 let version = c.version();
+                let epoch = c.copy_epoch();
                 c.send(
                     from,
                     GrpBody::State {
                         req,
                         version,
+                        epoch,
                         state,
                     },
                 );
+            }
+            GrpBody::Refresh {
+                req,
+                have_version,
+                epoch,
+            } => {
+                answer_refresh(c, from, req, have_version, epoch, &self.history);
             }
             _ => {}
         }
@@ -237,6 +364,7 @@ pub struct MasterReplica {
     proto: u16,
     mode: PropagationMode,
     slaves: BTreeSet<Endpoint>,
+    history: DeltaHistory,
 }
 
 impl MasterReplica {
@@ -249,6 +377,7 @@ impl MasterReplica {
             proto,
             mode,
             slaves: BTreeSet::new(),
+            history: DeltaHistory::default(),
         }
     }
 
@@ -257,21 +386,51 @@ impl MasterReplica {
         &self.slaves
     }
 
-    fn propagate(&mut self, c: &mut ReplCtx<'_>, inv: &Invocation, version: u64) {
-        for &slave in &self.slaves {
-            let body = match self.mode {
-                PropagationMode::PushState => GrpBody::Update {
+    /// Fans one write out to every slave. The body — including the
+    /// state snapshot in `PushState` mode — is built *once* and handed
+    /// to the runtime's multicast path, which encodes it once for all
+    /// N slaves (previously: one state encode and one frame encode per
+    /// slave).
+    fn propagate(
+        &mut self,
+        c: &mut ReplCtx<'_>,
+        inv: &Invocation,
+        version: u64,
+        delta: Option<Vec<u8>>,
+    ) {
+        if self.slaves.is_empty() {
+            return;
+        }
+        let epoch = c.copy_epoch();
+        let body = match self.mode {
+            PropagationMode::PushState => GrpBody::Update {
+                version,
+                epoch,
+                state: c.state(),
+            },
+            PropagationMode::Invalidate => GrpBody::Invalidate { version },
+            PropagationMode::ApplyOps => GrpBody::Apply {
+                version,
+                inv: inv.clone(),
+            },
+            PropagationMode::PushDelta => match delta {
+                Some(payload) => GrpBody::Delta {
+                    from_version: version - 1,
+                    to_version: version,
+                    epoch,
+                    payload,
+                },
+                // The class keeps no mutation log (or it overflowed):
+                // fall back to shipping the whole state.
+                None => GrpBody::Update {
                     version,
+                    epoch,
                     state: c.state(),
                 },
-                PropagationMode::Invalidate => GrpBody::Invalidate { version },
-                PropagationMode::ApplyOps => GrpBody::Apply {
-                    version,
-                    inv: inv.clone(),
-                },
-            };
-            c.send(Peer::Addr(slave), body);
-        }
+            },
+        };
+        let peers = self.slaves.iter().map(|&s| Peer::Addr(s)).collect();
+        c.multicast(peers, body);
     }
 
     fn exec_and_propagate(
@@ -283,7 +442,9 @@ impl MasterReplica {
         let result = c.exec(inv);
         if kind == MethodKind::Write && result.is_ok() {
             let v = c.bump_version();
-            self.propagate(c, inv, v);
+            let delta = c.take_delta();
+            self.history.record(v, delta.clone());
+            self.propagate(c, inv, v, delta);
         } else if kind == MethodKind::Read {
             c.record_read_freshness();
         }
@@ -305,6 +466,10 @@ impl ReplicationSubobject for MasterReplica {
         RoleSpec::Master { mode: self.mode }
     }
 
+    fn on_install(&mut self, c: &mut ReplCtx<'_>) {
+        c.ensure_epoch();
+    }
+
     fn start_invocation(&mut self, c: &mut ReplCtx<'_>, token: u64, inv: Invocation) {
         let result = self.exec_and_propagate(c, &inv);
         c.complete(token, result);
@@ -323,11 +488,13 @@ impl ReplicationSubobject for MasterReplica {
             GrpBody::GetState { req } => {
                 let state = c.state();
                 let version = c.version();
+                let epoch = c.copy_epoch();
                 c.send(
                     from,
                     GrpBody::State {
                         req,
                         version,
+                        epoch,
                         state,
                     },
                 );
@@ -338,7 +505,22 @@ impl ReplicationSubobject for MasterReplica {
                 self.slaves.insert(grp);
                 let state = c.state();
                 let version = c.version();
-                c.send(Peer::Addr(grp), GrpBody::Update { version, state });
+                let epoch = c.copy_epoch();
+                c.send(
+                    Peer::Addr(grp),
+                    GrpBody::Update {
+                        version,
+                        epoch,
+                        state,
+                    },
+                );
+            }
+            GrpBody::Refresh {
+                req,
+                have_version,
+                epoch,
+            } => {
+                answer_refresh(c, from, req, have_version, epoch, &self.history);
             }
             _ => {}
         }
@@ -496,8 +678,18 @@ impl ReplicationSubobject for SlaveReplica {
                     c.set_timer(FORWARD_TIMEOUT, fwd);
                 }
             },
-            GrpBody::Update { version, state } => {
-                if version >= c.version() && c.install_state(version, &state).is_ok() {
+            GrpBody::Update {
+                version,
+                epoch,
+                state,
+            } => {
+                // A new master epoch means the version lineage reset
+                // (replica recreated / restarted): adopt its state even
+                // if the version number regressed.
+                let lineage_change = c.copy_epoch() != 0 && c.copy_epoch() != epoch;
+                if (lineage_change || version >= c.version())
+                    && c.install_state(version, epoch, &state).is_ok()
+                {
                     self.valid = true;
                     self.fetch_in_flight = false;
                     self.drain_waiters(c);
@@ -516,14 +708,44 @@ impl ReplicationSubobject for SlaveReplica {
                     self.ensure_fetch(c);
                 }
             }
+            GrpBody::Delta {
+                from_version,
+                to_version,
+                epoch,
+                payload,
+            } => {
+                let same_lineage = epoch != 0 && c.copy_epoch() == epoch;
+                if same_lineage && to_version <= c.version() {
+                    // Old news (e.g. redelivery after a refetch).
+                } else if same_lineage
+                    && from_version == c.version()
+                    && c.apply_delta(from_version, to_version, epoch, &payload)
+                        .is_ok()
+                {
+                    self.valid = true;
+                } else {
+                    // Version gap, lineage change or splice failure:
+                    // fall back to a full state fetch from the master.
+                    self.valid = false;
+                    self.ensure_fetch(c);
+                }
+            }
             GrpBody::Invalidate { version } => {
                 if version > c.version() {
                     self.valid = false;
                 }
             }
-            GrpBody::State { version, state, .. } => {
+            GrpBody::State {
+                version,
+                epoch,
+                state,
+                ..
+            } => {
                 self.fetch_in_flight = false;
-                if version >= c.version() && c.install_state(version, &state).is_ok() {
+                let lineage_change = c.copy_epoch() != 0 && c.copy_epoch() != epoch;
+                if (lineage_change || version >= c.version())
+                    && c.install_state(version, epoch, &state).is_ok()
+                {
                     self.valid = true;
                     self.drain_waiters(c);
                 }
@@ -542,19 +764,39 @@ impl ReplicationSubobject for SlaveReplica {
                 }
                 None => {}
             },
-            GrpBody::GetState { req } => {
-                // Serve whatever we have; the version lets the requester
-                // judge freshness.
-                let state = c.state();
+            GrpBody::GetState { req } | GrpBody::Refresh { req, .. } => {
+                // An already-current same-lineage requester gets a free
+                // confirmation; otherwise serve whatever we have, in
+                // full (slaves keep no delta history) — the version and
+                // lineage let the requester judge freshness.
                 let version = c.version();
-                c.send(
-                    from,
-                    GrpBody::State {
-                        req,
-                        version,
-                        state,
-                    },
-                );
+                let epoch = c.copy_epoch();
+                if matches!(
+                    body,
+                    GrpBody::Refresh { have_version, epoch: req_epoch, .. }
+                        if have_version == version && req_epoch == epoch && epoch != 0
+                ) {
+                    c.send(
+                        from,
+                        GrpBody::Delta {
+                            from_version: version,
+                            to_version: version,
+                            epoch,
+                            payload: Vec::new(),
+                        },
+                    );
+                } else {
+                    let state = c.state();
+                    c.send(
+                        from,
+                        GrpBody::State {
+                            req,
+                            version,
+                            epoch,
+                            state,
+                        },
+                    );
+                }
             }
             GrpBody::Hello { .. } => {}
         }
@@ -639,12 +881,36 @@ impl CacheProxy {
         self.expires.map(|e| e > now).unwrap_or(false)
     }
 
+    /// Requests a (re)fill: a full `GetState` on the first fill, a
+    /// version-aware `Refresh` afterwards so the server can answer with
+    /// a small delta — or a bare confirmation — instead of the whole
+    /// state.
     fn ensure_fetch(&mut self, c: &mut ReplCtx<'_>) {
         if !self.fetch_in_flight {
             self.fetch_in_flight = true;
             let req = self.next_req;
             self.next_req += 1;
-            c.send(Peer::Addr(self.server), GrpBody::GetState { req });
+            let body = if c.version() > 0 {
+                GrpBody::Refresh {
+                    req,
+                    have_version: c.version(),
+                    epoch: c.copy_epoch(),
+                }
+            } else {
+                GrpBody::GetState { req }
+            };
+            c.send(Peer::Addr(self.server), body);
+        }
+    }
+
+    /// Serves every waiting read from the just-validated copy.
+    fn drain_waiters(&mut self, c: &mut ReplCtx<'_>) {
+        for w in std::mem::take(&mut self.waiting) {
+            if let Waiter::Local { token, inv } = w {
+                c.record_read_freshness();
+                let result = c.exec(&inv);
+                c.complete(token, result);
+            }
         }
     }
 }
@@ -689,17 +955,39 @@ impl ReplicationSubobject for CacheProxy {
 
     fn on_grp(&mut self, c: &mut ReplCtx<'_>, _from: Peer, body: GrpBody) {
         match body {
-            GrpBody::State { version, state, .. } => {
+            GrpBody::State {
+                version,
+                epoch,
+                state,
+                ..
+            } => {
                 self.fetch_in_flight = false;
-                if c.install_state(version, &state).is_ok() {
+                if c.install_state(version, epoch, &state).is_ok() {
                     self.expires = Some(c.now() + self.ttl);
-                    for w in std::mem::take(&mut self.waiting) {
-                        if let Waiter::Local { token, inv } = w {
-                            c.record_read_freshness();
-                            let result = c.exec(&inv);
-                            c.complete(token, result);
-                        }
-                    }
+                    self.drain_waiters(c);
+                }
+            }
+            GrpBody::Delta {
+                from_version,
+                to_version,
+                epoch,
+                payload,
+            } => {
+                // Refresh answered with a delta (or, when
+                // `from == to`, a confirmation the copy is current).
+                self.fetch_in_flight = false;
+                if c.apply_delta(from_version, to_version, epoch, &payload)
+                    .is_ok()
+                {
+                    self.expires = Some(c.now() + self.ttl);
+                    self.drain_waiters(c);
+                } else {
+                    // Unusable splice (lineage changed or versions
+                    // raced): fetch the full state instead.
+                    self.fetch_in_flight = true;
+                    let req = self.next_req;
+                    self.next_req += 1;
+                    c.send(Peer::Addr(self.server), GrpBody::GetState { req });
                 }
             }
             GrpBody::InvokeResult { req, ok, data } => {
@@ -749,5 +1037,506 @@ impl ReplCtx<'_> {
     /// Counts a cache miss.
     pub(crate) fn metrics_cache_miss(&mut self) {
         self.effects.cache_misses += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{MethodId, SemError, SemanticsObject};
+    use crate::replication::ReplEffects;
+    use globe_net::HostId;
+    use globe_sim::SimTime;
+
+    /// A delta-capable test class: method 1 adds its one-byte argument;
+    /// the delta is the byte stream of pending additions.
+    #[derive(Default)]
+    struct DeltaCounter {
+        value: u64,
+        pending: Vec<u8>,
+    }
+
+    impl SemanticsObject for DeltaCounter {
+        fn dispatch(&mut self, inv: &Invocation) -> Result<Vec<u8>, SemError> {
+            match inv.method {
+                MethodId(0) => Ok(self.value.to_be_bytes().to_vec()),
+                MethodId(1) => {
+                    let d = *inv.args.first().ok_or(SemError::BadArguments)?;
+                    self.value += d as u64;
+                    self.pending.push(d);
+                    Ok(self.value.to_be_bytes().to_vec())
+                }
+                m => Err(SemError::NoSuchMethod(m)),
+            }
+        }
+        fn get_state(&self) -> Vec<u8> {
+            self.value.to_be_bytes().to_vec()
+        }
+        fn set_state(&mut self, state: &[u8]) -> Result<(), SemError> {
+            self.value = u64::from_be_bytes(state.try_into().map_err(|_| SemError::BadState)?);
+            self.pending.clear();
+            Ok(())
+        }
+        fn state_digest(&self) -> u64 {
+            self.value
+        }
+        fn take_delta(&mut self) -> Option<Vec<u8>> {
+            Some(std::mem::take(&mut self.pending))
+        }
+        fn apply_delta(&mut self, delta: &[u8]) -> Result<(), SemError> {
+            for &d in delta {
+                self.value += d as u64;
+            }
+            Ok(())
+        }
+    }
+
+    fn kind_of(m: MethodId) -> MethodKind {
+        if m == MethodId(0) {
+            MethodKind::Read
+        } else {
+            MethodKind::Write
+        }
+    }
+
+    /// One representative's copy state for driving protocol code.
+    struct Copy {
+        sem: Box<dyn SemanticsObject>,
+        version: u64,
+        epoch: u64,
+    }
+
+    impl Copy {
+        fn new() -> Copy {
+            Copy {
+                sem: Box::new(DeltaCounter::default()),
+                version: 0,
+                epoch: 0,
+            }
+        }
+
+        fn at(version: u64, epoch: u64) -> Copy {
+            let mut c = Copy::new();
+            c.version = version;
+            c.epoch = epoch;
+            c
+        }
+
+        /// Runs protocol code against a throwaway context, returning
+        /// the effects it accumulated.
+        fn drive(&mut self, f: impl FnOnce(&mut ReplCtx<'_>)) -> ReplEffects {
+            let mut ctx = ReplCtx {
+                oid: 1,
+                my_grp: Endpoint::new(HostId(9), 1000),
+                now: SimTime::from_secs(5),
+                sem: Some(&mut self.sem),
+                version: &mut self.version,
+                epoch: &mut self.epoch,
+                epoch_nonce: 99,
+                kind_of: &kind_of,
+                oracle_version: 0,
+                effects: ReplEffects::default(),
+            };
+            f(&mut ctx);
+            ctx.effects
+        }
+    }
+
+    fn master_ep() -> Endpoint {
+        Endpoint::new(HostId(0), 700)
+    }
+
+    #[test]
+    fn delta_history_concatenates_and_confirms() {
+        let mut h = DeltaHistory::default();
+        h.record(1, Some(vec![1]));
+        h.record(2, Some(vec![2, 2]));
+        h.record(3, Some(vec![3]));
+        assert_eq!(h.since(0, 3), Some(vec![1, 2, 2, 3]));
+        assert_eq!(h.since(1, 3), Some(vec![2, 2, 3]));
+        assert_eq!(h.since(3, 3), Some(vec![]));
+        assert_eq!(h.since(4, 3), None);
+    }
+
+    #[test]
+    fn delta_history_breaks_on_missing_delta_and_caps() {
+        let mut h = DeltaHistory::default();
+        h.record(1, Some(vec![1]));
+        h.record(2, None); // class log overflowed: chain broken
+        assert_eq!(h.since(0, 2), None);
+        h.record(3, Some(vec![3]));
+        assert_eq!(h.since(2, 3), Some(vec![3]));
+        assert_eq!(h.since(0, 3), None);
+        for v in 4..100 {
+            h.record(v, Some(vec![v as u8]));
+        }
+        assert!(h.entries.len() <= DELTA_HISTORY_CAP);
+        assert_eq!(h.since(98, 99), Some(vec![99]));
+        assert_eq!(h.since(2, 99), None); // beyond the cap: full fetch
+    }
+
+    #[test]
+    fn slave_applies_contiguous_delta() {
+        let mut copy = Copy::at(3, 7);
+        let mut slave = SlaveReplica::new(protocol_id::MASTER_SLAVE, master_ep());
+        let fx = copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::Delta {
+                    from_version: 3,
+                    to_version: 4,
+                    epoch: 7,
+                    payload: vec![7],
+                },
+            );
+        });
+        assert_eq!(copy.version, 4);
+        assert!(slave.is_valid());
+        assert!(fx.dirty && !fx.dirty_eager, "delta dirtiness must defer");
+        assert_eq!(fx.deltas_applied, 1);
+        assert!(fx.sends.is_empty());
+    }
+
+    #[test]
+    fn slave_gap_falls_back_to_full_fetch() {
+        let mut copy = Copy::at(3, 7);
+        let mut slave = SlaveReplica::new(protocol_id::MASTER_SLAVE, master_ep());
+        let fx = copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::Delta {
+                    from_version: 5, // versions 4..=5 were missed
+                    to_version: 6,
+                    epoch: 7,
+                    payload: vec![7],
+                },
+            );
+        });
+        assert_eq!(copy.version, 3, "gap delta must not apply");
+        assert!(!slave.is_valid());
+        assert!(
+            matches!(fx.sends.as_slice(), [(Peer::Addr(ep), GrpBody::GetState { .. })] if *ep == master_ep()),
+            "expected a full-state fetch, got {:?}",
+            fx.sends
+        );
+    }
+
+    #[test]
+    fn stale_delta_is_ignored() {
+        let mut copy = Copy::at(9, 7);
+        let mut slave = SlaveReplica::new(protocol_id::MASTER_SLAVE, master_ep());
+        let fx = copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::Delta {
+                    from_version: 3,
+                    to_version: 4,
+                    epoch: 7,
+                    payload: vec![7],
+                },
+            );
+        });
+        assert_eq!(copy.version, 9);
+        assert!(fx.sends.is_empty());
+    }
+
+    #[test]
+    fn lineage_change_forces_full_fetch() {
+        let mut copy = Copy::at(3, 7);
+        let mut slave = SlaveReplica::new(protocol_id::MASTER_SLAVE, master_ep());
+        // A contiguous-looking delta from a *different* incarnation
+        // must not splice: the version numbers are from another
+        // history.
+        let fx = copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::Delta {
+                    from_version: 3,
+                    to_version: 4,
+                    epoch: 8,
+                    payload: vec![7],
+                },
+            );
+        });
+        assert_eq!(copy.version, 3, "cross-lineage delta must not apply");
+        assert!(!slave.is_valid());
+        assert!(matches!(
+            fx.sends.as_slice(),
+            [(Peer::Addr(_), GrpBody::GetState { .. })]
+        ));
+        // The full-state answer from the new incarnation is adopted
+        // even though its version number is lower.
+        copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::State {
+                    req: 1,
+                    version: 1,
+                    epoch: 8,
+                    state: 5u64.to_be_bytes().to_vec(),
+                },
+            );
+        });
+        assert_eq!(copy.version, 1);
+        assert_eq!(copy.epoch, 8);
+        assert!(slave.is_valid());
+    }
+
+    #[test]
+    fn slave_confirms_current_refreshers_cheaply() {
+        let mut copy = Copy::at(4, 7);
+        let mut slave = SlaveReplica::new(protocol_id::MASTER_SLAVE, master_ep());
+        // Already-current, same lineage: a free confirmation.
+        let fx = copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(2),
+                GrpBody::Refresh {
+                    req: 1,
+                    have_version: 4,
+                    epoch: 7,
+                },
+            );
+        });
+        assert!(matches!(
+            fx.sends.as_slice(),
+            [(
+                Peer::Conn(2),
+                GrpBody::Delta {
+                    from_version: 4,
+                    to_version: 4,
+                    epoch: 7,
+                    payload,
+                }
+            )] if payload.is_empty()
+        ));
+        // Behind (or cross-lineage): slaves keep no history, so full
+        // state.
+        let fx = copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(2),
+                GrpBody::Refresh {
+                    req: 2,
+                    have_version: 3,
+                    epoch: 7,
+                },
+            );
+        });
+        assert!(matches!(
+            fx.sends.as_slice(),
+            [(Peer::Conn(2), GrpBody::State { version: 4, .. })]
+        ));
+    }
+
+    #[test]
+    fn master_multicasts_one_body_per_write() {
+        let mut copy = Copy::new();
+        let mut master = MasterReplica::new(protocol_id::MASTER_SLAVE, PropagationMode::PushDelta);
+        copy.drive(|c| master.on_install(c));
+        assert_ne!(copy.epoch, 0, "install mints a lineage");
+        // Two slaves join.
+        let s1 = Endpoint::new(HostId(1), 700);
+        let s2 = Endpoint::new(HostId(2), 700);
+        for s in [s1, s2] {
+            copy.drive(|c| {
+                master.on_grp(c, Peer::Conn(1), GrpBody::Hello { grp: s });
+            });
+        }
+        let fx = copy.drive(|c| {
+            master.start_invocation(c, 1, Invocation::new(MethodId(1), vec![5]));
+        });
+        assert_eq!(copy.version, 1);
+        // One multicast carrying the delta to both slaves; no per-slave
+        // sends.
+        assert!(fx.sends.is_empty());
+        assert_eq!(fx.multicasts.len(), 1);
+        let (peers, body) = &fx.multicasts[0];
+        assert_eq!(peers.len(), 2);
+        assert_eq!(
+            *body,
+            GrpBody::Delta {
+                from_version: 0,
+                to_version: 1,
+                epoch: copy.epoch,
+                payload: vec![5],
+            }
+        );
+    }
+
+    #[test]
+    fn master_answers_refresh_from_history() {
+        let mut copy = Copy::new();
+        let mut master = MasterReplica::new(protocol_id::MASTER_SLAVE, PropagationMode::PushDelta);
+        copy.drive(|c| master.on_install(c));
+        for arg in [5u8, 6] {
+            copy.drive(|c| {
+                master.start_invocation(c, 1, Invocation::new(MethodId(1), vec![arg]));
+            });
+        }
+        let lineage = copy.epoch;
+        // A requester at version 1 gets the missing delta...
+        let fx = copy.drive(|c| {
+            master.on_grp(
+                c,
+                Peer::Conn(7),
+                GrpBody::Refresh {
+                    req: 3,
+                    have_version: 1,
+                    epoch: lineage,
+                },
+            );
+        });
+        assert!(
+            matches!(
+                fx.sends.as_slice(),
+                [(
+                    Peer::Conn(7),
+                    GrpBody::Delta {
+                        from_version: 1,
+                        to_version: 2,
+                        ..
+                    }
+                )]
+            ),
+            "{:?}",
+            fx.sends
+        );
+        // ...a current requester gets a bare confirmation...
+        let fx = copy.drive(|c| {
+            master.on_grp(
+                c,
+                Peer::Conn(7),
+                GrpBody::Refresh {
+                    req: 4,
+                    have_version: 2,
+                    epoch: lineage,
+                },
+            );
+        });
+        assert!(matches!(
+            fx.sends.as_slice(),
+            [(
+                Peer::Conn(7),
+                GrpBody::Delta {
+                    from_version: 2,
+                    to_version: 2,
+                    payload,
+                    ..
+                }
+            )] if payload.is_empty()
+        ));
+        // ...and a requester from another lineage always gets full
+        // state, even at a "matching" version number.
+        let fx = copy.drive(|c| {
+            master.on_grp(
+                c,
+                Peer::Conn(7),
+                GrpBody::Refresh {
+                    req: 5,
+                    have_version: 2,
+                    epoch: lineage ^ 2,
+                },
+            );
+        });
+        assert!(matches!(
+            fx.sends.as_slice(),
+            [(Peer::Conn(7), GrpBody::State { version: 2, .. })]
+        ));
+    }
+
+    #[test]
+    fn cache_refresh_uses_version_and_delta() {
+        let mut copy = Copy::new();
+        let server = master_ep();
+        let mut cache = CacheProxy::new(server, SimDuration::from_secs(10));
+        // Cold: first read triggers a full GetState.
+        let fx = copy.drive(|c| {
+            cache.start_invocation(c, 1, Invocation::new(MethodId(0), vec![]));
+        });
+        assert!(matches!(
+            fx.sends.as_slice(),
+            [(Peer::Addr(_), GrpBody::GetState { .. })]
+        ));
+        let fx = copy.drive(|c| {
+            cache.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::State {
+                    req: 1,
+                    version: 4,
+                    epoch: 21,
+                    state: 9u64.to_be_bytes().to_vec(),
+                },
+            );
+        });
+        assert_eq!(fx.completions.len(), 1);
+        assert_eq!(copy.version, 4);
+        assert_eq!(copy.epoch, 21);
+        // Simulate TTL expiry; the next read refreshes by version.
+        cache.expires = None;
+        let fx = copy.drive(|c| {
+            cache.start_invocation(c, 2, Invocation::new(MethodId(0), vec![]));
+        });
+        assert!(
+            matches!(
+                fx.sends.as_slice(),
+                [(
+                    Peer::Addr(_),
+                    GrpBody::Refresh {
+                        have_version: 4,
+                        epoch: 21,
+                        ..
+                    }
+                )]
+            ),
+            "{:?}",
+            fx.sends
+        );
+        // A confirmation delta renews the TTL and serves the waiter
+        // without any state transfer.
+        let fx = copy.drive(|c| {
+            cache.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::Delta {
+                    from_version: 4,
+                    to_version: 4,
+                    epoch: 21,
+                    payload: vec![],
+                },
+            );
+        });
+        assert_eq!(fx.completions.len(), 1);
+        assert!(cache.expires.is_some());
+        assert_eq!(copy.version, 4);
+
+        // A confirmation from a different lineage is NOT trusted: the
+        // cache refetches in full instead.
+        cache.expires = None;
+        copy.drive(|c| {
+            cache.start_invocation(c, 3, Invocation::new(MethodId(0), vec![]));
+        });
+        let fx = copy.drive(|c| {
+            cache.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::Delta {
+                    from_version: 4,
+                    to_version: 4,
+                    epoch: 22,
+                    payload: vec![],
+                },
+            );
+        });
+        assert!(matches!(
+            fx.sends.as_slice(),
+            [(Peer::Addr(_), GrpBody::GetState { .. })]
+        ));
     }
 }

@@ -7,6 +7,33 @@
 //! — execute locally, message peers, set timers, complete invocations —
 //! with the transport, security and marshalling owned by the runtime
 //! (the communication subobject).
+//!
+//! # The effects pipeline: dirty → digest-gate → batch persist → multicast
+//!
+//! Protocol code never touches the network or stable storage directly;
+//! every call runs against a fresh [`ReplEffects`] accumulator that the
+//! runtime translates after the protocol returns:
+//!
+//! 1. **dirty** — any state-touching context call ([`ReplCtx::exec`],
+//!    [`ReplCtx::install_state`], [`ReplCtx::apply_delta`],
+//!    [`ReplCtx::bump_version`]) marks the effect batch dirty. Delta
+//!    application marks it *deferrable*: a replica fed deltas can be
+//!    re-derived cheaply from its master after a crash, so its durable
+//!    checkpoint may lag a bounded number of versions.
+//! 2. **digest-gate** — at flush time the runtime compares the
+//!    semantics subobject's cheap [`state_digest`] against the digest
+//!    of the last persisted blob; unchanged state (e.g. a read that
+//!    executed locally) is never re-encoded or re-written.
+//! 3. **batch persist** — persistence runs once per runtime dispatch
+//!    (end of `invoke` / timer / datagram / connection event), not once
+//!    per dirty effect, so a burst of protocol activity inside one
+//!    dispatch costs at most one `stable_put` per object.
+//! 4. **multicast** — [`ReplCtx::multicast`] hands one body plus N
+//!    peers to the runtime, which encodes the GRP frame *once* and
+//!    fans the same bytes out per connection (encryption stays
+//!    per-connection).
+//!
+//! [`state_digest`]: crate::object::SemanticsObject::state_digest
 
 use std::fmt;
 
@@ -62,13 +89,22 @@ pub enum Peer {
 #[derive(Debug, Default)]
 pub(crate) struct ReplEffects {
     pub sends: Vec<(Peer, GrpBody)>,
+    /// One body to many peers: the runtime encodes the frame once.
+    pub multicasts: Vec<(Vec<Peer>, GrpBody)>,
     pub timers: Vec<(globe_sim::SimDuration, u64)>,
     pub completions: Vec<(u64, Result<Vec<u8>, InvokeError>)>,
     pub stale_reads: u64,
     pub fresh_reads: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    pub deltas_applied: u64,
+    /// State may have changed; the runtime schedules persistence.
     pub dirty: bool,
+    /// The change must be checkpointed at the next flush (writes,
+    /// full-state installs). Dirty-but-not-eager batches (delta
+    /// applications) may defer their checkpoint a bounded number of
+    /// versions.
+    pub dirty_eager: bool,
 }
 
 /// The execution context handed to a replication subobject.
@@ -83,6 +119,10 @@ pub struct ReplCtx<'a> {
     pub(crate) now: SimTime,
     pub(crate) sem: Option<&'a mut Box<dyn SemanticsObject>>,
     pub(crate) version: &'a mut u64,
+    pub(crate) epoch: &'a mut u64,
+    /// Runtime-unique value mixed into minted epochs (two incarnations
+    /// created at the same virtual instant must still differ).
+    pub(crate) epoch_nonce: u64,
     pub(crate) kind_of: &'a dyn Fn(MethodId) -> MethodKind,
     pub(crate) oracle_version: u64,
     pub(crate) effects: ReplEffects,
@@ -115,7 +155,12 @@ impl<'a> ReplCtx<'a> {
     /// Fails with [`InvokeError::Internal`] on pure proxies, which have
     /// no semantics instance.
     pub fn exec(&mut self, inv: &Invocation) -> Result<Vec<u8>, InvokeError> {
+        // Reads mark the batch dirty only conservatively (the digest
+        // gate clears them for free); writes force an eager checkpoint.
         self.effects.dirty = true;
+        if self.kind_of(inv.method) == MethodKind::Write {
+            self.effects.dirty_eager = true;
+        }
         match self.sem.as_deref_mut() {
             Some(sem) => sem
                 .dispatch(inv)
@@ -132,8 +177,13 @@ impl<'a> ReplCtx<'a> {
             .unwrap_or_default()
     }
 
-    /// Installs a state blob at `version`.
-    pub fn install_state(&mut self, version: u64, state: &[u8]) -> Result<(), InvokeError> {
+    /// Installs a state blob at `version` of lineage `epoch`.
+    pub fn install_state(
+        &mut self,
+        version: u64,
+        epoch: u64,
+        state: &[u8],
+    ) -> Result<(), InvokeError> {
         let sem = self
             .sem
             .as_deref_mut()
@@ -141,7 +191,80 @@ impl<'a> ReplCtx<'a> {
         sem.set_state(state)
             .map_err(|e| InvokeError::Sem(e.to_string()))?;
         *self.version = version;
+        *self.epoch = epoch;
         self.effects.dirty = true;
+        self.effects.dirty_eager = true;
+        Ok(())
+    }
+
+    /// Drains the semantics subobject's mutation log (one write's worth
+    /// when called per write), or `None` when the class keeps none.
+    pub fn take_delta(&mut self) -> Option<Vec<u8>> {
+        self.sem.as_deref_mut().and_then(|s| s.take_delta())
+    }
+
+    /// The version *lineage* this copy belongs to (`0` = unknown).
+    ///
+    /// Version numbers restart when a replica is deleted and recreated,
+    /// so they are only comparable within one lineage; deltas never
+    /// splice across lineages. The epoch lives next to the version in
+    /// the local representative, so it survives proxy re-binds and —
+    /// for persistent replicas — restarts.
+    pub fn copy_epoch(&self) -> u64 {
+        *self.epoch
+    }
+
+    /// Returns this copy's lineage, minting a fresh one on first call —
+    /// write-accepting replicas do this at install so every incarnation
+    /// with a new history gets a distinct epoch, while a replica
+    /// restored from stable storage keeps the lineage it persisted
+    /// (its history genuinely continues).
+    pub fn ensure_epoch(&mut self) -> u64 {
+        if *self.epoch == 0 {
+            let ep = self.my_grp;
+            let mixed = self.now.as_nanos().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ self.epoch_nonce.wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+                ^ (self.oid as u64).rotate_left(17)
+                ^ (((ep.host.0 as u64) << 40) | ep.port as u64);
+            *self.epoch = mixed | 1;
+        }
+        *self.epoch
+    }
+
+    /// Splices a [`GrpBody::Delta`](crate::grp::GrpBody::Delta) into the
+    /// local copy: applies the payload on top of the exact predecessor
+    /// version and advances to `to_version`.
+    ///
+    /// An empty payload with `from_version == to_version` is a
+    /// freshness confirmation and leaves the state untouched. The
+    /// resulting dirtiness is *deferrable* (see [`ReplEffects`]): a
+    /// delta-fed replica may checkpoint lazily because it can always be
+    /// re-derived from its master.
+    pub fn apply_delta(
+        &mut self,
+        from_version: u64,
+        to_version: u64,
+        epoch: u64,
+        payload: &[u8],
+    ) -> Result<(), InvokeError> {
+        if epoch == 0 || *self.epoch != epoch {
+            return Err(InvokeError::Internal("delta lineage mismatch"));
+        }
+        if from_version != *self.version || to_version < from_version {
+            return Err(InvokeError::Internal("delta version gap"));
+        }
+        if to_version == from_version && payload.is_empty() {
+            return Ok(());
+        }
+        let sem = self
+            .sem
+            .as_deref_mut()
+            .ok_or(InvokeError::Internal("no semantics subobject"))?;
+        sem.apply_delta(payload)
+            .map_err(|e| InvokeError::Sem(e.to_string()))?;
+        *self.version = to_version;
+        self.effects.dirty = true;
+        self.effects.deltas_applied += 1;
         Ok(())
     }
 
@@ -155,12 +278,21 @@ impl<'a> ReplCtx<'a> {
     pub fn bump_version(&mut self) -> u64 {
         *self.version += 1;
         self.effects.dirty = true;
+        self.effects.dirty_eager = true;
         *self.version
     }
 
     /// Sends a GRP message to a peer of this object.
     pub fn send(&mut self, to: Peer, body: GrpBody) {
         self.effects.sends.push((to, body));
+    }
+
+    /// Sends one GRP message to many peers; the runtime encodes the
+    /// frame once and fans the identical bytes out per connection.
+    pub fn multicast(&mut self, to: Vec<Peer>, body: GrpBody) {
+        if !to.is_empty() {
+            self.effects.multicasts.push((to, body));
+        }
     }
 
     /// Completes a local invocation started with this `token`.

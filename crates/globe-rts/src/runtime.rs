@@ -207,7 +207,58 @@ struct LocalRep {
     sem: Option<Box<dyn SemanticsObject>>,
     repl: Box<dyn ReplicationSubobject>,
     version: u64,
+    /// Version lineage of the copy (see [`ReplCtx::copy_epoch`]);
+    /// persisted with the blob and preserved across proxy re-binds.
+    epoch: u64,
+    /// State possibly changed since the last persistence flush.
+    needs_persist: bool,
+    /// The change must checkpoint at the next flush (writes, installs);
+    /// delta-fed changes may defer up to [`DELTA_CHECKPOINT_STRIDE`]
+    /// versions.
+    persist_eager: bool,
+    /// Version of the last persisted blob.
+    persisted_version: u64,
+    /// `state_digest` of the last persisted blob.
+    persisted_digest: Option<u64>,
+    /// The pending deferral was already counted in
+    /// `rts.persist.deferred` (flushes rescan deferred entries).
+    deferred_counted: bool,
 }
+
+impl LocalRep {
+    fn new(
+        impl_id: ImplId,
+        sem: Option<Box<dyn SemanticsObject>>,
+        repl: Box<dyn ReplicationSubobject>,
+        version: u64,
+    ) -> LocalRep {
+        LocalRep {
+            impl_id,
+            sem,
+            repl,
+            version,
+            epoch: 0,
+            needs_persist: false,
+            persist_eager: false,
+            persisted_version: 0,
+            persisted_digest: None,
+            deferred_counted: false,
+        }
+    }
+}
+
+/// A delta-fed replica checkpoints to stable storage at most this many
+/// versions behind its in-memory state: its copy is always re-derivable
+/// from the master (it re-announces on restart and deltas make catch-up
+/// cheap), so eager durability buys little and costs a `stable_put`
+/// per write.
+const DELTA_CHECKPOINT_STRIDE: u64 = 8;
+
+/// Frames queued on a connection awaiting secure-channel establishment
+/// beyond this cap are dropped (counted as `rts.backlog_dropped`) — a
+/// peer that never completes its handshake must not grow an unbounded
+/// buffer.
+const MAX_CONN_BACKLOG: usize = 64;
 
 struct ConnInfo {
     peer: Option<Endpoint>,
@@ -246,6 +297,12 @@ pub struct GlobeRuntime {
     out_conns: BTreeMap<Endpoint, u64>,
     conn_info: BTreeMap<u64, ConnInfo>,
     lrs: BTreeMap<u128, LocalRep>,
+    /// Objects whose replicas have unflushed dirty state.
+    dirty: BTreeSet<u128>,
+    /// Which objects have messaged which peer endpoints — the interest
+    /// index consulted on peer loss so only affected representatives
+    /// get `on_peer_gone` (previously an O(objects) sweep).
+    peer_interest: BTreeMap<Endpoint, BTreeSet<u128>>,
     binds: BTreeMap<u64, (u64, u128)>,
     next_bind: u64,
     regs: BTreeMap<u64, u64>,
@@ -257,6 +314,8 @@ pub struct GlobeRuntime {
     loaded: BTreeSet<u16>,
     repl_timers: BTreeMap<u64, (u128, u64)>,
     next_repl_timer: u64,
+    /// Dispensed to [`ReplCtx`] epoch minting, one per dispatch.
+    next_epoch_nonce: u64,
     events: Vec<RtEvent>,
 }
 
@@ -280,6 +339,8 @@ impl GlobeRuntime {
             out_conns: BTreeMap::new(),
             conn_info: BTreeMap::new(),
             lrs: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            peer_interest: BTreeMap::new(),
             binds: BTreeMap::new(),
             next_bind: 1,
             regs: BTreeMap::new(),
@@ -291,6 +352,7 @@ impl GlobeRuntime {
             loaded: BTreeSet::new(),
             repl_timers: BTreeMap::new(),
             next_repl_timer: 1,
+            next_epoch_nonce: 1,
             events: Vec::new(),
         }
     }
@@ -371,10 +433,50 @@ impl GlobeRuntime {
         ctx.metrics().inc("rts.binds", 1);
     }
 
+    /// Re-resolves `oid` against the GLS even though a local
+    /// representative is installed — access points do this periodically
+    /// to pick up newly created replicas, and on failover when the
+    /// bound replica stops answering.
+    ///
+    /// Unlike unbind-then-bind, the installed representative keeps
+    /// serving while the lookup is in flight, and when the fresh
+    /// targets arrive the replacement *preserves the cached semantics
+    /// state and version* (same class, proxy-grade representatives
+    /// only). A warm TTL cache therefore survives the swap and its next
+    /// refresh is a version-aware [`GrpBody::Refresh`] answered with a
+    /// delta, not a full state transfer.
+    pub fn rebind(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId, token: u64) {
+        if let Some(lr) = self.lrs.get(&oid.0) {
+            if lr.repl.is_replica() {
+                // Replica-grade representatives are authoritative; they
+                // have nothing to re-resolve.
+                let info = BindInfo {
+                    oid,
+                    protocol: lr.repl.proto(),
+                    impl_id: lr.impl_id,
+                };
+                self.events.push(RtEvent::BindDone {
+                    token,
+                    result: Ok(info),
+                });
+                return;
+            }
+        }
+        let idx = self.next_bind;
+        self.next_bind += 1;
+        self.binds.insert(idx, (token, oid.0));
+        self.gls.lookup(ctx, oid, K_BIND | idx);
+        ctx.metrics().inc("rts.rebinds", 1);
+    }
+
     /// Removes the local representative for `oid` (no GLS traffic; pair
     /// with [`GlobeRuntime::deregister`] for registered replicas).
     pub fn unbind(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId) {
         self.lrs.remove(&oid.0);
+        self.dirty.remove(&oid.0);
+        for interested in self.peer_interest.values_mut() {
+            interested.remove(&oid.0);
+        }
         if self.cfg.persist {
             ctx.stable_delete(&replica_key(oid.0));
         }
@@ -392,6 +494,7 @@ impl GlobeRuntime {
         }
         ctx.metrics().inc("rts.invocations", 1);
         self.with_lr(ctx, oid.0, |repl, c| repl.start_invocation(c, token, inv));
+        self.flush_persistence(ctx);
     }
 
     /// Creates a replica-grade local representative (object servers call
@@ -415,17 +518,11 @@ impl GlobeRuntime {
             RoleSpec::Slave { master } => Box::new(SlaveReplica::new(protocol, master)),
         };
         self.loaded.insert(impl_id.0);
-        self.lrs.insert(
-            oid.0,
-            LocalRep {
-                impl_id,
-                sem: Some(sem),
-                repl,
-                version: 0,
-            },
-        );
+        self.lrs
+            .insert(oid.0, LocalRep::new(impl_id, Some(sem), repl, 0));
         ctx.metrics().inc("rts.replicas_created", 1);
         self.with_lr(ctx, oid.0, |repl, c| repl.on_install(c));
+        self.flush_persistence(ctx);
         Ok(())
     }
 
@@ -511,6 +608,7 @@ impl GlobeRuntime {
     ) -> bool {
         if self.gls.handle_datagram(ctx, from, payload) {
             self.drive_gls(ctx);
+            self.flush_persistence(ctx);
             true
         } else {
             false
@@ -535,6 +633,7 @@ impl GlobeRuntime {
             let idx = token_id(token);
             if let Some((oid, sub)) = self.repl_timers.remove(&idx) {
                 self.with_lr(ctx, oid, |repl, c| repl.on_timer(c, sub));
+                self.flush_persistence(ctx);
             }
             return true;
         }
@@ -608,6 +707,7 @@ impl GlobeRuntime {
                         },
                     }
                 }
+                self.flush_persistence(ctx);
                 if app_frames.is_empty() {
                     RtConn::Consumed
                 } else {
@@ -622,6 +722,7 @@ impl GlobeRuntime {
                     return RtConn::NotMine(ConnEvent::Closed(reason));
                 }
                 self.drop_conn(ctx, conn.0);
+                self.flush_persistence(ctx);
                 RtConn::Consumed
             }
         }
@@ -635,6 +736,8 @@ impl GlobeRuntime {
         self.out_conns.clear();
         self.conn_info.clear();
         self.lrs.clear();
+        self.dirty.clear();
+        self.peer_interest.clear();
         self.binds.clear();
         self.regs.clear();
         self.deregs.clear();
@@ -665,6 +768,7 @@ impl GlobeRuntime {
         }
         ctx.metrics()
             .inc("rts.replicas_restored", restored.len() as u64);
+        self.flush_persistence(ctx);
         restored
     }
 
@@ -674,6 +778,7 @@ impl GlobeRuntime {
         let protocol = r.u16().ok()?;
         let role = RoleSpec::decode(&mut r).ok()?;
         let version = r.u64().ok()?;
+        let epoch = r.u64().ok()?;
         let state = r.bytes().ok()?.to_vec();
         let mut sem = self.repo.instantiate(impl_id)?;
         sem.set_state(&state).ok()?;
@@ -683,15 +788,13 @@ impl GlobeRuntime {
             RoleSpec::Slave { master } => Box::new(SlaveReplica::new(protocol, master)),
         };
         self.loaded.insert(impl_id.0);
-        self.lrs.insert(
-            oid,
-            LocalRep {
-                impl_id,
-                sem: Some(sem),
-                repl,
-                version,
-            },
-        );
+        let mut lr = LocalRep::new(impl_id, Some(sem), repl, version);
+        lr.epoch = epoch;
+        // What we just decoded *is* the persisted blob: seed the
+        // digest gate so an unchanged replica is not re-written.
+        lr.persisted_version = version;
+        lr.persisted_digest = lr.sem.as_ref().map(|s| s.state_digest());
+        self.lrs.insert(oid, lr);
         // Slaves re-announce so the master refreshes them; masters just
         // resume (slaves will refetch on demand).
         self.with_lr(ctx, oid, |repl, c| repl.on_install(c));
@@ -829,15 +932,25 @@ impl GlobeRuntime {
                 )),
             )
         };
-        self.lrs.insert(
-            oid,
-            LocalRep {
-                impl_id,
-                sem,
-                repl,
-                version: 0,
-            },
-        );
+        let mut lr = LocalRep::new(impl_id, sem, repl, 0);
+        // A rebind replaces an installed proxy-grade representative:
+        // keep its warm semantics state so caches refresh by delta
+        // instead of refetching everything. Version and epoch describe
+        // the held state, so they travel only with it — a replacement
+        // that cannot carry the state (protocol changed to a state-less
+        // proxy) must not claim the old version.
+        if let Some(prior) = self.lrs.remove(&oid) {
+            if prior.impl_id == impl_id
+                && !prior.repl.is_replica()
+                && lr.sem.is_some()
+                && prior.sem.is_some()
+            {
+                lr.sem = prior.sem;
+                lr.version = prior.version;
+                lr.epoch = prior.epoch;
+            }
+        }
+        self.lrs.insert(oid, lr);
         self.with_lr(ctx, oid, |repl, c| repl.on_install(c));
         self.events.push(RtEvent::BindDone {
             token,
@@ -917,6 +1030,8 @@ impl GlobeRuntime {
         let kind_fn = move |m| repo.kind_of(impl_id, m).unwrap_or(MethodKind::Write);
         let oracle_key = oracle_key(oid);
         let oracle_version = ctx.metrics().counter(&oracle_key);
+        self.next_epoch_nonce += 1;
+        let epoch_nonce = self.next_epoch_nonce;
         let effects = {
             let mut rctx = ReplCtx {
                 oid,
@@ -924,6 +1039,8 @@ impl GlobeRuntime {
                 now: ctx.now(),
                 sem: lr.sem.as_mut(),
                 version: &mut lr.version,
+                epoch: &mut lr.epoch,
+                epoch_nonce,
                 kind_of: &kind_fn,
                 oracle_version,
                 effects: ReplEffects::default(),
@@ -939,13 +1056,75 @@ impl GlobeRuntime {
                 ctx.metrics().inc(&oracle_key, lr.version - cur);
             }
         }
-        let persist = self.cfg.persist && lr.repl.is_replica() && effects.dirty;
-        if persist {
-            let blob = encode_replica(&lr);
-            ctx.stable_put(&replica_key(oid), blob);
+        // Persistence is *scheduled*, not performed: the flush at the
+        // end of the current runtime dispatch digest-gates and batches
+        // the actual `stable_put` (see `flush_persistence`).
+        if self.cfg.persist && lr.repl.is_replica() && effects.dirty {
+            lr.needs_persist = true;
+            if effects.dirty_eager {
+                lr.persist_eager = true;
+            }
+            self.dirty.insert(oid);
         }
         self.lrs.insert(oid, lr);
         self.apply_repl_effects(ctx, oid, effects);
+    }
+
+    /// End-of-dispatch persistence: writes each dirty replica to stable
+    /// storage at most once per runtime entry point, skipping replicas
+    /// whose cheap state digest shows nothing actually changed (local
+    /// reads mark effects dirty conservatively) and deferring
+    /// delta-fed replicas up to [`DELTA_CHECKPOINT_STRIDE`] versions.
+    fn flush_persistence(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if !self.cfg.persist || self.dirty.is_empty() {
+            return;
+        }
+        let oids: Vec<u128> = self.dirty.iter().copied().collect();
+        for oid in oids {
+            let Some(lr) = self.lrs.get_mut(&oid) else {
+                self.dirty.remove(&oid);
+                continue;
+            };
+            if !lr.needs_persist {
+                self.dirty.remove(&oid);
+                continue;
+            }
+            let due =
+                lr.persist_eager || lr.version >= lr.persisted_version + DELTA_CHECKPOINT_STRIDE;
+            if !due && lr.version != lr.persisted_version {
+                // Delta-fed progress awaiting its stride boundary: drop
+                // out of the scan set so unrelated dispatches stop
+                // rescanning it — `needs_persist` stays set and the next
+                // dirty effect on this object re-enqueues it (the digest
+                // need not be computed: a version change implies a state
+                // change).
+                if !lr.deferred_counted {
+                    lr.deferred_counted = true;
+                    ctx.metrics().inc("rts.persist.deferred", 1);
+                }
+                self.dirty.remove(&oid);
+                continue;
+            }
+            let digest = lr.sem.as_ref().map(|s| s.state_digest()).unwrap_or(0);
+            if lr.persisted_digest == Some(digest) && lr.persisted_version == lr.version {
+                // Conservative dirtiness (a read) with no actual change.
+                ctx.metrics().inc("rts.persist.digest_skips", 1);
+            } else {
+                // Due for a checkpoint — or dirty-at-the-same-version
+                // with a changed digest (a mutation without a version
+                // bump, e.g. a failed write that partially applied):
+                // persist eagerly, correctness over deferral.
+                let blob = encode_replica(lr);
+                ctx.stable_put(&replica_key(oid), blob);
+                ctx.metrics().inc("rts.persist.stable_puts", 1);
+                lr.persisted_digest = Some(digest);
+                lr.persisted_version = lr.version;
+            }
+            lr.needs_persist = false;
+            lr.persist_eager = false;
+            lr.deferred_counted = false;
+            self.dirty.remove(&oid);
+        }
     }
 
     fn apply_repl_effects(&mut self, ctx: &mut ServiceCtx<'_>, oid: u128, effects: ReplEffects) {
@@ -961,13 +1140,40 @@ impl GlobeRuntime {
         if effects.cache_misses > 0 {
             ctx.metrics().inc("rts.cache.misses", effects.cache_misses);
         }
+        if effects.deltas_applied > 0 {
+            ctx.metrics()
+                .inc("rts.grp.deltas_applied", effects.deltas_applied);
+        }
         for (peer, body) in effects.sends {
             let msg = GrpMsg { oid, body };
             match peer {
                 Peer::Conn(c) => self.send_grp_on_conn(ctx, c, &msg),
                 Peer::Addr(ep) => {
+                    self.note_interest(oid, ep);
                     let c = self.conn_to(ctx, ep);
                     self.send_grp_on_conn(ctx, c, &msg);
+                }
+            }
+        }
+        for (peers, body) in effects.multicasts {
+            // One frame encode for the whole fan-out; only the
+            // per-connection sealing differs per peer.
+            let msg = GrpMsg { oid, body };
+            let mut w = WireWriter::new();
+            w.put_u8(ENV_GRP);
+            w.put_raw(&msg.encode());
+            let frame = w.finish();
+            ctx.metrics().inc("rts.grp.encodes", 1);
+            ctx.metrics()
+                .inc("rts.grp.bytes_encoded", frame.len() as u64);
+            for peer in peers {
+                match peer {
+                    Peer::Conn(c) => self.send_on_conn(ctx, c, frame.clone()),
+                    Peer::Addr(ep) => {
+                        self.note_interest(oid, ep);
+                        let c = self.conn_to(ctx, ep);
+                        self.send_on_conn(ctx, c, frame.clone());
+                    }
                 }
             }
         }
@@ -982,11 +1188,21 @@ impl GlobeRuntime {
         }
     }
 
+    /// Records that `oid`'s representative talks to `peer`, for the
+    /// peer-loss interest index.
+    fn note_interest(&mut self, oid: u128, peer: Endpoint) {
+        self.peer_interest.entry(peer).or_default().insert(oid);
+    }
+
     fn send_grp_on_conn(&mut self, ctx: &mut ServiceCtx<'_>, conn: u64, msg: &GrpMsg) {
         let mut w = WireWriter::new();
         w.put_u8(ENV_GRP);
         w.put_raw(&msg.encode());
-        self.send_on_conn(ctx, conn, w.finish());
+        let frame = w.finish();
+        ctx.metrics().inc("rts.grp.encodes", 1);
+        ctx.metrics()
+            .inc("rts.grp.bytes_encoded", frame.len() as u64);
+        self.send_on_conn(ctx, conn, frame);
     }
 
     fn send_on_conn(&mut self, ctx: &mut ServiceCtx<'_>, conn: u64, frame: Vec<u8>) {
@@ -995,6 +1211,10 @@ impl GlobeRuntime {
             return;
         };
         if !info.established {
+            if info.backlog.len() >= MAX_CONN_BACKLOG {
+                ctx.metrics().inc("rts.backlog_dropped", 1);
+                return;
+            }
             info.backlog.push(frame);
             return;
         }
@@ -1035,10 +1255,10 @@ impl GlobeRuntime {
         };
         if let Some(peer) = info.peer {
             self.out_conns.remove(&peer);
-            // Tell every representative; protocols that track this peer
-            // fail their pending work.
-            let oids: Vec<u128> = self.lrs.keys().copied().collect();
-            for oid in oids {
+            // Tell only the representatives that ever talked to this
+            // peer (the interest index), not every object on the host.
+            let interested = self.peer_interest.remove(&peer).unwrap_or_default();
+            for oid in interested {
                 self.with_lr(ctx, oid, |repl, c| repl.on_peer_gone(c, peer));
             }
         }
@@ -1059,6 +1279,7 @@ fn encode_replica(lr: &LocalRep) -> Vec<u8> {
     w.put_u16(lr.repl.proto());
     lr.repl.descriptor().encode(&mut w);
     w.put_u64(lr.version);
+    w.put_u64(lr.epoch);
     w.put_bytes(&lr.sem.as_ref().map(|s| s.get_state()).unwrap_or_default());
     w.finish()
 }

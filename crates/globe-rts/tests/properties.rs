@@ -47,14 +47,38 @@ fn arb_body() -> impl Strategy<Value = GrpBody> {
             .prop_map(|(req, version, state)| GrpBody::State {
                 req,
                 version,
+                epoch: version ^ 0xA5,
                 state
             }),
-        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..128))
-            .prop_map(|(version, state)| GrpBody::Update { version, state }),
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..128)).prop_map(|(version, state)| {
+            GrpBody::Update {
+                version,
+                epoch: version ^ 0xA5,
+                state,
+            }
+        }),
         (any::<u64>(), arb_inv()).prop_map(|(version, inv)| GrpBody::Apply { version, inv }),
         any::<u64>().prop_map(|version| GrpBody::Invalidate { version }),
         (any::<u32>(), any::<u16>()).prop_map(|(h, p)| GrpBody::Hello {
             grp: Endpoint::new(HostId(h), p),
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..128)
+        )
+            .prop_map(|(from_version, span, payload)| GrpBody::Delta {
+                from_version,
+                to_version: from_version.saturating_add(span % 8),
+                epoch: from_version | 1,
+                payload
+            }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(req, have_version, epoch)| {
+            GrpBody::Refresh {
+                req,
+                have_version,
+                epoch,
+            }
         }),
     ]
 }
