@@ -1,0 +1,63 @@
+//! Scenario sweep bench: the full policy × propagation-mode ×
+//! DSO-class experiment matrix at the reduced `bench-smoke` scale.
+//!
+//! Every cell's world-level measurements are printed as a markdown
+//! table and written to `BENCH_scenario_sweep.json`, so the whole
+//! scenario space is machine-readable across revisions. The run *fails*
+//! on invariant violations ([`check_sweep_invariants`]): any stale
+//! read, any cell without read traffic, or delta propagation losing to
+//! state propagation on the write-heavy class at 8+ slaves — CI's
+//! `bench-smoke` job relies on that to gate regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use globe_bench::sweep::{mode_label, SWEEP_MODES, SWEEP_TABLE_HEADERS};
+use globe_bench::{
+    check_sweep_invariants, print_table, sweep_cell, sweep_json, sweep_table_rows, CellReport,
+    DsoClass, SweepSpec,
+};
+use globe_workloads::ScenarioPolicy;
+
+fn bench_scenario_sweep(c: &mut Criterion) {
+    let spec = SweepSpec::default();
+    let mut reports: Vec<CellReport> = Vec::new();
+    let mut g = c.benchmark_group("scenario_sweep");
+    for class in DsoClass::ALL {
+        for policy in ScenarioPolicy::ALL {
+            for mode in SWEEP_MODES {
+                let mut last: Option<CellReport> = None;
+                g.bench_function(
+                    format!("{}/{}/{}", class.name(), policy.name(), mode_label(mode)),
+                    |b| b.iter(|| last = Some(sweep_cell(policy, mode, class, &spec))),
+                );
+                reports.push(last.expect("bench ran at least once"));
+            }
+        }
+    }
+    g.finish();
+
+    print_table(
+        "scenario sweep — policy × propagation mode × DSO class",
+        &SWEEP_TABLE_HEADERS,
+        &sweep_table_rows(&reports),
+    );
+
+    let json = sweep_json(&reports);
+    // Anchor at the workspace root regardless of cargo's bench CWD.
+    let path = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => format!("{dir}/../../BENCH_scenario_sweep.json"),
+        Err(_) => "BENCH_scenario_sweep.json".to_owned(),
+    };
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+
+    let violations = check_sweep_invariants(&reports);
+    assert!(
+        violations.is_empty(),
+        "scenario sweep invariant violations:\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+criterion_group!(benches, bench_scenario_sweep);
+criterion_main!(benches);

@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use gdn_core::{Browser, GdnHttpd, GdnOptions, ModOp, Scenario};
 use globe_bench::{
-    driver_hosts, gdn_world, gls_world, ms, print_table, publish_catalog, stale_fraction,
-    wan_bytes, GlsDriver, GlsOp, InvokeGen,
+    driver_hosts, gdn_world, gls_world, moderator_runtime, ms, print_table, publish_catalog,
+    stale_fraction, wan_bytes, GlsDriver, GlsOp, InvokeGen,
 };
 use globe_crypto::gtls::Mode;
 use globe_gls::{ContactAddress, DirectoryNode, GlsConfig, ObjectId};
@@ -227,7 +227,14 @@ fn run_policy(policy: ScenarioPolicy) -> Vec<String> {
     };
     let catalog =
         globe_workloads::generate(&spec, world.topology(), &mut globe_sim::Rng::new(SEED));
-    let oids = publish_catalog(&mut world, &gdn, &catalog, policy, HostId(1));
+    let oids = publish_catalog(
+        &mut world,
+        &gdn,
+        &catalog,
+        policy,
+        PropagationMode::PushState,
+        HostId(1),
+    );
     let publish_done = world.now();
     let wan_setup = wan_bytes(&world);
 
@@ -292,27 +299,6 @@ fn run_policy(policy: ScenarioPolicy) -> Vec<String> {
         format!("{:.3}", stale_fraction(&world)),
         w.count.to_string(),
     ]
-}
-
-fn moderator_runtime(gdn: &gdn_core::GdnDeployment, host: HostId) -> globe_rts::GlobeRuntime {
-    use globe_rts::{GlobeRuntime, RuntimeConfig};
-    let cfg = RuntimeConfig {
-        grp_port: ports::DRIVER,
-        tls_server: gdn.security.anonymous_client(),
-        tls_client: gdn.security.moderator_client("bench-writer"),
-        accept_incoming: false,
-        cache_ttl: gdn.cache_ttl,
-        writer_roles: RuntimeConfig::default_writer_roles(),
-        open_writes: false,
-        persist: false,
-    };
-    GlobeRuntime::new(
-        cfg,
-        Arc::clone(&gdn.repo),
-        Arc::clone(&gdn.gls),
-        host,
-        0x0400,
-    )
 }
 
 /// E4 — paper §3.3/§7: protocol trade-offs across read/write mixes.
@@ -720,6 +706,7 @@ fn e7_flash_crowd() {
             &gdn,
             &catalog,
             ScenarioPolicy::Central,
+            PropagationMode::PushState,
             HostId(1),
         );
         let t0 = world.now();
@@ -738,11 +725,7 @@ fn e7_flash_crowd() {
         if adaptive {
             let objects: Vec<ManagedObject> = oids
                 .iter()
-                .map(|&(i, oid)| ManagedObject {
-                    index: i,
-                    oid,
-                    master: gdn.gos_endpoints[0],
-                })
+                .map(|&(i, oid)| ManagedObject::package(i, oid, gdn.gos_endpoints[0]))
                 .collect();
             let region_gos = vec![gdn.gos_endpoints[0], gdn.gos_endpoints[1]];
             let rt = moderator_runtime(&gdn, HostId(2));

@@ -5,19 +5,24 @@
 //! reports. Every function here is deterministic given its seed.
 
 pub mod fanout;
+pub mod sweep;
 
 pub use fanout::{grp_fanout_run, FanoutReport};
+pub use sweep::{
+    check_sweep_invariants, run_sweep, sweep_cell, sweep_json, sweep_table_rows, CellReport,
+    DsoClass, SweepSpec,
+};
 
 use std::sync::Arc;
 
 use gdn_core::package::{AddFile, PackageInterface};
-use gdn_core::{GdnDeployment, GdnOptions, ModEvent, ModeratorTool};
+use gdn_core::{GdnDeployment, GdnOptions, ModEvent, ModOp, ModeratorTool};
 use globe_gls::{ContactAddress, GlsClient, GlsConfig, GlsDeployment, GlsEvent, Level, ObjectId};
 use globe_net::{
     impl_service_any, ns_token, owns_token, ports, ConnEvent, ConnId, Endpoint, HostId, NetParams,
     Service, ServiceCtx, Topology, World,
 };
-use globe_rts::{GlobeRuntime, RtConn, RtEvent};
+use globe_rts::{GlobeRuntime, PropagationMode, RtConn, RtEvent, RuntimeConfig};
 use globe_sim::{SimDuration, SimTime};
 use globe_workloads::{CatalogEntry, ScenarioPolicy};
 
@@ -154,7 +159,30 @@ pub fn gdn_world(topo: Topology, options: GdnOptions, seed: u64) -> (World, GdnD
     (world, gdn)
 }
 
-/// Publishes a catalog under `policy`; returns `(index, oid)` pairs.
+/// Builds a moderator-credentialed client runtime on `host` (writers
+/// for experiments and the scenario sweep's scripted update drivers).
+pub fn moderator_runtime(gdn: &GdnDeployment, host: HostId) -> GlobeRuntime {
+    let cfg = RuntimeConfig {
+        grp_port: ports::DRIVER,
+        tls_server: gdn.security.anonymous_client(),
+        tls_client: gdn.security.moderator_client("bench-writer"),
+        accept_incoming: false,
+        cache_ttl: gdn.cache_ttl,
+        writer_roles: RuntimeConfig::default_writer_roles(),
+        open_writes: false,
+        persist: false,
+    };
+    GlobeRuntime::new(
+        cfg,
+        Arc::clone(&gdn.repo),
+        Arc::clone(&gdn.gls),
+        host,
+        0x0400,
+    )
+}
+
+/// Publishes a catalog under `policy` (eager pushes propagating in
+/// `mode`); returns `(index, oid)` pairs.
 ///
 /// Runs the world until every publish completes (panics after the
 /// deadline if any fails — an experiment with missing objects would
@@ -164,10 +192,25 @@ pub fn publish_catalog(
     gdn: &GdnDeployment,
     catalog: &[CatalogEntry],
     policy: ScenarioPolicy,
+    mode: PropagationMode,
     driver_host: HostId,
 ) -> Vec<(usize, ObjectId)> {
     let gos_by_region = globe_workloads::gos_by_region(world.topology(), &gdn.gos_endpoints);
-    let ops = globe_workloads::publish_ops(catalog, policy, &gos_by_region);
+    let ops = globe_workloads::publish_ops(catalog, policy, mode, &gos_by_region);
+    publish_objects(world, gdn, ops, driver_host)
+}
+
+/// Publishes arbitrary moderator operations (any DSO class); returns
+/// `(index, oid)` pairs in operation order.
+///
+/// Runs the world until every publish completes (panics after the
+/// deadline if any fails).
+pub fn publish_objects(
+    world: &mut World,
+    gdn: &GdnDeployment,
+    ops: Vec<ModOp>,
+    driver_host: HostId,
+) -> Vec<(usize, ObjectId)> {
     let n = ops.len();
     let tool = gdn.moderator_tool(world.topology(), driver_host, "bench", ops);
     world.add_service(driver_host, ports::DRIVER, tool);

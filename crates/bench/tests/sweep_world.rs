@@ -1,0 +1,92 @@
+//! Scenario-sweep world tests: single cells of the experiment matrix
+//! run end to end, checking the invariants CI's `bench-smoke` job
+//! enforces at full matrix scale.
+
+use globe_bench::{check_sweep_invariants, sweep_cell, DsoClass, SweepSpec};
+use globe_rts::PropagationMode;
+use globe_workloads::ScenarioPolicy;
+
+/// Smaller-than-default workload so debug-profile test runs stay quick.
+fn test_spec() -> SweepSpec {
+    SweepSpec {
+        regions: 2,
+        fanout_regions: 9,
+        objects: 4,
+        writes: 12,
+        read_secs: 30,
+        read_rate: 0.5,
+        ..SweepSpec::default()
+    }
+}
+
+#[test]
+fn write_heavy_delta_beats_state_at_eight_slaves() {
+    let spec = test_spec();
+    let state = sweep_cell(
+        ScenarioPolicy::ReplicateAll,
+        PropagationMode::PushState,
+        DsoClass::DownloadStats,
+        &spec,
+    );
+    let delta = sweep_cell(
+        ScenarioPolicy::ReplicateAll,
+        PropagationMode::PushDelta,
+        DsoClass::DownloadStats,
+        &spec,
+    );
+
+    for r in [&state, &delta] {
+        assert_eq!(r.replicas, 9, "{r:?}");
+        assert!(r.ok > 0, "no read traffic: {r:?}");
+        assert!(r.writes_completed > 0, "fetch hook recorded nothing: {r:?}");
+        assert_eq!(r.stale_reads, 0, "{r:?}");
+    }
+    // The delta pipeline's win, measured through the real access path
+    // (every fetch anywhere → record at the master → fan-out to 8
+    // slaves).
+    assert!(
+        delta.grp_bytes_encoded <= state.grp_bytes_encoded,
+        "delta {} > state {}",
+        delta.grp_bytes_encoded,
+        state.grp_bytes_encoded
+    );
+    assert!(delta.deltas_applied > 0, "{delta:?}");
+    assert_eq!(state.deltas_applied, 0, "{state:?}");
+
+    // The checker agrees with the hand-rolled assertions.
+    assert_eq!(
+        check_sweep_invariants(&[state, delta]),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn read_mostly_classes_serve_fresh_reads_under_every_policy() {
+    let spec = test_spec();
+    for class in [DsoClass::Catalog, DsoClass::MirrorList] {
+        for policy in [ScenarioPolicy::UniformCache, ScenarioPolicy::PerObject] {
+            let r = sweep_cell(policy, PropagationMode::PushDelta, class, &spec);
+            assert!(r.ok > 0, "no traffic: {r:?}");
+            assert_eq!(r.stale_reads, 0, "{r:?}");
+            assert!(r.writes_completed > 0, "write phase empty: {r:?}");
+            assert!(r.fresh_reads > 0, "oracle saw nothing: {r:?}");
+        }
+    }
+}
+
+#[test]
+fn package_cell_measures_latency_and_propagation() {
+    let spec = test_spec();
+    let r = sweep_cell(
+        ScenarioPolicy::ReplicateAll,
+        PropagationMode::PushDelta,
+        DsoClass::Package,
+        &spec,
+    );
+    assert_eq!(r.replicas, 2, "{r:?}");
+    assert!(r.ok > 0 && r.p50_ms > 0.0, "{r:?}");
+    assert_eq!(r.writes_completed, spec.writes as u64, "{r:?}");
+    assert_eq!(r.stale_reads, 0, "{r:?}");
+    // Replicated packages propagate the write phase to the slaves.
+    assert!(r.grp_bytes_encoded > 0, "{r:?}");
+}

@@ -24,6 +24,7 @@ use globe_sim::SimDuration;
 
 use crate::catalog::CatalogInterface;
 use crate::httpd::GdnHttpd;
+use crate::mirrors::MirrorListInterface;
 use crate::modtool::{ModOp, ModeratorTool};
 use crate::package::PackageInterface;
 use crate::security::GdnSecurity;
@@ -45,6 +46,12 @@ pub struct GdnOptions {
     /// Hosts to run object servers (+ colocated HTTPDs) on; empty means
     /// "first host of every site".
     pub gos_hosts: Vec<HostId>,
+    /// Globe name of a [`DownloadStatsDso`](crate::DownloadStatsDso)
+    /// the HTTPDs report into: when set, every successful `/pkg` fetch
+    /// records a download against it (ROADMAP's `record`-per-fetch
+    /// telemetry hook). The object is bound lazily, so it may be
+    /// published after the deployment is installed.
+    pub stats_object: Option<String>,
 }
 
 impl Default for GdnOptions {
@@ -58,6 +65,7 @@ impl Default for GdnOptions {
             cache_ttl: SimDuration::from_secs(60),
             seed: 0x6d0e,
             gos_hosts: Vec::new(),
+            stats_object: None,
         }
     }
 }
@@ -106,6 +114,7 @@ impl GdnDeployment {
         PackageInterface::register(&mut repo);
         CatalogInterface::register(&mut repo);
         DownloadStatsInterface::register(&mut repo);
+        MirrorListInterface::register(&mut repo);
         let repo = Arc::new(repo);
 
         let gls = GlsDeployment::plan(&topo, &options.gls);
@@ -153,7 +162,12 @@ impl GdnDeployment {
             };
             let runtime =
                 GlobeRuntime::new(http_cfg, Arc::clone(&repo), Arc::clone(&gls), host, 0x0200);
-            let httpd = GdnHttpd::new(runtime, &gns, &topo, host, 0x0300);
+            let mut httpd = GdnHttpd::new(runtime, &gns, &topo, host, 0x0300);
+            if let Some(stats_name) = &options.stats_object {
+                // Deployment HTTPDs carry host credentials, which the
+                // write gate accepts — so they may record downloads.
+                httpd = httpd.with_stats_object(stats_name);
+            }
             world.add_service(host, ports::HTTP, httpd);
             httpd_endpoints.push(Endpoint::new(host, ports::HTTP));
         }

@@ -12,7 +12,16 @@
 //! URL scheme: `GET /pkg/<globe-name>` lists a package;
 //! `GET /pkg/<globe-name>?file=<name>` downloads one file;
 //! `GET /catalog/<globe-name>` renders a catalog DSO's package index;
-//! `GET /catalog/<globe-name>?q=<term>` searches it.
+//! `GET /catalog/<globe-name>?q=<term>` searches it;
+//! `GET /mirrors/<globe-name>` renders a mirror-list DSO
+//! (`?region=<n>` filters to one region, fattest pipe first).
+//!
+//! When configured with a stats object
+//! ([`GdnHttpd::with_stats_object`]), every successful `/pkg` fetch
+//! additionally records a download against that
+//! [`DownloadStatsDso`](crate::DownloadStatsDso) — fire-and-forget
+//! writes batched behind a lazy bind, so download telemetry rides the
+//! ordinary replication machinery instead of a side channel.
 //!
 //! All object access goes through the typed interface layer: the HTTPD
 //! binds, turns the [`BindInfo`](globe_rts::BindInfo) into a
@@ -35,7 +44,9 @@ use globe_sim::{SimDuration, SimTime};
 
 use crate::catalog::{CatalogEntry, CatalogInterface, Query};
 use crate::http::{HttpRequest, HttpResponse};
+use crate::mirrors::{Mirror, MirrorListInterface, RegionQuery};
 use crate::package::{GetFile, PackageInterface};
+use crate::stats::{DownloadStatsInterface, RecordDownload};
 
 /// Load counters for one HTTPD.
 #[derive(Clone, Copy, Debug, Default)]
@@ -48,6 +59,8 @@ pub struct HttpdStats {
     pub errors: u64,
     /// Requests that skipped name resolution (local name cache).
     pub name_cache_hits: u64,
+    /// `/pkg` fetches recorded into the configured stats object.
+    pub downloads_recorded: u64,
 }
 
 /// What a request wants from the object it names.
@@ -57,6 +70,8 @@ enum ReqKind {
     Package { file: Option<String> },
     /// A catalog index, or a search over it.
     Catalog { query: Option<String> },
+    /// A mirror list, or one region's slice of it.
+    Mirrors { region: Option<u32> },
 }
 
 #[derive(Debug)]
@@ -87,9 +102,28 @@ pub struct GdnHttpd {
     /// popularity changes — clients must notice).
     bind_times: BTreeMap<u128, SimTime>,
     bind_refresh: SimDuration,
+    /// Globe name of the download-stats object fetches report into.
+    stats_object: Option<String>,
+    /// The stats object's id, once resolved.
+    stats_oid: Option<ObjectId>,
+    /// Records awaiting the stats resolve/bind (bounded; see
+    /// [`STATS_PENDING_CAP`]).
+    stats_pending: Vec<RecordDownload>,
+    /// A stats resolve or bind is in flight.
+    stats_busy: bool,
     /// Load counters.
     pub stats: HttpdStats,
 }
+
+/// Token marking the stats object's GNS resolution.
+const STATS_RESOLVE: u64 = u64::MAX;
+/// Token marking the stats object's bind.
+const STATS_BIND: u64 = u64::MAX - 1;
+/// Token marking fire-and-forget `record` invocations.
+const STATS_RECORD: u64 = u64::MAX - 2;
+/// Telemetry queued behind an unresolved stats object past this cap is
+/// dropped oldest-first — stats must never hold user fetches hostage.
+const STATS_PENDING_CAP: usize = 256;
 
 impl GdnHttpd {
     /// Creates an HTTPD with an embedded runtime and a GNS client
@@ -109,6 +143,10 @@ impl GdnHttpd {
             next_token: 1,
             bind_times: BTreeMap::new(),
             bind_refresh: SimDuration::from_secs(30),
+            stats_object: None,
+            stats_oid: None,
+            stats_pending: Vec::new(),
+            stats_busy: false,
             stats: HttpdStats::default(),
         }
     }
@@ -117,6 +155,16 @@ impl GdnHttpd {
     /// again (default 30 s).
     pub fn with_bind_refresh(mut self, d: SimDuration) -> GdnHttpd {
         self.bind_refresh = d;
+        self
+    }
+
+    /// Records every successful `/pkg` fetch into the download-stats
+    /// object named `name`. The object is resolved and bound lazily on
+    /// the first fetch, so it may be published after this HTTPD starts.
+    /// The HTTPD's runtime credentials must pass the write gate (the
+    /// deployment's HTTPDs hold host certificates, which do).
+    pub fn with_stats_object(mut self, name: &str) -> GdnHttpd {
+        self.stats_object = Some(name.to_owned());
         self
     }
 
@@ -138,6 +186,49 @@ impl GdnHttpd {
             self.bind_times.insert(oid.0, ctx.now());
         }
         self.runtime.submit_bind(ctx, BindRequest::new(oid, token));
+    }
+
+    /// Queues one download observation for the configured stats object
+    /// and pushes it out as a fire-and-forget `record` write. The first
+    /// observation triggers the lazy resolve → bind chain; failures are
+    /// counted and dropped — telemetry must never fail a user fetch.
+    fn record_download(&mut self, ctx: &mut ServiceCtx<'_>, name: String, bytes: u64) {
+        if self.stats_object.is_none() {
+            return;
+        }
+        if self.stats_pending.len() >= STATS_PENDING_CAP {
+            self.stats_pending.remove(0);
+            ctx.metrics().inc("httpd.stats.dropped", 1);
+        }
+        self.stats_pending.push(RecordDownload { name, bytes });
+        match self.stats_oid {
+            Some(oid) if self.runtime.is_bound(oid) => self.flush_stats(ctx),
+            Some(oid) => {
+                if !self.stats_busy {
+                    self.stats_busy = true;
+                    self.runtime
+                        .submit_bind(ctx, BindRequest::new(oid, STATS_BIND));
+                }
+            }
+            None => {
+                if !self.stats_busy {
+                    self.stats_busy = true;
+                    let stats_name = self.stats_object.clone().expect("checked above");
+                    self.gns.resolve(ctx, &stats_name, STATS_RESOLVE);
+                }
+            }
+        }
+    }
+
+    /// Sends every queued observation as a typed `record` invocation.
+    fn flush_stats(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let Some(oid) = self.stats_oid else {
+            return;
+        };
+        for rec in std::mem::take(&mut self.stats_pending) {
+            let inv = DownloadStatsInterface::RECORD.invocation(&rec);
+            self.runtime.invoke(ctx, oid, inv, STATS_RECORD);
+        }
     }
 
     fn respond(
@@ -196,6 +287,25 @@ impl GdnHttpd {
                 .and_then(|q| q.strip_prefix("q="))
                 .map(|q| q.to_owned());
             (name, ReqKind::Catalog { query: q })
+        } else if let Some(name) = route.strip_prefix("/mirrors") {
+            let region = match query.and_then(|q| q.strip_prefix("region=")) {
+                Some(raw) => match raw.parse() {
+                    Ok(region) => Some(region),
+                    Err(_) => {
+                        // A malformed filter must not silently widen to
+                        // the full list — the client asked for a slice.
+                        ctx.send(
+                            conn,
+                            HttpResponse::build(400, "text/plain", b"bad region filter"),
+                        );
+                        ctx.close(conn);
+                        self.stats.errors += 1;
+                        return;
+                    }
+                },
+                None => None,
+            };
+            (name, ReqKind::Mirrors { region })
         } else {
             if route == "/index.html" || route == "/" {
                 let body = b"<html><body><h1>Globe Distribution Network</h1>\
@@ -248,6 +358,23 @@ impl GdnHttpd {
     fn drain_gns(&mut self, ctx: &mut ServiceCtx<'_>) {
         for ev in self.gns.take_events() {
             let GnsEvent::Resolved { token, result, .. } = ev;
+            if token == STATS_RESOLVE {
+                // The stats object's lazy resolution: on success, chain
+                // straight into the bind; on failure (e.g. not yet
+                // published), a later fetch retries.
+                match result {
+                    Ok(oid) => {
+                        self.stats_oid = Some(oid);
+                        self.runtime
+                            .submit_bind(ctx, BindRequest::new(oid, STATS_BIND));
+                    }
+                    Err(_) => {
+                        self.stats_busy = false;
+                        ctx.metrics().inc("httpd.stats.resolve_failed", 1);
+                    }
+                }
+                continue;
+            }
             match result {
                 Ok(oid) => {
                     if let Some(req) = self.requests.get_mut(&token) {
@@ -285,6 +412,26 @@ impl GdnHttpd {
     fn handle_rt_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: RtEvent) {
         {
             match ev {
+                // Stats-hook completions ride dedicated tokens so they
+                // never collide with user requests.
+                RtEvent::BindDone { token, result } if token == STATS_BIND => {
+                    self.stats_busy = false;
+                    match result {
+                        Ok(_) => self.flush_stats(ctx),
+                        Err(_) => {
+                            // Retry from resolution on a later fetch.
+                            ctx.metrics().inc("httpd.stats.bind_failed", 1);
+                            self.stats_oid = None;
+                        }
+                    }
+                }
+                RtEvent::InvokeDone { token, result } if token == STATS_RECORD => match result {
+                    Ok(_) => {
+                        self.stats.downloads_recorded += 1;
+                        ctx.metrics().inc("httpd.stats.recorded", 1);
+                    }
+                    Err(_) => ctx.metrics().inc("httpd.stats.record_failed", 1),
+                },
                 RtEvent::BindDone { token, result } => match result {
                     Ok(info) => {
                         let Some(req) = self.requests.get(&token) else {
@@ -348,6 +495,35 @@ impl GdnHttpd {
                                     );
                                 }
                             },
+                            ReqKind::Mirrors { region } => {
+                                match info.typed::<MirrorListInterface>() {
+                                    Ok(bound) => match region {
+                                        Some(region) => bound.invoke(
+                                            &mut self.runtime,
+                                            ctx,
+                                            &MirrorListInterface::IN_REGION,
+                                            &RegionQuery { region },
+                                            token,
+                                        ),
+                                        None => bound.invoke(
+                                            &mut self.runtime,
+                                            ctx,
+                                            &MirrorListInterface::LIST,
+                                            &(),
+                                            token,
+                                        ),
+                                    },
+                                    Err(e) => {
+                                        self.respond(
+                                            ctx,
+                                            token,
+                                            500,
+                                            "text/plain",
+                                            e.to_string().as_bytes(),
+                                        );
+                                    }
+                                }
+                            }
                         }
                     }
                     Err(BindError::NotFound) => {
@@ -378,6 +554,7 @@ impl GdnHttpd {
                                     .and_then(|blob| blob.verified().ok())
                                 {
                                     Some(contents) => {
+                                        let bytes = contents.len() as u64;
                                         self.respond(
                                             ctx,
                                             token,
@@ -385,6 +562,7 @@ impl GdnHttpd {
                                             "application/octet-stream",
                                             &contents,
                                         );
+                                        self.record_download(ctx, name, bytes);
                                     }
                                     None => {
                                         self.respond(
@@ -402,6 +580,8 @@ impl GdnHttpd {
                                     Ok(listing) => {
                                         let html = render_listing(&name, &listing);
                                         self.respond(ctx, token, 200, "text/html", html.as_bytes());
+                                        let bytes = html.len() as u64;
+                                        self.record_download(ctx, name, bytes);
                                     }
                                     Err(_) => {
                                         self.respond(
@@ -430,6 +610,25 @@ impl GdnHttpd {
                                             500,
                                             "text/plain",
                                             b"corrupt catalog",
+                                        );
+                                    }
+                                }
+                            }
+                            ReqKind::Mirrors { region } => {
+                                // LIST and IN_REGION share their result
+                                // type; either decodes here.
+                                match MirrorListInterface::LIST.decode_result(&data) {
+                                    Ok(mirrors) => {
+                                        let html = render_mirrors(&name, region, &mirrors);
+                                        self.respond(ctx, token, 200, "text/html", html.as_bytes());
+                                    }
+                                    Err(_) => {
+                                        self.respond(
+                                            ctx,
+                                            token,
+                                            500,
+                                            "text/plain",
+                                            b"corrupt mirror list",
                                         );
                                     }
                                 }
@@ -547,6 +746,32 @@ fn render_catalog(name: &str, query: Option<&str>, entries: &[CatalogEntry]) -> 
     html
 }
 
+/// Renders a mirror list (optionally one region's slice) as HTML.
+fn render_mirrors(name: &str, region: Option<u32>, mirrors: &[Mirror]) -> String {
+    use std::fmt::Write as _;
+    let name = escape_html(name);
+    let mut html = String::new();
+    let _ = write!(
+        html,
+        "<html><head><title>{name}</title></head><body><h1>{name}</h1>"
+    );
+    if let Some(r) = region {
+        let _ = write!(html, "<p>{} mirror(s) in region {r}</p>", mirrors.len());
+    }
+    let _ = write!(html, "<ul>");
+    for m in mirrors {
+        let _ = write!(
+            html,
+            "<li><a href=\"{url}\">{url}</a> (region {region}, {bw} Mbit/s)</li>",
+            url = escape_html(&m.url),
+            region = m.region,
+            bw = m.bandwidth_mbps
+        );
+    }
+    let _ = write!(html, "</ul></body></html>");
+    html
+}
+
 impl Service for GdnHttpd {
     fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
         if self.runtime.handle_datagram(ctx, from, &payload) {
@@ -595,6 +820,9 @@ impl Service for GdnHttpd {
         self.requests.clear();
         self.name_cache.clear();
         self.bind_times.clear();
+        self.stats_oid = None;
+        self.stats_pending.clear();
+        self.stats_busy = false;
     }
 
     impl_service_any!();
@@ -638,6 +866,31 @@ mod tests {
 
         let html = render_catalog("/catalog/main", Some("gimp"), &entries);
         assert!(html.contains("1 result(s) for <b>gimp</b>"));
+    }
+
+    #[test]
+    fn mirrors_html_lists_sites_and_regions() {
+        let mirrors = vec![
+            Mirror {
+                url: "http://ftp.nl/globe".into(),
+                region: 0,
+                bandwidth_mbps: 100,
+            },
+            Mirror {
+                url: "http://ftp.us/<evil>".into(),
+                region: 1,
+                bandwidth_mbps: 1000,
+            },
+        ];
+        let html = render_mirrors("/mirrors/main", None, &mirrors);
+        assert!(html.contains("<title>/mirrors/main</title>"));
+        assert!(html.contains("http://ftp.nl/globe"));
+        assert!(html.contains("1000 Mbit/s"));
+        assert!(!html.contains("mirror(s) in region"));
+        assert!(!html.contains("<evil>"), "{html}");
+
+        let html = render_mirrors("/mirrors/main", Some(1), &mirrors[1..]);
+        assert!(html.contains("1 mirror(s) in region 1"));
     }
 
     #[test]

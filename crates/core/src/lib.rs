@@ -13,6 +13,9 @@
 //! - [`stats`] — the download-stats DSO: write-heavy per-package
 //!   download accounting, the workload the delta-propagation pipeline
 //!   is built for.
+//! - [`mirrors`] — the mirror-list DSO: write-rarely mirror-site
+//!   metadata, read by every client choosing a download source
+//!   (superdistribution economics per PAPERS.md).
 //! - [`httpd`] — the GDN-enabled HTTPD: URL → object name → bind →
 //!   invoke → HTML/bytes (paper §4). Doubles as the user-machine GDN
 //!   proxy.
@@ -35,6 +38,7 @@ mod delta;
 pub mod deploy;
 pub mod http;
 pub mod httpd;
+pub mod mirrors;
 pub mod modtool;
 pub mod package;
 pub mod security;
@@ -45,6 +49,9 @@ pub use catalog::{catalog_publish_op, CatalogDso, CatalogEntry, CatalogInterface
 pub use deploy::{GdnDeployment, GdnOptions};
 pub use http::{HttpRequest, HttpResponse};
 pub use httpd::{GdnHttpd, HttpdStats};
+pub use mirrors::{
+    mirrors_publish_op, Mirror, MirrorListDso, MirrorListInterface, RegionQuery, MIRRORS_IMPL,
+};
 pub use modtool::{ModEvent, ModOp, ModeratorTool, Scenario};
 pub use package::{FileInfo, PackageDso, PackageInterface, PACKAGE_IMPL};
 pub use security::GdnSecurity;

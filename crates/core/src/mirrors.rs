@@ -1,0 +1,407 @@
+//! The mirror-list DSO: where a package's bits can be fetched from.
+//!
+//! "On the Superdistribution of Digital Goods" (see PAPERS.md) frames
+//! free-software distribution as an economy of redistributing sites;
+//! the operational artifact of that economy is the *mirror list* — the
+//! set of hosts a region's users should download from. Mirror lists
+//! complete the GDN's workload spectrum: packages are write-rarely but
+//! bulky, catalogs are read-heavy indexes, download stats are
+//! write-heavy counters, and mirror lists are *write-rarely* metadata —
+//! updated when an operator joins or leaves (days apart), read by every
+//! client choosing a download source. The matching scenarios replicate
+//! aggressively (stale mirror lists are cheap, reads are everything),
+//! which is exactly what the scenario sweep measures against the other
+//! classes.
+//!
+//! The whole class is this one file: typed argument/result structs, the
+//! semantics subobject, and one [`globe_rts::dso_interface!`]
+//! declaration — the interface layer derives the rest.
+
+use std::collections::BTreeMap;
+
+use globe_rts::interface::{DsoInterface, DsoState};
+use globe_rts::{dso_interface, wire_struct, ImplId, Invocation, SemError};
+
+use crate::delta::MutationLog;
+use crate::modtool::{ModOp, Scenario};
+
+/// The mirror-list class's identifier in the implementation repository.
+pub const MIRRORS_IMPL: ImplId = <MirrorListInterface as DsoInterface>::IMPL;
+
+wire_struct! {
+    /// One mirror site: `addMirror` arguments and listing element.
+    pub struct Mirror {
+        /// The mirror's URL, e.g. `http://ftp.example.nl/globe`.
+        pub url: String,
+        /// The topology region the mirror serves from.
+        pub region: u32,
+        /// Advertised capacity, megabits per second.
+        pub bandwidth_mbps: u32,
+    }
+}
+
+wire_struct! {
+    /// `removeMirror` arguments.
+    pub struct RemoveMirror {
+        /// The URL to drop from the list.
+        pub url: String,
+    }
+}
+
+wire_struct! {
+    /// `inRegion` arguments.
+    pub struct RegionQuery {
+        /// The region whose mirrors are wanted.
+        pub region: u32,
+    }
+}
+
+/// Delta op: add (or replace) one mirror.
+const DOP_ADD: u8 = 1;
+/// Delta op: drop one mirror.
+const DOP_REMOVE: u8 = 2;
+
+/// The mirror-list semantics subobject: a keyed set of mirror sites.
+#[derive(Default)]
+pub struct MirrorListDso {
+    /// url → (region, bandwidth).
+    mirrors: BTreeMap<String, (u32, u32)>,
+    /// Mutations since the last delta drain (delta replication).
+    log: MutationLog,
+    /// Bumped on every state change: the cheap persistence digest.
+    gen: u64,
+}
+
+impl MirrorListDso {
+    /// Creates an empty mirror list.
+    pub fn new() -> MirrorListDso {
+        MirrorListDso::default()
+    }
+
+    /// Number of listed mirrors (direct inspection for tests).
+    pub fn len(&self) -> usize {
+        self.mirrors.len()
+    }
+
+    /// Whether no mirrors are listed.
+    pub fn is_empty(&self) -> bool {
+        self.mirrors.is_empty()
+    }
+
+    // Typed method handlers, dispatched by the interface declaration
+    // below.
+
+    fn add_mirror(&mut self, args: Mirror) -> Result<(), SemError> {
+        self.log.record(|w| {
+            w.put_u8(DOP_ADD);
+            w.put_str(&args.url);
+            w.put_u32(args.region);
+            w.put_u32(args.bandwidth_mbps);
+        });
+        self.gen += 1;
+        self.mirrors
+            .insert(args.url, (args.region, args.bandwidth_mbps));
+        Ok(())
+    }
+
+    fn remove_mirror(&mut self, args: RemoveMirror) -> Result<(), SemError> {
+        if self.mirrors.remove(&args.url).is_none() {
+            return Err(SemError::Application(format!("no mirror {:?}", args.url)));
+        }
+        self.log.record(|w| {
+            w.put_u8(DOP_REMOVE);
+            w.put_str(&args.url);
+        });
+        self.gen += 1;
+        Ok(())
+    }
+
+    fn list(&mut self, _args: ()) -> Result<Vec<Mirror>, SemError> {
+        Ok(self
+            .mirrors
+            .iter()
+            .map(|(url, &(region, bandwidth_mbps))| Mirror {
+                url: url.clone(),
+                region,
+                bandwidth_mbps,
+            })
+            .collect())
+    }
+
+    fn in_region(&mut self, args: RegionQuery) -> Result<Vec<Mirror>, SemError> {
+        let mut hits: Vec<Mirror> = self
+            .mirrors
+            .iter()
+            .filter(|(_, &(region, _))| region == args.region)
+            .map(|(url, &(region, bandwidth_mbps))| Mirror {
+                url: url.clone(),
+                region,
+                bandwidth_mbps,
+            })
+            .collect();
+        // Fattest pipe first; URLs break ties deterministically.
+        hits.sort_by(|a, b| {
+            b.bandwidth_mbps
+                .cmp(&a.bandwidth_mbps)
+                .then(a.url.cmp(&b.url))
+        });
+        Ok(hits)
+    }
+}
+
+impl DsoState for MirrorListDso {
+    fn save(&self) -> Vec<u8> {
+        use globe_net::WireWriter;
+        let mut w = WireWriter::new();
+        w.put_u32(self.mirrors.len() as u32);
+        for (url, &(region, bandwidth)) in &self.mirrors {
+            w.put_str(url);
+            w.put_u32(region);
+            w.put_u32(bandwidth);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, state: &[u8]) -> Result<(), SemError> {
+        use globe_net::{WireError, WireReader};
+        let parse = || -> Result<BTreeMap<String, (u32, u32)>, WireError> {
+            let mut r = WireReader::new(state);
+            let n = r.u32()?;
+            if n > 1_000_000 {
+                return Err(WireError::TooLarge);
+            }
+            let mut mirrors = BTreeMap::new();
+            for _ in 0..n {
+                let url = r.str()?.to_owned();
+                let region = r.u32()?;
+                let bandwidth = r.u32()?;
+                mirrors.insert(url, (region, bandwidth));
+            }
+            r.expect_end()?;
+            Ok(mirrors)
+        };
+        self.mirrors = parse().map_err(|_| SemError::BadState)?;
+        // New baseline: undrained mutations predate it.
+        self.log.reset();
+        self.gen += 1;
+        Ok(())
+    }
+
+    fn digest(&self) -> u64 {
+        self.gen
+    }
+
+    fn take_delta(&mut self) -> Option<Vec<u8>> {
+        self.log.take()
+    }
+
+    fn apply_delta(&mut self, delta: &[u8]) -> Result<(), SemError> {
+        use globe_net::{WireError, WireReader};
+        /// One decoded delta op: add/replace (`Some(entry)`) or drop.
+        type MirrorOp = (String, Option<(u32, u32)>);
+        let parse = || -> Result<Vec<MirrorOp>, WireError> {
+            let mut r = WireReader::new(delta);
+            let mut ops = Vec::new();
+            while r.remaining() > 0 {
+                ops.push(match r.u8()? {
+                    DOP_ADD => {
+                        let url = r.str()?.to_owned();
+                        (url, Some((r.u32()?, r.u32()?)))
+                    }
+                    DOP_REMOVE => (r.str()?.to_owned(), None),
+                    t => return Err(WireError::BadTag(t)),
+                });
+            }
+            Ok(ops)
+        };
+        let ops = parse().map_err(|_| SemError::BadState)?;
+        for (url, entry) in ops {
+            match entry {
+                Some(e) => {
+                    self.mirrors.insert(url, e);
+                }
+                None => {
+                    self.mirrors.remove(&url);
+                }
+            }
+        }
+        self.gen += 1;
+        Ok(())
+    }
+}
+
+dso_interface! {
+    /// The mirror-list DSO interface: add/remove/list/inRegion,
+    /// write-rarely.
+    pub interface MirrorListInterface {
+        class: "gdn-mirror-list",
+        impl_id: 13,
+        semantics: MirrorListDso,
+        methods: {
+            /// Adds (or replaces) a mirror. Write.
+            1 => write ADD_MIRROR/add_mirror(Mirror) -> (),
+            /// Drops a mirror. Write.
+            2 => write REMOVE_MIRROR/remove_mirror(RemoveMirror) -> (),
+            /// Lists every mirror. Read.
+            3 => read LIST/list(()) -> Vec<Mirror>,
+            /// The mirrors serving one region, fattest pipe first. Read.
+            4 => read IN_REGION/in_region(RegionQuery) -> Vec<Mirror>,
+        }
+    }
+}
+
+/// Builds the moderator operation publishing a mirror list under `name`
+/// with the given initial mirrors and replication scenario.
+pub fn mirrors_publish_op(name: &str, mirrors: Vec<Mirror>, scenario: Scenario) -> ModOp {
+    let fill: Vec<Invocation> = mirrors
+        .iter()
+        .map(|m| MirrorListInterface::ADD_MIRROR.invocation(m))
+        .collect();
+    ModOp::PublishObject {
+        name: name.to_owned(),
+        impl_id: MIRRORS_IMPL,
+        scenario,
+        fill,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use globe_rts::{MethodId, MethodKind, SemanticsObject};
+
+    fn mirror(url: &str, region: u32, bw: u32) -> Mirror {
+        Mirror {
+            url: url.into(),
+            region,
+            bandwidth_mbps: bw,
+        }
+    }
+
+    fn fill() -> MirrorListDso {
+        let mut m = MirrorListDso::new();
+        for entry in [
+            mirror("http://ftp.nl/globe", 0, 100),
+            mirror("http://ftp.us/globe", 1, 1000),
+            mirror("http://ftp2.us/globe", 1, 10),
+        ] {
+            m.dispatch(&MirrorListInterface::ADD_MIRROR.invocation(&entry))
+                .unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn add_list_query_remove() {
+        let mut m = fill();
+        assert_eq!(m.len(), 3);
+
+        let raw = m
+            .dispatch(&MirrorListInterface::LIST.invocation(&()))
+            .unwrap();
+        let all = MirrorListInterface::LIST.decode_result(&raw).unwrap();
+        assert_eq!(all.len(), 3);
+
+        let raw = m
+            .dispatch(&MirrorListInterface::IN_REGION.invocation(&RegionQuery { region: 1 }))
+            .unwrap();
+        let us = MirrorListInterface::IN_REGION.decode_result(&raw).unwrap();
+        assert_eq!(us.len(), 2);
+        // Fattest pipe first.
+        assert_eq!(us[0].url, "http://ftp.us/globe");
+
+        m.dispatch(
+            &MirrorListInterface::REMOVE_MIRROR.invocation(&RemoveMirror {
+                url: "http://ftp.nl/globe".into(),
+            }),
+        )
+        .unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m
+            .dispatch(
+                &MirrorListInterface::REMOVE_MIRROR.invocation(&RemoveMirror {
+                    url: "http://ftp.nl/globe".into(),
+                })
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn state_transfer_preserves_list() {
+        let a = fill();
+        let mut b = MirrorListDso::new();
+        b.set_state(&a.get_state()).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get_state(), a.get_state());
+        assert!(b.set_state(&[9, 9]).is_err());
+    }
+
+    #[test]
+    fn deltas_match_full_state() {
+        let mut a = MirrorListDso::new();
+        let mut b = MirrorListDso::new();
+        b.set_state(&a.get_state()).unwrap();
+        let _ = SemanticsObject::take_delta(&mut a);
+
+        a.dispatch(&MirrorListInterface::ADD_MIRROR.invocation(&mirror("http://x", 0, 7)))
+            .unwrap();
+        a.dispatch(&MirrorListInterface::ADD_MIRROR.invocation(&mirror("http://y", 2, 9)))
+            .unwrap();
+        a.dispatch(
+            &MirrorListInterface::REMOVE_MIRROR.invocation(&RemoveMirror {
+                url: "http://x".into(),
+            }),
+        )
+        .unwrap();
+        let delta = SemanticsObject::take_delta(&mut a).unwrap();
+        SemanticsObject::apply_delta(&mut b, &delta).unwrap();
+        assert_eq!(b.get_state(), a.get_state());
+        assert!(SemanticsObject::apply_delta(&mut b, &[0xFF]).is_err());
+    }
+
+    #[test]
+    fn dispatch_is_total() {
+        let mut m = MirrorListDso::new();
+        assert_eq!(
+            m.dispatch(&Invocation::new(
+                MirrorListInterface::ADD_MIRROR.id(),
+                vec![2]
+            )),
+            Err(SemError::BadArguments)
+        );
+        assert!(matches!(
+            m.dispatch(&Invocation::new(MethodId(200), vec![])),
+            Err(SemError::NoSuchMethod(_))
+        ));
+    }
+
+    #[test]
+    fn class_registration_and_kinds() {
+        let mut repo = globe_rts::ImplRepository::new();
+        MirrorListInterface::register(&mut repo);
+        assert!(repo.contains(MIRRORS_IMPL));
+        assert_eq!(
+            repo.kind_of(MIRRORS_IMPL, MirrorListInterface::LIST.id()),
+            Some(MethodKind::Read)
+        );
+        assert_eq!(
+            repo.kind_of(MIRRORS_IMPL, MirrorListInterface::ADD_MIRROR.id()),
+            Some(MethodKind::Write)
+        );
+    }
+
+    #[test]
+    fn publish_op_builds_typed_fill() {
+        let op = mirrors_publish_op(
+            "/mirrors/main",
+            vec![mirror("http://a", 0, 1)],
+            Scenario::single(globe_net::Endpoint::new(globe_net::HostId(0), 700)),
+        );
+        let ModOp::PublishObject { impl_id, fill, .. } = op else {
+            panic!("wrong op variant");
+        };
+        assert_eq!(impl_id, MIRRORS_IMPL);
+        assert_eq!(fill.len(), 1);
+        assert_eq!(fill[0].method, MirrorListInterface::ADD_MIRROR.id());
+    }
+}

@@ -87,7 +87,11 @@ impl Scenario {
         }
     }
 
-    fn first_role(&self) -> RoleSpec {
+    /// The role of the scenario's first replica — what the moderator
+    /// tool's "create first replica" command carries, and the hinge
+    /// through which a scenario's [`PropagationMode`] reaches the
+    /// spawned replication protocol.
+    pub fn first_role(&self) -> RoleSpec {
         if self.replicas.len() == 1
             && matches!(
                 self.protocol,

@@ -5,13 +5,18 @@
 //! GDN-enabled HTTPD.
 
 use gdn_core::catalog::{catalog_publish_op, CatalogEntry, CatalogInterface};
-use gdn_core::{Browser, GdnDeployment, GdnHttpd, GdnOptions, ModEvent, ModOp, Scenario};
+use gdn_core::{
+    mirrors_publish_op, stats_publish_op, Browser, GdnDeployment, GdnHttpd, GdnOptions, Mirror,
+    ModEvent, ModOp, Scenario,
+};
 use globe_gls::ObjectId;
 use globe_net::{
     impl_service_any, ports, ConnEvent, ConnId, Endpoint, HostId, NetParams, Service, ServiceCtx,
     Topology, World,
 };
-use globe_rts::{GlobeRuntime, Invocation, PropagationMode, RtConn, RtEvent};
+use globe_rts::{
+    GlobeObjectServer, GlobeRuntime, Invocation, PropagationMode, RoleSpec, RtConn, RtEvent,
+};
 use globe_sim::{SimDuration, SimTime};
 
 const SEED: u64 = 4242;
@@ -605,4 +610,172 @@ fn gdn_proxy_on_user_machine_caches_package() {
     assert!(b.results.iter().all(|r| r.status == 200));
     // The proxy's cache-TTL representative served repeats locally.
     assert!(world.metrics().counter("rts.cache.hits") >= 2);
+}
+
+#[test]
+fn mirrors_route_lists_and_filters_by_region() {
+    let (mut world, gdn) = world();
+    let gos = gdn.gos_for(world.topology(), HostId(0));
+    // A mirror list is an ordinary DSO published through the
+    // class-generic moderator pipeline (write-rarely, so cache-proxy).
+    let tool = gdn.moderator_tool(
+        world.topology(),
+        HostId(1),
+        "alice",
+        vec![mirrors_publish_op(
+            "/mirrors/global",
+            vec![
+                Mirror {
+                    url: "http://ftp.nl.example/globe".into(),
+                    region: 0,
+                    bandwidth_mbps: 100,
+                },
+                Mirror {
+                    url: "http://ftp.us.example/globe".into(),
+                    region: 1,
+                    bandwidth_mbps: 1000,
+                },
+                Mirror {
+                    url: "http://ftp2.us.example/globe".into(),
+                    region: 1,
+                    bandwidth_mbps: 10,
+                },
+            ],
+            Scenario::cached(gos),
+        )],
+    );
+    world.add_service(HostId(1), ports::DRIVER, tool);
+    world.start();
+    world.run_for(SimDuration::from_secs(30));
+    let t = world
+        .service::<gdn_core::ModeratorTool>(HostId(1), ports::DRIVER)
+        .expect("tool");
+    assert!(
+        matches!(
+            t.results.first(),
+            Some(ModEvent::PublishDone { result: Ok(_), .. })
+        ),
+        "mirror-list publish failed: {:?}",
+        t.results
+    );
+
+    // A browser in the other region: full list, then its region's
+    // slice, through its nearest HTTPD.
+    let user = HostId(13);
+    let httpd = gdn.httpd_for(world.topology(), user);
+    let browser = Browser::new(
+        httpd,
+        vec![
+            "/mirrors/mirrors/global".into(),
+            "/mirrors/mirrors/global?region=1".into(),
+            "/mirrors/mirrors/global?region=1x".into(),
+        ],
+    )
+    .keeping_bodies();
+    world.add_service(user, ports::DRIVER, browser);
+    world.run_for(SimDuration::from_secs(60));
+
+    let b = world
+        .service::<Browser>(user, ports::DRIVER)
+        .expect("browser");
+    assert!(b.done(), "fetches incomplete: {:?}", b.results);
+
+    assert_eq!(b.results[0].status, 200, "{:?}", b.results[0]);
+    let html = String::from_utf8_lossy(&b.results[0].body);
+    assert!(html.contains("http://ftp.nl.example/globe"), "{html}");
+    assert!(html.contains("http://ftp.us.example/globe"), "{html}");
+
+    // Region filter keeps only region 1, fattest pipe first.
+    assert_eq!(b.results[1].status, 200);
+    let html = String::from_utf8_lossy(&b.results[1].body);
+    assert!(html.contains("2 mirror(s) in region 1"), "{html}");
+    assert!(!html.contains("ftp.nl.example"), "{html}");
+    let fat = html.find("http://ftp.us.example").expect("fat mirror");
+    let thin = html.find("http://ftp2.us.example").expect("thin mirror");
+    assert!(fat < thin, "mirrors not bandwidth-sorted: {html}");
+
+    // A malformed region filter is rejected, not silently widened to
+    // the full list.
+    assert_eq!(b.results[2].status, 400, "{:?}", b.results[2]);
+}
+
+#[test]
+fn pkg_fetches_record_into_download_stats() {
+    let topo = Topology::grid(2, 2, 2, 3);
+    let mut world = World::new(topo, NetParams::default(), SEED);
+    let gdn = GdnDeployment::install(
+        &mut world,
+        GdnOptions {
+            stats_object: Some("/stats/site".into()),
+            ..GdnOptions::default()
+        },
+    );
+    let gos = gdn.gos_for(world.topology(), HostId(0));
+    publish(
+        &mut world,
+        &gdn,
+        HostId(1),
+        "/apps/graphics/gimp",
+        vec![("README".into(), b"GNU Image Manipulation Program".to_vec())],
+        Scenario::single(gos),
+    );
+    // The stats object the HTTPDs report into, published *after* the
+    // deployment came up — the hook binds lazily.
+    let tool = gdn.moderator_tool(
+        world.topology(),
+        HostId(2),
+        "alice",
+        vec![stats_publish_op("/stats/site", Scenario::single(gos))],
+    );
+    world.add_service(HostId(2), ports::DRIVER, tool);
+    world.run_for(SimDuration::from_secs(30));
+    let t = world
+        .service::<gdn_core::ModeratorTool>(HostId(2), ports::DRIVER)
+        .expect("tool");
+    let stats_oid = match t.results.first() {
+        Some(ModEvent::PublishDone {
+            result: Ok(oid), ..
+        }) => *oid,
+        other => panic!("stats publish failed: {other:?}"),
+    };
+
+    // Two fetches (a file download and a listing) from a far user.
+    let user = HostId(13);
+    let httpd = gdn.httpd_for(world.topology(), user);
+    let browser = Browser::new(
+        httpd,
+        vec![
+            "/pkg/apps/graphics/gimp?file=README".into(),
+            "/pkg/apps/graphics/gimp".into(),
+        ],
+    );
+    world.add_service(user, ports::DRIVER, browser);
+    world.run_for(SimDuration::from_secs(60));
+    let b = world
+        .service::<Browser>(user, ports::DRIVER)
+        .expect("browser");
+    assert!(b.done(), "fetches incomplete: {:?}", b.results);
+    assert!(b.results.iter().all(|r| r.status == 200), "{:?}", b.results);
+
+    // The access point recorded both fetches through the hook...
+    let httpd_svc = world
+        .service::<GdnHttpd>(httpd.host, httpd.port)
+        .expect("httpd");
+    assert_eq!(
+        httpd_svc.stats.downloads_recorded, 2,
+        "{:?}",
+        httpd_svc.stats
+    );
+    assert_eq!(world.metrics().counter("httpd.stats.recorded"), 2);
+
+    // ...and the records reached the stats object's replica: one state
+    // version per accepted `record` write.
+    let gos_svc = world
+        .service::<GlobeObjectServer>(gos.host, gos.port)
+        .expect("stats gos");
+    assert_eq!(gos_svc.runtime.replica_version(stats_oid), Some(2));
+    assert!(matches!(
+        gos_svc.runtime.replica_role(stats_oid),
+        Some(RoleSpec::Standalone)
+    ));
 }

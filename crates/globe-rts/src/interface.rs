@@ -9,14 +9,14 @@
 //! for both the client and the server side. This module collapses all of
 //! that into one declaration:
 //!
-//! - [`WireCodec`] — typed values ↔ wire bytes, with the [`wire_struct!`]
+//! - [`WireCodec`] — typed values ↔ wire bytes, with the [`wire_struct!`](crate::wire_struct)
 //!   macro deriving field-by-field codecs for argument/result structs;
 //! - [`MethodDef`] — one method of an interface, typed over its argument
 //!   and result, able to build [`Invocation`] frames and decode results;
 //! - [`DsoInterface`] — a class declared as data: name, implementation
 //!   id, semantics type and method table, from which the repository's
 //!   [`ClassSpec`] (factory + `kind_of`) is derived;
-//! - [`dso_interface!`] — the declarative registry: declares the methods
+//! - [`dso_interface!`](crate::dso_interface) — the declarative registry: declares the methods
 //!   once and generates the `MethodDef` constants, the method table, the
 //!   `DsoInterface` impl *and* the server-side
 //!   [`SemanticsObject::dispatch`] that unmarshals arguments, calls a
@@ -46,8 +46,8 @@ use crate::runtime::GlobeRuntime;
 ///
 /// Every method argument and result type of a [`DsoInterface`]
 /// implements this; the derived marshalling in [`MethodDef`] and the
-/// generated dispatch of [`dso_interface!`] are built on it. Use
-/// [`wire_struct!`] to derive an implementation for a struct of codec
+/// generated dispatch of [`dso_interface!`](crate::dso_interface) are built on it. Use
+/// [`wire_struct!`](crate::wire_struct) to derive an implementation for a struct of codec
 /// fields.
 pub trait WireCodec: Sized {
     /// Serializes into `w`.
@@ -245,7 +245,7 @@ pub struct MethodDef<A, R> {
 }
 
 impl<A: WireCodec, R: WireCodec> MethodDef<A, R> {
-    /// Declares a method (normally done by [`dso_interface!`]).
+    /// Declares a method (normally done by [`dso_interface!`](crate::dso_interface)).
     pub const fn new(id: MethodId, kind: MethodKind, name: &'static str) -> MethodDef<A, R> {
         MethodDef {
             id,

@@ -44,7 +44,9 @@ pub use interface::{
     WireCodec,
 };
 pub use object::{ClassSpec, Invocation, MethodId, MethodKind, SemError, SemanticsObject};
-pub use protocols::{CacheProxy, ForwardingProxy, MasterReplica, ServerReplica, SlaveReplica};
+pub use protocols::{
+    spawn_replication, CacheProxy, ForwardingProxy, MasterReplica, ServerReplica, SlaveReplica,
+};
 pub use replication::{InvokeError, Peer, ReplCtx, ReplicationSubobject};
 pub use repository::{ImplId, ImplRepository};
 pub use runtime::{BindError, BindInfo, BindRequest, GlobeRuntime, RtConn, RtEvent, RuntimeConfig};

@@ -25,6 +25,20 @@ use crate::replication::{InvokeError, Peer, ReplCtx, ReplicationSubobject};
 /// Default timeout for a forwarded invocation.
 const FORWARD_TIMEOUT: SimDuration = SimDuration::from_secs(10);
 
+/// Builds the server-side replication subobject a scenario role calls
+/// for — the single place where a [`RoleSpec`] (as carried by a
+/// moderator's create command or a persisted replica blob) becomes a
+/// live protocol instance. A `Master` role's [`PropagationMode`] is
+/// honored verbatim, which is what lets scenario policies sweep
+/// propagation modes end to end.
+pub fn spawn_replication(protocol: u16, role: RoleSpec) -> Box<dyn ReplicationSubobject> {
+    match role {
+        RoleSpec::Standalone => Box::new(ServerReplica::new(protocol)),
+        RoleSpec::Master { mode } => Box::new(MasterReplica::new(protocol, mode)),
+        RoleSpec::Slave { master } => Box::new(SlaveReplica::new(protocol, master)),
+    }
+}
+
 /// How many recent per-write deltas a write-accepting replica retains
 /// to answer [`GrpBody::Refresh`] catch-ups without a full state
 /// transfer.

@@ -11,7 +11,7 @@
 //! # The effects pipeline: dirty → digest-gate → batch persist → multicast
 //!
 //! Protocol code never touches the network or stable storage directly;
-//! every call runs against a fresh [`ReplEffects`] accumulator that the
+//! every call runs against a fresh `ReplEffects` accumulator that the
 //! runtime translates after the protocol returns:
 //!
 //! 1. **dirty** — any state-touching context call ([`ReplCtx::exec`],
@@ -231,13 +231,13 @@ impl<'a> ReplCtx<'a> {
         *self.epoch
     }
 
-    /// Splices a [`GrpBody::Delta`](crate::grp::GrpBody::Delta) into the
+    /// Splices a [`GrpBody::Delta`] into the
     /// local copy: applies the payload on top of the exact predecessor
     /// version and advances to `to_version`.
     ///
     /// An empty payload with `from_version == to_version` is a
     /// freshness confirmation and leaves the state untouched. The
-    /// resulting dirtiness is *deferrable* (see [`ReplEffects`]): a
+    /// resulting dirtiness is *deferrable* (see `ReplEffects`): a
     /// delta-fed replica may checkpoint lazily because it can always be
     /// re-derived from its master.
     pub fn apply_delta(

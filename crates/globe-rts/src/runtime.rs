@@ -38,7 +38,7 @@ use globe_sim::SimDuration;
 use crate::grp::{GrpBody, GrpMsg, PropagationMode, RoleSpec};
 use crate::interface::{BoundObject, DsoInterface, InterfaceError};
 use crate::object::{Invocation, MethodKind, SemanticsObject};
-use crate::protocols::{CacheProxy, ForwardingProxy, MasterReplica, ServerReplica, SlaveReplica};
+use crate::protocols::{CacheProxy, ForwardingProxy};
 use crate::replication::{InvokeError, Peer, ReplCtx, ReplEffects, ReplicationSubobject};
 use crate::repository::{ImplId, ImplRepository};
 
@@ -388,6 +388,14 @@ impl GlobeRuntime {
         self.lrs.get(&oid.0).map(|lr| lr.version)
     }
 
+    /// The role the local representative's replication subobject is
+    /// actually playing (tests / experiments): the way to observe that
+    /// a scenario's propagation mode survived the control protocol and
+    /// reached the spawned [`MasterReplica`](crate::MasterReplica).
+    pub fn replica_role(&self, oid: ObjectId) -> Option<RoleSpec> {
+        self.lrs.get(&oid.0).map(|lr| lr.repl.descriptor())
+    }
+
     /// Submits a bind (paper §3.4); completes with
     /// [`RtEvent::BindDone`], whose [`BindInfo`] yields a typed
     /// [`BoundObject`] handle via [`BindInfo::typed`].
@@ -512,11 +520,7 @@ impl GlobeRuntime {
             .repo
             .instantiate(impl_id)
             .ok_or(BindError::UnknownImpl(impl_id.0))?;
-        let repl: Box<dyn ReplicationSubobject> = match role {
-            RoleSpec::Standalone => Box::new(ServerReplica::new(protocol)),
-            RoleSpec::Master { mode } => Box::new(MasterReplica::new(protocol, mode)),
-            RoleSpec::Slave { master } => Box::new(SlaveReplica::new(protocol, master)),
-        };
+        let repl = crate::protocols::spawn_replication(protocol, role);
         self.loaded.insert(impl_id.0);
         self.lrs
             .insert(oid.0, LocalRep::new(impl_id, Some(sem), repl, 0));
@@ -782,11 +786,7 @@ impl GlobeRuntime {
         let state = r.bytes().ok()?.to_vec();
         let mut sem = self.repo.instantiate(impl_id)?;
         sem.set_state(&state).ok()?;
-        let repl: Box<dyn ReplicationSubobject> = match role {
-            RoleSpec::Standalone => Box::new(ServerReplica::new(protocol)),
-            RoleSpec::Master { mode } => Box::new(MasterReplica::new(protocol, mode)),
-            RoleSpec::Slave { master } => Box::new(SlaveReplica::new(protocol, master)),
-        };
+        let repl = crate::protocols::spawn_replication(protocol, role);
         self.loaded.insert(impl_id.0);
         let mut lr = LocalRep::new(impl_id, Some(sem), repl, version);
         lr.epoch = epoch;

@@ -16,7 +16,7 @@ use globe_gls::ObjectId;
 use globe_net::{
     impl_service_any, ns_token, owns_token, ConnEvent, ConnId, Endpoint, Service, ServiceCtx,
 };
-use globe_rts::{protocol_id, GlobeRuntime, GosCmd, GosResp, RoleSpec, RtConn};
+use globe_rts::{protocol_id, GlobeRuntime, GosCmd, GosResp, ImplId, RoleSpec, RtConn};
 use globe_sim::SimDuration;
 
 const CTRL_NS: u16 = 0x7722;
@@ -31,6 +31,22 @@ pub struct ManagedObject {
     pub oid: ObjectId,
     /// The master's GRP endpoint.
     pub master: Endpoint,
+    /// The object's class — replicas the controller creates must
+    /// instantiate the same implementation (any registered DSO class,
+    /// not just packages).
+    pub impl_id: ImplId,
+}
+
+impl ManagedObject {
+    /// A managed package DSO (the common case).
+    pub fn package(index: usize, oid: ObjectId, master: Endpoint) -> ManagedObject {
+        ManagedObject {
+            index,
+            oid,
+            master,
+            impl_id: PACKAGE_IMPL,
+        }
+    }
 }
 
 /// The adaptation daemon.
@@ -106,7 +122,7 @@ impl AdaptiveController {
             let cmd = GosCmd::CreateReplica {
                 req,
                 oid: obj.oid.0,
-                impl_id: PACKAGE_IMPL.0,
+                impl_id: obj.impl_id.0,
                 protocol: protocol_id::MASTER_SLAVE,
                 role: RoleSpec::Slave { master: obj.master },
             };

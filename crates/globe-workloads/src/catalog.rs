@@ -9,6 +9,7 @@
 
 use gdn_core::{ModOp, Scenario};
 use globe_net::{Endpoint, Topology};
+use globe_rts::PropagationMode;
 use globe_sim::Rng;
 
 use crate::policy::{scenario_for, ObjectProfile, ScenarioPolicy};
@@ -88,23 +89,22 @@ pub fn generate(spec: &CatalogSpec, topo: &Topology, rng: &mut Rng) -> Vec<Catal
         .collect()
 }
 
-/// Builds the publish operations installing the catalog under `policy`.
+/// Builds the publish operations installing the catalog under `policy`,
+/// with eager-push scenarios propagating in `mode`.
 ///
 /// `gos_by_region[r]` lists object-server endpoints in region `r`; the
 /// first is the region's primary.
 pub fn publish_ops(
     catalog: &[CatalogEntry],
     policy: ScenarioPolicy,
+    mode: PropagationMode,
     gos_by_region: &[Vec<Endpoint>],
 ) -> Vec<ModOp> {
     catalog
         .iter()
         .map(|e| {
-            let profile = ObjectProfile {
-                rank: e.rank,
-                updates_per_hour: e.updates_per_hour,
-                home_region: e.home_region,
-            };
+            let profile =
+                ObjectProfile::new(e.rank, e.updates_per_hour, e.home_region).with_mode(mode);
             let scenario: Scenario = scenario_for(policy, &profile, gos_by_region);
             ModOp::Publish {
                 name: e.name.clone(),
@@ -157,7 +157,12 @@ mod tests {
             vec![Endpoint::new(globe_net::HostId(0), 700)],
             vec![Endpoint::new(globe_net::HostId(1), 700)],
         ];
-        let ops = publish_ops(&catalog, ScenarioPolicy::Central, &gos);
+        let ops = publish_ops(
+            &catalog,
+            ScenarioPolicy::Central,
+            PropagationMode::PushState,
+            &gos,
+        );
         assert_eq!(ops.len(), catalog.len());
         match &ops[0] {
             ModOp::Publish { name, files, .. } => {

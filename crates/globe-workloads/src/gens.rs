@@ -46,6 +46,10 @@ pub struct HttpLoadGen {
     /// Stop issuing new requests at this time (in-flight ones finish).
     until: SimTime,
     fetch_file: bool,
+    /// HTTPD route the object names are appended to (`/pkg` by
+    /// default; `/catalog` and `/mirrors` address the other DSO
+    /// classes' routes).
+    route: &'static str,
     inflight: std::collections::BTreeMap<u64, (SimTime, usize)>,
     next_arrival: u64,
     /// Completed observations.
@@ -72,10 +76,18 @@ impl HttpLoadGen {
             rate,
             until,
             fetch_file,
+            route: "/pkg",
             inflight: std::collections::BTreeMap::new(),
             next_arrival: 0,
             samples: Vec::new(),
         }
+    }
+
+    /// Targets another DSO class's HTTPD route (e.g. `/catalog`,
+    /// `/mirrors`); `fetch_file` only applies to the `/pkg` route.
+    pub fn with_route(mut self, route: &'static str) -> HttpLoadGen {
+        self.route = route;
+        self
     }
 
     fn schedule_next(&mut self, ctx: &mut ServiceCtx<'_>) {
@@ -90,10 +102,10 @@ impl HttpLoadGen {
 
     fn fire(&mut self, ctx: &mut ServiceCtx<'_>) {
         let object = self.zipf.sample(ctx.rng());
-        let path = if self.fetch_file {
-            format!("/pkg{}?file=pkg.tar", self.names[object])
+        let path = if self.fetch_file && self.route == "/pkg" {
+            format!("{}{}?file=pkg.tar", self.route, self.names[object])
         } else {
-            format!("/pkg{}", self.names[object])
+            format!("{}{}", self.route, self.names[object])
         };
         let conn = ctx.connect(self.httpd);
         ctx.send(conn, gdn_core::HttpRequest::get(&path));

@@ -6,6 +6,12 @@
 //! [Pierre et al. 1999] found for web documents. These policies assign
 //! scenarios uniformly (the baselines) or per object (the paper's
 //! position), and experiment E3 compares them.
+//!
+//! Orthogonal to the *placement* policy is how an eager-push scenario
+//! propagates its writes: whole states ([`PropagationMode::PushState`])
+//! or per-write deltas ([`PropagationMode::PushDelta`]). The profile
+//! carries that choice so the scenario sweep (`globe-bench`'s `sweep`
+//! module) can run the full policy × propagation-mode matrix.
 
 use gdn_core::Scenario;
 use globe_net::Endpoint;
@@ -13,7 +19,7 @@ use globe_rts::PropagationMode;
 
 /// Per-object inputs to the assignment decision.
 ///
-/// The adaptive policy uses these the way Pierre et al.'s trace-driven
+/// The per-object policy uses these the way Pierre et al.'s trace-driven
 /// selection uses per-document access statistics — here the synthetic
 /// catalog's ground truth plays the role of the analyzed trace.
 #[derive(Clone, Debug)]
@@ -24,6 +30,28 @@ pub struct ObjectProfile {
     pub updates_per_hour: f64,
     /// The region the object is published from.
     pub home_region: usize,
+    /// How eager-push scenarios assigned to this object propagate
+    /// writes (`PushState` or `PushDelta`) — the sweep's second axis.
+    pub push_mode: PropagationMode,
+}
+
+impl ObjectProfile {
+    /// Builds a profile that propagates eager pushes as full states
+    /// (the pre-delta default); override with [`ObjectProfile::with_mode`].
+    pub fn new(rank: usize, updates_per_hour: f64, home_region: usize) -> ObjectProfile {
+        ObjectProfile {
+            rank,
+            updates_per_hour,
+            home_region,
+            push_mode: PropagationMode::PushState,
+        }
+    }
+
+    /// Sets the propagation mode eager-push assignments use.
+    pub fn with_mode(mut self, mode: PropagationMode) -> ObjectProfile {
+        self.push_mode = mode;
+        self
+    }
 }
 
 /// A scenario-assignment policy.
@@ -39,9 +67,9 @@ pub enum ScenarioPolicy {
     /// eager push (the mirror-everything baseline).
     ReplicateAll,
     /// Per-object choice (the paper's position): hot + stable objects
-    /// replicate everywhere; hot + volatile use invalidation replicas;
-    /// cold objects stay central or cached.
-    Adaptive,
+    /// replicate everywhere; hot + volatile use invalidation (or delta
+    /// push) replicas; cold objects stay central or cached.
+    PerObject,
 }
 
 impl ScenarioPolicy {
@@ -50,7 +78,7 @@ impl ScenarioPolicy {
         ScenarioPolicy::Central,
         ScenarioPolicy::UniformCache,
         ScenarioPolicy::ReplicateAll,
-        ScenarioPolicy::Adaptive,
+        ScenarioPolicy::PerObject,
     ];
 
     /// Short name for report rows.
@@ -59,22 +87,24 @@ impl ScenarioPolicy {
             ScenarioPolicy::Central => "central",
             ScenarioPolicy::UniformCache => "cache-ttl",
             ScenarioPolicy::ReplicateAll => "replicate-all",
-            ScenarioPolicy::Adaptive => "adaptive",
+            ScenarioPolicy::PerObject => "per-object",
         }
     }
 }
 
 /// Rank threshold below which an object counts as "hot" for the
-/// adaptive policy (Zipf mass concentrates in the first few ranks).
+/// per-object policy (Zipf mass concentrates in the first few ranks).
 const HOT_RANK: usize = 10;
-/// Update-rate threshold (per hour) above which replicas use
-/// invalidation instead of eager push.
+/// Update-rate threshold (per hour) above which replicas stop eagerly
+/// shipping whole states.
 const VOLATILE_UPDATES: f64 = 2.0;
 
 /// Assigns a scenario to one object under `policy`.
 ///
 /// `gos_by_region[r]` lists the object servers of region `r` (first =
 /// regional primary). The home region's primary hosts the master.
+/// Eager-push assignments propagate in the profile's
+/// [`push_mode`](ObjectProfile::push_mode).
 ///
 /// # Panics
 ///
@@ -102,21 +132,26 @@ pub fn scenario_for(
     match policy {
         ScenarioPolicy::Central => Scenario::single(home),
         ScenarioPolicy::UniformCache => Scenario::cached(home),
-        ScenarioPolicy::ReplicateAll => {
-            Scenario::master_slave(everywhere(), PropagationMode::PushState)
-        }
-        ScenarioPolicy::Adaptive => {
+        ScenarioPolicy::ReplicateAll => Scenario::master_slave(everywhere(), profile.push_mode),
+        ScenarioPolicy::PerObject => {
             let hot = profile.rank < HOT_RANK;
             let volatile = profile.updates_per_hour > VOLATILE_UPDATES;
             match (hot, volatile) {
                 // Hot and stable: regional replicas feeding client
                 // caches — repeats are local, fills stay in-region.
-                (true, false) => {
-                    Scenario::cached_replicated(everywhere(), PropagationMode::PushState)
+                (true, false) => Scenario::cached_replicated(everywhere(), profile.push_mode),
+                // Hot but changing: replicas everywhere. Delta push
+                // keeps them fresh at near-invalidation cost; without
+                // it, invalidation avoids shipping whole states the
+                // next write would obsolete.
+                (true, true) => {
+                    let mode = if profile.push_mode == PropagationMode::PushDelta {
+                        PropagationMode::PushDelta
+                    } else {
+                        PropagationMode::Invalidate
+                    };
+                    Scenario::master_slave(everywhere(), mode)
                 }
-                // Hot but changing: replicas everywhere, invalidation
-                // keeps reads fresh without client-cache staleness.
-                (true, true) => Scenario::master_slave(everywhere(), PropagationMode::Invalidate),
                 // Cold and stable: client caches suffice.
                 (false, false) => Scenario::cached(home),
                 // Cold and changing: not worth replicating at all.
@@ -140,11 +175,7 @@ mod tests {
     }
 
     fn profile(rank: usize, upd: f64) -> ObjectProfile {
-        ObjectProfile {
-            rank,
-            updates_per_hour: upd,
-            home_region: 0,
-        }
+        ObjectProfile::new(rank, upd, 0)
     }
 
     #[test]
@@ -169,31 +200,50 @@ mod tests {
     }
 
     #[test]
-    fn adaptive_differentiates() {
+    fn per_object_differentiates() {
         let g = gos();
-        let hot_stable = scenario_for(ScenarioPolicy::Adaptive, &profile(0, 0.1), &g);
+        let hot_stable = scenario_for(ScenarioPolicy::PerObject, &profile(0, 0.1), &g);
         assert_eq!(hot_stable.replicas.len(), 2);
         assert_eq!(hot_stable.mode, PropagationMode::PushState);
 
-        let hot_volatile = scenario_for(ScenarioPolicy::Adaptive, &profile(0, 50.0), &g);
+        let hot_volatile = scenario_for(ScenarioPolicy::PerObject, &profile(0, 50.0), &g);
         assert_eq!(hot_volatile.mode, PropagationMode::Invalidate);
 
-        let cold_stable = scenario_for(ScenarioPolicy::Adaptive, &profile(40, 0.1), &g);
+        let cold_stable = scenario_for(ScenarioPolicy::PerObject, &profile(40, 0.1), &g);
         assert_eq!(cold_stable.protocol, protocol_id::CACHE_TTL);
 
-        let cold_volatile = scenario_for(ScenarioPolicy::Adaptive, &profile(40, 50.0), &g);
+        let cold_volatile = scenario_for(ScenarioPolicy::PerObject, &profile(40, 50.0), &g);
         assert_eq!(cold_volatile.protocol, protocol_id::CLIENT_SERVER);
         assert_eq!(cold_volatile.replicas.len(), 1);
     }
 
     #[test]
+    fn push_mode_reaches_eager_assignments() {
+        let g = gos();
+        let delta = |rank, upd| profile(rank, upd).with_mode(PropagationMode::PushDelta);
+
+        // The uniform eager-push baseline honors the mode verbatim.
+        let s = scenario_for(ScenarioPolicy::ReplicateAll, &delta(0, 0.1), &g);
+        assert_eq!(s.mode, PropagationMode::PushDelta);
+
+        // Hot + stable replicated caches push deltas between replicas.
+        let s = scenario_for(ScenarioPolicy::PerObject, &delta(0, 0.1), &g);
+        assert_eq!(s.mode, PropagationMode::PushDelta);
+
+        // Hot + volatile: delta push replaces invalidation when asked.
+        let s = scenario_for(ScenarioPolicy::PerObject, &delta(0, 50.0), &g);
+        assert_eq!(s.mode, PropagationMode::PushDelta);
+        assert_eq!(s.protocol, protocol_id::MASTER_SLAVE);
+
+        // Unreplicated assignments are unaffected by the mode axis.
+        let s = scenario_for(ScenarioPolicy::Central, &delta(40, 50.0), &g);
+        assert_eq!(s.replicas.len(), 1);
+    }
+
+    #[test]
     fn master_is_home_region_primary() {
         let g = gos();
-        let p = ObjectProfile {
-            rank: 0,
-            updates_per_hour: 0.0,
-            home_region: 1,
-        };
+        let p = ObjectProfile::new(0, 0.0, 1);
         let s = scenario_for(ScenarioPolicy::ReplicateAll, &p, &g);
         assert_eq!(s.replicas[0].host, HostId(10));
     }

@@ -1,0 +1,101 @@
+//! Property tests for scenario assignment: every (profile, policy)
+//! pair yields a scenario whose propagation mode survives the control
+//! protocol's wire encoding and is honored by the replication
+//! subobject the role actually spawns — the end-to-end guarantee the
+//! scenario sweep's mode axis depends on.
+
+use proptest::prelude::*;
+
+use globe_net::{Endpoint, HostId};
+use globe_rts::{protocol_id, spawn_replication, GosCmd, PropagationMode, RoleSpec};
+use globe_workloads::{scenario_for, ObjectProfile, ScenarioPolicy};
+
+fn arb_policy() -> impl Strategy<Value = ScenarioPolicy> {
+    (0usize..ScenarioPolicy::ALL.len()).prop_map(|i| ScenarioPolicy::ALL[i])
+}
+
+fn arb_mode() -> impl Strategy<Value = PropagationMode> {
+    prop_oneof![
+        Just(PropagationMode::PushState),
+        Just(PropagationMode::PushDelta),
+    ]
+}
+
+/// Regions with one primary object server each.
+fn gos(regions: usize) -> Vec<Vec<Endpoint>> {
+    (0..regions)
+        .map(|r| vec![Endpoint::new(HostId(10 * r as u32), 700)])
+        .collect()
+}
+
+proptest! {
+    /// The assigned scenario's first role survives a GosCmd encode →
+    /// decode round trip, and spawning a replication subobject from the
+    /// decoded role reproduces the role — propagation mode included.
+    #[test]
+    fn scenario_mode_round_trips_and_is_honored(
+        rank in 0usize..64,
+        upd_centi in 0u64..10_000,
+        regions in 1usize..6,
+        home_mul in 0usize..6,
+        policy in arb_policy(),
+        mode in arb_mode(),
+    ) {
+        let home_region = home_mul % regions;
+        let profile = ObjectProfile::new(rank, upd_centi as f64 / 100.0, home_region)
+            .with_mode(mode);
+        let gos = gos(regions);
+        let scenario = scenario_for(policy, &profile, &gos);
+
+        // Structural sanity: nonempty, home primary first, no
+        // duplicate replica sites.
+        prop_assert!(!scenario.replicas.is_empty());
+        prop_assert_eq!(scenario.replicas[0], gos[home_region][0]);
+        let mut sites = scenario.replicas.clone();
+        sites.sort();
+        sites.dedup();
+        prop_assert_eq!(sites.len(), scenario.replicas.len());
+
+        // The wire round trip: exactly what the moderator tool sends as
+        // "create first replica".
+        let role = scenario.first_role();
+        let cmd = GosCmd::CreateObject {
+            req: 7,
+            impl_id: 10,
+            protocol: scenario.protocol,
+            role: role.clone(),
+        };
+        let decoded = GosCmd::decode(&cmd.encode()).expect("decodes");
+        let GosCmd::CreateObject { role: wire_role, protocol, .. } = decoded else {
+            panic!("variant changed in flight");
+        };
+        prop_assert_eq!(&wire_role, &role);
+        prop_assert_eq!(protocol, scenario.protocol);
+
+        // The spawned replication subobject reports exactly the decoded
+        // role: a Master's propagation mode reached the protocol.
+        let repl = spawn_replication(protocol, wire_role.clone());
+        prop_assert_eq!(repl.descriptor(), wire_role);
+        match &role {
+            RoleSpec::Master { mode: m } => {
+                prop_assert_eq!(*m, scenario.mode);
+                prop_assert!(repl.accepts_writes());
+            }
+            RoleSpec::Standalone => prop_assert!(repl.accepts_writes()),
+            RoleSpec::Slave { .. } => prop_assert!(!repl.accepts_writes()),
+        }
+
+        // Replicated scenarios honor the profile's mode axis: an
+        // eager-push assignment pushes in the requested mode, and the
+        // per-object hot+volatile case only downgrades to invalidation
+        // when deltas were not requested.
+        if policy == ScenarioPolicy::ReplicateAll {
+            prop_assert_eq!(scenario.mode, mode);
+            prop_assert_eq!(scenario.protocol, protocol_id::MASTER_SLAVE);
+            prop_assert_eq!(scenario.replicas.len(), regions);
+        }
+        if mode == PropagationMode::PushDelta && scenario.replicas.len() > 1 {
+            prop_assert_eq!(scenario.mode, PropagationMode::PushDelta);
+        }
+    }
+}

@@ -68,11 +68,7 @@ fn main() {
         ports::DRIVER,
         AdaptiveController::new(
             runtime,
-            vec![ManagedObject {
-                index: 0,
-                oid,
-                master: home_gos,
-            }],
+            vec![ManagedObject::package(0, oid, home_gos)],
             vec![gdn.gos_endpoints[0], gdn.gos_endpoints[1]],
             SimDuration::from_secs(10),
             20,
