@@ -7,13 +7,17 @@
 //! on invariant violations ([`check_sweep_invariants`]): any stale
 //! read, any cell without read traffic, or delta propagation losing to
 //! state propagation on the write-heavy class at 8+ slaves — CI's
-//! `bench-smoke` job relies on that to gate regressions.
+//! `bench-smoke` job relies on that to gate regressions. It also fails
+//! the trajectory gate ([`compare_trajectory`]) when any cell's grp
+//! bytes or p99 regress >10% against the committed JSON baseline
+//! (bypass with `GLOBE_SWEEP_BASELINE=skip` for intentional shifts and
+//! commit the regenerated file).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use globe_bench::sweep::{mode_label, SWEEP_MODES, SWEEP_TABLE_HEADERS};
 use globe_bench::{
-    check_sweep_invariants, print_table, sweep_cell, sweep_json, sweep_table_rows, CellReport,
-    DsoClass, SweepSpec,
+    check_sweep_invariants, compare_trajectory, print_table, sweep_cell, sweep_json,
+    sweep_table_rows, CellReport, DsoClass, SweepSpec,
 };
 use globe_workloads::ScenarioPolicy;
 
@@ -47,9 +51,8 @@ fn bench_scenario_sweep(c: &mut Criterion) {
         Ok(dir) => format!("{dir}/../../BENCH_scenario_sweep.json"),
         Err(_) => "BENCH_scenario_sweep.json".to_owned(),
     };
-    if let Err(e) = std::fs::write(&path, &json) {
-        eprintln!("could not write {path}: {e}");
-    }
+    // The committed JSON is the previous revision's trajectory point.
+    let baseline = std::fs::read_to_string(&path).ok();
 
     let violations = check_sweep_invariants(&reports);
     assert!(
@@ -57,6 +60,38 @@ fn bench_scenario_sweep(c: &mut Criterion) {
         "scenario sweep invariant violations:\n  {}",
         violations.join("\n  ")
     );
+
+    // Trajectory gate: fail on a >10% regression in grp bytes or p99
+    // for any cell vs the committed baseline. GLOBE_SWEEP_BASELINE=skip
+    // bypasses it for intentional shifts (commit the regenerated JSON
+    // as the new baseline afterwards). The baseline file is only
+    // overwritten when the gate passes (or is skipped): a failing run
+    // must not ratchet its own regressed numbers into the baseline a
+    // rerun would compare against.
+    if std::env::var("GLOBE_SWEEP_BASELINE").as_deref() == Ok("skip") {
+        eprintln!("trajectory gate skipped (GLOBE_SWEEP_BASELINE=skip)");
+    } else if let Some(baseline) = baseline {
+        let regressions = compare_trajectory(&baseline, &json)
+            .expect("committed sweep baseline must stay parseable");
+        if !regressions.is_empty() {
+            let rejected = format!("{path}.rejected");
+            if let Err(e) = std::fs::write(&rejected, &json) {
+                eprintln!("could not write {rejected}: {e}");
+            }
+            panic!(
+                "scenario sweep trajectory regressions vs committed baseline \
+                 (fresh matrix at {rejected}):\n  {}",
+                regressions.join("\n  ")
+            );
+        }
+        println!(
+            "trajectory gate: {} cells within tolerance of the committed baseline",
+            reports.len()
+        );
+    }
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
 }
 
 criterion_group!(benches, bench_scenario_sweep);

@@ -6,12 +6,14 @@
 
 pub mod fanout;
 pub mod sweep;
+pub mod trajectory;
 
 pub use fanout::{grp_fanout_run, FanoutReport};
 pub use sweep::{
     check_sweep_invariants, run_sweep, sweep_cell, sweep_json, sweep_table_rows, CellReport,
     DsoClass, SweepSpec,
 };
+pub use trajectory::{compare_trajectory, parse_sweep_json, TrajectoryCell};
 
 use std::sync::Arc;
 
@@ -22,7 +24,7 @@ use globe_net::{
     impl_service_any, ns_token, owns_token, ports, ConnEvent, ConnId, Endpoint, HostId, NetParams,
     Service, ServiceCtx, Topology, World,
 };
-use globe_rts::{GlobeRuntime, PropagationMode, RtConn, RtEvent, RuntimeConfig};
+use globe_rts::{GlobeClient, GlobeRuntime, PropagationMode, RtConn};
 use globe_sim::{SimDuration, SimTime};
 use globe_workloads::{CatalogEntry, ScenarioPolicy};
 
@@ -162,23 +164,7 @@ pub fn gdn_world(topo: Topology, options: GdnOptions, seed: u64) -> (World, GdnD
 /// Builds a moderator-credentialed client runtime on `host` (writers
 /// for experiments and the scenario sweep's scripted update drivers).
 pub fn moderator_runtime(gdn: &GdnDeployment, host: HostId) -> GlobeRuntime {
-    let cfg = RuntimeConfig {
-        grp_port: ports::DRIVER,
-        tls_server: gdn.security.anonymous_client(),
-        tls_client: gdn.security.moderator_client("bench-writer"),
-        accept_incoming: false,
-        cache_ttl: gdn.cache_ttl,
-        writer_roles: RuntimeConfig::default_writer_roles(),
-        open_writes: false,
-        persist: false,
-    };
-    GlobeRuntime::new(
-        cfg,
-        Arc::clone(&gdn.repo),
-        Arc::clone(&gdn.gls),
-        host,
-        0x0400,
-    )
+    gdn.moderator_runtime(host, "bench-writer")
 }
 
 /// Publishes a catalog under `policy` (eager pushes propagating in
@@ -245,19 +231,17 @@ pub fn publish_objects(
 
 // --------------------------------------------------------- invoke driver
 
-/// Read/write mix generator invoking one object directly through the
-/// Globe runtime (experiment E4: protocol trade-offs without HTTP in
-/// the way).
+/// Read/write mix generator invoking one object through a
+/// [`GlobeClient`] session (experiment E4: protocol trade-offs without
+/// HTTP in the way). Each arrival is one op; the session binds.
 pub struct InvokeGen {
-    runtime: GlobeRuntime,
+    client: GlobeClient,
     oid: ObjectId,
     write_fraction: f64,
     rate: f64,
     until: SimTime,
-    bound: bool,
     started: std::collections::BTreeMap<u64, (SimTime, bool)>,
     next_arrival: u64,
-    seq: u64,
     /// `(latency, was_write)` per completed invocation.
     pub done: Vec<(SimDuration, bool)>,
     /// Failed invocations.
@@ -277,15 +261,13 @@ impl InvokeGen {
         until: SimTime,
     ) -> InvokeGen {
         InvokeGen {
-            runtime,
+            client: GlobeClient::new(runtime, INVOKE_NS + 1),
             oid,
             write_fraction,
             rate,
             until,
-            bound: false,
             started: std::collections::BTreeMap::new(),
             next_arrival: 0,
-            seq: 0,
             done: Vec::new(),
             failures: 0,
         }
@@ -302,48 +284,32 @@ impl InvokeGen {
     }
 
     fn fire(&mut self, ctx: &mut ServiceCtx<'_>) {
-        if !self.bound {
-            self.schedule_next(ctx);
-            return; // still binding; skip this arrival
-        }
         let write = ctx.rng().gen_bool(self.write_fraction);
-        self.seq += 1;
-        let inv = if write {
-            PackageInterface::ADD_FILE.invocation(&AddFile {
-                name: "delta".into(),
-                data: vec![0xEE; 512],
-            })
+        let oid = self.oid;
+        let op = if write {
+            self.client.op::<PackageInterface>(ctx, oid).invoke(
+                &PackageInterface::ADD_FILE,
+                &AddFile {
+                    name: "delta".into(),
+                    data: vec![0xEE; 512],
+                },
+            )
         } else {
-            PackageInterface::LIST_CONTENTS.invocation(&())
+            self.client
+                .op::<PackageInterface>(ctx, oid)
+                .invoke(&PackageInterface::LIST_CONTENTS, &())
         };
-        self.started.insert(self.seq, (ctx.now(), write));
-        let (oid, seq) = (self.oid, self.seq);
-        self.runtime.invoke(ctx, oid, inv, seq);
+        self.started.insert(op.0, (ctx.now(), write));
         self.schedule_next(ctx);
         self.drain(ctx);
     }
 
     fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
-        loop {
-            let events = self.runtime.take_events();
-            if events.is_empty() {
-                break;
-            }
-            for ev in events {
-                match ev {
-                    RtEvent::BindDone { result, .. } => {
-                        self.bound = result.is_ok();
-                        let _ = ctx;
-                    }
-                    RtEvent::InvokeDone { token, result } => {
-                        if let Some((at, write)) = self.started.remove(&token) {
-                            match result {
-                                Ok(_) => self.done.push((ctx.now().saturating_sub(at), write)),
-                                Err(_) => self.failures += 1,
-                            }
-                        }
-                    }
-                    _ => {}
+        for ev in self.client.take_events() {
+            if let Some((at, write)) = self.started.remove(&ev.op.0) {
+                match ev.result {
+                    Ok(_) => self.done.push((ctx.now().saturating_sub(at), write)),
+                    Err(_) => self.failures += 1,
                 }
             }
         }
@@ -367,8 +333,6 @@ impl InvokeGen {
 
 impl Service for InvokeGen {
     fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
-        let oid = self.oid;
-        self.runtime.bind(ctx, oid, 0);
         self.schedule_next(ctx);
     }
     fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
@@ -376,17 +340,17 @@ impl Service for InvokeGen {
             self.fire(ctx);
             return;
         }
-        if self.runtime.handle_timer(ctx, token) {
+        if self.client.handle_timer(ctx, token) {
             self.drain(ctx);
         }
     }
     fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
-        if self.runtime.handle_datagram(ctx, from, &payload) {
+        if self.client.handle_datagram(ctx, from, &payload) {
             self.drain(ctx);
         }
     }
     fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
-        match self.runtime.handle_conn_event(ctx, conn, ev) {
+        match self.client.handle_conn_event(ctx, conn, ev) {
             RtConn::Consumed | RtConn::AppData { .. } => self.drain(ctx),
             RtConn::NotMine(_) => {}
         }

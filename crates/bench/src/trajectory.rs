@@ -1,0 +1,214 @@
+//! Bench-trajectory comparison: gate the scenario sweep against its
+//! committed baseline.
+//!
+//! `BENCH_scenario_sweep.json` is committed at the repository root, so
+//! every revision carries the sweep matrix it was measured at. This
+//! module diffs a fresh sweep against that baseline and reports any
+//! cell whose fan-out cost (`grp_bytes_encoded`) or tail latency
+//! (`p99_ms`) regressed by more than [`TRAJECTORY_TOLERANCE`] — the
+//! "plotting the JSON trajectory" ROADMAP follow-on in gating form. The
+//! `scenario_sweep` bench (and with it CI's `bench-smoke` job) fails on
+//! violations; set `GLOBE_SWEEP_BASELINE=skip` when a change
+//! intentionally moves the numbers, then commit the regenerated JSON as
+//! the new baseline.
+//!
+//! The parser handles exactly the flat single-line-per-cell format
+//! [`crate::sweep::sweep_json`] emits — no general JSON machinery, no
+//! dependencies.
+
+/// Maximum tolerated relative growth per gated metric (0.10 = +10%).
+pub const TRAJECTORY_TOLERANCE: f64 = 0.10;
+
+/// Absolute slack on `grp_bytes_encoded` (bytes): tiny baselines must
+/// not turn byte-level jitter into a gate failure.
+const BYTES_SLACK: f64 = 1024.0;
+
+/// Absolute slack on `p99_ms` (milliseconds).
+const P99_SLACK: f64 = 0.5;
+
+/// One sweep cell's gated metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrajectoryCell {
+    /// `class/policy/mode`, the cell's identity across revisions.
+    pub key: String,
+    /// GRP bytes the cell's propagation encoded.
+    pub grp_bytes_encoded: u64,
+    /// 99th-percentile read latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+fn field<'a>(row: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = row.find(&pat)? + pat.len();
+    let rest = &row[start..];
+    let end = rest
+        .find([',', '}'])
+        .expect("sweep rows terminate every field");
+    Some(rest[..end].trim())
+}
+
+fn field_str(row: &str, key: &str) -> Option<String> {
+    let raw = field(row, key)?;
+    Some(raw.trim_matches('"').to_owned())
+}
+
+/// Parses the matrix emitted by [`crate::sweep::sweep_json`].
+pub fn parse_sweep_json(json: &str) -> Result<Vec<TrajectoryCell>, String> {
+    let mut cells = Vec::new();
+    let mut rest = json;
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            return Err("unterminated sweep row".into());
+        };
+        let row = &rest[open..open + close + 1];
+        rest = &rest[open + close + 1..];
+        let key = match (
+            field_str(row, "class"),
+            field_str(row, "policy"),
+            field_str(row, "mode"),
+        ) {
+            (Some(c), Some(p), Some(m)) => format!("{c}/{p}/{m}"),
+            _ => return Err(format!("sweep row lacks class/policy/mode: {row}")),
+        };
+        let grp_bytes_encoded = field(row, "grp_bytes_encoded")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("{key}: bad grp_bytes_encoded"))?;
+        let p99_ms = field(row, "p99_ms")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("{key}: bad p99_ms"))?;
+        cells.push(TrajectoryCell {
+            key,
+            grp_bytes_encoded,
+            p99_ms,
+        });
+    }
+    if cells.is_empty() {
+        return Err("sweep JSON contains no cells".into());
+    }
+    Ok(cells)
+}
+
+fn regressed(baseline: f64, current: f64, slack: f64) -> bool {
+    current > baseline * (1.0 + TRAJECTORY_TOLERANCE) + slack
+}
+
+/// Diffs `current` against `baseline` (both in the sweep's JSON
+/// format). `Err` means a matrix could not be parsed; `Ok` carries one
+/// message per regression (empty = within tolerance).
+pub fn compare_trajectory(baseline: &str, current: &str) -> Result<Vec<String>, String> {
+    let base = parse_sweep_json(baseline)?;
+    let cur = parse_sweep_json(current)?;
+    let mut violations = Vec::new();
+    for b in &base {
+        let Some(c) = cur.iter().find(|c| c.key == b.key) else {
+            violations.push(format!("{}: cell missing from current sweep", b.key));
+            continue;
+        };
+        if regressed(
+            b.grp_bytes_encoded as f64,
+            c.grp_bytes_encoded as f64,
+            BYTES_SLACK,
+        ) {
+            violations.push(format!(
+                "{}: grp bytes regressed {} -> {} (> {:.0}% + slack)",
+                b.key,
+                b.grp_bytes_encoded,
+                c.grp_bytes_encoded,
+                TRAJECTORY_TOLERANCE * 100.0
+            ));
+        }
+        if regressed(b.p99_ms, c.p99_ms, P99_SLACK) {
+            violations.push(format!(
+                "{}: p99 regressed {:.3} ms -> {:.3} ms (> {:.0}% + slack)",
+                b.key,
+                b.p99_ms,
+                c.p99_ms,
+                TRAJECTORY_TOLERANCE * 100.0
+            ));
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::sweep_json;
+    use crate::{CellReport, DsoClass};
+    use globe_rts::PropagationMode;
+    use globe_workloads::ScenarioPolicy;
+
+    fn report(bytes: u64, p99: f64) -> CellReport {
+        CellReport {
+            policy: ScenarioPolicy::Central,
+            mode: PropagationMode::PushState,
+            class: DsoClass::Package,
+            regions: 3,
+            replicas: 1,
+            writes_completed: 10,
+            requests: 20,
+            ok: 20,
+            p50_ms: 1.0,
+            p99_ms: p99,
+            grp_encodes: 5,
+            grp_bytes_encoded: bytes,
+            stable_puts: 5,
+            deltas_applied: 0,
+            fresh_reads: 20,
+            stale_reads: 0,
+            wan_bytes: 1000,
+            downloads_recorded: 0,
+        }
+    }
+
+    #[test]
+    fn parses_the_sweep_emitter_format() {
+        let json = sweep_json(&[report(100_000, 12.5)]);
+        let cells = parse_sweep_json(&json).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].key, "package/central/push_state");
+        assert_eq!(cells[0].grp_bytes_encoded, 100_000);
+        assert!((cells[0].p99_ms - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_sweeps_pass() {
+        let json = sweep_json(&[report(100_000, 12.5)]);
+        assert_eq!(
+            compare_trajectory(&json, &json).unwrap(),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn regressions_are_flagged_per_metric() {
+        let base = sweep_json(&[report(100_000, 12.5)]);
+        let worse = sweep_json(&[report(120_000, 20.0)]);
+        let violations = compare_trajectory(&base, &worse).unwrap();
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("grp bytes"));
+        assert!(violations[1].contains("p99"));
+    }
+
+    #[test]
+    fn small_drift_stays_within_tolerance() {
+        let base = sweep_json(&[report(100_000, 12.5)]);
+        let drift = sweep_json(&[report(104_000, 13.0)]);
+        assert_eq!(
+            compare_trajectory(&base, &drift).unwrap(),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn missing_cells_and_garbage_are_errors() {
+        let base = sweep_json(&[report(100_000, 12.5)]);
+        let violations = compare_trajectory(&base, "[\n]\n");
+        assert!(violations.is_err());
+        let two = sweep_json(&[report(1, 1.0)]);
+        let mut only_other = two.clone();
+        only_other = only_other.replace("push_state", "push_delta");
+        let v = compare_trajectory(&two, &only_other).unwrap();
+        assert!(v[0].contains("missing"), "{v:?}");
+    }
+}

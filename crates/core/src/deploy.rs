@@ -212,6 +212,20 @@ impl GdnDeployment {
         moderator: &str,
         ops: Vec<ModOp>,
     ) -> ModeratorTool {
+        let _ = topo;
+        ModeratorTool::new(
+            self.moderator_runtime(host, moderator),
+            self.gns.naming_authority,
+            self.security.moderator_client(moderator),
+            ops,
+        )
+    }
+
+    /// Builds a moderator-credentialed client runtime on `host` —
+    /// write-capable drivers (tests, benches) wrap it in a
+    /// [`GlobeClient`](globe_rts::GlobeClient) or hand it to a
+    /// [`ModeratorTool`].
+    pub fn moderator_runtime(&self, host: HostId, moderator: &str) -> GlobeRuntime {
         let cfg = RuntimeConfig {
             grp_port: ports::DRIVER,
             tls_server: self.security.anonymous_client(),
@@ -222,19 +236,12 @@ impl GdnDeployment {
             open_writes: false,
             persist: false,
         };
-        let runtime = GlobeRuntime::new(
+        GlobeRuntime::new(
             cfg,
             Arc::clone(&self.repo),
             Arc::clone(&self.gls),
             host,
             0x0400,
-        );
-        let _ = topo;
-        ModeratorTool::new(
-            runtime,
-            self.gns.naming_authority,
-            self.security.moderator_client(moderator),
-            ops,
         )
     }
 

@@ -14,39 +14,42 @@
 //! `GET /catalog/<globe-name>` renders a catalog DSO's package index;
 //! `GET /catalog/<globe-name>?q=<term>` searches it;
 //! `GET /mirrors/<globe-name>` renders a mirror-list DSO
-//! (`?region=<n>` filters to one region, fattest pipe first).
+//! (`?region=<n>` filters to one region, fattest pipe first);
+//! `GET /stats/top?n=<k>` ranks the most-downloaded packages from the
+//! configured download-stats object.
 //!
 //! When configured with a stats object
 //! ([`GdnHttpd::with_stats_object`]), every successful `/pkg` fetch
 //! additionally records a download against that
 //! [`DownloadStatsDso`](crate::DownloadStatsDso) — fire-and-forget
-//! writes batched behind a lazy bind, so download telemetry rides the
-//! ordinary replication machinery instead of a side channel.
+//! client ops whose lazy resolve, binding and batching ride the
+//! ordinary operation lifecycle instead of a side channel.
 //!
-//! All object access goes through the typed interface layer: the HTTPD
-//! binds, turns the [`BindInfo`](globe_rts::BindInfo) into a
-//! class-checked [`BoundObject`](globe_rts::BoundObject), and invokes
-//! through typed [`MethodDef`](globe_rts::MethodDef)s — it never
-//! assembles raw invocation frames.
+//! All object access flows through one [`GlobeClient`] session: each
+//! HTTP request becomes a typed client op
+//! (`client.op::<I>(name).invoke(&METHOD, &args)`), and the client owns
+//! name resolution, the bind cache with its freshness window, replica
+//! failover within [`RetryPolicy`](globe_rts::RetryPolicy) bounds, and
+//! result decoding via [`MethodDef`](globe_rts::MethodDef)s — the HTTPD
+//! itself never touches a bind token or a raw runtime event.
 //!
 //! The same service type doubles as the paper's *GDN-enabled proxy
 //! server* when instantiated on a user's machine with anonymous
 //! credentials — the architecture is identical, only the certificates
 //! differ.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use globe_gls::ObjectId;
-use globe_gns::{GnsClient, GnsDeployment, GnsError, GnsEvent};
+use globe_gns::{GnsClient, GnsDeployment, GnsError};
 use globe_net::{impl_service_any, ConnEvent, ConnId, Endpoint, Service, ServiceCtx};
-use globe_rts::{BindError, BindRequest, GlobeRuntime, InvokeError, RtConn, RtEvent};
+use globe_rts::{BindError, ClientError, GlobeClient, GlobeRuntime, InvokeError, OpDone, RtConn};
 use globe_sim::{SimDuration, SimTime};
 
 use crate::catalog::{CatalogEntry, CatalogInterface, Query};
 use crate::http::{HttpRequest, HttpResponse};
 use crate::mirrors::{Mirror, MirrorListInterface, RegionQuery};
 use crate::package::{GetFile, PackageInterface};
-use crate::stats::{DownloadStatsInterface, RecordDownload};
+use crate::stats::{DownloadStatsInterface, PackageStat, RecordDownload, TopQuery};
 
 /// Load counters for one HTTPD.
 #[derive(Clone, Copy, Debug, Default)]
@@ -57,7 +60,8 @@ pub struct HttpdStats {
     pub ok: u64,
     /// Non-200 responses.
     pub errors: u64,
-    /// Requests that skipped name resolution (local name cache).
+    /// Client ops answered from the session's name cache (mirrors
+    /// [`ClientStats::name_cache_hits`](globe_rts::ClientStats)).
     pub name_cache_hits: u64,
     /// `/pkg` fetches recorded into the configured stats object.
     pub downloads_recorded: u64,
@@ -72,6 +76,8 @@ enum ReqKind {
     Catalog { query: Option<String> },
     /// A mirror list, or one region's slice of it.
     Mirrors { region: Option<u32> },
+    /// The download-stats ranking (`/stats/top`).
+    StatsTop { limit: u32 },
 }
 
 #[derive(Debug)]
@@ -79,55 +85,27 @@ struct PendingReq {
     conn: ConnId,
     name: String,
     kind: ReqKind,
-    oid: Option<ObjectId>,
     started: SimTime,
-    /// Rebind attempts used for this request (replica failover).
-    attempts: u32,
 }
 
 /// The GDN-enabled HTTPD service.
 pub struct GdnHttpd {
-    /// The embedded Globe runtime (public for experiments: its local
-    /// representatives are the paper's "LR installed in the GDN-HTTPD").
-    pub runtime: GlobeRuntime,
-    gns: GnsClient,
-    /// Stable name→OID bindings (paper §5: mappings are stable, so
-    /// caching them aggressively is sound).
-    name_cache: BTreeMap<String, ObjectId>,
+    /// The embedded client session (public for experiments: its runtime
+    /// holds the paper's "LR installed in the GDN-HTTPD").
+    pub client: GlobeClient,
+    /// HTTP requests in flight, keyed by their client op.
     requests: BTreeMap<u64, PendingReq>,
-    next_token: u64,
-    /// When each object was last bound; bindings older than
-    /// `bind_refresh` are re-resolved against the GLS so newly created
-    /// replicas become visible (paper §3.1: scenarios adapt to
-    /// popularity changes — clients must notice).
-    bind_times: BTreeMap<u128, SimTime>,
-    bind_refresh: SimDuration,
     /// Globe name of the download-stats object fetches report into.
     stats_object: Option<String>,
-    /// The stats object's id, once resolved.
-    stats_oid: Option<ObjectId>,
-    /// Records awaiting the stats resolve/bind (bounded; see
-    /// [`STATS_PENDING_CAP`]).
-    stats_pending: Vec<RecordDownload>,
-    /// A stats resolve or bind is in flight.
-    stats_busy: bool,
+    /// Fire-and-forget `record` ops in flight.
+    stats_records: BTreeSet<u64>,
     /// Load counters.
     pub stats: HttpdStats,
 }
 
-/// Token marking the stats object's GNS resolution.
-const STATS_RESOLVE: u64 = u64::MAX;
-/// Token marking the stats object's bind.
-const STATS_BIND: u64 = u64::MAX - 1;
-/// Token marking fire-and-forget `record` invocations.
-const STATS_RECORD: u64 = u64::MAX - 2;
-/// Telemetry queued behind an unresolved stats object past this cap is
-/// dropped oldest-first — stats must never hold user fetches hostage.
-const STATS_PENDING_CAP: usize = 256;
-
 impl GdnHttpd {
-    /// Creates an HTTPD with an embedded runtime and a GNS client
-    /// resolving via the host's site resolver.
+    /// Creates an HTTPD whose client session embeds `runtime` and a GNS
+    /// resolver via the host's site resolver.
     pub fn new(
         runtime: GlobeRuntime,
         gns_deploy: &GnsDeployment,
@@ -135,111 +113,60 @@ impl GdnHttpd {
         host: globe_net::HostId,
         gns_ns: u16,
     ) -> GdnHttpd {
+        let gns = GnsClient::new(gns_deploy, topo, host, gns_ns);
         GdnHttpd {
-            runtime,
-            gns: GnsClient::new(gns_deploy, topo, host, gns_ns),
-            name_cache: BTreeMap::new(),
+            client: GlobeClient::new(runtime, gns_ns + 1).with_resolver(gns),
             requests: BTreeMap::new(),
-            next_token: 1,
-            bind_times: BTreeMap::new(),
-            bind_refresh: SimDuration::from_secs(30),
             stats_object: None,
-            stats_oid: None,
-            stats_pending: Vec::new(),
-            stats_busy: false,
+            stats_records: BTreeSet::new(),
             stats: HttpdStats::default(),
         }
     }
 
-    /// Overrides how long a binding is trusted before the GLS is asked
-    /// again (default 30 s).
+    /// Overrides how long the client trusts a binding before the GLS is
+    /// asked again (default 30 s).
     pub fn with_bind_refresh(mut self, d: SimDuration) -> GdnHttpd {
-        self.bind_refresh = d;
+        self.client.config.bind_refresh = d;
         self
     }
 
     /// Records every successful `/pkg` fetch into the download-stats
-    /// object named `name`. The object is resolved and bound lazily on
-    /// the first fetch, so it may be published after this HTTPD starts.
-    /// The HTTPD's runtime credentials must pass the write gate (the
-    /// deployment's HTTPDs hold host certificates, which do).
+    /// object named `name`, and serves `/stats/top` from it. The object
+    /// is resolved and bound lazily by the first op that needs it, so it
+    /// may be published after this HTTPD starts. The HTTPD's runtime
+    /// credentials must pass the write gate (the deployment's HTTPDs
+    /// hold host certificates, which do).
     pub fn with_stats_object(mut self, name: &str) -> GdnHttpd {
         self.stats_object = Some(name.to_owned());
         self
     }
 
-    fn bind_fresh(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId, token: u64) {
-        let stale = self
-            .bind_times
-            .get(&oid.0)
-            .map(|&t| ctx.now().saturating_sub(t) > self.bind_refresh)
-            .unwrap_or(false);
-        if stale && self.runtime.is_bound(oid) {
-            // Re-resolve against the GLS without discarding the
-            // representative: cached state survives the swap, so a TTL
-            // cache's next refresh is a delta, not a full refetch.
-            self.bind_times.insert(oid.0, ctx.now());
-            self.runtime.rebind(ctx, oid, token);
-            return;
-        }
-        if !self.runtime.is_bound(oid) {
-            self.bind_times.insert(oid.0, ctx.now());
-        }
-        self.runtime.submit_bind(ctx, BindRequest::new(oid, token));
-    }
-
-    /// Queues one download observation for the configured stats object
-    /// and pushes it out as a fire-and-forget `record` write. The first
-    /// observation triggers the lazy resolve → bind chain; failures are
-    /// counted and dropped — telemetry must never fail a user fetch.
+    /// Queues one download observation as a fire-and-forget `record` op
+    /// against the configured stats object. Failures are counted and
+    /// dropped — telemetry must never fail a user fetch.
     fn record_download(&mut self, ctx: &mut ServiceCtx<'_>, name: String, bytes: u64) {
-        if self.stats_object.is_none() {
-            return;
-        }
-        if self.stats_pending.len() >= STATS_PENDING_CAP {
-            self.stats_pending.remove(0);
-            ctx.metrics().inc("httpd.stats.dropped", 1);
-        }
-        self.stats_pending.push(RecordDownload { name, bytes });
-        match self.stats_oid {
-            Some(oid) if self.runtime.is_bound(oid) => self.flush_stats(ctx),
-            Some(oid) => {
-                if !self.stats_busy {
-                    self.stats_busy = true;
-                    self.runtime
-                        .submit_bind(ctx, BindRequest::new(oid, STATS_BIND));
-                }
-            }
-            None => {
-                if !self.stats_busy {
-                    self.stats_busy = true;
-                    let stats_name = self.stats_object.clone().expect("checked above");
-                    self.gns.resolve(ctx, &stats_name, STATS_RESOLVE);
-                }
-            }
-        }
-    }
-
-    /// Sends every queued observation as a typed `record` invocation.
-    fn flush_stats(&mut self, ctx: &mut ServiceCtx<'_>) {
-        let Some(oid) = self.stats_oid else {
+        let Some(stats_name) = self.stats_object.clone() else {
             return;
         };
-        for rec in std::mem::take(&mut self.stats_pending) {
-            let inv = DownloadStatsInterface::RECORD.invocation(&rec);
-            self.runtime.invoke(ctx, oid, inv, STATS_RECORD);
-        }
+        let op = self
+            .client
+            .op::<DownloadStatsInterface>(ctx, stats_name)
+            .invoke(
+                &DownloadStatsInterface::RECORD,
+                &RecordDownload { name, bytes },
+            );
+        self.stats_records.insert(op.0);
     }
 
     fn respond(
         &mut self,
         ctx: &mut ServiceCtx<'_>,
-        token: u64,
+        op: u64,
         status: u16,
         ctype: &str,
         body: &[u8],
     ) {
-        let Some(req) = self.requests.remove(&token) else {
+        let Some(req) = self.requests.remove(&op) else {
             return;
         };
         if status == 200 {
@@ -255,38 +182,64 @@ impl GdnHttpd {
         ctx.close(req.conn);
     }
 
+    /// Answers a request without an object behind it (static pages,
+    /// parse errors).
+    fn reply_now(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, status: u16, body: &[u8]) {
+        let ctype = if status == 200 {
+            "text/html"
+        } else {
+            "text/plain"
+        };
+        ctx.send(conn, HttpResponse::build(status, ctype, body));
+        ctx.close(conn);
+        if status == 200 {
+            self.stats.ok += 1;
+        } else {
+            self.stats.errors += 1;
+        }
+    }
+
     fn handle_http(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, data: &[u8]) {
         self.stats.requests += 1;
         ctx.metrics().inc("httpd.requests", 1);
         let Some(req) = HttpRequest::parse(data) else {
-            ctx.send(
-                conn,
-                HttpResponse::build(400, "text/plain", b"malformed request"),
-            );
-            ctx.close(conn);
-            self.stats.errors += 1;
+            self.reply_now(ctx, conn, 400, b"malformed request");
             return;
         };
         let (route, query) = req.split_query();
         if req.method != "GET" {
-            ctx.send(
-                conn,
-                HttpResponse::build(400, "text/plain", b"only GET is supported"),
-            );
-            ctx.close(conn);
-            self.stats.errors += 1;
+            self.reply_now(ctx, conn, 400, b"only GET is supported");
             return;
         }
-        let (name, kind) = if let Some(name) = route.strip_prefix("/pkg") {
+        let (name, kind) = if route == "/stats/top" {
+            // The ranking lives in the configured stats object; without
+            // one there is nothing to rank.
+            if self.stats_object.is_none() {
+                self.reply_now(ctx, conn, 404, b"no stats object configured");
+                return;
+            }
+            let limit = match query.and_then(|q| q.strip_prefix("n=")) {
+                Some(raw) => match raw.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        self.reply_now(ctx, conn, 400, b"bad top limit");
+                        return;
+                    }
+                },
+                None => 10,
+            };
+            let stats_name = self.stats_object.clone().expect("checked above");
+            (stats_name, ReqKind::StatsTop { limit })
+        } else if let Some(name) = route.strip_prefix("/pkg") {
             let file = query
                 .and_then(|q| q.strip_prefix("file="))
                 .map(|f| f.to_owned());
-            (name, ReqKind::Package { file })
+            (name.to_owned(), ReqKind::Package { file })
         } else if let Some(name) = route.strip_prefix("/catalog") {
             let q = query
                 .and_then(|q| q.strip_prefix("q="))
                 .map(|q| q.to_owned());
-            (name, ReqKind::Catalog { query: q })
+            (name.to_owned(), ReqKind::Catalog { query: q })
         } else if let Some(name) = route.strip_prefix("/mirrors") {
             let region = match query.and_then(|q| q.strip_prefix("region=")) {
                 Some(raw) => match raw.parse() {
@@ -294,392 +247,218 @@ impl GdnHttpd {
                     Err(_) => {
                         // A malformed filter must not silently widen to
                         // the full list — the client asked for a slice.
-                        ctx.send(
-                            conn,
-                            HttpResponse::build(400, "text/plain", b"bad region filter"),
-                        );
-                        ctx.close(conn);
-                        self.stats.errors += 1;
+                        self.reply_now(ctx, conn, 400, b"bad region filter");
                         return;
                     }
                 },
                 None => None,
             };
-            (name, ReqKind::Mirrors { region })
+            (name.to_owned(), ReqKind::Mirrors { region })
         } else {
             if route == "/index.html" || route == "/" {
                 let body = b"<html><body><h1>Globe Distribution Network</h1>\
                     <p>Fetch /pkg/&lt;package-name&gt; for a listing, or \
                     /catalog/&lt;catalog-name&gt; for a package index.</p></body></html>";
-                ctx.send(conn, HttpResponse::build(200, "text/html", body));
-                ctx.close(conn);
-                self.stats.ok += 1;
+                self.reply_now(ctx, conn, 200, body);
                 return;
             }
-            ctx.send(
-                conn,
-                HttpResponse::build(404, "text/plain", b"unknown route"),
-            );
-            ctx.close(conn);
-            self.stats.errors += 1;
+            self.reply_now(ctx, conn, 404, b"unknown route");
             return;
         };
-        let token = self.next_token;
-        self.next_token += 1;
+        // One typed client op per request: the session resolves the
+        // embedded object name (paper §4), binds with its freshness
+        // window, and invokes the method the route implies.
+        let op = match kind.clone() {
+            ReqKind::Package { file } => match file {
+                Some(fname) => self
+                    .client
+                    .op::<PackageInterface>(ctx, name.as_str())
+                    .invoke(&PackageInterface::GET_FILE, &GetFile { name: fname }),
+                None => self
+                    .client
+                    .op::<PackageInterface>(ctx, name.as_str())
+                    .invoke(&PackageInterface::LIST_CONTENTS, &()),
+            },
+            ReqKind::Catalog { query } => match query {
+                Some(term) => self
+                    .client
+                    .op::<CatalogInterface>(ctx, name.as_str())
+                    .invoke(&CatalogInterface::SEARCH, &Query { term }),
+                None => self
+                    .client
+                    .op::<CatalogInterface>(ctx, name.as_str())
+                    .invoke(&CatalogInterface::LIST, &()),
+            },
+            ReqKind::Mirrors { region } => match region {
+                Some(region) => self
+                    .client
+                    .op::<MirrorListInterface>(ctx, name.as_str())
+                    .invoke(&MirrorListInterface::IN_REGION, &RegionQuery { region }),
+                None => self
+                    .client
+                    .op::<MirrorListInterface>(ctx, name.as_str())
+                    .invoke(&MirrorListInterface::LIST, &()),
+            },
+            ReqKind::StatsTop { limit } => self
+                .client
+                .op::<DownloadStatsInterface>(ctx, name.as_str())
+                .invoke(&DownloadStatsInterface::TOP, &TopQuery { limit }),
+        };
         self.requests.insert(
-            token,
+            op.0,
             PendingReq {
                 conn,
-                name: name.to_owned(),
+                name,
                 kind,
-                oid: None,
                 started: ctx.now(),
-                attempts: 0,
             },
         );
-        // Resolve the embedded object name (paper §4), consulting the
-        // local name cache first.
-        match self.name_cache.get(name).copied() {
-            Some(oid) => {
-                self.stats.name_cache_hits += 1;
-                if let Some(r) = self.requests.get_mut(&token) {
-                    r.oid = Some(oid);
-                }
-                self.bind_fresh(ctx, oid, token);
-                self.drain(ctx);
-            }
-            None => {
-                self.gns.resolve(ctx, name, token);
-                self.drain_gns(ctx);
-            }
-        }
-    }
-
-    fn drain_gns(&mut self, ctx: &mut ServiceCtx<'_>) {
-        for ev in self.gns.take_events() {
-            let GnsEvent::Resolved { token, result, .. } = ev;
-            if token == STATS_RESOLVE {
-                // The stats object's lazy resolution: on success, chain
-                // straight into the bind; on failure (e.g. not yet
-                // published), a later fetch retries.
-                match result {
-                    Ok(oid) => {
-                        self.stats_oid = Some(oid);
-                        self.runtime
-                            .submit_bind(ctx, BindRequest::new(oid, STATS_BIND));
-                    }
-                    Err(_) => {
-                        self.stats_busy = false;
-                        ctx.metrics().inc("httpd.stats.resolve_failed", 1);
-                    }
-                }
-                continue;
-            }
-            match result {
-                Ok(oid) => {
-                    if let Some(req) = self.requests.get_mut(&token) {
-                        req.oid = Some(oid);
-                        let name = req.name.clone();
-                        self.name_cache.insert(name, oid);
-                        self.bind_fresh(ctx, oid, token);
-                    }
-                }
-                Err(GnsError::Dns(_)) => {
-                    self.respond(ctx, token, 404, "text/plain", b"no such package");
-                }
-                Err(e) => {
-                    self.respond(ctx, token, 400, "text/plain", e.to_string().as_bytes());
-                }
-            }
-        }
         self.drain(ctx);
     }
 
     fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
-        // Loop: handling one event may synchronously produce the next
-        // (bind hit → invoke → local cache hit → completion).
+        // Loop: responding may start follow-up ops (download telemetry)
+        // that complete synchronously against a local representative.
         loop {
-            let events = self.runtime.take_events();
+            let events = self.client.take_events();
             if events.is_empty() {
                 break;
             }
-            for ev in events {
-                self.handle_rt_event(ctx, ev);
+            for done in events {
+                self.on_op_done(ctx, done);
             }
         }
+        self.stats.name_cache_hits = self.client.stats.name_cache_hits;
     }
 
-    fn handle_rt_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: RtEvent) {
-        {
-            match ev {
-                // Stats-hook completions ride dedicated tokens so they
-                // never collide with user requests.
-                RtEvent::BindDone { token, result } if token == STATS_BIND => {
-                    self.stats_busy = false;
-                    match result {
-                        Ok(_) => self.flush_stats(ctx),
-                        Err(_) => {
-                            // Retry from resolution on a later fetch.
-                            ctx.metrics().inc("httpd.stats.bind_failed", 1);
-                            self.stats_oid = None;
-                        }
+    fn on_op_done(&mut self, ctx: &mut ServiceCtx<'_>, done: OpDone) {
+        if self.stats_records.remove(&done.op.0) {
+            // Telemetry completions: count, never touch a user fetch.
+            match done.result {
+                Ok(_) => {
+                    self.stats.downloads_recorded += 1;
+                    ctx.metrics().inc("httpd.stats.recorded", 1);
+                }
+                Err(ClientError::Saturated) => {
+                    ctx.metrics().inc("httpd.stats.dropped", 1);
+                }
+                Err(_) => ctx.metrics().inc("httpd.stats.record_failed", 1),
+            }
+            return;
+        }
+        let op = done.op.0;
+        let Some(req) = self.requests.get(&op) else {
+            return;
+        };
+        let output = match done.result {
+            Ok(output) => output,
+            Err(e) => {
+                let (status, body) = error_response(&e);
+                if status == 504 {
+                    ctx.metrics().inc("httpd.err.replica_unreachable", 1);
+                }
+                self.respond(ctx, op, status, "text/plain", &body);
+                return;
+            }
+        };
+        let name = req.name.clone();
+        match req.kind.clone() {
+            ReqKind::Package { file: Some(_) } => {
+                // Typed result, digest-verified end to end (paper §6.1).
+                match output
+                    .decode(&PackageInterface::GET_FILE)
+                    .ok()
+                    .and_then(|blob| blob.verified().ok())
+                {
+                    Some(contents) => {
+                        let bytes = contents.len() as u64;
+                        self.respond(ctx, op, 200, "application/octet-stream", &contents);
+                        self.record_download(ctx, name, bytes);
+                    }
+                    None => {
+                        self.respond(ctx, op, 500, "text/plain", b"corrupt file payload");
                     }
                 }
-                RtEvent::InvokeDone { token, result } if token == STATS_RECORD => match result {
-                    Ok(_) => {
-                        self.stats.downloads_recorded += 1;
-                        ctx.metrics().inc("httpd.stats.recorded", 1);
-                    }
-                    Err(_) => ctx.metrics().inc("httpd.stats.record_failed", 1),
-                },
-                RtEvent::BindDone { token, result } => match result {
-                    Ok(info) => {
-                        let Some(req) = self.requests.get(&token) else {
-                            return;
-                        };
-                        // Typed dispatch: the bind info is checked
-                        // against the interface the route implies, and
-                        // the typed proxy marshals the invocation.
-                        match req.kind.clone() {
-                            ReqKind::Package { file } => match info.typed::<PackageInterface>() {
-                                Ok(bound) => match file {
-                                    Some(name) => bound.invoke(
-                                        &mut self.runtime,
-                                        ctx,
-                                        &PackageInterface::GET_FILE,
-                                        &GetFile { name },
-                                        token,
-                                    ),
-                                    None => bound.invoke(
-                                        &mut self.runtime,
-                                        ctx,
-                                        &PackageInterface::LIST_CONTENTS,
-                                        &(),
-                                        token,
-                                    ),
-                                },
-                                Err(e) => {
-                                    self.respond(
-                                        ctx,
-                                        token,
-                                        500,
-                                        "text/plain",
-                                        e.to_string().as_bytes(),
-                                    );
-                                }
-                            },
-                            ReqKind::Catalog { query } => match info.typed::<CatalogInterface>() {
-                                Ok(bound) => match query {
-                                    Some(term) => bound.invoke(
-                                        &mut self.runtime,
-                                        ctx,
-                                        &CatalogInterface::SEARCH,
-                                        &Query { term },
-                                        token,
-                                    ),
-                                    None => bound.invoke(
-                                        &mut self.runtime,
-                                        ctx,
-                                        &CatalogInterface::LIST,
-                                        &(),
-                                        token,
-                                    ),
-                                },
-                                Err(e) => {
-                                    self.respond(
-                                        ctx,
-                                        token,
-                                        500,
-                                        "text/plain",
-                                        e.to_string().as_bytes(),
-                                    );
-                                }
-                            },
-                            ReqKind::Mirrors { region } => {
-                                match info.typed::<MirrorListInterface>() {
-                                    Ok(bound) => match region {
-                                        Some(region) => bound.invoke(
-                                            &mut self.runtime,
-                                            ctx,
-                                            &MirrorListInterface::IN_REGION,
-                                            &RegionQuery { region },
-                                            token,
-                                        ),
-                                        None => bound.invoke(
-                                            &mut self.runtime,
-                                            ctx,
-                                            &MirrorListInterface::LIST,
-                                            &(),
-                                            token,
-                                        ),
-                                    },
-                                    Err(e) => {
-                                        self.respond(
-                                            ctx,
-                                            token,
-                                            500,
-                                            "text/plain",
-                                            e.to_string().as_bytes(),
-                                        );
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    Err(BindError::NotFound) => {
-                        // Stale name cache: the object vanished.
-                        if let Some(req) = self.requests.get(&token) {
-                            let name = req.name.clone();
-                            self.name_cache.remove(&name);
-                        }
-                        self.respond(ctx, token, 404, "text/plain", b"package not available");
-                    }
-                    Err(e) => {
-                        self.respond(ctx, token, 502, "text/plain", e.to_string().as_bytes());
-                    }
-                },
-                RtEvent::InvokeDone { token, result } => match result {
-                    Ok(data) => {
-                        let Some(req) = self.requests.get(&token) else {
-                            return;
-                        };
-                        let name = req.name.clone();
-                        match req.kind.clone() {
-                            ReqKind::Package { file: Some(_) } => {
-                                // Typed result, digest-verified end to
-                                // end (paper §6.1).
-                                match PackageInterface::GET_FILE
-                                    .decode_result(&data)
-                                    .ok()
-                                    .and_then(|blob| blob.verified().ok())
-                                {
-                                    Some(contents) => {
-                                        let bytes = contents.len() as u64;
-                                        self.respond(
-                                            ctx,
-                                            token,
-                                            200,
-                                            "application/octet-stream",
-                                            &contents,
-                                        );
-                                        self.record_download(ctx, name, bytes);
-                                    }
-                                    None => {
-                                        self.respond(
-                                            ctx,
-                                            token,
-                                            500,
-                                            "text/plain",
-                                            b"corrupt file payload",
-                                        );
-                                    }
-                                }
-                            }
-                            ReqKind::Package { file: None } => {
-                                match PackageInterface::LIST_CONTENTS.decode_result(&data) {
-                                    Ok(listing) => {
-                                        let html = render_listing(&name, &listing);
-                                        self.respond(ctx, token, 200, "text/html", html.as_bytes());
-                                        let bytes = html.len() as u64;
-                                        self.record_download(ctx, name, bytes);
-                                    }
-                                    Err(_) => {
-                                        self.respond(
-                                            ctx,
-                                            token,
-                                            500,
-                                            "text/plain",
-                                            b"corrupt listing",
-                                        );
-                                    }
-                                }
-                            }
-                            ReqKind::Catalog { query } => {
-                                // LIST and SEARCH share their result
-                                // type; either decodes here.
-                                match CatalogInterface::LIST.decode_result(&data) {
-                                    Ok(entries) => {
-                                        let html =
-                                            render_catalog(&name, query.as_deref(), &entries);
-                                        self.respond(ctx, token, 200, "text/html", html.as_bytes());
-                                    }
-                                    Err(_) => {
-                                        self.respond(
-                                            ctx,
-                                            token,
-                                            500,
-                                            "text/plain",
-                                            b"corrupt catalog",
-                                        );
-                                    }
-                                }
-                            }
-                            ReqKind::Mirrors { region } => {
-                                // LIST and IN_REGION share their result
-                                // type; either decodes here.
-                                match MirrorListInterface::LIST.decode_result(&data) {
-                                    Ok(mirrors) => {
-                                        let html = render_mirrors(&name, region, &mirrors);
-                                        self.respond(ctx, token, 200, "text/html", html.as_bytes());
-                                    }
-                                    Err(_) => {
-                                        self.respond(
-                                            ctx,
-                                            token,
-                                            500,
-                                            "text/plain",
-                                            b"corrupt mirror list",
-                                        );
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    Err(InvokeError::Sem(msg)) if msg.contains("no file") => {
-                        self.respond(ctx, token, 404, "text/plain", msg.as_bytes());
-                    }
-                    Err(InvokeError::AccessDenied) => {
-                        self.respond(ctx, token, 403, "text/plain", b"forbidden");
-                    }
-                    Err(InvokeError::Timeout) | Err(InvokeError::PeerUnreachable) => {
-                        // The replica behind the current binding is
-                        // unreachable. Re-bind: the GLS still lists every
-                        // replica, and its random pointer descent finds a
-                        // different (live) one — the paper's replication-
-                        // for-availability put into practice at the
-                        // client side.
-                        ctx.metrics().inc("httpd.err.replica_unreachable", 1);
-                        let retry = match self.requests.get_mut(&token) {
-                            Some(req) if req.attempts < 3 => {
-                                req.attempts += 1;
-                                req.oid
-                            }
-                            _ => None,
-                        };
-                        match retry {
-                            Some(oid) => {
-                                ctx.metrics().inc("httpd.rebinds", 1);
-                                self.bind_times.insert(oid.0, ctx.now());
-                                self.runtime.rebind(ctx, oid, token);
-                            }
-                            None => {
-                                self.respond(ctx, token, 504, "text/plain", b"replica unreachable");
-                            }
-                        }
-                    }
-                    Err(e) => {
-                        self.respond(ctx, token, 502, "text/plain", e.to_string().as_bytes());
-                    }
-                },
-                RtEvent::Registered { .. } | RtEvent::Deregistered { .. } => {}
             }
+            ReqKind::Package { file: None } => {
+                match output.decode(&PackageInterface::LIST_CONTENTS) {
+                    Ok(listing) => {
+                        let html = render_listing(&name, &listing);
+                        self.respond(ctx, op, 200, "text/html", html.as_bytes());
+                        let bytes = html.len() as u64;
+                        self.record_download(ctx, name, bytes);
+                    }
+                    Err(_) => {
+                        self.respond(ctx, op, 500, "text/plain", b"corrupt listing");
+                    }
+                }
+            }
+            ReqKind::Catalog { query } => {
+                // LIST and SEARCH share their result type; either
+                // decodes here.
+                match output.decode(&CatalogInterface::LIST) {
+                    Ok(entries) => {
+                        let html = render_catalog(&name, query.as_deref(), &entries);
+                        self.respond(ctx, op, 200, "text/html", html.as_bytes());
+                    }
+                    Err(_) => {
+                        self.respond(ctx, op, 500, "text/plain", b"corrupt catalog");
+                    }
+                }
+            }
+            ReqKind::Mirrors { region } => {
+                // LIST and IN_REGION share their result type; either
+                // decodes here.
+                match output.decode(&MirrorListInterface::LIST) {
+                    Ok(mirrors) => {
+                        let html = render_mirrors(&name, region, &mirrors);
+                        self.respond(ctx, op, 200, "text/html", html.as_bytes());
+                    }
+                    Err(_) => {
+                        self.respond(ctx, op, 500, "text/plain", b"corrupt mirror list");
+                    }
+                }
+            }
+            ReqKind::StatsTop { limit } => match output.decode(&DownloadStatsInterface::TOP) {
+                Ok(top) => {
+                    let html = render_stats_top(limit, &top);
+                    self.respond(ctx, op, 200, "text/html", html.as_bytes());
+                }
+                Err(_) => {
+                    self.respond(ctx, op, 500, "text/plain", b"corrupt stats");
+                }
+            },
         }
     }
 }
 
-/// Escapes `&`, `<` and `>` for interpolation into HTML: names, search
-/// terms and descriptions all originate outside the HTTPD (anonymous
-/// query strings, moderator uploads) and must not inject markup.
+/// Maps an operation failure to the HTTP status and body the user sees.
+fn error_response(e: &ClientError) -> (u16, Vec<u8>) {
+    match e {
+        ClientError::Resolve(GnsError::Dns(_)) => (404, b"no such package".to_vec()),
+        ClientError::Resolve(e) => (400, e.to_string().into_bytes()),
+        // Stale name cache (the object vanished): the client has already
+        // evicted the name, so a later fetch re-resolves.
+        ClientError::Bind(BindError::NotFound) => (404, b"package not available".to_vec()),
+        ClientError::Invoke(InvokeError::Sem(msg)) if msg.contains("no file") => {
+            (404, msg.clone().into_bytes())
+        }
+        ClientError::Invoke(InvokeError::AccessDenied) => (403, b"forbidden".to_vec()),
+        // The client exhausted its retry policy against unreachable
+        // replicas (paper's replication-for-availability, client side).
+        ClientError::Invoke(InvokeError::Timeout | InvokeError::PeerUnreachable) => {
+            (504, b"replica unreachable".to_vec())
+        }
+        ClientError::Interface(e) => (500, e.to_string().into_bytes()),
+        e => (502, e.to_string().into_bytes()),
+    }
+}
+
+/// Escapes `&`, `<`, `>` and both quote characters for interpolation
+/// into HTML: names, search terms and descriptions all originate
+/// outside the HTTPD (anonymous query strings, moderator uploads) and
+/// must not inject markup — quotes matter because names land inside
+/// `href="..."` attributes.
 fn escape_html(raw: &str) -> String {
     let mut out = String::with_capacity(raw.len());
     for c in raw.chars() {
@@ -687,6 +466,8 @@ fn escape_html(raw: &str) -> String {
             '&' => out.push_str("&amp;"),
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
             c => out.push(c),
         }
     }
@@ -772,24 +553,44 @@ fn render_mirrors(name: &str, region: Option<u32>, mirrors: &[Mirror]) -> String
     html
 }
 
+/// Renders the download-stats ranking: most-downloaded first, each
+/// entry linking to its package listing.
+fn render_stats_top(limit: u32, top: &[PackageStat]) -> String {
+    use std::fmt::Write as _;
+    let mut html = String::new();
+    let _ = write!(
+        html,
+        "<html><head><title>top downloads</title></head><body>\
+         <h1>Top {limit} downloads</h1><ol>"
+    );
+    for s in top {
+        let _ = write!(
+            html,
+            "<li><a href=\"/pkg{pkg}\">{pkg}</a> &mdash; {downloads} download(s), {bytes} bytes</li>",
+            pkg = escape_html(&s.name),
+            downloads = s.downloads,
+            bytes = s.bytes,
+        );
+    }
+    let _ = write!(html, "</ol></body></html>");
+    html
+}
+
 impl Service for GdnHttpd {
     fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
-        if self.runtime.handle_datagram(ctx, from, &payload) {
+        if self.client.handle_datagram(ctx, from, &payload) {
             self.drain(ctx);
-            return;
-        }
-        if self.gns.handle_datagram(ctx, from, &payload) {
-            self.drain_gns(ctx);
         }
     }
 
     fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
-        match self.runtime.handle_conn_event(ctx, conn, ev) {
+        match self.client.handle_conn_event(ctx, conn, ev) {
             RtConn::Consumed | RtConn::AppData { .. } => self.drain(ctx),
             RtConn::NotMine(ev) => match ev {
                 ConnEvent::Msg(data) => self.handle_http(ctx, conn, &data),
                 ConnEvent::Closed(_) => {
-                    // Drop pending work for a browser that went away.
+                    // Drop pending work for a browser that went away (the
+                    // underlying client op finishes and is discarded).
                     let stale: Vec<u64> = self
                         .requests
                         .iter()
@@ -806,23 +607,15 @@ impl Service for GdnHttpd {
     }
 
     fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
-        if self.runtime.handle_timer(ctx, token) {
+        if self.client.handle_timer(ctx, token) {
             self.drain(ctx);
-            return;
-        }
-        if self.gns.handle_timer(ctx, token) {
-            self.drain_gns(ctx);
         }
     }
 
     fn on_crash(&mut self, _now: SimTime) {
-        self.runtime.on_crash();
+        self.client.on_crash();
         self.requests.clear();
-        self.name_cache.clear();
-        self.bind_times.clear();
-        self.stats_oid = None;
-        self.stats_pending.clear();
-        self.stats_busy = false;
+        self.stats_records.clear();
     }
 
     impl_service_any!();
@@ -894,6 +687,28 @@ mod tests {
     }
 
     #[test]
+    fn stats_top_html_ranks_and_links() {
+        let top = vec![
+            PackageStat {
+                name: "/apps/graphics/gimp".into(),
+                downloads: 12,
+                bytes: 4096,
+            },
+            PackageStat {
+                name: "/apps/<evil>".into(),
+                downloads: 3,
+                bytes: 77,
+            },
+        ];
+        let html = render_stats_top(5, &top);
+        assert!(html.contains("<title>top downloads</title>"));
+        assert!(html.contains("Top 5 downloads"));
+        assert!(html.contains("href=\"/pkg/apps/graphics/gimp\""));
+        assert!(html.contains("12 download(s), 4096 bytes"));
+        assert!(!html.contains("<evil>"), "{html}");
+    }
+
+    #[test]
     fn rendered_html_escapes_untrusted_input() {
         let entries = vec![CatalogEntry {
             name: "/apps/<evil>".into(),
@@ -912,5 +727,44 @@ mod tests {
         let html = render_listing("/apps/<evil>", &listing);
         assert!(!html.contains("<img"), "{html}");
         assert!(html.contains("&lt;img src=x&gt;"));
+
+        // Quotes must not break out of href attributes.
+        let top = vec![PackageStat {
+            name: "/x\" onfocus=\"alert(1)".into(),
+            downloads: 1,
+            bytes: 1,
+        }];
+        let html = render_stats_top(1, &top);
+        assert!(!html.contains("onfocus=\""), "{html}");
+        assert!(html.contains("&quot;"));
+    }
+
+    #[test]
+    fn error_responses_map_client_errors_to_statuses() {
+        use globe_gns::DnsError;
+        assert_eq!(
+            error_response(&ClientError::Resolve(GnsError::Dns(DnsError::NxDomain))).0,
+            404
+        );
+        assert_eq!(
+            error_response(&ClientError::Bind(BindError::NotFound)).0,
+            404
+        );
+        assert_eq!(
+            error_response(&ClientError::Invoke(InvokeError::AccessDenied)).0,
+            403
+        );
+        assert_eq!(
+            error_response(&ClientError::Invoke(InvokeError::PeerUnreachable)).0,
+            504
+        );
+        assert_eq!(
+            error_response(&ClientError::Invoke(InvokeError::Sem("no file x".into()))).0,
+            404
+        );
+        assert_eq!(
+            error_response(&ClientError::Bind(BindError::NoAddress)).0,
+            502
+        );
     }
 }

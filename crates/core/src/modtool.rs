@@ -9,8 +9,12 @@
 //! Name Service."
 //!
 //! [`ModeratorTool`] executes exactly that pipeline as an event-driven
-//! state machine, plus package-content updates (bind + write methods)
-//! and removal (name removal + replica deletion).
+//! state machine, plus package-content updates and removal (name
+//! removal and replica deletion). Object access — the content fill
+//! after replica creation, and post-publish writes — rides the tool's
+//! [`GlobeClient`] session: each content write is one client op, the
+//! session owns the bind, and the tool only matches
+//! [`OpDone`] completions.
 //!
 //! The pipeline is class-generic: [`ModOp::Publish`] is package sugar
 //! over [`ModOp::PublishObject`], which creates a DSO of *any*
@@ -26,8 +30,8 @@ use globe_gls::ObjectId;
 use globe_gns::{NaClient, NaEvent};
 use globe_net::{impl_service_any, ConnEvent, ConnId, Endpoint, Service, ServiceCtx};
 use globe_rts::{
-    protocol_id, BindRequest, GlobeRuntime, GosCmd, GosResp, ImplId, Invocation, PropagationMode,
-    RoleSpec, RtConn, RtEvent,
+    protocol_id, GlobeClient, GlobeRuntime, GosCmd, GosResp, ImplId, Invocation, OpDone,
+    PropagationMode, RoleSpec, RtConn,
 };
 
 use crate::package::{AddFile, Meta, PackageInterface, PACKAGE_IMPL};
@@ -193,13 +197,12 @@ enum Stage {
     CreateFirst,
     /// Waiting for `remaining` additional replicas.
     CreateRest { remaining: usize },
-    /// Waiting for `remaining` content invocations (meta + files).
+    /// Waiting for `remaining` content ops (meta + files), pipelined
+    /// through the client session.
     Fill { remaining: usize },
     /// Waiting for the Naming Authority.
     RegisterName,
-    /// AddFile: waiting for the bind.
-    UpdateBind,
-    /// AddFile: waiting for the write.
+    /// AddFile: waiting for the single content-update op.
     UpdateWrite,
     /// Remove: waiting for the name removal, then replica deletions.
     RemoveName,
@@ -215,8 +218,8 @@ struct Active {
 
 /// The moderator tool service.
 pub struct ModeratorTool {
-    /// The embedded Globe runtime (used for binds and content writes).
-    pub runtime: GlobeRuntime,
+    /// The embedded client session (binds and content writes).
+    pub client: GlobeClient,
     na: NaClient,
     queue: Vec<ModOp>,
     active: Option<Active>,
@@ -238,7 +241,7 @@ impl ModeratorTool {
         ops: Vec<ModOp>,
     ) -> ModeratorTool {
         ModeratorTool {
-            runtime,
+            client: GlobeClient::new(runtime, 0x0410),
             na: NaClient::new(na_endpoint, na_tls),
             queue: ops,
             active: None,
@@ -269,12 +272,12 @@ impl ModeratorTool {
         let conn = match self.gos_conns.get(&gos) {
             Some(&c) => c,
             None => {
-                let c = self.runtime.open_app_conn(ctx, gos);
+                let c = self.client.open_app_conn(ctx, gos);
                 self.gos_conns.insert(gos, c);
                 c
             }
         };
-        self.runtime.send_app(ctx, conn, &cmd.encode());
+        self.client.send_app(ctx, conn, &cmd.encode());
     }
 
     fn kick(&mut self, ctx: &mut ServiceCtx<'_>) {
@@ -303,14 +306,22 @@ impl ModeratorTool {
                 });
                 self.gos_send(ctx, first, cmd);
             }
-            ModOp::AddFile { oid, .. } => {
+            ModOp::AddFile { oid, file, data } => {
+                // One typed client op: the session binds, class-checks
+                // and marshals the write.
+                let args = AddFile {
+                    name: file.clone(),
+                    data: data.clone(),
+                };
                 let oid = *oid;
                 self.active = Some(Active {
                     op,
-                    stage: Stage::UpdateBind,
+                    stage: Stage::UpdateWrite,
                     oid: Some(oid),
                 });
-                self.runtime.submit_bind(ctx, BindRequest::new(oid, 1));
+                self.client
+                    .op::<PackageInterface>(ctx, oid)
+                    .invoke(&PackageInterface::ADD_FILE, &args);
             }
             ModOp::Remove { name, oid, .. } => {
                 let name = name.clone();
@@ -359,7 +370,6 @@ impl ModeratorTool {
                 };
                 let rest = &scenario.replicas[1..];
                 if rest.is_empty() {
-                    active.stage = Stage::Fill { remaining: 0 };
                     self.start_fill(ctx);
                 } else {
                     // Step 2: "bind to DSO ⟨OID⟩, create replica" at the
@@ -394,7 +404,6 @@ impl ModeratorTool {
             (Stage::CreateRest { remaining }, Ok(_)) => {
                 *remaining -= 1;
                 if *remaining == 0 {
-                    active.stage = Stage::Fill { remaining: 0 };
                     self.start_fill(ctx);
                 }
             }
@@ -409,15 +418,32 @@ impl ModeratorTool {
         }
     }
 
+    /// Uploads the publish-like op's content: every fill invocation
+    /// becomes one client op, pipelined behind the session's single
+    /// bind of the fresh object.
     fn start_fill(&mut self, ctx: &mut ServiceCtx<'_>) {
         let Some(active) = self.active.as_mut() else {
             return;
         };
         let oid = active.oid.expect("fill follows creation");
-        // Bind first; the content writes go out once the local
-        // representative is installed (BindDone).
-        active.stage = Stage::Fill { remaining: 1 };
-        self.runtime.submit_bind(ctx, BindRequest::new(oid, 0));
+        let impl_id = active
+            .op
+            .publish_parts()
+            .map(|(_, impl_id, _)| impl_id)
+            .expect("publish-like op");
+        let invs = Self::fill_invocations(&active.op);
+        active.stage = Stage::Fill {
+            remaining: invs.len(),
+        };
+        if invs.is_empty() {
+            // Nothing to upload (e.g. an empty catalog): proceed
+            // straight to name registration.
+            self.fill_done(ctx);
+            return;
+        }
+        for inv in invs {
+            self.client.submit(ctx, oid, Some(impl_id), inv);
+        }
     }
 
     fn fill_invocations(op: &ModOp) -> Vec<Invocation> {
@@ -444,68 +470,20 @@ impl ModeratorTool {
         }
     }
 
-    fn handle_rt_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: RtEvent) {
+    fn handle_op_done(&mut self, ctx: &mut ServiceCtx<'_>, done: OpDone) {
         let Some(active) = self.active.as_mut() else {
             return;
         };
-        match (&mut active.stage, ev) {
-            (Stage::Fill { remaining }, RtEvent::BindDone { result, .. }) => match result {
-                Ok(info) => {
-                    // The representative is installed: upload contents.
-                    let invs = Self::fill_invocations(&active.op);
-                    *remaining = invs.len();
-                    let oid = info.oid;
-                    if invs.is_empty() {
-                        // Nothing to upload (e.g. an empty catalog):
-                        // proceed straight to name registration.
-                        self.fill_done(ctx);
-                        return;
-                    }
-                    for (i, inv) in invs.into_iter().enumerate() {
-                        self.runtime.invoke(ctx, oid, inv, i as u64 + 1);
-                    }
+        match (&mut active.stage, done.result) {
+            (Stage::Fill { remaining }, Ok(_)) => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.fill_done(ctx);
                 }
-                Err(e) => self.fail(format!("bind failed: {e}")),
-            },
-            (Stage::Fill { remaining }, RtEvent::InvokeDone { result, .. }) => match result {
-                Ok(_) => {
-                    *remaining -= 1;
-                    if *remaining == 0 {
-                        self.fill_done(ctx);
-                    }
-                }
-                Err(e) => self.fail(format!("content write failed: {e}")),
-            },
-            (Stage::UpdateBind, RtEvent::BindDone { result, .. }) => match result {
-                Ok(info) => {
-                    let ModOp::AddFile { file, data, .. } = &active.op else {
-                        return;
-                    };
-                    // Through the typed handle: the bind checked the
-                    // class, the proxy marshals the write.
-                    let bound = match info.typed::<PackageInterface>() {
-                        Ok(bound) => bound,
-                        Err(e) => return self.fail(format!("bind type error: {e}")),
-                    };
-                    let args = AddFile {
-                        name: file.clone(),
-                        data: data.clone(),
-                    };
-                    active.stage = Stage::UpdateWrite;
-                    bound.invoke(
-                        &mut self.runtime,
-                        ctx,
-                        &PackageInterface::ADD_FILE,
-                        &args,
-                        2,
-                    );
-                }
-                Err(e) => self.fail(format!("bind failed: {e}")),
-            },
-            (Stage::UpdateWrite, RtEvent::InvokeDone { result, .. }) => match result {
-                Ok(_) => self.finish(ModEvent::OpDone { result: Ok(()) }),
-                Err(e) => self.fail(format!("write failed: {e}")),
-            },
+            }
+            (Stage::Fill { .. }, Err(e)) => self.fail(format!("content write failed: {e}")),
+            (Stage::UpdateWrite, Ok(_)) => self.finish(ModEvent::OpDone { result: Ok(()) }),
+            (Stage::UpdateWrite, Err(e)) => self.fail(format!("write failed: {e}")),
             _ => {}
         }
     }
@@ -583,13 +561,13 @@ impl ModeratorTool {
 
     fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
         loop {
-            let rt_events = self.runtime.take_events();
+            let op_events = self.client.take_events();
             let na_events = self.na.take_events();
-            if rt_events.is_empty() && na_events.is_empty() {
+            if op_events.is_empty() && na_events.is_empty() {
                 break;
             }
-            for ev in rt_events {
-                self.handle_rt_event(ctx, ev);
+            for done in op_events {
+                self.handle_op_done(ctx, done);
             }
             for ev in na_events {
                 self.handle_na_event(ctx, ev);
@@ -607,13 +585,13 @@ impl Service for ModeratorTool {
     }
 
     fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
-        if self.runtime.handle_datagram(ctx, from, &payload) {
+        if self.client.handle_datagram(ctx, from, &payload) {
             self.pump(ctx);
         }
     }
 
     fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
-        match self.runtime.handle_conn_event(ctx, conn, ev) {
+        match self.client.handle_conn_event(ctx, conn, ev) {
             RtConn::Consumed => self.pump(ctx),
             RtConn::AppData { frames, .. } => {
                 for f in frames {
@@ -632,7 +610,7 @@ impl Service for ModeratorTool {
     }
 
     fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
-        if self.runtime.handle_timer(ctx, token) {
+        if self.client.handle_timer(ctx, token) {
             self.pump(ctx);
         }
     }

@@ -14,8 +14,10 @@ use globe_net::{
     impl_service_any, ports, ConnEvent, ConnId, Endpoint, HostId, NetParams, Service, ServiceCtx,
     Topology, World,
 };
+use globe_net::{ns_token, owns_token};
 use globe_rts::{
-    GlobeObjectServer, GlobeRuntime, Invocation, PropagationMode, RoleSpec, RtConn, RtEvent,
+    GlobeClient, GlobeObjectServer, GlobeRuntime, Invocation, OpDone, PropagationMode, RoleSpec,
+    RtConn, RtEvent,
 };
 use globe_sim::{SimDuration, SimTime};
 
@@ -537,9 +539,7 @@ fn cache_proxy_refreshes_via_delta_after_ttl() {
     // Let the cache TTL (60 s) lapse, then register a new package.
     world.run_for(SimDuration::from_secs(90));
     let writer = WriteDriver {
-        runtime: gdn
-            .moderator_tool(world.topology(), HostId(2), "alice", vec![])
-            .runtime,
+        runtime: gdn.moderator_runtime(HostId(2), "alice"),
         oid,
         inv: CatalogInterface::REGISTER.invocation(&CatalogEntry {
             name: "/apps/editors/emacs".into(),
@@ -697,6 +697,275 @@ fn mirrors_route_lists_and_filters_by_region() {
     // A malformed region filter is rejected, not silently widened to
     // the full list.
     assert_eq!(b.results[2].status, 400, "{:?}", b.results[2]);
+}
+
+/// Paced reader over one object through a [`GlobeClient`] session: one
+/// typed read op per timer tick, recording per-op outcome and the
+/// failover attempts each op consumed.
+struct ClientDriver {
+    client: GlobeClient,
+    oid: ObjectId,
+    total: u32,
+    fired: u32,
+    ok: u32,
+    failed: Vec<String>,
+    /// Largest per-op attempt count observed (must stay within the
+    /// session's `RetryPolicy`).
+    max_attempts: u32,
+}
+
+const DRIVER_NS: u16 = 0x7901;
+
+impl ClientDriver {
+    fn new(client: GlobeClient, oid: ObjectId, total: u32) -> ClientDriver {
+        ClientDriver {
+            client,
+            oid,
+            total,
+            fired: 0,
+            ok: 0,
+            failed: Vec::new(),
+            max_attempts: 0,
+        }
+    }
+
+    fn drain(&mut self, _ctx: &mut ServiceCtx<'_>) {
+        for done in self.client.take_events() {
+            let OpDone {
+                result, attempts, ..
+            } = done;
+            self.max_attempts = self.max_attempts.max(attempts);
+            match result {
+                Ok(_) => self.ok += 1,
+                Err(e) => self.failed.push(e.to_string()),
+            }
+        }
+    }
+}
+
+impl Service for ClientDriver {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        ctx.set_timer(SimDuration::from_secs(1), ns_token(DRIVER_NS, 0));
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if owns_token(DRIVER_NS, token) {
+            if self.fired < self.total {
+                self.fired += 1;
+                let oid = self.oid;
+                self.client
+                    .op::<gdn_core::package::PackageInterface>(ctx, oid)
+                    .invoke(&gdn_core::package::PackageInterface::LIST_CONTENTS, &());
+                ctx.set_timer(
+                    SimDuration::from_secs(2),
+                    ns_token(DRIVER_NS, self.fired as u64),
+                );
+            }
+            self.drain(ctx);
+            return;
+        }
+        if self.client.handle_timer(ctx, token) {
+            self.drain(ctx);
+        }
+    }
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.client.handle_datagram(ctx, from, &payload) {
+            self.drain(ctx);
+        }
+    }
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match self.client.handle_conn_event(ctx, conn, ev) {
+            RtConn::Consumed | RtConn::AppData { .. } => self.drain(ctx),
+            RtConn::NotMine(_) => {}
+        }
+    }
+    impl_service_any!();
+}
+
+/// Kills the bound replica mid-stream: the client session must fail
+/// over within its `RetryPolicy` bounds — every read still succeeds,
+/// retries are counted, and the freshness oracle never sees a stale
+/// read served.
+#[test]
+fn client_failover_rebinds_within_retry_policy() {
+    let topo = Topology::grid(2, 1, 2, 3);
+    // Object servers off the first hosts so crashing one leaves the
+    // GLS/GNS daemons of its site alive.
+    let gos_hosts: Vec<HostId> = topo
+        .sites()
+        .filter_map(|s| topo.hosts_in_site(s).get(1).copied())
+        .collect();
+    let mut world = World::new(topo, NetParams::default(), SEED);
+    // Short address leases: a crashed replica's GLS entry lingers until
+    // its lease expires, so the retry backoff below spans the lease and
+    // the healing re-resolve lands inside the policy's attempt budget.
+    let gdn = GdnDeployment::install(
+        &mut world,
+        GdnOptions {
+            gos_hosts,
+            gls: globe_gls::GlsConfig::default()
+                .with_persistence()
+                .with_address_ttl(SimDuration::from_secs(15)),
+            ..GdnOptions::default()
+        },
+    );
+    // Master in region 0, slave in region 1 — the replica nearest to
+    // the reader is the one that will die.
+    let replicas = vec![gdn.gos_endpoints[0], gdn.gos_endpoints[2]];
+    let oid = publish(
+        &mut world,
+        &gdn,
+        HostId(2),
+        "/apps/vital",
+        vec![("pkg.tar".into(), vec![5u8; 10_000])],
+        Scenario::master_slave(replicas.clone(), PropagationMode::PushState),
+    );
+
+    let reader_host = HostId(11);
+    let mut client = GlobeClient::new(gdn.anonymous_runtime(reader_host, 0x0200), 0x0500);
+    client.config.retry.backoff = SimDuration::from_secs(5);
+    let driver = ClientDriver::new(client, oid, 6);
+    let max_attempts = driver.client.config.retry.max_attempts;
+    world.add_service(reader_host, ports::DRIVER + 3, driver);
+
+    // Two reads land, then the bound (region-local) replica dies.
+    world.run_for(SimDuration::from_secs(4));
+    world.crash_host(replicas[1].host);
+    world.run_for(SimDuration::from_secs(90));
+
+    let d = world
+        .service::<ClientDriver>(reader_host, ports::DRIVER + 3)
+        .expect("client driver");
+    assert_eq!(d.fired, 6);
+    assert_eq!(
+        d.ok, 6,
+        "reads must survive the replica crash: {:?}",
+        d.failed
+    );
+    // The session retried — and stayed inside its policy.
+    assert!(
+        d.client.stats.retries >= 1,
+        "crash mid-stream must cost at least one retry: {:?}",
+        d.client.stats
+    );
+    assert!(
+        d.max_attempts >= 1 && d.max_attempts <= max_attempts,
+        "attempts {} outside retry policy (max {max_attempts})",
+        d.max_attempts
+    );
+    assert!(
+        d.client.stats.rebinds >= 1,
+        "healing requires at least one GLS re-resolve: {:?}",
+        d.client.stats
+    );
+    assert!(world.metrics().counter("client.retries") >= d.client.stats.retries);
+    // Zero stale reads: failover never served outdated state.
+    assert_eq!(world.metrics().counter("rts.reads.stale"), 0);
+    assert!(world.metrics().counter("rts.reads.fresh") >= 6);
+}
+
+/// `GET /stats/top?n=K` surfaces the download-stats ranking over HTTP,
+/// served as one client op against the configured stats object.
+#[test]
+fn stats_top_route_ranks_downloads_over_http() {
+    let topo = Topology::grid(2, 2, 2, 3);
+    let mut world = World::new(topo, NetParams::default(), SEED);
+    let gdn = GdnDeployment::install(
+        &mut world,
+        GdnOptions {
+            stats_object: Some("/stats/site".into()),
+            ..GdnOptions::default()
+        },
+    );
+    let gos = gdn.gos_for(world.topology(), HostId(0));
+    let pkg = |name: &str, body: &[u8]| ModOp::Publish {
+        name: name.into(),
+        description: format!("package {name}"),
+        files: vec![("README".into(), body.to_vec())],
+        scenario: Scenario::single(gos),
+    };
+    let tool = gdn.moderator_tool(
+        world.topology(),
+        HostId(2),
+        "alice",
+        vec![
+            pkg("/apps/graphics/gimp", b"GNU Image Manipulation Program"),
+            pkg("/apps/editors/emacs", b"the extensible editor"),
+            stats_publish_op("/stats/site", Scenario::single(gos)),
+        ],
+    );
+    world.add_service(HostId(2), ports::DRIVER, tool);
+    world.start();
+    world.run_for(SimDuration::from_secs(60));
+    let t = world
+        .service::<gdn_core::ModeratorTool>(HostId(2), ports::DRIVER)
+        .expect("tool");
+    assert_eq!(t.results.len(), 3, "{:?}", t.results);
+    assert!(t
+        .results
+        .iter()
+        .all(|r| matches!(r, ModEvent::PublishDone { result: Ok(_), .. })));
+
+    // Two fetches of gimp, one of emacs → gimp must rank first.
+    let user = HostId(13);
+    let httpd = gdn.httpd_for(world.topology(), user);
+    let browser = Browser::new(
+        httpd,
+        vec![
+            "/pkg/apps/graphics/gimp?file=README".into(),
+            "/pkg/apps/graphics/gimp?file=README".into(),
+            "/pkg/apps/editors/emacs?file=README".into(),
+        ],
+    );
+    world.add_service(user, ports::DRIVER, browser);
+    world.run_for(SimDuration::from_secs(60));
+    assert!(world
+        .service::<Browser>(user, ports::DRIVER)
+        .expect("browser")
+        .results
+        .iter()
+        .all(|r| r.status == 200));
+
+    // The ranking over HTTP: full, truncated, and malformed queries.
+    let browser = Browser::new(
+        httpd,
+        vec![
+            "/stats/top".into(),
+            "/stats/top?n=1".into(),
+            "/stats/top?n=x".into(),
+        ],
+    )
+    .keeping_bodies();
+    world.add_service(user, ports::DRIVER + 1, browser);
+    world.run_for(SimDuration::from_secs(30));
+    let b = world
+        .service::<Browser>(user, ports::DRIVER + 1)
+        .expect("browser");
+    assert!(b.done(), "{:?}", b.results);
+
+    assert_eq!(b.results[0].status, 200, "{:?}", b.results[0]);
+    let html = String::from_utf8_lossy(&b.results[0].body);
+    assert!(html.contains("href=\"/pkg/apps/graphics/gimp\""), "{html}");
+    assert!(html.contains("2 download(s)"), "{html}");
+    assert!(html.contains("/apps/editors/emacs"), "{html}");
+
+    // n=1 keeps only the most-downloaded package.
+    assert_eq!(b.results[1].status, 200);
+    let html = String::from_utf8_lossy(&b.results[1].body);
+    assert!(html.contains("gimp") && !html.contains("emacs"), "{html}");
+
+    // A malformed limit is rejected, not defaulted.
+    assert_eq!(b.results[2].status, 400, "{:?}", b.results[2]);
+
+    // An access point without a stats object has nothing to rank.
+    let proxy = gdn.proxy(world.topology(), HostId(16));
+    world.add_service(HostId(16), 8080, proxy);
+    let browser = Browser::new(Endpoint::new(HostId(16), 8080), vec!["/stats/top".into()]);
+    world.add_service(HostId(16), ports::DRIVER + 2, browser);
+    world.run_for(SimDuration::from_secs(15));
+    let b = world
+        .service::<Browser>(HostId(16), ports::DRIVER + 2)
+        .expect("browser");
+    assert_eq!(b.results[0].status, 404, "{:?}", b.results);
 }
 
 #[test]

@@ -1,0 +1,825 @@
+//! The typed client operation layer: [`GlobeClient`] sessions own the
+//! whole name-resolve → bind → invoke → retry lifecycle.
+//!
+//! Every GDN client in the paper — the GDN-HTTPD, the moderator tool,
+//! the browser-side proxy — performs the same dance against the Globe
+//! runtime: resolve the object name through the GNS, bind (installing a
+//! local representative), fire a typed invocation, and recover from
+//! replica failures by re-binding. Before this module each caller
+//! re-implemented that dance as a bespoke token state machine over raw
+//! [`RtEvent`]s: sentinel tokens to tell binds from invokes, private
+//! `bind_times` maps for binding freshness, hand-rolled rebind counters
+//! for failover. `GlobeClient` folds all of it into one reusable
+//! facade:
+//!
+//! - **one call starts an operation** — [`GlobeClient::op`] (typed) or
+//!   [`GlobeClient::submit`] (pre-marshalled) returns an [`OpId`]; the
+//!   client drives every intermediate step internally;
+//! - **one event finishes it** — [`OpDone`], whose [`OpOutput`] decodes
+//!   through the interface's [`MethodDef`]; callers never see
+//!   `BindDone`/`InvokeDone` or correlation-token arithmetic;
+//! - **bind caching with a freshness window** — bindings older than
+//!   [`ClientConfig::bind_refresh`] are re-resolved against the GLS
+//!   (without discarding warm representative state) so newly created
+//!   replicas become visible;
+//! - **declarative retry** — [`RetryPolicy`] caps failover attempts;
+//!   the first retry re-invokes on the installed representative (whose
+//!   forwarding proxy has already rotated to the next-nearest replica),
+//!   later retries re-resolve via the GLS, optionally spaced by an
+//!   exponential backoff;
+//! - **pipelining** — any number of ops may be in flight per object;
+//!   ops behind an unresolved name or an in-flight bind queue and all
+//!   proceed when it completes;
+//! - **metrics** — [`ClientStats`] plus the `client.ops`,
+//!   `client.rebinds` and `client.retries` world counters.
+//!
+//! # Migration: token state machines → client ops
+//!
+//! | old token pattern | client API |
+//! |---|---|
+//! | `gns.resolve(ctx, name, TOKEN)` + `GnsEvent::Resolved` match | pass the name as the op target |
+//! | `runtime.submit_bind(ctx, BindRequest::new(oid, TOKEN))` + `RtEvent::BindDone` match | implicit: every op binds (or reuses a fresh binding) |
+//! | sentinel tokens (`STATS_BIND`, `u64::MAX - k`) to route completions | distinct [`OpId`]s per op, remembered by the caller |
+//! | `bind_times` map + manual staleness check + `runtime.rebind` | [`ClientConfig::bind_refresh`] |
+//! | `attempts` counter + rebind-on-`Timeout`/`PeerUnreachable` | [`RetryPolicy`] |
+//! | `info.typed::<I>()` then `bound.invoke(&mut runtime, ...)` | `client.op::<I>(ctx, target).invoke(&I::METHOD, &args)` |
+//! | `RtEvent::InvokeDone` match + `METHOD.decode_result(&data)` | [`OpDone`] + [`OpOutput::decode`] |
+//!
+//! The owning service routes its I/O through
+//! [`GlobeClient::handle_datagram`] / [`GlobeClient::handle_timer`] /
+//! [`GlobeClient::handle_conn_event`] and drains [`OpDone`]s with
+//! [`GlobeClient::take_events`] — the same embedding pattern as the
+//! runtime itself, one layer up.
+//!
+//! [`RtEvent`]: crate::runtime::RtEvent
+
+use std::collections::BTreeMap;
+
+use globe_gls::ObjectId;
+use globe_gns::{GnsClient, GnsError, GnsEvent};
+use globe_net::{ns_token, owns_token, token_id, ConnEvent, ConnId, Endpoint, ServiceCtx};
+use globe_sim::{SimDuration, SimTime};
+
+use crate::interface::{DsoInterface, InterfaceError, MethodDef, WireCodec};
+use crate::object::Invocation;
+use crate::replication::InvokeError;
+use crate::repository::ImplId;
+use crate::runtime::{BindError, BindRequest, GlobeRuntime, RtConn, RtEvent};
+
+/// What an operation addresses: a Globe object name (resolved through
+/// the client's GNS resolver) or an already-known object id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpTarget {
+    /// A user-visible Globe name, e.g. `/apps/graphics/gimp`.
+    Name(String),
+    /// A resolved object id.
+    Oid(ObjectId),
+}
+
+impl From<&str> for OpTarget {
+    fn from(name: &str) -> OpTarget {
+        OpTarget::Name(name.to_owned())
+    }
+}
+
+impl From<String> for OpTarget {
+    fn from(name: String) -> OpTarget {
+        OpTarget::Name(name)
+    }
+}
+
+impl From<&String> for OpTarget {
+    fn from(name: &String) -> OpTarget {
+        OpTarget::Name(name.clone())
+    }
+}
+
+impl From<ObjectId> for OpTarget {
+    fn from(oid: ObjectId) -> OpTarget {
+        OpTarget::Oid(oid)
+    }
+}
+
+/// Handle of one client operation, echoed in its [`OpDone`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OpId(pub u64);
+
+/// Failover behaviour of a client session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retry attempts per op after a `Timeout`/`PeerUnreachable`
+    /// invocation failure (0 = fail fast). The first retry re-invokes
+    /// on the installed representative (its forwarding proxy has
+    /// already failed over to the next-nearest replica); later retries
+    /// re-resolve against the GLS.
+    pub max_attempts: u32,
+    /// Base delay before a retry; attempt `n` waits `backoff × 2^(n-1)`
+    /// (zero = retry immediately, the access-point default).
+    pub backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Tunables of a client session.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// How long a binding is trusted before the next op re-resolves it
+    /// against the GLS (so newly created replicas become visible).
+    pub bind_refresh: SimDuration,
+    /// Failover behaviour.
+    pub retry: RetryPolicy,
+    /// Ops queued behind one unresolved name beyond this cap complete
+    /// immediately with [`ClientError::Saturated`] — fire-and-forget
+    /// telemetry must never grow an unbounded buffer.
+    pub max_waiters: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            bind_refresh: SimDuration::from_secs(30),
+            retry: RetryPolicy::default(),
+            max_waiters: 256,
+        }
+    }
+}
+
+/// Why an operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// Name resolution failed.
+    Resolve(GnsError),
+    /// The op targeted a name but the client has no GNS resolver.
+    NoResolver,
+    /// Binding failed (after any retries).
+    Bind(BindError),
+    /// The bound object's class does not match the op's interface.
+    Interface(InterfaceError),
+    /// The invocation failed (after any retries).
+    Invoke(InvokeError),
+    /// Too many ops already queued behind the target's resolution.
+    Saturated,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Resolve(e) => write!(f, "{e}"),
+            ClientError::NoResolver => write!(f, "client has no name resolver"),
+            ClientError::Bind(e) => write!(f, "{e}"),
+            ClientError::Interface(e) => write!(f, "{e}"),
+            ClientError::Invoke(e) => write!(f, "{e}"),
+            ClientError::Saturated => write!(f, "too many queued operations"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A completed op's marshalled result, decoded through the method it
+/// was invoked with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpOutput {
+    data: Vec<u8>,
+}
+
+impl OpOutput {
+    /// Unmarshals the result through the invoking method's definition.
+    pub fn decode<A: WireCodec, R: WireCodec>(
+        &self,
+        method: &MethodDef<A, R>,
+    ) -> Result<R, globe_net::WireError> {
+        method.decode_result(&self.data)
+    }
+
+    /// The raw marshalled result bytes.
+    pub fn raw(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// The one completion event of a client op, drained via
+/// [`GlobeClient::take_events`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpDone {
+    /// The op this completes.
+    pub op: OpId,
+    /// The typed result payload, or why the lifecycle failed.
+    pub result: Result<OpOutput, ClientError>,
+    /// Failover attempts the op consumed (≤ the policy's cap).
+    pub attempts: u32,
+}
+
+/// Per-session counters (world-level equivalents: `client.ops`,
+/// `client.rebinds`, `client.retries`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientStats {
+    /// Operations started.
+    pub ops: u64,
+    /// Operations completed successfully.
+    pub completed: u64,
+    /// Operations completed with an error.
+    pub failed: u64,
+    /// Ops whose name was answered from the client's name cache.
+    pub name_cache_hits: u64,
+    /// GLS re-resolves the client initiated (freshness + failover).
+    pub rebinds: u64,
+    /// Failover retry attempts after invocation failures.
+    pub retries: u64,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum OpState {
+    /// Waiting on the GNS (queued under `resolving[name]`).
+    Resolving,
+    /// Waiting on a bind/rebind (queued under `binding[oid]`).
+    Binding,
+    /// Invocation in flight.
+    Invoking,
+    /// Waiting out the retry backoff.
+    Backoff,
+}
+
+struct PendingOp {
+    /// The name the op targeted, if any (evicted from the name cache on
+    /// a stale-binding `NotFound`).
+    name: Option<String>,
+    oid: Option<ObjectId>,
+    /// Implementation the method's interface expects (class check at
+    /// bind completion); `None` for pre-marshalled class-generic ops.
+    expect: Option<ImplId>,
+    inv: Invocation,
+    attempts: u32,
+    state: OpState,
+}
+
+/// A typed client session over one Globe runtime (see module docs).
+pub struct GlobeClient {
+    runtime: GlobeRuntime,
+    resolver: Option<GnsClient>,
+    /// Session configuration (mutable between ops).
+    pub config: ClientConfig,
+    /// Session counters.
+    pub stats: ClientStats,
+    ns: u16,
+    next_op: u64,
+    ops: BTreeMap<u64, PendingOp>,
+    /// Stable name → oid bindings (paper §5: name mappings are stable,
+    /// so caching them aggressively is sound).
+    names: BTreeMap<String, ObjectId>,
+    /// name → op ids queued behind its in-flight resolve.
+    resolving: BTreeMap<String, Vec<u64>>,
+    /// oid → op ids queued behind its in-flight bind/rebind.
+    binding: BTreeMap<u128, Vec<u64>>,
+    /// When each object was last (re-)resolved against the GLS; evicted
+    /// on bind failure and failover so a broken binding can never
+    /// suppress the re-resolve that would heal it.
+    bind_times: BTreeMap<u128, SimTime>,
+    events: Vec<OpDone>,
+}
+
+impl GlobeClient {
+    /// Creates a session over `runtime`, using timer namespace `ns` for
+    /// retry backoff timers (must not collide with the runtime's or the
+    /// resolver's namespaces).
+    pub fn new(runtime: GlobeRuntime, ns: u16) -> GlobeClient {
+        GlobeClient {
+            runtime,
+            resolver: None,
+            config: ClientConfig::default(),
+            stats: ClientStats::default(),
+            ns,
+            next_op: 1,
+            ops: BTreeMap::new(),
+            names: BTreeMap::new(),
+            resolving: BTreeMap::new(),
+            binding: BTreeMap::new(),
+            bind_times: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Attaches a GNS resolver, enabling name targets.
+    pub fn with_resolver(mut self, gns: GnsClient) -> GlobeClient {
+        self.resolver = Some(gns);
+        self
+    }
+
+    /// Overrides the session configuration.
+    pub fn with_config(mut self, config: ClientConfig) -> GlobeClient {
+        self.config = config;
+        self
+    }
+
+    /// The underlying runtime (read access for tests/experiments).
+    pub fn runtime(&self) -> &GlobeRuntime {
+        &self.runtime
+    }
+
+    /// The underlying runtime, mutably — for runtime facilities outside
+    /// the op lifecycle (application connections, replica registration).
+    /// Callers must not submit raw binds/invokes through it: their
+    /// completion tokens would collide with the client's op ids.
+    pub fn runtime_mut(&mut self) -> &mut GlobeRuntime {
+        &mut self.runtime
+    }
+
+    /// Opens (or reuses) a secured application connection (delegates to
+    /// [`GlobeRuntime::open_app_conn`]).
+    pub fn open_app_conn(&mut self, ctx: &mut ServiceCtx<'_>, peer: Endpoint) -> ConnId {
+        self.runtime.open_app_conn(ctx, peer)
+    }
+
+    /// Sends an application frame (delegates to
+    /// [`GlobeRuntime::send_app`]).
+    pub fn send_app(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, frame: &[u8]) {
+        self.runtime.send_app(ctx, conn, frame)
+    }
+
+    /// Ops currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Starts a typed operation; finish with
+    /// [`OpBuilder::invoke`], which returns the [`OpId`] the completion
+    /// event will carry.
+    pub fn op<'a, 'b, I: DsoInterface>(
+        &'a mut self,
+        ctx: &'a mut ServiceCtx<'b>,
+        target: impl Into<OpTarget>,
+    ) -> OpBuilder<'a, 'b, I> {
+        OpBuilder {
+            client: self,
+            ctx,
+            target: target.into(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Starts a pre-marshalled operation (class-generic callers such as
+    /// the moderator pipeline's fill scripts). `expect` enables the
+    /// bind-time class check when the caller knows the class.
+    pub fn submit(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        target: impl Into<OpTarget>,
+        expect: Option<ImplId>,
+        inv: Invocation,
+    ) -> OpId {
+        let id = self.next_op;
+        self.next_op += 1;
+        self.stats.ops += 1;
+        ctx.metrics().inc("client.ops", 1);
+        let (name, oid) = match target.into() {
+            OpTarget::Name(n) => (Some(n), None),
+            OpTarget::Oid(o) => (None, Some(o)),
+        };
+        self.ops.insert(
+            id,
+            PendingOp {
+                name,
+                oid,
+                expect,
+                inv,
+                attempts: 0,
+                state: OpState::Resolving,
+            },
+        );
+        self.start(ctx, id);
+        self.drive(ctx);
+        OpId(id)
+    }
+
+    /// Drains completion events.
+    pub fn take_events(&mut self) -> Vec<OpDone> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Routes an inbound datagram (runtime / resolver traffic). Returns
+    /// `true` if consumed.
+    pub fn handle_datagram(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        from: Endpoint,
+        payload: &[u8],
+    ) -> bool {
+        if self.runtime.handle_datagram(ctx, from, payload) {
+            self.drive(ctx);
+            return true;
+        }
+        if let Some(gns) = self.resolver.as_mut() {
+            if gns.handle_datagram(ctx, from, payload) {
+                self.drive(ctx);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Routes a timer (runtime / resolver / retry backoff). Returns
+    /// `true` if consumed.
+    pub fn handle_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) -> bool {
+        if self.runtime.handle_timer(ctx, token) {
+            self.drive(ctx);
+            return true;
+        }
+        if let Some(gns) = self.resolver.as_mut() {
+            if gns.handle_timer(ctx, token) {
+                self.drive(ctx);
+                return true;
+            }
+        }
+        if owns_token(self.ns, token) {
+            let id = token_id(token);
+            if matches!(
+                self.ops.get(&id).map(|op| &op.state),
+                Some(OpState::Backoff)
+            ) {
+                self.retry(ctx, id);
+                self.drive(ctx);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Routes a stream-connection event through the runtime; see
+    /// [`RtConn`]. Application frames and foreign events are handed
+    /// back to the owner.
+    pub fn handle_conn_event(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        conn: ConnId,
+        ev: ConnEvent,
+    ) -> RtConn {
+        let out = self.runtime.handle_conn_event(ctx, conn, ev);
+        if !matches!(out, RtConn::NotMine(_)) {
+            self.drive(ctx);
+        }
+        out
+    }
+
+    /// Resets all volatile state after a host crash.
+    pub fn on_crash(&mut self) {
+        self.runtime.on_crash();
+        self.ops.clear();
+        self.names.clear();
+        self.resolving.clear();
+        self.binding.clear();
+        self.bind_times.clear();
+        self.events.clear();
+    }
+
+    // ------------------------------------------------- op lifecycle
+
+    fn complete(&mut self, id: u64, result: Result<Vec<u8>, ClientError>) {
+        let Some(op) = self.ops.remove(&id) else {
+            return;
+        };
+        match &result {
+            Ok(_) => self.stats.completed += 1,
+            Err(_) => self.stats.failed += 1,
+        }
+        self.events.push(OpDone {
+            op: OpId(id),
+            result: result.map(|data| OpOutput { data }),
+            attempts: op.attempts,
+        });
+    }
+
+    /// First step of a fresh op: resolve the name (or skip straight to
+    /// the access path when the target is an oid / cached name).
+    fn start(&mut self, ctx: &mut ServiceCtx<'_>, id: u64) {
+        let Some(op) = self.ops.get_mut(&id) else {
+            return;
+        };
+        if op.oid.is_none() {
+            let name = op.name.clone().expect("op targets a name or an oid");
+            if let Some(&oid) = self.names.get(&name) {
+                self.stats.name_cache_hits += 1;
+                op.oid = Some(oid);
+            } else {
+                if self.resolver.is_none() {
+                    self.complete(id, Err(ClientError::NoResolver));
+                    return;
+                }
+                if let Some(waiters) = self.resolving.get_mut(&name) {
+                    if waiters.len() >= self.config.max_waiters {
+                        ctx.metrics().inc("client.saturated", 1);
+                        self.complete(id, Err(ClientError::Saturated));
+                        return;
+                    }
+                    waiters.push(id);
+                    return;
+                }
+                self.resolving.insert(name.clone(), vec![id]);
+                self.resolver
+                    .as_mut()
+                    .expect("checked above")
+                    .resolve(ctx, &name, id);
+                return;
+            }
+        }
+        self.access(ctx, id);
+    }
+
+    /// Second step: ensure a fresh binding, then invoke.
+    fn access(&mut self, ctx: &mut ServiceCtx<'_>, id: u64) {
+        let Some(op) = self.ops.get_mut(&id) else {
+            return;
+        };
+        let oid = op.oid.expect("access follows resolution");
+        if let Some(waiters) = self.binding.get_mut(&oid.0) {
+            op.state = OpState::Binding;
+            waiters.push(id);
+            return;
+        }
+        let bound = self.runtime.is_bound(oid);
+        let fresh = self
+            .bind_times
+            .get(&oid.0)
+            .map(|&t| ctx.now().saturating_sub(t) <= self.config.bind_refresh)
+            .unwrap_or(false);
+        if bound && fresh {
+            self.invoke(ctx, id, oid);
+            return;
+        }
+        if bound {
+            // Stale binding: re-resolve without discarding the warm
+            // representative (a TTL cache refreshes by delta afterwards).
+            self.start_rebind(ctx, id, oid);
+        } else {
+            if let Some(op) = self.ops.get_mut(&id) {
+                op.state = OpState::Binding;
+            }
+            self.binding.insert(oid.0, vec![id]);
+            self.bind_times.insert(oid.0, ctx.now());
+            self.runtime.submit_bind(ctx, BindRequest::new(oid, id));
+        }
+    }
+
+    /// Starts (or joins) a GLS re-resolve for `oid` on behalf of op
+    /// `id`, with all the freshness/metrics bookkeeping in one place.
+    fn start_rebind(&mut self, ctx: &mut ServiceCtx<'_>, id: u64, oid: ObjectId) {
+        if let Some(op) = self.ops.get_mut(&id) {
+            op.state = OpState::Binding;
+        }
+        if let Some(waiters) = self.binding.get_mut(&oid.0) {
+            waiters.push(id);
+            return;
+        }
+        self.binding.insert(oid.0, vec![id]);
+        self.bind_times.insert(oid.0, ctx.now());
+        self.stats.rebinds += 1;
+        ctx.metrics().inc("client.rebinds", 1);
+        self.runtime.rebind(ctx, oid, id);
+    }
+
+    /// Third step: the typed invocation itself.
+    fn invoke(&mut self, ctx: &mut ServiceCtx<'_>, id: u64, oid: ObjectId) {
+        let Some(op) = self.ops.get_mut(&id) else {
+            return;
+        };
+        // Class check (the typed-bind contract): the installed
+        // representative must belong to the interface's class.
+        if let Some(expect) = op.expect {
+            if let Some(err) = self.runtime.bound_impl(oid).and_then(|found| {
+                (found != expect).then_some(InterfaceError::ClassMismatch {
+                    expected: expect,
+                    found,
+                })
+            }) {
+                self.complete(id, Err(ClientError::Interface(err)));
+                return;
+            }
+        }
+        op.state = OpState::Invoking;
+        let inv = op.inv.clone();
+        self.runtime.invoke(ctx, oid, inv, id);
+    }
+
+    /// A failover retry: attempt 1 re-invokes on the installed
+    /// representative (its proxy has already rotated to the next
+    /// replica); later attempts re-resolve via the GLS.
+    fn retry(&mut self, ctx: &mut ServiceCtx<'_>, id: u64) {
+        let Some(op) = self.ops.get_mut(&id) else {
+            return;
+        };
+        let oid = op.oid.expect("retry follows an invocation");
+        if op.attempts == 1 && self.runtime.is_bound(oid) && !self.binding.contains_key(&oid.0) {
+            self.invoke(ctx, id, oid);
+            return;
+        }
+        self.start_rebind(ctx, id, oid);
+    }
+
+    /// Processes runtime and resolver completions until quiescent
+    /// (handling one event may synchronously produce the next: bind hit
+    /// → invoke → local execution → completion).
+    fn drive(&mut self, ctx: &mut ServiceCtx<'_>) {
+        loop {
+            let rt_events = self.runtime.take_events();
+            let gns_events = self
+                .resolver
+                .as_mut()
+                .map(|g| g.take_events())
+                .unwrap_or_default();
+            if rt_events.is_empty() && gns_events.is_empty() {
+                break;
+            }
+            for ev in gns_events {
+                self.on_resolved(ctx, ev);
+            }
+            for ev in rt_events {
+                self.on_rt_event(ctx, ev);
+            }
+        }
+    }
+
+    fn on_resolved(&mut self, ctx: &mut ServiceCtx<'_>, ev: GnsEvent) {
+        let GnsEvent::Resolved { token, result, .. } = ev;
+        let Some(name) = self.ops.get(&token).and_then(|op| op.name.clone()) else {
+            return;
+        };
+        let waiters = self.resolving.remove(&name).unwrap_or_default();
+        match result {
+            Ok(oid) => {
+                self.names.insert(name, oid);
+                for id in waiters {
+                    if let Some(op) = self.ops.get_mut(&id) {
+                        op.oid = Some(oid);
+                    }
+                    self.access(ctx, id);
+                }
+            }
+            Err(e) => {
+                ctx.metrics().inc("client.resolve_failed", 1);
+                for id in waiters {
+                    self.complete(id, Err(ClientError::Resolve(e.clone())));
+                }
+            }
+        }
+    }
+
+    fn on_rt_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: RtEvent) {
+        match ev {
+            RtEvent::BindDone { token, result } => {
+                let Some(oid) = self.ops.get(&token).and_then(|op| op.oid) else {
+                    return;
+                };
+                let waiters = self.binding.remove(&oid.0).unwrap_or_default();
+                match result {
+                    Ok(_) => {
+                        // A completed rebind replaced the representative,
+                        // and the replacement's protocol state starts
+                        // empty: invocations that were in flight through
+                        // the old instance died with it. Re-issue them —
+                        // at-least-once on the failover path, like every
+                        // retry here.
+                        let orphaned: Vec<u64> = self
+                            .ops
+                            .iter()
+                            .filter(|(id, op)| {
+                                op.oid == Some(oid)
+                                    && op.state == OpState::Invoking
+                                    && !waiters.contains(id)
+                            })
+                            .map(|(&id, _)| id)
+                            .collect();
+                        for id in waiters.into_iter().chain(orphaned) {
+                            self.invoke(ctx, id, oid);
+                        }
+                    }
+                    Err(e) => {
+                        // Evict the broken binding so the next op on the
+                        // object re-resolves instead of trusting it.
+                        self.bind_times.remove(&oid.0);
+                        if e == BindError::NotFound {
+                            // Stale name cache: the object vanished.
+                            if let Some(name) = self.ops.get(&token).and_then(|op| op.name.clone())
+                            {
+                                self.names.remove(&name);
+                            }
+                        }
+                        for id in waiters {
+                            self.complete(id, Err(ClientError::Bind(e.clone())));
+                        }
+                    }
+                }
+            }
+            RtEvent::InvokeDone { token, result } => match result {
+                Ok(data) => self.complete(token, Ok(data)),
+                Err(e @ (InvokeError::Timeout | InvokeError::PeerUnreachable)) => {
+                    let can_retry = self
+                        .ops
+                        .get(&token)
+                        .map(|op| op.attempts < self.config.retry.max_attempts)
+                        .unwrap_or(false);
+                    if !can_retry {
+                        self.complete(token, Err(ClientError::Invoke(e)));
+                        return;
+                    }
+                    let op = self.ops.get_mut(&token).expect("checked above");
+                    op.attempts += 1;
+                    let attempts = op.attempts;
+                    // The binding just failed us: never let its
+                    // timestamp suppress the re-resolve that heals it.
+                    if let Some(oid) = op.oid {
+                        self.bind_times.remove(&oid.0);
+                    }
+                    self.stats.retries += 1;
+                    ctx.metrics().inc("client.retries", 1);
+                    let backoff = self.config.retry.backoff;
+                    if backoff > SimDuration::ZERO {
+                        let op = self.ops.get_mut(&token).expect("checked above");
+                        op.state = OpState::Backoff;
+                        let delay = backoff * 2u64.saturating_pow(attempts.saturating_sub(1));
+                        ctx.set_timer(delay, ns_token(self.ns, token));
+                    } else {
+                        self.retry(ctx, token);
+                    }
+                }
+                Err(e) => self.complete(token, Err(ClientError::Invoke(e))),
+            },
+            RtEvent::Registered { .. } | RtEvent::Deregistered { .. } => {}
+        }
+    }
+}
+
+/// Builder returned by [`GlobeClient::op`]: carries the interface type
+/// so the invocation marshals and class-checks against it.
+pub struct OpBuilder<'a, 'b, I: DsoInterface> {
+    client: &'a mut GlobeClient,
+    ctx: &'a mut ServiceCtx<'b>,
+    target: OpTarget,
+    _marker: std::marker::PhantomData<fn() -> I>,
+}
+
+impl<I: DsoInterface> OpBuilder<'_, '_, I> {
+    /// Marshals `args` and starts the operation; the returned [`OpId`]'s
+    /// [`OpDone`] payload decodes via `method`.
+    pub fn invoke<A: WireCodec, R: WireCodec>(self, method: &MethodDef<A, R>, args: &A) -> OpId {
+        self.client.submit(
+            self.ctx,
+            self.target,
+            Some(I::IMPL),
+            method.invocation(args),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_targets_convert() {
+        assert_eq!(OpTarget::from("/a"), OpTarget::Name("/a".into()));
+        assert_eq!(
+            OpTarget::from(String::from("/b")),
+            OpTarget::Name("/b".into())
+        );
+        assert_eq!(OpTarget::from(ObjectId(7)), OpTarget::Oid(ObjectId(7)));
+    }
+
+    #[test]
+    fn client_error_display() {
+        assert!(ClientError::NoResolver.to_string().contains("resolver"));
+        assert!(ClientError::Saturated.to_string().contains("queued"));
+        assert!(ClientError::Bind(BindError::NotFound)
+            .to_string()
+            .contains("not registered"));
+        assert!(ClientError::Invoke(InvokeError::Timeout)
+            .to_string()
+            .contains("timed out"));
+    }
+
+    #[test]
+    fn retry_policy_defaults_are_bounded() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, 3);
+        assert_eq!(p.backoff, SimDuration::ZERO);
+        let c = ClientConfig::default();
+        assert_eq!(c.bind_refresh, SimDuration::from_secs(30));
+        assert!(c.max_waiters > 0);
+    }
+
+    #[test]
+    fn op_output_decodes_through_method_defs() {
+        use crate::object::{MethodId, MethodKind};
+        const GET: MethodDef<(), u64> = MethodDef::new(MethodId(1), MethodKind::Read, "get");
+        let out = OpOutput {
+            data: 42u64.to_bytes(),
+        };
+        assert_eq!(out.decode(&GET).unwrap(), 42);
+        assert_eq!(out.raw(), 42u64.to_bytes().as_slice());
+    }
+}

@@ -22,13 +22,17 @@
 //! [`repository`] (implementation loading), binding via the Globe
 //! Location Service, the [`grp`] replication wire protocol, and the
 //! [`server::GlobeObjectServer`] daemon with stable-storage replica
-//! recovery.
+//! recovery. On top of it all sits [`client`]: [`client::GlobeClient`]
+//! sessions that own the whole resolve → bind → invoke → retry
+//! lifecycle, so applications start typed operations and receive one
+//! completion event instead of juggling bind/invoke tokens.
 //!
 //! The replication protocol attached to an object — together with which
 //! object servers host its replicas — is the object's *replication
 //! scenario*, the per-object degree of freedom the whole paper is
 //! about.
 
+pub mod client;
 pub mod grp;
 pub mod interface;
 pub mod object;
@@ -38,6 +42,10 @@ pub mod repository;
 pub mod runtime;
 pub mod server;
 
+pub use client::{
+    ClientConfig, ClientError, ClientStats, GlobeClient, OpBuilder, OpDone, OpId, OpOutput,
+    OpTarget, RetryPolicy,
+};
 pub use grp::{protocol_id, GrpBody, GrpMsg, PropagationMode, RoleSpec};
 pub use interface::{
     BoundObject, DsoInterface, DsoState, InterfaceError, MethodDef, MethodSpec, TypedProxy,

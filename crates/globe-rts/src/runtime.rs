@@ -383,6 +383,13 @@ impl GlobeRuntime {
         self.lrs.keys().map(|&k| ObjectId(k)).collect()
     }
 
+    /// The implementation (class) of the installed local representative
+    /// for `oid`, if any — what the client layer's bind-time class check
+    /// compares against an interface's `IMPL`.
+    pub fn bound_impl(&self, oid: ObjectId) -> Option<ImplId> {
+        self.lrs.get(&oid.0).map(|lr| lr.impl_id)
+    }
+
     /// The state version of a local replica (tests / experiments).
     pub fn replica_version(&self, oid: ObjectId) -> Option<u64> {
         self.lrs.get(&oid.0).map(|lr| lr.version)
@@ -522,6 +529,9 @@ impl GlobeRuntime {
             .ok_or(BindError::UnknownImpl(impl_id.0))?;
         let repl = crate::protocols::spawn_replication(protocol, role);
         self.loaded.insert(impl_id.0);
+        // A re-created replica must not inherit its predecessor's timers
+        // (see finish_bind).
+        self.repl_timers.retain(|_, (o, _)| *o != oid.0);
         self.lrs
             .insert(oid.0, LocalRep::new(impl_id, Some(sem), repl, 0));
         ctx.metrics().inc("rts.replicas_created", 1);
@@ -906,6 +916,11 @@ impl GlobeRuntime {
 
     fn finish_bind(&mut self, ctx: &mut ServiceCtx<'_>, token: u64, oid: u128, choice: BindChoice) {
         use crate::grp::protocol_id;
+        // Timers belong to the representative instance about to be
+        // replaced: a replacement's protocol state restarts its
+        // sub-token counters, so a stale timer firing into the fresh
+        // instance would hit an unrelated in-flight request.
+        self.repl_timers.retain(|_, (o, _)| *o != oid);
         let impl_id = ImplId(choice.impl_id);
         let (sem, repl): (
             Option<Box<dyn SemanticsObject>>,

@@ -11,7 +11,7 @@ use globe_gls::ObjectId;
 use globe_net::{
     impl_service_any, ns_token, owns_token, ConnEvent, ConnId, Endpoint, Service, ServiceCtx,
 };
-use globe_rts::{GlobeRuntime, RtConn, RtEvent};
+use globe_rts::{GlobeClient, GlobeRuntime, RtConn};
 use globe_sim::{SimDuration, SimTime};
 
 use crate::zipf::ZipfSampler;
@@ -171,19 +171,17 @@ impl Service for HttpLoadGen {
 }
 
 /// An open-loop update generator: a maintainer pushing small deltas into
-/// packages through the Globe runtime (writes travel the full
-/// moderator-authenticated path).
+/// packages through a [`GlobeClient`] session (writes travel the full
+/// moderator-authenticated path; binding and bind-queueing are the
+/// session's job, so each arrival is exactly one op).
 pub struct UpdateGen {
-    runtime: GlobeRuntime,
+    client: GlobeClient,
     /// `(oid, relative update weight)` per object.
     objects: Vec<(ObjectId, f64)>,
     /// Total updates per second across all objects.
     rate: f64,
     until: SimTime,
     payload: usize,
-    bound: std::collections::BTreeSet<u128>,
-    /// Writes queued behind a pending bind, per object.
-    pending_bind: std::collections::BTreeMap<u128, u32>,
     next_arrival: u64,
     seq: u64,
     /// Completed update count.
@@ -206,13 +204,11 @@ impl UpdateGen {
         assert!(!objects.is_empty(), "update generator needs objects");
         assert!(rate > 0.0, "rate must be positive");
         UpdateGen {
-            runtime,
+            client: GlobeClient::new(runtime, GEN_NS + 1),
             objects,
             rate,
             until,
             payload,
-            bound: std::collections::BTreeSet::new(),
-            pending_bind: std::collections::BTreeMap::new(),
             next_arrival: 0,
             seq: 0,
             completed: 0,
@@ -242,58 +238,28 @@ impl UpdateGen {
         self.objects.last().expect("nonempty").0
     }
 
-    fn write(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId) {
-        self.seq += 1;
-        let inv = PackageInterface::ADD_FILE.invocation(&AddFile {
-            name: format!("delta-{}", self.seq % 4),
-            data: vec![0xD7; self.payload],
-        });
-        self.runtime.invoke(ctx, oid, inv, self.seq);
-    }
-
     fn fire(&mut self, ctx: &mut ServiceCtx<'_>) {
         let oid = self.pick_object(ctx);
-        if self.bound.contains(&oid.0) {
-            self.write(ctx, oid);
-        } else {
-            *self.pending_bind.entry(oid.0).or_insert(0) += 1;
-            // Token encodes the object so the completion can be routed.
-            self.runtime.bind(ctx, oid, oid.0 as u64);
-        }
+        self.seq += 1;
+        let args = AddFile {
+            name: format!("delta-{}", self.seq % 4),
+            data: vec![0xD7; self.payload],
+        };
+        self.client
+            .op::<PackageInterface>(ctx, oid)
+            .invoke(&PackageInterface::ADD_FILE, &args);
         self.schedule_next(ctx);
         self.drain(ctx);
     }
 
     fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
-        loop {
-            let events = self.runtime.take_events();
-            if events.is_empty() {
-                break;
-            }
-            for ev in events {
-                match ev {
-                    RtEvent::BindDone { result, .. } => {
-                        if let Ok(info) = result {
-                            self.bound.insert(info.oid.0);
-                            let queued = self.pending_bind.remove(&info.oid.0).unwrap_or(0);
-                            for _ in 0..queued {
-                                self.write(ctx, info.oid);
-                            }
-                        } else {
-                            self.failed += 1;
-                        }
-                    }
-                    RtEvent::InvokeDone { result, .. } => {
-                        if result.is_ok() {
-                            self.completed += 1;
-                            ctx.metrics().inc("updategen.ok", 1);
-                        } else {
-                            self.failed += 1;
-                            ctx.metrics().inc("updategen.failed", 1);
-                        }
-                    }
-                    _ => {}
-                }
+        for done in self.client.take_events() {
+            if done.result.is_ok() {
+                self.completed += 1;
+                ctx.metrics().inc("updategen.ok", 1);
+            } else {
+                self.failed += 1;
+                ctx.metrics().inc("updategen.failed", 1);
             }
         }
     }
@@ -309,19 +275,19 @@ impl Service for UpdateGen {
             self.fire(ctx);
             return;
         }
-        if self.runtime.handle_timer(ctx, token) {
+        if self.client.handle_timer(ctx, token) {
             self.drain(ctx);
         }
     }
 
     fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
-        if self.runtime.handle_datagram(ctx, from, &payload) {
+        if self.client.handle_datagram(ctx, from, &payload) {
             self.drain(ctx);
         }
     }
 
     fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
-        match self.runtime.handle_conn_event(ctx, conn, ev) {
+        match self.client.handle_conn_event(ctx, conn, ev) {
             RtConn::Consumed | RtConn::AppData { .. } => self.drain(ctx),
             RtConn::NotMine(_) => {}
         }

@@ -16,7 +16,7 @@
 //! | [`crypto`] | SHA-256/HMAC/ChaCha20, Schnorr certificates, the gTLS channel |
 //! | [`gls`] | Globe Location Service: object id → contact addresses, locality-aware |
 //! | [`gns`] | Globe Name Service on a DNS substrate: name → object id |
-//! | [`rts`] | the Globe runtime: DSOs, subobjects, the typed interface layer, replication protocols, binding, object servers |
+//! | [`rts`] | the Globe runtime: DSOs, subobjects, the typed interface layer, replication protocols, binding, object servers, and the `GlobeClient` operation layer |
 //! | [`gdn`] | the GDN application: package + catalog DSOs, HTTPDs, moderator tool, browsers |
 //! | [`workloads`] | Zipf traces, load generators, scenario policies, adaptation |
 //!
@@ -55,9 +55,9 @@
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs` — publish a package and download it from
-//! the other side of the (simulated) world; binding and invocation flow
-//! through [`rts::BindRequest`] → [`rts::BoundObject`] typed proxies
-//! inside the HTTPD:
+//! the other side of the (simulated) world; inside the HTTPD each
+//! request runs as one typed [`rts::GlobeClient`] operation (resolve →
+//! bind → invoke → retry, one [`rts::OpDone`] completion):
 //!
 //! ```
 //! use globe::gdn::{Browser, GdnDeployment, GdnOptions, ModOp, Scenario};
