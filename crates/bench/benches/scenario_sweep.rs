@@ -1,96 +1,150 @@
 //! Scenario sweep bench: the full policy × propagation-mode ×
-//! DSO-class experiment matrix at the reduced `bench-smoke` scale.
+//! DSO-class matrix plus the churn/adaptive cells, at the scale
+//! selected by `GLOBE_SWEEP_SCALE` (`smoke` — the default, what CI's
+//! `bench-smoke` job runs on every push — or `full`, the nightly
+//! `bench-full` scale with wider worlds and a longer read phase).
 //!
-//! Every cell's world-level measurements are printed as a markdown
-//! table and written to `BENCH_scenario_sweep.json`, so the whole
-//! scenario space is machine-readable across revisions. The run *fails*
+//! Every cell's world-level measurements are printed as markdown
+//! tables and written to `BENCH_scenario_sweep.json` (smoke) or
+//! `BENCH_scenario_sweep_full.json` (full — the committed smoke
+//! baseline is never rewritten by a full-scale run). The run *fails*
 //! on invariant violations ([`check_sweep_invariants`]): any stale
-//! read, any cell without read traffic, or delta propagation losing to
-//! state propagation on the write-heavy class at 8+ slaves — CI's
-//! `bench-smoke` job relies on that to gate regressions. It also fails
-//! the trajectory gate ([`compare_trajectory`]) when any cell's grp
-//! bytes or p99 regress >10% against the committed JSON baseline
-//! (bypass with `GLOBE_SWEEP_BASELINE=skip` for intentional shifts and
-//! commit the regenerated file).
+//! read — including under churn — any cell without read traffic,
+//! delta propagation losing to state propagation on the write-heavy
+//! class at 8+ slaves, an availability window over the bound in a
+//! churn cell, or an idle adaptive controller. Smoke runs additionally
+//! fail the trajectory gate ([`trajectory_gate`]) when a steady-state
+//! cell regresses >10% (churn cells: the wider band) on grp bytes or
+//! p99 against the committed baseline; bypass with
+//! `GLOBE_SWEEP_BASELINE=skip` for intentional shifts and commit the
+//! regenerated file.
+//!
+//! When `GLOBE_SWEEP_SUMMARY` (or the CI-provided
+//! `GITHUB_STEP_SUMMARY`) names a file, the matrix, the availability
+//! columns, and the per-cell trajectory diff are appended to it as
+//! markdown — the job summary shows regressions without anyone
+//! downloading the artifact.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use globe_bench::sweep::{mode_label, SWEEP_MODES, SWEEP_TABLE_HEADERS};
+use globe_bench::sweep::{SweepScale, AVAIL_TABLE_HEADERS, SWEEP_TABLE_HEADERS};
 use globe_bench::{
-    check_sweep_invariants, compare_trajectory, print_table, sweep_cell, sweep_json,
-    sweep_table_rows, CellReport, DsoClass, SweepSpec,
+    all_cells, avail_table_rows, check_sweep_invariants, print_table, run_cell, summary_markdown,
+    sweep_json, sweep_table_rows, trajectory_gate, CellReport, GateOutcome,
 };
-use globe_workloads::ScenarioPolicy;
+
+/// Anchors `file` at the workspace root regardless of cargo's bench
+/// CWD.
+fn workspace_file(file: &str) -> String {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => format!("{dir}/../../{file}"),
+        Err(_) => file.to_owned(),
+    }
+}
+
+/// Appends `summary` to the file named by `GLOBE_SWEEP_SUMMARY` or
+/// `GITHUB_STEP_SUMMARY` (appending is the step-summary convention:
+/// other steps of the job may have written their own sections).
+fn write_summary(summary: &str) {
+    let path = std::env::var("GLOBE_SWEEP_SUMMARY")
+        .or_else(|_| std::env::var("GITHUB_STEP_SUMMARY"))
+        .ok();
+    let Some(path) = path.filter(|p| !p.is_empty()) else {
+        return;
+    };
+    use std::io::Write;
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{summary}"));
+    if let Err(e) = result {
+        eprintln!("could not write sweep summary to {path}: {e}");
+    }
+}
 
 fn bench_scenario_sweep(c: &mut Criterion) {
-    let spec = SweepSpec::default();
+    let scale = SweepScale::from_env();
+    let spec = scale.spec();
+    let full_scale = scale == SweepScale::Full;
     let mut reports: Vec<CellReport> = Vec::new();
     let mut g = c.benchmark_group("scenario_sweep");
-    for class in DsoClass::ALL {
-        for policy in ScenarioPolicy::ALL {
-            for mode in SWEEP_MODES {
-                let mut last: Option<CellReport> = None;
-                g.bench_function(
-                    format!("{}/{}/{}", class.name(), policy.name(), mode_label(mode)),
-                    |b| b.iter(|| last = Some(sweep_cell(policy, mode, class, &spec))),
-                );
-                reports.push(last.expect("bench ran at least once"));
-            }
-        }
+    for cell in all_cells(&spec) {
+        let mut last: Option<CellReport> = None;
+        g.bench_function(cell.key(), |b| {
+            b.iter(|| last = Some(run_cell(&cell, &spec)))
+        });
+        reports.push(last.expect("bench ran at least once"));
     }
     g.finish();
 
     print_table(
-        "scenario sweep — policy × propagation mode × DSO class",
+        "scenario sweep — policy × propagation mode × DSO class × churn",
         &SWEEP_TABLE_HEADERS,
         &sweep_table_rows(&reports),
     );
+    let avail = avail_table_rows(&reports);
+    if !avail.is_empty() {
+        print_table("availability under churn", &AVAIL_TABLE_HEADERS, &avail);
+    }
 
     let json = sweep_json(&reports);
-    // Anchor at the workspace root regardless of cargo's bench CWD.
-    let path = match std::env::var("CARGO_MANIFEST_DIR") {
-        Ok(dir) => format!("{dir}/../../BENCH_scenario_sweep.json"),
-        Err(_) => "BENCH_scenario_sweep.json".to_owned(),
+    // A full-scale run gets its own file: the committed smoke baseline
+    // is only ever rewritten by a passing (or explicitly skipped)
+    // smoke run.
+    let path = workspace_file(scale.matrix_file());
+    // The committed smoke JSON is the previous revision's trajectory
+    // point.
+    let baseline = std::fs::read_to_string(workspace_file(SweepScale::Smoke.matrix_file())).ok();
+
+    let skip_reason = if std::env::var("GLOBE_SWEEP_BASELINE").as_deref() == Ok("skip") {
+        Some("GLOBE_SWEEP_BASELINE=skip (baseline regeneration)")
+    } else if full_scale {
+        Some("full-scale run; the committed baseline is smoke-scale")
+    } else {
+        None
     };
-    // The committed JSON is the previous revision's trajectory point.
-    let baseline = std::fs::read_to_string(&path).ok();
+    let gate = trajectory_gate(baseline.as_deref(), &json, skip_reason)
+        .expect("committed sweep baseline must stay parseable");
 
     let violations = check_sweep_invariants(&reports);
+    // The summary goes out before any panic below, so a failing CI run
+    // still renders its matrix and verdicts into the job summary.
+    write_summary(&summary_markdown(&reports, &violations, &gate));
+
+    // A failing run — invariants or trajectory — must not ratchet its
+    // own numbers into the baseline a rerun would compare against;
+    // park the fresh matrix next to it instead, so the CI artifact
+    // carries the numbers that actually failed.
+    let rejected = format!("{path}.rejected");
+    if !violations.is_empty() || !gate.allows_baseline_write() {
+        if let Err(e) = std::fs::write(&rejected, &json) {
+            eprintln!("could not write {rejected}: {e}");
+        }
+    }
+
     assert!(
         violations.is_empty(),
-        "scenario sweep invariant violations:\n  {}",
+        "scenario sweep invariant violations (fresh matrix at {rejected}):\n  {}",
         violations.join("\n  ")
     );
 
-    // Trajectory gate: fail on a >10% regression in grp bytes or p99
-    // for any cell vs the committed baseline. GLOBE_SWEEP_BASELINE=skip
-    // bypasses it for intentional shifts (commit the regenerated JSON
-    // as the new baseline afterwards). The baseline file is only
-    // overwritten when the gate passes (or is skipped): a failing run
-    // must not ratchet its own regressed numbers into the baseline a
-    // rerun would compare against.
-    if std::env::var("GLOBE_SWEEP_BASELINE").as_deref() == Ok("skip") {
-        eprintln!("trajectory gate skipped (GLOBE_SWEEP_BASELINE=skip)");
-    } else if let Some(baseline) = baseline {
-        let regressions = compare_trajectory(&baseline, &json)
-            .expect("committed sweep baseline must stay parseable");
-        if !regressions.is_empty() {
-            let rejected = format!("{path}.rejected");
-            if let Err(e) = std::fs::write(&rejected, &json) {
-                eprintln!("could not write {rejected}: {e}");
-            }
-            panic!(
-                "scenario sweep trajectory regressions vs committed baseline \
-                 (fresh matrix at {rejected}):\n  {}",
-                regressions.join("\n  ")
-            );
-        }
-        println!(
+    match &gate {
+        GateOutcome::Skipped { reason } => eprintln!("trajectory gate skipped: {reason}"),
+        GateOutcome::NoBaseline => eprintln!("trajectory gate: no committed baseline"),
+        GateOutcome::Pass { rows } => println!(
             "trajectory gate: {} cells within tolerance of the committed baseline",
-            reports.len()
-        );
+            rows.len()
+        ),
+        GateOutcome::Fail { violations, .. } => panic!(
+            "scenario sweep trajectory regressions vs committed baseline \
+             (fresh matrix at {rejected}):\n  {}",
+            violations.join("\n  ")
+        ),
     }
-    if let Err(e) = std::fs::write(&path, &json) {
-        eprintln!("could not write {path}: {e}");
+    if gate.allows_baseline_write() {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("could not write {path}: {e}");
+        }
     }
 }
 

@@ -10,10 +10,13 @@ pub mod trajectory;
 
 pub use fanout::{grp_fanout_run, FanoutReport};
 pub use sweep::{
-    check_sweep_invariants, run_sweep, sweep_cell, sweep_json, sweep_table_rows, CellReport,
-    DsoClass, SweepSpec,
+    all_cells, avail_table_rows, check_sweep_invariants, churn_cells, run_cell, run_sweep,
+    sweep_cell, sweep_json, sweep_table_rows, CellReport, CellSpec, ChurnPlan, DsoClass, SweepSpec,
 };
-pub use trajectory::{compare_trajectory, parse_sweep_json, TrajectoryCell};
+pub use trajectory::{
+    compare_trajectory, parse_sweep_json, summary_markdown, trajectory_gate, trajectory_rows,
+    GateOutcome, RowVerdict, TrajectoryCell, TrajectoryRow,
+};
 
 use std::sync::Arc;
 

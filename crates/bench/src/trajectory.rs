@@ -12,12 +12,34 @@
 //! intentionally moves the numbers, then commit the regenerated JSON as
 //! the new baseline.
 //!
+//! Churn and adaptive cells (key suffixes `/rolling`, `/failover`,
+//! `/adaptive`) are gated against the wider
+//! [`CHURN_TOLERANCE`]/slack band: their tails include retry backoffs
+//! and re-replication bursts, so the steady-state ±10% band would turn
+//! intentional fault-schedule tweaks into gate noise.
+//!
 //! The parser handles exactly the flat single-line-per-cell format
 //! [`crate::sweep::sweep_json`] emits — no general JSON machinery, no
-//! dependencies.
+//! dependencies. Rows written before the churn axis existed (no
+//! `churn`/`adaptive` fields) parse as steady-state cells, so old
+//! baselines stay comparable.
+//!
+//! [`summary_markdown`] renders the whole verdict — matrix,
+//! availability columns, invariant findings, and the per-cell
+//! trajectory diff — as one markdown document; the bench appends it to
+//! `$GITHUB_STEP_SUMMARY` (or the `GLOBE_SWEEP_SUMMARY` path) so CI
+//! regressions are readable without downloading the artifact.
 
-/// Maximum tolerated relative growth per gated metric (0.10 = +10%).
+use crate::sweep::{
+    avail_table_rows, sweep_table_rows, CellReport, AVAIL_TABLE_HEADERS, SWEEP_TABLE_HEADERS,
+};
+
+/// Maximum tolerated relative growth per gated metric for steady-state
+/// cells (0.10 = +10%).
 pub const TRAJECTORY_TOLERANCE: f64 = 0.10;
+
+/// The wider band churn/adaptive cells are gated against.
+pub const CHURN_TOLERANCE: f64 = 0.35;
 
 /// Absolute slack on `grp_bytes_encoded` (bytes): tiny baselines must
 /// not turn byte-level jitter into a gate failure.
@@ -26,11 +48,21 @@ const BYTES_SLACK: f64 = 1024.0;
 /// Absolute slack on `p99_ms` (milliseconds).
 const P99_SLACK: f64 = 0.5;
 
+/// Absolute slacks for churn cells: restored replicas refetch whole
+/// states and retried reads pay backoff, so both metrics jump in
+/// coarser steps.
+const CHURN_BYTES_SLACK: f64 = 8192.0;
+const CHURN_P99_SLACK: f64 = 50.0;
+
 /// One sweep cell's gated metrics.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TrajectoryCell {
-    /// `class/policy/mode`, the cell's identity across revisions.
+    /// `class/policy/mode[/churn][/adaptive]`, the cell's identity
+    /// across revisions.
     pub key: String,
+    /// Whether the cell ran with churn or the adaptive controller
+    /// (gated against the wider band).
+    pub churny: bool,
     /// GRP bytes the cell's propagation encoded.
     pub grp_bytes_encoded: u64,
     /// 99th-percentile read latency, milliseconds.
@@ -62,7 +94,7 @@ pub fn parse_sweep_json(json: &str) -> Result<Vec<TrajectoryCell>, String> {
         };
         let row = &rest[open..open + close + 1];
         rest = &rest[open + close + 1..];
-        let key = match (
+        let mut key = match (
             field_str(row, "class"),
             field_str(row, "policy"),
             field_str(row, "mode"),
@@ -70,6 +102,16 @@ pub fn parse_sweep_json(json: &str) -> Result<Vec<TrajectoryCell>, String> {
             (Some(c), Some(p), Some(m)) => format!("{c}/{p}/{m}"),
             _ => return Err(format!("sweep row lacks class/policy/mode: {row}")),
         };
+        // Pre-churn baselines have neither field: steady-state cell.
+        let churn = field_str(row, "churn").unwrap_or_else(|| "none".to_owned());
+        let adaptive = field(row, "adaptive") == Some("true");
+        if churn != "none" {
+            key.push('/');
+            key.push_str(&churn);
+        }
+        if adaptive {
+            key.push_str("/adaptive");
+        }
         let grp_bytes_encoded = field(row, "grp_bytes_encoded")
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| format!("{key}: bad grp_bytes_encoded"))?;
@@ -78,6 +120,7 @@ pub fn parse_sweep_json(json: &str) -> Result<Vec<TrajectoryCell>, String> {
             .ok_or_else(|| format!("{key}: bad p99_ms"))?;
         cells.push(TrajectoryCell {
             key,
+            churny: churn != "none" || adaptive,
             grp_bytes_encoded,
             p99_ms,
         });
@@ -88,8 +131,139 @@ pub fn parse_sweep_json(json: &str) -> Result<Vec<TrajectoryCell>, String> {
     Ok(cells)
 }
 
-fn regressed(baseline: f64, current: f64, slack: f64) -> bool {
-    current > baseline * (1.0 + TRAJECTORY_TOLERANCE) + slack
+/// `current > baseline * (1 + tolerance) + slack`. Multiplicative
+/// form: a zero-valued baseline metric degrades to the absolute slack
+/// alone, never to a division.
+fn regressed(baseline: f64, current: f64, tolerance: f64, slack: f64) -> bool {
+    current > baseline * (1.0 + tolerance) + slack
+}
+
+/// How one cell fared against the baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RowVerdict {
+    /// Within tolerance.
+    Ok,
+    /// Regressed; one message per gated metric.
+    Regressed(Vec<String>),
+    /// In the baseline but absent from the fresh run (a violation —
+    /// the matrix silently shrank).
+    MissingFromCurrent,
+    /// In the fresh run but not the baseline (not a violation — the
+    /// matrix grew; the regenerated baseline will cover it).
+    NewInCurrent,
+}
+
+/// One cell of the trajectory diff.
+#[derive(Clone, Debug)]
+pub struct TrajectoryRow {
+    /// The cell's identity key.
+    pub key: String,
+    /// Whether the wider churn band applied.
+    pub churny: bool,
+    /// Baseline GRP bytes (absent for new cells).
+    pub base_bytes: Option<u64>,
+    /// Fresh-run GRP bytes (absent for missing cells).
+    pub cur_bytes: Option<u64>,
+    /// Baseline p99, milliseconds.
+    pub base_p99: Option<f64>,
+    /// Fresh-run p99, milliseconds.
+    pub cur_p99: Option<f64>,
+    /// The verdict.
+    pub verdict: RowVerdict,
+}
+
+/// Diffs parsed matrices cell-by-cell: baseline cells in order, then
+/// cells new in the current run.
+pub fn trajectory_rows(
+    baseline: &[TrajectoryCell],
+    current: &[TrajectoryCell],
+) -> Vec<TrajectoryRow> {
+    let mut rows = Vec::new();
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.key == b.key) else {
+            rows.push(TrajectoryRow {
+                key: b.key.clone(),
+                churny: b.churny,
+                base_bytes: Some(b.grp_bytes_encoded),
+                cur_bytes: None,
+                base_p99: Some(b.p99_ms),
+                cur_p99: None,
+                verdict: RowVerdict::MissingFromCurrent,
+            });
+            continue;
+        };
+        let (tolerance, bytes_slack, p99_slack) = if b.churny || c.churny {
+            (CHURN_TOLERANCE, CHURN_BYTES_SLACK, CHURN_P99_SLACK)
+        } else {
+            (TRAJECTORY_TOLERANCE, BYTES_SLACK, P99_SLACK)
+        };
+        let mut messages = Vec::new();
+        if regressed(
+            b.grp_bytes_encoded as f64,
+            c.grp_bytes_encoded as f64,
+            tolerance,
+            bytes_slack,
+        ) {
+            messages.push(format!(
+                "{}: grp bytes regressed {} -> {} (> {:.0}% + slack)",
+                b.key,
+                b.grp_bytes_encoded,
+                c.grp_bytes_encoded,
+                tolerance * 100.0
+            ));
+        }
+        if regressed(b.p99_ms, c.p99_ms, tolerance, p99_slack) {
+            messages.push(format!(
+                "{}: p99 regressed {:.3} ms -> {:.3} ms (> {:.0}% + slack)",
+                b.key,
+                b.p99_ms,
+                c.p99_ms,
+                tolerance * 100.0
+            ));
+        }
+        rows.push(TrajectoryRow {
+            key: b.key.clone(),
+            churny: b.churny || c.churny,
+            base_bytes: Some(b.grp_bytes_encoded),
+            cur_bytes: Some(c.grp_bytes_encoded),
+            base_p99: Some(b.p99_ms),
+            cur_p99: Some(c.p99_ms),
+            verdict: if messages.is_empty() {
+                RowVerdict::Ok
+            } else {
+                RowVerdict::Regressed(messages)
+            },
+        });
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.key == c.key) {
+            rows.push(TrajectoryRow {
+                key: c.key.clone(),
+                churny: c.churny,
+                base_bytes: None,
+                cur_bytes: Some(c.grp_bytes_encoded),
+                base_p99: None,
+                cur_p99: Some(c.p99_ms),
+                verdict: RowVerdict::NewInCurrent,
+            });
+        }
+    }
+    rows
+}
+
+/// The violation messages a set of diff rows carries.
+pub fn row_violations(rows: &[TrajectoryRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for row in rows {
+        match &row.verdict {
+            RowVerdict::Ok | RowVerdict::NewInCurrent => {}
+            RowVerdict::MissingFromCurrent => {
+                violations.push(format!("{}: cell missing from current sweep", row.key));
+            }
+            RowVerdict::Regressed(messages) => violations.extend(messages.iter().cloned()),
+        }
+    }
+    violations
 }
 
 /// Diffs `current` against `baseline` (both in the sweep's JSON
@@ -98,44 +272,207 @@ fn regressed(baseline: f64, current: f64, slack: f64) -> bool {
 pub fn compare_trajectory(baseline: &str, current: &str) -> Result<Vec<String>, String> {
     let base = parse_sweep_json(baseline)?;
     let cur = parse_sweep_json(current)?;
-    let mut violations = Vec::new();
-    for b in &base {
-        let Some(c) = cur.iter().find(|c| c.key == b.key) else {
-            violations.push(format!("{}: cell missing from current sweep", b.key));
-            continue;
+    Ok(row_violations(&trajectory_rows(&base, &cur)))
+}
+
+/// What the trajectory gate decided, with the evidence the summary
+/// renders.
+#[derive(Clone, Debug)]
+pub enum GateOutcome {
+    /// Comparison bypassed (`GLOBE_SWEEP_BASELINE=skip`, or a
+    /// full-scale run that has no committed baseline of its own scale).
+    Skipped {
+        /// Why.
+        reason: String,
+    },
+    /// No committed baseline file was found.
+    NoBaseline,
+    /// Every cell within tolerance.
+    Pass {
+        /// The per-cell diff.
+        rows: Vec<TrajectoryRow>,
+    },
+    /// At least one regression or vanished cell.
+    Fail {
+        /// The per-cell diff.
+        rows: Vec<TrajectoryRow>,
+        /// One message per violation.
+        violations: Vec<String>,
+    },
+}
+
+impl GateOutcome {
+    /// Whether the bench run may ratchet `current` into the committed
+    /// baseline path (regeneration): only when the gate did not fail.
+    pub fn allows_baseline_write(&self) -> bool {
+        !matches!(self, GateOutcome::Fail { .. })
+    }
+}
+
+/// Runs the trajectory gate: `skip_reason` short-circuits (the
+/// `GLOBE_SWEEP_BASELINE=skip` regeneration path and the full-scale
+/// nightly, which must never be compared against — or overwrite — the
+/// committed smoke baseline), a missing baseline is reported as such,
+/// and otherwise both matrices are parsed and diffed. `Err` carries a
+/// parse failure (a corrupt committed baseline must fail the bench, not
+/// pass it silently).
+pub fn trajectory_gate(
+    baseline: Option<&str>,
+    current: &str,
+    skip_reason: Option<&str>,
+) -> Result<GateOutcome, String> {
+    if let Some(reason) = skip_reason {
+        return Ok(GateOutcome::Skipped {
+            reason: reason.to_owned(),
+        });
+    }
+    let Some(baseline) = baseline else {
+        return Ok(GateOutcome::NoBaseline);
+    };
+    let base = parse_sweep_json(baseline)?;
+    let cur = parse_sweep_json(current)?;
+    let rows = trajectory_rows(&base, &cur);
+    let violations = row_violations(&rows);
+    Ok(if violations.is_empty() {
+        GateOutcome::Pass { rows }
+    } else {
+        GateOutcome::Fail { rows, violations }
+    })
+}
+
+fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!(
+        "|{}|\n",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    ));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+fn pct(base: f64, cur: f64) -> String {
+    if base == 0.0 {
+        return if cur == 0.0 {
+            "±0%".into()
+        } else {
+            "new".into()
         };
-        if regressed(
-            b.grp_bytes_encoded as f64,
-            c.grp_bytes_encoded as f64,
-            BYTES_SLACK,
-        ) {
-            violations.push(format!(
-                "{}: grp bytes regressed {} -> {} (> {:.0}% + slack)",
-                b.key,
-                b.grp_bytes_encoded,
-                c.grp_bytes_encoded,
-                TRAJECTORY_TOLERANCE * 100.0
+    }
+    format!("{:+.1}%", (cur - base) / base * 100.0)
+}
+
+fn diff_table(rows: &[TrajectoryRow]) -> String {
+    let fmt_u64 = |v: Option<u64>| v.map_or("—".to_owned(), |v| v.to_string());
+    let fmt_ms = |v: Option<f64>| v.map_or("—".to_owned(), |v| format!("{v:.1}"));
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let (bytes_delta, p99_delta) = match (r.base_bytes, r.cur_bytes, r.base_p99, r.cur_p99)
+            {
+                (Some(bb), Some(cb), Some(bp), Some(cp)) => {
+                    (pct(bb as f64, cb as f64), pct(bp, cp))
+                }
+                _ => ("—".to_owned(), "—".to_owned()),
+            };
+            let verdict = match &r.verdict {
+                RowVerdict::Ok => "ok".to_owned(),
+                RowVerdict::Regressed(m) => format!("**REGRESSED** ({})", m.len()),
+                RowVerdict::MissingFromCurrent => "**MISSING**".to_owned(),
+                RowVerdict::NewInCurrent => "new cell".to_owned(),
+            };
+            vec![
+                r.key.clone(),
+                fmt_u64(r.base_bytes),
+                fmt_u64(r.cur_bytes),
+                bytes_delta,
+                fmt_ms(r.base_p99),
+                fmt_ms(r.cur_p99),
+                p99_delta,
+                verdict,
+            ]
+        })
+        .collect();
+    md_table(
+        &[
+            "cell",
+            "grp bytes (base)",
+            "grp bytes (now)",
+            "Δ bytes",
+            "p99 ms (base)",
+            "p99 ms (now)",
+            "Δ p99",
+            "verdict",
+        ],
+        &body,
+    )
+}
+
+/// Renders the run — the matrix, the availability columns, the
+/// invariant findings, and the trajectory diff with its gate verdict —
+/// as one markdown document for `$GITHUB_STEP_SUMMARY`.
+pub fn summary_markdown(
+    reports: &[CellReport],
+    invariant_violations: &[String],
+    gate: &GateOutcome,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "## Scenario sweep — {} cells\n\n{}\n",
+        reports.len(),
+        md_table(&SWEEP_TABLE_HEADERS, &sweep_table_rows(reports))
+    ));
+    let avail = avail_table_rows(reports);
+    if !avail.is_empty() {
+        out.push_str(&format!(
+            "### Availability under churn\n\n{}\n",
+            md_table(&AVAIL_TABLE_HEADERS, &avail)
+        ));
+    }
+    out.push_str("### Invariants\n\n");
+    if invariant_violations.is_empty() {
+        out.push_str("All sweep invariants hold.\n\n");
+    } else {
+        for v in invariant_violations {
+            out.push_str(&format!("- ❌ {v}\n"));
+        }
+        out.push('\n');
+    }
+    out.push_str("### Trajectory vs committed baseline\n\n");
+    match gate {
+        GateOutcome::Skipped { reason } => {
+            out.push_str(&format!("Gate skipped: {reason}.\n"));
+        }
+        GateOutcome::NoBaseline => {
+            out.push_str("No committed baseline found; nothing to gate against.\n");
+        }
+        GateOutcome::Pass { rows } => {
+            out.push_str(&format!(
+                "**PASS** — {} cells within tolerance.\n\n{}",
+                rows.len(),
+                diff_table(rows)
             ));
         }
-        if regressed(b.p99_ms, c.p99_ms, P99_SLACK) {
-            violations.push(format!(
-                "{}: p99 regressed {:.3} ms -> {:.3} ms (> {:.0}% + slack)",
-                b.key,
-                b.p99_ms,
-                c.p99_ms,
-                TRAJECTORY_TOLERANCE * 100.0
+        GateOutcome::Fail { rows, violations } => {
+            out.push_str(&format!(
+                "**FAIL** — {} violation(s).\n\n{}",
+                violations.len(),
+                diff_table(rows)
             ));
         }
     }
-    Ok(violations)
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sweep::sweep_json;
+    use crate::sweep::{sweep_json, ChurnPlan};
     use crate::{CellReport, DsoClass};
     use globe_rts::PropagationMode;
+    use globe_sim::SimDuration;
     use globe_workloads::ScenarioPolicy;
 
     fn report(bytes: u64, p99: f64) -> CellReport {
@@ -143,6 +480,8 @@ mod tests {
             policy: ScenarioPolicy::Central,
             mode: PropagationMode::PushState,
             class: DsoClass::Package,
+            churn: ChurnPlan::None,
+            adaptive: false,
             regions: 3,
             replicas: 1,
             writes_completed: 10,
@@ -158,17 +497,56 @@ mod tests {
             stale_reads: 0,
             wan_bytes: 1000,
             downloads_recorded: 0,
+            kills: 0,
+            unavail_ms: 0.0,
+            recovery_ms: 0.0,
+            retries: 0,
+            rerepl_grp_bytes: 0,
+            policy_switches: 0,
+            unavail_limit_ms: 0.0,
+        }
+    }
+
+    fn churn_report(bytes: u64, p99: f64) -> CellReport {
+        CellReport {
+            churn: ChurnPlan::RollingReplicas {
+                period: SimDuration::from_secs(15),
+                kills: 1,
+                down: SimDuration::from_secs(10),
+            },
+            kills: 2,
+            retries: 3,
+            rerepl_grp_bytes: 1000,
+            unavail_ms: 8_000.0,
+            unavail_limit_ms: 25_000.0,
+            ..report(bytes, p99)
         }
     }
 
     #[test]
     fn parses_the_sweep_emitter_format() {
-        let json = sweep_json(&[report(100_000, 12.5)]);
+        let json = sweep_json(&[report(100_000, 12.5), churn_report(5_000, 40.0)]);
         let cells = parse_sweep_json(&json).unwrap();
-        assert_eq!(cells.len(), 1);
+        assert_eq!(cells.len(), 2);
         assert_eq!(cells[0].key, "package/central/push_state");
+        assert!(!cells[0].churny);
         assert_eq!(cells[0].grp_bytes_encoded, 100_000);
         assert!((cells[0].p99_ms - 12.5).abs() < 1e-9);
+        assert_eq!(cells[1].key, "package/central/push_state/rolling");
+        assert!(cells[1].churny);
+    }
+
+    #[test]
+    fn pre_churn_baseline_rows_parse_as_steady_state() {
+        // The PR 4 emitter wrote neither "churn" nor "adaptive".
+        let old = concat!(
+            "[\n  {\"class\":\"package\",\"policy\":\"central\",",
+            "\"mode\":\"push_state\",\"p99_ms\":12.500,",
+            "\"grp_bytes_encoded\":100000}\n]\n"
+        );
+        let cells = parse_sweep_json(old).unwrap();
+        assert_eq!(cells[0].key, "package/central/push_state");
+        assert!(!cells[0].churny);
     }
 
     #[test]
@@ -201,14 +579,131 @@ mod tests {
     }
 
     #[test]
-    fn missing_cells_and_garbage_are_errors() {
+    fn churn_cells_get_the_wider_band() {
+        // +30% bytes and +40 ms p99: far outside the steady-state band,
+        // inside the churn band.
+        let base = sweep_json(&[churn_report(100_000, 50.0)]);
+        let noisy = sweep_json(&[churn_report(130_000, 90.0)]);
+        assert_eq!(
+            compare_trajectory(&base, &noisy).unwrap(),
+            Vec::<String>::new()
+        );
+        // The same drift on a steady-state cell is two violations.
+        let base = sweep_json(&[report(100_000, 50.0)]);
+        let noisy = sweep_json(&[report(130_000, 90.0)]);
+        assert_eq!(compare_trajectory(&base, &noisy).unwrap().len(), 2);
+        // The churn band still has a ceiling.
+        let base = sweep_json(&[churn_report(100_000, 50.0)]);
+        let worse = sweep_json(&[churn_report(200_000, 500.0)]);
+        assert_eq!(compare_trajectory(&base, &worse).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn zero_valued_baseline_metrics_do_not_divide() {
+        // A cell whose baseline encoded nothing (pure-read cell): only
+        // the absolute slack guards it, and equal zeros pass.
+        let base = sweep_json(&[report(0, 0.0)]);
+        let same = sweep_json(&[report(0, 0.0)]);
+        assert_eq!(
+            compare_trajectory(&base, &same).unwrap(),
+            Vec::<String>::new()
+        );
+        let within_slack = sweep_json(&[report(1_000, 0.4)]);
+        assert_eq!(
+            compare_trajectory(&base, &within_slack).unwrap(),
+            Vec::<String>::new()
+        );
+        let beyond_slack = sweep_json(&[report(2_000, 5.0)]);
+        assert_eq!(compare_trajectory(&base, &beyond_slack).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn missing_and_new_cells_are_distinguished() {
+        let both = sweep_json(&[report(1, 1.0), churn_report(2, 2.0)]);
+        let only_steady = sweep_json(&[report(1, 1.0)]);
+
+        // Cell present in baseline but missing from the fresh run: a
+        // violation.
+        let v = compare_trajectory(&both, &only_steady).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("missing"));
+
+        // Cell new in the fresh run (matrix grew): not a violation,
+        // but visible in the diff rows.
+        let v = compare_trajectory(&only_steady, &both).unwrap();
+        assert_eq!(v, Vec::<String>::new());
+        let rows = trajectory_rows(
+            &parse_sweep_json(&only_steady).unwrap(),
+            &parse_sweep_json(&both).unwrap(),
+        );
+        assert!(rows
+            .iter()
+            .any(|r| r.verdict == RowVerdict::NewInCurrent && r.base_bytes.is_none()));
+    }
+
+    #[test]
+    fn garbage_is_an_error() {
         let base = sweep_json(&[report(100_000, 12.5)]);
-        let violations = compare_trajectory(&base, "[\n]\n");
-        assert!(violations.is_err());
-        let two = sweep_json(&[report(1, 1.0)]);
-        let mut only_other = two.clone();
-        only_other = only_other.replace("push_state", "push_delta");
-        let v = compare_trajectory(&two, &only_other).unwrap();
-        assert!(v[0].contains("missing"), "{v:?}");
+        assert!(compare_trajectory(&base, "[\n]\n").is_err());
+        assert!(compare_trajectory("not json", &base).is_err());
+    }
+
+    #[test]
+    fn gate_skip_path_bypasses_even_regressions() {
+        let base = sweep_json(&[report(100, 1.0)]);
+        let much_worse = sweep_json(&[report(1_000_000, 500.0)]);
+        let outcome =
+            trajectory_gate(Some(&base), &much_worse, Some("GLOBE_SWEEP_BASELINE=skip")).unwrap();
+        assert!(matches!(outcome, GateOutcome::Skipped { .. }));
+        assert!(outcome.allows_baseline_write());
+        // Skip never parses the baseline, so the regeneration path
+        // works even when the committed file is stale garbage.
+        let outcome = trajectory_gate(Some("garbage"), &much_worse, Some("skip")).unwrap();
+        assert!(matches!(outcome, GateOutcome::Skipped { .. }));
+    }
+
+    #[test]
+    fn gate_outcomes_cover_baseline_states() {
+        let base = sweep_json(&[report(100, 1.0)]);
+        let worse = sweep_json(&[report(1_000_000, 500.0)]);
+        assert!(matches!(
+            trajectory_gate(None, &base, None).unwrap(),
+            GateOutcome::NoBaseline
+        ));
+        let pass = trajectory_gate(Some(&base), &base, None).unwrap();
+        assert!(matches!(pass, GateOutcome::Pass { .. }));
+        assert!(pass.allows_baseline_write());
+        let fail = trajectory_gate(Some(&base), &worse, None).unwrap();
+        assert!(matches!(fail, GateOutcome::Fail { .. }));
+        assert!(!fail.allows_baseline_write());
+        assert!(trajectory_gate(Some("garbage"), &base, None).is_err());
+    }
+
+    #[test]
+    fn summary_renders_all_sections() {
+        let reports = vec![report(100_000, 12.5), churn_report(5_000, 40.0)];
+        let json = sweep_json(&reports);
+        let gate = trajectory_gate(Some(&json), &json, None).unwrap();
+        let md = summary_markdown(&reports, &[], &gate);
+        for needle in [
+            "## Scenario sweep — 2 cells",
+            "### Availability under churn",
+            "package/central/push_state/rolling",
+            "All sweep invariants hold.",
+            "### Trajectory vs committed baseline",
+            "**PASS**",
+            "+0.0%",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+        let md = summary_markdown(
+            &reports,
+            &["cell X: 3 stale reads".to_owned()],
+            &GateOutcome::Skipped {
+                reason: "full-scale run".into(),
+            },
+        );
+        assert!(md.contains("❌ cell X: 3 stale reads"));
+        assert!(md.contains("Gate skipped: full-scale run."));
     }
 }

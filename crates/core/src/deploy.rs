@@ -54,6 +54,29 @@ pub struct GdnOptions {
     pub stats_object: Option<String>,
 }
 
+/// The runtime configuration every host-credentialed HTTPD uses — the
+/// deployment HTTPDs colocated with object servers and the standalone
+/// access points ([`GdnDeployment::access_point`]) must stay
+/// identical, so both build it here.
+fn httpd_runtime_config(
+    security: &GdnSecurity,
+    cache_ttl: SimDuration,
+    host: HostId,
+) -> RuntimeConfig {
+    RuntimeConfig {
+        grp_port: ports::HTTP,
+        tls_server: security.host_server(host),
+        tls_client: security.host_client(host),
+        accept_incoming: false,
+        cache_ttl,
+        writer_roles: RuntimeConfig::default_writer_roles(),
+        // Mode::Null models the paper's unsecured first version: no
+        // authentication means no role gates anywhere.
+        open_writes: security.mode() == Mode::Null,
+        persist: false,
+    }
+}
+
 impl Default for GdnOptions {
     fn default() -> Self {
         GdnOptions {
@@ -150,16 +173,7 @@ impl GdnDeployment {
             gos_endpoints.push(Endpoint::new(host, ports::GOS_CTL));
 
             // HTTPD colocated with the object server (paper §4).
-            let http_cfg = RuntimeConfig {
-                grp_port: ports::HTTP,
-                tls_server: security.host_server(host),
-                tls_client: security.host_client(host),
-                accept_incoming: false,
-                cache_ttl: options.cache_ttl,
-                writer_roles: RuntimeConfig::default_writer_roles(),
-                open_writes: open,
-                persist: false,
-            };
+            let http_cfg = httpd_runtime_config(&security, options.cache_ttl, host);
             let runtime =
                 GlobeRuntime::new(http_cfg, Arc::clone(&repo), Arc::clone(&gls), host, 0x0200);
             let mut httpd = GdnHttpd::new(runtime, &gns, &topo, host, 0x0300);
@@ -265,6 +279,26 @@ impl GdnDeployment {
     /// anonymous credentials, paper §4) for `host`.
     pub fn proxy(&self, topo: &Topology, host: HostId) -> GdnHttpd {
         let runtime = self.anonymous_runtime(host, 0x0200);
+        GdnHttpd::new(runtime, &self.gns, topo, host, 0x0300)
+    }
+
+    /// Builds a host-credentialed HTTPD for `host` — the same
+    /// configuration [`GdnDeployment::install`] colocates with each
+    /// object server, but standing alone. Churn experiments use these
+    /// as access points on hosts that are never killed, so the HTTPDs
+    /// keep serving (failing over within their client sessions'
+    /// `RetryPolicy`) while replica hosts crash and recover around
+    /// them. Host credentials pass the write gate, so
+    /// [`GdnHttpd::with_stats_object`] works on the result.
+    pub fn access_point(&self, topo: &Topology, host: HostId) -> GdnHttpd {
+        let cfg = httpd_runtime_config(&self.security, self.cache_ttl, host);
+        let runtime = GlobeRuntime::new(
+            cfg,
+            Arc::clone(&self.repo),
+            Arc::clone(&self.gls),
+            host,
+            0x0200,
+        );
         GdnHttpd::new(runtime, &self.gns, topo, host, 0x0300)
     }
 }

@@ -1048,3 +1048,105 @@ fn pkg_fetches_record_into_download_stats() {
         Some(RoleSpec::Standalone)
     ));
 }
+
+/// A standalone host-credentialed access point ([`GdnDeployment::access_point`])
+/// on a host with no object server: it serves `/pkg` like a deployment
+/// HTTPD, records downloads through the stats hook (host credentials
+/// pass the write gate), and keeps serving after its bound replica's
+/// host crashes — the survivor role the churn sweep cells rely on.
+#[test]
+fn access_point_serves_and_records_off_the_gos_host() {
+    let topo = Topology::grid(2, 1, 1, 3);
+    // Object servers off the first hosts (GLS/GNS daemons) and off the
+    // last (our access point + browser), mirroring the churn layout.
+    let gos_hosts: Vec<HostId> = topo
+        .sites()
+        .filter_map(|s| topo.hosts_in_site(s).get(1).copied())
+        .collect();
+    let mut world = World::new(topo, NetParams::default(), SEED);
+    let gdn = GdnDeployment::install(
+        &mut world,
+        GdnOptions {
+            gos_hosts,
+            stats_object: Some("/stats/site".into()),
+            gls: globe_gls::GlsConfig::default()
+                .with_persistence()
+                .with_address_ttl(SimDuration::from_secs(15)),
+            ..GdnOptions::default()
+        },
+    );
+    let replicas = vec![gdn.gos_endpoints[0], gdn.gos_endpoints[1]];
+    let tool = gdn.moderator_tool(
+        world.topology(),
+        HostId(2),
+        "alice",
+        vec![
+            ModOp::Publish {
+                name: "/apps/vital".into(),
+                description: "package /apps/vital".into(),
+                files: vec![("README".into(), b"survives churn".to_vec())],
+                scenario: Scenario::master_slave(replicas.clone(), PropagationMode::PushState),
+            },
+            stats_publish_op("/stats/site", Scenario::single(replicas[0])),
+        ],
+    );
+    world.add_service(HostId(2), ports::DRIVER, tool);
+    world.start();
+    world.run_for(SimDuration::from_secs(60));
+    let t = world
+        .service::<gdn_core::ModeratorTool>(HostId(2), ports::DRIVER)
+        .expect("tool");
+    assert!(
+        t.results
+            .iter()
+            .all(|r| matches!(r, ModEvent::PublishDone { result: Ok(_), .. })),
+        "{:?}",
+        t.results
+    );
+
+    // The access point stands on region 1's driver host — a host
+    // running neither an object server nor any directory daemon.
+    let ap_host = HostId(5);
+    assert!(gdn.gos_endpoints.iter().all(|ep| ep.host != ap_host));
+    let mut ap = gdn
+        .access_point(world.topology(), ap_host)
+        .with_stats_object("/stats/site");
+    ap.client.config.retry.backoff = SimDuration::from_secs(5);
+    world.add_service(ap_host, ports::HTTP, ap);
+
+    let target = Endpoint::new(ap_host, ports::HTTP);
+    let browser = Browser::new(target, vec!["/pkg/apps/vital?file=README".into()]);
+    world.add_service(ap_host, ports::DRIVER, browser);
+    world.run_for(SimDuration::from_secs(30));
+    assert!(
+        world
+            .service::<Browser>(ap_host, ports::DRIVER)
+            .expect("browser")
+            .results
+            .iter()
+            .all(|r| r.status == 200),
+        "pre-crash fetch failed"
+    );
+
+    // Kill the region-local replica host: the access point must fail
+    // over to the surviving master and keep serving.
+    world.crash_host(replicas[1].host);
+    let browser = Browser::new(target, vec!["/pkg/apps/vital?file=README".into(); 2]);
+    world.add_service(ap_host, ports::DRIVER + 1, browser);
+    world.run_for(SimDuration::from_secs(90));
+    let b = world
+        .service::<Browser>(ap_host, ports::DRIVER + 1)
+        .expect("browser");
+    assert!(
+        b.done() && b.results.iter().all(|r| r.status == 200),
+        "reads must survive the replica crash: {:?}",
+        b.results
+    );
+
+    // Host credentials pass the write gate: every fetch was recorded.
+    let ap = world
+        .service::<GdnHttpd>(ap_host, ports::HTTP)
+        .expect("access point");
+    assert_eq!(ap.stats.downloads_recorded, 3, "{:?}", ap.stats);
+    assert_eq!(world.metrics().counter("rts.reads.stale"), 0);
+}

@@ -565,6 +565,12 @@ pub struct SlaveReplica {
     master: Endpoint,
     valid: bool,
     waiting: Vec<Waiter>,
+    /// State/refresh requests (from caches and sibling replicas) that
+    /// arrived while the copy was invalid: answering them immediately
+    /// would hand an *invalidated* state to a requester that has no way
+    /// to know a newer version exists, so they wait for revalidation
+    /// like read invocations do.
+    pending_states: Vec<(Peer, GrpBody)>,
     fetch_in_flight: bool,
     pending_writes: BTreeMap<u64, WriteOrigin>,
     next_req: u64,
@@ -579,6 +585,7 @@ impl SlaveReplica {
             master,
             valid: false,
             waiting: Vec::new(),
+            pending_states: Vec::new(),
             fetch_in_flight: false,
             pending_writes: BTreeMap::new(),
             next_req: 1,
@@ -617,6 +624,48 @@ impl SlaveReplica {
                 }
             }
         }
+        for (from, body) in std::mem::take(&mut self.pending_states) {
+            self.serve_state(c, from, &body);
+        }
+    }
+
+    /// Answers a `GetState`/`Refresh` from the current copy: an
+    /// already-current same-lineage refresher gets a free confirmation;
+    /// everyone else the whole state (slaves keep no delta history) —
+    /// the version and lineage let the requester judge freshness.
+    fn serve_state(&self, c: &mut ReplCtx<'_>, from: Peer, body: &GrpBody) {
+        let version = c.version();
+        let epoch = c.copy_epoch();
+        if matches!(
+            *body,
+            GrpBody::Refresh { have_version, epoch: req_epoch, .. }
+                if have_version == version && req_epoch == epoch && epoch != 0
+        ) {
+            c.send(
+                from,
+                GrpBody::Delta {
+                    from_version: version,
+                    to_version: version,
+                    epoch,
+                    payload: Vec::new(),
+                },
+            );
+            return;
+        }
+        let req = match *body {
+            GrpBody::GetState { req } | GrpBody::Refresh { req, .. } => req,
+            _ => unreachable!("serve_state only handles state requests"),
+        };
+        let state = c.state();
+        c.send(
+            from,
+            GrpBody::State {
+                req,
+                version,
+                epoch,
+                state,
+            },
+        );
     }
 }
 
@@ -715,6 +764,7 @@ impl ReplicationSubobject for SlaveReplica {
                     let _ = c.exec(&inv);
                     c.bump_version();
                     self.valid = true;
+                    self.drain_waiters(c);
                 } else if version > c.version() {
                     // Missed an operation (e.g. installed mid-stream):
                     // fall back to a state fetch.
@@ -737,6 +787,7 @@ impl ReplicationSubobject for SlaveReplica {
                         .is_ok()
                 {
                     self.valid = true;
+                    self.drain_waiters(c);
                 } else {
                     // Version gap, lineage change or splice failure:
                     // fall back to a full state fetch from the master.
@@ -778,38 +829,18 @@ impl ReplicationSubobject for SlaveReplica {
                 }
                 None => {}
             },
-            GrpBody::GetState { req } | GrpBody::Refresh { req, .. } => {
-                // An already-current same-lineage requester gets a free
-                // confirmation; otherwise serve whatever we have, in
-                // full (slaves keep no delta history) — the version and
-                // lineage let the requester judge freshness.
-                let version = c.version();
-                let epoch = c.copy_epoch();
-                if matches!(
-                    body,
-                    GrpBody::Refresh { have_version, epoch: req_epoch, .. }
-                        if have_version == version && req_epoch == epoch && epoch != 0
-                ) {
-                    c.send(
-                        from,
-                        GrpBody::Delta {
-                            from_version: version,
-                            to_version: version,
-                            epoch,
-                            payload: Vec::new(),
-                        },
-                    );
+            GrpBody::GetState { .. } | GrpBody::Refresh { .. } => {
+                if self.valid {
+                    self.serve_state(c, from, &body);
                 } else {
-                    let state = c.state();
-                    c.send(
-                        from,
-                        GrpBody::State {
-                            req,
-                            version,
-                            epoch,
-                            state,
-                        },
-                    );
+                    // The copy was invalidated: handing it out would
+                    // feed a cache a state the requester cannot know is
+                    // outdated (the stale-read leak the freshness
+                    // oracle catches under invalidation propagation).
+                    // Revalidate first; the request is answered in
+                    // drain_waiters once the fetch lands.
+                    self.pending_states.push((from, body));
+                    self.ensure_fetch(c);
                 }
             }
             GrpBody::Hello { .. } => {}
@@ -856,9 +887,32 @@ impl ReplicationSubobject for SlaveReplica {
                 }
             }
             for w in std::mem::take(&mut self.waiting) {
-                if let Waiter::Local { token, .. } = w {
-                    c.complete(token, Err(InvokeError::PeerUnreachable));
+                match w {
+                    Waiter::Local { token, .. } => {
+                        c.complete(token, Err(InvokeError::PeerUnreachable));
+                    }
+                    // Remote readers get an explicit failure, not a
+                    // silent drop that stalls them into their own
+                    // timeout.
+                    Waiter::Remote { from, req, .. } => {
+                        c.send(
+                            from,
+                            GrpBody::InvokeResult {
+                                req,
+                                ok: false,
+                                data: b"master unreachable".to_vec(),
+                            },
+                        );
+                    }
                 }
+            }
+            // State requesters get the best copy we have rather than a
+            // hang: with the master unreachable there is nothing
+            // fresher to wait for, and the version + lineage on the
+            // answer let them judge it (availability over freshness,
+            // only in the partition case).
+            for (from, body) in std::mem::take(&mut self.pending_states) {
+                self.serve_state(c, from, &body);
             }
         }
     }
@@ -1303,8 +1357,22 @@ mod tests {
 
     #[test]
     fn slave_confirms_current_refreshers_cheaply() {
-        let mut copy = Copy::at(4, 7);
+        let mut copy = Copy::at(3, 7);
         let mut slave = SlaveReplica::new(protocol_id::MASTER_SLAVE, master_ep());
+        // Validate the copy first: only a valid slave answers state
+        // requests directly.
+        copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::Update {
+                    version: 4,
+                    epoch: 7,
+                    state: 5u64.to_be_bytes().to_vec(),
+                },
+            );
+        });
+        assert!(slave.is_valid());
         // Already-current, same lineage: a free confirmation.
         let fx = copy.drive(|c| {
             slave.on_grp(
@@ -1346,6 +1414,103 @@ mod tests {
             fx.sends.as_slice(),
             [(Peer::Conn(2), GrpBody::State { version: 4, .. })]
         ));
+    }
+
+    /// The stale-serving leak the per-object/invalidate sweep cells
+    /// exposed: an *invalidated* slave answering `GetState` from its
+    /// outdated copy hands a cache a state the requester cannot judge.
+    /// The slave must revalidate first and answer with the fresh state.
+    #[test]
+    fn invalidated_slave_defers_state_requests_until_revalidated() {
+        let mut copy = Copy::at(4, 7);
+        let mut slave = SlaveReplica::new(protocol_id::MASTER_SLAVE, master_ep());
+        copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::Update {
+                    version: 4,
+                    epoch: 7,
+                    state: 5u64.to_be_bytes().to_vec(),
+                },
+            );
+        });
+        // A newer write invalidates the copy.
+        copy.drive(|c| {
+            slave.on_grp(c, Peer::Conn(1), GrpBody::Invalidate { version: 5 });
+        });
+        assert!(!slave.is_valid());
+
+        // A cache asks for the state: no stale answer, a master fetch.
+        let fx = copy.drive(|c| {
+            slave.on_grp(c, Peer::Conn(2), GrpBody::GetState { req: 9 });
+        });
+        assert!(
+            matches!(
+                fx.sends.as_slice(),
+                [(Peer::Addr(ep), GrpBody::GetState { .. })] if *ep == master_ep()
+            ),
+            "expected only a revalidation fetch, got {:?}",
+            fx.sends
+        );
+
+        // The fetch lands: the queued requester gets the *fresh* state.
+        let fx = copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::State {
+                    req: 1,
+                    version: 5,
+                    epoch: 7,
+                    state: 6u64.to_be_bytes().to_vec(),
+                },
+            );
+        });
+        assert!(slave.is_valid());
+        assert!(
+            fx.sends.iter().any(|(peer, body)| matches!(
+                (peer, body),
+                (
+                    Peer::Conn(2),
+                    GrpBody::State {
+                        req: 9,
+                        version: 5,
+                        ..
+                    }
+                )
+            )),
+            "queued state request not answered fresh: {:?}",
+            fx.sends
+        );
+
+        // Master unreachable with a queued request: progress beats
+        // freshness — the requester gets the best copy plus its
+        // version to judge.
+        copy.drive(|c| {
+            slave.on_grp(c, Peer::Conn(1), GrpBody::Invalidate { version: 6 });
+        });
+        copy.drive(|c| {
+            slave.on_grp(c, Peer::Conn(2), GrpBody::GetState { req: 10 });
+        });
+        let fx = copy.drive(|c| {
+            slave.on_peer_gone(c, master_ep());
+        });
+        assert!(
+            fx.sends.iter().any(|(peer, body)| matches!(
+                (peer, body),
+                (
+                    Peer::Conn(2),
+                    GrpBody::State {
+                        req: 10,
+                        version: 5,
+                        ..
+                    }
+                )
+            )),
+            "partition fallback missing: {:?}",
+            fx.sends
+        );
     }
 
     #[test]

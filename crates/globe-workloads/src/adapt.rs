@@ -17,7 +17,7 @@ use globe_net::{
     impl_service_any, ns_token, owns_token, ConnEvent, ConnId, Endpoint, Service, ServiceCtx,
 };
 use globe_rts::{protocol_id, GlobeRuntime, GosCmd, GosResp, ImplId, RoleSpec, RtConn};
-use globe_sim::SimDuration;
+use globe_sim::{SimDuration, SimTime};
 
 const CTRL_NS: u16 = 0x7722;
 const TICK: u64 = 1;
@@ -63,9 +63,25 @@ pub struct AdaptiveController {
     last_seen: BTreeMap<(usize, usize), u64>,
     /// Replicas already created, keyed by (object, region).
     placed: BTreeSet<(usize, usize)>,
+    /// In-flight `CreateReplica` commands: `req → (key, deadline)`.
+    /// Entries that outlive their deadline (the target object server
+    /// was down, or the reply was lost to a crash) are un-placed so a
+    /// later tick retries — without this, one kill window would
+    /// permanently cost the region its replica.
+    pending: BTreeMap<u64, ((usize, usize), SimTime)>,
+    /// Expired placements still awaiting a verdict, with their expiry
+    /// time: an acknowledgment that limps in after the deadline (e.g.
+    /// delivered when the target recovers) re-arms `placed`, so the
+    /// controller does not re-issue `CreateReplica` against a live,
+    /// freshly synced replica and wipe it. Entries whose ack never
+    /// comes are pruned after a few intervals.
+    expired: BTreeMap<u64, ((usize, usize), SimTime)>,
     next_req: u64,
-    /// Number of replicas this controller has created.
+    /// Replica creations this controller has commanded (policy
+    /// switches, counting retries of failed placements).
     pub replicas_added: u64,
+    /// Creations the object servers acknowledged.
+    pub replicas_confirmed: u64,
 }
 
 impl AdaptiveController {
@@ -85,12 +101,39 @@ impl AdaptiveController {
             threshold,
             last_seen: BTreeMap::new(),
             placed: BTreeSet::new(),
+            pending: BTreeMap::new(),
+            expired: BTreeMap::new(),
             next_req: 1,
             replicas_added: 0,
+            replicas_confirmed: 0,
         }
     }
 
     fn tick(&mut self, ctx: &mut ServiceCtx<'_>) {
+        // Expire unacknowledged placements first: the command (or its
+        // reply) died with a crashed host, so the slot reopens and the
+        // demand check below may re-issue it.
+        let now = ctx.now();
+        let expired: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, (_, deadline))| *deadline <= now)
+            .map(|(&req, _)| req)
+            .collect();
+        for req in expired {
+            let ((index, region), _) = self.pending.remove(&req).expect("pending entry");
+            self.placed.remove(&(index, region));
+            self.expired.insert(req, ((index, region), now));
+            ctx.metrics().inc("adapt.placements_expired", 1);
+            ctx.trace_info(
+                "adapt",
+                format!("placement of pkg{index} in region {region} timed out; will retry"),
+            );
+        }
+        // Acks that never came stop being awaited eventually.
+        let horizon = self.interval * 8;
+        self.expired
+            .retain(|_, (_, at)| now.saturating_sub(*at) < horizon);
         let num_regions = self.region_gos.len();
         let mut actions: Vec<(usize, usize)> = Vec::new();
         for obj in &self.objects {
@@ -128,6 +171,8 @@ impl AdaptiveController {
             };
             let conn = self.runtime.open_app_conn(ctx, gos);
             self.runtime.send_app(ctx, conn, &cmd.encode());
+            self.pending
+                .insert(req, ((index, region), ctx.now() + self.interval * 2));
             self.replicas_added += 1;
             ctx.metrics().inc("adapt.replicas_added", 1);
             ctx.trace_info(
@@ -159,9 +204,35 @@ impl Service for AdaptiveController {
     fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
         if let RtConn::AppData { frames, .. } = self.runtime.handle_conn_event(ctx, conn, ev) {
             for f in frames {
-                if let Ok(GosResp::Err { msg, .. }) = GosResp::decode(&f) {
-                    ctx.metrics().inc("adapt.failures", 1);
-                    ctx.trace_info("adapt", format!("replica creation failed: {msg}"));
+                match GosResp::decode(&f) {
+                    Ok(GosResp::Ok { req, .. }) => {
+                        if self.pending.remove(&req).is_some() {
+                            self.replicas_confirmed += 1;
+                            ctx.metrics().inc("adapt.replicas_confirmed", 1);
+                        } else if let Some((key, _)) = self.expired.remove(&req) {
+                            // The replica exists after all: close the
+                            // slot again so the next tick does not
+                            // recreate (and wipe) it. If a retry
+                            // already took (or holds) the slot, that
+                            // attempt carries the confirmation count —
+                            // one replica, one count.
+                            if self.placed.insert(key) {
+                                self.replicas_confirmed += 1;
+                                ctx.metrics().inc("adapt.replicas_confirmed", 1);
+                            }
+                        }
+                    }
+                    Ok(GosResp::Err { req, msg }) => {
+                        // Reopen the slot: a later tick retries while
+                        // the demand persists.
+                        if let Some((key, _)) = self.pending.remove(&req) {
+                            self.placed.remove(&key);
+                        }
+                        self.expired.remove(&req);
+                        ctx.metrics().inc("adapt.failures", 1);
+                        ctx.trace_info("adapt", format!("replica creation failed: {msg}"));
+                    }
+                    Err(_) => {}
                 }
             }
         }

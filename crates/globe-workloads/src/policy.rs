@@ -140,15 +140,15 @@ pub fn scenario_for(
                 // Hot and stable: regional replicas feeding client
                 // caches — repeats are local, fills stay in-region.
                 (true, false) => Scenario::cached_replicated(everywhere(), profile.push_mode),
-                // Hot but changing: replicas everywhere. Delta push
-                // keeps them fresh at near-invalidation cost; without
-                // it, invalidation avoids shipping whole states the
-                // next write would obsolete.
+                // Hot but changing: replicas everywhere. Delta push or
+                // operation shipping keep them fresh at
+                // near-invalidation cost; a full-state push would ship
+                // whole states the next write obsoletes, so that mode
+                // degrades to invalidation here.
                 (true, true) => {
-                    let mode = if profile.push_mode == PropagationMode::PushDelta {
-                        PropagationMode::PushDelta
-                    } else {
-                        PropagationMode::Invalidate
+                    let mode = match profile.push_mode {
+                        PropagationMode::PushState => PropagationMode::Invalidate,
+                        other => other,
                     };
                     Scenario::master_slave(everywhere(), mode)
                 }
@@ -238,6 +238,38 @@ mod tests {
         // Unreplicated assignments are unaffected by the mode axis.
         let s = scenario_for(ScenarioPolicy::Central, &delta(40, 50.0), &g);
         assert_eq!(s.replicas.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_apply_ops_reach_eager_assignments() {
+        let g = gos();
+        for mode in [PropagationMode::Invalidate, PropagationMode::ApplyOps] {
+            // The uniform eager-push baseline honors the mode verbatim.
+            let s = scenario_for(
+                ScenarioPolicy::ReplicateAll,
+                &profile(0, 0.1).with_mode(mode),
+                &g,
+            );
+            assert_eq!(s.mode, mode);
+
+            // Hot + volatile replicas propagate in the asked-for mode
+            // (only the full-state push degrades to invalidation).
+            let s = scenario_for(
+                ScenarioPolicy::PerObject,
+                &profile(0, 50.0).with_mode(mode),
+                &g,
+            );
+            assert_eq!(s.mode, mode);
+            assert_eq!(s.protocol, protocol_id::MASTER_SLAVE);
+
+            // Unreplicated assignments stay unaffected by the axis.
+            let s = scenario_for(
+                ScenarioPolicy::Central,
+                &profile(40, 50.0).with_mode(mode),
+                &g,
+            );
+            assert_eq!(s.replicas.len(), 1);
+        }
     }
 
     #[test]
