@@ -504,6 +504,7 @@ mod tests {
             rerepl_grp_bytes: 0,
             policy_switches: 0,
             unavail_limit_ms: 0.0,
+            stale_limit: 0.0,
         }
     }
 

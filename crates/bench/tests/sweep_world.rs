@@ -2,7 +2,7 @@
 //! run end to end, checking the invariants CI's `bench-smoke` job
 //! enforces at full matrix scale.
 
-use globe_bench::{check_sweep_invariants, sweep_cell, DsoClass, SweepSpec};
+use globe_bench::{check_sweep_invariants, churn_cells, run_cell, sweep_cell, DsoClass, SweepSpec};
 use globe_rts::PropagationMode;
 use globe_workloads::ScenarioPolicy;
 
@@ -72,6 +72,42 @@ fn read_mostly_classes_serve_fresh_reads_under_every_policy() {
             assert!(r.fresh_reads > 0, "oracle saw nothing: {r:?}");
         }
     }
+}
+
+/// The cache-TTL churn cell: the single server copy dies mid-read-phase
+/// while client caches bridge the outage, and the read-phase update
+/// stream makes cached copies go stale within their TTL — measured by
+/// the freshness oracle and gated as a bounded fraction instead of the
+/// strict zero-stale rule.
+#[test]
+fn cache_ttl_failover_cell_measures_bounded_staleness() {
+    let spec = test_spec();
+    let cell = churn_cells(&spec)
+        .into_iter()
+        .find(|c| c.policy == ScenarioPolicy::UniformCache)
+        .expect("the churn matrix includes a cache-ttl cell");
+    let r = run_cell(&cell, &spec);
+
+    assert!(r.ok > 0, "no read traffic: {r:?}");
+    assert_eq!(r.kills, 1, "failover plan injects exactly one kill: {r:?}");
+    assert!(r.retries >= 1, "failover cost no retries: {r:?}");
+    assert!(
+        r.writes_completed > 0,
+        "read-phase update stream committed nothing: {r:?}"
+    );
+    assert!(r.fresh_reads > 0, "oracle saw nothing: {r:?}");
+    // TTL staleness actually occurs (the point of the cell), and the
+    // checker gates it as a fraction instead of flagging every stale
+    // read.
+    assert!(r.stale_reads > 0, "no TTL staleness observed: {r:?}");
+    assert!(r.stale_limit > 0.0, "{r:?}");
+    let violations = check_sweep_invariants(std::slice::from_ref(&r));
+    // A single report can't satisfy the matrix-wide fanout-pair check;
+    // everything cell-local must pass.
+    assert!(
+        violations.iter().all(|v| v.contains("8+ slaves")),
+        "{violations:?}"
+    );
 }
 
 #[test]

@@ -228,10 +228,12 @@ dso_interface! {
         impl_id: 11,
         semantics: CatalogDso,
         methods: {
-            /// Adds (or replaces) a catalog entry. Write.
-            1 => write REGISTER/register(CatalogEntry) -> (),
-            /// Drops a catalog entry. Write.
-            2 => write UNREGISTER/unregister(Unregister) -> (),
+            /// Adds (or replaces) a catalog entry. Write;
+            /// insert-or-replace, so re-invoking is safe.
+            1 => write(idempotent) REGISTER/register(CatalogEntry) -> (),
+            /// Drops a catalog entry. Write; a repeat leaves the same
+            /// state.
+            2 => write(idempotent) UNREGISTER/unregister(Unregister) -> (),
             /// Lists every cataloged package. Read.
             3 => read LIST/list(()) -> Vec<CatalogEntry>,
             /// Searches names and descriptions. Read.

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use globe_crypto::gtls::Mode;
 use globe_gls::{GlsConfig, GlsDeployment};
 use globe_gns::{GnsConfig, GnsDeployment};
-use globe_net::{ports, Endpoint, HostId, Topology, World};
+use globe_net::{ports, Endpoint, HostId, Topology, Transport};
 use globe_rts::{DsoInterface, GlobeObjectServer, GlobeRuntime, ImplRepository, RuntimeConfig};
 use globe_sim::SimDuration;
 
@@ -112,12 +112,17 @@ pub struct GdnDeployment {
 }
 
 impl GdnDeployment {
-    /// Installs a complete GDN into `world`.
+    /// Installs a complete GDN into `world` — the simulated
+    /// [`World`](globe_net::World) or a real-socket
+    /// [`TcpTransport`](globe_net::TcpTransport)
+    /// process (which instantiates only its own hosts' share of the
+    /// plan; the plans themselves are pure functions of topology and
+    /// options, so every process derives the same one).
     ///
     /// # Panics
     ///
     /// Panics if the topology has no hosts.
-    pub fn install(world: &mut World, mut options: GdnOptions) -> GdnDeployment {
+    pub fn install(world: &mut dyn Transport, mut options: GdnOptions) -> GdnDeployment {
         let topo = world.topology().clone();
         assert!(topo.num_hosts() > 0, "topology has no hosts");
         // One protection mode everywhere: the Naming Authority must
@@ -218,7 +223,8 @@ impl GdnDeployment {
 
     /// Builds a moderator tool service for `moderator` on `host` with
     /// the given operation script; install it with
-    /// [`World::add_service`] on any free port.
+    /// [`Transport::add_service_boxed`] (or the generic `add_service`
+    /// convenience on `dyn Transport`) on any free port.
     pub fn moderator_tool(
         &self,
         topo: &Topology,
@@ -306,7 +312,7 @@ impl GdnDeployment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use globe_net::NetParams;
+    use globe_net::{NetParams, World};
 
     #[test]
     fn install_places_components_everywhere() {

@@ -238,10 +238,11 @@ dso_interface! {
         impl_id: 13,
         semantics: MirrorListDso,
         methods: {
-            /// Adds (or replaces) a mirror. Write.
-            1 => write ADD_MIRROR/add_mirror(Mirror) -> (),
-            /// Drops a mirror. Write.
-            2 => write REMOVE_MIRROR/remove_mirror(RemoveMirror) -> (),
+            /// Adds (or replaces) a mirror. Write; keyed on the URL, so
+            /// re-invoking is safe.
+            1 => write(idempotent) ADD_MIRROR/add_mirror(Mirror) -> (),
+            /// Drops a mirror. Write; a repeat leaves the same state.
+            2 => write(idempotent) REMOVE_MIRROR/remove_mirror(RemoveMirror) -> (),
             /// Lists every mirror. Read.
             3 => read LIST/list(()) -> Vec<Mirror>,
             /// The mirrors serving one region, fattest pipe first. Read.

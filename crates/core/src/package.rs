@@ -312,18 +312,20 @@ dso_interface! {
         impl_id: 10,
         semantics: PackageDso,
         methods: {
-            /// Adds (or replaces) a file. Write.
-            1 => write ADD_FILE/add_file(AddFile) -> (),
-            /// Removes a file. Write.
-            2 => write REMOVE_FILE/remove_file(RemoveFile) -> (),
+            /// Adds (or replaces) a file. Write; insert-or-replace, so
+            /// re-invoking after an ambiguous failure is safe.
+            1 => write(idempotent) ADD_FILE/add_file(AddFile) -> (),
+            /// Removes a file. Write; a repeat leaves the same state.
+            2 => write(idempotent) REMOVE_FILE/remove_file(RemoveFile) -> (),
             /// Lists the package contents. Read.
             3 => read LIST_CONTENTS/list_contents(()) -> Vec<FileInfo>,
             /// Fetches one file's contents with digest. Read.
             4 => read GET_FILE/get_file(GetFile) -> FileBlob,
             /// Fetches the package description. Read.
             5 => read GET_META/get_meta(()) -> Meta,
-            /// Replaces the package description. Write.
-            6 => write SET_META/set_meta(Meta) -> (),
+            /// Replaces the package description. Write; last-writer
+            /// semantics make a re-invoke harmless.
+            6 => write(idempotent) SET_META/set_meta(Meta) -> (),
         }
     }
 }

@@ -259,7 +259,9 @@ dso_interface! {
         impl_id: 12,
         semantics: DownloadStatsDso,
         methods: {
-            /// Records one completed download. Write.
+            /// Records one completed download. Write; an *increment*,
+            /// so deliberately NOT marked idempotent — a blind re-invoke
+            /// after an ambiguous failure would double-count.
             1 => write RECORD/record(RecordDownload) -> PackageStat,
             /// Reads one package's counters. Read.
             2 => read GET_STAT/get_stat(StatQuery) -> PackageStat,

@@ -1150,3 +1150,292 @@ fn access_point_serves_and_records_off_the_gos_host() {
     assert_eq!(ap.stats.downloads_recorded, 3, "{:?}", ap.stats);
     assert_eq!(world.metrics().counter("rts.reads.stale"), 0);
 }
+
+/// One-shot writer through a [`GlobeClient`] session: fires a single
+/// prepared write op one second after start, recording each completion
+/// with the attempts it consumed.
+struct OneShotWriter {
+    client: GlobeClient,
+    op: Option<WriteOp>,
+    results: Vec<(Result<(), String>, u32)>,
+}
+
+enum WriteOp {
+    /// Big `ADD_FILE` — an idempotent write (add-or-replace).
+    AddFile {
+        oid: ObjectId,
+        data: Vec<u8>,
+        deadline: Option<SimDuration>,
+    },
+    /// `RECORD` — the download-stats increment, non-idempotent.
+    Record { oid: ObjectId, name: String },
+}
+
+const WRITE_NS: u16 = 0x7902;
+
+impl OneShotWriter {
+    fn new(client: GlobeClient, op: WriteOp) -> OneShotWriter {
+        OneShotWriter {
+            client,
+            op: Some(op),
+            results: Vec::new(),
+        }
+    }
+
+    fn drain(&mut self) {
+        for done in self.client.take_events() {
+            let OpDone {
+                result, attempts, ..
+            } = done;
+            self.results
+                .push((result.map(|_| ()).map_err(|e| e.to_string()), attempts));
+        }
+    }
+}
+
+impl Service for OneShotWriter {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        ctx.set_timer(SimDuration::from_secs(1), ns_token(WRITE_NS, 0));
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if owns_token(WRITE_NS, token) {
+            match self.op.take() {
+                Some(WriteOp::AddFile {
+                    oid,
+                    data,
+                    deadline,
+                }) => {
+                    let mut op = self
+                        .client
+                        .op::<gdn_core::package::PackageInterface>(ctx, oid);
+                    if let Some(d) = deadline {
+                        op = op.deadline(d);
+                    }
+                    op.invoke(
+                        &gdn_core::package::PackageInterface::ADD_FILE,
+                        &gdn_core::package::AddFile {
+                            name: "big.bin".into(),
+                            data,
+                        },
+                    );
+                }
+                Some(WriteOp::Record { oid, name }) => {
+                    self.client
+                        .op::<gdn_core::stats::DownloadStatsInterface>(ctx, oid)
+                        .invoke(
+                            &gdn_core::stats::DownloadStatsInterface::RECORD,
+                            &gdn_core::stats::RecordDownload { name, bytes: 1 },
+                        );
+                }
+                None => {}
+            }
+            self.drain();
+            return;
+        }
+        if self.client.handle_timer(ctx, token) {
+            self.drain();
+        }
+    }
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.client.handle_datagram(ctx, from, &payload) {
+            self.drain();
+        }
+    }
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match self.client.handle_conn_event(ctx, conn, ev) {
+            RtConn::Consumed | RtConn::AppData { .. } => self.drain(),
+            RtConn::NotMine(_) => {}
+        }
+    }
+    impl_service_any!();
+}
+
+/// A single-site world whose campus LAN is so thin that a megabyte-sized
+/// write's serialization delay exceeds the replication protocol's 10 s
+/// forward timeout — control traffic (GLS, GNS, binds) stays tiny and
+/// fast, so only the big writes fail, and they fail *ambiguously*: the
+/// replica executes the write after the sender has already given up.
+fn slow_lan_world() -> (World, GdnDeployment) {
+    let topo = Topology::grid(1, 1, 1, 4);
+    let mut params = NetParams::default();
+    params.links[1].bandwidth = 100_000; // 100 kB/s site links
+    let mut world = World::new(topo, params, SEED);
+    let gdn = GdnDeployment::install(
+        &mut world,
+        GdnOptions {
+            gos_hosts: vec![HostId(1)],
+            ..GdnOptions::default()
+        },
+    );
+    (world, gdn)
+}
+
+/// A payload whose serialization delay on the thin LAN (~15 s) beats the
+/// 10 s forward timeout.
+fn oversized_payload() -> Vec<u8> {
+    vec![0x5A; 1_500_000]
+}
+
+/// The idempotency gate end to end: after an *ambiguous* timeout (the
+/// invocation reached the replica, only the reply window expired) an
+/// idempotent write burns its whole retry budget, while the
+/// non-idempotent stats increment fails fast with zero re-invocations —
+/// re-running it blindly could double-count.
+#[test]
+fn ambiguous_timeout_gates_non_idempotent_writes() {
+    let (mut world, gdn) = slow_lan_world();
+    let gos = gdn.gos_endpoints[0];
+    let pkg_oid = publish(
+        &mut world,
+        &gdn,
+        HostId(2),
+        "/apps/slow",
+        vec![("README".into(), b"thin pipe".to_vec())],
+        Scenario::single(gos),
+    );
+    let stats_tool = gdn.moderator_tool(
+        world.topology(),
+        HostId(2),
+        "alice",
+        vec![stats_publish_op("/stats/slow", Scenario::single(gos))],
+    );
+    world.add_service(HostId(2), ports::DRIVER + 1, stats_tool);
+    world.run_for(SimDuration::from_secs(30));
+    let stats_oid = match world
+        .service::<gdn_core::ModeratorTool>(HostId(2), ports::DRIVER + 1)
+        .expect("stats moderator tool")
+        .results
+        .first()
+    {
+        Some(ModEvent::PublishDone {
+            result: Ok(oid), ..
+        }) => *oid,
+        other => panic!("stats publish failed: {other:?}"),
+    };
+
+    let writer_host = HostId(3);
+    let idempotent = OneShotWriter::new(
+        GlobeClient::new(gdn.moderator_runtime(writer_host, "alice"), 0x0500),
+        WriteOp::AddFile {
+            oid: pkg_oid,
+            data: oversized_payload(),
+            deadline: None,
+        },
+    );
+    let max_attempts = idempotent.client.config.retry.max_attempts;
+    let non_idempotent = OneShotWriter::new(
+        GlobeClient::new(gdn.moderator_runtime(writer_host, "alice"), 0x0501),
+        WriteOp::Record {
+            oid: stats_oid,
+            // The name IS the payload: big enough that this increment's
+            // serialization also outlives the reply window.
+            name: format!("/apps/slow/{}", "x".repeat(1_500_000)),
+        },
+    );
+    world.add_service(writer_host, ports::DRIVER + 2, idempotent);
+    world.add_service(writer_host, ports::DRIVER + 3, non_idempotent);
+    world.run_for(SimDuration::from_secs(60));
+
+    // The idempotent write retried to exhaustion: every attempt's reply
+    // window expired while the payload was still serializing.
+    let d = world
+        .service::<OneShotWriter>(writer_host, ports::DRIVER + 2)
+        .expect("idempotent writer");
+    assert_eq!(d.results.len(), 1, "{:?}", d.results);
+    let (result, attempts) = &d.results[0];
+    let err = result.as_ref().expect_err("oversized write cannot succeed");
+    assert!(err.contains("timed out"), "{err}");
+    assert_eq!(
+        *attempts, max_attempts,
+        "idempotent write must burn the retry budget"
+    );
+    assert_eq!(d.client.stats.retries, u64::from(max_attempts));
+
+    // The non-idempotent increment hit the same ambiguous timeout and
+    // was NOT re-invoked: one attempt, zero retries.
+    let d = world
+        .service::<OneShotWriter>(writer_host, ports::DRIVER + 3)
+        .expect("non-idempotent writer");
+    assert_eq!(d.results.len(), 1, "{:?}", d.results);
+    let (result, attempts) = &d.results[0];
+    let err = result
+        .as_ref()
+        .expect_err("oversized record cannot succeed");
+    assert!(err.contains("timed out"), "{err}");
+    assert_eq!(*attempts, 0, "non-idempotent writes must not be re-invoked");
+    assert_eq!(d.client.stats.retries, 0);
+}
+
+/// Per-op deadlines: one op is cancelled while its first attempt is
+/// still in flight (deadline < forward timeout), another after its
+/// first retry entered a long backoff (forward timeout < deadline <
+/// backoff expiry). Both complete with `DeadlineExceeded` well before
+/// their underlying machinery would have given up, and the stale
+/// backoff timer firing later resurrects nothing.
+#[test]
+fn op_deadlines_cancel_in_flight_and_backed_off_ops() {
+    let (mut world, gdn) = slow_lan_world();
+    let gos = gdn.gos_endpoints[0];
+    let oid = publish(
+        &mut world,
+        &gdn,
+        HostId(2),
+        "/apps/deadline",
+        vec![("README".into(), b"thin pipe".to_vec())],
+        Scenario::single(gos),
+    );
+
+    let writer_host = HostId(3);
+    // Cancelled mid-flight: the 4 s deadline beats the 10 s forward
+    // timeout, so the op dies on its first attempt.
+    let in_flight = OneShotWriter::new(
+        GlobeClient::new(gdn.moderator_runtime(writer_host, "alice"), 0x0500),
+        WriteOp::AddFile {
+            oid,
+            data: oversized_payload(),
+            deadline: Some(SimDuration::from_secs(4)),
+        },
+    );
+    // Cancelled in backoff: the first attempt times out at ~10 s and
+    // schedules a 30 s backoff; the 13 s deadline preempts it.
+    let mut backed_off_client =
+        GlobeClient::new(gdn.moderator_runtime(writer_host, "alice"), 0x0501);
+    backed_off_client.config.retry.backoff = SimDuration::from_secs(30);
+    let backed_off = OneShotWriter::new(
+        backed_off_client,
+        WriteOp::AddFile {
+            oid,
+            data: oversized_payload(),
+            deadline: Some(SimDuration::from_secs(13)),
+        },
+    );
+    world.add_service(writer_host, ports::DRIVER + 2, in_flight);
+    world.add_service(writer_host, ports::DRIVER + 3, backed_off);
+
+    // 20 s covers both deadlines but neither the serialization delay
+    // (~15 s per attempt) nor the 30 s backoff: any completion seen now
+    // can only come from the deadline path.
+    world.run_for(SimDuration::from_secs(20));
+    for (port, want_attempts) in [(ports::DRIVER + 2, 0), (ports::DRIVER + 3, 1)] {
+        let d = world
+            .service::<OneShotWriter>(writer_host, port)
+            .expect("writer");
+        assert_eq!(d.results.len(), 1, "port {port}: {:?}", d.results);
+        let (result, attempts) = &d.results[0];
+        let err = result.as_ref().expect_err("deadline must cancel the op");
+        assert!(err.contains("deadline exceeded"), "{err}");
+        assert_eq!(*attempts, want_attempts, "port {port}");
+    }
+    assert_eq!(world.metrics().counter("client.deadline_exceeded"), 2);
+
+    // The dead ops stay dead: the stale backoff timer and the late
+    // replica replies find no pending op.
+    world.run_for(SimDuration::from_secs(60));
+    for port in [ports::DRIVER + 2, ports::DRIVER + 3] {
+        let d = world
+            .service::<OneShotWriter>(writer_host, port)
+            .expect("writer");
+        assert_eq!(d.results.len(), 1, "port {port}: {:?}", d.results);
+    }
+    assert_eq!(world.metrics().counter("client.deadline_exceeded"), 2);
+}

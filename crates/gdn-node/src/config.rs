@@ -1,0 +1,303 @@
+//! Config-file parser for `gdn-node`.
+//!
+//! Every process of one deployment reads the *same* file, so they all
+//! derive the same topology, the same host-id numbering, the same key
+//! material and the same service placement — only the `<host>` argument
+//! on the command line differs. The format is line-based:
+//!
+//! ```text
+//! # comment
+//! seed 42
+//! mode auth-encrypt          # null | auth | auth-encrypt
+//! cache-ttl-secs 60
+//! host eu/nl/vu/alpha 127.0.0.1:21000
+//! host eu/nl/vu/beta  127.0.0.1:21100
+//! host eu/nl/vu/drv   127.0.0.1:21200
+//! gos alpha
+//! gos beta
+//! ```
+//!
+//! `host` lines declare topology hosts in order (the Nth line is
+//! `HostId(N)`); the path names region/country/site/host, and the
+//! address is the node's IP plus its *port base* — simulated port `p`
+//! of that host lives at real port `base + p`. `gos` lines pick the
+//! object-server hosts (by name or numeric id).
+
+use std::collections::BTreeMap;
+use std::net::IpAddr;
+use std::path::Path;
+
+use globe_crypto::gtls::Mode;
+use globe_net::{HostId, NodeAddr, Topology, TopologyBuilder};
+
+/// A parsed gdn-node configuration: everything a process needs to take
+/// part in (or drive) one real-socket deployment.
+pub struct NodeConfig {
+    /// Seed for key material and per-service RNG streams.
+    pub seed: u64,
+    /// Channel protection mode for all GDN traffic.
+    pub mode: Mode,
+    /// Client-side cache proxy TTL in seconds.
+    pub cache_ttl_secs: u64,
+    /// Secondary GDN-zone DNS servers (`None` keeps the deployment
+    /// default). Real-node configs usually set this so the zone fits on
+    /// the hosts that actually run a `serve` process: the planners
+    /// place DNS on *any* topology host, including a driver host that
+    /// only exists for `publish`/`get` commands.
+    pub gns_secondaries: Option<u32>,
+    /// Naming-Authority update batch interval in seconds (`None` keeps
+    /// the default). Real-node walkthroughs set this low: a freshly
+    /// published name is invisible to DNS until the batch flushes.
+    pub gns_batch_secs: Option<u64>,
+    /// GDN-zone negative-caching TTL in seconds (`None` keeps the
+    /// default). A query that races a publish caches the miss for this
+    /// long, so interactive setups want it short.
+    pub gns_negative_ttl: Option<u32>,
+    /// The shared topology (host ids follow `host` line order).
+    pub topo: Topology,
+    /// Real address of every topology host.
+    pub addrs: BTreeMap<u32, NodeAddr>,
+    /// Hosts running object servers (+ colocated HTTPDs).
+    pub gos_hosts: Vec<HostId>,
+    /// Host names in id order, for name → id resolution.
+    pub names: Vec<String>,
+}
+
+impl NodeConfig {
+    /// Reads and parses a config file.
+    pub fn load(path: &Path) -> Result<NodeConfig, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        NodeConfig::parse(&text)
+    }
+
+    /// Parses config text (see the module docs for the format).
+    pub fn parse(text: &str) -> Result<NodeConfig, String> {
+        let mut seed = 1u64;
+        let mut mode = Mode::AuthEncrypt;
+        let mut cache_ttl_secs = 60u64;
+        let mut gns_secondaries = None;
+        let mut gns_batch_secs = None;
+        let mut gns_negative_ttl = None;
+        let mut builder = TopologyBuilder::new();
+        let mut regions = BTreeMap::new();
+        let mut countries = BTreeMap::new();
+        let mut sites = BTreeMap::new();
+        let mut addrs = BTreeMap::new();
+        let mut names: Vec<String> = Vec::new();
+        let mut gos_refs: Vec<String> = Vec::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+            let mut words = line.split_whitespace();
+            let key = words.next().expect("non-empty line has a first word");
+            match key {
+                "seed" => {
+                    let v = words
+                        .next()
+                        .ok_or_else(|| err("seed needs a value".into()))?;
+                    seed = v
+                        .parse()
+                        .map_err(|_| err(format!("bad seed {v:?} (want a u64)")))?;
+                }
+                "mode" => {
+                    let v = words
+                        .next()
+                        .ok_or_else(|| err("mode needs a value".into()))?;
+                    mode = match v {
+                        "null" => Mode::Null,
+                        "auth" => Mode::AuthOnly,
+                        "auth-encrypt" => Mode::AuthEncrypt,
+                        other => {
+                            return Err(err(format!(
+                                "bad mode {other:?} (want null | auth | auth-encrypt)"
+                            )))
+                        }
+                    };
+                }
+                "cache-ttl-secs" => {
+                    let v = words
+                        .next()
+                        .ok_or_else(|| err("cache-ttl-secs needs a value".into()))?;
+                    cache_ttl_secs = v
+                        .parse()
+                        .map_err(|_| err(format!("bad cache-ttl-secs {v:?}")))?;
+                }
+                "gns-secondaries" => {
+                    let v = words
+                        .next()
+                        .ok_or_else(|| err("gns-secondaries needs a value".into()))?;
+                    gns_secondaries = Some(
+                        v.parse()
+                            .map_err(|_| err(format!("bad gns-secondaries {v:?}")))?,
+                    );
+                }
+                "gns-batch-secs" => {
+                    let v = words
+                        .next()
+                        .ok_or_else(|| err("gns-batch-secs needs a value".into()))?;
+                    gns_batch_secs = Some(
+                        v.parse()
+                            .map_err(|_| err(format!("bad gns-batch-secs {v:?}")))?,
+                    );
+                }
+                "gns-negative-ttl" => {
+                    let v = words
+                        .next()
+                        .ok_or_else(|| err("gns-negative-ttl needs a value".into()))?;
+                    gns_negative_ttl = Some(
+                        v.parse()
+                            .map_err(|_| err(format!("bad gns-negative-ttl {v:?}")))?,
+                    );
+                }
+                "host" => {
+                    let path = words
+                        .next()
+                        .ok_or_else(|| err("host needs region/country/site/name".into()))?;
+                    let addr = words
+                        .next()
+                        .ok_or_else(|| err("host needs an ip:port_base address".into()))?;
+                    let parts: Vec<&str> = path.split('/').collect();
+                    let [r, c, s, n] = parts[..] else {
+                        return Err(err(format!(
+                            "bad host path {path:?} (want region/country/site/name)"
+                        )));
+                    };
+                    let rid = *regions
+                        .entry(r.to_owned())
+                        .or_insert_with(|| builder.region(r));
+                    let cid = *countries
+                        .entry(format!("{r}/{c}"))
+                        .or_insert_with(|| builder.country(rid, c));
+                    let sid = *sites
+                        .entry(format!("{r}/{c}/{s}"))
+                        .or_insert_with(|| builder.site(cid, s));
+                    if names.iter().any(|existing| existing == n) {
+                        return Err(err(format!("duplicate host name {n:?}")));
+                    }
+                    let hid = builder.host(sid, n);
+                    let (ip, base) = addr
+                        .rsplit_once(':')
+                        .ok_or_else(|| err(format!("bad address {addr:?} (want ip:port_base)")))?;
+                    let ip: IpAddr = ip
+                        .parse()
+                        .map_err(|_| err(format!("bad IP address {ip:?}")))?;
+                    let base: u16 = base
+                        .parse()
+                        .map_err(|_| err(format!("bad port base {base:?}")))?;
+                    addrs.insert(hid.0, NodeAddr::new(ip, base));
+                    names.push(n.to_owned());
+                }
+                "gos" => {
+                    let v = words.next().ok_or_else(|| err("gos needs a host".into()))?;
+                    gos_refs.push(v.to_owned());
+                }
+                other => return Err(err(format!("unknown directive {other:?}"))),
+            }
+            if let Some(extra) = words.next() {
+                return Err(err(format!("trailing token {extra:?}")));
+            }
+        }
+
+        if names.is_empty() {
+            return Err("config declares no hosts".to_owned());
+        }
+        let topo = builder.build();
+        let mut cfg = NodeConfig {
+            seed,
+            mode,
+            cache_ttl_secs,
+            gns_secondaries,
+            gns_batch_secs,
+            gns_negative_ttl,
+            topo,
+            addrs,
+            gos_hosts: Vec::new(),
+            names,
+        };
+        for r in &gos_refs {
+            let h = cfg.resolve_host(r)?;
+            if !cfg.gos_hosts.contains(&h) {
+                cfg.gos_hosts.push(h);
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Resolves a host reference — a numeric id or a host name from the
+    /// config — to its [`HostId`].
+    pub fn resolve_host(&self, s: &str) -> Result<HostId, String> {
+        if let Ok(n) = s.parse::<u32>() {
+            if (n as usize) < self.names.len() {
+                return Ok(HostId(n));
+            }
+            return Err(format!(
+                "host id {n} out of range (config has {} hosts)",
+                self.names.len()
+            ));
+        }
+        self.names
+            .iter()
+            .position(|n| n == s)
+            .map(|i| HostId(i as u32))
+            .ok_or_else(|| format!("unknown host {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# two servers and a driver
+seed 7
+mode null
+cache-ttl-secs 30
+gns-secondaries 0
+host eu/nl/vu/alpha 127.0.0.1:21000
+host eu/nl/vu/beta  127.0.0.1:21100
+host us/ny/col/drv  127.0.0.1:21200   # driver
+gos alpha
+gos 1
+";
+
+    #[test]
+    fn parses_sample() {
+        let cfg = NodeConfig::parse(SAMPLE).expect("parse");
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.mode, Mode::Null);
+        assert_eq!(cfg.cache_ttl_secs, 30);
+        assert_eq!(cfg.gns_secondaries, Some(0));
+        assert_eq!(cfg.topo.num_hosts(), 3);
+        assert_eq!(cfg.gos_hosts, vec![HostId(0), HostId(1)]);
+        assert_eq!(cfg.addrs[&1].socket_addr(80).port(), 21180);
+        assert_eq!(cfg.resolve_host("drv").unwrap(), HostId(2));
+        assert_eq!(cfg.resolve_host("2").unwrap(), HostId(2));
+        assert!(cfg.resolve_host("nope").is_err());
+        assert!(cfg.resolve_host("9").is_err());
+    }
+
+    #[test]
+    fn shared_site_and_distinct_sites() {
+        let cfg = NodeConfig::parse(SAMPLE).expect("parse");
+        let s0 = cfg.topo.site_of(HostId(0));
+        assert_eq!(s0, cfg.topo.site_of(HostId(1)));
+        assert_ne!(s0, cfg.topo.site_of(HostId(2)));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(NodeConfig::parse("host a/b 127.0.0.1:1\n").is_err());
+        assert!(NodeConfig::parse("host a/b/c/d notanaddr\n").is_err());
+        assert!(NodeConfig::parse("seed x\n").is_err());
+        assert!(NodeConfig::parse("mode tls13\nhost a/b/c/d 127.0.0.1:1\n").is_err());
+        assert!(NodeConfig::parse("frobnicate 3\n").is_err());
+        assert!(NodeConfig::parse("").is_err());
+        assert!(NodeConfig::parse("host a/b/c/d 127.0.0.1:1\nhost a/b/c/d 127.0.0.1:2\n").is_err());
+        assert!(NodeConfig::parse("host a/b/c/d 127.0.0.1:1 extra\n").is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! `gdn-node` — a real-socket GDN process.
+//!
+//! Boots the GOS/GLS/GNS/HTTPD share of one topology host over a
+//! [`TcpTransport`], from a config file shared by every process of the
+//! deployment (see [`config`]). The protocol stack is exactly the code
+//! the simulated experiments run; only the substrate differs.
+//!
+//! Subcommands:
+//!
+//! - `serve <config> <host> [secs]` — run one node (forever, or for
+//!   `secs` seconds). Prints `READY` once its services are listening.
+//! - `publish <config> <driver-host> <name> <content> <gos-host>...` —
+//!   drive a moderator publish of a one-file package replicated on the
+//!   given object servers (first is the master); prints the object id.
+//! - `get <config> <client-host> <server-host> <path> [expect]` — fetch
+//!   `path` from a node's HTTPD with a plain TCP client; prints the
+//!   body, exits non-zero unless the status is 200 (and the body
+//!   contains `expect`, when given).
+
+mod config;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use gdn_core::{GdnDeployment, GdnOptions, HttpRequest, HttpResponse, ModEvent, ModOp, Scenario};
+use globe_net::tcp::{encode_source, frame};
+use globe_net::{ports, Endpoint, HostId, TcpTransport, Transport};
+use globe_rts::PropagationMode;
+use globe_sim::{SimDuration, TraceLevel, TraceLog};
+
+use config::NodeConfig;
+
+const USAGE: &str = "\
+usage: gdn-node serve   <config> <host> [secs]
+       gdn-node publish <config> <driver-host> <name> <content> <gos-host>...
+       gdn-node get     <config> <client-host> <server-host> <path> [expect]
+hosts may be numeric ids or names from the config file";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("publish") => cmd_publish(&args[1..]),
+        Some("get") => cmd_get(&args[1..]),
+        _ => Err(USAGE.to_owned()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gdn-node: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Builds the deployment options a config implies. Every process must
+/// derive identical options or the (pure) planners would disagree on
+/// placement and credentials.
+fn options_for(cfg: &NodeConfig) -> GdnOptions {
+    let mut options = GdnOptions {
+        tls_mode: cfg.mode,
+        cache_ttl: SimDuration::from_secs(cfg.cache_ttl_secs),
+        seed: cfg.seed,
+        gos_hosts: cfg.gos_hosts.clone(),
+        ..GdnOptions::default()
+    };
+    if let Some(n) = cfg.gns_secondaries {
+        options.gns.gdn_secondaries = n;
+    }
+    if let Some(s) = cfg.gns_batch_secs {
+        options.gns.batch_interval = SimDuration::from_secs(s);
+    }
+    if let Some(t) = cfg.gns_negative_ttl {
+        options.gns.negative_ttl = t;
+    }
+    options
+}
+
+fn transport_for(cfg: &NodeConfig, local: HostId) -> TcpTransport {
+    TcpTransport::new(cfg.topo.clone(), cfg.seed, cfg.addrs.clone(), [local])
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let [cfg_path, host, rest @ ..] = args else {
+        return Err(USAGE.to_owned());
+    };
+    let secs: Option<u64> = match rest {
+        [] => None,
+        [s] => Some(s.parse().map_err(|_| format!("bad seconds {s:?}"))?),
+        _ => return Err(USAGE.to_owned()),
+    };
+    let cfg = NodeConfig::load(Path::new(cfg_path))?;
+    let host = cfg.resolve_host(host)?;
+
+    let mut transport = transport_for(&cfg, host);
+    // GDN_NODE_TRACE=info|debug streams protocol traces to stderr.
+    let tracing = match std::env::var("GDN_NODE_TRACE").as_deref() {
+        Ok("info") => Some(TraceLevel::Info),
+        Ok("debug") => Some(TraceLevel::Debug),
+        _ => None,
+    };
+    if let Some(level) = tracing {
+        transport.set_trace(TraceLog::new(level));
+    }
+    let gdn = GdnDeployment::install(&mut transport, options_for(&cfg));
+    transport.start();
+    let addr = &cfg.addrs[&host.0];
+    println!(
+        "serving host {} ({}) at {}, ports {}..; {} object server(s), {} httpd(s) deployment-wide",
+        host.0,
+        cfg.topo.host_name(host),
+        addr.socket_addr(0),
+        addr.socket_addr(0).port(),
+        gdn.gos_endpoints.len(),
+        gdn.httpd_endpoints.len(),
+    );
+    println!("READY");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    let started = Instant::now();
+    loop {
+        transport.run_for(SimDuration::from_millis(250));
+        if tracing.is_some() {
+            for e in transport.trace_mut().entries() {
+                eprintln!("{e}");
+            }
+            transport.trace_mut().clear();
+        }
+        if let Some(secs) = secs {
+            if started.elapsed() >= Duration::from_secs(secs) {
+                for (k, v) in transport.metrics().counters() {
+                    eprintln!("metric {k} = {v}");
+                }
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn cmd_publish(args: &[String]) -> Result<(), String> {
+    let [cfg_path, driver, name, content, gos @ ..] = args else {
+        return Err(USAGE.to_owned());
+    };
+    if gos.is_empty() {
+        return Err(USAGE.to_owned());
+    }
+    let cfg = NodeConfig::load(Path::new(cfg_path))?;
+    let driver = cfg.resolve_host(driver)?;
+    let replicas: Vec<Endpoint> = gos
+        .iter()
+        .map(|g| {
+            cfg.resolve_host(g)
+                .map(|h| Endpoint::new(h, ports::GOS_CTL))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut transport = transport_for(&cfg, driver);
+    let gdn = GdnDeployment::install(&mut transport, options_for(&cfg));
+    let scenario = if replicas.len() == 1 {
+        Scenario::single(replicas[0])
+    } else {
+        Scenario::master_slave(replicas, PropagationMode::PushState)
+    };
+    let op = ModOp::Publish {
+        name: name.clone(),
+        description: format!("{name} (published by gdn-node)"),
+        files: vec![("index.txt".to_owned(), content.clone().into_bytes())],
+        scenario,
+    };
+    let tool = gdn.moderator_tool(transport.topology(), driver, "gdn-node", vec![op]);
+    (&mut transport as &mut dyn Transport).add_service(driver, ports::DRIVER, tool);
+    transport.start();
+
+    // The moderator needs the serve processes up: binds, replica
+    // creation and the name registration all cross real sockets.
+    transport.run_while(Duration::from_secs(60), |t| {
+        t.service::<gdn_core::ModeratorTool>(driver, ports::DRIVER)
+            .is_some_and(|tool| tool.results.is_empty())
+    });
+    let tool = transport
+        .service::<gdn_core::ModeratorTool>(driver, ports::DRIVER)
+        .expect("moderator tool installed above");
+    match tool.results.first() {
+        Some(ModEvent::PublishDone {
+            result: Ok(oid), ..
+        }) => {
+            println!("published {name} as {oid}");
+            Ok(())
+        }
+        Some(ModEvent::PublishDone { result: Err(e), .. }) => Err(format!("publish failed: {e}")),
+        Some(other) => Err(format!("unexpected moderator event: {other:?}")),
+        None => Err("publish timed out after 60s".to_owned()),
+    }
+}
+
+fn cmd_get(args: &[String]) -> Result<(), String> {
+    let [cfg_path, client, server, path, rest @ ..] = args else {
+        return Err(USAGE.to_owned());
+    };
+    let expect = match rest {
+        [] => None,
+        [e] => Some(e.as_str()),
+        _ => return Err(USAGE.to_owned()),
+    };
+    let cfg = NodeConfig::load(Path::new(cfg_path))?;
+    let client = cfg.resolve_host(client)?;
+    let server = cfg.resolve_host(server)?;
+
+    // A plain TCP client speaking the transport's wire framing: hello
+    // frame identifying the caller, one frame per message. This is
+    // exactly what a `ConnEvent::Msg` round trip looks like on the wire.
+    let addr = cfg.addrs[&server.0].socket_addr(ports::HTTP);
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout is representable");
+    let hello = encode_source(Endpoint::new(client, ports::DRIVER));
+    stream
+        .write_all(&frame(&hello))
+        .and_then(|()| stream.write_all(&frame(&HttpRequest::get(path))))
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+
+    let msg = read_frame(&mut stream).map_err(|e| format!("read from {addr}: {e}"))?;
+    let resp = HttpResponse::parse(&msg).ok_or("malformed HTTP response")?;
+    let body = String::from_utf8_lossy(&resp.body);
+    println!(
+        "{} {} ({} bytes)",
+        resp.status,
+        resp.content_type,
+        resp.body.len()
+    );
+    println!("{body}");
+    if resp.status != 200 {
+        return Err(format!("HTTP status {}", resp.status));
+    }
+    if let Some(needle) = expect {
+        if !body.contains(needle) {
+            return Err(format!("body does not contain {needle:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Reads one length-prefixed frame (the peer's reply message).
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len) as usize;
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}

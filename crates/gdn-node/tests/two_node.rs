@@ -1,0 +1,202 @@
+//! End-to-end test of the real-socket backend: two `gdn-node` OS
+//! processes on loopback replicate a package (master + slave), a
+//! moderator process publishes into them, and a plain TCP HTTP client
+//! reads the fresh content back through *either* node.
+//!
+//! This is the acceptance test for the TCP transport: everything the
+//! simulated experiments run — GOS, GLS, GNS, replication protocol,
+//! HTTPD — here crosses real sockets between real processes.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Kills the serve processes even when an assertion panics.
+struct Node(Child);
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gdn-node"))
+}
+
+/// Port bases for this test run. Hosts are spaced wider than the
+/// largest simulated port (DRIVER = 9000) so their real port ranges
+/// cannot overlap; the pid offset keeps concurrent test runs apart.
+fn port_bases() -> (u16, u16, u16) {
+    let b = 10_000 + (std::process::id() % 90) as u16 * 300;
+    (b, b + 9_100, b + 18_200)
+}
+
+fn write_config(tag: &str) -> PathBuf {
+    let (b0, b1, b2) = port_bases();
+    let path = std::env::temp_dir().join(format!("gdn-two-node-{}-{tag}.conf", std::process::id()));
+    let text = format!(
+        "seed 42\n\
+         mode auth-encrypt\n\
+         gns-secondaries 0\n\
+         gns-batch-secs 1\n\
+         gns-negative-ttl 2\n\
+         host eu/nl/vu/alpha 127.0.0.1:{b0}\n\
+         host eu/nl/vu/beta  127.0.0.1:{b1}\n\
+         host eu/nl/vu/drv   127.0.0.1:{b2}\n\
+         gos alpha\n\
+         gos beta\n"
+    );
+    std::fs::write(&path, text).expect("write config");
+    path
+}
+
+/// Waits until the node's HTTPD listener accepts connections — the
+/// transport binds its sockets before printing READY, so a successful
+/// connect means the process is up.
+fn wait_listening(port: u16, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = format!("127.0.0.1:{port}");
+    loop {
+        match TcpStream::connect(&addr) {
+            Ok(_) => return,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => panic!("{what} never started listening on {addr}: {e}"),
+        }
+    }
+}
+
+/// Runs `gdn-node get` and returns (success, stdout).
+fn http_get(config: &PathBuf, server: &str, path: &str, expect: &str) -> (bool, String) {
+    let out = bin()
+        .arg("get")
+        .arg(config)
+        .args(["drv", server, path, expect])
+        .stderr(Stdio::inherit())
+        .output()
+        .expect("run gdn-node get");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Retries a fetch until the DNS batch has flushed; stale answers from
+/// the brief negative-caching window die out within a few seconds.
+fn http_get_fresh(config: &PathBuf, server: &str, path: &str, expect: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (ok, body) = http_get(config, server, path, expect);
+        if ok {
+            return body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fetch of {path} via {server} never became fresh; last body:\n{body}"
+        );
+        std::thread::sleep(Duration::from_secs(1));
+    }
+}
+
+#[test]
+fn two_processes_replicate_and_serve_a_package() {
+    let config = write_config("main");
+    let (b0, b1, _) = port_bases();
+
+    let serve = |host: &str| -> Node {
+        Node(
+            bin()
+                .arg("serve")
+                .arg(&config)
+                .arg(host)
+                .arg("120")
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .expect("spawn gdn-node serve"),
+        )
+    };
+    let _alpha = serve("alpha");
+    let _beta = serve("beta");
+    // Simulated port 80 of each host lives at base + 80.
+    wait_listening(b0 + 80, "alpha");
+    wait_listening(b1 + 80, "beta");
+
+    // Publish a one-file package, master on alpha, slave on beta.
+    let out = bin()
+        .arg("publish")
+        .arg(&config)
+        .args([
+            "drv",
+            "/apps/two-node-demo",
+            "payload-from-real-sockets",
+            "alpha",
+            "beta",
+        ])
+        .output()
+        .expect("run gdn-node publish");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "publish failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stdout.contains("published /apps/two-node-demo"), "{stdout}");
+
+    // A real TCP client reads the file back through each node: alpha
+    // holds the master replica, beta the slave that the replication
+    // protocol filled over a real socket.
+    let path = "/pkg/apps/two-node-demo?file=index.txt";
+    let via_master = http_get_fresh(&config, "alpha", path, "payload-from-real-sockets");
+    assert!(via_master.starts_with("200 "), "{via_master}");
+    let via_slave = http_get_fresh(&config, "beta", path, "payload-from-real-sockets");
+    assert!(via_slave.starts_with("200 "), "{via_slave}");
+
+    // The package listing renders on both nodes too.
+    http_get_fresh(&config, "alpha", "/pkg/apps/two-node-demo", "index.txt");
+    http_get_fresh(&config, "beta", "/pkg/apps/two-node-demo", "index.txt");
+
+    // A raw socket speaking no hello frame must not take a node down:
+    // poke garbage at alpha, then fetch again.
+    let mut s = TcpStream::connect(format!("127.0.0.1:{}", b0 + 80)).expect("connect");
+    use std::io::Write as _;
+    s.write_all(&[0xff; 16]).expect("write garbage");
+    drop(s);
+    http_get_fresh(&config, "alpha", path, "payload-from-real-sockets");
+
+    std::fs::remove_file(&config).ok();
+}
+
+/// `get` against a node that is not running reports failure instead of
+/// hanging: the connect is refused immediately on loopback.
+#[test]
+fn get_against_dead_node_fails_fast() {
+    let config = write_config("dead");
+    let started = Instant::now();
+    let out = bin()
+        .arg("get")
+        .arg(&config)
+        .args(["drv", "alpha", "/pkg/nothing"])
+        .output()
+        .expect("run gdn-node get");
+    assert!(!out.status.success());
+    assert!(started.elapsed() < Duration::from_secs(20));
+}
+
+/// Reading garbage from the config dir must not be possible: a missing
+/// file is a clean error, not a panic.
+#[test]
+fn missing_config_is_a_clean_error() {
+    let out = bin()
+        .arg("serve")
+        .args(["/nonexistent/gdn.conf", "alpha"])
+        .output()
+        .expect("run gdn-node serve");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use globe_net::{Endpoint, HostId, SiteId, Topology, World};
+use globe_net::{Endpoint, HostId, SiteId, Topology, Transport};
 use globe_sim::SimDuration;
 
 use crate::node::DirectoryNode;
@@ -243,8 +243,9 @@ impl GlsDeployment {
         })
     }
 
-    /// Installs one [`DirectoryNode`] service per subnode into `world`.
-    pub fn install(self: &Arc<Self>, world: &mut World) {
+    /// Installs one [`DirectoryNode`] service per subnode into the
+    /// transport (the simulated world or a real-socket process).
+    pub fn install(self: &Arc<Self>, world: &mut dyn Transport) {
         for (idx, dom) in self.domains.iter().enumerate() {
             for (sub, ep) in dom.subnodes.iter().enumerate() {
                 world.add_service(

@@ -19,7 +19,7 @@ use std::fmt;
 use globe_crypto::cert::{CertAuthority, Credentials, Role};
 use globe_crypto::gtls::{Mode, TlsConfig};
 use globe_gls::ObjectId;
-use globe_net::{ports, Endpoint, HostId, ServiceCtx, Topology, World};
+use globe_net::{ports, Endpoint, HostId, ServiceCtx, Topology, Transport};
 use globe_sim::SimDuration;
 
 use crate::authority::{txt_to_oid, NamingAuthority};
@@ -169,14 +169,15 @@ impl GnsDeployment {
         self.resolvers[topo.site_of(host).0 as usize]
     }
 
-    /// Installs every GNS service into `world`.
+    /// Installs every GNS service into the transport (the simulated
+    /// world or a real-socket process).
     ///
     /// `ca` issues the Naming Authority's host certificate; the TSIG
     /// secret is derived from `secret_seed` and shared between the
     /// authority and the GDN Zone servers.
     pub fn install(
         &self,
-        world: &mut World,
+        world: &mut dyn Transport,
         ca: &CertAuthority,
         cfg: &GnsConfig,
         secret_seed: u64,

@@ -67,14 +67,18 @@
 //! ```
 
 pub mod ports;
+pub mod service;
+pub mod tcp;
 pub mod topology;
 pub mod transport;
 pub mod wire;
 pub mod world;
 
+pub use service::{ns_token, owns_token, token_id, Service, ServiceCtx};
+pub use tcp::{NodeAddr, TcpTransport};
 pub use topology::{
     CountryId, HostId, LinkParams, NetParams, RegionId, SiteId, Tier, Topology, TopologyBuilder,
 };
-pub use transport::{CloseReason, ConnEvent, ConnId, Endpoint, TimerId};
+pub use transport::{CloseReason, ConnEvent, ConnId, Endpoint, TimerId, Transport};
 pub use wire::{WireError, WireReader, WireWriter};
-pub use world::{ns_token, owns_token, token_id, Service, ServiceCtx, World};
+pub use world::World;

@@ -1,0 +1,291 @@
+//! The service programming model shared by every transport backend.
+//!
+//! Services are event-driven daemons (the classic structure of the era's
+//! network servers): they react to datagrams, stream events and timers,
+//! and issue commands through a [`ServiceCtx`]. Commands accumulate in an
+//! outbox while a handler runs and are applied by the backend afterwards —
+//! the *effects pattern* — so a handler can never observe or mutate
+//! in-flight network state. Because services only ever see a
+//! [`ServiceCtx`], the same unmodified service code runs under the
+//! deterministic simulated [`crate::World`] and under the real-socket
+//! [`crate::TcpTransport`].
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use globe_sim::{Metrics, Rng, SimDuration, SimTime, TraceLevel, TraceLog};
+
+use crate::topology::Topology;
+use crate::transport::{ConnEvent, ConnId, Endpoint, TimerId};
+
+/// A daemon bound to one `(host, port)` endpoint.
+///
+/// All methods have no-op defaults except the `Any` plumbing, which the
+/// [`impl_service_any!`](crate::impl_service_any) macro writes for you.
+///
+/// Restart semantics: the service value itself survives a host crash (it
+/// plays the role of "the program on disk"), but `on_crash` /
+/// `on_restart` must treat all in-memory state as lost — reload anything
+/// durable from stable storage ([`ServiceCtx::stable_get`]).
+pub trait Service: 'static {
+    /// Called once when the transport starts (or when the service is
+    /// added to an already-started transport).
+    fn on_start(&mut self, _ctx: &mut ServiceCtx<'_>) {}
+    /// A datagram arrived from `from`.
+    fn on_datagram(&mut self, _ctx: &mut ServiceCtx<'_>, _from: Endpoint, _payload: Vec<u8>) {}
+    /// Something happened on stream connection `conn`.
+    fn on_conn_event(&mut self, _ctx: &mut ServiceCtx<'_>, _conn: ConnId, _ev: ConnEvent) {}
+    /// A timer set through [`ServiceCtx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut ServiceCtx<'_>, _token: u64) {}
+    /// The host crashed. No network effects are possible; volatile state
+    /// should be considered lost.
+    fn on_crash(&mut self, _now: SimTime) {}
+    /// The host came back up. Reload state from stable storage here.
+    fn on_restart(&mut self, _ctx: &mut ServiceCtx<'_>) {}
+    /// Downcast support (see [`crate::impl_service_any`]).
+    fn as_any(&self) -> &dyn Any;
+    /// Downcast support (see [`crate::impl_service_any`]).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Builds a timer token in namespace `ns` (upper 16 bits).
+///
+/// Embedded protocol helpers (GLS clients, DNS stubs, replication
+/// subobjects) share their owning service's timer-token space; the
+/// namespace convention keeps them apart. Ids are masked to 48 bits.
+pub const fn ns_token(ns: u16, id: u64) -> u64 {
+    ((ns as u64) << 48) | (id & 0xFFFF_FFFF_FFFF)
+}
+
+/// Whether `token` belongs to namespace `ns` (see [`ns_token`]).
+pub const fn owns_token(ns: u16, token: u64) -> bool {
+    (token >> 48) as u16 == ns
+}
+
+/// Extracts the 48-bit id from a namespaced token (see [`ns_token`]).
+pub const fn token_id(token: u64) -> u64 {
+    token & 0xFFFF_FFFF_FFFF
+}
+
+/// Writes the two `Any` plumbing methods required by [`Service`].
+#[macro_export]
+macro_rules! impl_service_any {
+    () => {
+        fn as_any(&self) -> &dyn ::std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+            self
+        }
+    };
+}
+
+/// Commands a service issues during a handler, applied afterwards by the
+/// transport backend.
+#[derive(Debug)]
+pub(crate) enum Effect {
+    Datagram {
+        dst: Endpoint,
+        payload: Vec<u8>,
+    },
+    Open {
+        conn: ConnId,
+        dst: Endpoint,
+    },
+    Send {
+        conn: ConnId,
+        msg: Vec<u8>,
+    },
+    Close {
+        conn: ConnId,
+    },
+    Timer {
+        id: TimerId,
+        delay: SimDuration,
+        token: u64,
+    },
+    CancelTimer(TimerId),
+    /// A send that becomes visible to the network only after `delay` —
+    /// models local processing time (e.g. virtual CPU spent on
+    /// cryptography) before the bytes hit the wire.
+    DeferredSend {
+        conn: ConnId,
+        msg: Vec<u8>,
+        delay: SimDuration,
+    },
+    DeferredDatagram {
+        dst: Endpoint,
+        payload: Vec<u8>,
+        delay: SimDuration,
+    },
+}
+
+/// The view a service handler has of its transport.
+///
+/// All network operations are asynchronous commands; stable storage is
+/// synchronous (it models the local disk).
+pub struct ServiceCtx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) me: Endpoint,
+    pub(crate) topo: &'a Topology,
+    pub(crate) rng: &'a mut Rng,
+    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) trace: &'a mut TraceLog,
+    pub(crate) stable: &'a mut BTreeMap<String, Vec<u8>>,
+    pub(crate) effects: Vec<Effect>,
+    pub(crate) next_conn: &'a mut u64,
+    pub(crate) next_timer: &'a mut u64,
+}
+
+impl<'a> ServiceCtx<'a> {
+    /// Current time. Virtual under the simulated world, wall-clock
+    /// (relative to process start) under the TCP backend.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The endpoint this service is bound to.
+    pub fn me(&self) -> Endpoint {
+        self.me
+    }
+
+    /// The network topology (read-only). Services may use it to reason
+    /// about locality, standing in for the IP-geography knowledge real
+    /// deployments configure statically.
+    pub fn topo(&self) -> &Topology {
+        self.topo
+    }
+
+    /// This service's private random stream.
+    pub fn rng(&mut self) -> &mut Rng {
+        self.rng
+    }
+
+    /// The transport-wide metrics registry.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+
+    /// Records an info-level trace entry.
+    pub fn trace_info(&mut self, component: &'static str, message: String) {
+        self.trace
+            .log(self.now, TraceLevel::Info, component, message);
+    }
+
+    /// Records a debug-level trace entry.
+    pub fn trace_debug(&mut self, component: &'static str, message: String) {
+        if self.trace.enabled(TraceLevel::Debug) {
+            self.trace
+                .log(self.now, TraceLevel::Debug, component, message);
+        }
+    }
+
+    /// Sends an unreliable datagram to `dst`.
+    pub fn send_datagram(&mut self, dst: Endpoint, payload: Vec<u8>) {
+        self.effects.push(Effect::Datagram { dst, payload });
+    }
+
+    /// Starts opening a stream connection to `dst`.
+    ///
+    /// The returned id is valid immediately; messages may be sent on it
+    /// right away (they are queued behind the handshake). The connection
+    /// is confirmed by [`ConnEvent::Opened`] or fails with
+    /// [`ConnEvent::Closed`].
+    pub fn connect(&mut self, dst: Endpoint) -> ConnId {
+        let conn = ConnId(*self.next_conn);
+        *self.next_conn += 1;
+        self.effects.push(Effect::Open { conn, dst });
+        conn
+    }
+
+    /// Sends one message on a stream connection. Messages sent on a
+    /// closed or unknown connection are dropped (the sender has already
+    /// received, or will receive, a `Closed` event).
+    pub fn send(&mut self, conn: ConnId, msg: Vec<u8>) {
+        self.effects.push(Effect::Send { conn, msg });
+    }
+
+    /// Like [`ServiceCtx::send`], but the message reaches the wire only
+    /// after `delay` of local processing time. Used to charge virtual CPU
+    /// cost (e.g. for cryptographic work) to the timeline.
+    pub fn send_delayed(&mut self, conn: ConnId, msg: Vec<u8>, delay: SimDuration) {
+        if delay == SimDuration::ZERO {
+            self.effects.push(Effect::Send { conn, msg });
+        } else {
+            self.effects.push(Effect::DeferredSend { conn, msg, delay });
+        }
+    }
+
+    /// Like [`ServiceCtx::send_datagram`], but delayed by local
+    /// processing time first.
+    pub fn send_datagram_delayed(&mut self, dst: Endpoint, payload: Vec<u8>, delay: SimDuration) {
+        if delay == SimDuration::ZERO {
+            self.effects.push(Effect::Datagram { dst, payload });
+        } else {
+            self.effects.push(Effect::DeferredDatagram {
+                dst,
+                payload,
+                delay,
+            });
+        }
+    }
+
+    /// Closes a stream connection; the peer receives
+    /// [`ConnEvent::Closed`] with
+    /// [`CloseReason::Normal`](crate::CloseReason::Normal) after any
+    /// in-flight messages.
+    pub fn close(&mut self, conn: ConnId) {
+        self.effects.push(Effect::Close { conn });
+    }
+
+    /// Schedules [`Service::on_timer`] to run after `delay` with `token`.
+    /// Timers are lost if the host crashes before they fire.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.effects.push(Effect::Timer { id, delay, token });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a
+    /// harmless no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer(id));
+    }
+
+    /// Writes a key to this host's stable storage (survives crashes).
+    pub fn stable_put(&mut self, key: &str, value: Vec<u8>) {
+        self.stable.insert(key.to_owned(), value);
+    }
+
+    /// Reads a key from this host's stable storage.
+    pub fn stable_get(&self, key: &str) -> Option<&Vec<u8>> {
+        self.stable.get(key)
+    }
+
+    /// Deletes a key from this host's stable storage.
+    pub fn stable_delete(&mut self, key: &str) {
+        self.stable.remove(key);
+    }
+
+    /// Returns all stable-storage keys starting with `prefix`, in order.
+    pub fn stable_keys(&self, prefix: &str) -> Vec<String> {
+        self.stable
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
+/// The per-service random stream, derived from the address rather than
+/// insertion order so adding services in a different order cannot change
+/// anyone's samples. Both backends use the same derivation, so a service
+/// sees the same stream whether it runs simulated or on real sockets.
+pub(crate) fn service_rng_stream(host: u32, port: u16, seed: u64) -> u64 {
+    (host as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(port as u64)
+        .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ seed
+}

@@ -1,0 +1,1088 @@
+//! Real-socket transport backend over `std::net`.
+//!
+//! [`TcpTransport`] runs the same [`Service`]s the simulated
+//! [`World`](crate::World) runs, but over actual TCP/UDP sockets: one
+//! OS process per configured host (or set of hosts), nonblocking
+//! sockets driven by a single poll loop, and a background thread per
+//! in-flight `connect` so a slow handshake never stalls the loop. See
+//! [`Transport`] for the exact contract shared with the simulation.
+//!
+//! ## Address mapping
+//!
+//! Simulated endpoints are `(host, port)` pairs; every host in the
+//! topology is assigned a [`NodeAddr`] — an IP plus a *port base* — and
+//! the real socket address of endpoint `(h, p)` is
+//! `addrs[h].ip : addrs[h].base + p`. Distinct bases let many hosts
+//! share one loopback interface without port collisions.
+//!
+//! ## Wire mapping
+//!
+//! Streams reuse the `wire` conventions: every logical message travels
+//! as one `u32` big-endian length prefix followed by the payload, with
+//! the same 64 MiB cap [`crate::wire::MAX_FIELD`] enforces on fields.
+//! The first frame on every connection is a *hello* carrying the
+//! client's simulated endpoint (`u32` host, `u16` port, written with
+//! [`WireWriter`]), so the server side can deliver
+//! [`ConnEvent::Incoming`] with a meaningful `from`. Datagrams carry
+//! the same 6-byte source header ahead of the payload.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashSet, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use globe_sim::{Metrics, Rng, SimDuration, SimTime, TraceLog};
+
+use crate::service::{service_rng_stream, Effect, Service, ServiceCtx};
+use crate::topology::{HostId, Topology};
+use crate::transport::{CloseReason, ConnEvent, ConnId, Endpoint, TimerId, Transport};
+use crate::wire::{WireReader, WireWriter, MAX_FIELD};
+
+/// Where a topology host lives on the real network.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct NodeAddr {
+    /// The host's IP address (loopback in tests; any interface works).
+    pub ip: IpAddr,
+    /// Real port for simulated port `p` is `base + p`.
+    pub base: u16,
+}
+
+impl NodeAddr {
+    /// Creates a node address.
+    pub fn new(ip: IpAddr, base: u16) -> NodeAddr {
+        NodeAddr { ip, base }
+    }
+
+    /// The real socket address of simulated port `port` on this node.
+    pub fn socket_addr(&self, port: u16) -> SocketAddr {
+        let real = self
+            .base
+            .checked_add(port)
+            .expect("port base + service port overflows u16");
+        SocketAddr::new(self.ip, real)
+    }
+}
+
+/// Encodes the hello / datagram source header: `u32` host, `u16` port.
+pub fn encode_source(ep: Endpoint) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u32(ep.host.0);
+    w.put_u16(ep.port);
+    w.finish()
+}
+
+/// Decodes a 6-byte hello / datagram source header.
+pub fn decode_source(bytes: &[u8]) -> Option<Endpoint> {
+    let mut r = WireReader::new(bytes);
+    let host = r.u32().ok()?;
+    let port = r.u16().ok()?;
+    r.expect_end().ok()?;
+    Some(Endpoint::new(HostId(host), port))
+}
+
+/// Frames one logical message for the stream: `u32` big-endian length
+/// prefix + payload (the framing real TCP clients must speak).
+pub fn frame(msg: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + msg.len());
+    out.extend_from_slice(&(msg.len() as u32).to_be_bytes());
+    out.extend_from_slice(msg);
+    out
+}
+
+/// What a stream connection is currently doing.
+enum StreamState {
+    /// Outgoing: the background connect thread has not reported yet.
+    /// Messages sent meanwhile queue here.
+    Connecting { queued: Vec<Vec<u8>> },
+    /// Incoming: accepted, waiting for the peer's hello frame.
+    AwaitHello,
+    /// Established in both directions.
+    Open,
+}
+
+struct Stream {
+    /// `None` while an outgoing connect is still in flight.
+    stream: Option<TcpStream>,
+    /// The local service this connection belongs to.
+    owner: Endpoint,
+    state: StreamState,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    /// Local close requested: flush `outbuf`, then shut down and drop.
+    closing: bool,
+}
+
+struct Slot {
+    service: Option<Box<dyn Service>>,
+    rng: Rng,
+}
+
+/// An event waiting to be dispatched to a local service.
+enum Delivery {
+    Start(Endpoint),
+    Datagram {
+        dst: Endpoint,
+        from: Endpoint,
+        payload: Vec<u8>,
+    },
+    Conn {
+        dst: Endpoint,
+        conn: ConnId,
+        ev: ConnEvent,
+    },
+    Timer {
+        dst: Endpoint,
+        token: u64,
+    },
+}
+
+struct TimerEntry {
+    due: SimTime,
+    seq: u64,
+    id: TimerId,
+    owner: Endpoint,
+    token: u64,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// Result of one background connect attempt.
+struct ConnectOutcome {
+    conn: ConnId,
+    result: std::io::Result<TcpStream>,
+}
+
+/// The real-socket transport: services on this process's hosts, driven
+/// by wall-clock time over `std::net` sockets.
+///
+/// See the [module docs](self) for the address and wire mapping, and
+/// [`Transport`] for the behavioural contract. Unlike the simulated
+/// world, a `TcpTransport` instantiates only services whose host is in
+/// its configured local set — deployment code that installs a whole
+/// topology runs unchanged, and each process picks up its share.
+pub struct TcpTransport {
+    topo: Topology,
+    seed: u64,
+    epoch: Instant,
+    addrs: BTreeMap<u32, NodeAddr>,
+    local_hosts: BTreeSet<u32>,
+    services: BTreeMap<(u32, u16), Slot>,
+    listeners: BTreeMap<(u32, u16), TcpListener>,
+    udps: BTreeMap<(u32, u16), UdpSocket>,
+    conns: BTreeMap<u64, Stream>,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    timer_seq: u64,
+    cancelled: HashSet<u64>,
+    pending: VecDeque<Delivery>,
+    stable: BTreeMap<u32, BTreeMap<String, Vec<u8>>>,
+    metrics: Metrics,
+    trace: TraceLog,
+    connect_tx: mpsc::Sender<ConnectOutcome>,
+    connect_rx: mpsc::Receiver<ConnectOutcome>,
+    connect_timeout: Duration,
+    next_conn: u64,
+    next_timer: u64,
+    started: bool,
+}
+
+impl TcpTransport {
+    /// Creates a transport for the hosts in `local_hosts`, with every
+    /// topology host mapped to a real address by `addrs`.
+    ///
+    /// Sockets are bound when services are added; the loop runs only
+    /// inside [`Transport::run_for`] / [`TcpTransport::run_while`].
+    pub fn new(
+        topo: Topology,
+        seed: u64,
+        addrs: BTreeMap<u32, NodeAddr>,
+        local_hosts: impl IntoIterator<Item = HostId>,
+    ) -> TcpTransport {
+        let (connect_tx, connect_rx) = mpsc::channel();
+        TcpTransport {
+            topo,
+            seed,
+            epoch: Instant::now(),
+            addrs,
+            local_hosts: local_hosts.into_iter().map(|h| h.0).collect(),
+            services: BTreeMap::new(),
+            listeners: BTreeMap::new(),
+            udps: BTreeMap::new(),
+            conns: BTreeMap::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            cancelled: HashSet::new(),
+            pending: VecDeque::new(),
+            stable: BTreeMap::new(),
+            metrics: Metrics::new(),
+            trace: TraceLog::disabled(),
+            connect_tx,
+            connect_rx,
+            connect_timeout: Duration::from_secs(3),
+            next_conn: 1,
+            next_timer: 1,
+            started: false,
+        }
+    }
+
+    /// Overrides the TCP connect timeout (default 3 s, matching the
+    /// simulation's `NetParams::connect_timeout`).
+    pub fn set_connect_timeout(&mut self, t: Duration) {
+        self.connect_timeout = t;
+    }
+
+    /// Replaces the trace log.
+    pub fn set_trace(&mut self, trace: TraceLog) {
+        self.trace = trace;
+    }
+
+    /// The trace log, for draining entries (e.g. to a process's stderr).
+    pub fn trace_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
+    }
+
+    /// Immutable, typed access to a local service.
+    pub fn service<S: Service>(&self, host: HostId, port: u16) -> Option<&S> {
+        self.services
+            .get(&(host.0, port))?
+            .service
+            .as_ref()?
+            .as_any()
+            .downcast_ref()
+    }
+
+    /// Mutable, typed access to a local service.
+    pub fn service_mut<S: Service>(&mut self, host: HostId, port: u16) -> Option<&mut S> {
+        self.services
+            .get_mut(&(host.0, port))?
+            .service
+            .as_mut()?
+            .as_any_mut()
+            .downcast_mut()
+    }
+
+    /// Runs the poll loop for at most `d` of wall-clock time, stopping
+    /// early once `keep_going` returns `false`.
+    pub fn run_while(&mut self, d: Duration, mut keep_going: impl FnMut(&TcpTransport) -> bool) {
+        let deadline = Instant::now() + d;
+        while Instant::now() < deadline && keep_going(self) {
+            let busy = self.poll_once();
+            if !busy {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+    }
+
+    fn now_inner(&self) -> SimTime {
+        let elapsed = self.epoch.elapsed();
+        SimTime::ZERO + SimDuration::from_nanos(elapsed.as_nanos().min(u64::MAX as u128) as u64)
+    }
+
+    fn real_addr(&self, ep: Endpoint) -> Option<SocketAddr> {
+        self.addrs.get(&ep.host.0).map(|a| a.socket_addr(ep.port))
+    }
+
+    /// One pass over timers, connect results, sockets and the pending
+    /// event queue. Returns whether any work was done.
+    fn poll_once(&mut self) -> bool {
+        let mut busy = false;
+        busy |= self.fire_due_timers();
+        busy |= self.drain_connects();
+        busy |= self.accept_new();
+        busy |= self.pump_udp();
+        busy |= self.pump_streams();
+        while let Some(d) = self.pending.pop_front() {
+            busy = true;
+            self.deliver(d);
+        }
+        busy
+    }
+
+    fn fire_due_timers(&mut self) -> bool {
+        let now = self.now_inner();
+        let mut fired = false;
+        while let Some(Reverse(top)) = self.timers.peek() {
+            if top.due > now {
+                break;
+            }
+            let e = self.timers.pop().expect("peeked").0;
+            if self.cancelled.remove(&e.id.0) {
+                continue;
+            }
+            fired = true;
+            self.pending.push_back(Delivery::Timer {
+                dst: e.owner,
+                token: e.token,
+            });
+        }
+        fired
+    }
+
+    fn drain_connects(&mut self) -> bool {
+        let mut busy = false;
+        while let Ok(out) = self.connect_rx.try_recv() {
+            busy = true;
+            if !self.conns.contains_key(&out.conn.0) {
+                continue; // closed while connecting
+            }
+            match out.result {
+                Ok(stream) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        self.drop_conn(out.conn, Some(CloseReason::Reset));
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let owner = {
+                        let c = self.conns.get_mut(&out.conn.0).expect("checked above");
+                        let queued = match &mut c.state {
+                            StreamState::Connecting { queued } => std::mem::take(queued),
+                            _ => Vec::new(),
+                        };
+                        c.stream = Some(stream);
+                        c.state = StreamState::Open;
+                        // Hello first, then anything sent before Opened.
+                        let hello = encode_source(c.owner);
+                        c.outbuf.extend_from_slice(&frame(&hello));
+                        for msg in queued {
+                            c.outbuf.extend_from_slice(&frame(&msg));
+                        }
+                        c.owner
+                    };
+                    self.pending.push_back(Delivery::Conn {
+                        dst: owner,
+                        conn: out.conn,
+                        ev: ConnEvent::Opened,
+                    });
+                    if self.flush_conn(out.conn.0).is_err() {
+                        self.drop_conn(out.conn, Some(CloseReason::Reset));
+                    }
+                }
+                Err(e) => {
+                    let reason = match e.kind() {
+                        ErrorKind::ConnectionRefused => CloseReason::Refused,
+                        ErrorKind::TimedOut | ErrorKind::WouldBlock => CloseReason::Timeout,
+                        _ => CloseReason::Reset,
+                    };
+                    self.drop_conn(out.conn, Some(reason));
+                }
+            }
+        }
+        busy
+    }
+
+    fn accept_new(&mut self) -> bool {
+        let mut busy = false;
+        let keys: Vec<(u32, u16)> = self.listeners.keys().copied().collect();
+        for key in keys {
+            loop {
+                match self.listeners[&key].accept() {
+                    Ok((stream, _)) => {
+                        busy = true;
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        let conn = ConnId(self.next_conn);
+                        self.next_conn += 1;
+                        self.conns.insert(
+                            conn.0,
+                            Stream {
+                                stream: Some(stream),
+                                owner: Endpoint::new(HostId(key.0), key.1),
+                                state: StreamState::AwaitHello,
+                                inbuf: Vec::new(),
+                                outbuf: Vec::new(),
+                                closing: false,
+                            },
+                        );
+                    }
+                    Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        busy
+    }
+
+    fn pump_udp(&mut self) -> bool {
+        let mut busy = false;
+        let keys: Vec<(u32, u16)> = self.udps.keys().copied().collect();
+        let mut buf = vec![0u8; 65536];
+        for key in keys {
+            let dst = Endpoint::new(HostId(key.0), key.1);
+            loop {
+                match self.udps[&key].recv_from(&mut buf) {
+                    Ok((n, _)) => {
+                        busy = true;
+                        // 6-byte source header: u32 host, u16 port.
+                        if n < 6 {
+                            self.metrics.inc("net.dgrams_malformed", 1);
+                            continue;
+                        }
+                        let Some(from) = decode_source(&buf[..6]) else {
+                            self.metrics.inc("net.dgrams_malformed", 1);
+                            continue;
+                        };
+                        self.pending.push_back(Delivery::Datagram {
+                            dst,
+                            from,
+                            payload: buf[6..n].to_vec(),
+                        });
+                    }
+                    Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        busy
+    }
+
+    fn pump_streams(&mut self) -> bool {
+        enum Outcome {
+            KeepOpen,
+            Eof,
+            Error,
+        }
+        let mut busy = false;
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        let mut read_buf = vec![0u8; 65536];
+        for id in ids {
+            let conn = ConnId(id);
+            // Flush pending output first so closes can complete.
+            match self.flush_conn(id) {
+                Ok(did) => busy |= did,
+                Err(()) => {
+                    self.drop_conn(conn, Some(CloseReason::Reset));
+                    continue;
+                }
+            }
+            let outcome = {
+                let Some(c) = self.conns.get_mut(&id) else {
+                    continue;
+                };
+                let Some(s) = c.stream.as_mut() else {
+                    continue;
+                };
+                let mut outcome = Outcome::KeepOpen;
+                loop {
+                    match s.read(&mut read_buf) {
+                        Ok(0) => {
+                            outcome = Outcome::Eof;
+                            break;
+                        }
+                        Ok(n) => {
+                            busy = true;
+                            c.inbuf.extend_from_slice(&read_buf[..n]);
+                        }
+                        Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(ref e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            outcome = Outcome::Error;
+                            break;
+                        }
+                    }
+                }
+                outcome
+            };
+            self.extract_frames(conn);
+            match outcome {
+                Outcome::KeepOpen => {}
+                Outcome::Eof => {
+                    busy = true;
+                    self.drop_conn(conn, Some(CloseReason::Normal));
+                }
+                Outcome::Error => {
+                    busy = true;
+                    self.drop_conn(conn, Some(CloseReason::Reset));
+                }
+            }
+        }
+        busy
+    }
+
+    /// Writes as much buffered output as the socket accepts. `Err(())`
+    /// means the connection is dead.
+    fn flush_conn(&mut self, id: u64) -> Result<bool, ()> {
+        let Some(c) = self.conns.get_mut(&id) else {
+            return Ok(false);
+        };
+        let Some(s) = c.stream.as_mut() else {
+            return Ok(false);
+        };
+        let mut did = false;
+        while !c.outbuf.is_empty() {
+            match s.write(&c.outbuf) {
+                Ok(0) => return Err(()),
+                Ok(n) => {
+                    did = true;
+                    c.outbuf.drain(..n);
+                }
+                Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+        if c.closing && c.outbuf.is_empty() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+            self.conns.remove(&id);
+            did = true;
+        }
+        Ok(did)
+    }
+
+    /// Parses complete frames out of a connection's input buffer and
+    /// queues the resulting events.
+    fn extract_frames(&mut self, conn: ConnId) {
+        let Some(c) = self.conns.get_mut(&conn.0) else {
+            return;
+        };
+        let owner = c.owner;
+        let mut events: Vec<ConnEvent> = Vec::new();
+        // `Some(notify)` kills the connection after queued events.
+        let mut kill: Option<Option<CloseReason>> = None;
+        let mut bad_hello = false;
+        loop {
+            if matches!(c.state, StreamState::Connecting { .. }) || c.inbuf.len() < 4 {
+                break;
+            }
+            let len = u32::from_be_bytes([c.inbuf[0], c.inbuf[1], c.inbuf[2], c.inbuf[3]]) as usize;
+            if len > MAX_FIELD as usize {
+                kill = Some(Some(CloseReason::Reset));
+                break;
+            }
+            if c.inbuf.len() < 4 + len {
+                break;
+            }
+            let payload: Vec<u8> = c.inbuf[4..4 + len].to_vec();
+            c.inbuf.drain(..4 + len);
+            match c.state {
+                StreamState::AwaitHello => match decode_source(&payload) {
+                    Some(from) => {
+                        c.state = StreamState::Open;
+                        events.push(ConnEvent::Incoming { from });
+                    }
+                    None => {
+                        bad_hello = true;
+                        kill = Some(None);
+                        break;
+                    }
+                },
+                StreamState::Open => events.push(ConnEvent::Msg(payload)),
+                StreamState::Connecting { .. } => unreachable!("checked above"),
+            }
+        }
+        for ev in events {
+            self.pending.push_back(Delivery::Conn {
+                dst: owner,
+                conn,
+                ev,
+            });
+        }
+        if bad_hello {
+            self.metrics.inc("net.hello_malformed", 1);
+        }
+        if let Some(notify) = kill {
+            self.drop_conn(conn, notify);
+        }
+    }
+
+    /// Removes a connection, optionally notifying its owner.
+    fn drop_conn(&mut self, conn: ConnId, notify: Option<CloseReason>) {
+        if let Some(c) = self.conns.remove(&conn.0) {
+            if let Some(s) = &c.stream {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            if let Some(reason) = notify {
+                // A connection the owner never learned about (incoming,
+                // no hello yet) dies silently: nothing to report.
+                if !matches!(c.state, StreamState::AwaitHello) {
+                    self.pending.push_back(Delivery::Conn {
+                        dst: c.owner,
+                        conn,
+                        ev: ConnEvent::Closed(reason),
+                    });
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, d: Delivery) {
+        match d {
+            Delivery::Start(ep) => self.dispatch(ep, |s, ctx| s.on_start(ctx)),
+            Delivery::Datagram { dst, from, payload } => {
+                self.dispatch(dst, move |s, ctx| s.on_datagram(ctx, from, payload));
+            }
+            Delivery::Conn { dst, conn, ev } => {
+                self.dispatch(dst, move |s, ctx| s.on_conn_event(ctx, conn, ev));
+            }
+            Delivery::Timer { dst, token } => {
+                self.dispatch(dst, move |s, ctx| s.on_timer(ctx, token));
+            }
+        }
+    }
+
+    fn dispatch<F>(&mut self, me: Endpoint, f: F)
+    where
+        F: FnOnce(&mut dyn Service, &mut ServiceCtx<'_>),
+    {
+        let key = (me.host.0, me.port);
+        let (mut service, mut rng) = match self.services.get_mut(&key) {
+            Some(slot) => match slot.service.take() {
+                Some(s) => (s, slot.rng.clone()),
+                None => return,
+            },
+            None => return,
+        };
+        let effects = {
+            let mut ctx = ServiceCtx {
+                now: self.now_inner(),
+                me,
+                topo: &self.topo,
+                rng: &mut rng,
+                metrics: &mut self.metrics,
+                trace: &mut self.trace,
+                stable: self.stable.entry(me.host.0).or_default(),
+                effects: Vec::new(),
+                next_conn: &mut self.next_conn,
+                next_timer: &mut self.next_timer,
+            };
+            f(service.as_mut(), &mut ctx);
+            ctx.effects
+        };
+        if let Some(slot) = self.services.get_mut(&key) {
+            slot.service = Some(service);
+            slot.rng = rng;
+        }
+        self.apply_effects(me, effects);
+    }
+
+    fn apply_effects(&mut self, src: Endpoint, effects: Vec<Effect>) {
+        for e in effects {
+            match e {
+                // Deferred variants model virtual CPU cost; on real
+                // sockets the CPU time was genuinely spent, so they
+                // apply immediately.
+                Effect::Datagram { dst, payload }
+                | Effect::DeferredDatagram { dst, payload, .. } => {
+                    self.send_datagram(src, dst, payload);
+                }
+                Effect::Open { conn, dst } => self.open(src, conn, dst),
+                Effect::Send { conn, msg } | Effect::DeferredSend { conn, msg, .. } => {
+                    self.stream_send(conn, msg);
+                }
+                Effect::Close { conn } => self.close_conn(conn),
+                Effect::Timer { id, delay, token } => {
+                    self.timer_seq += 1;
+                    self.timers.push(Reverse(TimerEntry {
+                        due: self.now_inner() + delay,
+                        seq: self.timer_seq,
+                        id,
+                        owner: src,
+                        token,
+                    }));
+                }
+                Effect::CancelTimer(id) => {
+                    self.cancelled.insert(id.0);
+                }
+            }
+        }
+    }
+
+    fn send_datagram(&mut self, src: Endpoint, dst: Endpoint, payload: Vec<u8>) {
+        let Some(addr) = self.real_addr(dst) else {
+            self.metrics.inc("net.dgrams_no_route", 1);
+            return;
+        };
+        let Some(sock) = self.udps.get(&(src.host.0, src.port)) else {
+            self.metrics.inc("net.dgrams_no_socket", 1);
+            return;
+        };
+        let mut pkt = encode_source(src);
+        pkt.extend_from_slice(&payload);
+        // Datagrams are unreliable by contract; send errors are drops.
+        if sock.send_to(&pkt, addr).is_err() {
+            self.metrics.inc("net.dgrams_lost", 1);
+        }
+    }
+
+    fn open(&mut self, src: Endpoint, conn: ConnId, dst: Endpoint) {
+        let Some(addr) = self.real_addr(dst) else {
+            // Unroutable host behaves like an unreachable one.
+            self.pending.push_back(Delivery::Conn {
+                dst: src,
+                conn,
+                ev: ConnEvent::Closed(CloseReason::Timeout),
+            });
+            return;
+        };
+        self.conns.insert(
+            conn.0,
+            Stream {
+                stream: None,
+                owner: src,
+                state: StreamState::Connecting { queued: Vec::new() },
+                inbuf: Vec::new(),
+                outbuf: Vec::new(),
+                closing: false,
+            },
+        );
+        let tx = self.connect_tx.clone();
+        let timeout = self.connect_timeout;
+        std::thread::spawn(move || {
+            let result = TcpStream::connect_timeout(&addr, timeout);
+            let _ = tx.send(ConnectOutcome { conn, result });
+        });
+    }
+
+    fn stream_send(&mut self, conn: ConnId, msg: Vec<u8>) {
+        let Some(c) = self.conns.get_mut(&conn.0) else {
+            self.metrics.inc("net.send_dropped", 1);
+            return;
+        };
+        match &mut c.state {
+            StreamState::Connecting { queued } => queued.push(msg),
+            _ => c.outbuf.extend_from_slice(&frame(&msg)),
+        }
+    }
+
+    fn close_conn(&mut self, conn: ConnId) {
+        let Some(c) = self.conns.get_mut(&conn.0) else {
+            return;
+        };
+        if matches!(c.state, StreamState::Connecting { .. }) {
+            // Abandon the attempt; the connect outcome will be ignored.
+            self.conns.remove(&conn.0);
+            return;
+        }
+        c.closing = true;
+        if self.flush_conn(conn.0).is_err() {
+            self.drop_conn(conn, None);
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn now(&self) -> SimTime {
+        self.now_inner()
+    }
+
+    /// Binds real sockets for the service. Services addressed to hosts
+    /// outside this process's local set are silently ignored — that is
+    /// how one shared deployment plan fans out over many processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint is already in use locally or its real
+    /// address cannot be bound (configuration error).
+    fn add_service_boxed(&mut self, host: HostId, port: u16, service: Box<dyn Service>) {
+        if !self.local_hosts.contains(&host.0) {
+            return;
+        }
+        let key = (host.0, port);
+        assert!(
+            !self.services.contains_key(&key),
+            "endpoint h{}:{port} already in use",
+            host.0
+        );
+        let addr = self
+            .addrs
+            .get(&host.0)
+            .unwrap_or_else(|| panic!("no address configured for local host h{}", host.0))
+            .socket_addr(port);
+        let listener = TcpListener::bind(addr)
+            .unwrap_or_else(|e| panic!("cannot bind TCP {addr} for h{}:{port}: {e}", host.0));
+        listener
+            .set_nonblocking(true)
+            .expect("set_nonblocking(listener)");
+        let udp = UdpSocket::bind(addr)
+            .unwrap_or_else(|e| panic!("cannot bind UDP {addr} for h{}:{port}: {e}", host.0));
+        udp.set_nonblocking(true).expect("set_nonblocking(udp)");
+        self.listeners.insert(key, listener);
+        self.udps.insert(key, udp);
+        self.services.insert(
+            key,
+            Slot {
+                service: Some(service),
+                rng: Rng::new(service_rng_stream(host.0, port, self.seed)),
+            },
+        );
+        if self.started {
+            self.pending
+                .push_back(Delivery::Start(Endpoint::new(host, port)));
+        }
+    }
+
+    fn start(&mut self) {
+        assert!(!self.started, "transport already started");
+        self.started = true;
+        let eps: Vec<Endpoint> = self
+            .services
+            .keys()
+            .map(|&(h, p)| Endpoint::new(HostId(h), p))
+            .collect();
+        for ep in eps {
+            self.dispatch(ep, |s, ctx| s.on_start(ctx));
+        }
+    }
+
+    fn run_for(&mut self, d: SimDuration) {
+        let dur = Duration::from_nanos(d.as_nanos());
+        self.run_while(dur, |_| true);
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_service_any;
+    use crate::topology::TopologyBuilder;
+
+    fn two_host_topo() -> (Topology, HostId, HostId) {
+        let mut b = TopologyBuilder::new();
+        let r = b.region("eu");
+        let c = b.country(r, "nl");
+        let s = b.site(c, "vu");
+        let a = b.host(s, "a");
+        let z = b.host(s, "z");
+        (b.build(), a, z)
+    }
+
+    /// Picks a pair of port bases unlikely to collide across test runs.
+    /// Sim ports reach 9000 (`ports::DRIVER`), so bases stay well below
+    /// `u16::MAX - 9000` and the pair is 10k apart.
+    fn port_bases() -> (u16, u16) {
+        let pid = std::process::id() as u16;
+        let base = 20000 + (pid % 180) * 128;
+        (base, base + 10000)
+    }
+
+    fn loopback_addrs(a: u16, z: u16) -> BTreeMap<u32, NodeAddr> {
+        let ip: IpAddr = "127.0.0.1".parse().unwrap();
+        let mut m = BTreeMap::new();
+        m.insert(0, NodeAddr::new(ip, a));
+        m.insert(1, NodeAddr::new(ip, z));
+        m
+    }
+
+    struct Echo;
+    impl Service for Echo {
+        fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+            if let ConnEvent::Msg(m) = ev {
+                ctx.send(conn, m);
+            }
+        }
+        impl_service_any!();
+    }
+
+    struct Client {
+        server: Endpoint,
+        conn: Option<ConnId>,
+        replies: Vec<Vec<u8>>,
+        closed: Option<CloseReason>,
+        payload: Vec<u8>,
+    }
+    impl Service for Client {
+        fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+            let c = ctx.connect(self.server);
+            ctx.send(c, self.payload.clone());
+            self.conn = Some(c);
+        }
+        fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, _conn: ConnId, ev: ConnEvent) {
+            match ev {
+                ConnEvent::Msg(m) => {
+                    self.replies.push(m);
+                    ctx.close(self.conn.unwrap());
+                }
+                ConnEvent::Closed(r) => self.closed = Some(r),
+                _ => {}
+            }
+        }
+        impl_service_any!();
+    }
+
+    /// One process hosting both hosts: stream echo over real loopback
+    /// sockets, including the hello handshake and framing.
+    #[test]
+    fn loopback_stream_round_trip() {
+        let (topo, a, z) = two_host_topo();
+        let (pa, pz) = port_bases();
+        let mut t = TcpTransport::new(topo, 7, loopback_addrs(pa, pz), [a, z]);
+        t.add_service_boxed(z, crate::ports::DRIVER, Box::new(Echo));
+        t.add_service_boxed(
+            a,
+            crate::ports::DRIVER,
+            Box::new(Client {
+                server: Endpoint::new(z, crate::ports::DRIVER),
+                conn: None,
+                replies: Vec::new(),
+                closed: None,
+                payload: b"over real sockets".to_vec(),
+            }),
+        );
+        t.start();
+        t.run_while(Duration::from_secs(10), |t| {
+            t.service::<Client>(HostId(0), crate::ports::DRIVER)
+                .map(|c| c.replies.is_empty())
+                .unwrap_or(true)
+        });
+        let c = t.service::<Client>(a, crate::ports::DRIVER).unwrap();
+        assert_eq!(c.replies, vec![b"over real sockets".to_vec()]);
+    }
+
+    /// Connecting to a port nobody listens on yields `Refused`, same as
+    /// the simulation's model of an RST.
+    #[test]
+    fn refused_maps_to_close_reason() {
+        let (topo, a, z) = two_host_topo();
+        let (pa, pz) = port_bases();
+        // Only host a is local; z's ports are mapped but never bound.
+        let mut t = TcpTransport::new(topo, 7, loopback_addrs(pa.wrapping_add(7), pz), [a]);
+        t.add_service_boxed(
+            a,
+            crate::ports::DRIVER,
+            Box::new(Client {
+                server: Endpoint::new(z, crate::ports::DRIVER),
+                conn: None,
+                replies: Vec::new(),
+                closed: None,
+                payload: b"x".to_vec(),
+            }),
+        );
+        t.start();
+        t.run_while(Duration::from_secs(10), |t| {
+            t.service::<Client>(HostId(0), crate::ports::DRIVER)
+                .map(|c| c.closed.is_none())
+                .unwrap_or(true)
+        });
+        let c = t.service::<Client>(a, crate::ports::DRIVER).unwrap();
+        assert_eq!(c.closed, Some(CloseReason::Refused));
+    }
+
+    /// Datagrams cross UDP with their source endpoint attributed.
+    #[test]
+    fn loopback_datagram_with_source() {
+        struct Pitcher {
+            dst: Endpoint,
+        }
+        impl Service for Pitcher {
+            fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+                ctx.send_datagram(self.dst, b"throw".to_vec());
+            }
+            impl_service_any!();
+        }
+        #[derive(Default)]
+        struct Catcher {
+            got: Option<(Endpoint, Vec<u8>)>,
+        }
+        impl Service for Catcher {
+            fn on_datagram(&mut self, _ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+                self.got = Some((from, payload));
+            }
+            impl_service_any!();
+        }
+        let (topo, a, z) = two_host_topo();
+        let (pa, pz) = port_bases();
+        let mut t = TcpTransport::new(
+            topo,
+            7,
+            loopback_addrs(pa.wrapping_add(13), pz.wrapping_add(13)),
+            [a, z],
+        );
+        t.add_service_boxed(z, crate::ports::DRIVER, Box::new(Catcher::default()));
+        t.add_service_boxed(
+            a,
+            crate::ports::DRIVER,
+            Box::new(Pitcher {
+                dst: Endpoint::new(z, crate::ports::DRIVER),
+            }),
+        );
+        t.start();
+        t.run_while(Duration::from_secs(10), |t| {
+            t.service::<Catcher>(HostId(1), crate::ports::DRIVER)
+                .map(|c| c.got.is_none())
+                .unwrap_or(true)
+        });
+        let c = t.service::<Catcher>(z, crate::ports::DRIVER).unwrap();
+        let (from, payload) = c.got.clone().expect("datagram arrived");
+        assert_eq!(from, Endpoint::new(a, crate::ports::DRIVER));
+        assert_eq!(payload, b"throw");
+    }
+
+    /// Timers fire on the wall clock and cancellation works.
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct Timed {
+            fired: Vec<u64>,
+            cancel: Option<TimerId>,
+        }
+        impl Service for Timed {
+            fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(5), 1);
+                let id = ctx.set_timer(SimDuration::from_millis(400), 2);
+                self.cancel = Some(id);
+            }
+            fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+                self.fired.push(token);
+                if token == 1 {
+                    ctx.cancel_timer(self.cancel.unwrap());
+                    ctx.set_timer(SimDuration::from_millis(10), 3);
+                }
+            }
+            impl_service_any!();
+        }
+        let (topo, a, _z) = two_host_topo();
+        let (pa, pz) = port_bases();
+        let mut t = TcpTransport::new(
+            topo,
+            7,
+            loopback_addrs(pa.wrapping_add(21), pz.wrapping_add(21)),
+            [a],
+        );
+        t.add_service_boxed(
+            a,
+            crate::ports::DRIVER,
+            Box::new(Timed {
+                fired: Vec::new(),
+                cancel: None,
+            }),
+        );
+        t.start();
+        t.run_while(Duration::from_secs(5), |t| {
+            t.service::<Timed>(HostId(0), crate::ports::DRIVER)
+                .map(|s| !s.fired.contains(&3))
+                .unwrap_or(true)
+        });
+        // Give the cancelled timer a chance to (wrongly) fire.
+        t.run_while(Duration::from_millis(500), |_| true);
+        let s = t.service::<Timed>(a, crate::ports::DRIVER).unwrap();
+        assert_eq!(s.fired, vec![1, 3], "timer 2 must stay cancelled");
+    }
+}

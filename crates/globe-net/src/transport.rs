@@ -1,9 +1,13 @@
-//! Transport-level types shared between services and the [`crate::world`]
-//! event loop: endpoints, connection identifiers and connection events.
+//! Transport-level types shared between services and the transport
+//! backends: endpoints, connection identifiers, connection events and
+//! the [`Transport`] trait both backends implement.
 
 use std::fmt;
 
-use crate::topology::HostId;
+use globe_sim::{Metrics, SimDuration, SimTime};
+
+use crate::service::Service;
+use crate::topology::{HostId, Topology};
 
 /// A network endpoint: a service listening on a port of a host.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -86,6 +90,89 @@ pub enum ConnEvent {
     Msg(Vec<u8>),
     /// The connection ended; no further events will be delivered for it.
     Closed(CloseReason),
+}
+
+/// An execution substrate for [`Service`]s.
+///
+/// A transport owns a set of services addressed by simulated
+/// `(host, port)` [`Endpoint`]s, routes datagrams and message-framed
+/// streams between them, and drives their timers. Two implementations
+/// exist:
+///
+/// - [`World`](crate::World) — the deterministic simulation. Time is
+///   virtual, every host in the topology lives in one address space, and
+///   identical `(topology, params, seed, program)` replays identically.
+/// - [`TcpTransport`](crate::TcpTransport) — real sockets via
+///   `std::net`. Time is the wall clock (reported as [`SimTime`] since
+///   process start), each OS process hosts only the topology hosts it
+///   was configured with, and traffic crosses real TCP/UDP connections
+///   using the `wire` framing.
+///
+/// # The contract services may rely on
+///
+/// Both backends deliver the same event vocabulary with the same
+/// ordering guarantees, so service code written against [`ServiceCtx`]
+/// (see [`crate::service`]) runs unmodified under either:
+///
+/// - **Streams preserve message boundaries.** One `ctx.send` becomes
+///   exactly one [`ConnEvent::Msg`] at the peer (the TCP backend adds a
+///   length-prefixed frame header; the simulation models it directly).
+///   Per-connection, per-direction FIFO order holds.
+/// - **Connection lifecycle.** Client side: [`ConnEvent::Opened`], then
+///   messages, then one [`ConnEvent::Closed`]. Server side:
+///   [`ConnEvent::Incoming`] first. Messages sent before `Opened` queue
+///   behind the handshake. Failures map to the same [`CloseReason`]s
+///   (refused / timeout / reset) whether they come from the simulation
+///   model or from real socket errors.
+/// - **Datagrams are unreliable and unordered.** They may be dropped;
+///   delivery attributes the sending service's [`Endpoint`].
+/// - **Timers are local and best-effort**: they fire no earlier than
+///   requested and are lost on crash.
+///
+/// # What differs (and services must NOT rely on)
+///
+/// - **Determinism.** Only the simulated world replays; under TCP the
+///   interleaving comes from the kernel scheduler.
+/// - **Clock meaning.** `now()` is virtual time in the world and real
+///   elapsed time under TCP, so absolute timestamps differ — but
+///   *relative* reasoning (timeouts, leases, backoff) works in both.
+/// - **CPU-cost modelling.** `send_delayed` charges virtual CPU time in
+///   the simulation; the TCP backend sends immediately (the real CPU
+///   spent the time already).
+/// - **Partial topology.** A TCP process only instantiates services for
+///   its own hosts: [`Transport::add_service_boxed`] silently ignores
+///   services addressed to hosts the backend does not run, which lets
+///   the shared deployment planners run unchanged in every process.
+/// - **Crash injection** (`crash_host` & friends) is a
+///   [`World`](crate::World) facility; real processes crash by exiting.
+///
+/// [`ServiceCtx`]: crate::ServiceCtx
+pub trait Transport {
+    /// The network topology this transport runs over.
+    fn topology(&self) -> &Topology;
+    /// Current time: virtual in the simulation, wall-clock elapsed since
+    /// process start under TCP.
+    fn now(&self) -> SimTime;
+    /// Installs a service at `(host, port)`. Backends hosting a subset
+    /// of the topology ignore services for hosts they do not run.
+    fn add_service_boxed(&mut self, host: HostId, port: u16, service: Box<dyn Service>);
+    /// Starts all installed services (`on_start` in endpoint order).
+    fn start(&mut self);
+    /// Runs the event loop for `d`: virtual time in the simulation, real
+    /// time under TCP.
+    fn run_for(&mut self, d: SimDuration);
+    /// The transport-wide metrics registry.
+    fn metrics(&self) -> &Metrics;
+    /// Mutable access to the metrics registry.
+    fn metrics_mut(&mut self) -> &mut Metrics;
+}
+
+impl dyn Transport + '_ {
+    /// Installs a service at `(host, port)` (generic convenience over
+    /// [`Transport::add_service_boxed`]).
+    pub fn add_service<S: Service>(&mut self, host: HostId, port: u16, service: S) {
+        self.add_service_boxed(host, port, Box::new(service));
+    }
 }
 
 #[cfg(test)]

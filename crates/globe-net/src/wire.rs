@@ -46,7 +46,7 @@ impl Error for WireError {}
 
 /// Sanity cap on any single length-prefixed field (64 MiB). Prevents a
 /// malformed length from causing a giant allocation.
-const MAX_FIELD: u32 = 64 << 20;
+pub const MAX_FIELD: u32 = 64 << 20;
 
 /// Incremental encoder.
 ///

@@ -1,8 +1,12 @@
-//! Property-based tests: the wire format is total and lossless, and the
-//! topology's tier function is a consistent ultrametric-style hierarchy.
+//! Property-based tests: the wire format is total and lossless, stream
+//! frames survive round-trips and reject every malformed variant, and
+//! the topology's tier function is a consistent ultrametric-style
+//! hierarchy.
 
 use proptest::prelude::*;
 
+use globe_net::tcp::frame;
+use globe_net::wire::{WireError, MAX_FIELD};
 use globe_net::{Tier, Topology, WireReader, WireWriter};
 
 proptest! {
@@ -46,6 +50,105 @@ proptest! {
         let _ = r.bytes();
         let _ = r.str();
         let _ = r.expect_end();
+    }
+
+    /// A framed message ([`frame`]: `u32` length prefix + payload, the
+    /// encoding real TCP peers speak) is exactly the wire format's
+    /// length-prefixed byte string, and round-trips losslessly.
+    #[test]
+    fn framed_messages_round_trip(msg in prop::collection::vec(any::<u8>(), 0..512)) {
+        let buf = frame(&msg);
+        prop_assert_eq!(buf.len(), 4 + msg.len());
+        let mut r = WireReader::new(&buf);
+        prop_assert_eq!(r.bytes().unwrap(), msg.as_slice());
+        prop_assert!(r.expect_end().is_ok());
+    }
+
+    /// Every strict prefix of a framed message — truncation at *each*
+    /// byte boundary — is rejected as `Truncated`, whether the cut
+    /// lands inside the length prefix or inside the payload.
+    #[test]
+    fn truncated_frames_rejected_byte_by_byte(
+        msg in prop::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let buf = frame(&msg);
+        for cut in 0..buf.len() {
+            let mut r = WireReader::new(&buf[..cut]);
+            prop_assert!(
+                r.bytes() == Err(WireError::Truncated),
+                "cut at byte {} of {} decoded",
+                cut,
+                buf.len()
+            );
+        }
+    }
+
+    /// A length prefix past the 64 MiB sanity cap is rejected as
+    /// `TooLarge` before any allocation, however much data follows.
+    #[test]
+    fn oversized_frames_rejected(
+        over in (MAX_FIELD + 1)..u32::MAX,
+        tail in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut w = WireWriter::new();
+        w.put_u32(over);
+        w.put_raw(&tail);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        prop_assert_eq!(r.bytes().unwrap_err(), WireError::TooLarge);
+    }
+
+    /// A stream of concatenated frames truncated at an arbitrary byte
+    /// yields exactly the frames that are fully contained, then a
+    /// `Truncated` error for the partial one — never a panic, never a
+    /// phantom frame. This is the stream-reassembly contract
+    /// `TcpTransport::extract_frames` relies on.
+    #[test]
+    fn frame_streams_recover_only_complete_frames(
+        msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 1..6),
+        cut_frac in 0u32..1000,
+    ) {
+        let mut stream = Vec::new();
+        let mut boundaries = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&frame(m));
+            boundaries.push(stream.len());
+        }
+        let cut = (stream.len() as u64 * u64::from(cut_frac) / 1000) as usize;
+        let complete = boundaries.iter().filter(|&&b| b <= cut).count();
+
+        let mut r = WireReader::new(&stream[..cut]);
+        for m in msgs.iter().take(complete) {
+            prop_assert_eq!(r.bytes().unwrap(), m.as_slice());
+        }
+        if complete < msgs.len() {
+            prop_assert_eq!(r.bytes().unwrap_err(), WireError::Truncated);
+        } else {
+            prop_assert!(r.expect_end().is_ok());
+        }
+    }
+
+    /// Decoding arbitrary garbage as a frame is total and
+    /// deterministic: the same bytes give the same verdict every time,
+    /// a success consumes exactly the announced length, and an error is
+    /// one of the two malformed-frame classes.
+    #[test]
+    fn garbage_frames_error_deterministically(
+        garbage in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut a = WireReader::new(&garbage);
+        let first = a.bytes().map(<[u8]>::to_vec);
+        let consumed = garbage.len() - a.remaining();
+        let mut b = WireReader::new(&garbage);
+        let second = b.bytes().map(<[u8]>::to_vec);
+        prop_assert_eq!(&first, &second);
+        match first {
+            Ok(body) => prop_assert_eq!(consumed, 4 + body.len()),
+            Err(e) => prop_assert!(
+                matches!(e, WireError::Truncated | WireError::TooLarge),
+                "unexpected frame error {e:?}"
+            ),
+        }
     }
 
     /// The tier relation is symmetric, reflexive at Loopback, and

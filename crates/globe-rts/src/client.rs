@@ -112,6 +112,14 @@ pub struct RetryPolicy {
     /// on the installed representative (its forwarding proxy has
     /// already failed over to the next-nearest replica); later retries
     /// re-resolve against the GLS.
+    ///
+    /// The policy never overrides the idempotency gate: a
+    /// non-idempotent op (see
+    /// [`MethodSpec::idempotent`](crate::interface::MethodSpec::idempotent))
+    /// that fails *ambiguously* — a timeout, where the invocation may
+    /// already have executed — completes with the error instead of
+    /// being blindly re-invoked. Unambiguous failures (the replica was
+    /// never reached) retry regardless of idempotency.
     pub max_attempts: u32,
     /// Base delay before a retry; attempt `n` waits `backoff × 2^(n-1)`
     /// (zero = retry immediately, the access-point default).
@@ -166,6 +174,11 @@ pub enum ClientError {
     Invoke(InvokeError),
     /// Too many ops already queued behind the target's resolution.
     Saturated,
+    /// The op's [`OpBuilder::deadline`] passed before it completed. The
+    /// op is cancelled client-side: no further retries are attempted
+    /// and a late result is discarded (the invocation itself may still
+    /// execute at the replica).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ClientError {
@@ -177,6 +190,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Interface(e) => write!(f, "{e}"),
             ClientError::Invoke(e) => write!(f, "{e}"),
             ClientError::Saturated => write!(f, "too many queued operations"),
+            ClientError::DeadlineExceeded => write!(f, "operation deadline exceeded"),
         }
     }
 }
@@ -258,7 +272,16 @@ struct PendingOp {
     inv: Invocation,
     attempts: u32,
     state: OpState,
+    /// Whether re-invoking after an ambiguous failure is safe (from the
+    /// method's declaration; pre-marshalled ops keep the historical
+    /// retry-everything behaviour).
+    idempotent: bool,
 }
+
+/// Marks a timer token as an op deadline rather than a retry backoff.
+/// Op ids are sequential and far below 2^47, so the bit is free within
+/// the 48-bit id space of [`ns_token`].
+const DEADLINE_BIT: u64 = 1 << 47;
 
 /// A typed client session over one Globe runtime (see module docs).
 pub struct GlobeClient {
@@ -360,6 +383,7 @@ impl GlobeClient {
             client: self,
             ctx,
             target: target.into(),
+            deadline: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -367,12 +391,30 @@ impl GlobeClient {
     /// Starts a pre-marshalled operation (class-generic callers such as
     /// the moderator pipeline's fill scripts). `expect` enables the
     /// bind-time class check when the caller knows the class.
+    ///
+    /// Pre-marshalled ops carry no method declaration, so they keep the
+    /// historical retry-everything behaviour; use the typed
+    /// [`GlobeClient::op`] path to get the idempotency retry gate.
     pub fn submit(
         &mut self,
         ctx: &mut ServiceCtx<'_>,
         target: impl Into<OpTarget>,
         expect: Option<ImplId>,
         inv: Invocation,
+    ) -> OpId {
+        self.submit_full(ctx, target, expect, inv, true, None)
+    }
+
+    /// Starts an operation with explicit retry-gate and deadline
+    /// settings (the typed [`OpBuilder`] path lands here).
+    pub fn submit_full(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        target: impl Into<OpTarget>,
+        expect: Option<ImplId>,
+        inv: Invocation,
+        idempotent: bool,
+        deadline: Option<SimDuration>,
     ) -> OpId {
         let id = self.next_op;
         self.next_op += 1;
@@ -391,8 +433,14 @@ impl GlobeClient {
                 inv,
                 attempts: 0,
                 state: OpState::Resolving,
+                idempotent,
             },
         );
+        if let Some(d) = deadline {
+            // No handle is kept: a deadline firing after completion
+            // finds no pending op and is ignored.
+            ctx.set_timer(d, ns_token(self.ns, id | DEADLINE_BIT));
+        }
         self.start(ctx, id);
         self.drive(ctx);
         OpId(id)
@@ -439,6 +487,17 @@ impl GlobeClient {
         }
         if owns_token(self.ns, token) {
             let id = token_id(token);
+            if id & DEADLINE_BIT != 0 {
+                // An op deadline. If the op is still pending in any
+                // state, cancel it client-side; a late runtime result
+                // for the dead id is discarded by `complete`.
+                let id = id & !DEADLINE_BIT;
+                if self.ops.contains_key(&id) {
+                    ctx.metrics().inc("client.deadline_exceeded", 1);
+                    self.complete(id, Err(ClientError::DeadlineExceeded));
+                }
+                return true;
+            }
             if matches!(
                 self.ops.get(&id).map(|op| &op.state),
                 Some(OpState::Backoff)
@@ -718,10 +777,18 @@ impl GlobeClient {
             RtEvent::InvokeDone { token, result } => match result {
                 Ok(data) => self.complete(token, Ok(data)),
                 Err(e @ (InvokeError::Timeout | InvokeError::PeerUnreachable)) => {
+                    // The idempotency gate: a timeout is ambiguous (the
+                    // write may have executed before the reply was
+                    // lost), so only idempotent ops may re-invoke.
+                    // `PeerUnreachable` means the replica was never
+                    // reached — unambiguous, always retryable.
                     let can_retry = self
                         .ops
                         .get(&token)
-                        .map(|op| op.attempts < self.config.retry.max_attempts)
+                        .map(|op| {
+                            op.attempts < self.config.retry.max_attempts
+                                && (op.idempotent || e != InvokeError::Timeout)
+                        })
                         .unwrap_or(false);
                     if !can_retry {
                         self.complete(token, Err(ClientError::Invoke(e)));
@@ -760,18 +827,33 @@ pub struct OpBuilder<'a, 'b, I: DsoInterface> {
     client: &'a mut GlobeClient,
     ctx: &'a mut ServiceCtx<'b>,
     target: OpTarget,
+    deadline: Option<SimDuration>,
     _marker: std::marker::PhantomData<fn() -> I>,
 }
 
 impl<I: DsoInterface> OpBuilder<'_, '_, I> {
+    /// Cancels the op with [`ClientError::DeadlineExceeded`] if it has
+    /// not completed within `d` of submission. The deadline spans the
+    /// whole pipeline — resolve, bind, every retry and backoff — not a
+    /// single attempt. Cancellation is client-side only: an invocation
+    /// already in flight may still execute at the replica.
+    pub fn deadline(mut self, d: SimDuration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
     /// Marshals `args` and starts the operation; the returned [`OpId`]'s
-    /// [`OpDone`] payload decodes via `method`.
+    /// [`OpDone`] payload decodes via `method`. The method's
+    /// [`idempotent`](MethodDef::idempotent) flag gates ambiguous-failure
+    /// retries (see [`RetryPolicy::max_attempts`]).
     pub fn invoke<A: WireCodec, R: WireCodec>(self, method: &MethodDef<A, R>, args: &A) -> OpId {
-        self.client.submit(
+        self.client.submit_full(
             self.ctx,
             self.target,
             Some(I::IMPL),
             method.invocation(args),
+            method.idempotent(),
+            self.deadline,
         )
     }
 }
@@ -800,6 +882,19 @@ mod tests {
         assert!(ClientError::Invoke(InvokeError::Timeout)
             .to_string()
             .contains("timed out"));
+        assert!(ClientError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+    }
+
+    /// Deadline timer tokens must never collide with retry-backoff
+    /// tokens: op ids count up from 0, far below the flag bit.
+    #[test]
+    fn deadline_bit_is_outside_op_id_range() {
+        assert_eq!(DEADLINE_BIT & (DEADLINE_BIT - 1), 0, "single bit");
+        let id = 123_456_789u64;
+        assert_eq!((id | DEADLINE_BIT) & !DEADLINE_BIT, id);
+        assert_eq!(id & DEADLINE_BIT, 0);
     }
 
     #[test]

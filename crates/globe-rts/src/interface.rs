@@ -229,6 +229,13 @@ pub struct MethodSpec {
     pub kind: MethodKind,
     /// The method's declared name (diagnostics only).
     pub name: &'static str,
+    /// Whether re-executing the method is observably equivalent to
+    /// executing it once. Drives the client's retry gate: after an
+    /// *ambiguous* failure (a timeout — the invocation may already have
+    /// executed) only idempotent methods are re-invoked. Reads are
+    /// idempotent by definition; writes default to non-idempotent
+    /// unless declared `write(idempotent)`.
+    pub idempotent: bool,
 }
 
 /// One method of a [`DsoInterface`], typed over its argument and result
@@ -241,18 +248,28 @@ pub struct MethodDef<A, R> {
     id: MethodId,
     kind: MethodKind,
     name: &'static str,
+    idempotent: bool,
     _marker: PhantomData<fn(A) -> R>,
 }
 
 impl<A: WireCodec, R: WireCodec> MethodDef<A, R> {
     /// Declares a method (normally done by [`dso_interface!`](crate::dso_interface)).
+    /// Reads default to idempotent, writes to non-idempotent; override
+    /// with [`MethodDef::with_idempotent`].
     pub const fn new(id: MethodId, kind: MethodKind, name: &'static str) -> MethodDef<A, R> {
         MethodDef {
             id,
             kind,
             name,
+            idempotent: matches!(kind, MethodKind::Read),
             _marker: PhantomData,
         }
+    }
+
+    /// Overrides the idempotency classification (see
+    /// [`MethodSpec::idempotent`]).
+    pub const fn with_idempotent(self, idempotent: bool) -> MethodDef<A, R> {
+        MethodDef { idempotent, ..self }
     }
 
     /// The wire method identifier.
@@ -270,12 +287,19 @@ impl<A: WireCodec, R: WireCodec> MethodDef<A, R> {
         self.name
     }
 
+    /// Whether re-invoking the method after an ambiguous failure is
+    /// safe (see [`MethodSpec::idempotent`]).
+    pub const fn idempotent(&self) -> bool {
+        self.idempotent
+    }
+
     /// The untyped table row.
     pub const fn spec(&self) -> MethodSpec {
         MethodSpec {
             id: self.id,
             kind: self.kind,
             name: self.name,
+            idempotent: self.idempotent,
         }
     }
 
@@ -324,6 +348,15 @@ pub trait DsoInterface: Sized + 'static {
     /// The declared name of a method, from the table.
     fn method_name(m: MethodId) -> Option<&'static str> {
         Self::methods().iter().find(|s| s.id == m).map(|s| s.name)
+    }
+
+    /// Whether a method is idempotent, from the table (see
+    /// [`MethodSpec::idempotent`]).
+    fn idempotent(m: MethodId) -> Option<bool> {
+        Self::methods()
+            .iter()
+            .find(|s| s.id == m)
+            .map(|s| s.idempotent)
     }
 
     /// Derives the repository class descriptor (factory + `kind_of`).
@@ -386,7 +419,9 @@ pub trait DsoState {
 /// - a unit struct implementing [`DsoInterface`] (name, impl id,
 ///   semantics type, method table);
 /// - a typed [`MethodDef`] constant per method, for client-side
-///   marshalling through [`TypedProxy`] or directly;
+///   marshalling through [`TypedProxy`] or directly; a write declared
+///   `write(idempotent)` is marked safe to re-invoke after ambiguous
+///   failures (see [`MethodSpec::idempotent`]);
 /// - the server-side [`SemanticsObject`] impl for the semantics type:
 ///   generated dispatch unmarshals arguments, calls the semantics
 ///   type's inherent handler method of the same name (signature
@@ -417,6 +452,10 @@ pub trait DsoState {
 ///     fn get(&mut self, _args: ()) -> Result<u64, SemError> {
 ///         Ok(self.0)
 ///     }
+///     fn set(&mut self, args: Add) -> Result<u64, SemError> {
+///         self.0 = args.delta;
+///         Ok(self.0)
+///     }
 /// }
 ///
 /// impl DsoState for Counter {
@@ -438,11 +477,17 @@ pub trait DsoState {
 ///         methods: {
 ///             1 => write ADD/add(Add) -> u64,
 ///             2 => read GET/get(()) -> u64,
+///             3 => write(idempotent) SET/set(Add) -> u64,
 ///         }
 ///     }
 /// }
 ///
 /// assert_eq!(CounterInterface::kind_of(CounterInterface::ADD.id()), Some(MethodKind::Write));
+/// // Reads are idempotent by definition; writes only when declared
+/// // `write(idempotent)` — the client's retry gate consumes this.
+/// assert!(!CounterInterface::ADD.idempotent());
+/// assert!(CounterInterface::GET.idempotent());
+/// assert!(CounterInterface::SET.idempotent());
 /// let inv = CounterInterface::ADD.invocation(&Add { delta: 4 });
 /// use globe_rts::SemanticsObject;
 /// let mut c = Counter::default();
@@ -456,7 +501,7 @@ macro_rules! dso_interface {
         impl_id: $impl_id:literal,
         semantics: $sem:ty,
         methods: {
-            $( $(#[$mmeta:meta])* $id:literal => $rw:ident $CONST:ident / $method:ident ( $args:ty ) -> $ret:ty ),+ $(,)?
+            $( $(#[$mmeta:meta])* $id:literal => $rw:ident $( ( $idem:ident ) )? $CONST:ident / $method:ident ( $args:ty ) -> $ret:ty ),+ $(,)?
         } $(,)?
     }) => {
         $(#[$meta])*
@@ -471,7 +516,8 @@ macro_rules! dso_interface {
                         $crate::object::MethodId($id),
                         $crate::dso_interface!(@kind $rw),
                         stringify!($method),
-                    );
+                    )
+                    .with_idempotent($crate::dso_interface!(@idem $rw $( ( $idem ) )?));
             )+
 
             const METHOD_TABLE: &'static [$crate::interface::MethodSpec] =
@@ -530,6 +576,10 @@ macro_rules! dso_interface {
 
     (@kind read) => { $crate::object::MethodKind::Read };
     (@kind write) => { $crate::object::MethodKind::Write };
+    (@idem read) => { true };
+    (@idem write) => { false };
+    (@idem read (idempotent)) => { true };
+    (@idem write (idempotent)) => { true };
 }
 
 // --------------------------------------------------------- typed proxy
