@@ -13,8 +13,9 @@ use globe_crypto::hmac::hmac_sha256;
 use globe_crypto::sha256::sha256;
 use globe_crypto::sig::{keygen_from_seed, sign, verify};
 use globe_gls::{ContactAddress, ObjectId};
-use globe_net::{Endpoint, HostId};
-use globe_sim::{Histogram, Rng};
+use globe_net::tcp::{frame, frame_into};
+use globe_net::{Endpoint, HostId, Payload};
+use globe_sim::{EventQueue, Histogram, Rng, SimDuration, SimTime};
 use globe_workloads::ZipfSampler;
 
 fn bench_hashing(c: &mut Criterion) {
@@ -142,6 +143,122 @@ fn bench_kernel(c: &mut Criterion) {
     });
 }
 
+/// The [`EventQueue`] hot paths the world engine leans on: the timer
+/// wheel for near-future events (per-hop delivery delays, send-tail CPU
+/// queues — the dominant schedule pattern) and the heap fallback for
+/// far-future timers. Each iteration schedules and drains a batch, so
+/// the number reflects a full schedule→pop cycle on that path.
+fn bench_event_queue(c: &mut Criterion) {
+    const BATCH: usize = 256;
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(BATCH as u64));
+
+    // Near-future: delays inside the wheel horizon, the broadcast /
+    // request-reply pattern the engine bench drives.
+    g.bench_function(format!("wheel_schedule_pop/{BATCH}"), |b| {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            for i in 0..BATCH {
+                q.schedule(
+                    now + SimDuration::from_micros(50 + (i as u64 % 7) * 400),
+                    i as u32,
+                );
+            }
+            while let Some((t, _)) = q.pop() {
+                now = t;
+            }
+            now
+        })
+    });
+
+    // Far-future: delays past the wheel horizon land in the heap and
+    // migrate toward the wheel as time advances.
+    g.bench_function(format!("heap_schedule_pop/{BATCH}"), |b| {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            for i in 0..BATCH {
+                q.schedule(
+                    now + SimDuration::from_secs(3600 + (i as u64 % 7) * 60),
+                    i as u32,
+                );
+            }
+            while let Some((t, _)) = q.pop() {
+                now = t;
+            }
+            now
+        })
+    });
+    g.finish();
+}
+
+/// Frame encode + extract round trip: the TCP backend's receive path —
+/// one chunk holding many length-prefixed frames, each extracted as an
+/// O(1) [`Payload`] window rather than a copy. `frame_into` reuses the
+/// caller's scratch buffer the way `TcpTransport::send_stream` does.
+fn bench_frame_round_trip(c: &mut Criterion) {
+    const FRAMES: usize = 64;
+    const MSG: usize = 256;
+    let msg = vec![0xA5u8; MSG];
+    let mut g = c.benchmark_group("frame");
+    g.throughput(Throughput::Bytes((FRAMES * (4 + MSG)) as u64));
+    g.bench_function(format!("encode_extract/{FRAMES}x{MSG}B"), |b| {
+        let mut chunk: Vec<u8> = Vec::with_capacity(FRAMES * (4 + MSG));
+        b.iter(|| {
+            chunk.clear();
+            for _ in 0..FRAMES {
+                frame_into(&mut chunk, &msg);
+            }
+            let received = Payload::from(std::mem::take(&mut chunk));
+            let mut off = 0usize;
+            let mut frames = 0usize;
+            while received.len() - off >= 4 {
+                let rest = &received[off..];
+                let len = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+                if rest.len() < 4 + len {
+                    break;
+                }
+                let payload = received.slice(off + 4, off + 4 + len);
+                assert_eq!(payload.len(), MSG);
+                off += 4 + len;
+                frames += 1;
+            }
+            assert_eq!(frames, FRAMES);
+            chunk = Vec::with_capacity(FRAMES * (4 + MSG));
+            frames
+        })
+    });
+    g.bench_function("encode_alloc/1x256B", |b| b.iter(|| frame(&msg)));
+    g.finish();
+}
+
+/// N-way multicast fan-out: one encoded frame to N receivers. The
+/// [`Payload`] path is N reference-count bumps; the `Vec` path it
+/// replaced was N full copies. Both are measured so the gap itself is
+/// the documented number.
+fn bench_multicast_sharing(c: &mut Criterion) {
+    const RECEIVERS: usize = 32;
+    const SIZE: usize = 4096;
+    let mut g = c.benchmark_group("multicast");
+    g.throughput(Throughput::Elements(RECEIVERS as u64));
+    let payload = Payload::from(vec![0x5Au8; SIZE]);
+    g.bench_function(format!("payload_clone/{RECEIVERS}x{SIZE}B"), |b| {
+        b.iter(|| {
+            let fanned: Vec<Payload> = (0..RECEIVERS).map(|_| payload.clone()).collect();
+            fanned.len()
+        })
+    });
+    let owned = vec![0x5Au8; SIZE];
+    g.bench_function(format!("vec_clone/{RECEIVERS}x{SIZE}B"), |b| {
+        b.iter(|| {
+            let fanned: Vec<Vec<u8>> = (0..RECEIVERS).map(|_| owned.clone()).collect();
+            fanned.len()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_hashing,
@@ -150,6 +267,9 @@ criterion_group!(
     bench_gtls_handshake,
     bench_gtls_records,
     bench_wire,
-    bench_kernel
+    bench_kernel,
+    bench_event_queue,
+    bench_frame_round_trip,
+    bench_multicast_sharing
 );
 criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! World-engine bench: raw speed of the deterministic simulation
+//! kernel on a synthetic many-host broadcast + request/reply workload
+//! (see [`globe_bench::engine`]). Writes `BENCH_world_engine.json`
+//! (events/sec, allocs/event, alloc bytes/event) and gates it against
+//! the committed baseline: CI's `bench-smoke` job fails when
+//! events/sec drops more than 10% or the allocation proxy grows more
+//! than 10%. Bypass with `GLOBE_ENGINE_BASELINE=skip` for intentional
+//! shifts and commit the regenerated file.
+//!
+//! A counting global allocator supplies the allocs-proxy: heap
+//! allocations per processed event are a machine-independent measure
+//! of how much copying the engine does per unit of work, so the gate
+//! still catches copy regressions on CI machines whose raw events/sec
+//! differs from the machine the baseline was recorded on.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use globe_bench::engine::{
+    engine_gate, engine_json, engine_summary_markdown, run_engine_workload, EngineGateOutcome,
+    EngineReport, EngineSpec,
+};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Counts every heap allocation the process makes; deallocation is
+/// free. The deltas around a workload run are the allocs-proxy.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Anchors `file` at the workspace root regardless of cargo's bench
+/// CWD.
+fn workspace_file(file: &str) -> String {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => format!("{dir}/../../{file}"),
+        Err(_) => file.to_owned(),
+    }
+}
+
+/// Appends `summary` to the file named by `GLOBE_SWEEP_SUMMARY` or
+/// `GITHUB_STEP_SUMMARY`.
+fn write_summary(summary: &str) {
+    let path = std::env::var("GLOBE_SWEEP_SUMMARY")
+        .or_else(|_| std::env::var("GITHUB_STEP_SUMMARY"))
+        .ok();
+    let Some(path) = path.filter(|p| !p.is_empty()) else {
+        return;
+    };
+    use std::io::Write;
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{summary}"));
+    if let Err(e) = result {
+        eprintln!("could not write engine summary to {path}: {e}");
+    }
+}
+
+const MEASURED_RUNS: usize = 3;
+
+fn bench_world_engine(_c: &mut Criterion) {
+    let spec = EngineSpec::standard();
+
+    // Warmup run: pays one-time lazy initialization and faults in the
+    // working set, and pins the deterministic counts.
+    let (counts, _world) = run_engine_workload(&spec);
+
+    let mut best_wall_ms = f64::MAX;
+    let mut min_allocs = u64::MAX;
+    let mut min_bytes = u64::MAX;
+    for _ in 0..MEASURED_RUNS {
+        let a0 = ALLOCS.load(Ordering::Relaxed);
+        let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        let (run_counts, world) = run_engine_workload(&spec);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+        let bytes = ALLOC_BYTES.load(Ordering::Relaxed) - b0;
+        drop(world);
+        assert_eq!(run_counts, counts, "engine workload must be deterministic");
+        best_wall_ms = best_wall_ms.min(wall_ms);
+        min_allocs = min_allocs.min(allocs);
+        min_bytes = min_bytes.min(bytes);
+    }
+
+    let events = counts.events;
+    let report = EngineReport {
+        workload: spec.workload_key(),
+        events,
+        wall_ms: best_wall_ms,
+        events_per_sec: events as f64 / (best_wall_ms / 1000.0),
+        allocs_per_event: min_allocs as f64 / events as f64,
+        alloc_bytes_per_event: min_bytes as f64 / events as f64,
+        msgs_delivered: counts.bcast_msgs + counts.replies,
+    };
+    println!(
+        "world_engine: {} events in {:.1} ms  ->  {:.0} events/sec, \
+         {:.3} allocs/event, {:.1} alloc bytes/event, {} msgs",
+        report.events,
+        report.wall_ms,
+        report.events_per_sec,
+        report.allocs_per_event,
+        report.alloc_bytes_per_event,
+        report.msgs_delivered
+    );
+
+    let json = engine_json(&report);
+    let path = workspace_file("BENCH_world_engine.json");
+    let baseline = std::fs::read_to_string(&path).ok();
+    let skip_reason = (std::env::var("GLOBE_ENGINE_BASELINE").as_deref() == Ok("skip"))
+        .then_some("GLOBE_ENGINE_BASELINE=skip (baseline regeneration)");
+    let gate = engine_gate(baseline.as_deref(), &report, skip_reason)
+        .expect("committed engine baseline must stay parseable");
+
+    write_summary(&engine_summary_markdown(&report, &gate));
+
+    // A failing run must not ratchet its own numbers into the
+    // baseline; park them next to it for the CI artifact instead.
+    let rejected = format!("{path}.rejected");
+    match &gate {
+        EngineGateOutcome::Skipped { reason } => eprintln!("engine gate skipped: {reason}"),
+        EngineGateOutcome::NoBaseline => eprintln!("engine gate: no committed baseline"),
+        EngineGateOutcome::Pass { baseline } => println!(
+            "engine gate: pass (baseline {:.0} events/sec, {:.3} allocs/event)",
+            baseline.events_per_sec, baseline.allocs_per_event
+        ),
+        EngineGateOutcome::Fail { violations, .. } => {
+            if let Err(e) = std::fs::write(&rejected, &json) {
+                eprintln!("could not write {rejected}: {e}");
+            }
+            panic!(
+                "world engine trajectory regressions vs committed baseline \
+                 (fresh numbers at {rejected}):\n  {}",
+                violations.join("\n  ")
+            );
+        }
+    }
+    if gate.allows_baseline_write() {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("could not write {path}: {e}");
+        }
+    }
+}
+
+criterion_group!(benches, bench_world_engine);
+criterion_main!(benches);

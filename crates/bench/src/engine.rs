@@ -1,0 +1,653 @@
+//! The world-engine bench workload and its trajectory gate.
+//!
+//! ROADMAP names "make the world engine itself hardware-fast" as the
+//! item that unlocks running cells with millions of requests. This
+//! module defines the synthetic workload that measures raw engine
+//! speed — a many-host broadcast fan-out plus site-local request/reply
+//! pipelines, the two schedule patterns that dominate every real
+//! sweep cell — and the machinery that ratchets the measurement:
+//! `BENCH_world_engine.json` is committed at the repository root and
+//! [`engine_gate`] fails the bench when events/sec regresses more than
+//! [`ENGINE_TOLERANCE`] (or the allocation proxy grows by more than the
+//! same band) against that baseline. Regenerate with
+//! `GLOBE_ENGINE_BASELINE=skip` when a change intentionally moves the
+//! numbers, then commit the fresh JSON.
+//!
+//! The workload itself is deterministic: given the same
+//! [`EngineSpec`], two runs process the same events in the same order
+//! and deliver the same messages (the `workload_is_deterministic` test
+//! holds the engine to that). Only the wall-clock side of the report —
+//! events/sec — varies between machines; the allocation counters are a
+//! machine-independent proxy for copying work, which is why the gate
+//! checks them too.
+
+use globe_net::{
+    impl_service_any, ConnEvent, ConnId, Endpoint, HostId, NetParams, Payload, Service, ServiceCtx,
+    Topology, World,
+};
+use globe_sim::{MetricId, SimDuration};
+
+/// Port of the broadcast source service.
+pub const ENGINE_BCAST_PORT: u16 = 9501;
+/// Port of the per-host broadcast subscribers.
+pub const ENGINE_SUB_PORT: u16 = 9502;
+/// Port of the per-host request responders.
+pub const ENGINE_RESP_PORT: u16 = 9503;
+/// Port of the site-local requesters.
+pub const ENGINE_REQ_PORT: u16 = 9504;
+
+/// Parameters of the synthetic engine workload.
+///
+/// The `workload` string in the emitted JSON is derived from these, so
+/// a baseline recorded against one shape is never silently compared
+/// against another.
+#[derive(Clone, Debug)]
+pub struct EngineSpec {
+    /// Grid dimensions: regions × countries × sites × hosts-per-site.
+    pub regions: u32,
+    /// Countries per region.
+    pub countries: u32,
+    /// Sites per country.
+    pub sites: u32,
+    /// Hosts per site.
+    pub hosts_per_site: u32,
+    /// Virtual seconds to run.
+    pub virtual_secs: u64,
+    /// Broadcast tick period.
+    pub broadcast_every: SimDuration,
+    /// Broadcast payload size (bytes).
+    pub broadcast_bytes: usize,
+    /// Request and reply payload size (bytes).
+    pub rpc_bytes: usize,
+    /// Outstanding requests per requester (closed-loop pipeline depth).
+    pub pipeline: usize,
+    /// World seed.
+    pub seed: u64,
+}
+
+impl EngineSpec {
+    /// The standard workload the committed baseline is recorded
+    /// against: 32 hosts, a 31-way broadcast fan-out every 2 ms, and a
+    /// 4-deep request/reply pipeline per site-local host pair.
+    pub fn standard() -> EngineSpec {
+        EngineSpec {
+            regions: 4,
+            countries: 1,
+            sites: 2,
+            hosts_per_site: 4,
+            virtual_secs: 10,
+            broadcast_every: SimDuration::from_millis(2),
+            broadcast_bytes: 1024,
+            rpc_bytes: 256,
+            pipeline: 4,
+            seed: 7,
+        }
+    }
+
+    /// The identity key written into the JSON report.
+    pub fn workload_key(&self) -> String {
+        format!(
+            "grid{}x{}x{}x{}/v{}s/b{}B@{}us/rpc{}Bx{}/seed{}",
+            self.regions,
+            self.countries,
+            self.sites,
+            self.hosts_per_site,
+            self.virtual_secs,
+            self.broadcast_bytes,
+            self.broadcast_every.as_micros(),
+            self.rpc_bytes,
+            self.pipeline,
+            self.seed
+        )
+    }
+}
+
+/// Deterministic outputs of one workload run (everything except wall
+/// time).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineCounts {
+    /// Events the world processed.
+    pub events: u64,
+    /// Broadcast messages delivered to subscribers.
+    pub bcast_msgs: u64,
+    /// Broadcast bytes delivered to subscribers.
+    pub bcast_bytes: u64,
+    /// Request/reply round trips completed.
+    pub replies: u64,
+}
+
+// The workload services hold their fixed payloads as [`Payload`]s and
+// send clones, the sharing idiom the runtime services use for fan-out:
+// each send is a refcount bump, not a buffer copy, so the bench
+// measures engine overhead rather than payload memcpy.
+
+struct Broadcaster {
+    subs: Vec<Endpoint>,
+    payload: Payload,
+    every: SimDuration,
+    conns: Vec<ConnId>,
+}
+
+impl Service for Broadcaster {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.conns = self.subs.iter().map(|&d| ctx.connect(d)).collect();
+        ctx.set_timer(self.every, 1);
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, _token: u64) {
+        for &c in &self.conns {
+            ctx.send(c, self.payload.clone());
+        }
+        ctx.set_timer(self.every, 1);
+    }
+    impl_service_any!();
+}
+
+struct Subscriber {
+    msgs: u64,
+    bytes: u64,
+    id_msgs: Option<MetricId>,
+}
+
+impl Service for Subscriber {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.id_msgs = Some(ctx.metrics().metric_id("engine.sub.msgs"));
+    }
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, _conn: ConnId, ev: ConnEvent) {
+        if let ConnEvent::Msg(m) = ev {
+            self.msgs += 1;
+            self.bytes += m.len() as u64;
+            let id = self.id_msgs.expect("interned in on_start");
+            ctx.metrics().inc_id(id, 1);
+        }
+    }
+    impl_service_any!();
+}
+
+struct Responder {
+    reply: Payload,
+}
+
+impl Service for Responder {
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        if let ConnEvent::Msg(_) = ev {
+            ctx.send(conn, self.reply.clone());
+        }
+    }
+    impl_service_any!();
+}
+
+struct Requester {
+    dst: Endpoint,
+    request: Payload,
+    pipeline: usize,
+    conn: Option<ConnId>,
+    replies: u64,
+}
+
+impl Service for Requester {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let conn = ctx.connect(self.dst);
+        self.conn = Some(conn);
+        for _ in 0..self.pipeline {
+            ctx.send(conn, self.request.clone());
+        }
+    }
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        if let ConnEvent::Msg(_) = ev {
+            self.replies += 1;
+            ctx.send(conn, self.request.clone());
+        }
+    }
+    impl_service_any!();
+}
+
+/// Builds and runs the synthetic workload; returns the deterministic
+/// counts and the finished world (whose `Metrics::report` the
+/// golden-determinism test compares between runs).
+pub fn run_engine_workload(spec: &EngineSpec) -> (EngineCounts, World) {
+    let topo = Topology::grid(
+        spec.regions,
+        spec.countries,
+        spec.sites,
+        spec.hosts_per_site,
+    );
+    let mut world = World::new(topo, NetParams::default(), spec.seed);
+
+    let hosts: Vec<HostId> = world.topology().hosts().collect();
+    let source = hosts[0];
+    let subs: Vec<Endpoint> = hosts
+        .iter()
+        .filter(|&&h| h != source)
+        .map(|&h| Endpoint::new(h, ENGINE_SUB_PORT))
+        .collect();
+    world.add_service(
+        source,
+        ENGINE_BCAST_PORT,
+        Broadcaster {
+            subs,
+            payload: vec![0xB7; spec.broadcast_bytes].into(),
+            every: spec.broadcast_every,
+            conns: Vec::new(),
+        },
+    );
+    for &h in &hosts {
+        world.add_service(
+            h,
+            ENGINE_SUB_PORT,
+            Subscriber {
+                msgs: 0,
+                bytes: 0,
+                id_msgs: None,
+            },
+        );
+        world.add_service(
+            h,
+            ENGINE_RESP_PORT,
+            Responder {
+                reply: vec![0x9D; spec.rpc_bytes].into(),
+            },
+        );
+    }
+    // Site-local host pairs: the first of each pair runs the
+    // closed-loop requester against the second's responder.
+    let sites: Vec<_> = world.topology().sites().collect();
+    let mut pairs = Vec::new();
+    for s in sites {
+        let in_site = world.topology().hosts_in_site(s).to_vec();
+        for pair in in_site.chunks(2) {
+            if let [a, b] = pair {
+                pairs.push((*a, *b));
+            }
+        }
+    }
+    for (a, b) in &pairs {
+        world.add_service(
+            *a,
+            ENGINE_REQ_PORT,
+            Requester {
+                dst: Endpoint::new(*b, ENGINE_RESP_PORT),
+                request: vec![0x5A; spec.rpc_bytes].into(),
+                pipeline: spec.pipeline,
+                conn: None,
+                replies: 0,
+            },
+        );
+    }
+
+    world.start();
+    world.run_for(SimDuration::from_secs(spec.virtual_secs));
+
+    let mut counts = EngineCounts {
+        events: world.events_processed(),
+        bcast_msgs: 0,
+        bcast_bytes: 0,
+        replies: 0,
+    };
+    for &h in &hosts {
+        let sub = world
+            .service::<Subscriber>(h, ENGINE_SUB_PORT)
+            .expect("subscriber installed");
+        counts.bcast_msgs += sub.msgs;
+        counts.bcast_bytes += sub.bytes;
+    }
+    for (a, _) in &pairs {
+        counts.replies += world
+            .service::<Requester>(*a, ENGINE_REQ_PORT)
+            .expect("requester installed")
+            .replies;
+    }
+    (counts, world)
+}
+
+// ------------------------------------------------------------- the gate
+
+/// Maximum tolerated relative regression per gated metric (0.10 =
+/// events/sec may drop 10%, allocs/event may grow 10%).
+pub const ENGINE_TOLERANCE: f64 = 0.10;
+
+/// Absolute slack on allocs/event: sub-allocation jitter around a tiny
+/// baseline must not fail the gate.
+const ALLOCS_SLACK: f64 = 0.25;
+
+/// One engine-bench measurement, as serialized to
+/// `BENCH_world_engine.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineReport {
+    /// Workload identity ([`EngineSpec::workload_key`]); baselines for
+    /// a different workload are never compared.
+    pub workload: String,
+    /// Events processed in one run.
+    pub events: u64,
+    /// Best wall time over the measured runs, milliseconds.
+    pub wall_ms: f64,
+    /// Events per wall-clock second (best run).
+    pub events_per_sec: f64,
+    /// Heap allocations per event (min over runs) — the copying proxy.
+    pub allocs_per_event: f64,
+    /// Heap bytes allocated per event (min over runs).
+    pub alloc_bytes_per_event: f64,
+    /// Messages delivered (broadcast + replies), a workload checksum.
+    pub msgs_delivered: u64,
+}
+
+/// Serializes a report in the flat one-field-per-line JSON format the
+/// parser and gate understand.
+pub fn engine_json(r: &EngineReport) -> String {
+    format!(
+        "{{\n  \"workload\": \"{}\",\n  \"events\": {},\n  \"wall_ms\": {:.3},\n  \
+         \"events_per_sec\": {:.0},\n  \"allocs_per_event\": {:.3},\n  \
+         \"alloc_bytes_per_event\": {:.1},\n  \"msgs_delivered\": {}\n}}\n",
+        r.workload,
+        r.events,
+        r.wall_ms,
+        r.events_per_sec,
+        r.allocs_per_event,
+        r.alloc_bytes_per_event,
+        r.msgs_delivered
+    )
+}
+
+fn field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}', '\n'])?;
+    Some(rest[..end].trim())
+}
+
+/// Parses the format [`engine_json`] emits.
+pub fn parse_engine_json(json: &str) -> Result<EngineReport, String> {
+    let workload = field(json, "workload")
+        .map(|v| v.trim_matches('"').to_owned())
+        .ok_or("engine JSON lacks workload")?;
+    let num = |key: &str| -> Result<f64, String> {
+        field(json, key)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("engine JSON lacks numeric {key}"))
+    };
+    Ok(EngineReport {
+        workload,
+        events: num("events")? as u64,
+        wall_ms: num("wall_ms")?,
+        events_per_sec: num("events_per_sec")?,
+        allocs_per_event: num("allocs_per_event")?,
+        alloc_bytes_per_event: num("alloc_bytes_per_event")?,
+        msgs_delivered: num("msgs_delivered")? as u64,
+    })
+}
+
+/// What the engine trajectory gate decided.
+#[derive(Clone, Debug)]
+pub enum EngineGateOutcome {
+    /// Comparison bypassed (`GLOBE_ENGINE_BASELINE=skip`, or the
+    /// baseline was recorded against a different workload shape).
+    Skipped {
+        /// Why.
+        reason: String,
+    },
+    /// No committed baseline file was found.
+    NoBaseline,
+    /// Within tolerance of the baseline.
+    Pass {
+        /// The committed baseline.
+        baseline: EngineReport,
+    },
+    /// Regressed against the baseline.
+    Fail {
+        /// The committed baseline.
+        baseline: EngineReport,
+        /// One message per violated metric.
+        violations: Vec<String>,
+    },
+}
+
+impl EngineGateOutcome {
+    /// Whether the run may overwrite the committed baseline.
+    pub fn allows_baseline_write(&self) -> bool {
+        !matches!(self, EngineGateOutcome::Fail { .. })
+    }
+}
+
+/// Gates `current` against the committed baseline JSON: events/sec may
+/// not drop more than [`ENGINE_TOLERANCE`], and allocs/event (the
+/// machine-independent copying proxy) may not grow more than the same
+/// band. A baseline recorded against a different workload key skips
+/// the comparison — the regenerated file becomes the new baseline.
+pub fn engine_gate(
+    baseline: Option<&str>,
+    current: &EngineReport,
+    skip_reason: Option<&str>,
+) -> Result<EngineGateOutcome, String> {
+    if let Some(reason) = skip_reason {
+        return Ok(EngineGateOutcome::Skipped {
+            reason: reason.to_owned(),
+        });
+    }
+    let Some(baseline) = baseline else {
+        return Ok(EngineGateOutcome::NoBaseline);
+    };
+    let base = parse_engine_json(baseline)?;
+    if base.workload != current.workload {
+        return Ok(EngineGateOutcome::Skipped {
+            reason: format!(
+                "workload changed ({} -> {}); baseline not comparable",
+                base.workload, current.workload
+            ),
+        });
+    }
+    let mut violations = Vec::new();
+    if current.events_per_sec < base.events_per_sec * (1.0 - ENGINE_TOLERANCE) {
+        violations.push(format!(
+            "events/sec regressed {:.0} -> {:.0} (> {:.0}%)",
+            base.events_per_sec,
+            current.events_per_sec,
+            ENGINE_TOLERANCE * 100.0
+        ));
+    }
+    if current.allocs_per_event > base.allocs_per_event * (1.0 + ENGINE_TOLERANCE) + ALLOCS_SLACK {
+        violations.push(format!(
+            "allocs/event regressed {:.3} -> {:.3} (> {:.0}% + slack)",
+            base.allocs_per_event,
+            current.allocs_per_event,
+            ENGINE_TOLERANCE * 100.0
+        ));
+    }
+    Ok(if violations.is_empty() {
+        EngineGateOutcome::Pass { baseline: base }
+    } else {
+        EngineGateOutcome::Fail {
+            baseline: base,
+            violations,
+        }
+    })
+}
+
+/// Renders the run and its gate verdict as markdown for
+/// `$GITHUB_STEP_SUMMARY`.
+pub fn engine_summary_markdown(r: &EngineReport, gate: &EngineGateOutcome) -> String {
+    let mut out = String::new();
+    out.push_str("## World engine bench\n\n");
+    out.push_str(&format!("workload: `{}`\n\n", r.workload));
+    out.push_str("| metric | value |\n|---|---|\n");
+    out.push_str(&format!("| events | {} |\n", r.events));
+    out.push_str(&format!("| wall ms (best) | {:.1} |\n", r.wall_ms));
+    out.push_str(&format!("| events/sec | {:.0} |\n", r.events_per_sec));
+    out.push_str(&format!("| allocs/event | {:.3} |\n", r.allocs_per_event));
+    out.push_str(&format!(
+        "| alloc bytes/event | {:.1} |\n",
+        r.alloc_bytes_per_event
+    ));
+    out.push_str(&format!("| msgs delivered | {} |\n\n", r.msgs_delivered));
+    match gate {
+        EngineGateOutcome::Skipped { reason } => {
+            out.push_str(&format!("Gate skipped: {reason}.\n"));
+        }
+        EngineGateOutcome::NoBaseline => {
+            out.push_str("No committed baseline found; nothing to gate against.\n");
+        }
+        EngineGateOutcome::Pass { baseline } => {
+            out.push_str(&format!(
+                "**PASS** — events/sec {:.0} vs baseline {:.0} ({}), allocs/event {:.3} vs {:.3}.\n",
+                r.events_per_sec,
+                baseline.events_per_sec,
+                pct(baseline.events_per_sec, r.events_per_sec),
+                r.allocs_per_event,
+                baseline.allocs_per_event,
+            ));
+        }
+        EngineGateOutcome::Fail { violations, .. } => {
+            out.push_str(&format!("**FAIL** — {} violation(s):\n", violations.len()));
+            for v in violations {
+                out.push_str(&format!("- ❌ {v}\n"));
+            }
+        }
+    }
+    out
+}
+
+fn pct(base: f64, cur: f64) -> String {
+    if base == 0.0 {
+        return "new".into();
+    }
+    format!("{:+.1}%", (cur - base) / base * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> EngineSpec {
+        EngineSpec {
+            regions: 2,
+            countries: 1,
+            sites: 1,
+            hosts_per_site: 2,
+            virtual_secs: 1,
+            broadcast_every: SimDuration::from_millis(10),
+            broadcast_bytes: 128,
+            rpc_bytes: 64,
+            pipeline: 2,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn workload_delivers_traffic() {
+        let (counts, world) = run_engine_workload(&small_spec());
+        assert!(counts.events > 0);
+        assert!(counts.bcast_msgs > 0, "{counts:?}");
+        assert!(counts.replies > 0, "{counts:?}");
+        assert_eq!(
+            counts.bcast_bytes,
+            counts.bcast_msgs * 128,
+            "broadcast payloads arrive whole"
+        );
+        assert_eq!(
+            world.metrics().counter("engine.sub.msgs"),
+            counts.bcast_msgs
+        );
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let (a, wa) = run_engine_workload(&small_spec());
+        let (b, wb) = run_engine_workload(&small_spec());
+        assert_eq!(a, b);
+        assert_eq!(wa.metrics().report(), wb.metrics().report());
+    }
+
+    fn report(eps: f64, allocs: f64) -> EngineReport {
+        EngineReport {
+            workload: "test-shape".into(),
+            events: 1_000_000,
+            wall_ms: 500.0,
+            events_per_sec: eps,
+            allocs_per_event: allocs,
+            alloc_bytes_per_event: allocs * 100.0,
+            msgs_delivered: 123_456,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report(2_000_000.0, 3.5);
+        let parsed = parse_engine_json(&engine_json(&r)).unwrap();
+        assert_eq!(parsed.workload, r.workload);
+        assert_eq!(parsed.events, r.events);
+        assert!((parsed.events_per_sec - r.events_per_sec).abs() < 1.0);
+        assert!((parsed.allocs_per_event - r.allocs_per_event).abs() < 1e-3);
+        assert_eq!(parsed.msgs_delivered, r.msgs_delivered);
+        assert!(parse_engine_json("garbage").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let base = engine_json(&report(1_000_000.0, 4.0));
+        // 5% slower: within band.
+        let ok = engine_gate(Some(&base), &report(950_000.0, 4.0), None).unwrap();
+        assert!(matches!(ok, EngineGateOutcome::Pass { .. }));
+        assert!(ok.allows_baseline_write());
+        // 20% slower: fail.
+        let slow = engine_gate(Some(&base), &report(800_000.0, 4.0), None).unwrap();
+        match &slow {
+            EngineGateOutcome::Fail { violations, .. } => {
+                assert_eq!(violations.len(), 1);
+                assert!(violations[0].contains("events/sec"));
+            }
+            other => panic!("expected fail, got {other:?}"),
+        }
+        assert!(!slow.allows_baseline_write());
+        // Faster is always fine.
+        let fast = engine_gate(Some(&base), &report(3_000_000.0, 4.0), None).unwrap();
+        assert!(matches!(fast, EngineGateOutcome::Pass { .. }));
+        // Alloc growth beyond the band fails even at equal speed.
+        let leaky = engine_gate(Some(&base), &report(1_000_000.0, 5.0), None).unwrap();
+        match &leaky {
+            EngineGateOutcome::Fail { violations, .. } => {
+                assert!(violations[0].contains("allocs/event"));
+            }
+            other => panic!("expected fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_skip_and_missing_baseline_paths() {
+        let cur = report(1.0, 1.0);
+        assert!(matches!(
+            engine_gate(None, &cur, None).unwrap(),
+            EngineGateOutcome::NoBaseline
+        ));
+        let skipped = engine_gate(Some("garbage"), &cur, Some("skip")).unwrap();
+        assert!(matches!(skipped, EngineGateOutcome::Skipped { .. }));
+        assert!(skipped.allows_baseline_write());
+        assert!(engine_gate(Some("garbage"), &cur, None).is_err());
+    }
+
+    #[test]
+    fn changed_workload_skips_comparison() {
+        let base = engine_json(&report(1_000_000.0, 4.0));
+        let mut cur = report(1.0, 100.0); // would fail badly if compared
+        cur.workload = "other-shape".into();
+        let outcome = engine_gate(Some(&base), &cur, None).unwrap();
+        match outcome {
+            EngineGateOutcome::Skipped { ref reason } => {
+                assert!(reason.contains("workload changed"), "{reason}");
+            }
+            other => panic!("expected skip, got {other:?}"),
+        }
+        assert!(outcome.allows_baseline_write());
+    }
+
+    #[test]
+    fn summary_renders_verdicts() {
+        let r = report(1_000_000.0, 4.0);
+        let base = engine_json(&r);
+        let gate = engine_gate(Some(&base), &r, None).unwrap();
+        let md = engine_summary_markdown(&r, &gate);
+        assert!(md.contains("## World engine bench"));
+        assert!(md.contains("**PASS**"));
+        let gate = engine_gate(Some(&base), &report(1.0, 100.0), None).unwrap();
+        let md = engine_summary_markdown(&report(1.0, 100.0), &gate);
+        assert!(md.contains("**FAIL**"));
+    }
+}

@@ -4,14 +4,20 @@
 //! generators, and extracts the measurements that `EXPERIMENTS.md`
 //! reports. Every function here is deterministic given its seed.
 
+pub mod engine;
 pub mod fanout;
 pub mod sweep;
 pub mod trajectory;
 
+pub use engine::{
+    engine_gate, engine_json, engine_summary_markdown, parse_engine_json, run_engine_workload,
+    EngineGateOutcome, EngineReport, EngineSpec,
+};
 pub use fanout::{grp_fanout_run, FanoutReport};
 pub use sweep::{
-    all_cells, avail_table_rows, check_sweep_invariants, churn_cells, run_cell, run_sweep,
-    sweep_cell, sweep_json, sweep_table_rows, CellReport, CellSpec, ChurnPlan, DsoClass, SweepSpec,
+    all_cells, avail_table_rows, check_sweep_invariants, churn_cells, run_cell, run_cell_traced,
+    run_sweep, sweep_cell, sweep_json, sweep_table_rows, CellReport, CellSpec, ChurnPlan, DsoClass,
+    SweepSpec,
 };
 pub use trajectory::{
     compare_trajectory, parse_sweep_json, summary_markdown, trajectory_gate, trajectory_rows,

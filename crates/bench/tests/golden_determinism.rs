@@ -1,0 +1,83 @@
+//! Golden-determinism gate for the world engine.
+//!
+//! The engine's most valuable property is schedule determinism: two
+//! runs of the same seeded cell must produce the *same* simulation, not
+//! merely similar aggregates. This tier-1 test runs one smoke-scale
+//! sweep cell twice and requires byte-identical evidence at three
+//! depths — the aggregated `CellReport`, the full `Metrics::report()`
+//! dump (every counter and histogram of every host), and the ordered
+//! `TraceLog::fingerprint()` (time, level, component and message of
+//! every trace entry, order-sensitive). Any engine refactor that
+//! silently reorders the schedule — a timer wheel losing its FIFO
+//! tie-break, a hash table leaking iteration order into event order —
+//! fails here instead of surfacing as an unexplainable benchmark drift.
+
+use globe_bench::{run_cell_traced, CellSpec, DsoClass, SweepSpec};
+use globe_rts::PropagationMode;
+use globe_workloads::ScenarioPolicy;
+
+/// Smaller-than-default workload so debug-profile test runs stay quick
+/// (same shape as the sweep_world tests).
+fn test_spec() -> SweepSpec {
+    SweepSpec {
+        regions: 2,
+        fanout_regions: 9,
+        objects: 4,
+        writes: 12,
+        read_secs: 30,
+        read_rate: 0.5,
+        ..SweepSpec::default()
+    }
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let spec = test_spec();
+    let cell = CellSpec::steady(
+        ScenarioPolicy::PerObject,
+        PropagationMode::PushDelta,
+        DsoClass::Catalog,
+    );
+
+    let (report_a, world_a) = run_cell_traced(&cell, &spec, true);
+    let (report_b, world_b) = run_cell_traced(&cell, &spec, true);
+
+    // The runs actually simulated something: traffic flowed, trace
+    // entries were recorded, metrics registered. A trivially-empty
+    // world would make the identity checks below vacuous.
+    assert!(report_a.ok > 0, "no read traffic: {report_a:?}");
+    assert!(
+        !world_a.trace().entries().is_empty(),
+        "traced run recorded no trace entries"
+    );
+
+    // Depth 1: the aggregated per-cell measurements.
+    assert_eq!(
+        format!("{report_a:?}"),
+        format!("{report_b:?}"),
+        "same-seed cell reports diverged"
+    );
+
+    // Depth 2: the full metrics registry, byte for byte.
+    let metrics_a = world_a.metrics().report();
+    let metrics_b = world_b.metrics().report();
+    assert!(
+        !metrics_a.is_empty(),
+        "metrics report is empty — nothing was measured"
+    );
+    assert_eq!(metrics_a, metrics_b, "same-seed metrics reports diverged");
+
+    // Depth 3: the ordered trace fingerprint — sensitive to event
+    // *order*, not just totals, so a schedule reorder that happens to
+    // preserve every counter still fails.
+    assert_eq!(
+        world_a.trace().fingerprint(),
+        world_b.trace().fingerprint(),
+        "same-seed trace fingerprints diverged (schedule reordered)"
+    );
+
+    // The two worlds processed the same number of events on the same
+    // virtual clock — the engine-level statement of determinism.
+    assert_eq!(world_a.events_processed(), world_b.events_processed());
+    assert_eq!(world_a.now(), world_b.now());
+}

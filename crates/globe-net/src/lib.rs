@@ -66,6 +66,7 @@
 //! assert!(world.service::<Ping>(h2, ports::DRIVER).unwrap().got);
 //! ```
 
+pub mod payload;
 pub mod ports;
 pub mod service;
 pub mod tcp;
@@ -74,6 +75,7 @@ pub mod transport;
 pub mod wire;
 pub mod world;
 
+pub use payload::Payload;
 pub use service::{ns_token, owns_token, token_id, Service, ServiceCtx};
 pub use tcp::{NodeAddr, TcpTransport};
 pub use topology::{

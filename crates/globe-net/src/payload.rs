@@ -1,0 +1,215 @@
+//! Cheaply-clonable message bytes for stream delivery.
+//!
+//! Broadcast fan-out is the engine's hottest write path: one encoded
+//! frame goes to N receivers. With `Vec<u8>` messages every receiver
+//! costs a full copy; with [`Payload`] the bytes live once behind an
+//! `Arc` and every clone is a reference-count bump. A payload can also
+//! be a *window* into a larger buffer, which lets the TCP backend hand
+//! out frames extracted from a receive chunk without copying them.
+//!
+//! Conversion from `Vec<u8>` moves the vector behind the `Arc` without
+//! copying its contents, so `ctx.send(conn, encoded_vec)` stays
+//! allocation-equivalent to the old API while `payload.clone()` becomes
+//! free. Datagrams intentionally keep plain `Vec<u8>`: they are small,
+//! never fanned out, and the owned type keeps mutation simple.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable, cheaply-clonable bytes: a shared buffer plus a window.
+#[derive(Clone)]
+pub struct Payload {
+    buf: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Payload {
+    /// An empty payload (no allocation is shared, but the `Arc` header
+    /// still exists; use sparingly on hot paths).
+    pub fn empty() -> Payload {
+        Payload::from(Vec::new())
+    }
+
+    /// Length of the visible window.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the visible window is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The visible bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// A sub-window of this payload sharing the same buffer. O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn slice(&self, start: usize, end: usize) -> Payload {
+        assert!(start <= end && end <= self.len(), "slice out of range");
+        Payload {
+            buf: Arc::clone(&self.buf),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    /// Copies the visible bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Recovers the owned bytes: reuses the backing vector when this is
+    /// the only reference to a full-buffer payload, copies otherwise.
+    pub fn into_vec(self) -> Vec<u8> {
+        if self.start == 0 {
+            match Arc::try_unwrap(self.buf) {
+                Ok(mut v) => {
+                    v.truncate(self.end);
+                    return v;
+                }
+                Err(buf) => return buf[self.start..self.end].to_vec(),
+            }
+        }
+        self.to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    /// Moves the vector behind the `Arc` — the bytes are not copied.
+    fn from(v: Vec<u8>) -> Payload {
+        let end = v.len();
+        Payload {
+            buf: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(b: &[u8]) -> Payload {
+        Payload::from(b.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(b: &[u8; N]) -> Payload {
+        Payload::from(b.to_vec())
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Payload {}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_shares_not_copies() {
+        let v = vec![1u8, 2, 3, 4];
+        let ptr = v.as_ptr();
+        let p = Payload::from(v);
+        assert_eq!(p.as_slice().as_ptr(), ptr, "bytes must not move");
+        let q = p.clone();
+        assert_eq!(q.as_slice().as_ptr(), ptr, "clone must share");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn slice_is_a_window() {
+        let p = Payload::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = p.slice(2, 5);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        assert_eq!(s.len(), 3);
+        let ss = s.slice(1, 2);
+        assert_eq!(ss.as_slice(), &[3]);
+        assert_eq!(ss.as_slice().as_ptr(), unsafe {
+            p.as_slice().as_ptr().add(3)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn slice_out_of_range_panics() {
+        Payload::from(vec![1u8, 2]).slice(0, 3);
+    }
+
+    #[test]
+    fn into_vec_reuses_unique_full_buffer() {
+        let v = vec![9u8; 64];
+        let ptr = v.as_ptr();
+        let p = Payload::from(v);
+        let back = p.into_vec();
+        assert_eq!(back.as_ptr(), ptr, "unique full-window payload must unwrap");
+
+        let p = Payload::from(vec![1u8, 2, 3, 4]);
+        let window = p.slice(1, 3);
+        assert_eq!(window.into_vec(), vec![2, 3]); // copies: not full-window
+        let q = p.clone();
+        assert_eq!(p.into_vec(), vec![1, 2, 3, 4]); // copies: not unique
+        drop(q);
+    }
+
+    #[test]
+    fn equality_against_byte_types() {
+        let p = Payload::from(vec![1u8, 2, 3]);
+        assert_eq!(p, vec![1u8, 2, 3]);
+        assert_eq!(p, *[1u8, 2, 3].as_slice());
+        assert_ne!(p, Payload::from(vec![1u8, 2]));
+        assert!(p.slice(0, 0).is_empty());
+        assert_eq!(Payload::empty().len(), 0);
+    }
+}

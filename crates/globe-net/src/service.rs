@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 
 use globe_sim::{Metrics, Rng, SimDuration, SimTime, TraceLevel, TraceLog};
 
+use crate::payload::Payload;
 use crate::topology::Topology;
 use crate::transport::{ConnEvent, ConnId, Endpoint, TimerId};
 
@@ -94,7 +95,7 @@ pub(crate) enum Effect {
     },
     Send {
         conn: ConnId,
-        msg: Vec<u8>,
+        msg: Payload,
     },
     Close {
         conn: ConnId,
@@ -110,7 +111,7 @@ pub(crate) enum Effect {
     /// cryptography) before the bytes hit the wire.
     DeferredSend {
         conn: ConnId,
-        msg: Vec<u8>,
+        msg: Payload,
         delay: SimDuration,
     },
     DeferredDatagram {
@@ -201,14 +202,22 @@ impl<'a> ServiceCtx<'a> {
     /// Sends one message on a stream connection. Messages sent on a
     /// closed or unknown connection are dropped (the sender has already
     /// received, or will receive, a `Closed` event).
-    pub fn send(&mut self, conn: ConnId, msg: Vec<u8>) {
-        self.effects.push(Effect::Send { conn, msg });
+    ///
+    /// Accepts anything convertible to [`Payload`]; passing a `Vec<u8>`
+    /// moves the bytes without copying, and passing a `Payload` clone
+    /// shares them (the multicast fast path).
+    pub fn send(&mut self, conn: ConnId, msg: impl Into<Payload>) {
+        self.effects.push(Effect::Send {
+            conn,
+            msg: msg.into(),
+        });
     }
 
     /// Like [`ServiceCtx::send`], but the message reaches the wire only
     /// after `delay` of local processing time. Used to charge virtual CPU
     /// cost (e.g. for cryptographic work) to the timeline.
-    pub fn send_delayed(&mut self, conn: ConnId, msg: Vec<u8>, delay: SimDuration) {
+    pub fn send_delayed(&mut self, conn: ConnId, msg: impl Into<Payload>, delay: SimDuration) {
+        let msg = msg.into();
         if delay == SimDuration::ZERO {
             self.effects.push(Effect::Send { conn, msg });
         } else {

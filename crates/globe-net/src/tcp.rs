@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 
 use globe_sim::{Metrics, Rng, SimDuration, SimTime, TraceLog};
 
+use crate::payload::Payload;
 use crate::service::{service_rng_stream, Effect, Service, ServiceCtx};
 use crate::topology::{HostId, Topology};
 use crate::transport::{CloseReason, ConnEvent, ConnId, Endpoint, TimerId, Transport};
@@ -86,16 +87,23 @@ pub fn decode_source(bytes: &[u8]) -> Option<Endpoint> {
 /// prefix + payload (the framing real TCP clients must speak).
 pub fn frame(msg: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + msg.len());
+    frame_into(&mut out, msg);
+    out
+}
+
+/// Appends one framed message to `out` without an intermediate
+/// allocation (the hot path for connection output buffers).
+pub fn frame_into(out: &mut Vec<u8>, msg: &[u8]) {
+    out.reserve(4 + msg.len());
     out.extend_from_slice(&(msg.len() as u32).to_be_bytes());
     out.extend_from_slice(msg);
-    out
 }
 
 /// What a stream connection is currently doing.
 enum StreamState {
     /// Outgoing: the background connect thread has not reported yet.
     /// Messages sent meanwhile queue here.
-    Connecting { queued: Vec<Vec<u8>> },
+    Connecting { queued: Vec<Payload> },
     /// Incoming: accepted, waiting for the peer's hello frame.
     AwaitHello,
     /// Established in both directions.
@@ -200,6 +208,10 @@ pub struct TcpTransport {
     next_conn: u64,
     next_timer: u64,
     started: bool,
+    /// Reused receive scratch for the UDP and TCP pump loops; allocating
+    /// 64 KiB per poll iteration showed up as the loop's top allocator.
+    udp_scratch: Vec<u8>,
+    read_scratch: Vec<u8>,
 }
 
 impl TcpTransport {
@@ -238,6 +250,8 @@ impl TcpTransport {
             next_conn: 1,
             next_timer: 1,
             started: false,
+            udp_scratch: vec![0u8; 65536],
+            read_scratch: vec![0u8; 65536],
         }
     }
 
@@ -358,9 +372,9 @@ impl TcpTransport {
                         c.state = StreamState::Open;
                         // Hello first, then anything sent before Opened.
                         let hello = encode_source(c.owner);
-                        c.outbuf.extend_from_slice(&frame(&hello));
+                        frame_into(&mut c.outbuf, &hello);
                         for msg in queued {
-                            c.outbuf.extend_from_slice(&frame(&msg));
+                            frame_into(&mut c.outbuf, &msg);
                         }
                         c.owner
                     };
@@ -423,7 +437,7 @@ impl TcpTransport {
     fn pump_udp(&mut self) -> bool {
         let mut busy = false;
         let keys: Vec<(u32, u16)> = self.udps.keys().copied().collect();
-        let mut buf = vec![0u8; 65536];
+        let mut buf = std::mem::take(&mut self.udp_scratch);
         for key in keys {
             let dst = Endpoint::new(HostId(key.0), key.1);
             loop {
@@ -450,6 +464,7 @@ impl TcpTransport {
                 }
             }
         }
+        self.udp_scratch = buf;
         busy
     }
 
@@ -461,7 +476,7 @@ impl TcpTransport {
         }
         let mut busy = false;
         let ids: Vec<u64> = self.conns.keys().copied().collect();
-        let mut read_buf = vec![0u8; 65536];
+        let mut read_buf = std::mem::take(&mut self.read_scratch);
         for id in ids {
             let conn = ConnId(id);
             // Flush pending output first so closes can complete.
@@ -513,6 +528,7 @@ impl TcpTransport {
                 }
             }
         }
+        self.read_scratch = read_buf;
         busy
     }
 
@@ -548,29 +564,41 @@ impl TcpTransport {
 
     /// Parses complete frames out of a connection's input buffer and
     /// queues the resulting events.
+    ///
+    /// The accumulated input buffer is moved behind one [`Payload`] and
+    /// each frame is delivered as an O(1) sub-window of it — a receive
+    /// chunk holding many small frames costs one allocation total, not
+    /// one copy per frame. Only the trailing partial frame (if any) is
+    /// copied back into the connection's input buffer.
     fn extract_frames(&mut self, conn: ConnId) {
         let Some(c) = self.conns.get_mut(&conn.0) else {
             return;
         };
+        if matches!(c.state, StreamState::Connecting { .. }) || c.inbuf.len() < 4 {
+            return;
+        }
         let owner = c.owner;
+        let chunk = Payload::from(std::mem::take(&mut c.inbuf));
+        let mut off = 0usize;
         let mut events: Vec<ConnEvent> = Vec::new();
         // `Some(notify)` kills the connection after queued events.
         let mut kill: Option<Option<CloseReason>> = None;
         let mut bad_hello = false;
         loop {
-            if matches!(c.state, StreamState::Connecting { .. }) || c.inbuf.len() < 4 {
+            let rest = &chunk[off..];
+            if rest.len() < 4 {
                 break;
             }
-            let len = u32::from_be_bytes([c.inbuf[0], c.inbuf[1], c.inbuf[2], c.inbuf[3]]) as usize;
+            let len = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
             if len > MAX_FIELD as usize {
                 kill = Some(Some(CloseReason::Reset));
                 break;
             }
-            if c.inbuf.len() < 4 + len {
+            if rest.len() < 4 + len {
                 break;
             }
-            let payload: Vec<u8> = c.inbuf[4..4 + len].to_vec();
-            c.inbuf.drain(..4 + len);
+            let payload = chunk.slice(off + 4, off + 4 + len);
+            off += 4 + len;
             match c.state {
                 StreamState::AwaitHello => match decode_source(&payload) {
                     Some(from) => {
@@ -586,6 +614,10 @@ impl TcpTransport {
                 StreamState::Open => events.push(ConnEvent::Msg(payload)),
                 StreamState::Connecting { .. } => unreachable!("checked above"),
             }
+        }
+        // Keep the unconsumed tail (partial frame or post-kill bytes).
+        if off < chunk.len() {
+            c.inbuf.extend_from_slice(&chunk[off..]);
         }
         for ev in events {
             self.pending.push_back(Delivery::Conn {
@@ -750,14 +782,14 @@ impl TcpTransport {
         });
     }
 
-    fn stream_send(&mut self, conn: ConnId, msg: Vec<u8>) {
+    fn stream_send(&mut self, conn: ConnId, msg: Payload) {
         let Some(c) = self.conns.get_mut(&conn.0) else {
             self.metrics.inc("net.send_dropped", 1);
             return;
         };
         match &mut c.state {
             StreamState::Connecting { queued } => queued.push(msg),
-            _ => c.outbuf.extend_from_slice(&frame(&msg)),
+            _ => frame_into(&mut c.outbuf, &msg),
         }
     }
 
@@ -918,7 +950,7 @@ mod tests {
         fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, _conn: ConnId, ev: ConnEvent) {
             match ev {
                 ConnEvent::Msg(m) => {
-                    self.replies.push(m);
+                    self.replies.push(m.to_vec());
                     ctx.close(self.conn.unwrap());
                 }
                 ConnEvent::Closed(r) => self.closed = Some(r),

@@ -6,6 +6,7 @@ use std::fmt;
 
 use globe_sim::{Metrics, SimDuration, SimTime};
 
+use crate::payload::Payload;
 use crate::service::Service;
 use crate::topology::{HostId, Topology};
 
@@ -86,8 +87,10 @@ pub enum ConnEvent {
     },
     /// Client side: the connection to the remote endpoint is established.
     Opened,
-    /// One message (streams preserve message boundaries).
-    Msg(Vec<u8>),
+    /// One message (streams preserve message boundaries). The bytes are
+    /// a [`Payload`]: fan-out delivery shares one buffer across all
+    /// receivers instead of copying per receiver.
+    Msg(Payload),
     /// The connection ended; no further events will be delivered for it.
     Closed(CloseReason),
 }
@@ -197,7 +200,7 @@ mod tests {
     fn conn_event_equality() {
         assert_eq!(ConnEvent::Opened, ConnEvent::Opened);
         assert_ne!(
-            ConnEvent::Msg(vec![1]),
+            ConnEvent::Msg(vec![1].into()),
             ConnEvent::Closed(CloseReason::Normal)
         );
     }

@@ -8,15 +8,25 @@
 //! the *effects pattern* — so a handler can never observe or mutate
 //! in-flight network state.
 //!
-//! Determinism: the event queue has a stable FIFO tie-break, all service
-//! and connection maps are ordered (`BTreeMap`), and each service draws
+//! Determinism: the event queue has a stable FIFO tie-break, anything
+//! iterated for scheduling is sorted first, and each service draws
 //! randomness from a stream derived from its `(host, port)` address rather
 //! than from insertion order.
+//!
+//! Hot-path layout: services and connections live in dense slabs indexed
+//! through an [`FxHashMap`] (point lookups only — the rare paths that
+//! iterate, like crash handling, sort their keys first so the schedule
+//! stays independent of hash-table history). Per-tier byte/message
+//! accounting uses pre-interned [`MetricId`]s, so no per-message string
+//! formatting or map walk remains on the delivery path.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 
-use globe_sim::{EventQueue, Metrics, Rng, SimDuration, SimTime, TraceLog};
+use globe_sim::{
+    EventQueue, FxHashMap, FxHashSet, MetricId, Metrics, Rng, SimDuration, SimTime, TraceLog,
+};
 
+use crate::payload::Payload;
 use crate::service::{service_rng_stream, Effect};
 use crate::topology::{HostId, NetParams, Tier, Topology};
 use crate::transport::{CloseReason, ConnEvent, ConnId, Endpoint, TimerId, Transport};
@@ -33,8 +43,15 @@ enum NetEvent {
     Conn {
         conn: ConnId,
         dst: Endpoint,
+        /// `dst`'s resolved service slot, or [`NO_SLOT`] on rare paths
+        /// that schedule without one; lets hot deliveries dispatch
+        /// straight into the slab without re-hashing the endpoint.
+        dst_slot: u32,
         ev: ConnEvent,
     },
+    // `ConnEvent::Msg` carries a `Payload`, so a broadcast sender that
+    // clones one payload across N connections queues N refcount bumps
+    // here, not N byte copies.
     Timer {
         dst: Endpoint,
         id: TimerId,
@@ -52,15 +69,42 @@ enum NetEvent {
 
 #[derive(Debug)]
 struct ConnState {
+    /// The public connection id (key back into `conn_index`).
+    id: u64,
     client: Endpoint,
     server: Endpoint,
     /// Per-direction "link busy until" time; index 0 is client→server.
     free_at: [SimTime; 2],
+    /// Sender-side CPU queue tail per direction: stream sends — delayed
+    /// or not — leave the sending host in FIFO order, so a cheap message
+    /// can never overtake an expensive one issued before it (a
+    /// single-threaded daemon processes its output sequentially).
+    /// `SimTime::ZERO` means "no pending deferred output".
+    tail: [SimTime; 2],
+    /// Resolved service slots of `[client, server]`. Service slots are
+    /// add-only, so these never go stale.
+    svc: [u32; 2],
 }
 
 struct Slot {
     service: Option<Box<dyn Service>>,
     rng: Rng,
+}
+
+/// Sentinel for "no pre-resolved service slot" in [`NetEvent::Conn`].
+const NO_SLOT: u32 = u32::MAX;
+
+/// Packs an endpoint into the one-word `service_index` key (host in
+/// the high bits, so packed order equals `(host, port)` order).
+#[inline]
+fn ep_key(host: u32, port: u16) -> u64 {
+    ((host as u64) << 16) | port as u64
+}
+
+/// Inverse of [`ep_key`].
+#[inline]
+fn ep_unkey(key: u64) -> (u32, u16) {
+    ((key >> 16) as u32, (key & 0xFFFF) as u16)
 }
 
 /// The simulation world: topology + services + in-flight events.
@@ -71,24 +115,40 @@ pub struct World {
     params: NetParams,
     queue: EventQueue<NetEvent>,
     now: SimTime,
-    services: BTreeMap<(u32, u16), Slot>,
-    conns: BTreeMap<u64, ConnState>,
-    /// Sender-side CPU queue tail per (connection, direction): stream
-    /// sends — delayed or not — leave the sending host in FIFO order, so
-    /// a cheap message can never overtake an expensive one issued before
-    /// it (a single-threaded daemon processes its output sequentially).
-    send_tail: BTreeMap<(u64, u8), SimTime>,
+    /// Dense service storage; services are never removed, so slots are
+    /// stable indices handed out by `service_index` (keyed by the
+    /// packed endpoint, see [`ep_key`]).
+    services: Vec<Slot>,
+    service_index: FxHashMap<u64, u32>,
+    /// Connection slab: `conn_index` maps the public id to a slot, the
+    /// free list recycles slots of closed connections.
+    conn_slots: Vec<Option<ConnState>>,
+    conn_index: FxHashMap<u64, u32>,
+    conn_free: Vec<u32>,
+    /// Recycled effect outboxes: every dispatch borrows one and returns
+    /// it drained, so steady-state handler dispatch never allocates an
+    /// outbox (a stack, not a single slot, in case a dispatch ever
+    /// nests).
+    effects_pool: Vec<Vec<Effect>>,
     host_up: Vec<bool>,
     host_epoch: Vec<u32>,
     stable: Vec<BTreeMap<String, Vec<u8>>>,
-    cancelled: HashSet<u64>,
+    cancelled: FxHashSet<u64>,
     metrics: Metrics,
+    /// Pre-interned `(net.bytes.<tier>, net.msgs.<tier>)` counter ids,
+    /// indexed by `Tier::distance()`.
+    net_ids: [(MetricId, MetricId); 5],
+    id_send_dropped: MetricId,
+    id_dgrams_lost: MetricId,
+    id_dgrams_dropped_down: MetricId,
+    id_dgrams_no_listener: MetricId,
     trace: TraceLog,
     rng: Rng,
     next_conn: u64,
     next_timer: u64,
     started: bool,
     seed: u64,
+    events: u64,
 }
 
 impl World {
@@ -97,25 +157,47 @@ impl World {
     /// replays identically.
     pub fn new(topo: Topology, params: NetParams, seed: u64) -> World {
         let n = topo.num_hosts();
+        // Intern the hot counters up front; untouched ids stay invisible
+        // in reports, so this costs nothing when a tier sees no traffic.
+        let mut metrics = Metrics::new();
+        let net_ids = Tier::ALL.map(|t| {
+            (
+                metrics.metric_id(&format!("net.bytes.{}", t.name())),
+                metrics.metric_id(&format!("net.msgs.{}", t.name())),
+            )
+        });
+        let id_send_dropped = metrics.metric_id("net.send_dropped");
+        let id_dgrams_lost = metrics.metric_id("net.dgrams_lost");
+        let id_dgrams_dropped_down = metrics.metric_id("net.dgrams_dropped_down");
+        let id_dgrams_no_listener = metrics.metric_id("net.dgrams_no_listener");
         World {
             topo,
             params,
             queue: EventQueue::new(),
             now: SimTime::ZERO,
-            services: BTreeMap::new(),
-            conns: BTreeMap::new(),
-            send_tail: BTreeMap::new(),
+            services: Vec::new(),
+            service_index: FxHashMap::default(),
+            conn_slots: Vec::new(),
+            conn_index: FxHashMap::default(),
+            conn_free: Vec::new(),
+            effects_pool: Vec::new(),
             host_up: vec![true; n],
             host_epoch: vec![0; n],
             stable: vec![BTreeMap::new(); n],
-            cancelled: HashSet::new(),
-            metrics: Metrics::new(),
+            cancelled: FxHashSet::default(),
+            metrics,
+            net_ids,
+            id_send_dropped,
+            id_dgrams_lost,
+            id_dgrams_dropped_down,
+            id_dgrams_no_listener,
             trace: TraceLog::disabled(),
             rng: Rng::new(seed ^ 0x6c6f_6361_6c5f_6e65),
             next_conn: 1,
             next_timer: 1,
             started: false,
             seed,
+            events: 0,
         }
     }
 
@@ -138,38 +220,44 @@ impl World {
             (host.0 as usize) < self.topo.num_hosts(),
             "unknown host {host:?}"
         );
-        let key = (host.0, port);
+        let key = ep_key(host.0, port);
         assert!(
-            !self.services.contains_key(&key),
+            !self.service_index.contains_key(&key),
             "endpoint h{}:{port} already in use",
             host.0
         );
         // Stream derived from the address, not insertion order, so adding
         // services in a different order cannot change anyone's samples.
         let stream = service_rng_stream(host.0, port, self.seed);
-        self.services.insert(
-            key,
-            Slot {
-                service: Some(service),
-                rng: Rng::new(stream),
-            },
-        );
+        self.service_index.insert(key, self.services.len() as u32);
+        self.services.push(Slot {
+            service: Some(service),
+            rng: Rng::new(stream),
+        });
         if self.started {
             self.dispatch(Endpoint::new(host, port), |s, ctx| s.on_start(ctx));
         }
+    }
+
+    /// Endpoints of all installed services, in `(host, port)` order —
+    /// the deterministic iteration order start/crash/recover rely on.
+    fn endpoints_sorted(&self, host: Option<u32>) -> Vec<(u32, u16)> {
+        let mut keys: Vec<(u32, u16)> = self
+            .service_index
+            .keys()
+            .map(|&k| ep_unkey(k))
+            .filter(|&(kh, _)| host.is_none_or(|h| kh == h))
+            .collect();
+        keys.sort_unstable();
+        keys
     }
 
     /// Starts all services (calls `on_start` in endpoint order).
     pub fn start(&mut self) {
         assert!(!self.started, "world already started");
         self.started = true;
-        let eps: Vec<Endpoint> = self
-            .services
-            .keys()
-            .map(|&(h, p)| Endpoint::new(HostId(h), p))
-            .collect();
-        for ep in eps {
-            self.dispatch(ep, |s, ctx| s.on_start(ctx));
+        for (h, p) in self.endpoints_sorted(None) {
+            self.dispatch(Endpoint::new(HostId(h), p), |s, ctx| s.on_start(ctx));
         }
     }
 
@@ -205,8 +293,8 @@ impl World {
 
     /// Immutable, typed access to a service.
     pub fn service<S: Service>(&self, host: HostId, port: u16) -> Option<&S> {
-        self.services
-            .get(&(host.0, port))?
+        let &slot = self.service_index.get(&ep_key(host.0, port))?;
+        self.services[slot as usize]
             .service
             .as_ref()?
             .as_any()
@@ -216,8 +304,8 @@ impl World {
     /// Mutable, typed access to a service. Mutating service state from
     /// outside the event loop is for test/experiment setup only.
     pub fn service_mut<S: Service>(&mut self, host: HostId, port: u16) -> Option<&mut S> {
-        self.services
-            .get_mut(&(host.0, port))?
+        let &slot = self.service_index.get(&ep_key(host.0, port))?;
+        self.services[slot as usize]
             .service
             .as_mut()?
             .as_any_mut()
@@ -258,18 +346,25 @@ impl World {
         };
         debug_assert!(t >= self.now, "time went backwards");
         self.now = t;
+        self.events += 1;
         self.handle(ev);
         true
+    }
+
+    /// Total number of events processed since the world was created.
+    /// The denominator of the engine bench's events/sec metric.
+    pub fn events_processed(&self) -> u64 {
+        self.events
     }
 
     /// Runs until the queue is empty or virtual time would exceed `t`;
     /// the clock ends at exactly `t` if the queue drained first.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(next) = self.queue.peek_time() {
-            if next > t {
-                break;
-            }
-            self.step();
+        while let Some((time, ev)) = self.queue.pop_before(t) {
+            debug_assert!(time >= self.now, "time went backwards");
+            self.now = time;
+            self.events += 1;
+            self.handle(ev);
         }
         if self.now < t {
             self.now = t;
@@ -294,16 +389,25 @@ impl World {
     where
         F: FnOnce(&mut dyn Service, &mut ServiceCtx<'_>),
     {
-        let key = (me.host.0, me.port);
+        let Some(&slot_idx) = self.service_index.get(&ep_key(me.host.0, me.port)) else {
+            return;
+        };
+        self.dispatch_at(slot_idx, me, f);
+    }
+
+    /// [`World::dispatch`] with the service slot already resolved.
+    fn dispatch_at<F>(&mut self, slot_idx: u32, me: Endpoint, f: F)
+    where
+        F: FnOnce(&mut dyn Service, &mut ServiceCtx<'_>),
+    {
         // Take the service out of its slot so the ctx can borrow the rest
         // of the world without aliasing it.
-        let (mut service, mut rng) = match self.services.get_mut(&key) {
-            Some(slot) => match slot.service.take() {
-                Some(s) => (s, slot.rng.clone()),
-                None => return,
-            },
-            None => return,
+        let slot = &mut self.services[slot_idx as usize];
+        let Some(mut service) = slot.service.take() else {
+            return;
         };
+        let mut rng = slot.rng.clone();
+        let outbox = self.effects_pool.pop().unwrap_or_default();
         let effects = {
             let mut ctx = ServiceCtx {
                 now: self.now,
@@ -313,29 +417,48 @@ impl World {
                 metrics: &mut self.metrics,
                 trace: &mut self.trace,
                 stable: &mut self.stable[me.host.0 as usize],
-                effects: Vec::new(),
+                effects: outbox,
                 next_conn: &mut self.next_conn,
                 next_timer: &mut self.next_timer,
             };
             f(service.as_mut(), &mut ctx);
             ctx.effects
         };
-        if let Some(slot) = self.services.get_mut(&key) {
-            slot.service = Some(service);
-            slot.rng = rng;
-        }
+        let slot = &mut self.services[slot_idx as usize];
+        slot.service = Some(service);
+        slot.rng = rng;
         self.apply_effects(me, effects);
     }
 
-    fn conn_direction(&self, conn: ConnId, src: Endpoint) -> Option<(usize, Endpoint)> {
-        let state = self.conns.get(&conn.0)?;
-        if src == state.client {
-            Some((0, state.server))
-        } else if src == state.server {
-            Some((1, state.client))
-        } else {
-            None
-        }
+    /// `ep`'s service slot, or [`NO_SLOT`] if nothing listens there.
+    fn svc_slot(&self, ep: Endpoint) -> u32 {
+        self.service_index
+            .get(&ep_key(ep.host.0, ep.port))
+            .copied()
+            .unwrap_or(NO_SLOT)
+    }
+
+    fn conn_insert(&mut self, state: ConnState) {
+        let id = state.id;
+        let slot = match self.conn_free.pop() {
+            Some(i) => {
+                self.conn_slots[i as usize] = Some(state);
+                i
+            }
+            None => {
+                self.conn_slots.push(Some(state));
+                (self.conn_slots.len() - 1) as u32
+            }
+        };
+        self.conn_index.insert(id, slot);
+    }
+
+    fn conn_remove(&mut self, id: u64) -> Option<ConnState> {
+        let slot = self.conn_index.remove(&id)?;
+        let state = self.conn_slots[slot as usize].take();
+        debug_assert!(state.is_some(), "index pointed at an empty slot");
+        self.conn_free.push(slot);
+        state
     }
 
     /// Routes a stream send through the sender's per-connection CPU
@@ -345,20 +468,33 @@ impl World {
         &mut self,
         src: Endpoint,
         conn: ConnId,
-        msg: Vec<u8>,
+        msg: Payload,
         delay: SimDuration,
     ) {
-        let Some((dir, _)) = self.conn_direction(conn, src) else {
-            self.metrics.inc("net.send_dropped", 1);
+        let now = self.now;
+        let Some(&slot) = self.conn_index.get(&conn.0) else {
+            self.metrics.inc_id(self.id_send_dropped, 1);
             return;
         };
-        let key = (conn.0, dir as u8);
-        let tail = self.send_tail.get(&key).copied().unwrap_or(self.now);
-        let ready = tail.max(self.now) + delay;
-        if ready <= self.now {
-            self.perform_stream_send(src, conn, msg);
+        let Some(state) = self.conn_slots[slot as usize].as_mut() else {
+            self.metrics.inc_id(self.id_send_dropped, 1);
+            return;
+        };
+        let dir = if src == state.client {
+            0
+        } else if src == state.server {
+            1
         } else {
-            self.send_tail.insert(key, ready);
+            self.metrics.inc_id(self.id_send_dropped, 1);
+            return;
+        };
+        let ready = state.tail[dir].max(now) + delay;
+        if ready <= now {
+            // Fast path (idle CPU queue, no delay): transmit on the slot
+            // already in hand instead of re-resolving the connection.
+            self.send_on_slot(slot, src, conn, msg);
+        } else {
+            state.tail[dir] = ready;
             self.queue.schedule(
                 ready,
                 NetEvent::Deferred {
@@ -369,23 +505,44 @@ impl World {
         }
     }
 
-    fn perform_stream_send(&mut self, src: Endpoint, conn: ConnId, msg: Vec<u8>) {
-        let Some((dir, dst)) = self.conn_direction(conn, src) else {
-            self.metrics.inc("net.send_dropped", 1);
+    fn perform_stream_send(&mut self, src: Endpoint, conn: ConnId, msg: Payload) {
+        let Some(&slot) = self.conn_index.get(&conn.0) else {
+            self.metrics.inc_id(self.id_send_dropped, 1);
             return;
+        };
+        self.send_on_slot(slot, src, conn, msg);
+    }
+
+    /// Puts `msg` on the wire from an already-resolved connection slot.
+    /// Everything below the slab access touches disjoint `World` fields,
+    /// so no re-lookup or state copy is needed.
+    fn send_on_slot(&mut self, slot: u32, src: Endpoint, conn: ConnId, msg: Payload) {
+        let Some(state) = self.conn_slots[slot as usize].as_mut() else {
+            self.metrics.inc_id(self.id_send_dropped, 1);
+            return;
+        };
+        let (dir, dst, dst_slot) = if src == state.client {
+            (0usize, state.server, state.svc[1])
+        } else {
+            (1usize, state.client, state.svc[0])
         };
         let tier = self.topo.tier_between(src.host, dst.host);
         let size = msg.len() as u64 + self.params.overhead;
-        let start = self.conns[&conn.0].free_at[dir].max(self.now);
-        let trans = self.transmission(size, tier);
-        let arrival = start + trans + self.params.link(tier).latency;
-        self.conns.get_mut(&conn.0).expect("checked above").free_at[dir] = start + trans;
-        self.account(tier, size);
+        let start = state.free_at[dir].max(self.now);
+        let link = self.params.link(tier);
+        let bw = link.bandwidth.max(1);
+        let trans = SimDuration::from_nanos(size.saturating_mul(1_000_000_000) / bw);
+        let arrival = start + trans + link.latency;
+        state.free_at[dir] = start + trans;
+        let (id_bytes, id_msgs) = self.net_ids[tier.distance() as usize];
+        self.metrics.inc_id(id_bytes, size);
+        self.metrics.inc_id(id_msgs, 1);
         self.queue.schedule(
             arrival,
             NetEvent::Conn {
                 conn,
                 dst,
+                dst_slot,
                 ev: ConnEvent::Msg(msg),
             },
         );
@@ -394,11 +551,20 @@ impl World {
     /// Closing queues behind pending deferred output on the connection,
     /// so a close can never overtake a response.
     fn enqueue_close(&mut self, src: Endpoint, conn: ConnId) {
-        let Some((dir, _)) = self.conn_direction(conn, src) else {
+        let Some(&slot) = self.conn_index.get(&conn.0) else {
             return;
         };
-        let key = (conn.0, dir as u8);
-        let tail = self.send_tail.get(&key).copied().unwrap_or(self.now);
+        let Some(state) = self.conn_slots[slot as usize].as_ref() else {
+            return;
+        };
+        let dir = if src == state.client {
+            0
+        } else if src == state.server {
+            1
+        } else {
+            return;
+        };
+        let tail = state.tail[dir];
         if tail <= self.now {
             self.perform_close(src, conn);
         } else {
@@ -413,15 +579,13 @@ impl World {
     }
 
     fn perform_close(&mut self, src: Endpoint, conn: ConnId) {
-        let Some(state) = self.conns.remove(&conn.0) else {
+        let Some(state) = self.conn_remove(conn.0) else {
             return;
         };
-        self.send_tail.remove(&(conn.0, 0));
-        self.send_tail.remove(&(conn.0, 1));
-        let (dir, dst) = if src == state.client {
-            (0usize, state.server)
+        let (dir, dst, dst_slot) = if src == state.client {
+            (0usize, state.server, state.svc[1])
         } else {
-            (1usize, state.client)
+            (1usize, state.client, state.svc[0])
         };
         let tier = self.topo.tier_between(src.host, dst.host);
         self.account(tier, self.params.overhead);
@@ -431,6 +595,7 @@ impl World {
             NetEvent::Conn {
                 conn,
                 dst,
+                dst_slot,
                 ev: ConnEvent::Closed(CloseReason::Normal),
             },
         );
@@ -442,111 +607,121 @@ impl World {
     }
 
     fn account(&mut self, tier: Tier, bytes: u64) {
-        self.metrics
-            .inc(&format!("net.bytes.{}", tier.name()), bytes);
-        self.metrics.inc(&format!("net.msgs.{}", tier.name()), 1);
+        let (id_bytes, id_msgs) = self.net_ids[tier.distance() as usize];
+        self.metrics.inc_id(id_bytes, bytes);
+        self.metrics.inc_id(id_msgs, 1);
     }
 
-    fn apply_effects(&mut self, src: Endpoint, effects: Vec<Effect>) {
-        for e in effects {
-            match e {
-                Effect::Datagram { dst, payload } => {
-                    let tier = self.topo.tier_between(src.host, dst.host);
-                    let size = payload.len() as u64 + self.params.overhead;
-                    self.account(tier, size);
-                    let loss = self.params.link(tier).datagram_loss;
-                    if loss > 0.0 && self.rng.gen_bool(loss) {
-                        self.metrics.inc("net.dgrams_lost", 1);
-                        continue;
-                    }
-                    let delay = self.params.link(tier).latency + self.transmission(size, tier);
-                    self.queue
-                        .schedule(self.now + delay, NetEvent::Datagram { src, dst, payload });
+    fn apply_effects(&mut self, src: Endpoint, mut effects: Vec<Effect>) {
+        for e in effects.drain(..) {
+            self.apply_one(src, e);
+        }
+        self.effects_pool.push(effects);
+    }
+
+    fn apply_one(&mut self, src: Endpoint, e: Effect) {
+        match e {
+            Effect::Datagram { dst, payload } => {
+                let tier = self.topo.tier_between(src.host, dst.host);
+                let size = payload.len() as u64 + self.params.overhead;
+                self.account(tier, size);
+                let loss = self.params.link(tier).datagram_loss;
+                if loss > 0.0 && self.rng.gen_bool(loss) {
+                    self.metrics.inc_id(self.id_dgrams_lost, 1);
+                    return;
                 }
-                Effect::Open { conn, dst } => {
-                    let tier = self.topo.tier_between(src.host, dst.host);
-                    let lat = self.params.link(tier).latency;
-                    self.account(tier, self.params.overhead);
-                    if !self.host_up[dst.host.0 as usize] {
-                        // No one answers the SYN: time out.
-                        self.queue.schedule(
-                            self.now + self.params.connect_timeout,
-                            NetEvent::Conn {
-                                conn,
-                                dst: src,
-                                ev: ConnEvent::Closed(CloseReason::Timeout),
-                            },
-                        );
-                        continue;
-                    }
-                    if !self.services.contains_key(&(dst.host.0, dst.port)) {
-                        // RST: one round trip.
-                        self.queue.schedule(
-                            self.now + lat * 2,
-                            NetEvent::Conn {
-                                conn,
-                                dst: src,
-                                ev: ConnEvent::Closed(CloseReason::Refused),
-                            },
-                        );
-                        continue;
-                    }
-                    // Data sent before the handshake completes queues
-                    // behind the SYN: the client→server direction is
-                    // busy until the SYN has arrived.
-                    self.conns.insert(
-                        conn.0,
-                        ConnState {
-                            client: src,
-                            server: dst,
-                            free_at: [self.now + lat, self.now],
-                        },
-                    );
+                let delay = self.params.link(tier).latency + self.transmission(size, tier);
+                self.queue
+                    .schedule(self.now + delay, NetEvent::Datagram { src, dst, payload });
+            }
+            Effect::Open { conn, dst } => {
+                let tier = self.topo.tier_between(src.host, dst.host);
+                let lat = self.params.link(tier).latency;
+                self.account(tier, self.params.overhead);
+                let src_slot = self.svc_slot(src);
+                if !self.host_up[dst.host.0 as usize] {
+                    // No one answers the SYN: time out.
                     self.queue.schedule(
-                        self.now + lat,
+                        self.now + self.params.connect_timeout,
                         NetEvent::Conn {
                             conn,
-                            dst,
-                            ev: ConnEvent::Incoming { from: src },
-                        },
-                    );
-                }
-                Effect::Send { conn, msg } => {
-                    self.enqueue_stream_send(src, conn, msg, SimDuration::ZERO);
-                }
-                Effect::Close { conn } => {
-                    self.enqueue_close(src, conn);
-                }
-                Effect::Timer { id, delay, token } => {
-                    self.queue.schedule(
-                        self.now + delay,
-                        NetEvent::Timer {
                             dst: src,
-                            id,
-                            token,
-                            epoch: self.host_epoch[src.host.0 as usize],
+                            dst_slot: src_slot,
+                            ev: ConnEvent::Closed(CloseReason::Timeout),
                         },
                     );
+                    return;
                 }
-                Effect::CancelTimer(id) => {
-                    self.cancelled.insert(id.0);
-                }
-                Effect::DeferredSend { conn, msg, delay } => {
-                    self.enqueue_stream_send(src, conn, msg, delay);
-                }
-                Effect::DeferredDatagram {
-                    dst,
-                    payload,
-                    delay,
-                } => {
+                let server_slot = self.svc_slot(dst);
+                if server_slot == NO_SLOT {
+                    // RST: one round trip.
                     self.queue.schedule(
-                        self.now + delay,
-                        NetEvent::Deferred {
-                            src,
-                            effect: Effect::Datagram { dst, payload },
+                        self.now + lat * 2,
+                        NetEvent::Conn {
+                            conn,
+                            dst: src,
+                            dst_slot: src_slot,
+                            ev: ConnEvent::Closed(CloseReason::Refused),
                         },
                     );
+                    return;
                 }
+                // Data sent before the handshake completes queues
+                // behind the SYN: the client→server direction is
+                // busy until the SYN has arrived.
+                self.conn_insert(ConnState {
+                    id: conn.0,
+                    client: src,
+                    server: dst,
+                    free_at: [self.now + lat, self.now],
+                    tail: [SimTime::ZERO; 2],
+                    svc: [src_slot, server_slot],
+                });
+                self.queue.schedule(
+                    self.now + lat,
+                    NetEvent::Conn {
+                        conn,
+                        dst,
+                        dst_slot: server_slot,
+                        ev: ConnEvent::Incoming { from: src },
+                    },
+                );
+            }
+            Effect::Send { conn, msg } => {
+                self.enqueue_stream_send(src, conn, msg, SimDuration::ZERO);
+            }
+            Effect::Close { conn } => {
+                self.enqueue_close(src, conn);
+            }
+            Effect::Timer { id, delay, token } => {
+                self.queue.schedule(
+                    self.now + delay,
+                    NetEvent::Timer {
+                        dst: src,
+                        id,
+                        token,
+                        epoch: self.host_epoch[src.host.0 as usize],
+                    },
+                );
+            }
+            Effect::CancelTimer(id) => {
+                self.cancelled.insert(id.0);
+            }
+            Effect::DeferredSend { conn, msg, delay } => {
+                self.enqueue_stream_send(src, conn, msg, delay);
+            }
+            Effect::DeferredDatagram {
+                dst,
+                payload,
+                delay,
+            } => {
+                self.queue.schedule(
+                    self.now + delay,
+                    NetEvent::Deferred {
+                        src,
+                        effect: Effect::Datagram { dst, payload },
+                    },
+                );
             }
         }
     }
@@ -555,16 +730,24 @@ impl World {
         match ev {
             NetEvent::Datagram { src, dst, payload } => {
                 if !self.host_up[dst.host.0 as usize] {
-                    self.metrics.inc("net.dgrams_dropped_down", 1);
+                    self.metrics.inc_id(self.id_dgrams_dropped_down, 1);
                     return;
                 }
-                if !self.services.contains_key(&(dst.host.0, dst.port)) {
-                    self.metrics.inc("net.dgrams_no_listener", 1);
+                if !self
+                    .service_index
+                    .contains_key(&ep_key(dst.host.0, dst.port))
+                {
+                    self.metrics.inc_id(self.id_dgrams_no_listener, 1);
                     return;
                 }
                 self.dispatch(dst, |s, ctx| s.on_datagram(ctx, src, payload));
             }
-            NetEvent::Conn { conn, dst, ev } => {
+            NetEvent::Conn {
+                conn,
+                dst,
+                dst_slot,
+                ev,
+            } => {
                 if !self.host_up[dst.host.0 as usize] {
                     // In-flight delivery to a dead host evaporates; the
                     // peer was (or will be) notified by crash handling.
@@ -573,19 +756,26 @@ impl World {
                 if let ConnEvent::Incoming { from } = ev {
                     // Client may have vanished meanwhile (crash cleanup
                     // removes the connection state).
-                    if !self.conns.contains_key(&conn.0) {
+                    let Some(&cslot) = self.conn_index.get(&conn.0) else {
                         return;
-                    }
-                    if !self.services.contains_key(&(dst.host.0, dst.port)) {
+                    };
+                    let client_slot = self.conn_slots[cslot as usize]
+                        .as_ref()
+                        .map_or(NO_SLOT, |c| c.svc[0]);
+                    if !self
+                        .service_index
+                        .contains_key(&ep_key(dst.host.0, dst.port))
+                    {
                         // Listener disappeared between SYN and delivery.
                         let tier = self.topo.tier_between(dst.host, from.host);
                         let lat = self.params.link(tier).latency;
-                        self.conns.remove(&conn.0);
+                        self.conn_remove(conn.0);
                         self.queue.schedule(
                             self.now + lat,
                             NetEvent::Conn {
                                 conn,
                                 dst: from,
+                                dst_slot: client_slot,
                                 ev: ConnEvent::Closed(CloseReason::Refused),
                             },
                         );
@@ -601,20 +791,23 @@ impl World {
                         NetEvent::Conn {
                             conn,
                             dst: from,
+                            dst_slot: client_slot,
                             ev: ConnEvent::Opened,
                         },
                     );
-                    self.dispatch(dst, move |s, ctx| {
+                    self.dispatch_at(dst_slot, dst, move |s, ctx| {
                         s.on_conn_event(ctx, conn, ConnEvent::Incoming { from })
                     });
                     return;
                 }
                 if matches!(ev, ConnEvent::Closed(_)) {
-                    self.conns.remove(&conn.0);
-                    self.send_tail.remove(&(conn.0, 0));
-                    self.send_tail.remove(&(conn.0, 1));
+                    self.conn_remove(conn.0);
                 }
-                self.dispatch(dst, move |s, ctx| s.on_conn_event(ctx, conn, ev));
+                if dst_slot != NO_SLOT {
+                    self.dispatch_at(dst_slot, dst, move |s, ctx| s.on_conn_event(ctx, conn, ev));
+                } else {
+                    self.dispatch(dst, move |s, ctx| s.on_conn_event(ctx, conn, ev));
+                }
             }
             NetEvent::Timer {
                 dst,
@@ -622,7 +815,7 @@ impl World {
                 token,
                 epoch,
             } => {
-                if self.cancelled.remove(&id.0) {
+                if !self.cancelled.is_empty() && self.cancelled.remove(&id.0) {
                     return;
                 }
                 if epoch != self.host_epoch[dst.host.0 as usize]
@@ -646,7 +839,7 @@ impl World {
                 match effect {
                     Effect::Send { conn, msg } => self.perform_stream_send(src, conn, msg),
                     Effect::Close { conn } => self.perform_close(src, conn),
-                    other => self.apply_effects(src, vec![other]),
+                    other => self.apply_one(src, other),
                 }
             }
         }
@@ -662,20 +855,22 @@ impl World {
         self.metrics.inc("net.host_crashes", 1);
 
         // Reset every connection touching the host; notify live peers.
-        let doomed: Vec<u64> = self
-            .conns
+        // Sorted by id so the reset schedule does not depend on slab
+        // layout (slot reuse order varies with connection history).
+        let mut doomed: Vec<u64> = self
+            .conn_slots
             .iter()
-            .filter(|(_, c)| c.client.host == host || c.server.host == host)
-            .map(|(&id, _)| id)
+            .flatten()
+            .filter(|c| c.client.host == host || c.server.host == host)
+            .map(|c| c.id)
             .collect();
+        doomed.sort_unstable();
         for id in doomed {
-            let state = self.conns.remove(&id).expect("conn disappeared");
-            self.send_tail.remove(&(id, 0));
-            self.send_tail.remove(&(id, 1));
-            let peer = if state.client.host == host {
-                state.server
+            let state = self.conn_remove(id).expect("conn disappeared");
+            let (peer, peer_slot) = if state.client.host == host {
+                (state.server, state.svc[1])
             } else {
-                state.client
+                (state.client, state.svc[0])
             };
             let tier = self.topo.tier_between(host, peer.host);
             let lat = self.params.link(tier).latency;
@@ -684,21 +879,17 @@ impl World {
                 NetEvent::Conn {
                     conn: ConnId(id),
                     dst: peer,
+                    dst_slot: peer_slot,
                     ev: ConnEvent::Closed(CloseReason::Reset),
                 },
             );
         }
 
         // Tell the services; no ctx — a dead host cannot act.
-        let keys: Vec<(u32, u16)> = self
-            .services
-            .range((host.0, 0)..=(host.0, u16::MAX))
-            .map(|(&k, _)| k)
-            .collect();
         let now = self.now;
-        for key in keys {
-            if let Some(slot) = self.services.get_mut(&key) {
-                if let Some(s) = slot.service.as_mut() {
+        for key in self.endpoints_sorted(Some(host.0)) {
+            if let Some(&slot) = self.service_index.get(&ep_key(key.0, key.1)) {
+                if let Some(s) = self.services[slot as usize].service.as_mut() {
                     s.on_crash(now);
                 }
             }
@@ -712,12 +903,7 @@ impl World {
         }
         self.host_up[idx] = true;
         self.metrics.inc("net.host_recoveries", 1);
-        let keys: Vec<(u32, u16)> = self
-            .services
-            .range((host.0, 0)..=(host.0, u16::MAX))
-            .map(|(&k, _)| k)
-            .collect();
-        for (h, p) in keys {
+        for (h, p) in self.endpoints_sorted(Some(host.0)) {
             self.dispatch(Endpoint::new(HostId(h), p), |s, ctx| s.on_restart(ctx));
         }
     }
@@ -807,7 +993,7 @@ mod tests {
             match ev {
                 ConnEvent::Opened => self.opened_at = Some(ctx.now()),
                 ConnEvent::Msg(m) => {
-                    self.replies.push(m);
+                    self.replies.push(m.to_vec());
                     ctx.close(self.conn.unwrap());
                 }
                 ConnEvent::Closed(r) => self.closed = Some(r),

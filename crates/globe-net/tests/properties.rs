@@ -7,7 +7,24 @@ use proptest::prelude::*;
 
 use globe_net::tcp::frame;
 use globe_net::wire::{WireError, MAX_FIELD};
-use globe_net::{Tier, Topology, WireReader, WireWriter};
+use globe_net::{Payload, Tier, Topology, WireReader, WireWriter};
+
+/// Drains a reader with a fixed schedule of every read shape, recording
+/// each result as owned data so two decodes can be compared
+/// structurally. Deterministic in the input bytes.
+fn decode_all(buf: &[u8]) -> Vec<Result<Vec<u8>, WireError>> {
+    let mut r = WireReader::new(buf);
+    vec![
+        r.u8().map(|v| vec![v]),
+        r.u16().map(|v| v.to_be_bytes().to_vec()),
+        r.u32().map(|v| v.to_be_bytes().to_vec()),
+        r.u64().map(|v| v.to_be_bytes().to_vec()),
+        r.bytes().map(<[u8]>::to_vec),
+        r.str().map(|s| s.as_bytes().to_vec()),
+        r.raw(3).map(<[u8]>::to_vec),
+        r.expect_end().map(|()| Vec::new()),
+    ]
+}
 
 proptest! {
     /// Everything written is read back identically, in order.
@@ -148,6 +165,39 @@ proptest! {
                 matches!(e, WireError::Truncated | WireError::TooLarge),
                 "unexpected frame error {e:?}"
             ),
+        }
+    }
+
+    /// Decoding through a borrowed [`Payload`] window (the zero-copy
+    /// frame-extraction path) gives exactly the same results as
+    /// decoding an owned `Vec` copy of the same bytes — on *arbitrary*
+    /// input, successes and errors alike. This is the contract that
+    /// lets `TcpTransport::extract_frames` hand out sub-windows of one
+    /// receive chunk instead of copying every frame out.
+    #[test]
+    fn borrowed_window_decode_equals_owned_decode(
+        prefix in prop::collection::vec(any::<u8>(), 0..16),
+        body in prop::collection::vec(any::<u8>(), 0..96),
+        suffix in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        // The interesting bytes sit mid-buffer, so the Payload window
+        // has a nonzero start offset like a real extracted frame.
+        let mut chunk = prefix.clone();
+        chunk.extend_from_slice(&body);
+        chunk.extend_from_slice(&suffix);
+        let chunk = Payload::from(chunk);
+        let window = chunk.slice(prefix.len(), prefix.len() + body.len());
+        prop_assert_eq!(window.as_slice(), body.as_slice());
+
+        let owned: Vec<u8> = body.clone();
+        prop_assert_eq!(decode_all(&window), decode_all(&owned));
+
+        // The window really is borrowed: no bytes moved.
+        if !body.is_empty() {
+            prop_assert_eq!(
+                window.as_slice().as_ptr(),
+                chunk.as_slice()[prefix.len()..].as_ptr()
+            );
         }
     }
 

@@ -30,8 +30,8 @@ use globe_gls::{
     ContactAddress, GlsClient, GlsDeployment, GlsError, GlsEvent, Level, ObjectId, ADDR_FLAG_WRITES,
 };
 use globe_net::{
-    ns_token, owns_token, token_id, ConnEvent, ConnId, Endpoint, HostId, ServiceCtx, WireReader,
-    WireWriter,
+    ns_token, owns_token, token_id, ConnEvent, ConnId, Endpoint, HostId, Payload, ServiceCtx,
+    WireReader, WireWriter,
 };
 use globe_sim::SimDuration;
 
@@ -263,7 +263,9 @@ const MAX_CONN_BACKLOG: usize = 64;
 struct ConnInfo {
     peer: Option<Endpoint>,
     established: bool,
-    backlog: Vec<Vec<u8>>,
+    /// Plaintext frames awaiting channel establishment; `Payload` so a
+    /// multicast frame backlogged on several connections stays shared.
+    backlog: Vec<Payload>,
 }
 
 struct LoadWait {
@@ -599,7 +601,7 @@ impl GlobeRuntime {
         let mut enveloped = Vec::with_capacity(frame.len() + 1);
         enveloped.push(ENV_APP);
         enveloped.extend_from_slice(frame);
-        self.send_on_conn(ctx, conn.0, enveloped);
+        self.send_on_conn(ctx, conn.0, enveloped.into());
     }
 
     /// The authenticated role of a connection's peer, if any.
@@ -689,9 +691,11 @@ impl GlobeRuntime {
                     return RtConn::NotMine(ConnEvent::Msg(data));
                 }
                 let out = match self.secure.on_message(conn.0, &data, ctx.rng()) {
-                    Ok((out, cost)) => {
-                        for reply in &out.replies {
-                            ctx.send_delayed(conn, reply.clone(), cost);
+                    Ok((mut out, cost)) => {
+                        // Replies are per-connection ciphertext; move them
+                        // into the send path instead of cloning.
+                        for reply in out.replies.drain(..) {
+                            ctx.send_delayed(conn, reply, cost);
                         }
                         out
                     }
@@ -1177,7 +1181,9 @@ impl GlobeRuntime {
             let mut w = WireWriter::new();
             w.put_u8(ENV_GRP);
             w.put_raw(&msg.encode());
-            let frame = w.finish();
+            // Encode once, share across the fan-out: `Payload` clones
+            // are refcount bumps, not byte copies.
+            let frame = Payload::from(w.finish());
             ctx.metrics().inc("rts.grp.encodes", 1);
             ctx.metrics()
                 .inc("rts.grp.bytes_encoded", frame.len() as u64);
@@ -1213,14 +1219,14 @@ impl GlobeRuntime {
         let mut w = WireWriter::new();
         w.put_u8(ENV_GRP);
         w.put_raw(&msg.encode());
-        let frame = w.finish();
+        let frame = Payload::from(w.finish());
         ctx.metrics().inc("rts.grp.encodes", 1);
         ctx.metrics()
             .inc("rts.grp.bytes_encoded", frame.len() as u64);
         self.send_on_conn(ctx, conn, frame);
     }
 
-    fn send_on_conn(&mut self, ctx: &mut ServiceCtx<'_>, conn: u64, frame: Vec<u8>) {
+    fn send_on_conn(&mut self, ctx: &mut ServiceCtx<'_>, conn: u64, frame: Payload) {
         let Some(info) = self.conn_info.get_mut(&conn) else {
             ctx.metrics().inc("rts.send_dropped", 1);
             return;

@@ -1,16 +1,48 @@
 //! The time-ordered event queue at the heart of the simulation loop.
+//!
+//! # Structure: timer wheel + far heap
+//!
+//! The dominant schedule pattern in the simulation is *near-future*:
+//! per-hop delivery delays and send-tail CPU queues land within a few
+//! milliseconds of the clock. The queue therefore keeps a single-level
+//! timer wheel of [`SLOTS`] slots, each [`GRANULARITY_NS`] wide
+//! (window ≈ 134 ms), and spills anything beyond the window into a
+//! binary heap. Scheduling into the wheel is O(1); the heap is only
+//! touched by far timers (leases, churn schedules, timeouts), which are
+//! migrated into the wheel lazily as the cursor advances.
+//!
+//! # The FIFO tie-break contract
+//!
+//! Two events scheduled for the same instant fire in the order they
+//! were scheduled. Every entry carries a sequence number from one
+//! counter shared by the wheel and the heap, and the queue always pops
+//! the globally smallest `(time, seq)` pair, so the contract holds
+//! across the wheel/heap boundary and across heap→wheel migration.
+//! This property is what makes whole-simulation runs reproducible.
+//! Within a slot, entries are sorted by `(time, seq)` lazily on first
+//! pop; across slots, an entry in a lower slot always precedes one in
+//! a higher slot; and every heap entry fires later than everything in
+//! the wheel window (that is the invariant deciding wheel vs heap).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
+/// Width of one wheel slot in nanoseconds (2^16 ≈ 65.5 µs).
+const GRANULARITY_SHIFT: u32 = 16;
+/// Width of one wheel slot in nanoseconds.
+pub const GRANULARITY_NS: u64 = 1 << GRANULARITY_SHIFT;
+/// Number of wheel slots (power of two); the wheel window is
+/// `SLOTS * GRANULARITY_NS` ≈ 134 ms.
+pub const SLOTS: usize = 2048;
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+const WORDS: usize = SLOTS / 64;
+
 /// An event queue ordered by firing time with a stable FIFO tie-break.
 ///
 /// Two events scheduled for the same instant fire in the order they were
-/// scheduled. This property is what makes whole-simulation runs
-/// reproducible: `BinaryHeap` alone is not stable, so each entry carries a
-/// monotonically increasing sequence number.
+/// scheduled (see the module docs for how the wheel preserves this).
 ///
 /// # Examples
 ///
@@ -26,8 +58,30 @@ use crate::time::SimTime;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
+    /// The wheel: `SLOTS` rings of entries, indexed by absolute slot
+    /// number masked to the ring. Slot vectors keep their capacity
+    /// across reuse, so a warmed-up wheel schedules without
+    /// allocating.
+    slots: Vec<Slot<E>>,
+    /// One bit per ring position: does the slot hold entries?
+    occupied: [u64; WORDS],
+    /// Absolute slot number of the wheel window's lower edge. Only
+    /// ever advances, and never past the earliest pending event.
+    cursor: u64,
+    /// Events at or beyond `cursor + SLOTS` slots; migrated into the
+    /// wheel as the cursor catches up.
     heap: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct Slot<E> {
+    entries: Vec<Entry<E>>,
+    /// Whether `entries` is currently sorted descending by
+    /// `(time, seq)` (popping takes from the back). Cleared on insert,
+    /// restored lazily on the next pop from this slot.
+    sorted: bool,
 }
 
 #[derive(Debug)]
@@ -54,12 +108,27 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// The absolute slot a firing time belongs to.
+#[inline]
+fn slot_of(time: SimTime) -> u64 {
+    time.as_nanos() >> GRANULARITY_SHIFT
+}
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        let mut slots = Vec::with_capacity(SLOTS);
+        slots.resize_with(SLOTS, || Slot {
+            entries: Vec::new(),
+            sorted: true,
+        });
         EventQueue {
+            slots,
+            occupied: [0; WORDS],
+            cursor: 0,
             heap: BinaryHeap::new(),
             seq: 0,
+            len: 0,
         }
     }
 
@@ -67,36 +136,180 @@ impl<E> EventQueue<E> {
     ///
     /// Scheduling in the past is allowed (the queue is just an ordering
     /// structure); the simulation loop is responsible for never scheduling
-    /// before its current clock.
+    /// before its current clock. Past-time entries are parked in the
+    /// cursor slot and still pop in `(time, seq)` order relative to
+    /// everything pending.
     pub fn schedule(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, event }));
+        self.len += 1;
+        let entry = Entry { time, seq, event };
+        // The cursor never sits past the earliest pending event, so
+        // clamping keeps past-time entries at the front of the wheel.
+        let slot = slot_of(time).max(self.cursor);
+        if slot < self.cursor + SLOTS as u64 {
+            self.ring_insert(slot, entry);
+        } else {
+            self.heap.push(Reverse(entry));
+        }
+    }
+
+    #[inline]
+    fn ring_insert(&mut self, slot: u64, entry: Entry<E>) {
+        let pos = (slot & SLOT_MASK) as usize;
+        let s = &mut self.slots[pos];
+        s.entries.push(entry);
+        s.sorted = s.entries.len() == 1;
+        self.occupied[pos / 64] |= 1 << (pos % 64);
+    }
+
+    /// Moves heap entries that now fall inside the wheel window into
+    /// the wheel. Sound because the cursor never passes the earliest
+    /// pending event: every heap entry's slot is `>= cursor`.
+    fn migrate(&mut self) {
+        let horizon = self.cursor + SLOTS as u64;
+        while let Some(Reverse(top)) = self.heap.peek() {
+            let slot = slot_of(top.time);
+            if slot >= horizon {
+                break;
+            }
+            let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
+            debug_assert!(slot >= self.cursor, "heap entry behind the cursor");
+            self.ring_insert(slot, entry);
+        }
+    }
+
+    /// First occupied ring position in circular order from the cursor,
+    /// or `None` if the wheel is empty.
+    fn first_occupied_pos(&self) -> Option<usize> {
+        let start = (self.cursor & SLOT_MASK) as usize;
+        let sw = start / 64;
+        let w = self.occupied[sw] & (!0u64 << (start % 64));
+        if w != 0 {
+            return Some(sw * 64 + w.trailing_zeros() as usize);
+        }
+        for i in 1..WORDS {
+            let wi = (sw + i) % WORDS;
+            let w = self.occupied[wi];
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        let w = self.occupied[sw] & !(!0u64 << (start % 64));
+        if w != 0 {
+            return Some(sw * 64 + w.trailing_zeros() as usize);
+        }
+        None
+    }
+
+    /// Absolute slot of a ring position, given the current cursor.
+    #[inline]
+    fn abs_slot(&self, pos: usize) -> u64 {
+        let start = self.cursor & SLOT_MASK;
+        self.cursor + ((pos as u64).wrapping_sub(start) & SLOT_MASK)
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+        self.pop_before(SimTime::MAX)
+    }
+
+    /// Removes and returns the earliest event if it fires at or before
+    /// `limit`; returns `None` (leaving the event pending) otherwise.
+    ///
+    /// This is the bounded-run primitive: a `run_until`-style loop pops
+    /// directly instead of paying a [`EventQueue::peek_time`] scan plus
+    /// a pop scan for every event.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.migrate();
+        let slot = match self.first_occupied_pos() {
+            Some(pos) => self.abs_slot(pos),
+            None => {
+                // Wheel empty: jump the window to the heap's earliest
+                // entry and pull it (and its neighbors) in.
+                let Reverse(top) = self.heap.peek().expect("len > 0 with an empty wheel");
+                self.cursor = slot_of(top.time);
+                self.migrate();
+                let pos = self
+                    .first_occupied_pos()
+                    .expect("migration filled the wheel");
+                self.abs_slot(pos)
+            }
+        };
+        if slot > self.cursor {
+            // Advancing the window may bring more heap entries into
+            // range; all of them land strictly after `slot` (they were
+            // beyond the *old* horizon, which `slot` is within), so
+            // `slot` still holds the global minimum.
+            self.cursor = slot;
+            self.migrate();
+        }
+        let pos = (slot & SLOT_MASK) as usize;
+        let s = &mut self.slots[pos];
+        if !s.sorted {
+            s.entries
+                .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+            s.sorted = true;
+        }
+        // The selected slot holds the global minimum (see above), and
+        // after the descending sort that minimum sits at the back.
+        if s.entries.last().expect("occupied slot has entries").time > limit {
+            return None;
+        }
+        let entry = s.entries.pop().expect("occupied slot has entries");
+        if s.entries.is_empty() {
+            self.occupied[pos / 64] &= !(1 << (pos % 64));
+        }
+        self.len -= 1;
+        Some((entry.time, entry.event))
     }
 
     /// Returns the firing time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        if self.len == 0 {
+            return None;
+        }
+        // The wheel's earliest entry lives in its first occupied slot
+        // (later slots hold strictly later times); the heap's is its
+        // top. The global earliest is whichever is smaller — migration
+        // can wait for the next pop.
+        let wheel_min = self.first_occupied_pos().map(|pos| {
+            self.slots[pos]
+                .entries
+                .iter()
+                .map(|e| e.time)
+                .min()
+                .expect("occupied slot has entries")
+        });
+        let heap_min = self.heap.peek().map(|Reverse(e)| e.time);
+        match (wheel_min, heap_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Returns the number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Discards all pending events.
     pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            s.entries.clear();
+            s.sorted = true;
+        }
+        self.occupied = [0; WORDS];
         self.heap.clear();
+        self.len = 0;
     }
 }
 
@@ -163,5 +376,129 @@ mod tests {
         q.schedule(SimTime::from_millis(5), "middle");
         assert_eq!(q.pop().unwrap().1, "middle");
         assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn far_timers_take_the_heap_path_and_still_order() {
+        let mut q = EventQueue::new();
+        // Way beyond the wheel window (~134 ms).
+        q.schedule(SimTime::from_secs(100), "c");
+        q.schedule(SimTime::from_secs(10), "b");
+        q.schedule(SimTime::from_millis(1), "a");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_millis(1), "a"));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(10)));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(10), "b"));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(100), "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_holds_across_the_heap_boundary() {
+        // Same instant, scheduled at very different cursor positions:
+        // the first lands in the heap (far future), the second in the
+        // wheel after time advances. FIFO must still hold.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule(t, "heap-first");
+        // Advance the cursor close to t.
+        q.schedule(SimTime::from_millis(950), "warp");
+        assert_eq!(q.pop().unwrap().1, "warp");
+        q.schedule(t, "wheel-second");
+        assert_eq!(q.pop().unwrap().1, "heap-first");
+        assert_eq!(q.pop().unwrap().1, "wheel-second");
+    }
+
+    #[test]
+    fn migration_interleaves_wheel_and_heap_times_correctly() {
+        let mut q = EventQueue::new();
+        // A burst far in the future, widely spread, plus near events.
+        for i in (0..200u64).rev() {
+            q.schedule(SimTime::from_millis(10_000 + i * 7), i);
+        }
+        for i in 0..50u64 {
+            q.schedule(SimTime::from_micros(i * 30), 1000 + i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last, "time went backwards: {t:?} after {last:?}");
+            last = t;
+            n += 1;
+        }
+        assert_eq!(n, 250);
+    }
+
+    #[test]
+    fn past_time_scheduling_still_pops_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), "future");
+        q.schedule(SimTime::from_secs(1), "now");
+        assert_eq!(q.pop().unwrap().1, "now");
+        // The cursor sits near 1 s; schedule "in the past".
+        q.schedule(SimTime::from_millis(1), "stale");
+        q.schedule(SimTime::from_millis(2), "staler");
+        assert_eq!(q.pop().unwrap().1, "stale");
+        assert_eq!(q.pop().unwrap().1, "staler");
+        assert_eq!(q.pop().unwrap().1, "future");
+    }
+
+    #[test]
+    fn dense_same_slot_traffic_keeps_fifo_under_reinsertion() {
+        // Pop-one-schedule-one within one slot: the lazy re-sort must
+        // not reorder pending entries.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(3);
+        q.schedule(t, 0u64);
+        q.schedule(t, 1);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.schedule(t, 2);
+        q.schedule(t, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn wheel_window_wraparound_long_run() {
+        // March time far past many full wheel revolutions.
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        for i in 0..500u64 {
+            let t = SimTime::from_micros(i * 40_000); // 40 ms apart
+            q.schedule(t, i);
+            expect.push((t, i));
+        }
+        for (t, i) in expect {
+            assert_eq!(q.pop().unwrap(), (t, i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_before_respects_the_limit() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), "early");
+        q.schedule(SimTime::from_secs(50), "far");
+        assert!(q.pop_before(SimTime::from_millis(1)).is_none());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_before(SimTime::from_millis(5)).unwrap().1, "early");
+        // Limit between the remaining (heap-resident) entry and now.
+        assert!(q.pop_before(SimTime::from_secs(49)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_before(SimTime::MAX).unwrap().1, "far");
+        assert!(q.pop_before(SimTime::MAX).is_none());
+    }
+
+    #[test]
+    fn len_counts_both_structures() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(1), ());
+        q.schedule(SimTime::from_secs(60), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
     }
 }

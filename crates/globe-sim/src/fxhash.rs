@@ -1,0 +1,136 @@
+//! A fast, deterministic, dependency-free hasher for simulation hot
+//! paths (the `FxHasher` algorithm long used by rustc).
+//!
+//! The default `SipHasher` is keyed randomly per process, which is both
+//! slower than needed for small keys and a source of iteration-order
+//! nondeterminism. `FxHasher` is unkeyed: the same keys inserted in the
+//! same order always produce the same table, which keeps hash maps
+//! usable inside the deterministic engine for *point lookups*.
+//! Iteration order over an `FxHashMap` still depends on insertion
+//! history and capacity, so anything ordered that feeds schedules or
+//! reports must iterate a sorted structure instead (see
+//! [`crate::Metrics`], which sorts by name at report time).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildFxHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildFxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The rustc hash function: a multiply-and-rotate mix per word.
+/// Not cryptographic and trivially biasable by an adversary — only for
+/// internal keys (connection ids, endpoints, interned names), never for
+/// untrusted input.
+#[derive(Clone, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(c);
+            self.add_to_hash(u64::from_le_bytes(b));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut b = [0u8; 8];
+            b[..rest.len()].copy_from_slice(rest);
+            // Mix the tail length in so "ab" and "ab\0" differ.
+            self.add_to_hash(u64::from_le_bytes(b) ^ (rest.len() as u64) << 56);
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Builds [`FxHasher`]s; `Default + Clone` so it slots into any
+/// `HashMap` signature.
+#[derive(Clone, Debug, Default)]
+pub struct BuildFxHasher;
+
+impl BuildHasher for BuildFxHasher {
+    type Hasher = FxHasher;
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_of(b"net.bytes.region"), hash_of(b"net.bytes.region"));
+        assert_ne!(hash_of(b"net.bytes.region"), hash_of(b"net.bytes.world"));
+    }
+
+    #[test]
+    fn tail_lengths_are_distinguished() {
+        assert_ne!(hash_of(b"ab"), hash_of(b"ab\0"));
+        assert_ne!(hash_of(b""), hash_of(b"\0"));
+    }
+
+    #[test]
+    fn map_behaves_like_a_map() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+        assert_eq!(m.get("c"), None);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+}

@@ -10,7 +10,12 @@
 //! - [`event`] — a time-ordered [`EventQueue`] with a stable tie-break so
 //!   that two events scheduled for the same instant always fire in
 //!   scheduling order, which makes whole-system runs bit-for-bit
-//!   reproducible.
+//!   reproducible. Near-future events (the hot schedule pattern) go
+//!   through an O(1) timer wheel; far timers fall back to a heap.
+//! - [`fxhash`] — a fast deterministic hasher ([`FxHashMap`],
+//!   [`FxHashSet`]) for point lookups on hot paths; anything that
+//!   iterates for schedules or reports must still use an ordered
+//!   structure.
 //! - [`rng`] — a seedable, splittable pseudo-random generator
 //!   ([`Rng`], xoshiro256** seeded through SplitMix64). The simulator does
 //!   not use `rand` on purpose: determinism across runs and across crate
@@ -40,13 +45,15 @@
 //! ```
 
 pub mod event;
+pub mod fxhash;
 pub mod metrics;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
-pub use metrics::{Histogram, Metrics};
+pub use fxhash::{BuildFxHasher, FxHashMap, FxHashSet, FxHasher};
+pub use metrics::{Histogram, HistogramId, MetricId, Metrics};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceLevel, TraceLog};

@@ -7,15 +7,33 @@
 //! in the style of HDR histograms: relative quantile error is bounded by
 //! the sub-bucket width (1/32 ≈ 3%), which is far below the effects the
 //! experiments measure.
+//!
+//! # Hot-path design
+//!
+//! Names are interned: the registry maps each dotted-path key to a dense
+//! index once, and all values live in flat vectors. The string API
+//! ([`Metrics::inc`], [`Metrics::record`]) does a single hash lookup per
+//! call; call sites on the simulation hot path resolve a [`MetricId`] /
+//! [`HistogramId`] handle once ([`Metrics::metric_id`],
+//! [`Metrics::hist_id`]) and then bump through it
+//! ([`Metrics::inc_id`], [`Metrics::record_id`]) with a plain vector
+//! index — no hashing, no string compares, no allocation. Reports stay
+//! deterministic because [`Metrics::counters`] / [`Metrics::histograms`]
+//! sort by name at call time, independent of interning order.
 
-use std::collections::BTreeMap;
 use std::fmt;
+
+use crate::fxhash::FxHashMap;
 
 /// Number of linear sub-buckets per power of two. Must be a power of two.
 const SUB_BUCKETS: u64 = 32;
 const SUB_SHIFT: u32 = 5; // log2(SUB_BUCKETS)
 
 /// A fixed-memory histogram of `u64` samples with ~3% quantile resolution.
+///
+/// Buckets are a dense vector indexed by bucket number (grown lazily to
+/// the highest magnitude seen), so recording is a bounds check and an
+/// add — no tree walk.
 ///
 /// # Examples
 ///
@@ -32,9 +50,9 @@ const SUB_SHIFT: u32 = 5; // log2(SUB_BUCKETS)
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Histogram {
-    /// bucket index -> count; sparse because most simulations touch only a
-    /// narrow band of magnitudes.
-    buckets: BTreeMap<u32, u64>,
+    /// Dense bucket counts, indexed by bucket number; the vector length
+    /// covers the largest bucket touched so far.
+    buckets: Vec<u64>,
     count: u64,
     sum: u128,
     min: u64,
@@ -72,7 +90,7 @@ impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Histogram {
-            buckets: BTreeMap::new(),
+            buckets: Vec::new(),
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -80,9 +98,19 @@ impl Histogram {
         }
     }
 
+    #[inline]
+    fn bump(&mut self, idx: u32, n: u64) {
+        let idx = idx as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+    }
+
     /// Records one sample.
+    #[inline]
     pub fn record(&mut self, v: u64) {
-        *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        self.bump(bucket_index(v), 1);
         self.count += 1;
         self.sum += v as u128;
         self.min = self.min.min(v);
@@ -94,7 +122,7 @@ impl Histogram {
         if n == 0 {
             return;
         }
-        *self.buckets.entry(bucket_index(v)).or_insert(0) += n;
+        self.bump(bucket_index(v), n);
         self.count += n;
         self.sum += v as u128 * n as u128;
         self.min = self.min.min(v);
@@ -148,10 +176,10 @@ impl Histogram {
         // Rank of the target sample, 1-based.
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0;
-        for (&idx, &n) in &self.buckets {
+        for (idx, &n) in self.buckets.iter().enumerate() {
             seen += n;
-            if seen >= target {
-                return bucket_value(idx).clamp(self.min, self.max);
+            if n > 0 && seen >= target {
+                return bucket_value(idx as u32).clamp(self.min, self.max);
             }
         }
         self.max
@@ -159,8 +187,11 @@ impl Histogram {
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
-        for (&idx, &n) in &other.buckets {
-            *self.buckets.entry(idx).or_insert(0) += n;
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, &theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
         }
         self.count += other.count;
         self.sum += other.sum;
@@ -187,6 +218,19 @@ impl fmt::Display for Histogram {
     }
 }
 
+/// A precomputed handle to one counter in a [`Metrics`] registry.
+///
+/// Resolve once per call site with [`Metrics::metric_id`]; bump with
+/// [`Metrics::inc_id`]. Handles are only meaningful against the
+/// registry that issued them.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct MetricId(u32);
+
+/// A precomputed handle to one histogram in a [`Metrics`] registry
+/// (see [`MetricId`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct HistogramId(u32);
+
 /// A named registry of counters and histograms.
 ///
 /// Keys are free-form dotted paths (`"net.bytes.region"`,
@@ -204,11 +248,20 @@ impl fmt::Display for Histogram {
 /// m.record("latency_us", 1500);
 /// assert_eq!(m.counter("requests"), 1);
 /// assert_eq!(m.histogram("latency_us").unwrap().count(), 1);
+///
+/// // Hot call sites intern the key once and bump through the handle.
+/// let id = m.metric_id("requests");
+/// m.inc_id(id, 2);
+/// assert_eq!(m.counter("requests"), 3);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Histogram>,
+    counter_index: FxHashMap<Box<str>, u32>,
+    counter_names: Vec<Box<str>>,
+    counter_values: Vec<u64>,
+    hist_index: FxHashMap<Box<str>, u32>,
+    hist_names: Vec<Box<str>>,
+    hist_values: Vec<Histogram>,
 }
 
 impl Metrics {
@@ -217,47 +270,110 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Interns `key` and returns its counter handle, creating the
+    /// counter at zero if needed. Counters that are never incremented
+    /// stay invisible to [`Metrics::counters`] and the report.
+    pub fn metric_id(&mut self, key: &str) -> MetricId {
+        if let Some(&i) = self.counter_index.get(key) {
+            return MetricId(i);
+        }
+        let i = self.counter_values.len() as u32;
+        self.counter_index.insert(key.into(), i);
+        self.counter_names.push(key.into());
+        self.counter_values.push(0);
+        MetricId(i)
+    }
+
+    /// Adds `by` to the counter behind `id` — a plain vector index.
+    #[inline]
+    pub fn inc_id(&mut self, id: MetricId, by: u64) {
+        self.counter_values[id.0 as usize] += by;
+    }
+
     /// Adds `by` to the counter named `key`, creating it at zero first if
-    /// needed.
+    /// needed. One hash lookup; hot call sites should resolve a
+    /// [`MetricId`] once instead.
     pub fn inc(&mut self, key: &str, by: u64) {
-        match self.counters.get_mut(key) {
-            Some(c) => *c += by,
+        match self.counter_index.get(key) {
+            Some(&i) => self.counter_values[i as usize] += by,
             None => {
-                self.counters.insert(key.to_owned(), by);
+                let id = self.metric_id(key);
+                self.counter_values[id.0 as usize] = by;
             }
         }
     }
 
     /// Returns the value of a counter (0 if it was never incremented).
     pub fn counter(&self, key: &str) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        self.counter_index
+            .get(key)
+            .map(|&i| self.counter_values[i as usize])
+            .unwrap_or(0)
     }
 
-    /// Records a sample into the histogram named `key`.
+    /// Interns `key` and returns its histogram handle. Histograms with
+    /// no samples stay invisible to [`Metrics::histogram`],
+    /// [`Metrics::histograms`] and the report.
+    pub fn hist_id(&mut self, key: &str) -> HistogramId {
+        if let Some(&i) = self.hist_index.get(key) {
+            return HistogramId(i);
+        }
+        let i = self.hist_values.len() as u32;
+        self.hist_index.insert(key.into(), i);
+        self.hist_names.push(key.into());
+        self.hist_values.push(Histogram::new());
+        HistogramId(i)
+    }
+
+    /// Records a sample into the histogram behind `id`.
+    #[inline]
+    pub fn record_id(&mut self, id: HistogramId, v: u64) {
+        self.hist_values[id.0 as usize].record(v);
+    }
+
+    /// Records a sample into the histogram named `key`. One hash
+    /// lookup; hot call sites should resolve a [`HistogramId`] once.
     pub fn record(&mut self, key: &str, v: u64) {
-        match self.histograms.get_mut(key) {
-            Some(h) => h.record(v),
+        match self.hist_index.get(key) {
+            Some(&i) => self.hist_values[i as usize].record(v),
             None => {
-                let mut h = Histogram::new();
-                h.record(v);
-                self.histograms.insert(key.to_owned(), h);
+                let id = self.hist_id(key);
+                self.hist_values[id.0 as usize].record(v);
             }
         }
     }
 
     /// Returns the histogram named `key`, if any sample was recorded.
     pub fn histogram(&self, key: &str) -> Option<&Histogram> {
-        self.histograms.get(key)
+        self.hist_index
+            .get(key)
+            .map(|&i| &self.hist_values[i as usize])
+            .filter(|h| h.count() > 0)
     }
 
-    /// Iterates over all counters in key order.
+    /// Iterates over all non-zero counters in key order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+        let mut order: Vec<u32> = (0..self.counter_names.len() as u32)
+            .filter(|&i| self.counter_values[i as usize] != 0)
+            .collect();
+        order.sort_by(|&a, &b| self.counter_names[a as usize].cmp(&self.counter_names[b as usize]));
+        order.into_iter().map(move |i| {
+            (
+                &*self.counter_names[i as usize],
+                self.counter_values[i as usize],
+            )
+        })
     }
 
-    /// Iterates over all histograms in key order.
+    /// Iterates over all non-empty histograms in key order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
-        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+        let mut order: Vec<u32> = (0..self.hist_names.len() as u32)
+            .filter(|&i| self.hist_values[i as usize].count() > 0)
+            .collect();
+        order.sort_by(|&a, &b| self.hist_names[a as usize].cmp(&self.hist_names[b as usize]));
+        order
+            .into_iter()
+            .map(move |i| (&*self.hist_names[i as usize], &self.hist_values[i as usize]))
     }
 
     /// Sums all counters whose key starts with `prefix`.
@@ -265,43 +381,51 @@ impl Metrics {
     /// Used for tier roll-ups such as "all wide-area bytes"
     /// (`sum_prefix("net.bytes.")` minus the local tiers).
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
-        self.counters
-            .range(prefix.to_owned()..)
-            .take_while(|(k, _)| k.starts_with(prefix))
+        self.counter_names
+            .iter()
+            .zip(&self.counter_values)
+            .filter(|(k, _)| k.starts_with(prefix))
             .map(|(_, &v)| v)
             .sum()
     }
 
     /// Merges another registry into this one (counters add, histograms
-    /// merge).
+    /// merge). Keys already interned here are bumped in place without
+    /// re-allocating; only genuinely new keys are interned.
     pub fn merge(&mut self, other: &Metrics) {
-        for (k, &v) in &other.counters {
-            self.inc(k, v);
+        for (i, name) in other.counter_names.iter().enumerate() {
+            let v = other.counter_values[i];
+            if v != 0 {
+                self.inc(name, v);
+            }
         }
-        for (k, h) in &other.histograms {
-            match self.histograms.get_mut(k) {
-                Some(mine) => mine.merge(h),
-                None => {
-                    self.histograms.insert(k.clone(), h.clone());
-                }
+        for (i, name) in other.hist_names.iter().enumerate() {
+            let h = &other.hist_values[i];
+            if h.count() > 0 {
+                let id = self.hist_id(name);
+                self.hist_values[id.0 as usize].merge(h);
             }
         }
     }
 
     /// Renders a human-readable report of every metric, for examples and
-    /// debugging.
+    /// debugging. Sorted by name, so the output is identical for any
+    /// two registries holding the same values regardless of the order
+    /// keys were interned or bumped in.
     pub fn report(&self) -> String {
         use fmt::Write as _;
         let mut out = String::new();
-        if !self.counters.is_empty() {
+        let mut counters = self.counters().peekable();
+        if counters.peek().is_some() {
             let _ = writeln!(out, "counters:");
-            for (k, v) in &self.counters {
+            for (k, v) in counters {
                 let _ = writeln!(out, "  {k:<40} {v}");
             }
         }
-        if !self.histograms.is_empty() {
+        let mut histograms = self.histograms().peekable();
+        if histograms.peek().is_some() {
             let _ = writeln!(out, "histograms:");
-            for (k, h) in &self.histograms {
+            for (k, h) in histograms {
                 let _ = writeln!(out, "  {k:<40} {h}");
             }
         }
@@ -446,5 +570,52 @@ mod tests {
         let r = m.report();
         assert!(r.contains("net.bytes"));
         assert!(r.contains("lat_us"));
+    }
+
+    #[test]
+    fn ids_bump_the_same_counters_as_strings() {
+        let mut m = Metrics::new();
+        let id = m.metric_id("net.bytes.region");
+        m.inc_id(id, 40);
+        m.inc("net.bytes.region", 2);
+        assert_eq!(m.counter("net.bytes.region"), 42);
+        // Re-interning returns the same handle.
+        assert_eq!(m.metric_id("net.bytes.region"), id);
+
+        let hid = m.hist_id("lat");
+        m.record_id(hid, 100);
+        m.record("lat", 200);
+        assert_eq!(m.histogram("lat").unwrap().count(), 2);
+        assert_eq!(m.hist_id("lat"), hid);
+    }
+
+    #[test]
+    fn interned_but_untouched_metrics_stay_invisible() {
+        let mut m = Metrics::new();
+        m.metric_id("quiet.counter");
+        m.hist_id("quiet.hist");
+        m.inc("loud", 1);
+        assert_eq!(m.counters().count(), 1);
+        assert_eq!(m.histograms().count(), 0);
+        assert!(m.histogram("quiet.hist").is_none());
+        let r = m.report();
+        assert!(!r.contains("quiet"), "untouched metrics leaked: {r}");
+    }
+
+    #[test]
+    fn report_is_independent_of_interning_order() {
+        let mut a = Metrics::new();
+        a.inc("z", 1);
+        a.inc("a", 2);
+        a.record("h2", 5);
+        a.record("h1", 5);
+        let mut b = Metrics::new();
+        b.record("h1", 5);
+        b.inc("a", 2);
+        b.record("h2", 5);
+        b.inc("z", 1);
+        assert_eq!(a.report(), b.report());
+        let names: Vec<&str> = a.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, ["a", "z"]);
     }
 }

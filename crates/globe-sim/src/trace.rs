@@ -120,6 +120,26 @@ impl TraceLog {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// A deterministic hash of every recorded entry (time, level,
+    /// component and message, in order).
+    ///
+    /// Two runs of the same seeded simulation must produce equal
+    /// fingerprints; the golden-determinism test uses this to catch a
+    /// refactor that silently reorders the schedule without waiting for
+    /// a metric to drift.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = crate::fxhash::FxHasher::default();
+        for e in &self.entries {
+            h.write_u64(e.time.as_nanos());
+            h.write_u8(e.level as u8);
+            h.write(e.component.as_bytes());
+            h.write(e.message.as_bytes());
+        }
+        h.write_usize(self.entries.len());
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +181,40 @@ mod tests {
         log.clear();
         assert!(log.entries().is_empty());
         assert!(log.enabled(TraceLevel::Debug));
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_content_sensitive() {
+        let mut a = TraceLog::new(TraceLevel::Debug);
+        let mut b = TraceLog::new(TraceLevel::Debug);
+        for log in [&mut a, &mut b] {
+            log.log(SimTime::ZERO, TraceLevel::Info, "x", "one".into());
+            log.log(
+                SimTime::from_millis(1),
+                TraceLevel::Debug,
+                "y",
+                "two".into(),
+            );
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let mut c = TraceLog::new(TraceLevel::Debug);
+        c.log(
+            SimTime::from_millis(1),
+            TraceLevel::Debug,
+            "y",
+            "two".into(),
+        );
+        c.log(SimTime::ZERO, TraceLevel::Info, "x", "one".into());
+        assert_ne!(a.fingerprint(), c.fingerprint(), "order must matter");
+
+        let mut d = TraceLog::new(TraceLevel::Debug);
+        d.log(SimTime::ZERO, TraceLevel::Info, "x", "one".into());
+        assert_ne!(a.fingerprint(), d.fingerprint(), "length must matter");
+        assert_eq!(
+            TraceLog::disabled().fingerprint(),
+            TraceLog::default().fingerprint()
+        );
     }
 
     #[test]

@@ -142,6 +142,13 @@ pub mod strategy {
     /// One alternative of a [`OneOf`] strategy.
     pub type Choice<V> = Rc<dyn Fn(&mut TestRng) -> V>;
 
+    /// Wraps a strategy as a [`Choice`]. Used by `prop_oneof!`; a named
+    /// function ties the closure's return type to `S::Value`, where a
+    /// bare `as Rc<dyn Fn(..) -> _>` cast could hit integer fallback.
+    pub fn choice<S: Strategy + 'static>(s: S) -> Choice<S::Value> {
+        Rc::new(move |rng| s.generate(rng))
+    }
+
     /// Uniform choice among boxed alternatives (built by `prop_oneof!`).
     pub struct OneOf<V> {
         choices: Vec<Choice<V>>,
@@ -617,14 +624,7 @@ macro_rules! prop_assume {
 macro_rules! prop_oneof {
     ($($s:expr),+ $(,)?) => {
         $crate::strategy::OneOf::new(vec![
-            $(
-                {
-                    let __s = $s;
-                    ::std::rc::Rc::new(move |rng: &mut $crate::test_runner::TestRng| {
-                        $crate::strategy::Strategy::generate(&__s, rng)
-                    }) as ::std::rc::Rc<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
-                }
-            ),+
+            $($crate::strategy::choice($s)),+
         ])
     };
 }
