@@ -1,0 +1,9 @@
+//! Deterministic-schedule fuzzing under the bench runner: every seed
+//! from the environment (`GLOBE_FUZZ_SEEDS` / `GLOBE_FUZZ_SEED`, see
+//! `globe_bench::fuzz`) runs a randomized fault schedule and is judged
+//! by the global consistency auditor. CI's `fuzz-smoke` job runs this
+//! per push; `fuzz-deep` runs it nightly at hundreds of seeds.
+
+fn main() {
+    globe_bench::fuzz_main();
+}

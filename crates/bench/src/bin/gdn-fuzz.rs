@@ -1,0 +1,8 @@
+//! `gdn-fuzz`: the schedule fuzzer as a standalone binary, for local
+//! runs outside the bench harness (`cargo run --release --bin
+//! gdn-fuzz`). Same knobs as the bench entry point: `GLOBE_FUZZ_SEEDS`
+//! picks the seed count, `GLOBE_FUZZ_SEED` replays one failing seed.
+
+fn main() {
+    globe_bench::fuzz_main();
+}

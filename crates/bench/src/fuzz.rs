@@ -1,0 +1,892 @@
+//! Deterministic-schedule fuzzing: randomized fault schedules over a
+//! full GDN world, judged by the global consistency auditor
+//! ([`mod@crate::audit`]).
+//!
+//! Every seed expands to a [`SchedulePlan`] — a *complete, explicit*
+//! description of one run: topology width, per-object replication
+//! assignments, scaled link latencies and datagram jitter, client
+//! sessions with their op scripts and think-time gaps, and a list of
+//! [`Disturbance`]s (host crashes, link partitions, whole-region
+//! outages) on the virtual clock. [`run_plan`] executes the plan in a
+//! traced world and replays the recorded operation history against the
+//! auditor. Because the plan carries *all* the randomness, a run is a
+//! pure function of its plan: the same seed replays bit-for-bit
+//! (`GLOBE_FUZZ_SEED=<n>` is a complete repro), and removing one
+//! disturbance from the list is a meaningful experiment — which is what
+//! the greedy shrinker does to reduce a failing schedule to a minimal
+//! one before reporting.
+//!
+//! Environment knobs (same single-point-of-interpretation idiom as
+//! `GLOBE_SWEEP_SCALE` / `GLOBE_ENGINE_*`, documented in
+//! EXPERIMENTS.md):
+//!
+//! - `GLOBE_FUZZ_SEEDS=<n>` — fuzz seeds `1..=n` (default 16, the CI
+//!   `fuzz-smoke` budget; the nightly `fuzz-deep` job runs hundreds).
+//! - `GLOBE_FUZZ_SEED=<seed>` — run exactly one seed (the repro knob;
+//!   overrides `GLOBE_FUZZ_SEEDS`).
+//!
+//! Unknown values panic, so CI typos fail loudly instead of silently
+//! fuzzing the wrong schedule space.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use gdn_core::package::{AddFile, PackageInterface};
+use gdn_core::{GdnDeployment, GdnOptions, ModOp};
+use globe_gls::ObjectId;
+use globe_net::{
+    impl_service_any, ns_token, owns_token, ports, token_id, ConnEvent, ConnId, Endpoint, HostId,
+    NetParams, Service, ServiceCtx, Tier, Topology, World,
+};
+use globe_rts::{GlobeClient, PropagationMode, RtConn};
+use globe_sim::optrace::{self, OpKind, OpRecord};
+use globe_sim::{Rng, SimDuration, SimTime, TraceLevel, TraceLog};
+use globe_workloads::{gos_by_region, scenario_for, ObjectProfile, ScenarioPolicy};
+
+use crate::audit::{audit, AuditSpec, Violation};
+use crate::sweep::SWEEP_MODES;
+use crate::{driver_hosts, moderator_runtime, publish_objects};
+
+/// Length of the activity window (sessions invoke, disturbances fire).
+const ACTIVITY: SimDuration = SimDuration::from_secs(60);
+/// Quiet gap between the last scheduled activity and the convergence
+/// probe — long enough for retry backoff tails and re-sync after the
+/// last disturbance heals.
+const GRACE: SimDuration = SimDuration::from_secs(45);
+/// Healing pad added to each disturbance's audit window: reconnects,
+/// GLS lease expiry and re-replication settle inside it.
+const WINDOW_PAD: SimDuration = SimDuration::from_secs(15);
+/// How long an eager copy may trail its master outside disturbances.
+const PROPAGATION_SLACK: SimDuration = SimDuration::from_secs(10);
+/// Read-your-writes slack (see [`AuditSpec::ryw_slack`]).
+const RYW_SLACK: SimDuration = SimDuration::from_secs(5);
+/// Post-probe drain before the trace is frozen.
+const DRAIN: SimDuration = SimDuration::from_secs(90);
+
+/// One scheduled fault in a plan. Offsets are relative to the start of
+/// the activity window (the publish phase's length varies with the
+/// plan, the schedule's shape must not).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Disturbance {
+    /// Crash `host` at `at`, recover it `down` later (object-server
+    /// persistence restores its replicas, which re-announce).
+    Crash {
+        /// The victim (always an object-server host).
+        host: HostId,
+        /// Offset into the activity window.
+        at: SimDuration,
+        /// Downtime.
+        down: SimDuration,
+    },
+    /// Partition the link between two hosts for `down`.
+    LinkDown {
+        /// One end.
+        a: HostId,
+        /// Other end.
+        b: HostId,
+        /// Offset into the activity window.
+        at: SimDuration,
+        /// Partition length.
+        down: SimDuration,
+    },
+    /// Cut every link crossing `region`'s boundary for `down` — the
+    /// region keeps running internally but is unreachable.
+    RegionOutage {
+        /// The isolated region.
+        region: u32,
+        /// Offset into the activity window.
+        at: SimDuration,
+        /// Outage length.
+        down: SimDuration,
+    },
+}
+
+impl Disturbance {
+    fn window(&self) -> (SimDuration, SimDuration) {
+        match *self {
+            Disturbance::Crash { at, down, .. }
+            | Disturbance::LinkDown { at, down, .. }
+            | Disturbance::RegionOutage { at, down, .. } => (at, at + down),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Disturbance::Crash { host, at, down } => format!(
+                "crash h{} at +{}s for {}s",
+                host.0,
+                at.as_secs(),
+                down.as_secs()
+            ),
+            Disturbance::LinkDown { a, b, at, down } => format!(
+                "partition h{}<->h{} at +{}s for {}s",
+                a.0,
+                b.0,
+                at.as_secs(),
+                down.as_secs()
+            ),
+            Disturbance::RegionOutage { region, at, down } => format!(
+                "isolate region {} at +{}s for {}s",
+                region,
+                at.as_secs(),
+                down.as_secs()
+            ),
+        }
+    }
+}
+
+/// One object's replication assignment in a plan.
+#[derive(Clone, Debug)]
+pub struct ObjectPlan {
+    /// Placement policy for this object.
+    pub policy: ScenarioPolicy,
+    /// Propagation mode for eager-push assignments.
+    pub mode: PropagationMode,
+    /// Update-rate input to the per-object policy.
+    pub updates_per_hour: f64,
+}
+
+/// One scripted operation of a session.
+#[derive(Copy, Clone, Debug)]
+pub struct SessionOp {
+    /// Write (`addFile` with a unique tag) or read (`listContents`).
+    pub write: bool,
+    /// Index into the plan's object list.
+    pub obj: usize,
+}
+
+/// One client session: a sequential op script driven from one driver
+/// host, with plan-chosen think-time gaps.
+#[derive(Clone, Debug)]
+pub struct SessionPlan {
+    /// Region whose driver host runs the session.
+    pub region: usize,
+    /// The ops, played strictly one at a time.
+    pub ops: Vec<SessionOp>,
+    /// Think time before each op (same length as `ops`).
+    pub gaps: Vec<SimDuration>,
+}
+
+/// A complete randomized schedule: everything one run does, explicit.
+#[derive(Clone, Debug)]
+pub struct SchedulePlan {
+    /// The generating seed (also the world seed).
+    pub seed: u64,
+    /// World width in regions (one site each, three hosts per site:
+    /// GLS/GNS, object server, driver).
+    pub regions: usize,
+    /// Per-object replication assignments (homes pinned to region 0 so
+    /// the master set is known and crash victims never hold the only
+    /// copy).
+    pub objects: Vec<ObjectPlan>,
+    /// Cache-proxy TTL for this world.
+    pub cache_ttl: SimDuration,
+    /// Multiplier on every non-loopback tier's latency.
+    pub latency_scale: f64,
+    /// Datagram delivery jitter as a fraction of each tier's latency.
+    pub jitter_fraction: f64,
+    /// The client sessions.
+    pub sessions: Vec<SessionPlan>,
+    /// The fault schedule (the shrinker's target).
+    pub disturbances: Vec<Disturbance>,
+}
+
+impl SchedulePlan {
+    /// Renders the plan as the few lines a repro report shows.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "  world: {} regions, {} objects, cache_ttl={}s, latency x{:.2}, jitter {:.0}%",
+            self.regions,
+            self.objects.len(),
+            self.cache_ttl.as_secs(),
+            self.latency_scale,
+            self.jitter_fraction * 100.0
+        );
+        for (i, o) in self.objects.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  object {i}: {} / {} ({:.1} upd/h)",
+                o.policy.name(),
+                crate::sweep::mode_label(o.mode),
+                o.updates_per_hour
+            );
+        }
+        for (i, sess) in self.sessions.iter().enumerate() {
+            let writes = sess.ops.iter().filter(|o| o.write).count();
+            let _ = writeln!(
+                s,
+                "  session {i}: region {}, {} writes / {} reads",
+                sess.region,
+                writes,
+                sess.ops.len() - writes
+            );
+        }
+        if self.disturbances.is_empty() {
+            let _ = writeln!(s, "  disturbances: none");
+        }
+        for d in &self.disturbances {
+            let _ = writeln!(s, "  disturbance: {}", d.describe());
+        }
+        s
+    }
+}
+
+/// The object-server host of region `r` (second host of its site in
+/// the three-host fuzz layout).
+fn gos_host(r: usize) -> HostId {
+    HostId(r as u32 * 3 + 1)
+}
+
+/// The driver host of region `r` (third host of its site).
+fn drv_host(r: usize) -> HostId {
+    HostId(r as u32 * 3 + 2)
+}
+
+/// Expands `seed` into its schedule plan. Pure: same seed, same plan.
+pub fn plan_for_seed(seed: u64) -> SchedulePlan {
+    let mut rng = Rng::new(seed ^ 0xF0_22_5C_4E_D0_11_AA_01);
+    let regions = 2 + rng.gen_index(2); // 2..=3
+    let num_objects = 2 + rng.gen_index(3); // 2..=4
+    let objects: Vec<ObjectPlan> = (0..num_objects)
+        .map(|_| ObjectPlan {
+            policy: *rng.choose(&ScenarioPolicy::ALL).unwrap(),
+            mode: *rng.choose(&SWEEP_MODES).unwrap(),
+            updates_per_hour: if rng.gen_bool(0.5) { 12.0 } else { 0.2 },
+        })
+        .collect();
+
+    let sessions = (0..2 + rng.gen_index(2)) // 2..=3 sessions
+        .map(|_| {
+            let region = rng.gen_index(regions);
+            let n_ops = 6 + rng.gen_index(5); // 6..=10 ops
+            let ops: Vec<SessionOp> = (0..n_ops)
+                .map(|_| SessionOp {
+                    write: rng.gen_bool(0.4),
+                    obj: rng.gen_index(num_objects),
+                })
+                .collect();
+            let gaps = (0..n_ops)
+                .map(|_| SimDuration::from_millis(1000 + rng.gen_range(0..3000)))
+                .collect();
+            SessionPlan { region, ops, gaps }
+        })
+        .collect();
+
+    // Crash victims are non-home object servers only: homes are pinned
+    // to region 0, so region 0's server may hold an object's sole copy.
+    let mut crash_free: Vec<HostId> = (1..regions).map(gos_host).collect();
+    let mut disturbances = Vec::new();
+    for _ in 0..rng.gen_index(4) {
+        // 0..=3 disturbances
+        let at = SimDuration::from_secs(5 + rng.gen_range(0..36)); // +5..+40s
+        let down = SimDuration::from_secs(5 + rng.gen_range(0..8)); // 5..=12s
+        let kind = rng.gen_index(3);
+        if kind == 0 && !crash_free.is_empty() {
+            let host = crash_free.remove(rng.gen_index(crash_free.len()));
+            disturbances.push(Disturbance::Crash { host, at, down });
+        } else if kind == 1 {
+            // Partition two distinct protocol-relevant hosts.
+            let mut ends: Vec<HostId> = (0..regions)
+                .flat_map(|r| [gos_host(r), drv_host(r)])
+                .collect();
+            let a = ends.remove(rng.gen_index(ends.len()));
+            let b = ends.remove(rng.gen_index(ends.len()));
+            disturbances.push(Disturbance::LinkDown { a, b, at, down });
+        } else {
+            let region = rng.gen_index(regions) as u32;
+            disturbances.push(Disturbance::RegionOutage { region, at, down });
+        }
+    }
+
+    SchedulePlan {
+        seed,
+        regions,
+        objects,
+        cache_ttl: SimDuration::from_secs(5 + rng.gen_range(0..11)), // 5..=15s
+        latency_scale: 0.5 + rng.gen_f64() * 1.5,                    // 0.5x..2x
+        jitter_fraction: rng.gen_f64() * 0.5,
+        sessions,
+        disturbances,
+    }
+}
+
+// ----------------------------------------------------------- session
+
+const FUZZ_NS: u16 = 0x4611;
+/// Timer id of the final convergence-probe reads.
+const PROBE_TOKEN: u64 = 0;
+/// Timer id of "play the next scripted op".
+const STEP_TOKEN: u64 = 1;
+
+struct PendingOp {
+    seq: u64,
+    read: bool,
+    scripted: bool,
+}
+
+/// Plays one [`SessionPlan`]: ops strictly in sequence (the next op is
+/// scheduled one gap after the previous completes), every begin/end
+/// recorded as an op-trace record, and a final read of every touched
+/// object fired at the convergence probe time.
+struct FuzzSession {
+    client: GlobeClient,
+    session: u32,
+    oids: Vec<ObjectId>,
+    plan: SessionPlan,
+    cursor: usize,
+    seq: u64,
+    pending: BTreeMap<u64, PendingOp>,
+    probe_at: SimTime,
+    probe_fired: bool,
+    /// Ops completed (scripted + probe).
+    completed: u64,
+    /// Ops still owed: scripted not yet issued plus in flight plus the
+    /// probe reads not yet fired.
+    outstanding: usize,
+}
+
+impl FuzzSession {
+    fn new(
+        client: GlobeClient,
+        session: u32,
+        oids: Vec<ObjectId>,
+        plan: SessionPlan,
+        probe_at: SimTime,
+    ) -> FuzzSession {
+        let outstanding = plan.ops.len() + touched(&plan).len();
+        FuzzSession {
+            client,
+            session,
+            oids,
+            plan,
+            cursor: 0,
+            seq: 0,
+            pending: BTreeMap::new(),
+            probe_at,
+            probe_fired: false,
+            completed: 0,
+            outstanding,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.probe_fired && self.pending.is_empty() && self.cursor >= self.plan.ops.len()
+    }
+
+    fn issue(&mut self, ctx: &mut ServiceCtx<'_>, op: SessionOp, scripted: bool) {
+        let oid = self.oids[op.obj];
+        self.seq += 1;
+        let seq = self.seq;
+        let (id, kind, tag) = if op.write {
+            let tag = format!("w-s{}-{}", self.session, seq);
+            let id = self.client.op::<PackageInterface>(ctx, oid).invoke(
+                &PackageInterface::ADD_FILE,
+                &AddFile {
+                    name: tag.clone(),
+                    data: vec![0x5F; 256],
+                },
+            );
+            (id, OpKind::Write, tag)
+        } else {
+            let id = self
+                .client
+                .op::<PackageInterface>(ctx, oid)
+                .invoke(&PackageInterface::LIST_CONTENTS, &());
+            (id, OpKind::Read, String::new())
+        };
+        if ctx.trace_enabled(TraceLevel::Info) {
+            let rec = OpRecord::Begin {
+                session: self.session,
+                op: seq,
+                oid: oid.0,
+                kind,
+                tag,
+            };
+            ctx.trace_info(optrace::COMPONENT, rec.render());
+        }
+        self.pending.insert(
+            id.0,
+            PendingOp {
+                seq,
+                read: !op.write,
+                scripted,
+            },
+        );
+    }
+
+    fn step(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if self.cursor < self.plan.ops.len() {
+            let op = self.plan.ops[self.cursor];
+            self.cursor += 1;
+            self.issue(ctx, op, true);
+        }
+    }
+
+    fn schedule_step(&mut self, ctx: &mut ServiceCtx<'_>) {
+        if self.cursor < self.plan.ops.len() {
+            let gap = self.plan.gaps[self.cursor];
+            ctx.set_timer(gap, ns_token(FUZZ_NS, STEP_TOKEN));
+        }
+    }
+
+    fn fire_probe(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.probe_fired = true;
+        for obj in touched(&self.plan) {
+            self.issue(ctx, SessionOp { write: false, obj }, false);
+        }
+    }
+
+    fn drain(&mut self, ctx: &mut ServiceCtx<'_>) {
+        for ev in self.client.take_events() {
+            let Some(p) = self.pending.remove(&ev.op.0) else {
+                continue;
+            };
+            self.completed += 1;
+            self.outstanding = self.outstanding.saturating_sub(1);
+            let (ok, listing, own) = match &ev.result {
+                Ok(out) if p.read => match out.decode(&PackageInterface::LIST_CONTENTS) {
+                    Ok(files) => {
+                        let prefix = format!("w-s{}-", self.session);
+                        let own = files.iter().filter(|f| f.name.starts_with(&prefix)).count();
+                        (true, files.len() as i64, own as i64)
+                    }
+                    Err(_) => (false, -1, -1),
+                },
+                Ok(_) => (true, -1, -1),
+                Err(_) => (false, -1, -1),
+            };
+            if ctx.trace_enabled(TraceLevel::Info) {
+                let rec = OpRecord::End {
+                    session: self.session,
+                    op: p.seq,
+                    ok,
+                    listing,
+                    own,
+                };
+                ctx.trace_info(optrace::COMPONENT, rec.render());
+            }
+            if p.scripted {
+                self.schedule_step(ctx);
+            }
+        }
+    }
+}
+
+/// The distinct objects a session's script touches, in first-use order.
+fn touched(plan: &SessionPlan) -> Vec<usize> {
+    let mut seen = Vec::new();
+    for op in &plan.ops {
+        if !seen.contains(&op.obj) {
+            seen.push(op.obj);
+        }
+    }
+    seen
+}
+
+impl Service for FuzzSession {
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.schedule_step(ctx);
+        // First gap indexes cursor 0; schedule_step reads gaps[cursor].
+        let delay = self.probe_at.saturating_sub(ctx.now());
+        ctx.set_timer(delay, ns_token(FUZZ_NS, PROBE_TOKEN));
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        if owns_token(FUZZ_NS, token) {
+            match token_id(token) {
+                PROBE_TOKEN => self.fire_probe(ctx),
+                _ => self.step(ctx),
+            }
+            self.drain(ctx);
+            return;
+        }
+        if self.client.handle_timer(ctx, token) {
+            self.drain(ctx);
+        }
+    }
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: Endpoint, payload: Vec<u8>) {
+        if self.client.handle_datagram(ctx, from, &payload) {
+            self.drain(ctx);
+        }
+    }
+    fn on_conn_event(&mut self, ctx: &mut ServiceCtx<'_>, conn: ConnId, ev: ConnEvent) {
+        match self.client.handle_conn_event(ctx, conn, ev) {
+            RtConn::Consumed | RtConn::AppData { .. } => self.drain(ctx),
+            RtConn::NotMine(_) => {}
+        }
+    }
+    impl_service_any!();
+}
+
+// ------------------------------------------------------------- runner
+
+/// Executes `plan` in a traced world and audits the recorded history.
+/// Deterministic: a pure function of the plan.
+pub fn run_plan(plan: &SchedulePlan) -> (Vec<Violation>, Vec<(SimTime, OpRecord)>) {
+    let topo = Topology::grid(plan.regions as u32, 1, 1, 3);
+    let mut params = NetParams::default();
+    for tier in [Tier::Site, Tier::Country, Tier::Region, Tier::World] {
+        let link = params.link_mut(tier);
+        link.latency =
+            SimDuration::from_nanos((link.latency.as_nanos() as f64 * plan.latency_scale) as u64);
+    }
+    let params = params.with_jitter_fraction(plan.jitter_fraction);
+    let mut world = World::new(topo, params, plan.seed);
+    world.set_trace(TraceLog::new(TraceLevel::Info));
+    let options = GdnOptions {
+        cache_ttl: plan.cache_ttl,
+        gos_hosts: (0..plan.regions).map(gos_host).collect(),
+        gls: globe_gls::GlsConfig::default()
+            .with_persistence()
+            .with_address_ttl(SimDuration::from_secs(15)),
+        ..GdnOptions::default()
+    };
+    let gdn = GdnDeployment::install(&mut world, options);
+    let topo = world.topology().clone();
+    let gos = gos_by_region(&topo, &gdn.gos_endpoints);
+    let drivers = driver_hosts(&topo);
+
+    // Publish phase: each object under its own assignment, homes
+    // pinned to region 0.
+    let ops: Vec<ModOp> = plan
+        .objects
+        .iter()
+        .enumerate()
+        .map(|(i, o)| {
+            let profile = ObjectProfile::new(i, o.updates_per_hour, 0).with_mode(o.mode);
+            ModOp::Publish {
+                name: format!("/fuzz/pkg{i}"),
+                description: format!("fuzz object {i}"),
+                files: vec![("pkg.tar".into(), vec![0x5A; 2048])],
+                scenario: scenario_for(o.policy, &profile, &gos),
+            }
+        })
+        .collect();
+    let oid_pairs = publish_objects(&mut world, &gdn, ops, drivers[0]);
+    let oids: Vec<ObjectId> = oid_pairs.iter().map(|&(_, oid)| oid).collect();
+    world.run_for(SimDuration::from_secs(10));
+
+    // The activity window starts now; everything below is scheduled
+    // relative to t0 so the schedule's shape is publish-independent.
+    let t0 = world.now();
+    let probe_at = t0 + ACTIVITY + GRACE;
+
+    for d in &plan.disturbances {
+        match *d {
+            Disturbance::Crash { host, at, down } => {
+                world.schedule_crash(host, t0 + at);
+                world.schedule_recover(host, t0 + at + down);
+            }
+            Disturbance::LinkDown { a, b, at, down } => {
+                world.schedule_link_down(a, b, t0 + at);
+                world.schedule_link_up(a, b, t0 + at + down);
+            }
+            Disturbance::RegionOutage { region, at, down } => {
+                for inside in topo.hosts() {
+                    if topo.region_of_host(inside).0 != region {
+                        continue;
+                    }
+                    for outside in topo.hosts() {
+                        if topo.region_of_host(outside).0 != region {
+                            world.schedule_link_down(inside, outside, t0 + at);
+                            world.schedule_link_up(inside, outside, t0 + at + down);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for (i, sess) in plan.sessions.iter().enumerate() {
+        let host = drivers[sess.region];
+        let mut client = GlobeClient::new(moderator_runtime(&gdn, host), FUZZ_NS + 1);
+        // Failover-friendly session: backoff spans the shortened GLS
+        // lease, rebinds happen soon after recoveries.
+        client.config.retry.max_attempts = 4;
+        client.config.retry.backoff = SimDuration::from_secs(5);
+        client.config.bind_refresh = SimDuration::from_secs(10);
+        let service = FuzzSession::new(client, i as u32, oids.clone(), sess.clone(), probe_at);
+        world.add_service(host, ports::DRIVER + 2 + i as u16, service);
+    }
+
+    world.run_until(probe_at + DRAIN);
+
+    let records = optrace::extract(world.trace());
+    let mut violations = Vec::new();
+    for (i, sess) in plan.sessions.iter().enumerate() {
+        let s = world
+            .service::<FuzzSession>(drivers[sess.region], ports::DRIVER + 2 + i as u16)
+            .expect("fuzz session");
+        if !s.done() {
+            violations.push(Violation {
+                rule: "incomplete-session",
+                at: world.now(),
+                detail: format!(
+                    "session {i} still has {} ops outstanding at end of run",
+                    s.outstanding
+                ),
+                slice: Vec::new(),
+            });
+        }
+    }
+
+    let spec = AuditSpec {
+        cache_ttl: plan.cache_ttl,
+        propagation_slack: PROPAGATION_SLACK,
+        ryw_slack: RYW_SLACK,
+        disturbances: plan
+            .disturbances
+            .iter()
+            .map(|d| {
+                let (from, to) = d.window();
+                (t0 + from, t0 + to + WINDOW_PAD)
+            })
+            .collect(),
+        converged_after: probe_at,
+    };
+    violations.extend(audit(&records, &spec));
+    violations.sort_by_key(|v| v.at);
+    (violations, records)
+}
+
+/// The verdict on one seed.
+pub struct SeedOutcome {
+    /// The seed.
+    pub seed: u64,
+    /// Violations of the *minimal* plan (empty = seed passed).
+    pub violations: Vec<Violation>,
+    /// The shrunk plan that still exhibits them (the original plan when
+    /// the seed passed or no disturbance could be removed).
+    pub plan: SchedulePlan,
+    /// The minimal plan's recorded history (for the trace slices).
+    pub trace: Vec<(SimTime, OpRecord)>,
+}
+
+/// Runs one seed; on failure, greedily shrinks the disturbance list to
+/// a minimal still-failing schedule before reporting.
+pub fn run_seed(seed: u64) -> SeedOutcome {
+    let plan = plan_for_seed(seed);
+    let (violations, trace) = run_plan(&plan);
+    if violations.is_empty() {
+        return SeedOutcome {
+            seed,
+            violations,
+            plan,
+            trace,
+        };
+    }
+    let (plan, violations, trace) = shrink(plan, violations, trace);
+    SeedOutcome {
+        seed,
+        violations,
+        plan,
+        trace,
+    }
+}
+
+/// Greedy one-at-a-time shrink over the disturbance list: drop any
+/// disturbance whose removal keeps the run failing, to a fixed point.
+fn shrink(
+    mut plan: SchedulePlan,
+    mut violations: Vec<Violation>,
+    mut trace: Vec<(SimTime, OpRecord)>,
+) -> (SchedulePlan, Vec<Violation>, Vec<(SimTime, OpRecord)>) {
+    let mut i = 0;
+    while i < plan.disturbances.len() {
+        let mut candidate = plan.clone();
+        candidate.disturbances.remove(i);
+        let (v, t) = run_plan(&candidate);
+        if v.is_empty() {
+            i += 1; // this disturbance is load-bearing; keep it
+        } else {
+            plan = candidate;
+            violations = v;
+            trace = t;
+        }
+    }
+    (plan, violations, trace)
+}
+
+/// Renders a failing seed's full report: the violations, the minimal
+/// schedule, the offending trace slices, and the one-line repro.
+pub fn report(outcome: &SeedOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "seed {}: {} violation(s) on the minimal schedule",
+        outcome.seed,
+        outcome.violations.len()
+    );
+    s.push_str(&outcome.plan.describe());
+    for v in &outcome.violations {
+        let _ = writeln!(s, "  VIOLATION {v}");
+        for &i in &v.slice {
+            if let Some((t, r)) = outcome.trace.get(i) {
+                let _ = writeln!(
+                    s,
+                    "    trace[{i}] @{:.3}s  {}",
+                    t.as_micros() as f64 / 1e6,
+                    r.render()
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        s,
+        "  repro: GLOBE_FUZZ_SEED={} cargo bench --bench schedule_fuzz",
+        outcome.seed
+    );
+    s
+}
+
+// ---------------------------------------------------------- env knobs
+
+/// The seed list the harness runs, from the environment (module docs
+/// describe the knobs).
+///
+/// # Panics
+///
+/// Panics on an unparsable value, so CI typos fail loudly.
+pub fn seeds_from_env() -> Vec<u64> {
+    match std::env::var("GLOBE_FUZZ_SEED").as_deref() {
+        Ok(s) if !s.is_empty() => {
+            let seed = s
+                .parse()
+                .unwrap_or_else(|_| panic!("unknown GLOBE_FUZZ_SEED {s:?} (use a number)"));
+            return vec![seed];
+        }
+        _ => {}
+    }
+    let n: u64 = match std::env::var("GLOBE_FUZZ_SEEDS").as_deref() {
+        Err(_) | Ok("") => 16,
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("unknown GLOBE_FUZZ_SEEDS {s:?} (use a count)")),
+    };
+    (1..=n).collect()
+}
+
+/// File failing reports are appended to (the CI jobs echo it into the
+/// step summary and upload it as an artifact).
+pub const FUZZ_REPORT_FILE: &str = "FUZZ_schedule_failures.md";
+
+/// The shared entry point of `cargo bench --bench schedule_fuzz` and
+/// the `gdn-fuzz` binary: runs every seed from the environment, prints
+/// one line per passing seed and a full report per failing one, writes
+/// failing reports to [`FUZZ_REPORT_FILE`], and panics at the end if
+/// any seed failed.
+pub fn fuzz_main() {
+    let seeds = seeds_from_env();
+    println!(
+        "schedule fuzzing: {} seed(s) ({}..{})",
+        seeds.len(),
+        seeds.first().copied().unwrap_or(0),
+        seeds.last().copied().unwrap_or(0)
+    );
+    let mut failing = Vec::new();
+    let mut reports = String::new();
+    for &seed in &seeds {
+        let outcome = run_seed(seed);
+        if outcome.violations.is_empty() {
+            println!(
+                "seed {seed}: ok ({} trace records audited)",
+                outcome.trace.len()
+            );
+        } else {
+            let r = report(&outcome);
+            print!("{r}");
+            let _ = writeln!(reports, "```\n{r}```\n");
+            failing.push(seed);
+            if std::env::var("GLOBE_FUZZ_DUMP").is_ok() {
+                // Full trace of the minimal failing schedule, for
+                // post-mortems where the violation slices are not
+                // enough context.
+                for (i, (t, rec)) in outcome.trace.iter().enumerate() {
+                    println!(
+                        "  trace[{i}] @{:.3}s  {}",
+                        t.as_micros() as f64 / 1e6,
+                        rec.render()
+                    );
+                }
+            }
+        }
+    }
+    if !failing.is_empty() {
+        let header = format!(
+            "## Schedule fuzzing: {} of {} seeds failed\n\n",
+            failing.len(),
+            seeds.len()
+        );
+        let _ = std::fs::write(FUZZ_REPORT_FILE, header + &reports);
+        panic!(
+            "schedule fuzzing found consistency violations in seed(s) {failing:?}; \
+             repro with GLOBE_FUZZ_SEED=<n>, full reports in {FUZZ_REPORT_FILE}"
+        );
+    }
+    println!("schedule fuzzing: all {} seed(s) clean", seeds.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_bounded() {
+        for seed in 1..=24 {
+            let a = plan_for_seed(seed);
+            let b = plan_for_seed(seed);
+            assert_eq!(a.regions, b.regions);
+            assert_eq!(a.disturbances, b.disturbances);
+            assert_eq!(a.sessions.len(), b.sessions.len());
+            assert!((2..=3).contains(&a.regions));
+            assert!((2..=4).contains(&a.objects.len()));
+            assert!(a.disturbances.len() <= 3);
+            for d in &a.disturbances {
+                let (from, to) = d.window();
+                assert!(to <= ACTIVITY, "disturbance {d:?} ends after activity");
+                assert!(from >= SimDuration::from_secs(5));
+                if let Disturbance::Crash { host, .. } = d {
+                    // Never the home region's server, never GLS or drivers.
+                    assert_ne!(*host, gos_host(0));
+                    assert_eq!(host.0 % 3, 1);
+                }
+            }
+            for s in &a.sessions {
+                assert!(s.region < a.regions);
+                assert_eq!(s.ops.len(), s.gaps.len());
+                for op in &s.ops {
+                    assert!(op.obj < a.objects.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_victims_are_distinct() {
+        for seed in 1..=64 {
+            let plan = plan_for_seed(seed);
+            let mut hosts: Vec<u32> = plan
+                .disturbances
+                .iter()
+                .filter_map(|d| match d {
+                    Disturbance::Crash { host, .. } => Some(host.0),
+                    _ => None,
+                })
+                .collect();
+            let before = hosts.len();
+            hosts.sort_unstable();
+            hosts.dedup();
+            assert_eq!(hosts.len(), before, "seed {seed} crashes one host twice");
+        }
+    }
+
+    #[test]
+    fn seeds_env_defaults() {
+        // No env manipulation here (tests run in parallel): just the
+        // default path.
+        if std::env::var("GLOBE_FUZZ_SEED").is_err() && std::env::var("GLOBE_FUZZ_SEEDS").is_err() {
+            assert_eq!(seeds_from_env().len(), 16);
+        }
+    }
+}

@@ -4,16 +4,23 @@
 //! generators, and extracts the measurements that `EXPERIMENTS.md`
 //! reports. Every function here is deterministic given its seed.
 
+pub mod audit;
 pub mod engine;
 pub mod fanout;
+pub mod fuzz;
 pub mod sweep;
 pub mod trajectory;
 
+pub use audit::{audit, AuditSpec, Violation};
 pub use engine::{
     engine_gate, engine_json, engine_summary_markdown, parse_engine_json, run_engine_workload,
     EngineGateOutcome, EngineReport, EngineSpec,
 };
 pub use fanout::{grp_fanout_run, FanoutReport};
+pub use fuzz::{
+    fuzz_main, plan_for_seed, report, run_plan, run_seed, seeds_from_env, Disturbance,
+    SchedulePlan, SeedOutcome,
+};
 pub use sweep::{
     all_cells, avail_table_rows, check_sweep_invariants, churn_cells, run_cell, run_cell_traced,
     run_sweep, sweep_cell, sweep_json, sweep_table_rows, CellReport, CellSpec, ChurnPlan, DsoClass,

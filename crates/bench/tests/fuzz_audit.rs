@@ -1,0 +1,125 @@
+//! End-to-end proof that the schedule-fuzzing auditor catches a real
+//! protocol bug — the acceptance gate for the fuzz harness itself.
+//!
+//! The known-bad variant is the pre-fix invalidated-slave answer path
+//! (re-enabled behind `globe_rts::protocols::inject`): an invalidated
+//! slave serves `GetState`/`Refresh` from its outdated copy instead of
+//! revalidating first, so caches filling from it absorb stale state
+//! with no way to detect it. Under invalidation propagation that
+//! staleness is unbounded, which the auditor's freshness oracle flags
+//! as `stale-read`.
+//!
+//! One `#[test]` only: the injection flag is process-global, and
+//! integration tests in one binary may run on sibling threads. Keeping
+//! the flag's on-window inside a single test body keeps the other run
+//! (bug off) honest.
+
+use globe_bench::fuzz::{ObjectPlan, SessionOp, SessionPlan};
+use globe_bench::{report, run_plan, SchedulePlan, SeedOutcome};
+use globe_rts::protocols::inject;
+use globe_rts::PropagationMode;
+use globe_sim::SimDuration;
+use globe_workloads::ScenarioPolicy;
+
+/// A handcrafted two-region schedule that drives the buggy path.
+///
+/// The single object is hot (rank 0 < `HOT_RANK`) and stable
+/// (0.2 updates/h ≤ `VOLATILE_UPDATES`), so `ScenarioPolicy::PerObject`
+/// assigns `cached_replicated`: slaves everywhere, caches filling from
+/// the *nearest replica* — the region-1 cache reads through the
+/// region-1 slave, the only topology that exercises a slave answering
+/// `GetState` while invalidated. The writer in region 0 invalidates
+/// that slave; the region-1 reads then arrive long after `cache_ttl`
+/// plus the freshness slack, so a stale fill is unambiguously a
+/// violation rather than TTL-permitted laziness.
+fn stale_slave_plan() -> SchedulePlan {
+    let s = SimDuration::from_secs;
+    SchedulePlan {
+        seed: 424242,
+        regions: 2,
+        objects: vec![ObjectPlan {
+            policy: ScenarioPolicy::PerObject,
+            mode: PropagationMode::Invalidate,
+            updates_per_hour: 0.2,
+        }],
+        cache_ttl: s(5),
+        latency_scale: 1.0,
+        jitter_fraction: 0.0,
+        sessions: vec![
+            // Writer in the master's region: one write, early.
+            SessionPlan {
+                region: 0,
+                ops: vec![SessionOp {
+                    write: true,
+                    obj: 0,
+                }],
+                gaps: vec![s(1)],
+            },
+            // Reader in region 1: both reads land well past
+            // `cache_ttl` + audit slack after the write commits.
+            SessionPlan {
+                region: 1,
+                ops: vec![
+                    SessionOp {
+                        write: false,
+                        obj: 0,
+                    },
+                    SessionOp {
+                        write: false,
+                        obj: 0,
+                    },
+                ],
+                gaps: vec![s(30), s(20)],
+            },
+        ],
+        disturbances: Vec::new(),
+    }
+}
+
+#[test]
+fn auditor_catches_injected_stale_slave_bug() {
+    let plan = stale_slave_plan();
+
+    // Baseline: the shipped protocol passes this exact schedule, so
+    // any violation below is attributable to the injected bug alone.
+    let (violations, _) = run_plan(&plan);
+    assert!(
+        violations.is_empty(),
+        "clean protocol must pass the handcrafted schedule, got: {violations:?}"
+    );
+
+    inject::set_stale_slave_answers(true);
+    let (violations, trace) = run_plan(&plan);
+    inject::set_stale_slave_answers(false);
+
+    assert!(
+        !violations.is_empty(),
+        "injected stale-answer bug must produce auditor violations"
+    );
+    assert!(
+        violations.iter().any(|v| v.rule == "stale-read"),
+        "expected a stale-read violation, got rules: {:?}",
+        violations.iter().map(|v| v.rule).collect::<Vec<_>>()
+    );
+
+    // The failure report carries a one-line repro, same as fuzz_main's.
+    let outcome = SeedOutcome {
+        seed: plan.seed,
+        violations,
+        plan,
+        trace,
+    };
+    let rendered = report(&outcome);
+    assert!(
+        rendered.contains("GLOBE_FUZZ_SEED="),
+        "report must include the one-line repro, got:\n{rendered}"
+    );
+    assert!(rendered.contains("stale-read"), "report names the rule");
+
+    // And with the bug back off, the same schedule is clean again.
+    let (violations, _) = run_plan(&stale_slave_plan());
+    assert!(
+        violations.is_empty(),
+        "bug disabled: schedule must be clean again, got: {violations:?}"
+    );
+}

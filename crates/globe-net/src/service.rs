@@ -167,6 +167,13 @@ impl<'a> ServiceCtx<'a> {
         self.metrics
     }
 
+    /// Whether trace entries at `level` are currently recorded. Layers
+    /// that build structured trace messages (e.g. the op-trace records
+    /// the fuzz auditor consumes) check this before formatting.
+    pub fn trace_enabled(&self, level: TraceLevel) -> bool {
+        self.trace.enabled(level)
+    }
+
     /// Records an info-level trace entry.
     pub fn trace_info(&mut self, component: &'static str, message: String) {
         self.trace

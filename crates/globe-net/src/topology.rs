@@ -100,6 +100,10 @@ pub struct LinkParams {
     /// Probability that a datagram crossing this tier is lost. Streams are
     /// reliable and unaffected.
     pub datagram_loss: f64,
+    /// Maximum extra per-datagram delivery delay, sampled uniformly from
+    /// `[0, jitter]`. Datagrams only: streams keep their FIFO contract,
+    /// so jitter on them would be a different (reordering) model.
+    pub jitter: SimDuration,
 }
 
 /// All tunables of the network model.
@@ -124,30 +128,35 @@ impl Default for NetParams {
                     latency: SimDuration::from_micros(20),
                     bandwidth: 500_000_000,
                     datagram_loss: 0.0,
+                    jitter: SimDuration::ZERO,
                 },
                 // Site: 100 Mbit/s campus LAN.
                 LinkParams {
                     latency: SimDuration::from_micros(300),
                     bandwidth: 12_500_000,
                     datagram_loss: 0.0,
+                    jitter: SimDuration::ZERO,
                 },
                 // Country: national backbone, ~34 Mbit/s shared.
                 LinkParams {
                     latency: SimDuration::from_millis(5),
                     bandwidth: 4_000_000,
                     datagram_loss: 0.0,
+                    jitter: SimDuration::ZERO,
                 },
                 // Region: intra-continental links.
                 LinkParams {
                     latency: SimDuration::from_millis(20),
                     bandwidth: 1_250_000,
                     datagram_loss: 0.0,
+                    jitter: SimDuration::ZERO,
                 },
                 // World: intercontinental links (~90 ms one way).
                 LinkParams {
                     latency: SimDuration::from_millis(90),
                     bandwidth: 600_000,
                     datagram_loss: 0.0,
+                    jitter: SimDuration::ZERO,
                 },
             ],
             overhead: 40,
@@ -171,6 +180,17 @@ impl NetParams {
     pub fn with_datagram_loss(mut self, p: f64) -> Self {
         for tier in [Tier::Site, Tier::Country, Tier::Region, Tier::World] {
             self.link_mut(tier).datagram_loss = p;
+        }
+        self
+    }
+
+    /// Sets the datagram delivery jitter on every tier except loopback,
+    /// as a fraction of the tier's latency (e.g. `0.5` → up to half a
+    /// latency of extra delay per datagram).
+    pub fn with_jitter_fraction(mut self, f: f64) -> Self {
+        for tier in [Tier::Site, Tier::Country, Tier::Region, Tier::World] {
+            let link = self.link_mut(tier);
+            link.jitter = SimDuration::from_nanos((link.latency.as_nanos() as f64 * f) as u64);
         }
         self
     }

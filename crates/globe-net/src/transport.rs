@@ -168,6 +168,17 @@ pub trait Transport {
     fn metrics(&self) -> &Metrics;
     /// Mutable access to the metrics registry.
     fn metrics_mut(&mut self) -> &mut Metrics;
+
+    /// Schedules the link between two hosts to stop carrying new
+    /// traffic at `at`. Fault injection is a simulation facility (like
+    /// crash injection): the simulated [`World`](crate::World) models
+    /// the partition, while backends over real networks ignore the
+    /// request — partitioning a real link is outside their power.
+    fn schedule_link_down(&mut self, _a: HostId, _b: HostId, _at: SimTime) {}
+
+    /// Schedules the link between two hosts to carry traffic again at
+    /// `at`. Same backend caveat as [`Transport::schedule_link_down`].
+    fn schedule_link_up(&mut self, _a: HostId, _b: HostId, _at: SimTime) {}
 }
 
 impl dyn Transport + '_ {

@@ -60,6 +60,10 @@ enum NetEvent {
     },
     Crash(HostId),
     Recover(HostId),
+    /// The link between two hosts stops carrying new traffic.
+    LinkDown(HostId, HostId),
+    /// The link between two hosts carries traffic again.
+    LinkUp(HostId, HostId),
     /// A deferred effect becoming visible after its processing delay.
     Deferred {
         src: Endpoint,
@@ -107,6 +111,13 @@ fn ep_unkey(key: u64) -> (u32, u16) {
     ((key >> 16) as u32, (key & 0xFFFF) as u16)
 }
 
+/// Packs an unordered host pair into the `links_down` key.
+#[inline]
+fn link_key(a: HostId, b: HostId) -> u64 {
+    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    ((lo as u64) << 32) | hi as u64
+}
+
 /// The simulation world: topology + services + in-flight events.
 ///
 /// See the crate-level docs for an end-to-end example.
@@ -132,6 +143,10 @@ pub struct World {
     effects_pool: Vec<Vec<Effect>>,
     host_up: Vec<bool>,
     host_epoch: Vec<u32>,
+    /// Host pairs (packed via [`link_key`]) whose link is partitioned.
+    /// Empty in every non-fault-injection run, and every check is gated
+    /// on that emptiness, so the hot path pays one `is_empty` load.
+    links_down: FxHashSet<u64>,
     stable: Vec<BTreeMap<String, Vec<u8>>>,
     cancelled: FxHashSet<u64>,
     metrics: Metrics,
@@ -142,6 +157,7 @@ pub struct World {
     id_dgrams_lost: MetricId,
     id_dgrams_dropped_down: MetricId,
     id_dgrams_no_listener: MetricId,
+    id_dgrams_dropped_partition: MetricId,
     trace: TraceLog,
     rng: Rng,
     next_conn: u64,
@@ -170,6 +186,7 @@ impl World {
         let id_dgrams_lost = metrics.metric_id("net.dgrams_lost");
         let id_dgrams_dropped_down = metrics.metric_id("net.dgrams_dropped_down");
         let id_dgrams_no_listener = metrics.metric_id("net.dgrams_no_listener");
+        let id_dgrams_dropped_partition = metrics.metric_id("net.dgrams_dropped_partition");
         World {
             topo,
             params,
@@ -183,6 +200,7 @@ impl World {
             effects_pool: Vec::new(),
             host_up: vec![true; n],
             host_epoch: vec![0; n],
+            links_down: FxHashSet::default(),
             stable: vec![BTreeMap::new(); n],
             cancelled: FxHashSet::default(),
             metrics,
@@ -191,6 +209,7 @@ impl World {
             id_dgrams_lost,
             id_dgrams_dropped_down,
             id_dgrams_no_listener,
+            id_dgrams_dropped_partition,
             trace: TraceLog::disabled(),
             rng: Rng::new(seed ^ 0x6c6f_6361_6c5f_6e65),
             next_conn: 1,
@@ -337,6 +356,42 @@ impl World {
     /// Schedules a recovery at absolute time `at`.
     pub fn schedule_recover(&mut self, host: HostId, at: SimTime) {
         self.queue.schedule(at, NetEvent::Recover(host));
+    }
+
+    /// Schedules the link between `a` and `b` to go down at `at`.
+    ///
+    /// A downed link blocks *new* transmissions only — in-flight
+    /// messages still arrive (they already left the sender). While the
+    /// link is down: connection attempts across it time out like an
+    /// unreachable host, datagrams are dropped (counted under
+    /// `net.dgrams_dropped_partition`), and the first stream send
+    /// across it resets the connection at both ends. Idle connections
+    /// survive a partition they never transmit through, like real TCP.
+    pub fn schedule_link_down(&mut self, a: HostId, b: HostId, at: SimTime) {
+        self.queue.schedule(at, NetEvent::LinkDown(a, b));
+    }
+
+    /// Schedules the link between `a` and `b` to carry traffic again at
+    /// `at`. No-op if the link is not down at that time.
+    pub fn schedule_link_up(&mut self, a: HostId, b: HostId, at: SimTime) {
+        self.queue.schedule(at, NetEvent::LinkUp(a, b));
+    }
+
+    /// Partitions the link between `a` and `b` immediately; see
+    /// [`World::schedule_link_down`] for the semantics.
+    pub fn link_down_now(&mut self, a: HostId, b: HostId) {
+        self.links_down.insert(link_key(a, b));
+        self.metrics.inc("net.link_downs", 1);
+    }
+
+    /// Heals the link between `a` and `b` immediately.
+    pub fn link_up_now(&mut self, a: HostId, b: HostId) {
+        self.links_down.remove(&link_key(a, b));
+    }
+
+    /// Whether the link between `a` and `b` is currently partitioned.
+    pub fn link_is_down(&self, a: HostId, b: HostId) -> bool {
+        !self.links_down.is_empty() && self.links_down.contains(&link_key(a, b))
     }
 
     /// Processes one event. Returns `false` if the queue was empty.
@@ -526,6 +581,13 @@ impl World {
         } else {
             (1usize, state.client, state.svc[0])
         };
+        if !self.links_down.is_empty() && self.links_down.contains(&link_key(src.host, dst.host)) {
+            // First use of a partitioned connection kills it: both ends
+            // learn of the reset after the retransmission timers a real
+            // stack would run, modelled as one link latency.
+            self.partition_reset(conn);
+            return;
+        }
         let tier = self.topo.tier_between(src.host, dst.host);
         let size = msg.len() as u64 + self.params.overhead;
         let start = state.free_at[dir].max(self.now);
@@ -601,6 +663,29 @@ impl World {
         );
     }
 
+    /// Tears down a connection whose link turned out to be partitioned:
+    /// both endpoints get `Closed(Reset)` after one link latency (the
+    /// local stack gives up; the model does not try to reproduce the
+    /// asymmetric timeouts of a real retransmission schedule).
+    fn partition_reset(&mut self, conn: ConnId) {
+        let Some(state) = self.conn_remove(conn.0) else {
+            return;
+        };
+        let tier = self.topo.tier_between(state.client.host, state.server.host);
+        let lat = self.params.link(tier).latency;
+        for (ep, slot) in [(state.client, state.svc[0]), (state.server, state.svc[1])] {
+            self.queue.schedule(
+                self.now + lat,
+                NetEvent::Conn {
+                    conn,
+                    dst: ep,
+                    dst_slot: slot,
+                    ev: ConnEvent::Closed(CloseReason::Reset),
+                },
+            );
+        }
+    }
+
     fn transmission(&self, size: u64, tier: Tier) -> SimDuration {
         let bw = self.params.link(tier).bandwidth.max(1);
         SimDuration::from_nanos(size.saturating_mul(1_000_000_000) / bw)
@@ -622,15 +707,27 @@ impl World {
     fn apply_one(&mut self, src: Endpoint, e: Effect) {
         match e {
             Effect::Datagram { dst, payload } => {
+                if !self.links_down.is_empty()
+                    && self.links_down.contains(&link_key(src.host, dst.host))
+                {
+                    // Never reaches the wire: no tier accounting.
+                    self.metrics.inc_id(self.id_dgrams_dropped_partition, 1);
+                    return;
+                }
                 let tier = self.topo.tier_between(src.host, dst.host);
                 let size = payload.len() as u64 + self.params.overhead;
                 self.account(tier, size);
-                let loss = self.params.link(tier).datagram_loss;
+                let link = self.params.link(tier);
+                let loss = link.datagram_loss;
+                let jitter = link.jitter;
                 if loss > 0.0 && self.rng.gen_bool(loss) {
                     self.metrics.inc_id(self.id_dgrams_lost, 1);
                     return;
                 }
-                let delay = self.params.link(tier).latency + self.transmission(size, tier);
+                let mut delay = self.params.link(tier).latency + self.transmission(size, tier);
+                if jitter > SimDuration::ZERO {
+                    delay += SimDuration::from_nanos(self.rng.gen_range(0..jitter.as_nanos() + 1));
+                }
                 self.queue
                     .schedule(self.now + delay, NetEvent::Datagram { src, dst, payload });
             }
@@ -639,7 +736,9 @@ impl World {
                 let lat = self.params.link(tier).latency;
                 self.account(tier, self.params.overhead);
                 let src_slot = self.svc_slot(src);
-                if !self.host_up[dst.host.0 as usize] {
+                let partitioned = !self.links_down.is_empty()
+                    && self.links_down.contains(&link_key(src.host, dst.host));
+                if partitioned || !self.host_up[dst.host.0 as usize] {
                     // No one answers the SYN: time out.
                     self.queue.schedule(
                         self.now + self.params.connect_timeout,
@@ -827,6 +926,8 @@ impl World {
             }
             NetEvent::Crash(h) => self.crash_now(h),
             NetEvent::Recover(h) => self.recover_now(h),
+            NetEvent::LinkDown(a, b) => self.link_down_now(a, b),
+            NetEvent::LinkUp(a, b) => self.link_up_now(a, b),
             NetEvent::Deferred { src, effect } => {
                 // The sending host may have crashed during the processing
                 // delay; its output dies with it.
@@ -940,6 +1041,14 @@ impl Transport for World {
 
     fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
+    }
+
+    fn schedule_link_down(&mut self, a: HostId, b: HostId, at: SimTime) {
+        World::schedule_link_down(self, a, b, at);
+    }
+
+    fn schedule_link_up(&mut self, a: HostId, b: HostId, at: SimTime) {
+        World::schedule_link_up(self, a, b, at);
     }
 }
 

@@ -175,9 +175,23 @@ pub enum GrpBody {
         version: u64,
     },
     /// Slave→master: announce membership and where to push updates.
+    ///
+    /// Sent on install and re-sent periodically as a registration
+    /// heartbeat: the master prunes a slave whose push connection
+    /// dies, and nothing on the slave side is guaranteed to observe
+    /// that (the push channel is an *incoming* connection there), so a
+    /// slave that stops announcing would silently miss every
+    /// subsequent invalidation while still serving its copy as valid.
+    /// The carried version/lineage lets the master answer cheaply when
+    /// the slave is current instead of re-shipping state.
     Hello {
         /// The slave's GRP endpoint.
         grp: Endpoint,
+        /// The version of the slave's current copy (0 = none).
+        have_version: u64,
+        /// The version lineage of that copy (0 = none; see
+        /// [`GrpBody::Delta`]).
+        epoch: u64,
     },
     /// A state delta: everything that changed between two versions.
     /// Pushed master→slave per write (`PushDelta`), or returned to a
@@ -295,9 +309,15 @@ impl GrpMsg {
                 inv.encode(&mut w);
             }
             GrpBody::Invalidate { version } => w.put_u64(*version),
-            GrpBody::Hello { grp } => {
+            GrpBody::Hello {
+                grp,
+                have_version,
+                epoch,
+            } => {
                 w.put_u32(grp.host.0);
                 w.put_u16(grp.port);
+                w.put_u64(*have_version);
+                w.put_u64(*epoch);
             }
             GrpBody::Delta {
                 from_version,
@@ -353,6 +373,8 @@ impl GrpMsg {
             6 => GrpBody::Invalidate { version: r.u64()? },
             7 => GrpBody::Hello {
                 grp: Endpoint::new(HostId(r.u32()?), r.u16()?),
+                have_version: r.u64()?,
+                epoch: r.u64()?,
             },
             8 => GrpBody::Apply {
                 version: r.u64()?,
@@ -414,7 +436,11 @@ mod tests {
             },
             GrpBody::Apply { version: 11, inv },
             GrpBody::Invalidate { version: 12 },
-            GrpBody::Hello { grp: ep },
+            GrpBody::Hello {
+                grp: ep,
+                have_version: 14,
+                epoch: 77,
+            },
             GrpBody::Delta {
                 from_version: 13,
                 to_version: 15,
@@ -456,7 +482,9 @@ mod tests {
         }
         .is_state_modifying());
         assert!(GrpBody::Hello {
-            grp: Endpoint::new(HostId(0), 0)
+            grp: Endpoint::new(HostId(0), 0),
+            have_version: 0,
+            epoch: 0
         }
         .is_state_modifying());
         // Invoke is gated separately by method kind, not wholesale.

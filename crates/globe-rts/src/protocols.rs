@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use globe_net::Endpoint;
-use globe_sim::SimDuration;
+use globe_sim::{SimDuration, SimTime};
 
 use crate::grp::{protocol_id, GrpBody, PropagationMode, RoleSpec};
 use crate::object::{Invocation, MethodKind};
@@ -24,6 +24,57 @@ use crate::replication::{InvokeError, Peer, ReplCtx, ReplicationSubobject};
 
 /// Default timeout for a forwarded invocation.
 const FORWARD_TIMEOUT: SimDuration = SimDuration::from_secs(10);
+
+/// How often a slave that believes it is *not* registered with its
+/// master re-sends its `Hello`.
+const HELLO_RETRY: SimDuration = SimDuration::from_secs(2);
+
+/// How often a slave re-announces while it believes it *is*
+/// registered. The master prunes a slave from its propagation set when
+/// the push connection dies (crash, partition), and the slave side of
+/// that channel is an incoming connection — nothing there is
+/// guaranteed to observe the death. Without a registration heartbeat a
+/// severed slave keeps serving its last copy as valid while silently
+/// missing every subsequent invalidation: the unbounded-staleness leak
+/// the schedule fuzzer first surfaced (partition heals, master writes
+/// on, severed slave never hears). The heartbeat bounds that exposure
+/// to one interval plus a round trip after a partition heals, and a
+/// current slave's heartbeat costs only an empty delta in reply. Ticks
+/// that follow a push inside the same interval skip the `Hello`
+/// entirely (the push already proved the channel), so heartbeat bytes
+/// only flow during write-quiet stretches.
+const HELLO_HEARTBEAT: SimDuration = SimDuration::from_secs(10);
+
+/// Timer subtoken for the re-announce tick. Forwarded-write timers use
+/// the `next_req` counter which starts at 1, so 0 is free.
+const HELLO_TIMER: u64 = 0;
+
+/// Deliberate protocol-bug injection, for validating the fuzz auditor.
+///
+/// The schedule-fuzzing harness needs a known-bad protocol variant to
+/// prove the consistency auditor actually catches violations. The one
+/// bug re-enabled here is the pre-fix invalidated-slave answer path: an
+/// invalidated slave serving `GetState`/`Refresh` from its outdated
+/// copy instead of revalidating first, which feeds caches stale state
+/// they cannot detect. Process-global because the protocol instances
+/// are constructed deep inside the runtime; tests that flip it must not
+/// share a process image's state across runs (set it, run, unset it).
+pub mod inject {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STALE_SLAVE_ANSWERS: AtomicBool = AtomicBool::new(false);
+
+    /// Re-enables the invalidated-slave stale-answer bug (test use
+    /// only).
+    pub fn set_stale_slave_answers(on: bool) {
+        STALE_SLAVE_ANSWERS.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the stale-answer bug is currently injected.
+    pub fn stale_slave_answers() -> bool {
+        STALE_SLAVE_ANSWERS.load(Ordering::Relaxed)
+    }
+}
 
 /// Builds the server-side replication subobject a scenario role calls
 /// for — the single place where a [`RoleSpec`] (as carried by a
@@ -513,21 +564,48 @@ impl ReplicationSubobject for MasterReplica {
                     },
                 );
             }
-            GrpBody::Hello { grp } => {
-                // New slave: remember it and ship the current state so it
-                // starts warm.
+            GrpBody::Hello {
+                grp,
+                have_version,
+                epoch,
+            } => {
+                // New or re-announcing slave: (re-)register it, then
+                // bring it up to date as cheaply as its copy allows.
                 self.slaves.insert(grp);
-                let state = c.state();
                 let version = c.version();
-                let epoch = c.copy_epoch();
-                c.send(
-                    Peer::Addr(grp),
-                    GrpBody::Update {
-                        version,
-                        epoch,
-                        state,
-                    },
-                );
+                let my_epoch = c.copy_epoch();
+                let same_lineage = epoch != 0 && epoch == my_epoch;
+                if same_lineage && have_version >= version {
+                    // Current: a free confirmation (the empty
+                    // same-version delta, as for Refresh).
+                    c.send(
+                        Peer::Addr(grp),
+                        GrpBody::Delta {
+                            from_version: version,
+                            to_version: version,
+                            epoch: my_epoch,
+                            payload: Vec::new(),
+                        },
+                    );
+                } else if same_lineage {
+                    // Behind on our own lineage: an invalidation is
+                    // enough — the slave refetches on demand, which
+                    // keeps invalidate-mode economics (heartbeats must
+                    // not turn into periodic state pushes); the push
+                    // modes re-sync it on the next write anyway.
+                    c.send(Peer::Addr(grp), GrpBody::Invalidate { version });
+                } else {
+                    // No copy at all or a foreign lineage it cannot
+                    // splice onto: warm-start with the full state.
+                    c.send(
+                        Peer::Addr(grp),
+                        GrpBody::Update {
+                            version,
+                            epoch: my_epoch,
+                            state: c.state(),
+                        },
+                    );
+                }
             }
             GrpBody::Refresh {
                 req,
@@ -574,6 +652,20 @@ pub struct SlaveReplica {
     fetch_in_flight: bool,
     pending_writes: BTreeMap<u64, WriteOrigin>,
     next_req: u64,
+    /// Whether the master has (as far as we know) this slave in its
+    /// propagation set: set on any push from the master, cleared when
+    /// the master connection dies. While false, a paced `Hello` retry
+    /// re-registers us — see [`HELLO_RETRY`].
+    announced: bool,
+    /// A [`HELLO_TIMER`] tick is outstanding (bounds re-announce sends
+    /// to one per interval no matter how many peer-gone events fire).
+    hello_timer_pending: bool,
+    /// When the last master push arrived. A heartbeat tick landing
+    /// within [`HELLO_HEARTBEAT`] of a push defers its `Hello` to one
+    /// full interval past that push — the push already proved the
+    /// channel, and the deferral keeps severed-channel discovery
+    /// bounded by one interval after the last proof.
+    last_push: SimTime,
 }
 
 impl SlaveReplica {
@@ -589,6 +681,41 @@ impl SlaveReplica {
             fetch_in_flight: false,
             pending_writes: BTreeMap::new(),
             next_req: 1,
+            announced: false,
+            hello_timer_pending: false,
+            last_push: SimTime::ZERO,
+        }
+    }
+
+    /// (Re-)announces to the master and arms the next tick. The master
+    /// answers every `Hello` (state, invalidation or a free
+    /// confirmation), registering the sender as a side effect; any
+    /// master push flips `announced` back to confirmed, which relaxes
+    /// the tick from the retry pace to the heartbeat pace.
+    fn announce(&mut self, c: &mut ReplCtx<'_>) {
+        let me = c.my_grp();
+        c.send(
+            Peer::Addr(self.master),
+            GrpBody::Hello {
+                grp: me,
+                have_version: c.version(),
+                epoch: c.copy_epoch(),
+            },
+        );
+        self.arm_hello(c);
+    }
+
+    /// Arms the announce tick if none is outstanding: fast while the
+    /// registration is unconfirmed, the heartbeat pace once confirmed.
+    fn arm_hello(&mut self, c: &mut ReplCtx<'_>) {
+        if !self.hello_timer_pending {
+            self.hello_timer_pending = true;
+            let pace = if self.announced {
+                HELLO_HEARTBEAT
+            } else {
+                HELLO_RETRY
+            };
+            c.set_timer(pace, HELLO_TIMER);
         }
     }
 
@@ -687,8 +814,8 @@ impl ReplicationSubobject for SlaveReplica {
 
     fn on_install(&mut self, c: &mut ReplCtx<'_>) {
         // Announce to the master; it responds with the current state.
-        let me = c.my_grp();
-        c.send(Peer::Addr(self.master), GrpBody::Hello { grp: me });
+        // The retry tick covers a lost first Hello too.
+        self.announce(c);
     }
 
     fn start_invocation(&mut self, c: &mut ReplCtx<'_>, token: u64, inv: Invocation) {
@@ -746,6 +873,10 @@ impl ReplicationSubobject for SlaveReplica {
                 epoch,
                 state,
             } => {
+                // An Update only reaches us via the master's slave set
+                // (push or Hello reply): registration confirmed.
+                self.announced = true;
+                self.last_push = c.now();
                 // A new master epoch means the version lineage reset
                 // (replica recreated / restarted): adopt its state even
                 // if the version number regressed.
@@ -759,6 +890,8 @@ impl ReplicationSubobject for SlaveReplica {
                 }
             }
             GrpBody::Apply { version, inv } => {
+                self.announced = true;
+                self.last_push = c.now();
                 // Active replication: re-execute the write locally.
                 if version == c.version() + 1 {
                     let _ = c.exec(&inv);
@@ -778,6 +911,8 @@ impl ReplicationSubobject for SlaveReplica {
                 epoch,
                 payload,
             } => {
+                self.announced = true;
+                self.last_push = c.now();
                 let same_lineage = epoch != 0 && c.copy_epoch() == epoch;
                 if same_lineage && to_version <= c.version() {
                     // Old news (e.g. redelivery after a refetch).
@@ -796,6 +931,8 @@ impl ReplicationSubobject for SlaveReplica {
                 }
             }
             GrpBody::Invalidate { version } => {
+                self.announced = true;
+                self.last_push = c.now();
                 if version > c.version() {
                     self.valid = false;
                 }
@@ -830,7 +967,7 @@ impl ReplicationSubobject for SlaveReplica {
                 None => {}
             },
             GrpBody::GetState { .. } | GrpBody::Refresh { .. } => {
-                if self.valid {
+                if self.valid || inject::stale_slave_answers() {
                     self.serve_state(c, from, &body);
                 } else {
                     // The copy was invalidated: handing it out would
@@ -848,6 +985,27 @@ impl ReplicationSubobject for SlaveReplica {
     }
 
     fn on_timer(&mut self, c: &mut ReplCtx<'_>, subtoken: u64) {
+        if subtoken == HELLO_TIMER {
+            self.hello_timer_pending = false;
+            let since = c.now().saturating_sub(self.last_push);
+            if self.announced && self.last_push != SimTime::ZERO && since < HELLO_HEARTBEAT {
+                // A push landed inside this interval: the channel and
+                // the registration are demonstrably live, so a `Hello`
+                // now would be pure overhead. Defer it to one full
+                // interval past that push (not a whole new interval
+                // from now, which could stretch severed-channel
+                // discovery past the fault windows the auditor pads).
+                self.hello_timer_pending = true;
+                c.set_timer(HELLO_HEARTBEAT.saturating_sub(since), HELLO_TIMER);
+            } else {
+                // `announced` alone is not trustworthy here — it can be
+                // stale-true when the push channel died unobserved, and
+                // the whole point of the heartbeat is to recover
+                // exactly then.
+                self.announce(c);
+            }
+            return;
+        }
         match self.pending_writes.remove(&subtoken) {
             Some(WriteOrigin::Local(token)) => {
                 c.complete(token, Err(InvokeError::Timeout));
@@ -869,6 +1027,13 @@ impl ReplicationSubobject for SlaveReplica {
     fn on_peer_gone(&mut self, c: &mut ReplCtx<'_>, peer: Endpoint) {
         if peer == self.master {
             self.fetch_in_flight = false;
+            // The master prunes us from its propagation set the moment
+            // the connection dies: until a fresh Hello lands we would
+            // miss every invalidation while still treating our copy as
+            // valid. Keep serving (availability over freshness during
+            // the partition) but re-register on the fast retry pace.
+            self.announced = false;
+            self.arm_hello(c);
             for (_, origin) in std::mem::take(&mut self.pending_writes) {
                 match origin {
                     WriteOrigin::Local(token) => {
@@ -1114,7 +1279,6 @@ mod tests {
     use crate::object::{MethodId, SemError, SemanticsObject};
     use crate::replication::ReplEffects;
     use globe_net::HostId;
-    use globe_sim::SimTime;
 
     /// A delta-capable test class: method 1 adds its one-byte argument;
     /// the delta is the byte stream of pending additions.
@@ -1524,7 +1688,15 @@ mod tests {
         let s2 = Endpoint::new(HostId(2), 700);
         for s in [s1, s2] {
             copy.drive(|c| {
-                master.on_grp(c, Peer::Conn(1), GrpBody::Hello { grp: s });
+                master.on_grp(
+                    c,
+                    Peer::Conn(1),
+                    GrpBody::Hello {
+                        grp: s,
+                        have_version: 0,
+                        epoch: 0,
+                    },
+                );
             });
         }
         let fx = copy.drive(|c| {

@@ -33,7 +33,8 @@ use globe_net::{
     ns_token, owns_token, token_id, ConnEvent, ConnId, Endpoint, HostId, Payload, ServiceCtx,
     WireReader, WireWriter,
 };
-use globe_sim::SimDuration;
+use globe_sim::optrace::{self, OpRecord, ReplicaRole};
+use globe_sim::{SimDuration, TraceLevel};
 
 use crate::grp::{GrpBody, GrpMsg, PropagationMode, RoleSpec};
 use crate::interface::{BoundObject, DsoInterface, InterfaceError};
@@ -1049,6 +1050,7 @@ impl GlobeRuntime {
         let kind_fn = move |m| repo.kind_of(impl_id, m).unwrap_or(MethodKind::Write);
         let oracle_key = oracle_key(oid);
         let oracle_version = ctx.metrics().counter(&oracle_key);
+        let entry_version = lr.version;
         self.next_epoch_nonce += 1;
         let epoch_nonce = self.next_epoch_nonce;
         let effects = {
@@ -1067,6 +1069,39 @@ impl GlobeRuntime {
             f(&mut lr.repl, &mut rctx);
             rctx.effects
         };
+        // Op-trace observability for the consistency auditor: one serve
+        // record per dispatch that answered reads (they all observed the
+        // same local version), one commit record per version bump at a
+        // write-accepting representative. Free when tracing is off.
+        if ctx.trace_enabled(TraceLevel::Info) {
+            let role = observed_role(lr.repl.as_ref());
+            let (host, port) = (self.my_host.0, self.cfg.grp_port);
+            if effects.fresh_reads + effects.stale_reads > 0 {
+                let rec = OpRecord::Serve {
+                    oid,
+                    host,
+                    port,
+                    role,
+                    version: lr.version,
+                    epoch: lr.epoch,
+                    oracle: oracle_version,
+                    fresh: effects.fresh_reads,
+                    stale: effects.stale_reads,
+                };
+                ctx.trace_info(optrace::COMPONENT, rec.render());
+            }
+            if lr.repl.accepts_writes() && lr.version > entry_version {
+                let rec = OpRecord::Commit {
+                    oid,
+                    host,
+                    port,
+                    role,
+                    version: lr.version,
+                    epoch: lr.epoch,
+                };
+                ctx.trace_info(optrace::COMPONENT, rec.render());
+            }
+        }
         // Oracle maintenance: every version bump at a write-accepting
         // replica advances the measurement oracle.
         if lr.repl.accepts_writes() {
@@ -1292,6 +1327,25 @@ fn replica_key(oid: u128) -> String {
 
 fn oracle_key(oid: u128) -> String {
     format!("oracle.{oid:032x}")
+}
+
+/// The op-trace role of a representative, derived from its protocol
+/// descriptor (the auditor applies different freshness rules to caches
+/// than to consistent replicas).
+fn observed_role(repl: &dyn ReplicationSubobject) -> ReplicaRole {
+    match repl.descriptor() {
+        RoleSpec::Master { .. } => ReplicaRole::Master,
+        RoleSpec::Slave { .. } => ReplicaRole::Slave,
+        RoleSpec::Standalone => {
+            if repl.proto() == crate::grp::protocol_id::CACHE_TTL {
+                ReplicaRole::Cache
+            } else if repl.accepts_writes() {
+                ReplicaRole::Standalone
+            } else {
+                ReplicaRole::Proxy
+            }
+        }
+    }
 }
 
 fn encode_replica(lr: &LocalRep) -> Vec<u8> {

@@ -59,8 +59,10 @@ fn arb_body() -> impl Strategy<Value = GrpBody> {
         }),
         (any::<u64>(), arb_inv()).prop_map(|(version, inv)| GrpBody::Apply { version, inv }),
         any::<u64>().prop_map(|version| GrpBody::Invalidate { version }),
-        (any::<u32>(), any::<u16>()).prop_map(|(h, p)| GrpBody::Hello {
+        (any::<u32>(), any::<u16>(), any::<u64>()).prop_map(|(h, p, v)| GrpBody::Hello {
             grp: Endpoint::new(HostId(h), p),
+            have_version: v,
+            epoch: v ^ 0x3C,
         }),
         (
             any::<u64>(),

@@ -323,6 +323,7 @@ impl<E> Default for EventQueue<E> {
 mod tests {
     use super::*;
     use crate::time::SimDuration;
+    use proptest::prelude::*;
 
     #[test]
     fn pops_in_time_order() {
@@ -500,5 +501,123 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    /// Advances the cursor to a known slot by popping a warm event, and
+    /// returns that absolute slot number.
+    fn pin_cursor(q: &mut EventQueue<u64>, slot: u64) -> u64 {
+        q.schedule(SimTime::from_nanos(slot << GRANULARITY_SHIFT), u64::MAX);
+        assert_eq!(q.pop().unwrap().1, u64::MAX);
+        assert_eq!(q.cursor, slot, "pop pins the cursor to the popped slot");
+        slot
+    }
+
+    #[test]
+    fn exact_horizon_edge_routes_to_heap_and_migrates_fifo() {
+        // The wheel window is [cursor, cursor + SLOTS) in slots: the
+        // last in-window nanosecond must take the ring path and the
+        // first out-of-window nanosecond the heap path — the exact
+        // `slot < cursor + SLOTS` comparison this test nails down.
+        let mut q = EventQueue::new();
+        let cursor = pin_cursor(&mut q, 7 * SLOTS as u64);
+        let horizon_ns = (cursor + SLOTS as u64) << GRANULARITY_SHIFT;
+        let edge = SimTime::from_nanos(horizon_ns);
+        let inside = SimTime::from_nanos(horizon_ns - 1);
+        q.schedule(edge, 1); // first slot past the window: heap
+        q.schedule(inside, 2); // last slot of the window: ring
+        q.schedule(edge, 3); // same instant as 1 — a FIFO pair split
+        q.schedule(inside, 4); // same instant as 2 — a FIFO pair
+        assert_eq!(q.heap.len(), 2, "horizon-edge entries take the heap");
+        assert_eq!(q.pop().unwrap(), (inside, 2));
+        assert_eq!(q.pop().unwrap(), (inside, 4));
+        // Popping `inside` advanced the cursor into migration range:
+        // the edge entries move heap→ring and must still fire FIFO.
+        assert_eq!(q.pop().unwrap(), (edge, 1));
+        assert_eq!(q.pop().unwrap(), (edge, 3));
+        assert!(q.is_empty());
+        assert_eq!(q.heap.len(), 0, "migration drained the heap");
+    }
+
+    #[test]
+    fn fifo_holds_when_a_pair_straddles_lazy_migration() {
+        // First of a same-instant pair lands in the heap (beyond the
+        // horizon), the second in the ring after the window advanced:
+        // the migrated entry carries the older seq and must win.
+        let mut q = EventQueue::new();
+        let cursor = pin_cursor(&mut q, 3 * SLOTS as u64);
+        let t = SimTime::from_nanos((cursor + SLOTS as u64) << GRANULARITY_SHIFT);
+        q.schedule(t, 1); // heap: exactly at the horizon
+        assert_eq!(q.heap.len(), 1);
+        // Advance the window so t is now in range, without popping
+        // anything at t.
+        let mid = SimTime::from_nanos((cursor + 10) << GRANULARITY_SHIFT);
+        q.schedule(mid, 2);
+        assert_eq!(q.pop().unwrap(), (mid, 2));
+        q.schedule(t, 3); // ring: same instant, younger seq
+        assert_eq!(
+            q.pop().unwrap(),
+            (t, 1),
+            "migrated entry keeps FIFO priority"
+        );
+        assert_eq!(q.pop().unwrap(), (t, 3));
+    }
+
+    proptest! {
+        /// Random schedule/pop interleavings clustered tightly around
+        /// the wheel's migration horizon (cursor + SLOTS slots) agree
+        /// exactly — order and FIFO ties — with a sorted-list model.
+        /// This is the adversarial band for the lazy heap→ring
+        /// migration: every scheduled time sits within one slot of the
+        /// boundary, so off-by-one routing or a seq-dropping migration
+        /// shows up as a reordering.
+        #[test]
+        fn horizon_edge_interleavings_match_reference_model(
+            steps in prop::collection::vec((0u8..4, 0u64..3, 0u64..3), 1..150)
+        ) {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let base_slot = 5 * SLOTS as u64;
+            let mut cursor = pin_cursor(&mut q, base_slot);
+            let mut pending: Vec<(SimTime, u64)> = Vec::new();
+            let mut next_id = 0u64;
+            for &(op, edge, jitter) in &steps {
+                if op < 3 {
+                    // Schedule within one slot of the current horizon:
+                    // the last in-window slot, the exact first
+                    // out-of-window slot, or one past it.
+                    let slot = cursor + SLOTS as u64 - 1 + edge;
+                    let off = match jitter {
+                        0 => 0,
+                        1 => 1,
+                        _ => GRANULARITY_NS - 1,
+                    };
+                    let t = SimTime::from_nanos((slot << GRANULARITY_SHIFT) + off);
+                    q.schedule(t, next_id);
+                    pending.push((t, next_id));
+                    next_id += 1;
+                } else if let Some((t, id)) = q.pop() {
+                    // The model's minimum under FIFO: stable order on
+                    // equal times is insertion order, which ascending
+                    // ids encode.
+                    let min = pending
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(mt, mid))| (mt, mid))
+                        .map(|(i, _)| i)
+                        .expect("queue and model agree on emptiness");
+                    let (mt, mid) = pending.remove(min);
+                    prop_assert_eq!((t, id), (mt, mid));
+                    // Mirror the cursor rule: it advances to the slot
+                    // of the popped minimum, keeping later horizon
+                    // targets meaningful.
+                    cursor = cursor.max(slot_of(t));
+                }
+                prop_assert_eq!(q.len(), pending.len());
+            }
+            pending.sort_by_key(|&(t, id)| (t, id));
+            for (mt, mid) in pending {
+                prop_assert_eq!(q.pop(), Some((mt, mid)));
+            }
+            prop_assert!(q.is_empty());
+        }
     }
 }

@@ -25,6 +25,8 @@
 //!   used for all measurements reported by the benchmark harness.
 //! - [`trace`] — a lightweight component-tagged event trace used by tests
 //!   to assert protocol behaviour.
+//! - [`optrace`] — structured per-object operation records layered over
+//!   the trace, consumed by the schedule-fuzzing consistency auditor.
 //!
 //! The kernel is intentionally single-threaded: the Globe paper's claims
 //! are about message counts, bytes on wide-area links and end-to-end
@@ -47,6 +49,7 @@
 pub mod event;
 pub mod fxhash;
 pub mod metrics;
+pub mod optrace;
 pub mod rng;
 pub mod time;
 pub mod trace;

@@ -1,0 +1,418 @@
+//! Structured per-object operation traces, layered over [`TraceLog`].
+//!
+//! The schedule-fuzzing auditor replays a run's operation history
+//! against a global specification of the replication protocol. Rather
+//! than invent a second logging channel, the history rides in the
+//! existing trace as single-line records under one component
+//! ([`COMPONENT`]): the emitting layers (the replication runtime for
+//! server-side serve/commit events, the workload driver for client-side
+//! invocation begin/end events) render an [`OpRecord`] to its line
+//! format, and the auditor parses the lines back. Both directions live
+//! in this module so the format has exactly one home; the round-trip
+//! `parse(render(r)) == r` is part of the test suite.
+//!
+//! The line format is `<verb> k=v k=v ...` with space-separated fields
+//! in a fixed order. Values never contain spaces (write tags are
+//! caller-chosen and must respect this). Unknown verbs or malformed
+//! lines parse to `None`, so foreign entries sharing the component are
+//! skipped rather than tripping the auditor.
+
+use crate::time::SimTime;
+use crate::trace::{TraceLevel, TraceLog};
+
+/// The trace component all op-trace records are logged under.
+pub const COMPONENT: &str = "optrace";
+
+/// The role a representative played when it served or committed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Write-serializing master replica.
+    Master,
+    /// Consistent slave replica.
+    Slave,
+    /// TTL-based cache.
+    Cache,
+    /// Forwarding-only proxy.
+    Proxy,
+    /// Single standalone copy.
+    Standalone,
+}
+
+impl ReplicaRole {
+    /// Wire name of the role.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicaRole::Master => "master",
+            ReplicaRole::Slave => "slave",
+            ReplicaRole::Cache => "cache",
+            ReplicaRole::Proxy => "proxy",
+            ReplicaRole::Standalone => "standalone",
+        }
+    }
+
+    fn parse(s: &str) -> Option<ReplicaRole> {
+        Some(match s {
+            "master" => ReplicaRole::Master,
+            "slave" => ReplicaRole::Slave,
+            "cache" => ReplicaRole::Cache,
+            "proxy" => ReplicaRole::Proxy,
+            "standalone" => ReplicaRole::Standalone,
+            _ => return None,
+        })
+    }
+}
+
+/// Whether a client operation reads or writes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Read-only invocation.
+    Read,
+    /// State-changing invocation.
+    Write,
+}
+
+impl OpKind {
+    fn name(self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+        }
+    }
+
+    fn parse(s: &str) -> Option<OpKind> {
+        Some(match s {
+            "read" => OpKind::Read,
+            "write" => OpKind::Write,
+            _ => return None,
+        })
+    }
+}
+
+/// One op-trace record. `host`/`port` pairs stand in for endpoints
+/// (this crate sits below the network layer and has no endpoint type).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpRecord {
+    /// A representative answered one dispatch that contained reads.
+    Serve {
+        /// Object the reads were served against.
+        oid: u128,
+        /// Serving host.
+        host: u32,
+        /// Serving GRP port.
+        port: u16,
+        /// Role of the representative at serve time.
+        role: ReplicaRole,
+        /// Local version the reads observed.
+        version: u64,
+        /// Epoch (version lineage) the reads observed.
+        epoch: u64,
+        /// Globally latest committed version at serve time (the
+        /// freshness oracle's view).
+        oracle: u64,
+        /// Oracle-fresh reads in the dispatch.
+        fresh: u64,
+        /// Oracle-stale reads in the dispatch.
+        stale: u64,
+    },
+    /// A write-serializing representative committed a new version.
+    Commit {
+        /// Object written.
+        oid: u128,
+        /// Committing host.
+        host: u32,
+        /// Committing GRP port.
+        port: u16,
+        /// Role of the representative at commit time.
+        role: ReplicaRole,
+        /// The version the commit produced.
+        version: u64,
+        /// Epoch the version belongs to.
+        epoch: u64,
+    },
+    /// A client session issued an invocation.
+    Begin {
+        /// Session identifier (driver-chosen, unique per run).
+        session: u32,
+        /// Per-session operation sequence number.
+        op: u64,
+        /// Target object.
+        oid: u128,
+        /// Read or write.
+        kind: OpKind,
+        /// Caller tag: for writes, the identity of the written unit
+        /// (e.g. the file name a listing would show); empty for reads.
+        /// Must not contain spaces.
+        tag: String,
+    },
+    /// A client session observed an invocation's completion.
+    End {
+        /// Session identifier (matches the [`OpRecord::Begin`]).
+        session: u32,
+        /// Per-session operation sequence number.
+        op: u64,
+        /// Whether the invocation succeeded.
+        ok: bool,
+        /// For successful listing reads: number of units observed;
+        /// `-1` when not applicable.
+        listing: i64,
+        /// For successful listing reads: how many of this session's own
+        /// committed writes the listing contained; `-1` when not
+        /// applicable.
+        own: i64,
+    },
+}
+
+impl OpRecord {
+    /// Renders the record to its single-line wire form.
+    pub fn render(&self) -> String {
+        match self {
+            OpRecord::Serve {
+                oid,
+                host,
+                port,
+                role,
+                version,
+                epoch,
+                oracle,
+                fresh,
+                stale,
+            } => format!(
+                "serve oid={oid:032x} at=h{host}:{port} role={} v={version} e={epoch} \
+                 oracle={oracle} fresh={fresh} stale={stale}",
+                role.name()
+            ),
+            OpRecord::Commit {
+                oid,
+                host,
+                port,
+                role,
+                version,
+                epoch,
+            } => format!(
+                "commit oid={oid:032x} at=h{host}:{port} role={} v={version} e={epoch}",
+                role.name()
+            ),
+            OpRecord::Begin {
+                session,
+                op,
+                oid,
+                kind,
+                tag,
+            } => {
+                debug_assert!(!tag.contains(' '), "op tag must not contain spaces");
+                format!(
+                    "begin session={session} op={op} oid={oid:032x} kind={} tag={tag}",
+                    kind.name()
+                )
+            }
+            OpRecord::End {
+                session,
+                op,
+                ok,
+                listing,
+                own,
+            } => format!("end session={session} op={op} ok={ok} listing={listing} own={own}"),
+        }
+    }
+
+    /// Parses a line produced by [`OpRecord::render`]. Returns `None`
+    /// for anything else.
+    pub fn parse(line: &str) -> Option<OpRecord> {
+        let mut parts = line.split(' ');
+        let verb = parts.next()?;
+        let mut f = Fields::new(parts);
+        Some(match verb {
+            "serve" => OpRecord::Serve {
+                oid: f.hex_u128("oid")?,
+                host: f.host("at")?.0,
+                port: f.last_endpoint.1,
+                role: ReplicaRole::parse(f.str("role")?)?,
+                version: f.num("v")?,
+                epoch: f.num("e")?,
+                oracle: f.num("oracle")?,
+                fresh: f.num("fresh")?,
+                stale: f.num("stale")?,
+            },
+            "commit" => OpRecord::Commit {
+                oid: f.hex_u128("oid")?,
+                host: f.host("at")?.0,
+                port: f.last_endpoint.1,
+                role: ReplicaRole::parse(f.str("role")?)?,
+                version: f.num("v")?,
+                epoch: f.num("e")?,
+            },
+            "begin" => OpRecord::Begin {
+                session: f.num("session")? as u32,
+                op: f.num("op")?,
+                oid: f.hex_u128("oid")?,
+                kind: OpKind::parse(f.str("kind")?)?,
+                tag: f.str("tag").unwrap_or("").to_owned(),
+            },
+            "end" => OpRecord::End {
+                session: f.num("session")? as u32,
+                op: f.num("op")?,
+                ok: match f.str("ok")? {
+                    "true" => true,
+                    "false" => false,
+                    _ => return None,
+                },
+                listing: f.signed("listing")?,
+                own: f.signed("own")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// Sequential field reader over `k=v` tokens in declaration order.
+struct Fields<'a, I: Iterator<Item = &'a str>> {
+    parts: I,
+    /// `(host, port)` of the most recent `at=h<host>:<port>` field;
+    /// lets the builder read host and port as two struct fields.
+    last_endpoint: (u32, u16),
+}
+
+impl<'a, I: Iterator<Item = &'a str>> Fields<'a, I> {
+    fn new(parts: I) -> Self {
+        Fields {
+            parts,
+            last_endpoint: (0, 0),
+        }
+    }
+
+    fn str(&mut self, key: &str) -> Option<&'a str> {
+        let token = self.parts.next()?;
+        let (k, v) = token.split_once('=')?;
+        (k == key).then_some(v)
+    }
+
+    fn num(&mut self, key: &str) -> Option<u64> {
+        self.str(key)?.parse().ok()
+    }
+
+    fn signed(&mut self, key: &str) -> Option<i64> {
+        self.str(key)?.parse().ok()
+    }
+
+    fn hex_u128(&mut self, key: &str) -> Option<u128> {
+        u128::from_str_radix(self.str(key)?, 16).ok()
+    }
+
+    fn host(&mut self, key: &str) -> Option<(u32, u16)> {
+        let v = self.str(key)?.strip_prefix('h')?;
+        let (h, p) = v.split_once(':')?;
+        self.last_endpoint = (h.parse().ok()?, p.parse().ok()?);
+        Some(self.last_endpoint)
+    }
+}
+
+/// Appends `record` to `trace` at `time` (no-op on a disabled log).
+pub fn emit(trace: &mut TraceLog, time: SimTime, record: &OpRecord) {
+    if trace.enabled(TraceLevel::Info) {
+        trace.log(time, TraceLevel::Info, COMPONENT, record.render());
+    }
+}
+
+/// Extracts every op-trace record from `trace`, in log order, paired
+/// with its virtual timestamp. Malformed or foreign lines under the
+/// component are skipped.
+pub fn extract(trace: &TraceLog) -> Vec<(SimTime, OpRecord)> {
+    trace
+        .entries()
+        .iter()
+        .filter(|e| e.component == COMPONENT)
+        .filter_map(|e| OpRecord::parse(&e.message).map(|r| (e.time, r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<OpRecord> {
+        vec![
+            OpRecord::Serve {
+                oid: 0xdead_beef,
+                host: 7,
+                port: 7007,
+                role: ReplicaRole::Slave,
+                version: 12,
+                epoch: 3,
+                oracle: 14,
+                fresh: 0,
+                stale: 2,
+            },
+            OpRecord::Commit {
+                oid: u128::MAX,
+                host: 0,
+                port: 1,
+                role: ReplicaRole::Master,
+                version: 1,
+                epoch: 0,
+            },
+            OpRecord::Begin {
+                session: 3,
+                op: 44,
+                oid: 5,
+                kind: OpKind::Write,
+                tag: "w-s3-44".into(),
+            },
+            OpRecord::End {
+                session: 3,
+                op: 44,
+                ok: true,
+                listing: -1,
+                own: -1,
+            },
+            OpRecord::End {
+                session: 9,
+                op: 2,
+                ok: false,
+                listing: 17,
+                own: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        for r in samples() {
+            let line = r.render();
+            assert_eq!(OpRecord::parse(&line).as_ref(), Some(&r), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_parse_to_none() {
+        for line in [
+            "",
+            "serve",
+            "serve oid=xyz",
+            "frob oid=00000000000000000000000000000005",
+            "end session=1 op=2 ok=maybe listing=0 own=0",
+            "commit oid=5 at=h1:2 role=viceroy v=1 e=0",
+            "serve at=h1:2 oid=5 role=slave v=1 e=0 oracle=1 fresh=1 stale=0",
+        ] {
+            assert_eq!(OpRecord::parse(line), None, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn emit_and_extract() {
+        let mut log = TraceLog::new(TraceLevel::Info);
+        let t = SimTime::from_millis(5);
+        let rec = samples().remove(0);
+        emit(&mut log, t, &rec);
+        log.log(t, TraceLevel::Info, COMPONENT, "not a record".into());
+        log.log(t, TraceLevel::Info, "other", "serve oid=5".into());
+        let out = extract(&log);
+        assert_eq!(out, vec![(t, rec)]);
+    }
+
+    #[test]
+    fn emit_to_disabled_log_is_a_noop() {
+        let mut log = TraceLog::disabled();
+        emit(&mut log, SimTime::ZERO, &samples()[0]);
+        assert!(log.entries().is_empty());
+    }
+}
