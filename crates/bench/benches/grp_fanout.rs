@@ -19,6 +19,7 @@ fn mode_label(mode: PropagationMode) -> &'static str {
         PropagationMode::PushDelta => "push_delta",
         PropagationMode::Invalidate => "invalidate",
         PropagationMode::ApplyOps => "apply_ops",
+        PropagationMode::PushChunks => "push_chunks",
     }
 }
 

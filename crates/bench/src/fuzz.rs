@@ -44,7 +44,6 @@ use globe_sim::{Rng, SimDuration, SimTime, TraceLevel, TraceLog};
 use globe_workloads::{gos_by_region, scenario_for, ObjectProfile, ScenarioPolicy};
 
 use crate::audit::{audit, AuditSpec, Violation};
-use crate::sweep::SWEEP_MODES;
 use crate::{driver_hosts, moderator_runtime, publish_objects};
 
 /// Length of the activity window (sessions invoke, disturbances fire).
@@ -244,6 +243,18 @@ fn drv_host(r: usize) -> HostId {
     HostId(r as u32 * 3 + 2)
 }
 
+/// Modes the fuzzer assigns: the sweep's four plus chunked push, so
+/// crash and partition schedules also land mid-chunk-fetch — a slave
+/// holding a half-resolved announcement must still converge by the
+/// probe, which the auditor checks like any other mode.
+const FUZZ_MODES: [PropagationMode; 5] = [
+    PropagationMode::PushState,
+    PropagationMode::PushDelta,
+    PropagationMode::Invalidate,
+    PropagationMode::ApplyOps,
+    PropagationMode::PushChunks,
+];
+
 /// Expands `seed` into its schedule plan. Pure: same seed, same plan.
 pub fn plan_for_seed(seed: u64) -> SchedulePlan {
     let mut rng = Rng::new(seed ^ 0xF0_22_5C_4E_D0_11_AA_01);
@@ -252,7 +263,7 @@ pub fn plan_for_seed(seed: u64) -> SchedulePlan {
     let objects: Vec<ObjectPlan> = (0..num_objects)
         .map(|_| ObjectPlan {
             policy: *rng.choose(&ScenarioPolicy::ALL).unwrap(),
-            mode: *rng.choose(&SWEEP_MODES).unwrap(),
+            mode: *rng.choose(&FUZZ_MODES).unwrap(),
             updates_per_hour: if rng.gen_bool(0.5) { 12.0 } else { 0.2 },
         })
         .collect();
@@ -860,6 +871,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn plans_cover_chunked_mode() {
+        // The mode table includes PushChunks, and the default 16-seed
+        // CI smoke must actually draw it — otherwise chunked
+        // propagation silently loses its fault coverage.
+        let drawn = (1..=16)
+            .filter(|&seed| {
+                plan_for_seed(seed)
+                    .objects
+                    .iter()
+                    .any(|o| o.mode == PropagationMode::PushChunks)
+            })
+            .count();
+        assert!(drawn > 0, "no smoke seed assigns push_chunks");
     }
 
     #[test]

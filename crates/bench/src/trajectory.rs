@@ -67,6 +67,13 @@ pub struct TrajectoryCell {
     pub grp_bytes_encoded: u64,
     /// 99th-percentile read latency, milliseconds.
     pub p99_ms: f64,
+    /// Fraction of announced chunks the slaves already held during the
+    /// chunked upgrade phase (`None` on baselines written before the
+    /// chunk subsystem existed).
+    pub chunk_dedup_ratio: Option<f64>,
+    /// GRP bytes the chunked v1→v2 upgrade cost (`None` on
+    /// pre-chunking baselines).
+    pub upgrade_grp_bytes: Option<u64>,
 }
 
 fn field<'a>(row: &'a str, key: &str) -> Option<&'a str> {
@@ -123,6 +130,11 @@ pub fn parse_sweep_json(json: &str) -> Result<Vec<TrajectoryCell>, String> {
             churny: churn != "none" || adaptive,
             grp_bytes_encoded,
             p99_ms,
+            // Absent from pre-chunking baselines: None keeps those
+            // comparable, the chunk gates below fire only when both
+            // sides carry the metric.
+            chunk_dedup_ratio: field(row, "chunk_dedup_ratio").and_then(|v| v.parse().ok()),
+            upgrade_grp_bytes: field(row, "upgrade_grp_bytes").and_then(|v| v.parse().ok()),
         });
     }
     if cells.is_empty() {
@@ -220,6 +232,30 @@ pub fn trajectory_rows(
                 c.p99_ms,
                 tolerance * 100.0
             ));
+        }
+        // Chunk-economics gates, active only when both revisions carry
+        // the metrics (pre-chunking baselines parse them as None).
+        if let (Some(bu), Some(cu)) = (b.upgrade_grp_bytes, c.upgrade_grp_bytes) {
+            if regressed(bu as f64, cu as f64, tolerance, bytes_slack) {
+                messages.push(format!(
+                    "{}: upgrade bytes regressed {} -> {} (> {:.0}% + slack)",
+                    b.key,
+                    bu,
+                    cu,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        if let (Some(bd), Some(cd)) = (b.chunk_dedup_ratio, c.chunk_dedup_ratio) {
+            // A dedup ratio is a fraction, so the gate is a relative
+            // drop with a small absolute floor — not `regressed`,
+            // which only catches growth.
+            if bd > 0.0 && cd < bd * (1.0 - tolerance) - 0.05 {
+                messages.push(format!(
+                    "{}: chunk dedup ratio dropped {:.3} -> {:.3}",
+                    b.key, bd, cd
+                ));
+            }
         }
         rows.push(TrajectoryRow {
             key: b.key.clone(),
@@ -505,6 +541,9 @@ mod tests {
             policy_switches: 0,
             unavail_limit_ms: 0.0,
             stale_limit: 0.0,
+            chunk_dedup_ratio: 0.0,
+            upgrade_grp_bytes: 0,
+            upgrade_bytes_ratio: 0.0,
         }
     }
 
@@ -640,6 +679,52 @@ mod tests {
         assert!(rows
             .iter()
             .any(|r| r.verdict == RowVerdict::NewInCurrent && r.base_bytes.is_none()));
+    }
+
+    fn chunked_report(dedup: f64, upgrade: u64) -> CellReport {
+        CellReport {
+            class: DsoClass::PackageChunked,
+            mode: PropagationMode::PushChunks,
+            chunk_dedup_ratio: dedup,
+            upgrade_grp_bytes: upgrade,
+            upgrade_bytes_ratio: 0.13,
+            ..report(100_000, 12.5)
+        }
+    }
+
+    #[test]
+    fn chunk_metrics_are_gated_when_both_sides_carry_them() {
+        let base = sweep_json(&[chunked_report(0.9, 10_000)]);
+        let same = sweep_json(&[chunked_report(0.9, 10_000)]);
+        assert_eq!(
+            compare_trajectory(&base, &same).unwrap(),
+            Vec::<String>::new()
+        );
+        // Upgrade cost ballooning and dedup collapsing each gate.
+        let worse = sweep_json(&[chunked_report(0.3, 40_000)]);
+        let violations = compare_trajectory(&base, &worse).unwrap();
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("upgrade bytes"));
+        assert!(violations[1].contains("dedup ratio dropped"));
+        // Small drift stays inside the band.
+        let drift = sweep_json(&[chunked_report(0.86, 10_500)]);
+        assert_eq!(
+            compare_trajectory(&base, &drift).unwrap(),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn pre_chunking_baselines_skip_the_chunk_gates() {
+        // A baseline row without the chunk fields gates only on the
+        // classic metrics, whatever the fresh run's chunk numbers are.
+        let old = concat!(
+            "[\n  {\"class\":\"package-chunked\",\"policy\":\"central\",",
+            "\"mode\":\"push_chunks\",\"p99_ms\":12.500,",
+            "\"grp_bytes_encoded\":100000}\n]\n"
+        );
+        let cur = sweep_json(&[chunked_report(0.1, 999_999)]);
+        assert_eq!(compare_trajectory(old, &cur).unwrap(), Vec::<String>::new());
     }
 
     #[test]

@@ -56,6 +56,30 @@ wire_struct! {
     }
 }
 
+wire_struct! {
+    /// `listPage` arguments: one page of the name-ordered listing.
+    pub struct PageQuery {
+        /// Zero-based page number.
+        pub page: u32,
+        /// Entries per page (clamped to `1..=MAX_PAGE_SIZE`).
+        pub per: u32,
+    }
+}
+
+wire_struct! {
+    /// `listPage` result.
+    pub struct Page {
+        /// Total number of cataloged entries (for pager rendering).
+        pub total: u64,
+        /// This page's entries, in the stable name order.
+        pub entries: Vec<CatalogEntry>,
+    }
+}
+
+/// Upper bound on `listPage` page sizes: a page is a bounded reply by
+/// construction, whatever the client asks for.
+pub const MAX_PAGE_SIZE: u32 = 1000;
+
 /// Delta op: add (or replace) one entry.
 const DOP_REGISTER: u8 = 1;
 /// Delta op: drop one entry.
@@ -125,6 +149,28 @@ impl CatalogDso {
                 description: description.clone(),
             })
             .collect())
+    }
+
+    fn list_page(&mut self, args: PageQuery) -> Result<Page, SemError> {
+        // `BTreeMap` iteration is the stable order: the same page
+        // request yields the same slice on every replica at the same
+        // version, so paging clients never see an entry twice or skip
+        // one because of iteration-order drift.
+        let per = args.per.clamp(1, MAX_PAGE_SIZE) as usize;
+        let start = (args.page as usize).saturating_mul(per);
+        Ok(Page {
+            total: self.entries.len() as u64,
+            entries: self
+                .entries
+                .iter()
+                .skip(start)
+                .take(per)
+                .map(|(name, description)| CatalogEntry {
+                    name: name.clone(),
+                    description: description.clone(),
+                })
+                .collect(),
+        })
     }
 
     fn search(&mut self, args: Query) -> Result<Vec<CatalogEntry>, SemError> {
@@ -238,6 +284,8 @@ dso_interface! {
             3 => read LIST/list(()) -> Vec<CatalogEntry>,
             /// Searches names and descriptions. Read.
             4 => read SEARCH/search(Query) -> Vec<CatalogEntry>,
+            /// One page of the name-ordered listing. Read.
+            5 => read LIST_PAGE/list_page(PageQuery) -> Page,
         }
     }
 }
@@ -321,6 +369,33 @@ mod tests {
                 name: "/apps/editors/emacs".into(),
             }))
             .is_err());
+    }
+
+    #[test]
+    fn paged_listing_is_stable_and_bounded() {
+        let mut c = fill();
+        let page = |c: &mut CatalogDso, page: u32, per: u32| {
+            let raw = c
+                .dispatch(&CatalogInterface::LIST_PAGE.invocation(&PageQuery { page, per }))
+                .unwrap();
+            CatalogInterface::LIST_PAGE.decode_result(&raw).unwrap()
+        };
+        let p0 = page(&mut c, 0, 2);
+        assert_eq!(p0.total, 3);
+        assert_eq!(p0.entries.len(), 2);
+        assert_eq!(p0.entries[0].name, "/apps/editors/emacs");
+        let p1 = page(&mut c, 1, 2);
+        assert_eq!(p1.entries.len(), 1);
+        assert_eq!(p1.entries[0].name, "/os/linux/slackware");
+        // Pages tile the full listing with no overlap or gap.
+        let raw = c.dispatch(&CatalogInterface::LIST.invocation(&())).unwrap();
+        let all = CatalogInterface::LIST.decode_result(&raw).unwrap();
+        let tiled: Vec<_> = p0.entries.iter().chain(&p1.entries).cloned().collect();
+        assert_eq!(tiled, all);
+        // Out-of-range pages are empty, not errors; per is clamped.
+        assert!(page(&mut c, 9, 2).entries.is_empty());
+        assert_eq!(page(&mut c, 0, 0).entries.len(), 1);
+        assert_eq!(page(&mut c, 0, u32::MAX).entries.len(), 3);
     }
 
     #[test]

@@ -45,7 +45,7 @@ use globe_net::{impl_service_any, ConnEvent, ConnId, Endpoint, Service, ServiceC
 use globe_rts::{BindError, ClientError, GlobeClient, GlobeRuntime, InvokeError, OpDone, RtConn};
 use globe_sim::{SimDuration, SimTime};
 
-use crate::catalog::{CatalogEntry, CatalogInterface, Query};
+use crate::catalog::{CatalogEntry, CatalogInterface, Page, PageQuery, Query};
 use crate::http::{HttpRequest, HttpResponse};
 use crate::mirrors::{Mirror, MirrorListInterface, RegionQuery};
 use crate::package::{GetFile, PackageInterface};
@@ -74,6 +74,8 @@ enum ReqKind {
     Package { file: Option<String> },
     /// A catalog index, or a search over it.
     Catalog { query: Option<String> },
+    /// One page of a catalog index (`?page=N&per=K`).
+    CatalogPage { page: u32, per: u32 },
     /// A mirror list, or one region's slice of it.
     Mirrors { region: Option<u32> },
     /// The download-stats ranking (`/stats/top`).
@@ -236,10 +238,24 @@ impl GdnHttpd {
                 .map(|f| f.to_owned());
             (name.to_owned(), ReqKind::Package { file })
         } else if let Some(name) = route.strip_prefix("/catalog") {
-            let q = query
-                .and_then(|q| q.strip_prefix("q="))
-                .map(|q| q.to_owned());
-            (name.to_owned(), ReqKind::Catalog { query: q })
+            let q = query_param(query, "q").map(str::to_owned);
+            let page_raw = query_param(query, "page");
+            let per_raw = query_param(query, "per");
+            let kind = if q.is_none() && (page_raw.is_some() || per_raw.is_some()) {
+                match (
+                    page_raw.map_or(Ok(0), str::parse),
+                    per_raw.map_or(Ok(DEFAULT_PAGE_SIZE), str::parse),
+                ) {
+                    (Ok(page), Ok(per)) => ReqKind::CatalogPage { page, per },
+                    _ => {
+                        self.reply_now(ctx, conn, 400, b"bad page parameters");
+                        return;
+                    }
+                }
+            } else {
+                ReqKind::Catalog { query: q }
+            };
+            (name.to_owned(), kind)
         } else if let Some(name) = route.strip_prefix("/mirrors") {
             let region = match query.and_then(|q| q.strip_prefix("region=")) {
                 Some(raw) => match raw.parse() {
@@ -289,6 +305,10 @@ impl GdnHttpd {
                     .op::<CatalogInterface>(ctx, name.as_str())
                     .invoke(&CatalogInterface::LIST, &()),
             },
+            ReqKind::CatalogPage { page, per } => self
+                .client
+                .op::<CatalogInterface>(ctx, name.as_str())
+                .invoke(&CatalogInterface::LIST_PAGE, &PageQuery { page, per }),
             ReqKind::Mirrors { region } => match region {
                 Some(region) => self
                     .client
@@ -406,6 +426,17 @@ impl GdnHttpd {
                     }
                 }
             }
+            ReqKind::CatalogPage { page, per } => {
+                match output.decode(&CatalogInterface::LIST_PAGE) {
+                    Ok(pg) => {
+                        let html = render_catalog_page(&name, page, per, &pg);
+                        self.respond(ctx, op, 200, "text/html", html.as_bytes());
+                    }
+                    Err(_) => {
+                        self.respond(ctx, op, 500, "text/plain", b"corrupt catalog");
+                    }
+                }
+            }
             ReqKind::Mirrors { region } => {
                 // LIST and IN_REGION share their result type; either
                 // decodes here.
@@ -430,6 +461,17 @@ impl GdnHttpd {
             },
         }
     }
+}
+
+/// Page size used when `?page=N` is given without `&per=K`.
+const DEFAULT_PAGE_SIZE: u32 = 10;
+
+/// Finds `key=` in an `&`-separated query string and returns its value.
+fn query_param<'a>(query: Option<&'a str>, key: &str) -> Option<&'a str> {
+    query?.split('&').find_map(|pair| {
+        pair.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix('='))
+    })
 }
 
 /// Maps an operation failure to the HTTP status and body the user sees.
@@ -524,6 +566,48 @@ fn render_catalog(name: &str, query: Option<&str>, entries: &[CatalogEntry]) -> 
         );
     }
     let _ = write!(html, "</ul></body></html>");
+    html
+}
+
+/// Renders one page of a catalog index with pager links. The DSO clamps
+/// the page size server-side, so the links reuse the same clamp to keep
+/// the client and the object walking the same grid.
+fn render_catalog_page(name: &str, page: u32, per: u32, pg: &Page) -> String {
+    use std::fmt::Write as _;
+    let name = escape_html(name);
+    let per = per.clamp(1, crate::catalog::MAX_PAGE_SIZE);
+    let mut html = String::new();
+    let _ = write!(
+        html,
+        "<html><head><title>{name}</title></head><body><h1>{name}</h1>\
+         <p>page {page} &mdash; {shown} of {total} package(s)</p><ul>",
+        shown = pg.entries.len(),
+        total = pg.total
+    );
+    for e in &pg.entries {
+        let _ = write!(
+            html,
+            "<li><a href=\"/pkg{pkg}\">{pkg}</a> &mdash; {desc}</li>",
+            pkg = escape_html(&e.name),
+            desc = escape_html(&e.description)
+        );
+    }
+    let _ = write!(html, "</ul><p>");
+    if page > 0 {
+        let _ = write!(
+            html,
+            "<a href=\"/catalog{name}?page={prev}&amp;per={per}\">prev</a> ",
+            prev = page - 1
+        );
+    }
+    if u64::from(page.saturating_add(1)) * u64::from(per) < pg.total {
+        let _ = write!(
+            html,
+            "<a href=\"/catalog{name}?page={next}&amp;per={per}\">next</a>",
+            next = page.saturating_add(1)
+        );
+    }
+    let _ = write!(html, "</p></body></html>");
     html
 }
 
@@ -659,6 +743,44 @@ mod tests {
 
         let html = render_catalog("/catalog/main", Some("gimp"), &entries);
         assert!(html.contains("1 result(s) for <b>gimp</b>"));
+    }
+
+    #[test]
+    fn query_param_splits_on_ampersand() {
+        assert_eq!(query_param(Some("page=2&per=10"), "page"), Some("2"));
+        assert_eq!(query_param(Some("page=2&per=10"), "per"), Some("10"));
+        assert_eq!(query_param(Some("per=10"), "page"), None);
+        assert_eq!(query_param(Some("query=x"), "q"), None);
+        assert_eq!(query_param(Some("q=gimp"), "q"), Some("gimp"));
+        assert_eq!(query_param(None, "page"), None);
+    }
+
+    #[test]
+    fn catalog_page_html_renders_pager_links() {
+        let entry = |n: &str| CatalogEntry {
+            name: n.into(),
+            description: "a package".into(),
+        };
+        // A middle page of a 5-entry catalog: both pager links present.
+        let pg = Page {
+            total: 5,
+            entries: vec![entry("/apps/c"), entry("/apps/d")],
+        };
+        let html = render_catalog_page("/catalog/main", 1, 2, &pg);
+        assert!(html.contains("page 1 &mdash; 2 of 5 package(s)"));
+        assert!(html.contains("href=\"/pkg/apps/c\""));
+        assert!(html.contains("href=\"/catalog/catalog/main?page=0&amp;per=2\">prev"));
+        assert!(html.contains("href=\"/catalog/catalog/main?page=2&amp;per=2\">next"));
+
+        // First page: no prev. Last page: no next.
+        let html = render_catalog_page("/catalog/main", 0, 2, &pg);
+        assert!(!html.contains(">prev<"), "{html}");
+        let last = Page {
+            total: 5,
+            entries: vec![entry("/apps/e")],
+        };
+        let html = render_catalog_page("/catalog/main", 2, 2, &last);
+        assert!(!html.contains(">next<"), "{html}");
     }
 
     #[test]

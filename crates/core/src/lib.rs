@@ -53,6 +53,11 @@ pub use mirrors::{
     mirrors_publish_op, Mirror, MirrorListDso, MirrorListInterface, RegionQuery, MIRRORS_IMPL,
 };
 pub use modtool::{ModEvent, ModOp, ModeratorTool, Scenario};
+
+// The object-identifier type every moderator operation addresses
+// replicas by, re-exported so binary crates (`gdn-node`) need no
+// direct `globe-gls` dependency to parse one back from a publish.
+pub use globe_gls::ObjectId;
 pub use package::{FileInfo, PackageDso, PackageInterface, PACKAGE_IMPL};
 pub use security::GdnSecurity;
 pub use stats::{

@@ -17,10 +17,14 @@
 //! [`MethodDef`]: globe_rts::MethodDef
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use globe_crypto::sha256::sha256;
 use globe_rts::interface::{DsoInterface, DsoState};
-use globe_rts::{dso_interface, wire_struct, ImplId, SemError};
+use globe_rts::{
+    dso_interface, new_store, release_chunks, store_chunks, wire_struct, ChunkRef, ChunkStoreRef,
+    ImplId, SemError,
+};
 
 use crate::delta::MutationLog;
 
@@ -107,10 +111,14 @@ impl std::fmt::Display for IntegrityError {
 
 impl std::error::Error for IntegrityError {}
 
-#[derive(Clone, Debug, Default)]
-struct FileEntry {
-    data: Vec<u8>,
+/// One package file: its content lives as retained chunks in the
+/// host-wide chunk store, so identical content across files, package
+/// versions — and whole packages — is stored once.
+#[derive(Clone, Debug)]
+struct FileRec {
+    len: u64,
     digest: [u8; 32],
+    chunks: Vec<ChunkRef>,
 }
 
 /// Delta op: add (or replace) one file.
@@ -121,14 +129,37 @@ const DOP_REMOVE_FILE: u8 = 2;
 const DOP_SET_META: u8 = 3;
 
 /// The package semantics subobject.
-#[derive(Default)]
 pub struct PackageDso {
     description: String,
-    files: BTreeMap<String, FileEntry>,
+    files: BTreeMap<String, FileRec>,
+    /// Where the file bytes actually live. A fresh instance gets a
+    /// private store; the runtime swaps in the host-wide one via
+    /// [`DsoState::attach_chunks`] before any state arrives.
+    store: ChunkStoreRef,
     /// Mutations since the last delta drain (delta replication).
     log: MutationLog,
     /// Bumped on every state change: the cheap persistence digest.
     gen: u64,
+}
+
+impl Default for PackageDso {
+    fn default() -> PackageDso {
+        PackageDso {
+            description: String::new(),
+            files: BTreeMap::new(),
+            store: new_store(),
+            log: MutationLog::default(),
+            gen: 0,
+        }
+    }
+}
+
+impl Drop for PackageDso {
+    fn drop(&mut self) {
+        for rec in self.files.values() {
+            release_chunks(&self.store, &rec.chunks);
+        }
+    }
 }
 
 impl PackageDso {
@@ -142,30 +173,47 @@ impl PackageDso {
         self.files.len()
     }
 
+    /// The chunk store backing this package (tests).
+    pub fn store(&self) -> &ChunkStoreRef {
+        &self.store
+    }
+
+    /// Chunks `data` into the store and records it under `name`,
+    /// releasing whatever the name previously held.
+    fn put_file(&mut self, name: String, data: &[u8]) {
+        let rec = FileRec {
+            len: data.len() as u64,
+            digest: sha256(data),
+            chunks: store_chunks(&self.store, data),
+        };
+        if let Some(old) = self.files.insert(name, rec) {
+            release_chunks(&self.store, &old.chunks);
+        }
+    }
+
+    /// Reassembles a file's bytes from its chunks.
+    fn file_data(&self, rec: &FileRec) -> Vec<u8> {
+        globe_rts::assemble(&self.store, &rec.chunks).unwrap_or_default()
+    }
+
     // Typed method handlers, dispatched by the interface declaration
     // below.
 
     fn add_file(&mut self, args: AddFile) -> Result<(), SemError> {
-        let digest = sha256(&args.data);
         self.log.record(|w| {
             w.put_u8(DOP_ADD_FILE);
             w.put_str(&args.name);
             w.put_bytes(&args.data);
         });
         self.gen += 1;
-        self.files.insert(
-            args.name,
-            FileEntry {
-                data: args.data,
-                digest,
-            },
-        );
+        self.put_file(args.name, &args.data);
         Ok(())
     }
 
     fn remove_file(&mut self, args: RemoveFile) -> Result<(), SemError> {
-        if self.files.remove(&args.name).is_none() {
-            return Err(SemError::Application(format!("no file {:?}", args.name)));
+        match self.files.remove(&args.name) {
+            Some(rec) => release_chunks(&self.store, &rec.chunks),
+            None => return Err(SemError::Application(format!("no file {:?}", args.name))),
         }
         self.log.record(|w| {
             w.put_u8(DOP_REMOVE_FILE);
@@ -179,19 +227,19 @@ impl PackageDso {
         Ok(self
             .files
             .iter()
-            .map(|(name, entry)| FileInfo {
+            .map(|(name, rec)| FileInfo {
                 name: name.clone(),
-                size: entry.data.len() as u64,
-                digest: entry.digest,
+                size: rec.len,
+                digest: rec.digest,
             })
             .collect())
     }
 
     fn get_file(&mut self, args: GetFile) -> Result<FileBlob, SemError> {
         match self.files.get(&args.name) {
-            Some(entry) => Ok(FileBlob {
-                data: entry.data.clone(),
-                digest: entry.digest,
+            Some(rec) => Ok(FileBlob {
+                data: self.file_data(rec),
+                digest: rec.digest,
             }),
             None => Err(SemError::Application(format!("no file {:?}", args.name))),
         }
@@ -216,39 +264,49 @@ impl PackageDso {
 
 impl DsoState for PackageDso {
     fn save(&self) -> Vec<u8> {
+        // The full-state wire format predates chunking and is kept
+        // verbatim (inline file bytes): it serves the full-state
+        // propagation fallback, persistence and every pre-chunk peer.
         use globe_net::WireWriter;
         let mut w = WireWriter::new();
         w.put_str(&self.description);
         w.put_u32(self.files.len() as u32);
-        for (name, entry) in &self.files {
+        for (name, rec) in &self.files {
             w.put_str(name);
-            w.put_bytes(&entry.data);
+            w.put_bytes(&self.file_data(rec));
         }
         w.finish()
     }
 
     fn restore(&mut self, state: &[u8]) -> Result<(), SemError> {
         use globe_net::{WireError, WireReader};
-        let parse = || -> Result<(String, BTreeMap<String, FileEntry>), WireError> {
+        type Parsed = (String, Vec<(String, Vec<u8>)>);
+        let parse = || -> Result<Parsed, WireError> {
             let mut r = WireReader::new(state);
             let description = r.str()?.to_owned();
             let n = r.u32()?;
             if n > 1_000_000 {
                 return Err(WireError::TooLarge);
             }
-            let mut files = BTreeMap::new();
+            let mut files = Vec::new();
             for _ in 0..n {
-                let name = r.str()?.to_owned();
-                let data = r.bytes()?.to_vec();
-                let digest = sha256(&data);
-                files.insert(name, FileEntry { data, digest });
+                files.push((r.str()?.to_owned(), r.bytes()?.to_vec()));
             }
             r.expect_end()?;
             Ok((description, files))
         };
         let (description, files) = parse().map_err(|_| SemError::BadState)?;
         self.description = description;
-        self.files = files;
+        for rec in self.files.values() {
+            release_chunks(&self.store, &rec.chunks);
+        }
+        self.files.clear();
+        // Even a full-state transfer lands in the chunk store, so the
+        // *next* version propagates as a compact announcement diffed
+        // against what this install just made resident.
+        for (name, data) in files {
+            self.put_file(name, &data);
+        }
         // New baseline: undrained mutations predate it.
         self.log.reset();
         self.gen += 1;
@@ -288,16 +346,135 @@ impl DsoState for PackageDso {
         let ops = parse().map_err(|_| SemError::BadState)?;
         for op in ops {
             match op {
-                Op::Add(name, data) => {
-                    let digest = sha256(&data);
-                    self.files.insert(name, FileEntry { data, digest });
-                }
+                Op::Add(name, data) => self.put_file(name, &data),
                 Op::Remove(name) => {
-                    self.files.remove(&name);
+                    if let Some(rec) = self.files.remove(&name) {
+                        release_chunks(&self.store, &rec.chunks);
+                    }
                 }
                 Op::Meta(description) => self.description = description,
             }
         }
+        self.gen += 1;
+        Ok(())
+    }
+
+    fn attach_chunks(&mut self, store: &ChunkStoreRef) {
+        if Rc::ptr_eq(store, &self.store) {
+            return;
+        }
+        // Migrate resident content (normally none: the runtime attaches
+        // right after instantiation) so existing references stay live.
+        for rec in self.files.values_mut() {
+            let mut moved = Vec::with_capacity(rec.chunks.len());
+            for r in &rec.chunks {
+                let data = self.store.borrow().get(&r.id).map(<[u8]>::to_vec);
+                if let Some(data) = data {
+                    let mut s = store.borrow_mut();
+                    let nr = s.insert(&data);
+                    s.retain(&nr.id);
+                    moved.push(nr);
+                }
+            }
+            let old = std::mem::replace(&mut rec.chunks, moved);
+            release_chunks(&self.store, &old);
+        }
+        self.store = store.clone();
+    }
+
+    fn save_chunked(&self) -> Option<(Vec<u8>, Vec<ChunkRef>)> {
+        use globe_net::WireWriter;
+        // Skeleton: everything except file bytes, with each file's
+        // content expressed as indexes into one deduplicated global
+        // manifest (first-use order). A chunk shared by several files
+        // appears in the manifest — and therefore on the wire — once.
+        let mut manifest: Vec<ChunkRef> = Vec::new();
+        let mut index: BTreeMap<[u8; 32], u32> = BTreeMap::new();
+        let mut w = WireWriter::new();
+        w.put_str(&self.description);
+        w.put_u32(self.files.len() as u32);
+        for (name, rec) in &self.files {
+            w.put_str(name);
+            w.put_u64(rec.len);
+            w.put_raw(&rec.digest);
+            w.put_u32(rec.chunks.len() as u32);
+            for r in &rec.chunks {
+                let next = manifest.len() as u32;
+                let idx = *index.entry(r.id).or_insert_with(|| {
+                    manifest.push(*r);
+                    next
+                });
+                w.put_u32(idx);
+            }
+        }
+        Some((w.finish(), manifest))
+    }
+
+    fn restore_chunked(&mut self, skeleton: &[u8], manifest: &[ChunkRef]) -> Result<(), SemError> {
+        use globe_net::{WireError, WireReader};
+        let parse = || -> Result<(String, Vec<(String, FileRec)>), WireError> {
+            let mut r = WireReader::new(skeleton);
+            let description = r.str()?.to_owned();
+            let n = r.u32()?;
+            if n > 1_000_000 {
+                return Err(WireError::TooLarge);
+            }
+            let mut files = Vec::new();
+            for _ in 0..n {
+                let name = r.str()?.to_owned();
+                let len = r.u64()?;
+                let mut digest = [0u8; 32];
+                digest.copy_from_slice(r.raw(32)?);
+                let nchunks = r.u32()?;
+                if nchunks > 1 << 20 {
+                    return Err(WireError::TooLarge);
+                }
+                let mut chunks = Vec::with_capacity(nchunks.min(4096) as usize);
+                for _ in 0..nchunks {
+                    let idx = r.u32()? as usize;
+                    chunks.push(*manifest.get(idx).ok_or(WireError::TooLarge)?);
+                }
+                if chunks.iter().map(|c| c.len as u64).sum::<u64>() != len {
+                    return Err(WireError::TooLarge);
+                }
+                files.push((
+                    name,
+                    FileRec {
+                        len,
+                        digest,
+                        chunks,
+                    },
+                ));
+            }
+            r.expect_end()?;
+            Ok((description, files))
+        };
+        let (description, files) = parse().map_err(|_| SemError::BadState)?;
+        // Retain the new references before releasing the old: shared
+        // chunks must never dip to zero in between. Any chunk the store
+        // does not actually hold fails the install (the protocol layer
+        // then falls back to a full state transfer).
+        let mut retained: Vec<ChunkRef> = Vec::new();
+        {
+            let mut s = self.store.borrow_mut();
+            for (_, rec) in &files {
+                for r in &rec.chunks {
+                    if !s.retain(&r.id) {
+                        for u in &retained {
+                            s.release(&u.id);
+                        }
+                        return Err(SemError::BadState);
+                    }
+                    retained.push(*r);
+                }
+            }
+        }
+        self.description = description;
+        for rec in self.files.values() {
+            release_chunks(&self.store, &rec.chunks);
+        }
+        self.files = files.into_iter().collect();
+        self.log.reset();
         self.gen += 1;
         Ok(())
     }
@@ -497,5 +674,158 @@ mod tests {
         expect.put_u64(3);
         expect.put_raw(&[7; 32]);
         assert_eq!(files.to_bytes(), expect.finish());
+    }
+
+    /// A deterministic pseudo-random payload.
+    fn patterned(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunked_round_trip_preserves_exact_bytes() {
+        let store = new_store();
+        let mut a = PackageDso::new();
+        a.attach_chunks(&store);
+        a.dispatch(&PackageInterface::SET_META.invocation(&Meta {
+            description: "emacs".into(),
+        }))
+        .unwrap();
+        add(&mut a, "big.bin", &patterned(20_000, 1));
+        add(&mut a, "small.txt", b"tiny");
+        let (skeleton, manifest) = DsoState::save_chunked(&a).unwrap();
+
+        let mut b = PackageDso::new();
+        b.attach_chunks(&store);
+        DsoState::restore_chunked(&mut b, &skeleton, &manifest).unwrap();
+        assert_eq!(b.get_state(), a.get_state());
+        let raw = b
+            .dispatch(&PackageInterface::GET_FILE.invocation(&GetFile {
+                name: "big.bin".into(),
+            }))
+            .unwrap();
+        let blob = PackageInterface::GET_FILE.decode_result(&raw).unwrap();
+        assert_eq!(blob.verified().unwrap(), patterned(20_000, 1));
+    }
+
+    #[test]
+    fn identical_content_is_stored_once_across_packages() {
+        let store = new_store();
+        let shared = patterned(40_000, 2);
+        let mut a = PackageDso::new();
+        a.attach_chunks(&store);
+        add(&mut a, "lib.so", &shared);
+        let resident_after_one = store.borrow().resident_bytes();
+
+        let mut b = PackageDso::new();
+        b.attach_chunks(&store);
+        add(&mut b, "lib.so", &shared);
+        // The second package re-uses every chunk of the first.
+        assert_eq!(store.borrow().resident_bytes(), resident_after_one);
+        assert!(store.borrow().stats().bytes_deduped >= shared.len() as u64);
+    }
+
+    #[test]
+    fn refcounts_keep_shared_chunks_alive_until_last_release() {
+        let store = new_store();
+        let shared = patterned(10_000, 3);
+        let mut a = PackageDso::new();
+        a.attach_chunks(&store);
+        add(&mut a, "f", &shared);
+        let mut b = PackageDso::new();
+        b.attach_chunks(&store);
+        add(&mut b, "f", &shared);
+
+        // Package A removes its copy: the chunks stay (B still holds
+        // them) ...
+        a.dispatch(&PackageInterface::REMOVE_FILE.invocation(&RemoveFile { name: "f".into() }))
+            .unwrap();
+        let raw = b
+            .dispatch(&PackageInterface::GET_FILE.invocation(&GetFile { name: "f".into() }))
+            .unwrap();
+        let blob = PackageInterface::GET_FILE.decode_result(&raw).unwrap();
+        assert_eq!(blob.verified().unwrap(), shared);
+        // ... and dropping B frees them.
+        drop(b);
+        assert_eq!(store.borrow().resident_bytes(), 0);
+    }
+
+    #[test]
+    fn two_versions_sharing_content_dedup_on_restore() {
+        let store = new_store();
+        // v1: ten files. v2: one file changed, nine identical.
+        let mut v1 = PackageDso::new();
+        v1.attach_chunks(&store);
+        for i in 0..10 {
+            add(&mut v1, &format!("f{i}"), &patterned(8_192, 10 + i));
+        }
+        let (sk1, m1) = DsoState::save_chunked(&v1).unwrap();
+        let mut v2 = PackageDso::new();
+        v2.attach_chunks(&store);
+        for i in 0..10 {
+            let seed = if i == 9 { 99 } else { 10 + i };
+            add(&mut v2, &format!("f{i}"), &patterned(8_192, seed));
+        }
+        let (sk2, m2) = DsoState::save_chunked(&v2).unwrap();
+
+        // A receiver installing v1 then v2 against one store re-stores
+        // only the changed tenth.
+        let rx_store = new_store();
+        let mut rx = PackageDso::new();
+        rx.attach_chunks(&rx_store);
+        for r in &m1 {
+            rx_store
+                .borrow_mut()
+                .insert(store.borrow().get(&r.id).unwrap());
+        }
+        DsoState::restore_chunked(&mut rx, &sk1, &m1).unwrap();
+        let before = rx_store.borrow().stats();
+        for r in &m2 {
+            let data = store.borrow().get(&r.id).unwrap().to_vec();
+            rx_store.borrow_mut().insert(&data);
+        }
+        DsoState::restore_chunked(&mut rx, &sk2, &m2).unwrap();
+        let after = rx_store.borrow().stats();
+        let new_bytes = after.bytes_stored - before.bytes_stored;
+        let dedup_bytes = after.bytes_deduped - before.bytes_deduped;
+        let total: u64 = m2.iter().map(|r| r.len as u64).sum();
+        assert!(
+            new_bytes <= total / 5,
+            "v2 re-stored {new_bytes} of {total} bytes"
+        );
+        assert!(
+            dedup_bytes as f64 / total as f64 >= 0.85,
+            "dedup ratio too low: {dedup_bytes}/{total}"
+        );
+        assert_eq!(rx.get_state(), v2.get_state());
+    }
+
+    #[test]
+    fn restore_chunked_rejects_absent_chunks_without_leaking_refs() {
+        let store = new_store();
+        let mut a = PackageDso::new();
+        a.attach_chunks(&store);
+        add(&mut a, "f", &patterned(9_000, 4));
+        let (skeleton, manifest) = DsoState::save_chunked(&a).unwrap();
+
+        // A store that holds only the first chunk of the manifest.
+        let partial = new_store();
+        partial
+            .borrow_mut()
+            .insert(store.borrow().get(&manifest[0].id).unwrap());
+        let mut b = PackageDso::new();
+        b.attach_chunks(&partial);
+        assert!(DsoState::restore_chunked(&mut b, &skeleton, &manifest).is_err());
+        // The failed install released its provisional reference (the
+        // rollback may free the cache entry outright: refs hit zero).
+        assert_eq!(partial.borrow().refs(&manifest[0].id).unwrap_or(0), 0);
+        assert_eq!(b.num_files(), 0);
     }
 }

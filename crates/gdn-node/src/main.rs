@@ -8,10 +8,16 @@
 //! Subcommands:
 //!
 //! - `serve <config> <host> [secs]` — run one node (forever, or for
-//!   `secs` seconds). Prints `READY` once its services are listening.
-//! - `publish <config> <driver-host> <name> <content> <gos-host>...` —
-//!   drive a moderator publish of a one-file package replicated on the
-//!   given object servers (first is the master); prints the object id.
+//!   `secs` seconds, printing its metric counters to stderr on exit).
+//!   Prints `READY` once its services are listening.
+//! - `publish [--chunked] <config> <driver-host> <name> <content>
+//!   <gos-host>...` — drive a moderator publish of a one-file package
+//!   replicated on the given object servers (first is the master);
+//!   prints the object id. With `--chunked` the replicas propagate by
+//!   content-addressed chunk announcements instead of full states.
+//! - `addfile <config> <driver-host> <oid> <file> <content> [bytes]` —
+//!   add or replace one file in a published package (the oid a publish
+//!   printed), with `content` cycled out to `bytes` length when given.
 //! - `get <config> <client-host> <server-host> <path> [expect]` — fetch
 //!   `path` from a node's HTTPD with a plain TCP client; prints the
 //!   body, exits non-zero unless the status is 200 (and the body
@@ -25,7 +31,9 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use gdn_core::{GdnDeployment, GdnOptions, HttpRequest, HttpResponse, ModEvent, ModOp, Scenario};
+use gdn_core::{
+    GdnDeployment, GdnOptions, HttpRequest, HttpResponse, ModEvent, ModOp, ObjectId, Scenario,
+};
 use globe_net::tcp::{encode_source, frame};
 use globe_net::{ports, Endpoint, HostId, TcpTransport, Transport};
 use globe_rts::PropagationMode;
@@ -35,7 +43,8 @@ use config::NodeConfig;
 
 const USAGE: &str = "\
 usage: gdn-node serve   <config> <host> [secs]
-       gdn-node publish <config> <driver-host> <name> <content> <gos-host>...
+       gdn-node publish [--chunked] <config> <driver-host> <name> <content> <gos-host>...
+       gdn-node addfile <config> <driver-host> <oid> <file> <content> [bytes]
        gdn-node get     <config> <client-host> <server-host> <path> [expect]
 hosts may be numeric ids or names from the config file";
 
@@ -44,6 +53,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
         Some("publish") => cmd_publish(&args[1..]),
+        Some("addfile") => cmd_addfile(&args[1..]),
         Some("get") => cmd_get(&args[1..]),
         _ => Err(USAGE.to_owned()),
     };
@@ -141,7 +151,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Drives one moderator operation to completion over the transport and
+/// returns its event. The moderator needs the serve processes up:
+/// binds, replica creation and the name registration all cross real
+/// sockets.
+fn run_mod_op(cfg: &NodeConfig, driver: HostId, op: ModOp) -> Result<ModEvent, String> {
+    let mut transport = transport_for(cfg, driver);
+    let gdn = GdnDeployment::install(&mut transport, options_for(cfg));
+    let tool = gdn.moderator_tool(transport.topology(), driver, "gdn-node", vec![op]);
+    (&mut transport as &mut dyn Transport).add_service(driver, ports::DRIVER, tool);
+    transport.start();
+    transport.run_while(Duration::from_secs(60), |t| {
+        t.service::<gdn_core::ModeratorTool>(driver, ports::DRIVER)
+            .is_some_and(|tool| tool.results.is_empty())
+    });
+    let tool = transport
+        .service::<gdn_core::ModeratorTool>(driver, ports::DRIVER)
+        .expect("moderator tool installed above");
+    tool.results
+        .first()
+        .cloned()
+        .ok_or_else(|| "moderator operation timed out after 60s".to_owned())
+}
+
 fn cmd_publish(args: &[String]) -> Result<(), String> {
+    let (chunked, args) = match args.first().map(String::as_str) {
+        Some("--chunked") => (true, &args[1..]),
+        _ => (false, args),
+    };
     let [cfg_path, driver, name, content, gos @ ..] = args else {
         return Err(USAGE.to_owned());
     };
@@ -158,12 +195,15 @@ fn cmd_publish(args: &[String]) -> Result<(), String> {
         })
         .collect::<Result<_, _>>()?;
 
-    let mut transport = transport_for(&cfg, driver);
-    let gdn = GdnDeployment::install(&mut transport, options_for(&cfg));
+    let mode = if chunked {
+        PropagationMode::PushChunks
+    } else {
+        PropagationMode::PushState
+    };
     let scenario = if replicas.len() == 1 {
         Scenario::single(replicas[0])
     } else {
-        Scenario::master_slave(replicas, PropagationMode::PushState)
+        Scenario::master_slave(replicas, mode)
     };
     let op = ModOp::Publish {
         name: name.clone(),
@@ -171,29 +211,54 @@ fn cmd_publish(args: &[String]) -> Result<(), String> {
         files: vec![("index.txt".to_owned(), content.clone().into_bytes())],
         scenario,
     };
-    let tool = gdn.moderator_tool(transport.topology(), driver, "gdn-node", vec![op]);
-    (&mut transport as &mut dyn Transport).add_service(driver, ports::DRIVER, tool);
-    transport.start();
-
-    // The moderator needs the serve processes up: binds, replica
-    // creation and the name registration all cross real sockets.
-    transport.run_while(Duration::from_secs(60), |t| {
-        t.service::<gdn_core::ModeratorTool>(driver, ports::DRIVER)
-            .is_some_and(|tool| tool.results.is_empty())
-    });
-    let tool = transport
-        .service::<gdn_core::ModeratorTool>(driver, ports::DRIVER)
-        .expect("moderator tool installed above");
-    match tool.results.first() {
-        Some(ModEvent::PublishDone {
+    match run_mod_op(&cfg, driver, op)? {
+        ModEvent::PublishDone {
             result: Ok(oid), ..
-        }) => {
+        } => {
             println!("published {name} as {oid}");
             Ok(())
         }
-        Some(ModEvent::PublishDone { result: Err(e), .. }) => Err(format!("publish failed: {e}")),
-        Some(other) => Err(format!("unexpected moderator event: {other:?}")),
-        None => Err("publish timed out after 60s".to_owned()),
+        ModEvent::PublishDone { result: Err(e), .. } => Err(format!("publish failed: {e}")),
+        other => Err(format!("unexpected moderator event: {other:?}")),
+    }
+}
+
+fn cmd_addfile(args: &[String]) -> Result<(), String> {
+    let [cfg_path, driver, oid, file, content, rest @ ..] = args else {
+        return Err(USAGE.to_owned());
+    };
+    let size: Option<usize> = match rest {
+        [] => None,
+        [s] => Some(s.parse().map_err(|_| format!("bad byte count {s:?}"))?),
+        _ => return Err(USAGE.to_owned()),
+    };
+    let cfg = NodeConfig::load(Path::new(cfg_path))?;
+    let driver = cfg.resolve_host(driver)?;
+    let oid = u128::from_str_radix(oid, 16)
+        .map(ObjectId)
+        .map_err(|_| format!("bad object id {oid:?} (expect the hex a publish printed)"))?;
+    if content.is_empty() {
+        return Err("content must be non-empty".to_owned());
+    }
+    let mut data = Vec::new();
+    let target = size.unwrap_or(content.len());
+    while data.len() < target {
+        data.extend_from_slice(content.as_bytes());
+    }
+    data.truncate(target);
+
+    let op = ModOp::AddFile {
+        oid,
+        file: file.clone(),
+        data,
+    };
+    match run_mod_op(&cfg, driver, op)? {
+        ModEvent::OpDone { result: Ok(()) } => {
+            println!("added {file} ({target} bytes) to {oid}");
+            Ok(())
+        }
+        ModEvent::OpDone { result: Err(e) } => Err(format!("addFile failed: {e}")),
+        other => Err(format!("unexpected moderator event: {other:?}")),
     }
 }
 

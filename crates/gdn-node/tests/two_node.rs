@@ -171,6 +171,132 @@ fn two_processes_replicate_and_serve_a_package() {
     std::fs::remove_file(&config).ok();
 }
 
+/// The content-addressed path over real sockets: a chunked package
+/// replicates master → slave by chunk announcements, a version upgrade
+/// re-ships only the file that changed, and a file whose bytes the
+/// slave already holds transfers nothing — asserted from the slave
+/// process's chunk-store counters, which `serve <secs>` prints on
+/// exit.
+#[test]
+fn chunked_upgrade_transfers_only_missing_chunks() {
+    let config = write_config("chunked");
+    let (b0, b1, _) = port_bases();
+
+    let serve = |host: &str| {
+        bin()
+            .arg("serve")
+            .arg(&config)
+            .arg(host)
+            .arg("90")
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn gdn-node serve")
+    };
+    let _alpha = Node(serve("alpha"));
+    let beta = serve("beta");
+    wait_listening(b0 + 80, "alpha");
+    wait_listening(b1 + 80, "beta");
+
+    // v1: one small file, master on alpha, chunked slave on beta.
+    let out = bin()
+        .arg("publish")
+        .arg("--chunked")
+        .arg(&config)
+        .args([
+            "drv",
+            "/apps/chunked-demo",
+            "chunked-v1-index",
+            "alpha",
+            "beta",
+        ])
+        .output()
+        .expect("run gdn-node publish");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "publish failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    let oid = stdout
+        .split_whitespace()
+        .last()
+        .expect("publish printed an oid")
+        .to_owned();
+
+    let addfile = |file: &str, content: &str, bytes: &str| {
+        let out = bin()
+            .arg("addfile")
+            .arg(&config)
+            .args(["drv", &oid, file, content, bytes])
+            .output()
+            .expect("run gdn-node addfile");
+        assert!(
+            out.status.success(),
+            "addfile {file} failed\nstdout: {}\nstderr: {}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    // v2: two 8 KiB parts (two chunk-store chunks each) the slave must
+    // fetch, then a third file that duplicates part-a byte for byte —
+    // its chunks are already in beta's store, so announcing it must
+    // transfer no chunk data.
+    addfile("part-a", "alpha-part-payload-", "8192");
+    addfile("part-b", "beta-part-payload-", "8192");
+    addfile("dup-of-a", "alpha-part-payload-", "8192");
+
+    // Every file reads fresh through the slave before we count bytes.
+    for (file, needle) in [
+        ("part-a", "alpha-part-payload-"),
+        ("part-b", "beta-part-payload-"),
+        ("dup-of-a", "alpha-part-payload-"),
+        ("index.txt", "chunked-v1-index"),
+    ] {
+        http_get_fresh(
+            &config,
+            "beta",
+            &format!("/pkg/apps/chunked-demo?file={file}"),
+            needle,
+        );
+    }
+
+    // Let the serve window expire, then read the slave's counters.
+    let out = beta.wait_with_output().expect("wait for beta");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let metric = |name: &str| -> u64 {
+        stderr
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("metric {name} = ")))
+            .map_or(0, |v| v.trim().parse().expect("metric value"))
+    };
+
+    let fetched = metric("rts.chunks.bytes_fetched");
+    let hits = metric("rts.chunks.announce_hits");
+    let misses = metric("rts.chunks.announce_misses");
+    // The slave held dup-of-a's two 4 KiB chunks from part-a: an
+    // announce hit per chunk, and the fetched volume stays near the
+    // genuinely new content (part-a + part-b + index + metadata).
+    assert!(
+        hits >= 2,
+        "expected announce hits for duplicate chunks, got {hits}"
+    );
+    assert!(
+        misses >= 4,
+        "expected announce misses for new chunks, got {misses}"
+    );
+    assert!(
+        fetched >= 16 * 1024,
+        "slave fetched too little for the new parts: {fetched} bytes"
+    );
+    assert!(
+        fetched < 24 * 1024,
+        "slave re-fetched duplicate chunks: {fetched} bytes (dedup broken)"
+    );
+
+    std::fs::remove_file(&config).ok();
+}
+
 /// `get` against a node that is not running reports failure instead of
 /// hanging: the connect is refused immediately on loopback.
 #[test]

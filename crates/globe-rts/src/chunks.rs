@@ -1,0 +1,500 @@
+//! Content-addressed chunk storage: the compact-distribution substrate.
+//!
+//! Package-style DSOs split file contents into fixed-size,
+//! content-addressed chunks (SHA-256) and keep only *references* in
+//! their replicated state; the bytes live in one per-runtime
+//! [`ChunkStore`] shared by every local representative on the host.
+//! Two consequences fall out of that split:
+//!
+//! - **dedup** — identical content stores once, across versions of one
+//!   package *and* across unrelated packages on the same host;
+//! - **compact propagation** — a master can announce a new version as a
+//!   chunk manifest (`ChunkAnnounce`), and a receiver diffs the
+//!   manifest against its store and fetches only the chunks it lacks
+//!   (BIP-152-style compact relay; see `protocols.rs`).
+//!
+//! Chunks are refcounted: a semantics subobject retains every chunk its
+//! state references and releases them when the reference goes away
+//! (file replaced/removed, state reinstalled, object dropped). A chunk
+//! is freed only when its last retainer lets go; chunks inserted but
+//! never retained (e.g. fetched ahead of an install that then failed)
+//! linger as cache until the store is dropped — wasted memory at worst,
+//! never a dangling reference.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use globe_crypto::sha256::sha256;
+use globe_net::{WireError, WireReader, WireWriter};
+use std::collections::BTreeMap;
+
+/// Fixed chunk size. Small enough that single-file edits in sweep-sized
+/// packages (a few KB per file) re-ship only the touched chunks, large
+/// enough that manifest overhead (40 bytes/chunk announced, 12 on the
+/// wire) stays below ~1%.
+pub const CHUNK_SIZE: usize = 4096;
+
+/// Small-tail rule: a final fragment shorter than this merges into the
+/// previous chunk instead of becoming its own (the last chunk of a
+/// payload may be up to `CHUNK_SIZE + TAIL_MIN - 1` bytes).
+pub const TAIL_MIN: usize = CHUNK_SIZE / 2;
+
+/// A chunk's content address: the SHA-256 of its bytes.
+pub type ChunkId = [u8; 32];
+
+/// Computes a chunk's content address.
+pub fn chunk_id(data: &[u8]) -> ChunkId {
+    sha256(data)
+}
+
+/// The compact 8-byte prefix of a chunk id used in announcements
+/// (full ids would quintuple manifest bytes). A prefix collision makes
+/// a receiver *skip fetching* a chunk it actually lacks — caught at
+/// install time because manifests carry full ids, and vanishingly rare
+/// (2⁻⁶⁴ per pair) since the prefix is half a cryptographic hash.
+pub fn short_id(id: &ChunkId) -> u64 {
+    u64::from_be_bytes(id[..8].try_into().unwrap())
+}
+
+/// A reference to one stored chunk: full content address plus length.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ChunkRef {
+    /// The chunk's content address.
+    pub id: ChunkId,
+    /// The chunk's length in bytes.
+    pub len: u32,
+}
+
+impl ChunkRef {
+    /// Serializes into `w`.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.put_raw(&self.id);
+        w.put_u32(self.len);
+    }
+
+    /// Deserializes from `r`.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<ChunkRef, WireError> {
+        let mut id = [0u8; 32];
+        id.copy_from_slice(r.raw(32)?);
+        Ok(ChunkRef { id, len: r.u32()? })
+    }
+}
+
+impl crate::interface::WireCodec for ChunkRef {
+    fn encode(&self, w: &mut WireWriter) {
+        ChunkRef::encode(self, w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        ChunkRef::decode(r)
+    }
+}
+
+/// Splits a payload at the fixed chunk boundaries, merging a small tail
+/// into the last chunk (see [`TAIL_MIN`]). Empty payloads have no
+/// chunks.
+pub fn split(data: &[u8]) -> Vec<&[u8]> {
+    let mut out = Vec::with_capacity(data.len() / CHUNK_SIZE + 1);
+    let mut rest = data;
+    while rest.len() >= CHUNK_SIZE + TAIL_MIN {
+        let (head, tail) = rest.split_at(CHUNK_SIZE);
+        out.push(head);
+        rest = tail;
+    }
+    if !rest.is_empty() {
+        out.push(rest);
+    }
+    out
+}
+
+/// Cumulative activity counters of a [`ChunkStore`]. All counters are
+/// monotone (bytes_stored counts everything ever inserted, not resident
+/// bytes); the runtime drains per-dispatch deltas into its metrics
+/// registry.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct ChunkStats {
+    /// Distinct chunks inserted (first sight of the content).
+    pub stored: u64,
+    /// Bytes of those first-sight inserts.
+    pub bytes_stored: u64,
+    /// Inserts that found the content already present.
+    pub dedup_hits: u64,
+    /// Bytes those hits did *not* re-store: the dedup win.
+    pub bytes_deduped: u64,
+    /// Chunks inserted via the fetch path (network-received bytes).
+    pub fetched: u64,
+    /// Bytes inserted via the fetch path.
+    pub bytes_fetched: u64,
+    /// Announcement manifest entries already present locally
+    /// (fetches avoided by compact propagation).
+    pub announce_hits: u64,
+    /// Announcement manifest entries not present (fetched next).
+    pub announce_misses: u64,
+    /// Chunks freed when their last retainer released them.
+    pub released: u64,
+}
+
+struct ChunkEntry {
+    data: Vec<u8>,
+    refs: u64,
+}
+
+/// The per-runtime content-addressed chunk store (see module docs).
+#[derive(Default)]
+pub struct ChunkStore {
+    entries: BTreeMap<ChunkId, ChunkEntry>,
+    /// Short-id index for announcement diffing; first insert wins on
+    /// the (astronomically unlikely) prefix collision — the loser just
+    /// gets re-fetched, full ids keep installs correct.
+    short: BTreeMap<u64, ChunkId>,
+    resident_bytes: u64,
+    stats: ChunkStats,
+    drained: ChunkStats,
+}
+
+impl ChunkStore {
+    /// Creates an empty store.
+    pub fn new() -> ChunkStore {
+        ChunkStore::default()
+    }
+
+    /// Inserts chunk content (no-op if already present) and returns its
+    /// reference. The chunk starts (or stays) at its current refcount;
+    /// callers that hold the reference must [`ChunkStore::retain`] it.
+    pub fn insert(&mut self, data: &[u8]) -> ChunkRef {
+        let id = chunk_id(data);
+        let len = data.len() as u32;
+        if self.entries.contains_key(&id) {
+            self.stats.dedup_hits += 1;
+            self.stats.bytes_deduped += len as u64;
+        } else {
+            self.stats.stored += 1;
+            self.stats.bytes_stored += len as u64;
+            self.resident_bytes += len as u64;
+            self.entries.insert(
+                id,
+                ChunkEntry {
+                    data: data.to_vec(),
+                    refs: 0,
+                },
+            );
+            self.short.entry(short_id(&id)).or_insert(id);
+        }
+        ChunkRef { id, len }
+    }
+
+    /// [`ChunkStore::insert`] for network-received chunk bytes; also
+    /// counts the fetch-path stats the compact-propagation experiments
+    /// report.
+    pub fn insert_fetched(&mut self, data: &[u8]) -> ChunkRef {
+        self.stats.fetched += 1;
+        self.stats.bytes_fetched += data.len() as u64;
+        self.insert(data)
+    }
+
+    /// Takes one reference on a stored chunk. Returns `false` (and does
+    /// nothing) if the chunk is not present.
+    pub fn retain(&mut self, id: &ChunkId) -> bool {
+        match self.entries.get_mut(id) {
+            Some(e) => {
+                e.refs += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops one reference; frees the chunk when the last reference
+    /// goes away. Unreferenced (never-retained) chunks are not freed —
+    /// they are cache, not garbage.
+    pub fn release(&mut self, id: &ChunkId) {
+        let Some(e) = self.entries.get_mut(id) else {
+            return;
+        };
+        if e.refs == 0 {
+            return;
+        }
+        e.refs -= 1;
+        if e.refs == 0 {
+            let len = self.entries.remove(id).map(|e| e.data.len()).unwrap_or(0);
+            self.resident_bytes -= len as u64;
+            self.stats.released += 1;
+            if self.short.get(&short_id(id)) == Some(id) {
+                self.short.remove(&short_id(id));
+            }
+        }
+    }
+
+    /// The stored bytes of a chunk.
+    pub fn get(&self, id: &ChunkId) -> Option<&[u8]> {
+        self.entries.get(id).map(|e| e.data.as_slice())
+    }
+
+    /// Whether a chunk is present.
+    pub fn contains(&self, id: &ChunkId) -> bool {
+        self.entries.contains_key(id)
+    }
+
+    /// The current refcount of a chunk (tests).
+    pub fn refs(&self, id: &ChunkId) -> Option<u64> {
+        self.entries.get(id).map(|e| e.refs)
+    }
+
+    /// Resolves one announcement manifest entry against the store: the
+    /// full id of a present chunk whose length also matches, `None`
+    /// when the chunk must be fetched. Counts announce hits/misses.
+    pub fn resolve_short(&mut self, short: u64, len: u32) -> Option<ChunkId> {
+        let hit = self
+            .short
+            .get(&short)
+            .copied()
+            .filter(|id| self.entries.get(id).map(|e| e.data.len() as u32) == Some(len));
+        match hit {
+            Some(id) => {
+                self.stats.announce_hits += 1;
+                Some(id)
+            }
+            None => {
+                self.stats.announce_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Number of resident chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Resident (currently stored) bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Cumulative activity counters.
+    pub fn stats(&self) -> ChunkStats {
+        self.stats
+    }
+
+    /// The counter deltas since the previous drain (the runtime feeds
+    /// these into its inc-only metrics registry).
+    pub fn drain_stats(&mut self) -> ChunkStats {
+        let d = ChunkStats {
+            stored: self.stats.stored - self.drained.stored,
+            bytes_stored: self.stats.bytes_stored - self.drained.bytes_stored,
+            dedup_hits: self.stats.dedup_hits - self.drained.dedup_hits,
+            bytes_deduped: self.stats.bytes_deduped - self.drained.bytes_deduped,
+            fetched: self.stats.fetched - self.drained.fetched,
+            bytes_fetched: self.stats.bytes_fetched - self.drained.bytes_fetched,
+            announce_hits: self.stats.announce_hits - self.drained.announce_hits,
+            announce_misses: self.stats.announce_misses - self.drained.announce_misses,
+            released: self.stats.released - self.drained.released,
+        };
+        self.drained = self.stats;
+        d
+    }
+}
+
+/// The shared handle to a runtime's chunk store. Semantics subobjects
+/// are single-threaded (they live inside one runtime dispatch loop), so
+/// a plain `Rc<RefCell<..>>` suffices.
+pub type ChunkStoreRef = Rc<RefCell<ChunkStore>>;
+
+/// Creates a fresh store handle.
+pub fn new_store() -> ChunkStoreRef {
+    Rc::new(RefCell::new(ChunkStore::new()))
+}
+
+/// Splits `data`, inserts every chunk and takes a reference on each;
+/// returns the ordered references that reassemble the payload.
+pub fn store_chunks(store: &ChunkStoreRef, data: &[u8]) -> Vec<ChunkRef> {
+    let mut s = store.borrow_mut();
+    split(data)
+        .into_iter()
+        .map(|piece| {
+            let r = s.insert(piece);
+            s.retain(&r.id);
+            r
+        })
+        .collect()
+}
+
+/// Releases one reference on each chunk of a manifest.
+pub fn release_chunks(store: &ChunkStoreRef, refs: &[ChunkRef]) {
+    let mut s = store.borrow_mut();
+    for r in refs {
+        s.release(&r.id);
+    }
+}
+
+/// Reassembles a payload from its chunk references, or `None` if any
+/// chunk is missing.
+pub fn assemble(store: &ChunkStoreRef, refs: &[ChunkRef]) -> Option<Vec<u8>> {
+    let s = store.borrow();
+    let mut out = Vec::with_capacity(refs.iter().map(|r| r.len as usize).sum());
+    for r in refs {
+        out.extend_from_slice(s.get(&r.id)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic bytes for content tests.
+    fn patterned(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_boundaries_and_tail_merge() {
+        assert!(split(&[]).is_empty());
+        for len in [
+            1,
+            CHUNK_SIZE - 1,
+            CHUNK_SIZE,
+            CHUNK_SIZE + 1,
+            CHUNK_SIZE + TAIL_MIN - 1,
+            CHUNK_SIZE + TAIL_MIN,
+            3 * CHUNK_SIZE,
+            3 * CHUNK_SIZE + 7,
+        ] {
+            let data = patterned(len, len as u64);
+            let pieces = split(&data);
+            // Every piece respects the size rules...
+            for (i, p) in pieces.iter().enumerate() {
+                if i + 1 < pieces.len() {
+                    assert_eq!(p.len(), CHUNK_SIZE);
+                } else {
+                    assert!(
+                        p.len() < CHUNK_SIZE + TAIL_MIN,
+                        "tail too large at len {len}"
+                    );
+                    assert!(!p.is_empty());
+                }
+            }
+            // ...and concatenation reproduces the input exactly.
+            assert_eq!(pieces.concat(), data, "round trip failed at len {len}");
+        }
+        // The tail-merge rule specifically: a tail below TAIL_MIN rides
+        // in the last chunk instead of becoming its own.
+        let just_under = patterned(CHUNK_SIZE + TAIL_MIN - 1, 9);
+        assert_eq!(split(&just_under).len(), 1);
+        let at_limit = patterned(CHUNK_SIZE + TAIL_MIN, 9);
+        assert_eq!(split(&at_limit).len(), 2);
+    }
+
+    /// Property sweep: chunking round-trips exact bytes through the
+    /// store for many pseudo-random sizes and contents.
+    #[test]
+    fn store_round_trip_property() {
+        let store = new_store();
+        let mut x: u64 = 0xA5A5_1234;
+        for i in 0..60 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let len = (x % (4 * CHUNK_SIZE as u64 + 3)) as usize;
+            let data = patterned(len, x ^ i);
+            let refs = store_chunks(&store, &data);
+            assert_eq!(assemble(&store, &refs).as_deref(), Some(data.as_slice()));
+        }
+    }
+
+    #[test]
+    fn identical_content_identical_ids_and_dedup() {
+        let store = new_store();
+        let data = patterned(3 * CHUNK_SIZE, 7);
+        let a = store_chunks(&store, &data);
+        let b = store_chunks(&store, &data);
+        assert_eq!(a, b, "identical content must yield identical ids");
+        let st = store.borrow().stats();
+        assert_eq!(st.stored, 3);
+        assert_eq!(st.dedup_hits, 3);
+        assert_eq!(st.bytes_deduped, 3 * CHUNK_SIZE as u64);
+        assert_eq!(store.borrow().chunk_count(), 3);
+        // Different content stores separately.
+        let c = store_chunks(&store, &patterned(3 * CHUNK_SIZE, 8));
+        assert_ne!(a[0].id, c[0].id);
+        assert_eq!(store.borrow().chunk_count(), 6);
+    }
+
+    #[test]
+    fn refcount_never_frees_a_live_chunk() {
+        let store = new_store();
+        let data = patterned(CHUNK_SIZE, 3);
+        let a = store_chunks(&store, &data); // holder 1
+        let b = store_chunks(&store, &data); // holder 2 (same chunk)
+        assert_eq!(store.borrow().refs(&a[0].id), Some(2));
+        release_chunks(&store, &a);
+        // Still live: holder 2's reference keeps it.
+        assert!(store.borrow().contains(&b[0].id));
+        assert_eq!(assemble(&store, &b).as_deref(), Some(data.as_slice()));
+        release_chunks(&store, &b);
+        // Last reference gone: freed.
+        assert!(!store.borrow().contains(&b[0].id));
+        assert_eq!(store.borrow().resident_bytes(), 0);
+        assert_eq!(store.borrow().stats().released, 1);
+        // Over-release of an unknown / unreferenced chunk is a no-op.
+        release_chunks(&store, &b);
+    }
+
+    #[test]
+    fn unretained_inserts_linger_as_cache() {
+        let store = new_store();
+        let r = store.borrow_mut().insert(&patterned(100, 1));
+        store.borrow_mut().release(&r.id);
+        assert!(store.borrow().contains(&r.id), "cache entry must survive");
+    }
+
+    #[test]
+    fn resolve_short_checks_presence_and_length() {
+        let store = new_store();
+        let data = patterned(CHUNK_SIZE, 5);
+        let refs = store_chunks(&store, &data);
+        let s = short_id(&refs[0].id);
+        assert_eq!(
+            store.borrow_mut().resolve_short(s, refs[0].len),
+            Some(refs[0].id)
+        );
+        // Length mismatch: treated as missing (fetch it).
+        assert_eq!(store.borrow_mut().resolve_short(s, refs[0].len + 1), None);
+        assert_eq!(store.borrow_mut().resolve_short(s ^ 1, refs[0].len), None);
+        let st = store.borrow().stats();
+        assert_eq!((st.announce_hits, st.announce_misses), (1, 2));
+    }
+
+    #[test]
+    fn stats_drain_returns_deltas() {
+        let store = new_store();
+        store_chunks(&store, &patterned(CHUNK_SIZE, 2));
+        let d1 = store.borrow_mut().drain_stats();
+        assert_eq!(d1.stored, 1);
+        let d2 = store.borrow_mut().drain_stats();
+        assert_eq!(d2, ChunkStats::default());
+        store_chunks(&store, &patterned(CHUNK_SIZE, 2));
+        let d3 = store.borrow_mut().drain_stats();
+        assert_eq!(d3.dedup_hits, 1);
+        assert_eq!(d3.stored, 0);
+    }
+
+    #[test]
+    fn chunk_ref_round_trip() {
+        let r = ChunkRef {
+            id: [9; 32],
+            len: 4096,
+        };
+        let mut w = WireWriter::new();
+        r.encode(&mut w);
+        let buf = w.finish();
+        let mut rd = WireReader::new(&buf);
+        assert_eq!(ChunkRef::decode(&mut rd).unwrap(), r);
+        rd.expect_end().unwrap();
+    }
+}

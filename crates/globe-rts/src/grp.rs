@@ -41,6 +41,12 @@ pub enum PropagationMode {
     /// splice it into their copy, falling back to a full state fetch on
     /// version gaps or when the class keeps no mutation log.
     PushDelta,
+    /// Announce each new version as a content-addressed chunk manifest
+    /// ([`GrpBody::ChunkAnnounce`]); slaves diff the manifest against
+    /// their host's chunk store and fetch only missing chunks, falling
+    /// back to a full state fetch when the class keeps no chunked state
+    /// or a fetch stalls.
+    PushChunks,
 }
 
 impl PropagationMode {
@@ -51,6 +57,7 @@ impl PropagationMode {
             PropagationMode::Invalidate => 1,
             PropagationMode::ApplyOps => 2,
             PropagationMode::PushDelta => 3,
+            PropagationMode::PushChunks => 4,
         }
     }
 
@@ -61,6 +68,7 @@ impl PropagationMode {
             1 => PropagationMode::Invalidate,
             2 => PropagationMode::ApplyOps,
             3 => PropagationMode::PushDelta,
+            4 => PropagationMode::PushChunks,
             other => return Err(WireError::BadTag(other)),
         })
     }
@@ -225,6 +233,45 @@ pub enum GrpBody {
         /// answered with full state).
         epoch: u64,
     },
+    /// Master→slave compact version announcement (`PushChunks`): the
+    /// new version described as a small skeleton plus an ordered chunk
+    /// manifest of `(short id, length)` pairs. A receiver diffs the
+    /// manifest against its host's content-addressed chunk store and
+    /// requests only the chunks it lacks ([`GrpBody::ChunkRequest`]) —
+    /// BIP-152-style compact relay for package content.
+    ChunkAnnounce {
+        /// The announced state version.
+        version: u64,
+        /// The announcer's version lineage (see [`GrpBody::Delta`]).
+        epoch: u64,
+        /// The class's chunk-free structural state, referencing content
+        /// by manifest index.
+        skeleton: Vec<u8>,
+        /// Per manifest position: the chunk id's 8-byte short form and
+        /// the chunk length. Full ids travel only with chunk bytes.
+        chunks: Vec<(u64, u32)>,
+    },
+    /// Receiver→announcer: fetch the manifest chunks the receiver
+    /// lacks, named by index into the announced manifest.
+    ChunkRequest {
+        /// Correlation id, echoed in [`GrpBody::ChunkData`].
+        req: u64,
+        /// The announced version the indexes refer to.
+        version: u64,
+        /// Manifest positions to ship.
+        indexes: Vec<u32>,
+    },
+    /// Announcer→receiver: the requested chunk bytes. A responder that
+    /// has moved past the requested version answers with a fresh
+    /// [`GrpBody::ChunkAnnounce`] instead.
+    ChunkData {
+        /// Echoes the request id.
+        req: u64,
+        /// The version the chunks belong to.
+        version: u64,
+        /// `(manifest index, chunk bytes)` pairs.
+        chunks: Vec<(u32, Vec<u8>)>,
+    },
 }
 
 impl GrpBody {
@@ -240,6 +287,9 @@ impl GrpBody {
             GrpBody::Apply { .. } => 8,
             GrpBody::Delta { .. } => 9,
             GrpBody::Refresh { .. } => 10,
+            GrpBody::ChunkAnnounce { .. } => 11,
+            GrpBody::ChunkRequest { .. } => 12,
+            GrpBody::ChunkData { .. } => 13,
         }
     }
 
@@ -254,6 +304,8 @@ impl GrpBody {
                 | GrpBody::Apply { .. }
                 | GrpBody::Hello { .. }
                 | GrpBody::Delta { .. }
+                | GrpBody::ChunkAnnounce { .. }
+                | GrpBody::ChunkData { .. }
         )
     }
 }
@@ -339,6 +391,46 @@ impl GrpMsg {
                 w.put_u64(*have_version);
                 w.put_u64(*epoch);
             }
+            GrpBody::ChunkAnnounce {
+                version,
+                epoch,
+                skeleton,
+                chunks,
+            } => {
+                w.put_u64(*version);
+                w.put_u64(*epoch);
+                w.put_bytes(skeleton);
+                w.put_u32(chunks.len() as u32);
+                for (short, len) in chunks {
+                    w.put_u64(*short);
+                    w.put_u32(*len);
+                }
+            }
+            GrpBody::ChunkRequest {
+                req,
+                version,
+                indexes,
+            } => {
+                w.put_u64(*req);
+                w.put_u64(*version);
+                w.put_u32(indexes.len() as u32);
+                for i in indexes {
+                    w.put_u32(*i);
+                }
+            }
+            GrpBody::ChunkData {
+                req,
+                version,
+                chunks,
+            } => {
+                w.put_u64(*req);
+                w.put_u64(*version);
+                w.put_u32(chunks.len() as u32);
+                for (i, data) in chunks {
+                    w.put_u32(*i);
+                    w.put_bytes(data);
+                }
+            }
         }
         w.finish()
     }
@@ -391,6 +483,59 @@ impl GrpMsg {
                 have_version: r.u64()?,
                 epoch: r.u64()?,
             },
+            11 => {
+                let version = r.u64()?;
+                let epoch = r.u64()?;
+                let skeleton = r.bytes()?.to_vec();
+                let n = r.u32()? as usize;
+                if n > (1 << 20) {
+                    return Err(WireError::TooLarge);
+                }
+                let mut chunks = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    chunks.push((r.u64()?, r.u32()?));
+                }
+                GrpBody::ChunkAnnounce {
+                    version,
+                    epoch,
+                    skeleton,
+                    chunks,
+                }
+            }
+            12 => {
+                let req = r.u64()?;
+                let version = r.u64()?;
+                let n = r.u32()? as usize;
+                if n > (1 << 20) {
+                    return Err(WireError::TooLarge);
+                }
+                let mut indexes = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    indexes.push(r.u32()?);
+                }
+                GrpBody::ChunkRequest {
+                    req,
+                    version,
+                    indexes,
+                }
+            }
+            13 => {
+                let req = r.u64()?;
+                let version = r.u64()?;
+                let n = r.u32()? as usize;
+                if n > (1 << 20) {
+                    return Err(WireError::TooLarge);
+                }
+                let mut chunks = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    chunks.push((r.u32()?, r.bytes()?.to_vec()));
+                }
+                GrpBody::ChunkData {
+                    req,
+                    version,
+                    chunks,
+                }
+            }
             other => return Err(WireError::BadTag(other)),
         };
         r.expect_end()?;
@@ -452,6 +597,22 @@ mod tests {
                 have_version: 13,
                 epoch: 77,
             },
+            GrpBody::ChunkAnnounce {
+                version: 16,
+                epoch: 77,
+                skeleton: vec![3; 40],
+                chunks: vec![(0xAABB, 4096), (0xCCDD, 512)],
+            },
+            GrpBody::ChunkRequest {
+                req: 7,
+                version: 16,
+                indexes: vec![1],
+            },
+            GrpBody::ChunkData {
+                req: 7,
+                version: 16,
+                chunks: vec![(1, vec![5; 512])],
+            },
         ];
         for body in bodies {
             let msg = GrpMsg { oid: 0xABCD, body };
@@ -487,6 +648,27 @@ mod tests {
             epoch: 0
         }
         .is_state_modifying());
+        // Compact propagation: announcements and chunk bytes can modify
+        // replica state; the fetch request cannot.
+        assert!(GrpBody::ChunkAnnounce {
+            version: 1,
+            epoch: 1,
+            skeleton: vec![],
+            chunks: vec![]
+        }
+        .is_state_modifying());
+        assert!(GrpBody::ChunkData {
+            req: 1,
+            version: 1,
+            chunks: vec![]
+        }
+        .is_state_modifying());
+        assert!(!GrpBody::ChunkRequest {
+            req: 1,
+            version: 1,
+            indexes: vec![]
+        }
+        .is_state_modifying());
         // Invoke is gated separately by method kind, not wholesale.
         assert!(!GrpBody::Invoke {
             req: 1,
@@ -508,6 +690,9 @@ mod tests {
             },
             RoleSpec::Master {
                 mode: PropagationMode::PushDelta,
+            },
+            RoleSpec::Master {
+                mode: PropagationMode::PushChunks,
             },
             RoleSpec::Slave {
                 master: Endpoint::new(HostId(7), 2112),

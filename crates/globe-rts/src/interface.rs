@@ -410,6 +410,27 @@ pub trait DsoState {
     fn apply_delta(&mut self, _delta: &[u8]) -> Result<(), SemError> {
         Err(SemError::DeltaUnsupported)
     }
+
+    /// Hands the class the runtime's shared chunk store (see
+    /// [`SemanticsObject::attach_chunk_store`]); classes without chunked
+    /// state ignore it.
+    fn attach_chunks(&mut self, _store: &crate::chunks::ChunkStoreRef) {}
+
+    /// Serializes the state as a skeleton + chunk manifest (see
+    /// [`SemanticsObject::save_chunked`]).
+    fn save_chunked(&self) -> Option<(Vec<u8>, Vec<crate::chunks::ChunkRef>)> {
+        None
+    }
+
+    /// Restores the state from a skeleton + chunk manifest (see
+    /// [`SemanticsObject::restore_chunked`]).
+    fn restore_chunked(
+        &mut self,
+        _skeleton: &[u8],
+        _manifest: &[crate::chunks::ChunkRef],
+    ) -> Result<(), SemError> {
+        Err(SemError::ChunksUnsupported)
+    }
 }
 
 /// Declares a DSO interface once and derives the rest.
@@ -570,6 +591,22 @@ macro_rules! dso_interface {
 
             fn apply_delta(&mut self, delta: &[u8]) -> Result<(), $crate::object::SemError> {
                 $crate::interface::DsoState::apply_delta(self, delta)
+            }
+
+            fn attach_chunk_store(&mut self, store: &$crate::chunks::ChunkStoreRef) {
+                $crate::interface::DsoState::attach_chunks(self, store)
+            }
+
+            fn save_chunked(&self) -> Option<(Vec<u8>, Vec<$crate::chunks::ChunkRef>)> {
+                $crate::interface::DsoState::save_chunked(self)
+            }
+
+            fn restore_chunked(
+                &mut self,
+                skeleton: &[u8],
+                manifest: &[$crate::chunks::ChunkRef],
+            ) -> Result<(), $crate::object::SemError> {
+                $crate::interface::DsoState::restore_chunked(self, skeleton, manifest)
             }
         }
     };

@@ -32,6 +32,7 @@
 //! scenario*, the per-object degree of freedom the whole paper is
 //! about.
 
+pub mod chunks;
 pub mod client;
 pub mod grp;
 pub mod interface;
@@ -42,6 +43,10 @@ pub mod repository;
 pub mod runtime;
 pub mod server;
 
+pub use chunks::{
+    assemble, chunk_id, new_store, release_chunks, short_id, store_chunks, ChunkId, ChunkRef,
+    ChunkStats, ChunkStore, ChunkStoreRef, CHUNK_SIZE,
+};
 pub use client::{
     ClientConfig, ClientError, ClientStats, GlobeClient, OpBuilder, OpDone, OpId, OpOutput,
     OpTarget, RetryPolicy,

@@ -88,6 +88,10 @@ pub enum SemError {
     /// The semantics class does not implement the delta API (callers
     /// fall back to full state transfer).
     DeltaUnsupported,
+    /// The semantics class does not implement the chunked-state API, or
+    /// a referenced chunk is missing from the store (callers fall back
+    /// to full state transfer).
+    ChunksUnsupported,
 }
 
 impl fmt::Display for SemError {
@@ -98,6 +102,7 @@ impl fmt::Display for SemError {
             SemError::Application(e) => write!(f, "application error: {e}"),
             SemError::BadState => write!(f, "malformed state"),
             SemError::DeltaUnsupported => write!(f, "class does not support deltas"),
+            SemError::ChunksUnsupported => write!(f, "class does not support chunked state"),
         }
     }
 }
@@ -152,6 +157,41 @@ pub trait SemanticsObject: 'static {
     /// the exact predecessor state.
     fn apply_delta(&mut self, _delta: &[u8]) -> Result<(), SemError> {
         Err(SemError::DeltaUnsupported)
+    }
+
+    // ---- optional chunked-state API (default: full-state fallback) ----
+    //
+    // Classes whose state is dominated by bulk content (package files)
+    // can keep that content in the per-runtime content-addressed
+    // [`crate::chunks::ChunkStore`] and describe themselves as a small
+    // *skeleton* plus an ordered chunk manifest. Replication protocols
+    // then propagate versions compactly: announce the manifest, ship
+    // only chunks the receiver lacks. The defaults opt a class out —
+    // protocols fall back to full state transfer.
+
+    /// Hands the class the runtime's shared chunk store. Called once by
+    /// the runtime right after instantiation, before any state is
+    /// installed. Classes that don't use chunked state ignore it.
+    fn attach_chunk_store(&mut self, _store: &crate::chunks::ChunkStoreRef) {}
+
+    /// Serializes the object as `(skeleton, manifest)`: a small
+    /// structural blob referencing chunks by manifest index, plus the
+    /// ordered chunk references resolving those indexes. All manifest
+    /// chunks are retained in the attached store. `None` when the class
+    /// keeps no chunked state.
+    fn save_chunked(&self) -> Option<(Vec<u8>, Vec<crate::chunks::ChunkRef>)> {
+        None
+    }
+
+    /// Replaces the object state from a skeleton + manifest pair whose
+    /// chunks are all present in the attached store (the protocol layer
+    /// guarantees that before calling).
+    fn restore_chunked(
+        &mut self,
+        _skeleton: &[u8],
+        _manifest: &[crate::chunks::ChunkRef],
+    ) -> Result<(), SemError> {
+        Err(SemError::ChunksUnsupported)
     }
 }
 

@@ -15,9 +15,10 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use globe_net::Endpoint;
+use globe_net::{Endpoint, WireError, WireReader, WireWriter};
 use globe_sim::{SimDuration, SimTime};
 
+use crate::chunks::{short_id, ChunkId, ChunkRef};
 use crate::grp::{protocol_id, GrpBody, PropagationMode, RoleSpec};
 use crate::object::{Invocation, MethodKind};
 use crate::replication::{InvokeError, Peer, ReplCtx, ReplicationSubobject};
@@ -130,6 +131,34 @@ impl DeltaHistory {
         }
     }
 
+    /// Forgets everything (installs break the version chain; lineage
+    /// changes make retained versions meaningless).
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Serializes for [`ReplicationSubobject::persist_extra`].
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.entries.len() as u32);
+        for (v, p) in &self.entries {
+            w.put_u64(*v);
+            w.put_bytes(p);
+        }
+    }
+
+    /// Deserializes a blob produced by [`DeltaHistory::encode`].
+    fn decode(r: &mut WireReader<'_>) -> Result<DeltaHistory, WireError> {
+        let n = r.u32()? as usize;
+        if n > 4096 {
+            return Err(WireError::TooLarge);
+        }
+        let mut entries = VecDeque::with_capacity(n.min(DELTA_HISTORY_CAP));
+        for _ in 0..n {
+            entries.push_back((r.u64()?, r.bytes()?.to_vec()));
+        }
+        Ok(DeltaHistory { entries })
+    }
+
     /// The concatenated payload advancing `have` to `current`, if every
     /// intermediate delta is retained. `have == current` yields an
     /// empty payload (a freshness confirmation).
@@ -152,6 +181,40 @@ impl DeltaHistory {
         }
         Some(payload)
     }
+}
+
+/// Serializes a protocol's delta history for
+/// [`ReplicationSubobject::persist_extra`].
+fn history_extra(history: &DeltaHistory) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    history.encode(&mut w);
+    w.finish()
+}
+
+/// Restores a delta history from a `persist_extra` blob; anything
+/// undecodable (including the empty blob of a pre-upgrade replica)
+/// degrades to a blank history — the worst case is one full-state
+/// answer that the history would have turned into a delta.
+fn history_from_extra(data: &[u8]) -> DeltaHistory {
+    let mut r = WireReader::new(data);
+    match DeltaHistory::decode(&mut r) {
+        Ok(h) if r.expect_end().is_ok() => h,
+        _ => DeltaHistory::default(),
+    }
+}
+
+/// Builds the compact [`GrpBody::ChunkAnnounce`] for the current state,
+/// or `None` when the class keeps no chunked state (callers fall back
+/// to a full [`GrpBody::Update`]).
+fn chunk_announce(c: &ReplCtx<'_>, version: u64, epoch: u64) -> Option<GrpBody> {
+    let (skeleton, manifest) = c.save_chunked()?;
+    let chunks = manifest.iter().map(|r| (short_id(&r.id), r.len)).collect();
+    Some(GrpBody::ChunkAnnounce {
+        version,
+        epoch,
+        skeleton,
+        chunks,
+    })
 }
 
 /// Answers a [`GrpBody::Refresh`]: a [`GrpBody::Delta`] when the
@@ -420,6 +483,14 @@ impl ReplicationSubobject for ServerReplica {
             _ => {}
         }
     }
+
+    fn persist_extra(&self) -> Vec<u8> {
+        history_extra(&self.history)
+    }
+
+    fn restore_extra(&mut self, data: &[u8]) {
+        self.history = history_from_extra(data);
+    }
 }
 
 /// The master of a master/slave or active object: executes writes,
@@ -493,9 +564,81 @@ impl MasterReplica {
                     state: c.state(),
                 },
             },
+            // Compact propagation: announce the manifest, slaves fetch
+            // only the chunks they lack. Falls back to a full push when
+            // the class keeps no chunked state.
+            PropagationMode::PushChunks => match chunk_announce(c, version, epoch) {
+                Some(body) => body,
+                None => GrpBody::Update {
+                    version,
+                    epoch,
+                    state: c.state(),
+                },
+            },
         };
         let peers = self.slaves.iter().map(|&s| Peer::Addr(s)).collect();
         c.multicast(peers, body);
+    }
+
+    /// Ships the chunks a receiver asked for after a
+    /// [`GrpBody::ChunkAnnounce`]. Indexes refer to the announced
+    /// manifest, so they are only resolvable while the state is still
+    /// at the announced version — a stale request (the master wrote on
+    /// meanwhile) is answered with a *fresh* announcement instead, and
+    /// the receiver restarts its diff from there.
+    fn answer_chunk_request(
+        &self,
+        c: &mut ReplCtx<'_>,
+        from: Peer,
+        req: u64,
+        version: u64,
+        indexes: &[u32],
+    ) {
+        if version == c.version() {
+            if let Some((_skeleton, manifest)) = c.save_chunked() {
+                let store = c.chunk_store().clone();
+                let mut chunks = Vec::with_capacity(indexes.len());
+                let mut complete = true;
+                {
+                    let s = store.borrow();
+                    for &i in indexes {
+                        match manifest.get(i as usize).and_then(|r| s.get(&r.id)) {
+                            Some(data) => chunks.push((i, data.to_vec())),
+                            None => {
+                                complete = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if complete {
+                    c.send(
+                        from,
+                        GrpBody::ChunkData {
+                            req,
+                            version,
+                            chunks,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        let epoch = c.copy_epoch();
+        match chunk_announce(c, c.version(), epoch) {
+            Some(body) => c.send(from, body),
+            None => {
+                let state = c.state();
+                c.send(
+                    from,
+                    GrpBody::Update {
+                        version: c.version(),
+                        epoch,
+                        state,
+                    },
+                );
+            }
+        }
     }
 
     fn exec_and_propagate(
@@ -587,13 +730,30 @@ impl ReplicationSubobject for MasterReplica {
                             payload: Vec::new(),
                         },
                     );
-                } else if same_lineage {
+                } else if same_lineage && self.mode != PropagationMode::PushChunks {
                     // Behind on our own lineage: an invalidation is
                     // enough — the slave refetches on demand, which
                     // keeps invalidate-mode economics (heartbeats must
                     // not turn into periodic state pushes); the push
                     // modes re-sync it on the next write anyway.
                     c.send(Peer::Addr(grp), GrpBody::Invalidate { version });
+                } else if self.mode == PropagationMode::PushChunks {
+                    // Compact mode: behind or cold, the announcement is
+                    // cheap (short ids only) and the slave's chunk
+                    // store turns it into a fetch of exactly what it
+                    // lacks — the cross-version dedup path when a v2
+                    // package's slave already holds v1's chunks.
+                    match chunk_announce(c, version, my_epoch) {
+                        Some(body) => c.send(Peer::Addr(grp), body),
+                        None => c.send(
+                            Peer::Addr(grp),
+                            GrpBody::Update {
+                                version,
+                                epoch: my_epoch,
+                                state: c.state(),
+                            },
+                        ),
+                    }
                 } else {
                     // No copy at all or a foreign lineage it cannot
                     // splice onto: warm-start with the full state.
@@ -606,6 +766,13 @@ impl ReplicationSubobject for MasterReplica {
                         },
                     );
                 }
+            }
+            GrpBody::ChunkRequest {
+                req,
+                version,
+                indexes,
+            } => {
+                self.answer_chunk_request(c, from, req, version, &indexes);
             }
             GrpBody::Refresh {
                 req,
@@ -621,6 +788,14 @@ impl ReplicationSubobject for MasterReplica {
     fn on_peer_gone(&mut self, _c: &mut ReplCtx<'_>, peer: Endpoint) {
         self.slaves.remove(&peer);
     }
+
+    fn persist_extra(&self) -> Vec<u8> {
+        history_extra(&self.history)
+    }
+
+    fn restore_extra(&mut self, data: &[u8]) {
+        self.history = history_from_extra(data);
+    }
 }
 
 /// Where a forwarded write originated, so the result can be routed
@@ -633,6 +808,23 @@ enum WriteOrigin {
     /// `req`. Chaining is how writes reach the master when the GLS
     /// handed the client only its nearest (slave) replica.
     Remote { from: Peer, req: u64 },
+}
+
+/// A chunked install in progress: the slave resolved a
+/// [`GrpBody::ChunkAnnounce`] against its store and is waiting for the
+/// [`GrpBody::ChunkData`] that fills the gaps.
+struct PendingChunks {
+    version: u64,
+    epoch: u64,
+    skeleton: Vec<u8>,
+    /// The announced `(short_id, len)` manifest, in manifest order.
+    shorts: Vec<(u64, u32)>,
+    /// Full chunk ids, filled in as each manifest slot resolves.
+    resolved: Vec<Option<ChunkId>>,
+    /// Manifest indexes still unaccounted for.
+    missing: BTreeSet<u32>,
+    /// Request token (also the fallback-timer subtoken).
+    req: u64,
 }
 
 /// A slave replica: serves reads locally while its copy is valid,
@@ -666,6 +858,13 @@ pub struct SlaveReplica {
     /// channel, and the deferral keeps severed-channel discovery
     /// bounded by one interval after the last proof.
     last_push: SimTime,
+    /// Chunked install awaiting its missing chunks, if any.
+    pending_chunks: Option<PendingChunks>,
+    /// The single-step deltas this slave has applied, so sibling
+    /// refreshers (and this slave's own warm restarts) can be caught up
+    /// without a full state transfer even when the master is not the
+    /// one answering.
+    history: DeltaHistory,
 }
 
 impl SlaveReplica {
@@ -684,6 +883,8 @@ impl SlaveReplica {
             announced: false,
             hello_timer_pending: false,
             last_push: SimTime::ZERO,
+            pending_chunks: None,
+            history: DeltaHistory::default(),
         }
     }
 
@@ -725,11 +926,118 @@ impl SlaveReplica {
     }
 
     fn ensure_fetch(&mut self, c: &mut ReplCtx<'_>) {
-        if !self.fetch_in_flight {
-            self.fetch_in_flight = true;
+        if self.fetch_in_flight || self.pending_chunks.is_some() {
+            return;
+        }
+        self.fetch_in_flight = true;
+        let req = self.next_req;
+        self.next_req += 1;
+        if c.version() > 0 && c.copy_epoch() != 0 {
+            // A warm copy (e.g. restored from disk, or invalidated in
+            // place): ask for a catch-up delta. The answerer falls back
+            // to full state when its history does not reach our
+            // version.
+            c.send(
+                Peer::Addr(self.master),
+                GrpBody::Refresh {
+                    req,
+                    have_version: c.version(),
+                    epoch: c.copy_epoch(),
+                },
+            );
+        } else {
+            c.send(Peer::Addr(self.master), GrpBody::GetState { req });
+        }
+    }
+
+    /// Diffs an announced chunk manifest against the local store and
+    /// either installs immediately (everything already resident — the
+    /// cross-version dedup fast path) or requests exactly the missing
+    /// chunks from the master.
+    fn begin_chunked_install(
+        &mut self,
+        c: &mut ReplCtx<'_>,
+        version: u64,
+        epoch: u64,
+        skeleton: Vec<u8>,
+        shorts: Vec<(u64, u32)>,
+    ) {
+        let store = c.chunk_store().clone();
+        let mut resolved: Vec<Option<ChunkId>> = Vec::with_capacity(shorts.len());
+        let mut missing: BTreeSet<u32> = BTreeSet::new();
+        {
+            let mut s = store.borrow_mut();
+            for (i, &(short, len)) in shorts.iter().enumerate() {
+                match s.resolve_short(short, len) {
+                    Some(id) => resolved.push(Some(id)),
+                    None => {
+                        resolved.push(None);
+                        missing.insert(i as u32);
+                    }
+                }
+            }
+        }
+        if missing.is_empty() {
+            let manifest: Vec<ChunkRef> = resolved
+                .iter()
+                .zip(&shorts)
+                .map(|(id, &(_, len))| ChunkRef {
+                    id: id.expect("no slot missing"),
+                    len,
+                })
+                .collect();
+            self.finish_chunked_install(c, version, epoch, &skeleton, &manifest);
+        } else {
+            // The copy is now known-stale and the replacement is not
+            // assembled yet: stop serving it (reads queue and are
+            // drained once the install lands), then fetch the gaps.
+            self.valid = false;
             let req = self.next_req;
             self.next_req += 1;
-            c.send(Peer::Addr(self.master), GrpBody::GetState { req });
+            let indexes: Vec<u32> = missing.iter().copied().collect();
+            self.pending_chunks = Some(PendingChunks {
+                version,
+                epoch,
+                skeleton,
+                shorts,
+                resolved,
+                missing,
+                req,
+            });
+            c.send(
+                Peer::Addr(self.master),
+                GrpBody::ChunkRequest {
+                    req,
+                    version,
+                    indexes,
+                },
+            );
+            c.set_timer(FORWARD_TIMEOUT, req);
+        }
+    }
+
+    /// Installs a fully resolved chunk manifest; on failure (lineage
+    /// sanity, class refuses) falls back to a plain state fetch.
+    fn finish_chunked_install(
+        &mut self,
+        c: &mut ReplCtx<'_>,
+        version: u64,
+        epoch: u64,
+        skeleton: &[u8],
+        manifest: &[ChunkRef],
+    ) {
+        let lineage_change = c.copy_epoch() != 0 && c.copy_epoch() != epoch;
+        if (lineage_change || version >= c.version())
+            && c.install_chunked(version, epoch, skeleton, manifest)
+                .is_ok()
+        {
+            self.history.clear();
+            self.valid = true;
+            self.fetch_in_flight = false;
+            self.drain_waiters(c);
+        } else {
+            self.valid = false;
+            self.ensure_fetch(c);
         }
     }
 
@@ -756,43 +1064,32 @@ impl SlaveReplica {
         }
     }
 
-    /// Answers a `GetState`/`Refresh` from the current copy: an
-    /// already-current same-lineage refresher gets a free confirmation;
-    /// everyone else the whole state (slaves keep no delta history) —
-    /// the version and lineage let the requester judge freshness.
+    /// Answers a `GetState`/`Refresh` from the current copy: refreshers
+    /// are answered from this slave's applied-delta log when it covers
+    /// their version (an already-current refresher gets the free
+    /// empty-delta confirmation), everyone else the whole state — the
+    /// version and lineage let the requester judge freshness.
     fn serve_state(&self, c: &mut ReplCtx<'_>, from: Peer, body: &GrpBody) {
-        let version = c.version();
-        let epoch = c.copy_epoch();
-        if matches!(
-            *body,
-            GrpBody::Refresh { have_version, epoch: req_epoch, .. }
-                if have_version == version && req_epoch == epoch && epoch != 0
-        ) {
-            c.send(
-                from,
-                GrpBody::Delta {
-                    from_version: version,
-                    to_version: version,
-                    epoch,
-                    payload: Vec::new(),
-                },
-            );
-            return;
-        }
-        let req = match *body {
-            GrpBody::GetState { req } | GrpBody::Refresh { req, .. } => req,
-            _ => unreachable!("serve_state only handles state requests"),
-        };
-        let state = c.state();
-        c.send(
-            from,
-            GrpBody::State {
+        match *body {
+            GrpBody::Refresh {
                 req,
-                version,
-                epoch,
-                state,
-            },
-        );
+                have_version,
+                epoch: req_epoch,
+            } => answer_refresh(c, from, req, have_version, req_epoch, &self.history),
+            GrpBody::GetState { req } => {
+                let state = c.state();
+                c.send(
+                    from,
+                    GrpBody::State {
+                        req,
+                        version: c.version(),
+                        epoch: c.copy_epoch(),
+                        state,
+                    },
+                );
+            }
+            _ => unreachable!("serve_state only handles state requests"),
+        }
     }
 }
 
@@ -884,6 +1181,11 @@ impl ReplicationSubobject for SlaveReplica {
                 if (lineage_change || version >= c.version())
                     && c.install_state(version, epoch, &state).is_ok()
                 {
+                    // A full install breaks the applied-delta chain; a
+                    // stale log could otherwise serve an old-lineage
+                    // payload to a refresher whose version numbers
+                    // happen to line up.
+                    self.history.clear();
                     self.valid = true;
                     self.fetch_in_flight = false;
                     self.drain_waiters(c);
@@ -915,17 +1217,37 @@ impl ReplicationSubobject for SlaveReplica {
                 self.last_push = c.now();
                 let same_lineage = epoch != 0 && c.copy_epoch() == epoch;
                 if same_lineage && to_version <= c.version() {
-                    // Old news (e.g. redelivery after a refetch).
+                    // An empty delta at exactly our version is the
+                    // answerer's freshness confirmation to a warm
+                    // `Refresh`; anything else behind us is old news
+                    // (e.g. redelivery after a refetch).
+                    if from_version == to_version && to_version == c.version() && payload.is_empty()
+                    {
+                        self.fetch_in_flight = false;
+                        self.valid = true;
+                        self.drain_waiters(c);
+                    }
                 } else if same_lineage
                     && from_version == c.version()
                     && c.apply_delta(from_version, to_version, epoch, &payload)
                         .is_ok()
                 {
+                    self.fetch_in_flight = false;
+                    if to_version == from_version + 1 {
+                        self.history.record(to_version, Some(payload));
+                    } else {
+                        // A spliced catch-up covers several versions in
+                        // one payload; logging it keyed by the final
+                        // version would double-apply writes for an
+                        // intermediate refresher.
+                        self.history.clear();
+                    }
                     self.valid = true;
                     self.drain_waiters(c);
                 } else {
                     // Version gap, lineage change or splice failure:
                     // fall back to a full state fetch from the master.
+                    self.fetch_in_flight = false;
                     self.valid = false;
                     self.ensure_fetch(c);
                 }
@@ -948,6 +1270,7 @@ impl ReplicationSubobject for SlaveReplica {
                 if (lineage_change || version >= c.version())
                     && c.install_state(version, epoch, &state).is_ok()
                 {
+                    self.history.clear();
                     self.valid = true;
                     self.drain_waiters(c);
                 }
@@ -980,6 +1303,89 @@ impl ReplicationSubobject for SlaveReplica {
                     self.ensure_fetch(c);
                 }
             }
+            GrpBody::ChunkAnnounce {
+                version,
+                epoch,
+                skeleton,
+                chunks,
+            } => {
+                self.announced = true;
+                self.last_push = c.now();
+                let same_lineage = epoch != 0 && c.copy_epoch() == epoch;
+                if same_lineage && version <= c.version() {
+                    // Behind us is old news — except an announce at
+                    // exactly our version, which doubles as a freshness
+                    // confirmation (e.g. the Hello reply of a master
+                    // whose state we already hold).
+                    if version == c.version() && !self.valid {
+                        self.valid = true;
+                        self.fetch_in_flight = false;
+                        self.drain_waiters(c);
+                    }
+                } else {
+                    self.pending_chunks = None;
+                    self.begin_chunked_install(c, version, epoch, skeleton, chunks);
+                }
+            }
+            GrpBody::ChunkData {
+                req,
+                version,
+                chunks,
+            } => {
+                if self.pending_chunks.as_ref().map(|p| (p.req, p.version)) != Some((req, version))
+                {
+                    return;
+                }
+                let store = c.chunk_store().clone();
+                let mut bad = false;
+                {
+                    let p = self.pending_chunks.as_mut().expect("matched above");
+                    let mut s = store.borrow_mut();
+                    for (i, data) in chunks {
+                        if !p.missing.contains(&i) {
+                            continue;
+                        }
+                        let Some(&(short, len)) = p.shorts.get(i as usize) else {
+                            bad = true;
+                            break;
+                        };
+                        let r = s.insert_fetched(&data);
+                        // The payload must hash to what was announced —
+                        // a mismatch means corruption or a confused
+                        // sender, either way the transfer is unusable.
+                        if r.len != len || short_id(&r.id) != short {
+                            bad = true;
+                            break;
+                        }
+                        p.resolved[i as usize] = Some(r.id);
+                        p.missing.remove(&i);
+                    }
+                }
+                if bad {
+                    self.pending_chunks = None;
+                    self.valid = false;
+                    self.ensure_fetch(c);
+                } else if self
+                    .pending_chunks
+                    .as_ref()
+                    .is_some_and(|p| p.missing.is_empty())
+                {
+                    let p = self.pending_chunks.take().expect("matched above");
+                    let manifest: Vec<ChunkRef> = p
+                        .resolved
+                        .iter()
+                        .zip(&p.shorts)
+                        .map(|(id, &(_, len))| ChunkRef {
+                            id: id.expect("missing set is empty"),
+                            len,
+                        })
+                        .collect();
+                    self.finish_chunked_install(c, p.version, p.epoch, &p.skeleton, &manifest);
+                }
+            }
+            // Only announcers (masters) serve chunk requests; a slave
+            // hands refreshers deltas or full state instead.
+            GrpBody::ChunkRequest { .. } => {}
             GrpBody::Hello { .. } => {}
         }
     }
@@ -1006,6 +1412,15 @@ impl ReplicationSubobject for SlaveReplica {
             }
             return;
         }
+        if self.pending_chunks.as_ref().map(|p| p.req) == Some(subtoken) {
+            // The chunk fetch stalled (request or reply lost): drop it
+            // and fall back to a plain state fetch. A timer for an
+            // already-completed fetch misses this guard and falls
+            // through to the (empty) pending-writes lookup below.
+            self.pending_chunks = None;
+            self.ensure_fetch(c);
+            return;
+        }
         match self.pending_writes.remove(&subtoken) {
             Some(WriteOrigin::Local(token)) => {
                 c.complete(token, Err(InvokeError::Timeout));
@@ -1027,6 +1442,7 @@ impl ReplicationSubobject for SlaveReplica {
     fn on_peer_gone(&mut self, c: &mut ReplCtx<'_>, peer: Endpoint) {
         if peer == self.master {
             self.fetch_in_flight = false;
+            self.pending_chunks = None;
             // The master prunes us from its propagation set the moment
             // the connection dies: until a fresh Hello lands we would
             // miss every invalidation while still treating our copy as
@@ -1080,6 +1496,14 @@ impl ReplicationSubobject for SlaveReplica {
                 self.serve_state(c, from, &body);
             }
         }
+    }
+
+    fn persist_extra(&self) -> Vec<u8> {
+        history_extra(&self.history)
+    }
+
+    fn restore_extra(&mut self, data: &[u8]) {
+        self.history = history_from_extra(data);
     }
 }
 
@@ -1336,14 +1760,20 @@ mod tests {
         sem: Box<dyn SemanticsObject>,
         version: u64,
         epoch: u64,
+        store: crate::chunks::ChunkStoreRef,
     }
 
     impl Copy {
         fn new() -> Copy {
+            Copy::with_sem(Box::new(DeltaCounter::default()))
+        }
+
+        fn with_sem(sem: Box<dyn SemanticsObject>) -> Copy {
             Copy {
-                sem: Box::new(DeltaCounter::default()),
+                sem,
                 version: 0,
                 epoch: 0,
+                store: crate::chunks::new_store(),
             }
         }
 
@@ -1367,6 +1797,7 @@ mod tests {
                 epoch_nonce: 99,
                 kind_of: &kind_of,
                 oracle_version: 0,
+                chunks: self.store.clone(),
                 effects: ReplEffects::default(),
             };
             f(&mut ctx);
@@ -1448,9 +1879,15 @@ mod tests {
         });
         assert_eq!(copy.version, 3, "gap delta must not apply");
         assert!(!slave.is_valid());
+        // A warm copy refetches via `Refresh` (catch-up delta if the
+        // answerer's history reaches back, full state otherwise).
         assert!(
-            matches!(fx.sends.as_slice(), [(Peer::Addr(ep), GrpBody::GetState { .. })] if *ep == master_ep()),
-            "expected a full-state fetch, got {:?}",
+            matches!(
+                fx.sends.as_slice(),
+                [(Peer::Addr(ep), GrpBody::Refresh { have_version: 3, epoch: 7, .. })]
+                    if *ep == master_ep()
+            ),
+            "expected a warm refresh, got {:?}",
             fx.sends
         );
     }
@@ -1498,7 +1935,7 @@ mod tests {
         assert!(!slave.is_valid());
         assert!(matches!(
             fx.sends.as_slice(),
-            [(Peer::Addr(_), GrpBody::GetState { .. })]
+            [(Peer::Addr(_), GrpBody::Refresh { .. })]
         ));
         // The full-state answer from the new incarnation is adopted
         // even though its version number is lower.
@@ -1612,7 +2049,8 @@ mod tests {
         assert!(
             matches!(
                 fx.sends.as_slice(),
-                [(Peer::Addr(ep), GrpBody::GetState { .. })] if *ep == master_ep()
+                [(Peer::Addr(ep), GrpBody::Refresh { have_version: 4, epoch: 7, .. })]
+                    if *ep == master_ep()
             ),
             "expected only a revalidation fetch, got {:?}",
             fx.sends
@@ -1889,5 +2327,508 @@ mod tests {
             fx.sends.as_slice(),
             [(Peer::Addr(_), GrpBody::GetState { .. })]
         ));
+    }
+
+    /// A chunk-capable test class: the whole state is one blob held as
+    /// retained chunks in the shared store.
+    struct ChunkBlob {
+        store: crate::chunks::ChunkStoreRef,
+        refs: Vec<ChunkRef>,
+    }
+
+    impl ChunkBlob {
+        fn blob(&self) -> Vec<u8> {
+            crate::chunks::assemble(&self.store, &self.refs).unwrap_or_default()
+        }
+
+        fn set_blob(&mut self, data: &[u8]) {
+            let old = std::mem::replace(
+                &mut self.refs,
+                crate::chunks::store_chunks(&self.store, data),
+            );
+            crate::chunks::release_chunks(&self.store, &old);
+        }
+    }
+
+    impl SemanticsObject for ChunkBlob {
+        fn dispatch(&mut self, inv: &Invocation) -> Result<Vec<u8>, SemError> {
+            match inv.method {
+                MethodId(0) => Ok(self.blob()),
+                MethodId(1) => {
+                    self.set_blob(&inv.args);
+                    Ok(Vec::new())
+                }
+                m => Err(SemError::NoSuchMethod(m)),
+            }
+        }
+        fn get_state(&self) -> Vec<u8> {
+            self.blob()
+        }
+        fn set_state(&mut self, state: &[u8]) -> Result<(), SemError> {
+            self.set_blob(state);
+            Ok(())
+        }
+        fn state_digest(&self) -> u64 {
+            self.refs
+                .iter()
+                .map(|r| short_id(&r.id))
+                .fold(0, u64::wrapping_add)
+        }
+        fn save_chunked(&self) -> Option<(Vec<u8>, Vec<ChunkRef>)> {
+            Some((Vec::new(), self.refs.clone()))
+        }
+        fn restore_chunked(
+            &mut self,
+            _skeleton: &[u8],
+            manifest: &[ChunkRef],
+        ) -> Result<(), SemError> {
+            let mut s = self.store.borrow_mut();
+            for r in manifest {
+                if !s.retain(&r.id) {
+                    // Roll back the partial retain: the manifest
+                    // referenced a chunk the store never received.
+                    for r2 in manifest {
+                        if std::ptr::eq(r2, r) {
+                            break;
+                        }
+                        s.release(&r2.id);
+                    }
+                    return Err(SemError::BadState);
+                }
+            }
+            let old = std::mem::replace(&mut self.refs, manifest.to_vec());
+            for r in &old {
+                s.release(&r.id);
+            }
+            Ok(())
+        }
+    }
+
+    /// A Copy whose semantics object shares the harness chunk store.
+    fn chunked_copy() -> Copy {
+        let store = crate::chunks::new_store();
+        let sem = ChunkBlob {
+            store: store.clone(),
+            refs: Vec::new(),
+        };
+        let mut c = Copy::with_sem(Box::new(sem));
+        c.store = store;
+        c
+    }
+
+    /// A blob that splits into exactly three chunks with distinct
+    /// contents.
+    fn three_chunk_blob() -> Vec<u8> {
+        let mut data = Vec::new();
+        for seed in 0u8..3 {
+            data.extend(
+                (0..crate::chunks::CHUNK_SIZE)
+                    .map(|i| (i as u8).wrapping_mul(7).wrapping_add(seed)),
+            );
+        }
+        data
+    }
+
+    #[test]
+    fn push_chunks_master_announces_manifest_not_bytes() {
+        let mut copy = chunked_copy();
+        let mut master = MasterReplica::new(protocol_id::MASTER_SLAVE, PropagationMode::PushChunks);
+        copy.drive(|c| master.on_install(c));
+        let s1 = Endpoint::new(HostId(1), 700);
+        copy.drive(|c| {
+            master.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::Hello {
+                    grp: s1,
+                    have_version: 0,
+                    epoch: 0,
+                },
+            );
+        });
+        let blob = three_chunk_blob();
+        let fx = copy.drive(|c| {
+            master.start_invocation(c, 1, Invocation::new(MethodId(1), blob.clone()));
+        });
+        assert_eq!(copy.version, 1);
+        assert_eq!(fx.multicasts.len(), 1);
+        let (peers, body) = &fx.multicasts[0];
+        assert_eq!(peers.len(), 1);
+        let GrpBody::ChunkAnnounce {
+            version,
+            epoch,
+            chunks,
+            ..
+        } = body
+        else {
+            panic!("expected a chunk announce, got {body:?}");
+        };
+        assert_eq!(*version, 1);
+        assert_eq!(*epoch, copy.epoch);
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks
+            .iter()
+            .all(|&(_, len)| len as usize == crate::chunks::CHUNK_SIZE));
+        // The announcement is a manifest, not the payload: a fraction
+        // of the blob's size.
+        let encoded = crate::grp::GrpMsg {
+            oid: 1,
+            body: body.clone(),
+        }
+        .encode();
+        assert!(encoded.len() < blob.len() / 8);
+    }
+
+    #[test]
+    fn slave_chunked_install_fetches_only_missing_chunks() {
+        let blob = three_chunk_blob();
+        let mut source = crate::chunks::ChunkStore::new();
+        let refs: Vec<ChunkRef> = crate::chunks::split(&blob)
+            .into_iter()
+            .map(|part| source.insert(part))
+            .collect();
+        let announce: Vec<(u64, u32)> = refs.iter().map(|r| (short_id(&r.id), r.len)).collect();
+
+        let mut copy = chunked_copy();
+        // Chunks 0 and 2 are already resident (say, from a previous
+        // version of a sibling package) as unretained cache entries.
+        for i in [0usize, 2] {
+            copy.store
+                .borrow_mut()
+                .insert(source.get(&refs[i].id).unwrap());
+        }
+        let mut slave = SlaveReplica::new(protocol_id::MASTER_SLAVE, master_ep());
+        let fx = copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::ChunkAnnounce {
+                    version: 1,
+                    epoch: 7,
+                    skeleton: Vec::new(),
+                    chunks: announce.clone(),
+                },
+            );
+        });
+        // Only the one missing chunk is requested, and a fallback timer
+        // is armed.
+        let req = match fx.sends.as_slice() {
+            [(
+                Peer::Addr(ep),
+                GrpBody::ChunkRequest {
+                    req,
+                    version: 1,
+                    indexes,
+                },
+            )] if *ep == master_ep() && indexes.as_slice() == [1] => *req,
+            other => panic!("expected a chunk request for index 1, got {other:?}"),
+        };
+        assert_eq!(fx.timers.len(), 1);
+        assert!(!slave.is_valid());
+
+        let fx = copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::ChunkData {
+                    req,
+                    version: 1,
+                    chunks: vec![(1, source.get(&refs[1].id).unwrap().to_vec())],
+                },
+            );
+        });
+        assert!(slave.is_valid());
+        assert_eq!(copy.version, 1);
+        assert_eq!(copy.epoch, 7);
+        assert_eq!(copy.sem.get_state(), blob);
+        assert!(fx.dirty_eager, "a chunked install is a full install");
+        let stats = copy.store.borrow().stats();
+        assert_eq!(stats.announce_hits, 2);
+        assert_eq!(stats.announce_misses, 1);
+        assert_eq!(stats.fetched, 1);
+    }
+
+    #[test]
+    fn slave_chunked_install_is_immediate_when_all_chunks_resident() {
+        let blob = three_chunk_blob();
+        let mut copy = chunked_copy();
+        let announce: Vec<(u64, u32)> = crate::chunks::split(&blob)
+            .into_iter()
+            .map(|part| {
+                let r = copy.store.borrow_mut().insert(part);
+                (short_id(&r.id), r.len)
+            })
+            .collect();
+        let mut slave = SlaveReplica::new(protocol_id::MASTER_SLAVE, master_ep());
+        let fx = copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::ChunkAnnounce {
+                    version: 1,
+                    epoch: 7,
+                    skeleton: Vec::new(),
+                    chunks: announce,
+                },
+            );
+        });
+        // Everything was resident: no request, no bytes transferred —
+        // the cross-version dedup fast path.
+        assert!(fx.sends.is_empty(), "unexpected sends: {:?}", fx.sends);
+        assert!(slave.is_valid());
+        assert_eq!(copy.version, 1);
+        assert_eq!(copy.sem.get_state(), blob);
+        assert_eq!(copy.store.borrow().stats().bytes_fetched, 0);
+    }
+
+    #[test]
+    fn chunk_fetch_timeout_falls_back_to_plain_fetch() {
+        let blob = three_chunk_blob();
+        let mut source = crate::chunks::ChunkStore::new();
+        let announce: Vec<(u64, u32)> = crate::chunks::split(&blob)
+            .into_iter()
+            .map(|part| {
+                let r = source.insert(part);
+                (short_id(&r.id), r.len)
+            })
+            .collect();
+        let mut copy = chunked_copy();
+        let mut slave = SlaveReplica::new(protocol_id::MASTER_SLAVE, master_ep());
+        let fx = copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::ChunkAnnounce {
+                    version: 1,
+                    epoch: 7,
+                    skeleton: Vec::new(),
+                    chunks: announce,
+                },
+            );
+        });
+        let req = match fx.sends.as_slice() {
+            [(_, GrpBody::ChunkRequest { req, .. })] => *req,
+            other => panic!("expected a chunk request, got {other:?}"),
+        };
+        // The reply never arrives; the fallback timer fires.
+        let fx = copy.drive(|c| slave.on_timer(c, req));
+        assert!(
+            matches!(fx.sends.as_slice(), [(_, GrpBody::GetState { .. })]),
+            "expected a full-state fallback, got {:?}",
+            fx.sends
+        );
+        // A late ChunkData for the abandoned request is ignored.
+        let fx = copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::ChunkData {
+                    req,
+                    version: 1,
+                    chunks: vec![(0, vec![0; crate::chunks::CHUNK_SIZE])],
+                },
+            );
+        });
+        assert!(fx.sends.is_empty());
+        assert_eq!(copy.version, 0);
+    }
+
+    #[test]
+    fn slave_answers_refresh_from_applied_delta_history() {
+        let mut copy = Copy::new();
+        let mut slave = SlaveReplica::new(protocol_id::MASTER_SLAVE, master_ep());
+        copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::Update {
+                    version: 3,
+                    epoch: 7,
+                    state: 5u64.to_be_bytes().to_vec(),
+                },
+            );
+        });
+        copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::Delta {
+                    from_version: 3,
+                    to_version: 4,
+                    epoch: 7,
+                    payload: vec![7],
+                },
+            );
+        });
+        // A sibling one version behind gets the logged delta, not the
+        // full state.
+        let fx = copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(2),
+                GrpBody::Refresh {
+                    req: 5,
+                    have_version: 3,
+                    epoch: 7,
+                },
+            );
+        });
+        assert!(
+            matches!(
+                fx.sends.as_slice(),
+                [(
+                    Peer::Conn(2),
+                    GrpBody::Delta {
+                        from_version: 3,
+                        to_version: 4,
+                        epoch: 7,
+                        payload,
+                    }
+                )] if payload.as_slice() == [7]
+            ),
+            "expected a history-backed delta, got {:?}",
+            fx.sends
+        );
+    }
+
+    #[test]
+    fn slave_history_survives_persist_restore() {
+        let mut copy = Copy::new();
+        let mut slave = SlaveReplica::new(protocol_id::MASTER_SLAVE, master_ep());
+        copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::Update {
+                    version: 3,
+                    epoch: 7,
+                    state: 5u64.to_be_bytes().to_vec(),
+                },
+            );
+        });
+        copy.drive(|c| {
+            slave.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::Delta {
+                    from_version: 3,
+                    to_version: 4,
+                    epoch: 7,
+                    payload: vec![7],
+                },
+            );
+        });
+        let extra = slave.persist_extra();
+        assert!(!extra.is_empty());
+
+        // A restarted slave (fresh protocol instance, restored copy)
+        // answers a Refresh from the restored log.
+        let mut copy2 = Copy::at(4, 7);
+        copy2.sem.set_state(&12u64.to_be_bytes()).unwrap();
+        let mut slave2 = SlaveReplica::new(protocol_id::MASTER_SLAVE, master_ep());
+        slave2.restore_extra(&extra);
+        copy2.drive(|c| {
+            slave2.on_grp(
+                c,
+                Peer::Conn(1),
+                GrpBody::ChunkAnnounce {
+                    version: 4,
+                    epoch: 7,
+                    skeleton: Vec::new(),
+                    chunks: Vec::new(),
+                },
+            );
+        });
+        let fx = copy2.drive(|c| {
+            slave2.on_grp(
+                c,
+                Peer::Conn(2),
+                GrpBody::Refresh {
+                    req: 9,
+                    have_version: 3,
+                    epoch: 7,
+                },
+            );
+        });
+        assert!(
+            matches!(
+                fx.sends.as_slice(),
+                [(
+                    Peer::Conn(2),
+                    GrpBody::Delta {
+                        from_version: 3,
+                        to_version: 4,
+                        ..
+                    }
+                )]
+            ),
+            "expected a delta answer after restore, got {:?}",
+            fx.sends
+        );
+        // Garbage degrades to a blank history, not an error.
+        let mut slave3 = SlaveReplica::new(protocol_id::MASTER_SLAVE, master_ep());
+        slave3.restore_extra(b"\xFF\xFF\xFF\xFFgarbage");
+        assert!(slave3.persist_extra() == history_extra(&DeltaHistory::default()));
+    }
+
+    #[test]
+    fn stale_chunk_request_gets_fresh_announce() {
+        let mut copy = chunked_copy();
+        let mut master = MasterReplica::new(protocol_id::MASTER_SLAVE, PropagationMode::PushChunks);
+        copy.drive(|c| master.on_install(c));
+        copy.drive(|c| {
+            master.start_invocation(c, 1, Invocation::new(MethodId(1), three_chunk_blob()));
+        });
+        assert_eq!(copy.version, 1);
+        // A request against an announcement that version 1 obsoleted.
+        let fx = copy.drive(|c| {
+            master.on_grp(
+                c,
+                Peer::Conn(3),
+                GrpBody::ChunkRequest {
+                    req: 8,
+                    version: 9,
+                    indexes: vec![0],
+                },
+            );
+        });
+        assert!(
+            matches!(
+                fx.sends.as_slice(),
+                [(Peer::Conn(3), GrpBody::ChunkAnnounce { version: 1, .. })]
+            ),
+            "expected a fresh announce, got {:?}",
+            fx.sends
+        );
+        // A current request gets exactly the asked-for chunks.
+        let fx = copy.drive(|c| {
+            master.on_grp(
+                c,
+                Peer::Conn(3),
+                GrpBody::ChunkRequest {
+                    req: 9,
+                    version: 1,
+                    indexes: vec![2, 0],
+                },
+            );
+        });
+        match fx.sends.as_slice() {
+            [(
+                Peer::Conn(3),
+                GrpBody::ChunkData {
+                    req: 9,
+                    version: 1,
+                    chunks,
+                },
+            )] => {
+                assert_eq!(chunks.len(), 2);
+                assert_eq!(chunks[0].0, 2);
+                assert_eq!(chunks[1].0, 0);
+                assert!(chunks
+                    .iter()
+                    .all(|(_, d)| d.len() == crate::chunks::CHUNK_SIZE));
+            }
+            other => panic!("expected chunk data, got {other:?}"),
+        }
     }
 }

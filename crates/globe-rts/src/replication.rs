@@ -40,6 +40,7 @@ use std::fmt;
 use globe_net::Endpoint;
 use globe_sim::SimTime;
 
+use crate::chunks::{ChunkRef, ChunkStoreRef};
 use crate::grp::{GrpBody, RoleSpec};
 use crate::object::{Invocation, MethodId, MethodKind, SemanticsObject};
 
@@ -125,6 +126,9 @@ pub struct ReplCtx<'a> {
     pub(crate) epoch_nonce: u64,
     pub(crate) kind_of: &'a dyn Fn(MethodId) -> MethodKind,
     pub(crate) oracle_version: u64,
+    /// The host's shared content-addressed chunk store (the semantics
+    /// subobject holds the same handle via `attach_chunk_store`).
+    pub(crate) chunks: ChunkStoreRef,
     pub(crate) effects: ReplEffects,
 }
 
@@ -268,6 +272,41 @@ impl<'a> ReplCtx<'a> {
         Ok(())
     }
 
+    /// The host's shared content-addressed chunk store.
+    pub fn chunk_store(&self) -> &ChunkStoreRef {
+        &self.chunks
+    }
+
+    /// Serializes the local state as a skeleton + chunk manifest (see
+    /// [`SemanticsObject::save_chunked`]); `None` when the class keeps
+    /// no chunked state (protocols fall back to full-state transfer).
+    pub fn save_chunked(&self) -> Option<(Vec<u8>, Vec<ChunkRef>)> {
+        self.sem.as_deref().and_then(|s| s.save_chunked())
+    }
+
+    /// Installs a chunked state (skeleton + manifest, all chunks
+    /// present in the store) at `version` of lineage `epoch` — the
+    /// compact-propagation counterpart of [`ReplCtx::install_state`].
+    pub fn install_chunked(
+        &mut self,
+        version: u64,
+        epoch: u64,
+        skeleton: &[u8],
+        manifest: &[ChunkRef],
+    ) -> Result<(), InvokeError> {
+        let sem = self
+            .sem
+            .as_deref_mut()
+            .ok_or(InvokeError::Internal("no semantics subobject"))?;
+        sem.restore_chunked(skeleton, manifest)
+            .map_err(|e| InvokeError::Sem(e.to_string()))?;
+        *self.version = version;
+        *self.epoch = epoch;
+        self.effects.dirty = true;
+        self.effects.dirty_eager = true;
+        Ok(())
+    }
+
     /// The representative's current state version.
     pub fn version(&self) -> u64 {
         *self.version
@@ -355,6 +394,21 @@ pub trait ReplicationSubobject: 'static {
 
     /// A peer replica became unreachable.
     fn on_peer_gone(&mut self, _c: &mut ReplCtx<'_>, _peer: Endpoint) {}
+
+    /// Protocol state worth persisting alongside the replica blob
+    /// (appended by the object server's `encode_replica`). The shipped
+    /// protocols persist their [`GrpBody::Refresh`]-answering delta
+    /// history here, so a warm restart can still catch requesters up
+    /// with deltas instead of full state. Default: nothing.
+    fn persist_extra(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state produced by [`ReplicationSubobject::persist_extra`]
+    /// after a restart. Undecodable or empty blobs must degrade to the
+    /// blank default, never fail — the extra blob is an optimization,
+    /// not correctness-bearing state.
+    fn restore_extra(&mut self, _data: &[u8]) {}
 }
 
 #[cfg(test)]

@@ -319,6 +319,10 @@ pub struct GlobeRuntime {
     next_repl_timer: u64,
     /// Dispensed to [`ReplCtx`] epoch minting, one per dispatch.
     next_epoch_nonce: u64,
+    /// The host-wide content-addressed chunk store, shared by every
+    /// replica on this runtime: chunks common to several package
+    /// versions (or several packages) are stored and transferred once.
+    chunk_store: crate::chunks::ChunkStoreRef,
     events: Vec<RtEvent>,
 }
 
@@ -356,8 +360,15 @@ impl GlobeRuntime {
             repl_timers: BTreeMap::new(),
             next_repl_timer: 1,
             next_epoch_nonce: 1,
+            chunk_store: crate::chunks::new_store(),
             events: Vec::new(),
         }
+    }
+
+    /// The host-wide chunk store (tests / experiments inspect its
+    /// residency and dedup counters).
+    pub fn chunk_store(&self) -> &crate::chunks::ChunkStoreRef {
+        &self.chunk_store
     }
 
     /// Whether this runtime accepts anonymous state-modifying traffic
@@ -526,10 +537,11 @@ impl GlobeRuntime {
         protocol: u16,
         role: RoleSpec,
     ) -> Result<(), BindError> {
-        let sem = self
+        let mut sem = self
             .repo
             .instantiate(impl_id)
             .ok_or(BindError::UnknownImpl(impl_id.0))?;
+        sem.attach_chunk_store(&self.chunk_store);
         let repl = crate::protocols::spawn_replication(protocol, role);
         self.loaded.insert(impl_id.0);
         // A re-created replica must not inherit its predecessor's timers
@@ -763,6 +775,9 @@ impl GlobeRuntime {
         self.load_waits.clear();
         self.loaded.clear();
         self.repl_timers.clear();
+        // The chunk store is in-memory state: a crash loses it along
+        // with the replicas that held references into it.
+        self.chunk_store = crate::chunks::new_store();
         self.events.clear();
     }
 
@@ -799,9 +814,17 @@ impl GlobeRuntime {
         let version = r.u64().ok()?;
         let epoch = r.u64().ok()?;
         let state = r.bytes().ok()?.to_vec();
+        // Protocol side-state (e.g. a delta history) rides after the
+        // semantics state; blobs from before it existed simply end
+        // here, so its absence is not an error.
+        let extra = r.bytes().ok().map(<[u8]>::to_vec);
         let mut sem = self.repo.instantiate(impl_id)?;
+        sem.attach_chunk_store(&self.chunk_store);
         sem.set_state(&state).ok()?;
-        let repl = crate::protocols::spawn_replication(protocol, role);
+        let mut repl = crate::protocols::spawn_replication(protocol, role);
+        if let Some(extra) = extra {
+            repl.restore_extra(&extra);
+        }
         self.loaded.insert(impl_id.0);
         let mut lr = LocalRep::new(impl_id, Some(sem), repl, version);
         lr.epoch = epoch;
@@ -931,13 +954,14 @@ impl GlobeRuntime {
             Option<Box<dyn SemanticsObject>>,
             Box<dyn ReplicationSubobject>,
         ) = if choice.protocol == protocol_id::CACHE_TTL {
-            let Some(sem) = self.repo.instantiate(impl_id) else {
+            let Some(mut sem) = self.repo.instantiate(impl_id) else {
                 self.events.push(RtEvent::BindDone {
                     token,
                     result: Err(BindError::UnknownImpl(choice.impl_id)),
                 });
                 return;
             };
+            sem.attach_chunk_store(&self.chunk_store);
             (
                 Some(sem),
                 Box::new(CacheProxy::new(choice.reads[0], self.cfg.cache_ttl)),
@@ -1064,6 +1088,7 @@ impl GlobeRuntime {
                 epoch_nonce,
                 kind_of: &kind_fn,
                 oracle_version,
+                chunks: self.chunk_store.clone(),
                 effects: ReplEffects::default(),
             };
             f(&mut lr.repl, &mut rctx);
@@ -1130,6 +1155,7 @@ impl GlobeRuntime {
     /// reads mark effects dirty conservatively) and deferring
     /// delta-fed replicas up to [`DELTA_CHECKPOINT_STRIDE`] versions.
     fn flush_persistence(&mut self, ctx: &mut ServiceCtx<'_>) {
+        self.drain_chunk_stats(ctx);
         if !self.cfg.persist || self.dirty.is_empty() {
             return;
         }
@@ -1178,6 +1204,31 @@ impl GlobeRuntime {
             lr.persist_eager = false;
             lr.deferred_counted = false;
             self.dirty.remove(&oid);
+        }
+    }
+
+    /// Publishes the chunk store's activity since the last drain as
+    /// runtime metrics (cheap no-op when nothing happened).
+    fn drain_chunk_stats(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let d = self.chunk_store.borrow_mut().drain_stats();
+        if d == crate::chunks::ChunkStats::default() {
+            return;
+        }
+        let pairs = [
+            ("rts.chunks.stored", d.stored),
+            ("rts.chunks.bytes_stored", d.bytes_stored),
+            ("rts.chunks.dedup_hits", d.dedup_hits),
+            ("rts.chunks.bytes_deduped", d.bytes_deduped),
+            ("rts.chunks.fetched", d.fetched),
+            ("rts.chunks.bytes_fetched", d.bytes_fetched),
+            ("rts.chunks.announce_hits", d.announce_hits),
+            ("rts.chunks.announce_misses", d.announce_misses),
+            ("rts.chunks.released", d.released),
+        ];
+        for (key, v) in pairs {
+            if v > 0 {
+                ctx.metrics().inc(key, v);
+            }
         }
     }
 
@@ -1356,6 +1407,7 @@ fn encode_replica(lr: &LocalRep) -> Vec<u8> {
     w.put_u64(lr.version);
     w.put_u64(lr.epoch);
     w.put_bytes(&lr.sem.as_ref().map(|s| s.get_state()).unwrap_or_default());
+    w.put_bytes(&lr.repl.persist_extra());
     w.finish()
 }
 
