@@ -274,6 +274,7 @@ impl ReaderProbe {
                     RtEvent::InvokeDone {
                         token,
                         result: Ok(data),
+                        ..
                     } => {
                         if token == 1 {
                             self.totals = DownloadStatsInterface::TOTALS.decode_result(&data).ok();

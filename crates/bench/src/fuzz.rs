@@ -164,6 +164,15 @@ pub struct SessionPlan {
     pub ops: Vec<SessionOp>,
     /// Think time before each op (same length as `ops`).
     pub gaps: Vec<SimDuration>,
+    /// Hedge delay for idempotent reads (`None` = no hedging): a
+    /// disturbance landing mid-read races the hedge timer against the
+    /// failure path, and the auditor must still see exactly one
+    /// completion per op.
+    pub hedge: Option<SimDuration>,
+    /// Retry with the deprecated blind re-resolve instead of
+    /// health-ranked candidate rotation — keeps the legacy failover
+    /// path under the same fault schedules as the new one.
+    pub legacy_rotation: bool,
 }
 
 /// A complete randomized schedule: everything one run does, explicit.
@@ -214,9 +223,18 @@ impl SchedulePlan {
         }
         for (i, sess) in self.sessions.iter().enumerate() {
             let writes = sess.ops.iter().filter(|o| o.write).count();
+            let hedge = match sess.hedge {
+                Some(d) => format!(", hedge {}ms", d.as_millis()),
+                None => String::new(),
+            };
+            let rotation = if sess.legacy_rotation {
+                ", legacy re-resolve"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 s,
-                "  session {i}: region {}, {} writes / {} reads",
+                "  session {i}: region {}, {} writes / {} reads{hedge}{rotation}",
                 sess.region,
                 writes,
                 sess.ops.len() - writes
@@ -281,7 +299,16 @@ pub fn plan_for_seed(seed: u64) -> SchedulePlan {
             let gaps = (0..n_ops)
                 .map(|_| SimDuration::from_millis(1000 + rng.gen_range(0..3000)))
                 .collect();
-            SessionPlan { region, ops, gaps }
+            let hedge = rng
+                .gen_bool(0.4)
+                .then(|| SimDuration::from_millis(1000 + rng.gen_range(0..2500)));
+            SessionPlan {
+                region,
+                ops,
+                gaps,
+                hedge,
+                legacy_rotation: rng.gen_bool(0.25),
+            }
         })
         .collect();
 
@@ -617,6 +644,13 @@ pub fn run_plan(plan: &SchedulePlan) -> (Vec<Violation>, Vec<(SimTime, OpRecord)
         client.config.retry.max_attempts = 4;
         client.config.retry.backoff = SimDuration::from_secs(5);
         client.config.bind_refresh = SimDuration::from_secs(10);
+        client.config.hedge = sess.hedge;
+        if sess.legacy_rotation {
+            #[allow(deprecated)]
+            {
+                client.config.retry.rotation = globe_rts::RotationMode::Reresolve;
+            }
+        }
         let service = FuzzSession::new(client, i as u32, oids.clone(), sess.clone(), probe_at);
         world.add_service(host, ports::DRIVER + 2 + i as u16, service);
     }

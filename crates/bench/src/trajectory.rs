@@ -54,6 +54,12 @@ const P99_SLACK: f64 = 0.5;
 const CHURN_BYTES_SLACK: f64 = 8192.0;
 const CHURN_P99_SLACK: f64 = 50.0;
 
+/// Absolute slack on the churn availability/recovery windows
+/// (milliseconds): one extra retry step (the 5s session backoff) must
+/// not read as a regression, but losing a whole hedge-driven failover
+/// (≈ forward timeout + backoff) must.
+const CHURN_AVAIL_SLACK_MS: f64 = 5_000.0;
+
 /// One sweep cell's gated metrics.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TrajectoryCell {
@@ -74,6 +80,13 @@ pub struct TrajectoryCell {
     /// GRP bytes the chunked v1→v2 upgrade cost (`None` on
     /// pre-chunking baselines).
     pub upgrade_grp_bytes: Option<u64>,
+    /// Largest gap between successful reads during the read phase,
+    /// milliseconds (`None` on baselines written before the churn
+    /// cells existed; gated only on churny cells).
+    pub unavail_ms: Option<f64>,
+    /// Worst kill-to-next-fresh-read time, milliseconds (`None` on
+    /// pre-churn baselines; gated only on churny cells).
+    pub recovery_ms: Option<f64>,
 }
 
 fn field<'a>(row: &'a str, key: &str) -> Option<&'a str> {
@@ -135,6 +148,8 @@ pub fn parse_sweep_json(json: &str) -> Result<Vec<TrajectoryCell>, String> {
             // sides carry the metric.
             chunk_dedup_ratio: field(row, "chunk_dedup_ratio").and_then(|v| v.parse().ok()),
             upgrade_grp_bytes: field(row, "upgrade_grp_bytes").and_then(|v| v.parse().ok()),
+            unavail_ms: field(row, "unavail_ms").and_then(|v| v.parse().ok()),
+            recovery_ms: field(row, "recovery_ms").and_then(|v| v.parse().ok()),
         });
     }
     if cells.is_empty() {
@@ -244,6 +259,35 @@ pub fn trajectory_rows(
                     cu,
                     tolerance * 100.0
                 ));
+            }
+        }
+        // Availability ratchet, active only on churny cells where both
+        // revisions measured the windows: health-aware failover bought
+        // the current numbers, and a code change that silently gives
+        // the win back must fail here even while still inside the
+        // absolute bound `check_sweep_invariants` applies.
+        if b.churny && c.churny {
+            if let (Some(bu), Some(cu)) = (b.unavail_ms, c.unavail_ms) {
+                if regressed(bu, cu, tolerance, CHURN_AVAIL_SLACK_MS) {
+                    messages.push(format!(
+                        "{}: unavail regressed {:.0} ms -> {:.0} ms (> {:.0}% + slack)",
+                        b.key,
+                        bu,
+                        cu,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+            if let (Some(br), Some(cr)) = (b.recovery_ms, c.recovery_ms) {
+                if regressed(br, cr, tolerance, CHURN_AVAIL_SLACK_MS) {
+                    messages.push(format!(
+                        "{}: recovery regressed {:.0} ms -> {:.0} ms (> {:.0}% + slack)",
+                        b.key,
+                        br,
+                        cr,
+                        tolerance * 100.0
+                    ));
+                }
             }
         }
         if let (Some(bd), Some(cd)) = (b.chunk_dedup_ratio, c.chunk_dedup_ratio) {
@@ -539,6 +583,11 @@ mod tests {
             retries: 0,
             rerepl_grp_bytes: 0,
             policy_switches: 0,
+            coalesced: 0,
+            hedges: 0,
+            rotations: 0,
+            health_failures: 0,
+            evictions: 0,
             unavail_limit_ms: 0.0,
             stale_limit: 0.0,
             chunk_dedup_ratio: 0.0,
@@ -636,6 +685,43 @@ mod tests {
         let base = sweep_json(&[churn_report(100_000, 50.0)]);
         let worse = sweep_json(&[churn_report(200_000, 500.0)]);
         assert_eq!(compare_trajectory(&base, &worse).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn availability_windows_ratchet_on_churn_cells() {
+        // Within one backoff step of the baseline: fine.
+        let base = sweep_json(&[churn_report(100_000, 50.0)]);
+        let mut drifted = churn_report(100_000, 50.0);
+        drifted.unavail_ms = 12_000.0;
+        assert_eq!(
+            compare_trajectory(&base, &sweep_json(&[drifted])).unwrap(),
+            Vec::<String>::new()
+        );
+        // Giving back a whole hedge-driven failover: both windows gate.
+        let mut worse = churn_report(100_000, 50.0);
+        worse.unavail_ms = 18_000.0;
+        worse.recovery_ms = 9_000.0;
+        let violations = compare_trajectory(&base, &sweep_json(&[worse])).unwrap();
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("unavail regressed"));
+        assert!(violations[1].contains("recovery regressed"));
+        // Steady-state cells never carry the gate (their windows are
+        // zero on both sides).
+        let steady = sweep_json(&[report(100_000, 50.0)]);
+        assert_eq!(
+            compare_trajectory(&steady, &steady).unwrap(),
+            Vec::<String>::new()
+        );
+        // Pre-churn baselines lack the fields entirely: no gate.
+        let old = concat!(
+            "[\n  {\"class\":\"package\",\"policy\":\"central\",",
+            "\"mode\":\"push_state\",\"churn\":\"rolling\",\"adaptive\":false,",
+            "\"p99_ms\":50.000,\"grp_bytes_encoded\":100000}\n]\n"
+        );
+        assert_eq!(
+            compare_trajectory(old, &base).unwrap(),
+            Vec::<String>::new()
+        );
     }
 
     #[test]

@@ -54,6 +54,8 @@ fn stale_slave_plan() -> SchedulePlan {
                     obj: 0,
                 }],
                 gaps: vec![s(1)],
+                hedge: None,
+                legacy_rotation: false,
             },
             // Reader in region 1: both reads land well past
             // `cache_ttl` + audit slack after the write commits.
@@ -70,6 +72,8 @@ fn stale_slave_plan() -> SchedulePlan {
                     },
                 ],
                 gaps: vec![s(30), s(20)],
+                hedge: None,
+                legacy_rotation: false,
             },
         ],
         disturbances: Vec::new(),

@@ -787,12 +787,18 @@ struct ClientDriver {
     client: GlobeClient,
     oid: ObjectId,
     total: u32,
+    /// Identical reads fired back-to-back per tick (>1 exercises the
+    /// session's read coalescing).
+    burst: u32,
     fired: u32,
     ok: u32,
     failed: Vec<String>,
     /// Largest per-op attempt count observed (must stay within the
     /// session's `RetryPolicy`).
     max_attempts: u32,
+    /// The replica each completed op reports it was served by, in
+    /// completion order.
+    seen: Vec<Option<Endpoint>>,
 }
 
 const DRIVER_NS: u16 = 0x7901;
@@ -803,19 +809,30 @@ impl ClientDriver {
             client,
             oid,
             total,
+            burst: 1,
             fired: 0,
             ok: 0,
             failed: Vec::new(),
             max_attempts: 0,
+            seen: Vec::new(),
         }
+    }
+
+    fn with_burst(mut self, burst: u32) -> ClientDriver {
+        self.burst = burst;
+        self
     }
 
     fn drain(&mut self, _ctx: &mut ServiceCtx<'_>) {
         for done in self.client.take_events() {
             let OpDone {
-                result, attempts, ..
+                result,
+                attempts,
+                replica,
+                ..
             } = done;
             self.max_attempts = self.max_attempts.max(attempts);
+            self.seen.push(replica);
             match result {
                 Ok(_) => self.ok += 1,
                 Err(e) => self.failed.push(e.to_string()),
@@ -833,9 +850,11 @@ impl Service for ClientDriver {
             if self.fired < self.total {
                 self.fired += 1;
                 let oid = self.oid;
-                self.client
-                    .op::<gdn_core::package::PackageInterface>(ctx, oid)
-                    .invoke(&gdn_core::package::PackageInterface::LIST_CONTENTS, &());
+                for _ in 0..self.burst {
+                    self.client
+                        .op::<gdn_core::package::PackageInterface>(ctx, oid)
+                        .invoke(&gdn_core::package::PackageInterface::LIST_CONTENTS, &());
+                }
                 ctx.set_timer(
                     SimDuration::from_secs(2),
                     ns_token(DRIVER_NS, self.fired as u64),
@@ -939,9 +958,158 @@ fn client_failover_rebinds_within_retry_policy() {
         d.client.stats
     );
     assert!(world.metrics().counter("client.retries") >= d.client.stats.retries);
-    // Zero stale reads: failover never served outdated state.
+    // Zero stale reads: failover never served outdated state. Identical
+    // reads that piled up behind the failover window coalesce onto one
+    // invocation, so the oracle sees one fresh read per *leader*.
     assert_eq!(world.metrics().counter("rts.reads.stale"), 0);
-    assert!(world.metrics().counter("rts.reads.fresh") >= 6);
+    assert!(world.metrics().counter("rts.reads.fresh") >= 6 - d.client.stats.coalesced);
+}
+
+/// Identical in-flight reads through one session share a single
+/// invocation: for every burst of N only the leader travels, the other
+/// N-1 coalesce onto it — and every coalesced completion still reports
+/// the replica (and health bucket) that served the leader.
+#[test]
+fn identical_inflight_reads_coalesce() {
+    let (mut world, gdn) = world();
+    let gos = gdn.gos_for(world.topology(), HostId(0));
+    let oid = publish(
+        &mut world,
+        &gdn,
+        HostId(2),
+        "/apps/shared",
+        vec![("pkg.tar".into(), vec![7u8; 4_000])],
+        Scenario::single(gos),
+    );
+    // A reader far from the replica: the leader's invocation is on the
+    // wire long enough for the rest of each burst to pile onto it.
+    let reader_host = HostId(13);
+    let client = GlobeClient::new(gdn.anonymous_runtime(reader_host, 0x0200), 0x0500);
+    let driver = ClientDriver::new(client, oid, 3).with_burst(4);
+    world.add_service(reader_host, ports::DRIVER + 3, driver);
+    world.run_for(SimDuration::from_secs(20));
+
+    let d = world
+        .service::<ClientDriver>(reader_host, ports::DRIVER + 3)
+        .expect("client driver");
+    assert_eq!(d.fired, 3);
+    assert_eq!(d.ok, 12, "all burst reads must complete: {:?}", d.failed);
+    // 3 bursts × (4 − 1) followers.
+    assert_eq!(d.client.stats.coalesced, 9, "{:?}", d.client.stats);
+    assert_eq!(world.metrics().counter("client.coalesced"), 9);
+    // Followers inherit the leader's serving replica and bucket.
+    assert!(
+        d.seen.iter().all(|r| r.map(|ep| ep.host) == Some(gos.host)),
+        "every completion must name the serving replica: {:?}",
+        d.seen
+    );
+}
+
+/// A replica that keeps failing clients while bound (a crashed host
+/// under churn) must end demoted in the session's health ledger, and
+/// the candidate ranking steers every subsequent op away from it — no
+/// more binds land there even after it comes back up, until its score
+/// decays. The healing is faster than the GLS lease: the first
+/// refresh-driven rebind re-ranks the remembered candidates by health
+/// and lands on the master while the locality lookup still answers
+/// with the dead slave.
+#[test]
+fn flapping_replica_ends_demoted_and_unbound() {
+    let topo = Topology::grid(2, 1, 2, 3);
+    let gos_hosts: Vec<HostId> = topo
+        .sites()
+        .filter_map(|s| topo.hosts_in_site(s).get(1).copied())
+        .collect();
+    let mut world = World::new(topo, NetParams::default(), SEED);
+    let gdn = GdnDeployment::install(
+        &mut world,
+        GdnOptions {
+            gos_hosts,
+            gls: globe_gls::GlsConfig::default()
+                .with_persistence()
+                .with_address_ttl(SimDuration::from_secs(15)),
+            ..GdnOptions::default()
+        },
+    );
+    let master = gdn.gos_endpoints[0];
+    let slave = gdn.gos_endpoints[2];
+    let oid = publish(
+        &mut world,
+        &gdn,
+        HostId(2),
+        "/apps/flappy",
+        vec![("pkg.tar".into(), vec![9u8; 8_000])],
+        Scenario::master_slave(vec![master, slave], PropagationMode::PushState),
+    );
+
+    let reader_host = HostId(11);
+    let mut client = GlobeClient::new(gdn.anonymous_runtime(reader_host, 0x0200), 0x0500);
+    // Fail fast (no retries) and keep the binding fresh for 8 s: every
+    // tick against the dead slave is a distinct observed failure, and
+    // the re-resolve that heals the session happens on the client's own
+    // freshness clock, not a retry loop.
+    client.config.retry.max_attempts = 0;
+    client.config.bind_refresh = SimDuration::from_secs(8);
+    let driver = ClientDriver::new(client, oid, 20);
+    world.add_service(reader_host, ports::DRIVER + 3, driver);
+
+    // Two clean reads off the (nearer) slave, then it drops. The churn
+    // window spans the slave's GLS lease: until the lease expires the
+    // locality lookup keeps answering with the (dead, cold) slave —
+    // those ops fail fast and pile onto its ledger entry — and the
+    // first re-resolve after expiry surfaces the master.
+    world.run_for(SimDuration::from_secs(4));
+    world.crash_host(slave.host);
+    world.run_for(SimDuration::from_secs(30));
+    // Back up — but by now the ledger has it cold and the session has
+    // re-bound to the master.
+    world.recover_host(slave.host);
+    world.run_for(SimDuration::from_secs(8));
+
+    let d = world
+        .service::<ClientDriver>(reader_host, ports::DRIVER + 3)
+        .expect("client driver");
+    assert_eq!(d.fired, 20);
+    assert!(
+        d.failed.len() >= 4,
+        "the churn window against the dead slave fails fast: {:?}",
+        d.failed
+    );
+    assert_eq!(d.ok as usize + d.failed.len(), 20);
+    // The flapped replica ended demoted in the reader's ledger. (It is
+    // not necessarily cold: the session heals onto the master within
+    // one refresh period, so the dead slave stops collecting failures
+    // early and its score decays for the rest of the run.)
+    let now = world.now();
+    let bucket = d
+        .client
+        .runtime()
+        .health()
+        .iter()
+        .find(|(ep, _)| ep.host == slave.host)
+        .map(|(_, h)| h.bucket_at(now));
+    assert!(
+        matches!(
+            bucket,
+            Some(globe_rts::Bucket::Warm | globe_rts::Bucket::Cold)
+        ),
+        "flapped replica must end demoted, got {:?}: {:?}",
+        bucket,
+        d.seen
+    );
+    // ... and receives no binds: the session healed onto the master and
+    // stayed there through the slave's recovery.
+    assert_eq!(
+        d.seen.last().copied().flatten().map(|ep| ep.host),
+        Some(master.host),
+        "{:?}",
+        d.seen
+    );
+    assert_eq!(
+        d.client.candidate_set(oid, now).current.map(|ep| ep.host),
+        Some(master.host)
+    );
+    assert!(d.client.stats.rebinds >= 1, "{:?}", d.client.stats);
 }
 
 /// `GET /stats/top?n=K` surfaces the download-stats ranking over HTTP,

@@ -25,7 +25,7 @@ use globe_net::{token_id, Endpoint, HostId, ServiceCtx, TimerId};
 use globe_sim::{SimDuration, SimTime};
 
 use crate::proto::{AckOp, GlsMsg, Status};
-use crate::tree::GlsDeployment;
+use crate::tree::{DomainId, GlsDeployment};
 use crate::types::{ContactAddress, GlsError, Level, ObjectId};
 
 /// Completion events surfaced by [`GlsClient::take_events`].
@@ -135,10 +135,22 @@ impl GlsClient {
         oid: ObjectId,
         msg_builder: impl Fn(u64, Endpoint) -> GlsMsg,
     ) {
+        let leaf_domain = self.deploy.leaf_domain(ctx.topo(), self.my_host);
+        self.start_at(ctx, op, user_token, oid, leaf_domain, msg_builder);
+    }
+
+    fn start_at(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        op: Op,
+        user_token: u64,
+        oid: ObjectId,
+        entry_domain: DomainId,
+        msg_builder: impl Fn(u64, Endpoint) -> GlsMsg,
+    ) {
         let req = self.next_req;
         self.next_req += 1;
-        let leaf_domain = self.deploy.leaf_domain(ctx.topo(), self.my_host);
-        let leaf = self.deploy.route(leaf_domain, oid);
+        let leaf = self.deploy.route(entry_domain, oid);
         let origin = ctx.me();
         let payload = msg_builder(req, origin).encode();
         ctx.send_datagram(leaf, payload.clone());
@@ -161,6 +173,26 @@ impl GlsClient {
     /// [`GlsEvent::LookupDone`] with `token`.
     pub fn lookup(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId, token: u64) {
         self.start(ctx, Op::Lookup, token, oid, |req, origin| {
+            GlsMsg::LookupUp {
+                req,
+                oid,
+                origin,
+                hops: 0,
+            }
+        });
+    }
+
+    /// Starts a lookup that enters the tree at the *root* instead of
+    /// this host's leaf domain. A leaf lookup resolves at the nearest
+    /// registered replica and names nothing else; entering at the root
+    /// makes the node's random pointer descent (paper §3.5) sample any
+    /// registered replica uniformly at random. Runtimes use this to
+    /// widen a thin failover candidate set without any new message
+    /// type or registration scheme, paying the paper's worst-case hop
+    /// count only on these exploratory refreshes.
+    pub fn lookup_above(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId, token: u64) {
+        let entry = self.deploy.root();
+        self.start_at(ctx, Op::Lookup, token, oid, entry, |req, origin| {
             GlsMsg::LookupUp {
                 req,
                 oid,

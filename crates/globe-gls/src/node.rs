@@ -234,8 +234,20 @@ impl DirectoryNode {
         }
         match self.entries.get(&oid.0) {
             Some(e) if !e.live_addrs(now).is_empty() => {
-                // Found: reply directly to the origin.
-                let addrs = e.live_addrs(now);
+                // Found: reply directly to the origin, with the
+                // contact addresses ranked by network distance from
+                // the *requester* (not from this node) so the client
+                // binds near itself by default. Callers that also track
+                // replica health re-rank this list locally; the GLS
+                // only knows geography.
+                let mut addrs = e.live_addrs(now);
+                addrs.sort_by_key(|a| {
+                    (
+                        ctx.topo().distance(origin.host, a.endpoint.host),
+                        a.endpoint.host.0,
+                        a.endpoint.port,
+                    )
+                });
                 ctx.trace_debug(
                     "gls.node",
                     format!("{oid:?} found at {}", self.deploy.name(self.domain)),

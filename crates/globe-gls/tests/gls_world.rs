@@ -297,6 +297,49 @@ fn multiple_replicas_returns_the_near_one() {
 }
 
 #[test]
+fn lookup_ranks_addrs_by_distance_from_requester() {
+    // Two country-level replicas in different sites of country 0. A
+    // multi-address reply must lead with the replica nearest the
+    // *requester*, whichever site it asks from — the candidate-set
+    // client binds to the head of this list when health is even.
+    let (mut world, deploy) = build(11, GlsConfig::default());
+    let oid = ObjectId(0xD15C0);
+    let replica_s0 = addr_on(HostId(0)); // site 0 of country 0
+    let replica_s1 = addr_on(HostId(3)); // site 1 of country 0
+    run_driver(
+        &mut world,
+        HostId(0),
+        vec![DriverOp::Insert(oid, replica_s0, Level::Country)],
+        &deploy,
+    );
+    run_driver(
+        &mut world,
+        HostId(3),
+        vec![DriverOp::Insert(oid, replica_s1, Level::Country)],
+        &deploy,
+    );
+    world.start();
+    world.run_for(SimDuration::from_secs(2));
+    run_driver(&mut world, HostId(4), vec![DriverOp::Lookup(oid)], &deploy);
+    run_driver(&mut world, HostId(1), vec![DriverOp::Lookup(oid)], &deploy);
+    world.run_to_quiescence();
+    match &results(&world, HostId(4))[0] {
+        GlsEvent::LookupDone { result, .. } => {
+            // Host 4 shares a site with the host-3 replica.
+            assert_eq!(result.as_ref().unwrap(), &vec![replica_s1, replica_s0]);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    match &results(&world, HostId(1))[0] {
+        GlsEvent::LookupDone { result, .. } => {
+            // Host 1 shares a site with the host-0 replica.
+            assert_eq!(result.as_ref().unwrap(), &vec![replica_s0, replica_s1]);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
 fn survives_datagram_loss_via_retries() {
     let topo = Topology::grid(2, 2, 2, 3);
     let mut world = World::new(topo, NetParams::default().with_datagram_loss(0.25), 42);

@@ -22,16 +22,29 @@
 //!   [`ClientConfig::bind_refresh`] are re-resolved against the GLS
 //!   (without discarding warm representative state) so newly created
 //!   replicas become visible;
-//! - **declarative retry** — [`RetryPolicy`] caps failover attempts;
-//!   the first retry re-invokes on the installed representative (whose
-//!   forwarding proxy has already rotated to the next-nearest replica),
-//!   later retries re-resolve via the GLS, optionally spaced by an
-//!   exponential backoff;
+//! - **candidate-set failover** — a bind installs the *whole* ranked
+//!   replica candidate set (GLS addresses re-ranked by the runtime's
+//!   [`HealthLedger`](crate::health::HealthLedger)); [`RetryPolicy`]
+//!   rotates through it by health rank
+//!   ([`RotationMode::HealthRank`]) instead of blindly re-resolving,
+//!   falling back to the GLS only when the set is exhausted;
+//! - **hedging** — [`OpBuilder::hedge`] (or a session-wide
+//!   [`ClientConfig::hedge`]) launches a duplicate attempt at the
+//!   next-healthiest candidate when the first answer is slow, for
+//!   idempotent ops only;
+//! - **placement preference** — [`OpBuilder::prefer`] pins an op's
+//!   reads at a chosen candidate ([`Placement::Replica`]);
+//! - **read coalescing** — identical in-flight read ops against the
+//!   same target share one invocation ([`ClientStats::coalesced`],
+//!   `client.coalesced`);
 //! - **pipelining** — any number of ops may be in flight per object;
 //!   ops behind an unresolved name or an in-flight bind queue and all
 //!   proceed when it completes;
 //! - **metrics** — [`ClientStats`] plus the `client.ops`,
-//!   `client.rebinds` and `client.retries` world counters.
+//!   `client.rebinds`, `client.retries`, `client.coalesced` and
+//!   `client.hedges` world counters; every [`OpDone`] reports the
+//!   attempts consumed, the replica that served it and that replica's
+//!   health bucket.
 //!
 //! # Migration: token state machines → client ops
 //!
@@ -44,6 +57,17 @@
 //! | `attempts` counter + rebind-on-`Timeout`/`PeerUnreachable` | [`RetryPolicy`] |
 //! | `info.typed::<I>()` then `bound.invoke(&mut runtime, ...)` | `client.op::<I>(ctx, target).invoke(&I::METHOD, &args)` |
 //! | `RtEvent::InvokeDone` match + `METHOD.decode_result(&data)` | [`OpDone`] + [`OpOutput::decode`] |
+//!
+//! # Migration: single-address bind/retry → the candidate-set API
+//!
+//! | old bind/retry surface | CandidateSet API |
+//! |---|---|
+//! | bind to the first GLS address; failover = blind `rebind` | bind installs the full health-ranked [`CandidateSet`]; inspect via [`GlobeClient::candidate_set`] |
+//! | `RetryPolicy { max_attempts, backoff }` re-resolving every retry | add [`RetryPolicy::rotation`]: [`RotationMode::HealthRank`] rotates in-set, deprecated [`RotationMode::Reresolve`] keeps the old behaviour |
+//! | no way to steer an op at a replica | [`OpBuilder::prefer`]`(`[`Placement::Replica`]`(ep))` |
+//! | tail latency absorbed per attempt | [`OpBuilder::hedge`]`(after)` / [`ClientConfig::hedge`] duplicate the attempt at the next-healthiest candidate |
+//! | [`GlobeClient::submit_full`] with positional flags | [`GlobeClient::op`] builder (typed) or [`GlobeClient::submit`] (pre-marshalled); `submit_full` is a deprecated shim for one release |
+//! | failover inferred from `client.retries` metric deltas | [`OpDone::attempts`], [`OpDone::replica`], [`OpDone::bucket`] |
 //!
 //! The owning service routes its I/O through
 //! [`GlobeClient::handle_datagram`] / [`GlobeClient::handle_timer`] /
@@ -60,15 +84,16 @@ use globe_gns::{GnsClient, GnsError, GnsEvent};
 use globe_net::{ns_token, owns_token, token_id, ConnEvent, ConnId, Endpoint, ServiceCtx};
 use globe_sim::{SimDuration, SimTime};
 
+use crate::health::Bucket;
 use crate::interface::{DsoInterface, InterfaceError, MethodDef, WireCodec};
-use crate::object::Invocation;
+use crate::object::{Invocation, MethodKind};
 use crate::replication::InvokeError;
 use crate::repository::ImplId;
 use crate::runtime::{BindError, BindRequest, GlobeRuntime, RtConn, RtEvent};
 
 /// What an operation addresses: a Globe object name (resolved through
 /// the client's GNS resolver) or an already-known object id.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum OpTarget {
     /// A user-visible Globe name, e.g. `/apps/graphics/gimp`.
     Name(String),
@@ -104,14 +129,29 @@ impl From<ObjectId> for OpTarget {
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct OpId(pub u64);
 
+/// How a retry picks its next replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RotationMode {
+    /// Rotate through the bound [`CandidateSet`] by health rank
+    /// (bucket, then observed latency, then distance); re-resolve
+    /// against the GLS only when the set has nothing left to rotate
+    /// to. The default.
+    #[default]
+    HealthRank,
+    /// The pre-candidate-set behaviour: re-invoke once on the
+    /// installed representative, then blindly re-resolve against the
+    /// GLS on every further retry, ignoring observed health.
+    #[deprecated(note = "use RotationMode::HealthRank; blind re-resolve \
+                         ignores the health ledger and re-binds through \
+                         sick replicas")]
+    Reresolve,
+}
+
 /// Failover behaviour of a client session.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Retry attempts per op after a `Timeout`/`PeerUnreachable`
-    /// invocation failure (0 = fail fast). The first retry re-invokes
-    /// on the installed representative (its forwarding proxy has
-    /// already failed over to the next-nearest replica); later retries
-    /// re-resolve against the GLS.
+    /// invocation failure (0 = fail fast).
     ///
     /// The policy never overrides the idempotency gate: a
     /// non-idempotent op (see
@@ -124,6 +164,8 @@ pub struct RetryPolicy {
     /// Base delay before a retry; attempt `n` waits `backoff × 2^(n-1)`
     /// (zero = retry immediately, the access-point default).
     pub backoff: SimDuration,
+    /// How each retry picks its replica (see [`RotationMode`]).
+    pub rotation: RotationMode,
 }
 
 impl Default for RetryPolicy {
@@ -131,7 +173,65 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             backoff: SimDuration::ZERO,
+            rotation: RotationMode::HealthRank,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// The pre-candidate-set policy shape, for callers that have not
+    /// migrated yet. Shimmed for one release; see the module docs'
+    /// migration table.
+    #[deprecated(note = "construct RetryPolicy with rotation: \
+                         RotationMode::HealthRank (the default) instead")]
+    pub fn legacy_reresolve(max_attempts: u32, backoff: SimDuration) -> RetryPolicy {
+        #[allow(deprecated)]
+        RetryPolicy {
+            max_attempts,
+            backoff,
+            rotation: RotationMode::Reresolve,
+        }
+    }
+}
+
+/// Where an op's reads should land, set with [`OpBuilder::prefer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// The default health-then-distance ranking.
+    #[default]
+    Ranked,
+    /// Pin reads at this candidate (ignored when it is not in the
+    /// bound candidate set).
+    Replica(Endpoint),
+}
+
+/// One bind candidate: a replica endpoint with its current health
+/// classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// The replica's GRP endpoint.
+    pub endpoint: Endpoint,
+    /// Its health bucket at the time of the query.
+    pub bucket: Bucket,
+}
+
+/// The ranked replica candidates behind a bound object — what the
+/// redesigned bind path installs instead of a single address. Obtain
+/// with [`GlobeClient::candidate_set`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CandidateSet {
+    /// All candidates the bound representative can direct reads at,
+    /// in its current rotation order.
+    pub candidates: Vec<Candidate>,
+    /// The candidate currently serving reads.
+    pub current: Option<Endpoint>,
+}
+
+impl CandidateSet {
+    /// Whether the set is empty (object unbound, or served locally by
+    /// a replica-grade representative).
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
     }
 }
 
@@ -143,6 +243,12 @@ pub struct ClientConfig {
     pub bind_refresh: SimDuration,
     /// Failover behaviour.
     pub retry: RetryPolicy,
+    /// Session-wide hedge delay for *idempotent typed read* ops: when
+    /// set, an op still unanswered after this delay fires a duplicate
+    /// attempt at the next-healthiest candidate (first answer wins,
+    /// the loser is discarded). Per-op [`OpBuilder::hedge`] overrides
+    /// it. `None` (the default) disables hedging.
+    pub hedge: Option<SimDuration>,
     /// Ops queued behind one unresolved name beyond this cap complete
     /// immediately with [`ClientError::Saturated`] — fire-and-forget
     /// telemetry must never grow an unbounded buffer.
@@ -154,6 +260,7 @@ impl Default for ClientConfig {
         ClientConfig {
             bind_refresh: SimDuration::from_secs(30),
             retry: RetryPolicy::default(),
+            hedge: None,
             max_waiters: 256,
         }
     }
@@ -229,6 +336,12 @@ pub struct OpDone {
     pub result: Result<OpOutput, ClientError>,
     /// Failover attempts the op consumed (≤ the policy's cap).
     pub attempts: u32,
+    /// The remote replica that served (or last failed) the op, when it
+    /// was forwarded; `None` for locally served calls and pre-invoke
+    /// failures.
+    pub replica: Option<Endpoint>,
+    /// The serving replica's health bucket at completion time.
+    pub bucket: Option<Bucket>,
 }
 
 /// Per-session counters (world-level equivalents: `client.ops`,
@@ -247,6 +360,13 @@ pub struct ClientStats {
     pub rebinds: u64,
     /// Failover retry attempts after invocation failures.
     pub retries: u64,
+    /// Read ops that attached to an identical in-flight op instead of
+    /// invoking.
+    pub coalesced: u64,
+    /// Duplicate attempts launched by hedging.
+    pub hedges: u64,
+    /// Health-driven in-set candidate rotations performed on retries.
+    pub rotations: u64,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -259,7 +379,15 @@ enum OpState {
     Invoking,
     /// Waiting out the retry backoff.
     Backoff,
+    /// Riding an identical in-flight read op (queued under
+    /// `followers[leader]`); completes when the leader does.
+    Coalesced,
 }
+
+/// Coalescing identity of a read op: target, method and marshalled
+/// arguments. Two ops with equal keys would execute identically, so
+/// the second can share the first's result.
+type CoalesceKey = (OpTarget, u32, Vec<u8>);
 
 struct PendingOp {
     /// The name the op targeted, if any (evicted from the name cache on
@@ -276,12 +404,53 @@ struct PendingOp {
     /// method's declaration; pre-marshalled ops keep the historical
     /// retry-everything behaviour).
     idempotent: bool,
+    /// Pin reads at this candidate before invoking
+    /// ([`OpBuilder::prefer`]).
+    prefer: Option<Endpoint>,
+    /// Launch a duplicate attempt at the next-healthiest candidate
+    /// after this delay ([`OpBuilder::hedge`] / [`ClientConfig::hedge`]).
+    hedge: Option<SimDuration>,
+    /// Whether this op's hedge timer has been armed (once per op).
+    hedge_armed: bool,
+    /// This op leads a coalescing group under this key; followers are
+    /// fanned the result on completion.
+    coalesce_key: Option<CoalesceKey>,
 }
 
 /// Marks a timer token as an op deadline rather than a retry backoff.
-/// Op ids are sequential and far below 2^47, so the bit is free within
+/// Op ids are sequential and far below 2^46, so the bit is free within
 /// the 48-bit id space of [`ns_token`].
 const DEADLINE_BIT: u64 = 1 << 47;
+
+/// Marks a timer token as an op's hedge trigger.
+const HEDGE_BIT: u64 = 1 << 46;
+
+/// Per-op knobs collected by [`OpBuilder`] (defaults match the
+/// pre-marshalled [`GlobeClient::submit`] path).
+#[derive(Clone, Debug)]
+struct OpOptions {
+    idempotent: bool,
+    deadline: Option<SimDuration>,
+    /// The method's declared kind, when known (typed path only);
+    /// coalescing applies to reads.
+    kind: Option<MethodKind>,
+    prefer: Option<Endpoint>,
+    hedge: Option<SimDuration>,
+}
+
+impl Default for OpOptions {
+    fn default() -> OpOptions {
+        OpOptions {
+            // Pre-marshalled ops carry no method declaration; they keep
+            // the historical retry-everything behaviour.
+            idempotent: true,
+            deadline: None,
+            kind: None,
+            prefer: None,
+            hedge: None,
+        }
+    }
+}
 
 /// A typed client session over one Globe runtime (see module docs).
 pub struct GlobeClient {
@@ -305,6 +474,10 @@ pub struct GlobeClient {
     /// on bind failure and failover so a broken binding can never
     /// suppress the re-resolve that would heal it.
     bind_times: BTreeMap<u128, SimTime>,
+    /// Read-coalescing index: identity of each in-flight read-leader.
+    coalescing: BTreeMap<CoalesceKey, u64>,
+    /// leader op id → follower op ids completed alongside it.
+    followers: BTreeMap<u64, Vec<u64>>,
     events: Vec<OpDone>,
 }
 
@@ -325,6 +498,8 @@ impl GlobeClient {
             resolving: BTreeMap::new(),
             binding: BTreeMap::new(),
             bind_times: BTreeMap::new(),
+            coalescing: BTreeMap::new(),
+            followers: BTreeMap::new(),
             events: Vec::new(),
         }
     }
@@ -384,6 +559,8 @@ impl GlobeClient {
             ctx,
             target: target.into(),
             deadline: None,
+            prefer: Placement::default(),
+            hedge: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -402,11 +579,14 @@ impl GlobeClient {
         expect: Option<ImplId>,
         inv: Invocation,
     ) -> OpId {
-        self.submit_full(ctx, target, expect, inv, true, None)
+        self.submit_op(ctx, target.into(), expect, inv, OpOptions::default())
     }
 
     /// Starts an operation with explicit retry-gate and deadline
-    /// settings (the typed [`OpBuilder`] path lands here).
+    /// settings — the pre-redesign explicit-flags surface, shimmed for
+    /// one release (see the module docs' migration table).
+    #[deprecated(note = "use GlobeClient::op (typed builder) or \
+                         GlobeClient::submit (pre-marshalled)")]
     pub fn submit_full(
         &mut self,
         ctx: &mut ServiceCtx<'_>,
@@ -416,14 +596,77 @@ impl GlobeClient {
         idempotent: bool,
         deadline: Option<SimDuration>,
     ) -> OpId {
+        self.submit_op(
+            ctx,
+            target.into(),
+            expect,
+            inv,
+            OpOptions {
+                idempotent,
+                deadline,
+                ..OpOptions::default()
+            },
+        )
+    }
+
+    /// Starts an operation with the full redesigned option set (the
+    /// typed [`OpBuilder`] path lands here).
+    fn submit_op(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        target: OpTarget,
+        expect: Option<ImplId>,
+        inv: Invocation,
+        opts: OpOptions,
+    ) -> OpId {
         let id = self.next_op;
         self.next_op += 1;
         self.stats.ops += 1;
         ctx.metrics().inc("client.ops", 1);
-        let (name, oid) = match target.into() {
+        // Read coalescing: an identical read already in flight serves
+        // this op too — attach instead of invoking.
+        let coalesce_key = if opts.kind == Some(MethodKind::Read) && opts.prefer.is_none() {
+            Some((target.clone(), inv.method.0, inv.args.clone()))
+        } else {
+            None
+        };
+        if let Some(key) = &coalesce_key {
+            if let Some(&leader) = self.coalescing.get(key) {
+                if self.ops.contains_key(&leader) {
+                    self.ops.insert(
+                        id,
+                        PendingOp {
+                            name: None,
+                            oid: None,
+                            expect,
+                            inv,
+                            attempts: 0,
+                            state: OpState::Coalesced,
+                            idempotent: opts.idempotent,
+                            prefer: None,
+                            hedge: None,
+                            hedge_armed: false,
+                            coalesce_key: None,
+                        },
+                    );
+                    self.followers.entry(leader).or_default().push(id);
+                    self.stats.coalesced += 1;
+                    ctx.metrics().inc("client.coalesced", 1);
+                    if let Some(d) = opts.deadline {
+                        ctx.set_timer(d, ns_token(self.ns, id | DEADLINE_BIT));
+                    }
+                    return OpId(id);
+                }
+                self.coalescing.remove(key);
+            }
+        }
+        let (name, oid) = match target {
             OpTarget::Name(n) => (Some(n), None),
             OpTarget::Oid(o) => (None, Some(o)),
         };
+        if let Some(key) = &coalesce_key {
+            self.coalescing.insert(key.clone(), id);
+        }
         self.ops.insert(
             id,
             PendingOp {
@@ -433,10 +676,14 @@ impl GlobeClient {
                 inv,
                 attempts: 0,
                 state: OpState::Resolving,
-                idempotent,
+                idempotent: opts.idempotent,
+                prefer: opts.prefer,
+                hedge: opts.hedge,
+                hedge_armed: false,
+                coalesce_key,
             },
         );
-        if let Some(d) = deadline {
+        if let Some(d) = opts.deadline {
             // No handle is kept: a deadline firing after completion
             // finds no pending op and is ignored.
             ctx.set_timer(d, ns_token(self.ns, id | DEADLINE_BIT));
@@ -444,6 +691,21 @@ impl GlobeClient {
         self.start(ctx, id);
         self.drive(ctx);
         OpId(id)
+    }
+
+    /// The ranked replica candidates behind `oid`'s binding, each with
+    /// its current health bucket (empty when unbound or served
+    /// locally).
+    pub fn candidate_set(&self, oid: ObjectId, now: SimTime) -> CandidateSet {
+        CandidateSet {
+            candidates: self
+                .runtime
+                .candidate_set(oid, now)
+                .into_iter()
+                .map(|(endpoint, bucket)| Candidate { endpoint, bucket })
+                .collect(),
+            current: self.runtime.current_candidate(oid),
+        }
     }
 
     /// Drains completion events.
@@ -494,8 +756,13 @@ impl GlobeClient {
                 let id = id & !DEADLINE_BIT;
                 if self.ops.contains_key(&id) {
                     ctx.metrics().inc("client.deadline_exceeded", 1);
-                    self.complete(id, Err(ClientError::DeadlineExceeded));
+                    self.complete(id, Err(ClientError::DeadlineExceeded), None);
                 }
+                return true;
+            }
+            if id & HEDGE_BIT != 0 {
+                self.fire_hedge(ctx, id & !HEDGE_BIT);
+                self.drive(ctx);
                 return true;
             }
             if matches!(
@@ -508,6 +775,31 @@ impl GlobeClient {
             return true;
         }
         false
+    }
+
+    /// The hedge delay elapsed with the op still unanswered: rotate the
+    /// binding to the next-healthiest candidate and launch a duplicate
+    /// attempt under the same op id. Whichever attempt answers first
+    /// completes the op; the loser's result finds no pending op and is
+    /// discarded.
+    fn fire_hedge(&mut self, ctx: &mut ServiceCtx<'_>, id: u64) {
+        let Some(op) = self.ops.get(&id) else {
+            return;
+        };
+        if op.state != OpState::Invoking || !op.idempotent {
+            return;
+        }
+        let Some(oid) = op.oid else {
+            return;
+        };
+        if self.runtime.rotate_candidate(ctx, oid).is_none() {
+            // Nothing to hedge against (single candidate).
+            return;
+        }
+        self.stats.hedges += 1;
+        ctx.metrics().inc("client.hedges", 1);
+        let inv = self.ops.get(&id).expect("checked above").inv.clone();
+        self.runtime.invoke(ctx, oid, inv, id);
     }
 
     /// Routes a stream-connection event through the runtime; see
@@ -534,24 +826,44 @@ impl GlobeClient {
         self.resolving.clear();
         self.binding.clear();
         self.bind_times.clear();
+        self.coalescing.clear();
+        self.followers.clear();
         self.events.clear();
     }
 
     // ------------------------------------------------- op lifecycle
 
-    fn complete(&mut self, id: u64, result: Result<Vec<u8>, ClientError>) {
+    fn complete(
+        &mut self,
+        id: u64,
+        result: Result<Vec<u8>, ClientError>,
+        served: Option<(Endpoint, Bucket)>,
+    ) {
         let Some(op) = self.ops.remove(&id) else {
             return;
         };
+        if let Some(key) = &op.coalesce_key {
+            if self.coalescing.get(key) == Some(&id) {
+                self.coalescing.remove(key);
+            }
+        }
         match &result {
             Ok(_) => self.stats.completed += 1,
             Err(_) => self.stats.failed += 1,
         }
         self.events.push(OpDone {
             op: OpId(id),
-            result: result.map(|data| OpOutput { data }),
+            result: result.clone().map(|data| OpOutput { data }),
             attempts: op.attempts,
+            replica: served.map(|(ep, _)| ep),
+            bucket: served.map(|(_, b)| b),
         });
+        // Fan the leader's result out to every coalesced follower (a
+        // follower that already completed — deadline — is skipped by
+        // the missing-op guard above).
+        for follower in self.followers.remove(&id).unwrap_or_default() {
+            self.complete(follower, result.clone(), served);
+        }
     }
 
     /// First step of a fresh op: resolve the name (or skip straight to
@@ -567,13 +879,13 @@ impl GlobeClient {
                 op.oid = Some(oid);
             } else {
                 if self.resolver.is_none() {
-                    self.complete(id, Err(ClientError::NoResolver));
+                    self.complete(id, Err(ClientError::NoResolver), None);
                     return;
                 }
                 if let Some(waiters) = self.resolving.get_mut(&name) {
                     if waiters.len() >= self.config.max_waiters {
                         ctx.metrics().inc("client.saturated", 1);
-                        self.complete(id, Err(ClientError::Saturated));
+                        self.complete(id, Err(ClientError::Saturated), None);
                         return;
                     }
                     waiters.push(id);
@@ -656,26 +968,70 @@ impl GlobeClient {
                     found,
                 })
             }) {
-                self.complete(id, Err(ClientError::Interface(err)));
+                self.complete(id, Err(ClientError::Interface(err)), None);
                 return;
             }
         }
         op.state = OpState::Invoking;
         let inv = op.inv.clone();
+        let prefer = op.prefer;
+        let hedge = (!op.hedge_armed).then_some(op.hedge).flatten();
+        if hedge.is_some() {
+            op.hedge_armed = true;
+        }
+        if let Some(ep) = prefer {
+            // Placement preference: steer the representative at the
+            // chosen candidate before the invocation leaves. A stale
+            // preference (the replica left the set) is ignored.
+            self.runtime.prefer_candidate(ctx, oid, ep);
+        }
+        if let Some(after) = hedge {
+            // Armed once per op, on the first invocation attempt; the
+            // timer outliving the op is harmless (`fire_hedge` checks).
+            ctx.set_timer(after, ns_token(self.ns, id | HEDGE_BIT));
+        }
         self.runtime.invoke(ctx, oid, inv, id);
     }
 
-    /// A failover retry: attempt 1 re-invokes on the installed
-    /// representative (its proxy has already rotated to the next
-    /// replica); later attempts re-resolve via the GLS.
+    /// A failover retry. Under [`RotationMode::HealthRank`] the binding
+    /// rotates to the next-healthiest candidate in the installed set
+    /// and re-invokes; only when the set has nothing left to offer does
+    /// the client fall back to a GLS re-resolve. Under the deprecated
+    /// [`RotationMode::Reresolve`], attempt 1 re-invokes on the
+    /// installed representative and later attempts blindly re-resolve.
     fn retry(&mut self, ctx: &mut ServiceCtx<'_>, id: u64) {
         let Some(op) = self.ops.get_mut(&id) else {
             return;
         };
         let oid = op.oid.expect("retry follows an invocation");
-        if op.attempts == 1 && self.runtime.is_bound(oid) && !self.binding.contains_key(&oid.0) {
-            self.invoke(ctx, id, oid);
-            return;
+        #[allow(deprecated)]
+        match self.config.retry.rotation {
+            RotationMode::HealthRank => {
+                if self.runtime.is_bound(oid) && !self.binding.contains_key(&oid.0) {
+                    if self.runtime.rotate_candidate(ctx, oid).is_some() {
+                        self.stats.rotations += 1;
+                        self.invoke(ctx, id, oid);
+                        return;
+                    }
+                    if op.attempts == 1 {
+                        // Single-candidate set: nothing to rotate to, so
+                        // the first retry re-invokes in place (the
+                        // failure may be transient) and only later
+                        // attempts pay for a GLS re-resolve.
+                        self.invoke(ctx, id, oid);
+                        return;
+                    }
+                }
+            }
+            RotationMode::Reresolve => {
+                if op.attempts == 1
+                    && self.runtime.is_bound(oid)
+                    && !self.binding.contains_key(&oid.0)
+                {
+                    self.invoke(ctx, id, oid);
+                    return;
+                }
+            }
         }
         self.start_rebind(ctx, id, oid);
     }
@@ -722,7 +1078,7 @@ impl GlobeClient {
             Err(e) => {
                 ctx.metrics().inc("client.resolve_failed", 1);
                 for id in waiters {
-                    self.complete(id, Err(ClientError::Resolve(e.clone())));
+                    self.complete(id, Err(ClientError::Resolve(e.clone())), None);
                 }
             }
         }
@@ -769,13 +1125,21 @@ impl GlobeClient {
                             }
                         }
                         for id in waiters {
-                            self.complete(id, Err(ClientError::Bind(e.clone())));
+                            self.complete(id, Err(ClientError::Bind(e.clone())), None);
                         }
                     }
                 }
             }
-            RtEvent::InvokeDone { token, result } => match result {
-                Ok(data) => self.complete(token, Ok(data)),
+            RtEvent::InvokeDone {
+                token,
+                result,
+                replica,
+            } => match result {
+                Ok(data) => {
+                    let served =
+                        replica.map(|ep| (ep, self.runtime.health().bucket(ep, ctx.now())));
+                    self.complete(token, Ok(data), served);
+                }
                 Err(e @ (InvokeError::Timeout | InvokeError::PeerUnreachable)) => {
                     // The idempotency gate: a timeout is ambiguous (the
                     // write may have executed before the reply was
@@ -791,7 +1155,9 @@ impl GlobeClient {
                         })
                         .unwrap_or(false);
                     if !can_retry {
-                        self.complete(token, Err(ClientError::Invoke(e)));
+                        let served =
+                            replica.map(|ep| (ep, self.runtime.health().bucket(ep, ctx.now())));
+                        self.complete(token, Err(ClientError::Invoke(e)), served);
                         return;
                     }
                     let op = self.ops.get_mut(&token).expect("checked above");
@@ -805,7 +1171,14 @@ impl GlobeClient {
                     self.stats.retries += 1;
                     ctx.metrics().inc("client.retries", 1);
                     let backoff = self.config.retry.backoff;
-                    if backoff > SimDuration::ZERO {
+                    // Backoff exists to let an overloaded replica drain,
+                    // and a timeout already consumed a full RPC window.
+                    // `PeerUnreachable` is the opposite shape: it failed
+                    // instantly (connection refused/closed) and waiting
+                    // changes nothing — rotate to the next candidate
+                    // right away, before a competing rebind swallows the
+                    // op into its waiter queue.
+                    if backoff > SimDuration::ZERO && e == InvokeError::Timeout {
                         let op = self.ops.get_mut(&token).expect("checked above");
                         op.state = OpState::Backoff;
                         let delay = backoff * 2u64.saturating_pow(attempts.saturating_sub(1));
@@ -814,7 +1187,11 @@ impl GlobeClient {
                         self.retry(ctx, token);
                     }
                 }
-                Err(e) => self.complete(token, Err(ClientError::Invoke(e))),
+                Err(e) => {
+                    let served =
+                        replica.map(|ep| (ep, self.runtime.health().bucket(ep, ctx.now())));
+                    self.complete(token, Err(ClientError::Invoke(e)), served);
+                }
             },
             RtEvent::Registered { .. } | RtEvent::Deregistered { .. } => {}
         }
@@ -828,6 +1205,8 @@ pub struct OpBuilder<'a, 'b, I: DsoInterface> {
     ctx: &'a mut ServiceCtx<'b>,
     target: OpTarget,
     deadline: Option<SimDuration>,
+    prefer: Placement,
+    hedge: Option<SimDuration>,
     _marker: std::marker::PhantomData<fn() -> I>,
 }
 
@@ -842,18 +1221,59 @@ impl<I: DsoInterface> OpBuilder<'_, '_, I> {
         self
     }
 
+    /// Steers the op's placement. [`Placement::Replica`] pins the
+    /// binding at a chosen candidate (discover candidates via
+    /// [`GlobeClient::candidate_set`]); a replica no longer in the set
+    /// is ignored and the default health ranking applies. A pinned op
+    /// never coalesces with ranked reads.
+    pub fn prefer(mut self, placement: Placement) -> Self {
+        self.prefer = placement;
+        self
+    }
+
+    /// Launches a duplicate attempt at the next-healthiest candidate if
+    /// the op is still unanswered `after` the first invocation left.
+    /// Whichever attempt answers first wins. Applies to idempotent ops
+    /// only (a non-idempotent op silently ignores it — duplicating an
+    /// ambiguous write is never safe). Overrides the session-wide
+    /// [`ClientConfig::hedge`] for this op.
+    pub fn hedge(mut self, after: SimDuration) -> Self {
+        self.hedge = Some(after);
+        self
+    }
+
     /// Marshals `args` and starts the operation; the returned [`OpId`]'s
     /// [`OpDone`] payload decodes via `method`. The method's
     /// [`idempotent`](MethodDef::idempotent) flag gates ambiguous-failure
-    /// retries (see [`RetryPolicy::max_attempts`]).
+    /// retries (see [`RetryPolicy::max_attempts`]) and hedging; its
+    /// [`kind`](MethodDef::kind) gates read coalescing.
     pub fn invoke<A: WireCodec, R: WireCodec>(self, method: &MethodDef<A, R>, args: &A) -> OpId {
-        self.client.submit_full(
+        let kind = method.kind();
+        let idempotent = method.idempotent();
+        let hedge = if idempotent {
+            self.hedge.or_else(|| {
+                (kind == MethodKind::Read)
+                    .then_some(self.client.config.hedge)
+                    .flatten()
+            })
+        } else {
+            None
+        };
+        self.client.submit_op(
             self.ctx,
             self.target,
             Some(I::IMPL),
             method.invocation(args),
-            method.idempotent(),
-            self.deadline,
+            OpOptions {
+                idempotent,
+                deadline: self.deadline,
+                kind: Some(kind),
+                prefer: match self.prefer {
+                    Placement::Ranked => None,
+                    Placement::Replica(ep) => Some(ep),
+                },
+                hedge,
+            },
         )
     }
 }

@@ -1,0 +1,399 @@
+//! Per-replica health accounting for candidate-set binding.
+//!
+//! The paper binds a client to whichever contact address the location
+//! service lists first and retries blind. That makes every sick replica
+//! a repeated latency tax: each op walks into the same dead endpoint,
+//! eats the forward timeout, and only then fails over. The
+//! [`HealthLedger`] closes that loop locally: every client attempt
+//! outcome — success with its observed latency, or a classified
+//! failure — is recorded against the replica endpoint that served (or
+//! failed to serve) it, and decays into one of three buckets:
+//!
+//! | bucket | meaning | binding treatment |
+//! |---|---|---|
+//! | [`Bucket::Hot`] | recent attempts succeed | preferred candidate |
+//! | [`Bucket::Warm`] | some recent failures | kept, ranked behind hot |
+//! | [`Bucket::Cold`] | chronic failures | bound only as a last resort |
+//!
+//! Failures are classified by *reason* ([`FailureReason`]) because the
+//! reasons age differently: a connect refusal usually means the process
+//! is gone (heavy penalty), a timeout may be transient load, a protocol
+//! error points at a wedged replica, and an invalidation ("no such
+//! object here") means the replica was torn down under us. The ledger
+//! is process-local and purely observational — it never talks to the
+//! network — so the runtime, the client retry loop, and the adaptive
+//! controller can all consume the same signal without coordination.
+//!
+//! Scoring is integral and deterministic: a failure adds
+//! [its reason's penalty](FailureReason::penalty) to a saturating
+//! score, a success subtracts one, and one point drains per
+//! [`DECAY_STEP`] of quiet. Consecutive failures therefore push a
+//! replica monotonically toward [`Bucket::Cold`], and any replica left
+//! alone long enough drains back to [`Bucket::Hot`] — both properties
+//! are locked in by tests below.
+
+use std::collections::BTreeMap;
+
+use globe_net::Endpoint;
+use globe_sim::{SimDuration, SimTime};
+
+/// Why a client attempt against a replica failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureReason {
+    /// The transport died: connection refused, reset, or the peer
+    /// crashed mid-exchange.
+    Connect,
+    /// The forwarded invocation timed out without any answer.
+    Timeout,
+    /// The replica answered, but unintelligibly or with an internal
+    /// error — it is up but wedged.
+    Protocol,
+    /// The replica disowned the object ("no such object here"): it was
+    /// deleted or re-placed under our binding.
+    Invalidated,
+}
+
+impl FailureReason {
+    /// Score penalty for one failure of this kind. Connect failures and
+    /// invalidations are near-certain signs the endpoint is useless to
+    /// us; timeouts and protocol errors may be transient.
+    pub const fn penalty(self) -> u32 {
+        match self {
+            FailureReason::Connect => 3,
+            FailureReason::Timeout => 2,
+            FailureReason::Protocol => 2,
+            FailureReason::Invalidated => 3,
+        }
+    }
+}
+
+/// Health classification of a replica endpoint. Ordered best-first so
+/// it can be used directly as the leading sort key when ranking
+/// candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Bucket {
+    /// Recent attempts succeed; bind here first.
+    #[default]
+    Hot = 0,
+    /// Mixed recent history; usable but ranked behind hot replicas.
+    Warm = 1,
+    /// Chronic failures; avoid unless nothing better exists.
+    Cold = 2,
+}
+
+impl Bucket {
+    /// Stable lowercase name, for metrics keys and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Bucket::Hot => "hot",
+            Bucket::Warm => "warm",
+            Bucket::Cold => "cold",
+        }
+    }
+}
+
+/// Quiet time that drains one point of failure score.
+pub const DECAY_STEP: SimDuration = SimDuration::from_secs(5);
+
+/// Ceiling on the failure score; bounds how long decay back to
+/// [`Bucket::Hot`] can take (`SCORE_CAP * DECAY_STEP`).
+pub const SCORE_CAP: u32 = 12;
+
+/// Scores at or above this are [`Bucket::Cold`].
+const COLD_AT: u32 = 6;
+
+/// Scores at or above this (and below [`COLD_AT`]) are
+/// [`Bucket::Warm`].
+const WARM_AT: u32 = 2;
+
+/// EWMA smoothing: `ewma' = (7*ewma + sample) / 8`.
+const EWMA_OLD_WEIGHT: u64 = 7;
+
+/// Everything the ledger knows about one replica endpoint.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaHealth {
+    /// Saturating failure score as of `last_event` (decay is applied
+    /// lazily on read and folded in on write).
+    score: u32,
+    /// Consecutive failures since the last success.
+    pub streak: u32,
+    /// Exponentially weighted moving average of successful invocation
+    /// latency, in microseconds (0 until the first success).
+    pub ewma_latency_us: u64,
+    /// Lifetime successes.
+    pub successes: u64,
+    /// Lifetime failures, total and by reason.
+    pub failures: u64,
+    /// Connect-class failures (see [`FailureReason::Connect`]).
+    pub connect_failures: u64,
+    /// Timeout-class failures.
+    pub timeout_failures: u64,
+    /// Protocol-class failures.
+    pub protocol_failures: u64,
+    /// Invalidation-class failures.
+    pub invalidated_failures: u64,
+    /// When the score was last touched; decay runs from here.
+    last_event: SimTime,
+}
+
+impl ReplicaHealth {
+    /// Failure score after draining one point per [`DECAY_STEP`] of
+    /// quiet since the last recorded event.
+    pub fn score_at(&self, now: SimTime) -> u32 {
+        let steps = now.saturating_sub(self.last_event).as_nanos() / DECAY_STEP.as_nanos();
+        self.score
+            .saturating_sub(steps.min(u64::from(u32::MAX)) as u32)
+    }
+
+    /// The bucket this replica occupies at `now`.
+    pub fn bucket_at(&self, now: SimTime) -> Bucket {
+        match self.score_at(now) {
+            s if s >= COLD_AT => Bucket::Cold,
+            s if s >= WARM_AT => Bucket::Warm,
+            _ => Bucket::Hot,
+        }
+    }
+
+    /// Folds pending decay into the stored score so a new event applies
+    /// against the *current* effective score.
+    fn settle(&mut self, now: SimTime) {
+        self.score = self.score_at(now);
+        self.last_event = now;
+    }
+}
+
+/// The process-local replica-health ledger.
+///
+/// Keyed by [`Endpoint`] (not object id): health is a property of the
+/// *process* serving replicas, so one sick host discovered through any
+/// object demotes it for every object's candidate ranking.
+#[derive(Debug, Default)]
+pub struct HealthLedger {
+    replicas: BTreeMap<Endpoint, ReplicaHealth>,
+}
+
+impl HealthLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> HealthLedger {
+        HealthLedger::default()
+    }
+
+    /// Records a successful attempt served by `ep` with the observed
+    /// round-trip `latency`.
+    pub fn record_success(&mut self, ep: Endpoint, latency: SimDuration, now: SimTime) {
+        let r = self.replicas.entry(ep).or_default();
+        r.settle(now);
+        r.score = r.score.saturating_sub(1);
+        r.streak = 0;
+        r.successes += 1;
+        let sample = latency.as_micros();
+        r.ewma_latency_us = if r.ewma_latency_us == 0 {
+            sample
+        } else {
+            (r.ewma_latency_us * EWMA_OLD_WEIGHT + sample) / (EWMA_OLD_WEIGHT + 1)
+        };
+    }
+
+    /// Records a failed attempt against `ep`, classified by `reason`.
+    pub fn record_failure(&mut self, ep: Endpoint, reason: FailureReason, now: SimTime) {
+        let r = self.replicas.entry(ep).or_default();
+        r.settle(now);
+        r.score = (r.score + reason.penalty()).min(SCORE_CAP);
+        r.streak += 1;
+        r.failures += 1;
+        match reason {
+            FailureReason::Connect => r.connect_failures += 1,
+            FailureReason::Timeout => r.timeout_failures += 1,
+            FailureReason::Protocol => r.protocol_failures += 1,
+            FailureReason::Invalidated => r.invalidated_failures += 1,
+        }
+    }
+
+    /// The bucket `ep` occupies at `now` (unknown endpoints are
+    /// [`Bucket::Hot`]: never punish a replica we have not tried).
+    pub fn bucket(&self, ep: Endpoint, now: SimTime) -> Bucket {
+        self.replicas
+            .get(&ep)
+            .map(|r| r.bucket_at(now))
+            .unwrap_or(Bucket::Hot)
+    }
+
+    /// Ranking key for candidate ordering: bucket first, then observed
+    /// EWMA latency. Ties (unknown endpoints in particular) are left to
+    /// the caller's secondary key — typically topology distance.
+    pub fn rank_key(&self, ep: Endpoint, now: SimTime) -> (Bucket, u64) {
+        match self.replicas.get(&ep) {
+            Some(r) => (r.bucket_at(now), r.ewma_latency_us),
+            None => (Bucket::Hot, 0),
+        }
+    }
+
+    /// The full record for `ep`, if any attempt has ever been recorded.
+    pub fn get(&self, ep: Endpoint) -> Option<&ReplicaHealth> {
+        self.replicas.get(&ep)
+    }
+
+    /// Iterates all tracked endpoints with their records.
+    pub fn iter(&self) -> impl Iterator<Item = (&Endpoint, &ReplicaHealth)> {
+        self.replicas.iter()
+    }
+
+    /// Number of endpoints ever observed.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// True when no attempt has ever been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Drops the record for `ep` (the replica was torn down and any
+    /// future process at this address starts fresh).
+    pub fn forget(&mut self, ep: Endpoint) {
+        self.replicas.remove(&ep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use globe_net::HostId;
+
+    fn ep(n: u16) -> Endpoint {
+        Endpoint {
+            host: HostId(7),
+            port: n,
+        }
+    }
+
+    fn at(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn unknown_endpoint_is_hot() {
+        let l = HealthLedger::new();
+        assert_eq!(l.bucket(ep(1), at(100)), Bucket::Hot);
+        assert_eq!(l.rank_key(ep(1), at(100)), (Bucket::Hot, 0));
+    }
+
+    #[test]
+    fn consecutive_failures_reach_cold() {
+        let mut l = HealthLedger::new();
+        for i in 0..3 {
+            l.record_failure(ep(1), FailureReason::Timeout, at(i));
+        }
+        assert_eq!(l.bucket(ep(1), at(3)), Bucket::Cold);
+        assert_eq!(l.get(ep(1)).unwrap().streak, 3);
+    }
+
+    /// Property: within one instant (no decay), each additional failure
+    /// never *improves* the bucket — transitions are monotone in the
+    /// failure streak, for every reason and every prefix history.
+    #[test]
+    fn bucket_monotone_in_failure_streak() {
+        let reasons = [
+            FailureReason::Connect,
+            FailureReason::Timeout,
+            FailureReason::Protocol,
+            FailureReason::Invalidated,
+        ];
+        for &reason in &reasons {
+            // Start from a variety of prior histories.
+            for prior_successes in 0..4 {
+                let mut l = HealthLedger::new();
+                let now = at(1000);
+                for _ in 0..prior_successes {
+                    l.record_success(ep(1), SimDuration::from_millis(5), now);
+                }
+                let mut last = l.bucket(ep(1), now);
+                for _ in 0..20 {
+                    l.record_failure(ep(1), reason, now);
+                    let b = l.bucket(ep(1), now);
+                    assert!(b >= last, "bucket improved on a failure: {last:?} -> {b:?}");
+                    last = b;
+                }
+                assert_eq!(last, Bucket::Cold);
+            }
+        }
+    }
+
+    /// Property: a replica left alone decays back to hot, no matter how
+    /// cold it got — and the wait is bounded by `SCORE_CAP` steps.
+    #[test]
+    fn decay_restores_hot_eventually() {
+        let mut l = HealthLedger::new();
+        for i in 0..50 {
+            l.record_failure(ep(1), FailureReason::Connect, at(i));
+        }
+        assert_eq!(l.bucket(ep(1), at(50)), Bucket::Cold);
+        let horizon = at(50) + SimDuration::from_secs(u64::from(SCORE_CAP) * DECAY_STEP.as_secs());
+        assert_eq!(l.bucket(ep(1), horizon), Bucket::Hot);
+        // And monotone on the way: sampling forward never re-worsens.
+        let mut last = l.bucket(ep(1), at(50));
+        for s in 50..50 + u64::from(SCORE_CAP) * DECAY_STEP.as_secs() {
+            let b = l.bucket(ep(1), at(s));
+            assert!(b <= last, "bucket worsened during quiet decay");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn flapping_replica_trends_cold() {
+        // Alternating success/failure still climbs: the per-failure
+        // penalty outweighs the per-success credit.
+        let mut l = HealthLedger::new();
+        let now = at(10);
+        for _ in 0..12 {
+            l.record_failure(ep(1), FailureReason::Timeout, now);
+            l.record_success(ep(1), SimDuration::from_millis(3), now);
+        }
+        assert_eq!(l.bucket(ep(1), now), Bucket::Cold);
+    }
+
+    #[test]
+    fn success_latency_feeds_ewma() {
+        let mut l = HealthLedger::new();
+        l.record_success(ep(1), SimDuration::from_millis(8), at(1));
+        assert_eq!(l.get(ep(1)).unwrap().ewma_latency_us, 8000);
+        l.record_success(ep(1), SimDuration::from_millis(16), at(2));
+        let e = l.get(ep(1)).unwrap().ewma_latency_us;
+        assert!(
+            e > 8000 && e < 16000,
+            "ewma should move between samples: {e}"
+        );
+    }
+
+    #[test]
+    fn failure_reasons_counted_separately() {
+        let mut l = HealthLedger::new();
+        l.record_failure(ep(1), FailureReason::Connect, at(1));
+        l.record_failure(ep(1), FailureReason::Timeout, at(1));
+        l.record_failure(ep(1), FailureReason::Protocol, at(1));
+        l.record_failure(ep(1), FailureReason::Invalidated, at(1));
+        let r = l.get(ep(1)).unwrap();
+        assert_eq!(
+            (
+                r.connect_failures,
+                r.timeout_failures,
+                r.protocol_failures,
+                r.invalidated_failures
+            ),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(r.failures, 4);
+    }
+
+    #[test]
+    fn forget_resets_to_hot() {
+        let mut l = HealthLedger::new();
+        for i in 0..10 {
+            l.record_failure(ep(1), FailureReason::Connect, at(i));
+        }
+        assert_eq!(l.bucket(ep(1), at(10)), Bucket::Cold);
+        l.forget(ep(1));
+        assert_eq!(l.bucket(ep(1), at(10)), Bucket::Hot);
+        assert!(l.is_empty());
+    }
+}

@@ -35,6 +35,7 @@
 pub mod chunks;
 pub mod client;
 pub mod grp;
+pub mod health;
 pub mod interface;
 pub mod object;
 pub mod protocols;
@@ -48,10 +49,11 @@ pub use chunks::{
     ChunkStats, ChunkStore, ChunkStoreRef, CHUNK_SIZE,
 };
 pub use client::{
-    ClientConfig, ClientError, ClientStats, GlobeClient, OpBuilder, OpDone, OpId, OpOutput,
-    OpTarget, RetryPolicy,
+    Candidate, CandidateSet, ClientConfig, ClientError, ClientStats, GlobeClient, OpBuilder,
+    OpDone, OpId, OpOutput, OpTarget, Placement, RetryPolicy, RotationMode,
 };
 pub use grp::{protocol_id, GrpBody, GrpMsg, PropagationMode, RoleSpec};
+pub use health::{Bucket, FailureReason, HealthLedger, ReplicaHealth};
 pub use interface::{
     BoundObject, DsoInterface, DsoState, InterfaceError, MethodDef, MethodSpec, TypedProxy,
     WireCodec,

@@ -20,6 +20,7 @@ use globe_sim::{SimDuration, SimTime};
 
 use crate::chunks::{short_id, ChunkId, ChunkRef};
 use crate::grp::{protocol_id, GrpBody, PropagationMode, RoleSpec};
+use crate::health::FailureReason;
 use crate::object::{Invocation, MethodKind};
 use crate::replication::{InvokeError, Peer, ReplCtx, ReplicationSubobject};
 
@@ -281,12 +282,22 @@ enum Waiter {
 /// (paper §6.1, experiment E8).
 pub struct ForwardingProxy {
     proto: u16,
-    /// Read replicas, nearest first; `read_idx` selects the current one.
+    /// Read replicas, best-ranked first; `read_idx` selects the current
+    /// one.
     read_targets: Vec<Endpoint>,
     read_idx: usize,
     write_target: Endpoint,
-    pending: BTreeMap<u64, u64>,
+    pending: BTreeMap<u64, PendingForward>,
     next_req: u64,
+}
+
+/// One in-flight forwarded invocation: who we asked and when, so the
+/// answer (or its absence) can be attributed to a replica in the
+/// health ledger.
+struct PendingForward {
+    token: u64,
+    target: Endpoint,
+    sent_at: SimTime,
 }
 
 impl ForwardingProxy {
@@ -334,40 +345,112 @@ impl ReplicationSubobject for ForwardingProxy {
         };
         let req = self.next_req;
         self.next_req += 1;
-        self.pending.insert(req, token);
+        self.pending.insert(
+            req,
+            PendingForward {
+                token,
+                target,
+                sent_at: c.now(),
+            },
+        );
         c.send(Peer::Addr(target), GrpBody::Invoke { req, inv });
         c.set_timer(FORWARD_TIMEOUT, req);
     }
 
     fn on_grp(&mut self, c: &mut ReplCtx<'_>, _from: Peer, body: GrpBody) {
         if let GrpBody::InvokeResult { req, ok, data } = body {
-            if let Some(token) = self.pending.remove(&req) {
+            if let Some(p) = self.pending.remove(&req) {
+                let latency = c.now().saturating_sub(p.sent_at);
                 let result = if ok {
                     Ok(data)
                 } else {
                     Err(decode_error(&data))
                 };
-                c.complete(token, result);
+                report_reply_health(c, p.target, latency, &result);
+                c.complete_from(p.token, result, p.target);
             }
         }
     }
 
     fn on_timer(&mut self, c: &mut ReplCtx<'_>, subtoken: u64) {
-        if let Some(token) = self.pending.remove(&subtoken) {
-            c.complete(token, Err(InvokeError::Timeout));
+        if let Some(p) = self.pending.remove(&subtoken) {
+            c.report_failure(p.target, FailureReason::Timeout);
+            c.complete_from(p.token, Err(InvokeError::Timeout), p.target);
         }
     }
 
     fn on_peer_gone(&mut self, c: &mut ReplCtx<'_>, peer: Endpoint) {
         if peer == self.read_target() || peer == self.write_target {
-            for (_, token) in std::mem::take(&mut self.pending) {
-                c.complete(token, Err(InvokeError::PeerUnreachable));
+            c.report_failure(peer, FailureReason::Connect);
+        }
+        // Only invocations aimed at the dead peer fail; requests in
+        // flight to other replicas stay pending.
+        let (dead, alive): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending)
+            .into_iter()
+            .partition(|(_, p)| p.target == peer);
+        self.pending = alive.into_iter().collect();
+        for (_, p) in dead {
+            c.complete_from(p.token, Err(InvokeError::PeerUnreachable), p.target);
+        }
+        // No silent failover here: the `PeerUnreachable` completions
+        // (and the ledger entry above) hand the decision to the
+        // client's health-ranked rotation, which picks the healthiest
+        // surviving candidate rather than the next list position — and
+        // is accounted for, so operators can see the failover happened.
+    }
+
+    fn targets(&self) -> Vec<Endpoint> {
+        self.read_targets.clone()
+    }
+
+    fn current_target(&self) -> Option<Endpoint> {
+        Some(self.read_target())
+    }
+
+    fn retarget(&mut self, ep: Endpoint) -> bool {
+        match self.read_targets.iter().position(|&t| t == ep) {
+            Some(i) if i != self.read_idx % self.read_targets.len() => {
+                self.read_idx = i;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn widen_targets(&mut self, eps: &[Endpoint]) -> usize {
+        // Pin the current target by index first: appending must not
+        // silently move reads to a replica we have never talked to.
+        self.read_idx %= self.read_targets.len();
+        let mut added = 0;
+        for &ep in eps {
+            if !self.read_targets.contains(&ep) {
+                self.read_targets.push(ep);
+                added += 1;
             }
         }
-        // Fail over: subsequent reads go to the next-nearest replica.
-        if peer == self.read_target() && self.read_targets.len() > 1 {
-            self.read_idx = (self.read_idx + 1) % self.read_targets.len();
+        added
+    }
+}
+
+/// Classifies a forwarded-invocation reply for the health ledger: a
+/// successful or application-level result proves the replica alive
+/// (latency feeds the EWMA); "no such object here" means the replica
+/// was torn down under our binding; internal errors mark it wedged.
+fn report_reply_health(
+    c: &mut ReplCtx<'_>,
+    target: Endpoint,
+    latency: SimDuration,
+    result: &Result<Vec<u8>, InvokeError>,
+) {
+    match result {
+        Ok(_) | Err(InvokeError::AccessDenied) => c.report_success(target, latency),
+        Err(InvokeError::Sem(msg)) if msg.contains("no such object") => {
+            c.report_failure(target, FailureReason::Invalidated)
         }
+        Err(InvokeError::Internal(_)) => c.report_failure(target, FailureReason::Protocol),
+        // Other semantics errors came from a live replica executing the
+        // method: the endpoint is healthy even if the call failed.
+        Err(_) => c.report_success(target, latency),
     }
 }
 
@@ -1516,7 +1599,7 @@ pub struct CacheProxy {
     expires: Option<globe_sim::SimTime>,
     waiting: Vec<Waiter>,
     fetch_in_flight: bool,
-    pending_writes: BTreeMap<u64, u64>,
+    pending_writes: BTreeMap<u64, (u64, SimTime)>,
     next_req: u64,
 }
 
@@ -1603,7 +1686,7 @@ impl ReplicationSubobject for CacheProxy {
             MethodKind::Write => {
                 let req = self.next_req;
                 self.next_req += 1;
-                self.pending_writes.insert(req, token);
+                self.pending_writes.insert(req, (token, c.now()));
                 c.send(Peer::Addr(self.server), GrpBody::Invoke { req, inv });
                 c.set_timer(FORWARD_TIMEOUT, req);
             }
@@ -1648,16 +1731,18 @@ impl ReplicationSubobject for CacheProxy {
                 }
             }
             GrpBody::InvokeResult { req, ok, data } => {
-                if let Some(token) = self.pending_writes.remove(&req) {
+                if let Some((token, sent_at)) = self.pending_writes.remove(&req) {
                     // Read-your-writes: drop the cached copy so the next
                     // read refetches.
                     self.expires = None;
+                    let latency = c.now().saturating_sub(sent_at);
                     let result = if ok {
                         Ok(data)
                     } else {
                         Err(decode_error(&data))
                     };
-                    c.complete(token, result);
+                    report_reply_health(c, self.server, latency, &result);
+                    c.complete_from(token, result, self.server);
                 }
             }
             _ => {}
@@ -1665,23 +1750,33 @@ impl ReplicationSubobject for CacheProxy {
     }
 
     fn on_timer(&mut self, c: &mut ReplCtx<'_>, subtoken: u64) {
-        if let Some(token) = self.pending_writes.remove(&subtoken) {
-            c.complete(token, Err(InvokeError::Timeout));
+        if let Some((token, _)) = self.pending_writes.remove(&subtoken) {
+            c.report_failure(self.server, FailureReason::Timeout);
+            c.complete_from(token, Err(InvokeError::Timeout), self.server);
         }
     }
 
     fn on_peer_gone(&mut self, c: &mut ReplCtx<'_>, peer: Endpoint) {
         if peer == self.server {
+            c.report_failure(self.server, FailureReason::Connect);
             self.fetch_in_flight = false;
-            for (_, token) in std::mem::take(&mut self.pending_writes) {
-                c.complete(token, Err(InvokeError::PeerUnreachable));
+            for (_, (token, _)) in std::mem::take(&mut self.pending_writes) {
+                c.complete_from(token, Err(InvokeError::PeerUnreachable), self.server);
             }
             for w in std::mem::take(&mut self.waiting) {
                 if let Waiter::Local { token, .. } = w {
-                    c.complete(token, Err(InvokeError::PeerUnreachable));
+                    c.complete_from(token, Err(InvokeError::PeerUnreachable), self.server);
                 }
             }
         }
+    }
+
+    fn targets(&self) -> Vec<Endpoint> {
+        vec![self.server]
+    }
+
+    fn current_target(&self) -> Option<Endpoint> {
+        Some(self.server)
     }
 }
 

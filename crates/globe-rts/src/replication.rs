@@ -38,10 +38,11 @@
 use std::fmt;
 
 use globe_net::Endpoint;
-use globe_sim::SimTime;
+use globe_sim::{SimDuration, SimTime};
 
 use crate::chunks::{ChunkRef, ChunkStoreRef};
 use crate::grp::{GrpBody, RoleSpec};
+use crate::health::FailureReason;
 use crate::object::{Invocation, MethodId, MethodKind, SemanticsObject};
 
 /// Why an invocation failed.
@@ -86,6 +87,21 @@ pub enum Peer {
     Addr(Endpoint),
 }
 
+/// One observed attempt outcome against a replica endpoint, queued for
+/// the runtime's [`HealthLedger`](crate::health::HealthLedger).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum HealthEvent {
+    /// The replica answered; round-trip latency attached.
+    Success(SimDuration),
+    /// The attempt failed for the classified reason.
+    Failure(FailureReason),
+}
+
+/// One finished invocation: `(token, result, serving replica)` — the
+/// endpoint is `None` when the invocation was served locally (full
+/// replicas, cache hits).
+pub(crate) type Completion = (u64, Result<Vec<u8>, InvokeError>, Option<Endpoint>);
+
 /// Effects a replication subobject requests during one call.
 #[derive(Debug, Default)]
 pub(crate) struct ReplEffects {
@@ -93,7 +109,9 @@ pub(crate) struct ReplEffects {
     /// One body to many peers: the runtime encodes the frame once.
     pub multicasts: Vec<(Vec<Peer>, GrpBody)>,
     pub timers: Vec<(globe_sim::SimDuration, u64)>,
-    pub completions: Vec<(u64, Result<Vec<u8>, InvokeError>)>,
+    pub completions: Vec<Completion>,
+    /// Attempt outcomes to fold into the runtime's health ledger.
+    pub health: Vec<(Endpoint, HealthEvent)>,
     pub stale_reads: u64,
     pub fresh_reads: u64,
     pub cache_hits: u64,
@@ -336,7 +354,37 @@ impl<'a> ReplCtx<'a> {
 
     /// Completes a local invocation started with this `token`.
     pub fn complete(&mut self, token: u64, result: Result<Vec<u8>, InvokeError>) {
-        self.effects.completions.push((token, result));
+        self.effects.completions.push((token, result, None));
+    }
+
+    /// Completes a local invocation that was served by the remote
+    /// replica at `replica`, so the client can report which candidate
+    /// answered (and its health bucket) in the op's completion.
+    pub fn complete_from(
+        &mut self,
+        token: u64,
+        result: Result<Vec<u8>, InvokeError>,
+        replica: Endpoint,
+    ) {
+        self.effects
+            .completions
+            .push((token, result, Some(replica)));
+    }
+
+    /// Reports a successful attempt served by `replica` with the
+    /// observed round-trip `latency` to the runtime's health ledger.
+    pub fn report_success(&mut self, replica: Endpoint, latency: SimDuration) {
+        self.effects
+            .health
+            .push((replica, HealthEvent::Success(latency)));
+    }
+
+    /// Reports a failed attempt against `replica`, classified by
+    /// `reason`, to the runtime's health ledger.
+    pub fn report_failure(&mut self, replica: Endpoint, reason: FailureReason) {
+        self.effects
+            .health
+            .push((replica, HealthEvent::Failure(reason)));
     }
 
     /// Schedules [`ReplicationSubobject::on_timer`] with `subtoken`.
@@ -394,6 +442,40 @@ pub trait ReplicationSubobject: 'static {
 
     /// A peer replica became unreachable.
     fn on_peer_gone(&mut self, _c: &mut ReplCtx<'_>, _peer: Endpoint) {}
+
+    /// The remote candidate endpoints this representative can direct
+    /// invocations at, best-ranked first. Empty for full replicas
+    /// (everything executes locally) — client-side proxies expose their
+    /// replica list here so the runtime can build a
+    /// [`CandidateSet`](crate::client::CandidateSet) without knowing
+    /// the protocol.
+    fn targets(&self) -> Vec<Endpoint> {
+        Vec::new()
+    }
+
+    /// The candidate currently serving reads, if any.
+    fn current_target(&self) -> Option<Endpoint> {
+        None
+    }
+
+    /// Redirects subsequent reads at `ep`; returns `false` when `ep` is
+    /// not one of this representative's candidates (or the protocol has
+    /// no notion of a read target). The health-ranked retry path uses
+    /// this to rotate within the bound candidate set instead of
+    /// re-resolving through the GLS.
+    fn retarget(&mut self, _ep: Endpoint) -> bool {
+        false
+    }
+
+    /// Adds `eps` to this representative's candidate set without
+    /// disturbing the current read target; returns how many were new.
+    /// The runtime's background candidate-set enrichment calls this
+    /// when an exploratory lookup surfaces replicas the binding lookup
+    /// (which answers with the nearest replica only) never named.
+    /// Default: the protocol has no candidate set to widen.
+    fn widen_targets(&mut self, _eps: &[Endpoint]) -> usize {
+        0
+    }
 
     /// Protocol state worth persisting alongside the replica blob
     /// (appended by the object server's `encode_replica`). The shipped

@@ -34,13 +34,16 @@ use globe_net::{
     WireReader, WireWriter,
 };
 use globe_sim::optrace::{self, OpRecord, ReplicaRole};
-use globe_sim::{SimDuration, TraceLevel};
+use globe_sim::{SimDuration, SimTime, TraceLevel};
 
 use crate::grp::{GrpBody, GrpMsg, PropagationMode, RoleSpec};
+use crate::health::{Bucket, HealthLedger};
 use crate::interface::{BoundObject, DsoInterface, InterfaceError};
 use crate::object::{Invocation, MethodKind, SemanticsObject};
 use crate::protocols::{CacheProxy, ForwardingProxy};
-use crate::replication::{InvokeError, Peer, ReplCtx, ReplEffects, ReplicationSubobject};
+use crate::replication::{
+    HealthEvent, InvokeError, Peer, ReplCtx, ReplEffects, ReplicationSubobject,
+};
 use crate::repository::{ImplId, ImplRepository};
 
 /// Record envelope: a GRP frame follows.
@@ -134,6 +137,11 @@ pub enum RtEvent {
         token: u64,
         /// Marshalled result or the failure.
         result: Result<Vec<u8>, InvokeError>,
+        /// The remote replica that served (or failed) the invocation,
+        /// when it was forwarded; `None` for locally served calls. The
+        /// client layer reports this — with its health bucket — in
+        /// [`OpDone`](crate::client::OpDone).
+        replica: Option<Endpoint>,
     },
     /// A [`GlobeRuntime::register`] finished.
     Registered {
@@ -284,9 +292,14 @@ struct BindChoice {
     write: Endpoint,
 }
 
+/// Most contact addresses the runtime remembers per object for
+/// candidate-set enrichment (see `GlobeRuntime::known_eps`).
+const KNOWN_EPS_CAP: usize = 6;
+
 const K_BIND: u64 = 1 << 40;
 const K_REG: u64 = 2 << 40;
 const K_DEREG: u64 = 3 << 40;
+const K_ENRICH: u64 = 4 << 40;
 const K_MASK: u64 = 0xFF << 40;
 
 /// The Globe run-time system (see module docs).
@@ -307,6 +320,9 @@ pub struct GlobeRuntime {
     /// get `on_peer_gone` (previously an O(objects) sweep).
     peer_interest: BTreeMap<Endpoint, BTreeSet<u128>>,
     binds: BTreeMap<u64, (u64, u128)>,
+    /// In-flight background enrichment lookups (idx → object), fired
+    /// when a bind installs a proxy with fewer than two candidates.
+    enriches: BTreeMap<u64, u128>,
     next_bind: u64,
     regs: BTreeMap<u64, u64>,
     next_reg: u64,
@@ -323,6 +339,18 @@ pub struct GlobeRuntime {
     /// replica on this runtime: chunks common to several package
     /// versions (or several packages) are stored and transferred once.
     chunk_store: crate::chunks::ChunkStoreRef,
+    /// Per-replica health observations, fed by every forwarded-attempt
+    /// outcome; consulted when ranking bind candidates and rotating
+    /// within a bound candidate set.
+    health: HealthLedger,
+    /// Every contact address a GLS lookup has returned for an object,
+    /// capped per object. A locality lookup names only the nearest
+    /// replica(s), so a first kill would leave nothing to rotate or
+    /// hedge to; folding remembered addresses into the ranked set at
+    /// bind time gives the candidate set a horizon wider than one
+    /// lookup, and the health ledger keeps dead entries from holding
+    /// traffic.
+    known_eps: BTreeMap<u128, Vec<ContactAddress>>,
     events: Vec<RtEvent>,
 }
 
@@ -349,6 +377,7 @@ impl GlobeRuntime {
             dirty: BTreeSet::new(),
             peer_interest: BTreeMap::new(),
             binds: BTreeMap::new(),
+            enriches: BTreeMap::new(),
             next_bind: 1,
             regs: BTreeMap::new(),
             next_reg: 1,
@@ -361,8 +390,16 @@ impl GlobeRuntime {
             next_repl_timer: 1,
             next_epoch_nonce: 1,
             chunk_store: crate::chunks::new_store(),
+            health: HealthLedger::new(),
+            known_eps: BTreeMap::new(),
             events: Vec::new(),
         }
+    }
+
+    /// The per-replica health ledger (read-only; the runtime feeds it
+    /// from attempt outcomes).
+    pub fn health(&self) -> &HealthLedger {
+        &self.health
     }
 
     /// The host-wide chunk store (tests / experiments inspect its
@@ -494,8 +531,105 @@ impl GlobeRuntime {
         let idx = self.next_bind;
         self.next_bind += 1;
         self.binds.insert(idx, (token, oid.0));
-        self.gls.lookup(ctx, oid, K_BIND | idx);
+        // A proxy with fewer than two candidates has nothing to rotate
+        // or hedge to when its replica dies, so the refresh explores:
+        // the lookup enters the GLS one level above the leaf, where
+        // the random pointer descent samples a sibling subtree's
+        // replica instead of re-answering with the nearest one.
+        let thin = self
+            .lrs
+            .get(&oid.0)
+            .map(|lr| lr.repl.targets().len() < 2)
+            .unwrap_or(false);
+        if thin {
+            self.gls.lookup_above(ctx, oid, K_BIND | idx);
+            ctx.metrics().inc("rts.health.explore_lookups", 1);
+        } else {
+            self.gls.lookup(ctx, oid, K_BIND | idx);
+        }
         ctx.metrics().inc("rts.rebinds", 1);
+    }
+
+    /// The bound representative's candidate set: every remote endpoint
+    /// it can direct invocations at, each with its current health
+    /// bucket. Empty for unbound objects and for replica-grade
+    /// representatives (which serve locally).
+    pub fn candidate_set(&self, oid: ObjectId, now: SimTime) -> Vec<(Endpoint, Bucket)> {
+        self.lrs
+            .get(&oid.0)
+            .map(|lr| {
+                lr.repl
+                    .targets()
+                    .into_iter()
+                    .map(|t| (t, self.health.bucket(t, now)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The candidate currently serving the bound representative's
+    /// reads, if it forwards at all.
+    pub fn current_candidate(&self, oid: ObjectId) -> Option<Endpoint> {
+        self.lrs.get(&oid.0).and_then(|lr| lr.repl.current_target())
+    }
+
+    /// Rotates the bound representative's read target to the
+    /// healthiest *other* candidate (health bucket, then observed
+    /// latency, then distance) without any GLS traffic — the
+    /// candidate-set counterpart of blind re-resolve. Returns the new
+    /// target, or `None` when there is nothing to rotate to.
+    pub fn rotate_candidate(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        oid: ObjectId,
+    ) -> Option<Endpoint> {
+        let now = ctx.now();
+        let best = {
+            let lr = self.lrs.get(&oid.0)?;
+            let targets = lr.repl.targets();
+            if targets.len() < 2 {
+                return None;
+            }
+            let cur = lr.repl.current_target();
+            targets
+                .into_iter()
+                .filter(|t| Some(*t) != cur)
+                .min_by_key(|t| {
+                    (
+                        self.health.rank_key(*t, now),
+                        ctx.topo().distance(self.my_host, t.host),
+                        t.host.0,
+                        t.port,
+                    )
+                })?
+        };
+        let lr = self.lrs.get_mut(&oid.0)?;
+        if lr.repl.retarget(best) {
+            ctx.metrics().inc("rts.health.rotations", 1);
+            Some(best)
+        } else {
+            None
+        }
+    }
+
+    /// Points the bound representative's reads at `ep` (the
+    /// [`OpBuilder::prefer`](crate::client::OpBuilder::prefer) plumbing).
+    /// Returns `false` when `ep` is not among its candidates.
+    pub fn prefer_candidate(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        oid: ObjectId,
+        ep: Endpoint,
+    ) -> bool {
+        let Some(lr) = self.lrs.get_mut(&oid.0) else {
+            return false;
+        };
+        if lr.repl.retarget(ep) {
+            ctx.metrics().inc("rts.health.prefers", 1);
+            true
+        } else {
+            false
+        }
     }
 
     /// Removes the local representative for `oid` (no GLS traffic; pair
@@ -503,6 +637,8 @@ impl GlobeRuntime {
     pub fn unbind(&mut self, ctx: &mut ServiceCtx<'_>, oid: ObjectId) {
         self.lrs.remove(&oid.0);
         self.dirty.remove(&oid.0);
+        self.known_eps.remove(&oid.0);
+        self.enriches.retain(|_, o| *o != oid.0);
         for interested in self.peer_interest.values_mut() {
             interested.remove(&oid.0);
         }
@@ -518,6 +654,7 @@ impl GlobeRuntime {
             self.events.push(RtEvent::InvokeDone {
                 token,
                 result: Err(InvokeError::NotBound),
+                replica: None,
             });
             return;
         }
@@ -775,6 +912,8 @@ impl GlobeRuntime {
         self.load_waits.clear();
         self.loaded.clear();
         self.repl_timers.clear();
+        self.known_eps.clear();
+        self.enriches.clear();
         // The chunk store is in-memory state: a crash loses it along
         // with the replicas that held references into it.
         self.chunk_store = crate::chunks::new_store();
@@ -868,6 +1007,30 @@ impl GlobeRuntime {
                         });
                     }
                 }
+                GlsEvent::LookupDone { token, result, .. } if token & K_MASK == K_ENRICH => {
+                    let idx = token & !K_MASK;
+                    let Some(oid) = self.enriches.remove(&idx) else {
+                        continue;
+                    };
+                    // Best-effort: a failed exploration changes nothing.
+                    let Ok(addrs) = result else { continue };
+                    let now = ctx.now();
+                    self.remember_addrs(oid, &addrs, now);
+                    if let Some(lr) = self.lrs.get_mut(&oid) {
+                        if !lr.repl.is_replica() {
+                            let proto = lr.repl.proto();
+                            let eps: Vec<Endpoint> = addrs
+                                .iter()
+                                .filter(|a| a.protocol == proto)
+                                .map(|a| a.endpoint)
+                                .collect();
+                            let widened = lr.repl.widen_targets(&eps);
+                            if widened > 0 {
+                                ctx.metrics().inc("rts.health.widened", widened as u64);
+                            }
+                        }
+                    }
+                }
                 GlsEvent::DeleteDone { token, result } if token & K_MASK == K_DEREG => {
                     let idx = token & !K_MASK;
                     if let Some(user) = self.deregs.remove(&idx) {
@@ -880,6 +1043,58 @@ impl GlobeRuntime {
                 _ => {}
             }
         }
+    }
+
+    /// Folds freshly returned contact addresses into the per-object
+    /// candidate-set memory and returns the merged set. Fresh addresses
+    /// overwrite their remembered slot; when the set overflows
+    /// [`KNOWN_EPS_CAP`], remembered-only entries are evicted first,
+    /// coldest first.
+    fn remember_addrs(
+        &mut self,
+        oid: u128,
+        addrs: &[ContactAddress],
+        now: SimTime,
+    ) -> Vec<ContactAddress> {
+        let mut known = self.known_eps.remove(&oid).unwrap_or_default();
+        for a in addrs {
+            match known.iter_mut().find(|k| k.endpoint == a.endpoint) {
+                Some(slot) => *slot = *a,
+                None => known.push(*a),
+            }
+        }
+        if known.len() > KNOWN_EPS_CAP {
+            known.sort_by_key(|k| {
+                (
+                    addrs.iter().all(|a| a.endpoint != k.endpoint),
+                    self.health.bucket(k.endpoint, now),
+                )
+            });
+            known.truncate(KNOWN_EPS_CAP);
+        }
+        let merged = known.clone();
+        self.known_eps.insert(oid, known);
+        merged
+    }
+
+    /// Fires a background exploratory lookup for `oid`: a bind just
+    /// installed a proxy with fewer than two candidates, which leaves
+    /// the retry path nothing to rotate to and the hedger nothing to
+    /// hedge at when that lone replica dies. The lookup enters the GLS
+    /// at the root so the random pointer descent can surface a replica
+    /// the locality lookup (nearest-first) never names; the result
+    /// widens the installed proxy in place. At most one in flight per
+    /// object, and never re-fired by its own completion — an object
+    /// with a single replica settles after one wasted lookup.
+    fn start_enrich(&mut self, ctx: &mut ServiceCtx<'_>, oid: u128) {
+        if self.enriches.values().any(|&o| o == oid) {
+            return;
+        }
+        let idx = self.next_bind;
+        self.next_bind += 1;
+        self.enriches.insert(idx, oid);
+        self.gls.lookup_above(ctx, ObjectId(oid), K_ENRICH | idx);
+        ctx.metrics().inc("rts.health.explore_lookups", 1);
     }
 
     /// Picks the nearest replica for reads and the nearest
@@ -900,17 +1115,56 @@ impl GlobeRuntime {
             });
             return;
         }
+        // Health-aware ranking: hot replicas before warm before cold,
+        // nearest-first within a bucket. A freshly returned GLS address
+        // we have never talked to ranks hot — the ledger only demotes
+        // endpoints it has observed failing.
+        let now = ctx.now();
+        // Candidate-set memory: fold in every address earlier lookups
+        // returned for this object. Fresh addresses overwrite their
+        // remembered slot; when the set overflows, remembered-only
+        // entries go first, coldest first.
+        let remembered = self.remember_addrs(oid, &addrs, now);
         let key = |a: &ContactAddress| {
             (
+                self.health.bucket(a.endpoint, now),
                 ctx.topo().distance(self.my_host, a.endpoint.host),
                 a.endpoint.host.0,
                 a.endpoint.port,
             )
         };
-        let mut sorted = addrs.clone();
+        let mut sorted = remembered;
         sorted.sort_by_key(|a| key(a));
+        // Sticky rebind: when a proxy-grade representative is already
+        // installed and the replica it currently talks to is *strictly
+        // healthier* than the best fresh address, keep it. A locality
+        // lookup can only name nearby replicas — if the nearest one is
+        // sitting cold in the ledger, re-binding it would walk straight
+        // back into the failures we just escaped. Equal buckets defer
+        // to the fresh list (nearest-first), so a recovered replica is
+        // re-adopted once its score decays back to hot.
+        if let Some(lr) = self.lrs.get(&oid) {
+            if !lr.repl.is_replica() {
+                if let Some(cur) = lr.repl.current_target() {
+                    if self.health.bucket(cur, now) < self.health.bucket(sorted[0].endpoint, now) {
+                        ctx.metrics().inc("rts.health.sticky_binds", 1);
+                        self.events.push(RtEvent::BindDone {
+                            token,
+                            result: Ok(BindInfo {
+                                oid: ObjectId(oid),
+                                protocol: lr.repl.proto(),
+                                impl_id: lr.impl_id,
+                            }),
+                        });
+                        return;
+                    }
+                }
+            }
+        }
         let read = sorted[0];
-        let write = sorted
+        // Writes go only to an address the *fresh* lookup named: a
+        // remembered master may have been demoted or re-placed since.
+        let write = addrs
             .iter()
             .filter(|a| a.accepts_writes())
             .min_by_key(|a| key(a))
@@ -919,7 +1173,11 @@ impl GlobeRuntime {
         let choice = BindChoice {
             impl_id: read.impl_hint,
             protocol: read.protocol,
-            reads: sorted.iter().map(|a| a.endpoint).collect(),
+            reads: sorted
+                .iter()
+                .filter(|a| a.protocol == read.protocol)
+                .map(|a| a.endpoint)
+                .collect(),
             write: write.endpoint,
         };
         if !self.repo.contains(ImplId(choice.impl_id)) {
@@ -996,6 +1254,16 @@ impl GlobeRuntime {
         }
         self.lrs.insert(oid, lr);
         self.with_lr(ctx, oid, |repl, c| repl.on_install(c));
+        // A one-candidate proxy cannot rotate or hedge when its replica
+        // dies: explore for siblings now, before the failure, not after.
+        let thin = self
+            .lrs
+            .get(&oid)
+            .map(|lr| !lr.repl.is_replica() && lr.repl.targets().len() == 1)
+            .unwrap_or(false);
+        if thin {
+            self.start_enrich(ctx, oid);
+        }
         self.events.push(RtEvent::BindDone {
             token,
             result: Ok(BindInfo {
@@ -1290,8 +1558,31 @@ impl GlobeRuntime {
             self.repl_timers.insert(idx, (oid, sub));
             ctx.set_timer(delay, ns_token(self.ns + 2, idx));
         }
-        for (token, result) in effects.completions {
-            self.events.push(RtEvent::InvokeDone { token, result });
+        for (replica, event) in effects.health {
+            match event {
+                HealthEvent::Success(latency) => {
+                    self.health.record_success(replica, latency, ctx.now());
+                    ctx.metrics().inc("rts.health.successes", 1);
+                }
+                HealthEvent::Failure(reason) => {
+                    self.health.record_failure(replica, reason, ctx.now());
+                    ctx.metrics().inc("rts.health.failures", 1);
+                    // Publish host-level sickness for the adaptive
+                    // controller: one tick per failure observed while
+                    // the endpoint classifies cold.
+                    if self.health.bucket(replica, ctx.now()) == Bucket::Cold {
+                        ctx.metrics()
+                            .inc(&format!("health.cold.h{}", replica.host.0), 1);
+                    }
+                }
+            }
+        }
+        for (token, result, replica) in effects.completions {
+            self.events.push(RtEvent::InvokeDone {
+                token,
+                result,
+                replica,
+            });
         }
     }
 

@@ -8,6 +8,18 @@
 //! additional slave replica — exactly what a moderator would do by hand
 //! with the moderator tool. Experiment E7 (flash crowd) compares runs
 //! with and without it.
+//!
+//! The controller also closes the replica-health loop: client runtimes
+//! publish `health.cold.h{host}` counters (one tick per failure
+//! observed against a replica their [`HealthLedger`] classifies cold —
+//! see `globe_rts::health`), and a region whose object-server host
+//! keeps accumulating them is declared *sick*. Slave replicas the
+//! controller placed there are evicted (`adapt.evictions`) and
+//! re-placed on the healthiest region (`adapt.replaced_sick`), with the
+//! sick region quarantined against demand-driven re-placement for a few
+//! intervals.
+//!
+//! [`HealthLedger`]: globe_rts::HealthLedger
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -77,11 +89,26 @@ pub struct AdaptiveController {
     /// comes are pruned after a few intervals.
     expired: BTreeMap<u64, ((usize, usize), SimTime)>,
     next_req: u64,
+    /// `health.cold.h{host}` counter values at the previous tick, keyed
+    /// by region index (the counter is world-global; every client
+    /// runtime feeds it).
+    cold_seen: BTreeMap<usize, u64>,
+    /// Consecutive ticks in which each region's object-server host
+    /// accumulated fresh cold-failure observations.
+    sick_streak: BTreeMap<usize, u32>,
+    /// Regions quarantined after an eviction, with expiry: demand-driven
+    /// placement skips them so the next tick does not re-place straight
+    /// onto the host that was just declared sick.
+    quarantined: BTreeMap<usize, SimTime>,
     /// Replica creations this controller has commanded (policy
     /// switches, counting retries of failed placements).
     pub replicas_added: u64,
     /// Creations the object servers acknowledged.
     pub replicas_confirmed: u64,
+    /// Replicas evicted from chronically cold hosts.
+    pub evictions: u64,
+    /// Evicted replicas re-placed on a healthy host.
+    pub replaced_sick: u64,
 }
 
 impl AdaptiveController {
@@ -104,8 +131,13 @@ impl AdaptiveController {
             pending: BTreeMap::new(),
             expired: BTreeMap::new(),
             next_req: 1,
+            cold_seen: BTreeMap::new(),
+            sick_streak: BTreeMap::new(),
+            quarantined: BTreeMap::new(),
             replicas_added: 0,
             replicas_confirmed: 0,
+            evictions: 0,
+            replaced_sick: 0,
         }
     }
 
@@ -146,7 +178,11 @@ impl AdaptiveController {
                 let already_home = self.region_gos[region].host == obj.master.host
                     || ctx.topo().region_of_host(self.region_gos[region].host)
                         == ctx.topo().region_of_host(obj.master.host);
-                if delta >= self.threshold && !already_home && !self.placed.contains(&key) {
+                if delta >= self.threshold
+                    && !already_home
+                    && !self.placed.contains(&key)
+                    && !self.quarantined.contains_key(&region)
+                {
                     actions.push(key);
                 }
             }
@@ -180,7 +216,126 @@ impl AdaptiveController {
                 format!("replicating pkg{index} into region {region}"),
             );
         }
+        self.heal(ctx);
         ctx.set_timer(self.interval, ns_token(CTRL_NS, TICK));
+    }
+
+    /// The self-healing pass: evict placed replicas from regions whose
+    /// object-server host keeps failing clients while classified cold,
+    /// and re-place them on the healthiest region.
+    fn heal(&mut self, ctx: &mut ServiceCtx<'_>) {
+        /// Consecutive ticks of fresh cold-failure observations before a
+        /// region counts as chronically sick (one bad tick is a blip).
+        const SICK_TICKS: u32 = 2;
+        let now = ctx.now();
+        self.quarantined.retain(|_, until| *until > now);
+        let num_regions = self.region_gos.len();
+        for region in 0..num_regions {
+            let host = self.region_gos[region].host;
+            let count = ctx.metrics().counter(&format!("health.cold.h{}", host.0));
+            let prev = self.cold_seen.insert(region, count).unwrap_or(0);
+            let streak = self.sick_streak.entry(region).or_insert(0);
+            if count > prev {
+                *streak += 1;
+            } else {
+                *streak = 0;
+            }
+        }
+        let sick: Vec<usize> = (0..num_regions)
+            .filter(|r| self.sick_streak.get(r).copied().unwrap_or(0) >= SICK_TICKS)
+            .collect();
+        if sick.is_empty() {
+            return;
+        }
+        // The healthiest destination: no active streak, fewest cold
+        // observations ever, not itself quarantined.
+        let healthy = (0..num_regions)
+            .filter(|r| !sick.contains(r) && !self.quarantined.contains_key(r))
+            .filter(|r| self.sick_streak.get(r).copied().unwrap_or(0) == 0)
+            .min_by_key(|r| (self.cold_seen.get(r).copied().unwrap_or(0), *r));
+        for region in sick {
+            // Only confirmed placements move; a still-pending creation
+            // keeps its retry machinery.
+            let in_flight: BTreeSet<(usize, usize)> = self
+                .pending
+                .values()
+                .chain(self.expired.values())
+                .map(|(key, _)| *key)
+                .collect();
+            let moved: Vec<usize> = self
+                .placed
+                .iter()
+                .filter(|&&(_, r)| r == region)
+                .filter(|key| !in_flight.contains(key))
+                .map(|&(index, _)| index)
+                .collect();
+            if moved.is_empty() {
+                // Nothing of ours there; keep watching.
+                continue;
+            }
+            let gos = self.region_gos[region];
+            for index in moved {
+                let obj = self
+                    .objects
+                    .iter()
+                    .find(|o| o.index == index)
+                    .expect("managed object")
+                    .clone();
+                self.placed.remove(&(index, region));
+                let req = self.next_req;
+                self.next_req += 1;
+                // Fire-and-forget: a lost delete against a sick host is
+                // retried implicitly by staying quarantined (and the
+                // stray ack matches no pending entry).
+                let cmd = GosCmd::DeleteReplica {
+                    req,
+                    oid: obj.oid.0,
+                };
+                let conn = self.runtime.open_app_conn(ctx, gos);
+                self.runtime.send_app(ctx, conn, &cmd.encode());
+                self.evictions += 1;
+                ctx.metrics().inc("adapt.evictions", 1);
+                ctx.trace_info(
+                    "adapt",
+                    format!("evicting pkg{index} replica from sick region {region}"),
+                );
+                let Some(dst) = healthy else {
+                    continue;
+                };
+                // Re-place unless the destination already has one (or is
+                // the master's home region, which the master serves).
+                let home = self.region_gos[dst].host == obj.master.host
+                    || ctx.topo().region_of_host(self.region_gos[dst].host)
+                        == ctx.topo().region_of_host(obj.master.host);
+                if dst == region || home || self.placed.contains(&(index, dst)) {
+                    continue;
+                }
+                self.placed.insert((index, dst));
+                let req = self.next_req;
+                self.next_req += 1;
+                let cmd = GosCmd::CreateReplica {
+                    req,
+                    oid: obj.oid.0,
+                    impl_id: obj.impl_id.0,
+                    protocol: protocol_id::MASTER_SLAVE,
+                    role: RoleSpec::Slave { master: obj.master },
+                };
+                let conn = self.runtime.open_app_conn(ctx, self.region_gos[dst]);
+                self.runtime.send_app(ctx, conn, &cmd.encode());
+                self.pending
+                    .insert(req, ((index, dst), now + self.interval * 2));
+                self.replicas_added += 1;
+                self.replaced_sick += 1;
+                ctx.metrics().inc("adapt.replicas_added", 1);
+                ctx.metrics().inc("adapt.replaced_sick", 1);
+                ctx.trace_info(
+                    "adapt",
+                    format!("re-placing pkg{index} on healthy region {dst}"),
+                );
+            }
+            self.quarantined.insert(region, now + self.interval * 8);
+            self.sick_streak.insert(region, 0);
+        }
     }
 }
 
